@@ -1,0 +1,43 @@
+// Sec. 4.2.2: Cheerp vs Emscripten — Emscripten-compiled Wasm runs faster
+// (paper: 2.70x geomean) but uses more memory (6.02x geomean) because of
+// its 16 MiB memory quantum vs Cheerp's 64 KiB pages.
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Sec 4.2.2", "Cheerp vs Emscripten (desktop Chrome, -O2, M input)");
+
+  env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);
+  env::RunOptions cheerp;
+  cheerp.toolchain = backend::Toolchain::Cheerp;
+  env::RunOptions emcc;
+  emcc.toolchain = backend::Toolchain::Emscripten;
+
+  const auto c_rows = run_corpus(core::InputSize::M, ir::OptLevel::O2, chrome, cheerp);
+  const auto e_rows = run_corpus(core::InputSize::M, ir::OptLevel::O2, chrome, emcc);
+
+  support::TextTable table("Per-benchmark: Cheerp vs Emscripten (Wasm)");
+  table.set_header({"benchmark", "cheerp_ms", "emcc_ms", "speed c/e", "cheerp_KB",
+                    "emcc_KB", "mem e/c"});
+  std::vector<double> speed, memr;
+  for (size_t i = 0; i < c_rows.size(); ++i) {
+    const double s = c_rows[i].wasm.time_ms / e_rows[i].wasm.time_ms;
+    const double m = static_cast<double>(e_rows[i].wasm.memory_bytes) /
+                     static_cast<double>(c_rows[i].wasm.memory_bytes);
+    speed.push_back(s);
+    memr.push_back(m);
+    table.add_row({c_rows[i].name, support::fmt(c_rows[i].wasm.time_ms, 3),
+                   support::fmt(e_rows[i].wasm.time_ms, 3), support::fmt(s, 2),
+                   support::fmt_kb(static_cast<double>(c_rows[i].wasm.memory_bytes), 0),
+                   support::fmt_kb(static_cast<double>(e_rows[i].wasm.memory_bytes), 0),
+                   support::fmt(m, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Geomeans: Emscripten is %s faster and uses %s more memory\n",
+              support::fmt_ratio(support::geomean(speed)).c_str(),
+              support::fmt_ratio(support::geomean(memr)).c_str());
+  std::printf("(Paper: 2.70x faster, 6.02x more memory.)\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Sec. 4.5 context-switch microbenchmark: the cost of one JS<->Wasm call
+// crossing per desktop browser. The paper found Firefox spends only 0.13x
+// of Chrome's time after its 2018 call-path optimization.
+#include "common.h"
+#include "wasm/builder.h"
+#include "wasm/codec.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+namespace {
+
+/// A module whose main() calls an imported JS function `n` times — the
+/// standard boundary-crossing microbenchmark.
+backend::WasmArtifact crossing_module(int n) {
+  wasm::ModuleBuilder mb;
+  const uint32_t tick =
+      mb.add_import("env", "sin", wasm::FuncType{{wasm::ValType::F64}, {wasm::ValType::F64}});
+  auto init = mb.define(wasm::FuncType{{}, {}}, "__init");
+  init.finish("__init");
+  auto f = mb.define(wasm::FuncType{{}, {wasm::ValType::I32}}, "main");
+  const uint32_t i = f.add_local(wasm::ValType::I32);
+  const uint32_t acc = f.add_local(wasm::ValType::F64);
+  f.block().loop();
+  f.local_get(i).i32(n).op(wasm::Opcode::I32GeS).br_if(1);
+  f.local_get(acc).f64(0.5).call(tick).op(wasm::Opcode::F64Add).local_set(acc);
+  f.local_get(i).i32(1).op(wasm::Opcode::I32Add).local_set(i);
+  f.br(0);
+  f.end().end();
+  f.local_get(acc).op(wasm::Opcode::I32TruncF64S);
+  f.finish("main");
+  backend::WasmArtifact artifact;
+  artifact.module = mb.take();
+  artifact.binary = wasm::encode(artifact.module);
+  artifact.imports = {ir::Intrinsic::Sin};
+  return artifact;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Sec 4.5", "JS<->Wasm context-switch cost per browser");
+
+  constexpr int kCalls = 100'000;
+  const backend::WasmArtifact with_calls = crossing_module(kCalls);
+  const backend::WasmArtifact without_calls = crossing_module(0);
+
+  support::TextTable table("Context switch microbenchmark");
+  table.set_header({"browser", "per-crossing (ns)", "vs Chrome"});
+  double chrome_ns = 0;
+  for (env::Browser b : {env::Browser::Chrome, env::Browser::Firefox, env::Browser::Edge}) {
+    env::BrowserEnv browser(b, env::Platform::Desktop);
+    const env::PageMetrics m1 = browser.run_wasm(with_calls);
+    const env::PageMetrics m0 = browser.run_wasm(without_calls);
+    if (!m1.ok || !m0.ok) {
+      std::fprintf(stderr, "FATAL: %s%s\n", m1.error.c_str(), m0.error.c_str());
+      return 1;
+    }
+    const double ns = (m1.time_ms - m0.time_ms) * 1e6 / kCalls;
+    if (b == env::Browser::Chrome) chrome_ns = ns;
+    table.add_row({env::to_string(b), support::fmt(ns, 1),
+                   support::fmt_ratio(ns / chrome_ns)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(Paper: Firefox needs only 0.13x of Chrome's context-switch time.)\n");
+  return 0;
+}

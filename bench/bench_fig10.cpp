@@ -1,0 +1,47 @@
+// Figure 10: performance improvement with JIT optimization — execution
+// time without JIT divided by execution time with JIT, for JS and Wasm,
+// split into PolyBenchC and CHStone (paper Sec. 4.4.1). A value of 20
+// means the program runs 20x faster with the JIT.
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Figure 10", "speedup from JIT (JIT-off time / JIT-on time)");
+
+  env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);
+  env::RunOptions jit_on;
+  env::RunOptions jit_off;
+  jit_off.js_jit_enabled = false;  // --no-opt
+  jit_off.wasm_tiers = env::RunOptions::WasmTiers::BaselineOnly;  // --liftoff
+
+  const auto on = run_corpus(core::InputSize::M, ir::OptLevel::O2, chrome, jit_on);
+  const auto off = run_corpus(core::InputSize::M, ir::OptLevel::O2, chrome, jit_off);
+
+  const auto emit = [&](const char* title, const std::string& suite, bool js) {
+    support::TextTable table(title);
+    table.set_header({"benchmark", "speedup_with_jit"});
+    std::vector<double> speedups;
+    for (size_t i = 0; i < on.size(); ++i) {
+      if (on[i].suite != suite) continue;
+      const double with_jit = js ? on[i].js.time_ms : on[i].wasm.time_ms;
+      const double without = js ? off[i].js.time_ms : off[i].wasm.time_ms;
+      const double s = without / with_jit;
+      speedups.push_back(s);
+      table.add_row({on[i].name, support::fmt(s, 2)});
+    }
+    table.add_rule();
+    table.add_row({"geo.mean", support::fmt(support::geomean(speedups), 2)});
+    table.add_row({"average", support::fmt(support::mean(speedups), 2)});
+    std::printf("%s\n", table.render().c_str());
+  };
+
+  emit("Fig 10(a): JS, PolyBenchC", "PolyBenchC", true);
+  emit("Fig 10(b): JS, CHStone", "CHStone", true);
+  emit("Fig 10(c): WASM, PolyBenchC", "PolyBenchC", false);
+  emit("Fig 10(d): WASM, CHStone", "CHStone", false);
+  std::printf("(Paper: JS speeds up ~10-40x with JIT, CHStone less than PolyBench;\n");
+  std::printf(" Wasm improvement ratios stay near 1.)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figures 12 & 13: per-benchmark execution time (Fig 12) and memory usage
+// (Fig 13) of Wasm and JS in all six deployment settings, -O2, M input.
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Figures 12 & 13", "per-benchmark series across six deployment settings");
+
+  struct Setting {
+    const char* label;
+    env::Browser browser;
+    env::Platform platform;
+  };
+  const Setting settings[] = {
+      {"chrome-desktop", env::Browser::Chrome, env::Platform::Desktop},
+      {"firefox-desktop", env::Browser::Firefox, env::Platform::Desktop},
+      {"edge-desktop", env::Browser::Edge, env::Platform::Desktop},
+      {"chrome-mobile", env::Browser::Chrome, env::Platform::Mobile},
+      {"firefox-mobile", env::Browser::Firefox, env::Platform::Mobile},
+      {"edge-mobile", env::Browser::Edge, env::Platform::Mobile},
+  };
+
+  support::TextTable table("Fig 12/13 series");
+  table.set_header(
+      {"setting", "benchmark", "wasm_ms", "js_ms", "wasm_mem_kb", "js_mem_kb"});
+  for (const Setting& s : settings) {
+    env::BrowserEnv browser(s.browser, s.platform);
+    const auto rows = run_corpus(core::InputSize::M, ir::OptLevel::O2, browser);
+    for (const auto& r : rows) {
+      table.add_row({s.label, r.name, support::fmt(r.wasm.time_ms, 3),
+                     support::fmt(r.js.time_ms, 3),
+                     support::fmt_kb(static_cast<double>(r.wasm.memory_bytes)),
+                     support::fmt_kb(static_cast<double>(r.js.memory_bytes))});
+    }
+  }
+  std::printf("%s\n", table.render_csv().c_str());
+  return 0;
+}

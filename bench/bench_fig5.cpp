@@ -1,0 +1,38 @@
+// Figure 5: per-benchmark execution time (top row) and code size (second
+// row) of WebAssembly and JavaScript with -O1, -Ofast, -Oz, relative to
+// -O2, on desktop Chrome with the default (M) input.
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Figure 5", "per-benchmark opt-level ratios vs -O2 (Wasm & JS)");
+
+  env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);
+  const auto o1 = run_corpus(core::InputSize::M, ir::OptLevel::O1, chrome);
+  const auto o2 = run_corpus(core::InputSize::M, ir::OptLevel::O2, chrome);
+  const auto ofast = run_corpus(core::InputSize::M, ir::OptLevel::Ofast, chrome);
+  const auto oz = run_corpus(core::InputSize::M, ir::OptLevel::Oz, chrome);
+
+  const auto series = [&](const char* title, auto get) {
+    support::TextTable table(title);
+    table.set_header({"benchmark", "O1/O2", "Ofast/O2", "Oz/O2"});
+    for (size_t i = 0; i < o2.size(); ++i) {
+      table.add_row({o2[i].name, support::fmt(get(o1[i]) / get(o2[i]), 3),
+                     support::fmt(get(ofast[i]) / get(o2[i]), 3),
+                     support::fmt(get(oz[i]) / get(o2[i]), 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  };
+
+  series("Fig 5 (row 1a): WASM execution time vs -O2",
+         [](const Row& r) { return r.wasm.time_ms; });
+  series("Fig 5 (row 1b): JS execution time vs -O2",
+         [](const Row& r) { return r.js.time_ms; });
+  series("Fig 5 (row 2a): WASM code size vs -O2",
+         [](const Row& r) { return static_cast<double>(r.wasm.code_size); });
+  series("Fig 5 (row 2b): JS code size vs -O2",
+         [](const Row& r) { return static_cast<double>(r.js.code_size); });
+  return 0;
+}

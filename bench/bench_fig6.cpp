@@ -1,0 +1,72 @@
+// Figure 6: per-benchmark execution time and code size of x86 code with
+// -O1, -Ofast, -Oz relative to -O2 (the control experiment showing the
+// counter-intuitive Wasm results are not intended compiler behaviour).
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+namespace {
+
+struct NativeRun {
+  std::string name;
+  double time_ms;
+  double code_size;
+};
+
+std::vector<NativeRun> run_native_level(ir::OptLevel level) {
+  std::vector<NativeRun> out;
+  for (const auto& bench : benchmarks::all_benchmarks()) {
+    const core::BuildResult b = core::build(bench, core::InputSize::M, level);
+    if (!b.ok) {
+      std::fprintf(stderr, "FATAL: %s\n", b.error.c_str());
+      std::exit(1);
+    }
+    const core::NativeMetrics m =
+        core::run_native(b, /*fast_math_costs=*/level == ir::OptLevel::Ofast);
+    if (!m.ok) {
+      std::fprintf(stderr, "FATAL: %s native: %s\n", bench.name.c_str(), m.error.c_str());
+      std::exit(1);
+    }
+    out.push_back({bench.name, m.time_ms, static_cast<double>(m.code_size)});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 6", "per-benchmark x86 opt-level ratios vs -O2");
+
+  const auto o1 = run_native_level(ir::OptLevel::O1);
+  const auto o2 = run_native_level(ir::OptLevel::O2);
+  const auto ofast = run_native_level(ir::OptLevel::Ofast);
+  const auto oz = run_native_level(ir::OptLevel::Oz);
+
+  support::TextTable time_table("Fig 6 (top): x86 execution time vs -O2");
+  time_table.set_header({"benchmark", "O1/O2", "Ofast/O2", "Oz/O2"});
+  support::TextTable size_table("Fig 6 (bottom): x86 code size vs -O2");
+  size_table.set_header({"benchmark", "O1/O2", "Ofast/O2", "Oz/O2"});
+  for (size_t i = 0; i < o2.size(); ++i) {
+    time_table.add_row({o2[i].name, support::fmt(o1[i].time_ms / o2[i].time_ms, 3),
+                        support::fmt(ofast[i].time_ms / o2[i].time_ms, 3),
+                        support::fmt(oz[i].time_ms / o2[i].time_ms, 3)});
+    size_table.add_row({o2[i].name, support::fmt(o1[i].code_size / o2[i].code_size, 3),
+                        support::fmt(ofast[i].code_size / o2[i].code_size, 3),
+                        support::fmt(oz[i].code_size / o2[i].code_size, 3)});
+  }
+  std::printf("%s\n", time_table.render().c_str());
+  std::printf("%s\n", size_table.render().c_str());
+
+  std::vector<double> t1, t2, tf, tz;
+  for (size_t i = 0; i < o2.size(); ++i) {
+    t1.push_back(o1[i].time_ms / o2[i].time_ms);
+    tf.push_back(ofast[i].time_ms / o2[i].time_ms);
+    tz.push_back(oz[i].time_ms / o2[i].time_ms);
+  }
+  std::printf("geomeans: O1/O2 %s  Ofast/O2 %s  Oz/O2 %s (paper: 1.36x, 0.97x, 1.22x)\n",
+              support::fmt_ratio(support::geomean(t1)).c_str(),
+              support::fmt_ratio(support::geomean(tf)).c_str(),
+              support::fmt_ratio(support::geomean(tz)).c_str());
+  return 0;
+}

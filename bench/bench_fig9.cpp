@@ -1,0 +1,29 @@
+// Figure 9: per-benchmark execution time and memory usage of Wasm and JS
+// across the five input sizes, on desktop Chrome at -O2 (the full series
+// behind Tables 3 & 4). Printed as CSV-like rows, one per benchmark/size.
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Figure 9", "time+memory series per benchmark across XS..XL (Chrome)");
+
+  env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);
+
+  support::TextTable table("Fig 9 series (time in ms, memory in KB)");
+  table.set_header({"benchmark", "size", "wasm_ms", "js_ms", "wasm_mem_kb", "js_mem_kb"});
+  for (core::InputSize size : core::kAllSizes) {
+    const auto rows = run_corpus(size, ir::OptLevel::O2, chrome);
+    for (const auto& r : rows) {
+      table.add_row({r.name, core::to_string(size), support::fmt(r.wasm.time_ms, 3),
+                     support::fmt(r.js.time_ms, 3),
+                     support::fmt_kb(static_cast<double>(r.wasm.memory_bytes)),
+                     support::fmt_kb(static_cast<double>(r.js.memory_bytes))});
+    }
+  }
+  std::printf("%s\n", table.render_csv().c_str());
+  std::printf("(Paper Fig. 9: per-benchmark curves; JS memory lines are flat while\n");
+  std::printf(" Wasm memory climbs with input; Wasm leads at XS, JS catches up at M+.)\n");
+  return 0;
+}

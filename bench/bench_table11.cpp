@@ -1,0 +1,48 @@
+// Table 11 (Appendix A): the Chrome parameters used per experiment and
+// what each maps to in this reproduction's environment model.
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Table 11", "Google Chrome parameters per experiment section");
+
+  support::TextTable table("Table 11");
+  table.set_header({"Section", "Figures/Tables", "Paper parameter", "Reproduction knob"});
+  table.add_row({"Sec 4.2", "Fig 5, 6 / Table 2", "chrome.exe -incognito",
+                 "fresh BrowserEnv per run (no cache state exists)"});
+  table.add_row({"Sec 4.3", "Fig 9 / Tables 3-6", "chrome.exe -incognito",
+                 "fresh BrowserEnv per run"});
+  table.add_row({"Sec 4.4", "Fig 10 / Table 7", "default (LiftOff+TurboFan)",
+                 "RunOptions::WasmTiers::Default"});
+  table.add_row({"Sec 4.4", "Fig 10", "--js-flags=\"--no-opt\"",
+                 "RunOptions::js_jit_enabled = false"});
+  table.add_row({"Sec 4.4", "Fig 10 / Table 7", "--liftoff --no-wasm-tier-up",
+                 "RunOptions::WasmTiers::BaselineOnly"});
+  table.add_row({"Sec 4.4", "Table 7", "--no-liftoff --no-wasm-tier-up",
+                 "RunOptions::WasmTiers::OptimizingOnly"});
+  table.add_row({"Sec 4.5", "Fig 11, 12 / Table 8", "chrome.exe -incognito",
+                 "BrowserEnv(browser, platform) per setting"});
+  table.add_row({"Sec 4.6", "Table 9, 10, 11", "chrome.exe -incognito",
+                 "fresh BrowserEnv per run"});
+  std::printf("%s\n", table.render().c_str());
+
+  // And the concrete profile constants those knobs resolve to.
+  std::printf("Resolved desktop-Chrome profile constants:\n");
+  const env::Profile p = env::profile_for(env::Browser::Chrome, env::Platform::Desktop);
+  std::printf("  js parse cost       %llu ps/byte\n",
+              static_cast<unsigned long long>(p.js_parse_cost_per_byte));
+  std::printf("  js tier-up at       %llu hotness ticks (x%.0f interpreter penalty)\n",
+              static_cast<unsigned long long>(p.js_tierup_threshold),
+              p.js_baseline_multiplier);
+  std::printf("  wasm decode cost    %llu ps/byte, instantiate %.3f ms\n",
+              static_cast<unsigned long long>(p.wasm_decode_cost_per_byte),
+              static_cast<double>(p.wasm_instantiate_overhead_ps) / 1e9);
+  std::printf("  wasm tier-up at     %llu hotness ticks (x%.2f baseline penalty)\n",
+              static_cast<unsigned long long>(p.wasm_tierup_threshold),
+              p.wasm_baseline_multiplier);
+  std::printf("  JS<->Wasm crossing  %.1f ns\n",
+              static_cast<double>(p.boundary_cost_ps) / 1000.0);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Table 2: geometric means of compiler-optimization results — execution
+// time, code size, and memory for O1/Ofast/Oz relative to the O2
+// baseline, for the JS target, the Wasm target, and x86 (paper Sec. 4.2.1).
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Table 2", "geomeans of compiler optimization results (vs -O2)");
+
+  env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);
+  const core::InputSize size = core::InputSize::M;
+
+  struct LevelData {
+    ir::OptLevel level;
+    std::vector<Row> rows;
+  };
+  std::vector<LevelData> levels = {{ir::OptLevel::O1, {}},
+                                   {ir::OptLevel::O2, {}},
+                                   {ir::OptLevel::Ofast, {}},
+                                   {ir::OptLevel::Oz, {}}};
+  for (auto& l : levels) {
+    l.rows = run_corpus(size, l.level, chrome, {}, /*with_native=*/true,
+                        /*native_fast_math_costs=*/l.level == ir::OptLevel::Ofast);
+  }
+  const std::vector<Row>& base = levels[1].rows;
+
+  support::TextTable table("Table 2: geomeans vs -O2 (values < 1 mean faster/smaller)");
+  table.set_header({"Metrics", "Targets", "JS", "WASM", "x86"});
+
+  const auto add_metric = [&](const char* metric,
+                              std::vector<double> (*js_col)(const std::vector<Row>&),
+                              std::vector<double> (*wasm_col)(const std::vector<Row>&),
+                              std::vector<double> (*x86_col)(const std::vector<Row>&)) {
+    for (const auto& l : levels) {
+      if (l.level == ir::OptLevel::O2) continue;
+      std::vector<std::string> row;
+      row.push_back(metric);
+      row.push_back(std::string(ir::to_string(l.level)) + "/O2");
+      row.push_back(support::fmt_ratio(
+          support::geomean(ratios(js_col(l.rows), js_col(base)))));
+      row.push_back(support::fmt_ratio(
+          support::geomean(ratios(wasm_col(l.rows), wasm_col(base)))));
+      if (x86_col) {
+        row.push_back(support::fmt_ratio(
+            support::geomean(ratios(x86_col(l.rows), x86_col(base)))));
+      } else {
+        row.push_back("-");
+      }
+      table.add_row(std::move(row));
+    }
+    table.add_rule();
+  };
+
+  add_metric("Exec. Time", js_times, wasm_times, native_times);
+  add_metric("Code Size", js_sizes, wasm_sizes, native_sizes);
+  add_metric("Memory", js_memories, wasm_memories, nullptr);
+
+  std::printf("%s\n", table.render().c_str());
+
+  // The paper's annotations: * Ofast unexpectedly slower than O1/Oz for
+  // Wasm/JS; # Oz unexpectedly the fastest.
+  const double wasm_o1 = support::geomean(ratios(wasm_times(levels[0].rows), wasm_times(base)));
+  const double wasm_ofast =
+      support::geomean(ratios(wasm_times(levels[2].rows), wasm_times(base)));
+  const double wasm_oz = support::geomean(ratios(wasm_times(levels[3].rows), wasm_times(base)));
+  const double x86_ofast =
+      support::geomean(ratios(native_times(levels[2].rows), native_times(base)));
+  const double x86_o1 = support::geomean(ratios(native_times(levels[0].rows), native_times(base)));
+  std::printf("Counter-intuitive checks (paper Sec. 4.2.1):\n");
+  std::printf("  WASM: Ofast (%0.2fx) slower than O1 (%0.2fx) and Oz (%0.2fx): %s\n",
+              wasm_ofast, wasm_o1, wasm_oz,
+              wasm_ofast > wasm_o1 && wasm_ofast > wasm_oz ? "REPRODUCED" : "not observed");
+  std::printf("  WASM: Oz is the fastest level: %s\n",
+              wasm_oz < wasm_o1 && wasm_oz < wasm_ofast ? "REPRODUCED" : "not observed");
+  std::printf("  x86: expected ordering holds (Ofast %0.2fx fastest, O1 %0.2fx slowest): %s\n",
+              x86_ofast, x86_o1,
+              x86_ofast < 1.0 && x86_o1 > 1.0 ? "REPRODUCED" : "not observed");
+
+  // Per-level winner counts (the "no silver bullet" observation).
+  std::printf("\nFastest Wasm binary per benchmark (paper: no single flag wins):\n");
+  size_t wins[4] = {0, 0, 0, 0};
+  for (size_t b = 0; b < base.size(); ++b) {
+    size_t best = 0;
+    for (size_t l = 1; l < levels.size(); ++l) {
+      if (levels[l].rows[b].wasm.time_ms < levels[best].rows[b].wasm.time_ms) best = l;
+    }
+    ++wins[best];
+  }
+  for (size_t l = 0; l < levels.size(); ++l) {
+    std::printf("  %-6s fastest for %zu of 41 benchmarks\n",
+                ir::to_string(levels[l].level), wins[l]);
+  }
+  return 0;
+}

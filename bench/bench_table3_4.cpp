@@ -1,0 +1,39 @@
+// Tables 3 & 4: Chrome execution-time statistics and average memory usage
+// across the five input sizes (paper Sec. 4.3.1, summarizing Fig. 9).
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Tables 3 & 4", "Chrome: Wasm vs JS across input sizes XS..XL");
+
+  env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);
+
+  support::TextTable t3("Table 3: Chrome execution time statistics");
+  t3.set_header({"Input Size", "SD #", "SD gmean", "SU #", "SU gmean", "All gmean"});
+  support::TextTable t4("Table 4: Chrome average memory usage (KB)");
+  t4.set_header({"Input Size", "JavaScript", "WebAssembly"});
+
+  for (core::InputSize size : core::kAllSizes) {
+    const auto rows = run_corpus(size, ir::OptLevel::O2, chrome);
+    // Paper convention: SD/SU describe *WebAssembly* relative to JS.
+    const support::RatioStats stats =
+        support::classify_ratios(wasm_times(rows), js_times(rows));
+    t3.add_row({core::to_string(size), std::to_string(stats.slowdown_count),
+                support::fmt_ratio(stats.slowdown_gmean) + " v",
+                std::to_string(stats.speedup_count),
+                support::fmt_ratio(stats.speedup_gmean) + " ^",
+                support::fmt_ratio(stats.all_gmean) +
+                    (stats.all_gmean_is_speedup ? " ^" : " v")});
+    t4.add_row({core::to_string(size),
+                support::fmt_kb(support::mean(js_memories(rows))),
+                support::fmt_kb(support::mean(wasm_memories(rows)))});
+  }
+  std::printf("%s\n", t3.render().c_str());
+  std::printf("(SD = Wasm slower than JS, SU = Wasm faster; ^ = Wasm wins overall.\n");
+  std::printf(" Paper: XS 1/40 26.99x^ ... M 18/23 2.30x^ ... XL 18/23 1.58x^)\n\n");
+  std::printf("%s\n", t4.render().c_str());
+  std::printf("(Paper: JS flat ~880 KB at every size; Wasm grows to ~100 MB at XL.)\n");
+  return 0;
+}

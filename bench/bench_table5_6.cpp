@@ -1,0 +1,38 @@
+// Tables 5 & 6: the same input-size sweep on Firefox, where the trend
+// inverts (paper Sec. 4.3.2): JS wins at small inputs, Wasm at large.
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Tables 5 & 6", "Firefox: Wasm vs JS across input sizes XS..XL");
+
+  env::BrowserEnv firefox(env::Browser::Firefox, env::Platform::Desktop);
+
+  support::TextTable t5("Table 5: Firefox execution time statistics");
+  t5.set_header({"Input Size", "SD #", "SD gmean", "SU #", "SU gmean", "All gmean"});
+  support::TextTable t6("Table 6: Firefox average memory usage (KB)");
+  t6.set_header({"Input Size", "JavaScript", "WebAssembly"});
+
+  for (core::InputSize size : core::kAllSizes) {
+    const auto rows = run_corpus(size, ir::OptLevel::O2, firefox);
+    const support::RatioStats stats =
+        support::classify_ratios(wasm_times(rows), js_times(rows));
+    t5.add_row({core::to_string(size), std::to_string(stats.slowdown_count),
+                support::fmt_ratio(stats.slowdown_gmean) + " v",
+                std::to_string(stats.speedup_count),
+                support::fmt_ratio(stats.speedup_gmean) + " ^",
+                support::fmt_ratio(stats.all_gmean) +
+                    (stats.all_gmean_is_speedup ? " ^" : " v")});
+    t6.add_row({core::to_string(size),
+                support::fmt_kb(support::mean(js_memories(rows))),
+                support::fmt_kb(support::mean(wasm_memories(rows)))});
+  }
+  std::printf("%s\n", t5.render().c_str());
+  std::printf("(Paper: XS 33/8 3.05x v ... M 16/25 1.08x^ ... XL 6/35 1.67x^ —\n");
+  std::printf(" the opposite of Chrome at small inputs.)\n\n");
+  std::printf("%s\n", t6.render().c_str());
+  std::printf("(Paper: Firefox JS ~510 KB flat; Wasm grows to ~104 MB at XL.)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Table 7: WebAssembly performance with the three compiler-tier settings
+// — default (both tiers), basic-only (LiftOff/Baseline), optimizing-only
+// (TurboFan/Ion) — on Chrome and Firefox (paper Sec. 4.4.2). Numbers are
+// the execution-speed ratio of the default setting to each single-tier
+// setting (default_time is the denominator of speed, so ratio =
+// single_tier_time / default_time... inverted to match the paper:
+// ratio = speed(default)/speed(single) = time(single)/time(default)).
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+namespace {
+
+struct TierData {
+  std::vector<Row> def, basic, optimizing;
+};
+
+TierData run_browser(const env::BrowserEnv& browser) {
+  env::RunOptions def;
+  env::RunOptions basic;
+  basic.wasm_tiers = env::RunOptions::WasmTiers::BaselineOnly;
+  env::RunOptions optimizing;
+  optimizing.wasm_tiers = env::RunOptions::WasmTiers::OptimizingOnly;
+  TierData d;
+  d.def = run_corpus(core::InputSize::M, ir::OptLevel::O2, browser, def);
+  d.basic = run_corpus(core::InputSize::M, ir::OptLevel::O2, browser, basic);
+  d.optimizing = run_corpus(core::InputSize::M, ir::OptLevel::O2, browser, optimizing);
+  return d;
+}
+
+std::vector<double> suite_ratio(const std::vector<Row>& variant,
+                                const std::vector<Row>& def, const std::string& suite) {
+  std::vector<double> out;
+  for (size_t i = 0; i < def.size(); ++i) {
+    if (!suite.empty() && def[i].suite != suite) continue;
+    out.push_back(variant[i].wasm.time_ms / def[i].wasm.time_ms);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 7", "Wasm tier configurations: Chrome vs Firefox");
+
+  env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);
+  env::BrowserEnv firefox(env::Browser::Firefox, env::Platform::Desktop);
+  const TierData c = run_browser(chrome);
+  const TierData f = run_browser(firefox);
+
+  support::TextTable table(
+      "Table 7: execution speed ratio of default setting to single-tier settings");
+  table.set_header({"Benchmark", "Metric", "LiftOff", "Baseline", "TurboFan", "Ion"});
+  const auto add_rows = [&](const char* name, const std::string& suite) {
+    table.add_row({name, "Geo. mean",
+                   support::fmt_ratio(support::geomean(suite_ratio(c.basic, c.def, suite))),
+                   support::fmt_ratio(support::geomean(suite_ratio(f.basic, f.def, suite))),
+                   support::fmt_ratio(support::geomean(suite_ratio(c.optimizing, c.def, suite))),
+                   support::fmt_ratio(support::geomean(suite_ratio(f.optimizing, f.def, suite)))});
+    table.add_row({name, "Average",
+                   support::fmt_ratio(support::mean(suite_ratio(c.basic, c.def, suite))),
+                   support::fmt_ratio(support::mean(suite_ratio(f.basic, f.def, suite))),
+                   support::fmt_ratio(support::mean(suite_ratio(c.optimizing, c.def, suite))),
+                   support::fmt_ratio(support::mean(suite_ratio(f.optimizing, f.def, suite)))});
+    table.add_rule();
+  };
+  add_rows("PolyBenchC", "PolyBenchC");
+  add_rows("CHStone", "CHStone");
+  add_rows("Overall", "");
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(Columns LiftOff/Baseline: basic compiler only — paper ~1.09-1.16x,\n");
+  std::printf(" i.e. slightly slower than default. Columns TurboFan/Ion: optimizing\n");
+  std::printf(" only — paper ~0.91-0.95x, slightly faster than default.)\n");
+  return 0;
+}

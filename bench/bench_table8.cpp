@@ -1,0 +1,82 @@
+// Table 8: execution time and memory statistics of JS and Wasm across the
+// six deployment settings (Chrome/Firefox/Edge x desktop/mobile), plus
+// the Sec. 4.5 relative-ratio summary.
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Table 8", "browsers & platforms: arithmetic averages at -O2, M input");
+
+  struct Setting {
+    env::Browser browser;
+    env::Platform platform;
+    std::vector<Row> rows;
+  };
+  std::vector<Setting> settings = {
+      {env::Browser::Chrome, env::Platform::Desktop, {}},
+      {env::Browser::Firefox, env::Platform::Desktop, {}},
+      {env::Browser::Edge, env::Platform::Desktop, {}},
+      {env::Browser::Chrome, env::Platform::Mobile, {}},
+      {env::Browser::Firefox, env::Platform::Mobile, {}},
+      {env::Browser::Edge, env::Platform::Mobile, {}},
+  };
+  for (auto& s : settings) {
+    env::BrowserEnv browser(s.browser, s.platform);
+    s.rows = run_corpus(core::InputSize::M, ir::OptLevel::O2, browser);
+  }
+
+  support::TextTable table("Table 8: averages per deployment setting");
+  table.set_header({"", "Chrome", "Firefox", "Edge", "m.Chrome", "m.Firefox", "m.Edge"});
+  const auto metric_row = [&](const char* label, auto get) {
+    std::vector<std::string> row = {label};
+    for (const auto& s : settings) {
+      std::vector<double> xs;
+      for (const auto& r : s.rows) xs.push_back(get(r));
+      row.push_back(support::fmt(support::mean(xs), 2));
+    }
+    table.add_row(std::move(row));
+  };
+  metric_row("JS Exec. Time (ms)", [](const Row& r) { return r.js.time_ms; });
+  metric_row("WASM Exec. Time (ms)", [](const Row& r) { return r.wasm.time_ms; });
+  metric_row("JS Memory (KB)",
+             [](const Row& r) { return static_cast<double>(r.js.memory_bytes) / 1024; });
+  metric_row("WASM Memory (KB)",
+             [](const Row& r) { return static_cast<double>(r.wasm.memory_bytes) / 1024; });
+  std::printf("%s\n", table.render().c_str());
+
+  // Sec. 4.5 ratios vs Chrome on the same platform.
+  const auto gmean_time = [&](size_t idx, bool js) {
+    std::vector<double> xs;
+    for (const auto& r : settings[idx].rows) xs.push_back(js ? r.js.time_ms : r.wasm.time_ms);
+    return support::geomean(xs);
+  };
+  std::printf("Relative execution time vs Chrome (geomean; paper values in parens):\n");
+  std::printf("  Desktop WASM: Firefox %s (0.61x)  Edge %s (1.28x)\n",
+              support::fmt_ratio(gmean_time(1, false) / gmean_time(0, false)).c_str(),
+              support::fmt_ratio(gmean_time(2, false) / gmean_time(0, false)).c_str());
+  std::printf("  Desktop JS  : Firefox %s (1.06x)  Edge %s (1.40x)\n",
+              support::fmt_ratio(gmean_time(1, true) / gmean_time(0, true)).c_str(),
+              support::fmt_ratio(gmean_time(2, true) / gmean_time(0, true)).c_str());
+  std::printf("  Mobile  WASM: Firefox %s (1.48x)  Edge %s (0.83x)\n",
+              support::fmt_ratio(gmean_time(4, false) / gmean_time(3, false)).c_str(),
+              support::fmt_ratio(gmean_time(5, false) / gmean_time(3, false)).c_str());
+  std::printf("  Mobile  JS  : Firefox %s (0.67x)  Edge %s (0.81x)\n",
+              support::fmt_ratio(gmean_time(4, true) / gmean_time(3, true)).c_str(),
+              support::fmt_ratio(gmean_time(5, true) / gmean_time(3, true)).c_str());
+
+  // Wasm-vs-JS memory multiple per setting (paper: 3.2-6.2x).
+  std::printf("\nWASM/JS memory multiple per setting:\n  ");
+  for (const auto& s : settings) {
+    std::vector<double> wm, jm;
+    for (const auto& r : s.rows) {
+      wm.push_back(static_cast<double>(r.wasm.memory_bytes));
+      jm.push_back(static_cast<double>(r.js.memory_bytes));
+    }
+    std::printf("%s/%s %.2fx  ", env::to_string(s.browser), env::to_string(s.platform),
+                support::mean(wm) / support::mean(jm));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table 9: manually-written JavaScript vs Cheerp-generated JavaScript vs
+// WebAssembly — execution time and memory (paper Sec. 4.6.1).
+#include "common.h"
+
+using namespace wb;
+using namespace wb::bench;
+
+int main() {
+  print_header("Table 9", "manual JS vs Cheerp JS vs Wasm (desktop Chrome, M input)");
+
+  env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);
+
+  support::TextTable table("Table 9");
+  table.set_header({"Benchmark", "LOC", "Manual ms", "Cheerp ms", "WASM ms",
+                    "Manual KB", "Cheerp KB", "WASM KB"});
+
+  for (const auto& manual : benchmarks::manual_js_benchmarks()) {
+    const core::BenchSource* bench = benchmarks::find_benchmark(manual.bench_name);
+    if (!bench) {
+      std::fprintf(stderr, "FATAL: no compiled benchmark %s\n", manual.bench_name.c_str());
+      return 1;
+    }
+    const core::BuildResult build =
+        core::build(*bench, core::InputSize::M, ir::OptLevel::O2);
+    if (!build.ok) {
+      std::fprintf(stderr, "FATAL: %s\n", build.error.c_str());
+      return 1;
+    }
+    const env::PageMetrics manual_m = chrome.run_js(manual.source);
+    const env::PageMetrics cheerp_m = chrome.run_js(build.js_source);
+    const env::PageMetrics wasm_m = chrome.run_wasm(build.wasm);
+    if (!manual_m.ok || !cheerp_m.ok || !wasm_m.ok) {
+      std::fprintf(stderr, "FATAL: %s failed: %s%s%s\n", manual.name.c_str(),
+                   manual_m.error.c_str(), cheerp_m.error.c_str(), wasm_m.error.c_str());
+      return 1;
+    }
+    size_t loc = 1;
+    for (char c : manual.source) loc += c == '\n';
+    table.add_row({manual.name, std::to_string(loc), support::fmt(manual_m.time_ms, 3),
+                   support::fmt(cheerp_m.time_ms, 3), support::fmt(wasm_m.time_ms, 3),
+                   support::fmt_kb(static_cast<double>(manual_m.memory_bytes), 0),
+                   support::fmt_kb(static_cast<double>(cheerp_m.memory_bytes), 0),
+                   support::fmt_kb(static_cast<double>(wasm_m.memory_bytes), 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(Paper observations: most manual rows are slower than Cheerp's JS;\n");
+  std::printf(" AES and SHA (W3C) are the exceptions; hand-written PolyBench rows\n");
+  std::printf(" use boxed arrays and so hold several MB of GC heap.)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Microbenchmarks (google-benchmark): real-time throughput of the two
+// virtual machines and the compiler pipeline. These measure the
+// reproduction's own substrate speed (host ops/sec), not virtual time.
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "js/engine.h"
+#include "wasm/builder.h"
+#include "wasm/codec.h"
+#include "wasm/interp.h"
+
+namespace {
+
+using namespace wb;
+
+wasm::Module hot_loop_module(int n) {
+  wasm::ModuleBuilder mb;
+  auto f = mb.define(wasm::FuncType{{}, {wasm::ValType::I32}}, "main");
+  const uint32_t i = f.add_local(wasm::ValType::I32);
+  const uint32_t acc = f.add_local(wasm::ValType::I32);
+  f.block().loop();
+  f.local_get(i).i32(n).op(wasm::Opcode::I32GeS).br_if(1);
+  f.local_get(acc).local_get(i).op(wasm::Opcode::I32Add).local_set(acc);
+  f.local_get(i).i32(1).op(wasm::Opcode::I32Add).local_set(i);
+  f.br(0);
+  f.end().end();
+  f.local_get(acc);
+  f.finish("main");
+  return mb.take();
+}
+
+void BM_WasmInterpreterHotLoop(benchmark::State& state) {
+  const wasm::Module module = hot_loop_module(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    wasm::Instance inst(module, {});
+    const wasm::InvokeResult r = inst.invoke("main", {});
+    benchmark::DoNotOptimize(r.value.bits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 9);
+}
+BENCHMARK(BM_WasmInterpreterHotLoop)->Arg(10'000)->Arg(100'000);
+
+void BM_JsInterpreterHotLoop(benchmark::State& state) {
+  const std::string source =
+      "function main() { var acc = 0; for (var i = 0; i < " +
+      std::to_string(state.range(0)) + "; i++) acc = (acc + i) | 0; return acc; }";
+  std::string error;
+  const auto code = js::compile_script(source, error);
+  for (auto _ : state) {
+    js::Heap heap;
+    js::Vm vm(*code, heap);
+    (void)vm.run_top_level();
+    const js::Vm::Result r = vm.call_function("main", {});
+    benchmark::DoNotOptimize(r.value.num);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_JsInterpreterHotLoop)->Arg(10'000)->Arg(100'000);
+
+void BM_CompilePipeline(benchmark::State& state) {
+  const core::BenchSource* bench = benchmarks::find_benchmark("gemm");
+  for (auto _ : state) {
+    const core::BuildResult b =
+        core::build(*bench, core::InputSize::M, ir::OptLevel::O2);
+    benchmark::DoNotOptimize(b.wasm.binary.size());
+  }
+}
+BENCHMARK(BM_CompilePipeline);
+
+void BM_WasmEncodeDecode(benchmark::State& state) {
+  const core::BenchSource* bench = benchmarks::find_benchmark("AES");
+  const core::BuildResult b = core::build(*bench, core::InputSize::M, ir::OptLevel::O2);
+  for (auto _ : state) {
+    const auto bytes = wasm::encode(b.wasm.module);
+    auto decoded = wasm::decode(bytes);
+    benchmark::DoNotOptimize(decoded->functions.size());
+  }
+}
+BENCHMARK(BM_WasmEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+#include "common.h"
+
+#include <cstdlib>
+
+namespace wb::bench {
+
+std::vector<Row> run_corpus(core::InputSize size, ir::OptLevel level,
+                            const env::BrowserEnv& browser,
+                            const env::RunOptions& options, bool with_native,
+                            bool native_fast_math_costs) {
+  std::vector<Row> rows;
+  for (const auto& bench : benchmarks::all_benchmarks()) {
+    Row row;
+    row.name = bench.name;
+    row.suite = bench.suite;
+    const core::BuildResult build = core::build(bench, size, level, options.toolchain);
+    if (!build.ok) {
+      std::fprintf(stderr, "FATAL: build failed: %s\n", build.error.c_str());
+      std::exit(1);
+    }
+    row.wasm = browser.run_wasm(build.wasm, options);
+    row.js = browser.run_js(build.js_source, options);
+    if (!row.wasm.ok || !row.js.ok) {
+      std::fprintf(stderr, "FATAL: %s failed: %s%s\n", bench.name.c_str(),
+                   row.wasm.error.c_str(), row.js.error.c_str());
+      std::exit(1);
+    }
+    if (row.wasm.result != row.js.result) {
+      std::fprintf(stderr, "FATAL: %s checksum mismatch (wasm %d, js %d)\n",
+                   bench.name.c_str(), row.wasm.result, row.js.result);
+      std::exit(1);
+    }
+    if (with_native) {
+      row.native = core::run_native(build, native_fast_math_costs);
+      if (!row.native.ok) {
+        std::fprintf(stderr, "FATAL: %s native failed: %s\n", bench.name.c_str(),
+                     row.native.error.c_str());
+        std::exit(1);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+template <typename F>
+std::vector<double> column(const std::vector<Row>& rows, F get) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(get(r));
+  return out;
+}
+}  // namespace
+
+std::vector<double> wasm_times(const std::vector<Row>& rows) {
+  return column(rows, [](const Row& r) { return r.wasm.time_ms; });
+}
+std::vector<double> js_times(const std::vector<Row>& rows) {
+  return column(rows, [](const Row& r) { return r.js.time_ms; });
+}
+std::vector<double> native_times(const std::vector<Row>& rows) {
+  return column(rows, [](const Row& r) { return r.native.time_ms; });
+}
+std::vector<double> wasm_sizes(const std::vector<Row>& rows) {
+  return column(rows, [](const Row& r) { return static_cast<double>(r.wasm.code_size); });
+}
+std::vector<double> js_sizes(const std::vector<Row>& rows) {
+  return column(rows, [](const Row& r) { return static_cast<double>(r.js.code_size); });
+}
+std::vector<double> native_sizes(const std::vector<Row>& rows) {
+  return column(rows, [](const Row& r) { return static_cast<double>(r.native.code_size); });
+}
+std::vector<double> wasm_memories(const std::vector<Row>& rows) {
+  return column(rows, [](const Row& r) { return static_cast<double>(r.wasm.memory_bytes); });
+}
+std::vector<double> js_memories(const std::vector<Row>& rows) {
+  return column(rows, [](const Row& r) { return static_cast<double>(r.js.memory_bytes); });
+}
+
+std::vector<double> ratios(const std::vector<double>& a, const std::vector<double>& b) {
+  std::vector<double> out;
+  out.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out.push_back(a[i] / b[i]);
+  return out;
+}
+
+void print_header(const std::string& id, const std::string& what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("(deterministic virtual-clock measurements; see EXPERIMENTS.md\n");
+  std::printf(" for paper-vs-reproduction comparison)\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace wb::bench

@@ -1,0 +1,51 @@
+// Shared helpers for the bench binaries. Every binary regenerates one
+// paper table or figure and prints the same rows/series the paper reports
+// (deterministic: identical output on every run).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace wb::bench {
+
+/// One benchmark's metrics on both web targets (and optionally native).
+struct Row {
+  std::string name;
+  std::string suite;
+  env::PageMetrics wasm;
+  env::PageMetrics js;
+  core::NativeMetrics native;
+};
+
+/// Runs all 41 benchmarks at (size, level) in `browser`. Aborts the
+/// process with a message if any run fails — bench output must never
+/// silently drop a benchmark.
+std::vector<Row> run_corpus(core::InputSize size, ir::OptLevel level,
+                            const env::BrowserEnv& browser,
+                            const env::RunOptions& options = {},
+                            bool with_native = false,
+                            bool native_fast_math_costs = false);
+
+/// Extracts a metric column from rows.
+std::vector<double> wasm_times(const std::vector<Row>& rows);
+std::vector<double> js_times(const std::vector<Row>& rows);
+std::vector<double> native_times(const std::vector<Row>& rows);
+std::vector<double> wasm_sizes(const std::vector<Row>& rows);
+std::vector<double> js_sizes(const std::vector<Row>& rows);
+std::vector<double> native_sizes(const std::vector<Row>& rows);
+std::vector<double> wasm_memories(const std::vector<Row>& rows);
+std::vector<double> js_memories(const std::vector<Row>& rows);
+
+/// Elementwise ratios a[i] / b[i].
+std::vector<double> ratios(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Prints the standard bench header (paper reference + determinism note).
+void print_header(const std::string& id, const std::string& what);
+
+}  // namespace wb::bench

@@ -1,0 +1,53 @@
+// Scenario: a web developer deciding whether to ship Wasm or JS, given
+// their audience's browsers — the paper's Sec. 4.5 question. Runs one
+// benchmark in all six deployment settings and prints the decision table.
+//
+//   $ ./build/examples/browser_shootout [benchmark]   (default: jacobi-2d)
+#include <cstdio>
+
+#include "benchmarks/registry.h"
+#include "core/study.h"
+
+int main(int argc, char** argv) {
+  using namespace wb;
+
+  const char* name = argc > 1 ? argv[1] : "jacobi-2d";
+  const core::BenchSource* bench = benchmarks::find_benchmark(name);
+  if (!bench) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name);
+    return 1;
+  }
+
+  const core::BuildResult b = core::build(*bench, core::InputSize::M, ir::OptLevel::O2);
+  if (!b.ok) {
+    std::fprintf(stderr, "%s\n", b.error.c_str());
+    return 1;
+  }
+
+  std::printf("benchmark: %s, input M, -O2\n\n", bench->name.c_str());
+  std::printf("%-20s %12s %12s %10s %s\n", "setting", "wasm (ms)", "js (ms)", "js/wasm",
+              "ship");
+
+  for (env::Platform platform : {env::Platform::Desktop, env::Platform::Mobile}) {
+    for (env::Browser browser :
+         {env::Browser::Chrome, env::Browser::Firefox, env::Browser::Edge}) {
+      env::BrowserEnv browser_env(browser, platform);
+      const env::PageMetrics wm = browser_env.run_wasm(b.wasm);
+      const env::PageMetrics jm = browser_env.run_js(b.js_source);
+      if (!wm.ok || !jm.ok) {
+        std::fprintf(stderr, "run failed\n");
+        return 1;
+      }
+      char label[64];
+      std::snprintf(label, sizeof label, "%s/%s", env::to_string(browser),
+                    env::to_string(platform));
+      std::printf("%-20s %12.4f %12.4f %10.2f %s\n", label, wm.time_ms, jm.time_ms,
+                  jm.time_ms / wm.time_ms, jm.time_ms > wm.time_ms ? "wasm" : "js");
+    }
+  }
+
+  std::printf(
+      "\nThe paper's point: the winner is environment-dependent — Firefox runs\n"
+      "Wasm fastest on desktop, while on mobile the ordering changes again.\n");
+  return 0;
+}

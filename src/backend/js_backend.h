@@ -1,0 +1,31 @@
+// IR -> "compiler-generated JavaScript", in the style Cheerp emits for its
+// genericjs/asm.js-like target: each C array becomes a typed array, all
+// integer arithmetic carries |0 coercions, i32 multiplication uses
+// Math.imul, and unsigned ops use the >>>0 idiom. The output is real
+// source text for the in-repo JS engine, so parse cost and code size are
+// measured on actual bytes.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace wb::backend {
+
+struct JsOptions {
+  /// Produced by the -Ofast pipeline; skips dead-global-store elimination
+  /// (this backend shares Cheerp's buggy fast-math path, see Fig. 7).
+  bool fast_math = false;
+};
+
+struct JsArtifact {
+  std::string source;
+  std::string error;  ///< non-empty on failure
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Lowers `module` (consumed; backend-late passes run on it) to JS source.
+/// The program defines one JS function per IR function (same names).
+JsArtifact compile_to_js(ir::Module module, const JsOptions& options);
+
+}  // namespace wb::backend

@@ -1,0 +1,46 @@
+#include "backend/native_backend.h"
+
+#include "ir/passes.h"
+
+namespace wb::backend {
+
+namespace {
+
+size_t expr_instrs(const ir::Expr& e) {
+  size_t n = 1;
+  for (const auto& a : e.args) n += expr_instrs(*a);
+  return n;
+}
+
+size_t body_instrs(const std::vector<ir::StmtPtr>& body) {
+  size_t n = 0;
+  for (const auto& s : body) {
+    n += 1;  // the statement itself (store/branch/assign)
+    if (s->e0) n += expr_instrs(*s->e0);
+    if (s->e1) n += expr_instrs(*s->e1);
+    n += body_instrs(s->body);
+    n += body_instrs(s->else_body);
+  }
+  return n;
+}
+
+}  // namespace
+
+NativeArtifact compile_to_native(ir::Module module) {
+  // Native codegen always eliminates dead global stores (no fast-math bug
+  // on this path).
+  ir::pass_dead_global_stores(module);
+  ir::pass_remove_unused_globals(module);
+
+  NativeArtifact artifact;
+  size_t instrs = 0;
+  for (const auto& fn : module.functions) {
+    instrs += 8;  // prologue/epilogue
+    instrs += body_instrs(fn.body);
+  }
+  artifact.code_size = instrs * 4;  // ~4 bytes per lowered instruction
+  artifact.module = std::move(module);
+  return artifact;
+}
+
+}  // namespace wb::backend

@@ -1,0 +1,24 @@
+// The x86-stand-in target: IR is "compiled" by running the backend-late
+// passes (its dead-global-store elimination is NOT bug-gated — stock LLVM
+// x86 codegen behaves correctly under fast-math, which is why the paper's
+// Fig. 6 shows the expected -O ordering) and executed by the IR evaluator
+// under the native cost model. Code size is estimated from lowered
+// pseudo-instruction counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ir/ir.h"
+
+namespace wb::backend {
+
+struct NativeArtifact {
+  ir::Module module;
+  size_t code_size = 0;  ///< estimated machine-code bytes
+};
+
+/// Applies native-late passes and estimates code size.
+NativeArtifact compile_to_native(ir::Module module);
+
+}  // namespace wb::backend

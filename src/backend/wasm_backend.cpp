@@ -1,0 +1,676 @@
+#include "backend/wasm_backend.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "ir/passes.h"
+#include "wasm/codec.h"
+#include "wasm/validator.h"
+
+namespace wb::backend {
+
+namespace {
+
+using ir::BinOp;
+using ir::CastOp;
+using ir::Intrinsic;
+using ir::MemTy;
+using ir::Ty;
+using wasm::Instr;
+using wasm::Opcode;
+using wasm::ValType;
+
+ValType to_valtype(Ty t) {
+  switch (t) {
+    case Ty::I32: return ValType::I32;
+    case Ty::I64: return ValType::I64;
+    case Ty::F32: return ValType::F32;
+    case Ty::F64: return ValType::F64;
+    case Ty::Void: break;
+  }
+  return ValType::I32;
+}
+
+Opcode bin_opcode(BinOp op, Ty operand_ty) {
+  const bool f32 = operand_ty == Ty::F32;
+  const bool f64 = operand_ty == Ty::F64;
+  const bool i64 = operand_ty == Ty::I64;
+  switch (op) {
+    case BinOp::Add:
+      return f64 ? Opcode::F64Add : f32 ? Opcode::F32Add : i64 ? Opcode::I64Add : Opcode::I32Add;
+    case BinOp::Sub:
+      return f64 ? Opcode::F64Sub : f32 ? Opcode::F32Sub : i64 ? Opcode::I64Sub : Opcode::I32Sub;
+    case BinOp::Mul:
+      return f64 ? Opcode::F64Mul : f32 ? Opcode::F32Mul : i64 ? Opcode::I64Mul : Opcode::I32Mul;
+    case BinOp::DivS:
+      return f64 ? Opcode::F64Div : f32 ? Opcode::F32Div : i64 ? Opcode::I64DivS : Opcode::I32DivS;
+    case BinOp::DivU:
+      return i64 ? Opcode::I64DivU : Opcode::I32DivU;
+    case BinOp::RemS:
+      return i64 ? Opcode::I64RemS : Opcode::I32RemS;
+    case BinOp::RemU:
+      return i64 ? Opcode::I64RemU : Opcode::I32RemU;
+    case BinOp::And:
+      return i64 ? Opcode::I64And : Opcode::I32And;
+    case BinOp::Or:
+      return i64 ? Opcode::I64Or : Opcode::I32Or;
+    case BinOp::Xor:
+      return i64 ? Opcode::I64Xor : Opcode::I32Xor;
+    case BinOp::Shl:
+      return i64 ? Opcode::I64Shl : Opcode::I32Shl;
+    case BinOp::ShrS:
+      return i64 ? Opcode::I64ShrS : Opcode::I32ShrS;
+    case BinOp::ShrU:
+      return i64 ? Opcode::I64ShrU : Opcode::I32ShrU;
+    case BinOp::Eq:
+      return f64 ? Opcode::F64Eq : f32 ? Opcode::F32Eq : i64 ? Opcode::I64Eq : Opcode::I32Eq;
+    case BinOp::Ne:
+      return f64 ? Opcode::F64Ne : f32 ? Opcode::F32Ne : i64 ? Opcode::I64Ne : Opcode::I32Ne;
+    case BinOp::LtS:
+      return f64 ? Opcode::F64Lt : f32 ? Opcode::F32Lt : i64 ? Opcode::I64LtS : Opcode::I32LtS;
+    case BinOp::LtU:
+      return i64 ? Opcode::I64LtU : Opcode::I32LtU;
+    case BinOp::LeS:
+      return f64 ? Opcode::F64Le : f32 ? Opcode::F32Le : i64 ? Opcode::I64LeS : Opcode::I32LeS;
+    case BinOp::LeU:
+      return i64 ? Opcode::I64LeU : Opcode::I32LeU;
+    case BinOp::GtS:
+      return f64 ? Opcode::F64Gt : f32 ? Opcode::F32Gt : i64 ? Opcode::I64GtS : Opcode::I32GtS;
+    case BinOp::GtU:
+      return i64 ? Opcode::I64GtU : Opcode::I32GtU;
+    case BinOp::GeS:
+      return f64 ? Opcode::F64Ge : f32 ? Opcode::F32Ge : i64 ? Opcode::I64GeS : Opcode::I32GeS;
+    case BinOp::GeU:
+      return i64 ? Opcode::I64GeU : Opcode::I32GeU;
+  }
+  return Opcode::Nop;
+}
+
+Opcode cast_opcode(CastOp op) {
+  switch (op) {
+    case CastOp::I32ToI64S: return Opcode::I64ExtendI32S;
+    case CastOp::I32ToI64U: return Opcode::I64ExtendI32U;
+    case CastOp::I64ToI32: return Opcode::I32WrapI64;
+    case CastOp::I32ToF64S: return Opcode::F64ConvertI32S;
+    case CastOp::I32ToF64U: return Opcode::F64ConvertI32U;
+    case CastOp::I64ToF64S: return Opcode::F64ConvertI64S;
+    case CastOp::I64ToF64U: return Opcode::F64ConvertI64U;
+    case CastOp::F64ToI32S: return Opcode::I32TruncF64S;
+    case CastOp::F64ToI64S: return Opcode::I64TruncF64S;
+    case CastOp::F32ToF64: return Opcode::F64PromoteF32;
+    case CastOp::F64ToF32: return Opcode::F32DemoteF64;
+    case CastOp::I32ToF32S: return Opcode::F32ConvertI32S;
+    case CastOp::F32ToI32S: return Opcode::I32TruncF32S;
+  }
+  return Opcode::Nop;
+}
+
+Opcode load_opcode(MemTy m) {
+  switch (m) {
+    case MemTy::U8: return Opcode::I32Load8U;
+    case MemTy::I32: return Opcode::I32Load;
+    case MemTy::I64: return Opcode::I64Load;
+    case MemTy::F32: return Opcode::F32Load;
+    case MemTy::F64: return Opcode::F64Load;
+  }
+  return Opcode::I32Load;
+}
+
+Opcode store_opcode(MemTy m) {
+  switch (m) {
+    case MemTy::U8: return Opcode::I32Store8;
+    case MemTy::I32: return Opcode::I32Store;
+    case MemTy::I64: return Opcode::I64Store;
+    case MemTy::F32: return Opcode::F32Store;
+    case MemTy::F64: return Opcode::F64Store;
+  }
+  return Opcode::I32Store;
+}
+
+uint32_t align_log2(MemTy m) {
+  switch (m) {
+    case MemTy::U8: return 0;
+    case MemTy::I32: return 2;
+    case MemTy::I64: return 3;
+    case MemTy::F32: return 2;
+    case MemTy::F64: return 3;
+  }
+  return 0;
+}
+
+constexpr uint32_t kPage = 65536;
+
+class WasmGen {
+ public:
+  WasmGen(ir::Module module, const WasmOptions& options)
+      : ir_(std::move(module)), options_(options) {}
+
+  WasmArtifact run() {
+    WasmArtifact artifact;
+
+    // Backend-late passes. The Cheerp-style backend shares its mid-end
+    // with the JS target; its DGSE is skipped under fast-math — the bug
+    // the paper diagnoses in Fig. 7.
+    if (!options_.fast_math) {
+      ir::pass_dead_global_stores(ir_);
+    }
+    ir::pass_remove_unused_globals(ir_);
+
+    // Layout: static data first.
+    static_end_ = ir::layout_static_globals(ir_, 64);
+
+    collect_imports();
+
+    // wasm function index = imports + ir index (so call targets map 1:1).
+    const uint32_t num_imports = static_cast<uint32_t>(import_intrinsics_.size());
+    for (size_t i = 0; i < import_intrinsics_.size(); ++i) {
+      wasm_.imports.push_back(wasm::Import{
+          "env", ir::to_string(import_intrinsics_[i]),
+          wasm_.intern_type(import_type(import_intrinsics_[i]))});
+    }
+
+    // Heap-top global + one address global per dynamic array.
+    heap_top_global_ = add_global(ValType::I32, 0);
+    for (uint32_t g = 0; g < ir_.globals.size(); ++g) {
+      if (ir_.globals[g].dynamic_alloc) {
+        dyn_addr_global_[g] = add_global(ValType::I32, 0);
+      }
+    }
+
+    // Memory sizing per toolchain personality.
+    const uint32_t static_pages = (static_end_ + kPage - 1) / kPage;
+    if (options_.toolchain == Toolchain::Cheerp) {
+      grow_quantum_pages_ = 1;  // 64 KiB
+      initial_pages_ = std::max<uint32_t>(static_pages, 1);
+    } else {
+      grow_quantum_pages_ = 256;  // 16 MiB
+      initial_pages_ = std::max<uint32_t>(static_pages, 256);
+    }
+    wasm_.memory = wasm::MemoryDecl{initial_pages_, std::nullopt};
+
+    // Data segments for initialized static globals.
+    for (const auto& g : ir_.globals) {
+      if (g.dynamic_alloc || g.init.empty()) continue;
+      std::vector<uint8_t> bytes(g.byte_size(), 0);
+      const size_t esz = ir::mem_size(g.elem);
+      for (size_t i = 0; i < g.init.size() && i < g.count; ++i) {
+        std::memcpy(bytes.data() + i * esz, &g.init[i], esz);
+      }
+      wasm_.data.push_back(wasm::DataSegment{g.address, std::move(bytes)});
+    }
+
+    // Function declarations.
+    for (const auto& fn : ir_.functions) {
+      wasm::FuncType type;
+      for (Ty p : fn.params) type.params.push_back(to_valtype(p));
+      if (fn.ret != Ty::Void) type.results.push_back(to_valtype(fn.ret));
+      wasm::Function wf;
+      wf.type_index = wasm_.intern_type(type);
+      wf.debug_name = fn.name;
+      for (size_t r = fn.params.size(); r < fn.reg_types.size(); ++r) {
+        wf.locals.push_back(to_valtype(fn.reg_types[r]));
+      }
+      wasm_.functions.push_back(std::move(wf));
+    }
+
+    // Bodies.
+    for (size_t i = 0; i < ir_.functions.size(); ++i) {
+      current_body_ = &wasm_.functions[i].body;
+      current_fn_ = &wasm_.functions[i];
+      current_nparams_ = static_cast<uint32_t>(ir_.functions[i].params.size());
+      scratch_.fill(-1);
+      ctrl_.clear();
+      const auto& body = ir_.functions[i].body;
+      lower_body(body);
+      // A non-void function whose body does not *end* with a return (e.g.
+      // every path returns inside an if/else) needs an unreachable tail to
+      // satisfy validation.
+      if (ir_.functions[i].ret != Ty::Void &&
+          (body.empty() || body.back()->kind != ir::Stmt::Kind::Return)) {
+        emit(Opcode::Unreachable);
+      }
+      emit(Opcode::End);
+      if (!error_.empty()) break;
+    }
+
+    // __init: bump-allocate dynamic arrays, growing memory in
+    // toolchain-quantum steps.
+    build_init_function();
+
+    // Exports.
+    for (size_t i = 0; i < ir_.functions.size(); ++i) {
+      wasm_.exports.push_back(wasm::Export{ir_.functions[i].name,
+                                           wasm::ExportKind::Func,
+                                           num_imports + static_cast<uint32_t>(i)});
+    }
+    wasm_.exports.push_back(wasm::Export{
+        "__init", wasm::ExportKind::Func,
+        num_imports + static_cast<uint32_t>(wasm_.functions.size() - 1)});
+    wasm_.exports.push_back(wasm::Export{"memory", wasm::ExportKind::Memory, 0});
+
+    if (!error_.empty()) {
+      artifact.error = error_;
+      return artifact;
+    }
+    if (const auto err = wasm::validate(wasm_)) {
+      artifact.error = "internal: generated module does not validate: " + err->message +
+                       " (func " + std::to_string(err->func_index) + ")";
+      return artifact;
+    }
+    artifact.binary = wasm::encode(wasm_);
+    artifact.module = std::move(wasm_);
+    artifact.static_data_end = static_end_;
+    artifact.initial_pages = initial_pages_;
+    artifact.imports = import_intrinsics_;
+    return artifact;
+  }
+
+ private:
+  void fail(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+  }
+
+  /// Scratch local per type for scalarized-vector data movement.
+  uint32_t scratch_local(Ty ty) {
+    const size_t slot = static_cast<size_t>(to_valtype(ty)) & 3;
+    if (scratch_[slot] < 0) {
+      current_fn_->locals.push_back(to_valtype(ty));
+      scratch_[slot] = static_cast<int>(current_nparams_ + current_fn_->locals.size() - 1);
+    }
+    return static_cast<uint32_t>(scratch_[slot]);
+  }
+
+  uint32_t add_global(ValType type, int32_t init) {
+    wasm_.globals.push_back(wasm::Global{type, true, wasm::Value::from_i32(init)});
+    return static_cast<uint32_t>(wasm_.globals.size() - 1);
+  }
+
+  static wasm::FuncType import_type(Intrinsic i) {
+    wasm::FuncType t;
+    t.params.assign(i == Intrinsic::Pow ? 2 : 1, ValType::F64);
+    t.results = {ValType::F64};
+    return t;
+  }
+
+  void collect_imports() {
+    std::array<bool, static_cast<size_t>(Intrinsic::kCount)> used{};
+    const auto scan_expr = [&](const ir::Expr& e, const auto& self) -> void {
+      if (e.kind == ir::Expr::Kind::IntrinsicCall && !ir::intrinsic_is_native(e.intrinsic)) {
+        used[static_cast<size_t>(e.intrinsic)] = true;
+      }
+      for (const auto& a : e.args) self(*a, self);
+    };
+    const auto scan_body = [&](const std::vector<ir::StmtPtr>& body, const auto& self) -> void {
+      for (const auto& s : body) {
+        if (s->e0) scan_expr(*s->e0, scan_expr);
+        if (s->e1) scan_expr(*s->e1, scan_expr);
+        self(s->body, self);
+        self(s->else_body, self);
+      }
+    };
+    for (const auto& fn : ir_.functions) scan_body(fn.body, scan_body);
+    for (size_t i = 0; i < used.size(); ++i) {
+      if (used[i]) import_intrinsics_.push_back(static_cast<Intrinsic>(i));
+    }
+  }
+
+  // -------------------------------------------------------------- emit
+  void emit(Opcode op, uint32_t a = 0, uint32_t b = 0) {
+    current_body_->push_back(Instr::make(op, a, b));
+  }
+  void emit_i32(int32_t v) { current_body_->push_back(Instr::i32_const(v)); }
+  void emit_i64(int64_t v) { current_body_->push_back(Instr::i64_const(v)); }
+  void emit_f32(float v) { current_body_->push_back(Instr::f32_const(v)); }
+  void emit_f64(double v) { current_body_->push_back(Instr::f64_const(v)); }
+
+  uint32_t func_index(uint32_t ir_index) const {
+    return static_cast<uint32_t>(import_intrinsics_.size()) + ir_index;
+  }
+
+  // Control-stack bookkeeping for break/continue depth computation.
+  struct LoopCtl {
+    uint32_t depth_at_loop;  // ctrl depth of the loop's `loop` frame
+    uint32_t depth_at_exit;  // ctrl depth of the surrounding exit block
+  };
+
+  void lower_body(const std::vector<ir::StmtPtr>& body) {
+    for (const auto& s : body) {
+      lower_stmt(*s);
+      if (!error_.empty()) return;
+    }
+  }
+
+  void lower_stmt(const ir::Stmt& s) {
+    switch (s.kind) {
+      case ir::Stmt::Kind::Assign:
+        lower_expr(*s.e0);
+        emit(Opcode::LocalSet, s.reg);
+        break;
+      case ir::Stmt::Kind::Store:
+        lower_expr(*s.e0);
+        lower_expr(*s.e1);
+        emit(store_opcode(s.mem), align_log2(s.mem), s.mem_offset);
+        break;
+      case ir::Stmt::Kind::ExprStmt:
+        lower_expr(*s.e0);
+        if (s.e0->ty != Ty::Void) emit(Opcode::Drop);
+        break;
+      case ir::Stmt::Kind::If:
+        lower_expr(*s.e0);
+        emit(Opcode::If, wasm::kVoidBlockType);
+        ++depth_;
+        lower_body(s.body);
+        if (!s.else_body.empty()) {
+          emit(Opcode::Else);
+          lower_body(s.else_body);
+        }
+        emit(Opcode::End);
+        --depth_;
+        break;
+      case ir::Stmt::Kind::While: {
+        // block $exit { loop $top { cond eqz br_if $exit; body; br $top } }
+        emit(Opcode::Block, wasm::kVoidBlockType);
+        ++depth_;
+        const uint32_t exit_depth = depth_;
+        emit(Opcode::Loop, wasm::kVoidBlockType);
+        ++depth_;
+        ctrl_.push_back(LoopCtl{depth_, exit_depth});
+        lower_expr(*s.e0);
+        emit(Opcode::I32Eqz);
+        emit(Opcode::BrIf, depth_ - exit_depth);  // = 1
+        lower_body(s.body);
+        emit(Opcode::Br, 0);
+        ctrl_.pop_back();
+        emit(Opcode::End);
+        --depth_;
+        emit(Opcode::End);
+        --depth_;
+        break;
+      }
+      case ir::Stmt::Kind::DoWhile: {
+        // block $exit { loop $top { block $cont { body } cond br_if $top } }
+        emit(Opcode::Block, wasm::kVoidBlockType);
+        ++depth_;
+        const uint32_t exit_depth = depth_;
+        emit(Opcode::Loop, wasm::kVoidBlockType);
+        ++depth_;
+        const uint32_t top_depth = depth_;
+        emit(Opcode::Block, wasm::kVoidBlockType);
+        ++depth_;
+        // continue in a do-while jumps to the condition check: the end of
+        // the inner block.
+        ctrl_.push_back(LoopCtl{depth_, exit_depth});
+        lower_body(s.body);
+        ctrl_.pop_back();
+        emit(Opcode::End);
+        --depth_;
+        lower_expr(*s.e0);
+        emit(Opcode::BrIf, depth_ - top_depth);  // back edge
+        emit(Opcode::End);
+        --depth_;
+        emit(Opcode::End);
+        --depth_;
+        break;
+      }
+      case ir::Stmt::Kind::Break:
+        if (ctrl_.empty()) {
+          fail("break outside loop in IR");
+          return;
+        }
+        emit(Opcode::Br, depth_ - ctrl_.back().depth_at_exit);
+        break;
+      case ir::Stmt::Kind::Continue:
+        if (ctrl_.empty()) {
+          fail("continue outside loop in IR");
+          return;
+        }
+        emit(Opcode::Br, depth_ - ctrl_.back().depth_at_loop);
+        break;
+      case ir::Stmt::Kind::Return:
+        if (s.e0) lower_expr(*s.e0);
+        emit(Opcode::Return);
+        break;
+    }
+  }
+
+  void lower_expr(const ir::Expr& e) {
+    switch (e.kind) {
+      case ir::Expr::Kind::Const:
+        emit_const(e);
+        break;
+      case ir::Expr::Kind::Reg:
+        emit(Opcode::LocalGet, e.reg);
+        break;
+      case ir::Expr::Kind::GlobalAddr: {
+        const ir::GlobalVar& g = ir_.globals[e.reg];
+        if (g.dynamic_alloc) {
+          emit(Opcode::GlobalGet, dyn_addr_global_.at(e.reg));
+        } else {
+          emit_i32(static_cast<int32_t>(g.address));
+        }
+        break;
+      }
+      case ir::Expr::Kind::Bin:
+        lower_expr(*e.args[0]);
+        lower_expr(*e.args[1]);
+        emit(bin_opcode(e.bin, e.args[0]->ty));
+        if (e.vec > 1 && options_.scalarize_vector_ops) {
+          // The mid-end vectorized this op, but Wasm MVP has no SIMD: the
+          // backend scalarizes, and each lane pays extract/insert-element
+          // traffic (spilled through a scratch local). This is the paper's
+          // "-vectorize-loops hurts Wasm" mechanism.
+          const uint32_t scratch = scratch_local(e.ty);
+          emit(Opcode::LocalSet, scratch);
+          emit(Opcode::LocalGet, scratch);
+        }
+        break;
+      case ir::Expr::Kind::Un:
+        switch (e.un) {
+          case ir::UnOp::Neg:
+            if (e.ty == Ty::F64) {
+              lower_expr(*e.args[0]);
+              emit(Opcode::F64Neg);
+            } else if (e.ty == Ty::F32) {
+              lower_expr(*e.args[0]);
+              emit(Opcode::F32Neg);
+            } else if (e.ty == Ty::I64) {
+              emit_i64(0);
+              lower_expr(*e.args[0]);
+              emit(Opcode::I64Sub);
+            } else {
+              emit_i32(0);
+              lower_expr(*e.args[0]);
+              emit(Opcode::I32Sub);
+            }
+            break;
+          case ir::UnOp::BitNot:
+            lower_expr(*e.args[0]);
+            if (e.ty == Ty::I64) {
+              emit_i64(-1);
+              emit(Opcode::I64Xor);
+            } else {
+              emit_i32(-1);
+              emit(Opcode::I32Xor);
+            }
+            break;
+          case ir::UnOp::LNot:
+            lower_expr(*e.args[0]);
+            emit(e.args[0]->ty == Ty::I64 ? Opcode::I64Eqz : Opcode::I32Eqz);
+            break;
+        }
+        break;
+      case ir::Expr::Kind::Cast:
+        lower_expr(*e.args[0]);
+        emit(cast_opcode(e.cast));
+        break;
+      case ir::Expr::Kind::Load:
+        lower_expr(*e.args[0]);
+        emit(load_opcode(e.mem), align_log2(e.mem), e.mem_offset);
+        break;
+      case ir::Expr::Kind::Call:
+        for (const auto& a : e.args) lower_expr(*a);
+        emit(Opcode::Call, func_index(e.func));
+        break;
+      case ir::Expr::Kind::IntrinsicCall:
+        for (const auto& a : e.args) lower_expr(*a);
+        if (ir::intrinsic_is_native(e.intrinsic)) {
+          switch (e.intrinsic) {
+            case Intrinsic::Sqrt: emit(Opcode::F64Sqrt); break;
+            case Intrinsic::Fabs: emit(Opcode::F64Abs); break;
+            case Intrinsic::Floor: emit(Opcode::F64Floor); break;
+            case Intrinsic::Ceil: emit(Opcode::F64Ceil); break;
+            default: fail("bad native intrinsic"); break;
+          }
+        } else {
+          // Imported host function (the libm shim).
+          for (size_t i = 0; i < import_intrinsics_.size(); ++i) {
+            if (import_intrinsics_[i] == e.intrinsic) {
+              emit(Opcode::Call, static_cast<uint32_t>(i));
+              return;
+            }
+          }
+          fail("intrinsic import not collected");
+        }
+        break;
+    }
+  }
+
+  void emit_const(const ir::Expr& e) {
+    switch (e.ty) {
+      case Ty::I32:
+        emit_i32(static_cast<int32_t>(e.imm));
+        break;
+      case Ty::I64:
+        emit_i64(static_cast<int64_t>(e.imm));
+        break;
+      case Ty::F32: {
+        float f;
+        uint32_t bits = static_cast<uint32_t>(e.imm);
+        std::memcpy(&f, &bits, sizeof f);
+        emit_f32(f);
+        break;
+      }
+      case Ty::F64: {
+        double d;
+        std::memcpy(&d, &e.imm, sizeof d);
+        // Cheerp's size trick: small integral f64 constants become
+        // i32.const + f64.convert_i32_s (3 bytes vs 9). Two stack ops at
+        // runtime instead of one — the paper's Fig. 8 effect.
+        const bool integral = d == std::trunc(d) && std::abs(d) <= 2147483647.0;
+        const bool negative_zero = d == 0.0 && std::signbit(d);
+        if (options_.const_convert_trick && integral && !negative_zero) {
+          emit_i32(static_cast<int32_t>(d));
+          emit(Opcode::F64ConvertI32S);
+          break;
+        }
+        emit_f64(d);
+        break;
+      }
+      case Ty::Void:
+        fail("void constant");
+        break;
+    }
+  }
+
+  void build_init_function() {
+    wasm::FuncType void_type;
+    wasm::Function init;
+    init.type_index = wasm_.intern_type(void_type);
+    init.debug_name = "__init";
+    init.locals.push_back(ValType::I32);  // local 0: bump cursor
+    wasm_.functions.push_back(std::move(init));
+    current_body_ = &wasm_.functions.back().body;
+    depth_ = 0;
+    ctrl_.clear();
+
+    // heap_top = align8(static_end)
+    emit_i32(static_cast<int32_t>((static_end_ + 7) & ~7u));
+    emit(Opcode::GlobalSet, heap_top_global_);
+
+    for (uint32_t g = 0; g < ir_.globals.size(); ++g) {
+      const ir::GlobalVar& gv = ir_.globals[g];
+      if (!gv.dynamic_alloc) continue;
+      // addr = heap_top; g_addr = addr; heap_top += size (8-aligned).
+      emit(Opcode::GlobalGet, heap_top_global_);
+      emit(Opcode::GlobalSet, dyn_addr_global_.at(g));
+      emit(Opcode::GlobalGet, heap_top_global_);
+      emit_i32(static_cast<int32_t>((gv.byte_size() + 7) & ~size_t{7}));
+      emit(Opcode::I32Add);
+      emit(Opcode::GlobalSet, heap_top_global_);
+      // Grow until memory.size * 64K >= heap_top.
+      emit(Opcode::Block, wasm::kVoidBlockType);
+      emit(Opcode::Loop, wasm::kVoidBlockType);
+      emit(Opcode::MemorySize);
+      emit_i32(16);
+      emit(Opcode::I32Shl);  // pages -> bytes
+      emit(Opcode::GlobalGet, heap_top_global_);
+      emit(Opcode::I32GeU);
+      emit(Opcode::BrIf, 1);  // done
+      emit_i32(static_cast<int32_t>(grow_quantum_pages_));
+      emit(Opcode::MemoryGrow);
+      emit_i32(-1);
+      emit(Opcode::I32Eq);
+      emit(Opcode::If, wasm::kVoidBlockType);
+      emit(Opcode::Unreachable);  // OOM
+      emit(Opcode::End);
+      emit(Opcode::Br, 0);
+      emit(Opcode::End);
+      emit(Opcode::End);
+    }
+    emit(Opcode::End);
+  }
+
+  ir::Module ir_;
+  WasmOptions options_;
+  wasm::Module wasm_;
+  std::string error_;
+  std::vector<Intrinsic> import_intrinsics_;
+  std::unordered_map<uint32_t, uint32_t> dyn_addr_global_;
+  uint32_t heap_top_global_ = 0;
+  uint32_t static_end_ = 0;
+  uint32_t initial_pages_ = 0;
+  uint32_t grow_quantum_pages_ = 1;
+  std::vector<Instr>* current_body_ = nullptr;
+  wasm::Function* current_fn_ = nullptr;
+  uint32_t current_nparams_ = 0;
+  std::array<int, 4> scratch_ = {-1, -1, -1, -1};
+  uint32_t depth_ = 0;
+  std::vector<LoopCtl> ctrl_;
+};
+
+}  // namespace
+
+const char* to_string(Toolchain t) {
+  return t == Toolchain::Cheerp ? "cheerp" : "emscripten";
+}
+
+WasmArtifact compile_to_wasm(ir::Module module, const WasmOptions& options) {
+  WasmGen gen(std::move(module), options);
+  return gen.run();
+}
+
+std::vector<wasm::HostFn> make_import_bindings(const WasmArtifact& artifact,
+                                               uint64_t* call_counter) {
+  std::vector<wasm::HostFn> fns;
+  for (Intrinsic i : artifact.imports) {
+    fns.push_back([i, call_counter](std::span<const wasm::Value> args,
+                                    wasm::Value* result) {
+      if (call_counter) ++*call_counter;
+      const double x = args.empty() ? 0 : args[0].as_f64();
+      double r = 0;
+      switch (i) {
+        case Intrinsic::Pow: r = std::pow(x, args[1].as_f64()); break;
+        case Intrinsic::Exp: r = std::exp(x); break;
+        case Intrinsic::Log: r = std::log(x); break;
+        case Intrinsic::Sin: r = std::sin(x); break;
+        case Intrinsic::Cos: r = std::cos(x); break;
+        default: return wasm::Trap::HostError;
+      }
+      *result = wasm::Value::from_f64(r);
+      return wasm::Trap::None;
+    });
+  }
+  return fns;
+}
+
+}  // namespace wb::backend

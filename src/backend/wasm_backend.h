@@ -1,0 +1,65 @@
+// IR -> WebAssembly code generator, with two toolchain personalities:
+//
+//  - Cheerp: 64 KiB memory-growth quantum (one Wasm page), tight initial
+//    memory -> low footprint, many memory.grow calls for large inputs.
+//  - Emscripten: 16 MiB quantum and a 16 MiB floor -> fast, memory-hungry.
+//    (This is the mechanism behind the paper's Sec. 4.2.2: Emscripten
+//    2.70x faster, 6.02x more memory.)
+//
+// Two deliberate behaviour replications from the paper:
+//  - f64 constants with small integral values are emitted as
+//    `i32.const n; f64.convert_i32_s` (Cheerp's size trick) — the Fig. 8
+//    mechanism that makes -O2's constant propagation slower than -O1's
+//    parameter passing on the Wasm stack machine.
+//  - Under fast-math (-Ofast), dead-global-store elimination is skipped,
+//    replicating the LLVM bug behind Fig. 7 (ADPCM stores to a never-read
+//    global). The native backend does not have this bug.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "wasm/interp.h"
+
+namespace wb::backend {
+
+enum class Toolchain : uint8_t { Cheerp, Emscripten };
+const char* to_string(Toolchain t);
+
+struct WasmOptions {
+  Toolchain toolchain = Toolchain::Cheerp;
+  /// Produced by the -Ofast pipeline; triggers the DGSE-skip bug.
+  bool fast_math = false;
+  /// Ablation switches (default = faithful Cheerp behaviour; see
+  /// bench_ablations for what each mechanism contributes).
+  bool const_convert_trick = true;   ///< Fig. 8: i32.const+convert f64 consts
+  bool scalarize_vector_ops = true;  ///< Fig. 5/7: SIMD ops spill when scalarized
+};
+
+struct WasmArtifact {
+  wasm::Module module;
+  std::vector<uint8_t> binary;  ///< real encoded bytes; the code-size metric
+  uint32_t static_data_end = 0;
+  uint32_t initial_pages = 0;
+  /// Index-space indices of the import slots, in host-function order
+  /// (pow, exp, log, sin, cos — only the used ones are imported).
+  std::vector<ir::Intrinsic> imports;
+  std::string error;  ///< non-empty on failure
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Lowers `module` (consumed; backend-late passes run on it) to Wasm.
+/// The artifact exports "main" (and every IR function by name), "__init"
+/// (the startup bump allocator for dynamic arrays), and "memory".
+WasmArtifact compile_to_wasm(ir::Module module, const WasmOptions& options);
+
+/// Host bindings for the artifact's libm imports, in import order.
+/// `call_counter`, if non-null, is incremented per host call (the
+/// JS<->Wasm boundary-crossing count the environment charges for).
+std::vector<wasm::HostFn> make_import_bindings(const WasmArtifact& artifact,
+                                               uint64_t* call_counter = nullptr);
+
+}  // namespace wb::backend

@@ -1,0 +1,747 @@
+// The 11 CHStone kernels, rewritten in mini-C. Faithfulness notes (also
+// in DESIGN.md):
+//  - DFADD/DFDIV/DFMUL/DFSIN: CHStone implements IEEE-754 *double*
+//    arithmetic in software on 64-bit integers. The mini-C subset has no
+//    64-bit ints (Cheerp's JS target legalizes i64 into i32 pairs anyway),
+//    so these kernels implement soft *binary32* arithmetic on u32 with
+//    truncation rounding — the identical operation mix (masks, shifts,
+//    multi-word multiplies, restoring division, normalization branches).
+//  - BLOWFISH: S-boxes are generated from a deterministic LCG instead of
+//    the digits-of-pi tables (same compute shape, table-driven Feistel).
+//  - AES computes its S-box from GF(2^8) inversion at init (CHStone
+//    embeds the table; the encryption rounds are bit-identical AES-128).
+#include <map>
+
+#include "benchmarks/polybench.h"
+
+namespace wb::benchmarks {
+
+namespace {
+
+using core::Defines;
+
+std::array<Defines, 5> scale(const char* name, std::array<int, 5> values) {
+  std::array<Defines, 5> out;
+  for (size_t i = 0; i < 5; ++i) {
+    out[i].emplace_back(name, std::to_string(values[i]));
+  }
+  return out;
+}
+
+core::BenchSource bench(std::string name, std::string source,
+                        std::array<Defines, 5> size_defines) {
+  static const std::map<std::string, std::string> kDescriptions = {
+      {"ADPCM", "Speech signal processing algorithm"},
+      {"AES", "Cryptographic algorithm"},
+      {"BLOWFISH", "Data encryption standard"},
+      {"DFADD", "Addition for double"},
+      {"DFDIV", "Division for double"},
+      {"DFMUL", "Multiplication for double"},
+      {"DFSIN", "Sine function for double"},
+      {"GSM", "Speech signal processing algorithm"},
+      {"MIPS", "Simplified MIPS processor"},
+      {"MOTION", "Motion vector decoding for MPEG-2"},
+      {"SHA", "Secure hash algorithm"},
+  };
+  core::BenchSource b;
+  b.name = name;
+  b.suite = "CHStone";
+  const auto it = kDescriptions.find(name);
+  if (it != kDescriptions.end()) b.description = it->second;
+  b.source = std::move(source);
+  b.size_defines = std::move(size_defines);
+  return b;
+}
+
+// Soft binary32 arithmetic shared by the DF* kernels.
+constexpr const char* kSoftFloat = R"(
+unsigned f_pack(unsigned s, unsigned e, unsigned f) {
+  return (s << 31) | (e << 23) | (f & 0x7fffff);
+}
+unsigned f_sign(unsigned a) { return a >> 31; }
+unsigned f_exp(unsigned a) { return (a >> 23) & 0xff; }
+unsigned f_frac(unsigned a) { return a & 0x7fffff; }
+unsigned f_mant(unsigned a) { return (a & 0x7fffff) | 0x800000; }
+
+unsigned f_from_int(int v) {
+  unsigned s = 0;
+  unsigned m;
+  unsigned e = 150;
+  if (v == 0) return 0;
+  if (v < 0) { s = 1; v = -v; }
+  m = (unsigned)v;
+  while (m >= 0x1000000) { m = m >> 1; e = e + 1; }
+  while (m < 0x800000) { m = m << 1; e = e - 1; }
+  return f_pack(s, e, m);
+}
+
+int f_to_int_scaled(unsigned a, int k) {
+  /* returns (int)(a * 2^k), truncated */
+  unsigned e = f_exp(a);
+  unsigned m = f_mant(a);
+  int shift = (int)e - 150 + k;
+  if (e == 0) return 0;
+  while (shift > 0 && m < 0x40000000) { m = m << 1; shift = shift - 1; }
+  while (shift < 0) { m = m >> 1; shift = shift + 1; }
+  if (f_sign(a)) return -(int)m;
+  return (int)m;
+}
+
+unsigned f_neg(unsigned a) { return a ^ 0x80000000; }
+
+unsigned f_add(unsigned a, unsigned b) {
+  unsigned sa, sb, ea, eb, ma, mb, s, e, m, diff, t;
+  if (f_exp(a) == 0) return b;
+  if (f_exp(b) == 0) return a;
+  ea = f_exp(a); eb = f_exp(b);
+  if (ea < eb || (ea == eb && f_frac(a) < f_frac(b))) {
+    t = a; a = b; b = t;
+    ea = f_exp(a); eb = f_exp(b);
+  }
+  sa = f_sign(a); sb = f_sign(b);
+  ma = f_mant(a) << 3;  /* 3 guard bits */
+  mb = f_mant(b) << 3;
+  diff = ea - eb;
+  if (diff > 26) return a;
+  mb = mb >> diff;
+  s = sa;
+  e = ea;
+  if (sa == sb) {
+    m = ma + mb;
+    if (m >= 0x8000000) { m = m >> 1; e = e + 1; }
+  } else {
+    m = ma - mb;
+    if (m == 0) return 0;
+    while (m < 0x4000000) { m = m << 1; e = e - 1; }
+  }
+  m = m >> 3;
+  return f_pack(s, e, m);
+}
+
+unsigned f_sub(unsigned a, unsigned b) { return f_add(a, f_neg(b)); }
+
+unsigned f_mul(unsigned a, unsigned b) {
+  unsigned s, e, ma, mb, ah, al, bh, bl, p0, p1, p2, mid, hi;
+  if (f_exp(a) == 0 || f_exp(b) == 0) return 0;
+  s = f_sign(a) ^ f_sign(b);
+  e = f_exp(a) + f_exp(b) - 127;
+  ma = f_mant(a);
+  mb = f_mant(b);
+  /* 24x24 -> 48-bit product via 12-bit limbs (the multi-word shape the
+     paper's Table 12 counts in Long.js) */
+  ah = ma >> 12; al = ma & 0xfff;
+  bh = mb >> 12; bl = mb & 0xfff;
+  p0 = al * bl;
+  p1 = ah * bl + al * bh;
+  p2 = ah * bh;
+  mid = p1 + (p0 >> 12);
+  hi = p2 + (mid >> 12);   /* bits 47..24 */
+  if (hi & 0x800000) {
+    /* product in [2^47, 2^48): already 24 significant bits */
+  } else {
+    hi = (hi << 1) | ((mid >> 11) & 1);
+    e = e - 1;
+  }
+  return f_pack(s, e, hi);
+}
+
+unsigned f_div(unsigned a, unsigned b) {
+  unsigned s, ma, mb, q, rem;
+  int e, i;
+  if (f_exp(a) == 0) return 0;
+  s = f_sign(a) ^ f_sign(b);
+  e = (int)f_exp(a) - (int)f_exp(b) + 127;
+  ma = f_mant(a);
+  mb = f_mant(b);
+  if (ma < mb) { ma = ma << 1; e = e - 1; }
+  /* restoring division, 24 quotient bits */
+  q = 0;
+  rem = ma;
+  for (i = 0; i < 24; i++) {
+    q = q << 1;
+    if (rem >= mb) { rem = rem - mb; q = q | 1; }
+    rem = rem << 1;
+  }
+  return f_pack(s, (unsigned)e, q);
+}
+)";
+
+}  // namespace
+
+void add_chstone(std::vector<core::BenchSource>& out) {
+  // ---------------------------------------------------------------- ADPCM
+  // IMA ADPCM encode+decode. Includes the never-read `result` global from
+  // the paper's Fig. 7 — under -Ofast the Wasm/JS backends keep these dead
+  // stores (the replicated LLVM bug).
+  out.push_back(bench("ADPCM", R"(
+#define NSAMPLES 512
+int step_table[16] = {7, 9, 11, 13, 16, 19, 23, 28,
+                      34, 41, 49, 59, 71, 85, 102, 122};
+int index_table[8] = {-1, -1, 1, 2, 4, 6, 8, 12};
+int samples[NSAMPLES];
+int compressed[NSAMPLES];
+int decoded[NSAMPLES];
+int result[NSAMPLES];
+int enc_pred; int enc_index;
+int dec_pred; int dec_index;
+
+int clamp_index(int v) {
+  if (v < 0) return 0;
+  if (v > 15) return 15;
+  return v;
+}
+
+int encode(int sample) {
+  int step = step_table[enc_index];
+  int diff = sample - enc_pred;
+  int code = 0;
+  if (diff < 0) { code = 8; diff = -diff; }
+  if (diff >= step) { code = code | 4; diff = diff - step; }
+  if (diff >= step / 2) { code = code | 2; diff = diff - step / 2; }
+  if (diff >= step / 4) { code = code | 1; }
+  int delta = step / 8 + ((code & 1) != 0 ? step / 4 : 0) +
+              ((code & 2) != 0 ? step / 2 : 0) + ((code & 4) != 0 ? step : 0);
+  if ((code & 8) != 0) enc_pred = enc_pred - delta;
+  else enc_pred = enc_pred + delta;
+  if (enc_pred > 32767) enc_pred = 32767;
+  if (enc_pred < -32768) enc_pred = -32768;
+  enc_index = clamp_index(enc_index + index_table[code & 7]);
+  return code;
+}
+
+int decode(int code) {
+  int step = step_table[dec_index];
+  int delta = step / 8 + ((code & 1) != 0 ? step / 4 : 0) +
+              ((code & 2) != 0 ? step / 2 : 0) + ((code & 4) != 0 ? step : 0);
+  if ((code & 8) != 0) dec_pred = dec_pred - delta;
+  else dec_pred = dec_pred + delta;
+  if (dec_pred > 32767) dec_pred = 32767;
+  if (dec_pred < -32768) dec_pred = -32768;
+  dec_index = clamp_index(dec_index + index_table[code & 7]);
+  return dec_pred;
+}
+
+int main(void) {
+  int i;
+  enc_pred = 0; enc_index = 0; dec_pred = 0; dec_index = 0;
+  for (i = 0; i < NSAMPLES; i++)
+    samples[i] = ((i * 37) % 255 - 127) * 64;
+  for (i = 0; i < NSAMPLES; i++)
+    compressed[i] = encode(samples[i]);
+  for (i = 0; i < NSAMPLES; i++) {
+    decoded[i] = decode(compressed[i]);
+    result[i] = decoded[i];       /* never read: the Fig. 7 dead store */
+    result[i] = decoded[i] + 1;   /* (two stores, as in the paper) */
+  }
+  int s = 0;
+  for (i = 0; i < NSAMPLES; i++) s = (s + decoded[i] * (i + 1)) % 1000000007;
+  return s;
+}
+)", scale("NSAMPLES", {256, 512, 2048, 8192, 16384})));
+
+  // ------------------------------------------------------------------ AES
+  out.push_back(bench("AES", R"(
+#define NBLOCKS 8
+unsigned char sbox[256];
+unsigned char state[16];
+unsigned char round_key[176];
+unsigned char key[16] = {43, 126, 21, 22, 40, 174, 210, 166,
+                         171, 247, 21, 136, 9, 207, 79, 60};
+int checksum;
+
+unsigned gmul2(unsigned a) {
+  unsigned r = a << 1;
+  if (a & 0x80) r = r ^ 0x1b;
+  return r & 0xff;
+}
+unsigned gmul(unsigned a, unsigned b) {
+  unsigned p = 0;
+  int i;
+  for (i = 0; i < 8; i++) {
+    if (b & 1) p = p ^ a;
+    a = gmul2(a);
+    b = b >> 1;
+  }
+  return p & 0xff;
+}
+void build_sbox(void) {
+  int x, y;
+  unsigned inv, s;
+  sbox[0] = 0x63;
+  for (x = 1; x < 256; x++) {
+    inv = 0;
+    for (y = 1; y < 256; y++) {
+      if (gmul((unsigned)x, (unsigned)y) == 1) { inv = (unsigned)y; break; }
+    }
+    s = inv;
+    s = s ^ ((inv << 1) | (inv >> 7));
+    s = s ^ ((inv << 2) | (inv >> 6));
+    s = s ^ ((inv << 3) | (inv >> 5));
+    s = s ^ ((inv << 4) | (inv >> 4));
+    s = (s ^ 0x63) & 0xff;
+    sbox[x] = s;
+  }
+}
+void expand_key(void) {
+  int i, k;
+  unsigned t0, t1, t2, t3, tmp;
+  unsigned rcon = 1;
+  for (i = 0; i < 16; i++) round_key[i] = key[i];
+  for (i = 4; i < 44; i++) {
+    k = i * 4;
+    t0 = round_key[k - 4]; t1 = round_key[k - 3];
+    t2 = round_key[k - 2]; t3 = round_key[k - 1];
+    if (i % 4 == 0) {
+      tmp = t0;
+      t0 = sbox[t1] ^ rcon;
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[tmp];
+      rcon = gmul2(rcon);
+    }
+    round_key[k] = round_key[k - 16] ^ t0;
+    round_key[k + 1] = round_key[k - 15] ^ t1;
+    round_key[k + 2] = round_key[k - 14] ^ t2;
+    round_key[k + 3] = round_key[k - 13] ^ t3;
+  }
+}
+void add_round_key(int round) {
+  int i;
+  for (i = 0; i < 16; i++)
+    state[i] = state[i] ^ round_key[round * 16 + i];
+}
+void sub_bytes(void) {
+  int i;
+  for (i = 0; i < 16; i++) state[i] = sbox[state[i]];
+}
+void shift_rows(void) {
+  unsigned char t;
+  t = state[1]; state[1] = state[5]; state[5] = state[9];
+  state[9] = state[13]; state[13] = t;
+  t = state[2]; state[2] = state[10]; state[10] = t;
+  t = state[6]; state[6] = state[14]; state[14] = t;
+  t = state[15]; state[15] = state[11]; state[11] = state[7];
+  state[7] = state[3]; state[3] = t;
+}
+void mix_columns(void) {
+  int c;
+  unsigned a0, a1, a2, a3;
+  for (c = 0; c < 4; c++) {
+    a0 = state[c * 4]; a1 = state[c * 4 + 1];
+    a2 = state[c * 4 + 2]; a3 = state[c * 4 + 3];
+    state[c * 4] = gmul2(a0) ^ (gmul2(a1) ^ a1) ^ a2 ^ a3;
+    state[c * 4 + 1] = a0 ^ gmul2(a1) ^ (gmul2(a2) ^ a2) ^ a3;
+    state[c * 4 + 2] = a0 ^ a1 ^ gmul2(a2) ^ (gmul2(a3) ^ a3);
+    state[c * 4 + 3] = (gmul2(a0) ^ a0) ^ a1 ^ a2 ^ gmul2(a3);
+  }
+}
+void encrypt_block(void) {
+  int round;
+  add_round_key(0);
+  for (round = 1; round < 10; round++) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+int main(void) {
+  int b, i;
+  build_sbox();
+  expand_key();
+  checksum = 0;
+  for (b = 0; b < NBLOCKS; b++) {
+    for (i = 0; i < 16; i++) state[i] = (b * 16 + i * 7) & 0xff;
+    encrypt_block();
+    for (i = 0; i < 16; i++)
+      checksum = ((checksum << 5) - checksum + state[i]) & 0x7fffffff;
+  }
+  return checksum;
+}
+)", scale("NBLOCKS", {2, 8, 32, 128, 512})));
+
+  // ------------------------------------------------------------- BLOWFISH
+  out.push_back(bench("BLOWFISH", std::string(R"(
+#define NBLOCKS 16
+unsigned P[18];
+unsigned S0[256]; unsigned S1[256]; unsigned S2[256]; unsigned S3[256];
+unsigned xl; unsigned xr;
+
+unsigned bf_f(unsigned x) {
+  unsigned a = (x >> 24) & 0xff;
+  unsigned b = (x >> 16) & 0xff;
+  unsigned c = (x >> 8) & 0xff;
+  unsigned d = x & 0xff;
+  return ((S0[a] + S1[b]) ^ S2[c]) + S3[d];
+}
+
+void bf_encrypt(void) {
+  int i;
+  unsigned t;
+  for (i = 0; i < 16; i++) {
+    xl = xl ^ P[i];
+    xr = bf_f(xl) ^ xr;
+    t = xl; xl = xr; xr = t;
+  }
+  t = xl; xl = xr; xr = t;
+  xr = xr ^ P[16];
+  xl = xl ^ P[17];
+}
+
+int main(void) {
+  int i, b;
+  unsigned seed = 0x12345678;
+  /* synthetic pi-digit tables via an LCG (see header note) */
+  for (i = 0; i < 18; i++) {
+    seed = seed * 1664525 + 1013904223;
+    P[i] = seed;
+  }
+  for (i = 0; i < 256; i++) {
+    seed = seed * 1664525 + 1013904223; S0[i] = seed;
+    seed = seed * 1664525 + 1013904223; S1[i] = seed;
+    seed = seed * 1664525 + 1013904223; S2[i] = seed;
+    seed = seed * 1664525 + 1013904223; S3[i] = seed;
+  }
+  /* key schedule: fold a key into P */
+  for (i = 0; i < 18; i++) P[i] = P[i] ^ (0x55aa55aa + (unsigned)i * 0x01010101);
+  xl = 0; xr = 0;
+  for (i = 0; i < 18; i = i + 2) {
+    bf_encrypt();
+    P[i] = xl;
+    P[i + 1] = xr;
+  }
+  unsigned cs = 0;
+  for (b = 0; b < NBLOCKS; b++) {
+    xl = (unsigned)b * 0x9e3779b9;
+    xr = (unsigned)b * 0x7f4a7c15 + 1;
+    bf_encrypt();
+    cs = (cs ^ xl) * 16777619;
+    cs = (cs ^ xr) * 16777619;
+  }
+  return (int)(cs & 0x7fffffff);
+}
+)"), scale("NBLOCKS", {8, 32, 128, 512, 2048})));
+
+  // ---------------------------------------------------------------- DFADD
+  out.push_back(bench("DFADD", std::string(kSoftFloat) + R"(
+#define NTESTS 256
+unsigned inputs[NTESTS];
+int main(void) {
+  int i;
+  unsigned cs = 0;
+  for (i = 0; i < NTESTS; i++)
+    inputs[i] = f_from_int((i * 7919) % 20011 - 10005);
+  for (i = 0; i + 1 < NTESTS; i++) {
+    unsigned r = f_add(inputs[i], inputs[i + 1]);
+    unsigned d = f_sub(inputs[i + 1], inputs[i]);
+    cs = (cs ^ r) * 16777619;
+    cs = (cs ^ d) * 16777619;
+  }
+  return (int)(cs & 0x7fffffff);
+}
+)", scale("NTESTS", {64, 256, 1024, 4096, 16384})));
+
+  // ---------------------------------------------------------------- DFDIV
+  out.push_back(bench("DFDIV", std::string(kSoftFloat) + R"(
+#define NTESTS 128
+int main(void) {
+  int i;
+  unsigned cs = 0;
+  for (i = 1; i < NTESTS; i++) {
+    unsigned a = f_from_int(i * 12347 % 30011 + 17);
+    unsigned b = f_from_int(i * 331 % 991 + 3);
+    unsigned q = f_div(a, b);
+    cs = (cs ^ q) * 16777619;
+  }
+  return (int)(cs & 0x7fffffff);
+}
+)", scale("NTESTS", {32, 128, 512, 2048, 8192})));
+
+  // ---------------------------------------------------------------- DFMUL
+  out.push_back(bench("DFMUL", std::string(kSoftFloat) + R"(
+#define NTESTS 256
+int main(void) {
+  int i;
+  unsigned cs = 0;
+  for (i = 0; i < NTESTS; i++) {
+    unsigned a = f_from_int(i * 7919 % 10007 - 5003);
+    unsigned b = f_from_int(i * 104729 % 331 + 2);
+    unsigned p = f_mul(a, b);
+    cs = (cs ^ p) * 16777619;
+  }
+  return (int)(cs & 0x7fffffff);
+}
+)", scale("NTESTS", {64, 256, 1024, 4096, 16384})));
+
+  // ---------------------------------------------------------------- DFSIN
+  out.push_back(bench("DFSIN", std::string(kSoftFloat) + R"(
+#define NTESTS 36
+unsigned soft_sin(unsigned x) {
+  /* Taylor series: x - x^3/3! + x^5/5! - x^7/7! + x^9/9! */
+  unsigned x2 = f_mul(x, x);
+  unsigned term = x;
+  unsigned sum = x;
+  unsigned f3 = f_from_int(6);
+  unsigned f5 = f_from_int(20);
+  unsigned f7 = f_from_int(42);
+  unsigned f9 = f_from_int(72);
+  term = f_div(f_mul(term, x2), f3);
+  sum = f_sub(sum, term);
+  term = f_div(f_mul(term, x2), f5);
+  sum = f_add(sum, term);
+  term = f_div(f_mul(term, x2), f7);
+  sum = f_sub(sum, term);
+  term = f_div(f_mul(term, x2), f9);
+  sum = f_add(sum, term);
+  return sum;
+}
+int main(void) {
+  int i;
+  unsigned cs = 0;
+  unsigned hundred = f_from_int(100);
+  for (i = 0; i < NTESTS; i++) {
+    /* x in (-1.6, 1.6) as (i%320 - 160)/100 */
+    unsigned x = f_div(f_from_int((i * 37) % 320 - 160), hundred);
+    unsigned s = soft_sin(x);
+    cs = (cs ^ s) * 16777619;
+    cs = (cs + (unsigned)f_to_int_scaled(s, 10)) * 31;
+  }
+  return (int)(cs & 0x7fffffff);
+}
+)", scale("NTESTS", {16, 64, 256, 1024, 4096})));
+
+  // ------------------------------------------------------------------ GSM
+  out.push_back(bench("GSM", R"(
+#define NFRAMES 4
+int frame[160];
+int lar[8];
+int acf[9];
+
+int gsm_abs(int x) { return x < 0 ? -x : x; }
+
+void autocorrelation(void) {
+  int k, i;
+  int smax = 0;
+  int scale = 0;
+  for (k = 0; k < 160; k++) {
+    int a = gsm_abs(frame[k]);
+    if (a > smax) smax = a;
+  }
+  if (smax == 0) scale = 0;
+  else {
+    scale = 4;
+    while (scale > 0 && smax < 16384) { smax = smax << 1; scale = scale - 1; }
+  }
+  for (k = 0; k < 160; k++) frame[k] = frame[k] >> scale;
+  for (k = 0; k <= 8; k++) {
+    acf[k] = 0;
+    for (i = k; i < 160; i++)
+      acf[k] = acf[k] + frame[i] * frame[i - k];
+  }
+}
+
+void reflection_to_lar(void) {
+  int i;
+  int r[9];
+  if (acf[0] == 0) {
+    for (i = 0; i < 8; i++) lar[i] = 0;
+    return;
+  }
+  for (i = 1; i <= 8; i++) {
+    /* scaled reflection estimate acf[i]/acf[0] in Q12 */
+    r[i] = (acf[i] / (acf[0] / 4096 + 1));
+    if (r[i] > 4095) r[i] = 4095;
+    if (r[i] < -4095) r[i] = -4095;
+  }
+  for (i = 0; i < 8; i++) {
+    int ri = r[i + 1];
+    int a = gsm_abs(ri);
+    if (a < 2048) lar[i] = ri;
+    else if (a < 3584) lar[i] = ri < 0 ? -(a * 2 - 2048) : a * 2 - 2048;
+    else lar[i] = ri < 0 ? -(a * 4 - 9216) : a * 4 - 9216;
+  }
+}
+
+int main(void) {
+  int f, k;
+  int cs = 0;
+  for (f = 0; f < NFRAMES; f++) {
+    for (k = 0; k < 160; k++)
+      frame[k] = ((k * (f + 3) * 131) % 8192) - 4096;
+    autocorrelation();
+    reflection_to_lar();
+    for (k = 0; k < 8; k++) cs = (cs + lar[k] * (k + 1) + f) % 1000000007;
+  }
+  return cs;
+}
+)", scale("NFRAMES", {2, 8, 32, 128, 256})));
+
+  // ----------------------------------------------------------------- MIPS
+  out.push_back(bench("MIPS", R"(
+#define NITER 8
+/* Simplified MIPS: opcode(8) | rd(4) | rs(4) | rt(4)/imm(12) */
+unsigned prog[32];
+int reg[16];
+int dmem[32];
+
+int run_program(void) {
+  int pc = 0;
+  int steps = 0;
+  while (pc >= 0 && pc < 32 && steps < 4000) {
+    unsigned ins = prog[pc];
+    unsigned op = ins >> 24;
+    int rd = (int)((ins >> 20) & 15);
+    int rs = (int)((ins >> 16) & 15);
+    int imm = (int)(ins & 0xffff);
+    if (imm >= 32768) imm = imm - 65536;
+    steps++;
+    pc++;
+    switch (op) {
+      case 0: break;                                       /* nop */
+      case 1: reg[rd] = reg[rs] + reg[imm & 15]; break;    /* add */
+      case 2: reg[rd] = reg[rs] - reg[imm & 15]; break;    /* sub */
+      case 3: reg[rd] = reg[rs] * reg[imm & 15]; break;    /* mul */
+      case 4: reg[rd] = imm; break;                        /* li  */
+      case 5: reg[rd] = reg[rs] + imm; break;              /* addi */
+      case 6: reg[rd] = dmem[(reg[rs] + imm) & 31]; break; /* lw  */
+      case 7: dmem[(reg[rs] + imm) & 31] = reg[rd]; break; /* sw  */
+      case 8: if (reg[rd] < reg[rs]) pc = pc + imm; break; /* blt */
+      case 9: if (reg[rd] != reg[rs]) pc = pc + imm; break;/* bne */
+      case 10: pc = imm; break;                            /* j   */
+      case 11: return reg[rd];                             /* halt*/
+      default: return -1;
+    }
+  }
+  return -2;
+}
+
+int main(void) {
+  int it, i;
+  int cs = 0;
+  /* program: sum integers 0..r2-1 into r1, then halt */
+  for (i = 0; i < 32; i++) prog[i] = 11u << 24;  /* halt */
+  prog[0] = (4u << 24) | (1u << 20);                    /* li r1, 0 */
+  prog[1] = (4u << 24) | (3u << 20);                    /* li r3, 0 */
+  prog[2] = (4u << 24) | (2u << 20) | 25;               /* li r2, 25 */
+  prog[3] = (1u << 24) | (1u << 20) | (1u << 16) | 3;   /* add r1, r1, r3 */
+  prog[4] = (5u << 24) | (3u << 20) | (3u << 16) | 1;   /* addi r3, r3, 1 */
+  prog[5] = (8u << 24) | (3u << 20) | (2u << 16) |
+            ((unsigned)(-3) & 0xffff);                  /* blt r3, r2, -3 */
+  prog[6] = (7u << 24) | (1u << 20) | (0u << 16) | 4;   /* sw r1, 4(r0) */
+  prog[7] = (6u << 24) | (4u << 20) | (0u << 16) | 4;   /* lw r4, 4(r0) */
+  prog[8] = (11u << 24) | (4u << 20);                   /* halt r4 */
+  for (it = 0; it < NITER; it++) {
+    for (i = 0; i < 16; i++) reg[i] = 0;
+    for (i = 0; i < 32; i++) dmem[i] = i * it;
+    cs = (cs + run_program() * (it + 1)) % 1000000007;
+  }
+  return cs;
+}
+)", scale("NITER", {4, 16, 64, 256, 1024})));
+
+  // --------------------------------------------------------------- MOTION
+  out.push_back(bench("MOTION", R"(
+#define NVECTORS 64
+unsigned char stream[4096];
+int bitpos;
+int pmv0; int pmv1;
+
+unsigned getbits(int n) {
+  unsigned v = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    int byte = bitpos >> 3;
+    int bit = 7 - (bitpos & 7);
+    v = (v << 1) | ((stream[byte] >> bit) & 1);
+    bitpos++;
+  }
+  return v;
+}
+
+int decode_mv(int pred, int r_size) {
+  int code, residual, delta;
+  int limit = 16 << r_size;
+  code = (int)getbits(4);
+  if (code == 0) return pred;
+  residual = (int)getbits(r_size);
+  delta = ((code - 1) << r_size) + residual + 1;
+  if (getbits(1) != 0) delta = -delta;
+  pred = pred + delta;
+  if (pred >= limit) pred = pred - 2 * limit;
+  if (pred < -limit) pred = pred + 2 * limit;
+  return pred;
+}
+
+int main(void) {
+  int v, i;
+  int cs = 0;
+  unsigned seed = 0xbeef;
+  for (i = 0; i < 4096; i++) {
+    seed = seed * 1103515245 + 12345;
+    stream[i] = (seed >> 16);
+  }
+  bitpos = 0;
+  pmv0 = 0;
+  pmv1 = 0;
+  for (v = 0; v < NVECTORS; v++) {
+    pmv0 = decode_mv(pmv0, 2);
+    pmv1 = decode_mv(pmv1, 3);
+    cs = (cs + pmv0 * 7 + pmv1 * 13 + v) % 1000000007;
+    if (bitpos > 4096 * 8 - 64) bitpos = 0;
+  }
+  return cs;
+}
+)", scale("NVECTORS", {64, 256, 1024, 4096, 16384})));
+
+  // ------------------------------------------------------------------ SHA
+  // CHStone's SHA is SHA-1; full implementation over a synthetic message.
+  out.push_back(bench("SHA", R"(
+#define MSGLEN 1024
+unsigned char message[MSGLEN];
+unsigned w[80];
+unsigned h0; unsigned h1; unsigned h2; unsigned h3; unsigned h4;
+
+unsigned rol(unsigned x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void sha1_block(int offset) {
+  int t;
+  unsigned a, b, c, d, e, f, k, temp;
+  for (t = 0; t < 16; t++) {
+    w[t] = ((unsigned)message[offset + t * 4] << 24) |
+           ((unsigned)message[offset + t * 4 + 1] << 16) |
+           ((unsigned)message[offset + t * 4 + 2] << 8) |
+           (unsigned)message[offset + t * 4 + 3];
+  }
+  for (t = 16; t < 80; t++)
+    w[t] = rol(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  a = h0; b = h1; c = h2; d = h3; e = h4;
+  for (t = 0; t < 80; t++) {
+    if (t < 20) { f = (b & c) | ((~b) & d); k = 0x5a827999; }
+    else if (t < 40) { f = b ^ c ^ d; k = 0x6ed9eba1; }
+    else if (t < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8f1bbcdc; }
+    else { f = b ^ c ^ d; k = 0xca62c1d6; }
+    temp = rol(a, 5) + f + e + k + w[t];
+    e = d; d = c; c = rol(b, 30); b = a; a = temp;
+  }
+  h0 = h0 + a; h1 = h1 + b; h2 = h2 + c; h3 = h3 + d; h4 = h4 + e;
+}
+
+int main(void) {
+  int i;
+  for (i = 0; i < MSGLEN; i++)
+    message[i] = (i * 211 + 17) & 0xff;
+  h0 = 0x67452301; h1 = 0xefcdab89; h2 = 0x98badcfe;
+  h3 = 0x10325476; h4 = 0xc3d2e1f0;
+  /* whole blocks only; length padding folded into the synthetic input */
+  for (i = 0; i + 64 <= MSGLEN; i = i + 64)
+    sha1_block(i);
+  unsigned cs = h0 ^ h1 ^ h2 ^ h3 ^ h4;
+  return (int)(cs & 0x7fffffff);
+}
+)", scale("MSGLEN", {512, 2048, 8192, 32768, 131072})));
+}
+
+}  // namespace wb::benchmarks

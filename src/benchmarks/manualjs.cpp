@@ -1,0 +1,548 @@
+// The manually-written JavaScript benchmarks of paper Sec. 4.1.2 /
+// Table 9. Three implementation styles, as in the paper:
+//  - idiomatic hand-written JS (arrays of arrays, plain numbers);
+//  - math.js-style: a generic matrix library (boxed, bounds-checked,
+//    allocation-happy) — the paper linked the real math.js;
+//  - W3C-API style: typed arrays / the WebCrypto digest builtin.
+// Each implementation mirrors its compiled benchmark's M-size input and
+// (except SHA (W3C), which computes a different hash by design) returns
+// the same checksum, so tests can cross-validate.
+#include "benchmarks/registry.h"
+
+namespace wb::benchmarks {
+
+namespace {
+
+// Generic matrix helpers standing in for math.js (boxed rows, per-access
+// function calls — the expensive-but-convenient style).
+constexpr const char* kMathJsShim = R"(
+// ---- mini math.js ----
+function mat_zeros(r, c) {
+  var m = [];
+  for (var i = 0; i < r; i++) {
+    var row = [];
+    for (var j = 0; j < c; j++) row.push(0);
+    m.push(row);
+  }
+  return m;
+}
+function mat_zeros3(a, b, c) {
+  var m = [];
+  for (var i = 0; i < a; i++) m.push(mat_zeros(b, c));
+  return m;
+}
+function mat_get(m, i, j) {
+  if (i < 0 || i >= m.length) return 0;
+  var row = m[i];
+  if (j < 0 || j >= row.length) return 0;
+  return row[j];
+}
+function mat_set(m, i, j, v) {
+  if (i < 0 || i >= m.length) return;
+  var row = m[i];
+  if (j < 0 || j >= row.length) return;
+  row[j] = v;
+}
+function mat_get3(m, i, j, k) { return mat_get(m[i], j, k); }
+function mat_set3(m, i, j, k, v) { mat_set(m[i], j, k, v); }
+// ---- end mini math.js ----
+)";
+
+constexpr const char* kChecksum = R"(
+var __cs = 0;
+function cs_add(v) { __cs += v - Math.floor(v / 1000.0) * 1000.0; }
+function cs_result() { return __cs | 0; }
+)";
+
+ManualJs manual(std::string name, std::string bench_name, std::string source,
+                bool library_style) {
+  ManualJs m;
+  m.name = std::move(name);
+  m.bench_name = std::move(bench_name);
+  m.source = std::move(source);
+  m.library_style = library_style;
+  return m;
+}
+
+}  // namespace
+
+const std::vector<ManualJs>& manual_js_benchmarks() {
+  static const std::vector<ManualJs> all = [] {
+    std::vector<ManualJs> out;
+
+    // ------------------------------------------------------------- 3mm
+    out.push_back(manual("3mm", "3mm", std::string(kChecksum) + R"(
+var N = 32;
+function zeros(n) {
+  var m = [];
+  for (var i = 0; i < n; i++) {
+    var row = [];
+    for (var j = 0; j < n; j++) row.push(0);
+    m.push(row);
+  }
+  return m;
+}
+function matmul(dst, a, b, n) {
+  for (var i = 0; i < n; i++)
+    for (var j = 0; j < n; j++) {
+      var acc = 0;
+      for (var k = 0; k < n; k++) acc += a[i][k] * b[k][j];
+      dst[i][j] = acc;
+    }
+}
+function main() {
+  var A = zeros(N), B = zeros(N), C = zeros(N), D = zeros(N);
+  var E = zeros(N), F = zeros(N), G = zeros(N);
+  for (var i = 0; i < N; i++)
+    for (var j = 0; j < N; j++) {
+      A[i][j] = ((i * j + 1) % N) / (5.0 * N);
+      B[i][j] = ((i * (j + 1) + 2) % N) / (5.0 * N);
+      C[i][j] = (i * (j + 3) % N) / (5.0 * N);
+      D[i][j] = ((i * (j + 2) + 2) % N) / (5.0 * N);
+    }
+  matmul(E, A, B, N);
+  matmul(F, C, D, N);
+  matmul(G, E, F, N);
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(G[i][j] * 1000.0);
+  return cs_result();
+}
+)", false));
+
+    // ------------------------------------------------------ Covariance
+    out.push_back(manual("Covariance", "covariance", std::string(kChecksum) + R"(
+var N = 32;
+function main() {
+  var data = [], cov = [], mean = [];
+  for (var i = 0; i < N; i++) {
+    data.push([]);
+    cov.push([]);
+    for (var j = 0; j < N; j++) {
+      data[i].push((i * j % 13) / N);
+      cov[i].push(0);
+    }
+  }
+  for (var j2 = 0; j2 < N; j2++) {
+    var m = 0;
+    for (i = 0; i < N; i++) m += data[i][j2];
+    mean.push(m / N);
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) data[i][j] -= mean[j];
+  for (i = 0; i < N; i++)
+    for (j = i; j < N; j++) {
+      var acc = 0;
+      for (var k = 0; k < N; k++) acc += data[k][i] * data[k][j];
+      acc /= N - 1.0;
+      cov[i][j] = acc;
+      cov[j][i] = acc;
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(cov[i][j] * 50.0);
+  return cs_result();
+}
+)", false));
+
+    // ----------------------------------------------------------- Syr2k
+    out.push_back(manual("Syr2k", "syr2k", std::string(kChecksum) + R"(
+var N = 32;
+var alpha = 1.5, beta = 1.2;
+function main() {
+  var A = [], B = [], C = [];
+  for (var i = 0; i < N; i++) {
+    A.push([]); B.push([]); C.push([]);
+    for (var j = 0; j < N; j++) {
+      A[i].push(((i * j + 1) % N) / N);
+      B[i].push(((i * j + 2) % N) / N);
+      C[i].push(((i + j) % N) / N);
+    }
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++) C[i][j] *= beta;
+    for (var k = 0; k < N; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(C[i][j] * 10.0);
+  return cs_result();
+}
+)", false));
+
+    // ---------------------------------------------------------- Ludcmp
+    out.push_back(manual("Ludcmp", "ludcmp", std::string(kChecksum) + R"(
+var N = 32;
+function main() {
+  var A = [], b = [], x = [], y = [];
+  for (var i = 0; i < N; i++) {
+    b.push((i + 1) / N / 2.0 + 4.0);
+    x.push(0);
+    y.push(0);
+    A.push([]);
+    for (var j = 0; j < N; j++)
+      A[i].push(i == j ? N * 2.0 : 1.0 / (i + j + 2));
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      var w = A[i][j];
+      for (var k = 0; k < j; k++) w -= A[i][k] * A[k][j];
+      A[i][j] = w / A[j][j];
+    }
+    for (j = i; j < N; j++) {
+      var w2 = A[i][j];
+      for (k = 0; k < i; k++) w2 -= A[i][k] * A[k][j];
+      A[i][j] = w2;
+    }
+  }
+  for (i = 0; i < N; i++) {
+    var w3 = b[i];
+    for (j = 0; j < i; j++) w3 -= A[i][j] * y[j];
+    y[i] = w3;
+  }
+  for (i = N - 1; i >= 0; i--) {
+    var w4 = y[i];
+    for (j = i + 1; j < N; j++) w4 -= A[i][j] * x[j];
+    x[i] = w4 / A[i][i];
+  }
+  for (i = 0; i < N; i++) cs_add(x[i] * 1000.0);
+  return cs_result();
+}
+)", false));
+
+    // -------------------------------------------------- Floyd-warshall
+    out.push_back(manual("Floyd-warshall", "floyd-warshall", R"(
+var N = 32;
+function main() {
+  var path = [];
+  for (var i = 0; i < N; i++) {
+    path.push([]);
+    for (var j = 0; j < N; j++) {
+      var v = i * j % 7 + 1;
+      if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0) v = 999;
+      path[i].push(v);
+    }
+  }
+  for (var k = 0; k < N; k++)
+    for (i = 0; i < N; i++)
+      for (j = 0; j < N; j++) {
+        var through = path[i][k] + path[k][j];
+        if (through < path[i][j]) path[i][j] = through;
+      }
+  var s = 0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) s = (s + path[i][j] * (i + j + 1)) % 1000000;
+  return s;
+}
+)", false));
+
+    // ---------------------------------------------------- Heat-3d (W3C)
+    // Typed-array implementation — the closest JS gets to a native API.
+    out.push_back(manual("Heat-3d (W3C)", "heat-3d", std::string(kChecksum) + R"(
+var N = 14, TSTEPS = 4;
+var NN = N * N;
+function main() {
+  var A = new Float64Array(N * N * N);
+  var B = new Float64Array(N * N * N);
+  var i, j, k, t;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++) {
+        A[i * NN + j * N + k] = (i + j + (N - k)) * 10.0 / N;
+        B[i * NN + j * N + k] = A[i * NN + j * N + k];
+      }
+  for (t = 1; t <= TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        for (k = 1; k < N - 1; k++) {
+          var c = i * NN + j * N + k;
+          B[c] = 0.125 * (A[c + NN] - 2.0 * A[c] + A[c - NN]) +
+                 0.125 * (A[c + N] - 2.0 * A[c] + A[c - N]) +
+                 0.125 * (A[c + 1] - 2.0 * A[c] + A[c - 1]) + A[c];
+        }
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        for (k = 1; k < N - 1; k++) {
+          var c2 = i * NN + j * N + k;
+          A[c2] = 0.125 * (B[c2 + NN] - 2.0 * B[c2] + B[c2 - NN]) +
+                  0.125 * (B[c2 + N] - 2.0 * B[c2] + B[c2 - N]) +
+                  0.125 * (B[c2 + 1] - 2.0 * B[c2] + B[c2 - 1]) + B[c2];
+        }
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++) cs_add(A[i * NN + j * N + k] * 10.0);
+  return cs_result();
+}
+)", false));
+
+    // ------------------------------------------------ Heat-3d (math.js)
+    out.push_back(manual("Heat-3d (math.js)", "heat-3d",
+                         std::string(kChecksum) + kMathJsShim + R"(
+var N = 14, TSTEPS = 4;
+function main() {
+  var A = mat_zeros3(N, N, N);
+  var B = mat_zeros3(N, N, N);
+  var i, j, k, t;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++) {
+        mat_set3(A, i, j, k, (i + j + (N - k)) * 10.0 / N);
+        mat_set3(B, i, j, k, mat_get3(A, i, j, k));
+      }
+  for (t = 1; t <= TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        for (k = 1; k < N - 1; k++)
+          mat_set3(B, i, j, k,
+              0.125 * (mat_get3(A, i + 1, j, k) - 2.0 * mat_get3(A, i, j, k) + mat_get3(A, i - 1, j, k)) +
+              0.125 * (mat_get3(A, i, j + 1, k) - 2.0 * mat_get3(A, i, j, k) + mat_get3(A, i, j - 1, k)) +
+              0.125 * (mat_get3(A, i, j, k + 1) - 2.0 * mat_get3(A, i, j, k) + mat_get3(A, i, j, k - 1)) +
+              mat_get3(A, i, j, k));
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        for (k = 1; k < N - 1; k++)
+          mat_set3(A, i, j, k,
+              0.125 * (mat_get3(B, i + 1, j, k) - 2.0 * mat_get3(B, i, j, k) + mat_get3(B, i - 1, j, k)) +
+              0.125 * (mat_get3(B, i, j + 1, k) - 2.0 * mat_get3(B, i, j, k) + mat_get3(B, i, j - 1, k)) +
+              0.125 * (mat_get3(B, i, j, k + 1) - 2.0 * mat_get3(B, i, j, k) + mat_get3(B, i, j, k - 1)) +
+              mat_get3(B, i, j, k));
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++) cs_add(mat_get3(A, i, j, k) * 10.0);
+  return cs_result();
+}
+)", true));
+
+    // -------------------------------------------------------------- AES
+    // Hand-tuned typed-array AES: the case where careful JS beats the
+    // compiler-generated version (paper: 2.405ms vs 3.210ms).
+    out.push_back(manual("AES", "AES", R"(
+var NBLOCKS = 32;
+var sbox = new Uint8Array(256);
+var roundKey = new Uint8Array(176);
+var state = new Uint8Array(16);
+var keyBytes = [43, 126, 21, 22, 40, 174, 210, 166, 171, 247, 21, 136, 9, 207, 79, 60];
+
+function gmul2(a) {
+  var r = (a << 1) & 0xff;
+  if (a & 0x80) r = r ^ 0x1b;
+  return r & 0xff;
+}
+function gmul(a, b) {
+  var p = 0;
+  for (var i = 0; i < 8; i++) {
+    if (b & 1) p ^= a;
+    a = gmul2(a);
+    b >>= 1;
+  }
+  return p & 0xff;
+}
+function buildSbox() {
+  sbox[0] = 0x63;
+  for (var x = 1; x < 256; x++) {
+    var inv = 0;
+    for (var y = 1; y < 256; y++) {
+      if (gmul(x, y) == 1) { inv = y; break; }
+    }
+    var s = inv;
+    s ^= (inv << 1) | (inv >> 7);
+    s ^= (inv << 2) | (inv >> 6);
+    s ^= (inv << 3) | (inv >> 5);
+    s ^= (inv << 4) | (inv >> 4);
+    sbox[x] = (s ^ 0x63) & 0xff;
+  }
+}
+function expandKey() {
+  for (var i = 0; i < 16; i++) roundKey[i] = keyBytes[i];
+  var rcon = 1;
+  for (i = 4; i < 44; i++) {
+    var k = i * 4;
+    var t0 = roundKey[k - 4], t1 = roundKey[k - 3];
+    var t2 = roundKey[k - 2], t3 = roundKey[k - 1];
+    if (i % 4 == 0) {
+      var tmp = t0;
+      t0 = sbox[t1] ^ rcon;
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[tmp];
+      rcon = gmul2(rcon);
+    }
+    roundKey[k] = roundKey[k - 16] ^ t0;
+    roundKey[k + 1] = roundKey[k - 15] ^ t1;
+    roundKey[k + 2] = roundKey[k - 14] ^ t2;
+    roundKey[k + 3] = roundKey[k - 13] ^ t3;
+  }
+}
+function encryptBlock() {
+  var r, i, c, t;
+  for (i = 0; i < 16; i++) state[i] ^= roundKey[i];
+  for (r = 1; r <= 10; r++) {
+    for (i = 0; i < 16; i++) state[i] = sbox[state[i]];
+    t = state[1];
+    state[1] = state[5]; state[5] = state[9]; state[9] = state[13]; state[13] = t;
+    t = state[2]; state[2] = state[10]; state[10] = t;
+    t = state[6]; state[6] = state[14]; state[14] = t;
+    t = state[15]; state[15] = state[11]; state[11] = state[7];
+    state[7] = state[3]; state[3] = t;
+    if (r < 10) {
+      for (c = 0; c < 4; c++) {
+        var a0 = state[c * 4], a1 = state[c * 4 + 1];
+        var a2 = state[c * 4 + 2], a3 = state[c * 4 + 3];
+        state[c * 4] = gmul2(a0) ^ (gmul2(a1) ^ a1) ^ a2 ^ a3;
+        state[c * 4 + 1] = a0 ^ gmul2(a1) ^ (gmul2(a2) ^ a2) ^ a3;
+        state[c * 4 + 2] = a0 ^ a1 ^ gmul2(a2) ^ (gmul2(a3) ^ a3);
+        state[c * 4 + 3] = (gmul2(a0) ^ a0) ^ a1 ^ a2 ^ gmul2(a3);
+      }
+    }
+    for (i = 0; i < 16; i++) state[i] ^= roundKey[r * 16 + i];
+  }
+}
+function main() {
+  buildSbox();
+  expandKey();
+  var checksum = 0;
+  for (var b = 0; b < NBLOCKS; b++) {
+    for (var i = 0; i < 16; i++) state[i] = (b * 16 + i * 7) & 0xff;
+    encryptBlock();
+    for (i = 0; i < 16; i++)
+      checksum = ((checksum << 5) - checksum + state[i]) & 0x7fffffff;
+  }
+  return checksum;
+}
+)", false));
+
+    // --------------------------------------------------------- BLOWFISH
+    // Idiomatic (boxed-array) implementation — slower than the compiled
+    // version, as in the paper (36.7ms vs 12.0ms).
+    out.push_back(manual("BLOWFISH", "BLOWFISH", R"(
+var NBLOCKS = 128;
+var P = [], S = [[], [], [], []];
+var xl = 0, xr = 0;
+function u32(x) { return x >>> 0; }
+function bfF(x) {
+  var a = (x >>> 24) & 0xff;
+  var b = (x >>> 16) & 0xff;
+  var c = (x >>> 8) & 0xff;
+  var d = x & 0xff;
+  return u32(u32(u32(u32(S[0][a] + S[1][b]) ^ S[2][c])) + S[3][d]);
+}
+function encrypt() {
+  for (var i = 0; i < 16; i++) {
+    xl = u32(xl ^ P[i]);
+    xr = u32(bfF(xl) ^ xr);
+    var t = xl; xl = xr; xr = t;
+  }
+  var t2 = xl; xl = xr; xr = t2;
+  xr = u32(xr ^ P[16]);
+  xl = u32(xl ^ P[17]);
+}
+var seed = 0;
+function lcg() {
+  seed = u32(Math.imul(seed, 1664525) + 1013904223);
+  return seed;
+}
+function main() {
+  var i;
+  seed = 0x12345678;
+  P = [];
+  S = [[], [], [], []];
+  for (i = 0; i < 18; i++) P.push(lcg());
+  for (i = 0; i < 256; i++) {
+    S[0].push(lcg()); S[1].push(lcg()); S[2].push(lcg()); S[3].push(lcg());
+  }
+  for (i = 0; i < 18; i++) P[i] = u32(P[i] ^ u32(0x55aa55aa + Math.imul(i, 0x01010101)));
+  xl = 0; xr = 0;
+  for (i = 0; i < 18; i += 2) {
+    encrypt();
+    P[i] = xl;
+    P[i + 1] = xr;
+  }
+  var cs = 0;
+  for (var b = 0; b < NBLOCKS; b++) {
+    xl = u32(Math.imul(b, 0x9e3779b9));
+    xr = u32(Math.imul(b, 0x7f4a7c15) + 1);
+    encrypt();
+    cs = u32(Math.imul(u32(cs ^ xl), 16777619));
+    cs = u32(Math.imul(u32(cs ^ xr), 16777619));
+  }
+  return cs & 0x7fffffff;
+}
+)", false));
+
+    // -------------------------------------------------------- SHA (W3C)
+    // The Web Cryptography API: native digest, minimal JS (the paper's
+    // fastest JS row). Computes SHA-256 of the same synthetic message.
+    out.push_back(manual("SHA (W3C)", "SHA", R"(
+var MSGLEN = 8192;
+function main() {
+  var message = new Uint8Array(MSGLEN);
+  for (var i = 0; i < MSGLEN; i++) message[i] = (i * 211 + 17) & 0xff;
+  var digest = crypto.digest(message);
+  var cs = 0;
+  for (i = 0; i < 32; i++) cs = (cs * 31 + digest[i]) % 1000000007;
+  return cs;
+}
+)", false));
+
+    // ------------------------------------------------------ SHA (jsSHA)
+    // Library-style pure-JS SHA-1 mirroring the jsSHA package: generic
+    // byte accessors, per-block scratch allocation, boxed word arrays —
+    // the indirection that makes library JS slower than compiled JS.
+    out.push_back(manual("SHA (jsSHA)", "SHA", R"(
+var MSGLEN = 8192;
+function u32(x) { return x >>> 0; }
+function rol(x, n) { return ((x << n) | (x >>> (32 - n))) >>> 0; }
+function byteAt(msg, i) {
+  if (i < 0 || i >= msg.length) return 0;
+  return msg[i] & 0xff;
+}
+function wordAt(msg, off) {
+  return ((byteAt(msg, off) << 24) | (byteAt(msg, off + 1) << 16) |
+          (byteAt(msg, off + 2) << 8) | byteAt(msg, off + 3)) >>> 0;
+}
+function newSchedule() {
+  var w = [];
+  for (var i = 0; i < 80; i++) w.push(0);
+  return w;
+}
+function sha1Blocks(message, len) {
+  var h = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0];
+  for (var off = 0; off + 64 <= len; off += 64) {
+    var w = newSchedule();
+    for (var t = 0; t < 16; t++) w[t] = wordAt(message, off + t * 4);
+    for (t = 16; t < 80; t++)
+      w[t] = rol(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    var a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (t = 0; t < 80; t++) {
+      var f, k;
+      if (t < 20) { f = (b & c) | ((~b) & d); k = 0x5a827999; }
+      else if (t < 40) { f = b ^ c ^ d; k = 0x6ed9eba1; }
+      else if (t < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8f1bbcdc; }
+      else { f = b ^ c ^ d; k = 0xca62c1d6; }
+      var temp = (rol(a, 5) + u32(f) + e + k + w[t]) >>> 0;
+      e = d; d = c; c = rol(b, 30); b = a; a = temp;
+    }
+    h[0] = u32(h[0] + a);
+    h[1] = u32(h[1] + b);
+    h[2] = u32(h[2] + c);
+    h[3] = u32(h[3] + d);
+    h[4] = u32(h[4] + e);
+  }
+  return h;
+}
+function main() {
+  var message = [];
+  for (var i = 0; i < MSGLEN; i++) message.push((i * 211 + 17) & 0xff);
+  var h = sha1Blocks(message, MSGLEN);
+  var cs = (h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4]) >>> 0;
+  return cs & 0x7fffffff;
+}
+)", true));
+
+    return out;
+  }();
+  return all;
+}
+
+}  // namespace wb::benchmarks

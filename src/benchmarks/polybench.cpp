@@ -1,0 +1,1100 @@
+// The 30 PolyBenchC 4.2.1 kernels, rewritten in mini-C (see DESIGN.md for
+// the subset). Loop structure follows the originals; dataset sizes are
+// scaled so interpreted execution stays laptop-fast, selected XS..XL via
+// -D defines exactly as PolyBench selects MINI..EXTRALARGE.
+#include <map>
+
+#include "benchmarks/polybench.h"
+
+namespace wb::benchmarks {
+
+namespace {
+
+using core::Defines;
+
+/// The shared measurement harness every benchmark links (excluded from
+/// the paper's per-benchmark cLOC, like PolyBench's own harness).
+constexpr const char* kPrelude = R"(
+double __cs;
+void cs_add(double v) { __cs += v - floor(v / 1000.0) * 1000.0; }
+int cs_result(void) { return (int)__cs; }
+)";
+
+std::array<Defines, 5> sizes(std::initializer_list<std::pair<const char*, std::array<int, 5>>> axes) {
+  std::array<Defines, 5> out;
+  for (size_t i = 0; i < 5; ++i) {
+    for (const auto& [name, values] : axes) {
+      out[i].emplace_back(name, std::to_string(values[i]));
+    }
+  }
+  return out;
+}
+
+core::BenchSource bench(std::string name, std::string body,
+                        std::array<Defines, 5> size_defines) {
+  // Paper Table 1 descriptions.
+  static const std::map<std::string, std::string> kDescriptions = {
+      {"covariance", "Covariance computation"},
+      {"correlation", "Normalized covariance computation"},
+      {"gemm", "Generalized matrix multiplication"},
+      {"gemver", "Multiple matrix-vector multiplication"},
+      {"gesummv", "Summed matrix-vector multiplication"},
+      {"symm", "Symmetric matrix multiplication"},
+      {"syrk", "Symmetric rank k update"},
+      {"syr2k", "Symmetric rank 2k update"},
+      {"trmm", "Triangular matrix multiplication"},
+      {"2mm", "Two matrix multiplications"},
+      {"3mm", "Three matrix multiplications"},
+      {"atax", "A^T times Ax"},
+      {"bicg", "Biconjugate gradient stabilization"},
+      {"doitgen", "Numerical scientific simulation"},
+      {"mvt", "Matrix vector multiplication"},
+      {"cholesky", "Matrix decomposition"},
+      {"durbin", "Yule-Walker equations solver"},
+      {"gramschmidt", "QR Matrix decomposition"},
+      {"lu", "LU Matrix decomposition"},
+      {"ludcmp", "Linear equations solver"},
+      {"trisolv", "Triangular matrix solver"},
+      {"deriche", "Edge detection and smoothing filter"},
+      {"floyd-warshall", "Shortest paths in graph solver"},
+      {"nussinov", "RNA folding prediction"},
+      {"adi", "2D heat diffusion simulation"},
+      {"fdtd-2d", "Electric and magnetic fields simulation"},
+      {"heat-3d", "Heat equation w/ 3D space simulation"},
+      {"jacobi-1d", "Jacobi-style stencil computation (1D)"},
+      {"jacobi-2d", "Jacobi-style stencil computation (2D)"},
+      {"seidel-2d", "Gauss-Seidel stencil computation (2D)"},
+  };
+  core::BenchSource b;
+  b.name = name;
+  b.suite = "PolyBenchC";
+  const auto it = kDescriptions.find(name);
+  if (it != kDescriptions.end()) b.description = it->second;
+  b.source = std::string(kPrelude) + body;
+  b.size_defines = std::move(size_defines);
+  return b;
+}
+
+const std::array<int, 5> kCubic = {8, 16, 32, 48, 64};
+const std::array<int, 5> kSquare = {16, 40, 180, 350, 500};
+const std::array<int, 5> kLinear = {64, 256, 2000, 10000, 30000};
+const std::array<int, 5> kSteps = {2, 3, 4, 6, 8};
+const std::array<int, 5> kCube3d = {4, 8, 14, 20, 26};
+
+/// Allocation-dimension axis: tracks the compute dimension at XS/S/M, then
+/// jumps to PolyBench's real LARGE/EXTRALARGE footprints at L/XL (compute
+/// stays on the N-sized sub-region; see DESIGN.md scale note).
+std::array<int, 5> na_axis(std::array<int, 5> n, int l, int xl) {
+  return {n[0], n[1], n[2], l, xl};
+}
+
+
+}  // namespace
+
+void add_polybench(std::vector<core::BenchSource>& out) {
+  // ---------------------------------------------------------- covariance
+  out.push_back(bench("covariance", R"(
+#define N 24
+#define NA N
+double data[NA][NA];
+double cov[NA][NA];
+double mean[NA];
+int main(void) {
+  int i, j, k;
+  double float_n = (double)N;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      data[i][j] = (double)(i * j % 13) / float_n;
+  for (j = 0; j < N; j++) {
+    mean[j] = 0.0;
+    for (i = 0; i < N; i++) mean[j] += data[i][j];
+    mean[j] /= float_n;
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      data[i][j] -= mean[j];
+  for (i = 0; i < N; i++)
+    for (j = i; j < N; j++) {
+      cov[i][j] = 0.0;
+      for (k = 0; k < N; k++) cov[i][j] += data[k][i] * data[k][j];
+      cov[i][j] /= float_n - 1.0;
+      cov[j][i] = cov[i][j];
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(cov[i][j] * 50.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // --------------------------------------------------------- correlation
+  out.push_back(bench("correlation", R"(
+#define N 24
+#define NA N
+double data[NA][NA];
+double corr[NA][NA];
+double mean[NA];
+double stddev[NA];
+int main(void) {
+  int i, j, k;
+  double float_n = (double)N;
+  double eps = 0.1;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      data[i][j] = (double)(i * j % 17) / float_n + 0.5;
+  for (j = 0; j < N; j++) {
+    mean[j] = 0.0;
+    for (i = 0; i < N; i++) mean[j] += data[i][j];
+    mean[j] /= float_n;
+  }
+  for (j = 0; j < N; j++) {
+    stddev[j] = 0.0;
+    for (i = 0; i < N; i++)
+      stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    stddev[j] /= float_n;
+    stddev[j] = sqrt(stddev[j]);
+    stddev[j] = stddev[j] <= eps ? 1.0 : stddev[j];
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      data[i][j] -= mean[j];
+      data[i][j] /= sqrt(float_n) * stddev[j];
+    }
+  for (i = 0; i < N - 1; i++) {
+    corr[i][i] = 1.0;
+    for (j = i + 1; j < N; j++) {
+      corr[i][j] = 0.0;
+      for (k = 0; k < N; k++) corr[i][j] += data[k][i] * data[k][j];
+      corr[j][i] = corr[i][j];
+    }
+  }
+  corr[N - 1][N - 1] = 1.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(corr[i][j] * 100.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // ---------------------------------------------------------------- gemm
+  out.push_back(bench("gemm", R"(
+#define N 24
+#define NA N
+double A[NA][NA];
+double B[NA][NA];
+double C[NA][NA];
+int main(void) {
+  int i, j, k;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      B[i][j] = (double)(i * (j + 1) % N) / N;
+      C[i][j] = (double)((i + j) % N) / N;
+    }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) C[i][j] *= beta;
+    for (k = 0; k < N; k++)
+      for (j = 0; j < N; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(C[i][j] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // -------------------------------------------------------------- gemver
+  out.push_back(bench("gemver", R"(
+#define N 32
+#define NA N
+double A[NA][NA];
+double u1[NA]; double v1[NA]; double u2[NA]; double v2[NA];
+double w[NA]; double x[NA]; double y[NA]; double z[NA];
+int main(void) {
+  int i, j;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < N; i++) {
+    u1[i] = (double)i / N;
+    u2[i] = (double)(i + 1) / N / 2.0;
+    v1[i] = (double)(i + 1) / N / 4.0;
+    v2[i] = (double)(i + 1) / N / 6.0;
+    y[i] = (double)(i + 1) / N / 8.0;
+    z[i] = (double)(i + 1) / N / 9.0;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (j = 0; j < N; j++) A[i][j] = (double)(i * j % N) / N;
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+  for (i = 0; i < N; i++) x[i] = x[i] + z[i];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+  for (i = 0; i < N; i++) cs_add(w[i] * 100.0);
+  return cs_result();
+}
+)", sizes({{"N", kSquare}, {"NA", na_axis(kSquare, 1024, 2048)}})));
+
+  // ------------------------------------------------------------- gesummv
+  out.push_back(bench("gesummv", R"(
+#define N 32
+#define NA N
+double A[NA][NA];
+double B[NA][NA];
+double tmp[NA]; double x[NA]; double y[NA];
+int main(void) {
+  int i, j;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < N; i++) {
+    x[i] = (double)(i % N) / N;
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      B[i][j] = (double)((i * j + 2) % N) / N;
+    }
+  }
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+  for (i = 0; i < N; i++) cs_add(y[i] * 100.0);
+  return cs_result();
+}
+)", sizes({{"N", kSquare}, {"NA", na_axis(kSquare, 1024, 2048)}})));
+
+  // ---------------------------------------------------------------- symm
+  out.push_back(bench("symm", R"(
+#define N 24
+#define NA N
+double A[NA][NA];
+double B[NA][NA];
+double C[NA][NA];
+int main(void) {
+  int i, j, k;
+  double alpha = 1.5;
+  double beta = 1.2;
+  double temp2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)((i + j) % 100) / N;
+      B[i][j] = (double)((N + i - j) % 100) / N;
+      C[i][j] = (double)((i * j + 3) % 100) / N;
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      temp2 = 0.0;
+      for (k = 0; k < i; k++) {
+        C[k][j] += alpha * B[i][j] * A[i][k];
+        temp2 += B[k][j] * A[i][k];
+      }
+      C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp2;
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(C[i][j] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // ---------------------------------------------------------------- syrk
+  out.push_back(bench("syrk", R"(
+#define N 24
+#define NA N
+double A[NA][NA];
+double C[NA][NA];
+int main(void) {
+  int i, j, k;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      C[i][j] = (double)((i + j + 2) % N) / N;
+    }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++) C[i][j] *= beta;
+    for (k = 0; k < N; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(C[i][j] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // --------------------------------------------------------------- syr2k
+  out.push_back(bench("syr2k", R"(
+#define N 24
+#define NA N
+double A[NA][NA];
+double B[NA][NA];
+double C[NA][NA];
+int main(void) {
+  int i, j, k;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      B[i][j] = (double)((i * j + 2) % N) / N;
+      C[i][j] = (double)((i + j) % N) / N;
+    }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++) C[i][j] *= beta;
+    for (k = 0; k < N; k++)
+      for (j = 0; j <= i; j++)
+        C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(C[i][j] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // ---------------------------------------------------------------- trmm
+  out.push_back(bench("trmm", R"(
+#define N 24
+#define NA N
+double A[NA][NA];
+double B[NA][NA];
+int main(void) {
+  int i, j, k;
+  double alpha = 1.5;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)((i + j) % N) / N;
+      B[i][j] = (double)((N + i - j) % N) / N;
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      for (k = i + 1; k < N; k++)
+        B[i][j] += A[k][i] * B[k][j];
+      B[i][j] = alpha * B[i][j];
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(B[i][j] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // ----------------------------------------------------------------- 2mm
+  out.push_back(bench("2mm", R"(
+#define N 24
+#define NA N
+double A[NA][NA]; double B[NA][NA]; double C[NA][NA]; double D[NA][NA];
+double tmp[NA][NA];
+int main(void) {
+  int i, j, k;
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      B[i][j] = (double)(i * (j + 1) % N) / N;
+      C[i][j] = (double)((i * (j + 3) + 1) % N) / N;
+      D[i][j] = (double)(i * (j + 2) % N) / N;
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < N; k++) tmp[i][j] += alpha * A[i][k] * B[k][j];
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      D[i][j] *= beta;
+      for (k = 0; k < N; k++) D[i][j] += tmp[i][k] * C[k][j];
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(D[i][j] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // ----------------------------------------------------------------- 3mm
+  out.push_back(bench("3mm", R"(
+#define N 24
+#define NA N
+double A[NA][NA]; double B[NA][NA]; double C[NA][NA]; double D[NA][NA];
+double E[NA][NA]; double F[NA][NA]; double G[NA][NA];
+int main(void) {
+  int i, j, k;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / (5.0 * N);
+      B[i][j] = (double)((i * (j + 1) + 2) % N) / (5.0 * N);
+      C[i][j] = (double)(i * (j + 3) % N) / (5.0 * N);
+      D[i][j] = (double)((i * (j + 2) + 2) % N) / (5.0 * N);
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      E[i][j] = 0.0;
+      for (k = 0; k < N; k++) E[i][j] += A[i][k] * B[k][j];
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      F[i][j] = 0.0;
+      for (k = 0; k < N; k++) F[i][j] += C[i][k] * D[k][j];
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      G[i][j] = 0.0;
+      for (k = 0; k < N; k++) G[i][j] += E[i][k] * F[k][j];
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(G[i][j] * 1000.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 896, 1792)}})));
+
+  // ---------------------------------------------------------------- atax
+  out.push_back(bench("atax", R"(
+#define N 32
+#define NA N
+double A[NA][NA];
+double x[NA]; double y[NA]; double tmp[NA];
+int main(void) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x[i] = 1.0 + (double)i / N;
+    for (j = 0; j < N; j++)
+      A[i][j] = (double)((i + j) % N) / (5.0 * N);
+  }
+  for (i = 0; i < N; i++) y[i] = 0.0;
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < N; j++) tmp[i] = tmp[i] + A[i][j] * x[j];
+    for (j = 0; j < N; j++) y[j] = y[j] + A[i][j] * tmp[i];
+  }
+  for (i = 0; i < N; i++) cs_add(y[i] * 100.0);
+  return cs_result();
+}
+)", sizes({{"N", kSquare}, {"NA", na_axis(kSquare, 1024, 2048)}})));
+
+  // ---------------------------------------------------------------- bicg
+  out.push_back(bench("bicg", R"(
+#define N 32
+#define NA N
+double A[NA][NA];
+double s[NA]; double q[NA]; double p[NA]; double r[NA];
+int main(void) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    p[i] = (double)(i % N) / N;
+    r[i] = (double)(i % N) / N;
+    for (j = 0; j < N; j++)
+      A[i][j] = (double)(i * (j + 1) % N) / N;
+  }
+  for (i = 0; i < N; i++) s[i] = 0.0;
+  for (i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+  for (i = 0; i < N; i++) cs_add(s[i] * 10.0 + q[i] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", kSquare}, {"NA", na_axis(kSquare, 1024, 2048)}})));
+
+  // ------------------------------------------------------------- doitgen
+  out.push_back(bench("doitgen", R"(
+#define N 14
+#define NA N
+double A[NA][NA][NA];
+double C4[NA][NA];
+double sum[NA];
+int main(void) {
+  int r, q, p, s;
+  for (r = 0; r < N; r++)
+    for (q = 0; q < N; q++)
+      for (p = 0; p < N; p++)
+        A[r][q][p] = (double)((r * q + p) % N) / N;
+  for (s = 0; s < N; s++)
+    for (p = 0; p < N; p++)
+      C4[s][p] = (double)(s * p % N) / N;
+  for (r = 0; r < N; r++)
+    for (q = 0; q < N; q++) {
+      for (p = 0; p < N; p++) {
+        sum[p] = 0.0;
+        for (s = 0; s < N; s++) sum[p] += A[r][q][s] * C4[s][p];
+      }
+      for (p = 0; p < N; p++) A[r][q][p] = sum[p];
+    }
+  for (r = 0; r < N; r++)
+    for (q = 0; q < N; q++)
+      for (p = 0; p < N; p++) cs_add(A[r][q][p] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", {6, 10, 16, 22, 28}}, {"NA", na_axis({6, 10, 16, 22, 28}, 108, 170)}})));
+
+  // ----------------------------------------------------------------- mvt
+  out.push_back(bench("mvt", R"(
+#define N 32
+#define NA N
+double A[NA][NA];
+double x1[NA]; double x2[NA]; double y1[NA]; double y2[NA];
+int main(void) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    x1[i] = (double)(i % N) / N;
+    x2[i] = (double)((i + 1) % N) / N;
+    y1[i] = (double)((i + 3) % N) / N;
+    y2[i] = (double)((i + 4) % N) / N;
+    for (j = 0; j < N; j++)
+      A[i][j] = (double)(i * j % N) / N;
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x1[i] = x1[i] + A[i][j] * y1[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x2[i] = x2[i] + A[j][i] * y2[j];
+  for (i = 0; i < N; i++) cs_add(x1[i] * 100.0 + x2[i] * 100.0);
+  return cs_result();
+}
+)", sizes({{"N", kSquare}, {"NA", na_axis(kSquare, 1024, 2048)}})));
+
+  // ------------------------------------------------------------ cholesky
+  out.push_back(bench("cholesky", R"(
+#define N 24
+#define NA N
+double A[NA][NA];
+int main(void) {
+  int i, j, k;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = i == j ? (double)N + 2.0 : 1.0 / (double)(i + j + 2);
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[j][k];
+      A[i][j] /= A[j][j];
+    }
+    for (k = 0; k < i; k++)
+      A[i][i] -= A[i][k] * A[i][k];
+    A[i][i] = sqrt(A[i][i]);
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j <= i; j++) cs_add(A[i][j] * 100.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // -------------------------------------------------------------- durbin
+  out.push_back(bench("durbin", R"(
+#define N 200
+#define NA N
+double r[NA];
+double y[NA];
+double z[NA];
+int main(void) {
+  int i, k;
+  double alpha, beta, sum;
+  for (i = 0; i < N; i++) r[i] = 0.5 / (double)(i + 2);
+  y[0] = -r[0];
+  beta = 1.0;
+  alpha = -r[0];
+  for (k = 1; k < N; k++) {
+    beta = (1.0 - alpha * alpha) * beta;
+    sum = 0.0;
+    for (i = 0; i < k; i++)
+      sum += r[k - i - 1] * y[i];
+    alpha = -(r[k] + sum) / beta;
+    for (i = 0; i < k; i++)
+      z[i] = y[i] + alpha * y[k - i - 1];
+    for (i = 0; i < k; i++)
+      y[i] = z[i];
+    y[k] = alpha;
+  }
+  for (i = 0; i < N; i++) cs_add(y[i] * 1000.0);
+  return cs_result();
+}
+)", sizes({{"N", {32, 64, 300, 700, 1200}}, {"NA", na_axis({32, 64, 300, 700, 1200}, 1500000, 6000000)}})));
+
+  // --------------------------------------------------------- gramschmidt
+  out.push_back(bench("gramschmidt", R"(
+#define N 24
+#define NA N
+double A[NA][NA];
+double R[NA][NA];
+double Q[NA][NA];
+int main(void) {
+  int i, j, k;
+  double nrm;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = ((double)((i * j) % N) / N) * 10.0 + 1.0 + (i == j ? 10.0 : 0.0);
+      Q[i][j] = 0.0;
+      R[i][j] = 0.0;
+    }
+  for (k = 0; k < N; k++) {
+    nrm = 0.0;
+    for (i = 0; i < N; i++)
+      nrm += A[i][k] * A[i][k];
+    R[k][k] = sqrt(nrm);
+    for (i = 0; i < N; i++)
+      Q[i][k] = A[i][k] / R[k][k];
+    for (j = k + 1; j < N; j++) {
+      R[k][j] = 0.0;
+      for (i = 0; i < N; i++)
+        R[k][j] += Q[i][k] * A[i][j];
+      for (i = 0; i < N; i++)
+        A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+    }
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(R[i][j] * 10.0 + Q[i][j] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 896, 1792)}})));
+
+  // ------------------------------------------------------------------ lu
+  out.push_back(bench("lu", R"(
+#define N 24
+#define NA N
+double A[NA][NA];
+int main(void) {
+  int i, j, k;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = i == j ? (double)N * 2.0 : 1.0 / (double)(i + j + 2);
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+      A[i][j] /= A[j][j];
+    }
+    for (j = i; j < N; j++)
+      for (k = 0; k < i; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(A[i][j] * 100.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // -------------------------------------------------------------- ludcmp
+  out.push_back(bench("ludcmp", R"(
+#define N 24
+#define NA N
+double A[NA][NA];
+double b[NA]; double x[NA]; double y[NA];
+int main(void) {
+  int i, j, k;
+  double w;
+  for (i = 0; i < N; i++) {
+    b[i] = (double)(i + 1) / (double)N / 2.0 + 4.0;
+    x[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++)
+      A[i][j] = i == j ? (double)N * 2.0 : 1.0 / (double)(i + j + 2);
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      w = A[i][j];
+      for (k = 0; k < j; k++) w -= A[i][k] * A[k][j];
+      A[i][j] = w / A[j][j];
+    }
+    for (j = i; j < N; j++) {
+      w = A[i][j];
+      for (k = 0; k < i; k++) w -= A[i][k] * A[k][j];
+      A[i][j] = w;
+    }
+  }
+  for (i = 0; i < N; i++) {
+    w = b[i];
+    for (j = 0; j < i; j++) w -= A[i][j] * y[j];
+    y[i] = w;
+  }
+  for (i = N - 1; i >= 0; i--) {
+    w = y[i];
+    for (j = i + 1; j < N; j++) w -= A[i][j] * x[j];
+    x[i] = w / A[i][i];
+  }
+  for (i = 0; i < N; i++) cs_add(x[i] * 1000.0);
+  return cs_result();
+}
+)", sizes({{"N", kCubic}, {"NA", na_axis(kCubic, 1024, 2048)}})));
+
+  // ------------------------------------------------------------- trisolv
+  out.push_back(bench("trisolv", R"(
+#define N 200
+#define NA N
+double L[NA][NA];
+double x[NA]; double b[NA];
+int main(void) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    b[i] = (double)i / N;
+    for (j = 0; j <= i; j++)
+      L[i][j] = i == j ? 2.0 : (double)(i + N - j + 1) * 2.0 / N / (double)N;
+  }
+  for (i = 0; i < N; i++) {
+    x[i] = b[i];
+    for (j = 0; j < i; j++)
+      x[i] -= L[i][j] * x[j];
+    x[i] = x[i] / L[i][i];
+  }
+  for (i = 0; i < N; i++) cs_add(x[i] * 1000.0);
+  return cs_result();
+}
+)", sizes({{"N", {24, 48, 200, 400, 600}}, {"NA", na_axis({24, 48, 200, 400, 600}, 1024, 2048)}})));
+
+  // ------------------------------------------------------------- deriche
+  out.push_back(bench("deriche", R"(
+#define N 32
+#define NA N
+double imgIn[NA][NA];
+double imgOut[NA][NA];
+double y1a[NA][NA];
+double y2a[NA][NA];
+int main(void) {
+  int i, j;
+  double alpha = 0.25;
+  double k;
+  double a1, a2, a3, a4, b1, b2, c1;
+  double ym1, ym2, xm1, tp1, tp2;
+
+  k = (1.0 - exp(-alpha)) * (1.0 - exp(-alpha)) /
+      (1.0 + 2.0 * alpha * exp(-alpha) - exp(2.0 * alpha));
+  a1 = k;
+  a2 = k * exp(-alpha) * (alpha - 1.0);
+  a3 = k * exp(-alpha) * (alpha + 1.0);
+  a4 = -k * exp(-2.0 * alpha);
+  b1 = pow(2.0, -alpha);
+  b2 = -exp(-2.0 * alpha);
+  c1 = 1.0;
+
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      imgIn[i][j] = (double)((313 * i + 991 * j) % 65536) / 65535.0;
+
+  for (i = 0; i < N; i++) {
+    ym1 = 0.0;
+    ym2 = 0.0;
+    xm1 = 0.0;
+    for (j = 0; j < N; j++) {
+      y1a[i][j] = a1 * imgIn[i][j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+      xm1 = imgIn[i][j];
+      ym2 = ym1;
+      ym1 = y1a[i][j];
+    }
+  }
+  for (i = 0; i < N; i++) {
+    tp1 = 0.0;
+    tp2 = 0.0;
+    ym1 = 0.0;
+    ym2 = 0.0;
+    for (j = N - 1; j >= 0; j--) {
+      y2a[i][j] = a3 * tp1 + a4 * tp2 + b1 * ym1 + b2 * ym2;
+      tp2 = tp1;
+      tp1 = imgIn[i][j];
+      ym2 = ym1;
+      ym1 = y2a[i][j];
+    }
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      imgOut[i][j] = c1 * (y1a[i][j] + y2a[i][j]);
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(imgOut[i][j] * 1000.0);
+  return cs_result();
+}
+)", sizes({{"N", kSquare}, {"NA", na_axis(kSquare, 896, 1792)}})));
+
+  // ------------------------------------------------------ floyd-warshall
+  out.push_back(bench("floyd-warshall", R"(
+#define N 24
+#define NA N
+int path[NA][NA];
+int main(void) {
+  int i, j, k;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      path[i][j] = i * j % 7 + 1;
+      if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0)
+        path[i][j] = 999;
+    }
+  for (k = 0; k < N; k++)
+    for (i = 0; i < N; i++)
+      for (j = 0; j < N; j++)
+        path[i][j] = path[i][j] < path[i][k] + path[k][j]
+                         ? path[i][j]
+                         : path[i][k] + path[k][j];
+  int s = 0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) s = (s + path[i][j] * (i + j + 1)) % 1000000;
+  return s;
+}
+)", sizes({{"N", {8, 16, 32, 52, 72}}, {"NA", na_axis({8, 16, 32, 52, 72}, 2048, 4096)}})));
+
+  // ------------------------------------------------------------ nussinov
+  out.push_back(bench("nussinov", R"(
+#define N 32
+#define NA N
+int seq[NA];
+int table[NA][NA];
+int main(void) {
+  int i, j, k;
+  for (i = 0; i < N; i++) seq[i] = (i + 1) % 4;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) table[i][j] = 0;
+  for (i = N - 1; i >= 0; i--) {
+    for (j = i + 1; j < N; j++) {
+      if (j - 1 >= 0)
+        table[i][j] = table[i][j] >= table[i][j - 1] ? table[i][j] : table[i][j - 1];
+      if (i + 1 < N)
+        table[i][j] = table[i][j] >= table[i + 1][j] ? table[i][j] : table[i + 1][j];
+      if (j - 1 >= 0 && i + 1 < N) {
+        if (i < j - 1) {
+          int match = seq[i] + seq[j] == 3 ? 1 : 0;
+          int cand = table[i + 1][j - 1] + match;
+          table[i][j] = table[i][j] >= cand ? table[i][j] : cand;
+        } else {
+          table[i][j] = table[i][j] >= table[i + 1][j - 1] ? table[i][j]
+                                                           : table[i + 1][j - 1];
+        }
+      }
+      for (k = i + 1; k < j; k++) {
+        int cand2 = table[i][k] + table[k + 1][j];
+        table[i][j] = table[i][j] >= cand2 ? table[i][j] : cand2;
+      }
+    }
+  }
+  int s = 0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) s = (s + table[i][j] * (i + 1)) % 1000000;
+  return s;
+}
+)", sizes({{"N", {12, 24, 48, 80, 112}}, {"NA", na_axis({12, 24, 48, 80, 112}, 2048, 4096)}})));
+
+  // ----------------------------------------------------------------- adi
+  out.push_back(bench("adi", R"(
+#define N 24
+#define NA N
+#define TSTEPS 2
+double u[NA][NA];
+double v[NA][NA];
+double p[NA][NA];
+double q[NA][NA];
+int main(void) {
+  int t, i, j;
+  double DX, DY, DT, B1, B2, mul1, mul2, a, b, c, d, e, f;
+  DX = 1.0 / (double)N;
+  DY = 1.0 / (double)N;
+  DT = 1.0 / (double)TSTEPS;
+  B1 = 2.0;
+  B2 = 1.0;
+  mul1 = B1 * DT / (DX * DX);
+  mul2 = B2 * DT / (DY * DY);
+  a = -mul1 / 2.0;
+  b = 1.0 + mul1;
+  c = a;
+  d = -mul2 / 2.0;
+  e = 1.0 + mul2;
+  f = d;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      u[i][j] = (double)(i + N - j) / N;
+  for (t = 1; t <= TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++) {
+      v[0][i] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = v[0][i];
+      for (j = 1; j < N - 1; j++) {
+        p[i][j] = -c / (a * p[i][j - 1] + b);
+        q[i][j] = (-d * u[j][i - 1] + (1.0 + 2.0 * d) * u[j][i] -
+                   f * u[j][i + 1] - a * q[i][j - 1]) /
+                  (a * p[i][j - 1] + b);
+      }
+      v[N - 1][i] = 1.0;
+      for (j = N - 2; j >= 1; j--)
+        v[j][i] = p[i][j] * v[j + 1][i] + q[i][j];
+    }
+    for (i = 1; i < N - 1; i++) {
+      u[i][0] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = u[i][0];
+      for (j = 1; j < N - 1; j++) {
+        p[i][j] = -f / (d * p[i][j - 1] + e);
+        q[i][j] = (-a * v[i - 1][j] + (1.0 + 2.0 * a) * v[i][j] -
+                   c * v[i + 1][j] - d * q[i][j - 1]) /
+                  (d * p[i][j - 1] + e);
+      }
+      u[i][N - 1] = 1.0;
+      for (j = N - 2; j >= 1; j--)
+        u[i][j] = p[i][j] * u[i][j + 1] + q[i][j];
+    }
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(u[i][j] * 100.0);
+  return cs_result();
+}
+)", sizes({{"N", kSquare}, {"TSTEPS", kSteps}, {"NA", na_axis(kSquare, 896, 1792)}})));
+
+  // ------------------------------------------------------------- fdtd-2d
+  out.push_back(bench("fdtd-2d", R"(
+#define N 32
+#define NA N
+#define TSTEPS 3
+double ex[NA][NA];
+double ey[NA][NA];
+double hz[NA][NA];
+double fict[TSTEPS];
+int main(void) {
+  int t, i, j;
+  for (t = 0; t < TSTEPS; t++) fict[t] = (double)t;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      ex[i][j] = (double)(i * (j + 1)) / N;
+      ey[i][j] = (double)(i * (j + 2)) / N;
+      hz[i][j] = (double)(i * (j + 3)) / N;
+    }
+  for (t = 0; t < TSTEPS; t++) {
+    for (j = 0; j < N; j++) ey[0][j] = fict[t];
+    for (i = 1; i < N; i++)
+      for (j = 0; j < N; j++)
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+    for (i = 0; i < N; i++)
+      for (j = 1; j < N; j++)
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+    for (i = 0; i < N - 1; i++)
+      for (j = 0; j < N - 1; j++)
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] +
+                                     ey[i + 1][j] - ey[i][j]);
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(hz[i][j] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", kSquare}, {"TSTEPS", kSteps}, {"NA", na_axis(kSquare, 1024, 2048)}})));
+
+  // ------------------------------------------------------------- heat-3d
+  out.push_back(bench("heat-3d", R"(
+#define N 10
+#define NA N
+#define TSTEPS 3
+double A[NA][NA][NA];
+double B[NA][NA][NA];
+int main(void) {
+  int t, i, j, k;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++) {
+        A[i][j][k] = (double)(i + j + (N - k)) * 10.0 / N;
+        B[i][j][k] = A[i][j][k];
+      }
+  for (t = 1; t <= TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        for (k = 1; k < N - 1; k++)
+          B[i][j][k] = 0.125 * (A[i + 1][j][k] - 2.0 * A[i][j][k] + A[i - 1][j][k]) +
+                       0.125 * (A[i][j + 1][k] - 2.0 * A[i][j][k] + A[i][j - 1][k]) +
+                       0.125 * (A[i][j][k + 1] - 2.0 * A[i][j][k] + A[i][j][k - 1]) +
+                       A[i][j][k];
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        for (k = 1; k < N - 1; k++)
+          A[i][j][k] = 0.125 * (B[i + 1][j][k] - 2.0 * B[i][j][k] + B[i - 1][j][k]) +
+                       0.125 * (B[i][j + 1][k] - 2.0 * B[i][j][k] + B[i][j - 1][k]) +
+                       0.125 * (B[i][j][k + 1] - 2.0 * B[i][j][k] + B[i][j][k - 1]) +
+                       B[i][j][k];
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++) cs_add(A[i][j][k] * 10.0);
+  return cs_result();
+}
+)", sizes({{"N", kCube3d}, {"TSTEPS", kSteps}, {"NA", na_axis(kCube3d, 108, 172)}})));
+
+  // ----------------------------------------------------------- jacobi-1d
+  out.push_back(bench("jacobi-1d", R"(
+#define N 200
+#define NA N
+#define TSTEPS 3
+double A[NA];
+double B[NA];
+int main(void) {
+  int t, i;
+  for (i = 0; i < N; i++) {
+    A[i] = ((double)i + 2.0) / N;
+    B[i] = ((double)i + 3.0) / N;
+  }
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    for (i = 1; i < N - 1; i++)
+      A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+  }
+  for (i = 0; i < N; i++) cs_add(A[i] * 1000.0);
+  return cs_result();
+}
+)", sizes({{"N", kLinear}, {"TSTEPS", {2, 3, 4, 6, 8}}, {"NA", na_axis(kLinear, 1500000, 6000000)}})));
+
+  // ----------------------------------------------------------- jacobi-2d
+  out.push_back(bench("jacobi-2d", R"(
+#define N 32
+#define NA N
+#define TSTEPS 3
+double A[NA][NA];
+double B[NA][NA];
+int main(void) {
+  int t, i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      A[i][j] = (double)i * (j + 2) / N;
+      B[i][j] = (double)i * (j + 3) / N;
+    }
+  for (t = 0; t < TSTEPS; t++) {
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] +
+                         A[i + 1][j] + A[i - 1][j]);
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1] +
+                         B[i + 1][j] + B[i - 1][j]);
+  }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(A[i][j] * 100.0);
+  return cs_result();
+}
+)", sizes({{"N", kSquare}, {"TSTEPS", kSteps}, {"NA", na_axis(kSquare, 1024, 2048)}})));
+
+  // ----------------------------------------------------------- seidel-2d
+  out.push_back(bench("seidel-2d", R"(
+#define N 32
+#define NA N
+#define TSTEPS 3
+double A[NA][NA];
+int main(void) {
+  int t, i, j;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = ((double)i * (j + 2) + 2.0) / N;
+  for (t = 0; t < TSTEPS; t++)
+    for (i = 1; i < N - 1; i++)
+      for (j = 1; j < N - 1; j++)
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1] +
+                   A[i][j - 1] + A[i][j] + A[i][j + 1] +
+                   A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) cs_add(A[i][j] * 100.0);
+  return cs_result();
+}
+)", sizes({{"N", kSquare}, {"TSTEPS", kSteps}, {"NA", na_axis(kSquare, 1448, 2896)}})));
+}
+
+}  // namespace wb::benchmarks

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <vector>
+
+#include "core/study.h"
+
+namespace wb::benchmarks {
+
+/// Appends the 30 PolyBenchC kernels (paper Table 1 order).
+void add_polybench(std::vector<core::BenchSource>& out);
+
+/// Appends the 11 CHStone kernels.
+void add_chstone(std::vector<core::BenchSource>& out);
+
+}  // namespace wb::benchmarks

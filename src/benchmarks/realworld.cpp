@@ -1,0 +1,596 @@
+#include "benchmarks/realworld.h"
+
+#include "backend/js_backend.h"
+#include "core/study.h"
+#include "wasm/codec.h"
+#include "backend/wasm_backend.h"
+#include "ir/passes.h"
+#include "js/engine.h"
+#include "minic/minic.h"
+#include "wasm/builder.h"
+
+namespace wb::benchmarks {
+
+namespace {
+
+using wasm::Opcode;
+using wasm::ValType;
+
+// ========================================================== Long.js
+
+// The JS implementation: 16-bit limb arithmetic, structured like the real
+// long.js (makeLong/fromInt/mul with four limb products, division by
+// float approximation — the source of Table 12's DIV counts).
+constexpr const char* kLongJsLibrary = R"(
+function makeLong(lo, hi) { return {lo: lo | 0, hi: hi | 0}; }
+function fromInt(v) { return makeLong(v, v < 0 ? -1 : 0); }
+function fromNumber(v) {
+  if (v < 0) return neg64(fromNumber(-v));
+  return makeLong((v % 4294967296) | 0, (v / 4294967296) | 0);
+}
+function toNumber(a) { return a.hi * 4294967296 + (a.lo >>> 0); }
+function isNegative(a) { return a.hi < 0; }
+function isZero(a) { return a.lo == 0 && a.hi == 0; }
+function neg64(a) {
+  var lo = (~a.lo + 1) | 0;
+  var hi = (~a.hi + (lo == 0 ? 1 : 0)) | 0;
+  return makeLong(lo, hi);
+}
+function add64(a, b) {
+  var a48 = a.hi >>> 16, a32 = a.hi & 0xffff, a16 = a.lo >>> 16, a00 = a.lo & 0xffff;
+  var b48 = b.hi >>> 16, b32 = b.hi & 0xffff, b16 = b.lo >>> 16, b00 = b.lo & 0xffff;
+  var c00 = a00 + b00;
+  var c16 = a16 + b16 + (c00 >>> 16);
+  var c32 = a32 + b32 + (c16 >>> 16);
+  var c48 = a48 + b48 + (c32 >>> 16);
+  return makeLong(((c16 & 0xffff) << 16) | (c00 & 0xffff),
+                  ((c48 & 0xffff) << 16) | (c32 & 0xffff));
+}
+function sub64(a, b) { return add64(a, neg64(b)); }
+function mul64(a, b) {
+  var a48 = a.hi >>> 16, a32 = a.hi & 0xffff, a16 = a.lo >>> 16, a00 = a.lo & 0xffff;
+  var b48 = b.hi >>> 16, b32 = b.hi & 0xffff, b16 = b.lo >>> 16, b00 = b.lo & 0xffff;
+  var c48 = 0, c32 = 0, c16 = 0, c00 = 0;
+  c00 += a00 * b00;
+  c16 += c00 >>> 16;
+  c00 &= 0xffff;
+  c16 += a16 * b00;
+  c32 += c16 >>> 16;
+  c16 &= 0xffff;
+  c16 += a00 * b16;
+  c32 += c16 >>> 16;
+  c16 &= 0xffff;
+  c32 += a32 * b00;
+  c48 += c32 >>> 16;
+  c32 &= 0xffff;
+  c32 += a16 * b16;
+  c48 += c32 >>> 16;
+  c32 &= 0xffff;
+  c32 += a00 * b32;
+  c48 += c32 >>> 16;
+  c32 &= 0xffff;
+  c48 += a48 * b00 + a32 * b16 + a16 * b32 + a00 * b48;
+  c48 &= 0xffff;
+  return makeLong(((c16 & 0xffff) << 16) | c00, (c48 << 16) | (c32 & 0xffff));
+}
+function geU(a, b) { return toNumber(a) >= toNumber(b); }
+function gtU(a, b) { return toNumber(a) > toNumber(b); }
+function div64(a, b) {
+  var negate = isNegative(a) != isNegative(b);
+  var ua = isNegative(a) ? neg64(a) : a;
+  var ub = isNegative(b) ? neg64(b) : b;
+  var rem = ua;
+  var res = makeLong(0, 0);
+  while (geU(rem, ub)) {
+    var approx = Math.floor(toNumber(rem) / toNumber(ub));
+    if (approx < 1) approx = 1;
+    var approxRes = fromNumber(approx);
+    var approxRem = mul64(approxRes, ub);
+    while (gtU(approxRem, rem)) {
+      approx = approx - 1;
+      approxRes = fromNumber(approx);
+      approxRem = mul64(approxRes, ub);
+    }
+    if (isZero(approxRes)) approxRes = makeLong(1, 0);
+    res = add64(res, approxRes);
+    rem = sub64(rem, approxRem);
+  }
+  if (negate) return neg64(res);
+  return res;
+}
+function mod64(a, b) { return sub64(a, mul64(div64(a, b), b)); }
+)";
+
+std::string longjs_main(const std::string& op, int lhs, int rhs) {
+  std::string body;
+  if (op == "mul") {
+    body = "r = mul64(a, b);";
+  } else if (op == "div") {
+    body = "r = div64(a, b);";
+  } else {
+    body = "r = mod64(a, b);";
+  }
+  return std::string(kLongJsLibrary) + R"(
+function main() {
+  var cs = 0;
+  var r;
+  for (var i = 0; i < 10000; i++) {
+    var a = fromInt()" + std::to_string(lhs) + R"();
+    var b = fromInt()" + std::to_string(rhs) + R"();
+    )" + body + R"(
+    cs = (cs ^ r.lo ^ r.hi) | 0;
+  }
+  return cs;
+}
+)";
+}
+
+/// Builds the Wasm Long module for one operation: per iteration it
+/// composes both operands from i32 halves (shl+or), applies the native
+/// i64 op, and decomposes the result (shr) — the WAT shape that gives the
+/// paper's Table 12 Wasm counts (10k op, 30k SHIFT, 20k OR).
+wasm::Module longjs_wasm_module(Opcode i64_op, int32_t lhs, int32_t rhs) {
+  wasm::ModuleBuilder mb;
+  auto init = mb.define(wasm::FuncType{{}, {}}, "__init");
+  init.finish("__init");
+
+  auto f = mb.define(wasm::FuncType{{}, {ValType::I32}}, "main");
+  const uint32_t i = f.add_local(ValType::I32);
+  const uint32_t acc = f.add_local(ValType::I64);
+  const uint32_t a = f.add_local(ValType::I64);
+  const uint32_t b = f.add_local(ValType::I64);
+  f.block().loop();
+  // while (i < 10000)
+  f.local_get(i).i32(10000).op(Opcode::I32GeS).br_if(1);
+  // a = (i64)hi(lhs) << 32 | (u64)lo(lhs)
+  f.i32(lhs < 0 ? -1 : 0).op(Opcode::I64ExtendI32S).i64(32).op(Opcode::I64Shl);
+  f.i32(lhs).op(Opcode::I64ExtendI32U).op(Opcode::I64Or);
+  f.local_set(a);
+  f.i32(rhs < 0 ? -1 : 0).op(Opcode::I64ExtendI32S).i64(32).op(Opcode::I64Shl);
+  f.i32(rhs).op(Opcode::I64ExtendI32U).op(Opcode::I64Or);
+  f.local_set(b);
+  // acc ^= (a OP b) >> shifted mix
+  f.local_get(acc);
+  f.local_get(a).local_get(b).op(i64_op);
+  f.op(Opcode::I64Xor);
+  f.i64(1).op(Opcode::I64ShrU);
+  f.local_set(acc);
+  f.local_get(i).i32(1).op(Opcode::I32Add).local_set(i);
+  f.br(0);
+  f.end().end();
+  f.local_get(acc).op(Opcode::I32WrapI64);
+  f.finish("main");
+  return mb.take();
+}
+
+// ====================================================== Hyphenopoly
+
+/// Knuth–Liang-lite hyphenation in mini-C. SEED selects the "language"
+/// (pattern set); the text is ~18 KB of synthetic words.
+constexpr const char* kHyphenC = R"(
+#define SEED 12345
+#define TEXTLEN 18432
+#define NPAT 96
+unsigned char text[TEXTLEN];
+unsigned char pat[NPAT][4];
+int patlen[NPAT];
+int patw[NPAT];
+int patpos[NPAT];
+int weights[32];
+unsigned rng;
+
+unsigned next_rand(void) {
+  rng = rng * 1664525 + 1013904223;
+  return rng >> 16;
+}
+
+int main(void) {
+  int i, j, p, k;
+  rng = SEED;
+  for (p = 0; p < NPAT; p++) {
+    patlen[p] = 2 + (int)(next_rand() % 3);
+    for (k = 0; k < patlen[p]; k++)
+      pat[p][k] = 97 + (next_rand() % 6);
+    patw[p] = 1 + (int)(next_rand() % 5);
+    patpos[p] = (int)(next_rand() % (unsigned)patlen[p]);
+  }
+  i = 0;
+  while (i < TEXTLEN) {
+    int wl = 3 + (int)(next_rand() % 10);
+    for (j = 0; j < wl && i < TEXTLEN; j++) {
+      text[i] = 97 + (next_rand() % 6);
+      i++;
+    }
+    if (i < TEXTLEN) { text[i] = 32; i++; }
+  }
+  int hyphens = 0;
+  int cs = 0;
+  int wstart = 0;
+  for (i = 0; i <= TEXTLEN; i++) {
+    int at_break = i == TEXTLEN || text[i] == 32;
+    if (!at_break) continue;
+    int wlen = i - wstart;
+    if (wlen >= 4 && wlen < 32) {
+      for (k = 0; k < wlen; k++) weights[k] = 0;
+      for (p = 0; p < NPAT; p++) {
+        int pl = patlen[p];
+        for (j = 0; j + pl <= wlen; j++) {
+          int match = 1;
+          for (k = 0; k < pl; k++) {
+            if (text[wstart + j + k] != pat[p][k]) { match = 0; break; }
+          }
+          if (match) {
+            int pos = j + patpos[p];
+            if (patw[p] > weights[pos]) weights[pos] = patw[p];
+          }
+        }
+      }
+      for (k = 2; k < wlen - 1; k++) {
+        if (weights[k] % 2 == 1) {
+          hyphens++;
+          cs = (cs + k * 31 + hyphens) % 1000000007;
+        }
+      }
+    }
+    wstart = i + 1;
+  }
+  return (cs + hyphens) % 1000000007;
+}
+)";
+
+/// The hand-written JS implementation (same algorithm, same seeds).
+constexpr const char* kHyphenJs = R"(
+var TEXTLEN = 18432;
+var NPAT = 96;
+var rng = 0;
+function nextRand() {
+  rng = (Math.imul(rng, 1664525) + 1013904223) | 0;
+  return (rng >>> 16);
+}
+function main() {
+  rng = SEED_VALUE;
+  var pat = [], patlen = [], patw = [], patpos = [];
+  var p, k, i, j;
+  for (p = 0; p < NPAT; p++) {
+    var pl = 2 + (nextRand() % 3);
+    patlen.push(pl);
+    var cs0 = [];
+    for (k = 0; k < pl; k++) cs0.push(97 + (nextRand() % 6));
+    pat.push(cs0);
+    patw.push(1 + (nextRand() % 5));
+    patpos.push(nextRand() % pl);
+  }
+  var text = new Uint8Array(TEXTLEN);
+  i = 0;
+  while (i < TEXTLEN) {
+    var wl = 3 + (nextRand() % 10);
+    for (j = 0; j < wl && i < TEXTLEN; j++) {
+      text[i] = 97 + (nextRand() % 6);
+      i++;
+    }
+    if (i < TEXTLEN) { text[i] = 32; i++; }
+  }
+  var hyphens = 0;
+  var cs = 0;
+  var wstart = 0;
+  var weights = [];
+  for (k = 0; k < 32; k++) weights.push(0);
+  for (i = 0; i <= TEXTLEN; i++) {
+    var atBreak = i == TEXTLEN || text[i] == 32;
+    if (!atBreak) continue;
+    var wlen = i - wstart;
+    if (wlen >= 4 && wlen < 32) {
+      for (k = 0; k < wlen; k++) weights[k] = 0;
+      for (p = 0; p < NPAT; p++) {
+        var pl2 = patlen[p];
+        for (j = 0; j + pl2 <= wlen; j++) {
+          var match = 1;
+          for (k = 0; k < pl2; k++) {
+            if (text[wstart + j + k] != pat[p][k]) { match = 0; break; }
+          }
+          if (match) {
+            var pos = j + patpos[p];
+            if (patw[p] > weights[pos]) weights[pos] = patw[p];
+          }
+        }
+      }
+      for (k = 2; k < wlen - 1; k++) {
+        if (weights[k] % 2 == 1) {
+          hyphens++;
+          cs = (cs + k * 31 + hyphens) % 1000000007;
+        }
+      }
+    }
+    wstart = i + 1;
+  }
+  return (cs + hyphens) % 1000000007;
+}
+)";
+
+// =========================================================== FFmpeg
+
+/// The transcode kernel in mini-C: per frame, synthesize pixels, 3x3 blur,
+/// quantize, and run-length scan. FBEGIN/FEND select a worker's slice.
+constexpr const char* kTranscodeC = R"(
+#define NFRAMES 32
+#define FBEGIN 0
+#define FEND NFRAMES
+#define W 64
+#define H 64
+unsigned char frame[H][W];
+unsigned char blurred[H][W];
+unsigned rng;
+
+unsigned next_rand(void) {
+  rng = rng * 1664525 + 1013904223;
+  return rng >> 16;
+}
+
+int transcode_frame(int f) {
+  int x, y;
+  rng = (unsigned)f * 2654435761;
+  for (y = 0; y < H; y++)
+    for (x = 0; x < W; x++)
+      frame[y][x] = next_rand() & 0xff;
+  for (y = 1; y < H - 1; y++)
+    for (x = 1; x < W - 1; x++) {
+      int sum = frame[y - 1][x - 1] + frame[y - 1][x] + frame[y - 1][x + 1] +
+                frame[y][x - 1] + frame[y][x] + frame[y][x + 1] +
+                frame[y + 1][x - 1] + frame[y + 1][x] + frame[y + 1][x + 1];
+      blurred[y][x] = (sum / 9) & 0xf0;
+    }
+  int runs = 0;
+  int cs = 0;
+  for (y = 1; y < H - 1; y++) {
+    int prev = -1;
+    for (x = 1; x < W - 1; x++) {
+      if (blurred[y][x] != prev) {
+        runs++;
+        prev = blurred[y][x];
+      }
+      cs = (cs + blurred[y][x] * (x + y)) % 1000000007;
+    }
+  }
+  return (cs ^ runs) & 0x7fffffff;
+}
+
+int main(void) {
+  int f;
+  int cs = 0;
+  for (f = FBEGIN; f < FEND; f++)
+    cs = cs ^ transcode_frame(f);
+  return cs;
+}
+)";
+
+/// The single-threaded hand-written JS transcode (the node-ffmpeg role).
+constexpr const char* kTranscodeJs = R"(
+var NFRAMES = 32;
+var W = 64, H = 64;
+var rng = 0;
+function nextRand() {
+  rng = (Math.imul(rng, 1664525) + 1013904223) | 0;
+  return rng >>> 16;
+}
+var frame = new Uint8Array(W * H);
+var blurred = new Uint8Array(W * H);
+function transcodeFrame(f) {
+  var x, y;
+  rng = Math.imul(f, 2654435761) | 0;
+  for (y = 0; y < H; y++)
+    for (x = 0; x < W; x++)
+      frame[y * W + x] = nextRand() & 0xff;
+  for (y = 1; y < H - 1; y++)
+    for (x = 1; x < W - 1; x++) {
+      var sum = frame[(y - 1) * W + x - 1] + frame[(y - 1) * W + x] + frame[(y - 1) * W + x + 1] +
+                frame[y * W + x - 1] + frame[y * W + x] + frame[y * W + x + 1] +
+                frame[(y + 1) * W + x - 1] + frame[(y + 1) * W + x] + frame[(y + 1) * W + x + 1];
+      blurred[y * W + x] = ((sum / 9) | 0) & 0xf0;
+    }
+  var runs = 0;
+  var cs = 0;
+  for (y = 1; y < H - 1; y++) {
+    var prev = -1;
+    for (x = 1; x < W - 1; x++) {
+      if (blurred[y * W + x] != prev) {
+        runs++;
+        prev = blurred[y * W + x];
+      }
+      cs = (cs + blurred[y * W + x] * (x + y)) % 1000000007;
+    }
+  }
+  return (cs ^ runs) & 0x7fffffff;
+}
+function main() {
+  var cs = 0;
+  for (var f = 0; f < NFRAMES; f++)
+    cs = cs ^ transcodeFrame(f);
+  return cs;
+}
+)";
+
+/// Compiles mini-C at -O2 to a Wasm artifact.
+backend::WasmArtifact compile_c(const char* source, core::Defines defines,
+                                std::string& error) {
+  minic::CompileOptions opts;
+  opts.defines = std::move(defines);
+  auto m = minic::compile(source, opts, error);
+  if (!m) return {};
+  const ir::PipelineInfo info = ir::run_pipeline(*m, ir::OptLevel::O2);
+  backend::WasmOptions wopts;
+  wopts.fast_math = info.fast_math;
+  return backend::compile_to_wasm(std::move(*m), wopts);
+}
+
+RealWorldRow longjs_row(const env::BrowserEnv& browser, const std::string& op,
+                        Opcode wasm_op, int lhs, int rhs, const std::string& input) {
+  RealWorldRow row;
+  row.benchmark = "Long.js";
+  row.experiment = op;
+  row.input = input;
+
+  backend::WasmArtifact artifact;
+  artifact.module = longjs_wasm_module(wasm_op, lhs, rhs);
+  artifact.binary = wasm::encode(artifact.module);
+  // The real benchmark's JS driver calls the exported op per iteration:
+  // 10,000 boundary crossings.
+  env::RunOptions options;
+  options.extra_boundary_crossings = 10'000;
+  const env::PageMetrics wm = browser.run_wasm(artifact, options);
+  const env::PageMetrics jm = browser.run_js(longjs_main(op, lhs, rhs));
+  if (!wm.ok || !jm.ok) {
+    row.ok = false;
+    row.error = wm.ok ? jm.error : wm.error;
+    return row;
+  }
+  row.wasm_ms = wm.time_ms;
+  row.js_ms = jm.time_ms;
+  return row;
+}
+
+}  // namespace
+
+std::vector<RealWorldRow> run_real_world_apps(const env::BrowserEnv& browser) {
+  std::vector<RealWorldRow> rows;
+
+  rows.push_back(longjs_row(browser, "multiplication", Opcode::I64Mul, 36, -2,
+                            "10,000 mul(36,-2)"));
+  rows.push_back(longjs_row(browser, "division", Opcode::I64DivS, -2, -2,
+                            "10,000 div(-2,-2)"));
+  rows.push_back(longjs_row(browser, "remainder", Opcode::I64RemS, 36, 5,
+                            "10,000 mod(36,5)"));
+
+  // Hyphenopoly: en-us and fr are different pattern seeds.
+  for (const auto& [lang, seed] : {std::pair<const char*, int>{"en-us", 12345},
+                                   std::pair<const char*, int>{"fr", 54321}}) {
+    RealWorldRow row;
+    row.benchmark = "Hyphenopoly.js";
+    row.experiment = lang;
+    row.input = std::string("18 KB ") + (std::string(lang) == "en-us" ? "English" : "French") +
+                " Text";
+    std::string error;
+    const auto artifact =
+        compile_c(kHyphenC, {{"SEED", std::to_string(seed)}}, error);
+    if (!artifact.ok()) {
+      row.ok = false;
+      row.error = error.empty() ? artifact.error : error;
+      rows.push_back(std::move(row));
+      continue;
+    }
+    std::string js = kHyphenJs;
+    const std::string placeholder = "SEED_VALUE";
+    js.replace(js.find(placeholder), placeholder.size(), std::to_string(seed));
+    const env::PageMetrics wm = browser.run_wasm(artifact);
+    const env::PageMetrics jm = browser.run_js(js);
+    if (!wm.ok || !jm.ok) {
+      row.ok = false;
+      row.error = wm.ok ? jm.error : wm.error;
+    } else if (wm.result != jm.result) {
+      row.ok = false;
+      row.error = "hyphenation checksums differ";
+    } else {
+      row.wasm_ms = wm.time_ms;
+      row.js_ms = jm.time_ms;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // FFmpeg: Wasm fans out to 4 workers (elapsed = slowest worker); the JS
+  // implementation is single-threaded.
+  {
+    RealWorldRow row;
+    row.benchmark = "FFmpeg";
+    row.experiment = "mp4 to avi";
+    row.input = "synthetic 32-frame clip";
+    constexpr int kFrames = 32;
+    constexpr int kWorkers = 4;
+    double slowest_worker = 0;
+    bool ok = true;
+    std::string error;
+    int32_t wasm_checksum = 0;
+    for (int w = 0; w < kWorkers && ok; ++w) {
+      const int begin = w * (kFrames / kWorkers);
+      const int end = (w + 1) * (kFrames / kWorkers);
+      const auto artifact = compile_c(
+          kTranscodeC,
+          {{"FBEGIN", std::to_string(begin)}, {"FEND", std::to_string(end)}}, error);
+      if (!artifact.ok()) {
+        ok = false;
+        error = error.empty() ? artifact.error : error;
+        break;
+      }
+      env::RunOptions options;
+      options.toolchain = backend::Toolchain::Emscripten;  // FFmpeg.wasm uses emcc
+      const env::PageMetrics wm = browser.run_wasm(artifact, options);
+      if (!wm.ok) {
+        ok = false;
+        error = wm.error;
+        break;
+      }
+      slowest_worker = std::max(slowest_worker, wm.time_ms);
+      wasm_checksum ^= wm.result;
+    }
+    const env::PageMetrics jm = browser.run_js(kTranscodeJs);
+    if (!ok || !jm.ok) {
+      row.ok = false;
+      row.error = ok ? jm.error : error;
+    } else if (wasm_checksum != jm.result) {
+      row.ok = false;
+      row.error = "transcode checksums differ";
+    } else {
+      row.wasm_ms = slowest_worker;
+      row.js_ms = jm.time_ms;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  return rows;
+}
+
+std::vector<LongOpsRow> longjs_operation_counts() {
+  std::vector<LongOpsRow> rows;
+  struct Spec {
+    const char* name;
+    Opcode op;
+    int lhs, rhs;
+  };
+  const Spec specs[] = {{"Multiplication", Opcode::I64Mul, 36, -2},
+                        {"Division", Opcode::I64DivS, -2, -2},
+                        {"Remainder", Opcode::I64RemS, 36, 5}};
+  for (const Spec& spec : specs) {
+    LongOpsRow row;
+    row.op = spec.name;
+
+    // Wasm counts.
+    const wasm::Module module = longjs_wasm_module(spec.op, spec.lhs, spec.rhs);
+    wasm::Instance inst(module, {});
+    inst.set_fuel(100'000'000);
+    (void)inst.invoke("main", {});
+    for (size_t c = 0; c < wasm::kArithCatCount; ++c) {
+      row.wasm_counts[c] = inst.stats().arith_counts[c];
+    }
+
+    // JS counts.
+    std::string error;
+    std::string op_name = spec.name;
+    for (char& c : op_name) c = static_cast<char>(std::tolower(c));
+    if (op_name == "remainder") op_name = "mod";
+    if (op_name == "multiplication") op_name = "mul";
+    if (op_name == "division") op_name = "div";
+    auto code = js::compile_script(longjs_main(op_name, spec.lhs, spec.rhs), error);
+    if (code) {
+      js::Heap heap;
+      js::Vm vm(*code, heap);
+      vm.set_fuel(200'000'000);
+      (void)vm.run_top_level();
+      (void)vm.call_function("main", {});
+      for (size_t c = 0; c < js::kJsArithCatCount; ++c) {
+        row.js_counts[c] = vm.stats().arith_counts[c];
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace wb::benchmarks

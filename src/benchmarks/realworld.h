@@ -1,0 +1,50 @@
+// Real-world application analogs (paper Sec. 4.1.3 / 4.6.2, Tables 10 &
+// 12), each reproducing the mechanism the paper identified:
+//
+//  - Long.js: 64-bit integer arithmetic. The JS implementation uses
+//    16-bit limb arithmetic (as the real long.js does to avoid overflow);
+//    the Wasm implementation is a hand-built module using native i64 ops
+//    plus the lo/hi compose/decompose shifts its WAT shows. Table 12's
+//    operation counts come straight from the VMs' arithmetic counters.
+//  - Hyphenopoly.js: Knuth–Liang-style pattern hyphenation over an 18 KB
+//    text. Both implementations spend most time scanning text — the
+//    "I/O-ish" workload where Wasm's edge nearly vanishes.
+//  - FFmpeg: a frame-transcode pipeline. The Wasm build fans out to 4
+//    simulated WebWorkers (elapsed = slowest worker); the JS build is
+//    single-threaded — the parallelism gap behind the paper's 0.275.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+
+namespace wb::benchmarks {
+
+struct RealWorldRow {
+  std::string benchmark;   ///< "Long.js" / "Hyphenopoly.js" / "FFmpeg"
+  std::string experiment;  ///< "multiplication", "en-us", "mp4 to avi", ...
+  std::string input;       ///< human-readable input description
+  bool ok = true;
+  std::string error;
+  double wasm_ms = 0;
+  double js_ms = 0;
+  [[nodiscard]] double ratio() const { return js_ms > 0 ? wasm_ms / js_ms : 0; }
+};
+
+/// Runs all six Table-10 experiments in `browser`.
+std::vector<RealWorldRow> run_real_world_apps(const env::BrowserEnv& browser);
+
+/// Table 12: arithmetic-operation counts for the three Long.js programs.
+/// Category order: ADD MUL DIV REM SHIFT AND OR.
+struct LongOpsRow {
+  std::string op;
+  std::array<uint64_t, 7> js_counts{};
+  std::array<uint64_t, 7> wasm_counts{};
+};
+
+std::vector<LongOpsRow> longjs_operation_counts();
+
+}  // namespace wb::benchmarks

@@ -1,0 +1,40 @@
+#include "benchmarks/registry.h"
+
+#include "benchmarks/polybench.h"
+
+namespace wb::benchmarks {
+
+const std::vector<core::BenchSource>& all_benchmarks() {
+  static const std::vector<core::BenchSource> benchmarks = [] {
+    std::vector<core::BenchSource> out;
+    add_polybench(out);
+    add_chstone(out);
+    return out;
+  }();
+  return benchmarks;
+}
+
+std::vector<const core::BenchSource*> polybench() {
+  std::vector<const core::BenchSource*> out;
+  for (const auto& b : all_benchmarks()) {
+    if (b.suite == "PolyBenchC") out.push_back(&b);
+  }
+  return out;
+}
+
+std::vector<const core::BenchSource*> chstone() {
+  std::vector<const core::BenchSource*> out;
+  for (const auto& b : all_benchmarks()) {
+    if (b.suite == "CHStone") out.push_back(&b);
+  }
+  return out;
+}
+
+const core::BenchSource* find_benchmark(std::string_view name) {
+  for (const auto& b : all_benchmarks()) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace wb::benchmarks

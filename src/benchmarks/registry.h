@@ -1,0 +1,37 @@
+// The subject programs of the study (paper Sec. 4.1):
+//  - 41 C benchmarks (30 PolyBenchC + 11 CHStone) rewritten in mini-C,
+//    each with five input sizes (XS..XL) selected via -D defines;
+//  - 9 manually-written JavaScript benchmarks (Table 9), in three styles:
+//    plain hand-written, math.js-style generic library, and W3C-API;
+//  - 3 real-world application analogs (Table 10): Long.js, Hyphenopoly,
+//    FFmpeg.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+
+namespace wb::benchmarks {
+
+/// All 41 compiled benchmarks, PolyBenchC first (paper Table 1 order).
+const std::vector<core::BenchSource>& all_benchmarks();
+
+/// The two suites separately.
+std::vector<const core::BenchSource*> polybench();
+std::vector<const core::BenchSource*> chstone();
+
+const core::BenchSource* find_benchmark(std::string_view name);
+
+/// A manually-written JS benchmark (paper Sec. 4.1.2, Table 9): JS source
+/// (calls main()) plus which compiled benchmark it reimplements.
+struct ManualJs {
+  std::string name;        ///< paper row name, e.g. "Heat-3d (math.js)"
+  std::string bench_name;  ///< the compiled benchmark it mirrors
+  std::string source;
+  bool library_style;      ///< math.js/jsSHA-style (boxed, generic) code
+};
+
+const std::vector<ManualJs>& manual_js_benchmarks();
+
+}  // namespace wb::benchmarks

@@ -1,0 +1,116 @@
+#include "core/study.h"
+
+#include "ir/exec.h"
+#include "minic/minic.h"
+
+namespace wb::core {
+
+const char* to_string(InputSize s) {
+  switch (s) {
+    case InputSize::XS: return "XS";
+    case InputSize::S: return "S";
+    case InputSize::M: return "M";
+    case InputSize::L: return "L";
+    case InputSize::XL: return "XL";
+  }
+  return "?";
+}
+
+BuildResult build(const BenchSource& bench, InputSize size, ir::OptLevel level,
+                  backend::Toolchain toolchain) {
+  BuildResult out;
+  minic::CompileOptions copts;
+  copts.defines = bench.defines_for(size);
+
+  std::string error;
+  auto compile_once = [&]() -> std::optional<ir::Module> {
+    auto m = minic::compile(bench.source, copts, error);
+    if (!m) return std::nullopt;
+    const ir::PipelineInfo info = ir::run_pipeline(*m, level);
+    out.fast_math = info.fast_math;
+    return m;
+  };
+
+  auto m1 = compile_once();
+  if (!m1) {
+    out.ok = false;
+    out.error = bench.name + ": " + error;
+    return out;
+  }
+  backend::WasmOptions wopts;
+  wopts.toolchain = toolchain;
+  wopts.fast_math = out.fast_math;
+  out.wasm = backend::compile_to_wasm(std::move(*m1), wopts);
+  if (!out.wasm.ok()) {
+    out.ok = false;
+    out.error = bench.name + " wasm: " + out.wasm.error;
+    return out;
+  }
+
+  auto m2 = compile_once();
+  if (!m2) {  // cannot happen if m1 compiled, but never dereference blind
+    out.ok = false;
+    out.error = bench.name + ": " + error;
+    return out;
+  }
+  backend::JsOptions jopts;
+  jopts.fast_math = out.fast_math;
+  const backend::JsArtifact js = backend::compile_to_js(std::move(*m2), jopts);
+  if (!js.ok()) {
+    out.ok = false;
+    out.error = bench.name + " js: " + js.error;
+    return out;
+  }
+  out.js_source = js.source;
+
+  auto m3 = compile_once();
+  if (!m3) {
+    out.ok = false;
+    out.error = bench.name + ": " + error;
+    return out;
+  }
+  out.native = backend::compile_to_native(std::move(*m3));
+  return out;
+}
+
+NativeMetrics run_native(const BuildResult& build, bool fast_math_costs) {
+  NativeMetrics metrics;
+  ir::Executor exec(build.native.module);
+  ir::NativeCostModel cost;
+  if (fast_math_costs) cost.float_div = cost.float_div_fast;
+  exec.set_cost_model(cost);
+  exec.set_fuel(4'000'000'000ull);
+  const ir::ExecResult r = exec.run("main");
+  if (!r.ok) {
+    metrics.ok = false;
+    metrics.error = r.error;
+    return metrics;
+  }
+  metrics.result = r.as_i32();
+  metrics.time_ms = static_cast<double>(exec.stats().cost_ps) / 1e9;
+  metrics.code_size = build.native.code_size;
+  metrics.memory_bytes = exec.stats().memory_bytes;
+  return metrics;
+}
+
+Measurement measure(const BenchSource& bench, InputSize size, ir::OptLevel level,
+                    const env::BrowserEnv& browser, const env::RunOptions& options) {
+  Measurement m;
+  const BuildResult b = build(bench, size, level, options.toolchain);
+  if (!b.ok) {
+    m.wasm.ok = false;
+    m.wasm.error = b.error;
+    m.js.ok = false;
+    m.js.error = b.error;
+    return m;
+  }
+  m.wasm = browser.run_wasm(b.wasm, options);
+  m.js = browser.run_js(b.js_source, options);
+  if (m.wasm.ok && m.js.ok && m.wasm.result != m.js.result) {
+    m.wasm.ok = false;
+    m.wasm.error = "checksum mismatch between wasm and js for " + bench.name;
+  }
+  return m;
+}
+
+}  // namespace wb::core

@@ -1,0 +1,76 @@
+// The measurement-study harness (the paper's primary contribution): given
+// a benchmark source, an input size, an optimization level, and a
+// toolchain, build all three targets and run them in browser
+// environments, collecting the metrics every table/figure needs.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "backend/js_backend.h"
+#include "backend/native_backend.h"
+#include "backend/wasm_backend.h"
+#include "env/env.h"
+#include "ir/passes.h"
+
+namespace wb::core {
+
+enum class InputSize : uint8_t { XS, S, M, L, XL };
+inline constexpr std::array<InputSize, 5> kAllSizes = {
+    InputSize::XS, InputSize::S, InputSize::M, InputSize::L, InputSize::XL};
+const char* to_string(InputSize s);
+
+using Defines = std::vector<std::pair<std::string, std::string>>;
+
+/// One subject program: mini-C source plus per-size -D defines
+/// (PolyBench-style dataset selection).
+struct BenchSource {
+  std::string name;
+  std::string suite;  ///< "PolyBenchC" or "CHStone"
+  std::string description;  ///< paper Table 1 wording
+  std::string source;
+  std::array<Defines, 5> size_defines;
+
+  [[nodiscard]] const Defines& defines_for(InputSize s) const {
+    return size_defines[static_cast<size_t>(s)];
+  }
+};
+
+/// All three compiled targets of one (benchmark, size, level, toolchain).
+struct BuildResult {
+  bool ok = true;
+  std::string error;
+  bool fast_math = false;
+  backend::WasmArtifact wasm;
+  std::string js_source;
+  backend::NativeArtifact native;
+};
+
+BuildResult build(const BenchSource& bench, InputSize size, ir::OptLevel level,
+                  backend::Toolchain toolchain = backend::Toolchain::Cheerp);
+
+/// Metrics of the native ("x86") run.
+struct NativeMetrics {
+  bool ok = true;
+  std::string error;
+  int32_t result = 0;
+  double time_ms = 0;
+  size_t code_size = 0;
+  size_t memory_bytes = 0;
+};
+
+NativeMetrics run_native(const BuildResult& build, bool fast_math_costs = false);
+
+/// Convenience: build + run one benchmark on one target in one browser.
+struct Measurement {
+  env::PageMetrics wasm;
+  env::PageMetrics js;
+};
+
+Measurement measure(const BenchSource& bench, InputSize size, ir::OptLevel level,
+                    const env::BrowserEnv& browser, const env::RunOptions& options = {});
+
+}  // namespace wb::core

@@ -1,0 +1,117 @@
+// The execution-environment model: browser/platform profiles and the
+// "page" that loads and measures a Wasm or JS program, standing in for
+// the paper's six deployment settings (Chrome/Firefox/Edge on desktop and
+// mobile, Sec. 4.5) and its DevTools-based data collection (Sec. 3.4).
+//
+// All time is virtual (picoseconds accumulated from per-op cost tables),
+// so every measurement is deterministic. The cost-model constants live in
+// env.cpp with notes on which paper observation each one encodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "backend/wasm_backend.h"
+#include "js/interp.h"
+#include "wasm/interp.h"
+
+namespace wb::env {
+
+enum class Browser : uint8_t { Chrome, Firefox, Edge };
+enum class Platform : uint8_t { Desktop, Mobile };
+
+const char* to_string(Browser b);
+const char* to_string(Platform p);
+
+/// Everything that differs between deployment settings.
+struct Profile {
+  Browser browser = Browser::Chrome;
+  Platform platform = Platform::Desktop;
+
+  // Execution-speed factors applied to the engine cost tables.
+  double wasm_factor = 1.0;
+  double js_factor = 1.0;
+
+  // JS engine shape.
+  double js_baseline_multiplier = 45.0;
+  double js_opt_factor = 1.0;  ///< quality of the optimizing JS tier  ///< interpreter vs optimized tier
+  uint64_t js_tierup_threshold = 700;
+  uint64_t js_parse_cost_per_byte = 18'000;  ///< parse + compile + first-run setup
+
+  // Wasm engine shape.
+  double wasm_baseline_multiplier = 1.25;  ///< LiftOff/Baseline vs TurboFan/Ion
+  uint64_t wasm_tierup_threshold = 20'000;
+  uint64_t wasm_decode_cost_per_byte = 1'800;  ///< decode + baseline compile
+  uint64_t wasm_instantiate_overhead_ps = 4'000'000;  ///< fixed module setup
+
+  // Page & boundary.
+  uint64_t page_overhead_ps = 2'000'000;   ///< renderer/page noise floor
+  uint64_t boundary_cost_ps = 60'000;       ///< one JS<->Wasm call crossing
+  uint64_t grow_cost_ps = 90'000;           ///< one memory.grow request
+
+  // DevTools memory baselines (bytes) per engine.
+  size_t js_base_memory = 880 << 10;
+  size_t wasm_base_memory = 1870 << 10;
+};
+
+/// The calibrated profile for a deployment setting.
+Profile profile_for(Browser browser, Platform platform);
+
+/// Per-run knobs (the paper's Chrome flags, Table 11).
+struct RunOptions {
+  bool js_jit_enabled = true;  ///< false = --no-opt
+  enum class WasmTiers : uint8_t {
+    Default,         ///< both compilers (browser default)
+    BaselineOnly,    ///< --liftoff --no-wasm-tier-up
+    OptimizingOnly,  ///< --no-liftoff --no-wasm-tier-up
+  } wasm_tiers = WasmTiers::Default;
+  backend::Toolchain toolchain = backend::Toolchain::Cheerp;
+  /// Extra JS<->Wasm crossings the page performs beyond host imports
+  /// (e.g. a JS driver loop calling an export per operation, as the
+  /// Long.js benchmark does).
+  uint64_t extra_boundary_crossings = 0;
+};
+
+/// What DevTools reports for one page run.
+struct PageMetrics {
+  bool ok = true;
+  std::string error;
+  int32_t result = 0;       ///< the benchmark checksum
+  double time_ms = 0;       ///< execution time incl. load/instantiate
+  size_t memory_bytes = 0;  ///< engine baseline + program memory
+  size_t code_size = 0;     ///< wasm binary bytes / JS source bytes
+  uint64_t ops = 0;
+  uint64_t boundary_crossings = 0;
+};
+
+/// A browser tab: loads one program at a time and reports metrics.
+class BrowserEnv {
+ public:
+  BrowserEnv(Browser browser, Platform platform)
+      : profile_(profile_for(browser, platform)) {}
+  explicit BrowserEnv(Profile profile) : profile_(profile) {}
+
+  /// Runs a compiled Wasm module: instantiate (__init) + main().
+  PageMetrics run_wasm(const backend::WasmArtifact& artifact,
+                       const RunOptions& options = {}) const;
+
+  /// Loads JS source and calls main().
+  PageMetrics run_js(std::string_view source, const RunOptions& options = {}) const;
+
+  /// Microbenchmark: average cost of one JS<->Wasm call crossing, in ns
+  /// (the Sec. 4.5 context-switch measurement).
+  [[nodiscard]] double context_switch_ns() const;
+
+  [[nodiscard]] const Profile& profile() const { return profile_; }
+
+  /// Cost tables derived from the profile (exposed for tests).
+  [[nodiscard]] wasm::CostTable wasm_tier_costs(bool optimizing,
+                                                const RunOptions& options) const;
+  [[nodiscard]] js::JsCostTable js_tier_costs(bool optimized) const;
+
+ private:
+  Profile profile_;
+};
+
+}  // namespace wb::env

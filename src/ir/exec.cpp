@@ -1,0 +1,468 @@
+#include "ir/exec.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace wb::ir {
+
+double ExecResult::as_f64() const {
+  double d;
+  std::memcpy(&d, &value, sizeof d);
+  return d;
+}
+
+namespace {
+
+double bits_to_f64(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+uint64_t f64_to_bits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+float bits_to_f32(uint64_t bits) {
+  float f;
+  uint32_t b32 = static_cast<uint32_t>(bits);
+  std::memcpy(&f, &b32, sizeof f);
+  return f;
+}
+uint64_t f32_to_bits(float f) {
+  uint32_t b32;
+  std::memcpy(&b32, &f, sizeof b32);
+  return b32;
+}
+
+}  // namespace
+
+Executor::Executor(const Module& module) : module_(module) {
+  // Static layout, then bump-allocate dynamic arrays right after.
+  Module& m = const_cast<Module&>(module_);  // addresses are layout metadata
+  uint32_t end = layout_static_globals(m);
+  for (auto& g : m.globals) {
+    if (!g.dynamic_alloc) continue;
+    const uint32_t align = static_cast<uint32_t>(mem_size(g.elem));
+    end = (end + align - 1) & ~(align - 1);
+    g.address = end;
+    end += static_cast<uint32_t>(g.byte_size());
+  }
+  memory_.assign(end + 64, 0);
+  stats_.memory_bytes = memory_.size();
+  // Apply initializers.
+  for (const auto& g : module_.globals) {
+    const size_t esz = mem_size(g.elem);
+    for (size_t i = 0; i < g.init.size() && i < g.count; ++i) {
+      std::memcpy(memory_.data() + g.address + i * esz, &g.init[i], esz);
+    }
+  }
+}
+
+uint32_t Executor::global_address(std::string_view name) const {
+  const int gi = module_.find_global(name);
+  return gi < 0 ? 0 : module_.globals[static_cast<size_t>(gi)].address;
+}
+
+namespace {
+constexpr uint32_t kMaxDepth = 400;
+}
+
+/// Recursive evaluator with explicit control-flow signals.
+class ExecImpl {
+ public:
+  ExecImpl(Executor& exec) : x_(exec) {}
+
+  enum class Flow : uint8_t { Normal, Break, Continue, Return };
+
+  ExecResult call(const Function& fn, std::vector<uint64_t> args) {
+    if (x_.call_depth_ >= kMaxDepth) return fail("call stack exhausted");
+    ++x_.call_depth_;
+    std::vector<uint64_t> regs(fn.reg_types.size(), 0);
+    for (size_t i = 0; i < args.size() && i < fn.params.size(); ++i) regs[i] = args[i];
+    uint64_t result = 0;
+    const Flow flow = exec_body(fn.body, regs, result);
+    --x_.call_depth_;
+    if (!ok_) return {false, error_, 0};
+    (void)flow;
+    return {true, "", result};
+  }
+
+  bool ok_ = true;
+  std::string error_;
+
+ private:
+  ExecResult fail(std::string message) {
+    if (ok_) {
+      ok_ = false;
+      error_ = std::move(message);
+    }
+    return {false, error_, 0};
+  }
+  uint64_t err(std::string message) {
+    if (ok_) {
+      ok_ = false;
+      error_ = std::move(message);
+    }
+    return 0;
+  }
+
+  void charge(uint64_t c) {
+    ++x_.stats_.ops;
+    x_.stats_.cost_ps += c;
+  }
+
+  Flow exec_body(const std::vector<StmtPtr>& body, std::vector<uint64_t>& regs,
+                 uint64_t& result) {
+    for (const auto& s : body) {
+      const Flow f = exec_stmt(*s, regs, result);
+      if (f != Flow::Normal || !ok_) return f;
+    }
+    return Flow::Normal;
+  }
+
+  Flow exec_stmt(const Stmt& s, std::vector<uint64_t>& regs, uint64_t& result) {
+    if (x_.stats_.ops >= x_.fuel_) {
+      err("fuel exhausted");
+      return Flow::Return;
+    }
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+        regs[s.reg] = eval(*s.e0, regs);
+        charge(x_.cost_.reg_op);
+        return Flow::Normal;
+      case Stmt::Kind::Store: {
+        const uint64_t addr = eval(*s.e0, regs);
+        const uint64_t value = eval(*s.e1, regs);
+        if (!ok_) return Flow::Return;
+        const uint64_t ea = (addr & 0xffffffffull) + s.mem_offset;
+        const size_t esz = mem_size(s.mem);
+        if (ea + esz > x_.memory_.size()) {
+          err("store out of bounds");
+          return Flow::Return;
+        }
+        std::memcpy(x_.memory_.data() + ea, &value, esz);
+        charge(x_.cost_.store);
+        return Flow::Normal;
+      }
+      case Stmt::Kind::ExprStmt:
+        eval(*s.e0, regs);
+        return Flow::Normal;
+      case Stmt::Kind::If: {
+        const uint64_t cond = eval(*s.e0, regs);
+        charge(x_.cost_.branch);
+        if (!ok_) return Flow::Return;
+        return exec_body(static_cast<int32_t>(cond) != 0 ? s.body : s.else_body, regs,
+                         result);
+      }
+      case Stmt::Kind::While:
+        while (ok_) {
+          const uint64_t cond = eval(*s.e0, regs);
+          charge(x_.cost_.branch / s.vec);  // vectorized loops branch per lane-group
+          if (!ok_ || static_cast<int32_t>(cond) == 0) break;
+          const Flow f = exec_body(s.body, regs, result);
+          if (f == Flow::Break) break;
+          if (f == Flow::Return) return f;
+          if (x_.stats_.ops >= x_.fuel_) {
+            err("fuel exhausted");
+            return Flow::Return;
+          }
+        }
+        return Flow::Normal;
+      case Stmt::Kind::DoWhile:
+        while (ok_) {
+          const Flow f = exec_body(s.body, regs, result);
+          if (f == Flow::Break) break;
+          if (f == Flow::Return) return f;
+          const uint64_t cond = eval(*s.e0, regs);
+          charge(x_.cost_.branch);
+          if (!ok_ || static_cast<int32_t>(cond) == 0) break;
+          if (x_.stats_.ops >= x_.fuel_) {
+            err("fuel exhausted");
+            return Flow::Return;
+          }
+        }
+        return Flow::Normal;
+      case Stmt::Kind::Break:
+        return Flow::Break;
+      case Stmt::Kind::Continue:
+        return Flow::Continue;
+      case Stmt::Kind::Return:
+        if (s.e0) result = eval(*s.e0, regs);
+        return Flow::Return;
+    }
+    return Flow::Normal;
+  }
+
+  uint64_t eval(const Expr& e, std::vector<uint64_t>& regs) {
+    if (!ok_) return 0;
+    switch (e.kind) {
+      case Expr::Kind::Const:
+        charge(x_.cost_.const_op);
+        return e.imm;
+      case Expr::Kind::Reg:
+        charge(x_.cost_.reg_op);
+        return regs[e.reg];
+      case Expr::Kind::GlobalAddr:
+        charge(x_.cost_.const_op);
+        return x_.module_.globals[e.reg].address;
+      case Expr::Kind::Bin:
+        return eval_bin(e, regs);
+      case Expr::Kind::Un: {
+        const uint64_t a = eval(*e.args[0], regs);
+        charge(is_float(e.args[0]->ty) ? x_.cost_.float_arith : x_.cost_.int_arith);
+        switch (e.un) {
+          case UnOp::Neg:
+            switch (e.ty) {
+              case Ty::I32: return static_cast<uint32_t>(-static_cast<int32_t>(a));
+              case Ty::I64: return static_cast<uint64_t>(-static_cast<int64_t>(a));
+              case Ty::F32: return f32_to_bits(-bits_to_f32(a));
+              case Ty::F64: return f64_to_bits(-bits_to_f64(a));
+              default: return 0;
+            }
+          case UnOp::BitNot:
+            return e.ty == Ty::I64 ? ~a : static_cast<uint32_t>(~static_cast<uint32_t>(a));
+          case UnOp::LNot:
+            if (e.args[0]->ty == Ty::I64) return a == 0;
+            return static_cast<uint32_t>(a) == 0;
+        }
+        return 0;
+      }
+      case Expr::Kind::Cast: {
+        const uint64_t a = eval(*e.args[0], regs);
+        charge(x_.cost_.cast);
+        switch (e.cast) {
+          case CastOp::I32ToI64S:
+            return static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(a)));
+          case CastOp::I32ToI64U:
+            return static_cast<uint32_t>(a);
+          case CastOp::I64ToI32:
+            return static_cast<uint32_t>(a);
+          case CastOp::I32ToF64S:
+            return f64_to_bits(static_cast<double>(static_cast<int32_t>(a)));
+          case CastOp::I32ToF64U:
+            return f64_to_bits(static_cast<double>(static_cast<uint32_t>(a)));
+          case CastOp::I64ToF64S:
+            return f64_to_bits(static_cast<double>(static_cast<int64_t>(a)));
+          case CastOp::I64ToF64U:
+            return f64_to_bits(static_cast<double>(a));
+          case CastOp::F64ToI32S: {
+            const double d = bits_to_f64(a);
+            if (std::isnan(d) || d < -2147483648.0 || d > 2147483647.0) {
+              return err("float->int out of range");
+            }
+            return static_cast<uint32_t>(static_cast<int32_t>(d));
+          }
+          case CastOp::F64ToI64S: {
+            const double d = bits_to_f64(a);
+            if (std::isnan(d) || d < -9223372036854775808.0 ||
+                d >= 9223372036854775808.0) {
+              return err("float->int64 out of range");
+            }
+            return static_cast<uint64_t>(static_cast<int64_t>(d));
+          }
+          case CastOp::F32ToF64:
+            return f64_to_bits(static_cast<double>(bits_to_f32(a)));
+          case CastOp::F64ToF32:
+            return f32_to_bits(static_cast<float>(bits_to_f64(a)));
+          case CastOp::I32ToF32S:
+            return f32_to_bits(static_cast<float>(static_cast<int32_t>(a)));
+          case CastOp::F32ToI32S: {
+            const float f = bits_to_f32(a);
+            if (std::isnan(f) || f < -2147483648.0f || f > 2147483520.0f) {
+              return err("float->int out of range");
+            }
+            return static_cast<uint32_t>(static_cast<int32_t>(f));
+          }
+        }
+        return 0;
+      }
+      case Expr::Kind::Load: {
+        const uint64_t addr = eval(*e.args[0], regs);
+        if (!ok_) return 0;
+        const uint64_t ea = (addr & 0xffffffffull) + e.mem_offset;
+        const size_t esz = mem_size(e.mem);
+        if (ea + esz > x_.memory_.size()) return err("load out of bounds");
+        uint64_t out = 0;
+        std::memcpy(&out, x_.memory_.data() + ea, esz);  // U8 zero-extends
+        charge(x_.cost_.load);
+        return out;
+      }
+      case Expr::Kind::Call: {
+        const Function& callee = x_.module_.functions[e.func];
+        std::vector<uint64_t> args;
+        args.reserve(e.args.size());
+        for (const auto& a : e.args) args.push_back(eval(*a, regs));
+        if (!ok_) return 0;
+        charge(x_.cost_.call);
+        const ExecResult r = call(callee, std::move(args));
+        if (!r.ok) return 0;
+        return r.value;
+      }
+      case Expr::Kind::IntrinsicCall: {
+        std::vector<double> args;
+        for (const auto& a : e.args) args.push_back(bits_to_f64(eval(*a, regs)));
+        if (!ok_) return 0;
+        charge(intrinsic_is_native(e.intrinsic) ? x_.cost_.intrinsic_native
+                                                : x_.cost_.intrinsic_libm);
+        double r = 0;
+        switch (e.intrinsic) {
+          case Intrinsic::Sqrt: r = std::sqrt(args[0]); break;
+          case Intrinsic::Fabs: r = std::fabs(args[0]); break;
+          case Intrinsic::Floor: r = std::floor(args[0]); break;
+          case Intrinsic::Ceil: r = std::ceil(args[0]); break;
+          case Intrinsic::Pow: r = std::pow(args[0], args[1]); break;
+          case Intrinsic::Exp: r = std::exp(args[0]); break;
+          case Intrinsic::Log: r = std::log(args[0]); break;
+          case Intrinsic::Sin: r = std::sin(args[0]); break;
+          case Intrinsic::Cos: r = std::cos(args[0]); break;
+          default: break;
+        }
+        return f64_to_bits(r);
+      }
+    }
+    return 0;
+  }
+
+  uint64_t eval_bin(const Expr& e, std::vector<uint64_t>& regs) {
+    const uint64_t a = eval(*e.args[0], regs);
+    const uint64_t b = eval(*e.args[1], regs);
+    if (!ok_) return 0;
+    const Ty opty = e.args[0]->ty;
+
+    // Cost by operation family. SIMD-stamped ops amortize across lanes
+    // on this target (x86 has the vector units the pass was written for).
+    uint64_t c;
+    if (is_cmp(e.bin)) {
+      c = x_.cost_.cmp;
+    } else if (e.bin == BinOp::Mul) {
+      c = is_float(opty) ? x_.cost_.float_arith : x_.cost_.int_mul;
+    } else if (is_div_or_rem(e.bin)) {
+      c = is_float(opty) ? x_.cost_.float_div : x_.cost_.int_div;
+    } else {
+      c = is_float(opty) ? x_.cost_.float_arith : x_.cost_.int_arith;
+    }
+    if (e.vec > 1) c = (c + e.vec - 1) / e.vec;  // SIMD lane amortization
+    charge(c);
+
+    if (opty == Ty::F64 || opty == Ty::F32) {
+      const bool f32 = opty == Ty::F32;
+      const double x = f32 ? bits_to_f32(a) : bits_to_f64(a);
+      const double y = f32 ? bits_to_f32(b) : bits_to_f64(b);
+      double r = 0;
+      bool cmp_result = false;
+      bool is_cmp_op = true;
+      switch (e.bin) {
+        case BinOp::Add: r = x + y; is_cmp_op = false; break;
+        case BinOp::Sub: r = x - y; is_cmp_op = false; break;
+        case BinOp::Mul: r = x * y; is_cmp_op = false; break;
+        case BinOp::DivS: r = x / y; is_cmp_op = false; break;
+        case BinOp::Eq: cmp_result = x == y; break;
+        case BinOp::Ne: cmp_result = x != y; break;
+        case BinOp::LtS: cmp_result = x < y; break;
+        case BinOp::LeS: cmp_result = x <= y; break;
+        case BinOp::GtS: cmp_result = x > y; break;
+        case BinOp::GeS: cmp_result = x >= y; break;
+        default:
+          return err("bad float binop");
+      }
+      if (is_cmp_op) return cmp_result ? 1 : 0;
+      if (f32) return f32_to_bits(static_cast<float>(r));
+      return f64_to_bits(r);
+    }
+
+    if (opty == Ty::I64) {
+      const int64_t sa = static_cast<int64_t>(a);
+      const int64_t sb = static_cast<int64_t>(b);
+      switch (e.bin) {
+        case BinOp::Add: return a + b;
+        case BinOp::Sub: return a - b;
+        case BinOp::Mul: return a * b;
+        case BinOp::DivS:
+          if (sb == 0) return err("division by zero");
+          if (sa == INT64_MIN && sb == -1) return err("division overflow");
+          return static_cast<uint64_t>(sa / sb);
+        case BinOp::DivU:
+          if (b == 0) return err("division by zero");
+          return a / b;
+        case BinOp::RemS:
+          if (sb == 0) return err("division by zero");
+          if (sb == -1) return 0;
+          return static_cast<uint64_t>(sa % sb);
+        case BinOp::RemU:
+          if (b == 0) return err("division by zero");
+          return a % b;
+        case BinOp::And: return a & b;
+        case BinOp::Or: return a | b;
+        case BinOp::Xor: return a ^ b;
+        case BinOp::Shl: return a << (b & 63);
+        case BinOp::ShrS: return static_cast<uint64_t>(sa >> (b & 63));
+        case BinOp::ShrU: return a >> (b & 63);
+        case BinOp::Eq: return a == b;
+        case BinOp::Ne: return a != b;
+        case BinOp::LtS: return sa < sb;
+        case BinOp::LtU: return a < b;
+        case BinOp::LeS: return sa <= sb;
+        case BinOp::LeU: return a <= b;
+        case BinOp::GtS: return sa > sb;
+        case BinOp::GtU: return a > b;
+        case BinOp::GeS: return sa >= sb;
+        case BinOp::GeU: return a >= b;
+      }
+      return 0;
+    }
+
+    // I32.
+    const uint32_t ua = static_cast<uint32_t>(a);
+    const uint32_t ub = static_cast<uint32_t>(b);
+    const int32_t sa = static_cast<int32_t>(ua);
+    const int32_t sb = static_cast<int32_t>(ub);
+    switch (e.bin) {
+      case BinOp::Add: return ua + ub;
+      case BinOp::Sub: return ua - ub;
+      case BinOp::Mul: return ua * ub;
+      case BinOp::DivS:
+        if (sb == 0) return err("division by zero");
+        if (sa == INT32_MIN && sb == -1) return err("division overflow");
+        return static_cast<uint32_t>(sa / sb);
+      case BinOp::DivU:
+        if (ub == 0) return err("division by zero");
+        return ua / ub;
+      case BinOp::RemS:
+        if (sb == 0) return err("division by zero");
+        if (sb == -1) return 0;
+        return static_cast<uint32_t>(sa % sb);
+      case BinOp::RemU:
+        if (ub == 0) return err("division by zero");
+        return ua % ub;
+      case BinOp::And: return ua & ub;
+      case BinOp::Or: return ua | ub;
+      case BinOp::Xor: return ua ^ ub;
+      case BinOp::Shl: return ua << (ub & 31);
+      case BinOp::ShrS: return static_cast<uint32_t>(sa >> (ub & 31));
+      case BinOp::ShrU: return ua >> (ub & 31);
+      case BinOp::Eq: return ua == ub;
+      case BinOp::Ne: return ua != ub;
+      case BinOp::LtS: return sa < sb;
+      case BinOp::LtU: return ua < ub;
+      case BinOp::LeS: return sa <= sb;
+      case BinOp::LeU: return ua <= ub;
+      case BinOp::GtS: return sa > sb;
+      case BinOp::GtU: return ua > ub;
+      case BinOp::GeS: return sa >= sb;
+      case BinOp::GeU: return ua >= ub;
+    }
+    return 0;
+  }
+
+  Executor& x_;
+};
+
+ExecResult Executor::run(std::string_view name, std::vector<uint64_t> args) {
+  const int fi = module_.find_function(name);
+  if (fi < 0) return {false, "no such function: " + std::string(name), 0};
+  ExecImpl impl(*this);
+  return impl.call(module_.functions[static_cast<size_t>(fi)], std::move(args));
+}
+
+}  // namespace wb::ir

@@ -1,0 +1,85 @@
+// IR evaluator. Two roles:
+//  1. Reference semantics for the differential tests (wasm / JS / native
+//     backends must all agree with it).
+//  2. The "x86" execution target of the study: evaluated under a native
+//     cost model (no tiers — ahead-of-time machine code), standing in for
+//     the paper's LLVM-to-x86 runs (Fig. 6, Table 2's x86 column).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace wb::ir {
+
+/// Per-operation-kind costs in picoseconds for the native target.
+/// Defaults approximate a modern OoO x86 core: cheap ALU, expensive
+/// divides and mispredicted branches.
+struct NativeCostModel {
+  uint64_t const_op = 30;
+  uint64_t reg_op = 30;
+  uint64_t int_arith = 60;
+  uint64_t int_mul = 180;
+  uint64_t int_div = 1500;
+  uint64_t float_arith = 180;
+  uint64_t float_div = 1100;
+  uint64_t float_div_fast = 350;  ///< after fast-math div->mul strength reduction
+  uint64_t cmp = 60;
+  uint64_t cast = 120;
+  uint64_t load = 250;
+  uint64_t store = 250;
+  uint64_t branch = 450;   ///< loop/if control transfer
+  uint64_t call = 1200;
+  uint64_t intrinsic_native = 900;   ///< sqrt/fabs/floor/ceil
+  uint64_t intrinsic_libm = 6000;    ///< pow/exp/log/sin/cos
+};
+
+struct ExecResult {
+  bool ok = true;
+  std::string error;
+  uint64_t value = 0;  ///< bit pattern of the function result
+  [[nodiscard]] int32_t as_i32() const { return static_cast<int32_t>(value); }
+  [[nodiscard]] double as_f64() const;
+};
+
+struct ExecStats {
+  uint64_t ops = 0;
+  uint64_t cost_ps = 0;
+  size_t memory_bytes = 0;  ///< flat memory footprint (static + dynamic)
+};
+
+/// Executes IR functions against a flat memory image.
+class Executor {
+ public:
+  /// Lays out globals, allocates memory, and applies initializers.
+  explicit Executor(const Module& module);
+
+  void set_cost_model(const NativeCostModel& model) { cost_ = model; }
+  void set_fuel(uint64_t max_ops) { fuel_ = max_ops; }
+
+  /// Calls a function by name. `args` are bit patterns matching the
+  /// parameter types.
+  ExecResult run(std::string_view name, std::vector<uint64_t> args = {});
+
+  [[nodiscard]] const ExecStats& stats() const { return stats_; }
+  [[nodiscard]] std::vector<uint8_t>& memory() { return memory_; }
+  [[nodiscard]] uint32_t global_address(std::string_view name) const;
+
+ private:
+  struct Signal;  // break/continue/return control flow
+  class Frame;
+
+  const Module& module_;
+  NativeCostModel cost_;
+  std::vector<uint8_t> memory_;
+  ExecStats stats_;
+  uint64_t fuel_ = 4'000'000'000;
+  uint32_t call_depth_ = 0;
+
+  friend class ExecImpl;
+};
+
+}  // namespace wb::ir

@@ -1,0 +1,449 @@
+#include "ir/ir.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace wb::ir {
+
+const char* to_string(Ty t) {
+  switch (t) {
+    case Ty::Void: return "void";
+    case Ty::I32: return "i32";
+    case Ty::I64: return "i64";
+    case Ty::F32: return "f32";
+    case Ty::F64: return "f64";
+  }
+  return "?";
+}
+
+size_t size_of(Ty t) {
+  switch (t) {
+    case Ty::Void: return 0;
+    case Ty::I32: return 4;
+    case Ty::I64: return 8;
+    case Ty::F32: return 4;
+    case Ty::F64: return 8;
+  }
+  return 0;
+}
+
+Ty mem_value_ty(MemTy m) {
+  switch (m) {
+    case MemTy::U8: return Ty::I32;
+    case MemTy::I32: return Ty::I32;
+    case MemTy::I64: return Ty::I64;
+    case MemTy::F32: return Ty::F32;
+    case MemTy::F64: return Ty::F64;
+  }
+  return Ty::I32;
+}
+
+size_t mem_size(MemTy m) {
+  switch (m) {
+    case MemTy::U8: return 1;
+    case MemTy::I32: return 4;
+    case MemTy::I64: return 8;
+    case MemTy::F32: return 4;
+    case MemTy::F64: return 8;
+  }
+  return 4;
+}
+
+size_t GlobalVar::byte_size() const { return count * mem_size(elem); }
+
+const char* to_string(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "add";
+    case BinOp::Sub: return "sub";
+    case BinOp::Mul: return "mul";
+    case BinOp::DivS: return "div_s";
+    case BinOp::DivU: return "div_u";
+    case BinOp::RemS: return "rem_s";
+    case BinOp::RemU: return "rem_u";
+    case BinOp::And: return "and";
+    case BinOp::Or: return "or";
+    case BinOp::Xor: return "xor";
+    case BinOp::Shl: return "shl";
+    case BinOp::ShrS: return "shr_s";
+    case BinOp::ShrU: return "shr_u";
+    case BinOp::Eq: return "eq";
+    case BinOp::Ne: return "ne";
+    case BinOp::LtS: return "lt_s";
+    case BinOp::LtU: return "lt_u";
+    case BinOp::LeS: return "le_s";
+    case BinOp::LeU: return "le_u";
+    case BinOp::GtS: return "gt_s";
+    case BinOp::GtU: return "gt_u";
+    case BinOp::GeS: return "ge_s";
+    case BinOp::GeU: return "ge_u";
+  }
+  return "?";
+}
+
+const char* to_string(Intrinsic i) {
+  switch (i) {
+    case Intrinsic::Sqrt: return "sqrt";
+    case Intrinsic::Fabs: return "fabs";
+    case Intrinsic::Floor: return "floor";
+    case Intrinsic::Ceil: return "ceil";
+    case Intrinsic::Pow: return "pow";
+    case Intrinsic::Exp: return "exp";
+    case Intrinsic::Log: return "log";
+    case Intrinsic::Sin: return "sin";
+    case Intrinsic::Cos: return "cos";
+    default: return "?";
+  }
+}
+
+Ty cast_result(CastOp op) {
+  switch (op) {
+    case CastOp::I32ToI64S:
+    case CastOp::I32ToI64U:
+    case CastOp::F64ToI64S:
+      return Ty::I64;
+    case CastOp::I64ToI32:
+    case CastOp::F64ToI32S:
+    case CastOp::F32ToI32S:
+      return Ty::I32;
+    case CastOp::I32ToF64S:
+    case CastOp::I32ToF64U:
+    case CastOp::I64ToF64S:
+    case CastOp::I64ToF64U:
+    case CastOp::F32ToF64:
+      return Ty::F64;
+    case CastOp::F64ToF32:
+    case CastOp::I32ToF32S:
+      return Ty::F32;
+  }
+  return Ty::I32;
+}
+
+Ty cast_operand(CastOp op) {
+  switch (op) {
+    case CastOp::I32ToI64S:
+    case CastOp::I32ToI64U:
+    case CastOp::I32ToF64S:
+    case CastOp::I32ToF64U:
+    case CastOp::I32ToF32S:
+      return Ty::I32;
+    case CastOp::I64ToI32:
+    case CastOp::I64ToF64S:
+    case CastOp::I64ToF64U:
+      return Ty::I64;
+    case CastOp::F64ToI32S:
+    case CastOp::F64ToI64S:
+    case CastOp::F64ToF32:
+      return Ty::F64;
+    case CastOp::F32ToF64:
+    case CastOp::F32ToI32S:
+      return Ty::F32;
+  }
+  return Ty::I32;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->ty = ty;
+  e->imm = imm;
+  e->reg = reg;
+  e->bin = bin;
+  e->un = un;
+  e->cast = cast;
+  e->func = func;
+  e->intrinsic = intrinsic;
+  e->mem_offset = mem_offset;
+  e->mem = mem;
+  e->vec = vec;
+  e->args.reserve(args.size());
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->reg = reg;
+  s->store_ty = store_ty;
+  s->mem = mem;
+  s->mem_offset = mem_offset;
+  s->vec = vec;
+  if (e0) s->e0 = e0->clone();
+  if (e1) s->e1 = e1->clone();
+  s->body.reserve(body.size());
+  for (const auto& b : body) s->body.push_back(b->clone());
+  s->else_body.reserve(else_body.size());
+  for (const auto& b : else_body) s->else_body.push_back(b->clone());
+  return s;
+}
+
+ExprPtr make_const(Ty ty, uint64_t bits) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Const;
+  e->ty = ty;
+  e->imm = bits;
+  return e;
+}
+
+ExprPtr make_const_i32(int32_t v) {
+  return make_const(Ty::I32, static_cast<uint64_t>(static_cast<uint32_t>(v)));
+}
+
+ExprPtr make_const_i64(int64_t v) { return make_const(Ty::I64, static_cast<uint64_t>(v)); }
+
+ExprPtr make_const_f32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return make_const(Ty::F32, bits);
+}
+
+ExprPtr make_const_f64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return make_const(Ty::F64, bits);
+}
+
+ExprPtr make_reg(Ty ty, uint32_t reg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Reg;
+  e->ty = ty;
+  e->reg = reg;
+  return e;
+}
+
+ExprPtr make_global_addr(uint32_t global_index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::GlobalAddr;
+  e->ty = Ty::I32;
+  e->reg = global_index;
+  return e;
+}
+
+ExprPtr make_bin(BinOp op, Ty ty, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Bin;
+  e->ty = is_cmp(op) ? Ty::I32 : ty;
+  e->bin = op;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr make_un(UnOp op, Ty ty, ExprPtr a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Un;
+  e->ty = op == UnOp::LNot ? Ty::I32 : ty;
+  e->un = op;
+  e->args.push_back(std::move(a));
+  return e;
+}
+
+ExprPtr make_cast(CastOp op, ExprPtr a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Cast;
+  e->ty = cast_result(op);
+  e->cast = op;
+  e->args.push_back(std::move(a));
+  return e;
+}
+
+ExprPtr make_load(MemTy mem, ExprPtr addr, uint32_t offset) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Load;
+  e->ty = mem_value_ty(mem);
+  e->mem = mem;
+  e->mem_offset = offset;
+  e->args.push_back(std::move(addr));
+  return e;
+}
+
+StmtPtr make_assign(uint32_t reg, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::Assign;
+  s->reg = reg;
+  s->e0 = std::move(value);
+  return s;
+}
+
+StmtPtr make_store(MemTy mem, ExprPtr addr, ExprPtr value, uint32_t offset) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::Store;
+  s->store_ty = mem_value_ty(mem);
+  s->mem = mem;
+  s->mem_offset = offset;
+  s->e0 = std::move(addr);
+  s->e1 = std::move(value);
+  return s;
+}
+
+uint32_t layout_static_globals(Module& module, uint32_t base) {
+  uint32_t at = base;
+  for (auto& g : module.globals) {
+    if (g.dynamic_alloc) continue;
+    const uint32_t align = static_cast<uint32_t>(mem_size(g.elem));
+    at = (at + align - 1) & ~(align - 1);
+    g.address = at;
+    at += static_cast<uint32_t>(g.byte_size());
+  }
+  return at;
+}
+
+// ------------------------------------------------------------- printing
+
+namespace {
+
+void print_expr(std::ostringstream& out, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      if (e.ty == Ty::F64) {
+        double d;
+        std::memcpy(&d, &e.imm, sizeof d);
+        out << d;
+      } else if (e.ty == Ty::F32) {
+        float f;
+        uint32_t bits = static_cast<uint32_t>(e.imm);
+        std::memcpy(&f, &bits, sizeof f);
+        out << f;
+      } else {
+        out << static_cast<int64_t>(e.imm);
+      }
+      break;
+    case Expr::Kind::Reg:
+      out << "%" << e.reg;
+      break;
+    case Expr::Kind::GlobalAddr:
+      out << "&g" << e.reg;
+      break;
+    case Expr::Kind::Bin:
+      out << "(" << to_string(e.bin) << "." << to_string(e.args[0]->ty) << " ";
+      print_expr(out, *e.args[0]);
+      out << " ";
+      print_expr(out, *e.args[1]);
+      out << ")";
+      break;
+    case Expr::Kind::Un:
+      out << "(" << (e.un == UnOp::Neg ? "neg" : e.un == UnOp::BitNot ? "bitnot" : "lnot")
+          << " ";
+      print_expr(out, *e.args[0]);
+      out << ")";
+      break;
+    case Expr::Kind::Cast:
+      out << "(cast." << to_string(e.ty) << " ";
+      print_expr(out, *e.args[0]);
+      out << ")";
+      break;
+    case Expr::Kind::Load:
+      out << "(load." << to_string(e.ty) << "+" << e.mem_offset << " ";
+      print_expr(out, *e.args[0]);
+      out << ")";
+      break;
+    case Expr::Kind::Call:
+      out << "(call f" << e.func;
+      for (const auto& a : e.args) {
+        out << " ";
+        print_expr(out, *a);
+      }
+      out << ")";
+      break;
+    case Expr::Kind::IntrinsicCall:
+      out << "(" << to_string(e.intrinsic);
+      for (const auto& a : e.args) {
+        out << " ";
+        print_expr(out, *a);
+      }
+      out << ")";
+      break;
+  }
+}
+
+void print_stmt(std::ostringstream& out, const Stmt& s, int indent) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case Stmt::Kind::Assign:
+      out << pad << "%" << s.reg << " = ";
+      print_expr(out, *s.e0);
+      out << "\n";
+      break;
+    case Stmt::Kind::Store:
+      out << pad << "store." << to_string(s.store_ty) << "+" << s.mem_offset << " ";
+      print_expr(out, *s.e0);
+      out << " <- ";
+      print_expr(out, *s.e1);
+      out << "\n";
+      break;
+    case Stmt::Kind::ExprStmt:
+      out << pad;
+      print_expr(out, *s.e0);
+      out << "\n";
+      break;
+    case Stmt::Kind::If:
+      out << pad << "if ";
+      print_expr(out, *s.e0);
+      out << " {\n";
+      for (const auto& b : s.body) print_stmt(out, *b, indent + 1);
+      if (!s.else_body.empty()) {
+        out << pad << "} else {\n";
+        for (const auto& b : s.else_body) print_stmt(out, *b, indent + 1);
+      }
+      out << pad << "}\n";
+      break;
+    case Stmt::Kind::While:
+      out << pad << "while ";
+      print_expr(out, *s.e0);
+      out << " {\n";
+      for (const auto& b : s.body) print_stmt(out, *b, indent + 1);
+      out << pad << "}\n";
+      break;
+    case Stmt::Kind::DoWhile:
+      out << pad << "do {\n";
+      for (const auto& b : s.body) print_stmt(out, *b, indent + 1);
+      out << pad << "} while ";
+      print_expr(out, *s.e0);
+      out << "\n";
+      break;
+    case Stmt::Kind::Break:
+      out << pad << "break\n";
+      break;
+    case Stmt::Kind::Continue:
+      out << pad << "continue\n";
+      break;
+    case Stmt::Kind::Return:
+      out << pad << "return";
+      if (s.e0) {
+        out << " ";
+        print_expr(out, *s.e0);
+      }
+      out << "\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_text(const Function& fn) {
+  std::ostringstream out;
+  out << "func " << fn.name << "(";
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) out << ", ";
+    out << "%" << i << ":" << to_string(fn.params[i]);
+  }
+  out << ") -> " << to_string(fn.ret) << " {\n";
+  for (const auto& s : fn.body) print_stmt(out, *s, 1);
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_text(const Module& module) {
+  std::ostringstream out;
+  for (const auto& g : module.globals) {
+    out << "global " << g.name << " : " << to_string(mem_value_ty(g.elem))
+        << "/" << mem_size(g.elem) << "B";
+    if (g.count > 1) out << "[" << g.count << "]";
+    if (g.dynamic_alloc) out << " (dynamic)";
+    out << " @" << g.address << "\n";
+  }
+  for (const auto& fn : module.functions) out << to_text(fn);
+  return out.str();
+}
+
+}  // namespace wb::ir

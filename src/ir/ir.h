@@ -1,0 +1,228 @@
+// The compiler's mid-level IR: a typed, structured (loop/if tree)
+// representation, analogous to the mid-level form LLVM-based Wasm
+// compilers (Cheerp, Emscripten) optimize before code generation. The
+// optimization passes in passes.h transform this IR; the three backends
+// (wasm, JS, native/x86-stand-in) lower it.
+//
+// Memory model: one flat 32-bit address space per module (globals and
+// arrays at static or bump-allocated addresses), matching Wasm linear
+// memory and the typed-array heap of compiler-generated JS. Local scalars
+// live in virtual registers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wb::ir {
+
+enum class Ty : uint8_t { Void, I32, I64, F32, F64 };
+
+const char* to_string(Ty t);
+size_t size_of(Ty t);
+inline bool is_float(Ty t) { return t == Ty::F32 || t == Ty::F64; }
+inline bool is_int(Ty t) { return t == Ty::I32 || t == Ty::I64; }
+
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, DivS, DivU, RemS, RemU,
+  And, Or, Xor, Shl, ShrS, ShrU,
+  // Comparisons (result type I32). Unsigned variants are int-only.
+  Eq, Ne, LtS, LtU, LeS, LeU, GtS, GtU, GeS, GeU,
+};
+
+inline bool is_cmp(BinOp op) { return op >= BinOp::Eq; }
+inline bool is_div_or_rem(BinOp op) {
+  return op == BinOp::DivS || op == BinOp::DivU || op == BinOp::RemS ||
+         op == BinOp::RemU;
+}
+const char* to_string(BinOp op);
+
+enum class UnOp : uint8_t {
+  Neg,   // arithmetic negate (int or float)
+  BitNot,
+  LNot,  // logical not: x == 0 (int), result I32
+};
+
+enum class CastOp : uint8_t {
+  I32ToI64S,
+  I32ToI64U,
+  I64ToI32,
+  I32ToF64S,
+  I32ToF64U,
+  I64ToF64S,
+  I64ToF64U,
+  F64ToI32S,
+  F64ToI64S,
+  F32ToF64,
+  F64ToF32,
+  I32ToF32S,
+  F32ToI32S,
+};
+
+Ty cast_result(CastOp op);
+Ty cast_operand(CastOp op);
+
+/// Memory access widths. U8 loads zero-extend into an I32 value; U8
+/// stores truncate. The others access full-width values of the matching
+/// register type.
+enum class MemTy : uint8_t { U8, I32, I64, F32, F64 };
+
+Ty mem_value_ty(MemTy m);
+size_t mem_size(MemTy m);
+
+/// Math intrinsics. The wasm backend lowers the first group to native
+/// opcodes and the second group to host imports (as real toolchains link
+/// libm shims); the JS backend uses Math.*.
+enum class Intrinsic : uint8_t {
+  Sqrt,   // f64
+  Fabs,
+  Floor,
+  Ceil,
+  // Host-call group:
+  Pow,
+  Exp,
+  Log,
+  Sin,
+  Cos,
+  kCount,
+};
+const char* to_string(Intrinsic i);
+inline bool intrinsic_is_native(Intrinsic i) { return i <= Intrinsic::Ceil; }
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Expr {
+  enum class Kind : uint8_t {
+    Const,      // imm (bit pattern of `ty`)
+    Reg,        // reg
+    GlobalAddr, // reg = global index; value = the global's address (I32)
+    Bin,        // bin, args[0], args[1]
+    Un,         // un, args[0]
+    Cast,       // cast, args[0]
+    Load,       // ty = loaded type; args[0] = address (I32); mem_offset
+    Call,       // func, args
+    IntrinsicCall,  // intrinsic, args
+  };
+
+  Kind kind = Kind::Const;
+  Ty ty = Ty::I32;
+  uint64_t imm = 0;
+  uint32_t reg = 0;
+  BinOp bin = BinOp::Add;
+  UnOp un = UnOp::Neg;
+  CastOp cast = CastOp::I32ToI64S;
+  uint32_t func = 0;
+  Intrinsic intrinsic = Intrinsic::Sqrt;
+  uint32_t mem_offset = 0;
+  MemTy mem = MemTy::I32;  ///< Load access width
+  /// SIMD lane count stamped by -vectorize-loops (1 = scalar). Semantics
+  /// are unchanged; targets price it differently: native amortizes lanes,
+  /// the Wasm/JS backends must scalarize with extra data movement (the
+  /// paper's "optimizations not designed for Wasm" mechanism).
+  uint8_t vec = 1;
+  std::vector<ExprPtr> args;
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+ExprPtr make_const(Ty ty, uint64_t bits);
+ExprPtr make_const_i32(int32_t v);
+ExprPtr make_const_i64(int64_t v);
+ExprPtr make_const_f32(float v);
+ExprPtr make_const_f64(double v);
+ExprPtr make_reg(Ty ty, uint32_t reg);
+ExprPtr make_global_addr(uint32_t global_index);
+ExprPtr make_bin(BinOp op, Ty ty, ExprPtr a, ExprPtr b);
+ExprPtr make_un(UnOp op, Ty ty, ExprPtr a);
+ExprPtr make_cast(CastOp op, ExprPtr a);
+ExprPtr make_load(MemTy mem, ExprPtr addr, uint32_t offset = 0);
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    Assign,    // reg = e0
+    Store,     // store store_ty, addr=e0, value=e1, mem_offset
+    ExprStmt,  // evaluate e0 for side effects (calls), drop result
+    If,        // e0 cond; body / else_body
+    While,     // e0 cond; body
+    DoWhile,   // body; e0 cond
+    Break,
+    Continue,
+    Return,    // e0 optional
+  };
+
+  Kind kind = Kind::Assign;
+  uint32_t reg = 0;
+  Ty store_ty = Ty::I32;       ///< value type of the stored operand
+  MemTy mem = MemTy::I32;      ///< access width
+  uint32_t mem_offset = 0;
+  uint8_t vec = 1;             ///< While: SIMD lane count after vectorization
+  ExprPtr e0, e1;
+  std::vector<StmtPtr> body, else_body;
+
+  [[nodiscard]] StmtPtr clone() const;
+};
+
+StmtPtr make_assign(uint32_t reg, ExprPtr value);
+StmtPtr make_store(MemTy mem, ExprPtr addr, ExprPtr value, uint32_t offset = 0);
+
+struct Function {
+  std::string name;
+  Ty ret = Ty::Void;
+  std::vector<Ty> params;     ///< registers 0..n-1
+  std::vector<Ty> reg_types;  ///< all registers incl. params
+  std::vector<StmtPtr> body;
+
+  uint32_t new_reg(Ty ty) {
+    reg_types.push_back(ty);
+    return static_cast<uint32_t>(reg_types.size() - 1);
+  }
+};
+
+/// A module-level variable. Scalars and arrays share one address space;
+/// `dynamic_alloc` arrays are bump-allocated by the generated runtime at
+/// startup (this is where Cheerp/Emscripten memory-growth behaviour comes
+/// from); the rest live in the data segment.
+struct GlobalVar {
+  std::string name;
+  MemTy elem = MemTy::I32;
+  size_t count = 1;  ///< number of elements (1 = scalar)
+  std::vector<uint64_t> init;  ///< element bit patterns (may be shorter than count)
+  bool dynamic_alloc = false;
+  uint32_t address = 0;  ///< assigned by layout (static) or runtime (dynamic)
+
+  [[nodiscard]] size_t byte_size() const;
+};
+
+struct Module {
+  std::vector<Function> functions;
+  std::vector<GlobalVar> globals;
+
+  [[nodiscard]] int find_function(std::string_view name) const {
+    for (size_t i = 0; i < functions.size(); ++i) {
+      if (functions[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  [[nodiscard]] int find_global(std::string_view name) const {
+    for (size_t i = 0; i < globals.size(); ++i) {
+      if (globals[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Assigns static addresses to non-dynamic globals (data segment starting
+/// at `base`) and returns the end of the static data region. Dynamic
+/// arrays get addresses later, at runtime bump allocation.
+uint32_t layout_static_globals(Module& module, uint32_t base = 64);
+
+/// Textual dump for debugging and golden tests.
+std::string to_text(const Module& module);
+std::string to_text(const Function& fn);
+
+}  // namespace wb::ir

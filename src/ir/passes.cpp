@@ -1,0 +1,883 @@
+#include "ir/passes.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+namespace wb::ir {
+
+namespace {
+
+// ------------------------------------------------------------ traversal
+
+/// Applies `f` to every statement in `body`, recursively (pre-order).
+template <typename F>
+void for_each_stmt(std::vector<StmtPtr>& body, const F& f) {
+  for (auto& s : body) {
+    f(*s);
+    for_each_stmt(s->body, f);
+    for_each_stmt(s->else_body, f);
+  }
+}
+
+/// Applies `f` to each top-level ExprPtr slot of a statement.
+template <typename F>
+void for_each_expr_slot(Stmt& s, const F& f) {
+  if (s.e0) f(s.e0);
+  if (s.e1) f(s.e1);
+}
+
+/// Post-order walk over an expression tree; `f` may replace the node.
+template <typename F>
+void walk_expr(ExprPtr& e, const F& f) {
+  for (auto& a : e->args) walk_expr(a, f);
+  f(e);
+}
+
+template <typename F>
+void walk_exprs_in_body(std::vector<StmtPtr>& body, const F& f) {
+  for_each_stmt(body, [&](Stmt& s) {
+    for_each_expr_slot(s, [&](ExprPtr& e) { walk_expr(e, f); });
+  });
+}
+
+size_t node_count(const Expr& e) {
+  size_t n = 1;
+  for (const auto& a : e.args) n += node_count(*a);
+  return n;
+}
+
+size_t node_count(const Stmt& s) {
+  size_t n = 1;
+  if (s.e0) n += node_count(*s.e0);
+  if (s.e1) n += node_count(*s.e1);
+  for (const auto& b : s.body) n += node_count(*b);
+  for (const auto& b : s.else_body) n += node_count(*b);
+  return n;
+}
+
+bool expr_contains(const Expr& e, Expr::Kind kind) {
+  if (e.kind == kind) return true;
+  for (const auto& a : e.args) {
+    if (expr_contains(*a, kind)) return true;
+  }
+  return false;
+}
+
+/// No calls, loads, or division (division may trap, so it is not safe to
+/// speculate or delete).
+bool is_speculatable(const Expr& e) {
+  if (e.kind == Expr::Kind::Call || e.kind == Expr::Kind::Load) return false;
+  if (e.kind == Expr::Kind::Bin && is_div_or_rem(e.bin)) return false;
+  if (e.kind == Expr::Kind::Cast &&
+      (e.cast == CastOp::F64ToI32S || e.cast == CastOp::F64ToI64S ||
+       e.cast == CastOp::F32ToI32S)) {
+    return false;  // may trap on out-of-range
+  }
+  for (const auto& a : e.args) {
+    if (!is_speculatable(*a)) return false;
+  }
+  return true;
+}
+
+/// No calls (loads allowed): evaluating has no side effect, though the
+/// value may depend on memory.
+bool is_pure(const Expr& e) {
+  if (e.kind == Expr::Kind::Call) return false;
+  for (const auto& a : e.args) {
+    if (!is_pure(*a)) return false;
+  }
+  return true;
+}
+
+void collect_reg_reads(const Expr& e, std::unordered_set<uint32_t>& reads) {
+  if (e.kind == Expr::Kind::Reg) reads.insert(e.reg);
+  for (const auto& a : e.args) collect_reg_reads(*a, reads);
+}
+
+// ------------------------------------------------------- const folding
+
+double const_f64(const Expr& e) {
+  if (e.ty == Ty::F32) {
+    float f;
+    uint32_t bits = static_cast<uint32_t>(e.imm);
+    std::memcpy(&f, &bits, sizeof f);
+    return f;
+  }
+  double d;
+  std::memcpy(&d, &e.imm, sizeof d);
+  return d;
+}
+
+ExprPtr make_float_const(Ty ty, double v) {
+  return ty == Ty::F32 ? make_const_f32(static_cast<float>(v)) : make_const_f64(v);
+}
+
+/// Folds a Bin over two constants. Returns nullptr when not foldable
+/// (would trap or change semantics).
+ExprPtr fold_bin(const Expr& e) {
+  const Expr& a = *e.args[0];
+  const Expr& b = *e.args[1];
+  const Ty ty = a.ty;
+
+  if (is_float(ty)) {
+    const double x = const_f64(a);
+    const double y = const_f64(b);
+    switch (e.bin) {
+      case BinOp::Add: return make_float_const(ty, x + y);
+      case BinOp::Sub: return make_float_const(ty, x - y);
+      case BinOp::Mul: return make_float_const(ty, x * y);
+      case BinOp::DivS: return make_float_const(ty, x / y);
+      case BinOp::Eq: return make_const_i32(x == y);
+      case BinOp::Ne: return make_const_i32(x != y);
+      case BinOp::LtS: return make_const_i32(x < y);
+      case BinOp::LeS: return make_const_i32(x <= y);
+      case BinOp::GtS: return make_const_i32(x > y);
+      case BinOp::GeS: return make_const_i32(x >= y);
+      default: return nullptr;
+    }
+  }
+
+  const bool w64 = ty == Ty::I64;
+  const uint64_t ua = w64 ? a.imm : static_cast<uint32_t>(a.imm);
+  const uint64_t ub = w64 ? b.imm : static_cast<uint32_t>(b.imm);
+  const int64_t sa = w64 ? static_cast<int64_t>(ua)
+                         : static_cast<int64_t>(static_cast<int32_t>(ua));
+  const int64_t sb = w64 ? static_cast<int64_t>(ub)
+                         : static_cast<int64_t>(static_cast<int32_t>(ub));
+  auto wrap = [&](uint64_t v) {
+    return make_const(ty, w64 ? v : static_cast<uint32_t>(v));
+  };
+  const uint64_t shift_mask = w64 ? 63 : 31;
+  switch (e.bin) {
+    case BinOp::Add: return wrap(ua + ub);
+    case BinOp::Sub: return wrap(ua - ub);
+    case BinOp::Mul: return wrap(ua * ub);
+    case BinOp::DivS:
+      if (sb == 0 || (sb == -1 && sa == (w64 ? INT64_MIN : INT32_MIN))) return nullptr;
+      return wrap(static_cast<uint64_t>(sa / sb));
+    case BinOp::DivU:
+      if (ub == 0) return nullptr;
+      return wrap(ua / ub);
+    case BinOp::RemS:
+      if (sb == 0) return nullptr;
+      return wrap(sb == -1 ? 0 : static_cast<uint64_t>(sa % sb));
+    case BinOp::RemU:
+      if (ub == 0) return nullptr;
+      return wrap(ua % ub);
+    case BinOp::And: return wrap(ua & ub);
+    case BinOp::Or: return wrap(ua | ub);
+    case BinOp::Xor: return wrap(ua ^ ub);
+    case BinOp::Shl: return wrap(ua << (ub & shift_mask));
+    case BinOp::ShrS: return wrap(static_cast<uint64_t>(sa >> (ub & shift_mask)));
+    case BinOp::ShrU: return wrap(ua >> (ub & shift_mask));
+    case BinOp::Eq: return make_const_i32(ua == ub);
+    case BinOp::Ne: return make_const_i32(ua != ub);
+    case BinOp::LtS: return make_const_i32(sa < sb);
+    case BinOp::LtU: return make_const_i32(ua < ub);
+    case BinOp::LeS: return make_const_i32(sa <= sb);
+    case BinOp::LeU: return make_const_i32(ua <= ub);
+    case BinOp::GtS: return make_const_i32(sa > sb);
+    case BinOp::GtU: return make_const_i32(ua > ub);
+    case BinOp::GeS: return make_const_i32(sa >= sb);
+    case BinOp::GeU: return make_const_i32(ua >= ub);
+  }
+  return nullptr;
+}
+
+ExprPtr fold_cast(const Expr& e) {
+  const Expr& a = *e.args[0];
+  switch (e.cast) {
+    case CastOp::I32ToI64S:
+      return make_const_i64(static_cast<int32_t>(a.imm));
+    case CastOp::I32ToI64U:
+      return make_const_i64(static_cast<int64_t>(static_cast<uint32_t>(a.imm)));
+    case CastOp::I64ToI32:
+      return make_const_i32(static_cast<int32_t>(a.imm));
+    case CastOp::I32ToF64S:
+      return make_const_f64(static_cast<double>(static_cast<int32_t>(a.imm)));
+    case CastOp::I32ToF64U:
+      return make_const_f64(static_cast<double>(static_cast<uint32_t>(a.imm)));
+    case CastOp::I64ToF64S:
+      return make_const_f64(static_cast<double>(static_cast<int64_t>(a.imm)));
+    case CastOp::I64ToF64U:
+      return make_const_f64(static_cast<double>(a.imm));
+    case CastOp::F32ToF64:
+      return make_const_f64(const_f64(a));
+    case CastOp::F64ToF32:
+      return make_const_f32(static_cast<float>(const_f64(a)));
+    case CastOp::I32ToF32S:
+      return make_const_f32(static_cast<float>(static_cast<int32_t>(a.imm)));
+    default:
+      return nullptr;  // trapping float->int folds left alone
+  }
+}
+
+bool is_const_val(const Expr& e, uint64_t bits) {
+  return e.kind == Expr::Kind::Const && e.imm == bits;
+}
+
+}  // namespace
+
+const char* to_string(OptLevel level) {
+  switch (level) {
+    case OptLevel::O0: return "O0";
+    case OptLevel::O1: return "O1";
+    case OptLevel::O2: return "O2";
+    case OptLevel::O3: return "O3";
+    case OptLevel::Ofast: return "Ofast";
+    case OptLevel::Os: return "Os";
+    case OptLevel::Oz: return "Oz";
+  }
+  return "?";
+}
+
+void pass_constfold(Module& module) {
+  for (auto& fn : module.functions) {
+    walk_exprs_in_body(fn.body, [](ExprPtr& e) {
+      if (e->kind == Expr::Kind::Bin) {
+        Expr& a = *e->args[0];
+        Expr& b = *e->args[1];
+        if (a.kind == Expr::Kind::Const && b.kind == Expr::Kind::Const) {
+          if (ExprPtr folded = fold_bin(*e)) e = std::move(folded);
+          return;
+        }
+        // Integer identities (safe; float identities are not, e.g. x+0
+        // with x = -0.0).
+        if (is_int(e->ty) && !is_cmp(e->bin)) {
+          if (b.kind == Expr::Kind::Const) {
+            const uint64_t zero = 0, one = 1;
+            if ((e->bin == BinOp::Add || e->bin == BinOp::Sub ||
+                 e->bin == BinOp::Or || e->bin == BinOp::Xor ||
+                 e->bin == BinOp::Shl || e->bin == BinOp::ShrS ||
+                 e->bin == BinOp::ShrU) &&
+                is_const_val(b, zero)) {
+              e = std::move(e->args[0]);
+              return;
+            }
+            if ((e->bin == BinOp::Mul || e->bin == BinOp::DivS ||
+                 e->bin == BinOp::DivU) &&
+                is_const_val(b, one)) {
+              e = std::move(e->args[0]);
+              return;
+            }
+            if (e->bin == BinOp::Mul && is_const_val(b, zero) &&
+                is_speculatable(a)) {
+              e = make_const(e->ty, 0);
+              return;
+            }
+            if (e->bin == BinOp::And && is_const_val(b, zero) &&
+                is_speculatable(a)) {
+              e = make_const(e->ty, 0);
+              return;
+            }
+          }
+          if (a.kind == Expr::Kind::Const &&
+              (e->bin == BinOp::Add || e->bin == BinOp::Or ||
+               e->bin == BinOp::Xor) &&
+              is_const_val(a, 0)) {
+            e = std::move(e->args[1]);
+            return;
+          }
+        }
+        return;
+      }
+      if (e->kind == Expr::Kind::Cast && e->args[0]->kind == Expr::Kind::Const) {
+        if (ExprPtr folded = fold_cast(*e)) e = std::move(folded);
+        return;
+      }
+      if (e->kind == Expr::Kind::Un && e->args[0]->kind == Expr::Kind::Const) {
+        const Expr& a = *e->args[0];
+        switch (e->un) {
+          case UnOp::Neg:
+            if (e->ty == Ty::I32) {
+              e = make_const_i32(-static_cast<int32_t>(a.imm));
+            } else if (e->ty == Ty::I64) {
+              e = make_const_i64(-static_cast<int64_t>(a.imm));
+            } else {
+              e = make_float_const(e->ty, -const_f64(a));
+            }
+            break;
+          case UnOp::BitNot:
+            e = e->ty == Ty::I64 ? make_const_i64(~static_cast<int64_t>(a.imm))
+                                 : make_const_i32(~static_cast<int32_t>(a.imm));
+            break;
+          case UnOp::LNot:
+            e = make_const_i32(a.imm == 0);
+            break;
+        }
+      }
+    });
+  }
+}
+
+void pass_dce(Module& module) {
+  for (auto& fn : module.functions) {
+    for (int iter = 0; iter < 10; ++iter) {
+      std::unordered_set<uint32_t> reads;
+      walk_exprs_in_body(fn.body, [&](ExprPtr& e) {
+        if (e->kind == Expr::Kind::Reg) reads.insert(e->reg);
+      });
+
+      bool changed = false;
+      const auto prune = [&](std::vector<StmtPtr>& body, const auto& self) -> void {
+        for (auto it = body.begin(); it != body.end();) {
+          Stmt& s = **it;
+          self(s.body, self);
+          self(s.else_body, self);
+          const bool dead_assign = s.kind == Stmt::Kind::Assign &&
+                                   !reads.count(s.reg) && is_pure(*s.e0);
+          const bool dead_expr =
+              s.kind == Stmt::Kind::ExprStmt && is_pure(*s.e0);
+          if (dead_assign || dead_expr) {
+            it = body.erase(it);
+            changed = true;
+          } else {
+            ++it;
+          }
+        }
+      };
+      prune(fn.body, prune);
+      if (!changed) break;
+    }
+  }
+}
+
+namespace {
+
+void remap_globals(Module& module, const std::vector<int>& remap) {
+  for (auto& fn : module.functions) {
+    walk_exprs_in_body(fn.body, [&](ExprPtr& e) {
+      if (e->kind == Expr::Kind::GlobalAddr) {
+        e->reg = static_cast<uint32_t>(remap[e->reg]);
+      }
+    });
+  }
+}
+
+std::vector<bool> referenced_globals(Module& module) {
+  std::vector<bool> used(module.globals.size(), false);
+  for (auto& fn : module.functions) {
+    walk_exprs_in_body(fn.body, [&](ExprPtr& e) {
+      if (e->kind == Expr::Kind::GlobalAddr) used[e->reg] = true;
+    });
+  }
+  return used;
+}
+
+void drop_unused_globals(Module& module) {
+  const std::vector<bool> used = referenced_globals(module);
+  std::vector<int> remap(module.globals.size(), -1);
+  std::vector<GlobalVar> kept;
+  for (size_t i = 0; i < module.globals.size(); ++i) {
+    if (used[i]) {
+      remap[i] = static_cast<int>(kept.size());
+      kept.push_back(std::move(module.globals[i]));
+    }
+  }
+  module.globals = std::move(kept);
+  remap_globals(module, remap);
+}
+
+}  // namespace
+
+void pass_globalopt(Module& module) { drop_unused_globals(module); }
+
+void pass_remove_unused_globals(Module& module) { drop_unused_globals(module); }
+
+void pass_libcall_dce(Module& module) {
+  for (auto& fn : module.functions) {
+    const auto prune = [&](std::vector<StmtPtr>& body, const auto& self) -> void {
+      for (auto it = body.begin(); it != body.end();) {
+        Stmt& s = **it;
+        self(s.body, self);
+        self(s.else_body, self);
+        if (s.kind == Stmt::Kind::ExprStmt &&
+            s.e0->kind == Expr::Kind::IntrinsicCall && is_pure(*s.e0)) {
+          it = body.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    prune(fn.body, prune);
+  }
+}
+
+// ------------------------------------------------------------- inlining
+
+namespace {
+
+bool body_has_kind(const std::vector<StmtPtr>& body, Stmt::Kind kind) {
+  for (const auto& s : body) {
+    if (s->kind == kind) return true;
+    if (body_has_kind(s->body, kind) || body_has_kind(s->else_body, kind)) return true;
+  }
+  return false;
+}
+
+bool body_has_call(const std::vector<StmtPtr>& body) {
+  bool found = false;
+  for (const auto& s : body) {
+    const auto check = [&](const ExprPtr& e) {
+      if (e && expr_contains(*e, Expr::Kind::Call)) found = true;
+    };
+    check(s->e0);
+    check(s->e1);
+    if (body_has_call(s->body) || body_has_call(s->else_body)) return true;
+  }
+  return found;
+}
+
+void count_param_uses(const Expr& e, std::vector<int>& uses) {
+  if (e.kind == Expr::Kind::Reg && e.reg < uses.size()) ++uses[e.reg];
+  for (const auto& a : e.args) count_param_uses(*a, uses);
+}
+
+/// Substitutes Reg(i) for params[i] in a cloned expression.
+void subst_params(Expr& e, const std::vector<const Expr*>& args) {
+  for (auto& a : e.args) subst_params(*a, args);
+  if (e.kind == Expr::Kind::Reg && e.reg < args.size()) {
+    ExprPtr repl = args[e.reg]->clone();
+    e = std::move(*repl);
+  }
+}
+
+/// Remaps every register id in a cloned statement tree.
+void remap_regs_stmt(Stmt& s, const std::vector<uint32_t>& map) {
+  const auto remap_expr = [&](ExprPtr& slot) {
+    walk_expr(slot, [&](ExprPtr& e) {
+      if (e->kind == Expr::Kind::Reg) e->reg = map[e->reg];
+    });
+  };
+  if (s.kind == Stmt::Kind::Assign) s.reg = map[s.reg];
+  if (s.e0) remap_expr(s.e0);
+  if (s.e1) remap_expr(s.e1);
+  for (auto& b : s.body) remap_regs_stmt(*b, map);
+  for (auto& b : s.else_body) remap_regs_stmt(*b, map);
+}
+
+}  // namespace
+
+void pass_inline(Module& module, int threshold) {
+  for (size_t caller_idx = 0; caller_idx < module.functions.size(); ++caller_idx) {
+    // 1. Expression inlining: callee is a single `return <pure expr>`.
+    walk_exprs_in_body(module.functions[caller_idx].body, [&](ExprPtr& e) {
+      if (e->kind != Expr::Kind::Call || e->func == caller_idx) return;
+      const Function& callee = module.functions[e->func];
+      if (callee.body.size() != 1 || callee.body[0]->kind != Stmt::Kind::Return ||
+          !callee.body[0]->e0) {
+        return;
+      }
+      const Expr& ret = *callee.body[0]->e0;
+      if (!is_pure(ret) || node_count(ret) > static_cast<size_t>(threshold)) return;
+      std::vector<int> uses(callee.params.size(), 0);
+      count_param_uses(ret, uses);
+      for (size_t i = 0; i < uses.size(); ++i) {
+        const bool simple = e->args[i]->kind == Expr::Kind::Const ||
+                            e->args[i]->kind == Expr::Kind::Reg ||
+                            e->args[i]->kind == Expr::Kind::GlobalAddr;
+        if (uses[i] > 1 && !simple) return;  // would duplicate side effects/work
+        if (!is_pure(*e->args[i]) && uses[i] != 1) return;
+      }
+      ExprPtr body = ret.clone();
+      std::vector<const Expr*> arg_ptrs;
+      for (const auto& a : e->args) arg_ptrs.push_back(a.get());
+      subst_params(*body, arg_ptrs);
+      e = std::move(body);
+    });
+
+    // 2. Statement inlining: `f(...);` where f is void, small, and has no
+    //    calls or returns.
+    Function& caller = module.functions[caller_idx];
+    const auto splice = [&](std::vector<StmtPtr>& body, const auto& self) -> void {
+      for (size_t i = 0; i < body.size(); ++i) {
+        Stmt& s = *body[i];
+        self(s.body, self);
+        self(s.else_body, self);
+        if (s.kind != Stmt::Kind::ExprStmt || s.e0->kind != Expr::Kind::Call) continue;
+        if (s.e0->func == caller_idx) continue;
+        const Function& callee = module.functions[s.e0->func];
+        if (callee.ret != Ty::Void) continue;
+        if (body_has_kind(callee.body, Stmt::Kind::Return)) continue;
+        if (body_has_call(callee.body)) continue;
+        size_t sz = 0;
+        for (const auto& cs : callee.body) sz += node_count(*cs);
+        if (sz > static_cast<size_t>(threshold)) continue;
+
+        // Map callee regs to fresh caller regs; bind params to args.
+        std::vector<uint32_t> map(callee.reg_types.size());
+        for (size_t r = 0; r < callee.reg_types.size(); ++r) {
+          map[r] = caller.new_reg(callee.reg_types[r]);
+        }
+        std::vector<StmtPtr> spliced;
+        for (size_t p = 0; p < callee.params.size(); ++p) {
+          spliced.push_back(make_assign(map[p], s.e0->args[p]->clone()));
+        }
+        for (const auto& cs : callee.body) {
+          StmtPtr cloned = cs->clone();
+          remap_regs_stmt(*cloned, map);
+          spliced.push_back(std::move(cloned));
+        }
+        body.erase(body.begin() + static_cast<ptrdiff_t>(i));
+        body.insert(body.begin() + static_cast<ptrdiff_t>(i),
+                    std::make_move_iterator(spliced.begin()),
+                    std::make_move_iterator(spliced.end()));
+        i += spliced.size() - 1;
+      }
+    };
+    splice(caller.body, splice);
+  }
+}
+
+// ----------------------------------------------------------------- LICM
+
+namespace {
+
+void collect_assigned_regs(const std::vector<StmtPtr>& body,
+                           std::unordered_set<uint32_t>& regs) {
+  for (const auto& s : body) {
+    if (s->kind == Stmt::Kind::Assign) regs.insert(s->reg);
+    collect_assigned_regs(s->body, regs);
+    collect_assigned_regs(s->else_body, regs);
+  }
+}
+
+bool invariant_expr(const Expr& e, const std::unordered_set<uint32_t>& loop_regs) {
+  if (e.kind == Expr::Kind::Call || e.kind == Expr::Kind::Load) return false;
+  // GlobalAddr stays in place so backends can pattern-match address bases
+  // (the JS backend recovers typed-array names from them).
+  if (e.kind == Expr::Kind::GlobalAddr) return false;
+  if (e.kind == Expr::Kind::Reg && loop_regs.count(e.reg)) return false;
+  if (e.kind == Expr::Kind::Bin && is_div_or_rem(e.bin)) return false;
+  for (const auto& a : e.args) {
+    if (!invariant_expr(*a, loop_regs)) return false;
+  }
+  return true;
+}
+
+/// Hoists sizable invariant subtrees from one loop. Returns assigns to
+/// place before the loop.
+void hoist_from_loop(Function& fn, Stmt& loop, std::vector<StmtPtr>& hoisted) {
+  std::unordered_set<uint32_t> loop_regs;
+  collect_assigned_regs(loop.body, loop_regs);
+
+  const auto try_hoist = [&](ExprPtr& e) {
+    // Post-order: children first, so we hoist maximal subtrees bottom-up
+    // is wrong — we want top-down maximal. Do a manual pre-order.
+    const auto visit = [&](ExprPtr& node, const auto& self) -> void {
+      if ((node->kind == Expr::Kind::Bin || node->kind == Expr::Kind::Cast ||
+           node->kind == Expr::Kind::IntrinsicCall) &&
+          node->ty != Ty::Void && node_count(*node) >= 4 &&
+          invariant_expr(*node, loop_regs)) {
+        const uint32_t r = fn.new_reg(node->ty);
+        hoisted.push_back(make_assign(r, std::move(node)));
+        node = make_reg(hoisted.back()->e0->ty, r);
+        return;
+      }
+      for (auto& a : node->args) self(a, self);
+    };
+    visit(e, visit);
+  };
+
+  // The loop condition is evaluated every iteration too.
+  if (loop.e0) try_hoist(loop.e0);
+  for_each_stmt(loop.body, [&](Stmt& s) { for_each_expr_slot(s, try_hoist); });
+}
+
+void licm_body(Function& fn, std::vector<StmtPtr>& body) {
+  for (size_t i = 0; i < body.size(); ++i) {
+    Stmt& s = *body[i];
+    // Inner loops first.
+    licm_body(fn, s.body);
+    licm_body(fn, s.else_body);
+    if (s.kind != Stmt::Kind::While && s.kind != Stmt::Kind::DoWhile) continue;
+    std::vector<StmtPtr> hoisted;
+    hoist_from_loop(fn, s, hoisted);
+    if (hoisted.empty()) continue;
+    body.insert(body.begin() + static_cast<ptrdiff_t>(i),
+                std::make_move_iterator(hoisted.begin()),
+                std::make_move_iterator(hoisted.end()));
+    i += hoisted.size();
+  }
+}
+
+}  // namespace
+
+void pass_licm(Module& module) {
+  for (auto& fn : module.functions) licm_body(fn, fn.body);
+}
+
+// --------------------------------------------------------- ipconstprop
+
+void pass_ipconstprop(Module& module) {
+  struct ParamState {
+    bool seen = false;
+    bool constant = true;
+    uint64_t bits = 0;
+  };
+  std::vector<std::vector<ParamState>> states(module.functions.size());
+  for (size_t f = 0; f < module.functions.size(); ++f) {
+    states[f].resize(module.functions[f].params.size());
+  }
+
+  for (auto& fn : module.functions) {
+    walk_exprs_in_body(fn.body, [&](ExprPtr& e) {
+      if (e->kind != Expr::Kind::Call) return;
+      auto& st = states[e->func];
+      for (size_t i = 0; i < st.size() && i < e->args.size(); ++i) {
+        if (e->args[i]->kind != Expr::Kind::Const) {
+          st[i].constant = false;
+        } else if (!st[i].seen) {
+          st[i].seen = true;
+          st[i].bits = e->args[i]->imm;
+        } else if (st[i].bits != e->args[i]->imm) {
+          st[i].constant = false;
+        }
+      }
+    });
+  }
+
+  for (size_t f = 0; f < module.functions.size(); ++f) {
+    Function& fn = module.functions[f];
+    // Skip params that are reassigned inside the callee.
+    std::unordered_set<uint32_t> assigned;
+    collect_assigned_regs(fn.body, assigned);
+    for (size_t p = 0; p < fn.params.size(); ++p) {
+      const ParamState& st = states[f][p];
+      if (!st.seen || !st.constant || assigned.count(static_cast<uint32_t>(p))) continue;
+      const Ty ty = fn.params[p];
+      walk_exprs_in_body(fn.body, [&](ExprPtr& e) {
+        if (e->kind == Expr::Kind::Reg && e->reg == p) {
+          e = make_const(ty, st.bits);
+        }
+      });
+    }
+  }
+}
+
+// ----------------------------------------------------------- vectorize
+
+namespace {
+
+bool body_is_vectorizable(const std::vector<StmtPtr>& body) {
+  for (const auto& s : body) {
+    if (s->kind == Stmt::Kind::Break || s->kind == Stmt::Kind::Continue ||
+        s->kind == Stmt::Kind::Return) {
+      return false;
+    }
+    // Innermost loops only: vectorization does not apply to loop nests.
+    if (s->kind == Stmt::Kind::While || s->kind == Stmt::Kind::DoWhile) return false;
+    if (!body_is_vectorizable(s->body) || !body_is_vectorizable(s->else_body)) return false;
+  }
+  return true;
+}
+
+void count_assignments(const std::vector<StmtPtr>& body, uint32_t reg, int& count) {
+  for (const auto& s : body) {
+    if (s->kind == Stmt::Kind::Assign && s->reg == reg) ++count;
+    count_assignments(s->body, reg, count);
+    count_assignments(s->else_body, reg, count);
+  }
+}
+
+/// Stamps arithmetic as `factor`-lane vector ops.
+void mark_vectorized_expr(Expr& e, uint8_t lanes) {
+  if (e.kind == Expr::Kind::Bin && !is_cmp(e.bin) && !is_div_or_rem(e.bin)) {
+    e.vec = lanes;
+  }
+  for (auto& a : e.args) mark_vectorized_expr(*a, lanes);
+}
+
+void mark_vectorized(Stmt& s, uint8_t lanes) {
+  if (s.e0) mark_vectorized_expr(*s.e0, lanes);
+  if (s.e1) mark_vectorized_expr(*s.e1, lanes);
+  for (auto& b : s.body) mark_vectorized(*b, lanes);
+  for (auto& b : s.else_body) mark_vectorized(*b, lanes);
+}
+
+void vectorize_body(Function& fn, std::vector<StmtPtr>& body, int factor) {
+  for (size_t i = 0; i < body.size(); ++i) {
+    Stmt& s = *body[i];
+    vectorize_body(fn, s.body, factor);
+    vectorize_body(fn, s.else_body, factor);
+    if (s.kind != Stmt::Kind::While || !s.e0) continue;
+
+    // Pattern: while (i <s E) { ...; i = i + step; } with i: I32, E pure
+    // & invariant, i assigned exactly once (the trailing increment).
+    const Expr& cond = *s.e0;
+    if (cond.kind != Expr::Kind::Bin || cond.bin != BinOp::LtS) continue;
+    if (cond.args[0]->kind != Expr::Kind::Reg || cond.args[0]->ty != Ty::I32) continue;
+    const uint32_t ivar = cond.args[0]->reg;
+    const Expr& bound = *cond.args[1];
+    if (s.body.empty()) continue;
+    const Stmt& last = *s.body.back();
+    if (last.kind != Stmt::Kind::Assign || last.reg != ivar) continue;
+    const Expr& inc = *last.e0;
+    if (inc.kind != Expr::Kind::Bin || inc.bin != BinOp::Add) continue;
+    if (inc.args[0]->kind != Expr::Kind::Reg || inc.args[0]->reg != ivar) continue;
+    if (inc.args[1]->kind != Expr::Kind::Const) continue;
+    const int32_t step = static_cast<int32_t>(inc.args[1]->imm);
+    if (step <= 0 || step > 1024) continue;
+    int ivar_assigns = 0;
+    count_assignments(s.body, ivar, ivar_assigns);
+    if (ivar_assigns != 1) continue;
+    if (!body_is_vectorizable(s.body)) continue;
+    std::unordered_set<uint32_t> loop_regs;
+    collect_assigned_regs(s.body, loop_regs);
+    if (!invariant_expr(bound, loop_regs)) continue;
+    size_t body_nodes = 0;
+    for (const auto& bs : s.body) body_nodes += node_count(*bs);
+    if (body_nodes > 160) continue;  // vectorizer skips huge bodies
+
+    // Vectorize in place: the loop now processes `factor` lanes per
+    // "instruction". Semantics are untouched; the cost domain differs per
+    // target (native amortizes lanes; Wasm/JS scalarize with overhead).
+    s.vec = static_cast<uint8_t>(factor);
+    for (auto& bs : s.body) mark_vectorized(*bs, static_cast<uint8_t>(factor));
+    (void)fn;
+  }
+}
+
+}  // namespace
+
+void pass_vectorize(Module& module, int factor) {
+  for (auto& fn : module.functions) vectorize_body(fn, fn.body, factor);
+}
+
+// ------------------------------------------------------------ fast-math
+
+void pass_fastmath(Module& module) {
+  for (auto& fn : module.functions) {
+    walk_exprs_in_body(fn.body, [&](ExprPtr& e) {
+      if (e->kind != Expr::Kind::Bin || !is_float(e->ty)) return;
+      // x / c  ->  x * (1/c)
+      if (e->bin == BinOp::DivS && e->args[1]->kind == Expr::Kind::Const) {
+        const double c = const_f64(*e->args[1]);
+        if (c != 0 && std::isfinite(c) && std::isfinite(1.0 / c)) {
+          e->bin = BinOp::Mul;
+          e->args[1] = make_float_const(e->ty, 1.0 / c);
+        }
+        return;
+      }
+      // (x op c1) op c2 -> x op (c1 op c2) for float add/mul (reassociate).
+      if ((e->bin == BinOp::Add || e->bin == BinOp::Mul) &&
+          e->args[1]->kind == Expr::Kind::Const &&
+          e->args[0]->kind == Expr::Kind::Bin && e->args[0]->bin == e->bin &&
+          e->args[0]->args[1]->kind == Expr::Kind::Const) {
+        const double c1 = const_f64(*e->args[0]->args[1]);
+        const double c2 = const_f64(*e->args[1]);
+        const double c = e->bin == BinOp::Add ? c1 + c2 : c1 * c2;
+        ExprPtr x = std::move(e->args[0]->args[0]);
+        e->args[0] = std::move(x);
+        e->args[1] = make_float_const(e->ty, c);
+      }
+    });
+  }
+}
+
+// ---------------------------------------------- dead global stores (late)
+
+namespace {
+
+void mark_reads(const Expr& e, bool in_store_address, std::vector<bool>& read) {
+  if (e.kind == Expr::Kind::GlobalAddr && !in_store_address) read[e.reg] = true;
+  for (const auto& a : e.args) {
+    // Inside a Load, everything is a read context even within a store
+    // address computation.
+    const bool child_in_store_addr = in_store_address && e.kind != Expr::Kind::Load;
+    mark_reads(*a, e.kind == Expr::Kind::Load ? false : child_in_store_addr, read);
+  }
+}
+
+void collect_store_bases(const Expr& addr, std::vector<uint32_t>& bases) {
+  if (addr.kind == Expr::Kind::GlobalAddr) {
+    bases.push_back(addr.reg);
+    return;
+  }
+  if (addr.kind == Expr::Kind::Load) return;  // inner loads are reads, not bases
+  for (const auto& a : addr.args) collect_store_bases(*a, bases);
+}
+
+}  // namespace
+
+void pass_dead_global_stores(Module& module) {
+  std::vector<bool> read(module.globals.size(), false);
+  for (auto& fn : module.functions) {
+    for_each_stmt(fn.body, [&](Stmt& s) {
+      if (s.kind == Stmt::Kind::Store) {
+        mark_reads(*s.e0, /*in_store_address=*/true, read);
+        mark_reads(*s.e1, false, read);
+      } else {
+        if (s.e0) mark_reads(*s.e0, false, read);
+        if (s.e1) mark_reads(*s.e1, false, read);
+      }
+    });
+  }
+  // Registers may carry global addresses; if a GlobalAddr flowed into a
+  // register (it would appear in an Assign RHS, which we marked as a
+  // read), we already treated it as read. Remove stores whose address is
+  // rooted at exactly one never-read global.
+  for (auto& fn : module.functions) {
+    const auto prune = [&](std::vector<StmtPtr>& body, const auto& self) -> void {
+      for (auto it = body.begin(); it != body.end();) {
+        Stmt& s = **it;
+        self(s.body, self);
+        self(s.else_body, self);
+        bool removable = false;
+        if (s.kind == Stmt::Kind::Store && is_pure(*s.e0) && is_pure(*s.e1)) {
+          std::vector<uint32_t> bases;
+          collect_store_bases(*s.e0, bases);
+          removable = bases.size() == 1 && !read[bases[0]];
+        }
+        if (removable) {
+          it = body.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    prune(fn.body, prune);
+  }
+}
+
+// ------------------------------------------------------------ pipelines
+
+PipelineInfo run_pipeline(Module& module, OptLevel level) {
+  PipelineInfo info;
+  const auto run = [&](const char* name, auto&& pass) {
+    pass();
+    info.passes_run.push_back(name);
+  };
+
+  if (level == OptLevel::O0) return info;
+
+  run("constfold", [&] { pass_constfold(module); });
+  run("dce", [&] { pass_dce(module); });
+  run("globalopt", [&] { pass_globalopt(module); });
+  run("libcalls-shrinkwrap", [&] { pass_libcall_dce(module); });
+  if (level == OptLevel::O1) return info;
+
+  if (level != OptLevel::Oz) {
+    const int inline_threshold = level == OptLevel::O3 || level == OptLevel::Ofast
+                                     ? 120
+                                     : level == OptLevel::Os ? 24 : 48;
+    run("inline", [&] { pass_inline(module, inline_threshold); });
+  }
+  run("licm", [&] { pass_licm(module); });
+  if (level != OptLevel::Oz) {
+    run("ipconstprop", [&] { pass_ipconstprop(module); });
+  }
+  if (level == OptLevel::O2 || level == OptLevel::O3 || level == OptLevel::Ofast) {
+    run("vectorize-loops", [&] { pass_vectorize(module, 2); });
+  }
+  if (level == OptLevel::Ofast) {
+    run("fast-math", [&] { pass_fastmath(module); });
+    info.fast_math = true;
+  }
+  run("constfold", [&] { pass_constfold(module); });
+  run("dce", [&] { pass_dce(module); });
+  return info;
+}
+
+}  // namespace wb::ir

@@ -1,0 +1,80 @@
+// Optimization passes over the structured IR, mirroring the LLVM pass
+// groups the paper discusses (Sec. 2.1.2): -globalopt, function inlining,
+// loop-invariant code motion, -vectorize-loops (SIMD lane-stamping of
+// counted innermost loops; lanes amortize on native, scalarize on Wasm/JS), fast-math, and
+// -libcalls-shrinkwrap's libcall cleanup. Pipelines for each -O level are
+// in run_pipeline(); backend-specific late passes (dead-global-store
+// elimination and unused-global removal) are exposed separately because
+// the paper's central counter-intuitive result — -Ofast Wasm keeping
+// stores to never-read globals (Fig. 7) — is a *backend* bug we replicate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace wb::ir {
+
+/// Folds constant subexpressions and algebraic identities (x+0, x*1, ...).
+void pass_constfold(Module& module);
+
+/// Removes assignments to registers that are never read (pure RHS only).
+void pass_dce(Module& module);
+
+/// -globalopt: removes globals that are referenced nowhere.
+void pass_globalopt(Module& module);
+
+/// Deletes statement-position calls to pure math intrinsics whose results
+/// are unused (the useful half of -libcalls-shrinkwrap).
+void pass_libcall_dce(Module& module);
+
+/// Inlines small callees. `threshold` is an IR-node budget.
+void pass_inline(Module& module, int threshold);
+
+/// Loop-invariant code motion: hoists sizable pure invariant subtrees.
+void pass_licm(Module& module);
+
+/// Interprocedural constant propagation: when every call site passes the
+/// same constant, the constant is propagated into the callee body (the
+/// signature stays — this reproduces the paper's Fig. 8, where the Wasm
+/// backend re-materializes the constant at each use instead of reading a
+/// parameter local).
+void pass_ipconstprop(Module& module);
+
+/// -vectorize-loops: stamps simple counted innermost loops (and their
+/// arithmetic) with a `factor`-lane SIMD width. Semantics are unchanged;
+/// the native target amortizes lanes while the Wasm/JS backends must
+/// scalarize with extra data movement — the paper's core mechanism.
+void pass_vectorize(Module& module, int factor);
+
+/// Fast-math: float div-by-constant becomes multiply by reciprocal, and
+/// float constants reassociate. Returns the module to a state the
+/// backends must treat as fast-math-compiled (see wasm DGSE bug).
+void pass_fastmath(Module& module);
+
+// ---------------------------------------------------------- late passes
+
+/// Dead-global-store elimination: removes stores to globals that are never
+/// loaded. Run per-backend; the wasm/js (Cheerp-style) backends *skip* it
+/// under fast-math, replicating the LLVM bug the paper found in ADPCM.
+void pass_dead_global_stores(Module& module);
+
+/// Removes globals no longer referenced (run after DGSE; shrinks the data
+/// segment and therefore memory and code size).
+void pass_remove_unused_globals(Module& module);
+
+// ------------------------------------------------------------ pipelines
+
+enum class OptLevel : uint8_t { O0, O1, O2, O3, Ofast, Os, Oz };
+const char* to_string(OptLevel level);
+
+struct PipelineInfo {
+  bool fast_math = false;
+  std::vector<std::string> passes_run;
+};
+
+/// Runs the mid-end pipeline for `level` (backend-independent part).
+PipelineInfo run_pipeline(Module& module, OptLevel level);
+
+}  // namespace wb::ir

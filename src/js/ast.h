@@ -1,0 +1,92 @@
+// AST for the JS-like language. A deliberately small but real surface:
+// everything the paper's hand-written benchmarks, the math.js-style
+// library shim, and the compiler-generated (typed-array) style need.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wb::js {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Expr {
+  enum class Kind {
+    Number,
+    String,
+    Bool,
+    Null,
+    Undefined,
+    Ident,
+    Unary,     // op a          (-, !, ~, typeof not supported)
+    Update,    // ++/-- a (prefix when `prefix`), a ++/-- otherwise
+    Binary,    // a op b
+    Logical,   // a && b / a || b (short-circuit)
+    Assign,    // a op= b (op "" for plain =)
+    Ternary,   // a ? b : c
+    Call,      // a(args)
+    Member,    // a.name
+    Index,     // a[b]
+    ArrayLit,  // [args...]
+    ObjectLit, // {props...}
+    New,       // new Ctor(args)
+  };
+
+  Kind kind;
+  double num = 0;
+  bool boolean = false;
+  std::string str;   // identifier / string literal / member name / ctor name
+  std::string op;    // operator spelling
+  bool prefix = false;
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> args;
+  std::vector<std::pair<std::string, ExprPtr>> props;
+  uint32_t line = 0;
+};
+
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  uint32_t line = 0;
+};
+
+struct Stmt {
+  enum class Kind {
+    Expr,
+    VarDecl,
+    If,
+    While,
+    DoWhile,
+    For,
+    Return,
+    Break,
+    Continue,
+    Block,
+    Empty,
+  };
+
+  Kind kind;
+  ExprPtr expr;      // Expr stmt / Return value / If-While-For condition
+  ExprPtr update;    // For update clause
+  StmtPtr init;      // For init (VarDecl or Expr statement)
+  std::vector<std::pair<std::string, ExprPtr>> decls;  // VarDecl
+  StmtPtr body;
+  StmtPtr else_body;
+  std::vector<StmtPtr> stmts;  // Block
+  uint32_t line = 0;
+};
+
+/// A parsed program: top-level function declarations plus top-level
+/// statements (executed in order when the script loads).
+struct JsProgram {
+  std::vector<FunctionDecl> functions;
+  std::vector<StmtPtr> top_level;
+};
+
+}  // namespace wb::js

@@ -1,0 +1,126 @@
+// Bytecode for the JS engine. The source program is parsed and compiled to
+// this form when a script "loads" (browsers parse + compile JS at runtime
+// — the paper's Sec 2.2.1), then interpreted under the two-tier model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wb::js {
+
+enum class JsOp : uint8_t {
+  ConstNum,   // a = index into proto num_consts
+  ConstStr,   // a = index into program str_consts
+  Undef,
+  Null,
+  True,
+  False,
+  LoadLocal,   // a = slot
+  StoreLocal,  // a = slot (pops)
+  LoadGlobal,  // a = global id
+  StoreGlobal, // a = global id (pops)
+  Add,         // number add or string concat
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Neg,
+  ToNum,       // unary +
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  ShrS,
+  ShrU,
+  BitNot,
+  Eq,
+  Ne,
+  StrictEq,
+  StrictNe,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Not,
+  Jump,            // a = target pc
+  JumpIfFalse,     // pops condition
+  JumpIfFalsePeek, // no pop (for &&)
+  JumpIfTruePeek,  // no pop (for ||)
+  Pop,
+  Dup,
+  Dup2,            // duplicates top two values
+  Call,        // a = argc; stack: callee, args...
+  CallMethod,  // a = interned name id, b = argc; stack: receiver, args...
+  Return,      // pops result
+  ReturnUndef,
+  NewArray,     // a = element count popped from stack
+  NewArrayN,    // length on stack (new Array(n))
+  NewObject,    // empty object
+  GetProp,      // a = interned name id
+  SetProp,      // a = name id; stack [obj, value] -> value
+  GetIndex,     // stack [obj, index] -> value
+  SetIndex,     // stack [obj, index, value] -> value
+  NewF64Array,  // length on stack
+  NewI32Array,
+  NewU8Array,
+};
+
+/// Cost classes for the environment's JS cost model. The gulf between the
+/// baseline (interpreter) and optimizing (JIT) tier costs of Arith /
+/// Compare / Index is where the paper's JS JIT speedups come from.
+enum class JsOpClass : uint8_t {
+  Const,
+  Local,
+  Global,
+  Arith,
+  BitOp,
+  Compare,
+  Branch,
+  Stack,
+  Call,
+  Return,
+  Prop,
+  Index,
+  Alloc,
+  /// Surcharge added on top of Index when the receiver is a boxed Array
+  /// (tagged elements, hole checks) rather than a typed array.
+  BoxedIndex,
+  Misc,
+  kCount,
+};
+
+inline constexpr size_t kJsOpClassCount = static_cast<size_t>(JsOpClass::kCount);
+
+JsOpClass js_op_class(JsOp op);
+
+struct JsInstr {
+  JsOp op;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+struct FunctionProto {
+  std::string name;
+  uint32_t nparams = 0;
+  uint32_t nlocals = 0;  ///< params + hoisted vars
+  std::vector<JsInstr> code;
+  std::vector<double> num_consts;
+};
+
+/// A compiled script.
+struct ScriptCode {
+  std::vector<FunctionProto> protos;    ///< [0] is the top-level script body
+  std::vector<std::string> str_consts;  ///< string constant pool
+  std::vector<std::string> names;       ///< interned identifiers (globals & props)
+  size_t source_bytes = 0;              ///< used for parse-cost and code-size metrics
+
+  [[nodiscard]] size_t total_code_len() const {
+    size_t n = 0;
+    for (const auto& p : protos) n += p.code.size();
+    return n;
+  }
+};
+
+}  // namespace wb::js

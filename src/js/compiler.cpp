@@ -1,0 +1,625 @@
+#include "js/compiler.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+namespace wb::js {
+
+JsOpClass js_op_class(JsOp op) {
+  switch (op) {
+    case JsOp::ConstNum:
+    case JsOp::ConstStr:
+    case JsOp::Undef:
+    case JsOp::Null:
+    case JsOp::True:
+    case JsOp::False:
+      return JsOpClass::Const;
+    case JsOp::LoadLocal:
+    case JsOp::StoreLocal:
+      return JsOpClass::Local;
+    case JsOp::LoadGlobal:
+    case JsOp::StoreGlobal:
+      return JsOpClass::Global;
+    case JsOp::Add:
+    case JsOp::Sub:
+    case JsOp::Mul:
+    case JsOp::Div:
+    case JsOp::Mod:
+    case JsOp::Neg:
+    case JsOp::ToNum:
+      return JsOpClass::Arith;
+    case JsOp::BitAnd:
+    case JsOp::BitOr:
+    case JsOp::BitXor:
+    case JsOp::Shl:
+    case JsOp::ShrS:
+    case JsOp::ShrU:
+    case JsOp::BitNot:
+      return JsOpClass::BitOp;
+    case JsOp::Eq:
+    case JsOp::Ne:
+    case JsOp::StrictEq:
+    case JsOp::StrictNe:
+    case JsOp::Lt:
+    case JsOp::Le:
+    case JsOp::Gt:
+    case JsOp::Ge:
+    case JsOp::Not:
+      return JsOpClass::Compare;
+    case JsOp::Jump:
+    case JsOp::JumpIfFalse:
+    case JsOp::JumpIfFalsePeek:
+    case JsOp::JumpIfTruePeek:
+      return JsOpClass::Branch;
+    case JsOp::Pop:
+    case JsOp::Dup:
+    case JsOp::Dup2:
+      return JsOpClass::Stack;
+    case JsOp::Call:
+    case JsOp::CallMethod:
+      return JsOpClass::Call;
+    case JsOp::Return:
+    case JsOp::ReturnUndef:
+      return JsOpClass::Return;
+    case JsOp::GetProp:
+    case JsOp::SetProp:
+      return JsOpClass::Prop;
+    case JsOp::GetIndex:
+    case JsOp::SetIndex:
+      return JsOpClass::Index;
+    case JsOp::NewArray:
+    case JsOp::NewArrayN:
+    case JsOp::NewObject:
+    case JsOp::NewF64Array:
+    case JsOp::NewI32Array:
+    case JsOp::NewU8Array:
+      return JsOpClass::Alloc;
+    default:
+      break;
+  }
+  return JsOpClass::Misc;
+}
+
+namespace {
+
+class Compiler {
+ public:
+  explicit Compiler(std::string& error) : error_(error) {}
+
+  std::optional<ScriptCode> run(const JsProgram& program) {
+    // Proto 0 is the top-level body; function declarations become globals
+    // bound before any top-level statement runs (hoisting).
+    code_.protos.emplace_back();
+    code_.protos[0].name = "<toplevel>";
+    for (const auto& fn : program.functions) {
+      FunctionProto proto;
+      proto.name = fn.name;
+      proto.nparams = static_cast<uint32_t>(fn.params.size());
+      code_.protos.push_back(std::move(proto));
+      function_ids_[fn.name] = static_cast<uint32_t>(code_.protos.size() - 1);
+      name_id(fn.name);  // ensure the VM can bind the function as a global
+    }
+    for (size_t i = 0; i < program.functions.size(); ++i) {
+      compile_function(program.functions[i], static_cast<uint32_t>(i + 1));
+      if (!ok_) return std::nullopt;
+    }
+    // Top-level statements. Top-level `var` creates globals (as in real
+    // JS scripts), so nothing is hoisted into locals here.
+    begin_function(nullptr);
+    finalize_locals();
+    for (const auto& s : program.top_level) {
+      compile_stmt(*s);
+      if (!ok_) return std::nullopt;
+    }
+    emit(JsOp::ReturnUndef);
+    end_function(0);
+    if (!ok_) return std::nullopt;
+    return std::move(code_);
+  }
+
+  std::unordered_map<std::string, uint32_t> function_ids_;
+
+ private:
+  void fail(const std::string& message, uint32_t line) {
+    if (ok_) {
+      error_ = message + " at line " + std::to_string(line);
+      ok_ = false;
+    }
+  }
+
+  // ------------------------------------------------------------- emission
+  void emit(JsOp op, uint32_t a = 0, uint32_t b = 0) {
+    current_.code.push_back(JsInstr{op, a, b});
+  }
+  size_t emit_jump(JsOp op) {
+    emit(op, 0xdeadbeef);
+    return current_.code.size() - 1;
+  }
+  void patch_jump(size_t at) {
+    current_.code[at].a = static_cast<uint32_t>(current_.code.size());
+  }
+  uint32_t num_const(double v) {
+    for (uint32_t i = 0; i < current_.num_consts.size(); ++i) {
+      const double c = current_.num_consts[i];
+      // Bit-compare so -0.0 and 0.0 stay distinct.
+      if (std::memcmp(&c, &v, sizeof v) == 0) return i;
+    }
+    current_.num_consts.push_back(v);
+    return static_cast<uint32_t>(current_.num_consts.size() - 1);
+  }
+  uint32_t str_const(const std::string& s) {
+    for (uint32_t i = 0; i < code_.str_consts.size(); ++i) {
+      if (code_.str_consts[i] == s) return i;
+    }
+    code_.str_consts.push_back(s);
+    return static_cast<uint32_t>(code_.str_consts.size() - 1);
+  }
+  uint32_t name_id(const std::string& s) {
+    for (uint32_t i = 0; i < code_.names.size(); ++i) {
+      if (code_.names[i] == s) return i;
+    }
+    code_.names.push_back(s);
+    return static_cast<uint32_t>(code_.names.size() - 1);
+  }
+
+  // ------------------------------------------------------------ scoping
+  void begin_function(const FunctionDecl* fn) {
+    current_ = FunctionProto{};
+    locals_.clear();
+    if (fn) {
+      current_.name = fn->name;
+      current_.nparams = static_cast<uint32_t>(fn->params.size());
+      for (const auto& p : fn->params) declare_local(p);
+    }
+  }
+  void end_function(uint32_t proto_index) {
+    code_.protos[proto_index] = std::move(current_);
+  }
+  void declare_local(const std::string& name) {
+    if (locals_.count(name)) return;
+    const uint32_t slot = static_cast<uint32_t>(locals_.size());
+    locals_[name] = slot;
+  }
+  void finalize_locals() {
+    current_.nlocals = static_cast<uint32_t>(locals_.size());
+  }
+
+  /// `var` hoisting: collect every declared name in the function body.
+  void hoist_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::VarDecl:
+        for (const auto& [name, init] : s.decls) declare_local(name);
+        break;
+      case Stmt::Kind::If:
+        if (s.body) hoist_stmt(*s.body);
+        if (s.else_body) hoist_stmt(*s.else_body);
+        break;
+      case Stmt::Kind::While:
+      case Stmt::Kind::DoWhile:
+        if (s.body) hoist_stmt(*s.body);
+        break;
+      case Stmt::Kind::For:
+        if (s.init) hoist_stmt(*s.init);
+        if (s.body) hoist_stmt(*s.body);
+        break;
+      case Stmt::Kind::Block:
+        for (const auto& inner : s.stmts) hoist_stmt(*inner);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void compile_function(const FunctionDecl& fn, uint32_t proto_index) {
+    begin_function(&fn);
+    for (const auto& s : fn.body) hoist_stmt(*s);
+    finalize_locals();
+    for (const auto& s : fn.body) {
+      compile_stmt(*s);
+      if (!ok_) return;
+    }
+    emit(JsOp::ReturnUndef);
+    end_function(proto_index);
+  }
+
+  // ----------------------------------------------------------- statements
+  struct LoopCtx {
+    std::vector<size_t> breaks;
+    size_t continue_target = 0;
+    std::vector<size_t> continue_jumps;  // for `for` loops: patched to update
+    bool continue_is_patch = false;
+  };
+
+  void compile_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Expr:
+        compile_expr(*s.expr);
+        emit(JsOp::Pop);
+        break;
+      case Stmt::Kind::VarDecl:
+        for (const auto& [name, init] : s.decls) {
+          if (!init) continue;
+          compile_expr(*init);
+          const auto it = locals_.find(name);
+          if (it != locals_.end()) {
+            emit(JsOp::StoreLocal, it->second);
+          } else {
+            emit(JsOp::StoreGlobal, name_id(name));
+          }
+        }
+        break;
+      case Stmt::Kind::If: {
+        compile_expr(*s.expr);
+        const size_t to_else = emit_jump(JsOp::JumpIfFalse);
+        if (s.body) compile_stmt(*s.body);
+        if (s.else_body) {
+          const size_t to_end = emit_jump(JsOp::Jump);
+          patch_jump(to_else);
+          compile_stmt(*s.else_body);
+          patch_jump(to_end);
+        } else {
+          patch_jump(to_else);
+        }
+        break;
+      }
+      case Stmt::Kind::While: {
+        const size_t top = current_.code.size();
+        compile_expr(*s.expr);
+        const size_t exit = emit_jump(JsOp::JumpIfFalse);
+        loops_.push_back(LoopCtx{});
+        loops_.back().continue_target = top;
+        if (s.body) compile_stmt(*s.body);
+        emit(JsOp::Jump, static_cast<uint32_t>(top));
+        patch_jump(exit);
+        for (size_t j : loops_.back().breaks) patch_jump(j);
+        loops_.pop_back();
+        break;
+      }
+      case Stmt::Kind::DoWhile: {
+        const size_t top = current_.code.size();
+        loops_.push_back(LoopCtx{});
+        loops_.back().continue_is_patch = true;
+        if (s.body) compile_stmt(*s.body);
+        const size_t cond_at = current_.code.size();
+        for (size_t j : loops_.back().continue_jumps) current_.code[j].a = static_cast<uint32_t>(cond_at);
+        compile_expr(*s.expr);
+        const size_t exit = emit_jump(JsOp::JumpIfFalse);
+        emit(JsOp::Jump, static_cast<uint32_t>(top));
+        patch_jump(exit);
+        for (size_t j : loops_.back().breaks) patch_jump(j);
+        loops_.pop_back();
+        break;
+      }
+      case Stmt::Kind::For: {
+        if (s.init) compile_stmt(*s.init);
+        const size_t top = current_.code.size();
+        size_t exit = SIZE_MAX;
+        if (s.expr) {
+          compile_expr(*s.expr);
+          exit = emit_jump(JsOp::JumpIfFalse);
+        }
+        loops_.push_back(LoopCtx{});
+        loops_.back().continue_is_patch = true;
+        if (s.body) compile_stmt(*s.body);
+        const size_t update_at = current_.code.size();
+        for (size_t j : loops_.back().continue_jumps) {
+          current_.code[j].a = static_cast<uint32_t>(update_at);
+        }
+        if (s.update) {
+          compile_expr(*s.update);
+          emit(JsOp::Pop);
+        }
+        emit(JsOp::Jump, static_cast<uint32_t>(top));
+        if (exit != SIZE_MAX) patch_jump(exit);
+        for (size_t j : loops_.back().breaks) patch_jump(j);
+        loops_.pop_back();
+        break;
+      }
+      case Stmt::Kind::Return:
+        if (s.expr) {
+          compile_expr(*s.expr);
+          emit(JsOp::Return);
+        } else {
+          emit(JsOp::ReturnUndef);
+        }
+        break;
+      case Stmt::Kind::Break:
+        if (loops_.empty()) {
+          fail("break outside loop", s.line);
+          return;
+        }
+        loops_.back().breaks.push_back(emit_jump(JsOp::Jump));
+        break;
+      case Stmt::Kind::Continue:
+        if (loops_.empty()) {
+          fail("continue outside loop", s.line);
+          return;
+        }
+        if (loops_.back().continue_is_patch) {
+          loops_.back().continue_jumps.push_back(emit_jump(JsOp::Jump));
+        } else {
+          emit(JsOp::Jump, static_cast<uint32_t>(loops_.back().continue_target));
+        }
+        break;
+      case Stmt::Kind::Block:
+        for (const auto& inner : s.stmts) {
+          compile_stmt(*inner);
+          if (!ok_) return;
+        }
+        break;
+      case Stmt::Kind::Empty:
+        break;
+    }
+  }
+
+  // ---------------------------------------------------------- expressions
+  static JsOp binary_op(const std::string& op) {
+    if (op == "+") return JsOp::Add;
+    if (op == "-") return JsOp::Sub;
+    if (op == "*") return JsOp::Mul;
+    if (op == "/") return JsOp::Div;
+    if (op == "%") return JsOp::Mod;
+    if (op == "&") return JsOp::BitAnd;
+    if (op == "|") return JsOp::BitOr;
+    if (op == "^") return JsOp::BitXor;
+    if (op == "<<") return JsOp::Shl;
+    if (op == ">>") return JsOp::ShrS;
+    if (op == ">>>") return JsOp::ShrU;
+    if (op == "==") return JsOp::Eq;
+    if (op == "!=") return JsOp::Ne;
+    if (op == "===") return JsOp::StrictEq;
+    if (op == "!==") return JsOp::StrictNe;
+    if (op == "<") return JsOp::Lt;
+    if (op == "<=") return JsOp::Le;
+    if (op == ">") return JsOp::Gt;
+    if (op == ">=") return JsOp::Ge;
+    return JsOp::Pop;  // unreachable; caller validated
+  }
+
+  void compile_ident_load(const std::string& name, uint32_t line) {
+    const auto it = locals_.find(name);
+    if (it != locals_.end()) {
+      emit(JsOp::LoadLocal, it->second);
+      return;
+    }
+    (void)line;
+    if (name == "NaN") {
+      emit(JsOp::ConstNum, num_const(std::nan("")));
+      return;
+    }
+    if (name == "Infinity") {
+      emit(JsOp::ConstNum, num_const(std::numeric_limits<double>::infinity()));
+      return;
+    }
+    emit(JsOp::LoadGlobal, name_id(name));
+  }
+
+  void compile_ident_store(const std::string& name) {
+    const auto it = locals_.find(name);
+    if (it != locals_.end()) {
+      emit(JsOp::StoreLocal, it->second);
+    } else {
+      emit(JsOp::StoreGlobal, name_id(name));
+    }
+  }
+
+  void compile_expr(const Expr& e) {
+    if (!ok_) return;
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        emit(JsOp::ConstNum, num_const(e.num));
+        break;
+      case Expr::Kind::String:
+        emit(JsOp::ConstStr, str_const(e.str));
+        break;
+      case Expr::Kind::Bool:
+        emit(e.boolean ? JsOp::True : JsOp::False);
+        break;
+      case Expr::Kind::Null:
+        emit(JsOp::Null);
+        break;
+      case Expr::Kind::Undefined:
+        emit(JsOp::Undef);
+        break;
+      case Expr::Kind::Ident:
+        compile_ident_load(e.str, e.line);
+        break;
+      case Expr::Kind::Unary:
+        compile_expr(*e.a);
+        if (e.op == "-") {
+          emit(JsOp::Neg);
+        } else if (e.op == "+") {
+          emit(JsOp::ToNum);
+        } else if (e.op == "!") {
+          emit(JsOp::Not);
+        } else if (e.op == "~") {
+          emit(JsOp::BitNot);
+        } else {
+          fail("unsupported unary operator " + e.op, e.line);
+        }
+        break;
+      case Expr::Kind::Update: {
+        if (e.a->kind != Expr::Kind::Ident) {
+          fail("++/-- supported on plain variables only", e.line);
+          return;
+        }
+        const std::string& name = e.a->str;
+        compile_ident_load(name, e.line);
+        if (e.prefix) {
+          emit(JsOp::ConstNum, num_const(1));
+          emit(e.op == "++" ? JsOp::Add : JsOp::Sub);
+          emit(JsOp::Dup);
+          compile_ident_store(name);
+        } else {
+          emit(JsOp::ToNum);
+          emit(JsOp::Dup);
+          emit(JsOp::ConstNum, num_const(1));
+          emit(e.op == "++" ? JsOp::Add : JsOp::Sub);
+          compile_ident_store(name);
+        }
+        break;
+      }
+      case Expr::Kind::Binary:
+        if (e.op == ",") {
+          compile_expr(*e.a);
+          emit(JsOp::Pop);
+          compile_expr(*e.b);
+          break;
+        }
+        compile_expr(*e.a);
+        compile_expr(*e.b);
+        emit(binary_op(e.op));
+        break;
+      case Expr::Kind::Logical: {
+        compile_expr(*e.a);
+        const size_t skip =
+            emit_jump(e.op == "&&" ? JsOp::JumpIfFalsePeek : JsOp::JumpIfTruePeek);
+        emit(JsOp::Pop);
+        compile_expr(*e.b);
+        patch_jump(skip);
+        break;
+      }
+      case Expr::Kind::Assign:
+        compile_assign(e);
+        break;
+      case Expr::Kind::Ternary: {
+        compile_expr(*e.a);
+        const size_t to_else = emit_jump(JsOp::JumpIfFalse);
+        compile_expr(*e.b);
+        const size_t to_end = emit_jump(JsOp::Jump);
+        patch_jump(to_else);
+        compile_expr(*e.c);
+        patch_jump(to_end);
+        break;
+      }
+      case Expr::Kind::Call: {
+        if (e.a->kind == Expr::Kind::Member) {
+          // receiver.method(args)
+          compile_expr(*e.a->a);
+          for (const auto& arg : e.args) compile_expr(*arg);
+          emit(JsOp::CallMethod, name_id(e.a->str),
+               static_cast<uint32_t>(e.args.size()));
+        } else {
+          compile_expr(*e.a);
+          for (const auto& arg : e.args) compile_expr(*arg);
+          emit(JsOp::Call, static_cast<uint32_t>(e.args.size()));
+        }
+        break;
+      }
+      case Expr::Kind::Member:
+        compile_expr(*e.a);
+        emit(JsOp::GetProp, name_id(e.str));
+        break;
+      case Expr::Kind::Index:
+        compile_expr(*e.a);
+        compile_expr(*e.b);
+        emit(JsOp::GetIndex);
+        break;
+      case Expr::Kind::ArrayLit:
+        for (const auto& el : e.args) compile_expr(*el);
+        emit(JsOp::NewArray, static_cast<uint32_t>(e.args.size()));
+        break;
+      case Expr::Kind::ObjectLit:
+        emit(JsOp::NewObject);
+        for (const auto& [key, value] : e.props) {
+          emit(JsOp::Dup);
+          compile_expr(*value);
+          emit(JsOp::SetProp, name_id(key));
+          emit(JsOp::Pop);
+        }
+        break;
+      case Expr::Kind::New: {
+        if (e.args.size() != 1) {
+          fail("constructors take exactly one argument here", e.line);
+          return;
+        }
+        compile_expr(*e.args[0]);
+        if (e.str == "Float64Array") {
+          emit(JsOp::NewF64Array);
+        } else if (e.str == "Int32Array") {
+          emit(JsOp::NewI32Array);
+        } else if (e.str == "Uint8Array") {
+          emit(JsOp::NewU8Array);
+        } else if (e.str == "Array") {
+          emit(JsOp::NewArrayN);
+        } else {
+          fail("unsupported constructor " + e.str, e.line);
+        }
+        break;
+      }
+    }
+  }
+
+  void compile_assign(const Expr& e) {
+    const Expr& target = *e.a;
+    const bool compound = !e.op.empty();
+    switch (target.kind) {
+      case Expr::Kind::Ident: {
+        if (compound) {
+          compile_ident_load(target.str, e.line);
+          compile_expr(*e.b);
+          emit(binary_op(e.op));
+        } else {
+          compile_expr(*e.b);
+        }
+        emit(JsOp::Dup);
+        compile_ident_store(target.str);
+        break;
+      }
+      case Expr::Kind::Member: {
+        compile_expr(*target.a);
+        if (compound) {
+          emit(JsOp::Dup);
+          emit(JsOp::GetProp, name_id(target.str));
+          compile_expr(*e.b);
+          emit(binary_op(e.op));
+        } else {
+          compile_expr(*e.b);
+        }
+        emit(JsOp::SetProp, name_id(target.str));
+        break;
+      }
+      case Expr::Kind::Index: {
+        compile_expr(*target.a);
+        compile_expr(*target.b);
+        if (compound) {
+          emit(JsOp::Dup2);
+          emit(JsOp::GetIndex);
+          compile_expr(*e.b);
+          emit(binary_op(e.op));
+        } else {
+          compile_expr(*e.b);
+        }
+        emit(JsOp::SetIndex);
+        break;
+      }
+      default:
+        fail("invalid assignment target", e.line);
+        break;
+    }
+  }
+
+  ScriptCode code_;
+  FunctionProto current_;
+  std::unordered_map<std::string, uint32_t> locals_;
+  std::vector<LoopCtx> loops_;
+  std::string& error_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::optional<ScriptCode> compile(const JsProgram& program, std::string& error) {
+  Compiler c(error);
+  auto code = c.run(program);
+  if (!code) return std::nullopt;
+  // Bind function declarations as globals in a prologue of the top-level
+  // proto — they must exist before any top-level statement runs.
+  // We encode this as metadata the VM applies at startup instead of
+  // bytecode: name ids parallel to proto indices.
+  return code;
+}
+
+}  // namespace wb::js

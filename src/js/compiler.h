@@ -1,0 +1,17 @@
+// AST -> bytecode compiler. Variables follow `var` (function-scope)
+// semantics; unresolved identifiers are globals.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "js/ast.h"
+#include "js/bytecode.h"
+
+namespace wb::js {
+
+/// Compiles a parsed program. Returns nullopt and sets `error` on
+/// unsupported constructs (e.g. ++ on a non-identifier).
+std::optional<ScriptCode> compile(const JsProgram& program, std::string& error);
+
+}  // namespace wb::js

@@ -1,0 +1,17 @@
+#include "js/engine.h"
+
+#include "js/compiler.h"
+#include "js/parser.h"
+
+namespace wb::js {
+
+std::optional<ScriptCode> compile_script(std::string_view source, std::string& error) {
+  auto program = parse(source, error);
+  if (!program) return std::nullopt;
+  auto code = compile(*program, error);
+  if (!code) return std::nullopt;
+  code->source_bytes = source.size();
+  return code;
+}
+
+}  // namespace wb::js

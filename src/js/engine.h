@@ -1,0 +1,17 @@
+// Facade: source text -> compiled script. Mirrors a browser's load path
+// (parse + bytecode compile happen at script load; the environment charges
+// parse cost proportional to source size).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "js/bytecode.h"
+
+namespace wb::js {
+
+/// Parses and compiles `source`. Sets `error` on failure.
+std::optional<ScriptCode> compile_script(std::string_view source, std::string& error);
+
+}  // namespace wb::js

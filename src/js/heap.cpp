@@ -1,0 +1,199 @@
+#include "js/heap.h"
+
+#include <cmath>
+
+namespace wb::js {
+
+int32_t to_int32(double d) {
+  if (std::isnan(d) || std::isinf(d)) return 0;
+  // ECMAScript ToInt32: modulo 2^32, then reinterpret as signed.
+  const double two32 = 4294967296.0;
+  double m = std::fmod(std::trunc(d), two32);
+  if (m < 0) m += two32;
+  const uint32_t u = static_cast<uint32_t>(m);
+  return static_cast<int32_t>(u);
+}
+
+uint32_t to_uint32(double d) { return static_cast<uint32_t>(to_int32(d)); }
+
+size_t Heap::object_bytes(const GcObject& o) {
+  constexpr size_t kHeader = 48;  // rough per-object overhead (tag, map ptr, ...)
+  switch (o.kind) {
+    case ObjKind::String:
+      return kHeader + o.str().size();
+    case ObjKind::Array:
+      return kHeader + o.elems().capacity() * sizeof(JsValue);
+    case ObjKind::Object:
+      return kHeader + o.props().capacity() * sizeof(Prop);
+    case ObjKind::Function:
+    case ObjKind::Builtin:
+      return kHeader;
+    // Typed-array *headers* live on the GC heap; their backing stores are
+    // counted as external bytes (see note_external).
+    case ObjKind::Float64Array:
+    case ObjKind::Int32Array:
+    case ObjKind::Uint8Array:
+      return kHeader + 16;
+  }
+  return kHeader;
+}
+
+ObjRef Heap::alloc(GcObject obj) {
+  ++stats_.objects_allocated;
+  allocated_since_gc_ += object_bytes(obj);
+  ObjRef ref;
+  if (!free_.empty()) {
+    ref = free_.back();
+    free_.pop_back();
+    objects_[ref] = std::make_unique<GcObject>(std::move(obj));
+  } else {
+    ref = static_cast<ObjRef>(objects_.size());
+    objects_.push_back(std::make_unique<GcObject>(std::move(obj)));
+  }
+  return ref;
+}
+
+ObjRef Heap::alloc_string(std::string s) {
+  GcObject o;
+  o.kind = ObjKind::String;
+  o.data = std::move(s);
+  return alloc(std::move(o));
+}
+
+ObjRef Heap::alloc_array(std::vector<JsValue> elems) {
+  GcObject o;
+  o.kind = ObjKind::Array;
+  o.data = std::move(elems);
+  return alloc(std::move(o));
+}
+
+ObjRef Heap::alloc_object() {
+  GcObject o;
+  o.kind = ObjKind::Object;
+  o.data = std::vector<Prop>{};
+  return alloc(std::move(o));
+}
+
+ObjRef Heap::alloc_function(uint32_t proto_index) {
+  GcObject o;
+  o.kind = ObjKind::Function;
+  o.data = proto_index;
+  return alloc(std::move(o));
+}
+
+ObjRef Heap::alloc_builtin(uint32_t builtin_id) {
+  GcObject o;
+  o.kind = ObjKind::Builtin;
+  o.data = builtin_id;
+  return alloc(std::move(o));
+}
+
+ObjRef Heap::alloc_f64_array(size_t n) {
+  GcObject o;
+  o.kind = ObjKind::Float64Array;
+  o.data = std::vector<double>(n, 0.0);
+  note_external(static_cast<ptrdiff_t>(n * sizeof(double)));
+  return alloc(std::move(o));
+}
+
+ObjRef Heap::alloc_i32_array(size_t n) {
+  GcObject o;
+  o.kind = ObjKind::Int32Array;
+  o.data = std::vector<int32_t>(n, 0);
+  note_external(static_cast<ptrdiff_t>(n * sizeof(int32_t)));
+  return alloc(std::move(o));
+}
+
+ObjRef Heap::alloc_u8_array(size_t n) {
+  GcObject o;
+  o.kind = ObjKind::Uint8Array;
+  o.data = std::vector<uint8_t>(n, 0);
+  note_external(static_cast<ptrdiff_t>(n));
+  return alloc(std::move(o));
+}
+
+void Heap::note_external(ptrdiff_t delta) {
+  if (delta < 0 && static_cast<size_t>(-delta) > stats_.external_bytes) {
+    stats_.external_bytes = 0;
+  } else {
+    stats_.external_bytes = static_cast<size_t>(
+        static_cast<ptrdiff_t>(stats_.external_bytes) + delta);
+  }
+  stats_.peak_external_bytes = std::max(stats_.peak_external_bytes, stats_.external_bytes);
+}
+
+void Heap::mark_value(JsValue v) {
+  if (!v.is_object() || v.ref == kNullRef) return;
+  GcObject& o = *objects_[v.ref];
+  if (o.mark) return;
+  o.mark = true;
+  mark_stack_.push_back(v.ref);
+}
+
+void Heap::collect() {
+  ++stats_.collections;
+  allocated_since_gc_ = 0;
+
+  // Mark.
+  for (auto& o : objects_) {
+    if (o) o->mark = o->pinned;
+  }
+  mark_stack_.clear();
+  for (ObjRef r = 0; r < objects_.size(); ++r) {
+    if (objects_[r] && objects_[r]->pinned) mark_stack_.push_back(r);
+  }
+  if (root_scanner_) {
+    root_scanner_([this](JsValue v) { mark_value(v); });
+  }
+  while (!mark_stack_.empty()) {
+    const ObjRef ref = mark_stack_.back();
+    mark_stack_.pop_back();
+    GcObject& o = *objects_[ref];
+    switch (o.kind) {
+      case ObjKind::Array:
+        for (JsValue v : o.elems()) mark_value(v);
+        break;
+      case ObjKind::Object:
+        for (const Prop& p : o.props()) mark_value(p.value);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Sweep; account live bytes.
+  size_t live = 0;
+  for (ObjRef r = 0; r < objects_.size(); ++r) {
+    GcObject* o = objects_[r].get();
+    if (!o) continue;
+    if (o->mark) {
+      live += object_bytes(*o);
+      continue;
+    }
+    // Free: typed arrays release their external bytes.
+    switch (o->kind) {
+      case ObjKind::Float64Array:
+        note_external(-static_cast<ptrdiff_t>(o->f64().size() * sizeof(double)));
+        break;
+      case ObjKind::Int32Array:
+        note_external(-static_cast<ptrdiff_t>(o->i32().size() * sizeof(int32_t)));
+        break;
+      case ObjKind::Uint8Array:
+        note_external(-static_cast<ptrdiff_t>(o->u8().size()));
+        break;
+      default:
+        break;
+    }
+    objects_[r].reset();
+    free_.push_back(r);
+    ++stats_.objects_freed;
+  }
+  stats_.live_bytes = live;
+  stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, live);
+}
+
+void Heap::maybe_collect() {
+  if (allocated_since_gc_ >= gc_threshold_) collect();
+}
+
+}  // namespace wb::js

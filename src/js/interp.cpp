@@ -1,0 +1,1123 @@
+#include "js/interp.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/sha256.h"
+
+namespace wb::js {
+
+JsArithCat js_arith_cat(JsOp op) {
+  switch (op) {
+    case JsOp::Add:
+    case JsOp::Sub:
+      return JsArithCat::Add;
+    case JsOp::Mul:
+      return JsArithCat::Mul;
+    case JsOp::Div:
+      return JsArithCat::Div;
+    case JsOp::Mod:
+      return JsArithCat::Rem;
+    case JsOp::Shl:
+    case JsOp::ShrS:
+    case JsOp::ShrU:
+      return JsArithCat::Shift;
+    case JsOp::BitAnd:
+      return JsArithCat::And;
+    case JsOp::BitOr:
+    case JsOp::BitXor:
+      return JsArithCat::Or;
+    default:
+      return JsArithCat::None;
+  }
+}
+
+namespace {
+
+enum BuiltinId : uint32_t {
+  kMathFloor,
+  kMathCeil,
+  kMathSqrt,
+  kMathAbs,
+  kMathMin,
+  kMathMax,
+  kMathPow,
+  kMathExp,
+  kMathLog,
+  kMathSin,
+  kMathCos,
+  kMathRound,
+  kMathTrunc,
+  kMathImul,
+  kPerfNow,
+  kConsoleLog,
+  kCryptoDigest,
+  kStringFromCharCode,
+};
+
+constexpr uint64_t kNativeDigestCostPerByte = 60;  // ps; WebCrypto runs native code
+constexpr size_t kMaxJsCallDepth = 2000;
+
+double to_number_str(const std::string& s) {
+  if (s.empty()) return 0;
+  char* end = nullptr;
+  const double d = std::strtod(s.c_str(), &end);
+  while (end && *end != '\0' && std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (!end || *end != '\0') return std::nan("");
+  return d;
+}
+
+bool truthy(const Heap& heap, JsValue v) {
+  switch (v.tag) {
+    case JsValue::Tag::Undefined:
+    case JsValue::Tag::Null:
+      return false;
+    case JsValue::Tag::Bool:
+      return v.boolean;
+    case JsValue::Tag::Number:
+      return v.num != 0 && !std::isnan(v.num);
+    case JsValue::Tag::Object: {
+      const GcObject& o = heap.get(v.ref);
+      if (o.kind == ObjKind::String) return !o.str().empty();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Vm::Vm(const ScriptCode& code, Heap& heap) : code_(code), heap_(heap) {
+  globals_.resize(code.names.size());
+  func_state_.resize(code.protos.size());
+  cost_tables_[0].fill(100);
+  cost_tables_[1].fill(100);
+
+  str_const_refs_.reserve(code.str_consts.size());
+  for (const auto& s : code.str_consts) {
+    const ObjRef r = heap_.alloc_string(s);
+    heap_.pin(r);
+    str_const_refs_.push_back(r);
+  }
+
+  heap_.set_root_scanner([this](const std::function<void(JsValue)>& visit) {
+    for (JsValue v : stack_) visit(v);
+    for (JsValue v : locals_) visit(v);
+    for (JsValue v : globals_) visit(v);
+  });
+
+  install_builtins();
+}
+
+Vm::~Vm() { heap_.set_root_scanner(nullptr); }
+
+void Vm::set_cost_tables(const JsCostTable& baseline, const JsCostTable& optimized) {
+  cost_tables_[0] = baseline;
+  cost_tables_[1] = optimized;
+}
+
+void Vm::set_tier_policy(const JsTierPolicy& policy) { tier_policy_ = policy; }
+
+int32_t Vm::find_name(std::string_view name) const {
+  for (uint32_t i = 0; i < code_.names.size(); ++i) {
+    if (code_.names[i] == name) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+void Vm::set_global(std::string_view name, JsValue value) {
+  const int32_t id = find_name(name);
+  if (id >= 0) globals_[static_cast<size_t>(id)] = value;
+}
+
+JsValue Vm::get_global(std::string_view name) const {
+  const int32_t id = find_name(name);
+  return id >= 0 ? globals_[static_cast<size_t>(id)] : JsValue::undefined();
+}
+
+ObjRef Vm::make_string(std::string s) { return heap_.alloc_string(std::move(s)); }
+
+void Vm::fail(std::string message) {
+  if (ok_) {
+    ok_ = false;
+    error_ = std::move(message);
+  }
+}
+
+void Vm::install_builtins() {
+  auto add_builtin_prop = [&](ObjRef obj, std::string_view prop, uint32_t builtin) {
+    const int32_t id = find_name(prop);
+    if (id < 0) return;
+    const ObjRef fn = heap_.alloc_builtin(builtin);
+    heap_.pin(fn);
+    heap_.get(obj).props().push_back(Prop{static_cast<uint32_t>(id), JsValue::object(fn)});
+  };
+  auto make_namespace = [&](std::string_view name) -> ObjRef {
+    const ObjRef obj = heap_.alloc_object();
+    heap_.pin(obj);
+    set_global(name, JsValue::object(obj));
+    return obj;
+  };
+
+  if (find_name("Math") >= 0) {
+    const ObjRef math = make_namespace("Math");
+    add_builtin_prop(math, "floor", kMathFloor);
+    add_builtin_prop(math, "ceil", kMathCeil);
+    add_builtin_prop(math, "sqrt", kMathSqrt);
+    add_builtin_prop(math, "abs", kMathAbs);
+    add_builtin_prop(math, "min", kMathMin);
+    add_builtin_prop(math, "max", kMathMax);
+    add_builtin_prop(math, "pow", kMathPow);
+    add_builtin_prop(math, "exp", kMathExp);
+    add_builtin_prop(math, "log", kMathLog);
+    add_builtin_prop(math, "sin", kMathSin);
+    add_builtin_prop(math, "cos", kMathCos);
+    add_builtin_prop(math, "round", kMathRound);
+    add_builtin_prop(math, "trunc", kMathTrunc);
+    add_builtin_prop(math, "imul", kMathImul);
+    const int32_t pi = find_name("PI");
+    if (pi >= 0) {
+      heap_.get(math).props().push_back(
+          Prop{static_cast<uint32_t>(pi), JsValue::number(M_PI)});
+    }
+  }
+  if (find_name("performance") >= 0) {
+    add_builtin_prop(make_namespace("performance"), "now", kPerfNow);
+  }
+  if (find_name("console") >= 0) {
+    add_builtin_prop(make_namespace("console"), "log", kConsoleLog);
+  }
+  if (find_name("crypto") >= 0) {
+    add_builtin_prop(make_namespace("crypto"), "digest", kCryptoDigest);
+  }
+  if (find_name("String") >= 0) {
+    add_builtin_prop(make_namespace("String"), "fromCharCode", kStringFromCharCode);
+  }
+}
+
+std::string Vm::to_display_string(JsValue v) const {
+  switch (v.tag) {
+    case JsValue::Tag::Undefined:
+      return "undefined";
+    case JsValue::Tag::Null:
+      return "null";
+    case JsValue::Tag::Bool:
+      return v.boolean ? "true" : "false";
+    case JsValue::Tag::Number: {
+      if (std::isnan(v.num)) return "NaN";
+      char buf[32];
+      if (v.num == std::trunc(v.num) && std::abs(v.num) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", v.num);
+      } else {
+        std::snprintf(buf, sizeof buf, "%g", v.num);
+      }
+      return buf;
+    }
+    case JsValue::Tag::Object: {
+      const GcObject& o = heap_.get(v.ref);
+      switch (o.kind) {
+        case ObjKind::String:
+          return o.str();
+        case ObjKind::Array:
+          return "[Array]";
+        case ObjKind::Object:
+          return "[Object]";
+        case ObjKind::Function:
+        case ObjKind::Builtin:
+          return "[Function]";
+        default:
+          return "[TypedArray]";
+      }
+    }
+  }
+  return "";
+}
+
+Vm::Result Vm::run_top_level() {
+  for (uint32_t i = 1; i < code_.protos.size(); ++i) {
+    const int32_t id = find_name(code_.protos[i].name);
+    if (id >= 0) {
+      const ObjRef fn = heap_.alloc_function(i);
+      heap_.pin(fn);
+      globals_[static_cast<size_t>(id)] = JsValue::object(fn);
+    }
+  }
+  return run(0, {});
+}
+
+Vm::Result Vm::call_function(std::string_view name, std::span<const JsValue> args) {
+  const JsValue fn = get_global(name);
+  if (!fn.is_object() || heap_.get(fn.ref).kind != ObjKind::Function) {
+    return {false, "no such function: " + std::string(name), {}};
+  }
+  return run(heap_.get(fn.ref).fn_index(), args);
+}
+
+void Vm::maybe_tier_up(uint32_t proto_index) {
+  FuncState& state = func_state_[proto_index];
+  if (state.tier == 1) return;
+  ++state.hotness;
+  if (!tier_policy_.jit_enabled) return;
+  if (state.hotness < tier_policy_.tierup_threshold) return;
+  state.tier = 1;
+  ++stats_.tierups;
+  stats_.cost_ps +=
+      tier_policy_.tierup_cost_per_instr * code_.protos[proto_index].code.size();
+}
+
+// ---------------------------------------------------------------- builtins
+
+bool Vm::call_builtin(uint32_t builtin_id, JsValue receiver,
+                      std::span<const JsValue> args, JsValue& result) {
+  (void)receiver;
+  ++stats_.host_calls;
+  auto num_arg = [&](size_t i) -> double {
+    if (i >= args.size()) return std::nan("");
+    const JsValue v = args[i];
+    if (v.is_number()) return v.num;
+    if (v.is_bool()) return v.boolean ? 1 : 0;
+    if (v.is_null()) return 0;
+    if (v.is_object() && heap_.get(v.ref).kind == ObjKind::String) {
+      return to_number_str(heap_.get(v.ref).str());
+    }
+    return std::nan("");
+  };
+
+  switch (builtin_id) {
+    case kMathFloor: result = JsValue::number(std::floor(num_arg(0))); return true;
+    case kMathCeil: result = JsValue::number(std::ceil(num_arg(0))); return true;
+    case kMathSqrt: result = JsValue::number(std::sqrt(num_arg(0))); return true;
+    case kMathAbs: result = JsValue::number(std::abs(num_arg(0))); return true;
+    case kMathPow: result = JsValue::number(std::pow(num_arg(0), num_arg(1))); return true;
+    case kMathExp: result = JsValue::number(std::exp(num_arg(0))); return true;
+    case kMathLog: result = JsValue::number(std::log(num_arg(0))); return true;
+    case kMathSin: result = JsValue::number(std::sin(num_arg(0))); return true;
+    case kMathCos: result = JsValue::number(std::cos(num_arg(0))); return true;
+    case kMathRound: result = JsValue::number(std::floor(num_arg(0) + 0.5)); return true;
+    case kMathTrunc: result = JsValue::number(std::trunc(num_arg(0))); return true;
+    case kMathMin: {
+      double m = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < args.size(); ++i) m = std::fmin(m, num_arg(i));
+      result = JsValue::number(m);
+      return true;
+    }
+    case kMathMax: {
+      double m = -std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < args.size(); ++i) m = std::fmax(m, num_arg(i));
+      result = JsValue::number(m);
+      return true;
+    }
+    case kMathImul: {
+      const int32_t r = static_cast<int32_t>(
+          static_cast<uint32_t>(to_int32(num_arg(0))) *
+          static_cast<uint32_t>(to_int32(num_arg(1))));
+      result = JsValue::number(r);
+      return true;
+    }
+    case kPerfNow:
+      // The virtual clock, in milliseconds — scripts instrumented with
+      // performance.now() observe the same time the harness reports.
+      result = JsValue::number(static_cast<double>(stats_.cost_ps) / 1e9);
+      return true;
+    case kConsoleLog:
+      result = JsValue::undefined();
+      return true;
+    case kCryptoDigest: {
+      // crypto.digest(data): native SHA-256 over a Uint8Array or string;
+      // returns a Uint8Array(32). Stands in for the W3C WebCrypto API.
+      std::vector<uint8_t> bytes;
+      if (!args.empty() && args[0].is_object()) {
+        const GcObject& o = heap_.get(args[0].ref);
+        if (o.kind == ObjKind::Uint8Array) {
+          bytes.assign(std::get<std::vector<uint8_t>>(o.data).begin(),
+                       std::get<std::vector<uint8_t>>(o.data).end());
+        } else if (o.kind == ObjKind::String) {
+          bytes.assign(o.str().begin(), o.str().end());
+        }
+      }
+      stats_.cost_ps += kNativeDigestCostPerByte * bytes.size() + 2000;
+      const auto digest = support::sha256(bytes);
+      const ObjRef out = heap_.alloc_u8_array(digest.size());
+      std::copy(digest.begin(), digest.end(), heap_.get(out).u8().begin());
+      result = JsValue::object(out);
+      return true;
+    }
+    case kStringFromCharCode: {
+      std::string s;
+      for (size_t i = 0; i < args.size(); ++i) {
+        s += static_cast<char>(to_int32(num_arg(i)) & 0xff);
+      }
+      result = JsValue::object(make_string(std::move(s)));
+      return true;
+    }
+    default:
+      fail("unknown builtin");
+      return false;
+  }
+}
+
+bool Vm::method_on_primitive(const GcObject& recv_obj, JsValue receiver,
+                             std::span<const JsValue> args, uint32_t name_id,
+                             JsValue& result, bool& handled) {
+  handled = true;
+  const std::string& name = code_.names[name_id];
+  switch (recv_obj.kind) {
+    case ObjKind::Array: {
+      auto& elems = heap_.get(receiver.ref).elems();
+      if (name == "push") {
+        for (JsValue a : args) elems.push_back(a);
+        result = JsValue::number(static_cast<double>(elems.size()));
+        return true;
+      }
+      if (name == "pop") {
+        if (elems.empty()) {
+          result = JsValue::undefined();
+        } else {
+          result = elems.back();
+          elems.pop_back();
+        }
+        return true;
+      }
+      if (name == "fill") {
+        const JsValue v = args.empty() ? JsValue::undefined() : args[0];
+        for (auto& e : elems) e = v;
+        result = receiver;
+        return true;
+      }
+      if (name == "indexOf") {
+        result = JsValue::number(-1);
+        if (!args.empty() && args[0].is_number()) {
+          for (size_t i = 0; i < elems.size(); ++i) {
+            if (elems[i].is_number() && elems[i].num == args[0].num) {
+              result = JsValue::number(static_cast<double>(i));
+              break;
+            }
+          }
+        }
+        return true;
+      }
+      break;
+    }
+    case ObjKind::String: {
+      const std::string& s = recv_obj.str();
+      if (name == "charCodeAt") {
+        const int32_t i = args.empty() ? 0 : to_int32(args[0].num);
+        if (i < 0 || static_cast<size_t>(i) >= s.size()) {
+          result = JsValue::number(std::nan(""));
+        } else {
+          result = JsValue::number(static_cast<unsigned char>(s[static_cast<size_t>(i)]));
+        }
+        return true;
+      }
+      if (name == "charAt") {
+        const int32_t i = args.empty() ? 0 : to_int32(args[0].num);
+        std::string out;
+        if (i >= 0 && static_cast<size_t>(i) < s.size()) out = s.substr(static_cast<size_t>(i), 1);
+        result = JsValue::object(make_string(std::move(out)));
+        return true;
+      }
+      if (name == "substring" || name == "slice") {
+        int32_t from = args.size() > 0 && args[0].is_number() ? to_int32(args[0].num) : 0;
+        int32_t to = args.size() > 1 && args[1].is_number() ? to_int32(args[1].num)
+                                                            : static_cast<int32_t>(s.size());
+        from = std::clamp(from, 0, static_cast<int32_t>(s.size()));
+        to = std::clamp(to, from, static_cast<int32_t>(s.size()));
+        result = JsValue::object(
+            make_string(s.substr(static_cast<size_t>(from), static_cast<size_t>(to - from))));
+        return true;
+      }
+      if (name == "indexOf") {
+        std::string needle;
+        if (!args.empty() && args[0].is_object() &&
+            heap_.get(args[0].ref).kind == ObjKind::String) {
+          needle = heap_.get(args[0].ref).str();
+        }
+        const size_t at = s.find(needle);
+        result = JsValue::number(at == std::string::npos ? -1 : static_cast<double>(at));
+        return true;
+      }
+      break;
+    }
+    case ObjKind::Float64Array:
+    case ObjKind::Int32Array:
+    case ObjKind::Uint8Array: {
+      if (name == "fill") {
+        GcObject& o = heap_.get(receiver.ref);
+        const double v = args.empty() || !args[0].is_number() ? 0 : args[0].num;
+        if (o.kind == ObjKind::Float64Array) {
+          std::fill(o.f64().begin(), o.f64().end(), v);
+        } else if (o.kind == ObjKind::Int32Array) {
+          std::fill(o.i32().begin(), o.i32().end(), to_int32(v));
+        } else {
+          std::fill(o.u8().begin(), o.u8().end(), static_cast<uint8_t>(to_int32(v)));
+        }
+        result = receiver;
+        return true;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  handled = false;
+  return true;
+}
+
+// ------------------------------------------------------------------- run
+
+Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
+  ok_ = true;
+  error_.clear();
+  stack_.clear();
+  locals_.clear();
+  frames_.clear();
+
+  uint64_t ops = 0;
+  uint64_t cost = 0;
+  auto flush = [&] {
+    stats_.ops_executed += ops;
+    stats_.cost_ps += cost;
+    ops = 0;
+    cost = 0;
+  };
+
+  const JsInstr* code = nullptr;
+  uint32_t code_size = 0;
+  const uint64_t* costs = nullptr;
+  const FunctionProto* proto = nullptr;
+  uint32_t pc = 0;
+
+  auto cache_frame = [&] {
+    const Frame& f = frames_.back();
+    proto = &code_.protos[f.proto];
+    code = proto->code.data();
+    code_size = static_cast<uint32_t>(proto->code.size());
+    costs = cost_tables_[func_state_[f.proto].tier].data();
+    pc = f.pc;
+  };
+
+  auto enter = [&](uint32_t pidx, std::span<const JsValue> call_args) -> bool {
+    if (frames_.size() >= kMaxJsCallDepth) {
+      fail("maximum call stack size exceeded");
+      return false;
+    }
+    maybe_tier_up(pidx);
+    const FunctionProto& p = code_.protos[pidx];
+    Frame f;
+    f.proto = pidx;
+    f.pc = 0;
+    f.locals_base = static_cast<uint32_t>(locals_.size());
+    f.stack_base = static_cast<uint32_t>(stack_.size());
+    locals_.resize(f.locals_base + p.nlocals, JsValue::undefined());
+    for (uint32_t i = 0; i < p.nparams && i < call_args.size(); ++i) {
+      locals_[f.locals_base + i] = call_args[i];
+    }
+    frames_.push_back(f);
+    cache_frame();
+    return true;
+  };
+
+  if (!enter(proto_index, args)) {
+    flush();
+    return {false, error_, {}};
+  }
+
+  auto pop = [&]() -> JsValue {
+    JsValue v = stack_.back();
+    stack_.pop_back();
+    return v;
+  };
+  auto to_number = [&](JsValue v) -> double {
+    switch (v.tag) {
+      case JsValue::Tag::Number:
+        return v.num;
+      case JsValue::Tag::Bool:
+        return v.boolean ? 1 : 0;
+      case JsValue::Tag::Null:
+        return 0;
+      case JsValue::Tag::Undefined:
+        return std::nan("");
+      case JsValue::Tag::Object: {
+        const GcObject& o = heap_.get(v.ref);
+        if (o.kind == ObjKind::String) return to_number_str(o.str());
+        return std::nan("");
+      }
+    }
+    return std::nan("");
+  };
+  auto is_string = [&](JsValue v) {
+    return v.is_object() && heap_.get(v.ref).kind == ObjKind::String;
+  };
+
+  JsValue return_value = JsValue::undefined();
+
+  while (ok_) {
+    if (pc >= code_size) {
+      // Implicit return undefined.
+      if (frames_.size() == 1 && sample_memory_at_exit_) {
+        heap_.collect();
+      }
+      const Frame f = frames_.back();
+      frames_.pop_back();
+      locals_.resize(f.locals_base);
+      stack_.resize(f.stack_base);
+      if (frames_.empty()) {
+        return_value = JsValue::undefined();
+        break;
+      }
+      stack_.push_back(JsValue::undefined());
+      cache_frame();
+      continue;
+    }
+    if (ops >= fuel_) {
+      fail("fuel exhausted");
+      break;
+    }
+
+    const JsInstr ins = code[pc];
+    ++ops;
+    cost += costs[static_cast<size_t>(js_op_class(ins.op))];
+    {
+      const JsArithCat cat = js_arith_cat(ins.op);
+      if (cat != JsArithCat::None) ++stats_.arith_counts[static_cast<size_t>(cat)];
+    }
+
+    switch (ins.op) {
+      case JsOp::ConstNum:
+        stack_.push_back(JsValue::number(proto->num_consts[ins.a]));
+        break;
+      case JsOp::ConstStr:
+        stack_.push_back(JsValue::object(str_const_refs_[ins.a]));
+        break;
+      case JsOp::Undef:
+        stack_.push_back(JsValue::undefined());
+        break;
+      case JsOp::Null:
+        stack_.push_back(JsValue::null());
+        break;
+      case JsOp::True:
+        stack_.push_back(JsValue::boolean_value(true));
+        break;
+      case JsOp::False:
+        stack_.push_back(JsValue::boolean_value(false));
+        break;
+      case JsOp::LoadLocal:
+        stack_.push_back(locals_[frames_.back().locals_base + ins.a]);
+        break;
+      case JsOp::StoreLocal:
+        locals_[frames_.back().locals_base + ins.a] = pop();
+        break;
+      case JsOp::LoadGlobal:
+        stack_.push_back(globals_[ins.a]);
+        break;
+      case JsOp::StoreGlobal:
+        globals_[ins.a] = pop();
+        break;
+
+      case JsOp::Add: {
+        const JsValue b = pop();
+        const JsValue a = stack_.back();
+        if (a.is_number() && b.is_number()) {
+          stack_.back() = JsValue::number(a.num + b.num);
+        } else if (is_string(a) || is_string(b)) {
+          std::string s = to_display_string(a) + to_display_string(b);
+          stack_.back() = JsValue::object(make_string(std::move(s)));
+          heap_.maybe_collect();
+        } else {
+          stack_.back() = JsValue::number(to_number(a) + to_number(b));
+        }
+        break;
+      }
+#define WB_JS_NUM_BIN(OP, EXPR)                                   \
+  case JsOp::OP: {                                                \
+    const double b = to_number(pop());                            \
+    const double a = to_number(stack_.back());                    \
+    (void)a; (void)b;                                             \
+    stack_.back() = JsValue::number(EXPR);                        \
+    break;                                                        \
+  }
+      WB_JS_NUM_BIN(Sub, a - b)
+      WB_JS_NUM_BIN(Mul, a * b)
+      WB_JS_NUM_BIN(Div, a / b)
+      WB_JS_NUM_BIN(Mod, std::fmod(a, b))
+#undef WB_JS_NUM_BIN
+      case JsOp::Neg:
+        stack_.back() = JsValue::number(-to_number(stack_.back()));
+        break;
+      case JsOp::ToNum:
+        stack_.back() = JsValue::number(to_number(stack_.back()));
+        break;
+#define WB_JS_BIT_BIN(OP, EXPR)                                   \
+  case JsOp::OP: {                                                \
+    const int32_t b = to_int32(to_number(pop()));                 \
+    const int32_t a = to_int32(to_number(stack_.back()));         \
+    const uint32_t ua = static_cast<uint32_t>(a);                 \
+    const uint32_t ub = static_cast<uint32_t>(b);                 \
+    (void)a; (void)b; (void)ua; (void)ub;                         \
+    stack_.back() = JsValue::number(EXPR);                        \
+    break;                                                        \
+  }
+      WB_JS_BIT_BIN(BitAnd, a & b)
+      WB_JS_BIT_BIN(BitOr, a | b)
+      WB_JS_BIT_BIN(BitXor, a ^ b)
+      WB_JS_BIT_BIN(Shl, a << (ub & 31))
+      WB_JS_BIT_BIN(ShrS, a >> (ub & 31))
+      WB_JS_BIT_BIN(ShrU, static_cast<double>(ua >> (ub & 31)))
+#undef WB_JS_BIT_BIN
+      case JsOp::BitNot:
+        stack_.back() = JsValue::number(~to_int32(to_number(stack_.back())));
+        break;
+
+      case JsOp::Eq:
+      case JsOp::Ne:
+      case JsOp::StrictEq:
+      case JsOp::StrictNe: {
+        const JsValue b = pop();
+        const JsValue a = stack_.back();
+        const bool loose = ins.op == JsOp::Eq || ins.op == JsOp::Ne;
+        const bool a_str = is_string(a);
+        const bool b_str = is_string(b);
+        auto is_primitive = [&](JsValue v, bool v_str) {
+          return v.is_number() || v.is_bool() || v_str;
+        };
+        bool eq;
+        if (a.is_number() && b.is_number()) {
+          eq = a.num == b.num;
+        } else if (a_str && b_str) {
+          eq = heap_.get(a.ref).str() == heap_.get(b.ref).str();
+        } else if (a.is_object() && b.is_object()) {
+          eq = a.ref == b.ref;
+        } else if (a.tag == b.tag) {
+          eq = a.is_bool() ? a.boolean == b.boolean : true;  // null/undefined
+        } else if (loose && ((a.is_null() && b.is_undefined()) ||
+                             (a.is_undefined() && b.is_null()))) {
+          eq = true;
+        } else if (loose && is_primitive(a, a_str) && is_primitive(b, b_str)) {
+          eq = to_number(a) == to_number(b);
+        } else {
+          eq = false;
+        }
+        const bool want_eq = ins.op == JsOp::Eq || ins.op == JsOp::StrictEq;
+        stack_.back() = JsValue::boolean_value(want_eq ? eq : !eq);
+        break;
+      }
+#define WB_JS_CMP(OP, CMP)                                        \
+  case JsOp::OP: {                                                \
+    const JsValue b = pop();                                      \
+    const JsValue a = stack_.back();                              \
+    bool r;                                                       \
+    if (is_string(a) && is_string(b)) {                           \
+      r = heap_.get(a.ref).str() CMP heap_.get(b.ref).str();      \
+    } else {                                                      \
+      r = to_number(a) CMP to_number(b);                          \
+    }                                                             \
+    stack_.back() = JsValue::boolean_value(r);                    \
+    break;                                                        \
+  }
+      WB_JS_CMP(Lt, <)
+      WB_JS_CMP(Le, <=)
+      WB_JS_CMP(Gt, >)
+      WB_JS_CMP(Ge, >=)
+#undef WB_JS_CMP
+      case JsOp::Not:
+        stack_.back() = JsValue::boolean_value(!truthy(heap_, stack_.back()));
+        break;
+
+      case JsOp::Jump:
+        if (ins.a <= pc) {  // back-edge: loop hotness
+          const uint32_t p = frames_.back().proto;
+          const uint8_t before = func_state_[p].tier;
+          maybe_tier_up(p);
+          if (func_state_[p].tier != before) costs = cost_tables_[1].data();
+        }
+        pc = ins.a;
+        continue;
+      case JsOp::JumpIfFalse:
+        if (!truthy(heap_, pop())) {
+          pc = ins.a;
+          continue;
+        }
+        break;
+      case JsOp::JumpIfFalsePeek:
+        if (!truthy(heap_, stack_.back())) {
+          pc = ins.a;
+          continue;
+        }
+        break;
+      case JsOp::JumpIfTruePeek:
+        if (truthy(heap_, stack_.back())) {
+          pc = ins.a;
+          continue;
+        }
+        break;
+
+      case JsOp::Pop:
+        stack_.pop_back();
+        break;
+      case JsOp::Dup:
+        stack_.push_back(stack_.back());
+        break;
+      case JsOp::Dup2: {
+        const JsValue b = stack_[stack_.size() - 1];
+        const JsValue a = stack_[stack_.size() - 2];
+        stack_.push_back(a);
+        stack_.push_back(b);
+        break;
+      }
+
+      case JsOp::Call: {
+        const uint32_t argc = ins.a;
+        const size_t callee_at = stack_.size() - argc - 1;
+        const JsValue callee = stack_[callee_at];
+        if (!callee.is_object()) {
+          fail("callee is not a function");
+          break;
+        }
+        const GcObject& fo = heap_.get(callee.ref);
+        if (fo.kind == ObjKind::Function) {
+          const uint32_t pidx = fo.fn_index();
+          frames_.back().pc = pc + 1;
+          std::span<const JsValue> call_args(stack_.data() + callee_at + 1, argc);
+          // Copy args into locals before truncating the stack.
+          if (!enter(pidx, call_args)) break;
+          // Remove callee+args from the caller's stack (frame captured
+          // stack_base before truncation — adjust).
+          frames_.back().stack_base = static_cast<uint32_t>(callee_at);
+          stack_.resize(callee_at);
+          continue;
+        }
+        if (fo.kind == ObjKind::Builtin) {
+          JsValue result;
+          std::vector<JsValue> call_args(stack_.begin() + static_cast<long>(callee_at) + 1,
+                                         stack_.end());
+          if (!call_builtin(fo.fn_index(), JsValue::undefined(), call_args, result)) break;
+          stack_.resize(callee_at);
+          stack_.push_back(result);
+          break;
+        }
+        fail("callee is not callable");
+        break;
+      }
+      case JsOp::CallMethod: {
+        const uint32_t argc = ins.b;
+        const size_t recv_at = stack_.size() - argc - 1;
+        const JsValue receiver = stack_[recv_at];
+        if (!receiver.is_object()) {
+          fail("method call on non-object (" + code_.names[ins.a] + ")");
+          break;
+        }
+        const GcObject& ro = heap_.get(receiver.ref);
+        std::vector<JsValue> call_args(stack_.begin() + static_cast<long>(recv_at) + 1,
+                                       stack_.end());
+        if (ro.kind == ObjKind::Object) {
+          JsValue member;
+          bool found = false;
+          for (const Prop& p : ro.props()) {
+            if (p.key == ins.a) {
+              member = p.value;
+              found = true;
+              break;
+            }
+          }
+          if (!found || !member.is_object()) {
+            fail("no such method: " + code_.names[ins.a]);
+            break;
+          }
+          const GcObject& fo = heap_.get(member.ref);
+          if (fo.kind == ObjKind::Builtin) {
+            // Math.* are JIT intrinsics: engines lower them to plain
+            // instructions, so re-price the Call charge as arithmetic.
+            if (fo.fn_index() <= kMathImul) {
+              cost = cost - costs[static_cast<size_t>(JsOpClass::Call)] +
+                     costs[static_cast<size_t>(JsOpClass::Arith)];
+            }
+            JsValue result;
+            if (!call_builtin(fo.fn_index(), receiver, call_args, result)) break;
+            stack_.resize(recv_at);
+            stack_.push_back(result);
+            heap_.maybe_collect();
+            break;
+          }
+          if (fo.kind == ObjKind::Function) {
+            frames_.back().pc = pc + 1;
+            const uint32_t pidx = fo.fn_index();
+            if (!enter(pidx, call_args)) break;
+            frames_.back().stack_base = static_cast<uint32_t>(recv_at);
+            stack_.resize(recv_at);
+            continue;
+          }
+          fail("property is not callable: " + code_.names[ins.a]);
+          break;
+        }
+        JsValue result;
+        bool handled = false;
+        if (!method_on_primitive(ro, receiver, call_args, ins.a, result, handled)) break;
+        if (!handled) {
+          fail("no such method: " + code_.names[ins.a]);
+          break;
+        }
+        stack_.resize(recv_at);
+        stack_.push_back(result);
+        heap_.maybe_collect();
+        break;
+      }
+
+      case JsOp::Return:
+      case JsOp::ReturnUndef: {
+        const JsValue result =
+            ins.op == JsOp::Return ? pop() : JsValue::undefined();
+        if (frames_.size() == 1 && sample_memory_at_exit_) {
+          heap_.collect();  // snapshot live bytes while locals are rooted
+        }
+        const Frame f = frames_.back();
+        frames_.pop_back();
+        locals_.resize(f.locals_base);
+        stack_.resize(f.stack_base);
+        if (frames_.empty()) {
+          return_value = result;
+          goto done;
+        }
+        stack_.push_back(result);
+        cache_frame();
+        continue;
+      }
+
+      case JsOp::NewArray: {
+        std::vector<JsValue> elems(stack_.end() - ins.a, stack_.end());
+        stack_.resize(stack_.size() - ins.a);
+        stack_.push_back(JsValue::object(heap_.alloc_array(std::move(elems))));
+        heap_.maybe_collect();
+        break;
+      }
+      case JsOp::NewArrayN: {
+        const double n = to_number(pop());
+        std::vector<JsValue> elems(static_cast<size_t>(std::max(0.0, n)),
+                                   JsValue::undefined());
+        stack_.push_back(JsValue::object(heap_.alloc_array(std::move(elems))));
+        heap_.maybe_collect();
+        break;
+      }
+      case JsOp::NewObject:
+        stack_.push_back(JsValue::object(heap_.alloc_object()));
+        heap_.maybe_collect();
+        break;
+
+      case JsOp::GetProp: {
+        const JsValue obj = stack_.back();
+        if (!obj.is_object()) {
+          fail("property access on non-object: ." + code_.names[ins.a]);
+          break;
+        }
+        const GcObject& o = heap_.get(obj.ref);
+        const std::string& name = code_.names[ins.a];
+        if (name == "length") {
+          double len = 0;
+          switch (o.kind) {
+            case ObjKind::Array: len = static_cast<double>(o.elems().size()); break;
+            case ObjKind::String: len = static_cast<double>(o.str().size()); break;
+            case ObjKind::Float64Array:
+              len = static_cast<double>(std::get<std::vector<double>>(o.data).size());
+              break;
+            case ObjKind::Int32Array:
+              len = static_cast<double>(std::get<std::vector<int32_t>>(o.data).size());
+              break;
+            case ObjKind::Uint8Array:
+              len = static_cast<double>(std::get<std::vector<uint8_t>>(o.data).size());
+              break;
+            default: {
+              // fall through to prop lookup on plain objects
+              if (o.kind == ObjKind::Object) break;
+              fail("no length on this value");
+              break;
+            }
+          }
+          if (o.kind != ObjKind::Object) {
+            stack_.back() = JsValue::number(len);
+            break;
+          }
+        }
+        if (o.kind != ObjKind::Object) {
+          fail("property access on non-plain object: ." + name);
+          break;
+        }
+        JsValue value = JsValue::undefined();
+        for (const Prop& p : o.props()) {
+          if (p.key == ins.a) {
+            value = p.value;
+            break;
+          }
+        }
+        stack_.back() = value;
+        break;
+      }
+      case JsOp::SetProp: {
+        const JsValue value = pop();
+        const JsValue obj = pop();
+        if (!obj.is_object() || heap_.get(obj.ref).kind != ObjKind::Object) {
+          fail("property store on non-object: ." + code_.names[ins.a]);
+          break;
+        }
+        auto& props = heap_.get(obj.ref).props();
+        bool found = false;
+        for (Prop& p : props) {
+          if (p.key == ins.a) {
+            p.value = value;
+            found = true;
+            break;
+          }
+        }
+        if (!found) props.push_back(Prop{ins.a, value});
+        stack_.push_back(value);
+        break;
+      }
+
+      case JsOp::GetIndex: {
+        const JsValue idx = pop();
+        const JsValue obj = stack_.back();
+        if (!obj.is_object() || !idx.is_number()) {
+          fail("bad index expression");
+          break;
+        }
+        const GcObject& o = heap_.get(obj.ref);
+        if (o.kind == ObjKind::Array) {
+          cost += costs[static_cast<size_t>(JsOpClass::BoxedIndex)];
+        }
+        const int64_t i = static_cast<int64_t>(idx.num);
+        switch (o.kind) {
+          case ObjKind::Array: {
+            const auto& elems = o.elems();
+            stack_.back() = (i >= 0 && static_cast<size_t>(i) < elems.size())
+                                ? elems[static_cast<size_t>(i)]
+                                : JsValue::undefined();
+            break;
+          }
+          case ObjKind::Float64Array: {
+            const auto& xs = std::get<std::vector<double>>(o.data);
+            stack_.back() = (i >= 0 && static_cast<size_t>(i) < xs.size())
+                                ? JsValue::number(xs[static_cast<size_t>(i)])
+                                : JsValue::undefined();
+            break;
+          }
+          case ObjKind::Int32Array: {
+            const auto& xs = std::get<std::vector<int32_t>>(o.data);
+            stack_.back() = (i >= 0 && static_cast<size_t>(i) < xs.size())
+                                ? JsValue::number(xs[static_cast<size_t>(i)])
+                                : JsValue::undefined();
+            break;
+          }
+          case ObjKind::Uint8Array: {
+            const auto& xs = std::get<std::vector<uint8_t>>(o.data);
+            stack_.back() = (i >= 0 && static_cast<size_t>(i) < xs.size())
+                                ? JsValue::number(xs[static_cast<size_t>(i)])
+                                : JsValue::undefined();
+            break;
+          }
+          case ObjKind::String: {
+            const std::string& s = o.str();
+            std::string out;
+            if (i >= 0 && static_cast<size_t>(i) < s.size()) {
+              out = s.substr(static_cast<size_t>(i), 1);
+            }
+            stack_.back() = JsValue::object(make_string(std::move(out)));
+            heap_.maybe_collect();
+            break;
+          }
+          default:
+            fail("value is not indexable");
+            break;
+        }
+        break;
+      }
+      case JsOp::SetIndex: {
+        const JsValue value = pop();
+        const JsValue idx = pop();
+        const JsValue obj = pop();
+        if (!obj.is_object() || !idx.is_number()) {
+          fail("bad index store");
+          break;
+        }
+        GcObject& o = heap_.get(obj.ref);
+        if (o.kind == ObjKind::Array) {
+          cost += costs[static_cast<size_t>(JsOpClass::BoxedIndex)];
+        }
+        const int64_t i = static_cast<int64_t>(idx.num);
+        if (i < 0) {
+          fail("negative index store");
+          break;
+        }
+        switch (o.kind) {
+          case ObjKind::Array: {
+            auto& elems = o.elems();
+            if (static_cast<size_t>(i) >= elems.size()) {
+              elems.resize(static_cast<size_t>(i) + 1, JsValue::undefined());
+            }
+            elems[static_cast<size_t>(i)] = value;
+            break;
+          }
+          case ObjKind::Float64Array: {
+            auto& xs = o.f64();
+            if (static_cast<size_t>(i) < xs.size()) {
+              xs[static_cast<size_t>(i)] = value.is_number() ? value.num : std::nan("");
+            }
+            break;
+          }
+          case ObjKind::Int32Array: {
+            auto& xs = o.i32();
+            if (static_cast<size_t>(i) < xs.size()) {
+              xs[static_cast<size_t>(i)] = to_int32(value.is_number() ? value.num : 0);
+            }
+            break;
+          }
+          case ObjKind::Uint8Array: {
+            auto& xs = o.u8();
+            if (static_cast<size_t>(i) < xs.size()) {
+              xs[static_cast<size_t>(i)] =
+                  static_cast<uint8_t>(to_int32(value.is_number() ? value.num : 0));
+            }
+            break;
+          }
+          default:
+            fail("value is not index-assignable");
+            break;
+        }
+        stack_.push_back(value);
+        break;
+      }
+
+      case JsOp::NewF64Array: {
+        const double n = to_number(pop());
+        stack_.push_back(
+            JsValue::object(heap_.alloc_f64_array(static_cast<size_t>(std::max(0.0, n)))));
+        heap_.maybe_collect();
+        break;
+      }
+      case JsOp::NewI32Array: {
+        const double n = to_number(pop());
+        stack_.push_back(
+            JsValue::object(heap_.alloc_i32_array(static_cast<size_t>(std::max(0.0, n)))));
+        heap_.maybe_collect();
+        break;
+      }
+      case JsOp::NewU8Array: {
+        const double n = to_number(pop());
+        stack_.push_back(
+            JsValue::object(heap_.alloc_u8_array(static_cast<size_t>(std::max(0.0, n)))));
+        heap_.maybe_collect();
+        break;
+      }
+    }
+
+    if (!ok_) break;
+    ++pc;
+  }
+
+done:
+  flush();
+  if (!ok_) return {false, error_, {}};
+  return {true, "", return_value};
+}
+
+}  // namespace wb::js

@@ -1,0 +1,129 @@
+// The JS virtual machine: a bytecode interpreter with a two-tier execution
+// model (dynamically-typed interpreter tier vs. optimized/JIT tier) and a
+// mark–sweep GC heap. Like the Wasm VM, every executed op charges virtual
+// time from per-tier cost tables supplied by the environment; the large
+// baseline/optimized gap on arithmetic and indexing is what produces the
+// paper's JS JIT speedups (Fig. 10).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "js/bytecode.h"
+#include "js/heap.h"
+
+namespace wb::js {
+
+using JsCostTable = std::array<uint64_t, kJsOpClassCount>;
+
+struct JsTierPolicy {
+  bool jit_enabled = true;      ///< false models --no-opt (JIT-less) Chrome
+  uint64_t tierup_threshold = 1000;
+  uint64_t tierup_cost_per_instr = 600;  ///< optimizing-compile time at tier-up
+};
+
+/// Arithmetic categories counted for the paper's Table 12 (shared shape
+/// with wasm::ArithCat).
+enum class JsArithCat : uint8_t { Add, Mul, Div, Rem, Shift, And, Or, None };
+inline constexpr size_t kJsArithCatCount = 7;
+
+JsArithCat js_arith_cat(JsOp op);
+
+struct JsExecStats {
+  uint64_t ops_executed = 0;
+  uint64_t cost_ps = 0;
+  uint64_t tierups = 0;
+  uint64_t host_calls = 0;
+  std::array<uint64_t, kJsArithCatCount> arith_counts{};
+};
+
+class Vm {
+ public:
+  /// `code` must outlive the Vm. The heap is shared so the harness can
+  /// inspect GC stats after the run.
+  Vm(const ScriptCode& code, Heap& heap);
+  ~Vm();
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  void set_cost_tables(const JsCostTable& baseline, const JsCostTable& optimized);
+  void set_tier_policy(const JsTierPolicy& policy);
+  void set_fuel(uint64_t max_ops) { fuel_ = max_ops; }
+  /// When set (default), runs a collection just before the outermost
+  /// frame returns, so Heap::stats().peak_live_bytes reflects what the
+  /// program held while running (the DevTools-snapshot moment).
+  void set_sample_memory_at_exit(bool sample) { sample_memory_at_exit_ = sample; }
+  /// Charges one-off virtual time (parse/compile at load, etc.).
+  void charge(uint64_t cost_ps) { stats_.cost_ps += cost_ps; }
+
+  struct Result {
+    bool ok = true;
+    std::string error;
+    JsValue value;
+  };
+
+  /// Runs the top-level script body (binds declared functions first).
+  Result run_top_level();
+  /// Calls a global function by name.
+  Result call_function(std::string_view name, std::span<const JsValue> args);
+
+  /// Sets a global by name (no-op if the script never references it).
+  void set_global(std::string_view name, JsValue value);
+  [[nodiscard]] JsValue get_global(std::string_view name) const;
+
+  [[nodiscard]] const JsExecStats& stats() const { return stats_; }
+  [[nodiscard]] Heap& heap() { return heap_; }
+  [[nodiscard]] const ScriptCode& code() const { return code_; }
+
+  /// Helpers for host/builtin code.
+  ObjRef make_string(std::string s);
+  [[nodiscard]] std::string to_display_string(JsValue v) const;
+
+ private:
+  struct Frame {
+    uint32_t proto;
+    uint32_t pc;
+    uint32_t locals_base;
+    uint32_t stack_base;
+  };
+  struct FuncState {
+    uint8_t tier = 0;
+    uint64_t hotness = 0;
+  };
+
+  Result run(uint32_t proto_index, std::span<const JsValue> args);
+  void maybe_tier_up(uint32_t proto_index);
+  bool call_builtin(uint32_t builtin_id, JsValue receiver,
+                    std::span<const JsValue> args, JsValue& result);
+  bool method_on_primitive(const GcObject& recv_obj, JsValue receiver,
+                           std::span<const JsValue> args, uint32_t name_id,
+                           JsValue& result, bool& handled);
+  void install_builtins();
+  int32_t find_name(std::string_view name) const;
+  void fail(std::string message);
+
+  const ScriptCode& code_;
+  Heap& heap_;
+  std::vector<JsValue> globals_;
+  std::vector<ObjRef> str_const_refs_;
+  std::array<JsCostTable, 2> cost_tables_;
+  JsTierPolicy tier_policy_;
+  std::vector<FuncState> func_state_;
+  JsExecStats stats_;
+  uint64_t fuel_ = UINT64_MAX;
+
+  // Live interpreter state (rooted during GC).
+  std::vector<JsValue> stack_;
+  std::vector<JsValue> locals_;
+  std::vector<Frame> frames_;
+
+  bool ok_ = true;
+  std::string error_;
+  bool sample_memory_at_exit_ = true;
+};
+
+}  // namespace wb::js

@@ -1,0 +1,190 @@
+#include "js/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace wb::js {
+
+bool is_keyword(std::string_view word) {
+  static constexpr std::array<std::string_view, 16> kKeywords = {
+      "var", "let", "const", "function", "if", "else", "for", "while",
+      "do", "return", "break", "continue", "new", "true", "false", "null"};
+  for (auto k : kKeywords) {
+    if (k == word) return true;
+  }
+  return word == "undefined";
+}
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool is_ident_char(char c) {
+  return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// Multi-char punctuators, longest first so maximal munch works.
+constexpr std::string_view kPuncts[] = {
+    ">>>=", "===", "!==", ">>>", "<<=", ">>=", "**", "&&", "||", "==", "!=",
+    "<=",  ">=",  "+=",  "-=",  "*=",  "/=",  "%=", "&=", "|=", "^=", "++",
+    "--",  "<<",  ">>",  "+",   "-",   "*",   "/",  "%",  "&",  "|",  "^",
+    "~",   "!",   "<",   ">",   "=",   "?",   ":",  ";",  ",",  ".",  "(",
+    ")",   "[",   "]",   "{",   "}"};
+
+}  // namespace
+
+bool tokenize(std::string_view src, std::vector<Token>& out, std::string& error) {
+  size_t i = 0;
+  uint32_t line = 1;
+  const size_t n = src.size();
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        error = "unterminated block comment at line " + std::to_string(line);
+        return false;
+      }
+      i += 2;
+      continue;
+    }
+    // Numbers (decimal, hex, floats with exponent).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const size_t start = i;
+      double value = 0;
+      if (c == '0' && i + 1 < n && (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        i += 2;
+        uint64_t hex = 0;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          hex = hex * 16 + static_cast<uint64_t>(
+              std::isdigit(static_cast<unsigned char>(src[i]))
+                  ? src[i] - '0'
+                  : std::tolower(static_cast<unsigned char>(src[i])) - 'a' + 10);
+          ++i;
+        }
+        value = static_cast<double>(hex);
+      } else {
+        while (i < n && (std::isdigit(static_cast<unsigned char>(src[i])) ||
+                         src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+                         ((src[i] == '+' || src[i] == '-') && i > start &&
+                          (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+          ++i;
+        }
+        const std::string text(src.substr(start, i - start));
+        value = std::strtod(text.c_str(), nullptr);
+      }
+      Token t;
+      t.kind = TokKind::Number;
+      t.text = src.substr(start, i - start);
+      t.num = value;
+      t.line = line;
+      out.push_back(t);
+      continue;
+    }
+    // Identifiers & keywords.
+    if (is_ident_start(c)) {
+      const size_t start = i;
+      while (i < n && is_ident_char(src[i])) ++i;
+      Token t;
+      t.text = src.substr(start, i - start);
+      t.kind = is_keyword(t.text) ? TokKind::Keyword : TokKind::Identifier;
+      t.line = line;
+      out.push_back(t);
+      continue;
+    }
+    // Strings.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      const size_t start = i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (src[i] == quote) {
+          closed = true;
+          break;
+        }
+        if (src[i] == '\\' && i + 1 < n) {
+          ++i;
+          switch (src[i]) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case 'r': value += '\r'; break;
+            case '\\': value += '\\'; break;
+            case '\'': value += '\''; break;
+            case '"': value += '"'; break;
+            case '0': value += '\0'; break;
+            default: value += src[i]; break;
+          }
+          ++i;
+          continue;
+        }
+        if (src[i] == '\n') ++line;
+        value += src[i];
+        ++i;
+      }
+      if (!closed) {
+        error = "unterminated string at line " + std::to_string(line);
+        return false;
+      }
+      ++i;  // closing quote
+      Token t;
+      t.kind = TokKind::String;
+      t.text = src.substr(start, i - 1 - start);  // raw, without quotes
+      t.line = line;
+      out.push_back(t);
+      // Escaped strings need owned storage; stash the cooked value through
+      // text only when no escape was present. Parser re-cooks via unescape.
+      continue;
+    }
+    // Punctuation (maximal munch).
+    bool matched = false;
+    for (std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        Token t;
+        t.kind = TokKind::Punct;
+        t.text = src.substr(i, p.size());
+        t.line = line;
+        out.push_back(t);
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      error = std::string("unexpected character '") + c + "' at line " + std::to_string(line);
+      return false;
+    }
+  }
+
+  Token eof;
+  eof.kind = TokKind::Eof;
+  eof.line = line;
+  out.push_back(eof);
+  return true;
+}
+
+}  // namespace wb::js

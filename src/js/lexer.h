@@ -1,0 +1,36 @@
+// Tokenizer for the JS-like language (the subset real-world numeric JS and
+// compiler-generated JS use: functions, loops, arrays/objects, full C-style
+// operator set including `>>>` and the `|0` coercion idiom).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wb::js {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  Number,
+  String,
+  Keyword,
+  Punct,
+};
+
+struct Token {
+  TokKind kind = TokKind::Eof;
+  std::string_view text;  ///< points into the source buffer
+  double num = 0;         ///< for Number tokens
+  uint32_t line = 1;
+};
+
+/// Tokenizes `source`. On success fills `out` (terminated by an Eof token);
+/// on failure returns false and sets `error`.
+bool tokenize(std::string_view source, std::vector<Token>& out, std::string& error);
+
+/// True if `word` is a reserved keyword of the subset.
+bool is_keyword(std::string_view word);
+
+}  // namespace wb::js

@@ -1,0 +1,497 @@
+#include "js/parser.h"
+
+#include "js/lexer.h"
+
+namespace wb::js {
+
+namespace {
+
+std::string unescape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '\\' && i + 1 < raw.size()) {
+      ++i;
+      switch (raw[i]) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case '0': out += '\0'; break;
+        default: out += raw[i]; break;
+      }
+    } else {
+      out += raw[i];
+    }
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string& error)
+      : toks_(std::move(tokens)), error_(error) {}
+
+  std::optional<JsProgram> run() {
+    JsProgram program;
+    while (!at_end() && ok_) {
+      if (peek_kw("function")) {
+        auto fn = parse_function();
+        if (!ok_) return std::nullopt;
+        program.functions.push_back(std::move(fn));
+      } else {
+        StmtPtr s = parse_statement();
+        if (!ok_) return std::nullopt;
+        if (s) program.top_level.push_back(std::move(s));
+      }
+    }
+    if (!ok_) return std::nullopt;
+    return program;
+  }
+
+ private:
+  // ------------------------------------------------------------- helpers
+  const Token& peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool at_end() const { return peek().kind == TokKind::Eof; }
+  const Token& advance() { return toks_[pos_++]; }
+
+  bool peek_punct(std::string_view p) const {
+    return peek().kind == TokKind::Punct && peek().text == p;
+  }
+  bool peek_kw(std::string_view k) const {
+    return peek().kind == TokKind::Keyword && peek().text == k;
+  }
+  bool match_punct(std::string_view p) {
+    if (!peek_punct(p)) return false;
+    advance();
+    return true;
+  }
+  bool match_kw(std::string_view k) {
+    if (!peek_kw(k)) return false;
+    advance();
+    return true;
+  }
+  void expect_punct(std::string_view p) {
+    if (!match_punct(p)) fail(std::string("expected '") + std::string(p) + "'");
+  }
+  void fail(const std::string& message) {
+    if (ok_) {
+      error_ = message + " at line " + std::to_string(peek().line);
+      ok_ = false;
+    }
+  }
+
+  ExprPtr make(Expr::Kind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = peek().line;
+    return e;
+  }
+
+  // ----------------------------------------------------------- functions
+  FunctionDecl parse_function() {
+    advance();  // 'function'
+    FunctionDecl fn;
+    fn.line = peek().line;
+    if (peek().kind != TokKind::Identifier) {
+      fail("expected function name");
+      return fn;
+    }
+    fn.name = std::string(advance().text);
+    expect_punct("(");
+    if (!peek_punct(")")) {
+      do {
+        if (peek().kind != TokKind::Identifier) {
+          fail("expected parameter name");
+          return fn;
+        }
+        fn.params.push_back(std::string(advance().text));
+      } while (match_punct(","));
+    }
+    expect_punct(")");
+    expect_punct("{");
+    while (ok_ && !peek_punct("}") && !at_end()) {
+      StmtPtr s = parse_statement();
+      if (s) fn.body.push_back(std::move(s));
+    }
+    expect_punct("}");
+    return fn;
+  }
+
+  // ---------------------------------------------------------- statements
+  StmtPtr parse_statement() {
+    const uint32_t line = peek().line;
+    auto stmt = [&](Stmt::Kind kind) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = kind;
+      s->line = line;
+      return s;
+    };
+
+    if (match_punct(";")) return nullptr;
+    if (peek_kw("var") || peek_kw("let") || peek_kw("const")) {
+      auto s = parse_var_decl();
+      expect_punct(";");
+      return s;
+    }
+    if (match_kw("if")) {
+      auto s = stmt(Stmt::Kind::If);
+      expect_punct("(");
+      s->expr = parse_expression();
+      expect_punct(")");
+      s->body = parse_statement();
+      if (match_kw("else")) s->else_body = parse_statement();
+      return s;
+    }
+    if (match_kw("while")) {
+      auto s = stmt(Stmt::Kind::While);
+      expect_punct("(");
+      s->expr = parse_expression();
+      expect_punct(")");
+      s->body = parse_statement();
+      return s;
+    }
+    if (match_kw("do")) {
+      auto s = stmt(Stmt::Kind::DoWhile);
+      s->body = parse_statement();
+      if (!match_kw("while")) fail("expected 'while' after do body");
+      expect_punct("(");
+      s->expr = parse_expression();
+      expect_punct(")");
+      match_punct(";");
+      return s;
+    }
+    if (match_kw("for")) {
+      auto s = stmt(Stmt::Kind::For);
+      expect_punct("(");
+      if (!peek_punct(";")) {
+        if (peek_kw("var") || peek_kw("let") || peek_kw("const")) {
+          s->init = parse_var_decl();
+        } else {
+          auto init = stmt(Stmt::Kind::Expr);
+          init->expr = parse_expression();
+          s->init = std::move(init);
+        }
+      }
+      expect_punct(";");
+      if (!peek_punct(";")) s->expr = parse_expression();
+      expect_punct(";");
+      if (!peek_punct(")")) s->update = parse_expression();
+      expect_punct(")");
+      s->body = parse_statement();
+      return s;
+    }
+    if (match_kw("return")) {
+      auto s = stmt(Stmt::Kind::Return);
+      if (!peek_punct(";")) s->expr = parse_expression();
+      expect_punct(";");
+      return s;
+    }
+    if (match_kw("break")) {
+      expect_punct(";");
+      return stmt(Stmt::Kind::Break);
+    }
+    if (match_kw("continue")) {
+      expect_punct(";");
+      return stmt(Stmt::Kind::Continue);
+    }
+    if (match_punct("{")) {
+      auto s = stmt(Stmt::Kind::Block);
+      while (ok_ && !peek_punct("}") && !at_end()) {
+        StmtPtr inner = parse_statement();
+        if (inner) s->stmts.push_back(std::move(inner));
+      }
+      expect_punct("}");
+      return s;
+    }
+    auto s = stmt(Stmt::Kind::Expr);
+    s->expr = parse_expression();
+    expect_punct(";");
+    return s;
+  }
+
+  StmtPtr parse_var_decl() {
+    advance();  // var/let/const
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::VarDecl;
+    s->line = peek().line;
+    do {
+      if (peek().kind != TokKind::Identifier) {
+        fail("expected variable name");
+        return s;
+      }
+      std::string name(advance().text);
+      ExprPtr init;
+      if (match_punct("=")) init = parse_assignment();
+      s->decls.emplace_back(std::move(name), std::move(init));
+    } while (match_punct(","));
+    return s;
+  }
+
+  // --------------------------------------------------------- expressions
+  ExprPtr parse_expression() {
+    ExprPtr e = parse_assignment();
+    // Comma operator: evaluate both, keep the last (used in for-updates).
+    while (ok_ && peek_punct(",")) {
+      advance();
+      auto seq = make(Expr::Kind::Binary);
+      seq->op = ",";
+      seq->a = std::move(e);
+      seq->b = parse_assignment();
+      e = std::move(seq);
+    }
+    return e;
+  }
+
+  ExprPtr parse_assignment() {
+    ExprPtr lhs = parse_ternary();
+    static constexpr std::string_view kAssignOps[] = {
+        "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ">>>="};
+    for (std::string_view op : kAssignOps) {
+      if (peek_punct(op)) {
+        advance();
+        auto e = make(Expr::Kind::Assign);
+        e->op = op == "=" ? "" : std::string(op.substr(0, op.size() - 1));
+        e->a = std::move(lhs);
+        e->b = parse_assignment();  // right-assoc
+        return e;
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_binary(0);
+    if (!match_punct("?")) return cond;
+    auto e = make(Expr::Kind::Ternary);
+    e->a = std::move(cond);
+    e->b = parse_assignment();
+    expect_punct(":");
+    e->c = parse_assignment();
+    return e;
+  }
+
+  struct Level {
+    std::string_view ops[6];
+    bool logical;
+  };
+
+  ExprPtr parse_binary(int level) {
+    static const Level kLevels[] = {
+        {{"||"}, true},
+        {{"&&"}, true},
+        {{"|"}, false},
+        {{"^"}, false},
+        {{"&"}, false},
+        {{"===", "!==", "==", "!="}, false},
+        {{"<=", ">=", "<", ">"}, false},
+        {{"<<", ">>>", ">>"}, false},
+        {{"+", "-"}, false},
+        {{"*", "/", "%"}, false},
+    };
+    constexpr int kNumLevels = static_cast<int>(std::size(kLevels));
+    if (level >= kNumLevels) return parse_unary();
+
+    ExprPtr lhs = parse_binary(level + 1);
+    while (ok_) {
+      const Level& lv = kLevels[level];
+      bool matched = false;
+      for (std::string_view op : lv.ops) {
+        if (!op.empty() && peek_punct(op)) {
+          advance();
+          auto e = make(lv.logical ? Expr::Kind::Logical : Expr::Kind::Binary);
+          e->op = op;
+          e->a = std::move(lhs);
+          e->b = parse_binary(level + 1);
+          lhs = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) break;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    for (std::string_view op : {"-", "+", "!", "~"}) {
+      if (peek_punct(op)) {
+        advance();
+        auto e = make(Expr::Kind::Unary);
+        e->op = op;
+        e->a = parse_unary();
+        return e;
+      }
+    }
+    if (peek_punct("++") || peek_punct("--")) {
+      auto e = make(Expr::Kind::Update);
+      e->op = std::string(advance().text);
+      e->prefix = true;
+      e->a = parse_unary();
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (ok_) {
+      if (match_punct(".")) {
+        if (peek().kind != TokKind::Identifier && peek().kind != TokKind::Keyword) {
+          fail("expected property name");
+          return e;
+        }
+        auto m = make(Expr::Kind::Member);
+        m->str = std::string(advance().text);
+        m->a = std::move(e);
+        e = std::move(m);
+      } else if (match_punct("[")) {
+        auto ix = make(Expr::Kind::Index);
+        ix->a = std::move(e);
+        ix->b = parse_expression();
+        expect_punct("]");
+        e = std::move(ix);
+      } else if (match_punct("(")) {
+        auto call = make(Expr::Kind::Call);
+        call->a = std::move(e);
+        if (!peek_punct(")")) {
+          do {
+            call->args.push_back(parse_assignment());
+          } while (match_punct(","));
+        }
+        expect_punct(")");
+        e = std::move(call);
+      } else if (peek_punct("++") || peek_punct("--")) {
+        auto u = make(Expr::Kind::Update);
+        u->op = std::string(advance().text);
+        u->prefix = false;
+        u->a = std::move(e);
+        e = std::move(u);
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokKind::Number: {
+        auto e = make(Expr::Kind::Number);
+        e->num = t.num;
+        advance();
+        return e;
+      }
+      case TokKind::String: {
+        auto e = make(Expr::Kind::String);
+        e->str = unescape(t.text);
+        advance();
+        return e;
+      }
+      case TokKind::Identifier: {
+        auto e = make(Expr::Kind::Ident);
+        e->str = std::string(t.text);
+        advance();
+        return e;
+      }
+      case TokKind::Keyword: {
+        if (t.text == "true" || t.text == "false") {
+          auto e = make(Expr::Kind::Bool);
+          e->boolean = t.text == "true";
+          advance();
+          return e;
+        }
+        if (t.text == "null") {
+          advance();
+          return make(Expr::Kind::Null);
+        }
+        if (t.text == "undefined") {
+          advance();
+          return make(Expr::Kind::Undefined);
+        }
+        if (t.text == "new") {
+          advance();
+          auto e = make(Expr::Kind::New);
+          if (peek().kind != TokKind::Identifier) {
+            fail("expected constructor name");
+            return e;
+          }
+          e->str = std::string(advance().text);
+          expect_punct("(");
+          if (!peek_punct(")")) {
+            do {
+              e->args.push_back(parse_assignment());
+            } while (match_punct(","));
+          }
+          expect_punct(")");
+          return e;
+        }
+        fail("unexpected keyword '" + std::string(t.text) + "'");
+        return make(Expr::Kind::Undefined);
+      }
+      case TokKind::Punct: {
+        if (t.text == "(") {
+          advance();
+          ExprPtr e = parse_expression();
+          expect_punct(")");
+          return e;
+        }
+        if (t.text == "[") {
+          advance();
+          auto e = make(Expr::Kind::ArrayLit);
+          if (!peek_punct("]")) {
+            do {
+              e->args.push_back(parse_assignment());
+            } while (match_punct(","));
+          }
+          expect_punct("]");
+          return e;
+        }
+        if (t.text == "{") {
+          advance();
+          auto e = make(Expr::Kind::ObjectLit);
+          if (!peek_punct("}")) {
+            do {
+              if (peek().kind != TokKind::Identifier && peek().kind != TokKind::String) {
+                fail("expected property key");
+                return e;
+              }
+              std::string key = peek().kind == TokKind::String
+                                    ? unescape(peek().text)
+                                    : std::string(peek().text);
+              advance();
+              expect_punct(":");
+              e->props.emplace_back(std::move(key), parse_assignment());
+            } while (match_punct(","));
+          }
+          expect_punct("}");
+          return e;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    fail("unexpected token");
+    return make(Expr::Kind::Undefined);
+  }
+
+  std::vector<Token> toks_;
+  std::string& error_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::optional<JsProgram> parse(std::string_view source, std::string& error) {
+  std::vector<Token> tokens;
+  if (!tokenize(source, tokens, error)) return std::nullopt;
+  Parser p(std::move(tokens), error);
+  return p.run();
+}
+
+}  // namespace wb::js

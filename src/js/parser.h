@@ -1,0 +1,15 @@
+// Recursive-descent / Pratt parser for the JS-like language.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "js/ast.h"
+
+namespace wb::js {
+
+/// Parses `source`. Returns nullopt and sets `error` on syntax errors.
+std::optional<JsProgram> parse(std::string_view source, std::string& error);
+
+}  // namespace wb::js

@@ -1,0 +1,59 @@
+// Tagged runtime values for the JavaScript-like engine. Numbers are IEEE
+// doubles (JS `Number`); everything heap-allocated (strings, arrays,
+// objects, typed arrays, functions) is referenced by heap index.
+#pragma once
+
+#include <cstdint>
+
+namespace wb::js {
+
+/// Index into the Heap's object table.
+using ObjRef = uint32_t;
+inline constexpr ObjRef kNullRef = 0xffffffff;
+
+struct JsValue {
+  enum class Tag : uint8_t { Undefined, Null, Bool, Number, Object };
+
+  Tag tag = Tag::Undefined;
+  bool boolean = false;
+  double num = 0;
+  ObjRef ref = kNullRef;
+
+  static JsValue undefined() { return {}; }
+  static JsValue null() {
+    JsValue v;
+    v.tag = Tag::Null;
+    return v;
+  }
+  static JsValue boolean_value(bool b) {
+    JsValue v;
+    v.tag = Tag::Bool;
+    v.boolean = b;
+    return v;
+  }
+  static JsValue number(double d) {
+    JsValue v;
+    v.tag = Tag::Number;
+    v.num = d;
+    return v;
+  }
+  static JsValue object(ObjRef r) {
+    JsValue v;
+    v.tag = Tag::Object;
+    v.ref = r;
+    return v;
+  }
+
+  [[nodiscard]] bool is_undefined() const { return tag == Tag::Undefined; }
+  [[nodiscard]] bool is_null() const { return tag == Tag::Null; }
+  [[nodiscard]] bool is_bool() const { return tag == Tag::Bool; }
+  [[nodiscard]] bool is_number() const { return tag == Tag::Number; }
+  [[nodiscard]] bool is_object() const { return tag == Tag::Object; }
+};
+
+/// ECMAScript ToInt32 (the coercion behind `x | 0` and all bitwise ops).
+int32_t to_int32(double d);
+/// ECMAScript ToUint32 (behind `>>>`).
+uint32_t to_uint32(double d);
+
+}  // namespace wb::js

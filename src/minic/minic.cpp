@@ -1,0 +1,1792 @@
+#include "minic/minic.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+namespace wb::minic {
+
+namespace {
+
+using ir::BinOp;
+using ir::CastOp;
+using ir::Expr;
+using ir::ExprPtr;
+using ir::Intrinsic;
+using ir::MemTy;
+using ir::Stmt;
+using ir::StmtPtr;
+using ir::Ty;
+using ir::UnOp;
+
+// =============================================================== lexer
+
+enum class TK : uint8_t { Eof, Ident, Int, Float, Punct };
+
+struct Tok {
+  TK kind = TK::Eof;
+  std::string text;
+  uint64_t ival = 0;
+  double fval = 0;
+  uint32_t line = 1;
+};
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, std::string& error) : src_(src), error_(error) {}
+
+  /// Tokenizes, expanding object-like #define macros.
+  bool run(const std::vector<std::pair<std::string, std::string>>& predefines,
+           std::vector<Tok>& out) {
+    for (const auto& [name, value] : predefines) {
+      std::vector<Tok> body;
+      std::string err2;
+      Lexer sub(value, err2);
+      std::vector<Tok> raw;
+      if (!sub.scan_all(raw)) {
+        error_ = "bad predefine " + name + ": " + err2;
+        return false;
+      }
+      raw.pop_back();  // drop Eof
+      defines_[name] = std::move(raw);
+    }
+
+    std::vector<Tok> raw;
+    if (!scan_all(raw)) return false;
+
+    // Expand macros (with nesting, bounded).
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i].kind == TK::Ident) {
+        const auto it = defines_.find(raw[i].text);
+        if (it != defines_.end()) {
+          std::vector<Tok> expanded;
+          if (!expand(it->second, expanded, 0)) return false;
+          for (auto& t : expanded) {
+            t.line = raw[i].line;
+            out.push_back(t);
+          }
+          continue;
+        }
+      }
+      out.push_back(raw[i]);
+    }
+    return true;
+  }
+
+ private:
+  bool expand(const std::vector<Tok>& body, std::vector<Tok>& out, int depth) {
+    if (depth > 16) {
+      error_ = "macro expansion too deep";
+      return false;
+    }
+    for (const auto& t : body) {
+      if (t.kind == TK::Ident) {
+        const auto it = defines_.find(t.text);
+        if (it != defines_.end()) {
+          if (!expand(it->second, out, depth + 1)) return false;
+          continue;
+        }
+      }
+      out.push_back(t);
+    }
+    return true;
+  }
+
+  bool fail(const std::string& message) {
+    error_ = message + " at line " + std::to_string(line_);
+    return false;
+  }
+
+  bool scan_all(std::vector<Tok>& out) {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() && !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ + 1 >= src_.size()) return fail("unterminated comment");
+        pos_ += 2;
+        continue;
+      }
+      if (c == '#') {
+        if (!scan_directive()) return false;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        Tok t;
+        if (!scan_number(t)) return false;
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_')) {
+          ++pos_;
+        }
+        Tok t;
+        t.kind = TK::Ident;
+        t.text = std::string(src_.substr(start, pos_ - start));
+        t.line = line_;
+        out.push_back(std::move(t));
+        continue;
+      }
+      // Punctuation, longest first.
+      static constexpr std::string_view kPuncts[] = {
+          "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+          "/=",  "%=",  "&=", "|=", "^=", "++", "--", "<<", ">>", "+",  "-",
+          "*",   "/",   "%",  "&",  "|",  "^",  "~",  "!",  "<",  ">",  "=",
+          "?",   ":",   ";",  ",",  "(",  ")",  "[",  "]",  "{",  "}"};
+      bool matched = false;
+      for (std::string_view p : kPuncts) {
+        if (src_.substr(pos_, p.size()) == p) {
+          Tok t;
+          t.kind = TK::Punct;
+          t.text = std::string(p);
+          t.line = line_;
+          out.push_back(std::move(t));
+          pos_ += p.size();
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return fail(std::string("unexpected character '") + c + "'");
+    }
+    Tok eof;
+    eof.kind = TK::Eof;
+    eof.line = line_;
+    out.push_back(eof);
+    return true;
+  }
+
+  bool scan_directive() {
+    ++pos_;  // '#'
+    const size_t kw_start = pos_;
+    while (pos_ < src_.size() &&
+           std::isalpha(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+    const std::string_view kw = src_.substr(kw_start, pos_ - kw_start);
+    if (kw != "define") return fail("unsupported preprocessor directive #" + std::string(kw));
+    while (pos_ < src_.size() && (src_[pos_] == ' ' || src_[pos_] == '\t')) ++pos_;
+    const size_t name_start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_')) {
+      ++pos_;
+    }
+    const std::string name(src_.substr(name_start, pos_ - name_start));
+    if (name.empty()) return fail("#define without a name");
+    if (pos_ < src_.size() && src_[pos_] == '(') {
+      return fail("function-like macros are not supported (" + name + ")");
+    }
+    const size_t body_start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    const std::string body(src_.substr(body_start, pos_ - body_start));
+    std::string err2;
+    Lexer sub(body, err2);
+    std::vector<Tok> raw;
+    if (!sub.scan_all(raw)) return fail("bad #define body: " + err2);
+    raw.pop_back();
+    // -D predefines take precedence over in-source defaults
+    // (PolyBench-style size selection: -DN=... overrides `#define N 32`).
+    if (!defines_.count(name)) defines_[name] = std::move(raw);
+    return true;
+  }
+
+  bool scan_number(Tok& t) {
+    const size_t start = pos_;
+    t.line = line_;
+    bool is_float = false;
+    if (src_[pos_] == '0' && pos_ + 1 < src_.size() &&
+        (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+      pos_ += 2;
+      uint64_t v = 0;
+      while (pos_ < src_.size() && std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+        const char d = src_[pos_];
+        v = v * 16 + static_cast<uint64_t>(
+                         std::isdigit(static_cast<unsigned char>(d))
+                             ? d - '0'
+                             : std::tolower(static_cast<unsigned char>(d)) - 'a' + 10);
+        ++pos_;
+      }
+      while (pos_ < src_.size() && (src_[pos_] == 'u' || src_[pos_] == 'U' ||
+                                    src_[pos_] == 'l' || src_[pos_] == 'L')) {
+        ++pos_;
+      }
+      t.kind = TK::Int;
+      t.ival = v;
+      return true;
+    }
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.') {
+        is_float = true;
+        ++pos_;
+      } else if (c == 'e' || c == 'E') {
+        is_float = true;
+        ++pos_;
+        if (pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-')) ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string text(src_.substr(start, pos_ - start));
+    if (is_float) {
+      t.kind = TK::Float;
+      t.fval = std::strtod(text.c_str(), nullptr);
+    } else {
+      t.kind = TK::Int;
+      t.ival = std::strtoull(text.c_str(), nullptr, 10);
+    }
+    while (pos_ < src_.size() && (src_[pos_] == 'u' || src_[pos_] == 'U' ||
+                                  src_[pos_] == 'l' || src_[pos_] == 'L' ||
+                                  src_[pos_] == 'f' || src_[pos_] == 'F')) {
+      if (src_[pos_] == 'f' || src_[pos_] == 'F') {
+        t.kind = TK::Float;
+        t.fval = std::strtod(text.c_str(), nullptr);
+      }
+      ++pos_;
+    }
+    return true;
+  }
+
+  std::string_view src_;
+  std::string& error_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  std::unordered_map<std::string, std::vector<Tok>> defines_;
+};
+
+// =============================================================== types
+
+struct CType {
+  enum class K : uint8_t { Void, U8, I32, U32, F64 } k = K::I32;
+
+  bool operator==(const CType&) const = default;
+};
+
+Ty to_ir(CType t) {
+  switch (t.k) {
+    case CType::K::Void: return Ty::Void;
+    case CType::K::F64: return Ty::F64;
+    default: return Ty::I32;
+  }
+}
+
+MemTy to_mem(CType t) {
+  switch (t.k) {
+    case CType::K::U8: return MemTy::U8;
+    case CType::K::F64: return MemTy::F64;
+    default: return MemTy::I32;
+  }
+}
+
+bool is_unsigned_t(CType t) { return t.k == CType::K::U8 || t.k == CType::K::U32; }
+bool is_float_t(CType t) { return t.k == CType::K::F64; }
+
+const char* ctype_name(CType t) {
+  switch (t.k) {
+    case CType::K::Void: return "void";
+    case CType::K::U8: return "unsigned char";
+    case CType::K::I32: return "int";
+    case CType::K::U32: return "unsigned";
+    case CType::K::F64: return "double";
+  }
+  return "?";
+}
+
+// ============================================================== parser
+
+struct Sym {
+  bool is_global = false;
+  uint32_t index = 0;            ///< register (local scalar) or global index
+  CType type;
+  std::vector<uint32_t> dims;    ///< empty for scalars
+};
+
+struct FuncSig {
+  uint32_t index = 0;
+  CType ret;
+  std::vector<CType> params;
+  bool defined = false;
+};
+
+/// A parsed value or assignable location.
+struct Operand {
+  enum class K : uint8_t { Value, ScalarVar, MemRef } kind = K::Value;
+  ExprPtr value;     // Value
+  Sym sym;           // ScalarVar
+  ExprPtr addr;      // MemRef
+  MemTy mem = MemTy::I32;
+  CType type;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Tok> toks, const CompileOptions& options, std::string& error)
+      : toks_(std::move(toks)), options_(options), error_(error) {}
+
+  std::optional<ir::Module> run() {
+    while (ok_ && !at_end()) parse_top_level();
+    if (!ok_) return std::nullopt;
+    for (const auto& [name, sig] : functions_) {
+      if (!sig.defined) {
+        return fail_ret("function declared but never defined: " + name);
+      }
+    }
+    return std::move(module_);
+  }
+
+ private:
+  // ------------------------------------------------------------ utility
+  const Tok& peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool at_end() const { return peek().kind == TK::Eof; }
+  const Tok& advance() { return toks_[pos_++]; }
+  bool peek_punct(std::string_view p, size_t ahead = 0) const {
+    return peek(ahead).kind == TK::Punct && peek(ahead).text == p;
+  }
+  bool peek_ident(std::string_view name) const {
+    return peek().kind == TK::Ident && peek().text == name;
+  }
+  bool match_punct(std::string_view p) {
+    if (!peek_punct(p)) return false;
+    advance();
+    return true;
+  }
+  bool match_ident(std::string_view name) {
+    if (!peek_ident(name)) return false;
+    advance();
+    return true;
+  }
+  void expect_punct(std::string_view p) {
+    if (!match_punct(p)) fail("expected '" + std::string(p) + "'");
+  }
+  void fail(const std::string& message) {
+    if (ok_) {
+      error_ = message + " at line " + std::to_string(peek().line);
+      ok_ = false;
+    }
+  }
+  std::nullopt_t fail_ret(const std::string& message) {
+    if (ok_) {
+      error_ = message;
+      ok_ = false;
+    }
+    return std::nullopt;
+  }
+
+  // ---------------------------------------------------------- emission
+  std::vector<StmtPtr>& sink() { return *emit_stack_.back(); }
+  void emit(StmtPtr s) { sink().push_back(std::move(s)); }
+
+  ir::Function& fn() { return module_.functions[current_fn_]; }
+  uint32_t new_reg(Ty ty) { return fn().new_reg(ty); }
+
+  // ------------------------------------------------------------- types
+  bool peek_type() const {
+    if (peek().kind != TK::Ident) return false;
+    const std::string& t = peek().text;
+    return t == "void" || t == "int" || t == "unsigned" || t == "char" ||
+           t == "double" || t == "signed" || t == "const" || t == "static" ||
+           t == "float" || t == "long" || t == "short";
+  }
+
+  std::optional<CType> parse_type() {
+    while (match_ident("const") || match_ident("static")) {
+    }
+    if (match_ident("void")) return CType{CType::K::Void};
+    if (match_ident("double")) return CType{CType::K::F64};
+    if (peek_ident("float") || peek_ident("long") || peek_ident("short")) {
+      fail("type '" + peek().text + "' is outside the mini-C subset (use int/unsigned/double)");
+      return std::nullopt;
+    }
+    bool is_unsigned = false;
+    bool is_signed = false;
+    if (match_ident("unsigned")) is_unsigned = true;
+    if (match_ident("signed")) is_signed = true;
+    (void)is_signed;
+    if (match_ident("char")) {
+      if (!is_unsigned) {
+        fail("plain/signed char unsupported; use unsigned char");
+        return std::nullopt;
+      }
+      return CType{CType::K::U8};
+    }
+    match_ident("int");
+    return CType{is_unsigned ? CType::K::U32 : CType::K::I32};
+  }
+
+  // --------------------------------------------------------- top level
+  void parse_top_level() {
+    if (match_punct(";")) return;
+    auto type = parse_type();
+    if (!ok_ || !type) return;
+    if (peek().kind != TK::Ident) {
+      fail("expected declarator name");
+      return;
+    }
+    const std::string name = advance().text;
+    if (peek_punct("(")) {
+      parse_function(*type, name);
+      return;
+    }
+    // Global variable(s).
+    parse_global_declarator(*type, name);
+    while (ok_ && match_punct(",")) {
+      if (peek().kind != TK::Ident) {
+        fail("expected declarator name");
+        return;
+      }
+      const std::string next = advance().text;
+      parse_global_declarator(*type, next);
+    }
+    expect_punct(";");
+  }
+
+  void parse_global_declarator(CType type, const std::string& name) {
+    if (type.k == CType::K::Void) {
+      fail("void variable");
+      return;
+    }
+    std::vector<uint32_t> dims;
+    while (match_punct("[")) {
+      const auto n = parse_const_int();
+      if (!ok_) return;
+      dims.push_back(static_cast<uint32_t>(*n));
+      expect_punct("]");
+    }
+    ir::GlobalVar g;
+    g.name = name;
+    g.elem = to_mem(type);
+    g.count = 1;
+    for (uint32_t d : dims) g.count *= d;
+    if (match_punct("=")) {
+      parse_initializer(type, g.init, g.count);
+    }
+    g.dynamic_alloc = g.init.empty() && !dims.empty() &&
+                      g.byte_size() >= options_.dynamic_alloc_threshold;
+    if (globals_.count(name) || functions_.count(name)) {
+      fail("redefinition of " + name);
+      return;
+    }
+    const uint32_t index = static_cast<uint32_t>(module_.globals.size());
+    module_.globals.push_back(std::move(g));
+    Sym sym;
+    sym.is_global = true;
+    sym.index = index;
+    sym.type = type;
+    sym.dims = std::move(dims);
+    globals_[name] = std::move(sym);
+  }
+
+  void parse_initializer(CType type, std::vector<uint64_t>& out, size_t limit) {
+    if (match_punct("{")) {
+      while (ok_ && !peek_punct("}")) {
+        parse_initializer(type, out, limit);
+        if (!match_punct(",")) break;
+      }
+      expect_punct("}");
+      return;
+    }
+    const auto v = parse_const_value(type);
+    if (!ok_) return;
+    if (out.size() >= limit) {
+      fail("too many initializers");
+      return;
+    }
+    out.push_back(*v);
+  }
+
+  // Constant expressions: parse via the normal expression machinery into
+  // a throwaway sink, then require the result to fold to a constant.
+  std::optional<int64_t> parse_const_int() {
+    const auto bits = parse_const_value(CType{CType::K::I32});
+    if (!bits) return std::nullopt;
+    return static_cast<int32_t>(*bits);
+  }
+
+  std::optional<uint64_t> parse_const_value(CType want) {
+    std::vector<StmtPtr> scratch;
+    emit_stack_.push_back(&scratch);
+    const bool had_fn = current_fn_ != UINT32_MAX;
+    if (!had_fn) {
+      // Constant expressions at file scope still need a register arena.
+      module_.functions.emplace_back();
+      current_fn_ = static_cast<uint32_t>(module_.functions.size() - 1);
+    }
+    Operand op = parse_ternary();
+    emit_stack_.pop_back();
+    ExprPtr e = ok_ ? to_value(std::move(op), want) : nullptr;
+    if (!had_fn) {
+      module_.functions.pop_back();
+      current_fn_ = UINT32_MAX;
+    }
+    if (!ok_) return std::nullopt;
+    if (!scratch.empty()) {
+      fail("constant expression required");
+      return std::nullopt;
+    }
+    fold(e);
+    if (e->kind != Expr::Kind::Const) {
+      fail("constant expression required");
+      return std::nullopt;
+    }
+    return e->imm;
+  }
+
+  /// Minimal recursive constant folder for initializers/dims.
+  void fold(ExprPtr& e);
+
+  // ---------------------------------------------------------- functions
+  void parse_function(CType ret, const std::string& name) {
+    expect_punct("(");
+    std::vector<CType> param_types;
+    std::vector<std::string> param_names;
+    if (!peek_punct(")")) {
+      if (peek_ident("void") && peek_punct(")", 1)) {
+        advance();
+      } else {
+        do {
+          auto pt = parse_type();
+          if (!ok_ || !pt) return;
+          std::string pname;
+          if (peek().kind == TK::Ident) pname = advance().text;
+          if (match_punct("[")) {
+            fail("array parameters unsupported; use globals");
+            return;
+          }
+          param_types.push_back(*pt);
+          param_names.push_back(pname);
+        } while (match_punct(","));
+      }
+    }
+    expect_punct(")");
+    if (!ok_) return;
+
+    auto it = functions_.find(name);
+    if (it == functions_.end()) {
+      FuncSig sig;
+      sig.ret = ret;
+      sig.params = param_types;
+      sig.index = static_cast<uint32_t>(module_.functions.size());
+      module_.functions.emplace_back();
+      module_.functions.back().name = name;
+      module_.functions.back().ret = to_ir(ret);
+      for (CType p : param_types) {
+        module_.functions.back().params.push_back(to_ir(p));
+        module_.functions.back().reg_types.push_back(to_ir(p));
+      }
+      it = functions_.emplace(name, std::move(sig)).first;
+    } else if (it->second.params.size() != param_types.size()) {
+      fail("conflicting declaration of " + name);
+      return;
+    }
+
+    if (match_punct(";")) return;  // prototype
+
+    if (it->second.defined) {
+      fail("redefinition of function " + name);
+      return;
+    }
+    it->second.defined = true;
+    current_fn_ = it->second.index;
+    current_ret_ = ret;
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (size_t i = 0; i < param_names.size(); ++i) {
+      Sym sym;
+      sym.is_global = false;
+      sym.index = static_cast<uint32_t>(i);
+      sym.type = param_types[i];
+      scopes_.back()[param_names[i]] = sym;
+    }
+    expect_punct("{");
+    emit_stack_.push_back(&fn().body);
+    while (ok_ && !peek_punct("}") && !at_end()) parse_statement();
+    emit_stack_.pop_back();
+    expect_punct("}");
+    current_fn_ = UINT32_MAX;
+  }
+
+  // --------------------------------------------------------- statements
+  void parse_statement() {
+    if (!ok_) return;
+    if (match_punct(";")) return;
+    if (match_punct("{")) {
+      scopes_.emplace_back();
+      while (ok_ && !peek_punct("}") && !at_end()) parse_statement();
+      scopes_.pop_back();
+      expect_punct("}");
+      return;
+    }
+    if (peek_type()) {
+      parse_local_decl();
+      return;
+    }
+    if (match_ident("if")) {
+      expect_punct("(");
+      ExprPtr cond = parse_condition();
+      expect_punct(")");
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::If;
+      s->e0 = std::move(cond);
+      emit_stack_.push_back(&s->body);
+      parse_statement();
+      emit_stack_.pop_back();
+      if (match_ident("else")) {
+        emit_stack_.push_back(&s->else_body);
+        parse_statement();
+        emit_stack_.pop_back();
+      }
+      emit(std::move(s));
+      return;
+    }
+    if (match_ident("while")) {
+      expect_punct("(");
+      std::vector<StmtPtr> cond_stmts;
+      emit_stack_.push_back(&cond_stmts);
+      ExprPtr cond = parse_condition();
+      emit_stack_.pop_back();
+      expect_punct(")");
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::While;
+      if (cond_stmts.empty()) {
+        s->e0 = std::move(cond);
+        emit_stack_.push_back(&s->body);
+        parse_statement();
+        emit_stack_.pop_back();
+      } else {
+        // Conditions with short-circuit/ternary operators lower to
+        // statements; they must re-evaluate every iteration:
+        //   while (1) { <cond stmts>; if (!cond) break; body }
+        s->e0 = ir::make_const_i32(1);
+        for (auto& cs : cond_stmts) s->body.push_back(std::move(cs));
+        s->body.push_back(make_exit_unless(std::move(cond)));
+        emit_stack_.push_back(&s->body);
+        parse_statement();
+        emit_stack_.pop_back();
+      }
+      emit(std::move(s));
+      return;
+    }
+    if (match_ident("do")) {
+      std::vector<StmtPtr> body;
+      emit_stack_.push_back(&body);
+      parse_statement();
+      emit_stack_.pop_back();
+      if (!match_ident("while")) {
+        fail("expected while after do body");
+        return;
+      }
+      expect_punct("(");
+      std::vector<StmtPtr> cond_stmts;
+      emit_stack_.push_back(&cond_stmts);
+      ExprPtr cond = parse_condition();
+      emit_stack_.pop_back();
+      expect_punct(")");
+      expect_punct(";");
+      if (cond_stmts.empty()) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::DoWhile;
+        s->e0 = std::move(cond);
+        s->body = std::move(body);
+        emit(std::move(s));
+        return;
+      }
+      // do body while(complex): while (1) { body'; <cond>; if (!c) break; }
+      // `continue` must still reach the condition, so route it (and
+      // loop-level breaks) through the same wrapper as for-loops.
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::While;
+      s->e0 = ir::make_const_i32(1);
+      if (contains_loop_level_continue(body)) {
+        const uint32_t brk = new_reg(Ty::I32);
+        rewrite_for_breaks(body, brk);
+        s->body.push_back(ir::make_assign(brk, ir::make_const_i32(0)));
+        auto inner = std::make_unique<Stmt>();
+        inner->kind = Stmt::Kind::DoWhile;
+        inner->e0 = ir::make_const_i32(0);
+        inner->body = std::move(body);
+        s->body.push_back(std::move(inner));
+        auto brk_if = std::make_unique<Stmt>();
+        brk_if->kind = Stmt::Kind::If;
+        brk_if->e0 = ir::make_reg(Ty::I32, brk);
+        auto break_stmt = std::make_unique<Stmt>();
+        break_stmt->kind = Stmt::Kind::Break;
+        brk_if->body.push_back(std::move(break_stmt));
+        s->body.push_back(std::move(brk_if));
+      } else {
+        s->body = std::move(body);
+      }
+      for (auto& cs : cond_stmts) s->body.push_back(std::move(cs));
+      s->body.push_back(make_exit_unless(std::move(cond)));
+      emit(std::move(s));
+      return;
+    }
+    if (match_ident("for")) {
+      parse_for();
+      return;
+    }
+    if (match_ident("switch")) {
+      parse_switch();
+      return;
+    }
+    if (match_ident("return")) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::Return;
+      if (!peek_punct(";")) {
+        Operand v = parse_expression();
+        if (!ok_) return;
+        if (current_ret_.k == CType::K::Void) {
+          fail("returning a value from a void function");
+          return;
+        }
+        s->e0 = to_value(std::move(v), current_ret_);
+      } else if (current_ret_.k != CType::K::Void) {
+        fail("missing return value");
+        return;
+      }
+      expect_punct(";");
+      emit(std::move(s));
+      return;
+    }
+    if (match_ident("break")) {
+      expect_punct(";");
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::Break;
+      emit(std::move(s));
+      return;
+    }
+    if (match_ident("continue")) {
+      expect_punct(";");
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::Continue;
+      emit(std::move(s));
+      return;
+    }
+    // Expression statement.
+    parse_expression_as_stmt();
+    expect_punct(";");
+  }
+
+  /// Statement-level `i++` / `++i` on a scalar lowers to a single
+  /// in-place update (the canonical loop-increment shape).
+  bool try_parse_simple_incdec_stmt() {
+    bool prefix = false;
+    size_t ident_at = 0;
+    if ((peek_punct("++") || peek_punct("--")) && peek(1).kind == TK::Ident) {
+      prefix = true;
+      ident_at = 1;
+    } else if (peek().kind == TK::Ident &&
+               (peek_punct("++", 1) || peek_punct("--", 1))) {
+      ident_at = 0;
+    } else {
+      return false;
+    }
+    const size_t after = prefix ? 2 : 2;
+    if (!(peek_punct(";", after) || peek_punct(")", after) || peek_punct(",", after))) {
+      return false;
+    }
+    const Sym* sym = lookup(peek(ident_at).text);
+    if (!sym || !sym->dims.empty()) return false;
+    const std::string op_text = prefix ? peek(0).text : peek(1).text;
+    const bool inc = op_text == "++";
+    advance();
+    advance();
+    const Ty ty = to_ir(sym->type);
+    ExprPtr one = is_float_t(sym->type) ? ir::make_const_f64(1) : ir::make_const_i32(1);
+    if (!sym->is_global) {
+      ExprPtr next = ir::make_bin(inc ? BinOp::Add : BinOp::Sub, ty,
+                                  ir::make_reg(ty, sym->index), std::move(one));
+      if (sym->type.k == CType::K::U8) {
+        next = ir::make_bin(BinOp::And, Ty::I32, std::move(next), ir::make_const_i32(0xff));
+      }
+      emit(ir::make_assign(sym->index, std::move(next)));
+    } else {
+      const MemTy mem = to_mem(sym->type);
+      ExprPtr next = ir::make_bin(inc ? BinOp::Add : BinOp::Sub, ty,
+                                  ir::make_load(mem, ir::make_global_addr(sym->index)),
+                                  std::move(one));
+      emit(ir::make_store(mem, ir::make_global_addr(sym->index), std::move(next)));
+    }
+    return true;
+  }
+
+  void parse_local_decl() {
+    auto type = parse_type();
+    if (!ok_ || !type) return;
+    do {
+      if (peek().kind != TK::Ident) {
+        fail("expected variable name");
+        return;
+      }
+      const std::string name = advance().text;
+      std::vector<uint32_t> dims;
+      while (match_punct("[")) {
+        const auto n = parse_const_int();
+        if (!ok_) return;
+        dims.push_back(static_cast<uint32_t>(*n));
+        expect_punct("]");
+      }
+      Sym sym;
+      sym.type = *type;
+      if (dims.empty()) {
+        sym.is_global = false;
+        sym.index = new_reg(to_ir(*type));
+        if (match_punct("=")) {
+          Operand v = parse_assignment();
+          if (!ok_) return;
+          emit(ir::make_assign(sym.index, to_value(std::move(v), *type)));
+        }
+      } else {
+        // Local arrays become module statics (kernels initialize them
+        // before use; recursion with local arrays is outside the subset).
+        ir::GlobalVar g;
+        g.name = fn().name + "$" + name;
+        g.elem = to_mem(*type);
+        g.count = 1;
+        for (uint32_t d : dims) g.count *= d;
+        if (match_punct("=")) parse_initializer(*type, g.init, g.count);
+        g.dynamic_alloc = g.init.empty() &&
+                          g.byte_size() >= options_.dynamic_alloc_threshold;
+        sym.is_global = true;
+        sym.index = static_cast<uint32_t>(module_.globals.size());
+        sym.dims = dims;
+        module_.globals.push_back(std::move(g));
+      }
+      scopes_.back()[name] = std::move(sym);
+    } while (ok_ && match_punct(","));
+    expect_punct(";");
+  }
+
+  /// Builds `if (!cond) break;`.
+  StmtPtr make_exit_unless(ExprPtr cond) {
+    auto exit_if = std::make_unique<Stmt>();
+    exit_if->kind = Stmt::Kind::If;
+    exit_if->e0 = ir::make_un(UnOp::LNot, Ty::I32, std::move(cond));
+    auto brk = std::make_unique<Stmt>();
+    brk->kind = Stmt::Kind::Break;
+    exit_if->body.push_back(std::move(brk));
+    return exit_if;
+  }
+
+  void parse_for() {
+    expect_punct("(");
+    scopes_.emplace_back();
+    if (!peek_punct(";")) {
+      if (peek_type()) {
+        parse_local_decl();  // consumes ';'
+      } else {
+        parse_expression_as_stmt();
+        expect_punct(";");
+      }
+    } else {
+      expect_punct(";");
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::While;
+    std::vector<StmtPtr> cond_stmts;
+    if (peek_punct(";")) {
+      s->e0 = ir::make_const_i32(1);
+    } else {
+      emit_stack_.push_back(&cond_stmts);
+      ExprPtr cond = parse_condition();
+      emit_stack_.pop_back();
+      if (cond_stmts.empty()) {
+        s->e0 = std::move(cond);
+      } else {
+        // Complex condition: re-evaluate it at the top of every iteration.
+        s->e0 = ir::make_const_i32(1);
+        for (auto& cs : cond_stmts) s->body.push_back(std::move(cs));
+        s->body.push_back(make_exit_unless(std::move(cond)));
+      }
+    }
+    expect_punct(";");
+
+    // Parse the update clause into a pending list (emitted at body end).
+    std::vector<StmtPtr> update;
+    if (!peek_punct(")")) {
+      emit_stack_.push_back(&update);
+      parse_expression_as_stmt();
+      emit_stack_.pop_back();
+    }
+    expect_punct(")");
+
+    std::vector<StmtPtr> body;
+    emit_stack_.push_back(&body);
+    parse_statement();
+    emit_stack_.pop_back();
+    scopes_.pop_back();
+    if (!ok_) return;
+
+    if (contains_loop_level_continue(body)) {
+      // continue must reach the update clause: wrap the body in a
+      // do{...}while(0) where continue==break(inner), and route for-level
+      // breaks through a flag.
+      const uint32_t brk = new_reg(Ty::I32);
+      rewrite_for_breaks(body, brk);
+      s->body.push_back(ir::make_assign(brk, ir::make_const_i32(0)));
+      auto inner = std::make_unique<Stmt>();
+      inner->kind = Stmt::Kind::DoWhile;
+      inner->e0 = ir::make_const_i32(0);
+      inner->body = std::move(body);
+      s->body.push_back(std::move(inner));
+      auto brk_if = std::make_unique<Stmt>();
+      brk_if->kind = Stmt::Kind::If;
+      brk_if->e0 = ir::make_reg(Ty::I32, brk);
+      auto break_stmt = std::make_unique<Stmt>();
+      break_stmt->kind = Stmt::Kind::Break;
+      brk_if->body.push_back(std::move(break_stmt));
+      s->body.push_back(std::move(brk_if));
+    } else {
+      for (auto& b : body) s->body.push_back(std::move(b));
+    }
+    for (auto& u : update) s->body.push_back(std::move(u));
+    emit(std::move(s));
+  }
+
+  static bool contains_loop_level_continue(const std::vector<StmtPtr>& body) {
+    for (const auto& s : body) {
+      if (s->kind == Stmt::Kind::Continue) return true;
+      if (s->kind == Stmt::Kind::While || s->kind == Stmt::Kind::DoWhile) continue;
+      if (contains_loop_level_continue(s->body)) return true;
+      if (contains_loop_level_continue(s->else_body)) return true;
+    }
+    return false;
+  }
+
+  /// Replaces for-level breaks with {flag=1; break;} (the break then
+  /// exits the do-while wrapper and the flag exits the loop).
+  static void rewrite_for_breaks(std::vector<StmtPtr>& body, uint32_t flag) {
+    for (size_t i = 0; i < body.size(); ++i) {
+      Stmt& s = *body[i];
+      if (s.kind == Stmt::Kind::Break) {
+        body.insert(body.begin() + static_cast<ptrdiff_t>(i),
+                    ir::make_assign(flag, ir::make_const_i32(1)));
+        ++i;
+        continue;
+      }
+      if (s.kind == Stmt::Kind::While || s.kind == Stmt::Kind::DoWhile) continue;
+      rewrite_for_breaks(s.body, flag);
+      rewrite_for_breaks(s.else_body, flag);
+    }
+  }
+
+  void parse_expression_as_stmt() {
+    while (ok_) {
+      if (!try_parse_simple_incdec_stmt()) {
+        Operand v = parse_assignment(/*need_value=*/false);
+        if (!ok_) return;
+        drop(std::move(v));
+      }
+      if (!match_punct(",")) break;
+    }
+  }
+
+  void parse_switch() {
+    expect_punct("(");
+    Operand scrutinee = parse_expression();
+    expect_punct(")");
+    if (!ok_) return;
+    const uint32_t sel = new_reg(Ty::I32);
+    emit(ir::make_assign(sel, to_value(std::move(scrutinee), CType{CType::K::I32})));
+    expect_punct("{");
+
+    struct Case {
+      std::vector<int64_t> labels;  // empty = default
+      std::vector<StmtPtr> body;
+      bool is_default = false;
+    };
+    std::vector<Case> cases;
+    while (ok_ && !peek_punct("}") && !at_end()) {
+      Case c;
+      bool saw_label = false;
+      while (true) {
+        if (match_ident("case")) {
+          const auto v = parse_const_int();
+          if (!ok_) return;
+          c.labels.push_back(*v);
+          expect_punct(":");
+          saw_label = true;
+        } else if (match_ident("default")) {
+          expect_punct(":");
+          c.is_default = true;
+          saw_label = true;
+        } else {
+          break;
+        }
+      }
+      if (!saw_label) {
+        fail("expected case label");
+        return;
+      }
+      emit_stack_.push_back(&c.body);
+      while (ok_ && !peek_punct("}") && !peek_ident("case") && !peek_ident("default")) {
+        parse_statement();
+      }
+      emit_stack_.pop_back();
+      if (!ok_) return;
+      // The trailing top-level break terminates the case (no fallthrough
+      // in the subset).
+      if (!c.body.empty() && c.body.back()->kind == Stmt::Kind::Break) {
+        c.body.pop_back();
+      } else if (!c.body.empty() && c.body.back()->kind != Stmt::Kind::Return) {
+        fail("switch cases must end with break or return (no fallthrough)");
+        return;
+      }
+      cases.push_back(std::move(c));
+    }
+    expect_punct("}");
+
+    // Build the if/else chain (default last).
+    std::vector<StmtPtr>* chain_sink = &sink();
+    std::vector<Case*> ordered;
+    Case* default_case = nullptr;
+    for (auto& c : cases) {
+      if (c.is_default && c.labels.empty()) {
+        default_case = &c;
+      } else {
+        ordered.push_back(&c);
+      }
+    }
+    StmtPtr chain;
+    Stmt* tail = nullptr;
+    for (Case* c : ordered) {
+      ExprPtr cond;
+      for (int64_t label : c->labels) {
+        ExprPtr test = ir::make_bin(BinOp::Eq, Ty::I32, ir::make_reg(Ty::I32, sel),
+                                    ir::make_const_i32(static_cast<int32_t>(label)));
+        cond = cond ? ir::make_bin(BinOp::Or, Ty::I32, std::move(cond), std::move(test))
+                    : std::move(test);
+      }
+      auto node = std::make_unique<Stmt>();
+      node->kind = Stmt::Kind::If;
+      node->e0 = std::move(cond);
+      node->body = std::move(c->body);
+      Stmt* raw = node.get();
+      if (!tail) {
+        chain = std::move(node);
+      } else {
+        tail->else_body.push_back(std::move(node));
+      }
+      tail = raw;
+    }
+    if (default_case) {
+      if (tail) {
+        tail->else_body = std::move(default_case->body);
+      } else {
+        for (auto& s : default_case->body) chain_sink->push_back(std::move(s));
+        return;
+      }
+    }
+    if (chain) chain_sink->push_back(std::move(chain));
+  }
+
+  // -------------------------------------------------------- expressions
+
+  ExprPtr parse_condition() {
+    Operand v = parse_expression();
+    if (!ok_) return ir::make_const_i32(0);
+    return to_truth(std::move(v));
+  }
+
+  /// Converts an operand to an i32 truth value.
+  ExprPtr to_truth(Operand v) {
+    CType t = v.type;
+    ExprPtr e = to_value(std::move(v), t);
+    if (is_float_t(t)) {
+      return ir::make_bin(BinOp::Ne, Ty::F64, std::move(e), ir::make_const_f64(0));
+    }
+    return std::move(e);  // nonzero i32 is true
+  }
+
+  Operand parse_expression(bool need_value = true) {
+    Operand v = parse_assignment(need_value && !peek_punct(","));
+    while (ok_ && peek_punct(",")) {
+      advance();
+      drop(std::move(v));
+      const bool last = !peek_punct(",", 1);
+      v = parse_assignment(need_value && last);
+    }
+    return v;
+  }
+
+  void drop(Operand v) {
+    if (v.kind == Operand::K::Value && v.value &&
+        (v.value->kind == Expr::Kind::Call ||
+         v.value->kind == Expr::Kind::IntrinsicCall)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::ExprStmt;
+      s->e0 = std::move(v.value);
+      emit(std::move(s));
+    }
+  }
+
+  Operand parse_assignment(bool need_value = true) {
+    Operand lhs = parse_ternary();
+    static constexpr std::string_view kOps[] = {"=",  "+=", "-=", "*=", "/=", "%=",
+                                                "&=", "|=", "^=", "<<=", ">>="};
+    for (std::string_view op : kOps) {
+      if (!peek_punct(op)) continue;
+      advance();
+      Operand rhs_op = parse_assignment();
+      if (!ok_) return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+      const CType lt = lhs.type;
+      ExprPtr rhs;
+      if (op == "=") {
+        rhs = to_value(std::move(rhs_op), lt);
+      } else {
+        const std::string binop(op.substr(0, op.size() - 1));
+        Operand cur = read_copy(lhs);
+        rhs = lower_binary(binop, std::move(cur), std::move(rhs_op), lt);
+      }
+      if (!ok_) return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+      if (!need_value) {
+        // Statement position: store the value directly (this keeps loop
+        // increments in the `i = i + 1` shape the unroll pass matches).
+        store_into(lhs, std::move(rhs));
+        return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+      }
+      // Materialize the stored value in a register so the expression
+      // result does not re-read the location.
+      const uint32_t tmp = new_reg(to_ir(lt));
+      emit(ir::make_assign(tmp, std::move(rhs)));
+      store_into(lhs, ir::make_reg(to_ir(lt), tmp));
+      return value_operand(ir::make_reg(to_ir(lt), tmp), lt);
+    }
+    return lhs;
+  }
+
+  /// Lowers `a op b` after usual arithmetic conversions; `force` fixes the
+  /// result type for compound assignment.
+  ExprPtr lower_binary(const std::string& op, Operand a, Operand b,
+                       std::optional<CType> force = std::nullopt) {
+    const CType at = a.type;
+    const CType bt = b.type;
+    CType common = usual_arith(at, bt);
+    if (force) common = *force;
+    const bool uns = is_unsigned_t(common) ||
+                     (is_unsigned_t(at) && is_unsigned_t(bt));
+    ExprPtr ea = to_value(std::move(a), common);
+    ExprPtr eb = to_value(std::move(b), common);
+    const Ty ty = to_ir(common);
+
+    BinOp bop;
+    if (op == "+") bop = BinOp::Add;
+    else if (op == "-") bop = BinOp::Sub;
+    else if (op == "*") bop = BinOp::Mul;
+    else if (op == "/") bop = is_float_t(common) ? BinOp::DivS : (uns ? BinOp::DivU : BinOp::DivS);
+    else if (op == "%") bop = uns ? BinOp::RemU : BinOp::RemS;
+    else if (op == "&") bop = BinOp::And;
+    else if (op == "|") bop = BinOp::Or;
+    else if (op == "^") bop = BinOp::Xor;
+    else if (op == "<<") bop = BinOp::Shl;
+    else if (op == ">>") bop = uns ? BinOp::ShrU : BinOp::ShrS;
+    else {
+      fail("bad binary operator " + op);
+      return ir::make_const_i32(0);
+    }
+    if (is_float_t(common) &&
+        (bop == BinOp::RemS || bop == BinOp::RemU || bop == BinOp::And ||
+         bop == BinOp::Or || bop == BinOp::Xor || bop == BinOp::Shl ||
+         bop == BinOp::ShrS || bop == BinOp::ShrU)) {
+      fail("operator " + op + " requires integer operands");
+      return ir::make_const_i32(0);
+    }
+    ExprPtr result = ir::make_bin(bop, ty, std::move(ea), std::move(eb));
+    if (force && force->k == CType::K::U8) {
+      // Compound assignment to a char keeps the value in byte range.
+      result = ir::make_bin(BinOp::And, Ty::I32, std::move(result),
+                            ir::make_const_i32(0xff));
+    }
+    return result;
+  }
+
+  Operand parse_ternary() {
+    Operand cond = parse_logical_or();
+    if (!peek_punct("?")) return cond;
+    advance();
+    ExprPtr c = to_truth(std::move(cond));
+
+    std::vector<StmtPtr> then_stmts, else_stmts;
+    emit_stack_.push_back(&then_stmts);
+    Operand a = parse_assignment();
+    emit_stack_.pop_back();
+    expect_punct(":");
+    emit_stack_.push_back(&else_stmts);
+    Operand b = parse_assignment();
+    emit_stack_.pop_back();
+    if (!ok_) return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+
+    const CType rt = usual_arith(a.type, b.type);
+    const uint32_t tmp = new_reg(to_ir(rt));
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::If;
+    s->e0 = std::move(c);
+    s->body = std::move(then_stmts);
+    s->body.push_back(ir::make_assign(tmp, to_value(std::move(a), rt)));
+    s->else_body = std::move(else_stmts);
+    s->else_body.push_back(ir::make_assign(tmp, to_value(std::move(b), rt)));
+    emit(std::move(s));
+    return value_operand(ir::make_reg(to_ir(rt), tmp), rt);
+  }
+
+  Operand parse_logical_or() {
+    Operand a = parse_logical_and();
+    while (ok_ && peek_punct("||")) {
+      advance();
+      const uint32_t tmp = new_reg(Ty::I32);
+      emit(ir::make_assign(tmp, to_truth(std::move(a))));
+      std::vector<StmtPtr> rhs_stmts;
+      emit_stack_.push_back(&rhs_stmts);
+      Operand b = parse_logical_and();
+      ExprPtr bt = to_truth(std::move(b));
+      emit_stack_.pop_back();
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::If;
+      s->e0 = ir::make_un(UnOp::LNot, Ty::I32, ir::make_reg(Ty::I32, tmp));
+      s->body = std::move(rhs_stmts);
+      // Normalize to 0/1.
+      s->body.push_back(ir::make_assign(
+          tmp, ir::make_bin(BinOp::Ne, Ty::I32, std::move(bt), ir::make_const_i32(0))));
+      emit(std::move(s));
+      a = value_operand(ir::make_reg(Ty::I32, tmp), CType{CType::K::I32});
+    }
+    return a;
+  }
+
+  Operand parse_logical_and() {
+    Operand a = parse_bit_or();
+    while (ok_ && peek_punct("&&")) {
+      advance();
+      const uint32_t tmp = new_reg(Ty::I32);
+      emit(ir::make_assign(
+          tmp, ir::make_bin(BinOp::Ne, Ty::I32, to_truth(std::move(a)),
+                            ir::make_const_i32(0))));
+      std::vector<StmtPtr> rhs_stmts;
+      emit_stack_.push_back(&rhs_stmts);
+      Operand b = parse_bit_or();
+      ExprPtr bt = to_truth(std::move(b));
+      emit_stack_.pop_back();
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::If;
+      s->e0 = ir::make_reg(Ty::I32, tmp);
+      s->body = std::move(rhs_stmts);
+      s->body.push_back(ir::make_assign(
+          tmp, ir::make_bin(BinOp::Ne, Ty::I32, std::move(bt), ir::make_const_i32(0))));
+      emit(std::move(s));
+      a = value_operand(ir::make_reg(Ty::I32, tmp), CType{CType::K::I32});
+    }
+    return a;
+  }
+
+#define WB_BIN_LEVEL(NAME, NEXT, COND_BODY)                         \
+  Operand NAME() {                                                  \
+    Operand a = NEXT();                                             \
+    while (ok_) {                                                   \
+      std::string op;                                               \
+      COND_BODY                                                     \
+      if (op.empty()) break;                                        \
+      advance();                                                    \
+      Operand b = NEXT();                                           \
+      a = lower_binary_operand(op, std::move(a), std::move(b));     \
+    }                                                               \
+    return a;                                                       \
+  }
+
+  WB_BIN_LEVEL(parse_bit_or, parse_bit_xor, { if (peek_punct("|")) op = "|"; })
+  WB_BIN_LEVEL(parse_bit_xor, parse_bit_and, { if (peek_punct("^")) op = "^"; })
+  WB_BIN_LEVEL(parse_bit_and, parse_equality, { if (peek_punct("&")) op = "&"; })
+  WB_BIN_LEVEL(parse_equality, parse_relational, {
+    if (peek_punct("==")) op = "==";
+    else if (peek_punct("!=")) op = "!=";
+  })
+  WB_BIN_LEVEL(parse_relational, parse_shift, {
+    if (peek_punct("<=")) op = "<=";
+    else if (peek_punct(">=")) op = ">=";
+    else if (peek_punct("<")) op = "<";
+    else if (peek_punct(">")) op = ">";
+  })
+  WB_BIN_LEVEL(parse_shift, parse_additive, {
+    if (peek_punct("<<")) op = "<<";
+    else if (peek_punct(">>")) op = ">>";
+  })
+  WB_BIN_LEVEL(parse_additive, parse_multiplicative, {
+    if (peek_punct("+")) op = "+";
+    else if (peek_punct("-")) op = "-";
+  })
+  WB_BIN_LEVEL(parse_multiplicative, parse_unary_operand, {
+    if (peek_punct("*")) op = "*";
+    else if (peek_punct("/")) op = "/";
+    else if (peek_punct("%")) op = "%";
+  })
+#undef WB_BIN_LEVEL
+
+  Operand lower_binary_operand(const std::string& op, Operand a, Operand b) {
+    if (op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+        op == ">=") {
+      const CType common = usual_arith(a.type, b.type);
+      const bool uns = is_unsigned_t(common);
+      const Ty ty = to_ir(common);
+      ExprPtr ea = to_value(std::move(a), common);
+      ExprPtr eb = to_value(std::move(b), common);
+      BinOp bop;
+      if (op == "==") bop = BinOp::Eq;
+      else if (op == "!=") bop = BinOp::Ne;
+      else if (op == "<") bop = uns && !is_float_t(common) ? BinOp::LtU : BinOp::LtS;
+      else if (op == "<=") bop = uns && !is_float_t(common) ? BinOp::LeU : BinOp::LeS;
+      else if (op == ">") bop = uns && !is_float_t(common) ? BinOp::GtU : BinOp::GtS;
+      else bop = uns && !is_float_t(common) ? BinOp::GeU : BinOp::GeS;
+      return value_operand(ir::make_bin(bop, ty, std::move(ea), std::move(eb)),
+                           CType{CType::K::I32});
+    }
+    const CType common = usual_arith(a.type, b.type);
+    return value_operand(lower_binary(op, std::move(a), std::move(b)), common);
+  }
+
+  Operand parse_unary_operand() {
+    if (match_punct("-")) {
+      Operand v = parse_unary_operand();
+      CType t = v.type;
+      if (t.k == CType::K::U8) t = CType{CType::K::I32};
+      return value_operand(
+          ir::make_un(UnOp::Neg, to_ir(t), to_value(std::move(v), t)), t);
+    }
+    if (match_punct("+")) return parse_unary_operand();
+    if (match_punct("!")) {
+      Operand v = parse_unary_operand();
+      return value_operand(ir::make_un(UnOp::LNot, Ty::I32, to_truth(std::move(v))),
+                           CType{CType::K::I32});
+    }
+    if (match_punct("~")) {
+      Operand v = parse_unary_operand();
+      CType t = v.type;
+      if (is_float_t(t)) {
+        fail("~ requires an integer operand");
+        return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+      }
+      if (t.k == CType::K::U8) t = CType{CType::K::I32};
+      return value_operand(
+          ir::make_un(UnOp::BitNot, Ty::I32, to_value(std::move(v), t)), t);
+    }
+    if (peek_punct("++") || peek_punct("--")) {
+      const bool inc = advance().text == "++";
+      Operand target = parse_unary_operand();
+      return lower_incdec(std::move(target), inc, /*prefix=*/true);
+    }
+    // Cast: '(' type ')' unary.
+    if (peek_punct("(") && peek(1).kind == TK::Ident &&
+        (peek(1).text == "int" || peek(1).text == "unsigned" ||
+         peek(1).text == "double" || peek(1).text == "char" ||
+         peek(1).text == "signed")) {
+      advance();  // '('
+      auto type = parse_type();
+      expect_punct(")");
+      if (!ok_ || !type) return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+      Operand v = parse_unary_operand();
+      return value_operand(to_value(std::move(v), *type), *type);
+    }
+    return parse_postfix();
+  }
+
+  Operand lower_incdec(Operand target, bool inc, bool prefix) {
+    const CType t = target.type;
+    if (t.k == CType::K::Void) {
+      fail("cannot increment this expression");
+      return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+    }
+    Operand cur = read_copy(target);
+    ExprPtr one = is_float_t(t) ? ir::make_const_f64(1) : ir::make_const_i32(1);
+    const uint32_t old_reg = new_reg(to_ir(t));
+    emit(ir::make_assign(old_reg, to_value(std::move(cur), t)));
+    ExprPtr next = ir::make_bin(inc ? BinOp::Add : BinOp::Sub, to_ir(t),
+                                ir::make_reg(to_ir(t), old_reg), std::move(one));
+    if (t.k == CType::K::U8) {
+      next = ir::make_bin(BinOp::And, Ty::I32, std::move(next), ir::make_const_i32(0xff));
+    }
+    const uint32_t new_val = new_reg(to_ir(t));
+    emit(ir::make_assign(new_val, std::move(next)));
+    store_into(target, ir::make_reg(to_ir(t), new_val));
+    return value_operand(ir::make_reg(to_ir(t), prefix ? new_val : old_reg), t);
+  }
+
+  Operand parse_postfix() {
+    Operand v = parse_primary();
+    while (ok_) {
+      if (peek_punct("++") || peek_punct("--")) {
+        const bool inc = advance().text == "++";
+        v = lower_incdec(std::move(v), inc, /*prefix=*/false);
+        continue;
+      }
+      break;
+    }
+    return v;
+  }
+
+  Operand parse_primary() {
+    const Tok& t = peek();
+    if (t.kind == TK::Int) {
+      advance();
+      if (t.ival > 0x7fffffffull) {
+        return value_operand(ir::make_const_i32(static_cast<int32_t>(t.ival)),
+                             CType{CType::K::U32});
+      }
+      return value_operand(ir::make_const_i32(static_cast<int32_t>(t.ival)),
+                           CType{CType::K::I32});
+    }
+    if (t.kind == TK::Float) {
+      advance();
+      return value_operand(ir::make_const_f64(t.fval), CType{CType::K::F64});
+    }
+    if (t.kind == TK::Punct && t.text == "(") {
+      advance();
+      Operand v = parse_expression();
+      expect_punct(")");
+      return v;
+    }
+    if (t.kind != TK::Ident) {
+      fail("unexpected token '" + t.text + "'");
+      advance();
+      return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+    }
+
+    const std::string name = advance().text;
+
+    // Intrinsic or function call.
+    if (peek_punct("(")) return parse_call(name);
+
+    // Variable.
+    const Sym* sym = lookup(name);
+    if (!sym) {
+      fail("use of undeclared identifier '" + name + "'");
+      return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+    }
+    if (sym->dims.empty()) {
+      Operand out;
+      if (sym->is_global) {
+        out.kind = Operand::K::MemRef;
+        out.addr = ir::make_global_addr(sym->index);
+        out.mem = to_mem(sym->type);
+      } else {
+        out.kind = Operand::K::ScalarVar;
+        out.sym = *sym;
+      }
+      out.type = sym->type;
+      return out;
+    }
+    // Array: expect full indexing A[i][j]...
+    if (!peek_punct("[")) {
+      fail("array '" + name + "' must be fully indexed (pointers are outside the subset)");
+      return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+    }
+    ExprPtr index;  // element index
+    for (size_t d = 0; d < sym->dims.size(); ++d) {
+      if (!match_punct("[")) {
+        fail("array '" + name + "' must be fully indexed");
+        return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+      }
+      Operand iv = parse_expression();
+      expect_punct("]");
+      if (!ok_) return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+      ExprPtr ie = to_value(std::move(iv), CType{CType::K::I32});
+      if (!index) {
+        index = std::move(ie);
+      } else {
+        index = ir::make_bin(
+            BinOp::Add, Ty::I32,
+            ir::make_bin(BinOp::Mul, Ty::I32, std::move(index),
+                         ir::make_const_i32(static_cast<int32_t>(sym->dims[d]))),
+            std::move(ie));
+      }
+    }
+    const uint32_t esz = static_cast<uint32_t>(ir::mem_size(to_mem(sym->type)));
+    ExprPtr byte_off =
+        esz == 1 ? std::move(index)
+                 : ir::make_bin(BinOp::Mul, Ty::I32, std::move(index),
+                                ir::make_const_i32(static_cast<int32_t>(esz)));
+    Operand out;
+    out.kind = Operand::K::MemRef;
+    out.addr = ir::make_bin(BinOp::Add, Ty::I32, ir::make_global_addr(sym->index),
+                            std::move(byte_off));
+    out.mem = to_mem(sym->type);
+    out.type = sym->type;
+    return out;
+  }
+
+  Operand parse_call(const std::string& name) {
+    expect_punct("(");
+    std::vector<Operand> args;
+    if (!peek_punct(")")) {
+      do {
+        args.push_back(parse_assignment());
+      } while (ok_ && match_punct(","));
+    }
+    expect_punct(")");
+    if (!ok_) return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+
+    static const std::unordered_map<std::string, Intrinsic> kIntrinsics = {
+        {"sqrt", Intrinsic::Sqrt}, {"fabs", Intrinsic::Fabs},
+        {"floor", Intrinsic::Floor}, {"ceil", Intrinsic::Ceil},
+        {"pow", Intrinsic::Pow},   {"exp", Intrinsic::Exp},
+        {"log", Intrinsic::Log},   {"sin", Intrinsic::Sin},
+        {"cos", Intrinsic::Cos}};
+    const auto intr = kIntrinsics.find(name);
+    if (intr != kIntrinsics.end()) {
+      const size_t want = intr->second == Intrinsic::Pow ? 2 : 1;
+      if (args.size() != want) {
+        fail(name + " expects " + std::to_string(want) + " argument(s)");
+        return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::IntrinsicCall;
+      e->ty = Ty::F64;
+      e->intrinsic = intr->second;
+      for (auto& a : args) e->args.push_back(to_value(std::move(a), CType{CType::K::F64}));
+      return value_operand(std::move(e), CType{CType::K::F64});
+    }
+
+    const auto it = functions_.find(name);
+    if (it == functions_.end()) {
+      fail("call to undeclared function '" + name + "'");
+      return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+    }
+    const FuncSig& sig = it->second;
+    if (args.size() != sig.params.size()) {
+      fail("wrong number of arguments to " + name);
+      return value_operand(ir::make_const_i32(0), CType{CType::K::I32});
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Call;
+    e->ty = to_ir(sig.ret);
+    e->func = sig.index;
+    for (size_t i = 0; i < args.size(); ++i) {
+      e->args.push_back(to_value(std::move(args[i]), sig.params[i]));
+    }
+    return value_operand(std::move(e), sig.ret);
+  }
+
+  // --------------------------------------------------- operand plumbing
+  static Operand value_operand(ExprPtr e, CType t) {
+    Operand v;
+    v.kind = Operand::K::Value;
+    v.value = std::move(e);
+    v.type = t;
+    return v;
+  }
+
+  const Sym* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    const auto g = globals_.find(name);
+    return g == globals_.end() ? nullptr : &g->second;
+  }
+
+  /// Reads an operand, leaving it usable for a later store (clones the
+  /// address for mem refs).
+  Operand read_copy(const Operand& src) {
+    Operand out;
+    out.type = src.type;
+    out.kind = Operand::K::Value;
+    switch (src.kind) {
+      case Operand::K::Value:
+        fail("expression is not assignable");
+        out.value = ir::make_const_i32(0);
+        break;
+      case Operand::K::ScalarVar:
+        out.value = ir::make_reg(to_ir(src.type), src.sym.index);
+        break;
+      case Operand::K::MemRef:
+        out.value = ir::make_load(src.mem, src.addr->clone());
+        break;
+    }
+    return out;
+  }
+
+  /// Converts an operand into an expression of type `want`.
+  ExprPtr to_value(Operand v, CType want) {
+    ExprPtr e;
+    CType from = v.type;
+    switch (v.kind) {
+      case Operand::K::Value:
+        e = std::move(v.value);
+        break;
+      case Operand::K::ScalarVar:
+        e = ir::make_reg(to_ir(v.type), v.sym.index);
+        break;
+      case Operand::K::MemRef:
+        e = ir::make_load(v.mem, std::move(v.addr));
+        break;
+    }
+    return convert(std::move(e), from, want);
+  }
+
+  ExprPtr convert(ExprPtr e, CType from, CType to) {
+    if (from == to || to.k == CType::K::Void) return e;
+    const bool from_f = is_float_t(from);
+    const bool to_f = is_float_t(to);
+    if (!from_f && !to_f) {
+      // Integer conversions: only narrowing to U8 changes the value.
+      if (to.k == CType::K::U8) {
+        return ir::make_bin(BinOp::And, Ty::I32, std::move(e), ir::make_const_i32(0xff));
+      }
+      return e;
+    }
+    if (!from_f && to_f) {
+      return ir::make_cast(
+          is_unsigned_t(from) ? CastOp::I32ToF64U : CastOp::I32ToF64S, std::move(e));
+    }
+    if (from_f && !to_f) {
+      ExprPtr r = ir::make_cast(CastOp::F64ToI32S, std::move(e));
+      if (to.k == CType::K::U8) {
+        r = ir::make_bin(BinOp::And, Ty::I32, std::move(r), ir::make_const_i32(0xff));
+      }
+      return r;
+    }
+    return e;
+  }
+
+  void store_into(Operand& lhs, ExprPtr value) {
+    switch (lhs.kind) {
+      case Operand::K::Value:
+        fail("expression is not assignable");
+        break;
+      case Operand::K::ScalarVar: {
+        ExprPtr v = std::move(value);
+        if (lhs.type.k == CType::K::U8) {
+          v = ir::make_bin(BinOp::And, Ty::I32, std::move(v), ir::make_const_i32(0xff));
+        }
+        emit(ir::make_assign(lhs.sym.index, std::move(v)));
+        break;
+      }
+      case Operand::K::MemRef:
+        emit(ir::make_store(lhs.mem, lhs.addr->clone(), std::move(value)));
+        break;
+    }
+  }
+
+  static CType usual_arith(CType a, CType b) {
+    if (a.k == CType::K::F64 || b.k == CType::K::F64) return CType{CType::K::F64};
+    if (a.k == CType::K::U32 || b.k == CType::K::U32) return CType{CType::K::U32};
+    return CType{CType::K::I32};  // U8 promotes to int
+  }
+
+  std::vector<Tok> toks_;
+  const CompileOptions& options_;
+  std::string& error_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+
+  ir::Module module_;
+  std::unordered_map<std::string, Sym> globals_;
+  std::map<std::string, FuncSig> functions_;
+  std::vector<std::unordered_map<std::string, Sym>> scopes_;
+  std::vector<std::vector<StmtPtr>*> emit_stack_;
+  uint32_t current_fn_ = UINT32_MAX;
+  CType current_ret_;
+};
+
+void Parser::fold(ExprPtr& e) {
+  for (auto& a : e->args) fold(a);
+  if (e->kind == Expr::Kind::Bin && e->args[0]->kind == Expr::Kind::Const &&
+      e->args[1]->kind == Expr::Kind::Const) {
+    // Reuse the pass-level folder by building a tiny module? Simpler:
+    // handle the integer ops initializers actually use.
+    const uint64_t a = e->args[0]->imm;
+    const uint64_t b = e->args[1]->imm;
+    if (e->ty == Ty::I32) {
+      const int32_t sa = static_cast<int32_t>(a);
+      const int32_t sb = static_cast<int32_t>(b);
+      int64_t r;
+      switch (e->bin) {
+        case BinOp::Add: r = sa + sb; break;
+        case BinOp::Sub: r = sa - sb; break;
+        case BinOp::Mul: r = static_cast<int32_t>(sa * sb); break;
+        case BinOp::DivS: if (sb == 0) return; r = sa / sb; break;
+        case BinOp::RemS: if (sb == 0) return; r = sa % sb; break;
+        case BinOp::Shl: r = sa << (sb & 31); break;
+        case BinOp::ShrS: r = sa >> (sb & 31); break;
+        case BinOp::And: r = sa & sb; break;
+        case BinOp::Or: r = sa | sb; break;
+        case BinOp::Xor: r = sa ^ sb; break;
+        default: return;
+      }
+      e = ir::make_const_i32(static_cast<int32_t>(r));
+      return;
+    }
+    if (e->ty == Ty::F64) {
+      double x, y;
+      std::memcpy(&x, &a, 8);
+      std::memcpy(&y, &b, 8);
+      double r;
+      switch (e->bin) {
+        case BinOp::Add: r = x + y; break;
+        case BinOp::Sub: r = x - y; break;
+        case BinOp::Mul: r = x * y; break;
+        case BinOp::DivS: r = x / y; break;
+        default: return;
+      }
+      e = ir::make_const_f64(r);
+      return;
+    }
+    return;
+  }
+  if (e->kind == Expr::Kind::Un && e->args[0]->kind == Expr::Kind::Const) {
+    if (e->un == UnOp::Neg) {
+      if (e->ty == Ty::I32) {
+        e = ir::make_const_i32(-static_cast<int32_t>(e->args[0]->imm));
+      } else if (e->ty == Ty::F64) {
+        double x;
+        const uint64_t bits = e->args[0]->imm;
+        std::memcpy(&x, &bits, 8);
+        e = ir::make_const_f64(-x);
+      }
+    }
+    return;
+  }
+  if (e->kind == Expr::Kind::Cast && e->args[0]->kind == Expr::Kind::Const) {
+    if (e->cast == CastOp::I32ToF64S) {
+      e = ir::make_const_f64(static_cast<double>(static_cast<int32_t>(e->args[0]->imm)));
+    } else if (e->cast == CastOp::I32ToF64U) {
+      e = ir::make_const_f64(static_cast<double>(static_cast<uint32_t>(e->args[0]->imm)));
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<ir::Module> compile(std::string_view source, const CompileOptions& options,
+                                  std::string& error) {
+  Lexer lexer(source, error);
+  std::vector<Tok> toks;
+  if (!lexer.run(options.defines, toks)) return std::nullopt;
+  Parser parser(std::move(toks), options, error);
+  return parser.run();
+}
+
+}  // namespace wb::minic

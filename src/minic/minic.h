@@ -1,0 +1,47 @@
+// The C-subset frontend ("mini-C"). Compiles the benchmark sources —
+// rewrites of the 41 PolyBenchC/CHStone kernels — into the mid-level IR.
+//
+// Supported subset (everything the kernels need, nothing more):
+//  - types: void, unsigned char, int, unsigned (int), double
+//    (64-bit integers are not part of the subset; the CHStone soft-float
+//    kernels are expressed as 32-bit pairs, which is also how Cheerp
+//    legalizes i64 for its JavaScript target)
+//  - global scalars and multi-dimensional arrays (with initializers);
+//    local scalars; local arrays (lowered to module statics)
+//  - functions (definitions and prototypes; declare-before-use)
+//  - statements: if/else, for, while, do-while, switch (break-terminated
+//    cases), return, break, continue, blocks, expression statements
+//  - full C expression set: assignment (incl. compound), ternary,
+//    logical short-circuit, bitwise, shifts, comparisons, arithmetic,
+//    casts, ++/-- on scalars, calls
+//  - math intrinsics: sqrt fabs floor ceil pow exp log sin cos
+//  - object-like #define macros plus harness-injected -D style defines
+//    (how benchmark input sizes XS..XL are selected, as in PolyBench)
+//
+// Not supported (documented substitutions in DESIGN.md): pointers,
+// structs/unions, 64-bit integer types, the preprocessor beyond #define.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace wb::minic {
+
+struct CompileOptions {
+  /// -DNAME=VALUE equivalents, applied before source #defines.
+  std::vector<std::pair<std::string, std::string>> defines;
+  /// Arrays at least this large (bytes) without initializers are marked
+  /// dynamic_alloc (bump-allocated by the toolchain runtime at startup).
+  size_t dynamic_alloc_threshold = 1024;
+};
+
+/// Compiles mini-C to IR. Returns nullopt and sets `error` on failure.
+std::optional<ir::Module> compile(std::string_view source, const CompileOptions& options,
+                                  std::string& error);
+
+}  // namespace wb::minic

@@ -1,0 +1,62 @@
+#include "support/leb128.h"
+
+namespace wb::support {
+
+void write_uleb128(std::vector<uint8_t>& out, uint64_t value) {
+  do {
+    uint8_t byte = value & 0x7f;
+    value >>= 7;
+    if (value != 0) byte |= 0x80;
+    out.push_back(byte);
+  } while (value != 0);
+}
+
+void write_sleb128(std::vector<uint8_t>& out, int64_t value) {
+  bool more = true;
+  while (more) {
+    uint8_t byte = value & 0x7f;
+    value >>= 7;  // arithmetic shift
+    const bool sign_bit = (byte & 0x40) != 0;
+    if ((value == 0 && !sign_bit) || (value == -1 && sign_bit)) {
+      more = false;
+    } else {
+      byte |= 0x80;
+    }
+    out.push_back(byte);
+  }
+}
+
+std::optional<DecodeResult<uint64_t>> read_uleb128(std::span<const uint8_t> bytes) {
+  uint64_t result = 0;
+  unsigned shift = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (shift >= 64) return std::nullopt;
+    const uint8_t byte = bytes[i];
+    const uint64_t chunk = byte & 0x7f;
+    if (shift == 63 && chunk > 1) return std::nullopt;  // overflow
+    result |= chunk << shift;
+    if ((byte & 0x80) == 0) return DecodeResult<uint64_t>{result, i + 1};
+    shift += 7;
+  }
+  return std::nullopt;  // truncated
+}
+
+std::optional<DecodeResult<int64_t>> read_sleb128(std::span<const uint8_t> bytes) {
+  int64_t result = 0;
+  unsigned shift = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (shift >= 64) return std::nullopt;
+    const uint8_t byte = bytes[i];
+    result |= static_cast<int64_t>(static_cast<uint64_t>(byte & 0x7f) << shift);
+    shift += 7;
+    if ((byte & 0x80) == 0) {
+      if (shift < 64 && (byte & 0x40) != 0) {
+        result |= -(static_cast<int64_t>(1) << shift);  // sign-extend
+      }
+      return DecodeResult<int64_t>{result, i + 1};
+    }
+  }
+  return std::nullopt;  // truncated
+}
+
+}  // namespace wb::support

@@ -1,0 +1,33 @@
+// LEB128 variable-length integer encoding, as used by the WebAssembly
+// binary format (https://webassembly.github.io/spec/core/binary/values.html).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wb::support {
+
+/// Appends the unsigned LEB128 encoding of `value` to `out`.
+void write_uleb128(std::vector<uint8_t>& out, uint64_t value);
+
+/// Appends the signed LEB128 encoding of `value` to `out`.
+void write_sleb128(std::vector<uint8_t>& out, int64_t value);
+
+/// Result of a LEB128 decode: the value plus how many bytes were consumed.
+template <typename T>
+struct DecodeResult {
+  T value{};
+  size_t size = 0;
+};
+
+/// Decodes an unsigned LEB128 value from the front of `bytes`.
+/// Returns nullopt on truncated or over-long (> 64 bit) input.
+std::optional<DecodeResult<uint64_t>> read_uleb128(std::span<const uint8_t> bytes);
+
+/// Decodes a signed LEB128 value from the front of `bytes`.
+std::optional<DecodeResult<int64_t>> read_sleb128(std::span<const uint8_t> bytes);
+
+}  // namespace wb::support

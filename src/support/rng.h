@@ -1,0 +1,34 @@
+// Deterministic xorshift64* RNG. All randomness in workload generation is
+// seeded so every bench run is byte-for-byte reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace wb::support {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed ? seed : 1) {}
+
+  uint64_t next_u64() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, bound).
+  uint64_t next_below(uint64_t bound) { return bound ? next_u64() % bound : 0; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wb::support

@@ -1,0 +1,17 @@
+// SHA-256 (FIPS 180-4). Backs the JS engine's WebCrypto-style native
+// digest builtin and the SHA benchmark's expected-output checks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace wb::support {
+
+std::array<uint8_t, 32> sha256(std::span<const uint8_t> data);
+
+/// Hex string of the digest (lowercase).
+std::string sha256_hex(std::span<const uint8_t> data);
+
+}  // namespace wb::support

@@ -1,0 +1,75 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wb::support {
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  double log_sum = 0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+namespace {
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+}  // namespace
+
+FiveNumber five_number_summary(std::span<const double> xs) {
+  if (xs.empty()) return {};
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  FiveNumber s;
+  s.min = sorted.front();
+  s.q1 = percentile_sorted(sorted, 0.25);
+  s.median = percentile_sorted(sorted, 0.50);
+  s.q3 = percentile_sorted(sorted, 0.75);
+  s.max = sorted.back();
+  return s;
+}
+
+RatioStats classify_ratios(std::span<const double> variant_times,
+                           std::span<const double> baseline_times) {
+  assert(variant_times.size() == baseline_times.size());
+  RatioStats stats;
+  std::vector<double> slowdowns;   // variant/baseline where variant slower
+  std::vector<double> speedups;    // baseline/variant where variant faster
+  std::vector<double> all_ratios;  // baseline/variant
+  for (size_t i = 0; i < variant_times.size(); ++i) {
+    const double v = variant_times[i];
+    const double b = baseline_times[i];
+    all_ratios.push_back(b / v);
+    if (v > b) {
+      slowdowns.push_back(v / b);
+    } else {
+      speedups.push_back(b / v);
+    }
+  }
+  stats.slowdown_count = slowdowns.size();
+  stats.slowdown_gmean = geomean(slowdowns);
+  stats.speedup_count = speedups.size();
+  stats.speedup_gmean = geomean(speedups);
+  const double g = geomean(all_ratios);
+  stats.all_gmean_is_speedup = g >= 1.0;
+  stats.all_gmean = stats.all_gmean_is_speedup ? g : 1.0 / g;
+  return stats;
+}
+
+}  // namespace wb::support

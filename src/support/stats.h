@@ -1,0 +1,47 @@
+// Statistics helpers used throughout the measurement harness: geometric
+// means, five-number summaries (for the paper's Fig. 11 box plots), and
+// speedup/slowdown classification (Tables 3 and 5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wb::support {
+
+/// Geometric mean of strictly positive samples. Returns 0 for empty input.
+double geomean(std::span<const double> xs);
+
+/// Arithmetic mean. Returns 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Five-number summary: min, first quartile, median, third quartile, max.
+/// Quartiles use linear interpolation between order statistics
+/// (the same convention as numpy's default percentile method).
+struct FiveNumber {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+};
+
+FiveNumber five_number_summary(std::span<const double> xs);
+
+/// Classification of per-benchmark speed ratios against a baseline, as the
+/// paper does in Tables 3/5: a benchmark where variant runs *faster* than
+/// baseline contributes to the speedup bucket, slower to the slowdown one.
+struct RatioStats {
+  size_t slowdown_count = 0;   ///< # benchmarks where variant is slower
+  double slowdown_gmean = 0;   ///< geomean of (variant_time / baseline_time) over those
+  size_t speedup_count = 0;    ///< # benchmarks where variant is faster
+  double speedup_gmean = 0;    ///< geomean of (baseline_time / variant_time) over those
+  double all_gmean = 0;        ///< geomean of (baseline_time / variant_time) over all
+  bool all_gmean_is_speedup = true;  ///< true if overall the variant wins
+};
+
+/// `variant` and `baseline` are parallel arrays of execution times.
+RatioStats classify_ratios(std::span<const double> variant_times,
+                           std::span<const double> baseline_times);
+
+}  // namespace wb::support

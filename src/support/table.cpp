@@ -1,0 +1,70 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace wb::support {
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths;
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  size_t total = 0;
+  for (size_t w : widths) total += w + 3;
+
+  std::ostringstream out;
+  auto hline = [&] { out << std::string(total > 1 ? total - 1 : 1, '-') << "\n"; };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i] << std::string(widths[i] - row[i].size() + (i + 1 < row.size() ? 3 : 0), ' ');
+    }
+    out << "\n";
+  };
+
+  if (!title_.empty()) {
+    out << "== " << title_ << " ==\n";
+  }
+  if (!header_.empty()) {
+    emit_row(header_);
+    hline();
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(rules_.begin(), rules_.end(), r) != rules_.end()) hline();
+    emit_row(rows_[r]);
+  }
+  return out.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ",";
+      out << row[i];
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_ratio(double value, int digits) { return fmt(value, digits) + "x"; }
+
+std::string fmt_kb(double bytes, int digits) { return fmt(bytes / 1024.0, digits); }
+
+}  // namespace wb::support

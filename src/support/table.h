@@ -1,0 +1,42 @@
+// Plain-text table rendering for bench binaries: every bench prints the
+// same rows/series as the corresponding paper table or figure.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wb::support {
+
+/// A simple column-aligned ASCII table with an optional title.
+/// Cells are strings; callers format numbers themselves (fixed precision
+/// keeps bench output byte-stable across runs).
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule() { rules_.push_back(rows_.size()); }
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> rules_;
+};
+
+/// Formats `value` with `digits` fractional digits ("3.14").
+std::string fmt(double value, int digits = 2);
+
+/// Formats a ratio the way the paper prints them: "0.88x".
+std::string fmt_ratio(double value, int digits = 2);
+
+/// Formats a byte count as KB with separators-free fixed formatting.
+std::string fmt_kb(double bytes, int digits = 2);
+
+}  // namespace wb::support

@@ -1,0 +1,158 @@
+// Convenience builder for constructing Wasm modules programmatically.
+// Used by the compiler backend, the real-world application analogs, and
+// tests. Imports must be declared before any function is defined (Wasm
+// function index space places imports first).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "wasm/module.h"
+
+namespace wb::wasm {
+
+class FunctionBuilder;
+
+class ModuleBuilder {
+ public:
+  Module& module() { return module_; }
+  Module take() { return std::move(module_); }
+
+  uint32_t add_import(std::string mod, std::string name, const FuncType& type) {
+    assert(module_.functions.empty() && "imports must precede definitions");
+    module_.imports.push_back(Import{std::move(mod), std::move(name),
+                                     module_.intern_type(type)});
+    return static_cast<uint32_t>(module_.imports.size() - 1);
+  }
+
+  void set_memory(uint32_t min_pages, std::optional<uint32_t> max_pages = {}) {
+    module_.memory = MemoryDecl{min_pages, max_pages};
+  }
+
+  uint32_t add_global(ValType type, bool mutable_, Value init) {
+    module_.globals.push_back(Global{type, mutable_, init});
+    return static_cast<uint32_t>(module_.globals.size() - 1);
+  }
+
+  void export_memory(std::string name) {
+    module_.exports.push_back(Export{std::move(name), ExportKind::Memory, 0});
+  }
+
+  void add_data(uint32_t offset, std::vector<uint8_t> bytes) {
+    module_.data.push_back(DataSegment{offset, std::move(bytes)});
+  }
+
+  /// Defines a function; fill its body through the returned builder.
+  FunctionBuilder define(const FuncType& type, std::string debug_name = "");
+
+  /// Reserves a function slot (for forward references) without a body.
+  uint32_t declare(const FuncType& type, std::string debug_name = "") {
+    Function fn;
+    fn.type_index = module_.intern_type(type);
+    fn.debug_name = std::move(debug_name);
+    module_.functions.push_back(std::move(fn));
+    return static_cast<uint32_t>(module_.imports.size() + module_.functions.size() - 1);
+  }
+
+  FunctionBuilder body_of(uint32_t func_index);
+
+ private:
+  Module module_;
+};
+
+/// Emits instructions into one function. All emit methods return *this so
+/// bodies can be written fluently.
+class FunctionBuilder {
+ public:
+  FunctionBuilder(Module& module, uint32_t func_index)
+      : module_(module), func_index_(func_index) {}
+
+  [[nodiscard]] uint32_t index() const { return func_index_; }
+
+  uint32_t add_local(ValType type) {
+    Function& f = fn();
+    f.locals.push_back(type);
+    const auto& params = module_.types[f.type_index].params;
+    return static_cast<uint32_t>(params.size() + f.locals.size() - 1);
+  }
+
+  FunctionBuilder& op(Opcode o, uint32_t a = 0, uint32_t b = 0) {
+    fn().body.push_back(Instr::make(o, a, b));
+    return *this;
+  }
+  FunctionBuilder& i32(int32_t v) {
+    fn().body.push_back(Instr::i32_const(v));
+    return *this;
+  }
+  FunctionBuilder& i64(int64_t v) {
+    fn().body.push_back(Instr::i64_const(v));
+    return *this;
+  }
+  FunctionBuilder& f32(float v) {
+    fn().body.push_back(Instr::f32_const(v));
+    return *this;
+  }
+  FunctionBuilder& f64(double v) {
+    fn().body.push_back(Instr::f64_const(v));
+    return *this;
+  }
+  FunctionBuilder& block(uint32_t block_type = kVoidBlockType) {
+    return op(Opcode::Block, block_type);
+  }
+  FunctionBuilder& loop(uint32_t block_type = kVoidBlockType) {
+    return op(Opcode::Loop, block_type);
+  }
+  FunctionBuilder& if_(uint32_t block_type = kVoidBlockType) {
+    return op(Opcode::If, block_type);
+  }
+  FunctionBuilder& else_() { return op(Opcode::Else); }
+  FunctionBuilder& end() { return op(Opcode::End); }
+  FunctionBuilder& br(uint32_t depth) { return op(Opcode::Br, depth); }
+  FunctionBuilder& br_if(uint32_t depth) { return op(Opcode::BrIf, depth); }
+  FunctionBuilder& br_table(std::vector<uint32_t> depths_with_default) {
+    module_.br_tables.push_back(std::move(depths_with_default));
+    return op(Opcode::BrTable, static_cast<uint32_t>(module_.br_tables.size() - 1));
+  }
+  FunctionBuilder& call(uint32_t func_index) { return op(Opcode::Call, func_index); }
+  FunctionBuilder& local_get(uint32_t i) { return op(Opcode::LocalGet, i); }
+  FunctionBuilder& local_set(uint32_t i) { return op(Opcode::LocalSet, i); }
+  FunctionBuilder& local_tee(uint32_t i) { return op(Opcode::LocalTee, i); }
+  FunctionBuilder& global_get(uint32_t i) { return op(Opcode::GlobalGet, i); }
+  FunctionBuilder& global_set(uint32_t i) { return op(Opcode::GlobalSet, i); }
+  FunctionBuilder& load(Opcode o, uint32_t offset = 0, uint32_t align = 0) {
+    return op(o, align, offset);
+  }
+  FunctionBuilder& store(Opcode o, uint32_t offset = 0, uint32_t align = 0) {
+    return op(o, align, offset);
+  }
+
+  /// Appends the final End and optionally exports the function.
+  uint32_t finish(std::string export_name = "") {
+    end();
+    if (!export_name.empty()) {
+      module_.exports.push_back(
+          Export{std::move(export_name), ExportKind::Func, func_index_});
+    }
+    return func_index_;
+  }
+
+ private:
+  Function& fn() {
+    return module_.functions[func_index_ - module_.imports.size()];
+  }
+
+  Module& module_;
+  uint32_t func_index_;
+};
+
+inline FunctionBuilder ModuleBuilder::define(const FuncType& type,
+                                             std::string debug_name) {
+  return FunctionBuilder(module_, declare(type, std::move(debug_name)));
+}
+
+inline FunctionBuilder ModuleBuilder::body_of(uint32_t func_index) {
+  return FunctionBuilder(module_, func_index);
+}
+
+}  // namespace wb::wasm

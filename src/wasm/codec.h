@@ -1,0 +1,23 @@
+// WebAssembly binary format encoder/decoder (MVP, the subset in opcode.h).
+// The encoder produces real `\0asm` binaries; code-size metrics reported by
+// the harness are encoded-byte counts of these binaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wb::wasm {
+
+/// Serializes `module` into the Wasm binary format.
+std::vector<uint8_t> encode(const Module& module);
+
+/// Parses a Wasm binary. On failure returns nullopt and, if `error` is
+/// non-null, stores a human-readable message.
+std::optional<Module> decode(std::span<const uint8_t> bytes, std::string* error = nullptr);
+
+}  // namespace wb::wasm

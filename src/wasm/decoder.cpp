@@ -1,0 +1,494 @@
+#include <cstring>
+
+#include "support/leb128.h"
+#include "wasm/codec.h"
+
+namespace wb::wasm {
+
+namespace {
+
+/// Cursor over the binary with checked reads. All read_* methods return
+/// false (and latch an error message) on malformed input.
+class Reader {
+ public:
+  Reader(std::span<const uint8_t> bytes, std::string* error)
+      : bytes_(bytes), error_(error) {}
+
+  [[nodiscard]] size_t pos() const { return pos_; }
+  [[nodiscard]] bool done() const { return pos_ >= bytes_.size(); }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  bool fail(const std::string& message) {
+    if (ok_ && error_) *error_ = message + " at offset " + std::to_string(pos_);
+    ok_ = false;
+    return false;
+  }
+
+  bool read_byte(uint8_t& out) {
+    if (pos_ >= bytes_.size()) return fail("unexpected end of input");
+    out = bytes_[pos_++];
+    return true;
+  }
+
+  bool read_u32(uint32_t& out) {
+    auto r = support::read_uleb128(bytes_.subspan(pos_));
+    if (!r || r->value > 0xffffffffull) return fail("bad uleb128");
+    out = static_cast<uint32_t>(r->value);
+    pos_ += r->size;
+    return true;
+  }
+
+  bool read_i32(int32_t& out) {
+    auto r = support::read_sleb128(bytes_.subspan(pos_));
+    if (!r) return fail("bad sleb128");
+    out = static_cast<int32_t>(r->value);
+    pos_ += r->size;
+    return true;
+  }
+
+  bool read_i64(int64_t& out) {
+    auto r = support::read_sleb128(bytes_.subspan(pos_));
+    if (!r) return fail("bad sleb128");
+    out = r->value;
+    pos_ += r->size;
+    return true;
+  }
+
+  bool read_f32(float& out) {
+    if (pos_ + 4 > bytes_.size()) return fail("unexpected end of f32");
+    std::memcpy(&out, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+
+  bool read_f64(double& out) {
+    if (pos_ + 8 > bytes_.size()) return fail("unexpected end of f64");
+    std::memcpy(&out, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+
+  bool read_name(std::string& out) {
+    uint32_t len = 0;
+    if (!read_u32(len)) return false;
+    if (pos_ + len > bytes_.size()) return fail("name extends past end");
+    out.assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  bool read_valtype(ValType& out) {
+    uint8_t b = 0;
+    if (!read_byte(b)) return false;
+    switch (b) {
+      case 0x7f: out = ValType::I32; return true;
+      case 0x7e: out = ValType::I64; return true;
+      case 0x7d: out = ValType::F32; return true;
+      case 0x7c: out = ValType::F64; return true;
+      default: return fail("bad value type");
+    }
+  }
+
+  bool read_limits(uint32_t& min, std::optional<uint32_t>& max) {
+    uint8_t flag = 0;
+    if (!read_byte(flag)) return false;
+    if (flag > 1) return fail("bad limits flag");
+    if (!read_u32(min)) return false;
+    if (flag == 1) {
+      uint32_t m = 0;
+      if (!read_u32(m)) return false;
+      max = m;
+    } else {
+      max.reset();
+    }
+    return true;
+  }
+
+  void skip(size_t n) { pos_ = std::min(pos_ + n, bytes_.size()); }
+  void seek(size_t p) { pos_ = std::min(p, bytes_.size()); }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  std::string* error_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool read_const_expr_i32(Reader& r, uint32_t& out) {
+  uint8_t op = 0;
+  if (!r.read_byte(op)) return false;
+  if (op != static_cast<uint8_t>(Opcode::I32Const)) return r.fail("expected i32.const init");
+  int32_t v = 0;
+  if (!r.read_i32(v)) return false;
+  out = static_cast<uint32_t>(v);
+  uint8_t end = 0;
+  if (!r.read_byte(end)) return false;
+  if (end != static_cast<uint8_t>(Opcode::End)) return r.fail("expected end of init expr");
+  return true;
+}
+
+bool read_instr(Reader& r, Module& module, Instr& ins) {
+  uint8_t byte = 0;
+  if (!r.read_byte(byte)) return false;
+  if (!is_known_opcode(byte)) return r.fail("unknown opcode " + std::to_string(byte));
+  ins = Instr{};
+  ins.op = static_cast<Opcode>(byte);
+  switch (ins.op) {
+    case Opcode::Block:
+    case Opcode::Loop:
+    case Opcode::If: {
+      uint8_t bt = 0;
+      if (!r.read_byte(bt)) return false;
+      if (bt != kVoidBlockType && bt != 0x7f && bt != 0x7e && bt != 0x7d && bt != 0x7c) {
+        return r.fail("bad block type");
+      }
+      ins.a = bt;
+      return true;
+    }
+    case Opcode::Br:
+    case Opcode::BrIf:
+    case Opcode::Call:
+    case Opcode::LocalGet:
+    case Opcode::LocalSet:
+    case Opcode::LocalTee:
+    case Opcode::GlobalGet:
+    case Opcode::GlobalSet:
+      return r.read_u32(ins.a);
+    case Opcode::CallIndirect: {
+      if (!r.read_u32(ins.a)) return false;
+      uint8_t table = 0;
+      if (!r.read_byte(table)) return false;
+      if (table != 0) return r.fail("bad table index");
+      return true;
+    }
+    case Opcode::BrTable: {
+      uint32_t count = 0;
+      if (!r.read_u32(count)) return false;
+      std::vector<uint32_t> targets(count + 1);
+      for (auto& t : targets) {
+        if (!r.read_u32(t)) return false;
+      }
+      module.br_tables.push_back(std::move(targets));
+      ins.a = static_cast<uint32_t>(module.br_tables.size() - 1);
+      return true;
+    }
+    case Opcode::MemorySize:
+    case Opcode::MemoryGrow: {
+      uint8_t mem = 0;
+      if (!r.read_byte(mem)) return false;
+      if (mem != 0) return r.fail("bad memory index");
+      return true;
+    }
+    case Opcode::I32Const: {
+      int32_t v = 0;
+      if (!r.read_i32(v)) return false;
+      ins.ival = v;
+      return true;
+    }
+    case Opcode::I64Const:
+      return r.read_i64(ins.ival);
+    case Opcode::F32Const: {
+      float v = 0;
+      if (!r.read_f32(v)) return false;
+      ins.fval = v;
+      return true;
+    }
+    case Opcode::F64Const:
+      return r.read_f64(ins.fval);
+    default:
+      if (op_class(ins.op) == OpClass::Load || op_class(ins.op) == OpClass::Store) {
+        return r.read_u32(ins.a) && r.read_u32(ins.b);
+      }
+      return true;
+  }
+}
+
+}  // namespace
+
+std::optional<Module> decode(std::span<const uint8_t> bytes, std::string* error) {
+  Reader r(bytes, error);
+  Module module;
+
+  // Magic + version.
+  static constexpr uint8_t kHeader[8] = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kHeader, 8) != 0) {
+    r.fail("bad magic or version");
+    return std::nullopt;
+  }
+  r.seek(8);
+
+  int last_section = 0;
+  while (!r.done() && r.ok()) {
+    uint8_t id = 0;
+    uint32_t size = 0;
+    if (!r.read_byte(id) || !r.read_u32(size)) break;
+    const size_t section_end = r.pos() + size;
+    if (id != 0) {  // custom sections may appear anywhere
+      if (id <= last_section) {
+        r.fail("section out of order");
+        break;
+      }
+      last_section = id;
+    }
+
+    switch (id) {
+      case 0:  // custom: skip
+        r.skip(size);
+        break;
+      case 1: {  // types
+        uint32_t count = 0;
+        if (!r.read_u32(count)) break;
+        for (uint32_t i = 0; i < count && r.ok(); ++i) {
+          uint8_t form = 0;
+          if (!r.read_byte(form)) break;
+          if (form != 0x60) {
+            r.fail("bad functype form");
+            break;
+          }
+          FuncType type;
+          uint32_t np = 0;
+          if (!r.read_u32(np)) break;
+          type.params.resize(np);
+          for (auto& t : type.params) {
+            if (!r.read_valtype(t)) break;
+          }
+          uint32_t nr = 0;
+          if (!r.read_u32(nr)) break;
+          if (nr > 1) {
+            r.fail("multi-value results not supported");
+            break;
+          }
+          type.results.resize(nr);
+          for (auto& t : type.results) {
+            if (!r.read_valtype(t)) break;
+          }
+          module.types.push_back(std::move(type));
+        }
+        break;
+      }
+      case 2: {  // imports
+        uint32_t count = 0;
+        if (!r.read_u32(count)) break;
+        for (uint32_t i = 0; i < count && r.ok(); ++i) {
+          Import imp;
+          if (!r.read_name(imp.module) || !r.read_name(imp.name)) break;
+          uint8_t kind = 0;
+          if (!r.read_byte(kind)) break;
+          if (kind != 0x00) {
+            r.fail("only function imports supported");
+            break;
+          }
+          if (!r.read_u32(imp.type_index)) break;
+          module.imports.push_back(std::move(imp));
+        }
+        break;
+      }
+      case 3: {  // function declarations
+        uint32_t count = 0;
+        if (!r.read_u32(count)) break;
+        module.functions.resize(count);
+        for (auto& fn : module.functions) {
+          if (!r.read_u32(fn.type_index)) break;
+        }
+        break;
+      }
+      case 4: {  // table
+        uint32_t count = 0;
+        if (!r.read_u32(count)) break;
+        if (count > 1) {
+          r.fail("multiple tables not supported");
+          break;
+        }
+        if (count == 1) {
+          uint8_t elemtype = 0;
+          if (!r.read_byte(elemtype)) break;
+          if (elemtype != 0x70) {
+            r.fail("bad table element type");
+            break;
+          }
+          uint32_t min = 0;
+          std::optional<uint32_t> max;
+          if (!r.read_limits(min, max)) break;
+          module.table_size = min;
+        }
+        break;
+      }
+      case 5: {  // memory
+        uint32_t count = 0;
+        if (!r.read_u32(count)) break;
+        if (count > 1) {
+          r.fail("multiple memories not supported");
+          break;
+        }
+        if (count == 1) {
+          MemoryDecl mem;
+          if (!r.read_limits(mem.min_pages, mem.max_pages)) break;
+          module.memory = mem;
+        }
+        break;
+      }
+      case 6: {  // globals
+        uint32_t count = 0;
+        if (!r.read_u32(count)) break;
+        for (uint32_t i = 0; i < count && r.ok(); ++i) {
+          Global g;
+          if (!r.read_valtype(g.type)) break;
+          uint8_t mut = 0;
+          if (!r.read_byte(mut)) break;
+          g.mutable_ = mut != 0;
+          uint8_t op = 0;
+          if (!r.read_byte(op)) break;
+          switch (static_cast<Opcode>(op)) {
+            case Opcode::I32Const: {
+              int32_t v = 0;
+              if (!r.read_i32(v)) break;
+              g.init = Value::from_i32(v);
+              break;
+            }
+            case Opcode::I64Const: {
+              int64_t v = 0;
+              if (!r.read_i64(v)) break;
+              g.init = Value::from_i64(v);
+              break;
+            }
+            case Opcode::F32Const: {
+              float v = 0;
+              if (!r.read_f32(v)) break;
+              g.init = Value::from_f32(v);
+              break;
+            }
+            case Opcode::F64Const: {
+              double v = 0;
+              if (!r.read_f64(v)) break;
+              g.init = Value::from_f64(v);
+              break;
+            }
+            default:
+              r.fail("bad global init");
+              break;
+          }
+          uint8_t end = 0;
+          if (!r.read_byte(end)) break;
+          if (end != static_cast<uint8_t>(Opcode::End)) {
+            r.fail("expected end of global init");
+            break;
+          }
+          module.globals.push_back(g);
+        }
+        break;
+      }
+      case 7: {  // exports
+        uint32_t count = 0;
+        if (!r.read_u32(count)) break;
+        for (uint32_t i = 0; i < count && r.ok(); ++i) {
+          Export e;
+          if (!r.read_name(e.name)) break;
+          uint8_t kind = 0;
+          if (!r.read_byte(kind)) break;
+          if (kind != 0 && kind != 2 && kind != 3) {
+            r.fail("unsupported export kind");
+            break;
+          }
+          e.kind = static_cast<ExportKind>(kind);
+          if (!r.read_u32(e.index)) break;
+          module.exports.push_back(std::move(e));
+        }
+        break;
+      }
+      case 9: {  // element segments
+        uint32_t count = 0;
+        if (!r.read_u32(count)) break;
+        for (uint32_t i = 0; i < count && r.ok(); ++i) {
+          uint32_t table_index = 0;
+          if (!r.read_u32(table_index)) break;
+          if (table_index != 0) {
+            r.fail("bad elem table index");
+            break;
+          }
+          ElemSegment seg;
+          if (!read_const_expr_i32(r, seg.offset)) break;
+          uint32_t n = 0;
+          if (!r.read_u32(n)) break;
+          seg.func_indices.resize(n);
+          for (auto& f : seg.func_indices) {
+            if (!r.read_u32(f)) break;
+          }
+          module.elems.push_back(std::move(seg));
+        }
+        break;
+      }
+      case 10: {  // code
+        uint32_t count = 0;
+        if (!r.read_u32(count)) break;
+        if (count != module.functions.size()) {
+          r.fail("code count mismatch");
+          break;
+        }
+        for (uint32_t i = 0; i < count && r.ok(); ++i) {
+          uint32_t body_size = 0;
+          if (!r.read_u32(body_size)) break;
+          const size_t body_end = r.pos() + body_size;
+          Function& fn = module.functions[i];
+          uint32_t num_runs = 0;
+          if (!r.read_u32(num_runs)) break;
+          for (uint32_t run = 0; run < num_runs && r.ok(); ++run) {
+            uint32_t n = 0;
+            ValType t{};
+            if (!r.read_u32(n) || !r.read_valtype(t)) break;
+            if (fn.locals.size() + n > 100000) {
+              r.fail("too many locals");
+              break;
+            }
+            fn.locals.insert(fn.locals.end(), n, t);
+          }
+          while (r.ok() && r.pos() < body_end) {
+            Instr ins;
+            if (!read_instr(r, module, ins)) break;
+            fn.body.push_back(ins);
+          }
+          if (r.ok() && (fn.body.empty() || fn.body.back().op != Opcode::End)) {
+            r.fail("function body must end with end");
+          }
+        }
+        break;
+      }
+      case 11: {  // data segments
+        uint32_t count = 0;
+        if (!r.read_u32(count)) break;
+        for (uint32_t i = 0; i < count && r.ok(); ++i) {
+          uint32_t mem_index = 0;
+          if (!r.read_u32(mem_index)) break;
+          if (mem_index != 0) {
+            r.fail("bad data memory index");
+            break;
+          }
+          DataSegment seg;
+          if (!read_const_expr_i32(r, seg.offset)) break;
+          uint32_t n = 0;
+          if (!r.read_u32(n)) break;
+          if (r.pos() + n > bytes.size()) {
+            r.fail("data segment extends past end");
+            break;
+          }
+          seg.bytes.assign(bytes.begin() + static_cast<ptrdiff_t>(r.pos()),
+                           bytes.begin() + static_cast<ptrdiff_t>(r.pos() + n));
+          r.skip(n);
+          module.data.push_back(std::move(seg));
+        }
+        break;
+      }
+      default:
+        r.fail("unknown section id " + std::to_string(id));
+        break;
+    }
+
+    if (r.ok() && r.pos() != section_end) {
+      r.fail("section size mismatch (id " + std::to_string(id) + ")");
+    }
+  }
+
+  if (!r.ok()) return std::nullopt;
+  return module;
+}
+
+}  // namespace wb::wasm

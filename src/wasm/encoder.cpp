@@ -1,0 +1,262 @@
+#include <cstring>
+
+#include "support/leb128.h"
+#include "wasm/codec.h"
+
+namespace wb::wasm {
+
+namespace {
+
+using support::write_sleb128;
+using support::write_uleb128;
+
+void write_name(std::vector<uint8_t>& out, const std::string& name) {
+  write_uleb128(out, name.size());
+  out.insert(out.end(), name.begin(), name.end());
+}
+
+void write_valtype(std::vector<uint8_t>& out, ValType t) {
+  out.push_back(static_cast<uint8_t>(t));
+}
+
+void write_limits(std::vector<uint8_t>& out, uint32_t min, std::optional<uint32_t> max) {
+  out.push_back(max.has_value() ? 0x01 : 0x00);
+  write_uleb128(out, min);
+  if (max) write_uleb128(out, *max);
+}
+
+void write_f32(std::vector<uint8_t>& out, float v) {
+  uint8_t raw[4];
+  std::memcpy(raw, &v, 4);
+  out.insert(out.end(), raw, raw + 4);
+}
+
+void write_f64(std::vector<uint8_t>& out, double v) {
+  uint8_t raw[8];
+  std::memcpy(raw, &v, 8);
+  out.insert(out.end(), raw, raw + 8);
+}
+
+void write_instr(std::vector<uint8_t>& out, const Module& module, const Instr& ins) {
+  out.push_back(static_cast<uint8_t>(ins.op));
+  switch (ins.op) {
+    case Opcode::Block:
+    case Opcode::Loop:
+    case Opcode::If:
+      out.push_back(static_cast<uint8_t>(ins.a));
+      break;
+    case Opcode::Br:
+    case Opcode::BrIf:
+    case Opcode::Call:
+    case Opcode::LocalGet:
+    case Opcode::LocalSet:
+    case Opcode::LocalTee:
+    case Opcode::GlobalGet:
+    case Opcode::GlobalSet:
+      write_uleb128(out, ins.a);
+      break;
+    case Opcode::CallIndirect:
+      write_uleb128(out, ins.a);  // type index
+      out.push_back(0x00);        // table index
+      break;
+    case Opcode::BrTable: {
+      const auto& targets = module.br_tables.at(ins.a);
+      // Last entry is the default target.
+      write_uleb128(out, targets.size() - 1);
+      for (uint32_t t : targets) write_uleb128(out, t);
+      break;
+    }
+    case Opcode::MemorySize:
+    case Opcode::MemoryGrow:
+      out.push_back(0x00);  // memory index
+      break;
+    case Opcode::I32Const:
+      write_sleb128(out, static_cast<int32_t>(ins.ival));
+      break;
+    case Opcode::I64Const:
+      write_sleb128(out, ins.ival);
+      break;
+    case Opcode::F32Const:
+      write_f32(out, static_cast<float>(ins.fval));
+      break;
+    case Opcode::F64Const:
+      write_f64(out, ins.fval);
+      break;
+    default:
+      if (op_class(ins.op) == OpClass::Load || op_class(ins.op) == OpClass::Store) {
+        write_uleb128(out, ins.a);  // align
+        write_uleb128(out, ins.b);  // offset
+      }
+      break;
+  }
+}
+
+void write_section(std::vector<uint8_t>& out, uint8_t id, const std::vector<uint8_t>& body) {
+  if (body.empty()) return;
+  out.push_back(id);
+  write_uleb128(out, body.size());
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+void write_const_expr_i32(std::vector<uint8_t>& out, int32_t v) {
+  out.push_back(static_cast<uint8_t>(Opcode::I32Const));
+  write_sleb128(out, v);
+  out.push_back(static_cast<uint8_t>(Opcode::End));
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode(const Module& module) {
+  std::vector<uint8_t> out = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
+
+  // Type section (1).
+  {
+    std::vector<uint8_t> body;
+    write_uleb128(body, module.types.size());
+    for (const auto& type : module.types) {
+      body.push_back(0x60);
+      write_uleb128(body, type.params.size());
+      for (ValType t : type.params) write_valtype(body, t);
+      write_uleb128(body, type.results.size());
+      for (ValType t : type.results) write_valtype(body, t);
+    }
+    if (!module.types.empty()) write_section(out, 1, body);
+  }
+
+  // Import section (2).
+  if (!module.imports.empty()) {
+    std::vector<uint8_t> body;
+    write_uleb128(body, module.imports.size());
+    for (const auto& imp : module.imports) {
+      write_name(body, imp.module);
+      write_name(body, imp.name);
+      body.push_back(0x00);  // func import
+      write_uleb128(body, imp.type_index);
+    }
+    write_section(out, 2, body);
+  }
+
+  // Function section (3).
+  if (!module.functions.empty()) {
+    std::vector<uint8_t> body;
+    write_uleb128(body, module.functions.size());
+    for (const auto& fn : module.functions) write_uleb128(body, fn.type_index);
+    write_section(out, 3, body);
+  }
+
+  // Table section (4).
+  if (module.table_size) {
+    std::vector<uint8_t> body;
+    write_uleb128(body, 1);
+    body.push_back(0x70);  // funcref
+    write_limits(body, *module.table_size, *module.table_size);
+    write_section(out, 4, body);
+  }
+
+  // Memory section (5).
+  if (module.memory) {
+    std::vector<uint8_t> body;
+    write_uleb128(body, 1);
+    write_limits(body, module.memory->min_pages, module.memory->max_pages);
+    write_section(out, 5, body);
+  }
+
+  // Global section (6).
+  if (!module.globals.empty()) {
+    std::vector<uint8_t> body;
+    write_uleb128(body, module.globals.size());
+    for (const auto& g : module.globals) {
+      write_valtype(body, g.type);
+      body.push_back(g.mutable_ ? 0x01 : 0x00);
+      switch (g.type) {
+        case ValType::I32:
+          body.push_back(static_cast<uint8_t>(Opcode::I32Const));
+          write_sleb128(body, g.init.as_i32());
+          break;
+        case ValType::I64:
+          body.push_back(static_cast<uint8_t>(Opcode::I64Const));
+          write_sleb128(body, g.init.as_i64());
+          break;
+        case ValType::F32:
+          body.push_back(static_cast<uint8_t>(Opcode::F32Const));
+          write_f32(body, g.init.as_f32());
+          break;
+        case ValType::F64:
+          body.push_back(static_cast<uint8_t>(Opcode::F64Const));
+          write_f64(body, g.init.as_f64());
+          break;
+      }
+      body.push_back(static_cast<uint8_t>(Opcode::End));
+    }
+    write_section(out, 6, body);
+  }
+
+  // Export section (7).
+  if (!module.exports.empty()) {
+    std::vector<uint8_t> body;
+    write_uleb128(body, module.exports.size());
+    for (const auto& e : module.exports) {
+      write_name(body, e.name);
+      body.push_back(static_cast<uint8_t>(e.kind));
+      write_uleb128(body, e.index);
+    }
+    write_section(out, 7, body);
+  }
+
+  // Element section (9).
+  if (!module.elems.empty()) {
+    std::vector<uint8_t> body;
+    write_uleb128(body, module.elems.size());
+    for (const auto& seg : module.elems) {
+      write_uleb128(body, 0);  // table index
+      write_const_expr_i32(body, static_cast<int32_t>(seg.offset));
+      write_uleb128(body, seg.func_indices.size());
+      for (uint32_t f : seg.func_indices) write_uleb128(body, f);
+    }
+    write_section(out, 9, body);
+  }
+
+  // Code section (10).
+  if (!module.functions.empty()) {
+    std::vector<uint8_t> body;
+    write_uleb128(body, module.functions.size());
+    for (const auto& fn : module.functions) {
+      std::vector<uint8_t> code;
+      // Locals as run-length (count, type) pairs.
+      std::vector<std::pair<uint32_t, ValType>> runs;
+      for (ValType t : fn.locals) {
+        if (!runs.empty() && runs.back().second == t) {
+          ++runs.back().first;
+        } else {
+          runs.emplace_back(1, t);
+        }
+      }
+      write_uleb128(code, runs.size());
+      for (const auto& [count, type] : runs) {
+        write_uleb128(code, count);
+        write_valtype(code, type);
+      }
+      for (const auto& ins : fn.body) write_instr(code, module, ins);
+      write_uleb128(body, code.size());
+      body.insert(body.end(), code.begin(), code.end());
+    }
+    write_section(out, 10, body);
+  }
+
+  // Data section (11).
+  if (!module.data.empty()) {
+    std::vector<uint8_t> body;
+    write_uleb128(body, module.data.size());
+    for (const auto& seg : module.data) {
+      write_uleb128(body, 0);  // memory index
+      write_const_expr_i32(body, static_cast<int32_t>(seg.offset));
+      write_uleb128(body, seg.bytes.size());
+      body.insert(body.end(), seg.bytes.begin(), seg.bytes.end());
+    }
+    write_section(out, 11, body);
+  }
+
+  return out;
+}
+
+}  // namespace wb::wasm

@@ -1,0 +1,1020 @@
+#include "wasm/interp.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace wb::wasm {
+
+namespace {
+
+// --- Wasm-compliant float helpers -----------------------------------------
+
+template <typename F>
+F wasm_fmin(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == b) return std::signbit(a) ? a : b;
+  return a < b ? a : b;
+}
+
+template <typename F>
+F wasm_fmax(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == b) return std::signbit(a) ? b : a;
+  return a > b ? a : b;
+}
+
+// Checked float->int truncations (trap on NaN / out of range).
+template <typename I, typename F>
+bool trunc_checked(F x, I& out) {
+  if (std::isnan(x)) return false;
+  const F t = std::trunc(x);
+  // Bounds: representable values of I are (lo-1, hi+1) exclusive after trunc.
+  constexpr F lo = static_cast<F>(std::numeric_limits<I>::min());
+  // hi as float may round up for 64-bit; compare against 2^63 / 2^31 etc.
+  if constexpr (std::is_same_v<I, int32_t>) {
+    if (t < -2147483648.0 || t > 2147483647.0) return false;
+  } else if constexpr (std::is_same_v<I, uint32_t>) {
+    if (t < 0.0 || t > 4294967295.0) return false;
+  } else if constexpr (std::is_same_v<I, int64_t>) {
+    if (t < -9223372036854775808.0 || t >= 9223372036854775808.0) return false;
+  } else {
+    if (t < 0.0 || t >= 18446744073709551616.0) return false;
+  }
+  (void)lo;
+  out = static_cast<I>(t);
+  return true;
+}
+
+uint32_t rotl32(uint32_t x, uint32_t r) {
+  r &= 31;
+  return (x << r) | (x >> ((32 - r) & 31));
+}
+uint32_t rotr32(uint32_t x, uint32_t r) {
+  r &= 31;
+  return (x >> r) | (x << ((32 - r) & 31));
+}
+uint64_t rotl64(uint64_t x, uint64_t r) {
+  r &= 63;
+  return (x << r) | (x >> ((64 - r) & 63));
+}
+uint64_t rotr64(uint64_t x, uint64_t r) {
+  r &= 63;
+  return (x >> r) | (x << ((64 - r) & 63));
+}
+
+}  // namespace
+
+/// Precomputed per-function execution metadata: resolved branch targets and
+/// per-pc cost classes, built once at instantiation.
+struct Instance::FuncMeta {
+  std::vector<uint8_t> op_class;   // OpClass per pc
+  std::vector<uint8_t> arith_cat;  // ArithCat per pc
+  std::vector<uint32_t> end_pc;    // Block/Loop/If/Else: matching End pc
+  std::vector<uint32_t> false_pc;  // If: pc to jump to when condition false
+  uint32_t num_params = 0;
+  uint32_t num_locals = 0;  // params + declared locals
+  uint32_t result_count = 0;
+};
+
+Instance::~Instance() = default;
+
+Instance::Instance(const Module& module, std::vector<HostFn> host_fns)
+    : module_(module), host_fns_(std::move(host_fns)) {
+  assert(host_fns_.size() == module.imports.size());
+
+  for (const auto& g : module.globals) globals_.push_back(g.init);
+
+  if (module.memory) {
+    memory_ = std::make_unique<LinearMemory>(module.memory->min_pages,
+                                             module.memory->max_pages);
+    for (const auto& seg : module.data) {
+      auto dst = memory_->bytes();
+      assert(seg.offset + seg.bytes.size() <= dst.size());
+      std::memcpy(dst.data() + seg.offset, seg.bytes.data(), seg.bytes.size());
+    }
+  }
+
+  if (module.table_size) {
+    table_.assign(*module.table_size, UINT32_MAX);
+    for (const auto& seg : module.elems) {
+      for (size_t i = 0; i < seg.func_indices.size(); ++i) {
+        table_[seg.offset + i] = seg.func_indices[i];
+      }
+    }
+  }
+
+  // Flat default cost tables (overridden by the environment).
+  cost_tables_[0].fill(100);
+  cost_tables_[1].fill(100);
+
+  // Precompute per-function metadata.
+  metas_.resize(module.functions.size());
+  func_state_.resize(module.functions.size());
+  for (size_t fi = 0; fi < module.functions.size(); ++fi) {
+    const Function& fn = module.functions[fi];
+    FuncMeta& meta = metas_[fi];
+    const FuncType& type = module.types[fn.type_index];
+    meta.num_params = static_cast<uint32_t>(type.params.size());
+    meta.num_locals = meta.num_params + static_cast<uint32_t>(fn.locals.size());
+    meta.result_count = static_cast<uint32_t>(type.results.size());
+
+    const size_t n = fn.body.size();
+    meta.op_class.resize(n);
+    meta.arith_cat.resize(n);
+    meta.end_pc.assign(n, 0);
+    meta.false_pc.assign(n, 0);
+
+    std::vector<uint32_t> block_stack;  // pcs of open Block/Loop/If
+    std::vector<uint32_t> else_stack;   // pc of Else for the open If, or 0
+    for (uint32_t pc = 0; pc < n; ++pc) {
+      const Instr& ins = fn.body[pc];
+      meta.op_class[pc] = static_cast<uint8_t>(op_class(ins.op));
+      meta.arith_cat[pc] = static_cast<uint8_t>(arith_cat(ins.op));
+      switch (ins.op) {
+        case Opcode::Block:
+        case Opcode::Loop:
+        case Opcode::If:
+          block_stack.push_back(pc);
+          else_stack.push_back(0);
+          break;
+        case Opcode::Else:
+          assert(!block_stack.empty());
+          else_stack.back() = pc;
+          break;
+        case Opcode::End: {
+          if (block_stack.empty()) break;  // function-closing end
+          const uint32_t open = block_stack.back();
+          const uint32_t else_pc = else_stack.back();
+          block_stack.pop_back();
+          else_stack.pop_back();
+          meta.end_pc[open] = pc;
+          if (fn.body[open].op == Opcode::If) {
+            meta.false_pc[open] = else_pc ? else_pc + 1 : pc;
+          }
+          if (else_pc) meta.end_pc[else_pc] = pc;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+void Instance::set_cost_tables(const CostTable& baseline, const CostTable& optimizing) {
+  cost_tables_[0] = baseline;
+  cost_tables_[1] = optimizing;
+}
+
+void Instance::set_tier_policy(const TierPolicy& policy) {
+  tier_policy_ = policy;
+  if (!policy.baseline_enabled) {
+    // Optimizing-only configuration: everything starts at the top tier
+    // (compilation happens at instantiation; the environment accounts for
+    // that as startup cost).
+    for (auto& s : func_state_) s.tier = Tier::Optimizing;
+  }
+}
+
+void Instance::maybe_tier_up(uint32_t defined_index) {
+  FuncState& state = func_state_[defined_index];
+  if (state.tier == Tier::Optimizing) return;
+  ++state.hotness;
+  if (!tier_policy_.optimizing_enabled) return;
+  if (state.hotness < tier_policy_.tierup_threshold) return;
+  state.tier = Tier::Optimizing;
+  ++stats_.tierups;
+  stats_.cost_ps += tier_policy_.tierup_cost_per_instr *
+                    module_.functions[defined_index].body.size();
+}
+
+InvokeResult Instance::invoke(std::string_view export_name, std::span<const Value> args) {
+  const Export* e = module_.find_export(export_name);
+  if (!e || e->kind != ExportKind::Func) return {Trap::HostError, {}};
+  return invoke_index(e->index, args);
+}
+
+InvokeResult Instance::invoke_index(uint32_t func_index, std::span<const Value> args) {
+  return run(func_index, args);
+}
+
+namespace {
+struct CtrlFrame {
+  uint32_t height;  // value-stack height at block entry
+  uint32_t br_pc;   // where a branch targeting this frame jumps
+  uint8_t arity;    // block result count (0 or 1)
+  bool is_loop;
+};
+struct CallFrame {
+  uint32_t fidx;        // defined-function index
+  uint32_t pc;
+  uint32_t locals_base;
+  uint32_t ctrl_base;
+  uint32_t stack_base;  // value-stack height on entry (params already removed)
+};
+constexpr size_t kMaxCallDepth = 2000;
+}  // namespace
+
+InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
+  const uint32_t num_imports = static_cast<uint32_t>(module_.imports.size());
+
+  // Direct host-function invocation.
+  if (func_index < num_imports) {
+    Value result;
+    ++stats_.host_calls;
+    const Trap t = host_fns_[func_index](args, &result);
+    return {t, result};
+  }
+
+  std::vector<Value> stack;
+  stack.reserve(256);
+  std::vector<Value> locals;
+  locals.reserve(256);
+  std::vector<CtrlFrame> ctrls;
+  ctrls.reserve(64);
+  std::vector<CallFrame> frames;
+  frames.reserve(64);
+
+  uint64_t cost = 0;
+  uint64_t ops = 0;
+  uint64_t fuel = fuel_;
+  Trap trap = Trap::None;
+
+  auto flush_stats = [&] {
+    stats_.cost_ps += cost;
+    stats_.ops_executed += ops;
+  };
+
+  // Cached per-frame execution state.
+  const Instr* code = nullptr;
+  uint32_t code_size = 0;
+  const FuncMeta* meta = nullptr;
+  const uint64_t* costs = nullptr;
+  uint32_t pc = 0;
+
+  auto cache_frame = [&] {
+    const CallFrame& f = frames.back();
+    const Function& fn = module_.functions[f.fidx];
+    code = fn.body.data();
+    code_size = static_cast<uint32_t>(fn.body.size());
+    meta = &metas_[f.fidx];
+    costs = cost_tables_[static_cast<size_t>(func_state_[f.fidx].tier)].data();
+    pc = f.pc;
+  };
+
+  // Enters defined function `d`; its `nparams` arguments are on top of the
+  // value stack (or in `args` for the initial call).
+  auto enter_function = [&](uint32_t d, std::span<const Value> initial_args) -> bool {
+    if (frames.size() >= kMaxCallDepth) {
+      trap = Trap::CallStackExhausted;
+      return false;
+    }
+    maybe_tier_up(d);
+    ++stats_.calls;
+    const FuncMeta& m = metas_[d];
+    CallFrame f;
+    f.fidx = d;
+    f.pc = 0;
+    f.locals_base = static_cast<uint32_t>(locals.size());
+    f.ctrl_base = static_cast<uint32_t>(ctrls.size());
+    if (!initial_args.empty() || m.num_params == 0) {
+      f.stack_base = static_cast<uint32_t>(stack.size());
+      locals.insert(locals.end(), initial_args.begin(), initial_args.end());
+    } else {
+      f.stack_base = static_cast<uint32_t>(stack.size()) - m.num_params;
+      locals.insert(locals.end(), stack.end() - m.num_params, stack.end());
+      stack.resize(f.stack_base);
+    }
+    locals.resize(f.locals_base + m.num_locals, Value{});
+    // Implicit function-body frame.
+    ctrls.push_back(CtrlFrame{f.stack_base,
+                              static_cast<uint32_t>(module_.functions[d].body.size()),
+                              static_cast<uint8_t>(m.result_count), false});
+    frames.push_back(f);
+    cache_frame();
+    return true;
+  };
+
+  {
+    const uint32_t d = func_index - num_imports;
+    const FuncMeta& m = metas_[d];
+    if (args.size() != m.num_params) return {Trap::HostError, {}};
+    if (!enter_function(d, args)) {
+      flush_stats();
+      return {trap, {}};
+    }
+  }
+
+  auto do_branch = [&](uint32_t depth) {
+    const size_t target_index = ctrls.size() - 1 - depth;
+    CtrlFrame& target = ctrls[target_index];
+    if (target.is_loop) {
+      stack.resize(target.height);
+      ctrls.resize(target_index + 1);
+      pc = target.br_pc;
+      // Loop back-edge: contributes to hotness for tier-up.
+      const uint32_t d = frames.back().fidx;
+      const Tier before = func_state_[d].tier;
+      maybe_tier_up(d);
+      if (func_state_[d].tier != before) {
+        costs = cost_tables_[static_cast<size_t>(func_state_[d].tier)].data();
+      }
+    } else {
+      const uint32_t arity = target.arity;
+      for (uint32_t i = 0; i < arity; ++i) {
+        stack[target.height + i] = stack[stack.size() - arity + i];
+      }
+      stack.resize(target.height + arity);
+      pc = target.br_pc;
+      ctrls.resize(target_index);
+    }
+  };
+
+  auto pop = [&]() -> Value {
+    Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  while (true) {
+    if (pc >= code_size) {
+      // Function return: results are on the stack; unwind the frame.
+      const CallFrame f = frames.back();
+      frames.pop_back();
+      locals.resize(f.locals_base);
+      ctrls.resize(f.ctrl_base);
+      if (frames.empty()) {
+        flush_stats();
+        const FuncMeta& m = metas_[f.fidx];
+        InvokeResult result;
+        result.trap = Trap::None;
+        if (m.result_count > 0) result.value = stack.back();
+        return result;
+      }
+      frames.back().pc = frames.back().pc;  // pc already advanced before call
+      cache_frame();
+      continue;
+    }
+
+    if (ops >= fuel) {
+      trap = Trap::FuelExhausted;
+      break;
+    }
+
+    const Instr& ins = code[pc];
+    ++ops;
+    cost += costs[meta->op_class[pc]];
+    {
+      const uint8_t cat = meta->arith_cat[pc];
+      if (cat != static_cast<uint8_t>(ArithCat::None)) ++stats_.arith_counts[cat];
+    }
+
+    switch (ins.op) {
+      case Opcode::Unreachable:
+        trap = Trap::Unreachable;
+        break;
+      case Opcode::Nop:
+        break;
+      case Opcode::Block:
+        ctrls.push_back(CtrlFrame{static_cast<uint32_t>(stack.size()),
+                                  meta->end_pc[pc] + 1,
+                                  static_cast<uint8_t>(ins.a == kVoidBlockType ? 0 : 1),
+                                  false});
+        break;
+      case Opcode::Loop:
+        ctrls.push_back(CtrlFrame{static_cast<uint32_t>(stack.size()), pc + 1,
+                                  static_cast<uint8_t>(ins.a == kVoidBlockType ? 0 : 1),
+                                  true});
+        break;
+      case Opcode::If: {
+        const int32_t cond = pop().as_i32();
+        ctrls.push_back(CtrlFrame{static_cast<uint32_t>(stack.size()),
+                                  meta->end_pc[pc] + 1,
+                                  static_cast<uint8_t>(ins.a == kVoidBlockType ? 0 : 1),
+                                  false});
+        if (cond == 0) {
+          pc = meta->false_pc[pc];
+          continue;
+        }
+        break;
+      }
+      case Opcode::Else:
+        // Reached from the end of the then-branch: skip to the End.
+        pc = meta->end_pc[pc];
+        continue;
+      case Opcode::End:
+        ctrls.pop_back();
+        break;
+      case Opcode::Br:
+        do_branch(ins.a);
+        continue;
+      case Opcode::BrIf: {
+        const int32_t cond = pop().as_i32();
+        if (cond != 0) {
+          do_branch(ins.a);
+          continue;
+        }
+        break;
+      }
+      case Opcode::BrTable: {
+        const uint32_t idx = pop().as_u32();
+        const auto& targets = module_.br_tables[ins.a];
+        const uint32_t depth =
+            idx < targets.size() - 1 ? targets[idx] : targets.back();
+        do_branch(depth);
+        continue;
+      }
+      case Opcode::Return: {
+        CtrlFrame& body_frame = ctrls[frames.back().ctrl_base];
+        const uint32_t arity = body_frame.arity;
+        for (uint32_t i = 0; i < arity; ++i) {
+          stack[body_frame.height + i] = stack[stack.size() - arity + i];
+        }
+        stack.resize(body_frame.height + arity);
+        pc = code_size;
+        continue;
+      }
+      case Opcode::Call:
+      case Opcode::CallIndirect: {
+        uint32_t callee = ins.a;
+        if (ins.op == Opcode::CallIndirect) {
+          const uint32_t entry = pop().as_u32();
+          if (entry >= table_.size() || table_[entry] == UINT32_MAX) {
+            trap = Trap::UndefinedElement;
+            break;
+          }
+          callee = table_[entry];
+          const FuncType& expect = module_.types[ins.a];
+          if (!(module_.func_type(callee) == expect)) {
+            trap = Trap::IndirectCallTypeMismatch;
+            break;
+          }
+        }
+        if (callee < num_imports) {
+          const FuncType& type = module_.types[module_.imports[callee].type_index];
+          const size_t nargs = type.params.size();
+          Value host_args_buf[16];
+          if (nargs > 16) {
+            trap = Trap::HostError;  // host functions take at most 16 args
+            break;
+          }
+          for (size_t i = 0; i < nargs; ++i) {
+            host_args_buf[nargs - 1 - i] = pop();
+          }
+          Value result;
+          ++stats_.host_calls;
+          const Trap t = host_fns_[callee](
+              std::span<const Value>(host_args_buf, nargs), &result);
+          if (t != Trap::None) {
+            trap = t;
+            break;
+          }
+          if (!type.results.empty()) stack.push_back(result);
+          break;
+        }
+        frames.back().pc = pc + 1;
+        if (!enter_function(callee - num_imports, {})) break;
+        continue;
+      }
+      case Opcode::Drop:
+        stack.pop_back();
+        break;
+      case Opcode::Select: {
+        const int32_t cond = pop().as_i32();
+        const Value b = pop();
+        const Value a = pop();
+        stack.push_back(cond != 0 ? a : b);
+        break;
+      }
+      case Opcode::LocalGet:
+        stack.push_back(locals[frames.back().locals_base + ins.a]);
+        break;
+      case Opcode::LocalSet:
+        locals[frames.back().locals_base + ins.a] = pop();
+        break;
+      case Opcode::LocalTee:
+        locals[frames.back().locals_base + ins.a] = stack.back();
+        break;
+      case Opcode::GlobalGet:
+        stack.push_back(globals_[ins.a]);
+        break;
+      case Opcode::GlobalSet:
+        globals_[ins.a] = pop();
+        break;
+
+      // ---- Memory ----
+#define WB_LOAD_CASE(OP, CTYPE, PUSH)                                  \
+  case Opcode::OP: {                                                   \
+    const uint32_t addr = pop().as_u32();                              \
+    CTYPE v;                                                           \
+    if (!memory_->load<CTYPE>(addr, ins.b, v)) {                       \
+      trap = Trap::MemoryOutOfBounds;                                  \
+      break;                                                           \
+    }                                                                  \
+    stack.push_back(PUSH);                                             \
+    break;                                                             \
+  }
+      WB_LOAD_CASE(I32Load, int32_t, Value::from_i32(v))
+      WB_LOAD_CASE(I64Load, int64_t, Value::from_i64(v))
+      WB_LOAD_CASE(F32Load, float, Value::from_f32(v))
+      WB_LOAD_CASE(F64Load, double, Value::from_f64(v))
+      WB_LOAD_CASE(I32Load8S, int8_t, Value::from_i32(v))
+      WB_LOAD_CASE(I32Load8U, uint8_t, Value::from_i32(static_cast<int32_t>(v)))
+      WB_LOAD_CASE(I32Load16S, int16_t, Value::from_i32(v))
+      WB_LOAD_CASE(I32Load16U, uint16_t, Value::from_i32(static_cast<int32_t>(v)))
+#undef WB_LOAD_CASE
+
+#define WB_STORE_CASE(OP, CTYPE, GET)                                  \
+  case Opcode::OP: {                                                   \
+    const Value val = pop();                                           \
+    const uint32_t addr = pop().as_u32();                              \
+    if (!memory_->store<CTYPE>(addr, ins.b, GET)) {                    \
+      trap = Trap::MemoryOutOfBounds;                                  \
+      break;                                                           \
+    }                                                                  \
+    break;                                                             \
+  }
+      WB_STORE_CASE(I32Store, int32_t, val.as_i32())
+      WB_STORE_CASE(I64Store, int64_t, val.as_i64())
+      WB_STORE_CASE(F32Store, float, val.as_f32())
+      WB_STORE_CASE(F64Store, double, val.as_f64())
+      WB_STORE_CASE(I32Store8, uint8_t, static_cast<uint8_t>(val.as_u32()))
+      WB_STORE_CASE(I32Store16, uint16_t, static_cast<uint16_t>(val.as_u32()))
+#undef WB_STORE_CASE
+
+      case Opcode::MemorySize:
+        stack.push_back(Value::from_i32(static_cast<int32_t>(memory_->size_pages())));
+        break;
+      case Opcode::MemoryGrow: {
+        const uint32_t delta = pop().as_u32();
+        stack.push_back(Value::from_i32(memory_->grow(delta)));
+        cost += grow_cost_ps_;
+        ++stats_.memory_grows;
+        break;
+      }
+
+      // ---- Constants ----
+      case Opcode::I32Const:
+        stack.push_back(Value::from_i32(static_cast<int32_t>(ins.ival)));
+        break;
+      case Opcode::I64Const:
+        stack.push_back(Value::from_i64(ins.ival));
+        break;
+      case Opcode::F32Const:
+        stack.push_back(Value::from_f32(static_cast<float>(ins.fval)));
+        break;
+      case Opcode::F64Const:
+        stack.push_back(Value::from_f64(ins.fval));
+        break;
+
+      // ---- i32 compare ----
+      case Opcode::I32Eqz:
+        stack.back() = Value::from_i32(stack.back().as_i32() == 0);
+        break;
+#define WB_CMP32(OP, EXPR)                              \
+  case Opcode::OP: {                                    \
+    const Value bv = pop();                             \
+    const Value av = stack.back();                      \
+    const int32_t a = av.as_i32();                      \
+    const int32_t b = bv.as_i32();                      \
+    const uint32_t ua = av.as_u32();                    \
+    const uint32_t ub = bv.as_u32();                    \
+    (void)a; (void)b; (void)ua; (void)ub;               \
+    stack.back() = Value::from_i32((EXPR) ? 1 : 0);     \
+    break;                                              \
+  }
+      WB_CMP32(I32Eq, a == b)
+      WB_CMP32(I32Ne, a != b)
+      WB_CMP32(I32LtS, a < b)
+      WB_CMP32(I32LtU, ua < ub)
+      WB_CMP32(I32GtS, a > b)
+      WB_CMP32(I32GtU, ua > ub)
+      WB_CMP32(I32LeS, a <= b)
+      WB_CMP32(I32LeU, ua <= ub)
+      WB_CMP32(I32GeS, a >= b)
+      WB_CMP32(I32GeU, ua >= ub)
+#undef WB_CMP32
+
+      case Opcode::I64Eqz:
+        stack.back() = Value::from_i32(stack.back().as_i64() == 0);
+        break;
+#define WB_CMP64(OP, EXPR)                              \
+  case Opcode::OP: {                                    \
+    const Value bv = pop();                             \
+    const Value av = stack.back();                      \
+    const int64_t a = av.as_i64();                      \
+    const int64_t b = bv.as_i64();                      \
+    const uint64_t ua = av.as_u64();                    \
+    const uint64_t ub = bv.as_u64();                    \
+    (void)a; (void)b; (void)ua; (void)ub;               \
+    stack.back() = Value::from_i32((EXPR) ? 1 : 0);     \
+    break;                                              \
+  }
+      WB_CMP64(I64Eq, a == b)
+      WB_CMP64(I64Ne, a != b)
+      WB_CMP64(I64LtS, a < b)
+      WB_CMP64(I64LtU, ua < ub)
+      WB_CMP64(I64GtS, a > b)
+      WB_CMP64(I64GtU, ua > ub)
+      WB_CMP64(I64LeS, a <= b)
+      WB_CMP64(I64LeU, ua <= ub)
+      WB_CMP64(I64GeS, a >= b)
+      WB_CMP64(I64GeU, ua >= ub)
+#undef WB_CMP64
+
+#define WB_FCMP(OP, TYPE, EXPR)                         \
+  case Opcode::OP: {                                    \
+    const TYPE b = pop().as_##TYPE();                   \
+    const TYPE a = stack.back().as_##TYPE();            \
+    stack.back() = Value::from_i32((EXPR) ? 1 : 0);     \
+    break;                                              \
+  }
+      case Opcode::F32Eq: {
+        const float b = pop().as_f32();
+        const float a = stack.back().as_f32();
+        stack.back() = Value::from_i32(a == b);
+        break;
+      }
+      case Opcode::F32Ne: {
+        const float b = pop().as_f32();
+        const float a = stack.back().as_f32();
+        stack.back() = Value::from_i32(a != b);
+        break;
+      }
+      case Opcode::F32Lt: {
+        const float b = pop().as_f32();
+        const float a = stack.back().as_f32();
+        stack.back() = Value::from_i32(a < b);
+        break;
+      }
+      case Opcode::F32Gt: {
+        const float b = pop().as_f32();
+        const float a = stack.back().as_f32();
+        stack.back() = Value::from_i32(a > b);
+        break;
+      }
+      case Opcode::F32Le: {
+        const float b = pop().as_f32();
+        const float a = stack.back().as_f32();
+        stack.back() = Value::from_i32(a <= b);
+        break;
+      }
+      case Opcode::F32Ge: {
+        const float b = pop().as_f32();
+        const float a = stack.back().as_f32();
+        stack.back() = Value::from_i32(a >= b);
+        break;
+      }
+      case Opcode::F64Eq: {
+        const double b = pop().as_f64();
+        const double a = stack.back().as_f64();
+        stack.back() = Value::from_i32(a == b);
+        break;
+      }
+      case Opcode::F64Ne: {
+        const double b = pop().as_f64();
+        const double a = stack.back().as_f64();
+        stack.back() = Value::from_i32(a != b);
+        break;
+      }
+      case Opcode::F64Lt: {
+        const double b = pop().as_f64();
+        const double a = stack.back().as_f64();
+        stack.back() = Value::from_i32(a < b);
+        break;
+      }
+      case Opcode::F64Gt: {
+        const double b = pop().as_f64();
+        const double a = stack.back().as_f64();
+        stack.back() = Value::from_i32(a > b);
+        break;
+      }
+      case Opcode::F64Le: {
+        const double b = pop().as_f64();
+        const double a = stack.back().as_f64();
+        stack.back() = Value::from_i32(a <= b);
+        break;
+      }
+      case Opcode::F64Ge: {
+        const double b = pop().as_f64();
+        const double a = stack.back().as_f64();
+        stack.back() = Value::from_i32(a >= b);
+        break;
+      }
+#undef WB_FCMP
+
+      // ---- i32 arithmetic ----
+      case Opcode::I32Clz: {
+        const uint32_t x = stack.back().as_u32();
+        stack.back() = Value::from_i32(x == 0 ? 32 : __builtin_clz(x));
+        break;
+      }
+      case Opcode::I32Ctz: {
+        const uint32_t x = stack.back().as_u32();
+        stack.back() = Value::from_i32(x == 0 ? 32 : __builtin_ctz(x));
+        break;
+      }
+      case Opcode::I32Popcnt:
+        stack.back() = Value::from_i32(__builtin_popcount(stack.back().as_u32()));
+        break;
+#define WB_BIN32(OP, EXPR)                                           \
+  case Opcode::OP: {                                                 \
+    const Value bv = pop();                                          \
+    const Value av = stack.back();                                   \
+    const uint32_t ua = av.as_u32();                                 \
+    const uint32_t ub = bv.as_u32();                                 \
+    (void)ua; (void)ub;                                              \
+    stack.back() = Value::from_i32(static_cast<int32_t>(EXPR));      \
+    break;                                                           \
+  }
+      WB_BIN32(I32Add, ua + ub)
+      WB_BIN32(I32Sub, ua - ub)
+      WB_BIN32(I32Mul, ua * ub)
+      WB_BIN32(I32And, ua & ub)
+      WB_BIN32(I32Or, ua | ub)
+      WB_BIN32(I32Xor, ua ^ ub)
+      WB_BIN32(I32Shl, ua << (ub & 31))
+      WB_BIN32(I32ShrU, ua >> (ub & 31))
+      WB_BIN32(I32Rotl, rotl32(ua, ub))
+      WB_BIN32(I32Rotr, rotr32(ua, ub))
+#undef WB_BIN32
+      case Opcode::I32ShrS: {
+        const uint32_t b = pop().as_u32();
+        const int32_t a = stack.back().as_i32();
+        stack.back() = Value::from_i32(a >> (b & 31));
+        break;
+      }
+      case Opcode::I32DivS: {
+        const int32_t b = pop().as_i32();
+        const int32_t a = stack.back().as_i32();
+        if (b == 0) {
+          trap = Trap::IntegerDivideByZero;
+          break;
+        }
+        if (a == INT32_MIN && b == -1) {
+          trap = Trap::IntegerOverflow;
+          break;
+        }
+        stack.back() = Value::from_i32(a / b);
+        break;
+      }
+      case Opcode::I32DivU: {
+        const uint32_t b = pop().as_u32();
+        const uint32_t a = stack.back().as_u32();
+        if (b == 0) {
+          trap = Trap::IntegerDivideByZero;
+          break;
+        }
+        stack.back() = Value::from_i32(static_cast<int32_t>(a / b));
+        break;
+      }
+      case Opcode::I32RemS: {
+        const int32_t b = pop().as_i32();
+        const int32_t a = stack.back().as_i32();
+        if (b == 0) {
+          trap = Trap::IntegerDivideByZero;
+          break;
+        }
+        stack.back() = Value::from_i32(b == -1 ? 0 : a % b);
+        break;
+      }
+      case Opcode::I32RemU: {
+        const uint32_t b = pop().as_u32();
+        const uint32_t a = stack.back().as_u32();
+        if (b == 0) {
+          trap = Trap::IntegerDivideByZero;
+          break;
+        }
+        stack.back() = Value::from_i32(static_cast<int32_t>(a % b));
+        break;
+      }
+
+      // ---- i64 arithmetic ----
+      case Opcode::I64Clz: {
+        const uint64_t x = stack.back().as_u64();
+        stack.back() = Value::from_i64(x == 0 ? 64 : __builtin_clzll(x));
+        break;
+      }
+      case Opcode::I64Ctz: {
+        const uint64_t x = stack.back().as_u64();
+        stack.back() = Value::from_i64(x == 0 ? 64 : __builtin_ctzll(x));
+        break;
+      }
+      case Opcode::I64Popcnt:
+        stack.back() = Value::from_i64(__builtin_popcountll(stack.back().as_u64()));
+        break;
+#define WB_BIN64(OP, EXPR)                                           \
+  case Opcode::OP: {                                                 \
+    const Value bv = pop();                                          \
+    const Value av = stack.back();                                   \
+    const uint64_t ua = av.as_u64();                                 \
+    const uint64_t ub = bv.as_u64();                                 \
+    (void)ua; (void)ub;                                              \
+    stack.back() = Value::from_i64(static_cast<int64_t>(EXPR));      \
+    break;                                                           \
+  }
+      WB_BIN64(I64Add, ua + ub)
+      WB_BIN64(I64Sub, ua - ub)
+      WB_BIN64(I64Mul, ua * ub)
+      WB_BIN64(I64And, ua & ub)
+      WB_BIN64(I64Or, ua | ub)
+      WB_BIN64(I64Xor, ua ^ ub)
+      WB_BIN64(I64Shl, ua << (ub & 63))
+      WB_BIN64(I64ShrU, ua >> (ub & 63))
+      WB_BIN64(I64Rotl, rotl64(ua, ub))
+      WB_BIN64(I64Rotr, rotr64(ua, ub))
+#undef WB_BIN64
+      case Opcode::I64ShrS: {
+        const uint64_t b = pop().as_u64();
+        const int64_t a = stack.back().as_i64();
+        stack.back() = Value::from_i64(a >> (b & 63));
+        break;
+      }
+      case Opcode::I64DivS: {
+        const int64_t b = pop().as_i64();
+        const int64_t a = stack.back().as_i64();
+        if (b == 0) {
+          trap = Trap::IntegerDivideByZero;
+          break;
+        }
+        if (a == INT64_MIN && b == -1) {
+          trap = Trap::IntegerOverflow;
+          break;
+        }
+        stack.back() = Value::from_i64(a / b);
+        break;
+      }
+      case Opcode::I64DivU: {
+        const uint64_t b = pop().as_u64();
+        const uint64_t a = stack.back().as_u64();
+        if (b == 0) {
+          trap = Trap::IntegerDivideByZero;
+          break;
+        }
+        stack.back() = Value::from_i64(static_cast<int64_t>(a / b));
+        break;
+      }
+      case Opcode::I64RemS: {
+        const int64_t b = pop().as_i64();
+        const int64_t a = stack.back().as_i64();
+        if (b == 0) {
+          trap = Trap::IntegerDivideByZero;
+          break;
+        }
+        stack.back() = Value::from_i64(b == -1 ? 0 : a % b);
+        break;
+      }
+      case Opcode::I64RemU: {
+        const uint64_t b = pop().as_u64();
+        const uint64_t a = stack.back().as_u64();
+        if (b == 0) {
+          trap = Trap::IntegerDivideByZero;
+          break;
+        }
+        stack.back() = Value::from_i64(static_cast<int64_t>(a % b));
+        break;
+      }
+
+      // ---- f32 arithmetic ----
+#define WB_FUN32(OP, EXPR)                                  \
+  case Opcode::OP: {                                        \
+    const float a = stack.back().as_f32();                  \
+    (void)a;                                                \
+    stack.back() = Value::from_f32(EXPR);                   \
+    break;                                                  \
+  }
+      WB_FUN32(F32Abs, std::fabs(a))
+      WB_FUN32(F32Neg, -a)
+      WB_FUN32(F32Ceil, std::ceil(a))
+      WB_FUN32(F32Floor, std::floor(a))
+      WB_FUN32(F32Trunc, std::trunc(a))
+      WB_FUN32(F32Nearest, static_cast<float>(std::nearbyint(a)))
+      WB_FUN32(F32Sqrt, std::sqrt(a))
+#undef WB_FUN32
+#define WB_FBIN32(OP, EXPR)                                 \
+  case Opcode::OP: {                                        \
+    const float b = pop().as_f32();                         \
+    const float a = stack.back().as_f32();                  \
+    stack.back() = Value::from_f32(EXPR);                   \
+    break;                                                  \
+  }
+      WB_FBIN32(F32Add, a + b)
+      WB_FBIN32(F32Sub, a - b)
+      WB_FBIN32(F32Mul, a * b)
+      WB_FBIN32(F32Div, a / b)
+      WB_FBIN32(F32Min, wasm_fmin(a, b))
+      WB_FBIN32(F32Max, wasm_fmax(a, b))
+      WB_FBIN32(F32Copysign, std::copysign(a, b))
+#undef WB_FBIN32
+
+      // ---- f64 arithmetic ----
+#define WB_FUN64(OP, EXPR)                                  \
+  case Opcode::OP: {                                        \
+    const double a = stack.back().as_f64();                 \
+    (void)a;                                                \
+    stack.back() = Value::from_f64(EXPR);                   \
+    break;                                                  \
+  }
+      WB_FUN64(F64Abs, std::fabs(a))
+      WB_FUN64(F64Neg, -a)
+      WB_FUN64(F64Ceil, std::ceil(a))
+      WB_FUN64(F64Floor, std::floor(a))
+      WB_FUN64(F64Trunc, std::trunc(a))
+      WB_FUN64(F64Nearest, std::nearbyint(a))
+      WB_FUN64(F64Sqrt, std::sqrt(a))
+#undef WB_FUN64
+#define WB_FBIN64(OP, EXPR)                                 \
+  case Opcode::OP: {                                        \
+    const double b = pop().as_f64();                        \
+    const double a = stack.back().as_f64();                 \
+    stack.back() = Value::from_f64(EXPR);                   \
+    break;                                                  \
+  }
+      WB_FBIN64(F64Add, a + b)
+      WB_FBIN64(F64Sub, a - b)
+      WB_FBIN64(F64Mul, a * b)
+      WB_FBIN64(F64Div, a / b)
+      WB_FBIN64(F64Min, wasm_fmin(a, b))
+      WB_FBIN64(F64Max, wasm_fmax(a, b))
+      WB_FBIN64(F64Copysign, std::copysign(a, b))
+#undef WB_FBIN64
+
+      // ---- Conversions ----
+      case Opcode::I32WrapI64:
+        stack.back() = Value::from_i32(static_cast<int32_t>(stack.back().as_i64()));
+        break;
+#define WB_TRUNC(OP, ITYPE, FTYPE, PUSH)                           \
+  case Opcode::OP: {                                               \
+    ITYPE out;                                                     \
+    if (!trunc_checked<ITYPE>(stack.back().as_##FTYPE(), out)) {   \
+      trap = Trap::InvalidConversion;                              \
+      break;                                                       \
+    }                                                              \
+    stack.back() = PUSH;                                           \
+    break;                                                         \
+  }
+      WB_TRUNC(I32TruncF32S, int32_t, f32, Value::from_i32(out))
+      WB_TRUNC(I32TruncF32U, uint32_t, f32, Value::from_i32(static_cast<int32_t>(out)))
+      WB_TRUNC(I32TruncF64S, int32_t, f64, Value::from_i32(out))
+      WB_TRUNC(I32TruncF64U, uint32_t, f64, Value::from_i32(static_cast<int32_t>(out)))
+      WB_TRUNC(I64TruncF32S, int64_t, f32, Value::from_i64(out))
+      WB_TRUNC(I64TruncF32U, uint64_t, f32, Value::from_i64(static_cast<int64_t>(out)))
+      WB_TRUNC(I64TruncF64S, int64_t, f64, Value::from_i64(out))
+      WB_TRUNC(I64TruncF64U, uint64_t, f64, Value::from_i64(static_cast<int64_t>(out)))
+#undef WB_TRUNC
+      case Opcode::I64ExtendI32S:
+        stack.back() = Value::from_i64(stack.back().as_i32());
+        break;
+      case Opcode::I64ExtendI32U:
+        stack.back() = Value::from_i64(static_cast<int64_t>(stack.back().as_u32()));
+        break;
+      case Opcode::F32ConvertI32S:
+        stack.back() = Value::from_f32(static_cast<float>(stack.back().as_i32()));
+        break;
+      case Opcode::F32ConvertI32U:
+        stack.back() = Value::from_f32(static_cast<float>(stack.back().as_u32()));
+        break;
+      case Opcode::F32ConvertI64S:
+        stack.back() = Value::from_f32(static_cast<float>(stack.back().as_i64()));
+        break;
+      case Opcode::F32ConvertI64U:
+        stack.back() = Value::from_f32(static_cast<float>(stack.back().as_u64()));
+        break;
+      case Opcode::F32DemoteF64:
+        stack.back() = Value::from_f32(static_cast<float>(stack.back().as_f64()));
+        break;
+      case Opcode::F64ConvertI32S:
+        stack.back() = Value::from_f64(static_cast<double>(stack.back().as_i32()));
+        break;
+      case Opcode::F64ConvertI32U:
+        stack.back() = Value::from_f64(static_cast<double>(stack.back().as_u32()));
+        break;
+      case Opcode::F64ConvertI64S:
+        stack.back() = Value::from_f64(static_cast<double>(stack.back().as_i64()));
+        break;
+      case Opcode::F64ConvertI64U:
+        stack.back() = Value::from_f64(static_cast<double>(stack.back().as_u64()));
+        break;
+      case Opcode::F64PromoteF32:
+        stack.back() = Value::from_f64(static_cast<double>(stack.back().as_f32()));
+        break;
+      case Opcode::I32ReinterpretF32:
+      case Opcode::I64ReinterpretF64:
+      case Opcode::F32ReinterpretI32:
+      case Opcode::F64ReinterpretI64:
+        // Bits are already raw in the value slot. For f32<->i32 the upper
+        // bits are zero either way.
+        break;
+    }
+
+    if (trap != Trap::None) break;
+    ++pc;
+  }
+
+  flush_stats();
+  return {trap, {}};
+}
+
+}  // namespace wb::wasm

@@ -1,0 +1,125 @@
+// The WebAssembly interpreter ("virtual machine"). Structurally this plays
+// the role browsers' Wasm engines play in the paper: it executes validated
+// modules under a two-tier model (a baseline tier and an optimizing tier,
+// mirroring LiftOff/TurboFan and Baseline/Ion) and charges every executed
+// instruction a cost from per-tier cost tables supplied by the environment.
+// Accumulated cost is the deterministic "execution time" the measurement
+// harness reports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wasm/memory.h"
+#include "wasm/module.h"
+
+namespace wb::wasm {
+
+/// Execution tiers. Baseline ~ quick single-pass compile, slower code;
+/// Optimizing ~ the JIT tier, faster code.
+enum class Tier : uint8_t { Baseline = 0, Optimizing = 1 };
+
+/// Per-opcode-class execution costs, in picoseconds of virtual time.
+using CostTable = std::array<uint64_t, kOpClassCount>;
+
+/// Tiering configuration, set per-instance by the environment to model a
+/// browser's Wasm compiler pipeline settings (paper Sec. 4.4, Table 7).
+struct TierPolicy {
+  bool baseline_enabled = true;
+  bool optimizing_enabled = true;
+  /// Hotness (function entries + loop back-edges) before tier-up.
+  uint64_t tierup_threshold = 1000;
+  /// One-time virtual-time cost per body instruction when a function tiers
+  /// up (the optimizing compiler's compile time).
+  uint64_t tierup_cost_per_instr = 400;
+};
+
+/// Execution statistics, read by the measurement harness.
+struct ExecStats {
+  uint64_t ops_executed = 0;
+  uint64_t cost_ps = 0;  ///< accumulated virtual time
+  std::array<uint64_t, kArithCatCount> arith_counts{};
+  uint64_t calls = 0;
+  uint64_t host_calls = 0;
+  uint64_t memory_grows = 0;
+  uint64_t tierups = 0;
+};
+
+/// A host (imported) function: reads args, may write one result.
+/// Returning anything but Trap::None aborts execution.
+using HostFn =
+    std::function<Trap(std::span<const Value> args, Value* result)>;
+
+/// Result of invoking an exported function.
+struct InvokeResult {
+  Trap trap = Trap::None;
+  Value value;  ///< valid when the function has a result and trap == None
+  [[nodiscard]] bool ok() const { return trap == Trap::None; }
+};
+
+/// An instantiated module: globals, linear memory, table, and tier state.
+/// The module must outlive the instance and must have been validated.
+class Instance {
+ public:
+  /// `host_fns` must supply one function per module import, in order.
+  Instance(const Module& module, std::vector<HostFn> host_fns);
+
+  ~Instance();
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  /// Sets both tier cost tables. Defaults are flat 100ps/op.
+  void set_cost_tables(const CostTable& baseline, const CostTable& optimizing);
+  void set_tier_policy(const TierPolicy& policy);
+  /// Charges additional one-off virtual time (e.g. instantiate/startup).
+  void charge(uint64_t cost_ps) { stats_.cost_ps += cost_ps; }
+  /// Extra virtual-time cost per memory.grow, modelling the toolchain
+  /// runtime's growth path (Cheerp vs Emscripten, paper Sec. 4.2.2).
+  void set_grow_cost(uint64_t cost_ps) { grow_cost_ps_ = cost_ps; }
+
+  /// Aborts execution after this many instructions (guards runaway tests).
+  void set_fuel(uint64_t max_ops) { fuel_ = max_ops; }
+
+  /// Invokes an exported function by name.
+  InvokeResult invoke(std::string_view export_name, std::span<const Value> args);
+  /// Invokes by function index (combined import+defined space).
+  InvokeResult invoke_index(uint32_t func_index, std::span<const Value> args);
+
+  [[nodiscard]] const ExecStats& stats() const { return stats_; }
+  [[nodiscard]] LinearMemory* memory() { return memory_ ? memory_.get() : nullptr; }
+  [[nodiscard]] const Module& module() const { return module_; }
+  [[nodiscard]] Value global(uint32_t index) const { return globals_[index]; }
+  [[nodiscard]] Tier function_tier(uint32_t defined_index) const {
+    return func_state_[defined_index].tier;
+  }
+
+ private:
+  struct FuncMeta;
+  struct FuncState {
+    Tier tier = Tier::Baseline;
+    uint64_t hotness = 0;
+  };
+
+  InvokeResult run(uint32_t func_index, std::span<const Value> args);
+  void maybe_tier_up(uint32_t defined_index);
+
+  const Module& module_;
+  std::vector<HostFn> host_fns_;
+  std::vector<Value> globals_;
+  std::unique_ptr<LinearMemory> memory_;
+  std::vector<uint32_t> table_;
+  std::vector<FuncMeta> metas_;       // per defined function
+  std::vector<FuncState> func_state_; // per defined function
+  std::array<CostTable, 2> cost_tables_;
+  TierPolicy tier_policy_;
+  ExecStats stats_;
+  uint64_t fuel_ = UINT64_MAX;
+  uint64_t grow_cost_ps_ = 0;
+};
+
+}  // namespace wb::wasm

@@ -1,0 +1,75 @@
+// WebAssembly linear memory: a contiguous, growable buffer of untyped
+// bytes (spec: resizable limits, 64 KiB pages). The harness reads
+// `peak_bytes()` as the Wasm memory-usage metric — linear memory never
+// shrinks, which is the behaviour the paper contrasts with JS GC.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wb::wasm {
+
+class LinearMemory {
+ public:
+  static constexpr uint32_t kPageSize = 65536;
+  static constexpr uint32_t kDefaultMaxPages = 65536;  // 4 GiB address space
+
+  LinearMemory(uint32_t min_pages, std::optional<uint32_t> max_pages)
+      : max_pages_(max_pages.value_or(kDefaultMaxPages)),
+        bytes_(static_cast<size_t>(min_pages) * kPageSize, 0) {
+    peak_bytes_ = bytes_.size();
+  }
+
+  /// memory.grow semantics: returns the previous size in pages, or -1 if
+  /// the request exceeds the limit.
+  int32_t grow(uint32_t delta_pages) {
+    const uint64_t current = size_pages();
+    const uint64_t requested = current + delta_pages;
+    if (requested > max_pages_) return -1;
+    bytes_.resize(static_cast<size_t>(requested) * kPageSize, 0);
+    peak_bytes_ = std::max(peak_bytes_, bytes_.size());
+    ++grow_count_;
+    return static_cast<int32_t>(current);
+  }
+
+  [[nodiscard]] uint32_t size_pages() const {
+    return static_cast<uint32_t>(bytes_.size() / kPageSize);
+  }
+  [[nodiscard]] size_t size_bytes() const { return bytes_.size(); }
+  [[nodiscard]] size_t peak_bytes() const { return peak_bytes_; }
+  [[nodiscard]] uint64_t grow_count() const { return grow_count_; }
+
+  /// Checked typed access. `addr` is the dynamic address operand and
+  /// `offset` the static immediate; the effective address is their 33-bit
+  /// sum, per spec.
+  template <typename T>
+  [[nodiscard]] bool load(uint32_t addr, uint32_t offset, T& out) const {
+    const uint64_t ea = static_cast<uint64_t>(addr) + offset;
+    if (ea + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(&out, bytes_.data() + ea, sizeof(T));
+    return true;
+  }
+
+  template <typename T>
+  [[nodiscard]] bool store(uint32_t addr, uint32_t offset, T value) {
+    const uint64_t ea = static_cast<uint64_t>(addr) + offset;
+    if (ea + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(bytes_.data() + ea, &value, sizeof(T));
+    return true;
+  }
+
+  /// Unchecked raw view for data-segment initialization and host I/O.
+  [[nodiscard]] std::span<uint8_t> bytes() { return bytes_; }
+  [[nodiscard]] std::span<const uint8_t> bytes() const { return bytes_; }
+
+ private:
+  uint64_t max_pages_;
+  std::vector<uint8_t> bytes_;
+  size_t peak_bytes_ = 0;
+  uint64_t grow_count_ = 0;
+};
+
+}  // namespace wb::wasm

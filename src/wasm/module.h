@@ -1,0 +1,153 @@
+// In-memory representation of a WebAssembly module: the object produced by
+// the compiler backend and the binary decoder, consumed by the validator,
+// the binary encoder, the WAT printer, and the interpreter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wasm/opcode.h"
+#include "wasm/types.h"
+
+namespace wb::wasm {
+
+/// One decoded instruction. Immediates are stored inline:
+///  - block/loop/if : `a` = block type byte (kVoidBlockType or ValType)
+///  - br/br_if      : `a` = relative depth
+///  - br_table      : `a` = index into Module::br_tables
+///  - call          : `a` = function index (import-space first)
+///  - call_indirect : `a` = type index
+///  - local/global  : `a` = index
+///  - load/store    : `a` = align (log2), `b` = offset
+///  - i32/i64.const : `ival`
+///  - f32/f64.const : `fval`
+struct Instr {
+  Opcode op = Opcode::Nop;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  int64_t ival = 0;
+  double fval = 0;
+
+  static Instr make(Opcode op, uint32_t a = 0, uint32_t b = 0) {
+    Instr ins;
+    ins.op = op;
+    ins.a = a;
+    ins.b = b;
+    return ins;
+  }
+  static Instr i32_const(int32_t v) {
+    Instr ins;
+    ins.op = Opcode::I32Const;
+    ins.ival = v;
+    return ins;
+  }
+  static Instr i64_const(int64_t v) {
+    Instr ins;
+    ins.op = Opcode::I64Const;
+    ins.ival = v;
+    return ins;
+  }
+  static Instr f32_const(float v) {
+    Instr ins;
+    ins.op = Opcode::F32Const;
+    ins.fval = v;
+    return ins;
+  }
+  static Instr f64_const(double v) {
+    Instr ins;
+    ins.op = Opcode::F64Const;
+    ins.fval = v;
+    return ins;
+  }
+};
+
+/// An imported host function.
+struct Import {
+  std::string module;
+  std::string name;
+  uint32_t type_index = 0;
+};
+
+/// A function defined in the module. `body` must end with an End opcode.
+struct Function {
+  uint32_t type_index = 0;
+  std::vector<ValType> locals;  ///< extra locals beyond parameters
+  std::vector<Instr> body;
+  std::string debug_name;  ///< not serialized; used by WAT printer and logs
+};
+
+struct Global {
+  ValType type = ValType::I32;
+  bool mutable_ = false;
+  Value init;
+};
+
+struct MemoryDecl {
+  uint32_t min_pages = 0;
+  std::optional<uint32_t> max_pages;
+};
+
+enum class ExportKind : uint8_t { Func = 0, Memory = 2, Global = 3 };
+
+struct Export {
+  std::string name;
+  ExportKind kind = ExportKind::Func;
+  uint32_t index = 0;  ///< function index (import-space first) / global index
+};
+
+/// A passive data initializer placed at a fixed offset (active segment).
+struct DataSegment {
+  uint32_t offset = 0;
+  std::vector<uint8_t> bytes;
+};
+
+/// An element segment initializing the (single) funcref table.
+struct ElemSegment {
+  uint32_t offset = 0;
+  std::vector<uint32_t> func_indices;
+};
+
+struct Module {
+  std::vector<FuncType> types;
+  std::vector<Import> imports;          ///< imported functions only
+  std::vector<Function> functions;      ///< defined functions
+  std::vector<Global> globals;
+  std::optional<MemoryDecl> memory;
+  std::optional<uint32_t> table_size;   ///< funcref table, if present
+  std::vector<ElemSegment> elems;
+  std::vector<Export> exports;
+  std::vector<DataSegment> data;
+  std::vector<std::vector<uint32_t>> br_tables;  ///< side table for br_table targets
+
+  /// Total number of functions in index space (imports first).
+  [[nodiscard]] uint32_t num_func_index_space() const {
+    return static_cast<uint32_t>(imports.size() + functions.size());
+  }
+
+  /// Adds `type` (deduplicated) and returns its index.
+  uint32_t intern_type(const FuncType& type) {
+    for (uint32_t i = 0; i < types.size(); ++i) {
+      if (types[i] == type) return i;
+    }
+    types.push_back(type);
+    return static_cast<uint32_t>(types.size() - 1);
+  }
+
+  /// Looks up an export by name.
+  [[nodiscard]] const Export* find_export(std::string_view name) const {
+    for (const auto& e : exports) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  }
+
+  /// Type of a function in combined index space.
+  [[nodiscard]] const FuncType& func_type(uint32_t func_index) const {
+    if (func_index < imports.size()) return types[imports[func_index].type_index];
+    return types[functions[func_index - imports.size()].type_index];
+  }
+};
+
+}  // namespace wb::wasm

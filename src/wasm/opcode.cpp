@@ -1,0 +1,324 @@
+#include "wasm/opcode.h"
+
+#include "wasm/types.h"
+
+namespace wb::wasm {
+
+OpClass op_class(Opcode op) {
+  const uint8_t b = static_cast<uint8_t>(op);
+  switch (op) {
+    case Opcode::I32Const:
+    case Opcode::I64Const:
+    case Opcode::F32Const:
+    case Opcode::F64Const:
+      return OpClass::Const;
+    case Opcode::LocalGet:
+    case Opcode::LocalSet:
+    case Opcode::LocalTee:
+      return OpClass::LocalVar;
+    case Opcode::GlobalGet:
+    case Opcode::GlobalSet:
+      return OpClass::GlobalVar;
+    case Opcode::I32Mul:
+    case Opcode::I64Mul:
+      return OpClass::IntMul;
+    case Opcode::I32DivS:
+    case Opcode::I32DivU:
+    case Opcode::I32RemS:
+    case Opcode::I32RemU:
+    case Opcode::I64DivS:
+    case Opcode::I64DivU:
+    case Opcode::I64RemS:
+    case Opcode::I64RemU:
+      return OpClass::IntDiv;
+    case Opcode::F32Div:
+    case Opcode::F32Sqrt:
+    case Opcode::F64Div:
+    case Opcode::F64Sqrt:
+      return OpClass::FloatDiv;
+    case Opcode::Call:
+    case Opcode::CallIndirect:
+      return OpClass::Call;
+    case Opcode::MemoryGrow:
+      return OpClass::MemoryGrow;
+    case Opcode::MemorySize:
+      return OpClass::Misc;
+    case Opcode::Unreachable:
+    case Opcode::Nop:
+      return OpClass::Misc;
+    default:
+      break;
+  }
+  if (b >= 0x28 && b <= 0x2f) return OpClass::Load;
+  if (b >= 0x36 && b <= 0x3b) return OpClass::Store;
+  if (b >= 0x45 && b <= 0x5a) return OpClass::IntArith;   // int compares
+  if (b >= 0x5b && b <= 0x66) return OpClass::FloatArith; // float compares
+  if (b >= 0x67 && b <= 0x8a) return OpClass::IntArith;   // int alu (mul/div handled)
+  if (b >= 0x8b && b <= 0xa6) return OpClass::FloatArith; // float alu (div/sqrt handled)
+  if (b >= 0xa7 && b <= 0xbf) return OpClass::Convert;
+  // Blocks, branches, select, drop, end, else, return.
+  return OpClass::Branch;
+}
+
+ArithCat arith_cat(Opcode op) {
+  switch (op) {
+    case Opcode::I32Add:
+    case Opcode::I32Sub:
+    case Opcode::I64Add:
+    case Opcode::I64Sub:
+    case Opcode::F32Add:
+    case Opcode::F32Sub:
+    case Opcode::F64Add:
+    case Opcode::F64Sub:
+      return ArithCat::Add;
+    case Opcode::I32Mul:
+    case Opcode::I64Mul:
+    case Opcode::F32Mul:
+    case Opcode::F64Mul:
+      return ArithCat::Mul;
+    case Opcode::I32DivS:
+    case Opcode::I32DivU:
+    case Opcode::I64DivS:
+    case Opcode::I64DivU:
+    case Opcode::F32Div:
+    case Opcode::F64Div:
+      return ArithCat::Div;
+    case Opcode::I32RemS:
+    case Opcode::I32RemU:
+    case Opcode::I64RemS:
+    case Opcode::I64RemU:
+      return ArithCat::Rem;
+    case Opcode::I32Shl:
+    case Opcode::I32ShrS:
+    case Opcode::I32ShrU:
+    case Opcode::I32Rotl:
+    case Opcode::I32Rotr:
+    case Opcode::I64Shl:
+    case Opcode::I64ShrS:
+    case Opcode::I64ShrU:
+    case Opcode::I64Rotl:
+    case Opcode::I64Rotr:
+      return ArithCat::Shift;
+    case Opcode::I32And:
+    case Opcode::I64And:
+      return ArithCat::And;
+    case Opcode::I32Or:
+    case Opcode::I32Xor:
+    case Opcode::I64Or:
+    case Opcode::I64Xor:
+      return ArithCat::Or;
+    default:
+      return ArithCat::None;
+  }
+}
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::Unreachable: return "unreachable";
+    case Opcode::Nop: return "nop";
+    case Opcode::Block: return "block";
+    case Opcode::Loop: return "loop";
+    case Opcode::If: return "if";
+    case Opcode::Else: return "else";
+    case Opcode::End: return "end";
+    case Opcode::Br: return "br";
+    case Opcode::BrIf: return "br_if";
+    case Opcode::BrTable: return "br_table";
+    case Opcode::Return: return "return";
+    case Opcode::Call: return "call";
+    case Opcode::CallIndirect: return "call_indirect";
+    case Opcode::Drop: return "drop";
+    case Opcode::Select: return "select";
+    case Opcode::LocalGet: return "local.get";
+    case Opcode::LocalSet: return "local.set";
+    case Opcode::LocalTee: return "local.tee";
+    case Opcode::GlobalGet: return "global.get";
+    case Opcode::GlobalSet: return "global.set";
+    case Opcode::I32Load: return "i32.load";
+    case Opcode::I64Load: return "i64.load";
+    case Opcode::F32Load: return "f32.load";
+    case Opcode::F64Load: return "f64.load";
+    case Opcode::I32Load8S: return "i32.load8_s";
+    case Opcode::I32Load8U: return "i32.load8_u";
+    case Opcode::I32Load16S: return "i32.load16_s";
+    case Opcode::I32Load16U: return "i32.load16_u";
+    case Opcode::I32Store: return "i32.store";
+    case Opcode::I64Store: return "i64.store";
+    case Opcode::F32Store: return "f32.store";
+    case Opcode::F64Store: return "f64.store";
+    case Opcode::I32Store8: return "i32.store8";
+    case Opcode::I32Store16: return "i32.store16";
+    case Opcode::MemorySize: return "memory.size";
+    case Opcode::MemoryGrow: return "memory.grow";
+    case Opcode::I32Const: return "i32.const";
+    case Opcode::I64Const: return "i64.const";
+    case Opcode::F32Const: return "f32.const";
+    case Opcode::F64Const: return "f64.const";
+    case Opcode::I32Eqz: return "i32.eqz";
+    case Opcode::I32Eq: return "i32.eq";
+    case Opcode::I32Ne: return "i32.ne";
+    case Opcode::I32LtS: return "i32.lt_s";
+    case Opcode::I32LtU: return "i32.lt_u";
+    case Opcode::I32GtS: return "i32.gt_s";
+    case Opcode::I32GtU: return "i32.gt_u";
+    case Opcode::I32LeS: return "i32.le_s";
+    case Opcode::I32LeU: return "i32.le_u";
+    case Opcode::I32GeS: return "i32.ge_s";
+    case Opcode::I32GeU: return "i32.ge_u";
+    case Opcode::I64Eqz: return "i64.eqz";
+    case Opcode::I64Eq: return "i64.eq";
+    case Opcode::I64Ne: return "i64.ne";
+    case Opcode::I64LtS: return "i64.lt_s";
+    case Opcode::I64LtU: return "i64.lt_u";
+    case Opcode::I64GtS: return "i64.gt_s";
+    case Opcode::I64GtU: return "i64.gt_u";
+    case Opcode::I64LeS: return "i64.le_s";
+    case Opcode::I64LeU: return "i64.le_u";
+    case Opcode::I64GeS: return "i64.ge_s";
+    case Opcode::I64GeU: return "i64.ge_u";
+    case Opcode::F32Eq: return "f32.eq";
+    case Opcode::F32Ne: return "f32.ne";
+    case Opcode::F32Lt: return "f32.lt";
+    case Opcode::F32Gt: return "f32.gt";
+    case Opcode::F32Le: return "f32.le";
+    case Opcode::F32Ge: return "f32.ge";
+    case Opcode::F64Eq: return "f64.eq";
+    case Opcode::F64Ne: return "f64.ne";
+    case Opcode::F64Lt: return "f64.lt";
+    case Opcode::F64Gt: return "f64.gt";
+    case Opcode::F64Le: return "f64.le";
+    case Opcode::F64Ge: return "f64.ge";
+    case Opcode::I32Clz: return "i32.clz";
+    case Opcode::I32Ctz: return "i32.ctz";
+    case Opcode::I32Popcnt: return "i32.popcnt";
+    case Opcode::I32Add: return "i32.add";
+    case Opcode::I32Sub: return "i32.sub";
+    case Opcode::I32Mul: return "i32.mul";
+    case Opcode::I32DivS: return "i32.div_s";
+    case Opcode::I32DivU: return "i32.div_u";
+    case Opcode::I32RemS: return "i32.rem_s";
+    case Opcode::I32RemU: return "i32.rem_u";
+    case Opcode::I32And: return "i32.and";
+    case Opcode::I32Or: return "i32.or";
+    case Opcode::I32Xor: return "i32.xor";
+    case Opcode::I32Shl: return "i32.shl";
+    case Opcode::I32ShrS: return "i32.shr_s";
+    case Opcode::I32ShrU: return "i32.shr_u";
+    case Opcode::I32Rotl: return "i32.rotl";
+    case Opcode::I32Rotr: return "i32.rotr";
+    case Opcode::I64Clz: return "i64.clz";
+    case Opcode::I64Ctz: return "i64.ctz";
+    case Opcode::I64Popcnt: return "i64.popcnt";
+    case Opcode::I64Add: return "i64.add";
+    case Opcode::I64Sub: return "i64.sub";
+    case Opcode::I64Mul: return "i64.mul";
+    case Opcode::I64DivS: return "i64.div_s";
+    case Opcode::I64DivU: return "i64.div_u";
+    case Opcode::I64RemS: return "i64.rem_s";
+    case Opcode::I64RemU: return "i64.rem_u";
+    case Opcode::I64And: return "i64.and";
+    case Opcode::I64Or: return "i64.or";
+    case Opcode::I64Xor: return "i64.xor";
+    case Opcode::I64Shl: return "i64.shl";
+    case Opcode::I64ShrS: return "i64.shr_s";
+    case Opcode::I64ShrU: return "i64.shr_u";
+    case Opcode::I64Rotl: return "i64.rotl";
+    case Opcode::I64Rotr: return "i64.rotr";
+    case Opcode::F32Abs: return "f32.abs";
+    case Opcode::F32Neg: return "f32.neg";
+    case Opcode::F32Ceil: return "f32.ceil";
+    case Opcode::F32Floor: return "f32.floor";
+    case Opcode::F32Trunc: return "f32.trunc";
+    case Opcode::F32Nearest: return "f32.nearest";
+    case Opcode::F32Sqrt: return "f32.sqrt";
+    case Opcode::F32Add: return "f32.add";
+    case Opcode::F32Sub: return "f32.sub";
+    case Opcode::F32Mul: return "f32.mul";
+    case Opcode::F32Div: return "f32.div";
+    case Opcode::F32Min: return "f32.min";
+    case Opcode::F32Max: return "f32.max";
+    case Opcode::F32Copysign: return "f32.copysign";
+    case Opcode::F64Abs: return "f64.abs";
+    case Opcode::F64Neg: return "f64.neg";
+    case Opcode::F64Ceil: return "f64.ceil";
+    case Opcode::F64Floor: return "f64.floor";
+    case Opcode::F64Trunc: return "f64.trunc";
+    case Opcode::F64Nearest: return "f64.nearest";
+    case Opcode::F64Sqrt: return "f64.sqrt";
+    case Opcode::F64Add: return "f64.add";
+    case Opcode::F64Sub: return "f64.sub";
+    case Opcode::F64Mul: return "f64.mul";
+    case Opcode::F64Div: return "f64.div";
+    case Opcode::F64Min: return "f64.min";
+    case Opcode::F64Max: return "f64.max";
+    case Opcode::F64Copysign: return "f64.copysign";
+    case Opcode::I32WrapI64: return "i32.wrap_i64";
+    case Opcode::I32TruncF32S: return "i32.trunc_f32_s";
+    case Opcode::I32TruncF32U: return "i32.trunc_f32_u";
+    case Opcode::I32TruncF64S: return "i32.trunc_f64_s";
+    case Opcode::I32TruncF64U: return "i32.trunc_f64_u";
+    case Opcode::I64ExtendI32S: return "i64.extend_i32_s";
+    case Opcode::I64ExtendI32U: return "i64.extend_i32_u";
+    case Opcode::I64TruncF32S: return "i64.trunc_f32_s";
+    case Opcode::I64TruncF32U: return "i64.trunc_f32_u";
+    case Opcode::I64TruncF64S: return "i64.trunc_f64_s";
+    case Opcode::I64TruncF64U: return "i64.trunc_f64_u";
+    case Opcode::F32ConvertI32S: return "f32.convert_i32_s";
+    case Opcode::F32ConvertI32U: return "f32.convert_i32_u";
+    case Opcode::F32ConvertI64S: return "f32.convert_i64_s";
+    case Opcode::F32ConvertI64U: return "f32.convert_i64_u";
+    case Opcode::F32DemoteF64: return "f32.demote_f64";
+    case Opcode::F64ConvertI32S: return "f64.convert_i32_s";
+    case Opcode::F64ConvertI32U: return "f64.convert_i32_u";
+    case Opcode::F64ConvertI64S: return "f64.convert_i64_s";
+    case Opcode::F64ConvertI64U: return "f64.convert_i64_u";
+    case Opcode::F64PromoteF32: return "f64.promote_f32";
+    case Opcode::I32ReinterpretF32: return "i32.reinterpret_f32";
+    case Opcode::I64ReinterpretF64: return "i64.reinterpret_f64";
+    case Opcode::F32ReinterpretI32: return "f32.reinterpret_i32";
+    case Opcode::F64ReinterpretI64: return "f64.reinterpret_i64";
+  }
+  return "<unknown>";
+}
+
+bool is_known_opcode(uint8_t byte) {
+  if (byte <= 0x11) {
+    return byte <= 0x05 || byte == 0x0b || (byte >= 0x0c && byte <= 0x11);
+  }
+  if (byte == 0x1a || byte == 0x1b) return true;
+  if (byte >= 0x20 && byte <= 0x24) return true;
+  if (byte >= 0x28 && byte <= 0x2f) return true;
+  if (byte >= 0x36 && byte <= 0x3b) return true;
+  if (byte == 0x3f || byte == 0x40) return true;
+  if (byte >= 0x41 && byte <= 0xbf) return true;
+  return false;
+}
+
+const char* to_string(ValType t) {
+  switch (t) {
+    case ValType::I32: return "i32";
+    case ValType::I64: return "i64";
+    case ValType::F32: return "f32";
+    case ValType::F64: return "f64";
+  }
+  return "<badtype>";
+}
+
+const char* to_string(Trap t) {
+  switch (t) {
+    case Trap::None: return "none";
+    case Trap::Unreachable: return "unreachable executed";
+    case Trap::MemoryOutOfBounds: return "out of bounds memory access";
+    case Trap::IntegerDivideByZero: return "integer divide by zero";
+    case Trap::IntegerOverflow: return "integer overflow";
+    case Trap::InvalidConversion: return "invalid conversion to integer";
+    case Trap::CallStackExhausted: return "call stack exhausted";
+    case Trap::FuelExhausted: return "fuel exhausted";
+    case Trap::UndefinedElement: return "undefined table element";
+    case Trap::IndirectCallTypeMismatch: return "indirect call type mismatch";
+    case Trap::HostError: return "host function error";
+  }
+  return "<badtrap>";
+}
+
+}  // namespace wb::wasm

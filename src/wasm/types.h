@@ -1,0 +1,91 @@
+// Core WebAssembly value and function types, runtime values, and traps.
+// This follows the Wasm MVP spec's type grammar
+// (https://webassembly.github.io/spec/core/syntax/types.html).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace wb::wasm {
+
+/// Wasm value types, with their binary-format encodings.
+enum class ValType : uint8_t {
+  I32 = 0x7f,
+  I64 = 0x7e,
+  F32 = 0x7d,
+  F64 = 0x7c,
+};
+
+/// Binary encoding of the empty block type.
+inline constexpr uint8_t kVoidBlockType = 0x40;
+
+const char* to_string(ValType t);
+
+/// A function signature. Wasm MVP allows at most one result.
+struct FuncType {
+  std::vector<ValType> params;
+  std::vector<ValType> results;
+
+  bool operator==(const FuncType&) const = default;
+};
+
+/// An untyped 64-bit value slot. Validation guarantees that producers and
+/// consumers agree on the type, so the interpreter reads/writes raw bits.
+struct Value {
+  uint64_t bits = 0;
+
+  static Value from_i32(int32_t v) {
+    return {static_cast<uint64_t>(static_cast<uint32_t>(v))};
+  }
+  static Value from_i64(int64_t v) { return {static_cast<uint64_t>(v)}; }
+  static Value from_f32(float v) {
+    uint32_t raw;
+    std::memcpy(&raw, &v, sizeof raw);
+    return {raw};
+  }
+  static Value from_f64(double v) {
+    uint64_t raw;
+    std::memcpy(&raw, &v, sizeof raw);
+    return {raw};
+  }
+
+  [[nodiscard]] int32_t as_i32() const { return static_cast<int32_t>(bits); }
+  [[nodiscard]] uint32_t as_u32() const { return static_cast<uint32_t>(bits); }
+  [[nodiscard]] int64_t as_i64() const { return static_cast<int64_t>(bits); }
+  [[nodiscard]] uint64_t as_u64() const { return bits; }
+  [[nodiscard]] float as_f32() const {
+    float v;
+    uint32_t raw = static_cast<uint32_t>(bits);
+    std::memcpy(&v, &raw, sizeof v);
+    return v;
+  }
+  [[nodiscard]] double as_f64() const {
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  bool operator==(const Value&) const = default;
+};
+
+/// Runtime traps, mirroring the spec's trap conditions plus resource limits
+/// used by the measurement harness.
+enum class Trap : uint8_t {
+  None = 0,
+  Unreachable,
+  MemoryOutOfBounds,
+  IntegerDivideByZero,
+  IntegerOverflow,
+  InvalidConversion,
+  CallStackExhausted,
+  FuelExhausted,
+  UndefinedElement,
+  IndirectCallTypeMismatch,
+  HostError,
+};
+
+const char* to_string(Trap t);
+
+}  // namespace wb::wasm

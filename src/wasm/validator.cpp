@@ -1,0 +1,480 @@
+#include "wasm/validator.h"
+
+#include <optional>
+#include <vector>
+
+namespace wb::wasm {
+
+namespace {
+
+// nullopt stands for the "unknown" type produced in unreachable code.
+using StackType = std::optional<ValType>;
+
+struct CtrlFrame {
+  Opcode opcode = Opcode::Block;            // Block / Loop / If
+  std::vector<ValType> end_types;           // result types
+  size_t height = 0;                        // value stack height at entry
+  bool unreachable = false;
+  bool saw_else = false;
+};
+
+/// Per-function type checker.
+class FuncValidator {
+ public:
+  FuncValidator(const Module& module, const Function& fn, std::string& error)
+      : module_(module), fn_(fn), error_(error) {
+    const FuncType& type = module.types[fn.type_index];
+    locals_ = type.params;
+    locals_.insert(locals_.end(), fn.locals.begin(), fn.locals.end());
+    results_ = type.results;
+  }
+
+  bool run() {
+    // The implicit function-body frame.
+    push_ctrl(Opcode::Block, results_);
+    for (size_t pc = 0; pc < fn_.body.size(); ++pc) {
+      if (!check(fn_.body[pc])) return false;
+      if (ctrls_.empty()) {
+        // The outermost frame was popped by the final `end`.
+        if (pc + 1 != fn_.body.size()) return fail("code after function end");
+        return true;
+      }
+    }
+    return fail("missing end at function end");
+  }
+
+ private:
+  bool fail(const std::string& message) {
+    error_ = message;
+    return false;
+  }
+
+  void push(ValType t) { stack_.push_back(t); }
+  void push_unknown() { stack_.push_back(std::nullopt); }
+
+  bool pop(StackType& out) {
+    CtrlFrame& frame = ctrls_.back();
+    if (stack_.size() == frame.height) {
+      if (frame.unreachable) {
+        out = std::nullopt;
+        return true;
+      }
+      return fail("value stack underflow");
+    }
+    out = stack_.back();
+    stack_.pop_back();
+    return true;
+  }
+
+  bool pop_expect(ValType expect) {
+    StackType t;
+    if (!pop(t)) return false;
+    if (t && *t != expect) {
+      return fail(std::string("type mismatch: expected ") + to_string(expect) +
+                  ", got " + to_string(*t));
+    }
+    return true;
+  }
+
+  void push_ctrl(Opcode opcode, std::vector<ValType> end_types) {
+    CtrlFrame frame;
+    frame.opcode = opcode;
+    frame.end_types = std::move(end_types);
+    frame.height = stack_.size();
+    ctrls_.push_back(std::move(frame));
+  }
+
+  bool pop_ctrl(CtrlFrame& out) {
+    if (ctrls_.empty()) return fail("control stack underflow");
+    CtrlFrame frame = ctrls_.back();
+    // The block's results must be on the stack.
+    for (auto it = frame.end_types.rbegin(); it != frame.end_types.rend(); ++it) {
+      if (!pop_expect(*it)) return false;
+    }
+    if (stack_.size() != frame.height) return fail("values left on stack at end of block");
+    ctrls_.pop_back();
+    out = frame;
+    return true;
+  }
+
+  void mark_unreachable() {
+    CtrlFrame& frame = ctrls_.back();
+    stack_.resize(frame.height);
+    frame.unreachable = true;
+  }
+
+  /// Types a branch to relative depth `depth` must provide.
+  /// For loops that is nothing (branch to loop start); otherwise the results.
+  bool br_types(uint32_t depth, std::vector<ValType>& out) {
+    if (depth >= ctrls_.size()) return fail("branch depth out of range");
+    const CtrlFrame& frame = ctrls_[ctrls_.size() - 1 - depth];
+    out = frame.opcode == Opcode::Loop ? std::vector<ValType>{} : frame.end_types;
+    return true;
+  }
+
+  bool check_branch(uint32_t depth) {
+    std::vector<ValType> types;
+    if (!br_types(depth, types)) return false;
+    for (auto it = types.rbegin(); it != types.rend(); ++it) {
+      if (!pop_expect(*it)) return false;
+    }
+    // br_if pushes the values back; handled by the caller.
+    for (ValType t : types) push(t);
+    return true;
+  }
+
+  static std::vector<ValType> block_results(uint32_t block_type_byte) {
+    if (block_type_byte == kVoidBlockType) return {};
+    return {static_cast<ValType>(block_type_byte)};
+  }
+
+  bool check(const Instr& ins);
+
+  const Module& module_;
+  const Function& fn_;
+  std::string& error_;
+  std::vector<ValType> locals_;
+  std::vector<ValType> results_;
+  std::vector<StackType> stack_;
+  std::vector<CtrlFrame> ctrls_;
+};
+
+struct OpSig {
+  std::vector<ValType> params;
+  std::optional<ValType> result;
+};
+
+/// Signature of a simple (non-control, non-variable) operator.
+std::optional<OpSig> simple_sig(Opcode op) {
+  using V = ValType;
+  const uint8_t b = static_cast<uint8_t>(op);
+  // Comparisons.
+  if (op == Opcode::I32Eqz) return OpSig{{V::I32}, V::I32};
+  if (op == Opcode::I64Eqz) return OpSig{{V::I64}, V::I32};
+  if (b >= 0x46 && b <= 0x4f) return OpSig{{V::I32, V::I32}, V::I32};
+  if (b >= 0x51 && b <= 0x5a) return OpSig{{V::I64, V::I64}, V::I32};
+  if (b >= 0x5b && b <= 0x60) return OpSig{{V::F32, V::F32}, V::I32};
+  if (b >= 0x61 && b <= 0x66) return OpSig{{V::F64, V::F64}, V::I32};
+  // Unary int.
+  if (op == Opcode::I32Clz || op == Opcode::I32Ctz || op == Opcode::I32Popcnt)
+    return OpSig{{V::I32}, V::I32};
+  if (op == Opcode::I64Clz || op == Opcode::I64Ctz || op == Opcode::I64Popcnt)
+    return OpSig{{V::I64}, V::I64};
+  // Binary int.
+  if (b >= 0x6a && b <= 0x78) return OpSig{{V::I32, V::I32}, V::I32};
+  if (b >= 0x7c && b <= 0x8a) return OpSig{{V::I64, V::I64}, V::I64};
+  // Float unary.
+  if (b >= 0x8b && b <= 0x91) return OpSig{{V::F32}, V::F32};
+  if (b >= 0x99 && b <= 0x9f) return OpSig{{V::F64}, V::F64};
+  // Float binary.
+  if (b >= 0x92 && b <= 0x98) return OpSig{{V::F32, V::F32}, V::F32};
+  if (b >= 0xa0 && b <= 0xa6) return OpSig{{V::F64, V::F64}, V::F64};
+  // Conversions.
+  switch (op) {
+    case Opcode::I32WrapI64: return OpSig{{V::I64}, V::I32};
+    case Opcode::I32TruncF32S:
+    case Opcode::I32TruncF32U: return OpSig{{V::F32}, V::I32};
+    case Opcode::I32TruncF64S:
+    case Opcode::I32TruncF64U: return OpSig{{V::F64}, V::I32};
+    case Opcode::I64ExtendI32S:
+    case Opcode::I64ExtendI32U: return OpSig{{V::I32}, V::I64};
+    case Opcode::I64TruncF32S:
+    case Opcode::I64TruncF32U: return OpSig{{V::F32}, V::I64};
+    case Opcode::I64TruncF64S:
+    case Opcode::I64TruncF64U: return OpSig{{V::F64}, V::I64};
+    case Opcode::F32ConvertI32S:
+    case Opcode::F32ConvertI32U: return OpSig{{V::I32}, V::F32};
+    case Opcode::F32ConvertI64S:
+    case Opcode::F32ConvertI64U: return OpSig{{V::I64}, V::F32};
+    case Opcode::F32DemoteF64: return OpSig{{V::F64}, V::F32};
+    case Opcode::F64ConvertI32S:
+    case Opcode::F64ConvertI32U: return OpSig{{V::I32}, V::F64};
+    case Opcode::F64ConvertI64S:
+    case Opcode::F64ConvertI64U: return OpSig{{V::I64}, V::F64};
+    case Opcode::F64PromoteF32: return OpSig{{V::F32}, V::F64};
+    case Opcode::I32ReinterpretF32: return OpSig{{V::F32}, V::I32};
+    case Opcode::I64ReinterpretF64: return OpSig{{V::F64}, V::I64};
+    case Opcode::F32ReinterpretI32: return OpSig{{V::I32}, V::F32};
+    case Opcode::F64ReinterpretI64: return OpSig{{V::I64}, V::F64};
+    default: return std::nullopt;
+  }
+}
+
+/// Memory access type and natural alignment for load/store opcodes.
+struct MemSig {
+  ValType type;
+  uint32_t natural_align_log2;
+  bool is_store;
+};
+
+std::optional<MemSig> mem_sig(Opcode op) {
+  using V = ValType;
+  switch (op) {
+    case Opcode::I32Load: return MemSig{V::I32, 2, false};
+    case Opcode::I64Load: return MemSig{V::I64, 3, false};
+    case Opcode::F32Load: return MemSig{V::F32, 2, false};
+    case Opcode::F64Load: return MemSig{V::F64, 3, false};
+    case Opcode::I32Load8S:
+    case Opcode::I32Load8U: return MemSig{V::I32, 0, false};
+    case Opcode::I32Load16S:
+    case Opcode::I32Load16U: return MemSig{V::I32, 1, false};
+    case Opcode::I32Store: return MemSig{V::I32, 2, true};
+    case Opcode::I64Store: return MemSig{V::I64, 3, true};
+    case Opcode::F32Store: return MemSig{V::F32, 2, true};
+    case Opcode::F64Store: return MemSig{V::F64, 3, true};
+    case Opcode::I32Store8: return MemSig{V::I32, 0, true};
+    case Opcode::I32Store16: return MemSig{V::I32, 1, true};
+    default: return std::nullopt;
+  }
+}
+
+bool FuncValidator::check(const Instr& ins) {
+  switch (ins.op) {
+    case Opcode::Nop:
+      return true;
+    case Opcode::Unreachable:
+      mark_unreachable();
+      return true;
+    case Opcode::Block:
+    case Opcode::Loop:
+      push_ctrl(ins.op, block_results(ins.a));
+      return true;
+    case Opcode::If:
+      if (!pop_expect(ValType::I32)) return false;
+      push_ctrl(Opcode::If, block_results(ins.a));
+      return true;
+    case Opcode::Else: {
+      if (ctrls_.empty() || ctrls_.back().opcode != Opcode::If) {
+        return fail("else without if");
+      }
+      if (ctrls_.back().saw_else) return fail("duplicate else");
+      std::vector<ValType> results = ctrls_.back().end_types;
+      CtrlFrame frame;
+      if (!pop_ctrl(frame)) return false;
+      push_ctrl(Opcode::If, std::move(results));
+      ctrls_.back().saw_else = true;
+      return true;
+    }
+    case Opcode::End: {
+      CtrlFrame frame;
+      if (!pop_ctrl(frame)) return false;
+      if (frame.opcode == Opcode::If && !frame.saw_else && !frame.end_types.empty()) {
+        return fail("if with result type requires else");
+      }
+      for (ValType t : frame.end_types) push(t);
+      return true;
+    }
+    case Opcode::Br: {
+      std::vector<ValType> types;
+      if (!br_types(ins.a, types)) return false;
+      for (auto it = types.rbegin(); it != types.rend(); ++it) {
+        if (!pop_expect(*it)) return false;
+      }
+      mark_unreachable();
+      return true;
+    }
+    case Opcode::BrIf:
+      if (!pop_expect(ValType::I32)) return false;
+      return check_branch(ins.a);
+    case Opcode::BrTable: {
+      if (!pop_expect(ValType::I32)) return false;
+      if (ins.a >= module_.br_tables.size()) return fail("bad br_table index");
+      const auto& targets = module_.br_tables[ins.a];
+      std::vector<ValType> expect;
+      if (!br_types(targets.back(), expect)) return false;
+      for (uint32_t t : targets) {
+        std::vector<ValType> got;
+        if (!br_types(t, got)) return false;
+        if (got != expect) return fail("br_table target arity mismatch");
+      }
+      for (auto it = expect.rbegin(); it != expect.rend(); ++it) {
+        if (!pop_expect(*it)) return false;
+      }
+      mark_unreachable();
+      return true;
+    }
+    case Opcode::Return:
+      for (auto it = results_.rbegin(); it != results_.rend(); ++it) {
+        if (!pop_expect(*it)) return false;
+      }
+      mark_unreachable();
+      return true;
+    case Opcode::Call: {
+      if (ins.a >= module_.num_func_index_space()) return fail("call index out of range");
+      const FuncType& type = module_.func_type(ins.a);
+      for (auto it = type.params.rbegin(); it != type.params.rend(); ++it) {
+        if (!pop_expect(*it)) return false;
+      }
+      for (ValType t : type.results) push(t);
+      return true;
+    }
+    case Opcode::CallIndirect: {
+      if (!module_.table_size) return fail("call_indirect without table");
+      if (ins.a >= module_.types.size()) return fail("call_indirect type out of range");
+      if (!pop_expect(ValType::I32)) return false;
+      const FuncType& type = module_.types[ins.a];
+      for (auto it = type.params.rbegin(); it != type.params.rend(); ++it) {
+        if (!pop_expect(*it)) return false;
+      }
+      for (ValType t : type.results) push(t);
+      return true;
+    }
+    case Opcode::Drop: {
+      StackType t;
+      return pop(t);
+    }
+    case Opcode::Select: {
+      if (!pop_expect(ValType::I32)) return false;
+      StackType a, b;
+      if (!pop(a) || !pop(b)) return false;
+      if (a && b && *a != *b) return fail("select operand types differ");
+      if (a) {
+        push(*a);
+      } else if (b) {
+        push(*b);
+      } else {
+        push_unknown();
+      }
+      return true;
+    }
+    case Opcode::LocalGet:
+      if (ins.a >= locals_.size()) return fail("local index out of range");
+      push(locals_[ins.a]);
+      return true;
+    case Opcode::LocalSet:
+      if (ins.a >= locals_.size()) return fail("local index out of range");
+      return pop_expect(locals_[ins.a]);
+    case Opcode::LocalTee:
+      if (ins.a >= locals_.size()) return fail("local index out of range");
+      if (!pop_expect(locals_[ins.a])) return false;
+      push(locals_[ins.a]);
+      return true;
+    case Opcode::GlobalGet:
+      if (ins.a >= module_.globals.size()) return fail("global index out of range");
+      push(module_.globals[ins.a].type);
+      return true;
+    case Opcode::GlobalSet:
+      if (ins.a >= module_.globals.size()) return fail("global index out of range");
+      if (!module_.globals[ins.a].mutable_) return fail("assignment to immutable global");
+      return pop_expect(module_.globals[ins.a].type);
+    case Opcode::MemorySize:
+      if (!module_.memory) return fail("memory.size without memory");
+      push(ValType::I32);
+      return true;
+    case Opcode::MemoryGrow:
+      if (!module_.memory) return fail("memory.grow without memory");
+      if (!pop_expect(ValType::I32)) return false;
+      push(ValType::I32);
+      return true;
+    case Opcode::I32Const:
+      push(ValType::I32);
+      return true;
+    case Opcode::I64Const:
+      push(ValType::I64);
+      return true;
+    case Opcode::F32Const:
+      push(ValType::F32);
+      return true;
+    case Opcode::F64Const:
+      push(ValType::F64);
+      return true;
+    default:
+      break;
+  }
+
+  if (auto m = mem_sig(ins.op)) {
+    if (!module_.memory) return fail("memory access without memory");
+    if (ins.a > m->natural_align_log2) return fail("alignment exceeds natural alignment");
+    if (m->is_store) {
+      if (!pop_expect(m->type)) return false;
+      if (!pop_expect(ValType::I32)) return false;  // address
+      return true;
+    }
+    if (!pop_expect(ValType::I32)) return false;  // address
+    push(m->type);
+    return true;
+  }
+
+  if (auto sig = simple_sig(ins.op)) {
+    for (auto it = sig->params.rbegin(); it != sig->params.rend(); ++it) {
+      if (!pop_expect(*it)) return false;
+    }
+    if (sig->result) push(*sig->result);
+    return true;
+  }
+
+  return fail(std::string("unhandled opcode in validator: ") + to_string(ins.op));
+}
+
+}  // namespace
+
+std::optional<ValidationError> validate(const Module& module) {
+  auto module_error = [](std::string message) {
+    return ValidationError{std::move(message), UINT32_MAX};
+  };
+
+  for (const auto& imp : module.imports) {
+    if (imp.type_index >= module.types.size()) {
+      return module_error("import type index out of range");
+    }
+  }
+  for (const auto& fn : module.functions) {
+    if (fn.type_index >= module.types.size()) {
+      return module_error("function type index out of range");
+    }
+  }
+  for (const auto& type : module.types) {
+    if (type.results.size() > 1) return module_error("multi-value not supported");
+  }
+  if (module.memory && module.memory->max_pages &&
+      *module.memory->max_pages < module.memory->min_pages) {
+    return module_error("memory max < min");
+  }
+  for (const auto& e : module.exports) {
+    switch (e.kind) {
+      case ExportKind::Func:
+        if (e.index >= module.num_func_index_space()) {
+          return module_error("export func index out of range");
+        }
+        break;
+      case ExportKind::Memory:
+        if (!module.memory || e.index != 0) return module_error("export memory out of range");
+        break;
+      case ExportKind::Global:
+        if (e.index >= module.globals.size()) {
+          return module_error("export global index out of range");
+        }
+        break;
+    }
+  }
+  for (const auto& seg : module.elems) {
+    if (!module.table_size) return module_error("elem segment without table");
+    if (seg.offset + seg.func_indices.size() > *module.table_size) {
+      return module_error("elem segment out of table bounds");
+    }
+    for (uint32_t f : seg.func_indices) {
+      if (f >= module.num_func_index_space()) {
+        return module_error("elem func index out of range");
+      }
+    }
+  }
+  for (const auto& seg : module.data) {
+    if (!module.memory) return module_error("data segment without memory");
+    const uint64_t end = static_cast<uint64_t>(seg.offset) + seg.bytes.size();
+    if (end > static_cast<uint64_t>(module.memory->min_pages) * 65536) {
+      return module_error("data segment out of initial memory bounds");
+    }
+  }
+
+  for (uint32_t i = 0; i < module.functions.size(); ++i) {
+    std::string error;
+    FuncValidator v(module, module.functions[i], error);
+    if (!v.run()) {
+      const uint32_t combined = static_cast<uint32_t>(module.imports.size()) + i;
+      return ValidationError{error, combined};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wb::wasm

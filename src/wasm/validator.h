@@ -1,0 +1,24 @@
+// Module validation: the standard Wasm type-checking algorithm
+// (value stack + control stack with unreachable polymorphism), plus
+// module-level index and limit checks. A module that validates will not
+// cause type confusion in the interpreter.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "wasm/module.h"
+
+namespace wb::wasm {
+
+struct ValidationError {
+  std::string message;
+  /// Function index (combined space) the error occurred in, or UINT32_MAX
+  /// for module-level errors.
+  uint32_t func_index = UINT32_MAX;
+};
+
+/// Returns nullopt if `module` is valid.
+std::optional<ValidationError> validate(const Module& module);
+
+}  // namespace wb::wasm

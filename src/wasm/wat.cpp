@@ -1,0 +1,144 @@
+#include "wasm/wat.h"
+
+#include <sstream>
+
+namespace wb::wasm {
+
+namespace {
+
+void print_type_use(std::ostringstream& out, const FuncType& type) {
+  if (!type.params.empty()) {
+    out << " (param";
+    for (ValType t : type.params) out << " " << to_string(t);
+    out << ")";
+  }
+  if (!type.results.empty()) {
+    out << " (result";
+    for (ValType t : type.results) out << " " << to_string(t);
+    out << ")";
+  }
+}
+
+void print_block_type(std::ostringstream& out, uint32_t bt) {
+  if (bt != kVoidBlockType) {
+    out << " (result " << to_string(static_cast<ValType>(bt)) << ")";
+  }
+}
+
+}  // namespace
+
+std::string to_wat(const Module& module, const Function& fn, uint32_t func_index) {
+  std::ostringstream out;
+  out << "  (func $f" << func_index;
+  if (!fn.debug_name.empty()) out << " (; " << fn.debug_name << " ;)";
+  out << " (type $t" << fn.type_index << ")";
+  print_type_use(out, module.types[fn.type_index]);
+  out << "\n";
+  if (!fn.locals.empty()) {
+    out << "   ";
+    for (ValType t : fn.locals) out << " (local " << to_string(t) << ")";
+    out << "\n";
+  }
+  int indent = 2;
+  for (const Instr& ins : fn.body) {
+    if (ins.op == Opcode::End || ins.op == Opcode::Else) indent = std::max(indent - 1, 2);
+    out << std::string(static_cast<size_t>(indent) * 2, ' ') << to_string(ins.op);
+    switch (ins.op) {
+      case Opcode::Block:
+      case Opcode::Loop:
+      case Opcode::If:
+        print_block_type(out, ins.a);
+        ++indent;
+        break;
+      case Opcode::Else:
+        ++indent;
+        break;
+      case Opcode::Br:
+      case Opcode::BrIf:
+        out << " " << ins.a;
+        break;
+      case Opcode::BrTable:
+        for (uint32_t t : module.br_tables[ins.a]) out << " " << t;
+        break;
+      case Opcode::Call:
+        out << " $f" << ins.a;
+        break;
+      case Opcode::CallIndirect:
+        out << " (type $t" << ins.a << ")";
+        break;
+      case Opcode::LocalGet:
+      case Opcode::LocalSet:
+      case Opcode::LocalTee:
+        out << " " << ins.a;
+        break;
+      case Opcode::GlobalGet:
+      case Opcode::GlobalSet:
+        out << " $g" << ins.a;
+        break;
+      case Opcode::I32Const:
+        out << " " << static_cast<int32_t>(ins.ival);
+        break;
+      case Opcode::I64Const:
+        out << " " << ins.ival;
+        break;
+      case Opcode::F32Const:
+      case Opcode::F64Const:
+        out << " " << ins.fval;
+        break;
+      default:
+        if (op_class(ins.op) == OpClass::Load || op_class(ins.op) == OpClass::Store) {
+          if (ins.b != 0) out << " offset=" << ins.b;
+        }
+        break;
+    }
+    out << "\n";
+  }
+  out << "  )\n";
+  return out.str();
+}
+
+std::string to_wat(const Module& module) {
+  std::ostringstream out;
+  out << "(module\n";
+  for (uint32_t i = 0; i < module.types.size(); ++i) {
+    out << "  (type $t" << i << " (func";
+    print_type_use(out, module.types[i]);
+    out << "))\n";
+  }
+  for (const auto& imp : module.imports) {
+    out << "  (import \"" << imp.module << "\" \"" << imp.name
+        << "\" (func (type $t" << imp.type_index << ")))\n";
+  }
+  if (module.memory) {
+    out << "  (memory " << module.memory->min_pages;
+    if (module.memory->max_pages) out << " " << *module.memory->max_pages;
+    out << ")\n";
+  }
+  for (uint32_t i = 0; i < module.globals.size(); ++i) {
+    const Global& g = module.globals[i];
+    out << "  (global $g" << i << " ";
+    if (g.mutable_) {
+      out << "(mut " << to_string(g.type) << ")";
+    } else {
+      out << to_string(g.type);
+    }
+    out << ")\n";
+  }
+  for (uint32_t i = 0; i < module.functions.size(); ++i) {
+    out << to_wat(module, module.functions[i],
+                  static_cast<uint32_t>(module.imports.size()) + i);
+  }
+  for (const auto& e : module.exports) {
+    out << "  (export \"" << e.name << "\" ";
+    switch (e.kind) {
+      case ExportKind::Func: out << "(func $f" << e.index << ")"; break;
+      case ExportKind::Memory: out << "(memory 0)"; break;
+      case ExportKind::Global: out << "(global $g" << e.index << ")"; break;
+    }
+    out << ")\n";
+  }
+  out << ")\n";
+  return out.str();
+}
+
+}  // namespace wb::wasm

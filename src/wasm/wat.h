@@ -1,0 +1,17 @@
+// WebAssembly text-format (WAT) printer, in the linear style the paper's
+// figures use (Fig. 4/7/8). Used by examples, docs, and golden tests.
+#pragma once
+
+#include <string>
+
+#include "wasm/module.h"
+
+namespace wb::wasm {
+
+/// Renders the whole module as WAT.
+std::string to_wat(const Module& module);
+
+/// Renders one defined function.
+std::string to_wat(const Module& module, const Function& fn, uint32_t func_index);
+
+}  // namespace wb::wasm

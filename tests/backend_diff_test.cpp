@@ -1,0 +1,452 @@
+// Differential tests: every program must compute the same checksum on all
+// three targets (native IR evaluation, the Wasm VM, the JS engine) at
+// every optimization level and with both toolchain personalities. This is
+// the load-bearing correctness net for the whole compiler + both VMs.
+#include <gtest/gtest.h>
+
+#include "backend/js_backend.h"
+#include "backend/native_backend.h"
+#include "backend/wasm_backend.h"
+#include "ir/exec.h"
+#include "ir/passes.h"
+#include "js/engine.h"
+#include "js/interp.h"
+#include "minic/minic.h"
+#include "wasm/interp.h"
+
+namespace wb {
+namespace {
+
+const std::vector<std::pair<const char*, const char*>>& corpus() {
+  static const std::vector<std::pair<const char*, const char*>> programs = {
+      {"gemm_like", R"(
+        #define N 10
+        double A[N][N]; double B[N][N]; double C[N][N];
+        int main(void) {
+          int i, j, k;
+          for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++) {
+              A[i][j] = (double)((i * j + 3) % 11) / 4.0;
+              B[i][j] = (double)(i - j) / 3.0;
+              C[i][j] = 0.0;
+            }
+          for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+              for (k = 0; k < N; k++)
+                C[i][j] += 1.5 * A[i][k] * B[k][j];
+          double s = 0.0;
+          for (i = 0; i < N; i++) for (j = 0; j < N; j++) s += C[i][j];
+          return (int)(s * 100.0);
+        }
+      )"},
+      {"int_kernel", R"(
+        int mem[80];
+        int classify(int x) {
+          switch (x & 3) {
+            case 0: return 1;
+            case 1: return 2;
+            case 2: return 5;
+            default: return 7;
+          }
+        }
+        int main(void) {
+          int i;
+          for (i = 0; i < 80; i++) {
+            if (i % 7 == 3) continue;
+            if (i == 77) break;
+            mem[i] = classify(i) * i - (i << 2) + (i % 5);
+          }
+          int s = 0;
+          for (i = 0; i < 80; i++) s ^= mem[i] * (i + 1);
+          return s;
+        }
+      )"},
+      {"unsigned_hash", R"(
+        unsigned char data[64];
+        unsigned mix(unsigned h, unsigned c) {
+          h = h ^ c;
+          h = h * 16777619;
+          return h;
+        }
+        int main(void) {
+          int i;
+          for (i = 0; i < 64; i++) data[i] = (i * 131 + 7);
+          unsigned h = 2166136261;
+          for (i = 0; i < 64; i++) h = mix(h, data[i]);
+          h = h ^ (h >> 16);
+          return (int)(h & 0x7fffffff);
+        }
+      )"},
+      {"float_intrinsics", R"(
+        double xs[50];
+        double score(double v, double base) {
+          return sqrt(fabs(v)) + pow(base, 2.0) + sin(v) * cos(v);
+        }
+        int main(void) {
+          int i;
+          for (i = 0; i < 50; i++) xs[i] = score((double)(i - 25) / 3.0, 1.5);
+          double s = 0.0;
+          for (i = 0; i < 50; i++) s += xs[i] / 8.0;
+          return (int)(s * 1000.0);
+        }
+      )"},
+      {"dynamic_arrays", R"(
+        #define N 900
+        double big[N];
+        double out[N];
+        int main(void) {
+          int i;
+          for (i = 0; i < N; i++) big[i] = (double)(i % 13) * 0.5;
+          for (i = 1; i < N - 1; i++) out[i] = (big[i - 1] + big[i] + big[i + 1]) / 3.0;
+          double s = 0.0;
+          for (i = 0; i < N; i++) s += out[i];
+          return (int)s;
+        }
+      )"},
+      {"dead_global_pattern", R"(
+        int result[50];
+        int live[50];
+        int main(void) {
+          int i;
+          for (i = 0; i < 50; i++) {
+            live[i] = i * 3 + 1;
+            result[i] = live[i] * 2;
+          }
+          int s = 0;
+          for (i = 0; i < 50; i++) s += live[i];
+          return s;
+        }
+      )"},
+      {"recursion_and_calls", R"(
+        int depth_sum(int n) {
+          if (n <= 0) return 0;
+          return n + depth_sum(n - 1);
+        }
+        double scale(double x, double f) { return x / f; }
+        int main(void) {
+          double acc = scale(100.0, 4.0) + scale(50.0, 4.0);
+          return depth_sum(40) + (int)acc;
+        }
+      )"},
+      {"stencil_unrollable", R"(
+        #define N 120
+        double a[N]; double b[N];
+        int main(void) {
+          int i; int t;
+          for (i = 0; i < N; i = i + 1) a[i] = (double)i / 7.0;
+          for (t = 0; t < 5; t = t + 1) {
+            for (i = 1; i < N - 1; i = i + 1)
+              b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1]);
+            for (i = 1; i < N - 1; i = i + 1)
+              a[i] = 0.33333 * (b[i - 1] + b[i] + b[i + 1]);
+          }
+          double s = 0.0;
+          for (i = 0; i < N; i = i + 1) s += a[i];
+          return (int)(s * 10.0);
+        }
+      )"},
+  };
+  return programs;
+}
+
+ir::Module compile_at(const char* src, ir::OptLevel level, bool& fast_math) {
+  std::string error;
+  auto m = minic::compile(src, {}, error);
+  EXPECT_TRUE(m.has_value()) << error;
+  const ir::PipelineInfo info = ir::run_pipeline(*m, level);
+  fast_math = info.fast_math;
+  return std::move(*m);
+}
+
+int32_t run_native(ir::Module m, bool& ok, std::string& error) {
+  backend::NativeArtifact native = backend::compile_to_native(std::move(m));
+  ir::Executor exec(native.module);
+  const ir::ExecResult r = exec.run("main");
+  ok = r.ok;
+  error = r.error;
+  return r.as_i32();
+}
+
+int32_t run_wasm(ir::Module m, bool fast_math, backend::Toolchain tc, bool& ok,
+                 std::string& error) {
+  backend::WasmOptions opts;
+  opts.toolchain = tc;
+  opts.fast_math = fast_math;
+  const backend::WasmArtifact artifact = backend::compile_to_wasm(std::move(m), opts);
+  if (!artifact.ok()) {
+    ok = false;
+    error = artifact.error;
+    return 0;
+  }
+  wasm::Instance inst(artifact.module, backend::make_import_bindings(artifact));
+  inst.set_fuel(500'000'000);
+  const wasm::InvokeResult init = inst.invoke("__init", {});
+  if (!init.ok()) {
+    ok = false;
+    error = std::string("__init trapped: ") + wasm::to_string(init.trap);
+    return 0;
+  }
+  const wasm::InvokeResult r = inst.invoke("main", {});
+  ok = r.ok();
+  if (!r.ok()) error = std::string("main trapped: ") + wasm::to_string(r.trap);
+  return r.value.as_i32();
+}
+
+int32_t run_js(ir::Module m, bool fast_math, bool& ok, std::string& error) {
+  backend::JsOptions opts;
+  opts.fast_math = fast_math;
+  const backend::JsArtifact artifact = backend::compile_to_js(std::move(m), opts);
+  if (!artifact.ok()) {
+    ok = false;
+    error = artifact.error;
+    return 0;
+  }
+  auto code = js::compile_script(artifact.source, error);
+  if (!code) {
+    ok = false;
+    error = "js compile: " + error + "\n--- source ---\n" + artifact.source;
+    return 0;
+  }
+  js::Heap heap;
+  js::Vm vm(*code, heap);
+  vm.set_fuel(500'000'000);
+  const js::Vm::Result top = vm.run_top_level();
+  if (!top.ok) {
+    ok = false;
+    error = "js top-level: " + top.error;
+    return 0;
+  }
+  const js::Vm::Result r = vm.call_function("main", {});
+  ok = r.ok;
+  if (!r.ok) {
+    error = "js main: " + r.error;
+    return 0;
+  }
+  if (!r.value.is_number()) {
+    ok = false;
+    error = "js main returned non-number";
+    return 0;
+  }
+  return js::to_int32(r.value.num);
+}
+
+struct DiffParam {
+  size_t program;
+  ir::OptLevel level;
+};
+
+class BackendDifferential : public testing::TestWithParam<DiffParam> {};
+
+TEST_P(BackendDifferential, AllTargetsAgree) {
+  const auto& [name, src] = corpus()[GetParam().program];
+  const ir::OptLevel level = GetParam().level;
+
+  // Reference: unoptimized native.
+  bool fm0 = false;
+  bool ok = false;
+  std::string error;
+  const int32_t expect = run_native(compile_at(src, ir::OptLevel::O0, fm0), ok, error);
+  ASSERT_TRUE(ok) << name << " O0 native: " << error;
+
+  bool fast_math = false;
+  {
+    ir::Module m = compile_at(src, level, fast_math);
+    const int32_t got = run_native(std::move(m), ok, error);
+    ASSERT_TRUE(ok) << name << " native: " << error;
+    EXPECT_EQ(got, expect) << name << " native at " << to_string(level);
+  }
+  for (backend::Toolchain tc : {backend::Toolchain::Cheerp, backend::Toolchain::Emscripten}) {
+    ir::Module m = compile_at(src, level, fast_math);
+    const int32_t got = run_wasm(std::move(m), fast_math, tc, ok, error);
+    ASSERT_TRUE(ok) << name << " wasm/" << to_string(tc) << ": " << error;
+    EXPECT_EQ(got, expect)
+        << name << " wasm/" << to_string(tc) << " at " << to_string(level);
+  }
+  {
+    ir::Module m = compile_at(src, level, fast_math);
+    const int32_t got = run_js(std::move(m), fast_math, ok, error);
+    ASSERT_TRUE(ok) << name << " js: " << error;
+    EXPECT_EQ(got, expect) << name << " js at " << to_string(level);
+  }
+}
+
+std::vector<DiffParam> all_params() {
+  std::vector<DiffParam> params;
+  for (size_t p = 0; p < corpus().size(); ++p) {
+    for (ir::OptLevel level :
+         {ir::OptLevel::O0, ir::OptLevel::O1, ir::OptLevel::O2, ir::OptLevel::O3,
+          ir::OptLevel::Ofast, ir::OptLevel::Os, ir::OptLevel::Oz}) {
+      params.push_back({p, level});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BackendDifferential, testing::ValuesIn(all_params()),
+                         [](const testing::TestParamInfo<DiffParam>& info) {
+                           return std::string(corpus()[info.param.program].first) + "_" +
+                                  to_string(info.param.level);
+                         });
+
+// ------------------------------------------------ backend-specific shape
+
+TEST(WasmBackend, CheerpUsesSmallPagesEmscriptenLarge) {
+  const char* src = R"(
+    #define N 40000
+    double big[N];
+    int main(void) {
+      big[N - 1] = 2.5;
+      return (int)big[N - 1];
+    }
+  )";
+  std::string error;
+  auto m1 = minic::compile(src, {}, error);
+  auto m2 = minic::compile(src, {}, error);
+  ASSERT_TRUE(m1 && m2) << error;
+
+  backend::WasmOptions cheerp;
+  cheerp.toolchain = backend::Toolchain::Cheerp;
+  const auto a1 = backend::compile_to_wasm(std::move(*m1), cheerp);
+  ASSERT_TRUE(a1.ok()) << a1.error;
+  backend::WasmOptions emcc;
+  emcc.toolchain = backend::Toolchain::Emscripten;
+  const auto a2 = backend::compile_to_wasm(std::move(*m2), emcc);
+  ASSERT_TRUE(a2.ok()) << a2.error;
+
+  // Emscripten starts with its 16 MiB floor; Cheerp starts tight.
+  EXPECT_GE(a2.initial_pages, 256u);
+  EXPECT_LT(a1.initial_pages, 8u);
+
+  wasm::Instance i1(a1.module, backend::make_import_bindings(a1));
+  wasm::Instance i2(a2.module, backend::make_import_bindings(a2));
+  ASSERT_TRUE(i1.invoke("__init", {}).ok());
+  ASSERT_TRUE(i2.invoke("__init", {}).ok());
+  ASSERT_TRUE(i1.invoke("main", {}).ok());
+  ASSERT_TRUE(i2.invoke("main", {}).ok());
+  // Cheerp grows many times (64 KiB quanta for a 320 KB array);
+  // Emscripten grows rarely if at all.
+  EXPECT_GE(i1.stats().memory_grows, 3u);
+  EXPECT_LE(i2.stats().memory_grows, 1u);
+  // ... and uses less memory overall.
+  EXPECT_LT(i1.memory()->peak_bytes(), i2.memory()->peak_bytes());
+}
+
+TEST(WasmBackend, FastMathKeepsDeadGlobalStores) {
+  const char* src = R"(
+    double result[64];
+    double live[64];
+    int main(void) {
+      int i;
+      for (i = 0; i < 64; i++) {
+        live[i] = (double)i / 2.0;
+        result[i] = live[i] * 3.0;
+      }
+      double s = 0.0;
+      for (i = 0; i < 64; i++) s += live[i];
+      return (int)s;
+    }
+  )";
+  std::string error;
+  auto m1 = minic::compile(src, {}, error);
+  auto m2 = minic::compile(src, {}, error);
+  ASSERT_TRUE(m1 && m2) << error;
+
+  backend::WasmOptions normal;
+  const auto without_bug = backend::compile_to_wasm(std::move(*m1), normal);
+  backend::WasmOptions ofast;
+  ofast.fast_math = true;
+  const auto with_bug = backend::compile_to_wasm(std::move(*m2), ofast);
+  ASSERT_TRUE(without_bug.ok() && with_bug.ok());
+
+  // The buggy (fast-math) binary keeps the dead stores: larger and slower.
+  EXPECT_GT(with_bug.binary.size(), without_bug.binary.size());
+
+  wasm::Instance good(without_bug.module, {});
+  wasm::Instance bad(with_bug.module, {});
+  ASSERT_TRUE(good.invoke("__init", {}).ok());
+  ASSERT_TRUE(bad.invoke("__init", {}).ok());
+  const auto r1 = good.invoke("main", {});
+  const auto r2 = bad.invoke("main", {});
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.value.as_i32(), r2.value.as_i32());
+  EXPECT_GT(bad.stats().ops_executed, good.stats().ops_executed);
+}
+
+TEST(WasmBackend, IntegralF64ConstantsUseConvertTrick) {
+  const char* src = R"(
+    double x;
+    int main(void) { x = 3.0; return (int)x; }
+  )";
+  std::string error;
+  auto m = minic::compile(src, {}, error);
+  ASSERT_TRUE(m.has_value()) << error;
+  const auto artifact = backend::compile_to_wasm(std::move(*m), {});
+  ASSERT_TRUE(artifact.ok()) << artifact.error;
+  bool saw_convert = false;
+  for (const auto& fn : artifact.module.functions) {
+    for (const auto& ins : fn.body) {
+      if (ins.op == wasm::Opcode::F64ConvertI32S) saw_convert = true;
+      // No raw f64.const 3.0 should appear.
+      if (ins.op == wasm::Opcode::F64Const) {
+        EXPECT_NE(ins.fval, 3.0);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_convert);
+}
+
+TEST(JsBackend, EmitsAsmJsIdioms) {
+  const char* src = R"(
+    int nums[16];
+    double vals[16];
+    unsigned u;
+    int main(void) {
+      int i;
+      for (i = 0; i < 16; i++) {
+        nums[i] = i * 3;
+        vals[i] = (double)i / 2.0;
+      }
+      u = 0x80000000;
+      u = u >> 4;
+      int s = 0;
+      for (i = 0; i < 16; i++) s += nums[i] + (int)vals[i];
+      return s;
+    }
+  )";
+  std::string error;
+  auto m = minic::compile(src, {}, error);
+  ASSERT_TRUE(m.has_value()) << error;
+  const auto artifact = backend::compile_to_js(std::move(*m), {});
+  ASSERT_TRUE(artifact.ok()) << artifact.error;
+  const std::string& js = artifact.source;
+  EXPECT_NE(js.find("new Int32Array(16)"), std::string::npos);
+  EXPECT_NE(js.find("new Float64Array(16)"), std::string::npos);
+  EXPECT_NE(js.find("| 0"), std::string::npos);      // int coercion
+  EXPECT_NE(js.find(">>>"), std::string::npos);      // unsigned shift
+  EXPECT_NE(js.find("Math.imul"), std::string::npos);
+  EXPECT_NE(js.find(">> 2"), std::string::npos);     // scaled i32 index
+  EXPECT_NE(js.find(">> 3"), std::string::npos);     // scaled f64 index
+}
+
+TEST(NativeBackend, CodeSizeTracksInstructionCount) {
+  const char* small_src = "int main(void) { return 1; }";
+  const char* large_src = R"(
+    double a[64];
+    int main(void) {
+      int i;
+      for (i = 0; i < 64; i++) a[i] = (double)i * 2.0 + 1.0;
+      double s = 0.0;
+      for (i = 0; i < 64; i++) s += a[i];
+      return (int)s;
+    }
+  )";
+  std::string error;
+  auto small = minic::compile(small_src, {}, error);
+  auto large = minic::compile(large_src, {}, error);
+  ASSERT_TRUE(small && large) << error;
+  EXPECT_GT(backend::compile_to_native(std::move(*large)).code_size,
+            backend::compile_to_native(std::move(*small)).code_size + 100);
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,108 @@
+// Whole-corpus integration tests: each of the 41 benchmarks must compile
+// and produce the same checksum on every target at every size tested.
+#include <gtest/gtest.h>
+
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "ir/exec.h"
+#include "js/engine.h"
+#include "wasm/interp.h"
+
+namespace wb::benchmarks {
+namespace {
+
+class BenchmarkCorpus : public testing::TestWithParam<const core::BenchSource*> {};
+
+int32_t native_result(const core::BuildResult& b, bool& ok, std::string& error) {
+  const core::NativeMetrics m = core::run_native(b);
+  ok = m.ok;
+  error = m.error;
+  return m.result;
+}
+
+TEST_P(BenchmarkCorpus, AllTargetsAgreeAtM) {
+  const core::BenchSource& bench = *GetParam();
+
+  const core::BuildResult o0 = core::build(bench, core::InputSize::M, ir::OptLevel::O0);
+  ASSERT_TRUE(o0.ok) << o0.error;
+  bool ok = false;
+  std::string error;
+  const int32_t expect = native_result(o0, ok, error);
+  ASSERT_TRUE(ok) << bench.name << ": " << error;
+
+  const core::BuildResult o2 = core::build(bench, core::InputSize::M, ir::OptLevel::O2);
+  ASSERT_TRUE(o2.ok) << o2.error;
+
+  // Native O2.
+  EXPECT_EQ(native_result(o2, ok, error), expect) << bench.name << " native O2";
+  ASSERT_TRUE(ok) << error;
+
+  // Wasm O2.
+  {
+    wasm::Instance inst(o2.wasm.module, backend::make_import_bindings(o2.wasm));
+    inst.set_fuel(2'000'000'000);
+    ASSERT_TRUE(inst.invoke("__init", {}).ok()) << bench.name;
+    const wasm::InvokeResult r = inst.invoke("main", {});
+    ASSERT_TRUE(r.ok()) << bench.name << " wasm trap: " << wasm::to_string(r.trap);
+    EXPECT_EQ(r.value.as_i32(), expect) << bench.name << " wasm O2";
+  }
+
+  // JS O2.
+  {
+    std::string js_error;
+    auto code = js::compile_script(o2.js_source, js_error);
+    ASSERT_TRUE(code.has_value()) << bench.name << ": " << js_error;
+    js::Heap heap;
+    js::Vm vm(*code, heap);
+    vm.set_fuel(2'000'000'000);
+    ASSERT_TRUE(vm.run_top_level().ok) << bench.name;
+    const js::Vm::Result r = vm.call_function("main", {});
+    ASSERT_TRUE(r.ok) << bench.name << " js: " << r.error;
+    EXPECT_EQ(js::to_int32(r.value.num), expect) << bench.name << " js O2";
+  }
+}
+
+TEST_P(BenchmarkCorpus, SizesAreMonotonicInWork) {
+  const core::BenchSource& bench = *GetParam();
+  uint64_t prev_ops = 0;
+  for (core::InputSize size : {core::InputSize::XS, core::InputSize::M, core::InputSize::XL}) {
+    const core::BuildResult b = core::build(bench, size, ir::OptLevel::O1);
+    ASSERT_TRUE(b.ok) << b.error;
+    ir::Executor exec(b.native.module);
+    exec.set_fuel(2'000'000'000);
+    const ir::ExecResult r = exec.run("main");
+    ASSERT_TRUE(r.ok) << bench.name << " at " << to_string(size) << ": " << r.error;
+    EXPECT_GT(exec.stats().ops, prev_ops)
+        << bench.name << ": larger input must do more work (" << to_string(size) << ")";
+    prev_ops = exec.stats().ops;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All41, BenchmarkCorpus, testing::ValuesIn([] {
+                           std::vector<const core::BenchSource*> ptrs;
+                           for (const auto& b : all_benchmarks()) ptrs.push_back(&b);
+                           return ptrs;
+                         }()),
+                         [](const testing::TestParamInfo<const core::BenchSource*>& info) {
+                           std::string name = info.param->name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(BenchmarkRegistry, Has41InPaperOrder) {
+  const auto& all = all_benchmarks();
+  ASSERT_EQ(all.size(), 41u);
+  EXPECT_EQ(all.front().name, "covariance");
+  EXPECT_EQ(all[29].name, "seidel-2d");
+  EXPECT_EQ(all[30].name, "ADPCM");
+  EXPECT_EQ(all.back().name, "SHA");
+  EXPECT_EQ(polybench().size(), 30u);
+  EXPECT_EQ(chstone().size(), 11u);
+  EXPECT_NE(find_benchmark("gemm"), nullptr);
+  EXPECT_EQ(find_benchmark("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace wb::benchmarks

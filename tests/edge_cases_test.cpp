@@ -1,0 +1,227 @@
+// Cross-cutting edge cases gathered while building the study — each one
+// guards a behaviour an earlier draft got wrong or nearly got wrong.
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+#include "ir/exec.h"
+#include "js/engine.h"
+#include "js/interp.h"
+#include "minic/minic.h"
+
+namespace wb {
+namespace {
+
+// ------------------------------------------------------------- mini-C
+
+int32_t run_c(const std::string& src) {
+  std::string error;
+  auto m = minic::compile(src, {}, error);
+  EXPECT_TRUE(m.has_value()) << error;
+  if (!m) return 0;
+  ir::Executor exec(*m);
+  const ir::ExecResult r = exec.run("main");
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.as_i32();
+}
+
+TEST(EdgeCases, BlockScopedShadowing) {
+  EXPECT_EQ(run_c(R"(
+    int main(void) {
+      int x = 1;
+      {
+        int x = 10;
+        x += 5;
+      }
+      return x;
+    }
+  )"), 1);
+}
+
+TEST(EdgeCases, ForInitScopeDoesNotLeak) {
+  EXPECT_EQ(run_c(R"(
+    int main(void) {
+      int i = 100;
+      for (int i = 0; i < 3; i++) { }
+      return i;
+    }
+  )"), 100);
+}
+
+TEST(EdgeCases, SwitchInsideLoopBreaksBindCorrectly) {
+  // The switch's breaks must not exit the loop.
+  EXPECT_EQ(run_c(R"(
+    int main(void) {
+      int s = 0;
+      int i;
+      for (i = 0; i < 6; i++) {
+        switch (i & 1) {
+          case 0: s += 1; break;
+          default: s += 10; break;
+        }
+      }
+      return s;
+    }
+  )"), 33);
+}
+
+TEST(EdgeCases, NestedTernary) {
+  EXPECT_EQ(run_c("int main(void) { int x = 5; return x > 3 ? (x > 4 ? 44 : 33) : 11; }"),
+            44);
+}
+
+TEST(EdgeCases, UnsignedCompareAtBoundary) {
+  EXPECT_EQ(run_c(R"(
+    int main(void) {
+      unsigned lo = 1;
+      unsigned hi = 0x80000000;
+      int a = lo < hi ? 1 : 0;       /* unsigned compare: true */
+      int b = (int)lo < (int)hi ? 1 : 0;  /* signed: hi is negative */
+      return a * 10 + b;
+    }
+  )"), 10);
+}
+
+TEST(EdgeCases, CharArithmeticWrapsInLoops) {
+  EXPECT_EQ(run_c(R"(
+    int main(void) {
+      unsigned char c = 0;
+      int i;
+      for (i = 0; i < 300; i++) c++;
+      return c;
+    }
+  )"), 300 - 256);
+}
+
+TEST(EdgeCases, WhileFalseBodyNeverRuns) {
+  EXPECT_EQ(run_c("int main(void) { int x = 7; while (0) x = 0; return x; }"), 7);
+}
+
+TEST(EdgeCases, EmptyForIsInfiniteUntilBreak) {
+  EXPECT_EQ(run_c(R"(
+    int main(void) {
+      int n = 0;
+      for (;;) {
+        n++;
+        if (n == 12) break;
+      }
+      return n;
+    }
+  )"), 12);
+}
+
+TEST(EdgeCases, HexAndSuffixedLiterals) {
+  EXPECT_EQ(run_c("int main(void) { unsigned a = 0xFFu; return (int)(a + 1UL); }"), 256);
+}
+
+TEST(EdgeCases, DeepExpressionNesting) {
+  // Parser recursion depth on a realistic chain.
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  EXPECT_EQ(run_c("int main(void) { return " + expr + "; }"), 201);
+}
+
+// ---------------------------------------------------------------- JS
+
+double run_js_main(const std::string& src) {
+  std::string error;
+  auto code = js::compile_script(src, error);
+  EXPECT_TRUE(code.has_value()) << error;
+  js::Heap heap;
+  js::Vm vm(*code, heap);
+  vm.set_fuel(20'000'000);
+  EXPECT_TRUE(vm.run_top_level().ok);
+  auto r = vm.call_function("main", {});
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.value.num;
+}
+
+TEST(EdgeCases, JsNegativeZeroDistinctUnderDivision) {
+  EXPECT_DOUBLE_EQ(run_js_main("function main() { return 1 / -0.0 < 0 ? 1 : 0; }"), 1);
+}
+
+TEST(EdgeCases, JsShiftBeyond31Masks) {
+  EXPECT_DOUBLE_EQ(run_js_main("function main() { return 1 << 32; }"), 1);
+  EXPECT_DOUBLE_EQ(run_js_main("function main() { return 2 >>> 33; }"), 1);
+}
+
+TEST(EdgeCases, JsStringNumericContextCoercion) {
+  EXPECT_DOUBLE_EQ(run_js_main("function main() { return '21' * 2; }"), 42);
+  EXPECT_DOUBLE_EQ(run_js_main("function main() { return ('1' + 1).length; }"), 2);
+}
+
+TEST(EdgeCases, JsArrayGrowthViaIndexAssignment) {
+  EXPECT_DOUBLE_EQ(run_js_main(R"(
+    function main() {
+      var a = [];
+      a[9] = 5;
+      var undef_count = 0;
+      for (var i = 0; i < a.length; i++)
+        if (a[i] === undefined) undef_count++;
+      return a.length * 100 + undef_count;
+    }
+  )"), 1009);
+}
+
+TEST(EdgeCases, JsFunctionsAsObjectProperties) {
+  EXPECT_DOUBLE_EQ(run_js_main(R"(
+    function double_it(x) { return x * 2; }
+    var ops = {apply: double_it};
+    function main() { return ops.apply(21); }
+  )"), 42);
+}
+
+TEST(EdgeCases, JsTypedArrayAliasesDoNotExist) {
+  // Two typed arrays are independent buffers (no shared ArrayBuffer in
+  // this engine — documented).
+  EXPECT_DOUBLE_EQ(run_js_main(R"(
+    function main() {
+      var a = new Int32Array(4);
+      var b = new Int32Array(4);
+      a[0] = 7;
+      return b[0];
+    }
+  )"), 0);
+}
+
+TEST(EdgeCases, JsDoWhileWithComplexExit) {
+  EXPECT_DOUBLE_EQ(run_js_main(R"(
+    function main() {
+      var n = 0;
+      var seen = 0;
+      do {
+        n++;
+        if (n % 2 == 0) continue;
+        seen++;
+      } while (n < 9);
+      return n * 10 + seen;
+    }
+  )"), 95);
+}
+
+// --------------------------------------------------- study-level edges
+
+TEST(EdgeCases, BuildRejectsUnknownBenchGracefully) {
+  core::BenchSource bogus;
+  bogus.name = "bogus";
+  bogus.source = "int main(void) { return missing_function(); }";
+  const core::BuildResult b = core::build(bogus, core::InputSize::M, ir::OptLevel::O2);
+  EXPECT_FALSE(b.ok);
+  EXPECT_NE(b.error.find("bogus"), std::string::npos);
+}
+
+TEST(EdgeCases, MeasureFlagsChecksumDivergence) {
+  // measure() cross-checks wasm-vs-js checksums; a healthy benchmark
+  // must pass the internal comparison.
+  core::BenchSource ok_bench;
+  ok_bench.name = "tiny";
+  ok_bench.source = "int main(void) { return 41 + 1; }";
+  env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);
+  const core::Measurement m =
+      core::measure(ok_bench, core::InputSize::M, ir::OptLevel::O2, chrome);
+  ASSERT_TRUE(m.wasm.ok && m.js.ok) << m.wasm.error << m.js.error;
+  EXPECT_EQ(m.wasm.result, 42);
+  EXPECT_EQ(m.js.result, 42);
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,163 @@
+// Environment-model tests: deterministic measurements and the paper's
+// headline environment shapes (kept loose enough to survive cost-model
+// re-calibration; exact table values live in the bench binaries).
+#include <gtest/gtest.h>
+
+#include "benchmarks/registry.h"
+#include "core/study.h"
+
+namespace wb::env {
+namespace {
+
+const core::BenchSource& bench(const char* name) {
+  const core::BenchSource* b = benchmarks::find_benchmark(name);
+  EXPECT_NE(b, nullptr) << name;
+  return *b;
+}
+
+core::BuildResult build_m(const char* name, ir::OptLevel level = ir::OptLevel::O2) {
+  core::BuildResult b = core::build(bench(name), core::InputSize::M, level);
+  EXPECT_TRUE(b.ok) << b.error;
+  return b;
+}
+
+TEST(Env, MeasurementsAreDeterministic) {
+  const core::BuildResult b = build_m("gemm");
+  BrowserEnv chrome(Browser::Chrome, Platform::Desktop);
+  const PageMetrics w1 = chrome.run_wasm(b.wasm);
+  const PageMetrics w2 = chrome.run_wasm(b.wasm);
+  EXPECT_EQ(w1.time_ms, w2.time_ms);
+  EXPECT_EQ(w1.memory_bytes, w2.memory_bytes);
+  const PageMetrics j1 = chrome.run_js(b.js_source);
+  const PageMetrics j2 = chrome.run_js(b.js_source);
+  EXPECT_EQ(j1.time_ms, j2.time_ms);
+  EXPECT_EQ(j1.result, w1.result);
+}
+
+TEST(Env, JitOffHurtsJsNotWasm) {
+  const core::BuildResult b = build_m("jacobi-2d");
+  BrowserEnv chrome(Browser::Chrome, Platform::Desktop);
+  RunOptions jit_off;
+  jit_off.js_jit_enabled = false;
+  jit_off.wasm_tiers = RunOptions::WasmTiers::BaselineOnly;
+
+  const double js_on = chrome.run_js(b.js_source).time_ms;
+  const double js_off = chrome.run_js(b.js_source, jit_off).time_ms;
+  const double wasm_on = chrome.run_wasm(b.wasm).time_ms;
+  const double wasm_off = chrome.run_wasm(b.wasm, jit_off).time_ms;
+
+  EXPECT_GT(js_off / js_on, 5.0) << "JS must speed up dramatically with JIT";
+  EXPECT_LT(wasm_off / wasm_on, 1.6) << "Wasm barely changes without its top tier";
+}
+
+TEST(Env, InputSizeCrossoverOnChrome) {
+  // Paper Table 3: Wasm dominates at XS; the gap shrinks monotonically.
+  BrowserEnv chrome(Browser::Chrome, Platform::Desktop);
+  const core::Measurement xs = core::measure(bench("gemm"), core::InputSize::XS,
+                                             ir::OptLevel::O2, chrome);
+  const core::Measurement xl = core::measure(bench("gemm"), core::InputSize::XL,
+                                             ir::OptLevel::O2, chrome);
+  ASSERT_TRUE(xs.wasm.ok && xs.js.ok && xl.wasm.ok && xl.js.ok);
+  const double xs_ratio = xs.js.time_ms / xs.wasm.time_ms;
+  const double xl_ratio = xl.js.time_ms / xl.wasm.time_ms;
+  EXPECT_GT(xs_ratio, 3.0);
+  EXPECT_LT(xl_ratio, xs_ratio / 2);
+}
+
+TEST(Env, FirefoxInvertsSmallInputs) {
+  // Paper Table 5: on Firefox, JS wins at XS.
+  BrowserEnv firefox(Browser::Firefox, Platform::Desktop);
+  const core::Measurement xs = core::measure(bench("gemm"), core::InputSize::XS,
+                                             ir::OptLevel::O2, firefox);
+  ASSERT_TRUE(xs.wasm.ok && xs.js.ok);
+  EXPECT_LT(xs.js.time_ms, xs.wasm.time_ms);
+}
+
+TEST(Env, WasmMemoryGrowsJsStaysFlat) {
+  BrowserEnv chrome(Browser::Chrome, Platform::Desktop);
+  const core::Measurement m = core::measure(bench("gemm"), core::InputSize::M,
+                                            ir::OptLevel::O2, chrome);
+  const core::Measurement xl = core::measure(bench("gemm"), core::InputSize::XL,
+                                             ir::OptLevel::O2, chrome);
+  ASSERT_TRUE(m.wasm.ok && xl.wasm.ok);
+  // Wasm: linear memory balloons (paper: 100 MB at XL).
+  EXPECT_GT(xl.wasm.memory_bytes, m.wasm.memory_bytes * 10);
+  EXPECT_GT(xl.wasm.memory_bytes, 50u << 20);
+  // JS: DevTools heap metric stays within a few percent.
+  const double js_growth = static_cast<double>(xl.js.memory_bytes) /
+                           static_cast<double>(m.js.memory_bytes);
+  EXPECT_LT(js_growth, 1.1);
+  // And Wasm holds a multiple of JS at every size (paper: 3-6x).
+  EXPECT_GT(m.wasm.memory_bytes, m.js.memory_bytes * 2);
+}
+
+TEST(Env, FirefoxWasmFasterThanChromeOnDesktop) {
+  const core::BuildResult b = build_m("fdtd-2d");
+  BrowserEnv chrome(Browser::Chrome, Platform::Desktop);
+  BrowserEnv firefox(Browser::Firefox, Platform::Desktop);
+  const double chrome_ms = chrome.run_wasm(b.wasm).time_ms;
+  const double firefox_ms = firefox.run_wasm(b.wasm).time_ms;
+  EXPECT_LT(firefox_ms, chrome_ms);  // paper: 0.61x
+}
+
+TEST(Env, MobileIsSlowerAndReordersBrowsers) {
+  const core::BuildResult b = build_m("fdtd-2d");
+  BrowserEnv desk_ff(Browser::Firefox, Platform::Desktop);
+  BrowserEnv mob_ff(Browser::Firefox, Platform::Mobile);
+  BrowserEnv mob_chrome(Browser::Chrome, Platform::Mobile);
+  EXPECT_GT(mob_ff.run_wasm(b.wasm).time_ms, desk_ff.run_wasm(b.wasm).time_ms * 2);
+  // Paper: mobile Firefox runs Wasm slower than mobile Chrome (1.48x).
+  EXPECT_GT(mob_ff.run_wasm(b.wasm).time_ms, mob_chrome.run_wasm(b.wasm).time_ms);
+}
+
+TEST(Env, ContextSwitchFirefoxIsCheapest) {
+  BrowserEnv chrome(Browser::Chrome, Platform::Desktop);
+  BrowserEnv firefox(Browser::Firefox, Platform::Desktop);
+  BrowserEnv edge(Browser::Edge, Platform::Desktop);
+  EXPECT_LT(firefox.context_switch_ns(), 0.3 * chrome.context_switch_ns());
+  EXPECT_GE(edge.context_switch_ns(), chrome.context_switch_ns());
+}
+
+TEST(Env, BoundaryCrossingsAreCounted) {
+  // float_intrinsics-style kernel imports libm shims -> host calls.
+  const core::BuildResult b = build_m("deriche");
+  BrowserEnv chrome(Browser::Chrome, Platform::Desktop);
+  const PageMetrics m = chrome.run_wasm(b.wasm);
+  ASSERT_TRUE(m.ok);
+  EXPECT_GE(m.boundary_crossings, 2u);  // at least __init + main
+}
+
+TEST(Env, EmscriptenFasterButFatter) {
+  const core::BuildResult cheerp_build =
+      core::build(bench("gemm"), core::InputSize::XL, ir::OptLevel::O2,
+                  backend::Toolchain::Cheerp);
+  const core::BuildResult emcc_build =
+      core::build(bench("gemm"), core::InputSize::XL, ir::OptLevel::O2,
+                  backend::Toolchain::Emscripten);
+  ASSERT_TRUE(cheerp_build.ok && emcc_build.ok);
+  BrowserEnv chrome(Browser::Chrome, Platform::Desktop);
+  RunOptions cheerp_opts;
+  RunOptions emcc_opts;
+  emcc_opts.toolchain = backend::Toolchain::Emscripten;
+  const PageMetrics c = chrome.run_wasm(cheerp_build.wasm, cheerp_opts);
+  const PageMetrics e = chrome.run_wasm(emcc_build.wasm, emcc_opts);
+  ASSERT_TRUE(c.ok && e.ok);
+  EXPECT_EQ(c.result, e.result);
+  EXPECT_LT(e.time_ms, c.time_ms);          // paper: 2.70x faster
+  EXPECT_GT(e.memory_bytes, c.memory_bytes);  // paper: 6.02x more memory
+}
+
+TEST(Env, OptimizingOnlyBeatsDefaultSlightly) {
+  const core::BuildResult b = build_m("gemm");
+  BrowserEnv chrome(Browser::Chrome, Platform::Desktop);
+  RunOptions optimizing;
+  optimizing.wasm_tiers = RunOptions::WasmTiers::OptimizingOnly;
+  const double def = chrome.run_wasm(b.wasm).time_ms;
+  const double opt_only = chrome.run_wasm(b.wasm, optimizing).time_ms;
+  // Paper Table 7: default ~0.88-0.93x the speed of optimizing-only.
+  EXPECT_LT(opt_only, def);
+  EXPECT_GT(opt_only, def * 0.6);
+}
+
+}  // namespace
+}  // namespace wb::env

@@ -1,0 +1,426 @@
+// Pass tests: each optimization does its job, and — the load-bearing
+// property — every pipeline preserves program semantics.
+#include <gtest/gtest.h>
+
+#include "ir/exec.h"
+#include "ir/passes.h"
+#include "minic/minic.h"
+
+namespace wb::ir {
+namespace {
+
+Module compile_c(const std::string& source) {
+  std::string error;
+  auto m = minic::compile(source, {}, error);
+  EXPECT_TRUE(m.has_value()) << error;
+  return m ? std::move(*m) : Module{};
+}
+
+int32_t run_i32(Module& m, const char* name = "main") {
+  Executor exec(m);
+  const ExecResult r = exec.run(name);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.as_i32();
+}
+
+size_t module_nodes(const Module& m) {
+  // Re-use the text dump as a cheap structural size proxy.
+  return to_text(m).size();
+}
+
+TEST(Passes, ConstFoldCollapsesArithmetic) {
+  Module m = compile_c("int main(void) { return (2 + 3) * 4 - 6 / 2; }");
+  pass_constfold(m);
+  // Body should be a single `return 17`.
+  const Function& main_fn = m.functions[0];
+  ASSERT_EQ(main_fn.body.size(), 1u);
+  ASSERT_EQ(main_fn.body[0]->kind, Stmt::Kind::Return);
+  EXPECT_EQ(main_fn.body[0]->e0->kind, Expr::Kind::Const);
+  EXPECT_EQ(static_cast<int32_t>(main_fn.body[0]->e0->imm), 17);
+}
+
+TEST(Passes, ConstFoldKeepsDivByZero) {
+  Module m = compile_c("int main(void) { int z = 0; return 5 / (z * 0); }");
+  pass_constfold(m);
+  pass_constfold(m);
+  Executor exec(m);
+  EXPECT_FALSE(exec.run("main").ok);  // still traps, not folded away
+}
+
+TEST(Passes, ConstFoldIdentities) {
+  Module m = compile_c(
+      "int f(int x) { return (x + 0) * 1 + (x * 0); } int main(void) { return f(9); }");
+  pass_constfold(m);
+  EXPECT_EQ(run_i32(m), 9);
+  // x+0 -> x, x*1 -> x, x*0 -> 0, 0+... folds: body should mention no Mul.
+  const std::string text = to_text(m.functions[0]);
+  EXPECT_EQ(text.find("mul"), std::string::npos) << text;
+}
+
+TEST(Passes, DceRemovesDeadAssigns) {
+  Module m = compile_c(R"(
+    int main(void) {
+      int dead1 = 5;
+      int dead2 = dead1 * 3;
+      int live = 7;
+      return live;
+    }
+  )");
+  const size_t before = module_nodes(m);
+  pass_dce(m);
+  EXPECT_LT(module_nodes(m), before);
+  EXPECT_EQ(run_i32(m), 7);
+  const std::string text = to_text(m.functions[0]);
+  EXPECT_EQ(text.find("5"), std::string::npos) << text;
+}
+
+TEST(Passes, GlobalOptRemovesUnreferencedGlobals) {
+  Module m = compile_c(R"(
+    int unused_global[100];
+    int used = 3;
+    int main(void) { return used; }
+  )");
+  ASSERT_EQ(m.globals.size(), 2u);
+  pass_globalopt(m);
+  ASSERT_EQ(m.globals.size(), 1u);
+  EXPECT_EQ(m.globals[0].name, "used");
+  EXPECT_EQ(run_i32(m), 3);
+}
+
+TEST(Passes, InlineSmallExprFunction) {
+  Module m = compile_c(R"(
+    int sq(int x) { return x * x; }
+    int main(void) { return sq(7) + sq(2); }
+  )");
+  pass_inline(m, 48);
+  // No Call nodes should remain in main.
+  const std::string text = to_text(m.functions[m.find_function("main") < 0
+                                                   ? 0
+                                                   : static_cast<size_t>(m.find_function("main"))]);
+  EXPECT_EQ(text.find("call"), std::string::npos) << text;
+  pass_constfold(m);
+  EXPECT_EQ(run_i32(m), 53);
+}
+
+TEST(Passes, InlineVoidStatementFunction) {
+  Module m = compile_c(R"(
+    int acc;
+    void bump(int d) { acc = acc + d; }
+    int main(void) { acc = 0; bump(3); bump(4); return acc; }
+  )");
+  pass_inline(m, 48);
+  const int mi = m.find_function("main");
+  ASSERT_GE(mi, 0);
+  const std::string text = to_text(m.functions[static_cast<size_t>(mi)]);
+  EXPECT_EQ(text.find("call"), std::string::npos) << text;
+  EXPECT_EQ(run_i32(m), 7);
+}
+
+TEST(Passes, InlineRespectsThreshold) {
+  Module m = compile_c(R"(
+    int big(int x) { return x * x + x * 2 + x * 3 + x * 4 + x * 5 + x * 6 + x * 7; }
+    int main(void) { return big(1); }
+  )");
+  pass_inline(m, 4);
+  const int mi = m.find_function("main");
+  const std::string text = to_text(m.functions[static_cast<size_t>(mi)]);
+  EXPECT_NE(text.find("call"), std::string::npos);
+  EXPECT_EQ(run_i32(m), 1 + 2 + 3 + 4 + 5 + 6 + 7);
+}
+
+TEST(Passes, LicmHoistsInvariantWork) {
+  Module m = compile_c(R"(
+    double out[64];
+    int main(void) {
+      double a = 3.0;
+      double b = 4.0;
+      int i;
+      for (i = 0; i < 64; i++) {
+        out[i] = (a * a + b * b) * (a + b + 1.0);
+      }
+      return (int)out[63];
+    }
+  )");
+  Module reference = compile_c(to_text(m).empty() ? "" : "");
+  (void)reference;
+  Executor before_exec(m);
+  const uint64_t ops_before = [&] {
+    before_exec.run("main");
+    return before_exec.stats().ops;
+  }();
+  pass_licm(m);
+  Executor after_exec(m);
+  const ExecResult r = after_exec.run("main");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.as_i32(), 200);
+  EXPECT_LT(after_exec.stats().ops, ops_before);
+}
+
+TEST(Passes, VectorizeMarksLoopsAndPreservesSemantics) {
+  Module m = compile_c(R"(
+    int data[100];
+    int main(void) {
+      int i;
+      for (i = 0; i < 97; i = i + 1) data[i] = i * 2;
+      int s = 0;
+      for (i = 0; i < 97; i = i + 1) s += data[i];
+      return s;
+    }
+  )");
+  const int32_t expect = run_i32(m);
+  Module plain = compile_c(
+      "int data[100]; int main(void) { int i; for (i = 0; i < 97; i = i + 1) "
+      "data[i] = i * 2; int s = 0; for (i = 0; i < 97; i = i + 1) s += data[i]; "
+      "return s; }");
+  pass_vectorize(m, 2);
+  EXPECT_EQ(run_i32(m), expect);
+
+  // Both counted loops are stamped with 2 lanes.
+  int vec_loops = 0;
+  for (const auto& s : m.functions[0].body) {
+    if (s->kind == Stmt::Kind::While && s->vec == 2) ++vec_loops;
+  }
+  EXPECT_EQ(vec_loops, 2);
+
+  // The native cost model amortizes lanes: vectorized runs cheaper.
+  Executor vec_exec(m), plain_exec(plain);
+  vec_exec.run("main");
+  plain_exec.run("main");
+  EXPECT_LT(vec_exec.stats().cost_ps, plain_exec.stats().cost_ps);
+}
+
+TEST(Passes, UnrollSkipsLoopsWithBreak) {
+  Module m = compile_c(R"(
+    int main(void) {
+      int s = 0;
+      int i;
+      for (i = 0; i < 100; i = i + 1) {
+        if (i == 50) break;
+        s += i;
+      }
+      return s;
+    }
+  )");
+  const std::string before = to_text(m.functions[0]);
+  pass_vectorize(m, 4);
+  EXPECT_EQ(to_text(m.functions[0]), before);  // untouched
+  EXPECT_EQ(run_i32(m), 1225);
+}
+
+TEST(Passes, FastMathTurnsDivIntoMul) {
+  Module m = compile_c(R"(
+    double xs[16];
+    int main(void) {
+      int i;
+      for (i = 0; i < 16; i++) xs[i] = i;
+      double s = 0.0;
+      for (i = 0; i < 16; i++) s += xs[i] / 4.0;
+      return (int)s;
+    }
+  )");
+  pass_fastmath(m);
+  const std::string text = to_text(m.functions[0]);
+  EXPECT_EQ(text.find("div_s.f64"), std::string::npos) << text;
+  EXPECT_EQ(run_i32(m), 30);
+}
+
+TEST(Passes, IpConstPropSubstitutesUniformConstants) {
+  Module m = compile_c(R"(
+    double scale(double x, double f) { return x / f; }
+    double acc;
+    int main(void) {
+      acc = scale(10.0, 2.0) + scale(20.0, 2.0);
+      return (int)acc;
+    }
+  )");
+  pass_ipconstprop(m);
+  const int si = m.find_function("scale");
+  ASSERT_GE(si, 0);
+  const std::string text = to_text(m.functions[static_cast<size_t>(si)]);
+  // Param %1 (f) replaced by the constant 2 in the body; x varies so %0
+  // stays a parameter read.
+  EXPECT_NE(text.find("div_s.f64 %0 2"), std::string::npos) << text;
+  EXPECT_EQ(run_i32(m), 15);
+}
+
+TEST(Passes, DeadGlobalStoreElimination) {
+  Module m = compile_c(R"(
+    int result[50];
+    int used[50];
+    int main(void) {
+      int i;
+      for (i = 0; i < 50; i++) {
+        used[i] = i;
+        result[i] = i * 3;
+      }
+      int s = 0;
+      for (i = 0; i < 50; i++) s += used[i];
+      return s;
+    }
+  )");
+  pass_dead_global_stores(m);
+  const std::string text = to_text(m.functions[0]);
+  // Exactly one store remains in the first loop (to `used`).
+  size_t stores = 0;
+  for (size_t at = text.find("store"); at != std::string::npos;
+       at = text.find("store", at + 1)) {
+    ++stores;
+  }
+  EXPECT_EQ(stores, 1u);
+  EXPECT_EQ(run_i32(m), 49 * 50 / 2);
+  pass_remove_unused_globals(m);
+  EXPECT_EQ(m.globals.size(), 1u);
+}
+
+// ------------------------------------------------- semantic preservation
+
+struct LevelCase {
+  OptLevel level;
+};
+
+class PipelinePreservesSemantics : public testing::TestWithParam<OptLevel> {};
+
+TEST_P(PipelinePreservesSemantics, OnRepresentativePrograms) {
+  const std::vector<std::string> programs = {
+      // Matrix multiply with unrollable loops + invariant work.
+      R"(
+        #define N 12
+        double A[N][N]; double B[N][N]; double C[N][N];
+        int main(void) {
+          int i, j, k;
+          for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++) {
+              A[i][j] = (double)(i * j % 7) / 3.0;
+              B[i][j] = (double)(i + j) / 5.0;
+              C[i][j] = 0.0;
+            }
+          for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+              for (k = 0; k < N; k++)
+                C[i][j] += A[i][k] * B[k][j];
+          double s = 0.0;
+          for (i = 0; i < N; i++) for (j = 0; j < N; j++) s += C[i][j];
+          return (int)(s * 100.0);
+        }
+      )",
+      // Integer kernel with switch, continue, break, helpers.
+      R"(
+        int mem[64];
+        int classify(int x) {
+          switch (x % 4) {
+            case 0: return 1;
+            case 1: return 2;
+            default: return 3;
+          }
+        }
+        int twice(int x) { return x * 2; }
+        int main(void) {
+          int i;
+          for (i = 0; i < 64; i++) {
+            if (i % 5 == 0) continue;
+            if (i == 60) break;
+            mem[i] = classify(i) + twice(i);
+          }
+          int s = 0;
+          for (i = 0; i < 64; i++) s ^= mem[i] * (i + 1);
+          return s;
+        }
+      )",
+      // Float-heavy with intrinsics and div-by-const (fast-math territory).
+      R"(
+        double data[40];
+        double helper(double x, double f) { return x / f + sqrt(fabs(x)); }
+        int main(void) {
+          int i;
+          for (i = 0; i < 40; i++) data[i] = helper((double)(i - 20), 8.0);
+          double s = 0.0;
+          for (i = 0; i < 40; i++) s += data[i] / 2.0;
+          return (int)(s * 10.0);
+        }
+      )",
+      // Unsigned + byte arrays + recursion.
+      R"(
+        unsigned char bytes[32];
+        unsigned hash(unsigned h, unsigned c) { return (h * 31 + c) & 0xffffff; }
+        int fib(int n) { if (n < 3) return 1; return fib(n - 1) + fib(n - 2); }
+        int main(void) {
+          int i;
+          for (i = 0; i < 32; i++) bytes[i] = (i * 37 + 11);
+          unsigned h = 5381;
+          for (i = 0; i < 32; i++) h = hash(h, bytes[i]);
+          return (int)(h & 0x7fffffff) + fib(10);
+        }
+      )",
+  };
+
+  for (const auto& src : programs) {
+    Module base = compile_c(src);
+    const int32_t expect = run_i32(base);
+    Module opt = compile_c(src);
+    run_pipeline(opt, GetParam());
+    Executor exec(opt);
+    const ExecResult r = exec.run("main");
+    ASSERT_TRUE(r.ok) << to_string(GetParam()) << ": " << r.error;
+    EXPECT_EQ(r.as_i32(), expect) << "level " << to_string(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, PipelinePreservesSemantics,
+                         testing::Values(OptLevel::O0, OptLevel::O1, OptLevel::O2,
+                                         OptLevel::O3, OptLevel::Ofast, OptLevel::Os,
+                                         OptLevel::Oz),
+                         [](const testing::TestParamInfo<OptLevel>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Pipeline, OptimizationReducesExecutedOps) {
+  const std::string src = R"(
+    #define N 24
+    double A[N][N]; double x[N]; double y[N];
+    double alpha(void) { return 1.5; }
+    int main(void) {
+      int i, j;
+      for (i = 0; i < N; i++) {
+        x[i] = (double)i / 3.0;
+        for (j = 0; j < N; j++) A[i][j] = (double)(i + j) / 7.0;
+      }
+      for (i = 0; i < N; i++) {
+        double acc = 0.0;
+        for (j = 0; j < N; j++) acc += A[i][j] * x[j] * alpha();
+        y[i] = acc;
+      }
+      double s = 0.0;
+      for (i = 0; i < N; i++) s += y[i];
+      return (int)s;
+    }
+  )";
+  Module o0 = compile_c(src);
+  Module o2 = compile_c(src);
+  run_pipeline(o2, OptLevel::O2);
+  Executor e0(o0), e2(o2);
+  const int32_t r0 = e0.run("main").as_i32();
+  const int32_t r2 = e2.run("main").as_i32();
+  EXPECT_EQ(r0, r2);
+  EXPECT_LT(e2.stats().cost_ps, e0.stats().cost_ps);
+}
+
+TEST(Pipeline, ReportsPassesAndFastMath) {
+  Module m = compile_c("int main(void) { return 0; }");
+  const PipelineInfo o2 = run_pipeline(m, OptLevel::O2);
+  EXPECT_FALSE(o2.fast_math);
+  bool has_vectorize = false;
+  for (const auto& p : o2.passes_run) has_vectorize |= p == "vectorize-loops";
+  EXPECT_TRUE(has_vectorize);
+
+  Module m2 = compile_c("int main(void) { return 0; }");
+  const PipelineInfo oz = run_pipeline(m2, OptLevel::Oz);
+  for (const auto& p : oz.passes_run) {
+    EXPECT_NE(p, "vectorize-loops");
+    EXPECT_NE(p, "inline");
+  }
+  Module m3 = compile_c("int main(void) { return 0; }");
+  EXPECT_TRUE(run_pipeline(m3, OptLevel::Ofast).fast_math);
+}
+
+}  // namespace
+}  // namespace wb::ir

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "js/engine.h"
+#include "js/interp.h"
+
+namespace wb::js {
+namespace {
+
+/// Compiles and runs `source`, then calls main() if it exists, returning
+/// its numeric result.
+struct RunOutcome {
+  bool ok = true;
+  std::string error;
+  double number = std::nan("");
+  JsValue value;
+};
+
+RunOutcome run_js(const std::string& source, Heap* heap_out = nullptr,
+                  Vm** vm_out = nullptr) {
+  static thread_local std::unique_ptr<Heap> heap;
+  static thread_local std::unique_ptr<Vm> vm;
+  static thread_local std::optional<ScriptCode> code;
+
+  RunOutcome out;
+  std::string error;
+  code = compile_script(source, error);
+  if (!code) {
+    out.ok = false;
+    out.error = error;
+    return out;
+  }
+  heap = std::make_unique<Heap>(256 << 10);
+  vm = std::make_unique<Vm>(*code, *heap);
+  vm->set_fuel(50'000'000);
+  auto top = vm->run_top_level();
+  if (!top.ok) {
+    out.ok = false;
+    out.error = top.error;
+    return out;
+  }
+  out.value = top.value;
+  auto main_result = vm->call_function("main", {});
+  if (main_result.ok) {
+    out.value = main_result.value;
+    if (main_result.value.is_number()) out.number = main_result.value.num;
+  } else if (!vm->get_global("main").is_undefined()) {
+    out.ok = false;
+    out.error = main_result.error;
+  }
+  if (heap_out) *heap_out = Heap(0);  // unused; see dedicated GC tests
+  if (vm_out) *vm_out = vm.get();
+  return out;
+}
+
+double eval_num(const std::string& body) {
+  const RunOutcome out = run_js("function main() { " + body + " }");
+  EXPECT_TRUE(out.ok) << out.error << " in: " << body;
+  return out.number;
+}
+
+// -------------------------------------------------------------- basics
+
+TEST(JsEngine, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(eval_num("return 2 + 3 * 4;"), 14);
+  EXPECT_DOUBLE_EQ(eval_num("return (2 + 3) * 4;"), 20);
+  EXPECT_DOUBLE_EQ(eval_num("return 7 % 3;"), 1);
+  EXPECT_DOUBLE_EQ(eval_num("return 1 / 4;"), 0.25);
+  EXPECT_DOUBLE_EQ(eval_num("return -3 + +\"4\";"), 1);
+  EXPECT_DOUBLE_EQ(eval_num("return 2 - 3 - 4;"), -5);  // left assoc
+}
+
+TEST(JsEngine, NumberSemanticsAreDouble) {
+  EXPECT_DOUBLE_EQ(eval_num("return 0.1 + 0.2;"), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(eval_num("return 1e15 + 1;"), 1e15 + 1);
+  EXPECT_TRUE(std::isnan(eval_num("return 0 / 0;")));
+}
+
+TEST(JsEngine, BitwiseOpsUseToInt32) {
+  EXPECT_DOUBLE_EQ(eval_num("return (4294967296 + 5) | 0;"), 5);   // 2^32 wraps
+  EXPECT_DOUBLE_EQ(eval_num("return -1 >>> 0;"), 4294967295.0);
+  EXPECT_DOUBLE_EQ(eval_num("return -8 >> 1;"), -4);
+  EXPECT_DOUBLE_EQ(eval_num("return 1 << 33;"), 2);  // shift count masked
+  EXPECT_DOUBLE_EQ(eval_num("return 3.7 | 0;"), 3);
+  EXPECT_DOUBLE_EQ(eval_num("return -3.7 | 0;"), -3);  // trunc toward zero
+  EXPECT_DOUBLE_EQ(eval_num("return ~5;"), -6);
+  EXPECT_DOUBLE_EQ(eval_num("return (0xff & 0x0f) ^ 0xf0;"), 0xff);
+}
+
+TEST(JsEngine, ComparisonsAndEquality) {
+  EXPECT_DOUBLE_EQ(eval_num("return 1 < 2 ? 10 : 20;"), 10);
+  EXPECT_DOUBLE_EQ(eval_num("return 'abc' === 'abc' ? 1 : 0;"), 1);
+  EXPECT_DOUBLE_EQ(eval_num("return 'abc' < 'abd' ? 1 : 0;"), 1);
+  EXPECT_DOUBLE_EQ(eval_num("return null == undefined ? 1 : 0;"), 1);
+  EXPECT_DOUBLE_EQ(eval_num("return null === undefined ? 1 : 0;"), 0);
+  EXPECT_DOUBLE_EQ(eval_num("return '5' == 5 ? 1 : 0;"), 1);
+  EXPECT_DOUBLE_EQ(eval_num("return NaN == NaN ? 1 : 0;"), 0);
+}
+
+TEST(JsEngine, LogicalShortCircuit) {
+  EXPECT_DOUBLE_EQ(eval_num("var x = 0; (x = 1) || (x = 2); return x;"), 1);
+  EXPECT_DOUBLE_EQ(eval_num("var x = 0; (x = 0) || (x = 2); return x;"), 2);
+  EXPECT_DOUBLE_EQ(eval_num("return 0 && undefinedGlobal;"), 0);
+  EXPECT_DOUBLE_EQ(eval_num("return 5 && 7;"), 7);
+  EXPECT_DOUBLE_EQ(eval_num("return 0 || 7;"), 7);
+}
+
+TEST(JsEngine, StringConcatAndLength) {
+  EXPECT_DOUBLE_EQ(eval_num("var s = 'ab' + 'cd'; return s.length;"), 4);
+  EXPECT_DOUBLE_EQ(eval_num("return ('x' + 1 + 2).length;"), 3);  // "x12"
+  EXPECT_DOUBLE_EQ(eval_num("return 'hello'.charCodeAt(1);"), 101);
+  EXPECT_DOUBLE_EQ(eval_num("return 'hello'.indexOf('llo');"), 2);
+  EXPECT_DOUBLE_EQ(eval_num("return 'hello'.substring(1, 3).length;"), 2);
+}
+
+// ----------------------------------------------------------- statements
+
+TEST(JsEngine, WhileLoop) {
+  EXPECT_DOUBLE_EQ(eval_num("var i = 0, s = 0; while (i < 10) { s += i; i++; } return s;"), 45);
+}
+
+TEST(JsEngine, ForLoopWithBreakContinue) {
+  EXPECT_DOUBLE_EQ(
+      eval_num("var s = 0; for (var i = 0; i < 100; i++) { if (i % 2 === 0) continue; "
+               "if (i > 10) break; s += i; } return s;"),
+      1 + 3 + 5 + 7 + 9);
+}
+
+TEST(JsEngine, DoWhileRunsAtLeastOnce) {
+  EXPECT_DOUBLE_EQ(eval_num("var n = 0; do { n++; } while (false); return n;"), 1);
+}
+
+TEST(JsEngine, NestedLoops) {
+  EXPECT_DOUBLE_EQ(
+      eval_num("var s = 0; for (var i = 0; i < 5; i++) for (var j = 0; j < 5; j++) "
+               "s += i * j; return s;"),
+      100);
+}
+
+TEST(JsEngine, UpdateExpressions) {
+  EXPECT_DOUBLE_EQ(eval_num("var i = 5; var a = i++; return a * 100 + i;"), 506);
+  EXPECT_DOUBLE_EQ(eval_num("var i = 5; var a = ++i; return a * 100 + i;"), 606);
+  EXPECT_DOUBLE_EQ(eval_num("var i = 5; i--; --i; return i;"), 3);
+}
+
+TEST(JsEngine, CompoundAssignments) {
+  EXPECT_DOUBLE_EQ(eval_num("var x = 10; x += 5; x -= 3; x *= 2; x /= 4; return x;"), 6);
+  EXPECT_DOUBLE_EQ(eval_num("var x = 0xff; x &= 0x0f; x |= 0x30; x ^= 0x01; return x;"), 0x3e);
+  EXPECT_DOUBLE_EQ(eval_num("var x = 1; x <<= 4; x >>= 1; return x;"), 8);
+  EXPECT_DOUBLE_EQ(eval_num("var a = [1, 2, 3]; a[1] += 10; return a[1];"), 12);
+}
+
+// ------------------------------------------------------------ functions
+
+TEST(JsEngine, FunctionCallsAndRecursion) {
+  const std::string src = R"(
+    function fib(n) {
+      if (n < 3) return 1;
+      return fib(n - 1) + fib(n - 2);
+    }
+    function main() { return fib(15); }
+  )";
+  EXPECT_DOUBLE_EQ(run_js(src).number, 610);
+}
+
+TEST(JsEngine, MutualRecursion) {
+  const std::string src = R"(
+    function isEven(n) { if (n === 0) return 1; return isOdd(n - 1); }
+    function isOdd(n) { if (n === 0) return 0; return isEven(n - 1); }
+    function main() { return isEven(10) * 10 + isOdd(7); }
+  )";
+  EXPECT_DOUBLE_EQ(run_js(src).number, 11);
+}
+
+TEST(JsEngine, MissingArgumentsAreUndefined) {
+  EXPECT_DOUBLE_EQ(
+      run_js("function f(a, b) { if (b === undefined) return 1; return 0; } "
+             "function main() { return f(5); }")
+          .number,
+      1);
+}
+
+TEST(JsEngine, TopLevelStatementsRunBeforeMain) {
+  const std::string src = R"(
+    var table = [];
+    for (var i = 0; i < 8; i++) table.push(i * i);
+    function main() { return table[3]; }
+  )";
+  EXPECT_DOUBLE_EQ(run_js(src).number, 9);
+}
+
+TEST(JsEngine, StackOverflowIsAnError) {
+  const RunOutcome out = run_js("function f() { return f(); } function main() { return f(); }");
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("call stack"), std::string::npos);
+}
+
+// ----------------------------------------------------- arrays & objects
+
+TEST(JsEngine, ArrayLiteralAndIndexing) {
+  EXPECT_DOUBLE_EQ(eval_num("var a = [10, 20, 30]; return a[0] + a[2];"), 40);
+  EXPECT_DOUBLE_EQ(eval_num("var a = [1]; a[5] = 7; return a.length;"), 6);
+  EXPECT_DOUBLE_EQ(eval_num("var a = []; a.push(4); a.push(5); return a.pop() + a.length;"), 6);
+  EXPECT_DOUBLE_EQ(eval_num("var a = [3, 1, 4]; return a.indexOf(4);"), 2);
+}
+
+TEST(JsEngine, ArrayOfArrays) {
+  EXPECT_DOUBLE_EQ(
+      eval_num("var m = []; for (var i = 0; i < 3; i++) { m.push([]); "
+               "for (var j = 0; j < 3; j++) m[i].push(i * 3 + j); } return m[2][1];"),
+      7);
+}
+
+TEST(JsEngine, ObjectLiteralsAndProps) {
+  EXPECT_DOUBLE_EQ(eval_num("var o = {x: 3, y: 4}; return o.x * o.y;"), 12);
+  EXPECT_DOUBLE_EQ(eval_num("var o = {}; o.count = 5; o.count += 2; return o.count;"), 7);
+  EXPECT_DOUBLE_EQ(eval_num("var o = {a: 1}; return o.missing === undefined ? 1 : 0;"), 1);
+}
+
+TEST(JsEngine, TypedArrays) {
+  EXPECT_DOUBLE_EQ(
+      eval_num("var a = new Float64Array(8); a[3] = 2.5; return a[3] + a[0] + a.length;"), 10.5);
+  EXPECT_DOUBLE_EQ(eval_num("var a = new Int32Array(4); a[0] = 3.9; return a[0];"), 3);
+  EXPECT_DOUBLE_EQ(eval_num("var a = new Uint8Array(4); a[0] = 260; return a[0];"), 4);
+  EXPECT_DOUBLE_EQ(eval_num("var a = new Int32Array(4); a[9] = 7; return a[9] === undefined ? 1 : 0;"), 1);
+}
+
+TEST(JsEngine, NewArrayN) {
+  EXPECT_DOUBLE_EQ(eval_num("var a = new Array(10); return a.length;"), 10);
+}
+
+// -------------------------------------------------------------- builtins
+
+TEST(JsEngine, MathBuiltins) {
+  EXPECT_DOUBLE_EQ(eval_num("return Math.floor(3.7);"), 3);
+  EXPECT_DOUBLE_EQ(eval_num("return Math.ceil(3.1);"), 4);
+  EXPECT_DOUBLE_EQ(eval_num("return Math.sqrt(81);"), 9);
+  EXPECT_DOUBLE_EQ(eval_num("return Math.abs(-4);"), 4);
+  EXPECT_DOUBLE_EQ(eval_num("return Math.min(3, 1, 2);"), 1);
+  EXPECT_DOUBLE_EQ(eval_num("return Math.max(3, 1, 2);"), 3);
+  EXPECT_DOUBLE_EQ(eval_num("return Math.pow(2, 10);"), 1024);
+}
+
+TEST(JsEngine, PerformanceNowAdvancesWithWork) {
+  const std::string src = R"(
+    function main() {
+      var t0 = performance.now();
+      var s = 0;
+      for (var i = 0; i < 100000; i++) s += i;
+      var t1 = performance.now();
+      return t1 > t0 ? 1 : 0;
+    }
+  )";
+  EXPECT_DOUBLE_EQ(run_js(src).number, 1);
+}
+
+TEST(JsEngine, CryptoDigestIsSha256) {
+  // sha256("") begins with 0xe3, 0xb0.
+  const std::string src = R"(
+    function main() {
+      var empty = new Uint8Array(0);
+      var d = crypto.digest(empty);
+      return d[0] * 1000 + d[1];
+    }
+  )";
+  EXPECT_DOUBLE_EQ(run_js(src).number, 0xe3 * 1000 + 0xb0);
+}
+
+TEST(JsEngine, StringFromCharCode) {
+  EXPECT_DOUBLE_EQ(eval_num("var s = String.fromCharCode(104, 105); return s.charCodeAt(0);"),
+                   104);
+}
+
+// ----------------------------------------------------------------- errors
+
+TEST(JsEngine, SyntaxErrorsReported) {
+  const RunOutcome out = run_js("function main( { return 1; }");
+  EXPECT_FALSE(out.ok);
+  EXPECT_FALSE(out.error.empty());
+}
+
+TEST(JsEngine, CallingNonFunctionFails) {
+  const RunOutcome out = run_js("function main() { var x = 5; return x(); }");
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(JsEngine, UnknownMethodFails) {
+  const RunOutcome out = run_js("function main() { var a = [1]; return a.frobnicate(); }");
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("frobnicate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wb::js

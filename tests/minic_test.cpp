@@ -1,0 +1,359 @@
+// Frontend tests: compile mini-C snippets to IR and execute them with the
+// reference executor, checking C semantics end to end.
+#include <gtest/gtest.h>
+
+#include "ir/exec.h"
+#include "minic/minic.h"
+
+namespace wb::minic {
+namespace {
+
+ir::Module compile_or_die(const std::string& source, CompileOptions opts = {}) {
+  std::string error;
+  auto m = compile(source, opts, error);
+  EXPECT_TRUE(m.has_value()) << error << "\nsource:\n" << source;
+  return m ? std::move(*m) : ir::Module{};
+}
+
+int32_t run_main_i32(const std::string& source, CompileOptions opts = {}) {
+  ir::Module m = compile_or_die(source, std::move(opts));
+  ir::Executor exec(m);
+  const ir::ExecResult r = exec.run("main");
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.as_i32();
+}
+
+int32_t eval_body(const std::string& body) {
+  return run_main_i32("int main(void) { " + body + " }");
+}
+
+TEST(MiniC, ArithmeticAndPrecedence) {
+  EXPECT_EQ(eval_body("return 2 + 3 * 4;"), 14);
+  EXPECT_EQ(eval_body("return (2 + 3) * 4;"), 20);
+  EXPECT_EQ(eval_body("return 17 / 5;"), 3);
+  EXPECT_EQ(eval_body("return -17 / 5;"), -3);  // C truncates toward zero
+  EXPECT_EQ(eval_body("return -17 % 5;"), -2);
+  EXPECT_EQ(eval_body("return 1 << 10;"), 1024);
+  EXPECT_EQ(eval_body("return -16 >> 2;"), -4);
+}
+
+TEST(MiniC, UnsignedSemantics) {
+  EXPECT_EQ(eval_body("unsigned x = 0; x = x - 1; return x > 100 ? 1 : 0;"), 1);
+  EXPECT_EQ(eval_body("unsigned x = 0xffffffff; return (int)(x >> 28);"), 15);
+  EXPECT_EQ(eval_body("int x = -16; unsigned u = x; return (int)(u >> 28);"), 15);
+  // Unsigned division differs from signed.
+  EXPECT_EQ(eval_body("unsigned a = 0x80000000; return (int)(a / 2);"), 0x40000000);
+}
+
+TEST(MiniC, DoubleArithmetic) {
+  EXPECT_EQ(eval_body("double x = 0.5; double y = 0.25; return (int)((x + y) * 4.0);"), 3);
+  EXPECT_EQ(eval_body("double x = 7.0; return (int)(x / 2.0 * 2.0);"), 7);
+  // (1.0/3.0)*3000.0 rounds to exactly 1000.0 in IEEE double.
+  EXPECT_EQ(eval_body("return (int)(1.0 / 3.0 * 3000.0);"), 1000);
+  EXPECT_EQ(eval_body("return (int)(10.0 / 4.0);"), 2);  // trunc toward zero
+  EXPECT_EQ(eval_body("int i = 3; double d = i; return (int)(d * 1.5);"), 4);
+}
+
+TEST(MiniC, CharIsByteRange) {
+  EXPECT_EQ(eval_body("unsigned char c = 250; c = c + 10; return c;"), 4);
+  EXPECT_EQ(eval_body("unsigned char c = 0; c--; return c;"), 255);
+}
+
+TEST(MiniC, ComparisonChains) {
+  EXPECT_EQ(eval_body("return (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5) + (3 == 3) + (3 != 3);"),
+            4);
+}
+
+TEST(MiniC, LogicalShortCircuit) {
+  const std::string src = R"(
+    int calls;
+    int bump(void) { calls = calls + 1; return 1; }
+    int main(void) {
+      calls = 0;
+      int a = 0 && bump();
+      int b = 1 || bump();
+      int c = 1 && bump();
+      return calls * 100 + a * 10 + b + c;
+    }
+  )";
+  EXPECT_EQ(run_main_i32(src), 102);
+}
+
+TEST(MiniC, TernarySelectsAndEvaluatesLazily) {
+  const std::string src = R"(
+    int calls;
+    int bump(int v) { calls = calls + 1; return v; }
+    int main(void) {
+      calls = 0;
+      int x = 1 ? bump(10) : bump(20);
+      return x * 10 + calls;
+    }
+  )";
+  EXPECT_EQ(run_main_i32(src), 101);
+}
+
+TEST(MiniC, ControlFlow) {
+  EXPECT_EQ(eval_body("int s = 0; int i; for (i = 1; i <= 10; i++) s += i; return s;"), 55);
+  EXPECT_EQ(eval_body("int s = 0; int i = 10; while (i) { s += i; i--; } return s;"), 55);
+  EXPECT_EQ(eval_body("int n = 0; do { n++; } while (0); return n;"), 1);
+  EXPECT_EQ(eval_body(
+      "int s = 0; for (int i = 0; i < 100; i++) { if (i >= 10) break; s += i; } return s;"),
+      45);
+}
+
+TEST(MiniC, ContinueInForReachesUpdate) {
+  EXPECT_EQ(eval_body("int s = 0; for (int i = 0; i < 10; i++) { if (i % 2) continue; s += i; } "
+                      "return s;"),
+            20);
+}
+
+TEST(MiniC, BreakInsideForWithContinue) {
+  EXPECT_EQ(eval_body("int s = 0; for (int i = 0; i < 100; i++) { if (i == 7) break; "
+                      "if (i % 2) continue; s += i; } return s;"),
+            2 + 4 + 6);
+}
+
+TEST(MiniC, NestedLoops) {
+  EXPECT_EQ(eval_body("int s = 0; for (int i = 0; i < 5; i++) for (int j = 0; j < 5; j++) "
+                      "s += i * j; return s;"),
+            100);
+}
+
+TEST(MiniC, SwitchStatement) {
+  const std::string src = R"(
+    int pick(int x) {
+      switch (x) {
+        case 0: return 10;
+        case 1:
+        case 2: return 20;
+        case 3: { int y = 30; return y; }
+        default: return 99;
+      }
+    }
+    int main(void) {
+      return pick(0) + pick(1) + pick(2) + pick(3) * 10 + pick(7);
+    }
+  )";
+  EXPECT_EQ(run_main_i32(src), 10 + 20 + 20 + 300 + 99);
+}
+
+TEST(MiniC, SwitchWithBreaks) {
+  const std::string src = R"(
+    int main(void) {
+      int r = 0;
+      int i;
+      for (i = 0; i < 4; i++) {
+        switch (i) {
+          case 0: r += 1; break;
+          case 1: r += 10; break;
+          default: r += 100; break;
+        }
+      }
+      return r;
+    }
+  )";
+  EXPECT_EQ(run_main_i32(src), 211);
+}
+
+TEST(MiniC, GlobalsAndArrays) {
+  const std::string src = R"(
+    int counter = 5;
+    double table[4] = {1.5, 2.5, 3.5, 4.5};
+    int grid[3][3];
+    int main(void) {
+      counter += 2;
+      int i, j;
+      for (i = 0; i < 3; i++)
+        for (j = 0; j < 3; j++)
+          grid[i][j] = i * 3 + j;
+      double s = 0.0;
+      for (i = 0; i < 4; i++) s += table[i];
+      return counter * 1000 + grid[2][1] * 10 + (int)s;
+    }
+  )";
+  EXPECT_EQ(run_main_i32(src), 7000 + 70 + 12);
+}
+
+TEST(MiniC, LocalArraysWork) {
+  const std::string src = R"(
+    int main(void) {
+      int tmp[8];
+      int i;
+      for (i = 0; i < 8; i++) tmp[i] = i * i;
+      int s = 0;
+      for (i = 0; i < 8; i++) s += tmp[i];
+      return s;
+    }
+  )";
+  EXPECT_EQ(run_main_i32(src), 140);
+}
+
+TEST(MiniC, ByteArrays) {
+  const std::string src = R"(
+    unsigned char buf[16];
+    int main(void) {
+      int i;
+      for (i = 0; i < 16; i++) buf[i] = i * 20;
+      int s = 0;
+      for (i = 0; i < 16; i++) s += buf[i];
+      return s;
+    }
+  )";
+  int expect = 0;
+  for (int i = 0; i < 16; i++) expect += (i * 20) & 0xff;
+  EXPECT_EQ(run_main_i32(src), expect);
+}
+
+TEST(MiniC, FunctionsAndRecursion) {
+  const std::string src = R"(
+    int fib(int n) {
+      if (n < 3) return 1;
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main(void) { return fib(12); }
+  )";
+  EXPECT_EQ(run_main_i32(src), 144);
+}
+
+TEST(MiniC, PrototypesAllowForwardCalls) {
+  const std::string src = R"(
+    int helper(int x);
+    int main(void) { return helper(4); }
+    int helper(int x) { return x * x; }
+  )";
+  EXPECT_EQ(run_main_i32(src), 16);
+}
+
+TEST(MiniC, MathIntrinsics) {
+  EXPECT_EQ(eval_body("return (int)sqrt(144.0);"), 12);
+  EXPECT_EQ(eval_body("return (int)fabs(-3.5 * 2.0);"), 7);
+  EXPECT_EQ(eval_body("return (int)pow(2.0, 10.0);"), 1024);
+  EXPECT_EQ(eval_body("return (int)floor(3.9) + (int)ceil(3.1);"), 7);
+  EXPECT_EQ(eval_body("double e = exp(1.0); return (int)(e * 1000.0);"), 2718);
+}
+
+TEST(MiniC, DefinesSelectSizes) {
+  const std::string src = R"(
+    #define N 8
+    int a[N];
+    int main(void) {
+      int i;
+      for (i = 0; i < N; i++) a[i] = i;
+      return a[N - 1];
+    }
+  )";
+  EXPECT_EQ(run_main_i32(src), 7);
+  CompileOptions opts;
+  opts.defines.emplace_back("N", "16");
+  EXPECT_EQ(run_main_i32(src, opts), 15);
+}
+
+TEST(MiniC, DefineExpressionsFold) {
+  const std::string src = R"(
+    #define M 6
+    #define N (M * 2)
+    int a[N];
+    int main(void) { return N + M; }
+  )";
+  EXPECT_EQ(run_main_i32(src), 18);
+}
+
+TEST(MiniC, CompoundAssignOnArrayElement) {
+  EXPECT_EQ(eval_body("int a[4]; a[2] = 10; a[2] += 5; a[2] *= 2; return a[2];"), 30);
+}
+
+TEST(MiniC, IncDecValueSemantics) {
+  EXPECT_EQ(eval_body("int i = 5; int a = i++; return a * 100 + i;"), 506);
+  EXPECT_EQ(eval_body("int i = 5; int a = ++i; return a * 100 + i;"), 606);
+  EXPECT_EQ(eval_body("int i = 5; int a = i--; return a * 100 + i;"), 504);
+}
+
+TEST(MiniC, ComplexLoopConditionsReevaluate) {
+  // Regression: short-circuit/ternary conditions lower to statements that
+  // must run every iteration, not once before the loop.
+  EXPECT_EQ(eval_body("int i = 0; int n = 0; while (i < 20 && n < 5) { n++; i += 2; } "
+                      "return i * 100 + n;"),
+            1005);
+  EXPECT_EQ(eval_body("int i = 10; int hits = 0; while (i > 0 || hits == 0) { i--; "
+                      "if (i == 0) hits = 1; } return i * 10 + hits;"),
+            1);
+  EXPECT_EQ(eval_body("int i = 0; int s = 0; do { s += i; i++; } while (i < 5 && s < 6); "
+                      "return i * 100 + s;"),
+            406);
+  EXPECT_EQ(eval_body("int s = 0; int j = 8; for (int i = 0; i < 10 && j > 3; i++) "
+                      "{ s += i; j--; } return s * 10 + j;"),
+            103);
+  EXPECT_EQ(eval_body("int x = 3; int c = 0; while (x > 0 ? 1 : 0) { x--; c++; } "
+                      "return c;"),
+            3);
+  // Continue inside a complex-condition loop still re-checks it.
+  EXPECT_EQ(eval_body("int i = 0; int s = 0; int cap = 50; "
+                      "for (i = 0; i < 10 && s < 50; i++) { if (i % 2) continue; s += i * 10; } "
+                      "return i * 1000 + s + cap - 50;"),
+            5 * 1000 + 60);
+  // do-while with complex condition and continue.
+  EXPECT_EQ(eval_body("int i = 0; int s = 0; do { i++; if (i % 3 == 0) continue; s += i; } "
+                      "while (i < 8 && s < 100); return i * 100 + s;"),
+            827);
+}
+
+TEST(MiniC, CommaOperatorInFor) {
+  EXPECT_EQ(eval_body("int s = 0; int i, j; for (i = 0, j = 10; i < j; i++, j--) s++; "
+                      "return s;"),
+            5);
+}
+
+TEST(MiniC, LargeUninitializedArraysAreDynamic) {
+  const std::string src = R"(
+    double big[1000];
+    int small_init[2] = {1, 2};
+    int main(void) { big[999] = 1.0; return small_init[1]; }
+  )";
+  ir::Module m = compile_or_die(src);
+  ASSERT_EQ(m.globals.size(), 2u);
+  EXPECT_TRUE(m.globals[0].dynamic_alloc);
+  EXPECT_FALSE(m.globals[1].dynamic_alloc);
+  ir::Executor exec(m);
+  EXPECT_EQ(exec.run("main").as_i32(), 2);
+}
+
+TEST(MiniC, DivisionByZeroIsAnError) {
+  ir::Module m = compile_or_die("int main(void) { int z = 0; return 5 / z; }");
+  ir::Executor exec(m);
+  const ir::ExecResult r = exec.run("main");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("division"), std::string::npos);
+}
+
+// --------------------------------------------------------- diagnostics
+
+void expect_error(const std::string& source, const std::string& fragment) {
+  std::string error;
+  const auto m = compile(source, {}, error);
+  EXPECT_FALSE(m.has_value()) << "expected failure: " << fragment;
+  EXPECT_NE(error.find(fragment), std::string::npos) << "got: " << error;
+}
+
+TEST(MiniCDiagnostics, RejectsOutOfSubsetConstructs) {
+  expect_error("long x;", "outside the mini-C subset");
+  expect_error("float f(void) { return 0; }", "outside the mini-C subset");
+  expect_error("int main(void) { undeclared = 3; return 0; }", "undeclared");
+  expect_error("int main(void) { return missing(); }", "undeclared function");
+  expect_error("int a[4]; int main(void) { return a; }", "fully indexed");
+  expect_error("int f(int x); int main(void) { return f(1); }", "never defined");
+  expect_error("int main(void) { return 1; } int main(void) { return 2; }",
+               "redefinition");
+  expect_error("#include <stdio.h>\nint main(void){return 0;}", "unsupported preprocessor");
+  expect_error("int main(void) { switch (1) { case 1: return 1; case 2: { int i = 0; "
+               "i++; } case 3: return 3; } return 0; }",
+               "fallthrough");
+}
+
+TEST(MiniCDiagnostics, TypeErrors) {
+  expect_error("int main(void) { double d = 1.0; return d % 2.0; }", "integer operands");
+  expect_error("int main(void) { double d = 1.0; return ~d; }", "integer operand");
+  expect_error("void v(void) { return 3; }", "void function");
+}
+
+}  // namespace
+}  // namespace wb::minic

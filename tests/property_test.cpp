@@ -1,0 +1,281 @@
+// Property-based tests (seeded sweeps via TEST_P):
+//  1. The Wasm binary decoder never crashes or mis-accepts on mutated
+//     bytes: every decode either fails cleanly or yields a module that
+//     re-validates.
+//  2. Randomly generated mini-C programs compute the same checksum on all
+//     targets at every optimization level (the compiler's semantics hold
+//     on inputs nobody hand-picked).
+//  3. GC stress: random allocation/retention patterns never lose
+//     reachable data across collections.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "backend/js_backend.h"
+#include "backend/native_backend.h"
+#include "backend/wasm_backend.h"
+#include "ir/exec.h"
+#include "ir/passes.h"
+#include "js/engine.h"
+#include "js/interp.h"
+#include "minic/minic.h"
+#include "support/rng.h"
+#include "wasm/codec.h"
+#include "wasm/interp.h"
+#include "wasm/validator.h"
+
+namespace wb {
+namespace {
+
+// ----------------------------------------------------- decoder fuzzing
+
+class DecoderMutation : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecoderMutation, NeverCrashesOrMisaccepts) {
+  // Base module: a mid-sized real benchmark binary.
+  static const std::vector<uint8_t> base = [] {
+    const char* src = R"(
+      unsigned char data[64];
+      int helper(int x) { return x * 3 + 1; }
+      int main(void) {
+        int i;
+        int s = 0;
+        for (i = 0; i < 64; i++) {
+          data[i] = helper(i);
+          s += data[i];
+        }
+        return s;
+      }
+    )";
+    std::string error;
+    auto m = minic::compile(src, {}, error);
+    auto artifact = backend::compile_to_wasm(std::move(*m), {});
+    return artifact.binary;
+  }();
+
+  support::Rng rng(GetParam());
+  std::vector<uint8_t> bytes = base;
+  // 1-8 random byte mutations (flips, truncations, insertions).
+  const int mutations = 1 + static_cast<int>(rng.next_below(8));
+  for (int i = 0; i < mutations; ++i) {
+    switch (rng.next_below(3)) {
+      case 0:
+        bytes[rng.next_below(bytes.size())] = static_cast<uint8_t>(rng.next_u64());
+        break;
+      case 1:
+        bytes.resize(8 + rng.next_below(bytes.size()));
+        break;
+      case 2:
+        bytes.insert(bytes.begin() + static_cast<long>(rng.next_below(bytes.size())),
+                     static_cast<uint8_t>(rng.next_u64()));
+        break;
+    }
+  }
+
+  std::string error;
+  const auto decoded = wasm::decode(bytes, &error);
+  if (!decoded) {
+    EXPECT_FALSE(error.empty());
+    return;
+  }
+  // If it decodes, validation must either reject it or the module must be
+  // safely executable (bounded fuel, any trap acceptable).
+  if (wasm::validate(*decoded)) return;  // rejected: fine
+  if (decoded->memory && decoded->memory->min_pages > 1024) {
+    return;  // a mutated limits field may demand gigabytes; skip executing
+  }
+  wasm::Instance inst(*decoded, std::vector<wasm::HostFn>(decoded->imports.size(),
+                                                          [](std::span<const wasm::Value>,
+                                                             wasm::Value*) {
+                                                            return wasm::Trap::None;
+                                                          }));
+  inst.set_fuel(100'000);
+  (void)inst.invoke("main", {});  // must not crash; result irrelevant
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderMutation, testing::Range<uint64_t>(1, 65));
+
+// ------------------------------------------- random-program differential
+
+/// Generates a random (but always-terminating, trap-free) mini-C program.
+std::string random_program(uint64_t seed) {
+  support::Rng rng(seed);
+  std::ostringstream out;
+  const int nglobals = 2 + static_cast<int>(rng.next_below(3));
+  const int array_len = 16 + static_cast<int>(rng.next_below(48));
+  for (int g = 0; g < nglobals; ++g) {
+    out << (g % 2 ? "double" : "int") << " g" << g << "[" << array_len << "];\n";
+  }
+  out << "int main(void) {\n  int i; int j;\n  double acc = 0.0;\n  int s = 0;\n";
+  // Init loops.
+  for (int g = 0; g < nglobals; ++g) {
+    out << "  for (i = 0; i < " << array_len << "; i++) g" << g << "[i] = ";
+    if (g % 2) {
+      out << "(double)(i * " << (1 + rng.next_below(9)) << " % "
+          << (2 + rng.next_below(13)) << ") / " << (2 + rng.next_below(7)) << ".0;\n";
+    } else {
+      out << "(int)(i * " << (1 + rng.next_below(9)) << ") % "
+          << (2 + rng.next_below(13)) << ";\n";
+    }
+  }
+  // A couple of compute loops with random safe expressions.
+  const int nloops = 1 + static_cast<int>(rng.next_below(3));
+  for (int l = 0; l < nloops; ++l) {
+    const int ig = 2 * static_cast<int>(rng.next_below((nglobals + 1) / 2));
+    const int dg = 2 * static_cast<int>(rng.next_below(nglobals / 2)) + 1;
+    out << "  for (i = 1; i < " << array_len - 1 << "; i++) {\n";
+    switch (rng.next_below(4)) {
+      case 0:
+        out << "    g" << dg << "[i] = g" << dg << "[i - 1] * 0.5 + (double)g" << ig
+            << "[i] / 3.0;\n";
+        break;
+      case 1:
+        out << "    g" << ig << "[i] = (g" << ig << "[i] << 1) ^ (g" << ig
+            << "[i + 1] & 255);\n";
+        break;
+      case 2:
+        out << "    if (g" << ig << "[i] % " << (2 + rng.next_below(5)) << " == 0) g"
+            << dg << "[i] += 1.5; else g" << dg << "[i] -= 0.25;\n";
+        break;
+      case 3:
+        out << "    for (j = 0; j < 3; j++) g" << dg << "[i] += g" << dg
+            << "[i - 1] * 0.125;\n";
+        break;
+    }
+    out << "  }\n";
+  }
+  out << "  for (i = 0; i < " << array_len << "; i++) {\n";
+  out << "    acc += g1[i] - floor(g1[i] / 100.0) * 100.0;\n";
+  out << "    s = (s + g0[i] * (i + 1)) % 1000000;\n";
+  out << "  }\n";
+  out << "  return s + (int)acc;\n}\n";
+  return out.str();
+}
+
+class RandomProgramDifferential : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramDifferential, AllTargetsAllLevelsAgree) {
+  const std::string src = random_program(GetParam());
+  std::string error;
+
+  auto compile_at = [&](ir::OptLevel level, bool& fast_math) -> ir::Module {
+    auto m = minic::compile(src, {}, error);
+    EXPECT_TRUE(m.has_value()) << error << "\n" << src;
+    const ir::PipelineInfo info = ir::run_pipeline(*m, level);
+    fast_math = info.fast_math;
+    return std::move(*m);
+  };
+
+  bool fm = false;
+  ir::Module ref = compile_at(ir::OptLevel::O0, fm);
+  ir::Executor ref_exec(ref);
+  ref_exec.set_fuel(50'000'000);
+  const ir::ExecResult ref_result = ref_exec.run("main");
+  ASSERT_TRUE(ref_result.ok) << ref_result.error << "\n" << src;
+
+  for (ir::OptLevel level : {ir::OptLevel::O2, ir::OptLevel::Ofast, ir::OptLevel::Oz}) {
+    bool fast_math = false;
+    // Native.
+    {
+      ir::Module m = compile_at(level, fast_math);
+      backend::NativeArtifact native = backend::compile_to_native(std::move(m));
+      ir::Executor exec(native.module);
+      exec.set_fuel(50'000'000);
+      const ir::ExecResult r = exec.run("main");
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_EQ(r.as_i32(), ref_result.as_i32()) << "native " << to_string(level);
+    }
+    // Wasm.
+    {
+      ir::Module m = compile_at(level, fast_math);
+      backend::WasmOptions opts;
+      opts.fast_math = fast_math;
+      const backend::WasmArtifact artifact = backend::compile_to_wasm(std::move(m), opts);
+      ASSERT_TRUE(artifact.ok()) << artifact.error;
+      wasm::Instance inst(artifact.module, backend::make_import_bindings(artifact));
+      inst.set_fuel(50'000'000);
+      ASSERT_TRUE(inst.invoke("__init", {}).ok());
+      const wasm::InvokeResult r = inst.invoke("main", {});
+      ASSERT_TRUE(r.ok()) << wasm::to_string(r.trap);
+      EXPECT_EQ(r.value.as_i32(), ref_result.as_i32()) << "wasm " << to_string(level);
+    }
+    // JS.
+    {
+      ir::Module m = compile_at(level, fast_math);
+      backend::JsOptions opts;
+      opts.fast_math = fast_math;
+      const backend::JsArtifact artifact = backend::compile_to_js(std::move(m), opts);
+      ASSERT_TRUE(artifact.ok()) << artifact.error;
+      auto code = js::compile_script(artifact.source, error);
+      ASSERT_TRUE(code.has_value()) << error;
+      js::Heap heap;
+      js::Vm vm(*code, heap);
+      vm.set_fuel(50'000'000);
+      ASSERT_TRUE(vm.run_top_level().ok);
+      const js::Vm::Result r = vm.call_function("main", {});
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_EQ(js::to_int32(r.value.num), ref_result.as_i32()) << "js " << to_string(level);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramDifferential,
+                         testing::Range<uint64_t>(1, 33));
+
+// ------------------------------------------------------------ GC stress
+
+class GcStress : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(GcStress, ReachableValuesSurviveRandomChurn) {
+  support::Rng rng(GetParam());
+  // Build a JS program that fills a retained structure while churning
+  // garbage, with a checksum we can predict in C++.
+  const int keep = 50 + static_cast<int>(rng.next_below(100));
+  const int churn = 500 + static_cast<int>(rng.next_below(2000));
+  const int mod = 3 + static_cast<int>(rng.next_below(17));
+  std::ostringstream src;
+  src << "var retained = [];\n"
+      << "function main() {\n"
+      << "  var cs = 0;\n"
+      << "  for (var i = 0; i < " << churn << "; i++) {\n"
+      << "    var junk = [i, i * 2, 'x' + i, {v: i}];\n"
+      << "    if (i % " << mod << " == 0 && retained.length < " << keep << ")\n"
+      << "      retained.push({key: i, data: [i, i + 1]});\n"
+      << "    cs = (cs + junk[1]) | 0;\n"
+      << "  }\n"
+      << "  for (i = 0; i < retained.length; i++)\n"
+      << "    cs = (cs + retained[i].key + retained[i].data[1]) | 0;\n"
+      << "  return cs;\n"
+      << "}\n";
+
+  // Expected checksum computed independently.
+  int64_t cs = 0;
+  int kept = 0;
+  std::vector<int> keys;
+  for (int i = 0; i < churn; ++i) {
+    if (i % mod == 0 && kept < keep) {
+      keys.push_back(i);
+      ++kept;
+    }
+    cs = static_cast<int32_t>(cs + i * 2);
+  }
+  for (int k : keys) cs = static_cast<int32_t>(cs + k + (k + 1));
+
+  std::string error;
+  auto code = js::compile_script(src.str(), error);
+  ASSERT_TRUE(code.has_value()) << error;
+  // Tiny GC threshold: collections happen constantly.
+  js::Heap heap(4 << 10);
+  js::Vm vm(*code, heap);
+  vm.set_fuel(50'000'000);
+  ASSERT_TRUE(vm.run_top_level().ok);
+  const js::Vm::Result r = vm.call_function("main", {});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(js::to_int32(r.value.num), static_cast<int32_t>(cs));
+  EXPECT_GT(heap.stats().collections, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcStress, testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/leb128.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace wb::support {
+namespace {
+
+// ---------------------------------------------------------------- LEB128
+
+TEST(Leb128, UnsignedKnownEncodings) {
+  std::vector<uint8_t> out;
+  write_uleb128(out, 0);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0x00}));
+  out.clear();
+  write_uleb128(out, 624485);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0xe5, 0x8e, 0x26}));
+}
+
+TEST(Leb128, SignedKnownEncodings) {
+  std::vector<uint8_t> out;
+  write_sleb128(out, -123456);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0xc0, 0xbb, 0x78}));
+  out.clear();
+  write_sleb128(out, 0);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0x00}));
+  out.clear();
+  write_sleb128(out, -1);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0x7f}));
+  out.clear();
+  write_sleb128(out, 64);  // needs the extra byte to keep the sign clear
+  EXPECT_EQ(out, (std::vector<uint8_t>{0xc0, 0x00}));
+}
+
+TEST(Leb128, UnsignedRoundTripSweep) {
+  Rng rng(42);
+  std::vector<uint64_t> samples = {0,
+                                   1,
+                                   127,
+                                   128,
+                                   16383,
+                                   16384,
+                                   std::numeric_limits<uint32_t>::max(),
+                                   std::numeric_limits<uint64_t>::max()};
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.next_u64());
+  for (uint64_t v : samples) {
+    std::vector<uint8_t> out;
+    write_uleb128(out, v);
+    auto r = read_uleb128(out);
+    ASSERT_TRUE(r.has_value()) << v;
+    EXPECT_EQ(r->value, v);
+    EXPECT_EQ(r->size, out.size());
+  }
+}
+
+TEST(Leb128, SignedRoundTripSweep) {
+  Rng rng(43);
+  std::vector<int64_t> samples = {0,
+                                  -1,
+                                  1,
+                                  63,
+                                  64,
+                                  -64,
+                                  -65,
+                                  std::numeric_limits<int32_t>::min(),
+                                  std::numeric_limits<int32_t>::max(),
+                                  std::numeric_limits<int64_t>::min(),
+                                  std::numeric_limits<int64_t>::max()};
+  for (int i = 0; i < 500; ++i) samples.push_back(static_cast<int64_t>(rng.next_u64()));
+  for (int64_t v : samples) {
+    std::vector<uint8_t> out;
+    write_sleb128(out, v);
+    auto r = read_sleb128(out);
+    ASSERT_TRUE(r.has_value()) << v;
+    EXPECT_EQ(r->value, v);
+    EXPECT_EQ(r->size, out.size());
+  }
+}
+
+TEST(Leb128, TruncatedInputFails) {
+  std::vector<uint8_t> out;
+  write_uleb128(out, 624485);
+  out.pop_back();
+  EXPECT_FALSE(read_uleb128(out).has_value());
+  EXPECT_FALSE(read_sleb128(out).has_value());
+  EXPECT_FALSE(read_uleb128({}).has_value());
+}
+
+TEST(Leb128, OverlongInputFails) {
+  // 11 continuation bytes exceed 64 bits.
+  std::vector<uint8_t> bytes(11, 0x80);
+  bytes.push_back(0x01);
+  EXPECT_FALSE(read_uleb128(bytes).has_value());
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(Stats, GeomeanBasics) {
+  std::vector<double> xs = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+  EXPECT_EQ(geomean({}), 0.0);
+  std::vector<double> ones(17, 1.0);
+  EXPECT_NEAR(geomean(ones), 1.0, 1e-12);
+}
+
+TEST(Stats, MeanBasics) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, FiveNumberSummaryOddCount) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  const FiveNumber s = five_number_summary(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.q1, 2);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.q3, 4);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+}
+
+TEST(Stats, FiveNumberSummaryInterpolates) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  const FiveNumber s = five_number_summary(xs);
+  EXPECT_DOUBLE_EQ(s.q1, 1.75);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.q3, 3.25);
+}
+
+TEST(Stats, FiveNumberSummarySingleAndEmpty) {
+  std::vector<double> one = {7};
+  const FiveNumber s = five_number_summary(one);
+  EXPECT_DOUBLE_EQ(s.min, 7);
+  EXPECT_DOUBLE_EQ(s.median, 7);
+  EXPECT_DOUBLE_EQ(s.max, 7);
+  const FiveNumber e = five_number_summary({});
+  EXPECT_DOUBLE_EQ(e.median, 0);
+}
+
+TEST(Stats, ClassifyRatiosMatchesPaperConvention) {
+  // Variant faster on two benchmarks (2x, 8x), slower on one (4x slowdown).
+  std::vector<double> variant = {1.0, 1.0, 4.0};
+  std::vector<double> baseline = {2.0, 8.0, 1.0};
+  const RatioStats r = classify_ratios(variant, baseline);
+  EXPECT_EQ(r.speedup_count, 2u);
+  EXPECT_DOUBLE_EQ(r.speedup_gmean, 4.0);  // gmean(2, 8)
+  EXPECT_EQ(r.slowdown_count, 1u);
+  EXPECT_DOUBLE_EQ(r.slowdown_gmean, 4.0);
+  // gmean(2, 8, 1/4) = (2*8*0.25)^(1/3) = 4^(1/3)
+  EXPECT_TRUE(r.all_gmean_is_speedup);
+  EXPECT_NEAR(r.all_gmean, std::pow(4.0, 1.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, ClassifyRatiosOverallSlowdown) {
+  std::vector<double> variant = {4.0, 4.0};
+  std::vector<double> baseline = {1.0, 1.0};
+  const RatioStats r = classify_ratios(variant, baseline);
+  EXPECT_FALSE(r.all_gmean_is_speedup);
+  EXPECT_DOUBLE_EQ(r.all_gmean, 4.0);
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  TextTable t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(0.875, 2), "0.88x");
+  EXPECT_EQ(fmt_kb(2048.0, 1), "2.0");
+}
+
+// ---------------------------------------------------------------- RNG
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoundedValues) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+}  // namespace
+}  // namespace wb::support

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wasm/builder.h"
+#include "wasm/codec.h"
+#include "wasm/validator.h"
+#include "wasm/wat.h"
+
+namespace wb::wasm {
+namespace {
+
+using VT = ValType;
+
+Module sample_module() {
+  ModuleBuilder mb;
+  const FuncType host_type{{VT::I32}, {}};
+  const uint32_t log = mb.add_import("env", "log", host_type);
+  mb.set_memory(2, 16);
+  mb.add_global(VT::I32, true, Value::from_i32(7));
+  mb.add_global(VT::F64, false, Value::from_f64(2.5));
+  mb.add_data(64, {1, 2, 3, 4, 5});
+
+  // add(a, b) = a + b, also logs a.
+  auto f = mb.define(FuncType{{VT::I32, VT::I32}, {VT::I32}}, "add");
+  f.local_get(0).call(log);
+  f.local_get(0).local_get(1).op(Opcode::I32Add);
+  f.finish("add");
+
+  // loop-sum(n): uses block/loop/br_if and a local.
+  auto g = mb.define(FuncType{{VT::I32}, {VT::I32}}, "sum");
+  const uint32_t acc = g.add_local(VT::I32);
+  g.block();
+  g.loop();
+  g.local_get(0).op(Opcode::I32Eqz).br_if(1);
+  g.local_get(acc).local_get(0).op(Opcode::I32Add).local_set(acc);
+  g.local_get(0).i32(1).op(Opcode::I32Sub).local_set(0);
+  g.br(0);
+  g.end();
+  g.end();
+  g.local_get(acc);
+  g.finish("sum");
+
+  // br_table user.
+  auto h = mb.define(FuncType{{VT::I32}, {VT::I32}}, "pick");
+  h.block().block().block();
+  h.local_get(0).br_table({0, 1, 2});
+  h.end();
+  h.i32(10);
+  h.op(Opcode::Return);
+  h.end();
+  h.i32(20);
+  h.op(Opcode::Return);
+  h.end();
+  h.i32(30);
+  h.finish("pick");
+
+  mb.export_memory("memory");
+  return mb.take();
+}
+
+TEST(WasmCodec, EncodesMagicAndVersion) {
+  const Module m = sample_module();
+  const std::vector<uint8_t> bytes = encode(m);
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes[0], 0x00);
+  EXPECT_EQ(bytes[1], 'a');
+  EXPECT_EQ(bytes[2], 's');
+  EXPECT_EQ(bytes[3], 'm');
+  EXPECT_EQ(bytes[4], 1);
+}
+
+TEST(WasmCodec, SampleModuleValidates) {
+  const Module m = sample_module();
+  const auto err = validate(m);
+  EXPECT_FALSE(err.has_value()) << (err ? err->message : "");
+}
+
+TEST(WasmCodec, RoundTripPreservesStructure) {
+  const Module m = sample_module();
+  const std::vector<uint8_t> bytes = encode(m);
+  std::string error;
+  const auto decoded = decode(bytes, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+
+  EXPECT_EQ(decoded->types.size(), m.types.size());
+  EXPECT_EQ(decoded->imports.size(), m.imports.size());
+  EXPECT_EQ(decoded->functions.size(), m.functions.size());
+  EXPECT_EQ(decoded->globals.size(), m.globals.size());
+  ASSERT_TRUE(decoded->memory.has_value());
+  EXPECT_EQ(decoded->memory->min_pages, 2u);
+  EXPECT_EQ(decoded->memory->max_pages, 16u);
+  EXPECT_EQ(decoded->exports.size(), m.exports.size());
+  EXPECT_EQ(decoded->data.size(), 1u);
+  EXPECT_EQ(decoded->data[0].offset, 64u);
+  EXPECT_EQ(decoded->data[0].bytes, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+
+  for (size_t i = 0; i < m.functions.size(); ++i) {
+    EXPECT_EQ(decoded->functions[i].body.size(), m.functions[i].body.size()) << i;
+    EXPECT_EQ(decoded->functions[i].locals, m.functions[i].locals) << i;
+  }
+  EXPECT_EQ(decoded->globals[0].init.as_i32(), 7);
+  EXPECT_DOUBLE_EQ(decoded->globals[1].init.as_f64(), 2.5);
+}
+
+TEST(WasmCodec, RoundTripIsByteStable) {
+  const Module m = sample_module();
+  const std::vector<uint8_t> once = encode(m);
+  const auto decoded = decode(once);
+  ASSERT_TRUE(decoded.has_value());
+  const std::vector<uint8_t> twice = encode(*decoded);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(WasmCodec, DecodedModuleValidates) {
+  const auto decoded = decode(encode(sample_module()));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(validate(*decoded).has_value());
+}
+
+TEST(WasmCodec, RejectsBadMagic) {
+  std::vector<uint8_t> bytes = encode(sample_module());
+  bytes[1] = 'x';
+  std::string error;
+  EXPECT_FALSE(decode(bytes, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(WasmCodec, RejectsTruncatedInput) {
+  std::vector<uint8_t> bytes = encode(sample_module());
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{9}}) {
+    std::vector<uint8_t> cut_bytes(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode(cut_bytes).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(WasmCodec, RejectsUnknownOpcode) {
+  std::vector<uint8_t> bytes = encode(sample_module());
+  // 0xd0 (ref.null, unsupported) somewhere in the code section:
+  // corrupting the first i32.add (0x6a) suffices.
+  for (auto& b : bytes) {
+    if (b == 0x6a) {
+      b = 0xd0;
+      break;
+    }
+  }
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(WasmCodec, SignedImmediatesSurviveRoundTrip) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.i32(-1).finish("m1");
+  auto g = mb.define(FuncType{{}, {VT::I64}});
+  g.i64(INT64_MIN).finish("big");
+  auto h = mb.define(FuncType{{}, {VT::F64}});
+  h.f64(-0.0).finish("nz");
+  const Module m = mb.take();
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->functions[0].body[0].ival, -1);
+  EXPECT_EQ(decoded->functions[1].body[0].ival, INT64_MIN);
+  EXPECT_TRUE(std::signbit(decoded->functions[2].body[0].fval));
+}
+
+TEST(WasmCodec, WatPrinterMentionsStructure) {
+  const Module m = sample_module();
+  const std::string wat = to_wat(m);
+  EXPECT_NE(wat.find("(module"), std::string::npos);
+  EXPECT_NE(wat.find("(import \"env\" \"log\""), std::string::npos);
+  EXPECT_NE(wat.find("i32.add"), std::string::npos);
+  EXPECT_NE(wat.find("br_table"), std::string::npos);
+  EXPECT_NE(wat.find("(export \"sum\""), std::string::npos);
+  EXPECT_NE(wat.find("(memory 2 16)"), std::string::npos);
+}
+
+TEST(WasmCodec, CodeSizeGrowsWithBody) {
+  ModuleBuilder small;
+  auto f = small.define(FuncType{{}, {VT::I32}});
+  f.i32(1).finish("f");
+  ModuleBuilder large;
+  auto g = large.define(FuncType{{}, {VT::I32}});
+  g.i32(1);
+  for (int i = 0; i < 100; ++i) g.i32(1).op(Opcode::I32Add);
+  g.finish("f");
+  EXPECT_GT(encode(large.take()).size(), encode(small.take()).size() + 100);
+}
+
+}  // namespace
+}  // namespace wb::wasm

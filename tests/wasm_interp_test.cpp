@@ -1,0 +1,634 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wasm/builder.h"
+#include "wasm/interp.h"
+#include "wasm/validator.h"
+
+namespace wb::wasm {
+namespace {
+
+using VT = ValType;
+
+/// Builds a single-function module computing `body` over `type`, validates
+/// it, instantiates, and invokes with `args`.
+class ExecHelper {
+ public:
+  ModuleBuilder mb;
+
+  InvokeResult run(std::span<const Value> args = {}) {
+    module_ = mb.take();
+    const auto err = validate(module_);
+    EXPECT_FALSE(err.has_value()) << (err ? err->message : "");
+    instance_ = std::make_unique<Instance>(module_, host_fns_);
+    instance_->set_fuel(100'000'000);
+    return instance_->invoke("main", args);
+  }
+
+  std::vector<HostFn> host_fns_;
+  Instance& instance() { return *instance_; }
+
+ private:
+  Module module_;
+  std::unique_ptr<Instance> instance_;
+};
+
+// ------------------------------------------------------------ arithmetic
+
+struct BinOpCase {
+  Opcode op;
+  int64_t lhs, rhs, expect;
+  bool is64;
+};
+
+class I32BinOpTest : public testing::TestWithParam<BinOpCase> {};
+
+TEST_P(I32BinOpTest, Computes) {
+  const BinOpCase& c = GetParam();
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {c.is64 ? VT::I64 : VT::I32}});
+  if (c.is64) {
+    f.i64(c.lhs).i64(c.rhs).op(c.op);
+  } else {
+    f.i32(static_cast<int32_t>(c.lhs)).i32(static_cast<int32_t>(c.rhs)).op(c.op);
+  }
+  f.finish("main");
+  const InvokeResult r = h.run();
+  ASSERT_TRUE(r.ok()) << to_string(r.trap);
+  if (c.is64) {
+    EXPECT_EQ(r.value.as_i64(), c.expect);
+  } else {
+    EXPECT_EQ(r.value.as_i32(), static_cast<int32_t>(c.expect));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntOps, I32BinOpTest,
+    testing::Values(
+        BinOpCase{Opcode::I32Add, 2, 3, 5, false},
+        BinOpCase{Opcode::I32Sub, 2, 3, -1, false},
+        BinOpCase{Opcode::I32Mul, -4, 3, -12, false},
+        BinOpCase{Opcode::I32DivS, -7, 2, -3, false},
+        BinOpCase{Opcode::I32DivU, -1, 2, 0x7fffffff, false},
+        BinOpCase{Opcode::I32RemS, -7, 2, -1, false},
+        BinOpCase{Opcode::I32RemU, 7, 3, 1, false},
+        BinOpCase{Opcode::I32And, 0b1100, 0b1010, 0b1000, false},
+        BinOpCase{Opcode::I32Or, 0b1100, 0b1010, 0b1110, false},
+        BinOpCase{Opcode::I32Xor, 0b1100, 0b1010, 0b0110, false},
+        BinOpCase{Opcode::I32Shl, 1, 35, 8, false},  // shift count masked
+        BinOpCase{Opcode::I32ShrS, -8, 1, -4, false},
+        BinOpCase{Opcode::I32ShrU, -8, 1, 0x7ffffffc, false},
+        BinOpCase{Opcode::I32Rotl, 0x80000001, 1, 3, false},
+        BinOpCase{Opcode::I32Rotr, 3, 1, int64_t{0x80000001}, false},
+        BinOpCase{Opcode::I32Eq, 4, 4, 1, false},
+        BinOpCase{Opcode::I32LtS, -1, 0, 1, false},
+        BinOpCase{Opcode::I32LtU, -1, 0, 0, false},
+        BinOpCase{Opcode::I64Add, INT64_MAX, 1, INT64_MIN, true},
+        BinOpCase{Opcode::I64Mul, 1ll << 40, 1 << 10, 1ll << 50, true},
+        BinOpCase{Opcode::I64DivS, -9, 2, -4, true},
+        BinOpCase{Opcode::I64Shl, 1, 63, INT64_MIN, true},
+        BinOpCase{Opcode::I64Rotl, INT64_MIN | 1, 1, 3, true}));
+
+TEST(WasmInterp, DivideByZeroTraps) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(1).i32(0).op(Opcode::I32DivS).finish("main");
+  EXPECT_EQ(h.run().trap, Trap::IntegerDivideByZero);
+}
+
+TEST(WasmInterp, DivOverflowTraps) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(INT32_MIN).i32(-1).op(Opcode::I32DivS).finish("main");
+  EXPECT_EQ(h.run().trap, Trap::IntegerOverflow);
+}
+
+TEST(WasmInterp, RemIntMinByMinusOneIsZero) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(INT32_MIN).i32(-1).op(Opcode::I32RemS).finish("main");
+  const InvokeResult r = h.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value.as_i32(), 0);
+}
+
+TEST(WasmInterp, UnaryIntOps) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  // clz(0x00ffffff)=8; ctz(8)=3 -> 8+3=11; popcnt(0xf0)=4 -> 11*4 = 44
+  f.i32(0x00ffffff).op(Opcode::I32Clz);
+  f.i32(8).op(Opcode::I32Ctz);
+  f.op(Opcode::I32Add);
+  f.i32(0xf0).op(Opcode::I32Popcnt);
+  f.op(Opcode::I32Mul);
+  f.finish("main");
+  const InvokeResult r = h.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value.as_i32(), 44);
+}
+
+TEST(WasmInterp, ClzCtzOfZero) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(0).op(Opcode::I32Clz).i32(0).op(Opcode::I32Ctz).op(Opcode::I32Add);
+  f.finish("main");
+  EXPECT_EQ(h.run().value.as_i32(), 64);
+}
+
+// ------------------------------------------------------------- floats
+
+TEST(WasmInterp, FloatArithmetic) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::F64}});
+  f.f64(1.5).f64(2.25).op(Opcode::F64Add);
+  f.f64(2.0).op(Opcode::F64Mul);
+  f.f64(0.5).op(Opcode::F64Sub);
+  f.f64(7.0).op(Opcode::F64Div);
+  f.finish("main");
+  const InvokeResult r = h.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value.as_f64(), 1.0);
+}
+
+TEST(WasmInterp, FloatMinMaxNaN) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::F64}});
+  f.f64(1.0).f64(std::nan("")).op(Opcode::F64Min).finish("main");
+  const InvokeResult r = h.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::isnan(r.value.as_f64()));
+}
+
+TEST(WasmInterp, FloatMinNegativeZero) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::F64}});
+  f.f64(0.0).f64(-0.0).op(Opcode::F64Min).finish("main");
+  const InvokeResult r = h.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::signbit(r.value.as_f64()));
+}
+
+TEST(WasmInterp, NearestRoundsToEven) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::F64}});
+  f.f64(2.5).op(Opcode::F64Nearest).f64(3.5).op(Opcode::F64Nearest).op(Opcode::F64Add);
+  f.finish("main");
+  EXPECT_DOUBLE_EQ(h.run().value.as_f64(), 6.0);  // 2 + 4
+}
+
+TEST(WasmInterp, SqrtAndCompare) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.f64(9.0).op(Opcode::F64Sqrt).f64(3.0).op(Opcode::F64Eq).finish("main");
+  EXPECT_EQ(h.run().value.as_i32(), 1);
+}
+
+// --------------------------------------------------------- conversions
+
+TEST(WasmInterp, IntFloatConversions) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.f64(-3.99).op(Opcode::I32TruncF64S);  // -3
+  f.i32(1).op(Opcode::I32Add);            // -2
+  f.finish("main");
+  EXPECT_EQ(h.run().value.as_i32(), -2);
+}
+
+TEST(WasmInterp, TruncNaNTraps) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.f64(std::nan("")).op(Opcode::I32TruncF64S).finish("main");
+  EXPECT_EQ(h.run().trap, Trap::InvalidConversion);
+}
+
+TEST(WasmInterp, TruncOutOfRangeTraps) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.f64(3e10).op(Opcode::I32TruncF64S).finish("main");
+  EXPECT_EQ(h.run().trap, Trap::InvalidConversion);
+}
+
+TEST(WasmInterp, ExtendAndWrap) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I64}});
+  f.i32(-1).op(Opcode::I64ExtendI32U);  // 0xffffffff
+  f.finish("main");
+  EXPECT_EQ(h.run().value.as_i64(), 0xffffffffll);
+}
+
+TEST(WasmInterp, Reinterpret) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I64}});
+  f.f64(1.0).op(Opcode::I64ReinterpretF64).finish("main");
+  EXPECT_EQ(h.run().value.as_u64(), 0x3ff0000000000000ull);
+}
+
+TEST(WasmInterp, ConvertI32ToF64) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::F64}});
+  f.i32(-7).op(Opcode::F64ConvertI32S).finish("main");
+  EXPECT_DOUBLE_EQ(h.run().value.as_f64(), -7.0);
+}
+
+// -------------------------------------------------------------- control
+
+TEST(WasmInterp, LoopSumsOneToTen) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  const uint32_t acc = f.add_local(VT::I32);
+  f.block().loop();
+  f.local_get(0).op(Opcode::I32Eqz).br_if(1);
+  f.local_get(acc).local_get(0).op(Opcode::I32Add).local_set(acc);
+  f.local_get(0).i32(1).op(Opcode::I32Sub).local_set(0);
+  f.br(0);
+  f.end().end();
+  f.local_get(acc);
+  f.finish("main");
+  const Value arg = Value::from_i32(10);
+  EXPECT_EQ(h.run({&arg, 1}).value.as_i32(), 55);
+}
+
+TEST(WasmInterp, IfElseBothBranches) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.local_get(0).if_(static_cast<uint32_t>(VT::I32));
+  f.i32(100);
+  f.else_();
+  f.i32(200);
+  f.end();
+  f.finish("main");
+  const Value t = Value::from_i32(1);
+  const Value z = Value::from_i32(0);
+  EXPECT_EQ(h.run({&t, 1}).value.as_i32(), 100);
+  ExecHelper h2;
+  auto g = h2.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  g.local_get(0).if_(static_cast<uint32_t>(VT::I32));
+  g.i32(100);
+  g.else_();
+  g.i32(200);
+  g.end();
+  g.finish("main");
+  EXPECT_EQ(h2.run({&z, 1}).value.as_i32(), 200);
+}
+
+TEST(WasmInterp, IfWithoutElseSkips) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  const uint32_t r = f.add_local(VT::I32);
+  f.i32(1).local_set(r);
+  f.local_get(0).if_();
+  f.i32(42).local_set(r);
+  f.end();
+  f.local_get(r);
+  f.finish("main");
+  const Value z = Value::from_i32(0);
+  EXPECT_EQ(h.run({&z, 1}).value.as_i32(), 1);
+}
+
+TEST(WasmInterp, BrTableSelectsTarget) {
+  auto build = [](ExecHelper& h) {
+    auto f = h.mb.define(FuncType{{VT::I32}, {VT::I32}});
+    f.block().block().block();
+    f.local_get(0).br_table({0, 1, 2});
+    f.end();
+    f.i32(10).op(Opcode::Return);
+    f.end();
+    f.i32(20).op(Opcode::Return);
+    f.end();
+    f.i32(30);
+    f.finish("main");
+  };
+  for (const auto& [input, expect] : std::vector<std::pair<int, int>>{
+           {0, 10}, {1, 20}, {2, 30}, {7, 30} /* default clamps */}) {
+    ExecHelper h;
+    build(h);
+    const Value v = Value::from_i32(input);
+    EXPECT_EQ(h.run({&v, 1}).value.as_i32(), expect) << input;
+  }
+}
+
+TEST(WasmInterp, SelectPicksOperand) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.i32(111).i32(222).local_get(0).op(Opcode::Select).finish("main");
+  const Value t = Value::from_i32(5);
+  EXPECT_EQ(h.run({&t, 1}).value.as_i32(), 111);
+}
+
+TEST(WasmInterp, NestedBlocksBranchOverValues) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.block(static_cast<uint32_t>(VT::I32));
+  f.i32(7).br(0);
+  f.end();
+  f.i32(1).op(Opcode::I32Add);
+  f.finish("main");
+  EXPECT_EQ(h.run().value.as_i32(), 8);
+}
+
+TEST(WasmInterp, UnreachableTraps) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {}});
+  f.op(Opcode::Unreachable).finish("main");
+  EXPECT_EQ(h.run().trap, Trap::Unreachable);
+}
+
+// ---------------------------------------------------------------- calls
+
+TEST(WasmInterp, RecursiveFib) {
+  ExecHelper h;
+  const FuncType sig{{VT::I32}, {VT::I32}};
+  auto f = h.mb.define(sig, "fib");
+  f.local_get(0).i32(3).op(Opcode::I32LtS).if_(static_cast<uint32_t>(VT::I32));
+  f.i32(1);
+  f.else_();
+  f.local_get(0).i32(1).op(Opcode::I32Sub).call(f.index());
+  f.local_get(0).i32(2).op(Opcode::I32Sub).call(f.index());
+  f.op(Opcode::I32Add);
+  f.end();
+  f.finish("main");
+  const Value v = Value::from_i32(10);
+  EXPECT_EQ(h.run({&v, 1}).value.as_i32(), 55);
+}
+
+TEST(WasmInterp, CallIndirectDispatches) {
+  ExecHelper h;
+  const FuncType sig{{VT::I32}, {VT::I32}};
+  auto dbl = h.mb.define(sig, "dbl");
+  dbl.local_get(0).i32(2).op(Opcode::I32Mul).finish();
+  auto sq = h.mb.define(sig, "sq");
+  sq.local_get(0).local_get(0).op(Opcode::I32Mul).finish();
+  auto f = h.mb.define(FuncType{{VT::I32, VT::I32}, {VT::I32}});
+  f.local_get(1);  // argument to callee
+  f.local_get(0);  // table slot
+  f.op(Opcode::CallIndirect, h.mb.module().intern_type(sig));
+  f.finish("main");
+  h.mb.module().table_size = 2;
+  h.mb.module().elems.push_back(ElemSegment{0, {dbl.index(), sq.index()}});
+  Value args[2] = {Value::from_i32(1), Value::from_i32(5)};
+  EXPECT_EQ(h.run(args).value.as_i32(), 25);
+}
+
+TEST(WasmInterp, CallIndirectNullEntryTraps) {
+  ExecHelper h;
+  const FuncType sig{{}, {VT::I32}};
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(1).op(Opcode::CallIndirect, h.mb.module().intern_type(sig));
+  f.finish("main");
+  h.mb.module().table_size = 2;
+  EXPECT_EQ(h.run().trap, Trap::UndefinedElement);
+}
+
+TEST(WasmInterp, DeepRecursionTraps) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.local_get(0).i32(1).op(Opcode::I32Add).call(f.index());
+  f.finish("main");
+  const Value v = Value::from_i32(0);
+  EXPECT_EQ(h.run({&v, 1}).trap, Trap::CallStackExhausted);
+}
+
+// --------------------------------------------------------------- memory
+
+TEST(WasmInterp, MemoryStoreLoadRoundTrip) {
+  ExecHelper h;
+  h.mb.set_memory(1);
+  auto f = h.mb.define(FuncType{{}, {VT::F64}});
+  f.i32(128).f64(3.5).store(Opcode::F64Store);
+  f.i32(128).load(Opcode::F64Load);
+  f.finish("main");
+  EXPECT_DOUBLE_EQ(h.run().value.as_f64(), 3.5);
+}
+
+TEST(WasmInterp, SubWordAccessors) {
+  ExecHelper h;
+  h.mb.set_memory(1);
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(0).i32(-1).store(Opcode::I32Store8);
+  f.i32(0).load(Opcode::I32Load8U);   // 255
+  f.i32(0).load(Opcode::I32Load8S);   // -1
+  f.op(Opcode::I32Add);               // 254
+  f.finish("main");
+  EXPECT_EQ(h.run().value.as_i32(), 254);
+}
+
+TEST(WasmInterp, StaticOffsetApplies) {
+  ExecHelper h;
+  h.mb.set_memory(1);
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(100).i32(77).store(Opcode::I32Store, /*offset=*/24);
+  f.i32(124).load(Opcode::I32Load);
+  f.finish("main");
+  EXPECT_EQ(h.run().value.as_i32(), 77);
+}
+
+TEST(WasmInterp, OutOfBoundsLoadTraps) {
+  ExecHelper h;
+  h.mb.set_memory(1);
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(65534).load(Opcode::I32Load);
+  f.finish("main");
+  EXPECT_EQ(h.run().trap, Trap::MemoryOutOfBounds);
+}
+
+TEST(WasmInterp, OffsetOverflowDoesNotWrap) {
+  ExecHelper h;
+  h.mb.set_memory(1);
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(-4).load(Opcode::I32Load, /*offset=*/8);  // effective 2^32+4
+  f.finish("main");
+  EXPECT_EQ(h.run().trap, Trap::MemoryOutOfBounds);
+}
+
+TEST(WasmInterp, MemoryGrowSemantics) {
+  ExecHelper h;
+  h.mb.set_memory(1, 3);
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(1).op(Opcode::MemoryGrow);  // old size: 1
+  f.op(Opcode::MemorySize);         // now 2
+  f.op(Opcode::I32Mul);             // 2
+  f.i32(5).op(Opcode::MemoryGrow);  // exceeds max -> -1
+  f.op(Opcode::I32Add);             // 1
+  f.finish("main");
+  const InvokeResult r = h.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value.as_i32(), 1);
+  EXPECT_EQ(h.instance().memory()->size_pages(), 2u);
+  EXPECT_EQ(h.instance().stats().memory_grows, 2u);
+  EXPECT_EQ(h.instance().memory()->peak_bytes(), 2u * 65536);
+}
+
+TEST(WasmInterp, DataSegmentsInitializeMemory) {
+  ExecHelper h;
+  h.mb.set_memory(1);
+  h.mb.add_data(16, {0x78, 0x56, 0x34, 0x12});
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(16).load(Opcode::I32Load);
+  f.finish("main");
+  EXPECT_EQ(h.run().value.as_i32(), 0x12345678);
+}
+
+// -------------------------------------------------------------- globals
+
+TEST(WasmInterp, GlobalReadWrite) {
+  ExecHelper h;
+  h.mb.add_global(VT::I32, true, Value::from_i32(10));
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.global_get(0).i32(5).op(Opcode::I32Add).global_set(0);
+  f.global_get(0);
+  f.finish("main");
+  EXPECT_EQ(h.run().value.as_i32(), 15);
+}
+
+// ---------------------------------------------------------- host calls
+
+TEST(WasmInterp, HostFunctionRoundTrip) {
+  ExecHelper h;
+  int host_calls = 0;
+  h.host_fns_.push_back([&host_calls](std::span<const Value> args, Value* result) {
+    ++host_calls;
+    *result = Value::from_i32(args[0].as_i32() * 10);
+    return Trap::None;
+  });
+  const uint32_t imp = h.mb.add_import("env", "times10", FuncType{{VT::I32}, {VT::I32}});
+  auto f = h.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(4).call(imp).finish("main");
+  EXPECT_EQ(h.run().value.as_i32(), 40);
+  EXPECT_EQ(host_calls, 1);
+  EXPECT_EQ(h.instance().stats().host_calls, 1u);
+}
+
+TEST(WasmInterp, HostErrorPropagates) {
+  ExecHelper h;
+  h.host_fns_.push_back([](std::span<const Value>, Value*) { return Trap::HostError; });
+  const uint32_t imp = h.mb.add_import("env", "boom", FuncType{{}, {}});
+  auto f = h.mb.define(FuncType{{}, {}});
+  f.call(imp).finish("main");
+  EXPECT_EQ(h.run().trap, Trap::HostError);
+}
+
+// ------------------------------------------------- metering & tiering
+
+TEST(WasmInterp, FuelExhaustionTraps) {
+  ExecHelper h;
+  auto f = h.mb.define(FuncType{{}, {}});
+  f.loop();
+  f.br(0);
+  f.end();
+  f.finish("main");
+  Module m = h.mb.take();
+  ASSERT_FALSE(validate(m).has_value());
+  Instance inst(m, {});
+  inst.set_fuel(10'000);
+  EXPECT_EQ(inst.invoke("main", {}).trap, Trap::FuelExhausted);
+  EXPECT_GE(inst.stats().ops_executed, 10'000u);
+}
+
+Module hot_loop_module() {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{VT::I32}, {VT::I32}});
+  const uint32_t acc = f.add_local(VT::I32);
+  f.block().loop();
+  f.local_get(0).op(Opcode::I32Eqz).br_if(1);
+  f.local_get(acc).i32(3).op(Opcode::I32Add).local_set(acc);
+  f.local_get(0).i32(1).op(Opcode::I32Sub).local_set(0);
+  f.br(0);
+  f.end().end();
+  f.local_get(acc);
+  f.finish("main");
+  return mb.take();
+}
+
+TEST(WasmInterp, CostAccountingFlatTable) {
+  const Module m = hot_loop_module();
+  Instance inst(m, {});
+  CostTable flat;
+  flat.fill(7);
+  inst.set_cost_tables(flat, flat);
+  TierPolicy policy;
+  policy.optimizing_enabled = false;  // keep a single tier
+  inst.set_tier_policy(policy);
+  const Value v = Value::from_i32(100);
+  ASSERT_TRUE(inst.invoke("main", {&v, 1}).ok());
+  EXPECT_EQ(inst.stats().cost_ps, inst.stats().ops_executed * 7);
+}
+
+TEST(WasmInterp, TierUpHappensOnHotLoop) {
+  const Module m = hot_loop_module();
+  Instance inst(m, {});
+  CostTable slow, fast;
+  slow.fill(100);
+  fast.fill(10);
+  inst.set_cost_tables(slow, fast);
+  TierPolicy policy;
+  policy.tierup_threshold = 50;
+  policy.tierup_cost_per_instr = 0;
+  inst.set_tier_policy(policy);
+  const Value v = Value::from_i32(10'000);
+  ASSERT_TRUE(inst.invoke("main", {&v, 1}).ok());
+  EXPECT_EQ(inst.stats().tierups, 1u);
+  EXPECT_EQ(inst.function_tier(0), Tier::Optimizing);
+  // Most iterations ran at the fast tier.
+  EXPECT_LT(inst.stats().cost_ps, inst.stats().ops_executed * 30);
+}
+
+TEST(WasmInterp, NoTierUpWhenOptimizingDisabled) {
+  const Module m = hot_loop_module();
+  Instance inst(m, {});
+  TierPolicy policy;
+  policy.optimizing_enabled = false;
+  policy.tierup_threshold = 10;
+  inst.set_tier_policy(policy);
+  const Value v = Value::from_i32(1000);
+  ASSERT_TRUE(inst.invoke("main", {&v, 1}).ok());
+  EXPECT_EQ(inst.stats().tierups, 0u);
+  EXPECT_EQ(inst.function_tier(0), Tier::Baseline);
+}
+
+TEST(WasmInterp, OptimizingOnlyStartsAtTopTier) {
+  const Module m = hot_loop_module();
+  Instance inst(m, {});
+  TierPolicy policy;
+  policy.baseline_enabled = false;
+  inst.set_tier_policy(policy);
+  EXPECT_EQ(inst.function_tier(0), Tier::Optimizing);
+}
+
+TEST(WasmInterp, ArithCountersTrackCategories) {
+  const Module m = hot_loop_module();
+  Instance inst(m, {});
+  const Value v = Value::from_i32(50);
+  ASSERT_TRUE(inst.invoke("main", {&v, 1}).ok());
+  const auto& counts = inst.stats().arith_counts;
+  // 1 add + 1 sub per iteration = 100 Add-category ops for 50 iterations.
+  EXPECT_EQ(counts[static_cast<size_t>(ArithCat::Add)], 100u);
+  EXPECT_EQ(counts[static_cast<size_t>(ArithCat::Mul)], 0u);
+}
+
+TEST(WasmInterp, GrowCostCharged) {
+  ModuleBuilder mb;
+  mb.set_memory(1);
+  auto f = mb.define(FuncType{{}, {}});
+  f.i32(1).op(Opcode::MemoryGrow).op(Opcode::Drop).finish("main");
+  const Module m = mb.take();
+  Instance inst(m, {});
+  CostTable flat;
+  flat.fill(0);
+  inst.set_cost_tables(flat, flat);
+  inst.set_grow_cost(12345);
+  ASSERT_TRUE(inst.invoke("main", {}).ok());
+  EXPECT_EQ(inst.stats().cost_ps, 12345u);
+}
+
+TEST(WasmInterp, InvokeUnknownExportFails) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {}});
+  f.finish("main");
+  const Module m = mb.take();
+  Instance inst(m, {});
+  EXPECT_EQ(inst.invoke("nope", {}).trap, Trap::HostError);
+}
+
+}  // namespace
+}  // namespace wb::wasm

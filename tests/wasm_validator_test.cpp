@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/validator.h"
+
+namespace wb::wasm {
+namespace {
+
+using VT = ValType;
+
+testing::AssertionResult is_valid(const Module& m) {
+  const auto err = validate(m);
+  if (!err) return testing::AssertionSuccess();
+  return testing::AssertionFailure() << err->message << " (func " << err->func_index << ")";
+}
+
+testing::AssertionResult is_invalid(const Module& m, const std::string& fragment = "") {
+  const auto err = validate(m);
+  if (!err) return testing::AssertionFailure() << "expected validation failure";
+  if (!fragment.empty() && err->message.find(fragment) == std::string::npos) {
+    return testing::AssertionFailure()
+           << "error \"" << err->message << "\" does not mention \"" << fragment << "\"";
+  }
+  return testing::AssertionSuccess();
+}
+
+TEST(WasmValidator, AcceptsSimpleAdd) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{VT::I32, VT::I32}, {VT::I32}});
+  f.local_get(0).local_get(1).op(Opcode::I32Add).finish("add");
+  EXPECT_TRUE(is_valid(mb.take()));
+}
+
+TEST(WasmValidator, RejectsOperandTypeMismatch) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{VT::F64, VT::F64}, {VT::I32}});
+  f.local_get(0).local_get(1).op(Opcode::I32Add).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "type mismatch"));
+}
+
+TEST(WasmValidator, RejectsStackUnderflow) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.op(Opcode::I32Add).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "underflow"));
+}
+
+TEST(WasmValidator, RejectsWrongResultType) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.f64(1.0).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "type mismatch"));
+}
+
+TEST(WasmValidator, RejectsLeftoverValues) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {}});
+  f.i32(1).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take()));
+}
+
+TEST(WasmValidator, RejectsBranchDepthOutOfRange) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {}});
+  f.br(5).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "depth"));
+}
+
+TEST(WasmValidator, RejectsBadLocalIndex) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.local_get(3).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "local index"));
+}
+
+TEST(WasmValidator, RejectsAssignToImmutableGlobal) {
+  ModuleBuilder mb;
+  mb.add_global(VT::I32, false, Value::from_i32(1));
+  auto f = mb.define(FuncType{{}, {}});
+  f.i32(2).global_set(0).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "immutable"));
+}
+
+TEST(WasmValidator, AcceptsMutableGlobal) {
+  ModuleBuilder mb;
+  mb.add_global(VT::I32, true, Value::from_i32(1));
+  auto f = mb.define(FuncType{{}, {}});
+  f.i32(2).global_set(0).finish("ok");
+  EXPECT_TRUE(is_valid(mb.take()));
+}
+
+TEST(WasmValidator, RejectsMemoryAccessWithoutMemory) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.i32(0).load(Opcode::I32Load).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "memory"));
+}
+
+TEST(WasmValidator, RejectsOveralignedAccess) {
+  ModuleBuilder mb;
+  mb.set_memory(1);
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.i32(0).load(Opcode::I32Load, 0, /*align=*/3).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "alignment"));
+}
+
+TEST(WasmValidator, RejectsIfWithResultButNoElse) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.local_get(0).if_(static_cast<uint32_t>(VT::I32));
+  f.i32(1);
+  f.end();
+  f.finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "else"));
+}
+
+TEST(WasmValidator, AcceptsIfElseWithResult) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.local_get(0).if_(static_cast<uint32_t>(VT::I32));
+  f.i32(1);
+  f.else_();
+  f.i32(2);
+  f.end();
+  f.finish("ok");
+  EXPECT_TRUE(is_valid(mb.take()));
+}
+
+TEST(WasmValidator, RejectsSelectTypeMismatch) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.i32(1).f64(2.0).i32(0).op(Opcode::Select).op(Opcode::Drop).i32(0).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "select"));
+}
+
+TEST(WasmValidator, RejectsCallArgMismatch) {
+  ModuleBuilder mb;
+  auto callee = mb.define(FuncType{{VT::F64}, {VT::F64}});
+  callee.local_get(0).finish("id");
+  auto f = mb.define(FuncType{{}, {VT::F64}});
+  f.i32(1).call(callee.index()).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "type mismatch"));
+}
+
+TEST(WasmValidator, RejectsCallIndexOutOfRange) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {}});
+  f.call(99).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "call index"));
+}
+
+TEST(WasmValidator, AcceptsLoopWithBackEdge) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{VT::I32}, {VT::I32}});
+  const uint32_t acc = f.add_local(VT::I32);
+  f.block().loop();
+  f.local_get(0).op(Opcode::I32Eqz).br_if(1);
+  f.local_get(acc).local_get(0).op(Opcode::I32Add).local_set(acc);
+  f.local_get(0).i32(1).op(Opcode::I32Sub).local_set(0);
+  f.br(0);
+  f.end().end();
+  f.local_get(acc);
+  f.finish("sum");
+  EXPECT_TRUE(is_valid(mb.take()));
+}
+
+TEST(WasmValidator, UnreachableCodeIsPolymorphic) {
+  // After `unreachable`, arbitrary instructions type-check.
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.op(Opcode::Unreachable);
+  f.op(Opcode::I32Add);  // would underflow if reachable
+  f.finish("ok");
+  EXPECT_TRUE(is_valid(mb.take()));
+}
+
+TEST(WasmValidator, BrMakesRestUnreachable) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.block(static_cast<uint32_t>(VT::I32));
+  f.i32(42).br(0);
+  f.op(Opcode::I32Add);  // unreachable, polymorphic (would underflow if live)
+  f.end();
+  f.finish("ok");
+  EXPECT_TRUE(is_valid(mb.take()));
+}
+
+TEST(WasmValidator, RejectsDataSegmentPastInitialMemory) {
+  ModuleBuilder mb;
+  mb.set_memory(1);
+  mb.add_data(65536 - 2, {1, 2, 3, 4});
+  auto f = mb.define(FuncType{{}, {}});
+  f.finish("f");
+  EXPECT_TRUE(is_invalid(mb.take(), "data segment"));
+}
+
+TEST(WasmValidator, RejectsExportOutOfRange) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {}});
+  f.finish("f");
+  Module m = mb.take();
+  m.exports.push_back(Export{"ghost", ExportKind::Func, 42});
+  EXPECT_TRUE(is_invalid(m, "export"));
+}
+
+TEST(WasmValidator, RejectsReturnTypeMismatchViaReturn) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.f32(1.0f).op(Opcode::Return).finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "type mismatch"));
+}
+
+TEST(WasmValidator, BrTableDepthsMustAgree) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{VT::I32}, {VT::I32}});
+  // Outer block yields i32, inner block yields nothing: arity mismatch.
+  f.block(static_cast<uint32_t>(VT::I32));
+  f.block();
+  f.i32(1).local_get(0).br_table({0, 1});
+  f.end();
+  f.op(Opcode::Drop);
+  f.i32(2);
+  f.end();
+  f.finish("bad");
+  EXPECT_TRUE(is_invalid(mb.take(), "br_table"));
+}
+
+}  // namespace
+}  // namespace wb::wasm

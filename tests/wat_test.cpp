@@ -1,0 +1,118 @@
+// WAT printer golden tests: the paper presents its evidence as WAT
+// snippets (Figs. 4/7/8), so the printer's output shape matters.
+#include <gtest/gtest.h>
+
+#include "backend/wasm_backend.h"
+#include "ir/passes.h"
+#include "minic/minic.h"
+#include "wasm/builder.h"
+#include "wasm/codec.h"
+#include "wasm/wat.h"
+
+namespace wb::wasm {
+namespace {
+
+TEST(Wat, FibonacciLooksLikePaperFigure4) {
+  // The paper's Fig. 4 example program.
+  const char* src = R"(
+    int fib(int i) {
+      if (i < 3)
+        return 1;
+      return fib(i - 1) + fib(i - 2);
+    }
+    int main(void) { return fib(6); }
+  )";
+  std::string error;
+  auto m = minic::compile(src, {}, error);
+  ASSERT_TRUE(m.has_value()) << error;
+  const auto artifact = backend::compile_to_wasm(std::move(*m), {});
+  ASSERT_TRUE(artifact.ok()) << artifact.error;
+  const std::string wat = to_wat(artifact.module);
+
+  EXPECT_NE(wat.find("(module"), std::string::npos);
+  EXPECT_NE(wat.find("(param i32)"), std::string::npos);
+  EXPECT_NE(wat.find("(result i32)"), std::string::npos);
+  EXPECT_NE(wat.find("local.get"), std::string::npos);
+  EXPECT_NE(wat.find("i32.lt_s"), std::string::npos);  // i < 3
+  EXPECT_NE(wat.find("call $f"), std::string::npos);   // recursion
+  EXPECT_NE(wat.find("i32.sub"), std::string::npos);   // i - 1 / i - 2
+  EXPECT_NE(wat.find("(export \"main\""), std::string::npos);
+}
+
+TEST(Wat, Figure8ConstantMaterializationVisible) {
+  // The Fig. 8 pattern: an f64 constant emitted as i32.const + convert.
+  const char* src = R"(
+    double data[16];
+    int main(void) {
+      int i;
+      for (i = 0; i < 16; i++) data[i] = (double)i / 3.0;
+      double s = 0.0;
+      for (i = 0; i < 16; i++) s += data[i];
+      return (int)s;
+    }
+  )";
+  std::string error;
+  auto m = minic::compile(src, {}, error);
+  ASSERT_TRUE(m.has_value()) << error;
+  ir::run_pipeline(*m, ir::OptLevel::O2);
+  const auto artifact = backend::compile_to_wasm(std::move(*m), {});
+  ASSERT_TRUE(artifact.ok()) << artifact.error;
+  const std::string wat = to_wat(artifact.module);
+  // "i32.const 3" followed (next line) by the convert, as in Fig. 8(a).
+  const size_t at = wat.find("i32.const 3\n");
+  ASSERT_NE(at, std::string::npos) << wat;
+  EXPECT_NE(wat.find("f64.convert_i32_s", at), std::string::npos);
+}
+
+TEST(Wat, ControlStructureIndentation) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{ValType::I32}, {ValType::I32}}, "demo");
+  f.block().loop();
+  f.local_get(0).op(Opcode::I32Eqz).br_if(1);
+  f.local_get(0).i32(1).op(Opcode::I32Sub).local_set(0);
+  f.br(0);
+  f.end().end();
+  f.local_get(0);
+  f.finish("demo");
+  const std::string wat = to_wat(mb.module());
+  // Loop body is indented deeper than the loop header.
+  const size_t block_at = wat.find("    block");
+  const size_t loop_at = wat.find("      loop");
+  const size_t body_at = wat.find("        local.get 0");
+  EXPECT_NE(block_at, std::string::npos) << wat;
+  EXPECT_NE(loop_at, std::string::npos) << wat;
+  EXPECT_NE(body_at, std::string::npos) << wat;
+  EXPECT_LT(block_at, loop_at);
+  EXPECT_LT(loop_at, body_at);
+}
+
+TEST(Wat, RoundTripThroughBinaryPreservesText) {
+  // encode -> decode -> print must equal print of the original.
+  const char* src = "int main(void) { int s = 0; int i; "
+                    "for (i = 0; i < 10; i++) s += i; return s; }";
+  std::string error;
+  auto m = minic::compile(src, {}, error);
+  const auto artifact = backend::compile_to_wasm(std::move(*m), {});
+  ASSERT_TRUE(artifact.ok());
+  const auto decoded = decode(artifact.binary);
+  ASSERT_TRUE(decoded.has_value());
+  // Debug names are not serialized; compare structure-only prints by
+  // stripping name comments.
+  auto strip = [](std::string s) {
+    std::string out;
+    bool in_comment = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (!in_comment && s.compare(i, 3, " (;") == 0) in_comment = true;
+      if (!in_comment) out += s[i];
+      if (in_comment && s.compare(i, 2, ";)") == 0) {
+        in_comment = false;
+        ++i;
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(strip(to_wat(artifact.module)), strip(to_wat(*decoded)));
+}
+
+}  // namespace
+}  // namespace wb::wasm

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_compilers.cpp" "bench/CMakeFiles/bench_compilers.dir/bench_compilers.cpp.o" "gcc" "bench/CMakeFiles/bench_compilers.dir/bench_compilers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/wb_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/wb_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/wb_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/wb_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/wb_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/js/CMakeFiles/wb_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/wb_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12.dir/bench_table12.cpp.o"
+  "CMakeFiles/bench_table12.dir/bench_table12.cpp.o.d"
+  "bench_table12"
+  "bench_table12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

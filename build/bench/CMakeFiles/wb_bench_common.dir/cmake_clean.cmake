@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_bench_common.dir/common.cpp.o"
+  "CMakeFiles/wb_bench_common.dir/common.cpp.o.d"
+  "libwb_bench_common.a"
+  "libwb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_shootout.dir/browser_shootout.cpp.o"
+  "CMakeFiles/browser_shootout.dir/browser_shootout.cpp.o.d"
+  "browser_shootout"
+  "browser_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

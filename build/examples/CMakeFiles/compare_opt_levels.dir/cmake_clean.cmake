@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_opt_levels.dir/compare_opt_levels.cpp.o"
+  "CMakeFiles/compare_opt_levels.dir/compare_opt_levels.cpp.o.d"
+  "compare_opt_levels"
+  "compare_opt_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_opt_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

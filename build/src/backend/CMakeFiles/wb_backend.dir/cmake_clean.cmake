@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_backend.dir/js_backend.cpp.o"
+  "CMakeFiles/wb_backend.dir/js_backend.cpp.o.d"
+  "CMakeFiles/wb_backend.dir/native_backend.cpp.o"
+  "CMakeFiles/wb_backend.dir/native_backend.cpp.o.d"
+  "CMakeFiles/wb_backend.dir/wasm_backend.cpp.o"
+  "CMakeFiles/wb_backend.dir/wasm_backend.cpp.o.d"
+  "libwb_backend.a"
+  "libwb_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

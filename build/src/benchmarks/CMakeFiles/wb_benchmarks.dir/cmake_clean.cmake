@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_benchmarks.dir/chstone.cpp.o"
+  "CMakeFiles/wb_benchmarks.dir/chstone.cpp.o.d"
+  "CMakeFiles/wb_benchmarks.dir/manualjs.cpp.o"
+  "CMakeFiles/wb_benchmarks.dir/manualjs.cpp.o.d"
+  "CMakeFiles/wb_benchmarks.dir/polybench.cpp.o"
+  "CMakeFiles/wb_benchmarks.dir/polybench.cpp.o.d"
+  "CMakeFiles/wb_benchmarks.dir/realworld.cpp.o"
+  "CMakeFiles/wb_benchmarks.dir/realworld.cpp.o.d"
+  "CMakeFiles/wb_benchmarks.dir/registry.cpp.o"
+  "CMakeFiles/wb_benchmarks.dir/registry.cpp.o.d"
+  "libwb_benchmarks.a"
+  "libwb_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

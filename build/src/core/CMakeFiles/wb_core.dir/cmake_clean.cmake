@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_core.dir/study.cpp.o"
+  "CMakeFiles/wb_core.dir/study.cpp.o.d"
+  "libwb_core.a"
+  "libwb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

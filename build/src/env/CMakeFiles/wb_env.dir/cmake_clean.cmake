@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_env.dir/env.cpp.o"
+  "CMakeFiles/wb_env.dir/env.cpp.o.d"
+  "libwb_env.a"
+  "libwb_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

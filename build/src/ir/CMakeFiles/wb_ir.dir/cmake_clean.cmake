@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_ir.dir/exec.cpp.o"
+  "CMakeFiles/wb_ir.dir/exec.cpp.o.d"
+  "CMakeFiles/wb_ir.dir/ir.cpp.o"
+  "CMakeFiles/wb_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/wb_ir.dir/passes.cpp.o"
+  "CMakeFiles/wb_ir.dir/passes.cpp.o.d"
+  "libwb_ir.a"
+  "libwb_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_js.dir/compiler.cpp.o"
+  "CMakeFiles/wb_js.dir/compiler.cpp.o.d"
+  "CMakeFiles/wb_js.dir/engine.cpp.o"
+  "CMakeFiles/wb_js.dir/engine.cpp.o.d"
+  "CMakeFiles/wb_js.dir/heap.cpp.o"
+  "CMakeFiles/wb_js.dir/heap.cpp.o.d"
+  "CMakeFiles/wb_js.dir/interp.cpp.o"
+  "CMakeFiles/wb_js.dir/interp.cpp.o.d"
+  "CMakeFiles/wb_js.dir/lexer.cpp.o"
+  "CMakeFiles/wb_js.dir/lexer.cpp.o.d"
+  "CMakeFiles/wb_js.dir/parser.cpp.o"
+  "CMakeFiles/wb_js.dir/parser.cpp.o.d"
+  "libwb_js.a"
+  "libwb_js.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_js.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

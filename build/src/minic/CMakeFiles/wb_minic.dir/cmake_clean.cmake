@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_minic.dir/minic.cpp.o"
+  "CMakeFiles/wb_minic.dir/minic.cpp.o.d"
+  "libwb_minic.a"
+  "libwb_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

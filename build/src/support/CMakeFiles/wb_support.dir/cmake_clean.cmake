@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_support.dir/leb128.cpp.o"
+  "CMakeFiles/wb_support.dir/leb128.cpp.o.d"
+  "CMakeFiles/wb_support.dir/sha256.cpp.o"
+  "CMakeFiles/wb_support.dir/sha256.cpp.o.d"
+  "CMakeFiles/wb_support.dir/stats.cpp.o"
+  "CMakeFiles/wb_support.dir/stats.cpp.o.d"
+  "CMakeFiles/wb_support.dir/table.cpp.o"
+  "CMakeFiles/wb_support.dir/table.cpp.o.d"
+  "libwb_support.a"
+  "libwb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

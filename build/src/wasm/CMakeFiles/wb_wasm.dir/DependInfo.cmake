@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wasm/decoder.cpp" "src/wasm/CMakeFiles/wb_wasm.dir/decoder.cpp.o" "gcc" "src/wasm/CMakeFiles/wb_wasm.dir/decoder.cpp.o.d"
+  "/root/repo/src/wasm/encoder.cpp" "src/wasm/CMakeFiles/wb_wasm.dir/encoder.cpp.o" "gcc" "src/wasm/CMakeFiles/wb_wasm.dir/encoder.cpp.o.d"
+  "/root/repo/src/wasm/interp.cpp" "src/wasm/CMakeFiles/wb_wasm.dir/interp.cpp.o" "gcc" "src/wasm/CMakeFiles/wb_wasm.dir/interp.cpp.o.d"
+  "/root/repo/src/wasm/opcode.cpp" "src/wasm/CMakeFiles/wb_wasm.dir/opcode.cpp.o" "gcc" "src/wasm/CMakeFiles/wb_wasm.dir/opcode.cpp.o.d"
+  "/root/repo/src/wasm/validator.cpp" "src/wasm/CMakeFiles/wb_wasm.dir/validator.cpp.o" "gcc" "src/wasm/CMakeFiles/wb_wasm.dir/validator.cpp.o.d"
+  "/root/repo/src/wasm/wat.cpp" "src/wasm/CMakeFiles/wb_wasm.dir/wat.cpp.o" "gcc" "src/wasm/CMakeFiles/wb_wasm.dir/wat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

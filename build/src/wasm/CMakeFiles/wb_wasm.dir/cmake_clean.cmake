@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_wasm.dir/decoder.cpp.o"
+  "CMakeFiles/wb_wasm.dir/decoder.cpp.o.d"
+  "CMakeFiles/wb_wasm.dir/encoder.cpp.o"
+  "CMakeFiles/wb_wasm.dir/encoder.cpp.o.d"
+  "CMakeFiles/wb_wasm.dir/interp.cpp.o"
+  "CMakeFiles/wb_wasm.dir/interp.cpp.o.d"
+  "CMakeFiles/wb_wasm.dir/opcode.cpp.o"
+  "CMakeFiles/wb_wasm.dir/opcode.cpp.o.d"
+  "CMakeFiles/wb_wasm.dir/validator.cpp.o"
+  "CMakeFiles/wb_wasm.dir/validator.cpp.o.d"
+  "CMakeFiles/wb_wasm.dir/wat.cpp.o"
+  "CMakeFiles/wb_wasm.dir/wat.cpp.o.d"
+  "libwb_wasm.a"
+  "libwb_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manualjs_test.dir/manualjs_test.cpp.o"
+  "CMakeFiles/manualjs_test.dir/manualjs_test.cpp.o.d"
+  "manualjs_test"
+  "manualjs_test.pdb"
+  "manualjs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manualjs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir_passes_test.cpp" "tests/CMakeFiles/minic_test.dir/ir_passes_test.cpp.o" "gcc" "tests/CMakeFiles/minic_test.dir/ir_passes_test.cpp.o.d"
+  "/root/repo/tests/minic_test.cpp" "tests/CMakeFiles/minic_test.dir/minic_test.cpp.o" "gcc" "tests/CMakeFiles/minic_test.dir/minic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minic/CMakeFiles/wb_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realworld_test.dir/realworld_test.cpp.o"
+  "CMakeFiles/realworld_test.dir/realworld_test.cpp.o.d"
+  "realworld_test"
+  "realworld_test.pdb"
+  "realworld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realworld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

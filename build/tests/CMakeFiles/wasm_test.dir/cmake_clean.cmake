@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_test.dir/wasm_codec_test.cpp.o"
+  "CMakeFiles/wasm_test.dir/wasm_codec_test.cpp.o.d"
+  "CMakeFiles/wasm_test.dir/wasm_interp_test.cpp.o"
+  "CMakeFiles/wasm_test.dir/wasm_interp_test.cpp.o.d"
+  "CMakeFiles/wasm_test.dir/wasm_validator_test.cpp.o"
+  "CMakeFiles/wasm_test.dir/wasm_validator_test.cpp.o.d"
+  "wasm_test"
+  "wasm_test.pdb"
+  "wasm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

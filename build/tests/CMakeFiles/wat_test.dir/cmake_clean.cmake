@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wat_test.dir/wat_test.cpp.o"
+  "CMakeFiles/wat_test.dir/wat_test.cpp.o.d"
+  "wat_test"
+  "wat_test.pdb"
+  "wat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

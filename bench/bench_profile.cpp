@@ -1,0 +1,190 @@
+// bench_profile — produce a deterministic profile for one or more
+// (benchmark x size x level x browser) cells: a Chrome trace_event JSON
+// (load it in chrome://tracing or https://ui.perfetto.dev), folded-stack
+// files for flamegraph.pl, and a terminal bottom-up table per VM.
+//
+// This is the reproduction's analog of the paper's DevTools-based data
+// collection (Sec. 3.3): it shows *where* virtual time goes — functions,
+// tier-ups, memory.grow traffic, GC pauses, JS<->Wasm crossings — not
+// just the total. It also self-checks the profiler's two contracts:
+//  1. attribution is complete: per-function self costs sum to the run's
+//     total cost_ps, and
+//  2. observation is free: metrics are bit-identical with tracing off.
+//
+// Usage:
+//   bench_profile [bench ...] [--size=S] [--level=O2] [--browser=Chrome]
+//                 [--mobile] [--outdir=profiles]
+// Default benches: gemm (PolyBenchC) and AES (CHStone).
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "prof/export.h"
+#include "prof/prof.h"
+#include "prof/profile.h"
+
+namespace {
+
+using namespace wb;
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "FATAL: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) die("cannot write " + path.string());
+  out << content;
+}
+
+void check(bool cond, const std::string& what) {
+  if (!cond) die("self-check failed: " + what);
+}
+
+/// Identical-metrics check: tracing must not move any number DevTools
+/// would report.
+void check_metrics_equal(const env::PageMetrics& off, const env::PageMetrics& on,
+                         const std::string& what) {
+  check(off.cost_ps == on.cost_ps, what + ": cost_ps changed under tracing");
+  check(off.ops == on.ops, what + ": ops changed under tracing");
+  check(off.memory_bytes == on.memory_bytes, what + ": memory changed under tracing");
+  check(off.result == on.result, what + ": result changed under tracing");
+  check(off.boundary_crossings == on.boundary_crossings,
+        what + ": crossings changed under tracing");
+}
+
+uint64_t self_sum(const prof::Profile& p) {
+  uint64_t sum = 0;
+  for (const auto& f : p.functions) sum += f.self_ps;
+  return sum;
+}
+
+void report(const char* vm, const prof::Profile& p, uint64_t cost_ps) {
+  std::printf("\n[%s] span total %.3f ms == reported %.3f ms; "
+              "%" PRIu64 " tier-ups, %" PRIu64 " grows, %" PRIu64 " GC pauses, "
+              "%" PRIu64 " host calls\n",
+              vm, static_cast<double>(p.span_total_ps) / 1e9,
+              static_cast<double>(cost_ps) / 1e9, p.tierup_events,
+              p.memory_grow_events, p.gc_events, p.host_call_events);
+  std::printf("%s", prof::format_profile(p, 12).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> names;
+  core::InputSize size = core::InputSize::S;
+  ir::OptLevel level = ir::OptLevel::O2;
+  env::Browser browser = env::Browser::Chrome;
+  env::Platform platform = env::Platform::Desktop;
+  std::filesystem::path outdir = "profiles";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--size=", 0) == 0) {
+      const std::string v = value("--size=");
+      bool found = false;
+      for (const core::InputSize s : core::kAllSizes) {
+        if (v == core::to_string(s)) { size = s; found = true; }
+      }
+      if (!found) die("unknown size: " + v);
+    } else if (arg.rfind("--level=", 0) == 0) {
+      const std::string v = value("--level=");
+      bool found = false;
+      for (const ir::OptLevel l : {ir::OptLevel::O0, ir::OptLevel::O1, ir::OptLevel::O2,
+                                   ir::OptLevel::O3, ir::OptLevel::Ofast,
+                                   ir::OptLevel::Os, ir::OptLevel::Oz}) {
+        if (v == ir::to_string(l)) { level = l; found = true; }
+      }
+      if (!found) die("unknown level: " + v);
+    } else if (arg.rfind("--browser=", 0) == 0) {
+      const std::string v = value("--browser=");
+      if (v == "Chrome") browser = env::Browser::Chrome;
+      else if (v == "Firefox") browser = env::Browser::Firefox;
+      else if (v == "Edge") browser = env::Browser::Edge;
+      else die("unknown browser: " + v);
+    } else if (arg == "--mobile") {
+      platform = env::Platform::Mobile;
+    } else if (arg.rfind("--outdir=", 0) == 0) {
+      outdir = value("--outdir=");
+    } else if (arg.rfind("--", 0) == 0) {
+      die("unknown flag: " + arg + " (see header comment for usage)");
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (names.empty()) names = {"gemm", "AES"};
+
+  bench::print_header("bench_profile",
+                      "per-function profiles & traces (paper Sec. 3.3 analog)");
+  std::filesystem::create_directories(outdir);
+  const env::BrowserEnv browser_env(browser, platform);
+
+  for (const std::string& name : names) {
+    const core::BenchSource* bench = benchmarks::find_benchmark(name);
+    if (!bench) die("no such benchmark: " + name);
+    const core::BuildResult build = core::build(*bench, size, level);
+    if (!build.ok) die(build.error);
+
+    std::printf("\n=== %s (%s) @ %s %s %s/%s ===\n", bench->name.c_str(),
+                bench->suite.c_str(), core::to_string(size), ir::to_string(level),
+                env::to_string(browser), env::to_string(platform));
+
+    // Pass 1 — untraced baseline (also sizes the ring: every function
+    // call is at most one begin + one end + one tier-up instant).
+    env::RunOptions options;
+    const env::PageMetrics wasm_off = browser_env.run_wasm(build.wasm, options);
+    const env::PageMetrics js_off = browser_env.run_js(build.js_source, options);
+    if (!wasm_off.ok) die(name + " wasm: " + wasm_off.error);
+    if (!js_off.ok) die(name + " js: " + js_off.error);
+
+    // Pass 2 — traced. Determinism makes the two passes byte-identical
+    // in every metric; bench aborts if not.
+    prof::Tracer tracer(1u << 22);
+    options.tracer = &tracer;
+    const env::PageMetrics wasm_on = browser_env.run_wasm(build.wasm, options);
+    const env::PageMetrics js_on = browser_env.run_js(build.js_source, options);
+    check_metrics_equal(wasm_off, wasm_on, name + " wasm");
+    check_metrics_equal(js_off, js_on, name + " js");
+
+    const prof::Profile wasm_profile = prof::build_profile(tracer, prof::kWasmTrack);
+    const prof::Profile js_profile = prof::build_profile(tracer, prof::kJsTrack);
+    if (tracer.stats().dropped == 0) {
+      // Attribution completeness only holds on a lossless trace.
+      check(wasm_profile.span_total_ps == wasm_on.cost_ps,
+            name + " wasm: span total != cost_ps");
+      check(self_sum(wasm_profile) == wasm_on.cost_ps,
+            name + " wasm: self-cost sum != cost_ps");
+      check(js_profile.span_total_ps == js_on.cost_ps,
+            name + " js: span total != cost_ps");
+      check(self_sum(js_profile) == js_on.cost_ps,
+            name + " js: self-cost sum != cost_ps");
+    } else {
+      std::printf("note: ring dropped %" PRIu64 " events; profile covers the tail\n",
+                  tracer.stats().dropped);
+    }
+
+    report("wasm-vm", wasm_profile, wasm_on.cost_ps);
+    report("js-vm", js_profile, js_on.cost_ps);
+
+    write_file(outdir / (name + ".trace.json"), prof::chrome_trace_json(tracer));
+    write_file(outdir / (name + ".wasm.folded"),
+               prof::folded_stacks(wasm_profile));
+    write_file(outdir / (name + ".js.folded"), prof::folded_stacks(js_profile));
+    std::printf("\nwrote %s/%s.trace.json (+ .wasm.folded, .js.folded); "
+                "%zu events, %" PRIu64 " dropped\n",
+                outdir.string().c_str(), name.c_str(), tracer.size(),
+                tracer.stats().dropped);
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "js/engine.h"
+#include "prof/prof.h"
 
 namespace wb::env {
 
@@ -222,6 +223,20 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
   inst.set_tier_policy(tiers);
   inst.set_grow_cost(profile_.grow_cost_ps);
 
+  // DevTools-style collection (paper Sec. 3.3): page phases become Page
+  // spans, the VM emits function/tier-up/grow events between them.
+  prof::Tracer* const tr = options.tracer;
+  uint32_t load_id = 0, init_id = 0, main_id = 0, boundary_id = 0;
+  if (tr) {
+    tr->set_track(prof::kWasmTrack);
+    load_id = tr->intern("page:load");
+    init_id = tr->intern("page:instantiate");
+    main_id = tr->intern("page:main");
+    boundary_id = tr->intern("page:boundary");
+    inst.set_tracer(tr);
+    tr->begin(prof::Cat::Page, load_id, inst.stats().cost_ps);
+  }
+
   // Load: page overhead + decode/compile of the binary. The optimizing-
   // only configuration compiles everything with the heavy compiler up
   // front (more load time, repaid on hot code).
@@ -229,16 +244,23 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
   if (options.wasm_tiers == RunOptions::WasmTiers::OptimizingOnly) decode_factor *= 2;
   inst.charge(profile_.page_overhead_ps + profile_.wasm_instantiate_overhead_ps +
               decode_factor * artifact.binary.size());
+  if (tr) {
+    tr->end(prof::Cat::Page, load_id, inst.stats().cost_ps);
+    tr->begin(prof::Cat::Page, init_id, inst.stats().cost_ps);
+  }
 
   // Instantiate: the runtime sets up linear memory (bump allocations and
   // memory.grow traffic happen here; measured, as in the paper).
   const wasm::InvokeResult init = inst.invoke("__init", {});
+  if (tr) tr->end(prof::Cat::Page, init_id, inst.stats().cost_ps);
   if (!init.ok()) {
     metrics.ok = false;
     metrics.error = std::string("instantiate trapped: ") + wasm::to_string(init.trap);
     return metrics;
   }
+  if (tr) tr->begin(prof::Cat::Page, main_id, inst.stats().cost_ps);
   const wasm::InvokeResult r = inst.invoke("main", {});
+  if (tr) tr->end(prof::Cat::Page, main_id, inst.stats().cost_ps);
   if (!r.ok()) {
     metrics.ok = false;
     metrics.error = std::string("main trapped: ") + wasm::to_string(r.trap);
@@ -248,10 +270,18 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
   // Each host (imported) call is a JS<->Wasm boundary crossing; the two
   // invoke() calls are crossings too.
   const uint64_t crossings = boundary_calls + 2 + options.extra_boundary_crossings;
+  if (tr) tr->begin(prof::Cat::Page, boundary_id, inst.stats().cost_ps);
   inst.charge(crossings * profile_.boundary_cost_ps);
+  if (tr) {
+    tr->instant(prof::Cat::Boundary, tr->intern("js<->wasm crossings"),
+                inst.stats().cost_ps, crossings);
+    tr->end(prof::Cat::Page, boundary_id, inst.stats().cost_ps);
+    inst.set_tracer(nullptr);
+  }
 
   metrics.result = r.value.as_i32();
   metrics.time_ms = static_cast<double>(inst.stats().cost_ps) / 1e9;
+  metrics.cost_ps = inst.stats().cost_ps;
   metrics.memory_bytes =
       profile_.wasm_base_memory + (inst.memory() ? inst.memory()->peak_bytes() : 0);
   metrics.code_size = artifact.binary.size();
@@ -281,8 +311,17 @@ PageMetrics BrowserEnv::run_js(std::string_view source, const RunOptions& option
   tiers.tierup_cost_per_instr = 1500;
   vm.set_tier_policy(tiers);
 
+  prof::Tracer* const tr = options.tracer;
+  uint32_t parse_id = 0;
+  if (tr) {
+    tr->set_track(prof::kJsTrack);
+    parse_id = tr->intern("page:parse");
+    vm.set_tracer(tr);
+    tr->begin(prof::Cat::Page, parse_id, vm.stats().cost_ps);
+  }
   vm.charge(profile_.page_overhead_ps +
             profile_.js_parse_cost_per_byte * source.size());
+  if (tr) tr->end(prof::Cat::Page, parse_id, vm.stats().cost_ps);
 
   const js::Vm::Result top = vm.run_top_level();
   if (!top.ok) {
@@ -301,8 +340,10 @@ PageMetrics BrowserEnv::run_js(std::string_view source, const RunOptions& option
   // DevTools-style heap metric: live GC-heap bytes after collection plus
   // the engine baseline. Typed-array backing stores are external (this is
   // why compiler-generated JS looks flat in the paper).
+  if (tr) vm.set_tracer(nullptr);
   heap.collect();
   metrics.time_ms = static_cast<double>(vm.stats().cost_ps) / 1e9;
+  metrics.cost_ps = vm.stats().cost_ps;
   metrics.memory_bytes = profile_.js_base_memory +
                          std::max(heap.stats().peak_live_bytes, heap.stats().live_bytes);
   metrics.code_size = source.size();

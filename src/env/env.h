@@ -16,6 +16,10 @@
 #include "js/interp.h"
 #include "wasm/interp.h"
 
+namespace wb::prof {
+class Tracer;
+}
+
 namespace wb::env {
 
 enum class Browser : uint8_t { Chrome, Firefox, Edge };
@@ -71,6 +75,12 @@ struct RunOptions {
   /// (e.g. a JS driver loop calling an export per operation, as the
   /// Long.js benchmark does).
   uint64_t extra_boundary_crossings = 0;
+  /// Profiler sink (wb::prof). When set, the page emits load/instantiate
+  /// phase spans and the VMs emit function/tier-up/grow/GC events into
+  /// it — the DevTools-style collection of paper Sec. 3.3. Wasm runs land
+  /// on prof::kWasmTrack, JS runs on prof::kJsTrack, so one tracer can
+  /// hold a whole measure() cell. Tracing never changes any metric.
+  prof::Tracer* tracer = nullptr;
 };
 
 /// What DevTools reports for one page run.
@@ -79,6 +89,7 @@ struct PageMetrics {
   std::string error;
   int32_t result = 0;       ///< the benchmark checksum
   double time_ms = 0;       ///< execution time incl. load/instantiate
+  uint64_t cost_ps = 0;     ///< the same time on the exact virtual clock
   size_t memory_bytes = 0;  ///< engine baseline + program memory
   size_t code_size = 0;     ///< wasm binary bytes / JS source bytes
   uint64_t ops = 0;

@@ -190,6 +190,7 @@ void Heap::collect() {
   }
   stats_.live_bytes = live;
   stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, live);
+  if (collect_hook_) collect_hook_(stats_);
 }
 
 void Heap::maybe_collect() {

@@ -102,6 +102,12 @@ class Heap {
   using RootScanner = std::function<void(const std::function<void(JsValue)>& visit)>;
   void set_root_scanner(RootScanner scanner) { root_scanner_ = std::move(scanner); }
 
+  /// Observer called at the end of every collection (after stats are
+  /// updated). The VM uses this to emit GC-pause trace events with its
+  /// current virtual-clock reading; null (the default) costs nothing.
+  using CollectHook = std::function<void(const GcStats&)>;
+  void set_collect_hook(CollectHook hook) { collect_hook_ = std::move(hook); }
+
   /// Runs mark–sweep now. Called automatically when the threshold trips.
   void collect();
   /// Collects if the allocation debt exceeds the threshold.
@@ -124,6 +130,7 @@ class Heap {
   std::vector<std::unique_ptr<GcObject>> objects_;
   std::vector<ObjRef> free_;
   RootScanner root_scanner_;
+  CollectHook collect_hook_;
   size_t gc_threshold_;
   size_t allocated_since_gc_ = 0;
   GcStats stats_;

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "prof/prof.h"
 #include "support/sha256.h"
 
 namespace wb::js {
@@ -256,7 +257,20 @@ Vm::Result Vm::call_function(std::string_view name, std::span<const JsValue> arg
   return run(heap_.get(fn.ref).fn_index(), args);
 }
 
-void Vm::maybe_tier_up(uint32_t proto_index) {
+void Vm::set_tracer(prof::Tracer* tracer) {
+  tracer_ = tracer;
+  if (!tracer) return;
+  proto_trace_names_.clear();
+  proto_trace_names_.reserve(code_.protos.size());
+  for (size_t i = 0; i < code_.protos.size(); ++i) {
+    const std::string& name = code_.protos[i].name;
+    proto_trace_names_.push_back(tracer->intern(
+        i == 0 ? "(top-level)" : name.empty() ? "fn" + std::to_string(i) : name));
+  }
+  gc_trace_name_ = tracer->intern("gc:mark-sweep");
+}
+
+void Vm::maybe_tier_up(uint32_t proto_index, uint64_t now_ps) {
   FuncState& state = func_state_[proto_index];
   if (state.tier == 1) return;
   ++state.hotness;
@@ -264,8 +278,13 @@ void Vm::maybe_tier_up(uint32_t proto_index) {
   if (state.hotness < tier_policy_.tierup_threshold) return;
   state.tier = 1;
   ++stats_.tierups;
-  stats_.cost_ps +=
+  const uint64_t compile_ps =
       tier_policy_.tierup_cost_per_instr * code_.protos[proto_index].code.size();
+  stats_.cost_ps += compile_ps;
+  if (tracer_) {
+    tracer_->instant(prof::Cat::TierUp, proto_trace_names_[proto_index],
+                     now_ps + compile_ps, compile_ps);
+  }
 }
 
 // ---------------------------------------------------------------- builtins
@@ -504,7 +523,13 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
       fail("maximum call stack size exceeded");
       return false;
     }
-    maybe_tier_up(pidx);
+    // Begin the span first so a tier-up compile pause on this entry lands
+    // inside the entered function's self time.
+    if (tracer_) {
+      tracer_->begin(prof::Cat::JsFunc, proto_trace_names_[pidx],
+                     stats_.cost_ps + cost);
+    }
+    maybe_tier_up(pidx, stats_.cost_ps + cost);
     const FunctionProto& p = code_.protos[pidx];
     Frame f;
     f.proto = pidx;
@@ -523,6 +548,16 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
   if (!enter(proto_index, args)) {
     flush();
     return {false, error_, {}};
+  }
+
+  // GC pauses are observed through the heap's collect hook so every
+  // collection — threshold-tripped or explicit — is stamped with the
+  // VM's current virtual-clock reading. Uninstalled at `done`.
+  if (tracer_) {
+    heap_.set_collect_hook([this, &cost](const GcStats& gc) {
+      tracer_->instant(prof::Cat::GcPhase, gc_trace_name_, stats_.cost_ps + cost,
+                       gc.live_bytes);
+    });
   }
 
   auto pop = [&]() -> JsValue {
@@ -561,6 +596,10 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
         heap_.collect();
       }
       const Frame f = frames_.back();
+      if (tracer_) {
+        tracer_->end(prof::Cat::JsFunc, proto_trace_names_[f.proto],
+                     stats_.cost_ps + cost);
+      }
       frames_.pop_back();
       locals_.resize(f.locals_base);
       stack_.resize(f.stack_base);
@@ -730,7 +769,7 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
         if (ins.a <= pc) {  // back-edge: loop hotness
           const uint32_t p = frames_.back().proto;
           const uint8_t before = func_state_[p].tier;
-          maybe_tier_up(p);
+          maybe_tier_up(p, stats_.cost_ps + cost);
           if (func_state_[p].tier != before) costs = cost_tables_[1].data();
         }
         pc = ins.a;
@@ -873,6 +912,10 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
           heap_.collect();  // snapshot live bytes while locals are rooted
         }
         const Frame f = frames_.back();
+        if (tracer_) {
+          tracer_->end(prof::Cat::JsFunc, proto_trace_names_[f.proto],
+                       stats_.cost_ps + cost);
+        }
         frames_.pop_back();
         locals_.resize(f.locals_base);
         stack_.resize(f.stack_base);
@@ -1115,6 +1158,15 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
   }
 
 done:
+  if (tracer_) {
+    // Error exits leave frames open; close their spans so the trace
+    // stays well-nested, then detach the GC hook (it captures locals).
+    for (size_t i = frames_.size(); i-- > 0;) {
+      tracer_->end(prof::Cat::JsFunc, proto_trace_names_[frames_[i].proto],
+                   stats_.cost_ps + cost);
+    }
+    heap_.set_collect_hook(nullptr);
+  }
   flush();
   if (!ok_) return {false, error_, {}};
   return {true, "", return_value};

@@ -16,6 +16,10 @@
 #include "js/bytecode.h"
 #include "js/heap.h"
 
+namespace wb::prof {
+class Tracer;
+}
+
 namespace wb::js {
 
 using JsCostTable = std::array<uint64_t, kJsOpClassCount>;
@@ -60,6 +64,11 @@ class Vm {
   /// Charges one-off virtual time (parse/compile at load, etc.).
   void charge(uint64_t cost_ps) { stats_.cost_ps += cost_ps; }
 
+  /// Attaches a profiler sink (nullptr detaches). Emits function spans,
+  /// tier-up instants, and GC-pause instants (via the heap's collect
+  /// hook); never charges virtual time.
+  void set_tracer(prof::Tracer* tracer);
+
   struct Result {
     bool ok = true;
     std::string error;
@@ -96,7 +105,9 @@ class Vm {
   };
 
   Result run(uint32_t proto_index, std::span<const JsValue> args);
-  void maybe_tier_up(uint32_t proto_index);
+  /// `now_ps` is the current virtual time (stats_.cost_ps plus the run
+  /// loop's unflushed cost), used to timestamp the tier-up trace event.
+  void maybe_tier_up(uint32_t proto_index, uint64_t now_ps);
   bool call_builtin(uint32_t builtin_id, JsValue receiver,
                     std::span<const JsValue> args, JsValue& result);
   bool method_on_primitive(const GcObject& recv_obj, JsValue receiver,
@@ -124,6 +135,10 @@ class Vm {
   bool ok_ = true;
   std::string error_;
   bool sample_memory_at_exit_ = true;
+
+  prof::Tracer* tracer_ = nullptr;
+  std::vector<uint32_t> proto_trace_names_;  // per function proto
+  uint32_t gc_trace_name_ = 0;
 };
 
 }  // namespace wb::js

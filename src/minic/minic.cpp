@@ -305,17 +305,6 @@ MemTy to_mem(CType t) {
 bool is_unsigned_t(CType t) { return t.k == CType::K::U8 || t.k == CType::K::U32; }
 bool is_float_t(CType t) { return t.k == CType::K::F64; }
 
-const char* ctype_name(CType t) {
-  switch (t.k) {
-    case CType::K::Void: return "void";
-    case CType::K::U8: return "unsigned char";
-    case CType::K::I32: return "int";
-    case CType::K::U32: return "unsigned";
-    case CType::K::F64: return "double";
-  }
-  return "?";
-}
-
 // ============================================================== parser
 
 struct Sym {
@@ -1121,7 +1110,7 @@ class Parser {
     if (is_float_t(t)) {
       return ir::make_bin(BinOp::Ne, Ty::F64, std::move(e), ir::make_const_f64(0));
     }
-    return std::move(e);  // nonzero i32 is true
+    return e;  // nonzero i32 is true
   }
 
   Operand parse_expression(bool need_value = true) {

@@ -1,0 +1,134 @@
+#include "prof/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace wb::prof {
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Virtual ps -> trace_event µs. 1 ps == 1e-6 µs, so six fractional
+/// digits keep the timestamp exact.
+void append_ts(std::string& out, uint64_t t_ps) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64, t_ps / 1'000'000,
+                t_ps % 1'000'000);
+  out += buf;
+}
+
+void append_event_common(std::string& out, const Tracer& tracer, const Event& e,
+                         char ph) {
+  out += "{\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(e.track);
+  out += ",\"ts\":";
+  append_ts(out, e.t_ps);
+  out += ",\"cat\":\"";
+  out += to_string(e.cat);
+  out += "\",\"name\":\"";
+  append_json_escaped(out, tracer.name(e.name));
+  out += "\"";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  std::string out = "{\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"wasmbench\"}}";
+
+  // Thread-name metadata for every track that appears.
+  bool track_seen[256] = {};
+  const std::vector<Event> events = tracer.events();
+  for (const Event& e : events) {
+    if (track_seen[e.track]) continue;
+    track_seen[e.track] = true;
+    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.track);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    out += track_name(e.track);
+    out += "\"}}";
+  }
+
+  for (const Event& e : events) {
+    out += ",\n";
+    switch (e.kind) {
+      case EventKind::Begin:
+        append_event_common(out, tracer, e, 'B');
+        out += "}";
+        break;
+      case EventKind::End:
+        append_event_common(out, tracer, e, 'E');
+        out += "}";
+        break;
+      case EventKind::Instant:
+        append_event_common(out, tracer, e, 'i');
+        out += ",\"s\":\"t\",\"args\":{\"value\":";
+        out += std::to_string(e.value);
+        out += "}}";
+        break;
+      case EventKind::Counter:
+        append_event_common(out, tracer, e, 'C');
+        out += ",\"args\":{\"value\":";
+        out += std::to_string(e.value);
+        out += "}}";
+        break;
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+namespace {
+
+void fold_node(const CallNode& node, std::string prefix,
+               std::vector<std::string>& lines) {
+  prefix += node.name;
+  if (node.self_ps > 0) {
+    lines.push_back(prefix + " " + std::to_string(node.self_ps));
+  }
+  prefix += ";";
+  for (const CallNode& c : node.children) fold_node(c, prefix, lines);
+}
+
+}  // namespace
+
+std::string folded_stacks(const Profile& profile) {
+  std::vector<std::string> lines;
+  for (const CallNode& c : profile.root.children) fold_node(c, "", lines);
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string folded_stacks(const Tracer& tracer, uint8_t track) {
+  return folded_stacks(build_profile(tracer, track));
+}
+
+}  // namespace wb::prof

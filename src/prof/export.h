@@ -1,0 +1,28 @@
+// Trace exporters: Chrome trace_event JSON (loadable in chrome://tracing
+// or https://ui.perfetto.dev) and folded-stack text (flamegraph.pl /
+// speedscope input).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "prof/prof.h"
+#include "prof/profile.h"
+
+namespace wb::prof {
+
+/// Serializes every event as a Chrome trace_event ("JSON Array with
+/// metadata" flavor). Tracks become threads of one process; timestamps
+/// are virtual microseconds with picosecond precision kept in the
+/// fractional digits.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Folded-stack lines ("root;caller;callee <self_ps>") for one track,
+/// sorted lexicographically; feed straight into flamegraph.pl.
+std::string folded_stacks(const Tracer& tracer, uint8_t track = kWasmTrack);
+
+/// Same, but from an already-built profile (avoids a second aggregation
+/// pass when the caller needs both the table and the flamegraph).
+std::string folded_stacks(const Profile& profile);
+
+}  // namespace wb::prof

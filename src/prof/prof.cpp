@@ -1,0 +1,63 @@
+#include "prof/prof.h"
+
+namespace wb::prof {
+
+const char* to_string(Cat c) {
+  switch (c) {
+    case Cat::WasmFunc: return "wasm";
+    case Cat::JsFunc: return "js";
+    case Cat::HostCall: return "host";
+    case Cat::Boundary: return "boundary";
+    case Cat::TierUp: return "tierup";
+    case Cat::MemoryGrow: return "memory";
+    case Cat::GcPhase: return "gc";
+    case Cat::Page: return "page";
+  }
+  return "?";
+}
+
+const char* track_name(uint8_t track) {
+  switch (track) {
+    case kWasmTrack: return "wasm-vm";
+    case kJsTrack: return "js-vm";
+    default: return "aux";
+  }
+}
+
+Tracer::Tracer(size_t capacity) { ring_.resize(capacity ? capacity : 1); }
+
+uint32_t Tracer::intern(std::string_view name) {
+  auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void Tracer::push(const Event& e) {
+  ++stats_.emitted;
+  if (count_ < ring_.size()) {
+    ring_[(head_ + count_) % ring_.size()] = e;
+    ++count_;
+  } else {
+    // Full: overwrite the oldest event.
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+    ++stats_.dropped;
+  }
+}
+
+std::vector<Event> Tracer::events() const {
+  std::vector<Event> out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  count_ = 0;
+}
+
+}  // namespace wb::prof

@@ -1,0 +1,125 @@
+// wb::prof — deterministic profiling & tracing on the virtual clock.
+//
+// The paper's methodology leans on browser profilers (Chrome DevTools,
+// Sec. 3.3/4.4): execution time is *attributed* — to functions, tier
+// transitions, GC pauses, and JS<->Wasm context switches — not just
+// totalled. This subsystem brings the same capability to the
+// reproduction's deterministic virtual clock: the two VMs and the
+// browser-environment model emit span/instant events into a Tracer sink,
+// and the aggregation + exporters (profile.h, export.h) turn the event
+// stream into per-function cost profiles, Chrome trace_event JSON, and
+// folded stacks for flamegraphs.
+//
+// Design rules:
+//  - Zero overhead when disabled: instrumented components hold a plain
+//    `Tracer*` (null by default) and events are emitted only from cold
+//    paths (function enter/exit, tier-up, memory.grow, GC), never from
+//    the per-op dispatch loop.
+//  - Observation only: emitting events never charges virtual time, so
+//    every reported metric is bit-identical with tracing on or off.
+//  - Bounded memory: events land in a fixed-capacity ring buffer; on
+//    overflow the *oldest* events are overwritten (the tail of a run is
+//    what explains its cost) and a drop counter records the loss.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wb::prof {
+
+/// Event categories, mirroring what the paper's profiler timelines show.
+enum class Cat : uint8_t {
+  WasmFunc,   ///< Wasm function execution span
+  JsFunc,     ///< JS function execution span
+  HostCall,   ///< Wasm calling an imported (JS) function
+  Boundary,   ///< JS<->Wasm context-switch accounting
+  TierUp,     ///< baseline -> optimizing tier transition
+  MemoryGrow, ///< a memory.grow request
+  GcPhase,    ///< a mark-sweep collection
+  Page,       ///< page-level phases (load/parse, instantiate, teardown)
+};
+const char* to_string(Cat c);
+
+enum class EventKind : uint8_t { Begin, End, Instant, Counter };
+
+/// Logical timelines. One Tracer can hold several (e.g. the Wasm and JS
+/// runs of one `core::measure()` cell); exporters map them to threads.
+inline constexpr uint8_t kWasmTrack = 0;
+inline constexpr uint8_t kJsTrack = 1;
+const char* track_name(uint8_t track);
+
+/// One trace event. Timestamps are virtual picoseconds (the same clock
+/// as ExecStats::cost_ps). `value` carries a payload for instants and
+/// counters (bytes grown, compile cost, live bytes, ...).
+struct Event {
+  uint64_t t_ps = 0;
+  uint64_t value = 0;
+  uint32_t name = 0;  ///< interned-name id
+  Cat cat = Cat::WasmFunc;
+  EventKind kind = EventKind::Instant;
+  uint8_t track = kWasmTrack;
+};
+
+struct TracerStats {
+  uint64_t emitted = 0;  ///< total events ever emitted
+  uint64_t dropped = 0;  ///< oldest events overwritten by ring wrap
+};
+
+/// The event sink. Fixed-capacity ring buffer + string interner.
+/// Not thread-safe (the VMs are single-threaded, like the browsers'
+/// main-thread execution the paper measures).
+class Tracer {
+ public:
+  /// Default capacity fits a full (benchmark x size<=M) cell; pass a
+  /// larger one for XL cells or a tiny one to test overflow behavior.
+  explicit Tracer(size_t capacity = 1u << 20);
+
+  /// Interns `name`, returning a stable id. Instrumentation interns once
+  /// at setup (set_tracer), never per event.
+  uint32_t intern(std::string_view name);
+  [[nodiscard]] const std::string& name(uint32_t id) const { return names_[id]; }
+  [[nodiscard]] size_t num_names() const { return names_.size(); }
+
+  /// The track tagged onto subsequently emitted events.
+  void set_track(uint8_t track) { track_ = track; }
+  [[nodiscard]] uint8_t track() const { return track_; }
+
+  void begin(Cat cat, uint32_t name, uint64_t t_ps) {
+    push(Event{t_ps, 0, name, cat, EventKind::Begin, track_});
+  }
+  void end(Cat cat, uint32_t name, uint64_t t_ps) {
+    push(Event{t_ps, 0, name, cat, EventKind::End, track_});
+  }
+  void instant(Cat cat, uint32_t name, uint64_t t_ps, uint64_t value = 0) {
+    push(Event{t_ps, value, name, cat, EventKind::Instant, track_});
+  }
+  void counter(Cat cat, uint32_t name, uint64_t t_ps, uint64_t value) {
+    push(Event{t_ps, value, name, cat, EventKind::Counter, track_});
+  }
+
+  [[nodiscard]] size_t size() const { return count_; }
+  [[nodiscard]] size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] const TracerStats& stats() const { return stats_; }
+
+  /// Events oldest-to-newest (linearizes the ring).
+  [[nodiscard]] std::vector<Event> events() const;
+
+  /// Drops all events (names stay interned).
+  void clear();
+
+ private:
+  void push(const Event& e);
+
+  std::vector<Event> ring_;
+  size_t head_ = 0;   ///< index of the oldest event
+  size_t count_ = 0;  ///< live events in the ring
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> name_ids_;
+  TracerStats stats_;
+  uint8_t track_ = kWasmTrack;
+};
+
+}  // namespace wb::prof

@@ -1,0 +1,159 @@
+#include "prof/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace wb::prof {
+
+namespace {
+
+struct OpenSpan {
+  uint32_t name = 0;
+  Cat cat = Cat::WasmFunc;
+  uint64_t t0 = 0;
+  uint64_t child_ps = 0;  ///< time already attributed to callees
+  CallNode* node = nullptr;
+};
+
+struct Accum {
+  Cat cat = Cat::WasmFunc;
+  uint64_t calls = 0;
+  uint64_t self_ps = 0;
+  uint64_t total_ps = 0;
+  uint64_t active = 0;  ///< open activations (recursion guard for total)
+};
+
+/// Finds or appends `name` among `parent`'s children. Appending to the
+/// *current* stack top's children never moves any node still on the open
+/// stack (ancestors live in vectors that are not appended to while one of
+/// their elements is open), so raw child pointers stay valid.
+CallNode* child_node(CallNode* parent, const std::string& name, Cat cat) {
+  for (auto& c : parent->children) {
+    if (c.name == name && c.cat == cat) return &c;
+  }
+  CallNode node;
+  node.name = name;
+  node.cat = cat;
+  parent->children.push_back(std::move(node));
+  return &parent->children.back();
+}
+
+}  // namespace
+
+Profile build_profile(const Tracer& tracer, uint8_t track) {
+  Profile p;
+  p.root.name = "(root)";
+  p.root.cat = Cat::Page;
+  p.root.calls = 1;
+
+  std::vector<OpenSpan> stack;
+  std::unordered_map<uint32_t, Accum> accum;
+  uint64_t last_t = 0;
+
+  auto close_top = [&](uint64_t t) {
+    OpenSpan span = stack.back();
+    stack.pop_back();
+    const uint64_t dur = t >= span.t0 ? t - span.t0 : 0;
+    const uint64_t self = dur >= span.child_ps ? dur - span.child_ps : 0;
+    Accum& a = accum[span.name];
+    a.self_ps += self;
+    --a.active;
+    if (a.active == 0) a.total_ps += dur;
+    span.node->self_ps += self;
+    span.node->total_ps += dur;
+    if (stack.empty()) {
+      p.span_total_ps += dur;
+    } else {
+      stack.back().child_ps += dur;
+    }
+  };
+
+  for (const Event& e : tracer.events()) {
+    if (e.track != track) continue;
+    last_t = std::max(last_t, e.t_ps);
+    switch (e.kind) {
+      case EventKind::Begin: {
+        CallNode* parent = stack.empty() ? &p.root : stack.back().node;
+        CallNode* node = child_node(parent, tracer.name(e.name), e.cat);
+        ++node->calls;
+        Accum& a = accum[e.name];
+        a.cat = e.cat;
+        ++a.calls;
+        ++a.active;
+        stack.push_back(OpenSpan{e.name, e.cat, e.t_ps, 0, node});
+        break;
+      }
+      case EventKind::End: {
+        // An End whose Begin was lost to ring overflow arrives with an
+        // empty stack (surviving events are a suffix of a well-nested
+        // stream); attribute nothing.
+        if (stack.empty()) {
+          ++p.unmatched_ends;
+          break;
+        }
+        close_top(e.t_ps);
+        break;
+      }
+      case EventKind::Instant:
+        switch (e.cat) {
+          case Cat::TierUp: ++p.tierup_events; break;
+          case Cat::MemoryGrow: ++p.memory_grow_events; break;
+          case Cat::GcPhase: ++p.gc_events; break;
+          case Cat::HostCall: ++p.host_call_events; break;
+          default: break;
+        }
+        break;
+      case EventKind::Counter:
+        break;
+    }
+  }
+
+  // Auto-close spans still open at stream end (trap, fuel-out, or a
+  // tracer snapshot taken mid-run) at the last seen timestamp.
+  p.unclosed_begins = stack.size();
+  while (!stack.empty()) close_top(last_t);
+
+  p.root.total_ps = p.span_total_ps;
+
+  p.functions.reserve(accum.size());
+  for (const auto& [name_id, a] : accum) {
+    FuncCost fc;
+    fc.name = tracer.name(name_id);
+    fc.cat = a.cat;
+    fc.calls = a.calls;
+    fc.self_ps = a.self_ps;
+    fc.total_ps = a.total_ps;
+    p.functions.push_back(std::move(fc));
+  }
+  std::sort(p.functions.begin(), p.functions.end(),
+            [](const FuncCost& a, const FuncCost& b) {
+              if (a.self_ps != b.self_ps) return a.self_ps > b.self_ps;
+              return a.name < b.name;
+            });
+  return p;
+}
+
+std::string format_profile(const Profile& profile, size_t max_rows) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%12s %12s %10s  %s\n", "self ms", "total ms",
+                "calls", "function");
+  out += line;
+  const size_t n = std::min(max_rows, profile.functions.size());
+  for (size_t i = 0; i < n; ++i) {
+    const FuncCost& f = profile.functions[i];
+    std::snprintf(line, sizeof(line), "%12.3f %12.3f %10llu  [%s] %s\n",
+                  static_cast<double>(f.self_ps) / 1e9,
+                  static_cast<double>(f.total_ps) / 1e9,
+                  static_cast<unsigned long long>(f.calls), to_string(f.cat),
+                  f.name.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%12.3f %12s %10s  (span total)\n",
+                static_cast<double>(profile.span_total_ps) / 1e9, "", "");
+  out += line;
+  return out;
+}
+
+}  // namespace wb::prof

@@ -1,0 +1,62 @@
+// Aggregation of a trace-event stream into per-function cost profiles
+// and a call tree — the "bottom-up" and "call tree" views of a browser
+// profiler, computed over virtual time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/prof.h"
+
+namespace wb::prof {
+
+/// One function's aggregated costs (the profiler's bottom-up view).
+/// `self_ps` excludes time spent in callees; `total_ps` includes it and
+/// counts recursive re-entries only once per outermost activation.
+struct FuncCost {
+  std::string name;
+  Cat cat = Cat::WasmFunc;
+  uint64_t calls = 0;
+  uint64_t self_ps = 0;
+  uint64_t total_ps = 0;
+};
+
+/// One node of the call tree; children keyed by callee, in first-call
+/// order. The root is synthetic ("(root)") and spans the whole timeline.
+struct CallNode {
+  std::string name;
+  Cat cat = Cat::Page;
+  uint64_t calls = 0;
+  uint64_t self_ps = 0;
+  uint64_t total_ps = 0;
+  std::vector<CallNode> children;
+};
+
+struct Profile {
+  /// Bottom-up costs, sorted by self_ps descending (ties by name).
+  std::vector<FuncCost> functions;
+  CallNode root;
+  /// Sum of all span self costs == total virtual time covered by spans.
+  uint64_t span_total_ps = 0;
+  /// Instants seen, by category (tier-ups, grows, GC pauses, ...).
+  uint64_t tierup_events = 0;
+  uint64_t memory_grow_events = 0;
+  uint64_t gc_events = 0;
+  uint64_t host_call_events = 0;
+  /// End events whose Begin was lost to ring overflow (ignored), and
+  /// Begin events never closed (auto-closed at the last timestamp).
+  uint64_t unmatched_ends = 0;
+  uint64_t unclosed_begins = 0;
+};
+
+/// Aggregates one track of `tracer` into a profile. Events from other
+/// tracks are ignored, so the Wasm and JS runs of one measure() cell can
+/// share a tracer and still be profiled separately.
+Profile build_profile(const Tracer& tracer, uint8_t track = kWasmTrack);
+
+/// Renders the bottom-up table ("self ms | total ms | calls | name"),
+/// top `max_rows` rows, for terminal output.
+std::string format_profile(const Profile& profile, size_t max_rows = 20);
+
+}  // namespace wb::prof

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "prof/prof.h"
+
 namespace wb::wasm {
 
 namespace {
@@ -168,6 +170,24 @@ void Instance::set_cost_tables(const CostTable& baseline, const CostTable& optim
   cost_tables_[1] = optimizing;
 }
 
+void Instance::set_tracer(prof::Tracer* tracer) {
+  tracer_ = tracer;
+  if (!tracer) return;
+  func_trace_names_.clear();
+  func_trace_names_.reserve(module_.functions.size());
+  for (size_t i = 0; i < module_.functions.size(); ++i) {
+    const std::string& dbg = module_.functions[i].debug_name;
+    func_trace_names_.push_back(tracer->intern(
+        dbg.empty() ? "func" + std::to_string(i + module_.imports.size()) : dbg));
+  }
+  import_trace_names_.clear();
+  import_trace_names_.reserve(module_.imports.size());
+  for (const Import& imp : module_.imports) {
+    import_trace_names_.push_back(tracer->intern(imp.module + "." + imp.name));
+  }
+  grow_trace_name_ = tracer->intern("memory.grow");
+}
+
 void Instance::set_tier_policy(const TierPolicy& policy) {
   tier_policy_ = policy;
   if (!policy.baseline_enabled) {
@@ -178,7 +198,7 @@ void Instance::set_tier_policy(const TierPolicy& policy) {
   }
 }
 
-void Instance::maybe_tier_up(uint32_t defined_index) {
+void Instance::maybe_tier_up(uint32_t defined_index, uint64_t now_ps) {
   FuncState& state = func_state_[defined_index];
   if (state.tier == Tier::Optimizing) return;
   ++state.hotness;
@@ -186,8 +206,16 @@ void Instance::maybe_tier_up(uint32_t defined_index) {
   if (state.hotness < tier_policy_.tierup_threshold) return;
   state.tier = Tier::Optimizing;
   ++stats_.tierups;
-  stats_.cost_ps += tier_policy_.tierup_cost_per_instr *
-                    module_.functions[defined_index].body.size();
+  const uint64_t compile_ps = tier_policy_.tierup_cost_per_instr *
+                              module_.functions[defined_index].body.size();
+  stats_.cost_ps += compile_ps;
+  if (tracer_) {
+    // The compile pause ends at now + compile cost; its virtual duration
+    // rides as the payload (the function's span absorbs it as self time,
+    // like a DevTools "Compile Wasm" slice attributed to the hot frame).
+    tracer_->instant(prof::Cat::TierUp, func_trace_names_[defined_index],
+                     now_ps + compile_ps, compile_ps);
+  }
 }
 
 InvokeResult Instance::invoke(std::string_view export_name, std::span<const Value> args) {
@@ -224,6 +252,10 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
   if (func_index < num_imports) {
     Value result;
     ++stats_.host_calls;
+    if (tracer_) {
+      tracer_->instant(prof::Cat::HostCall, import_trace_names_[func_index],
+                       stats_.cost_ps);
+    }
     const Trap t = host_fns_[func_index](args, &result);
     return {t, result};
   }
@@ -271,7 +303,12 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
       trap = Trap::CallStackExhausted;
       return false;
     }
-    maybe_tier_up(d);
+    // Begin the span first so a tier-up compile pause on this entry lands
+    // inside the entered function's self time.
+    if (tracer_) {
+      tracer_->begin(prof::Cat::WasmFunc, func_trace_names_[d], stats_.cost_ps + cost);
+    }
+    maybe_tier_up(d, stats_.cost_ps + cost);
     ++stats_.calls;
     const FuncMeta& m = metas_[d];
     CallFrame f;
@@ -317,7 +354,7 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
       // Loop back-edge: contributes to hotness for tier-up.
       const uint32_t d = frames.back().fidx;
       const Tier before = func_state_[d].tier;
-      maybe_tier_up(d);
+      maybe_tier_up(d, stats_.cost_ps + cost);
       if (func_state_[d].tier != before) {
         costs = cost_tables_[static_cast<size_t>(func_state_[d].tier)].data();
       }
@@ -342,6 +379,10 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
     if (pc >= code_size) {
       // Function return: results are on the stack; unwind the frame.
       const CallFrame f = frames.back();
+      if (tracer_) {
+        tracer_->end(prof::Cat::WasmFunc, func_trace_names_[f.fidx],
+                     stats_.cost_ps + cost);
+      }
       frames.pop_back();
       locals.resize(f.locals_base);
       ctrls.resize(f.ctrl_base);
@@ -465,6 +506,10 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
           }
           Value result;
           ++stats_.host_calls;
+          if (tracer_) {
+            tracer_->instant(prof::Cat::HostCall, import_trace_names_[callee],
+                             stats_.cost_ps + cost);
+          }
           const Trap t = host_fns_[callee](
               std::span<const Value>(host_args_buf, nargs), &result);
           if (t != Trap::None) {
@@ -552,6 +597,10 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
         stack.push_back(Value::from_i32(memory_->grow(delta)));
         cost += grow_cost_ps_;
         ++stats_.memory_grows;
+        if (tracer_) {
+          tracer_->instant(prof::Cat::MemoryGrow, grow_trace_name_,
+                           stats_.cost_ps + cost, delta);
+        }
         break;
       }
 
@@ -1011,6 +1060,15 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
 
     if (trap != Trap::None) break;
     ++pc;
+  }
+
+  // Trap / fuel-out exit: close the spans of every frame still on the
+  // stack so the trace stays well-nested.
+  if (tracer_) {
+    for (size_t i = frames.size(); i-- > 0;) {
+      tracer_->end(prof::Cat::WasmFunc, func_trace_names_[frames[i].fidx],
+                   stats_.cost_ps + cost);
+    }
   }
 
   flush_stats();

@@ -18,6 +18,10 @@
 #include "wasm/memory.h"
 #include "wasm/module.h"
 
+namespace wb::prof {
+class Tracer;
+}
+
 namespace wb::wasm {
 
 /// Execution tiers. Baseline ~ quick single-pass compile, slower code;
@@ -85,6 +89,13 @@ class Instance {
   /// Aborts execution after this many instructions (guards runaway tests).
   void set_fuel(uint64_t max_ops) { fuel_ = max_ops; }
 
+  /// Attaches a profiler sink (nullptr detaches). Function and import
+  /// names are interned once here; events are emitted from cold paths
+  /// only (enter/exit, tier-up, memory.grow, host call) and never charge
+  /// virtual time, so all reported metrics are identical with or without
+  /// a tracer attached.
+  void set_tracer(prof::Tracer* tracer);
+
   /// Invokes an exported function by name.
   InvokeResult invoke(std::string_view export_name, std::span<const Value> args);
   /// Invokes by function index (combined import+defined space).
@@ -106,7 +117,9 @@ class Instance {
   };
 
   InvokeResult run(uint32_t func_index, std::span<const Value> args);
-  void maybe_tier_up(uint32_t defined_index);
+  /// `now_ps` is the current virtual time (stats_.cost_ps plus the run
+  /// loop's unflushed cost), used to timestamp the tier-up trace event.
+  void maybe_tier_up(uint32_t defined_index, uint64_t now_ps);
 
   const Module& module_;
   std::vector<HostFn> host_fns_;
@@ -120,6 +133,11 @@ class Instance {
   ExecStats stats_;
   uint64_t fuel_ = UINT64_MAX;
   uint64_t grow_cost_ps_ = 0;
+
+  prof::Tracer* tracer_ = nullptr;
+  std::vector<uint32_t> func_trace_names_;    // per defined function
+  std::vector<uint32_t> import_trace_names_;  // per import
+  uint32_t grow_trace_name_ = 0;
 };
 
 }  // namespace wb::wasm

@@ -1,0 +1,350 @@
+// Tests for wb::prof — the deterministic profiling & tracing subsystem:
+// ring-buffer semantics, span aggregation invariants, exporter golden
+// output, and the two cross-layer contracts: (1) tracing never changes
+// any virtual-time metric, and (2) attribution is complete (per-function
+// self cost sums to the run's total cost_ps) with tier-up and GC events
+// landing exactly where the cost model puts them.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "env/env.h"
+#include "js/engine.h"
+#include "prof/export.h"
+#include "prof/prof.h"
+#include "prof/profile.h"
+#include "wasm/builder.h"
+
+namespace wb {
+namespace {
+
+// ---------------------------------------------------------------- tracer
+
+TEST(Tracer, RingKeepsNewestOnOverflow) {
+  prof::Tracer t(8);
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 12; ++i) ids.push_back(t.intern("e" + std::to_string(i)));
+  for (int i = 0; i < 12; ++i) {
+    t.instant(prof::Cat::WasmFunc, ids[i], static_cast<uint64_t>(i) * 10);
+  }
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.capacity(), 8u);
+  EXPECT_EQ(t.stats().emitted, 12u);
+  EXPECT_EQ(t.stats().dropped, 4u);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest four were overwritten; the survivors are e4..e11 in order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(t.name(events[i].name), "e" + std::to_string(i + 4));
+    EXPECT_EQ(events[i].t_ps, (i + 4) * 10);
+  }
+}
+
+TEST(Tracer, ClearDropsEventsKeepsNames) {
+  prof::Tracer t(4);
+  const uint32_t id = t.intern("x");
+  t.instant(prof::Cat::Page, id, 1);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.intern("x"), id);  // interner unaffected
+}
+
+TEST(Tracer, InternDeduplicates) {
+  prof::Tracer t;
+  EXPECT_EQ(t.intern("f"), t.intern("f"));
+  EXPECT_NE(t.intern("f"), t.intern("g"));
+}
+
+// --------------------------------------------------------------- profile
+
+TEST(Profile, NestedSpansSplitSelfAndTotal) {
+  prof::Tracer t;
+  const uint32_t a = t.intern("a");
+  const uint32_t b = t.intern("b");
+  t.begin(prof::Cat::WasmFunc, a, 0);
+  t.begin(prof::Cat::WasmFunc, b, 10);
+  t.end(prof::Cat::WasmFunc, b, 30);
+  t.end(prof::Cat::WasmFunc, a, 100);
+
+  const prof::Profile p = prof::build_profile(t, prof::kWasmTrack);
+  ASSERT_EQ(p.functions.size(), 2u);
+  EXPECT_EQ(p.functions[0].name, "a");  // sorted by self desc
+  EXPECT_EQ(p.functions[0].self_ps, 80u);
+  EXPECT_EQ(p.functions[0].total_ps, 100u);
+  EXPECT_EQ(p.functions[1].name, "b");
+  EXPECT_EQ(p.functions[1].self_ps, 20u);
+  EXPECT_EQ(p.functions[1].total_ps, 20u);
+  EXPECT_EQ(p.span_total_ps, 100u);
+
+  // Call tree: a -> b.
+  ASSERT_EQ(p.root.children.size(), 1u);
+  EXPECT_EQ(p.root.children[0].name, "a");
+  ASSERT_EQ(p.root.children[0].children.size(), 1u);
+  EXPECT_EQ(p.root.children[0].children[0].name, "b");
+}
+
+TEST(Profile, RecursionCountsTotalOncePerOutermostActivation) {
+  prof::Tracer t;
+  const uint32_t f = t.intern("f");
+  t.begin(prof::Cat::JsFunc, f, 0);
+  t.begin(prof::Cat::JsFunc, f, 10);
+  t.end(prof::Cat::JsFunc, f, 20);
+  t.end(prof::Cat::JsFunc, f, 50);
+
+  const prof::Profile p = prof::build_profile(t, prof::kWasmTrack);
+  ASSERT_EQ(p.functions.size(), 1u);
+  EXPECT_EQ(p.functions[0].calls, 2u);
+  EXPECT_EQ(p.functions[0].self_ps, 50u);   // inner 10 + outer 40
+  EXPECT_EQ(p.functions[0].total_ps, 50u);  // not 60: inner activation nested
+  EXPECT_EQ(p.span_total_ps, 50u);
+}
+
+TEST(Profile, SurvivesRingOverflowArtifacts) {
+  // An End whose Begin was overwritten arrives on an empty stack and is
+  // ignored; a Begin never closed is auto-closed at the last timestamp.
+  prof::Tracer t;
+  const uint32_t lost = t.intern("lost");
+  const uint32_t open = t.intern("open");
+  t.end(prof::Cat::WasmFunc, lost, 5);
+  t.begin(prof::Cat::WasmFunc, open, 10);
+  t.instant(prof::Cat::MemoryGrow, t.intern("memory.grow"), 40);
+
+  const prof::Profile p = prof::build_profile(t, prof::kWasmTrack);
+  EXPECT_EQ(p.unmatched_ends, 1u);
+  EXPECT_EQ(p.unclosed_begins, 1u);
+  ASSERT_EQ(p.functions.size(), 1u);
+  EXPECT_EQ(p.functions[0].name, "open");
+  EXPECT_EQ(p.functions[0].self_ps, 30u);  // closed at t=40
+  EXPECT_EQ(p.memory_grow_events, 1u);
+}
+
+TEST(Profile, TracksAreIndependent) {
+  prof::Tracer t;
+  const uint32_t w = t.intern("w");
+  const uint32_t j = t.intern("j");
+  t.set_track(prof::kWasmTrack);
+  t.begin(prof::Cat::WasmFunc, w, 0);
+  t.end(prof::Cat::WasmFunc, w, 10);
+  t.set_track(prof::kJsTrack);
+  t.begin(prof::Cat::JsFunc, j, 0);
+  t.end(prof::Cat::JsFunc, j, 25);
+
+  EXPECT_EQ(prof::build_profile(t, prof::kWasmTrack).span_total_ps, 10u);
+  EXPECT_EQ(prof::build_profile(t, prof::kJsTrack).span_total_ps, 25u);
+}
+
+// -------------------------------------------------------------- exporters
+
+prof::Tracer golden_trace() {
+  prof::Tracer t(16);
+  const uint32_t a = t.intern("alpha");
+  const uint32_t b = t.intern("beta \"q\"");
+  t.begin(prof::Cat::WasmFunc, a, 0);
+  t.instant(prof::Cat::TierUp, a, 1'500'000, 42);
+  t.begin(prof::Cat::WasmFunc, b, 2'000'000);
+  t.end(prof::Cat::WasmFunc, b, 3'000'000);
+  t.end(prof::Cat::WasmFunc, a, 5'000'000);
+  return t;
+}
+
+TEST(Exporters, ChromeTraceGolden) {
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"wasmbench\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"wasm-vm\"}},\n"
+      "{\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":0.000000,\"cat\":\"wasm\","
+      "\"name\":\"alpha\"},\n"
+      "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":1.500000,\"cat\":\"tierup\","
+      "\"name\":\"alpha\",\"s\":\"t\",\"args\":{\"value\":42}},\n"
+      "{\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":2.000000,\"cat\":\"wasm\","
+      "\"name\":\"beta \\\"q\\\"\"},\n"
+      "{\"ph\":\"E\",\"pid\":1,\"tid\":0,\"ts\":3.000000,\"cat\":\"wasm\","
+      "\"name\":\"beta \\\"q\\\"\"},\n"
+      "{\"ph\":\"E\",\"pid\":1,\"tid\":0,\"ts\":5.000000,\"cat\":\"wasm\","
+      "\"name\":\"alpha\"}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(prof::chrome_trace_json(golden_trace()), expected);
+}
+
+TEST(Exporters, FoldedStacksGolden) {
+  const std::string expected =
+      "alpha 4000000\n"
+      "alpha;beta \"q\" 1000000\n";
+  EXPECT_EQ(prof::folded_stacks(golden_trace(), prof::kWasmTrack), expected);
+}
+
+// ----------------------------------------------- VM-level event placement
+
+wasm::Module hot_loop_module(int n) {
+  wasm::ModuleBuilder mb;
+  auto f = mb.define(wasm::FuncType{{}, {wasm::ValType::I32}}, "main");
+  const uint32_t i = f.add_local(wasm::ValType::I32);
+  const uint32_t acc = f.add_local(wasm::ValType::I32);
+  f.block().loop();
+  f.local_get(i).i32(n).op(wasm::Opcode::I32GeS).br_if(1);
+  f.local_get(acc).local_get(i).op(wasm::Opcode::I32Add).local_set(acc);
+  f.local_get(i).i32(1).op(wasm::Opcode::I32Add).local_set(i);
+  f.br(0);
+  f.end().end();
+  f.local_get(acc);
+  f.finish("main");
+  return mb.take();
+}
+
+TEST(ProfIntegration, TierUpEventsAppearExactlyWhenStatsSayso) {
+  const wasm::Module module = hot_loop_module(200);
+
+  // Hot config: the loop's back-edges cross the threshold mid-run.
+  {
+    wasm::Instance inst(module, {});
+    wasm::TierPolicy tiers;
+    tiers.tierup_threshold = 50;
+    inst.set_tier_policy(tiers);
+    prof::Tracer tracer;
+    inst.set_tracer(&tracer);
+    ASSERT_EQ(inst.invoke("main", {}).trap, wasm::Trap::None);
+    const prof::Profile p = prof::build_profile(tracer, prof::kWasmTrack);
+    EXPECT_GT(inst.stats().tierups, 0u);
+    EXPECT_EQ(p.tierup_events, inst.stats().tierups);
+  }
+
+  // Cold config: optimizing tier disabled — zero tierups, zero events.
+  {
+    wasm::Instance inst(module, {});
+    wasm::TierPolicy tiers;
+    tiers.tierup_threshold = 50;
+    tiers.optimizing_enabled = false;
+    inst.set_tier_policy(tiers);
+    prof::Tracer tracer;
+    inst.set_tracer(&tracer);
+    ASSERT_EQ(inst.invoke("main", {}).trap, wasm::Trap::None);
+    const prof::Profile p = prof::build_profile(tracer, prof::kWasmTrack);
+    EXPECT_EQ(inst.stats().tierups, 0u);
+    EXPECT_EQ(p.tierup_events, 0u);
+  }
+}
+
+TEST(ProfIntegration, TracingDoesNotChangeWasmStats) {
+  const wasm::Module module = hot_loop_module(500);
+  wasm::Instance plain(module, {});
+  ASSERT_EQ(plain.invoke("main", {}).trap, wasm::Trap::None);
+
+  wasm::Instance traced(module, {});
+  prof::Tracer tracer;
+  traced.set_tracer(&tracer);
+  ASSERT_EQ(traced.invoke("main", {}).trap, wasm::Trap::None);
+
+  EXPECT_EQ(plain.stats().cost_ps, traced.stats().cost_ps);
+  EXPECT_EQ(plain.stats().ops_executed, traced.stats().ops_executed);
+  EXPECT_EQ(plain.stats().calls, traced.stats().calls);
+  EXPECT_EQ(plain.stats().tierups, traced.stats().tierups);
+  EXPECT_GT(tracer.size(), 0u);
+}
+
+TEST(ProfIntegration, GcPauseEventsMatchCollections) {
+  const std::string source =
+      "function main() {"
+      "  var a; "
+      "  for (var i = 0; i < 3000; i++) { a = [i, i + 1, i + 2]; }"
+      "  return 1;"
+      "}";
+  std::string error;
+  const auto code = js::compile_script(source, error);
+  ASSERT_TRUE(code) << error;
+
+  js::Heap heap(16 << 10);  // tiny threshold: force several collections
+  js::Vm vm(*code, heap);
+  prof::Tracer tracer;
+  vm.set_tracer(&tracer);
+  ASSERT_TRUE(vm.run_top_level().ok);
+  ASSERT_TRUE(vm.call_function("main", {}).ok);
+
+  const prof::Profile p = prof::build_profile(tracer, prof::kWasmTrack);
+  EXPECT_GT(heap.stats().collections, 1u);
+  EXPECT_EQ(p.gc_events, heap.stats().collections);
+}
+
+// --------------------------------------------- page-level (env) contracts
+
+TEST(ProfIntegration, PageMetricsIdenticalWithTracingOnAndOff) {
+  const core::BenchSource* bench = benchmarks::find_benchmark("gemm");
+  ASSERT_NE(bench, nullptr);
+  const core::BuildResult build =
+      core::build(*bench, core::InputSize::XS, ir::OptLevel::O2);
+  ASSERT_TRUE(build.ok) << build.error;
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+
+  env::RunOptions off;
+  const env::PageMetrics wasm_off = browser.run_wasm(build.wasm, off);
+  const env::PageMetrics js_off = browser.run_js(build.js_source, off);
+  ASSERT_TRUE(wasm_off.ok && js_off.ok);
+
+  prof::Tracer tracer;
+  env::RunOptions on;
+  on.tracer = &tracer;
+  const env::PageMetrics wasm_on = browser.run_wasm(build.wasm, on);
+  const env::PageMetrics js_on = browser.run_js(build.js_source, on);
+  ASSERT_TRUE(wasm_on.ok && js_on.ok);
+
+  EXPECT_EQ(wasm_off.cost_ps, wasm_on.cost_ps);
+  EXPECT_EQ(wasm_off.ops, wasm_on.ops);
+  EXPECT_EQ(wasm_off.memory_bytes, wasm_on.memory_bytes);
+  EXPECT_EQ(wasm_off.result, wasm_on.result);
+  EXPECT_EQ(wasm_off.boundary_crossings, wasm_on.boundary_crossings);
+  EXPECT_EQ(js_off.cost_ps, js_on.cost_ps);
+  EXPECT_EQ(js_off.ops, js_on.ops);
+  EXPECT_EQ(js_off.memory_bytes, js_on.memory_bytes);
+  EXPECT_EQ(js_off.result, js_on.result);
+  EXPECT_GT(tracer.size(), 0u);
+}
+
+TEST(ProfIntegration, SelfCostSumsToReportedCost) {
+  const core::BenchSource* bench = benchmarks::find_benchmark("gemm");
+  ASSERT_NE(bench, nullptr);
+  const core::BuildResult build =
+      core::build(*bench, core::InputSize::XS, ir::OptLevel::O2);
+  ASSERT_TRUE(build.ok) << build.error;
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+
+  prof::Tracer tracer;
+  env::RunOptions options;
+  options.tracer = &tracer;
+  const env::PageMetrics wasm = browser.run_wasm(build.wasm, options);
+  const env::PageMetrics js = browser.run_js(build.js_source, options);
+  ASSERT_TRUE(wasm.ok && js.ok);
+  ASSERT_EQ(tracer.stats().dropped, 0u);
+
+  for (const auto& [track, metrics] :
+       {std::pair{prof::kWasmTrack, wasm}, std::pair{prof::kJsTrack, js}}) {
+    const prof::Profile p = prof::build_profile(tracer, track);
+    uint64_t self_sum = 0;
+    for (const auto& f : p.functions) self_sum += f.self_ps;
+    EXPECT_EQ(p.span_total_ps, metrics.cost_ps);
+    EXPECT_EQ(self_sum, metrics.cost_ps);
+    EXPECT_EQ(p.unmatched_ends, 0u);
+    EXPECT_EQ(p.unclosed_begins, 0u);
+  }
+}
+
+TEST(ProfIntegration, MeasurePipesTracerThroughRunOptions) {
+  const core::BenchSource* bench = benchmarks::find_benchmark("gemm");
+  ASSERT_NE(bench, nullptr);
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+
+  prof::Tracer tracer;
+  env::RunOptions options;
+  options.tracer = &tracer;
+  const core::Measurement m =
+      core::measure(*bench, core::InputSize::XS, ir::OptLevel::O2, browser, options);
+  ASSERT_TRUE(m.wasm.ok && m.js.ok);
+  // Both VMs of the cell landed in one tracer, on their own tracks.
+  EXPECT_GT(prof::build_profile(tracer, prof::kWasmTrack).span_total_ps, 0u);
+  EXPECT_GT(prof::build_profile(tracer, prof::kJsTrack).span_total_ps, 0u);
+}
+
+}  // namespace
+}  // namespace wb

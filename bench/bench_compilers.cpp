@@ -6,7 +6,8 @@
 using namespace wb;
 using namespace wb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  wb::bench::parse_common_flags(argc, argv);
   print_header("Sec 4.2.2", "Cheerp vs Emscripten (desktop Chrome, -O2, M input)");
 
   env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);

@@ -7,7 +7,8 @@
 using namespace wb;
 using namespace wb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  wb::bench::parse_common_flags(argc, argv);
   print_header("Figure 10", "speedup from JIT (JIT-off time / JIT-on time)");
 
   env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);

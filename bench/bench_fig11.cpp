@@ -18,7 +18,8 @@ void print_summary(support::TextTable& table, const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wb::bench::parse_common_flags(argc, argv);
   print_header("Figure 11", "five-number summaries of opt-level ratios vs -O2");
 
   env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);

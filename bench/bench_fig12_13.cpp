@@ -5,7 +5,8 @@
 using namespace wb;
 using namespace wb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  wb::bench::parse_common_flags(argc, argv);
   print_header("Figures 12 & 13", "per-benchmark series across six deployment settings");
 
   struct Setting {

@@ -6,7 +6,8 @@
 using namespace wb;
 using namespace wb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  wb::bench::parse_common_flags(argc, argv);
   print_header("Figure 5", "per-benchmark opt-level ratios vs -O2 (Wasm & JS)");
 
   env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);

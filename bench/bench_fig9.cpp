@@ -6,7 +6,8 @@
 using namespace wb;
 using namespace wb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  wb::bench::parse_common_flags(argc, argv);
   print_header("Figure 9", "time+memory series per benchmark across XS..XL (Chrome)");
 
   env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);

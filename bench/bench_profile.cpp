@@ -28,6 +28,7 @@
 #include "prof/export.h"
 #include "prof/prof.h"
 #include "prof/profile.h"
+#include "support/json.h"
 
 namespace {
 
@@ -177,7 +178,15 @@ int main(int argc, char** argv) {
     report("wasm-vm", wasm_profile, wasm_on.cost_ps);
     report("js-vm", js_profile, js_on.cost_ps);
 
-    write_file(outdir / (name + ".trace.json"), prof::chrome_trace_json(tracer));
+    // Emitted traces must stay loadable by chrome://tracing — parse the
+    // JSON before writing so a malformed trace fails the run (and the
+    // profile_smoke ctest) instead of a later manual load.
+    const std::string trace = prof::chrome_trace_json(tracer);
+    std::string json_error;
+    if (!support::json::parse(trace, json_error)) {
+      die(name + ": emitted trace is not valid JSON: " + json_error);
+    }
+    write_file(outdir / (name + ".trace.json"), trace);
     write_file(outdir / (name + ".wasm.folded"),
                prof::folded_stacks(wasm_profile));
     write_file(outdir / (name + ".js.folded"), prof::folded_stacks(js_profile));

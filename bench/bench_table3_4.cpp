@@ -5,7 +5,8 @@
 using namespace wb;
 using namespace wb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  wb::bench::parse_common_flags(argc, argv);
   print_header("Tables 3 & 4", "Chrome: Wasm vs JS across input sizes XS..XL");
 
   env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);

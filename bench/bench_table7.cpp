@@ -41,7 +41,8 @@ std::vector<double> suite_ratio(const std::vector<Row>& variant,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wb::bench::parse_common_flags(argc, argv);
   print_header("Table 7", "Wasm tier configurations: Chrome vs Firefox");
 
   env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);

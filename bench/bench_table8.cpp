@@ -6,7 +6,8 @@
 using namespace wb;
 using namespace wb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  wb::bench::parse_common_flags(argc, argv);
   print_header("Table 8", "browsers & platforms: arithmetic averages at -O2, M input");
 
   struct Setting {

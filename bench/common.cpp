@@ -1,46 +1,115 @@
 #include "common.h"
 
 #include <cstdlib>
+#include <cstring>
+#include <span>
+
+#include "support/sha256.h"
+#include "support/thread_pool.h"
 
 namespace wb::bench {
+
+namespace {
+
+int g_jobs = 0;  ///< 0 = not set; fall back to WB_JOBS / hardware
+
+std::string format_int(int32_t v) { return std::to_string(v); }
+
+/// Runs one corpus cell. Returns the empty string on success, otherwise
+/// the message run_corpus has always printed after "FATAL: ".
+std::string run_cell(const core::BenchSource& bench, core::InputSize size,
+                     ir::OptLevel level, const env::BrowserEnv& browser,
+                     const env::RunOptions& options, bool with_native,
+                     bool native_fast_math_costs, Row& row) {
+  row.name = bench.name;
+  row.suite = bench.suite;
+  const core::BuildResult build = core::build(bench, size, level, options.toolchain);
+  if (!build.ok) {
+    return "build failed: " + build.error;
+  }
+  row.wasm_sha256 = support::sha256_hex(build.wasm.binary);
+  row.js_sha256 = support::sha256_hex(std::span(
+      reinterpret_cast<const uint8_t*>(build.js_source.data()), build.js_source.size()));
+  row.wasm = browser.run_wasm(build.wasm, options);
+  row.js = browser.run_js(build.js_source, options);
+  if (!row.wasm.ok || !row.js.ok) {
+    return bench.name + " failed: " + row.wasm.error + row.js.error;
+  }
+  if (row.wasm.result != row.js.result) {
+    return bench.name + " checksum mismatch (wasm " + format_int(row.wasm.result) +
+           ", js " + format_int(row.js.result) + ")";
+  }
+  if (with_native) {
+    row.native = core::run_native(build, native_fast_math_costs);
+    if (!row.native.ok) {
+      return bench.name + " native failed: " + row.native.error;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int effective_jobs() {
+  if (g_jobs > 0) return g_jobs;
+  if (const char* env = std::getenv("WB_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return static_cast<int>(support::hardware_jobs());
+}
+
+void set_jobs(int jobs) { g_jobs = jobs > 0 ? jobs : 0; }
+
+void parse_common_flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      const int v = std::atoi(argv[i] + 7);
+      if (v <= 0) {
+        std::fprintf(stderr, "FATAL: bad --jobs value: %s\n", argv[i] + 7);
+        std::exit(2);
+      }
+      set_jobs(v);
+    }
+  }
+}
+
+CorpusResult run_corpus_checked(core::InputSize size, ir::OptLevel level,
+                                const env::BrowserEnv& browser,
+                                const env::RunOptions& options, bool with_native,
+                                bool native_fast_math_costs, int jobs) {
+  const auto& benches = benchmarks::all_benchmarks();
+  const size_t n = benches.size();
+  if (jobs <= 0) jobs = effective_jobs();
+
+  CorpusResult out;
+  out.rows.resize(n);
+  std::vector<std::string> errors(n);
+  // Cells share nothing (each builds its own artifacts and instantiates
+  // its own VMs on a fresh virtual clock), so any schedule produces the
+  // same bits; only the rows vector is indexed concurrently, and each
+  // cell writes only rows[i]/errors[i].
+  support::parallel_for(n, static_cast<unsigned>(jobs), [&](size_t i) {
+    errors[i] = run_cell(benches[i], size, level, browser, options, with_native,
+                         native_fast_math_costs, out.rows[i]);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (!errors[i].empty()) out.failures.push_back({benches[i].name, errors[i]});
+  }
+  return out;
+}
 
 std::vector<Row> run_corpus(core::InputSize size, ir::OptLevel level,
                             const env::BrowserEnv& browser,
                             const env::RunOptions& options, bool with_native,
                             bool native_fast_math_costs) {
-  std::vector<Row> rows;
-  for (const auto& bench : benchmarks::all_benchmarks()) {
-    Row row;
-    row.name = bench.name;
-    row.suite = bench.suite;
-    const core::BuildResult build = core::build(bench, size, level, options.toolchain);
-    if (!build.ok) {
-      std::fprintf(stderr, "FATAL: build failed: %s\n", build.error.c_str());
-      std::exit(1);
-    }
-    row.wasm = browser.run_wasm(build.wasm, options);
-    row.js = browser.run_js(build.js_source, options);
-    if (!row.wasm.ok || !row.js.ok) {
-      std::fprintf(stderr, "FATAL: %s failed: %s%s\n", bench.name.c_str(),
-                   row.wasm.error.c_str(), row.js.error.c_str());
-      std::exit(1);
-    }
-    if (row.wasm.result != row.js.result) {
-      std::fprintf(stderr, "FATAL: %s checksum mismatch (wasm %d, js %d)\n",
-                   bench.name.c_str(), row.wasm.result, row.js.result);
-      std::exit(1);
-    }
-    if (with_native) {
-      row.native = core::run_native(build, native_fast_math_costs);
-      if (!row.native.ok) {
-        std::fprintf(stderr, "FATAL: %s native failed: %s\n", bench.name.c_str(),
-                     row.native.error.c_str());
-        std::exit(1);
-      }
-    }
-    rows.push_back(std::move(row));
+  CorpusResult result = run_corpus_checked(size, level, browser, options, with_native,
+                                           native_fast_math_costs);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", result.failures.front().error.c_str());
+    std::exit(1);
   }
-  return rows;
+  return std::move(result.rows);
 }
 
 namespace {

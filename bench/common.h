@@ -21,16 +21,54 @@ struct Row {
   env::PageMetrics wasm;
   env::PageMetrics js;
   core::NativeMetrics native;
+  std::string wasm_sha256;  ///< hex SHA-256 of the encoded Wasm binary
+  std::string js_sha256;    ///< hex SHA-256 of the generated JS source
 };
 
-/// Runs all 41 benchmarks at (size, level) in `browser`. Aborts the
-/// process with a message if any run fails — bench output must never
-/// silently drop a benchmark.
+/// One cell that failed, with the serial runner's exact message text.
+struct CellFailure {
+  std::string benchmark;
+  std::string error;
+};
+
+/// run_corpus_checked's outcome: rows for every benchmark (corpus order;
+/// failed cells carry ok=false metrics) plus the failures, if any.
+struct CorpusResult {
+  std::vector<Row> rows;
+  std::vector<CellFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs all 41 benchmarks at (size, level) in `browser`, `jobs` cells at a
+/// time (0 = effective_jobs()). Each cell is self-contained — own VM, own
+/// heap, own virtual clock — so the schedule cannot change any metric:
+/// rows are bit-identical to a jobs=1 run. Never aborts; failures are
+/// reported per cell and the rest of the corpus still runs.
+CorpusResult run_corpus_checked(core::InputSize size, ir::OptLevel level,
+                                const env::BrowserEnv& browser,
+                                const env::RunOptions& options = {},
+                                bool with_native = false,
+                                bool native_fast_math_costs = false,
+                                int jobs = 0);
+
+/// run_corpus_checked, but aborts the process with the first failure's
+/// message — bench output must never silently drop a benchmark.
 std::vector<Row> run_corpus(core::InputSize size, ir::OptLevel level,
                             const env::BrowserEnv& browser,
                             const env::RunOptions& options = {},
                             bool with_native = false,
                             bool native_fast_math_costs = false);
+
+/// Corpus concurrency. Priority: set_jobs() (the --jobs=N flag) >
+/// WB_JOBS env var > hardware concurrency. Always >= 1.
+int effective_jobs();
+void set_jobs(int jobs);
+
+/// Parses the shared bench flags (currently --jobs=N) out of argv and
+/// applies them; aborts on a malformed value. Unknown arguments are left
+/// for the binary's own parsing.
+void parse_common_flags(int argc, char** argv);
 
 /// Extracts a metric column from rows.
 std::vector<double> wasm_times(const std::vector<Row>& rows);

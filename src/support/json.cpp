@@ -1,0 +1,348 @@
+#include "support/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace wb::support::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const Value& v, int indent, int depth, std::string& out) {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent) * d, ' ');
+  };
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    out += std::to_string(v.as_int());
+  } else if (v.is_double()) {
+    const double d = v.as_double();
+    if (!std::isfinite(d)) {
+      out += "null";  // JSON has no Inf/NaN
+      return;
+    }
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+    (void)ec;
+    out.append(buf, end);
+  } else if (v.is_string()) {
+    append_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    const Array& a = v.as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i) out += ',';
+      newline(depth + 1);
+      dump_value(a[i], indent, depth + 1, out);
+    }
+    newline(depth);
+    out += ']';
+  } else {
+    const Object& o = v.as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (size_t i = 0; i < o.size(); ++i) {
+      if (i) out += ',';
+      newline(depth + 1);
+      append_escaped(out, o[i].first);
+      out += indent > 0 ? ": " : ":";
+      dump_value(o[i].second, indent, depth + 1, out);
+    }
+    newline(depth);
+    out += '}';
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string& error) : text_(text), error_(error) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& why) {
+    if (error_.empty()) error_ = "offset " + std::to_string(pos_) + ": " + why;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char c) {
+    if (eat(c)) return true;
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool parse_value(Value& out) {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': return parse_string_value(out);
+      case 't': return parse_literal("true", Value(true), out);
+      case 'f': return parse_literal("false", Value(false), out);
+      case 'n': return parse_literal("null", Value(nullptr), out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(const char* word, Value v, Value& out) {
+    const size_t len = std::strlen(word);
+    if (text_.substr(pos_, len) != word) {
+      fail(std::string("invalid literal (expected ") + word + ")");
+      return false;
+    }
+    pos_ += len;
+    out = std::move(v);
+    return true;
+  }
+
+  bool parse_number(Value& out) {
+    const size_t start = pos_;
+    if (eat('-')) {}
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    bool is_double = false;
+    if (eat('.')) {
+      is_double = true;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") {
+      fail("invalid number");
+      return false;
+    }
+    if (!is_double) {
+      int64_t i = 0;
+      const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (ec == std::errc() && p == tok.data() + tok.size()) {
+        out = Value(i);
+        return true;
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double d = 0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || p != tok.data() + tok.size()) {
+      fail("invalid number");
+      return false;
+    }
+    out = Value(d);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("invalid \\u escape");
+                return false;
+              }
+            }
+            // Encode as UTF-8 (surrogate pairs are not combined; the
+            // serializer never emits escapes above U+001F anyway).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xc0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            }
+            break;
+          }
+          default:
+            fail("invalid escape");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_string_value(Value& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = Value(std::move(s));
+    return true;
+  }
+
+  bool parse_array(Value& out) {
+    if (!expect('[')) return false;
+    Array a;
+    skip_ws();
+    if (eat(']')) {
+      out = Value(std::move(a));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      a.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) break;
+      if (!expect(',')) return false;
+    }
+    out = Value(std::move(a));
+    return true;
+  }
+
+  bool parse_object(Value& out) {
+    if (!expect('{')) return false;
+    Object o;
+    skip_ws();
+    if (eat('}')) {
+      out = Value(std::move(o));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      for (const auto& [k, v] : o) {
+        if (k == key) {
+          fail("duplicate object key: " + key);
+          return false;
+        }
+      }
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      o.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eat('}')) break;
+      if (!expect(',')) return false;
+    }
+    out = Value(std::move(o));
+    return true;
+  }
+
+  std::string_view text_;
+  std::string& error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(*this, indent, 0, out);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+std::optional<Value> parse(std::string_view text, std::string& error) {
+  error.clear();
+  return Parser(text, error).run();
+}
+
+}  // namespace wb::support::json

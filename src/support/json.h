@@ -1,0 +1,76 @@
+// A minimal JSON value type with a strict parser and a canonical
+// serializer. Backs the golden-result gate (tools/wb_study reads
+// goldens/study.json with it) and trace-output validation.
+//
+// Deliberately small: objects preserve insertion order (so serialization
+// is canonical and diffs are stable), integers that fit int64 round-trip
+// exactly (cost_ps must never pass through a double), and parse errors
+// carry a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace wb::support::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// Insertion-ordered key/value pairs (duplicate keys are a parse error).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(int64_t i) : v_(i) {}
+  Value(uint64_t u) : v_(static_cast<int64_t>(u)) {}
+  Value(int i) : v_(static_cast<int64_t>(i)) {}
+  Value(double d) : v_(d) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] int64_t as_int() const { return std::get<int64_t>(v_); }
+  [[nodiscard]] double as_double() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(v_)) : std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(v_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(v_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Serializes canonically. indent = 0 emits one line; indent > 0
+  /// pretty-prints with that many spaces per level. Object key order is
+  /// insertion order; doubles use shortest round-trip formatting.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array, Object> v_;
+};
+
+/// Strict RFC 8259 subset parser (no comments, no trailing commas).
+/// On failure returns nullopt and fills `error` with "offset N: why".
+std::optional<Value> parse(std::string_view text, std::string& error);
+
+}  // namespace wb::support::json

@@ -1,0 +1,121 @@
+#include "support/thread_pool.h"
+
+#include <utility>
+
+namespace wb::support {
+
+unsigned hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = hardware_jobs();
+  queues_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  size_t target;
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+    ++queued_;
+    target = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(size_t self, std::function<void()>& out) {
+  // Own deque first (LIFO: the most recently pushed task is cache-warm),
+  // then steal the oldest task from the other workers.
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  for (size_t i = 1; i < queues_.size(); ++i) {
+    Queue& q = *queues_[(self + i) % queues_.size()];
+    std::lock_guard lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      {
+        std::lock_guard lock(mutex_);
+        --queued_;
+      }
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      bool idle;
+      {
+        std::lock_guard lock(mutex_);
+        idle = --pending_ == 0;
+      }
+      if (idle) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock lock(mutex_);
+    work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void parallel_for(size_t n, unsigned jobs, const std::function<void(size_t)>& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (jobs > n) jobs = static_cast<unsigned>(n);
+  ThreadPool pool(jobs);
+  for (size_t i = 0; i < n; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace wb::support

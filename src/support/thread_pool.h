@@ -1,0 +1,71 @@
+// A small work-stealing thread pool for corpus-level parallelism. Every
+// benchmark cell in the study is self-contained (own VM, own heap, own
+// virtual clock), so cells can run concurrently without changing a single
+// measured bit — the pool only schedules; determinism comes from the cells.
+//
+// Scheduling: each worker owns a deque. submit() distributes round-robin;
+// a worker pops its own deque LIFO (cache-warm) and steals FIFO from the
+// other workers when its own deque drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wb::support {
+
+/// std::thread::hardware_concurrency(), never 0.
+unsigned hardware_jobs();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware_jobs()).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks may submit further tasks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first exception (the others are dropped).
+  void wait_idle();
+
+  [[nodiscard]] size_t thread_count() const { return workers_.size(); }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(size_t self);
+  bool try_pop(size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;  ///< guards stop_/pending_/queued_/first_error_ and the CVs
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  bool stop_ = false;
+  size_t pending_ = 0;     ///< submitted but not yet finished
+  size_t queued_ = 0;      ///< sitting in a deque, not yet claimed
+  size_t next_queue_ = 0;  ///< round-robin submit cursor
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(0), ..., fn(n-1), distributing across `jobs` threads. With
+/// jobs <= 1 (or n <= 1) everything runs inline on the caller in index
+/// order — the serial baseline the parallel path must match bit-for-bit.
+void parallel_for(size_t n, unsigned jobs, const std::function<void(size_t)>& fn);
+
+}  // namespace wb::support

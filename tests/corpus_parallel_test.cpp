@@ -1,0 +1,100 @@
+// The tentpole guarantee of the parallel study runner: running the corpus
+// with --jobs=4 produces bit-identical metrics — and therefore
+// byte-identical printed tables — to the serial run. Every cell owns its
+// VMs and virtual clock, so the schedule must not be observable.
+#include "common.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace wb;
+using namespace wb::bench;
+
+namespace {
+
+void expect_metrics_identical(const env::PageMetrics& a, const env::PageMetrics& b,
+                              const std::string& what) {
+  EXPECT_EQ(a.ok, b.ok) << what;
+  EXPECT_EQ(a.result, b.result) << what;
+  EXPECT_EQ(a.cost_ps, b.cost_ps) << what;
+  // time_ms is derived from cost_ps; require bit equality, not closeness.
+  EXPECT_EQ(a.time_ms, b.time_ms) << what;
+  EXPECT_EQ(a.memory_bytes, b.memory_bytes) << what;
+  EXPECT_EQ(a.code_size, b.code_size) << what;
+  EXPECT_EQ(a.ops, b.ops) << what;
+  EXPECT_EQ(a.boundary_crossings, b.boundary_crossings) << what;
+}
+
+/// Renders rows the way bench binaries do, so identical strings mean
+/// byte-identical table output.
+std::string render_rows(const std::vector<Row>& rows) {
+  support::TextTable table("corpus");
+  table.set_header({"Benchmark", "Suite", "JS ms", "Wasm ms", "x86 ms", "Wasm KB",
+                    "JS KB", "Wasm mem KB", "JS mem KB"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, r.suite, support::fmt(r.js.time_ms, 3),
+                   support::fmt(r.wasm.time_ms, 3), support::fmt(r.native.time_ms, 3),
+                   support::fmt_kb(static_cast<double>(r.wasm.code_size)),
+                   support::fmt_kb(static_cast<double>(r.js.code_size)),
+                   support::fmt_kb(static_cast<double>(r.wasm.memory_bytes)),
+                   support::fmt_kb(static_cast<double>(r.js.memory_bytes))});
+  }
+  return table.render();
+}
+
+TEST(CorpusParallel, ParallelRunIsBitIdenticalToSerial) {
+  const env::BrowserEnv chrome(env::Browser::Chrome, env::Platform::Desktop);
+
+  const CorpusResult serial = run_corpus_checked(
+      core::InputSize::XS, ir::OptLevel::O2, chrome, {}, /*with_native=*/true,
+      /*native_fast_math_costs=*/false, /*jobs=*/1);
+  const CorpusResult parallel = run_corpus_checked(
+      core::InputSize::XS, ir::OptLevel::O2, chrome, {}, /*with_native=*/true,
+      /*native_fast_math_costs=*/false, /*jobs=*/4);
+
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  ASSERT_EQ(serial.rows.size(), benchmarks::all_benchmarks().size());
+
+  for (size_t i = 0; i < serial.rows.size(); ++i) {
+    const Row& s = serial.rows[i];
+    const Row& p = parallel.rows[i];
+    EXPECT_EQ(s.name, p.name) << "row order changed at " << i;
+    EXPECT_EQ(s.suite, p.suite);
+    expect_metrics_identical(s.wasm, p.wasm, s.name + " wasm");
+    expect_metrics_identical(s.js, p.js, s.name + " js");
+    EXPECT_EQ(s.native.ok, p.native.ok) << s.name;
+    EXPECT_EQ(s.native.result, p.native.result) << s.name;
+    EXPECT_EQ(s.native.time_ms, p.native.time_ms) << s.name;
+    EXPECT_EQ(s.native.code_size, p.native.code_size) << s.name;
+    EXPECT_EQ(s.native.memory_bytes, p.native.memory_bytes) << s.name;
+    EXPECT_EQ(s.wasm_sha256, p.wasm_sha256) << s.name;
+    EXPECT_EQ(s.js_sha256, p.js_sha256) << s.name;
+    EXPECT_EQ(s.wasm_sha256.size(), 64u);
+    EXPECT_EQ(s.js_sha256.size(), 64u);
+  }
+
+  // Identical metrics in identical order ⇒ identical printed bytes.
+  EXPECT_EQ(render_rows(serial.rows), render_rows(parallel.rows));
+}
+
+TEST(CorpusParallel, JobsResolutionPrefersExplicitSetting) {
+  set_jobs(3);
+  EXPECT_EQ(effective_jobs(), 3);
+  set_jobs(0);  // back to WB_JOBS / hardware
+  EXPECT_GE(effective_jobs(), 1);
+}
+
+TEST(CorpusParallel, ParseCommonFlagsReadsJobs) {
+  std::string arg0 = "bench";
+  std::string arg1 = "--jobs=5";
+  char* argv[] = {arg0.data(), arg1.data(), nullptr};
+  parse_common_flags(2, argv);
+  EXPECT_EQ(effective_jobs(), 5);
+  set_jobs(0);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+namespace json = wb::support::json;
+
+namespace {
+
+json::Value parse_ok(const std::string& text) {
+  std::string error;
+  auto v = json::parse(text, error);
+  EXPECT_TRUE(v.has_value()) << error;
+  return v.value_or(json::Value());
+}
+
+std::string parse_error(const std::string& text) {
+  std::string error;
+  auto v = json::parse(text, error);
+  EXPECT_FALSE(v.has_value()) << "unexpectedly parsed: " << text;
+  return error;
+}
+
+TEST(Json, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_EQ(parse_ok("true").as_bool(), true);
+  EXPECT_EQ(parse_ok("false").as_bool(), false);
+  EXPECT_EQ(parse_ok("42").as_int(), 42);
+  EXPECT_EQ(parse_ok("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse_ok("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_ok("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse_ok("\"hi\\n\\\"there\\\"\"").as_string(), "hi\n\"there\"");
+}
+
+TEST(Json, Int64RoundTripsExactly) {
+  // cost_ps values must never pass through a double.
+  const int64_t big = 9007199254740993;  // 2^53 + 1, not representable as double
+  const json::Value v = parse_ok(std::to_string(big));
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), big);
+  EXPECT_EQ(v.dump(), std::to_string(big));
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  const json::Value v = parse_ok(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(v.is_object());
+  const json::Object& o = v.as_object();
+  ASSERT_EQ(o.size(), 3u);
+  EXPECT_EQ(o[0].first, "z");
+  EXPECT_EQ(o[1].first, "a");
+  EXPECT_EQ(o[2].first, "m");
+  EXPECT_EQ(v.dump(), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(Json, FindAndNesting) {
+  const json::Value v =
+      parse_ok(R"({"cells": [{"name": "gemm", "cost_ps": 123}], "n": 1})");
+  const json::Value* cells = v.find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_TRUE(cells->is_array());
+  ASSERT_EQ(cells->as_array().size(), 1u);
+  const json::Value& cell = cells->as_array()[0];
+  ASSERT_NE(cell.find("cost_ps"), nullptr);
+  EXPECT_EQ(cell.find("cost_ps")->as_int(), 123);
+  EXPECT_EQ(cell.find("absent"), nullptr);
+}
+
+TEST(Json, DumpPrettyRoundTrips) {
+  json::Object inner;
+  inner.emplace_back("cost_ps", int64_t{981273123});
+  inner.emplace_back("sha256", "abc123");
+  json::Object root;
+  root.emplace_back("schema_version", 1);
+  root.emplace_back("cells", json::Array{json::Value(std::move(inner))});
+  const json::Value doc{std::move(root)};
+
+  const std::string pretty = doc.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const json::Value again = parse_ok(pretty);
+  EXPECT_EQ(again.dump(), doc.dump());
+  EXPECT_EQ(again.dump(2), pretty);
+}
+
+TEST(Json, StringEscapes) {
+  const json::Value v = parse_ok(R"("tab\tnl\nuA")");
+  EXPECT_EQ(v.as_string(), "tab\tnl\nuA");
+  // Control characters are re-escaped on dump.
+  EXPECT_EQ(json::Value(std::string("a\x01""b")).dump(), R"("a\u0001b")");
+}
+
+TEST(Json, Errors) {
+  EXPECT_NE(parse_error("{"), "");
+  EXPECT_NE(parse_error("[1,]"), "");
+  EXPECT_NE(parse_error("\"unterminated"), "");
+  EXPECT_NE(parse_error("12 34"), "");
+  EXPECT_NE(parse_error("{\"a\":1,\"a\":2}"), "");  // duplicate keys rejected
+  EXPECT_NE(parse_error(""), "");
+  EXPECT_NE(parse_error("nul"), "");
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+using wb::support::ThreadPool;
+using wb::support::parallel_for;
+
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  pool.submit([] {});
+  pool.wait_idle();
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, TasksCanSubmitTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([i] {
+      if (i % 2 == 0) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, WorkIsStolenAcrossWorkers) {
+  // All tasks land on worker 0's deque via round-robin over 1 submit
+  // each... instead, verify that many short tasks complete even when one
+  // worker is pinned by a long task (requires stealing or distribution).
+  ThreadPool pool(4);
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  pool.submit([&release] {
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // The 64 short tasks must finish while the long task still blocks.
+  while (done.load(std::memory_order_relaxed) < 64) std::this_thread::yield();
+  release.store(true, std::memory_order_release);
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const unsigned jobs : {1u, 2u, 4u, 9u}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(hits.size(), jobs, [&hits](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, SerialFallbackRunsInOrder) {
+  std::vector<size_t> order;
+  parallel_for(10, 1, [&order](size_t i) { order.push_back(i); });
+  std::vector<size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, ResultsMatchSerialBaseline) {
+  // The contract run_corpus relies on: per-index outputs are identical
+  // regardless of the number of jobs.
+  const auto compute = [](size_t i) {
+    uint64_t x = i * 0x9e3779b97f4a7c15ull + 1;
+    for (int r = 0; r < 1000; ++r) x ^= x << 13, x ^= x >> 7, x ^= x << 17;
+    return x;
+  };
+  std::vector<uint64_t> serial(100), parallel(100);
+  parallel_for(serial.size(), 1, [&](size_t i) { serial[i] = compute(i); });
+  parallel_for(parallel.size(), 4, [&](size_t i) { parallel[i] = compute(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, ZeroAndOneElement) {
+  int calls = 0;
+  parallel_for(0, 4, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace

@@ -1,0 +1,428 @@
+// wb_study — the study matrix runner behind the golden-result CI gate.
+//
+// Runs a configurable slice of the full study matrix (benchmarks x sizes x
+// opt levels x browsers x platforms) and emits canonical, sorted,
+// schema-versioned JSON with every reported number per cell: wasm/js
+// cost_ps on the exact virtual clock, memory, code size, checksum,
+// boundary crossings, op counts, and a SHA-256 of each compiled artifact.
+// Because the whole study runs on a deterministic virtual clock, the file
+// is byte-reproducible — so CI can gate on *exact* equality:
+//
+//   wb_study --out=goldens/study.json     # regenerate the golden
+//   wb_study --check                      # rerun + diff, exit 1 on drift
+//
+// --check replays the matrix recorded in the golden itself (so the gate
+// cannot silently check a narrower slice than was committed) and prints a
+// per-cell diff (benchmark, browser, level, metric, old -> new) for any
+// change. A PR that changes any reported number must regenerate the
+// golden in the same PR, making result drift reviewable.
+//
+// Usage:
+//   wb_study [--out=goldens/study.json]
+//            [--check] [--golden=goldens/study.json] [--diff-out=PATH]
+//            [--sizes=S,M] [--levels=O2,Ofast]
+//            [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]
+//            [--toolchain=Cheerp] [--with-native] [--jobs=N]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common.h"
+#include "support/json.h"
+
+namespace {
+
+using namespace wb;
+namespace json = support::json;
+
+constexpr int kSchemaVersion = 1;
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "wb_study: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+// ------------------------------------------------------------- matrix
+
+struct Matrix {
+  std::vector<core::InputSize> sizes = {core::InputSize::S, core::InputSize::M};
+  std::vector<ir::OptLevel> levels = {ir::OptLevel::O2, ir::OptLevel::Ofast};
+  std::vector<env::Browser> browsers = {env::Browser::Chrome, env::Browser::Firefox,
+                                        env::Browser::Edge};
+  std::vector<env::Platform> platforms = {env::Platform::Desktop};
+  backend::Toolchain toolchain = backend::Toolchain::Cheerp;
+  bool with_native = false;
+};
+
+template <typename T>
+T parse_one(const std::string& token, const std::vector<T>& candidates,
+            const char* what) {
+  for (const T c : candidates) {
+    if (token == to_string(c)) return c;
+  }
+  die(std::string("unknown ") + what + ": " + token);
+}
+
+template <typename T>
+std::vector<T> parse_list(const std::string& csv, const std::vector<T>& candidates,
+                          const char* what) {
+  std::vector<T> out;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    out.push_back(parse_one(token, candidates, what));
+  }
+  if (out.empty()) die(std::string("empty ") + what + " list: " + csv);
+  return out;
+}
+
+const std::vector<core::InputSize> kSizes(core::kAllSizes.begin(), core::kAllSizes.end());
+const std::vector<ir::OptLevel> kLevels = {
+    ir::OptLevel::O0, ir::OptLevel::O1, ir::OptLevel::O2,   ir::OptLevel::O3,
+    ir::OptLevel::Ofast, ir::OptLevel::Os, ir::OptLevel::Oz};
+const std::vector<env::Browser> kBrowsers = {env::Browser::Chrome, env::Browser::Firefox,
+                                             env::Browser::Edge};
+const std::vector<env::Platform> kPlatforms = {env::Platform::Desktop,
+                                               env::Platform::Mobile};
+const std::vector<backend::Toolchain> kToolchains = {backend::Toolchain::Cheerp,
+                                                     backend::Toolchain::Emscripten};
+
+json::Value matrix_to_json(const Matrix& m) {
+  json::Array sizes, levels, browsers, platforms;
+  for (const auto s : m.sizes) sizes.emplace_back(core::to_string(s));
+  for (const auto l : m.levels) levels.emplace_back(ir::to_string(l));
+  for (const auto b : m.browsers) browsers.emplace_back(env::to_string(b));
+  for (const auto p : m.platforms) platforms.emplace_back(env::to_string(p));
+  json::Object o;
+  o.emplace_back("sizes", std::move(sizes));
+  o.emplace_back("levels", std::move(levels));
+  o.emplace_back("browsers", std::move(browsers));
+  o.emplace_back("platforms", std::move(platforms));
+  o.emplace_back("toolchain", backend::to_string(m.toolchain));
+  o.emplace_back("with_native", m.with_native);
+  return o;
+}
+
+Matrix matrix_from_json(const json::Value& v) {
+  Matrix m;
+  const auto list = [&](const char* key) -> std::vector<std::string> {
+    const json::Value* a = v.find(key);
+    if (!a || !a->is_array()) die(std::string("golden matrix missing ") + key);
+    std::vector<std::string> out;
+    for (const auto& e : a->as_array()) out.push_back(e.as_string());
+    return out;
+  };
+  m.sizes.clear();
+  for (const auto& s : list("sizes")) m.sizes.push_back(parse_one(s, kSizes, "size"));
+  m.levels.clear();
+  for (const auto& s : list("levels")) m.levels.push_back(parse_one(s, kLevels, "level"));
+  m.browsers.clear();
+  for (const auto& s : list("browsers"))
+    m.browsers.push_back(parse_one(s, kBrowsers, "browser"));
+  m.platforms.clear();
+  for (const auto& s : list("platforms"))
+    m.platforms.push_back(parse_one(s, kPlatforms, "platform"));
+  if (const json::Value* t = v.find("toolchain"))
+    m.toolchain = parse_one(t->as_string(), kToolchains, "toolchain");
+  if (const json::Value* n = v.find("with_native")) m.with_native = n->as_bool();
+  return m;
+}
+
+// ---------------------------------------------------------------- run
+
+json::Value page_metrics_json(const env::PageMetrics& m, const std::string& sha) {
+  json::Object o;
+  o.emplace_back("cost_ps", static_cast<int64_t>(m.cost_ps));
+  o.emplace_back("memory_bytes", static_cast<int64_t>(m.memory_bytes));
+  o.emplace_back("code_size", static_cast<int64_t>(m.code_size));
+  o.emplace_back("result", static_cast<int64_t>(m.result));
+  o.emplace_back("ops", static_cast<int64_t>(m.ops));
+  o.emplace_back("boundary_crossings", static_cast<int64_t>(m.boundary_crossings));
+  o.emplace_back("sha256", sha);
+  return o;
+}
+
+json::Value native_metrics_json(const core::NativeMetrics& m) {
+  json::Object o;
+  o.emplace_back("time_ms", m.time_ms);
+  o.emplace_back("memory_bytes", static_cast<int64_t>(m.memory_bytes));
+  o.emplace_back("code_size", static_cast<int64_t>(m.code_size));
+  o.emplace_back("result", static_cast<int64_t>(m.result));
+  return o;
+}
+
+/// Runs the whole matrix slice and returns the canonical document. Each
+/// (size, level, browser, platform) combo fans its 41 cells out across
+/// the corpus thread pool; failed cells are recorded, not fatal.
+json::Value run_matrix(const Matrix& m) {
+  struct Cell {
+    std::string key;  ///< sort key: benchmark|browser|platform|size|level
+    json::Object body;
+  };
+  std::vector<Cell> cells;
+
+  for (const env::Browser browser : m.browsers) {
+    for (const env::Platform platform : m.platforms) {
+      const env::BrowserEnv browser_env(browser, platform);
+      for (const core::InputSize size : m.sizes) {
+        for (const ir::OptLevel level : m.levels) {
+          env::RunOptions options;
+          options.toolchain = m.toolchain;
+          std::fprintf(stderr, "running %s/%s %s %s ...\n", env::to_string(browser),
+                       env::to_string(platform), core::to_string(size),
+                       ir::to_string(level));
+          const bench::CorpusResult result = bench::run_corpus_checked(
+              size, level, browser_env, options, m.with_native,
+              /*native_fast_math_costs=*/level == ir::OptLevel::Ofast);
+          std::vector<std::pair<std::string, std::string>> combo_errors;
+          for (const bench::CellFailure& f : result.failures) {
+            std::fprintf(stderr, "  cell failed: %s: %s\n", f.benchmark.c_str(),
+                         f.error.c_str());
+            combo_errors.emplace_back(f.benchmark, f.error);
+          }
+          for (const bench::Row& row : result.rows) {
+            Cell cell;
+            cell.key = row.name + '|' + env::to_string(browser) + '|' +
+                       env::to_string(platform) + '|' + core::to_string(size) + '|' +
+                       ir::to_string(level);
+            cell.body.emplace_back("benchmark", row.name);
+            cell.body.emplace_back("suite", row.suite);
+            cell.body.emplace_back("browser", env::to_string(browser));
+            cell.body.emplace_back("platform", env::to_string(platform));
+            cell.body.emplace_back("size", core::to_string(size));
+            cell.body.emplace_back("level", ir::to_string(level));
+            if (row.wasm.ok && row.js.ok && (!m.with_native || row.native.ok)) {
+              cell.body.emplace_back("status", "ok");
+              cell.body.emplace_back("wasm",
+                                     page_metrics_json(row.wasm, row.wasm_sha256));
+              cell.body.emplace_back("js", page_metrics_json(row.js, row.js_sha256));
+              if (m.with_native)
+                cell.body.emplace_back("native", native_metrics_json(row.native));
+            } else {
+              cell.body.emplace_back("status", "failed");
+              for (const auto& [name, message] : combo_errors) {
+                if (name == row.name) cell.body.emplace_back("error", message);
+              }
+            }
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.key < b.key; });
+
+  json::Array cell_array;
+  cell_array.reserve(cells.size());
+  for (Cell& c : cells) cell_array.emplace_back(std::move(c.body));
+
+  json::Object root;
+  root.emplace_back("schema_version", kSchemaVersion);
+  root.emplace_back("tool", "wb_study");
+  root.emplace_back("matrix", matrix_to_json(m));
+  root.emplace_back("cell_count", static_cast<int64_t>(cell_array.size()));
+  root.emplace_back("cells", std::move(cell_array));
+  return root;
+}
+
+// --------------------------------------------------------------- diff
+
+std::string cell_key(const json::Value& cell) {
+  const auto field = [&](const char* k) -> std::string {
+    const json::Value* v = cell.find(k);
+    return v && v->is_string() ? v->as_string() : "?";
+  };
+  return field("benchmark") + " @ " + field("browser") + "/" + field("platform") +
+         " " + field("size") + " " + field("level");
+}
+
+void diff_value(const std::string& where, const std::string& path,
+                const json::Value& golden, const json::Value& current,
+                std::vector<std::string>& out) {
+  const auto leaf = [&](const std::string& old_repr, const std::string& new_repr) {
+    out.push_back(where + ": " + path + " " + old_repr + " -> " + new_repr);
+  };
+  if (golden.is_object() && current.is_object()) {
+    for (const auto& [k, gv] : golden.as_object()) {
+      const json::Value* cv = current.find(k);
+      const std::string sub = path.empty() ? k : path + "." + k;
+      if (!cv) {
+        out.push_back(where + ": " + sub + " " + gv.dump() + " -> (missing)");
+      } else {
+        diff_value(where, sub, gv, *cv, out);
+      }
+    }
+    for (const auto& [k, cv] : current.as_object()) {
+      if (!golden.find(k)) {
+        const std::string sub = path.empty() ? k : path + "." + k;
+        out.push_back(where + ": " + sub + " (missing) -> " + cv.dump());
+      }
+    }
+    return;
+  }
+  if (golden.dump() != current.dump()) leaf(golden.dump(), current.dump());
+}
+
+/// Compares golden vs current per cell. Returns the human-readable diff
+/// lines; empty means the gate passes.
+std::vector<std::string> diff_documents(const json::Value& golden,
+                                        const json::Value& current) {
+  std::vector<std::string> out;
+
+  const json::Value* gv = golden.find("schema_version");
+  const json::Value* cv = current.find("schema_version");
+  if (!gv || !cv || gv->dump() != cv->dump()) {
+    out.push_back("schema_version mismatch: " + (gv ? gv->dump() : "(none)") +
+                  " -> " + (cv ? cv->dump() : "(none)"));
+    return out;
+  }
+
+  const json::Value* gcells = golden.find("cells");
+  const json::Value* ccells = current.find("cells");
+  if (!gcells || !gcells->is_array() || !ccells || !ccells->is_array()) {
+    out.push_back("malformed document: missing cells array");
+    return out;
+  }
+
+  std::vector<std::pair<std::string, const json::Value*>> cur;
+  for (const auto& c : ccells->as_array()) cur.emplace_back(cell_key(c), &c);
+
+  for (const auto& g : gcells->as_array()) {
+    const std::string key = cell_key(g);
+    const json::Value* match = nullptr;
+    for (const auto& [k, v] : cur) {
+      if (k == key) {
+        match = v;
+        break;
+      }
+    }
+    if (!match) {
+      out.push_back(key + ": cell missing from current run");
+      continue;
+    }
+    diff_value(key, "", g, *match, out);
+  }
+  for (const auto& [k, v] : cur) {
+    bool in_golden = false;
+    for (const auto& g : gcells->as_array()) in_golden |= cell_key(g) == k;
+    if (!in_golden) out.push_back(k + ": cell not present in golden");
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- io
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) die("cannot read " + path.string());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) die("cannot write " + path.string());
+  out << content;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::filesystem::path out_path = "goldens/study.json";
+  std::filesystem::path golden_path = "goldens/study.json";
+  std::filesystem::path diff_out;
+  Matrix matrix;
+  bool matrix_flag_seen = false;
+
+  bench::parse_common_flags(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = value("--out=");
+    } else if (arg.rfind("--golden=", 0) == 0) {
+      golden_path = value("--golden=");
+    } else if (arg.rfind("--diff-out=", 0) == 0) {
+      diff_out = value("--diff-out=");
+    } else if (arg.rfind("--sizes=", 0) == 0) {
+      matrix.sizes = parse_list(value("--sizes="), kSizes, "size");
+      matrix_flag_seen = true;
+    } else if (arg.rfind("--levels=", 0) == 0) {
+      matrix.levels = parse_list(value("--levels="), kLevels, "level");
+      matrix_flag_seen = true;
+    } else if (arg.rfind("--browsers=", 0) == 0) {
+      matrix.browsers = parse_list(value("--browsers="), kBrowsers, "browser");
+      matrix_flag_seen = true;
+    } else if (arg.rfind("--platforms=", 0) == 0) {
+      matrix.platforms = parse_list(value("--platforms="), kPlatforms, "platform");
+      matrix_flag_seen = true;
+    } else if (arg.rfind("--toolchain=", 0) == 0) {
+      matrix.toolchain = parse_one(value("--toolchain="), kToolchains, "toolchain");
+      matrix_flag_seen = true;
+    } else if (arg == "--with-native") {
+      matrix.with_native = true;
+      matrix_flag_seen = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      // handled by parse_common_flags
+    } else {
+      die("unknown flag: " + arg + " (see header comment for usage)");
+    }
+  }
+
+  if (!check) {
+    const json::Value doc = run_matrix(matrix);
+    write_file(out_path, doc.dump(2));
+    std::printf("wrote %s (%s cells)\n", out_path.string().c_str(),
+                doc.find("cell_count")->dump().c_str());
+    return 0;
+  }
+
+  // --check: replay the slice recorded in the golden itself.
+  if (matrix_flag_seen) {
+    std::fprintf(stderr,
+                 "note: --check replays the matrix recorded in the golden; "
+                 "matrix flags are ignored\n");
+  }
+  std::string error;
+  const std::optional<json::Value> golden = json::parse(read_file(golden_path), error);
+  if (!golden) die("golden " + golden_path.string() + " is not valid JSON: " + error);
+  const json::Value* gmatrix = golden->find("matrix");
+  if (!gmatrix) die("golden has no matrix description");
+  const json::Value current = run_matrix(matrix_from_json(*gmatrix));
+
+  const std::vector<std::string> diffs = diff_documents(*golden, current);
+  if (diffs.empty()) {
+    std::printf("golden gate OK: %s cells bit-identical to %s\n",
+                current.find("cell_count")->dump().c_str(),
+                golden_path.string().c_str());
+    return 0;
+  }
+  std::string report;
+  report += "golden gate FAILED: " + std::to_string(diffs.size()) +
+            " difference(s) vs " + golden_path.string() + "\n";
+  for (const auto& d : diffs) report += "  " + d + "\n";
+  report +=
+      "If this change is intentional, regenerate the golden in this PR:\n"
+      "  wb_study --out=" + golden_path.string() + "\n";
+  std::fputs(report.c_str(), stdout);
+  if (!diff_out.empty()) write_file(diff_out, report);
+  return 1;
+}

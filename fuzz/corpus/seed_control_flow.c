@@ -1,0 +1,31 @@
+/* Regression seed: switch, continue/break in for, nested if/else. */
+int g0[64];
+int main(void) {
+  int i0; int t0; int cs = 0;
+  for (i0 = 0; i0 < 64; i0++) g0[i0] = (i0 * 13 + 9) % 251;
+  for (i0 = 0; i0 < 64; i0++) {
+    if (i0 == 50) break;
+    if ((i0 & 3) == 1) continue;
+    switch (g0[i0] & 3) {
+      case 0:
+        g0[i0] += i0;
+        break;
+      case 1:
+        g0[(i0 + 1) & 63] ^= 7;
+        break;
+      case 2:
+        if (g0[i0] > 100) {
+          g0[i0] -= 31;
+        } else {
+          g0[i0] += 17;
+        }
+        break;
+      default:
+        t0 = g0[i0] % (1 + (i0 & 15));
+        g0[i0] = t0 * 5;
+        break;
+    }
+  }
+  for (i0 = 0; i0 < 64; i0++) cs = cs ^ (g0[i0] * (i0 + 1));
+  return cs % 1000003;
+}

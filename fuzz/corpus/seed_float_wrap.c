@@ -1,0 +1,17 @@
+/* Regression seed: the floor-mod wrap idiom plus range-guarded libm. */
+double g0[16];
+double g1[8];
+int main(void) {
+  int i0; double fs = 0.0;
+  for (i0 = 0; i0 < 16; i0++) g0[i0] = (double)(i0 * 5 % 97) / 4.0;
+  for (i0 = 0; i0 < 8; i0++) g1[i0] = (double)(i0 * 3 % 97) / 3.0;
+  for (i0 = 0; i0 < 16; i0++) {
+    double v = sqrt(fabs(g0[i0])) + sin(g1[i0 & 7]) * cos(g0[i0]) +
+               pow(sin(g0[i0]) + 2.0, 2.0) + exp(cos(g1[i0 & 7])) +
+               log(1.0 + fabs(g0[i0]));
+    g0[i0] = (v) - floor((v) / 256.0) * 256.0;
+  }
+  for (i0 = 0; i0 < 16; i0++) fs += g0[i0] - floor(g0[i0] / 100.0) * 100.0;
+  for (i0 = 0; i0 < 8; i0++) fs += g1[i0] - floor(g1[i0] / 100.0) * 100.0;
+  return (int)(fs * 8.0);
+}

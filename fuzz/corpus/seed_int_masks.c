@@ -1,0 +1,15 @@
+/* Regression seed: masked indexing, guarded division, xor checksum. */
+int g0[16];
+int g1[32];
+int main(void) {
+  int i0; int t0; int cs = 0;
+  for (i0 = 0; i0 < 16; i0++) g0[i0] = (i0 * 7 + 3) % 251;
+  for (i0 = 0; i0 < 32; i0++) g1[i0] = (i0 * 11 + 5) % 251;
+  for (i0 = 0; i0 < 32; i0++) {
+    t0 = g1[(i0 + 3) & 31] / (1 + (g0[i0 & 15] & 15));
+    g1[i0 & 31] ^= t0 * 3 - (t0 >> 2);
+  }
+  for (i0 = 0; i0 < 16; i0++) cs = cs ^ (g0[i0] * (i0 + 1));
+  for (i0 = 0; i0 < 32; i0++) cs = cs ^ (g1[i0] * (i0 + 1));
+  return cs % 1000003;
+}

@@ -1,0 +1,18 @@
+/* Regression seed: bounded recursion and helper calls. */
+int g0[32];
+int h0(int n) {
+  if (n <= 0) return 1;
+  return ((n & 7) + 5 * h0(n - 1)) % 9973;
+}
+int h1(int a, int b) {
+  return ((a ^ b) + (a / (1 + (b & 15)))) * 3;
+}
+int main(void) {
+  int i0; int cs = 0;
+  for (i0 = 0; i0 < 32; i0++) g0[i0] = (i0 * 9 + 1) % 251;
+  for (i0 = 0; i0 < 32; i0++) {
+    g0[i0] = g0[i0] + h0(i0 & 15) - h1(g0[i0], i0);
+  }
+  for (i0 = 0; i0 < 32; i0++) cs = cs ^ (g0[i0] * (i0 + 1));
+  return cs % 1000003;
+}

@@ -1,0 +1,13 @@
+/* Regression seed: unsigned FNV mix over an unsigned char array. */
+unsigned char g0[64];
+unsigned uh;
+int main(void) {
+  int i0; int cs = 0;
+  for (i0 = 0; i0 < 64; i0++) g0[i0] = (i0 * 131 + 7) % 251;
+  uh = 2166136261;
+  for (i0 = 0; i0 < 64; i0++) uh = (uh ^ (unsigned)g0[i0]) * 16777619;
+  uh = uh ^ (uh >> 13);
+  cs = cs ^ (int)(uh & 0x7fffffff);
+  for (i0 = 0; i0 < 64; i0++) cs = cs ^ (g0[i0] * (i0 + 1));
+  return cs % 1000003;
+}

@@ -1,0 +1,23 @@
+/* Regression seed: bounded while/do-while, ternary, shifts, mixed types. */
+int g0[16];
+double g1[16];
+int main(void) {
+  int i0; int w0; int w1; int t0; int cs = 0; double fs = 0.0;
+  for (i0 = 0; i0 < 16; i0++) g0[i0] = (i0 * 3 + 2) % 251;
+  for (i0 = 0; i0 < 16; i0++) g1[i0] = (double)(i0 * 7 % 97) / 5.0;
+  w0 = 0;
+  while (w0 < 9) {
+    t0 = (g0[w0 & 15] > 64) ? (g0[w0 & 15] >> 2) : (g0[w0 & 15] << 1);
+    g0[(w0 * 5) & 15] ^= t0;
+    w0 = w0 + 1;
+  }
+  w1 = 0;
+  do {
+    double v = g1[w1 & 15] * 1.5 - (double)((g0[w1 & 15]) & 255);
+    g1[w1 & 15] = (v) - floor((v) / 256.0) * 256.0;
+    w1 = w1 + 1;
+  } while (w1 < 7);
+  for (i0 = 0; i0 < 16; i0++) cs = cs ^ (g0[i0] * (i0 + 1));
+  for (i0 = 0; i0 < 16; i0++) fs += g1[i0] - floor(g1[i0] / 100.0) * 100.0;
+  return (cs % 1000003) + (int)(fs * 8.0);
+}

@@ -1,0 +1,160 @@
+#include "fuzz/fuzz.h"
+
+#include <sstream>
+#include <utility>
+
+#include "backend/wasm_backend.h"
+#include "fuzz/reduce.h"
+#include "ir/passes.h"
+#include "minic/minic.h"
+#include "support/rng.h"
+#include "support/sha256.h"
+#include "support/thread_pool.h"
+
+namespace wb::fuzz {
+
+namespace {
+
+/// Everything one case produced; kept index-ordered for the digest.
+struct CaseRecord {
+  std::string line;  ///< digest input
+  bool divergent = false;
+  std::string source;  ///< retained only for divergent cases
+  std::string brief;
+  bool ran_mutation = false;
+  MutationOutcome mutation;
+};
+
+/// Compiles the case's program at -O2 and returns the Wasm binary, or
+/// empty when compilation fails (the differential run reports that).
+std::vector<uint8_t> o2_binary(const std::string& source) {
+  std::string error;
+  auto m = minic::compile(source, {}, error);
+  if (!m) return {};
+  const ir::PipelineInfo info = ir::run_pipeline(*m, ir::OptLevel::O2);
+  backend::WasmOptions opts;
+  opts.fast_math = info.fast_math;
+  const backend::WasmArtifact artifact = backend::compile_to_wasm(std::move(*m), opts);
+  if (!artifact.ok()) return {};
+  return artifact.binary;
+}
+
+}  // namespace
+
+std::string FuzzSummary::report() const {
+  std::ostringstream out;
+  out << "runs=" << runs << " divergent=" << divergent
+      << " mutation_cases=" << mutation_cases
+      << " mutants_rejected=" << mutants_rejected
+      << " mutants_executed=" << mutants_executed << "\n";
+  for (const auto& r : reproducers) {
+    out << "reproducer case=" << r.case_index << " seed=0x" << std::hex << r.case_seed
+        << std::dec << ": " << r.brief << "\n";
+  }
+  out << "digest=" << digest << "\n";
+  return out.str();
+}
+
+FuzzSummary run_fuzz(const FuzzOptions& options) {
+  // Per-case seeds are derived serially from the master stream so the
+  // schedule is a pure function of --seed, whatever --jobs is.
+  support::Rng master(options.seed);
+  std::vector<uint64_t> case_seeds(options.runs);
+  for (auto& seed : case_seeds) seed = master.split().next_u64();
+
+  std::vector<CaseRecord> records(options.runs);
+  support::parallel_for(options.runs, options.jobs, [&](size_t i) {
+    CaseRecord& rec = records[i];
+    const uint64_t seed = case_seeds[i];
+    const std::string source = generate_program(seed, options.gen);
+    const CaseResult result = run_case(source, options.harness);
+
+    std::ostringstream line;
+    line << "case=" << i << " seed=0x" << std::hex << seed << std::dec;
+    if (result.ok()) {
+      line << " status=ok ref=";
+      for (size_t v = 0; v < result.reference_values.size(); ++v) {
+        line << (v ? "," : "") << result.reference_values[v];
+      }
+    } else {
+      line << " status=divergent " << result.brief();
+      rec.divergent = true;
+      rec.source = source;
+      rec.brief = result.brief();
+    }
+
+    if (options.mutation_every != 0 && i % options.mutation_every == 0) {
+      const std::vector<uint8_t> binary = o2_binary(source);
+      if (!binary.empty()) {
+        rec.ran_mutation = true;
+        rec.mutation = run_mutation_oracle(binary, seed ^ 0x6d75746174696f6eull,
+                                           options.mutations_per_case);
+        line << " mutants=" << rec.mutation.decode_rejected << "/"
+             << rec.mutation.validate_rejected << "/" << rec.mutation.executed << "/"
+             << rec.mutation.skipped;
+        if (!rec.mutation.ok()) {
+          line << " MUTATION-ERROR " << rec.mutation.error;
+          rec.divergent = true;
+          rec.source = source;
+          rec.brief = "mutation oracle: " + rec.mutation.error;
+        }
+      }
+    }
+    rec.line = line.str();
+  });
+
+  FuzzSummary summary;
+  summary.runs = options.runs;
+  std::string digest_input;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const CaseRecord& rec = records[i];
+    digest_input += rec.line;
+    digest_input += '\n';
+    if (rec.ran_mutation) {
+      ++summary.mutation_cases;
+      summary.mutants_rejected += static_cast<size_t>(rec.mutation.decode_rejected) +
+                                  static_cast<size_t>(rec.mutation.validate_rejected);
+      summary.mutants_executed += static_cast<size_t>(rec.mutation.executed);
+    }
+    if (!rec.divergent) continue;
+    ++summary.divergent;
+    if (summary.reproducers.size() >= 3) continue;  // keep the report bounded
+    Reproducer repro;
+    repro.case_seed = case_seeds[i];
+    repro.case_index = i;
+    repro.brief = rec.brief;
+    repro.source = rec.source;
+    if (options.minimize) {
+      // Reduction probes run with tight fuel: deleting a loop increment can
+      // turn a candidate into a runaway, and engine-dependent fuel traps
+      // must not masquerade as the divergence being reduced (nor should a
+      // runaway probe cost seconds).
+      HarnessOptions probe = options.harness;
+      probe.fuel = std::min<uint64_t>(probe.fuel, 20'000'000);
+      const auto still_fails = [&](const std::string& candidate) {
+        const CaseResult r = run_case(candidate, probe);
+        if (!r.frontend_error.empty() || r.divergences.empty()) return false;
+        for (const auto& d : r.divergences) {
+          if (d.detail.find("fuel exhausted") != std::string::npos) return false;
+          if (d.detail.find("stack") != std::string::npos) return false;
+        }
+        return true;
+      };
+      if (still_fails(rec.source)) {  // not reducible for frontend errors
+        repro.source = reduce_source(rec.source, still_fails);
+      }
+    }
+    summary.reproducers.push_back(std::move(repro));
+  }
+  summary.digest =
+      "sha256:" + support::sha256_hex(std::span<const uint8_t>(
+                      reinterpret_cast<const uint8_t*>(digest_input.data()),
+                      digest_input.size()));
+  return summary;
+}
+
+CaseResult replay_source(const std::string& source, const HarnessOptions& options) {
+  return run_case(source, options);
+}
+
+}  // namespace wb::fuzz

@@ -1,0 +1,64 @@
+// The fuzzing loop: derives one independent rng stream per case from the
+// master seed (serially, via Rng::split, so the schedule is identical at
+// any --jobs count), generates a program, runs the differential harness,
+// and digests the index-ordered outcomes into a summary hash — the same
+// (seed, runs) always produces the same digest, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/gen.h"
+#include "fuzz/harness.h"
+
+namespace wb::fuzz {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  size_t runs = 100;
+  unsigned jobs = 1;
+  /// Every Nth case additionally runs the byte-mutation oracle on its
+  /// compiled -O2 binary (0 disables).
+  size_t mutation_every = 10;
+  int mutations_per_case = 16;
+  /// Greedily minimize the first diverging program (off for smoke runs
+  /// where wall-clock matters more than reproducer size).
+  bool minimize = true;
+  GenOptions gen;
+  HarnessOptions harness;
+};
+
+/// A minimized (or raw, when minimization is off) failing program.
+struct Reproducer {
+  uint64_t case_seed = 0;  ///< seed to regenerate the unreduced program
+  size_t case_index = 0;
+  std::string source;      ///< minimized source
+  std::string brief;       ///< first divergence, one line
+};
+
+struct FuzzSummary {
+  size_t runs = 0;
+  size_t divergent = 0;
+  size_t mutation_cases = 0;
+  size_t mutants_rejected = 0;  ///< decode- or validate-rejected mutants
+  size_t mutants_executed = 0;  ///< survived to sandboxed execution
+  /// sha256 over the index-ordered per-case outcome lines; independent of
+  /// --jobs, so two runs are comparable with a string equality check.
+  std::string digest;
+  std::vector<Reproducer> reproducers;
+
+  [[nodiscard]] bool ok() const { return divergent == 0; }
+  /// Human-readable multi-line report (ends with the digest line).
+  [[nodiscard]] std::string report() const;
+};
+
+/// Runs the loop. Deterministic in `options` (including jobs-invariance
+/// of the digest and of every reproducer).
+FuzzSummary run_fuzz(const FuzzOptions& options);
+
+/// Replays one program (e.g. a corpus file or a reproducer) through the
+/// harness; returns its result. Used by --replay and the corpus gate.
+CaseResult replay_source(const std::string& source, const HarnessOptions& options = {});
+
+}  // namespace wb::fuzz

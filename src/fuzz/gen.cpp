@@ -1,0 +1,494 @@
+#include "fuzz/gen.h"
+
+#include <sstream>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace wb::fuzz {
+
+namespace {
+
+using support::Rng;
+
+struct ArrayInfo {
+  std::string name;
+  int len = 16;      // always a power of two, so indices mask cleanly
+  bool is_double = false;
+  bool is_uchar = false;  // reads are 0..255; stores truncate identically everywhere
+};
+
+struct HelperInfo {
+  std::string name;
+  enum Kind { IntBin, DoubleBin, Recursive } kind = IntBin;
+  bool emitted = false;  // callable only after its definition (declare-before-use)
+};
+
+/// Emits one program. Holds the rng, the symbol tables, and the output.
+class Generator {
+ public:
+  Generator(uint64_t seed, const GenOptions& options) : rng_(seed), opt_(options) {}
+
+  std::string run() {
+    plan_globals();
+    std::ostringstream out;
+    out << "/* wb_fuzz generated program, seed stream " << std::hex << seed_snapshot_
+        << std::dec << " */\n";
+    emit_globals(out);
+    emit_helpers(out);
+    emit_main(out);
+    return out.str();
+  }
+
+ private:
+  // ------------------------------------------------------------- planning
+
+  void plan_globals() {
+    seed_snapshot_ = rng_.next_u64();  // stamp the header deterministically
+    static const int kLens[] = {8, 16, 32, 64};
+    const int span = opt_.max_arrays - opt_.min_arrays + 1;
+    const int narrays =
+        opt_.min_arrays + static_cast<int>(rng_.next_below(span > 0 ? span : 1));
+    for (int i = 0; i < narrays; ++i) {
+      ArrayInfo a;
+      a.name = "g" + std::to_string(i);
+      a.len = kLens[rng_.next_below(4)];
+      if (i == 0) {
+        a.is_double = false;  // checksum wants at least one of each kind
+      } else if (i == 1) {
+        a.is_double = true;
+      } else {
+        const uint64_t k = rng_.next_below(5);
+        a.is_double = k >= 3;
+        a.is_uchar = k == 2;
+      }
+      arrays_.push_back(a);
+    }
+    use_unsigned_hash_ = rng_.next_below(2) == 0;
+
+    const int nhelpers =
+        static_cast<int>(rng_.next_below(static_cast<uint64_t>(opt_.max_helpers) + 1));
+    for (int i = 0; i < nhelpers; ++i) {
+      HelperInfo h;
+      h.name = "h" + std::to_string(i);
+      h.kind = static_cast<HelperInfo::Kind>(rng_.next_below(3));
+      helpers_.push_back(h);
+    }
+  }
+
+  // ----------------------------------------------------------- expressions
+
+  const ArrayInfo* pick_array(bool want_double) {
+    std::vector<const ArrayInfo*> match;
+    for (const auto& a : arrays_) {
+      if (a.is_double == want_double) match.push_back(&a);
+    }
+    if (match.empty()) return nullptr;
+    return match[rng_.next_below(match.size())];
+  }
+
+  /// A masked, always-in-bounds index expression for `a`.
+  std::string index_expr(const ArrayInfo& a, int depth) {
+    std::string inner;
+    if (!int_atoms_.empty() && rng_.next_below(4) != 0) {
+      inner = int_atoms_[rng_.next_below(int_atoms_.size())];
+      if (rng_.next_below(2) == 0) {
+        inner = "(" + inner + " + " + std::to_string(rng_.next_below(8)) + ")";
+      }
+    } else {
+      inner = int_expr(depth > 0 ? depth - 1 : 0);
+    }
+    return "((" + inner + ") & " + std::to_string(a.len - 1) + ")";
+  }
+
+  std::string int_array_read(int depth) {
+    const ArrayInfo* a = pick_array(false);
+    if (!a) return std::to_string(1 + rng_.next_below(16));
+    return a->name + "[" + index_expr(*a, depth) + "]";
+  }
+
+  /// f64 array reads are raw leaves: every f64 store is wrapped into
+  /// (-256, 256), so reads are bounded by construction.
+  std::string double_array_read(int depth) {
+    const ArrayInfo* a = pick_array(true);
+    if (!a) return "1.5";
+    return a->name + "[" + index_expr(*a, depth) + "]";
+  }
+
+  std::string int_leaf(int depth) {
+    switch (rng_.next_below(4)) {
+      case 0:
+        return std::to_string(static_cast<int64_t>(rng_.next_below(33)) - 16);
+      case 1:
+        if (!int_atoms_.empty()) return int_atoms_[rng_.next_below(int_atoms_.size())];
+        return std::to_string(1 + rng_.next_below(7));
+      default:
+        return int_array_read(depth);
+    }
+  }
+
+  std::string int_binop(int depth) {
+    static const char* kOps[] = {"+", "-", "*", "&", "|", "^"};
+    return "((" + int_expr(depth - 1) + ") " + kOps[rng_.next_below(6)] + " (" +
+           int_expr(depth - 1) + "))";
+  }
+
+  std::string int_expr(int depth) {
+    if (depth <= 0 || rng_.next_below(5) == 0) return int_leaf(depth);
+    switch (rng_.next_below(10)) {
+      case 0:
+        return "(-(" + int_expr(depth - 1) + "))";
+      case 1:  // shift by a small constant
+        return "((" + int_expr(depth - 1) + ") " +
+               (rng_.next_below(2) ? "<<" : ">>") + " " +
+               std::to_string(1 + rng_.next_below(4)) + ")";
+      case 2: {  // guarded division / modulo: denominator in [1, 16]
+        const char* op = rng_.next_below(2) ? "/" : "%";
+        return "((" + int_expr(depth - 1) + ") " + op + " (1 + ((" +
+               int_expr(depth - 1) + ") & 15)))";
+      }
+      case 3:  // comparison (yields 0/1)
+        return "((" + int_expr(depth - 1) + ") " + pick_cmp() + " (" +
+               int_expr(depth - 1) + "))";
+      case 4:  // ternary
+        return "(((" + int_expr(depth - 1) + ") " + pick_cmp() + " (" +
+               int_expr(depth - 1) + ")) ? (" + int_expr(depth - 1) + ") : (" +
+               int_expr(depth - 1) + "))";
+      case 5: {  // helper call, or a binop when no int helper is in scope yet
+        const std::string call = int_helper_call(depth);
+        return call.empty() ? int_binop(depth) : call;
+      }
+      default:
+        return int_binop(depth);
+    }
+  }
+
+  const char* pick_cmp() {
+    static const char* kCmps[] = {"<", ">", "<=", ">=", "==", "!="};
+    return kCmps[rng_.next_below(6)];
+  }
+
+  std::string int_helper_call(int depth) {
+    std::vector<const HelperInfo*> cands;
+    for (const auto& h : helpers_) {
+      if (h.kind != HelperInfo::DoubleBin && h.emitted) cands.push_back(&h);
+    }
+    if (cands.empty()) return "";
+    const HelperInfo& h = *cands[rng_.next_below(cands.size())];
+    if (h.kind == HelperInfo::Recursive) {
+      // Bounded recursion: the argument is masked to [0, 15].
+      return h.name + "(((" + int_expr(depth - 1) + ") & 15))";
+    }
+    return h.name + "((" + int_expr(depth - 1) + "), (" + int_expr(depth - 1) + "))";
+  }
+
+  std::string double_leaf(int depth) {
+    switch (rng_.next_below(5)) {
+      case 0: {  // small mixed-sign constant with a fractional part
+        const int64_t num = static_cast<int64_t>(rng_.next_below(65)) - 32;
+        const int den = 2 + static_cast<int>(rng_.next_below(7));
+        return "((double)" + std::to_string(num) + " / " + std::to_string(den) + ".0)";
+      }
+      case 1:  // masked int cast: magnitude <= 255
+        return "((double)((" + int_expr(depth > 0 ? depth - 1 : 0) + ") & 255))";
+      case 2:
+        if (!double_atoms_.empty()) {
+          return double_atoms_[rng_.next_below(double_atoms_.size())];
+        }
+        return double_array_read(depth);
+      default:
+        return double_array_read(depth);
+    }
+  }
+
+  std::string double_binop(int depth) {
+    static const char* kOps[] = {"+", "-", "*"};
+    return "((" + double_expr(depth - 1) + ") " + kOps[rng_.next_below(3)] + " (" +
+           double_expr(depth - 1) + "))";
+  }
+
+  std::string double_expr(int depth) {
+    if (depth <= 0 || rng_.next_below(5) == 0) return double_leaf(depth);
+    switch (rng_.next_below(11)) {
+      case 0:
+        return "sqrt(fabs(" + double_expr(depth - 1) + "))";
+      case 1:
+        return "sin(" + double_expr(depth - 1) + ")";
+      case 2:
+        return "cos(" + double_expr(depth - 1) + ")";
+      case 3:
+        return (rng_.next_below(2) ? "floor(" : "ceil(") + double_expr(depth - 1) + ")";
+      case 4:  // log of a value >= 1
+        return "log(1.0 + fabs(" + double_expr(depth - 1) + "))";
+      case 5:  // pow with a bounded base: |sin| + 2 is in [1, 3]
+        return "pow(sin(" + double_expr(depth - 1) + ") + 2.0, 2.0)";
+      case 6:  // exp of a value in [-1, 1]
+        return "exp(cos(" + double_expr(depth - 1) + "))";
+      case 7:  // guarded division: denominator >= 1
+        return "((" + double_expr(depth - 1) + ") / (1.0 + fabs(" +
+               double_expr(depth - 1) + ")))";
+      case 8: {  // helper call, or a binop when no f64 helper is in scope yet
+        const std::string call = double_helper_call(depth);
+        return call.empty() ? double_binop(depth) : call;
+      }
+      default:
+        return double_binop(depth);
+    }
+  }
+
+  std::string double_helper_call(int depth) {
+    std::vector<const HelperInfo*> cands;
+    for (const auto& h : helpers_) {
+      if (h.kind == HelperInfo::DoubleBin && h.emitted) cands.push_back(&h);
+    }
+    if (cands.empty()) return "";
+    const HelperInfo& h = *cands[rng_.next_below(cands.size())];
+    return h.name + "((" + double_expr(depth - 1) + "), (" + double_expr(depth - 1) +
+           "))";
+  }
+
+  /// Wraps an f64 value into (-256, 256) — the only form ever stored,
+  /// which is what keeps every double in the program finite.
+  static std::string wrap_double(const std::string& e) {
+    return "(" + e + ") - floor((" + e + ") / 256.0) * 256.0";
+  }
+
+  // ------------------------------------------------------------ statements
+
+  void stmt_store(std::ostringstream& out, const std::string& ind, int expr_depth) {
+    const ArrayInfo* a = pick_array(rng_.next_below(2) == 1);
+    if (!a) a = &arrays_[rng_.next_below(arrays_.size())];
+    if (a->is_double) {
+      const std::string rhs = double_expr(expr_depth);
+      out << ind << a->name << "[" << index_expr(*a, expr_depth)
+          << "] = " << wrap_double(rhs) << ";\n";
+    } else {
+      static const char* kAssign[] = {"=", "+=", "^="};
+      out << ind << a->name << "[" << index_expr(*a, expr_depth) << "] "
+          << kAssign[rng_.next_below(3)] << " " << int_expr(expr_depth) << ";\n";
+    }
+  }
+
+  void stmt_scalar(std::ostringstream& out, const std::string& ind, int expr_depth) {
+    if (rng_.next_below(2) == 0) {
+      out << ind << "t" << rng_.next_below(2) << " = " << int_expr(expr_depth) << ";\n";
+    } else {
+      const std::string rhs = double_expr(expr_depth);
+      out << ind << "d" << rng_.next_below(2) << " = " << wrap_double(rhs) << ";\n";
+    }
+  }
+
+  void gen_stmt(std::ostringstream& out, int depth, int indent) {
+    const std::string ind(static_cast<size_t>(indent) * 2, ' ');
+    const int expr_depth = opt_.max_expr_depth;
+    if (depth >= opt_.max_stmt_depth) {
+      if (rng_.next_below(3) == 0) {
+        stmt_scalar(out, ind, expr_depth);
+      } else {
+        stmt_store(out, ind, expr_depth);
+      }
+      return;
+    }
+    switch (rng_.next_below(8)) {
+      case 0: {  // counted for loop, possibly with continue/break
+        const std::string iv = "i" + std::to_string(depth);
+        const ArrayInfo& a = arrays_[rng_.next_below(arrays_.size())];
+        const int lo = static_cast<int>(rng_.next_below(2));
+        out << ind << "for (" << iv << " = " << lo << "; " << iv << " < " << a.len
+            << "; " << iv << "++) {\n";
+        int_atoms_.push_back(iv);
+        if (rng_.next_below(4) == 0) {
+          // continue is safe only in for loops: the increment always runs.
+          out << ind << "  if (" << iv << " == "
+              << (2 + rng_.next_below(static_cast<uint64_t>(a.len) - 2)) << ") "
+              << (rng_.next_below(2) ? "continue" : "break") << ";\n";
+        }
+        const int body = 1 + static_cast<int>(rng_.next_below(2));
+        for (int s = 0; s < body; ++s) gen_stmt(out, depth + 1, indent + 1);
+        int_atoms_.pop_back();
+        out << ind << "}\n";
+        return;
+      }
+      case 1: {  // if / else
+        out << ind << "if ((" << int_expr(expr_depth - 1) << ") " << pick_cmp()
+            << " (" << int_expr(expr_depth - 1) << ")) {\n";
+        gen_stmt(out, depth + 1, indent + 1);
+        if (rng_.next_below(2) == 0) {
+          out << ind << "} else {\n";
+          gen_stmt(out, depth + 1, indent + 1);
+        }
+        out << ind << "}\n";
+        return;
+      }
+      case 2: {  // switch with break-terminated cases
+        out << ind << "switch ((" << int_expr(expr_depth - 1) << ") & 3) {\n";
+        for (int c = 0; c < 3; ++c) {
+          out << ind << "  case " << c << ":\n";
+          gen_stmt(out, depth + 1, indent + 2);
+          out << ind << "    break;\n";
+        }
+        out << ind << "  default:\n";
+        gen_stmt(out, depth + 1, indent + 2);
+        out << ind << "    break;\n";
+        out << ind << "}\n";
+        return;
+      }
+      case 3:
+      case 4: {  // bounded while / do-while (no continue: the counter must step)
+        if (nwhile_ >= kWhilePool) {
+          stmt_store(out, ind, expr_depth);
+          return;
+        }
+        const std::string wv = "w" + std::to_string(nwhile_++);
+        const int trips = 2 + static_cast<int>(rng_.next_below(10));
+        out << ind << wv << " = 0;\n";
+        const bool do_while = rng_.next_below(2) == 0;
+        out << ind << (do_while ? "do {\n" : "while (" + wv + " < " +
+                                                 std::to_string(trips) + ") {\n");
+        int_atoms_.push_back(wv);
+        gen_stmt(out, depth + 1, indent + 1);
+        int_atoms_.pop_back();
+        out << ind << "  " << wv << " = " << wv << " + 1;\n";
+        if (do_while) {
+          out << ind << "} while (" << wv << " < " << trips << ");\n";
+        } else {
+          out << ind << "}\n";
+        }
+        return;
+      }
+      default:
+        stmt_store(out, ind, expr_depth);
+        return;
+    }
+  }
+
+  // -------------------------------------------------------------- emission
+
+  void emit_globals(std::ostringstream& out) {
+    for (const auto& a : arrays_) {
+      const char* type = a.is_double ? "double" : (a.is_uchar ? "unsigned char" : "int");
+      out << type << " " << a.name << "[" << a.len << "];\n";
+    }
+    if (use_unsigned_hash_) out << "unsigned uh;\n";
+    out << "\n";
+  }
+
+  void emit_helpers(std::ostringstream& out) {
+    for (auto& h : helpers_) {
+      switch (h.kind) {
+        case HelperInfo::IntBin: {
+          int_atoms_ = {"a", "b"};
+          out << "int " << h.name << "(int a, int b) {\n  return "
+              << int_expr(opt_.max_expr_depth - 1) << ";\n}\n";
+          int_atoms_.clear();
+          break;
+        }
+        case HelperInfo::DoubleBin: {
+          double_atoms_ = {"x", "y"};
+          // The body is wrapped, so helper results are bounded leaves.
+          const std::string e = double_expr(opt_.max_expr_depth - 1);
+          out << "double " << h.name << "(double x, double y) {\n  return "
+              << wrap_double(e) << ";\n}\n";
+          double_atoms_.clear();
+          break;
+        }
+        case HelperInfo::Recursive: {
+          const int step = 1 + static_cast<int>(rng_.next_below(6));
+          out << "int " << h.name << "(int n) {\n"
+              << "  if (n <= 0) return 1;\n"
+              << "  return ((n & 7) + " << step << " * " << h.name
+              << "(n - 1)) % 9973;\n}\n";
+          break;
+        }
+      }
+      h.emitted = true;
+    }
+    out << "\n";
+  }
+
+  void emit_main(std::ostringstream& out) {
+    out << "int main(void) {\n";
+    // All locals up front (the kernels' C89-flavoured style). Unused
+    // while-counters are just dead locals.
+    out << "  int i0; int i1; int t0; int t1;\n";
+    out << "  double d0; double d1;\n";
+    out << "  int w0; int w1; int w2; int w3; int w4; int w5; int w6; int w7;\n";
+    out << "  int cs = 0;\n  double fs = 0.0;\n";
+    out << "  t0 = 0; t1 = 0; d0 = 0.0; d1 = 0.0;\n";
+    out << "  w0 = 0; w1 = 0; w2 = 0; w3 = 0; w4 = 0; w5 = 0; w6 = 0; w7 = 0;\n\n";
+
+    int_atoms_ = {"t0", "t1"};
+    double_atoms_ = {"d0", "d1"};
+
+    // Deterministic initialization of every array.
+    for (const auto& a : arrays_) {
+      out << "  for (i0 = 0; i0 < " << a.len << "; i0++) " << a.name << "[i0] = ";
+      if (a.is_double) {
+        const int mul = 1 + static_cast<int>(rng_.next_below(9));
+        const int den = 2 + static_cast<int>(rng_.next_below(7));
+        out << "(double)(i0 * " << mul << " % 97) / " << den << ".0;\n";
+      } else {
+        const int mul = 1 + static_cast<int>(rng_.next_below(13));
+        const int add = static_cast<int>(rng_.next_below(17));
+        out << "(i0 * " << mul << " + " << add << ") % 251;\n";
+      }
+    }
+    out << "\n";
+
+    // Compute statements.
+    const int nstmts = 2 + static_cast<int>(rng_.next_below(
+                               static_cast<uint64_t>(opt_.max_statements) - 1));
+    for (int s = 0; s < nstmts; ++s) gen_stmt(out, 0, 1);
+    out << "\n";
+
+    // Optional unsigned FNV-style mix over an int array.
+    if (use_unsigned_hash_) {
+      const ArrayInfo* a = pick_array(false);
+      if (a) {
+        out << "  uh = 2166136261;\n";
+        out << "  for (i0 = 0; i0 < " << a->len << "; i0++) uh = (uh ^ (unsigned)"
+            << a->name << "[i0]) * 16777619;\n";
+        out << "  uh = uh ^ (uh >> " << (1 + rng_.next_below(15)) << ");\n";
+        out << "  cs = cs ^ (int)(uh & 0x7fffffff);\n\n";
+      }
+    }
+
+    // Checksum epilogue: every array feeds the result, so a wrong value
+    // anywhere in memory changes the returned i32. The floor-mod keeps fs
+    // small enough that the final (int) cast cannot trap.
+    for (const auto& a : arrays_) {
+      if (a.is_double) {
+        out << "  for (i0 = 0; i0 < " << a.len << "; i0++) fs += " << a.name
+            << "[i0] - floor(" << a.name << "[i0] / 100.0) * 100.0;\n";
+      } else {
+        out << "  for (i0 = 0; i0 < " << a.len << "; i0++) cs = cs ^ (" << a.name
+            << "[i0] * (i0 + 1));\n";
+      }
+    }
+    out << "  cs = cs ^ (t0 + 3 * t1);\n";
+    out << "  fs += d0 - floor(d0 / 100.0) * 100.0;\n";
+    out << "  fs += d1 - floor(d1 / 100.0) * 100.0;\n";
+    out << "  return (cs % 1000003) + (int)(fs * 8.0);\n";
+    out << "}\n";
+  }
+
+  static constexpr int kWhilePool = 8;
+
+  Rng rng_;
+  GenOptions opt_;
+  uint64_t seed_snapshot_ = 0;
+  std::vector<ArrayInfo> arrays_;
+  std::vector<HelperInfo> helpers_;
+  bool use_unsigned_hash_ = false;
+  int nwhile_ = 0;
+  std::vector<std::string> int_atoms_;     ///< in-scope int atom names
+  std::vector<std::string> double_atoms_;  ///< in-scope f64 atom names
+};
+
+}  // namespace
+
+std::string generate_program(uint64_t seed, const GenOptions& options) {
+  return Generator(seed, options).run();
+}
+
+}  // namespace wb::fuzz

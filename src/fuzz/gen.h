@@ -1,0 +1,32 @@
+// Seeded program generator for the mini-C subset. Every program it emits
+// is UB-free by construction so the differential harness can demand exact
+// agreement across backends, tiers, and optimization levels:
+//  - array indices are power-of-two masked, never out of bounds;
+//  - integer division/modulo denominators are generated strictly positive
+//    and small (no div-by-zero, no INT_MIN/-1 overflow trap);
+//  - every f64 store wraps its value into (-256, 256) via the floor-mod
+//    idiom and intrinsic arguments are range-guarded, so no Inf/NaN can
+//    arise and the final (int) cast of the checksum cannot trap;
+//  - loops are bounded counted loops (continue only inside for, where the
+//    increment always runs), so fuel never differs by engine.
+// The same seed always yields byte-identical source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wb::fuzz {
+
+struct GenOptions {
+  int min_arrays = 2;       ///< always at least one int and one f64 array
+  int max_arrays = 5;
+  int max_helpers = 3;      ///< helper functions besides main
+  int max_statements = 5;   ///< top-level compute statements in main
+  int max_stmt_depth = 2;   ///< loop/if nesting below a top-level statement
+  int max_expr_depth = 3;
+};
+
+/// Generates one program. Deterministic in (seed, options).
+std::string generate_program(uint64_t seed, const GenOptions& options = {});
+
+}  // namespace wb::fuzz

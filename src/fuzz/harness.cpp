@@ -1,0 +1,281 @@
+#include "fuzz/harness.h"
+
+#include <optional>
+#include <utility>
+
+#include "backend/js_backend.h"
+#include "backend/native_backend.h"
+#include "backend/wasm_backend.h"
+#include "ir/exec.h"
+#include "ir/passes.h"
+#include "js/engine.h"
+#include "js/interp.h"
+#include "minic/minic.h"
+#include "support/rng.h"
+#include "wasm/codec.h"
+#include "wasm/interp.h"
+#include "wasm/validator.h"
+
+namespace wb::fuzz {
+
+namespace {
+
+constexpr ir::OptLevel kLevels[] = {ir::OptLevel::O0, ir::OptLevel::O1,
+                                    ir::OptLevel::O2, ir::OptLevel::O3,
+                                    ir::OptLevel::Ofast, ir::OptLevel::Os,
+                                    ir::OptLevel::Oz};
+
+/// What one engine produced: either a value or an error string.
+struct Outcome {
+  bool ok = false;
+  int32_t value = 0;
+  std::string error;
+
+  static Outcome of(int32_t v) { return {true, v, {}}; }
+  static Outcome fail(std::string e) { return {false, 0, std::move(e)}; }
+
+  [[nodiscard]] std::string describe() const {
+    return ok ? std::to_string(value) : ("<" + error + ">");
+  }
+};
+
+bool same(const Outcome& a, const Outcome& b) {
+  if (a.ok != b.ok) return false;
+  return a.ok ? a.value == b.value : a.error == b.error;
+}
+
+/// Frontend + mid-end at one level. Recompiles from source per engine
+/// because backends consume the module.
+std::optional<ir::Module> compile_at(const std::string& source, ir::OptLevel level,
+                                     bool& fast_math, std::string& error) {
+  auto m = minic::compile(source, {}, error);
+  if (!m) return std::nullopt;
+  const ir::PipelineInfo info = ir::run_pipeline(*m, level);
+  fast_math = info.fast_math;
+  return m;
+}
+
+Outcome run_native(ir::Module m, uint64_t fuel) {
+  backend::NativeArtifact native = backend::compile_to_native(std::move(m));
+  ir::Executor exec(native.module);
+  exec.set_fuel(fuel);
+  const ir::ExecResult r = exec.run("main");
+  if (!r.ok) return Outcome::fail("native: " + r.error);
+  return Outcome::of(r.as_i32());
+}
+
+Outcome run_wasm_tier(const backend::WasmArtifact& artifact, bool optimizing,
+                      uint64_t fuel) {
+  wasm::Instance inst(artifact.module, backend::make_import_bindings(artifact));
+  wasm::TierPolicy policy;
+  policy.baseline_enabled = !optimizing;
+  policy.optimizing_enabled = optimizing;
+  inst.set_tier_policy(policy);
+  inst.set_fuel(fuel);
+  const wasm::InvokeResult init = inst.invoke("__init", {});
+  if (!init.ok()) {
+    return Outcome::fail(std::string("__init trapped: ") + wasm::to_string(init.trap));
+  }
+  const wasm::InvokeResult r = inst.invoke("main", {});
+  if (!r.ok()) {
+    return Outcome::fail(std::string("main trapped: ") + wasm::to_string(r.trap));
+  }
+  return Outcome::of(r.value.as_i32());
+}
+
+Outcome run_js(ir::Module m, bool fast_math, uint64_t fuel) {
+  backend::JsOptions opts;
+  opts.fast_math = fast_math;
+  const backend::JsArtifact artifact = backend::compile_to_js(std::move(m), opts);
+  if (!artifact.ok()) return Outcome::fail("js backend: " + artifact.error);
+  std::string error;
+  auto code = js::compile_script(artifact.source, error);
+  if (!code) return Outcome::fail("js compile: " + error);
+  js::Heap heap;
+  js::Vm vm(*code, heap);
+  vm.set_fuel(fuel);
+  const js::Vm::Result top = vm.run_top_level();
+  if (!top.ok) return Outcome::fail("js top-level: " + top.error);
+  const js::Vm::Result r = vm.call_function("main", {});
+  if (!r.ok) return Outcome::fail("js main: " + r.error);
+  if (!r.value.is_number()) return Outcome::fail("js main returned non-number");
+  return Outcome::of(js::to_int32(r.value.num));
+}
+
+/// Mutation-testing hook: bumps the first i32.const in the defined "main"
+/// so the harness's divergence detection can itself be tested.
+void plant_bug(wasm::Module& module) {
+  const wasm::Export* e = module.find_export("main");
+  if (!e || e->kind != wasm::ExportKind::Func) return;
+  const uint32_t defined = e->index - static_cast<uint32_t>(module.imports.size());
+  if (defined >= module.functions.size()) return;
+  for (auto& ins : module.functions[defined].body) {
+    if (ins.op == wasm::Opcode::I32Const) {
+      ins.ival += 1;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string CaseResult::brief() const {
+  if (!frontend_error.empty()) return "frontend: " + frontend_error;
+  if (!divergences.empty()) {
+    const Divergence& d = divergences.front();
+    return d.level + " " + d.engine + ": " + d.detail;
+  }
+  return "ok";
+}
+
+CaseResult run_case(const std::string& source, const HarnessOptions& options) {
+  CaseResult result;
+  std::optional<int32_t> o0_value;
+  for (const ir::OptLevel level : kLevels) {
+    const char* lname = ir::to_string(level);
+    bool fast_math = false;
+    std::string error;
+
+    auto diverge = [&](const char* engine, const std::string& detail) {
+      result.divergences.push_back(Divergence{lname, engine, detail});
+    };
+
+    // Native IR execution is the per-level reference.
+    auto m_native = compile_at(source, level, fast_math, error);
+    if (!m_native) {
+      result.frontend_error = error;
+      return result;  // same frontend, same failure at every level
+    }
+    const Outcome ref = run_native(std::move(*m_native), options.fuel);
+    if (!ref.ok) {
+      diverge("native", ref.error);
+      continue;  // no reference to compare the other engines against
+    }
+    result.reference_values.push_back(ref.value);
+    if (level == ir::OptLevel::O0) o0_value = ref.value;
+
+    // Cross-level: every level must match -O0, except -Ofast whose
+    // fast-math reassociation legitimately changes float rounding.
+    if (level != ir::OptLevel::O0 && level != ir::OptLevel::Ofast &&
+        o0_value.has_value() && ref.value != *o0_value) {
+      diverge("native-cross-level", "O0=" + std::to_string(*o0_value) + " " + lname +
+                                        "=" + std::to_string(ref.value));
+    }
+
+    // Wasm: one artifact, both tiers + the structural oracles.
+    auto m_wasm = compile_at(source, level, fast_math, error);
+    backend::WasmOptions wopts;
+    wopts.fast_math = fast_math;
+    backend::WasmArtifact artifact =
+        backend::compile_to_wasm(std::move(*m_wasm), wopts);
+    if (!artifact.ok()) {
+      diverge("wasm backend", artifact.error);
+      continue;
+    }
+
+    // Oracle: the generator's output must validate.
+    if (const auto verr = wasm::validate(artifact.module)) {
+      diverge("oracle:validate", verr->message);
+    }
+    // Oracle: encode -> decode -> re-encode must be byte-identical.
+    {
+      std::string derr;
+      const auto decoded = wasm::decode(artifact.binary, &derr);
+      if (!decoded) {
+        diverge("oracle:roundtrip", "decode failed: " + derr);
+      } else if (wasm::encode(*decoded) != artifact.binary) {
+        diverge("oracle:roundtrip", "re-encoded bytes differ");
+      }
+    }
+
+    if (options.plant_wasm_bug && level == ir::OptLevel::O2) {
+      plant_bug(artifact.module);
+    }
+
+    const Outcome base = run_wasm_tier(artifact, /*optimizing=*/false, options.fuel);
+    if (!same(base, ref)) {
+      diverge("wasm-baseline", "expected " + ref.describe() + " got " + base.describe());
+    }
+    const Outcome opt = run_wasm_tier(artifact, /*optimizing=*/true, options.fuel);
+    if (!same(opt, ref)) {
+      diverge("wasm-optimizing", "expected " + ref.describe() + " got " + opt.describe());
+    }
+
+    // JS backend on the JS VM.
+    auto m_js = compile_at(source, level, fast_math, error);
+    const Outcome js = run_js(std::move(*m_js), fast_math, options.fuel);
+    if (!same(js, ref)) {
+      diverge("js", "expected " + ref.describe() + " got " + js.describe());
+    }
+  }
+  return result;
+}
+
+MutationOutcome run_mutation_oracle(const std::vector<uint8_t>& binary, uint64_t seed,
+                                    int count) {
+  MutationOutcome outcome;
+  support::Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    std::vector<uint8_t> bytes = binary;
+    const size_t pos = rng.next_below(bytes.size());
+    switch (rng.next_below(4)) {
+      case 0:
+        bytes[pos] ^= static_cast<uint8_t>(1u << rng.next_below(8));
+        break;
+      case 1:
+        bytes[pos] = static_cast<uint8_t>(rng.next_u64() & 0xff);
+        break;
+      case 2:
+        bytes.resize(pos + 1);
+        break;
+      default:
+        bytes.insert(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                     static_cast<uint8_t>(rng.next_u64() & 0xff));
+        break;
+    }
+
+    std::string error;
+    const auto decoded = wasm::decode(bytes, &error);
+    if (!decoded) {
+      ++outcome.decode_rejected;
+      continue;
+    }
+    if (wasm::validate(*decoded)) {
+      ++outcome.validate_rejected;
+      continue;
+    }
+    // A corrupted module slipped through decode+validate: it must still
+    // execute without memory-unsafety. Skip only absurd memory requests.
+    if (decoded->memory && decoded->memory->min_pages > 256) {
+      ++outcome.skipped;
+      continue;
+    }
+    std::vector<wasm::HostFn> host_fns;
+    for (const auto& imp : decoded->imports) {
+      const wasm::FuncType& type = decoded->types[imp.type_index];
+      const bool has_result = !type.results.empty();
+      const wasm::ValType rt = has_result ? type.results[0] : wasm::ValType::I32;
+      host_fns.push_back([has_result, rt](std::span<const wasm::Value>,
+                                          wasm::Value* result) {
+        if (has_result && result) {
+          *result = rt == wasm::ValType::F64   ? wasm::Value::from_f64(0.0)
+                    : rt == wasm::ValType::F32 ? wasm::Value::from_f32(0.0f)
+                    : rt == wasm::ValType::I64 ? wasm::Value::from_i64(0)
+                                               : wasm::Value::from_i32(0);
+        }
+        return wasm::Trap::None;
+      });
+    }
+    wasm::Instance inst(*decoded, std::move(host_fns));
+    inst.set_fuel(2'000'000);
+    for (const auto& e : decoded->exports) {
+      if (e.kind != wasm::ExportKind::Func) continue;
+      if (!decoded->func_type(e.index).params.empty()) continue;
+      (void)inst.invoke(e.name, {});  // result or trap: both acceptable
+    }
+    ++outcome.executed;
+  }
+  return outcome;
+}
+
+}  // namespace wb::fuzz

@@ -1,0 +1,77 @@
+// Differential harness: compiles one mini-C program through the real
+// pipeline at every optimization level and runs it on every engine —
+// native IR execution (the per-level reference), the Wasm VM pinned to
+// the baseline tier, the Wasm VM pinned to the optimizing tier, and the
+// JS backend on the JS engine — demanding bit-identical i32 results.
+// Results are additionally compared across levels against -O0, except at
+// -Ofast where fast-math reassociation legitimately changes float results
+// (the carve-out: within-level agreement is still required there, since
+// all engines consume the same post-fast-math IR).
+//
+// Three structural oracles ride along on every compiled artifact:
+//  - validator-accepts: generated modules must validate;
+//  - roundtrip: encode(decode(binary)) must be byte-identical;
+//  - mutation (run_mutation_oracle): corrupted binaries must be rejected
+//    by the decoder or validator, or execute without memory-unsafety.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wb::fuzz {
+
+struct HarnessOptions {
+  /// Instruction fuel per engine run; generated programs are tiny, so a
+  /// trap on fuel indicates a generator bound failure, not a backend bug.
+  uint64_t fuel = 200'000'000;
+  /// Mutation-tests the harness itself: nudges the first i32.const in the
+  /// compiled Wasm main by +1 at -O2, which the differential check must
+  /// then report as a divergence.
+  bool plant_wasm_bug = false;
+};
+
+/// One disagreement (or pipeline failure) found while running a program.
+struct Divergence {
+  std::string level;   ///< optimization level name ("O2", ...)
+  std::string engine;  ///< engine that disagreed with the reference
+  std::string detail;  ///< expected vs got / trap / compile error
+};
+
+struct CaseResult {
+  /// One entry per opt level: the native reference result at that level.
+  std::vector<int32_t> reference_values;
+  std::vector<Divergence> divergences;
+  /// Non-empty when the program failed to compile at some level — a
+  /// generator bug, reported separately from engine divergence.
+  std::string frontend_error;
+
+  [[nodiscard]] bool ok() const {
+    return divergences.empty() && frontend_error.empty();
+  }
+  /// Compact one-line description of the first problem (for logs).
+  [[nodiscard]] std::string brief() const;
+};
+
+/// Compiles and runs `source` through the full matrix. Deterministic.
+CaseResult run_case(const std::string& source, const HarnessOptions& options = {});
+
+/// Aggregate outcome of byte-mutation runs over one compiled binary.
+struct MutationOutcome {
+  int decode_rejected = 0;   ///< decoder refused the corrupted bytes
+  int validate_rejected = 0; ///< decoded but failed validation
+  int executed = 0;          ///< validated and ran (result/trap both fine)
+  int skipped = 0;           ///< validated but unreasonable to run (huge memory)
+  std::string error;         ///< non-empty if the VM itself misbehaved
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Applies `count` independent single-point corruptions (bit flip, byte
+/// substitution, truncation, insertion) to `binary`, each derived from
+/// `seed`, and checks every corrupted module is either rejected cleanly
+/// or executes within the sandbox. Deterministic in (binary, seed, count).
+MutationOutcome run_mutation_oracle(const std::vector<uint8_t>& binary, uint64_t seed,
+                                    int count);
+
+}  // namespace wb::fuzz

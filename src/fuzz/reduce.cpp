@@ -1,0 +1,61 @@
+#include "fuzz/reduce.h"
+
+#include <sstream>
+#include <vector>
+
+namespace wb::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::istringstream in(source);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_without(const std::vector<std::string>& lines, size_t from,
+                         size_t count) {
+  std::string out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (i >= from && i < from + count) continue;
+    out += lines[i];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string reduce_source(const std::string& source, const StillFails& still_fails) {
+  std::vector<std::string> lines = split_lines(source);
+  // Chunk sizes n/2, n/4, ..., 1; restart a pass whenever a removal lands
+  // (classic ddmin greediness, without the subset-complement bookkeeping).
+  for (size_t chunk = lines.size() / 2; chunk >= 1; chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any) {
+      removed_any = false;
+      for (size_t from = 0; from + chunk <= lines.size();) {
+        const std::string candidate = join_without(lines, from, chunk);
+        if (still_fails(candidate)) {
+          lines.erase(lines.begin() + static_cast<ptrdiff_t>(from),
+                      lines.begin() + static_cast<ptrdiff_t>(from + chunk));
+          removed_any = true;
+          // keep `from`: the next chunk slid into place
+        } else {
+          from += chunk;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wb::fuzz

@@ -1,0 +1,19 @@
+// Greedy reproducer minimization (ddmin-lite): removes line chunks from a
+// diverging program while the divergence persists, halving the chunk size
+// down to single lines. The predicate is "still compiles and still
+// diverges", so the result is always a valid, still-failing program.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace wb::fuzz {
+
+/// Returns true when `source` still reproduces the failure being reduced.
+using StillFails = std::function<bool(const std::string&)>;
+
+/// Minimizes `source` line-wise. Deterministic; returns the smallest
+/// variant found (at worst, `source` itself).
+std::string reduce_source(const std::string& source, const StillFails& still_fails);
+
+}  // namespace wb::fuzz

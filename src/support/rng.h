@@ -27,6 +27,18 @@ class Rng {
     return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
   }
 
+  /// Derives an independent child stream (splitmix64 finalizer over the
+  /// parent's next raw output), advancing the parent by one step. Parallel
+  /// consumers (fuzz workers, generator vs. mutator) each take a split so
+  /// no two share — or correlate with — one sequence.
+  Rng split() {
+    uint64_t z = next_u64() + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return Rng(z);
+  }
+
  private:
   uint64_t state_;
 };

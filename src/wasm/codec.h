@@ -20,4 +20,10 @@ std::vector<uint8_t> encode(const Module& module);
 /// non-null, stores a human-readable message.
 std::optional<Module> decode(std::span<const uint8_t> bytes, std::string* error = nullptr);
 
+/// Byte offset of instruction `instr_index` within `fn`'s encoded code-entry
+/// body (counting the locals run-length prefix, i.e. the offset a binary
+/// tool reports relative to the function body start). Used by validator
+/// diagnostics to point at the offending opcode in the real binary.
+size_t encoded_instr_offset(const Module& module, const Function& fn, size_t instr_index);
+
 }  // namespace wb::wasm

@@ -106,6 +106,28 @@ void write_const_expr_i32(std::vector<uint8_t>& out, int32_t v) {
 
 }  // namespace
 
+size_t encoded_instr_offset(const Module& module, const Function& fn, size_t instr_index) {
+  std::vector<uint8_t> scratch;
+  // Locals run-length prefix, exactly as the code section writes it.
+  std::vector<std::pair<uint32_t, ValType>> runs;
+  for (ValType t : fn.locals) {
+    if (!runs.empty() && runs.back().second == t) {
+      ++runs.back().first;
+    } else {
+      runs.emplace_back(1, t);
+    }
+  }
+  write_uleb128(scratch, runs.size());
+  for (const auto& [count, type] : runs) {
+    write_uleb128(scratch, count);
+    write_valtype(scratch, type);
+  }
+  for (size_t i = 0; i < instr_index && i < fn.body.size(); ++i) {
+    write_instr(scratch, module, fn.body[i]);
+  }
+  return scratch.size();
+}
+
 std::vector<uint8_t> encode(const Module& module) {
   std::vector<uint8_t> out = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
 

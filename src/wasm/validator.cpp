@@ -3,6 +3,8 @@
 #include <optional>
 #include <vector>
 
+#include "wasm/codec.h"
+
 namespace wb::wasm {
 
 namespace {
@@ -32,16 +34,21 @@ class FuncValidator {
   bool run() {
     // The implicit function-body frame.
     push_ctrl(Opcode::Block, results_);
-    for (size_t pc = 0; pc < fn_.body.size(); ++pc) {
-      if (!check(fn_.body[pc])) return false;
+    for (pc_ = 0; pc_ < fn_.body.size(); ++pc_) {
+      if (!check(fn_.body[pc_])) return false;
       if (ctrls_.empty()) {
         // The outermost frame was popped by the final `end`.
-        if (pc + 1 != fn_.body.size()) return fail("code after function end");
+        if (pc_ + 1 != fn_.body.size()) return fail("code after function end");
         return true;
       }
     }
+    // Point past-the-end: the body ran out, no single opcode is at fault.
+    pc_ = fn_.body.empty() ? 0 : fn_.body.size() - 1;
     return fail("missing end at function end");
   }
+
+  /// Instruction index the last failure occurred at.
+  [[nodiscard]] size_t pc() const { return pc_; }
 
  private:
   bool fail(const std::string& message) {
@@ -137,6 +144,7 @@ class FuncValidator {
   std::vector<ValType> results_;
   std::vector<StackType> stack_;
   std::vector<CtrlFrame> ctrls_;
+  size_t pc_ = 0;
 };
 
 struct OpSig {
@@ -467,11 +475,22 @@ std::optional<ValidationError> validate(const Module& module) {
   }
 
   for (uint32_t i = 0; i < module.functions.size(); ++i) {
+    const Function& fn = module.functions[i];
     std::string error;
-    FuncValidator v(module, module.functions[i], error);
+    FuncValidator v(module, fn, error);
     if (!v.run()) {
       const uint32_t combined = static_cast<uint32_t>(module.imports.size()) + i;
-      return ValidationError{error, combined};
+      const size_t pc = v.pc();
+      const size_t offset = encoded_instr_offset(module, fn, pc);
+      std::string where = "func #" + std::to_string(combined);
+      if (!fn.debug_name.empty()) where += " ($" + fn.debug_name + ")";
+      where += " instr #" + std::to_string(pc);
+      if (pc < fn.body.size()) {
+        where += " (" + std::string(to_string(fn.body[pc].op)) + ")";
+      }
+      where += " at body offset " + std::to_string(offset);
+      return ValidationError{where + ": " + error, combined, static_cast<uint32_t>(pc),
+                             offset};
     }
   }
   return std::nullopt;

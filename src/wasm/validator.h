@@ -12,10 +12,20 @@
 namespace wb::wasm {
 
 struct ValidationError {
+  /// Full diagnostic: for code errors, prefixed with the function index
+  /// (and debug name when present), the instruction index, its byte offset
+  /// within the encoded function body, and the opcode — fuzz-finding triage
+  /// needs to land on the offending instruction without a debugger.
   std::string message;
   /// Function index (combined space) the error occurred in, or UINT32_MAX
   /// for module-level errors.
   uint32_t func_index = UINT32_MAX;
+  /// Index of the offending instruction in Function::body, or UINT32_MAX
+  /// for module-level errors.
+  uint32_t instr_index = UINT32_MAX;
+  /// Byte offset of the offending opcode within the function's encoded
+  /// code-entry body (locals prefix included); 0 for module-level errors.
+  size_t byte_offset = 0;
 };
 
 /// Returns nullopt if `module` is valid.

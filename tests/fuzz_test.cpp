@@ -1,0 +1,128 @@
+// wb::fuzz subsystem tests: generator determinism and well-formedness,
+// clean-tree differential agreement, digest jobs-invariance, the planted-
+// bug mutation test of the harness itself, the greedy reducer, and the
+// byte-mutation oracle.
+#include <gtest/gtest.h>
+
+#include "backend/wasm_backend.h"
+#include "fuzz/fuzz.h"
+#include "fuzz/gen.h"
+#include "fuzz/harness.h"
+#include "fuzz/reduce.h"
+#include "ir/passes.h"
+#include "minic/minic.h"
+
+namespace wb::fuzz {
+namespace {
+
+TEST(FuzzGen, SameSeedSameProgram) {
+  for (uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_EQ(generate_program(seed), generate_program(seed));
+  }
+  EXPECT_NE(generate_program(1), generate_program(2));
+}
+
+TEST(FuzzGen, GeneratedProgramsCompile) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const std::string source = generate_program(seed);
+    std::string error;
+    const auto m = minic::compile(source, {}, error);
+    EXPECT_TRUE(m.has_value()) << "seed " << seed << ": " << error << "\n" << source;
+  }
+}
+
+TEST(FuzzHarness, CleanTreeHasNoDivergence) {
+  FuzzOptions options;
+  options.runs = 20;
+  options.seed = 123;
+  options.mutation_every = 10;
+  const FuzzSummary summary = run_fuzz(options);
+  EXPECT_TRUE(summary.ok()) << summary.report();
+  EXPECT_EQ(summary.divergent, 0u);
+  EXPECT_EQ(summary.mutation_cases, 2u);
+}
+
+TEST(FuzzHarness, DigestIsJobsInvariant) {
+  FuzzOptions serial;
+  serial.runs = 12;
+  serial.seed = 9;
+  serial.jobs = 1;
+  FuzzOptions parallel = serial;
+  parallel.jobs = 4;
+  const FuzzSummary a = run_fuzz(serial);
+  const FuzzSummary b = run_fuzz(parallel);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.report(), b.report());
+}
+
+TEST(FuzzHarness, PlantedBackendBugIsCaughtAndMinimized) {
+  FuzzOptions options;
+  options.runs = 2;
+  options.seed = 42;
+  options.mutation_every = 0;
+  options.harness.plant_wasm_bug = true;
+  const FuzzSummary summary = run_fuzz(options);
+  ASSERT_EQ(summary.divergent, 2u) << summary.report();
+  ASSERT_FALSE(summary.reproducers.empty());
+  for (const auto& repro : summary.reproducers) {
+    // The divergence is against the Wasm VM (that's where the bug went).
+    EXPECT_NE(repro.brief.find("wasm"), std::string::npos) << repro.brief;
+    // The minimized program still reproduces under the same harness...
+    const CaseResult again = replay_source(repro.source, options.harness);
+    EXPECT_FALSE(again.ok()) << repro.source;
+    // ...and is no larger than the generated original.
+    EXPECT_LE(repro.source.size(), generate_program(repro.case_seed).size());
+  }
+}
+
+TEST(FuzzHarness, PlantedBugVanishesWithoutTheHook) {
+  // The same seeds are clean when nothing is planted: the divergences in
+  // the previous test came from the planted bug, not the tree.
+  FuzzOptions options;
+  options.runs = 2;
+  options.seed = 42;
+  options.mutation_every = 0;
+  const FuzzSummary summary = run_fuzz(options);
+  EXPECT_TRUE(summary.ok()) << summary.report();
+}
+
+TEST(FuzzReduce, RemovesIrrelevantLines) {
+  const std::string source = "alpha\nbeta\nKEEP me\ngamma\ndelta\nepsilon\n";
+  const auto still_fails = [](const std::string& candidate) {
+    return candidate.find("KEEP") != std::string::npos;
+  };
+  EXPECT_EQ(reduce_source(source, still_fails), "KEEP me\n");
+}
+
+TEST(FuzzReduce, ReturnsInputWhenNothingRemovable) {
+  const std::string source = "a\nb\n";
+  const auto still_fails = [](const std::string& candidate) {
+    return candidate == "a\nb\n";
+  };
+  EXPECT_EQ(reduce_source(source, still_fails), source);
+}
+
+TEST(FuzzMutation, EveryCorruptedModuleIsRejectedOrSandboxed) {
+  std::string error;
+  auto m = minic::compile(generate_program(5), {}, error);
+  ASSERT_TRUE(m.has_value()) << error;
+  ir::run_pipeline(*m, ir::OptLevel::O2);
+  const backend::WasmArtifact artifact = backend::compile_to_wasm(std::move(*m), {});
+  ASSERT_TRUE(artifact.ok()) << artifact.error;
+
+  const MutationOutcome outcome = run_mutation_oracle(artifact.binary, 7, 64);
+  EXPECT_TRUE(outcome.ok()) << outcome.error;
+  EXPECT_EQ(outcome.decode_rejected + outcome.validate_rejected + outcome.executed +
+                outcome.skipped,
+            64);
+  // Single-point corruptions overwhelmingly fail structural checks.
+  EXPECT_GT(outcome.decode_rejected + outcome.validate_rejected, 0);
+  // Deterministic in (binary, seed, count).
+  const MutationOutcome again = run_mutation_oracle(artifact.binary, 7, 64);
+  EXPECT_EQ(again.decode_rejected, outcome.decode_rejected);
+  EXPECT_EQ(again.validate_rejected, outcome.validate_rejected);
+  EXPECT_EQ(again.executed, outcome.executed);
+}
+
+}  // namespace
+}  // namespace wb::fuzz

@@ -1,0 +1,66 @@
+// Encoder/decoder roundtrip gate: for every corpus benchmark at every
+// optimization level, the encoded Wasm binary must decode back to a module
+// that re-encodes to the exact same bytes. This pins the encoder to a
+// canonical form (minimal LEBs, merged locals runs) and is the structural
+// oracle the fuzzer relies on (see src/fuzz/harness.cpp).
+#include <gtest/gtest.h>
+
+#include "backend/wasm_backend.h"
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "ir/passes.h"
+#include "minic/minic.h"
+#include "wasm/codec.h"
+
+namespace wb {
+namespace {
+
+constexpr ir::OptLevel kLevels[] = {ir::OptLevel::O0, ir::OptLevel::O1,
+                                    ir::OptLevel::O2, ir::OptLevel::O3,
+                                    ir::OptLevel::Ofast, ir::OptLevel::Os,
+                                    ir::OptLevel::Oz};
+
+class Roundtrip : public testing::TestWithParam<const core::BenchSource*> {};
+
+TEST_P(Roundtrip, EncodeDecodeReencodeIsByteIdentical) {
+  const core::BenchSource& bench = *GetParam();
+  for (const ir::OptLevel level : kLevels) {
+    minic::CompileOptions copts;
+    copts.defines = bench.defines_for(core::InputSize::XS);
+    std::string error;
+    auto m = minic::compile(bench.source, copts, error);
+    ASSERT_TRUE(m.has_value()) << bench.name << ": " << error;
+    const ir::PipelineInfo info = ir::run_pipeline(*m, level);
+
+    backend::WasmOptions wopts;
+    wopts.fast_math = info.fast_math;
+    const backend::WasmArtifact artifact =
+        backend::compile_to_wasm(std::move(*m), wopts);
+    ASSERT_TRUE(artifact.ok()) << bench.name << ": " << artifact.error;
+
+    std::string derr;
+    const auto decoded = wasm::decode(artifact.binary, &derr);
+    ASSERT_TRUE(decoded.has_value())
+        << bench.name << " at " << to_string(level) << ": " << derr;
+    const std::vector<uint8_t> reencoded = wasm::encode(*decoded);
+    ASSERT_EQ(reencoded, artifact.binary) << bench.name << " at " << to_string(level);
+  }
+}
+
+std::vector<const core::BenchSource*> all() {
+  std::vector<const core::BenchSource*> out;
+  for (const auto& b : benchmarks::all_benchmarks()) out.push_back(&b);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, Roundtrip, testing::ValuesIn(all()),
+                         [](const testing::TestParamInfo<const core::BenchSource*>& info) {
+                           std::string name = info.param->name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace wb

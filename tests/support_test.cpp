@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 
 #include <cstdint>
@@ -213,6 +214,52 @@ TEST(Rng, BoundedValues) {
   Rng rng(13);
   for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
   EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(99), b(99);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+  // The parents were advanced identically too.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitStreamsDoNotCorrelateWithParent) {
+  Rng parent(2024);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+
+  // Draw from a copy of the parent's continuing stream: no value may
+  // coincide position-wise with either child's stream, and the two
+  // children must not coincide with each other.
+  constexpr int kN = 4096;
+  std::vector<uint64_t> p(kN), c1(kN), c2(kN);
+  for (int i = 0; i < kN; ++i) {
+    p[i] = parent.next_u64();
+    c1[i] = child1.next_u64();
+    c2[i] = child2.next_u64();
+  }
+  int collisions = 0;
+  for (int i = 0; i < kN; ++i) {
+    collisions += (p[i] == c1[i]) + (p[i] == c2[i]) + (c1[i] == c2[i]);
+  }
+  EXPECT_EQ(collisions, 0);
+
+  // Crude independence check: XOR of position-wise pairs should look like
+  // random 64-bit words (about half the bits set on average). A lagged
+  // copy or additive shift of the parent stream would fail this hard.
+  auto mean_popcount_xor = [](const std::vector<uint64_t>& x,
+                              const std::vector<uint64_t>& y) {
+    uint64_t total = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      total += static_cast<uint64_t>(std::popcount(x[i] ^ y[i]));
+    }
+    return static_cast<double>(total) / static_cast<double>(x.size());
+  };
+  EXPECT_NEAR(mean_popcount_xor(p, c1), 32.0, 1.0);
+  EXPECT_NEAR(mean_popcount_xor(p, c2), 32.0, 1.0);
+  EXPECT_NEAR(mean_popcount_xor(c1, c2), 32.0, 1.0);
 }
 
 }  // namespace

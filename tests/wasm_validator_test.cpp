@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "wasm/builder.h"
+#include "wasm/codec.h"
 #include "wasm/validator.h"
 
 namespace wb::wasm {
@@ -208,6 +209,63 @@ TEST(WasmValidator, RejectsReturnTypeMismatchViaReturn) {
   auto f = mb.define(FuncType{{}, {VT::I32}});
   f.f32(1.0f).op(Opcode::Return).finish("bad");
   EXPECT_TRUE(is_invalid(mb.take(), "type mismatch"));
+}
+
+// ------------------------------------------------------- diagnostics
+
+TEST(WasmValidator, DiagnosticsCarryFunctionInstructionAndByteOffset) {
+  ModuleBuilder mb;
+  auto good = mb.define(FuncType{{}, {VT::I32}}, "good");
+  good.i32(1).finish("good");
+  auto bad = mb.define(FuncType{{VT::F64, VT::F64}, {VT::I32}}, "bad");
+  bad.local_get(0).local_get(1).op(Opcode::I32Add).finish("bad");
+  const Module m = mb.take();
+
+  const auto err = validate(m);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->func_index, 1u);
+  EXPECT_EQ(err->instr_index, 2u);  // the i32.add
+  // Encoded body layout: 1 byte of locals prefix (zero runs), then two
+  // 2-byte local.gets — the offending opcode sits at offset 5.
+  EXPECT_EQ(err->byte_offset, 5u);
+  EXPECT_EQ(err->byte_offset, encoded_instr_offset(m, m.functions[1], 2));
+  EXPECT_NE(err->message.find("func #1"), std::string::npos);
+  EXPECT_NE(err->message.find("$bad"), std::string::npos);
+  EXPECT_NE(err->message.find("instr #2"), std::string::npos);
+  EXPECT_NE(err->message.find("i32.add"), std::string::npos);
+  EXPECT_NE(err->message.find("offset 5"), std::string::npos);
+}
+
+TEST(WasmValidator, DiagnosticsAccountForLocalsPrefix) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {}}, "locals");
+  f.add_local(VT::I32);
+  f.add_local(VT::I32);
+  f.add_local(VT::F64);
+  f.f64(0.5).local_set(0);  // f64 into an i32 local
+  f.finish("locals");
+  const Module m = mb.take();
+
+  const auto err = validate(m);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->instr_index, 1u);  // the local.set
+  // Locals prefix: 1 (run count) + 2x2 (two runs) = 5 bytes, then the
+  // 9-byte f64.const — the local.set opcode is at offset 14.
+  EXPECT_EQ(err->byte_offset, 14u);
+  EXPECT_EQ(err->byte_offset, encoded_instr_offset(m, m.functions[0], 1));
+}
+
+TEST(WasmValidator, ModuleLevelErrorsHaveNoInstructionLocation) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {}});
+  f.finish("f");
+  Module m = mb.take();
+  m.exports.push_back(Export{"ghost", ExportKind::Func, 42});
+  const auto err = validate(m);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->func_index, UINT32_MAX);
+  EXPECT_EQ(err->instr_index, UINT32_MAX);
+  EXPECT_EQ(err->byte_offset, 0u);
 }
 
 TEST(WasmValidator, BrTableDepthsMustAgree) {

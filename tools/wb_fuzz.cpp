@@ -1,0 +1,193 @@
+// Differential fuzzing driver. Modes:
+//
+//   wb_fuzz --runs=N --seed=S [--jobs=J]    random fuzzing
+//   wb_fuzz --replay file.c                 re-run one program
+//   wb_fuzz --corpus dir/                   replay every .c in a directory
+//
+// On divergence, the minimized reproducer source (and the WAT dump of its
+// -O2 module) is written to --out (default: the working directory) and
+// the exit status is 1. Same seed + runs => byte-identical summary.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backend/wasm_backend.h"
+#include "fuzz/fuzz.h"
+#include "ir/passes.h"
+#include "minic/minic.h"
+#include "wasm/wat.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace wb;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wb_fuzz [--runs=N] [--seed=S] [--jobs=J] [--out=DIR]\n"
+               "               [--mutation-every=N] [--no-minimize] [--plant-bug]\n"
+               "               [--replay FILE] [--corpus DIR]\n");
+  return 2;
+}
+
+bool parse_u64(const char* s, uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 0);
+  return end && *end == '\0' && end != s;
+}
+
+std::string read_file(const fs::path& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+/// WAT of the program's -O2 Wasm module, for reproducer triage.
+std::string wat_dump(const std::string& source) {
+  std::string error;
+  auto m = minic::compile(source, {}, error);
+  if (!m) return "; frontend error: " + error + "\n";
+  const ir::PipelineInfo info = ir::run_pipeline(*m, ir::OptLevel::O2);
+  backend::WasmOptions opts;
+  opts.fast_math = info.fast_math;
+  const auto artifact = backend::compile_to_wasm(std::move(*m), opts);
+  if (!artifact.ok()) return "; wasm backend error: " + artifact.error + "\n";
+  return wasm::to_wat(artifact.module);
+}
+
+int replay_one(const fs::path& path, const fuzz::HarnessOptions& harness) {
+  bool ok = false;
+  const std::string source = read_file(path, ok);
+  if (!ok) {
+    std::fprintf(stderr, "wb_fuzz: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  const fuzz::CaseResult result = fuzz::replay_source(source, harness);
+  if (result.ok()) {
+    std::printf("%s: ok\n", path.c_str());
+    return 0;
+  }
+  std::printf("%s: DIVERGENT\n", path.c_str());
+  if (!result.frontend_error.empty()) {
+    std::printf("  frontend: %s\n", result.frontend_error.c_str());
+  }
+  for (const auto& d : result.divergences) {
+    std::printf("  %s %s: %s\n", d.level.c_str(), d.engine.c_str(), d.detail.c_str());
+  }
+  return 1;
+}
+
+bool write_text(const fs::path& path, const std::string& text) {
+  std::error_code ec;
+  if (path.has_parent_path()) fs::create_directories(path.parent_path(), ec);
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::FuzzOptions options;
+  options.runs = 100;
+  options.seed = 1;
+  options.jobs = 1;
+  std::string out_dir = ".";
+  bool runs_given = false;
+  std::vector<fs::path> replays;
+  std::vector<fs::path> corpus_dirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    uint64_t n = 0;
+    if (arg.rfind("--runs=", 0) == 0 && parse_u64(value("--runs="), n)) {
+      options.runs = static_cast<size_t>(n);
+      runs_given = true;
+    } else if (arg.rfind("--seed=", 0) == 0 && parse_u64(value("--seed="), n)) {
+      options.seed = n;
+    } else if (arg.rfind("--jobs=", 0) == 0 && parse_u64(value("--jobs="), n)) {
+      options.jobs = static_cast<unsigned>(n);
+    } else if (arg.rfind("--mutation-every=", 0) == 0 &&
+               parse_u64(value("--mutation-every="), n)) {
+      options.mutation_every = static_cast<size_t>(n);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_dir = value("--out=");
+    } else if (arg == "--no-minimize") {
+      options.minimize = false;
+    } else if (arg == "--plant-bug") {
+      options.harness.plant_wasm_bug = true;
+    } else if (arg == "--replay" && i + 1 < argc) {
+      replays.emplace_back(argv[++i]);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      replays.emplace_back(value("--replay="));
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      corpus_dirs.emplace_back(argv[++i]);
+    } else if (arg.rfind("--corpus=", 0) == 0) {
+      corpus_dirs.emplace_back(value("--corpus="));
+    } else {
+      return usage();
+    }
+  }
+
+  int status = 0;
+
+  for (const auto& dir : corpus_dirs) {
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.path().extension() == ".c") files.push_back(entry.path());
+    }
+    if (ec) {
+      std::fprintf(stderr, "wb_fuzz: cannot list %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+    std::sort(files.begin(), files.end());
+    std::printf("corpus %s: %zu programs\n", dir.c_str(), files.size());
+    for (const auto& file : files) {
+      const int rc = replay_one(file, options.harness);
+      if (rc > status) status = rc;
+    }
+  }
+  for (const auto& file : replays) {
+    const int rc = replay_one(file, options.harness);
+    if (rc > status) status = rc;
+  }
+  // Replay-only unless --runs was asked for explicitly alongside.
+  if ((!replays.empty() || !corpus_dirs.empty()) && !runs_given) return status;
+  if (options.runs == 0) return status;
+
+  const fuzz::FuzzSummary summary = fuzz::run_fuzz(options);
+  std::fputs(summary.report().c_str(), stdout);
+
+  for (const auto& repro : summary.reproducers) {
+    std::ostringstream stem;
+    stem << "repro_case" << repro.case_index << "_seed" << std::hex << repro.case_seed;
+    const fs::path src_path = fs::path(out_dir) / (stem.str() + ".c");
+    const fs::path wat_path = fs::path(out_dir) / (stem.str() + ".wat");
+    if (write_text(src_path, repro.source) &&
+        write_text(wat_path, wat_dump(repro.source))) {
+      std::printf("wrote %s and %s\n", src_path.c_str(), wat_path.c_str());
+    } else {
+      std::fprintf(stderr, "wb_fuzz: cannot write reproducer to %s\n",
+                   out_dir.c_str());
+    }
+  }
+
+  return summary.ok() && status == 0 ? 0 : 1;
+}

@@ -30,16 +30,60 @@ wasm::Module hot_loop_module(int n) {
   return mb.take();
 }
 
+// The classic one-Instr-at-a-time loop: the baseline the quickened engine
+// is measured against (and the family the CI bench-smoke gate tracks).
 void BM_WasmInterpreterHotLoop(benchmark::State& state) {
   const wasm::Module module = hot_loop_module(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     wasm::Instance inst(module, {});
+    inst.set_quicken(false);
     const wasm::InvokeResult r = inst.invoke("main", {});
     benchmark::DoNotOptimize(r.value.bits);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) * 9);
 }
 BENCHMARK(BM_WasmInterpreterHotLoop)->Arg(10'000)->Arg(100'000);
+
+// Same workload on the quickened engine, instantiation (and therefore
+// translation) inside the timed region — the shape wb_study actually runs.
+void BM_WasmQuickenedHotLoop(benchmark::State& state) {
+  const wasm::Module module = hot_loop_module(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    wasm::Instance inst(module, {});
+    inst.set_quicken(true);
+    const wasm::InvokeResult r = inst.invoke("main", {});
+    benchmark::DoNotOptimize(r.value.bits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 9);
+}
+BENCHMARK(BM_WasmQuickenedHotLoop)->Arg(10'000)->Arg(100'000);
+
+// Dispatch-only: one long-lived instance re-invoked, so instantiation and
+// quickening translation are outside the timed region. Isolates the pure
+// inner-loop dispatch cost of each engine.
+void BM_WasmDispatchClassic(benchmark::State& state) {
+  const wasm::Module module = hot_loop_module(100'000);
+  wasm::Instance inst(module, {});
+  inst.set_quicken(false);
+  for (auto _ : state) {
+    const wasm::InvokeResult r = inst.invoke("main", {});
+    benchmark::DoNotOptimize(r.value.bits);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000 * 9);
+}
+BENCHMARK(BM_WasmDispatchClassic);
+
+void BM_WasmDispatchQuickened(benchmark::State& state) {
+  const wasm::Module module = hot_loop_module(100'000);
+  wasm::Instance inst(module, {});
+  inst.set_quicken(true);
+  for (auto _ : state) {
+    const wasm::InvokeResult r = inst.invoke("main", {});
+    benchmark::DoNotOptimize(r.value.bits);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000 * 9);
+}
+BENCHMARK(BM_WasmDispatchQuickened);
 
 void BM_JsInterpreterHotLoop(benchmark::State& state) {
   const std::string source =

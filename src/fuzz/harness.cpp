@@ -65,22 +65,49 @@ Outcome run_native(ir::Module m, uint64_t fuel) {
 }
 
 Outcome run_wasm_tier(const backend::WasmArtifact& artifact, bool optimizing,
-                      uint64_t fuel) {
+                      uint64_t fuel, bool quicken,
+                      wasm::ExecStats* stats_out = nullptr) {
   wasm::Instance inst(artifact.module, backend::make_import_bindings(artifact));
+  inst.set_quicken(quicken);
   wasm::TierPolicy policy;
   policy.baseline_enabled = !optimizing;
   policy.optimizing_enabled = optimizing;
   inst.set_tier_policy(policy);
   inst.set_fuel(fuel);
+  Outcome out;
   const wasm::InvokeResult init = inst.invoke("__init", {});
   if (!init.ok()) {
-    return Outcome::fail(std::string("__init trapped: ") + wasm::to_string(init.trap));
+    out = Outcome::fail(std::string("__init trapped: ") + wasm::to_string(init.trap));
+  } else {
+    const wasm::InvokeResult r = inst.invoke("main", {});
+    out = r.ok() ? Outcome::of(r.value.as_i32())
+                 : Outcome::fail(std::string("main trapped: ") +
+                                 wasm::to_string(r.trap));
   }
-  const wasm::InvokeResult r = inst.invoke("main", {});
-  if (!r.ok()) {
-    return Outcome::fail(std::string("main trapped: ") + wasm::to_string(r.trap));
+  if (stats_out) *stats_out = inst.stats();
+  return out;
+}
+
+/// First virtual-metric mismatch between two runs, or "" if bit-identical.
+std::string stats_diff(const wasm::ExecStats& a, const wasm::ExecStats& b) {
+  const auto field = [](const char* name, uint64_t x, uint64_t y) {
+    return std::string(name) + " " + std::to_string(x) + " vs " + std::to_string(y);
+  };
+  if (a.ops_executed != b.ops_executed)
+    return field("ops_executed", a.ops_executed, b.ops_executed);
+  if (a.cost_ps != b.cost_ps) return field("cost_ps", a.cost_ps, b.cost_ps);
+  for (size_t i = 0; i < a.arith_counts.size(); ++i) {
+    if (a.arith_counts[i] != b.arith_counts[i])
+      return field("arith_counts", a.arith_counts[i], b.arith_counts[i]) +
+             " at cat " + std::to_string(i);
   }
-  return Outcome::of(r.value.as_i32());
+  if (a.calls != b.calls) return field("calls", a.calls, b.calls);
+  if (a.host_calls != b.host_calls)
+    return field("host_calls", a.host_calls, b.host_calls);
+  if (a.memory_grows != b.memory_grows)
+    return field("memory_grows", a.memory_grows, b.memory_grows);
+  if (a.tierups != b.tierups) return field("tierups", a.tierups, b.tierups);
+  return {};
 }
 
 Outcome run_js(ir::Module m, bool fast_math, uint64_t fuel) {
@@ -192,13 +219,39 @@ CaseResult run_case(const std::string& source, const HarnessOptions& options) {
       plant_bug(artifact.module);
     }
 
-    const Outcome base = run_wasm_tier(artifact, /*optimizing=*/false, options.fuel);
+    const bool quicken = wasm::quicken_default();
+    wasm::ExecStats base_stats;
+    const Outcome base =
+        run_wasm_tier(artifact, /*optimizing=*/false, options.fuel, quicken, &base_stats);
     if (!same(base, ref)) {
       diverge("wasm-baseline", "expected " + ref.describe() + " got " + base.describe());
     }
-    const Outcome opt = run_wasm_tier(artifact, /*optimizing=*/true, options.fuel);
+    wasm::ExecStats opt_stats;
+    const Outcome opt =
+        run_wasm_tier(artifact, /*optimizing=*/true, options.fuel, quicken, &opt_stats);
     if (!same(opt, ref)) {
       diverge("wasm-optimizing", "expected " + ref.describe() + " got " + opt.describe());
+    }
+
+    // Oracle: the quickened engine must agree with the classic loop on
+    // the result and on every virtual metric, bit for bit.
+    if (options.quicken_oracle && quicken) {
+      for (const bool optimizing : {false, true}) {
+        wasm::ExecStats classic_stats;
+        const Outcome classic = run_wasm_tier(artifact, optimizing, options.fuel,
+                                              /*quicken=*/false, &classic_stats);
+        const Outcome& quick = optimizing ? opt : base;
+        const wasm::ExecStats& quick_stats = optimizing ? opt_stats : base_stats;
+        const char* engine =
+            optimizing ? "oracle:quicken-optimizing" : "oracle:quicken-baseline";
+        if (!same(quick, classic)) {
+          diverge(engine, "classic " + classic.describe() + " quickened " +
+                              quick.describe());
+        } else if (const std::string d = stats_diff(classic_stats, quick_stats);
+                   !d.empty()) {
+          diverge(engine, "metrics differ (classic vs quickened): " + d);
+        }
+      }
     }
 
     // JS backend on the JS VM.

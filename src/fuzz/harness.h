@@ -29,6 +29,11 @@ struct HarnessOptions {
   /// compiled Wasm main by +1 at -O2, which the differential check must
   /// then report as a divergence.
   bool plant_wasm_bug = false;
+  /// Re-runs both Wasm tiers on the classic (unquickened) loop and demands
+  /// the quickened engine's result AND virtual metrics (cost_ps,
+  /// ops_executed, arith_counts, calls, tierups, ...) match exactly.
+  /// No-op when quickening is already off process-wide (--no-quicken).
+  bool quicken_oracle = true;
 };
 
 /// One disagreement (or pipeline failure) found while running a program.

@@ -163,6 +163,18 @@ Instance::Instance(const Module& module, std::vector<HostFn> host_fns)
       }
     }
   }
+
+  set_quicken(quicken_default());
+}
+
+void Instance::set_quicken(bool enabled) {
+  quicken_enabled_ = enabled;
+  if (enabled && qfuncs_.empty()) {
+    qfuncs_.reserve(module_.functions.size());
+    for (size_t fi = 0; fi < module_.functions.size(); ++fi) {
+      qfuncs_.push_back(quicken(module_, static_cast<uint32_t>(fi)));
+    }
+  }
 }
 
 void Instance::set_cost_tables(const CostTable& baseline, const CostTable& optimizing) {
@@ -260,6 +272,15 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
     return {t, result};
   }
 
+  const uint32_t d = func_index - num_imports;
+  if (args.size() != metas_[d].num_params) return {Trap::HostError, {}};
+  return quicken_enabled_ ? run_quickened(d, args) : run_classic(d, args);
+}
+
+InvokeResult Instance::run_classic(uint32_t defined_index,
+                                   std::span<const Value> args) {
+  const uint32_t num_imports = static_cast<uint32_t>(module_.imports.size());
+
   std::vector<Value> stack;
   stack.reserve(256);
   std::vector<Value> locals;
@@ -334,14 +355,9 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
     return true;
   };
 
-  {
-    const uint32_t d = func_index - num_imports;
-    const FuncMeta& m = metas_[d];
-    if (args.size() != m.num_params) return {Trap::HostError, {}};
-    if (!enter_function(d, args)) {
-      flush_stats();
-      return {trap, {}};
-    }
+  if (!enter_function(defined_index, args)) {
+    flush_stats();
+    return {trap, {}};
   }
 
   auto do_branch = [&](uint32_t depth) {
@@ -394,7 +410,7 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
         if (m.result_count > 0) result.value = stack.back();
         return result;
       }
-      frames.back().pc = frames.back().pc;  // pc already advanced before call
+      // pc already advanced before the call
       cache_frame();
       continue;
     }
@@ -1073,6 +1089,909 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
 
   flush_stats();
   return {trap, {}};
+}
+
+// --- Quickened threaded execution -----------------------------------------
+//
+// Executes the pre-translated QCode stream (quicken.h). Dispatch is
+// direct-threaded (computed goto) under GCC/Clang; WB_THREADED_DISPATCH=0
+// selects the portable switch fallback. Every QInstr is charged from its
+// constituent side table (cls/cat, nops) before its handler runs, exactly
+// as the classic loop charges each Instr before executing it, so cost_ps,
+// ops_executed, arith_counts, fuel accounting, tier-up timing, and tracer
+// timestamps are bit-identical on every program.
+
+#ifndef WB_THREADED_DISPATCH
+#if defined(__GNUC__) || defined(__clang__)
+#define WB_THREADED_DISPATCH 1
+#else
+#define WB_THREADED_DISPATCH 0
+#endif
+#endif
+
+namespace {
+struct QCallFrame {
+  uint32_t fidx;         // defined-function index
+  uint32_t qpc;
+  uint32_t locals_base;
+  uint32_t stack_base;   // value-stack height on entry (params removed)
+};
+}  // namespace
+
+InvokeResult Instance::run_quickened(uint32_t defined_index,
+                                     std::span<const Value> args) {
+  const uint32_t num_imports = static_cast<uint32_t>(module_.imports.size());
+  constexpr uint8_t kCatNone = static_cast<uint8_t>(ArithCat::None);
+
+  std::vector<Value> stack;
+  stack.reserve(256);
+  std::vector<Value> locals;
+  locals.reserve(256);
+  std::vector<QCallFrame> frames;
+  frames.reserve(64);
+
+  uint64_t cost = 0;
+  uint64_t ops = 0;
+  const uint64_t fuel = fuel_;
+  Trap trap = Trap::None;
+  uint32_t callee = 0;
+
+  // Arith-category accounting: each dispatch adds the QInstr's packed
+  // per-lane counts (one byte lane per ArithCat, lane None discarded) into
+  // a single u64. Every add contributes exactly 4 across the lanes, so
+  // after 63 adds no lane can exceed 252; the budget countdown unpacks
+  // into the wide accumulators before any lane could saturate.
+  uint64_t arith[static_cast<size_t>(ArithCat::kCount)] = {};
+  uint64_t cat_acc = 0;
+  uint32_t cat_budget = 63;
+
+  auto flush_cats = [&] {
+    for (size_t i = 0; i < kArithCatCount; ++i) {
+      arith[i] += (cat_acc >> (8 * i)) & 0xff;
+    }
+    cat_acc = 0;
+    cat_budget = 63;
+  };
+
+  auto flush_stats = [&] {
+    flush_cats();
+    stats_.cost_ps += cost;
+    stats_.ops_executed += ops;
+    for (size_t i = 0; i < kArithCatCount; ++i) stats_.arith_counts[i] += arith[i];
+  };
+
+  // Cached per-frame execution state. `lcosts` is the active tier's cost
+  // table plus a zero-cost pad slot (kQClsPad), re-copied only when the
+  // active table actually changes (frame switch onto a different tier, or
+  // a tier-up on a loop back-edge).
+  const QFunc* qf = nullptr;
+  const QInstr* qcode = nullptr;
+  const uint64_t* costs = nullptr;
+  uint64_t lcosts[kOpClassCount + 1];
+  lcosts[kOpClassCount] = 0;
+  uint32_t qpc = 0;
+  uint32_t locals_base = 0;
+  uint32_t stack_base = 0;
+  const QInstr* q = nullptr;
+
+  auto set_costs = [&](const uint64_t* table) {
+    if (table == costs) return;
+    costs = table;
+    std::memcpy(lcosts, table, sizeof(uint64_t) * kOpClassCount);
+  };
+
+  auto cache_frame = [&] {
+    const QCallFrame& f = frames.back();
+    qf = &qfuncs_[f.fidx];
+    qcode = qf->code.data();
+    set_costs(cost_tables_[static_cast<size_t>(func_state_[f.fidx].tier)].data());
+    qpc = f.qpc;
+    locals_base = f.locals_base;
+    stack_base = f.stack_base;
+  };
+
+  auto enter_function = [&](uint32_t d, std::span<const Value> initial_args) -> bool {
+    if (frames.size() >= kMaxCallDepth) {
+      trap = Trap::CallStackExhausted;
+      return false;
+    }
+    // Begin the span first so a tier-up compile pause on this entry lands
+    // inside the entered function's self time (same order as the classic
+    // loop's enter_function).
+    if (tracer_) {
+      tracer_->begin(prof::Cat::WasmFunc, func_trace_names_[d], stats_.cost_ps + cost);
+    }
+    maybe_tier_up(d, stats_.cost_ps + cost);
+    ++stats_.calls;
+    const FuncMeta& m = metas_[d];
+    QCallFrame f;
+    f.fidx = d;
+    f.qpc = 0;
+    f.locals_base = static_cast<uint32_t>(locals.size());
+    if (!initial_args.empty() || m.num_params == 0) {
+      f.stack_base = static_cast<uint32_t>(stack.size());
+      locals.insert(locals.end(), initial_args.begin(), initial_args.end());
+    } else {
+      f.stack_base = static_cast<uint32_t>(stack.size()) - m.num_params;
+      locals.insert(locals.end(), stack.end() - m.num_params, stack.end());
+      stack.resize(f.stack_base);
+    }
+    locals.resize(f.locals_base + m.num_locals, Value{});
+    frames.push_back(f);
+    cache_frame();
+    return true;
+  };
+
+  auto pop = [&]() -> Value {
+    Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  if (!enter_function(defined_index, args)) {
+    flush_stats();
+    return {trap, {}};
+  }
+
+#if WB_THREADED_DISPATCH
+  static const void* kQLabels[] = {
+#define WB_QLBL(name) &&lbl_##name,
+      WB_QOP_LIST(WB_QLBL)
+#undef WB_QLBL
+  };
+#define WB_CASE(name) lbl_##name:
+#else
+#define WB_CASE(name) case QOp::name:
+#endif
+#define WB_NEXT()  \
+  do {             \
+    ++qpc;         \
+    goto dispatch; \
+  } while (0)
+#define WB_JUMP(target) \
+  do {                  \
+    qpc = (target);     \
+    goto dispatch;      \
+  } while (0)
+
+dispatch:
+  q = qcode + qpc;
+  if (ops + q->nops > fuel) goto fuel_out;
+  ops += q->nops;
+  // Branchless charge: unused slots carry the zero-cost pad class and the
+  // discarded None category (see kQClsPad/kQCatPad in quicken.h).
+  cost += lcosts[q->cls[0]] + lcosts[q->cls[1]] + lcosts[q->cls[2]] +
+          lcosts[q->cls[3]];
+  cat_acc += q->cat_packed;
+  if (--cat_budget == 0) flush_cats();
+#if WB_THREADED_DISPATCH
+  goto* kQLabels[q->op];
+#else
+  switch (q->qop()) {
+#endif
+
+  // ---- Specials ----
+  WB_CASE(ChargeOnly) WB_NEXT();  // charging above was the whole effect
+  WB_CASE(Unreachable) {
+    trap = Trap::Unreachable;
+    goto trapped;
+  }
+  WB_CASE(If) {
+    if (pop().as_i32() == 0) WB_JUMP(q->a);
+    WB_NEXT();
+  }
+  WB_CASE(Jump) WB_JUMP(q->a);
+  WB_CASE(Br) goto take_branch;
+  WB_CASE(BrIf) {
+    if (pop().as_i32() != 0) goto take_branch;
+    WB_NEXT();
+  }
+  WB_CASE(BrTable) {
+    const uint32_t idx = pop().as_u32();
+    const std::vector<QBrTarget>& targets = qf->br_tables[q->a];
+    const QBrTarget& t = idx < targets.size() - 1 ? targets[idx] : targets.back();
+    if (t.is_loop) {
+      stack.resize(stack_base + t.height);
+      const uint32_t d = frames.back().fidx;
+      const Tier before = func_state_[d].tier;
+      maybe_tier_up(d, stats_.cost_ps + cost);
+      if (func_state_[d].tier != before) {
+        costs = cost_tables_[static_cast<size_t>(func_state_[d].tier)].data();
+      }
+      WB_JUMP(t.qpc);
+    }
+    const uint32_t target = stack_base + t.height;
+    if (t.arity) stack[target] = stack.back();
+    stack.resize(target + t.arity);
+    WB_JUMP(t.qpc);
+  }
+  WB_CASE(Return) {
+    const uint32_t arity = q->a;
+    for (uint32_t i = 0; i < arity; ++i) {
+      stack[stack_base + i] = stack[stack.size() - arity + i];
+    }
+    stack.resize(stack_base + arity);
+    WB_JUMP(q->b);  // the FuncReturn sentinel (the final End is skipped)
+  }
+  WB_CASE(FuncReturn) {
+    const QCallFrame f = frames.back();
+    if (tracer_) {
+      tracer_->end(prof::Cat::WasmFunc, func_trace_names_[f.fidx],
+                   stats_.cost_ps + cost);
+    }
+    frames.pop_back();
+    locals.resize(f.locals_base);
+    if (frames.empty()) {
+      flush_stats();
+      InvokeResult result;
+      result.trap = Trap::None;
+      if (metas_[f.fidx].result_count > 0) result.value = stack.back();
+      return result;
+    }
+    cache_frame();  // resumes at the caller's saved qpc
+    goto dispatch;
+  }
+  WB_CASE(Call) {
+    callee = q->a;
+    goto do_call;
+  }
+  WB_CASE(CallIndirect) {
+    const uint32_t entry = pop().as_u32();
+    if (entry >= table_.size() || table_[entry] == UINT32_MAX) {
+      trap = Trap::UndefinedElement;
+      goto trapped;
+    }
+    callee = table_[entry];
+    const FuncType& expect = module_.types[q->a];
+    if (!(module_.func_type(callee) == expect)) {
+      trap = Trap::IndirectCallTypeMismatch;
+      goto trapped;
+    }
+    goto do_call;
+  }
+do_call: {
+  if (callee < num_imports) {
+    const FuncType& type = module_.types[module_.imports[callee].type_index];
+    const size_t nargs = type.params.size();
+    Value host_args_buf[16];
+    if (nargs > 16) {
+      trap = Trap::HostError;  // host functions take at most 16 args
+      goto trapped;
+    }
+    for (size_t i = 0; i < nargs; ++i) {
+      host_args_buf[nargs - 1 - i] = pop();
+    }
+    Value result;
+    ++stats_.host_calls;
+    if (tracer_) {
+      tracer_->instant(prof::Cat::HostCall, import_trace_names_[callee],
+                       stats_.cost_ps + cost);
+    }
+    const Trap t =
+        host_fns_[callee](std::span<const Value>(host_args_buf, nargs), &result);
+    if (t != Trap::None) {
+      trap = t;
+      goto trapped;
+    }
+    if (!type.results.empty()) stack.push_back(result);
+    WB_NEXT();
+  }
+  frames.back().qpc = qpc + 1;
+  if (!enter_function(callee - num_imports, {})) goto trapped;
+  goto dispatch;
+}
+take_branch: {
+  if (q->flags & 1) {
+    // Loop back-edge: no values carried, and it contributes to hotness.
+    stack.resize(stack_base + q->b);
+    const uint32_t d = frames.back().fidx;
+    const Tier before = func_state_[d].tier;
+    maybe_tier_up(d, stats_.cost_ps + cost);
+    if (func_state_[d].tier != before) {
+      set_costs(cost_tables_[static_cast<size_t>(func_state_[d].tier)].data());
+    }
+    WB_JUMP(q->a);
+  }
+  const uint32_t target = stack_base + q->b;
+  if (q->flags & 2) stack[target] = stack.back();
+  stack.resize(target + ((q->flags >> 1) & 1));
+  WB_JUMP(q->a);
+}
+  WB_CASE(Const) {
+    stack.push_back(q->val);
+    WB_NEXT();
+  }
+
+  // ---- Parametric / variable access ----
+  WB_CASE(Drop) {
+    stack.pop_back();
+    WB_NEXT();
+  }
+  WB_CASE(Select) {
+    const int32_t cond = pop().as_i32();
+    const Value b = pop();
+    const Value a = pop();
+    stack.push_back(cond != 0 ? a : b);
+    WB_NEXT();
+  }
+  WB_CASE(LocalGet) {
+    stack.push_back(locals[locals_base + q->a]);
+    WB_NEXT();
+  }
+  WB_CASE(LocalSet) {
+    locals[locals_base + q->a] = pop();
+    WB_NEXT();
+  }
+  WB_CASE(LocalTee) {
+    locals[locals_base + q->a] = stack.back();
+    WB_NEXT();
+  }
+  WB_CASE(GlobalGet) {
+    stack.push_back(globals_[q->a]);
+    WB_NEXT();
+  }
+  WB_CASE(GlobalSet) {
+    globals_[q->a] = pop();
+    WB_NEXT();
+  }
+
+  // ---- Memory ----
+#define WB_QLOAD(name, CTYPE, PUSH)             \
+  WB_CASE(name) {                               \
+    const uint32_t addr = pop().as_u32();       \
+    CTYPE v;                                    \
+    if (!memory_->load<CTYPE>(addr, q->b, v)) { \
+      trap = Trap::MemoryOutOfBounds;           \
+      goto trapped;                             \
+    }                                           \
+    stack.push_back(PUSH);                      \
+    WB_NEXT();                                  \
+  }
+  WB_QLOAD(I32Load, int32_t, Value::from_i32(v))
+  WB_QLOAD(I64Load, int64_t, Value::from_i64(v))
+  WB_QLOAD(F32Load, float, Value::from_f32(v))
+  WB_QLOAD(F64Load, double, Value::from_f64(v))
+  WB_QLOAD(I32Load8S, int8_t, Value::from_i32(v))
+  WB_QLOAD(I32Load8U, uint8_t, Value::from_i32(static_cast<int32_t>(v)))
+  WB_QLOAD(I32Load16S, int16_t, Value::from_i32(v))
+  WB_QLOAD(I32Load16U, uint16_t, Value::from_i32(static_cast<int32_t>(v)))
+#undef WB_QLOAD
+
+#define WB_QSTORE(name, CTYPE, GET)               \
+  WB_CASE(name) {                                 \
+    const Value val = pop();                      \
+    const uint32_t addr = pop().as_u32();         \
+    if (!memory_->store<CTYPE>(addr, q->b, GET)) { \
+      trap = Trap::MemoryOutOfBounds;             \
+      goto trapped;                               \
+    }                                             \
+    WB_NEXT();                                    \
+  }
+  WB_QSTORE(I32Store, int32_t, val.as_i32())
+  WB_QSTORE(I64Store, int64_t, val.as_i64())
+  WB_QSTORE(F32Store, float, val.as_f32())
+  WB_QSTORE(F64Store, double, val.as_f64())
+  WB_QSTORE(I32Store8, uint8_t, static_cast<uint8_t>(val.as_u32()))
+  WB_QSTORE(I32Store16, uint16_t, static_cast<uint16_t>(val.as_u32()))
+#undef WB_QSTORE
+
+  WB_CASE(MemorySize) {
+    stack.push_back(Value::from_i32(static_cast<int32_t>(memory_->size_pages())));
+    WB_NEXT();
+  }
+  WB_CASE(MemoryGrow) {
+    const uint32_t delta = pop().as_u32();
+    stack.push_back(Value::from_i32(memory_->grow(delta)));
+    cost += grow_cost_ps_;
+    ++stats_.memory_grows;
+    if (tracer_) {
+      tracer_->instant(prof::Cat::MemoryGrow, grow_trace_name_,
+                       stats_.cost_ps + cost, delta);
+    }
+    WB_NEXT();
+  }
+
+  // ---- i32/i64 compare ----
+  WB_CASE(I32Eqz) {
+    stack.back() = Value::from_i32(stack.back().as_i32() == 0);
+    WB_NEXT();
+  }
+#define WB_QCMP32(name, EXPR)                       \
+  WB_CASE(name) {                                   \
+    const Value bv = pop();                         \
+    const Value av = stack.back();                  \
+    const int32_t a = av.as_i32();                  \
+    const int32_t b = bv.as_i32();                  \
+    const uint32_t ua = av.as_u32();                \
+    const uint32_t ub = bv.as_u32();                \
+    (void)a; (void)b; (void)ua; (void)ub;           \
+    stack.back() = Value::from_i32((EXPR) ? 1 : 0); \
+    WB_NEXT();                                      \
+  }
+  WB_QCMP32(I32Eq, a == b)
+  WB_QCMP32(I32Ne, a != b)
+  WB_QCMP32(I32LtS, a < b)
+  WB_QCMP32(I32LtU, ua < ub)
+  WB_QCMP32(I32GtS, a > b)
+  WB_QCMP32(I32GtU, ua > ub)
+  WB_QCMP32(I32LeS, a <= b)
+  WB_QCMP32(I32LeU, ua <= ub)
+  WB_QCMP32(I32GeS, a >= b)
+  WB_QCMP32(I32GeU, ua >= ub)
+#undef WB_QCMP32
+
+  WB_CASE(I64Eqz) {
+    stack.back() = Value::from_i32(stack.back().as_i64() == 0);
+    WB_NEXT();
+  }
+#define WB_QCMP64(name, EXPR)                       \
+  WB_CASE(name) {                                   \
+    const Value bv = pop();                         \
+    const Value av = stack.back();                  \
+    const int64_t a = av.as_i64();                  \
+    const int64_t b = bv.as_i64();                  \
+    const uint64_t ua = av.as_u64();                \
+    const uint64_t ub = bv.as_u64();                \
+    (void)a; (void)b; (void)ua; (void)ub;           \
+    stack.back() = Value::from_i32((EXPR) ? 1 : 0); \
+    WB_NEXT();                                      \
+  }
+  WB_QCMP64(I64Eq, a == b)
+  WB_QCMP64(I64Ne, a != b)
+  WB_QCMP64(I64LtS, a < b)
+  WB_QCMP64(I64LtU, ua < ub)
+  WB_QCMP64(I64GtS, a > b)
+  WB_QCMP64(I64GtU, ua > ub)
+  WB_QCMP64(I64LeS, a <= b)
+  WB_QCMP64(I64LeU, ua <= ub)
+  WB_QCMP64(I64GeS, a >= b)
+  WB_QCMP64(I64GeU, ua >= ub)
+#undef WB_QCMP64
+
+#define WB_QFCMP(name, CTYPE, SUFFIX, EXPR)      \
+  WB_CASE(name) {                                \
+    const CTYPE b = pop().as_##SUFFIX();         \
+    const CTYPE a = stack.back().as_##SUFFIX();  \
+    stack.back() = Value::from_i32(EXPR);        \
+    WB_NEXT();                                   \
+  }
+  WB_QFCMP(F32Eq, float, f32, a == b)
+  WB_QFCMP(F32Ne, float, f32, a != b)
+  WB_QFCMP(F32Lt, float, f32, a < b)
+  WB_QFCMP(F32Gt, float, f32, a > b)
+  WB_QFCMP(F32Le, float, f32, a <= b)
+  WB_QFCMP(F32Ge, float, f32, a >= b)
+  WB_QFCMP(F64Eq, double, f64, a == b)
+  WB_QFCMP(F64Ne, double, f64, a != b)
+  WB_QFCMP(F64Lt, double, f64, a < b)
+  WB_QFCMP(F64Gt, double, f64, a > b)
+  WB_QFCMP(F64Le, double, f64, a <= b)
+  WB_QFCMP(F64Ge, double, f64, a >= b)
+#undef WB_QFCMP
+
+  // ---- i32 arithmetic ----
+  WB_CASE(I32Clz) {
+    const uint32_t x = stack.back().as_u32();
+    stack.back() = Value::from_i32(x == 0 ? 32 : __builtin_clz(x));
+    WB_NEXT();
+  }
+  WB_CASE(I32Ctz) {
+    const uint32_t x = stack.back().as_u32();
+    stack.back() = Value::from_i32(x == 0 ? 32 : __builtin_ctz(x));
+    WB_NEXT();
+  }
+  WB_CASE(I32Popcnt) {
+    stack.back() = Value::from_i32(__builtin_popcount(stack.back().as_u32()));
+    WB_NEXT();
+  }
+#define WB_QBIN32(name, EXPR)                                   \
+  WB_CASE(name) {                                               \
+    const Value bv = pop();                                     \
+    const Value av = stack.back();                              \
+    const uint32_t ua = av.as_u32();                            \
+    const uint32_t ub = bv.as_u32();                            \
+    (void)ua; (void)ub;                                         \
+    stack.back() = Value::from_i32(static_cast<int32_t>(EXPR)); \
+    WB_NEXT();                                                  \
+  }
+  WB_QBIN32(I32Add, ua + ub)
+  WB_QBIN32(I32Sub, ua - ub)
+  WB_QBIN32(I32Mul, ua * ub)
+  WB_QBIN32(I32And, ua & ub)
+  WB_QBIN32(I32Or, ua | ub)
+  WB_QBIN32(I32Xor, ua ^ ub)
+  WB_QBIN32(I32Shl, ua << (ub & 31))
+  WB_QBIN32(I32ShrU, ua >> (ub & 31))
+  WB_QBIN32(I32Rotl, rotl32(ua, ub))
+  WB_QBIN32(I32Rotr, rotr32(ua, ub))
+#undef WB_QBIN32
+  WB_CASE(I32ShrS) {
+    const uint32_t b = pop().as_u32();
+    const int32_t a = stack.back().as_i32();
+    stack.back() = Value::from_i32(a >> (b & 31));
+    WB_NEXT();
+  }
+  WB_CASE(I32DivS) {
+    const int32_t b = pop().as_i32();
+    const int32_t a = stack.back().as_i32();
+    if (b == 0) {
+      trap = Trap::IntegerDivideByZero;
+      goto trapped;
+    }
+    if (a == INT32_MIN && b == -1) {
+      trap = Trap::IntegerOverflow;
+      goto trapped;
+    }
+    stack.back() = Value::from_i32(a / b);
+    WB_NEXT();
+  }
+  WB_CASE(I32DivU) {
+    const uint32_t b = pop().as_u32();
+    const uint32_t a = stack.back().as_u32();
+    if (b == 0) {
+      trap = Trap::IntegerDivideByZero;
+      goto trapped;
+    }
+    stack.back() = Value::from_i32(static_cast<int32_t>(a / b));
+    WB_NEXT();
+  }
+  WB_CASE(I32RemS) {
+    const int32_t b = pop().as_i32();
+    const int32_t a = stack.back().as_i32();
+    if (b == 0) {
+      trap = Trap::IntegerDivideByZero;
+      goto trapped;
+    }
+    stack.back() = Value::from_i32(b == -1 ? 0 : a % b);
+    WB_NEXT();
+  }
+  WB_CASE(I32RemU) {
+    const uint32_t b = pop().as_u32();
+    const uint32_t a = stack.back().as_u32();
+    if (b == 0) {
+      trap = Trap::IntegerDivideByZero;
+      goto trapped;
+    }
+    stack.back() = Value::from_i32(static_cast<int32_t>(a % b));
+    WB_NEXT();
+  }
+
+  // ---- i64 arithmetic ----
+  WB_CASE(I64Clz) {
+    const uint64_t x = stack.back().as_u64();
+    stack.back() = Value::from_i64(x == 0 ? 64 : __builtin_clzll(x));
+    WB_NEXT();
+  }
+  WB_CASE(I64Ctz) {
+    const uint64_t x = stack.back().as_u64();
+    stack.back() = Value::from_i64(x == 0 ? 64 : __builtin_ctzll(x));
+    WB_NEXT();
+  }
+  WB_CASE(I64Popcnt) {
+    stack.back() = Value::from_i64(__builtin_popcountll(stack.back().as_u64()));
+    WB_NEXT();
+  }
+#define WB_QBIN64(name, EXPR)                                   \
+  WB_CASE(name) {                                               \
+    const Value bv = pop();                                     \
+    const Value av = stack.back();                              \
+    const uint64_t ua = av.as_u64();                            \
+    const uint64_t ub = bv.as_u64();                            \
+    (void)ua; (void)ub;                                         \
+    stack.back() = Value::from_i64(static_cast<int64_t>(EXPR)); \
+    WB_NEXT();                                                  \
+  }
+  WB_QBIN64(I64Add, ua + ub)
+  WB_QBIN64(I64Sub, ua - ub)
+  WB_QBIN64(I64Mul, ua * ub)
+  WB_QBIN64(I64And, ua & ub)
+  WB_QBIN64(I64Or, ua | ub)
+  WB_QBIN64(I64Xor, ua ^ ub)
+  WB_QBIN64(I64Shl, ua << (ub & 63))
+  WB_QBIN64(I64ShrU, ua >> (ub & 63))
+  WB_QBIN64(I64Rotl, rotl64(ua, ub))
+  WB_QBIN64(I64Rotr, rotr64(ua, ub))
+#undef WB_QBIN64
+  WB_CASE(I64ShrS) {
+    const uint64_t b = pop().as_u64();
+    const int64_t a = stack.back().as_i64();
+    stack.back() = Value::from_i64(a >> (b & 63));
+    WB_NEXT();
+  }
+  WB_CASE(I64DivS) {
+    const int64_t b = pop().as_i64();
+    const int64_t a = stack.back().as_i64();
+    if (b == 0) {
+      trap = Trap::IntegerDivideByZero;
+      goto trapped;
+    }
+    if (a == INT64_MIN && b == -1) {
+      trap = Trap::IntegerOverflow;
+      goto trapped;
+    }
+    stack.back() = Value::from_i64(a / b);
+    WB_NEXT();
+  }
+  WB_CASE(I64DivU) {
+    const uint64_t b = pop().as_u64();
+    const uint64_t a = stack.back().as_u64();
+    if (b == 0) {
+      trap = Trap::IntegerDivideByZero;
+      goto trapped;
+    }
+    stack.back() = Value::from_i64(static_cast<int64_t>(a / b));
+    WB_NEXT();
+  }
+  WB_CASE(I64RemS) {
+    const int64_t b = pop().as_i64();
+    const int64_t a = stack.back().as_i64();
+    if (b == 0) {
+      trap = Trap::IntegerDivideByZero;
+      goto trapped;
+    }
+    stack.back() = Value::from_i64(b == -1 ? 0 : a % b);
+    WB_NEXT();
+  }
+  WB_CASE(I64RemU) {
+    const uint64_t b = pop().as_u64();
+    const uint64_t a = stack.back().as_u64();
+    if (b == 0) {
+      trap = Trap::IntegerDivideByZero;
+      goto trapped;
+    }
+    stack.back() = Value::from_i64(static_cast<int64_t>(a % b));
+    WB_NEXT();
+  }
+
+  // ---- f32 / f64 arithmetic ----
+#define WB_QFUN32(name, EXPR)             \
+  WB_CASE(name) {                         \
+    const float a = stack.back().as_f32(); \
+    (void)a;                              \
+    stack.back() = Value::from_f32(EXPR); \
+    WB_NEXT();                            \
+  }
+  WB_QFUN32(F32Abs, std::fabs(a))
+  WB_QFUN32(F32Neg, -a)
+  WB_QFUN32(F32Ceil, std::ceil(a))
+  WB_QFUN32(F32Floor, std::floor(a))
+  WB_QFUN32(F32Trunc, std::trunc(a))
+  WB_QFUN32(F32Nearest, static_cast<float>(std::nearbyint(a)))
+  WB_QFUN32(F32Sqrt, std::sqrt(a))
+#undef WB_QFUN32
+#define WB_QFBIN32(name, EXPR)             \
+  WB_CASE(name) {                          \
+    const float b = pop().as_f32();        \
+    const float a = stack.back().as_f32(); \
+    stack.back() = Value::from_f32(EXPR);  \
+    WB_NEXT();                             \
+  }
+  WB_QFBIN32(F32Add, a + b)
+  WB_QFBIN32(F32Sub, a - b)
+  WB_QFBIN32(F32Mul, a * b)
+  WB_QFBIN32(F32Div, a / b)
+  WB_QFBIN32(F32Min, wasm_fmin(a, b))
+  WB_QFBIN32(F32Max, wasm_fmax(a, b))
+  WB_QFBIN32(F32Copysign, std::copysign(a, b))
+#undef WB_QFBIN32
+#define WB_QFUN64(name, EXPR)               \
+  WB_CASE(name) {                           \
+    const double a = stack.back().as_f64(); \
+    (void)a;                                \
+    stack.back() = Value::from_f64(EXPR);   \
+    WB_NEXT();                              \
+  }
+  WB_QFUN64(F64Abs, std::fabs(a))
+  WB_QFUN64(F64Neg, -a)
+  WB_QFUN64(F64Ceil, std::ceil(a))
+  WB_QFUN64(F64Floor, std::floor(a))
+  WB_QFUN64(F64Trunc, std::trunc(a))
+  WB_QFUN64(F64Nearest, std::nearbyint(a))
+  WB_QFUN64(F64Sqrt, std::sqrt(a))
+#undef WB_QFUN64
+#define WB_QFBIN64(name, EXPR)              \
+  WB_CASE(name) {                           \
+    const double b = pop().as_f64();        \
+    const double a = stack.back().as_f64(); \
+    stack.back() = Value::from_f64(EXPR);   \
+    WB_NEXT();                              \
+  }
+  WB_QFBIN64(F64Add, a + b)
+  WB_QFBIN64(F64Sub, a - b)
+  WB_QFBIN64(F64Mul, a * b)
+  WB_QFBIN64(F64Div, a / b)
+  WB_QFBIN64(F64Min, wasm_fmin(a, b))
+  WB_QFBIN64(F64Max, wasm_fmax(a, b))
+  WB_QFBIN64(F64Copysign, std::copysign(a, b))
+#undef WB_QFBIN64
+
+  // ---- Conversions ----
+  WB_CASE(I32WrapI64) {
+    stack.back() = Value::from_i32(static_cast<int32_t>(stack.back().as_i64()));
+    WB_NEXT();
+  }
+#define WB_QTRUNC(name, ITYPE, FTYPE, PUSH)                    \
+  WB_CASE(name) {                                              \
+    ITYPE out;                                                 \
+    if (!trunc_checked<ITYPE>(stack.back().as_##FTYPE(), out)) { \
+      trap = Trap::InvalidConversion;                          \
+      goto trapped;                                            \
+    }                                                          \
+    stack.back() = PUSH;                                       \
+    WB_NEXT();                                                 \
+  }
+  WB_QTRUNC(I32TruncF32S, int32_t, f32, Value::from_i32(out))
+  WB_QTRUNC(I32TruncF32U, uint32_t, f32, Value::from_i32(static_cast<int32_t>(out)))
+  WB_QTRUNC(I32TruncF64S, int32_t, f64, Value::from_i32(out))
+  WB_QTRUNC(I32TruncF64U, uint32_t, f64, Value::from_i32(static_cast<int32_t>(out)))
+  WB_QTRUNC(I64TruncF32S, int64_t, f32, Value::from_i64(out))
+  WB_QTRUNC(I64TruncF32U, uint64_t, f32, Value::from_i64(static_cast<int64_t>(out)))
+  WB_QTRUNC(I64TruncF64S, int64_t, f64, Value::from_i64(out))
+  WB_QTRUNC(I64TruncF64U, uint64_t, f64, Value::from_i64(static_cast<int64_t>(out)))
+#undef WB_QTRUNC
+  WB_CASE(I64ExtendI32S) {
+    stack.back() = Value::from_i64(stack.back().as_i32());
+    WB_NEXT();
+  }
+  WB_CASE(I64ExtendI32U) {
+    stack.back() = Value::from_i64(static_cast<int64_t>(stack.back().as_u32()));
+    WB_NEXT();
+  }
+  WB_CASE(F32ConvertI32S) {
+    stack.back() = Value::from_f32(static_cast<float>(stack.back().as_i32()));
+    WB_NEXT();
+  }
+  WB_CASE(F32ConvertI32U) {
+    stack.back() = Value::from_f32(static_cast<float>(stack.back().as_u32()));
+    WB_NEXT();
+  }
+  WB_CASE(F32ConvertI64S) {
+    stack.back() = Value::from_f32(static_cast<float>(stack.back().as_i64()));
+    WB_NEXT();
+  }
+  WB_CASE(F32ConvertI64U) {
+    stack.back() = Value::from_f32(static_cast<float>(stack.back().as_u64()));
+    WB_NEXT();
+  }
+  WB_CASE(F32DemoteF64) {
+    stack.back() = Value::from_f32(static_cast<float>(stack.back().as_f64()));
+    WB_NEXT();
+  }
+  WB_CASE(F64ConvertI32S) {
+    stack.back() = Value::from_f64(static_cast<double>(stack.back().as_i32()));
+    WB_NEXT();
+  }
+  WB_CASE(F64ConvertI32U) {
+    stack.back() = Value::from_f64(static_cast<double>(stack.back().as_u32()));
+    WB_NEXT();
+  }
+  WB_CASE(F64ConvertI64S) {
+    stack.back() = Value::from_f64(static_cast<double>(stack.back().as_i64()));
+    WB_NEXT();
+  }
+  WB_CASE(F64ConvertI64U) {
+    stack.back() = Value::from_f64(static_cast<double>(stack.back().as_u64()));
+    WB_NEXT();
+  }
+  WB_CASE(F64PromoteF32) {
+    stack.back() = Value::from_f64(static_cast<double>(stack.back().as_f32()));
+    WB_NEXT();
+  }
+
+  // ---- Fused superinstructions ----
+  WB_CASE(FConstSet) {
+    locals[locals_base + q->a] = q->val;
+    WB_NEXT();
+  }
+#define WB_QGETLOAD(name, CTYPE, PUSH)                        \
+  WB_CASE(name) {                                             \
+    const uint32_t addr = locals[locals_base + q->a].as_u32(); \
+    CTYPE v;                                                  \
+    if (!memory_->load<CTYPE>(addr, q->b, v)) {               \
+      trap = Trap::MemoryOutOfBounds;                         \
+      goto trapped;                                           \
+    }                                                         \
+    stack.push_back(PUSH);                                    \
+    WB_NEXT();                                                \
+  }
+  WB_QGETLOAD(FGetLoadI32, int32_t, Value::from_i32(v))
+  WB_QGETLOAD(FGetLoadI64, int64_t, Value::from_i64(v))
+  WB_QGETLOAD(FGetLoadF32, float, Value::from_f32(v))
+  WB_QGETLOAD(FGetLoadF64, double, Value::from_f64(v))
+  WB_QGETLOAD(FGetLoadI32U8, uint8_t, Value::from_i32(static_cast<int32_t>(v)))
+#undef WB_QGETLOAD
+  WB_CASE(FCmpBrIf) {
+    const Value vb = pop();
+    const Value va = pop();
+    bool take = false;
+    switch (static_cast<Opcode>(q->c)) {
+      case Opcode::I32Eq: take = va.as_i32() == vb.as_i32(); break;
+      case Opcode::I32Ne: take = va.as_i32() != vb.as_i32(); break;
+      case Opcode::I32LtS: take = va.as_i32() < vb.as_i32(); break;
+      case Opcode::I32LtU: take = va.as_u32() < vb.as_u32(); break;
+      case Opcode::I32GtS: take = va.as_i32() > vb.as_i32(); break;
+      case Opcode::I32GtU: take = va.as_u32() > vb.as_u32(); break;
+      case Opcode::I32LeS: take = va.as_i32() <= vb.as_i32(); break;
+      case Opcode::I32LeU: take = va.as_u32() <= vb.as_u32(); break;
+      case Opcode::I32GeS: take = va.as_i32() >= vb.as_i32(); break;
+      case Opcode::I32GeU: take = va.as_u32() >= vb.as_u32(); break;
+      default: break;
+    }
+    if (take) goto take_branch;
+    WB_NEXT();
+  }
+#define WB_QGG(name, expr)                       \
+  WB_CASE(FGetGet_##name) {                      \
+    const Value va = locals[locals_base + q->a]; \
+    const Value vb = locals[locals_base + q->b]; \
+    stack.push_back(expr);                       \
+    WB_NEXT();                                   \
+  }
+  WB_QFUSE_BINOPS(WB_QGG)
+#undef WB_QGG
+#define WB_QGC(name, expr)                       \
+  WB_CASE(FGetConst_##name) {                    \
+    const Value va = locals[locals_base + q->a]; \
+    const Value vb = q->val;                     \
+    stack.push_back(expr);                       \
+    WB_NEXT();                                   \
+  }
+  WB_QFUSE_BINOPS(WB_QGC)
+#undef WB_QGC
+#define WB_QGGS(name, expr)                      \
+  WB_CASE(FGetGetSet_##name) {                   \
+    const Value va = locals[locals_base + q->a]; \
+    const Value vb = locals[locals_base + q->b]; \
+    locals[locals_base + q->c] = expr;           \
+    WB_NEXT();                                   \
+  }
+  WB_QFUSE_BINOPS(WB_QGGS)
+#undef WB_QGGS
+#define WB_QGCS(name, expr)                      \
+  WB_CASE(FGetConstSet_##name) {                 \
+    const Value va = locals[locals_base + q->a]; \
+    const Value vb = q->val;                     \
+    locals[locals_base + q->c] = expr;           \
+    WB_NEXT();                                   \
+  }
+  WB_QFUSE_BINOPS(WB_QGCS)
+#undef WB_QGCS
+
+#if !WB_THREADED_DISPATCH
+  default:
+    trap = Trap::HostError;  // corrupt QCode; cannot happen
+    goto trapped;
+  }  // switch
+#endif
+
+fuel_out:
+  // The classic loop charges each op it still executes before trapping on
+  // the first op at the fuel boundary; charge the same constituent prefix.
+  // None of the skipped constituents has side effects the trap result
+  // could observe (stores and grows are never fused).
+  for (uint32_t k = 0; k < q->nops && ops < fuel; ++k) {
+    ++ops;
+    cost += costs[q->cls[k]];
+    const uint8_t cat = q->cat[k];
+    if (cat != kCatNone) ++stats_.arith_counts[cat];
+  }
+  trap = Trap::FuelExhausted;
+
+trapped:
+  // Close the spans of every frame still on the stack so the trace stays
+  // well-nested.
+  if (tracer_) {
+    for (size_t i = frames.size(); i-- > 0;) {
+      tracer_->end(prof::Cat::WasmFunc, func_trace_names_[frames[i].fidx],
+                   stats_.cost_ps + cost);
+    }
+  }
+  flush_stats();
+  return {trap, {}};
+
+#undef WB_CASE
+#undef WB_NEXT
+#undef WB_JUMP
 }
 
 }  // namespace wb::wasm

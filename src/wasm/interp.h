@@ -17,6 +17,7 @@
 
 #include "wasm/memory.h"
 #include "wasm/module.h"
+#include "wasm/quicken.h"
 
 namespace wb::prof {
 class Tracer;
@@ -96,6 +97,14 @@ class Instance {
   /// a tracer attached.
   void set_tracer(prof::Tracer* tracer);
 
+  /// Toggles quickened execution (pre-translated QCode with threaded
+  /// dispatch; see quicken.h) for this instance. Follows the process-wide
+  /// `quicken_default()` at construction. All reported metrics are
+  /// bit-identical to the classic loop either way; only host-side wall
+  /// clock differs.
+  void set_quicken(bool enabled);
+  [[nodiscard]] bool quicken_enabled() const { return quicken_enabled_; }
+
   /// Invokes an exported function by name.
   InvokeResult invoke(std::string_view export_name, std::span<const Value> args);
   /// Invokes by function index (combined import+defined space).
@@ -117,6 +126,11 @@ class Instance {
   };
 
   InvokeResult run(uint32_t func_index, std::span<const Value> args);
+  /// The reference one-Instr-at-a-time loop (kept for --no-quicken and as
+  /// the differential-testing baseline).
+  InvokeResult run_classic(uint32_t defined_index, std::span<const Value> args);
+  /// The quickened threaded-dispatch loop over qfuncs_.
+  InvokeResult run_quickened(uint32_t defined_index, std::span<const Value> args);
   /// `now_ps` is the current virtual time (stats_.cost_ps plus the run
   /// loop's unflushed cost), used to timestamp the tier-up trace event.
   void maybe_tier_up(uint32_t defined_index, uint64_t now_ps);
@@ -128,6 +142,8 @@ class Instance {
   std::vector<uint32_t> table_;
   std::vector<FuncMeta> metas_;       // per defined function
   std::vector<FuncState> func_state_; // per defined function
+  std::vector<QFunc> qfuncs_;         // per defined function (when quickened)
+  bool quicken_enabled_ = false;
   std::array<CostTable, 2> cost_tables_;
   TierPolicy tier_policy_;
   ExecStats stats_;

@@ -1,0 +1,600 @@
+#include "wasm/quicken.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+namespace wb::wasm {
+
+namespace {
+
+std::atomic<bool> g_quicken_default{true};
+
+bool is_const_op(Opcode op) {
+  return op == Opcode::I32Const || op == Opcode::I64Const ||
+         op == Opcode::F32Const || op == Opcode::F64Const;
+}
+
+/// Exactly the classic interpreter's constant encodings.
+Value const_value(const Instr& ins) {
+  switch (ins.op) {
+    case Opcode::I32Const:
+      return Value::from_i32(static_cast<int32_t>(ins.ival));
+    case Opcode::I64Const:
+      return Value::from_i64(ins.ival);
+    case Opcode::F32Const:
+      return Value::from_f32(static_cast<float>(ins.fval));
+    default:
+      return Value::from_f64(ins.fval);
+  }
+}
+
+/// Ops with no runtime effect in the quickened stream: they are charged
+/// (original OpClass) but execute nothing. Blocks and Ends manipulate no
+/// state once branches are pre-resolved; reinterprets are no-ops on raw
+/// value bits.
+bool is_charge_only(Opcode op) {
+  switch (op) {
+    case Opcode::Nop:
+    case Opcode::Block:
+    case Opcode::Loop:
+    case Opcode::End:
+    case Opcode::I32ReinterpretF32:
+    case Opcode::I64ReinterpretF64:
+    case Opcode::F32ReinterpretI32:
+    case Opcode::F64ReinterpretI64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_i32_cmp(Opcode op) {
+  const uint8_t b = static_cast<uint8_t>(op);
+  return b >= static_cast<uint8_t>(Opcode::I32Eq) &&
+         b <= static_cast<uint8_t>(Opcode::I32GeU);
+}
+
+QOp gg_qop(Opcode op) {
+  switch (op) {
+#define WB_GG(name, expr) \
+  case Opcode::name:      \
+    return QOp::FGetGet_##name;
+    WB_QFUSE_BINOPS(WB_GG)
+#undef WB_GG
+    default:
+      return QOp::kCount;
+  }
+}
+
+QOp gc_qop(Opcode op) {
+  switch (op) {
+#define WB_GC(name, expr) \
+  case Opcode::name:      \
+    return QOp::FGetConst_##name;
+    WB_QFUSE_BINOPS(WB_GC)
+#undef WB_GC
+    default:
+      return QOp::kCount;
+  }
+}
+
+QOp ggs_qop(Opcode op) {
+  switch (op) {
+#define WB_GGS(name, expr) \
+  case Opcode::name:       \
+    return QOp::FGetGetSet_##name;
+    WB_QFUSE_BINOPS(WB_GGS)
+#undef WB_GGS
+    default:
+      return QOp::kCount;
+  }
+}
+
+QOp gcs_qop(Opcode op) {
+  switch (op) {
+#define WB_GCS(name, expr) \
+  case Opcode::name:       \
+    return QOp::FGetConstSet_##name;
+    WB_QFUSE_BINOPS(WB_GCS)
+#undef WB_GCS
+    default:
+      return QOp::kCount;
+  }
+}
+
+QOp get_load_qop(Opcode op) {
+  switch (op) {
+    case Opcode::I32Load:
+      return QOp::FGetLoadI32;
+    case Opcode::I64Load:
+      return QOp::FGetLoadI64;
+    case Opcode::F32Load:
+      return QOp::FGetLoadF32;
+    case Opcode::F64Load:
+      return QOp::FGetLoadF64;
+    case Opcode::I32Load8U:
+      return QOp::FGetLoadI32U8;
+    default:
+      return QOp::kCount;
+  }
+}
+
+/// Single-Instr mapping for every opcode that is not a special (control,
+/// call, const) and not charge-only.
+QOp qop_single(Opcode op) {
+  switch (op) {
+#define WB_Q1(name)  \
+  case Opcode::name: \
+    return QOp::name;
+    WB_QOP_SINGLES(WB_Q1)
+#undef WB_Q1
+    default:
+      assert(false && "unmapped opcode");
+      return QOp::ChargeOnly;
+  }
+}
+
+/// Net operand-stack effect of a non-control instruction (control flow is
+/// handled structurally by the translation walk).
+int net_delta(const Module& module, const Instr& ins) {
+  switch (ins.op) {
+    case Opcode::Call: {
+      const FuncType& t = module.func_type(ins.a);
+      return static_cast<int>(t.results.size()) - static_cast<int>(t.params.size());
+    }
+    case Opcode::CallIndirect: {
+      const FuncType& t = module.types[ins.a];
+      return static_cast<int>(t.results.size()) - static_cast<int>(t.params.size()) -
+             1;
+    }
+    case Opcode::Drop:
+    case Opcode::LocalSet:
+    case Opcode::GlobalSet:
+      return -1;
+    case Opcode::Select:
+      return -2;
+    case Opcode::LocalGet:
+    case Opcode::GlobalGet:
+    case Opcode::MemorySize:
+    case Opcode::I32Const:
+    case Opcode::I64Const:
+    case Opcode::F32Const:
+    case Opcode::F64Const:
+      return +1;
+    case Opcode::LocalTee:
+    case Opcode::MemoryGrow:
+      return 0;
+    default:
+      break;
+  }
+  const uint8_t b = static_cast<uint8_t>(ins.op);
+  if (b >= 0x28 && b <= 0x2f) return 0;   // loads: pop addr, push value
+  if (b >= 0x36 && b <= 0x3b) return -2;  // stores
+  if (b == 0x45 || b == 0x50) return 0;   // i32/i64 eqz (unary)
+  if (b >= 0x46 && b <= 0x66) return -1;  // binary compares
+  if (b >= 0x67 && b <= 0x69) return 0;   // i32 clz/ctz/popcnt
+  if (b >= 0x6a && b <= 0x78) return -1;  // i32 binops
+  if (b >= 0x79 && b <= 0x7b) return 0;   // i64 clz/ctz/popcnt
+  if (b >= 0x7c && b <= 0x8a) return -1;  // i64 binops
+  if (b >= 0x8b && b <= 0x91) return 0;   // f32 unary
+  if (b >= 0x92 && b <= 0x98) return -1;  // f32 binops
+  if (b >= 0x99 && b <= 0x9f) return 0;   // f64 unary
+  if (b >= 0xa0 && b <= 0xa6) return -1;  // f64 binops
+  if (b >= 0xa7 && b <= 0xbf) return 0;   // conversions
+  return 0;                               // Nop / Unreachable
+}
+
+/// A branch resolved during the translation walk, still in original-pc
+/// space (patched to QCode pcs after emission).
+struct BrRes {
+  uint32_t target_pc = 0;
+  uint32_t height = 0;  ///< stack height at the target frame's entry
+  uint8_t arity = 0;
+  bool is_loop = false;
+};
+
+/// An open structured frame during the static walk. `valid` is false for
+/// frames entered in unreachable code, whose heights never matter at
+/// runtime (the validator guarantees such branches cannot execute).
+struct TFrame {
+  int32_t entry_height = 0;
+  uint8_t arity = 0;
+  bool is_loop = false;
+  bool valid = true;
+  uint32_t br_target_pc = 0;
+};
+
+}  // namespace
+
+void set_quicken_default(bool enabled) {
+  g_quicken_default.store(enabled, std::memory_order_relaxed);
+}
+
+bool quicken_default() {
+  static const bool env_off = std::getenv("WB_NO_QUICKEN") != nullptr;
+  return !env_off && g_quicken_default.load(std::memory_order_relaxed);
+}
+
+QFunc quicken(const Module& module, uint32_t defined_index) {
+  const Function& fn = module.functions[defined_index];
+  const FuncType& type = module.types[fn.type_index];
+  const uint8_t result_count = static_cast<uint8_t>(type.results.size());
+  const uint32_t n = static_cast<uint32_t>(fn.body.size());
+  const Instr* body = fn.body.data();
+
+  // ---- Pass 1: matching Ends, If false-targets, and jump-target pcs ----
+  std::vector<uint32_t> end_pc(n, 0);
+  std::vector<uint32_t> false_pc(n, 0);
+  // A pc is a jump target if any pre-resolved branch can land on it; such
+  // pcs must start a QInstr, so fusion never swallows them.
+  std::vector<uint8_t> is_target(n + 1, 0);
+  is_target[n] = 1;  // the FuncReturn sentinel
+  {
+    std::vector<uint32_t> block_stack;
+    std::vector<uint32_t> else_stack;
+    for (uint32_t pc = 0; pc < n; ++pc) {
+      switch (body[pc].op) {
+        case Opcode::Block:
+        case Opcode::Loop:
+        case Opcode::If:
+          block_stack.push_back(pc);
+          else_stack.push_back(0);
+          break;
+        case Opcode::Else:
+          assert(!block_stack.empty());
+          else_stack.back() = pc;
+          break;
+        case Opcode::End: {
+          if (block_stack.empty()) break;  // function-closing end
+          const uint32_t open = block_stack.back();
+          const uint32_t else_pc = else_stack.back();
+          block_stack.pop_back();
+          else_stack.pop_back();
+          end_pc[open] = pc;
+          if (fn.body[open].op == Opcode::If) {
+            false_pc[open] = else_pc ? else_pc + 1 : pc;
+          }
+          if (else_pc) end_pc[else_pc] = pc;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    for (uint32_t pc = 0; pc < n; ++pc) {
+      switch (body[pc].op) {
+        case Opcode::Block:
+          is_target[end_pc[pc] + 1] = 1;
+          break;
+        case Opcode::Loop:
+          is_target[pc + 1] = 1;
+          break;
+        case Opcode::If:
+          is_target[false_pc[pc]] = 1;
+          is_target[end_pc[pc] + 1] = 1;
+          break;
+        case Opcode::Else:
+          is_target[end_pc[pc]] = 1;  // Else jumps to its matching End
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // ---- Pass 2: static stack heights + branch resolution ----------------
+  // The validator's stack discipline makes every reachable program point's
+  // height a fixed static value; this is the same abstract walk, with
+  // unreachable stretches (after br/return/unreachable/br_table) tracked
+  // via per-frame validity so dead branches get harmless dummy targets.
+  std::vector<BrRes> br_res(n);
+  std::vector<int32_t> table_res_index(n, -1);
+  std::vector<std::vector<BrRes>> table_res;
+  {
+    std::vector<TFrame> tframes;
+    tframes.push_back({0, result_count, false, true, n});
+    int32_t height = 0;
+    bool unreachable = false;
+
+    const auto resolve = [&](uint32_t depth) -> BrRes {
+      if (depth >= tframes.size()) return {};  // only possible in dead code
+      const TFrame& f = tframes[tframes.size() - 1 - depth];
+      BrRes r;
+      r.target_pc = f.br_target_pc;
+      r.height = f.valid ? static_cast<uint32_t>(f.entry_height) : 0;
+      r.arity = f.is_loop ? 0 : f.arity;
+      r.is_loop = f.is_loop;
+      return r;
+    };
+    const auto block_arity = [](const Instr& ins) -> uint8_t {
+      return ins.a == kVoidBlockType ? 0 : 1;
+    };
+
+    for (uint32_t pc = 0; pc < n; ++pc) {
+      const Instr& ins = body[pc];
+      switch (ins.op) {
+        case Opcode::Block:
+          tframes.push_back(
+              {height, block_arity(ins), false, !unreachable, end_pc[pc] + 1});
+          break;
+        case Opcode::Loop:
+          tframes.push_back({height, block_arity(ins), true, !unreachable, pc + 1});
+          break;
+        case Opcode::If:
+          if (!unreachable) height -= 1;  // condition
+          tframes.push_back(
+              {height, block_arity(ins), false, !unreachable, end_pc[pc] + 1});
+          break;
+        case Opcode::Else: {
+          const TFrame& f = tframes.back();
+          height = f.valid ? f.entry_height : 0;
+          unreachable = !f.valid;
+          break;
+        }
+        case Opcode::End:
+          if (tframes.size() > 1) {
+            const TFrame f = tframes.back();
+            tframes.pop_back();
+            height = f.valid ? f.entry_height + f.arity : 0;
+            unreachable = !f.valid;
+          }
+          break;
+        case Opcode::Unreachable:
+        case Opcode::Return:
+          unreachable = true;
+          break;
+        case Opcode::Br:
+          br_res[pc] = resolve(ins.a);
+          unreachable = true;
+          break;
+        case Opcode::BrIf:
+          if (!unreachable) height -= 1;  // condition
+          br_res[pc] = resolve(ins.a);
+          break;
+        case Opcode::BrTable: {
+          if (!unreachable) height -= 1;  // index
+          table_res_index[pc] = static_cast<int32_t>(table_res.size());
+          std::vector<BrRes> entries;
+          for (const uint32_t depth : module.br_tables[ins.a]) {
+            entries.push_back(resolve(depth));
+          }
+          table_res.push_back(std::move(entries));
+          unreachable = true;
+          break;
+        }
+        default:
+          if (!unreachable) height += net_delta(module, ins);
+          break;
+      }
+    }
+  }
+
+  // ---- Pass 3: emission with superinstruction fusion -------------------
+  QFunc qf;
+  qf.code.reserve(n + 1);
+  std::vector<uint32_t> qpc_of(n + 1, UINT32_MAX);
+  struct Fix {
+    uint32_t qidx;
+    uint32_t target_pc;
+  };
+  std::vector<Fix> fixups;           // patch QInstr::a = qpc_of[target_pc]
+  std::vector<uint32_t> return_idx;  // patch QInstr::b = FuncReturn pc
+  std::vector<int32_t> table_of_emit;  // table_res index per emitted table
+
+  const auto charge_info = [&](QInstr& q, uint32_t p0, uint32_t count) {
+    q.nops = static_cast<uint8_t>(count);
+    for (uint32_t k = 0; k < count; ++k) {
+      q.cls[k] = static_cast<uint8_t>(op_class(body[p0 + k].op));
+      q.cat[k] = static_cast<uint8_t>(arith_cat(body[p0 + k].op));
+    }
+    q.cat_packed = 0;
+    for (uint32_t k = 0; k < 4; ++k) q.cat_packed += 1ull << (8 * q.cat[k]);
+  };
+  const auto set_branch = [&](QInstr& q, const BrRes& r) {
+    q.b = r.height;
+    q.flags = static_cast<uint8_t>((r.is_loop ? 1 : 0) | (r.arity << 1));
+    fixups.push_back({static_cast<uint32_t>(qf.code.size()), r.target_pc});
+  };
+
+  uint32_t pc = 0;
+  while (pc < n) {
+    qpc_of[pc] = static_cast<uint32_t>(qf.code.size());
+    const Instr& i0 = body[pc];
+    QInstr q;
+
+    // 4-grams: local.get + (local.get | const) + binop + local.set.
+    if (i0.op == Opcode::LocalGet && pc + 3 < n && !is_target[pc + 1] &&
+        !is_target[pc + 2] && !is_target[pc + 3] &&
+        body[pc + 3].op == Opcode::LocalSet) {
+      const Instr& i1 = body[pc + 1];
+      const Instr& i2 = body[pc + 2];
+      if (i1.op == Opcode::LocalGet) {
+        const QOp f = ggs_qop(i2.op);
+        if (f != QOp::kCount) {
+          q.op = static_cast<uint16_t>(f);
+          q.a = i0.a;
+          q.b = i1.a;
+          q.c = body[pc + 3].a;
+          charge_info(q, pc, 4);
+          qf.code.push_back(q);
+          pc += 4;
+          continue;
+        }
+      } else if (is_const_op(i1.op)) {
+        const QOp f = gcs_qop(i2.op);
+        if (f != QOp::kCount) {
+          q.op = static_cast<uint16_t>(f);
+          q.a = i0.a;
+          q.c = body[pc + 3].a;
+          q.val = const_value(i1);
+          charge_info(q, pc, 4);
+          qf.code.push_back(q);
+          pc += 4;
+          continue;
+        }
+      }
+    }
+    // Trigrams: local.get + (local.get | const) + binop.
+    if (i0.op == Opcode::LocalGet && pc + 2 < n && !is_target[pc + 1] &&
+        !is_target[pc + 2]) {
+      const Instr& i1 = body[pc + 1];
+      const Instr& i2 = body[pc + 2];
+      if (i1.op == Opcode::LocalGet) {
+        const QOp f = gg_qop(i2.op);
+        if (f != QOp::kCount) {
+          q.op = static_cast<uint16_t>(f);
+          q.a = i0.a;
+          q.b = i1.a;
+          charge_info(q, pc, 3);
+          qf.code.push_back(q);
+          pc += 3;
+          continue;
+        }
+      } else if (is_const_op(i1.op)) {
+        const QOp f = gc_qop(i2.op);
+        if (f != QOp::kCount) {
+          q.op = static_cast<uint16_t>(f);
+          q.a = i0.a;
+          q.val = const_value(i1);
+          charge_info(q, pc, 3);
+          qf.code.push_back(q);
+          pc += 3;
+          continue;
+        }
+      }
+    }
+    // Bigram: local.get + load.
+    if (i0.op == Opcode::LocalGet && pc + 1 < n && !is_target[pc + 1]) {
+      const QOp f = get_load_qop(body[pc + 1].op);
+      if (f != QOp::kCount) {
+        q.op = static_cast<uint16_t>(f);
+        q.a = i0.a;
+        q.b = body[pc + 1].b;  // memory offset
+        charge_info(q, pc, 2);
+        qf.code.push_back(q);
+        pc += 2;
+        continue;
+      }
+    }
+    // Bigram: const + local.set.
+    if (is_const_op(i0.op) && pc + 1 < n && !is_target[pc + 1] &&
+        body[pc + 1].op == Opcode::LocalSet) {
+      q.op = static_cast<uint16_t>(QOp::FConstSet);
+      q.a = body[pc + 1].a;
+      q.val = const_value(i0);
+      charge_info(q, pc, 2);
+      qf.code.push_back(q);
+      pc += 2;
+      continue;
+    }
+    // Bigram: i32 compare + br_if.
+    if (is_i32_cmp(i0.op) && pc + 1 < n && !is_target[pc + 1] &&
+        body[pc + 1].op == Opcode::BrIf) {
+      q.op = static_cast<uint16_t>(QOp::FCmpBrIf);
+      q.c = static_cast<uint32_t>(i0.op);
+      set_branch(q, br_res[pc + 1]);
+      charge_info(q, pc, 2);
+      qf.code.push_back(q);
+      pc += 2;
+      continue;
+    }
+    // Runs of charge-only ops (Nop/Block/Loop/End/reinterpret).
+    if (is_charge_only(i0.op)) {
+      uint32_t count = 1;
+      while (count < 3 && pc + count < n && !is_target[pc + count] &&
+             is_charge_only(body[pc + count].op)) {
+        ++count;
+      }
+      q.op = static_cast<uint16_t>(QOp::ChargeOnly);
+      charge_info(q, pc, count);
+      qf.code.push_back(q);
+      pc += count;
+      continue;
+    }
+
+    // Specials and plain singles.
+    charge_info(q, pc, 1);
+    switch (i0.op) {
+      case Opcode::Unreachable:
+        q.op = static_cast<uint16_t>(QOp::Unreachable);
+        break;
+      case Opcode::If:
+        q.op = static_cast<uint16_t>(QOp::If);
+        fixups.push_back({static_cast<uint32_t>(qf.code.size()), false_pc[pc]});
+        break;
+      case Opcode::Else:
+        q.op = static_cast<uint16_t>(QOp::Jump);
+        fixups.push_back({static_cast<uint32_t>(qf.code.size()), end_pc[pc]});
+        break;
+      case Opcode::Br:
+        q.op = static_cast<uint16_t>(QOp::Br);
+        set_branch(q, br_res[pc]);
+        break;
+      case Opcode::BrIf:
+        q.op = static_cast<uint16_t>(QOp::BrIf);
+        set_branch(q, br_res[pc]);
+        break;
+      case Opcode::BrTable:
+        q.op = static_cast<uint16_t>(QOp::BrTable);
+        q.a = static_cast<uint32_t>(table_of_emit.size());
+        table_of_emit.push_back(table_res_index[pc]);
+        break;
+      case Opcode::Return:
+        q.op = static_cast<uint16_t>(QOp::Return);
+        q.a = result_count;
+        return_idx.push_back(static_cast<uint32_t>(qf.code.size()));
+        break;
+      case Opcode::Call:
+        q.op = static_cast<uint16_t>(QOp::Call);
+        q.a = i0.a;
+        break;
+      case Opcode::CallIndirect:
+        q.op = static_cast<uint16_t>(QOp::CallIndirect);
+        q.a = i0.a;
+        break;
+      case Opcode::I32Const:
+      case Opcode::I64Const:
+      case Opcode::F32Const:
+      case Opcode::F64Const:
+        q.op = static_cast<uint16_t>(QOp::Const);
+        q.val = const_value(i0);
+        break;
+      default:
+        q.op = static_cast<uint16_t>(qop_single(i0.op));
+        q.a = i0.a;
+        q.b = i0.b;
+        break;
+    }
+    qf.code.push_back(q);
+    ++pc;
+  }
+
+  // The unwind sentinel every fallthrough/return lands on (nops = 0: the
+  // classic loop's pc==code_size unwind is not an op and never charged).
+  qpc_of[n] = static_cast<uint32_t>(qf.code.size());
+  QInstr ret;
+  ret.op = static_cast<uint16_t>(QOp::FuncReturn);
+  ret.nops = 0;
+  qf.code.push_back(ret);
+
+  // ---- Fixups: original pcs -> QCode pcs -------------------------------
+  for (const Fix& f : fixups) {
+    assert(qpc_of[f.target_pc] != UINT32_MAX);
+    qf.code[f.qidx].a = qpc_of[f.target_pc];
+  }
+  for (const uint32_t qidx : return_idx) {
+    qf.code[qidx].b = qpc_of[n];
+  }
+  for (const int32_t ti : table_of_emit) {
+    std::vector<QBrTarget> entries;
+    for (const BrRes& r : table_res[static_cast<size_t>(ti)]) {
+      assert(qpc_of[r.target_pc] != UINT32_MAX);
+      entries.push_back({qpc_of[r.target_pc], r.height, r.arity, r.is_loop});
+    }
+    qf.br_tables.push_back(std::move(entries));
+  }
+  return qf;
+}
+
+}  // namespace wb::wasm

@@ -1,0 +1,245 @@
+// Quickening: pre-translation of decoded function bodies into a flat
+// internal "QCode" stream the interpreter can execute with direct-threaded
+// dispatch. Translation happens once per Instance (at instantiation) and
+//  - resolves every structured branch (Block/If/Else/End, br, br_if,
+//    br_table, return) to an absolute QCode pc plus a precomputed operand
+//    stack height, so no control frames are pushed or popped at runtime
+//    (only loops keep live state: the tier-up hotness counter);
+//  - fuses the dominant bigram/trigram/4-gram patterns of the
+//    PolyBenchC/CHStone bodies into superinstructions
+//    (local.get+local.get+binop[+local.set],
+//    local.get+const+binop[+local.set], const+local.set, local.get+load,
+//    cmp+br_if);
+//  - carries a per-QInstr side table with the original constituents'
+//    OpClass and ArithCat so cost_ps, ops_executed, arith_counts, fuel
+//    accounting, and tier-up timing stay bit-identical to the classic
+//    one-Instr-at-a-time loop (the invariant the golden-result gate and
+//    the fuzz harness's quickened-vs-classic oracle enforce).
+//
+// The QCode stream is purely an execution artifact: it is never
+// serialized, and the classic loop remains available (--no-quicken /
+// WB_NO_QUICKEN) as the bisection reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wb::wasm {
+
+// Single-Instr quickened ops: same semantics as the classic switch case of
+// the like-named Opcode, with immediates copied into the QInstr.
+#define WB_QOP_SINGLES(X)                                                     \
+  X(Drop) X(Select)                                                           \
+  X(LocalGet) X(LocalSet) X(LocalTee) X(GlobalGet) X(GlobalSet)               \
+  X(I32Load) X(I64Load) X(F32Load) X(F64Load)                                 \
+  X(I32Load8S) X(I32Load8U) X(I32Load16S) X(I32Load16U)                       \
+  X(I32Store) X(I64Store) X(F32Store) X(F64Store) X(I32Store8) X(I32Store16)  \
+  X(MemorySize) X(MemoryGrow)                                                 \
+  X(I32Eqz) X(I32Eq) X(I32Ne) X(I32LtS) X(I32LtU) X(I32GtS) X(I32GtU)         \
+  X(I32LeS) X(I32LeU) X(I32GeS) X(I32GeU)                                     \
+  X(I64Eqz) X(I64Eq) X(I64Ne) X(I64LtS) X(I64LtU) X(I64GtS) X(I64GtU)         \
+  X(I64LeS) X(I64LeU) X(I64GeS) X(I64GeU)                                     \
+  X(F32Eq) X(F32Ne) X(F32Lt) X(F32Gt) X(F32Le) X(F32Ge)                       \
+  X(F64Eq) X(F64Ne) X(F64Lt) X(F64Gt) X(F64Le) X(F64Ge)                       \
+  X(I32Clz) X(I32Ctz) X(I32Popcnt)                                            \
+  X(I32Add) X(I32Sub) X(I32Mul) X(I32DivS) X(I32DivU) X(I32RemS) X(I32RemU)   \
+  X(I32And) X(I32Or) X(I32Xor) X(I32Shl) X(I32ShrS) X(I32ShrU)                \
+  X(I32Rotl) X(I32Rotr)                                                       \
+  X(I64Clz) X(I64Ctz) X(I64Popcnt)                                            \
+  X(I64Add) X(I64Sub) X(I64Mul) X(I64DivS) X(I64DivU) X(I64RemS) X(I64RemU)   \
+  X(I64And) X(I64Or) X(I64Xor) X(I64Shl) X(I64ShrS) X(I64ShrU)                \
+  X(I64Rotl) X(I64Rotr)                                                       \
+  X(F32Abs) X(F32Neg) X(F32Ceil) X(F32Floor) X(F32Trunc) X(F32Nearest)        \
+  X(F32Sqrt) X(F32Add) X(F32Sub) X(F32Mul) X(F32Div) X(F32Min) X(F32Max)      \
+  X(F32Copysign)                                                              \
+  X(F64Abs) X(F64Neg) X(F64Ceil) X(F64Floor) X(F64Trunc) X(F64Nearest)        \
+  X(F64Sqrt) X(F64Add) X(F64Sub) X(F64Mul) X(F64Div) X(F64Min) X(F64Max)      \
+  X(F64Copysign)                                                              \
+  X(I32WrapI64)                                                               \
+  X(I32TruncF32S) X(I32TruncF32U) X(I32TruncF64S) X(I32TruncF64U)             \
+  X(I64ExtendI32S) X(I64ExtendI32U)                                           \
+  X(I64TruncF32S) X(I64TruncF32U) X(I64TruncF64S) X(I64TruncF64U)             \
+  X(F32ConvertI32S) X(F32ConvertI32U) X(F32ConvertI64S) X(F32ConvertI64U)     \
+  X(F32DemoteF64)                                                             \
+  X(F64ConvertI32S) X(F64ConvertI32U) X(F64ConvertI64S) X(F64ConvertI64U)     \
+  X(F64PromoteF32)
+
+// Binary ops eligible for GetGet/GetConst superinstruction fusion: the
+// integer/float add/sub/mul, i32 bitops and shifts, and the i32 compares
+// that dominate PolyBenchC/CHStone bodies. `expr` computes the result
+// Value from operand Values `va` (first pushed) and `vb` (second pushed),
+// with exactly the classic case's semantics.
+#define WB_QFUSE_BINOPS(X)                                                    \
+  X(I32Add, Value::from_i32(static_cast<int32_t>(va.as_u32() + vb.as_u32()))) \
+  X(I32Sub, Value::from_i32(static_cast<int32_t>(va.as_u32() - vb.as_u32()))) \
+  X(I32Mul, Value::from_i32(static_cast<int32_t>(va.as_u32() * vb.as_u32()))) \
+  X(I32And, Value::from_i32(static_cast<int32_t>(va.as_u32() & vb.as_u32()))) \
+  X(I32Or, Value::from_i32(static_cast<int32_t>(va.as_u32() | vb.as_u32())))  \
+  X(I32Xor, Value::from_i32(static_cast<int32_t>(va.as_u32() ^ vb.as_u32()))) \
+  X(I32Shl,                                                                   \
+    Value::from_i32(static_cast<int32_t>(va.as_u32() << (vb.as_u32() & 31)))) \
+  X(I32ShrS, Value::from_i32(va.as_i32() >> (vb.as_u32() & 31)))              \
+  X(I32ShrU,                                                                  \
+    Value::from_i32(static_cast<int32_t>(va.as_u32() >> (vb.as_u32() & 31)))) \
+  X(I32Eq, Value::from_i32(va.as_i32() == vb.as_i32() ? 1 : 0))               \
+  X(I32Ne, Value::from_i32(va.as_i32() != vb.as_i32() ? 1 : 0))               \
+  X(I32LtS, Value::from_i32(va.as_i32() < vb.as_i32() ? 1 : 0))               \
+  X(I32LtU, Value::from_i32(va.as_u32() < vb.as_u32() ? 1 : 0))               \
+  X(I32GtS, Value::from_i32(va.as_i32() > vb.as_i32() ? 1 : 0))               \
+  X(I32GtU, Value::from_i32(va.as_u32() > vb.as_u32() ? 1 : 0))               \
+  X(I32LeS, Value::from_i32(va.as_i32() <= vb.as_i32() ? 1 : 0))              \
+  X(I32LeU, Value::from_i32(va.as_u32() <= vb.as_u32() ? 1 : 0))              \
+  X(I32GeS, Value::from_i32(va.as_i32() >= vb.as_i32() ? 1 : 0))              \
+  X(I32GeU, Value::from_i32(va.as_u32() >= vb.as_u32() ? 1 : 0))              \
+  X(I64Add, Value::from_i64(static_cast<int64_t>(va.as_u64() + vb.as_u64()))) \
+  X(I64Sub, Value::from_i64(static_cast<int64_t>(va.as_u64() - vb.as_u64()))) \
+  X(I64Mul, Value::from_i64(static_cast<int64_t>(va.as_u64() * vb.as_u64()))) \
+  X(F32Add, Value::from_f32(va.as_f32() + vb.as_f32()))                       \
+  X(F32Sub, Value::from_f32(va.as_f32() - vb.as_f32()))                       \
+  X(F32Mul, Value::from_f32(va.as_f32() * vb.as_f32()))                       \
+  X(F64Add, Value::from_f64(va.as_f64() + vb.as_f64()))                       \
+  X(F64Sub, Value::from_f64(va.as_f64() - vb.as_f64()))                       \
+  X(F64Mul, Value::from_f64(va.as_f64() * vb.as_f64()))
+
+// Names of the fused forms (kept textually in sync with WB_QFUSE_BINOPS;
+// a mismatch is a compile error, because the handlers and the translation
+// map are generated from WB_QFUSE_BINOPS against these enumerators).
+#define WB_QOP_FUSED_GG(X)                                                    \
+  X(FGetGet_I32Add) X(FGetGet_I32Sub) X(FGetGet_I32Mul) X(FGetGet_I32And)     \
+  X(FGetGet_I32Or) X(FGetGet_I32Xor) X(FGetGet_I32Shl) X(FGetGet_I32ShrS)     \
+  X(FGetGet_I32ShrU) X(FGetGet_I32Eq) X(FGetGet_I32Ne) X(FGetGet_I32LtS)      \
+  X(FGetGet_I32LtU) X(FGetGet_I32GtS) X(FGetGet_I32GtU) X(FGetGet_I32LeS)     \
+  X(FGetGet_I32LeU) X(FGetGet_I32GeS) X(FGetGet_I32GeU) X(FGetGet_I64Add)     \
+  X(FGetGet_I64Sub) X(FGetGet_I64Mul) X(FGetGet_F32Add) X(FGetGet_F32Sub)     \
+  X(FGetGet_F32Mul) X(FGetGet_F64Add) X(FGetGet_F64Sub) X(FGetGet_F64Mul)
+#define WB_QOP_FUSED_GC(X)                                                    \
+  X(FGetConst_I32Add) X(FGetConst_I32Sub) X(FGetConst_I32Mul)                 \
+  X(FGetConst_I32And) X(FGetConst_I32Or) X(FGetConst_I32Xor)                  \
+  X(FGetConst_I32Shl) X(FGetConst_I32ShrS) X(FGetConst_I32ShrU)               \
+  X(FGetConst_I32Eq) X(FGetConst_I32Ne) X(FGetConst_I32LtS)                   \
+  X(FGetConst_I32LtU) X(FGetConst_I32GtS) X(FGetConst_I32GtU)                 \
+  X(FGetConst_I32LeS) X(FGetConst_I32LeU) X(FGetConst_I32GeS)                 \
+  X(FGetConst_I32GeU) X(FGetConst_I64Add) X(FGetConst_I64Sub)                 \
+  X(FGetConst_I64Mul) X(FGetConst_F32Add) X(FGetConst_F32Sub)                 \
+  X(FGetConst_F32Mul) X(FGetConst_F64Add) X(FGetConst_F64Sub)                 \
+  X(FGetConst_F64Mul)
+// 4-grams: the trigram plus a trailing local.set of the result — the
+// dominant statement shape of the PolyBenchC loop bodies (x = a OP b).
+#define WB_QOP_FUSED_GGS(X)                                                   \
+  X(FGetGetSet_I32Add) X(FGetGetSet_I32Sub) X(FGetGetSet_I32Mul)              \
+  X(FGetGetSet_I32And) X(FGetGetSet_I32Or) X(FGetGetSet_I32Xor)               \
+  X(FGetGetSet_I32Shl) X(FGetGetSet_I32ShrS) X(FGetGetSet_I32ShrU)            \
+  X(FGetGetSet_I32Eq) X(FGetGetSet_I32Ne) X(FGetGetSet_I32LtS)                \
+  X(FGetGetSet_I32LtU) X(FGetGetSet_I32GtS) X(FGetGetSet_I32GtU)              \
+  X(FGetGetSet_I32LeS) X(FGetGetSet_I32LeU) X(FGetGetSet_I32GeS)              \
+  X(FGetGetSet_I32GeU) X(FGetGetSet_I64Add) X(FGetGetSet_I64Sub)              \
+  X(FGetGetSet_I64Mul) X(FGetGetSet_F32Add) X(FGetGetSet_F32Sub)              \
+  X(FGetGetSet_F32Mul) X(FGetGetSet_F64Add) X(FGetGetSet_F64Sub)              \
+  X(FGetGetSet_F64Mul)
+#define WB_QOP_FUSED_GCS(X)                                                   \
+  X(FGetConstSet_I32Add) X(FGetConstSet_I32Sub) X(FGetConstSet_I32Mul)        \
+  X(FGetConstSet_I32And) X(FGetConstSet_I32Or) X(FGetConstSet_I32Xor)         \
+  X(FGetConstSet_I32Shl) X(FGetConstSet_I32ShrS) X(FGetConstSet_I32ShrU)      \
+  X(FGetConstSet_I32Eq) X(FGetConstSet_I32Ne) X(FGetConstSet_I32LtS)          \
+  X(FGetConstSet_I32LtU) X(FGetConstSet_I32GtS) X(FGetConstSet_I32GtU)        \
+  X(FGetConstSet_I32LeS) X(FGetConstSet_I32LeU) X(FGetConstSet_I32GeS)        \
+  X(FGetConstSet_I32GeU) X(FGetConstSet_I64Add) X(FGetConstSet_I64Sub)        \
+  X(FGetConstSet_I64Mul) X(FGetConstSet_F32Add) X(FGetConstSet_F32Sub)        \
+  X(FGetConstSet_F32Mul) X(FGetConstSet_F64Add) X(FGetConstSet_F64Sub)        \
+  X(FGetConstSet_F64Mul)
+
+// The master op list: enum order == dispatch-table order. Specials first,
+// then the single-Instr ops, then the fused superinstructions.
+//   ChargeOnly  1..3 merged no-effect ops (Nop/Block/Loop/End/reinterpret)
+//   If          a = QCode pc when the condition is false
+//   Jump        Else reached from the then branch: a = pc of matching End
+//   Br/BrIf     a = target pc, b = stack height, flags = arity/is_loop
+//   BrTable     a = index into QFunc::br_tables
+//   Return      a = result count, b = pc of FuncReturn
+//   FuncReturn  frame unwind; nops = 0 (never charged, like pc==code_size)
+//   Call        a = callee in combined import+defined index space
+//   CallIndirect a = expected type index
+//   Const       val = the constant, pre-encoded as raw Value bits
+//   FConstSet   const+local.set: locals[a] = val
+//   FGetLoad*   local.get+load: a = local, b = memory offset
+//   FCmpBrIf    i32 compare (c = Opcode) + br_if, branch fields as Br
+//   FGetGetSet_*   locals[c] = locals[a] <binop> locals[b]
+//   FGetConstSet_* locals[c] = locals[a] <binop> val
+#define WB_QOP_LIST(X)                                                        \
+  X(ChargeOnly) X(Unreachable) X(If) X(Jump) X(Br) X(BrIf) X(BrTable)         \
+  X(Return) X(FuncReturn) X(Call) X(CallIndirect) X(Const)                    \
+  WB_QOP_SINGLES(X)                                                           \
+  X(FConstSet)                                                                \
+  X(FGetLoadI32) X(FGetLoadI64) X(FGetLoadF32) X(FGetLoadF64)                 \
+  X(FGetLoadI32U8)                                                            \
+  X(FCmpBrIf)                                                                 \
+  WB_QOP_FUSED_GG(X)                                                          \
+  WB_QOP_FUSED_GC(X)                                                          \
+  WB_QOP_FUSED_GGS(X)                                                         \
+  WB_QOP_FUSED_GCS(X)
+
+enum class QOp : uint16_t {
+#define WB_QOP_ENUM(name) name,
+  WB_QOP_LIST(WB_QOP_ENUM)
+#undef WB_QOP_ENUM
+      kCount,
+};
+
+inline constexpr size_t kQOpCount = static_cast<size_t>(QOp::kCount);
+
+/// Charge-slot padding: unused `cls` entries index a zero-cost slot one
+/// past the real cost table, and unused `cat` entries hit the discarded
+/// ArithCat::None bucket, so the interpreter charges all three slots
+/// branchlessly and still matches the classic per-Instr accounting.
+inline constexpr uint8_t kQClsPad = static_cast<uint8_t>(kOpClassCount);
+inline constexpr uint8_t kQCatPad = static_cast<uint8_t>(ArithCat::None);
+
+/// One quickened instruction. `cls`/`cat` carry the OpClass/ArithCat of
+/// each original constituent (in original program order, padded as above)
+/// so charging is bit-identical to executing the constituents one at a
+/// time; `nops` is the constituent count (0 for FuncReturn, which the
+/// classic loop also never charges).
+struct QInstr {
+  uint16_t op = 0;   ///< QOp
+  uint8_t nops = 1;  ///< original ops merged into this QInstr (0..4)
+  uint8_t flags = 0; ///< branches: bit0 = is_loop, bit1 = arity
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+  uint8_t cls[4] = {kQClsPad, kQClsPad, kQClsPad, kQClsPad};
+  uint8_t cat[4] = {kQCatPad, kQCatPad, kQCatPad, kQCatPad};
+  /// The four cat slots as one add: byte lane `c` carries how many
+  /// constituents have ArithCat `c` (lane 7 = the None/pad discard lane).
+  /// Always sums to 4 across lanes, so a single u64 accumulator can absorb
+  /// 63 dispatches before any lane can reach 255 (see run_quickened).
+  uint64_t cat_packed = 4ull << (8 * kQCatPad);
+  Value val;
+
+  [[nodiscard]] QOp qop() const { return static_cast<QOp>(op); }
+};
+
+/// One pre-resolved br_table entry (same fields a/b/flags encode on Br).
+struct QBrTarget {
+  uint32_t qpc = 0;
+  uint32_t height = 0;  ///< stack height relative to the frame's stack base
+  uint8_t arity = 0;
+  bool is_loop = false;
+};
+
+/// A quickened function body.
+struct QFunc {
+  std::vector<QInstr> code;  ///< ends with FuncReturn
+  std::vector<std::vector<QBrTarget>> br_tables;
+};
+
+/// Translates one defined function (validated module) into QCode.
+QFunc quicken(const Module& module, uint32_t defined_index);
+
+/// Process-wide default for new Instances (tools' --no-quicken flag).
+/// The WB_NO_QUICKEN environment variable forces it off regardless.
+void set_quicken_default(bool enabled);
+bool quicken_default();
+
+}  // namespace wb::wasm

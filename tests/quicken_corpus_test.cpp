@@ -1,0 +1,87 @@
+// Whole-corpus quickening gate (slow tier): every benchmark at -O0 and
+// -O2 must produce the same trap/result and bit-identical virtual metrics
+// (cost_ps, ops_executed, arith_counts, calls, host_calls, memory_grows,
+// tierups) on the quickened engine as on the classic loop, on both the
+// baseline-pinned and optimizing-pinned tiers. This is the corpus-scale
+// version of wasm_quicken_test.cpp and the CI-side twin of the fuzz
+// harness's quicken oracle.
+#include <gtest/gtest.h>
+
+#include "backend/wasm_backend.h"
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "wasm/interp.h"
+
+namespace wb {
+namespace {
+
+struct RunOutcome {
+  wasm::Trap init_trap = wasm::Trap::None;
+  wasm::InvokeResult main_result;
+  wasm::ExecStats stats;
+};
+
+RunOutcome run_engine(const backend::WasmArtifact& artifact, bool optimizing,
+                      bool quicken) {
+  wasm::Instance inst(artifact.module, backend::make_import_bindings(artifact));
+  inst.set_quicken(quicken);
+  wasm::TierPolicy policy;
+  policy.baseline_enabled = !optimizing;
+  policy.optimizing_enabled = optimizing;
+  inst.set_tier_policy(policy);
+  inst.set_fuel(200'000'000);
+  RunOutcome out;
+  out.init_trap = inst.invoke("__init", {}).trap;
+  if (out.init_trap == wasm::Trap::None) {
+    out.main_result = inst.invoke("main", {});
+  }
+  out.stats = inst.stats();
+  return out;
+}
+
+class QuickenCorpus : public testing::TestWithParam<const core::BenchSource*> {};
+
+TEST_P(QuickenCorpus, QuickenedMatchesClassicBitForBit) {
+  const core::BenchSource& bench = *GetParam();
+  for (const ir::OptLevel level : {ir::OptLevel::O0, ir::OptLevel::O2}) {
+    const core::BuildResult build =
+        core::build(bench, core::InputSize::XS, level);
+    ASSERT_TRUE(build.ok) << bench.name << ": " << build.error;
+    for (const bool optimizing : {false, true}) {
+      SCOPED_TRACE(std::string(bench.name) + " at " + to_string(level) +
+                   (optimizing ? " optimizing" : " baseline"));
+      const RunOutcome classic = run_engine(build.wasm, optimizing, false);
+      const RunOutcome quick = run_engine(build.wasm, optimizing, true);
+      EXPECT_EQ(classic.init_trap, quick.init_trap);
+      EXPECT_EQ(classic.main_result.trap, quick.main_result.trap);
+      if (classic.main_result.ok() && quick.main_result.ok()) {
+        EXPECT_EQ(classic.main_result.value.bits, quick.main_result.value.bits);
+      }
+      EXPECT_EQ(classic.stats.ops_executed, quick.stats.ops_executed);
+      EXPECT_EQ(classic.stats.cost_ps, quick.stats.cost_ps);
+      EXPECT_EQ(classic.stats.arith_counts, quick.stats.arith_counts);
+      EXPECT_EQ(classic.stats.calls, quick.stats.calls);
+      EXPECT_EQ(classic.stats.host_calls, quick.stats.host_calls);
+      EXPECT_EQ(classic.stats.memory_grows, quick.stats.memory_grows);
+      EXPECT_EQ(classic.stats.tierups, quick.stats.tierups);
+    }
+  }
+}
+
+std::vector<const core::BenchSource*> all() {
+  std::vector<const core::BenchSource*> out;
+  for (const auto& b : benchmarks::all_benchmarks()) out.push_back(&b);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, QuickenCorpus, testing::ValuesIn(all()),
+                         [](const testing::TestParamInfo<const core::BenchSource*>& info) {
+                           std::string name = info.param->name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,359 @@
+// Quickened-vs-classic identity tests (hand-built modules). The quickening
+// invariant (quicken.h) is that every observable — trap, result bits, and
+// every ExecStats field including fuel accounting and tier-up timing — is
+// bit-identical to the classic one-Instr-at-a-time loop. These tests pin
+// that down on modules chosen to exercise each superinstruction pattern,
+// each trap inside a fused region, and every fuel boundary of a fused
+// body; the whole-corpus version lives in quicken_corpus_test.cpp (slow).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "wasm/builder.h"
+#include "wasm/interp.h"
+#include "wasm/quicken.h"
+#include "wasm/validator.h"
+
+namespace wb::wasm {
+namespace {
+
+using VT = ValType;
+
+/// Runs the same module twice — classic and quickened — under identical
+/// settings and exposes both outcomes for comparison.
+class DualRunner {
+ public:
+  ModuleBuilder mb;
+  std::vector<HostFn> host_fns;
+  std::optional<TierPolicy> policy;
+  uint64_t grow_cost = 0;
+
+  void take_and_validate() {
+    module_ = mb.take();
+    const auto err = validate(module_);
+    ASSERT_FALSE(err.has_value()) << (err ? err->message : "");
+  }
+
+  void run(std::span<const Value> args = {}, uint64_t fuel = 100'000'000) {
+    for (const bool quicken : {false, true}) {
+      Instance inst(module_, host_fns);
+      inst.set_quicken(quicken);
+      EXPECT_EQ(inst.quicken_enabled(), quicken);
+      if (policy) inst.set_tier_policy(*policy);
+      if (grow_cost) inst.set_grow_cost(grow_cost);
+      inst.set_fuel(fuel);
+      auto& out = quicken ? quick_ : classic_;
+      out.result = inst.invoke("main", args);
+      out.stats = inst.stats();
+      out.tier0 = inst.function_tier(0);
+    }
+  }
+
+  /// Asserts both runs observed exactly the same world.
+  void expect_identical(const char* what) {
+    EXPECT_EQ(classic_.result.trap, quick_.result.trap) << what;
+    if (classic_.result.ok() && quick_.result.ok()) {
+      EXPECT_EQ(classic_.result.value.bits, quick_.result.value.bits) << what;
+    }
+    EXPECT_EQ(classic_.stats.ops_executed, quick_.stats.ops_executed) << what;
+    EXPECT_EQ(classic_.stats.cost_ps, quick_.stats.cost_ps) << what;
+    EXPECT_EQ(classic_.stats.arith_counts, quick_.stats.arith_counts) << what;
+    EXPECT_EQ(classic_.stats.calls, quick_.stats.calls) << what;
+    EXPECT_EQ(classic_.stats.host_calls, quick_.stats.host_calls) << what;
+    EXPECT_EQ(classic_.stats.memory_grows, quick_.stats.memory_grows) << what;
+    EXPECT_EQ(classic_.stats.tierups, quick_.stats.tierups) << what;
+    EXPECT_EQ(classic_.tier0, quick_.tier0) << what;
+  }
+
+  struct Outcome {
+    InvokeResult result;
+    ExecStats stats;
+    Tier tier0 = Tier::Baseline;
+  };
+  const Outcome& classic() const { return classic_; }
+  const Outcome& quick() const { return quick_; }
+  const Module& module() const { return module_; }
+
+ private:
+  Module module_;
+  Outcome classic_, quick_;
+};
+
+/// The bench-style hot loop: local 0 counts down from `n`, local 1
+/// accumulates. Its body hits every fusion pattern the translator knows:
+/// local.get+const+cmp feeding br_if (FCmpBrIf), local.get+local.get+add
+/// (FGetGet), local.get+const+add (FGetConst), and const+local.set
+/// (FConstSet).
+void build_hot_loop(ModuleBuilder& mb, int32_t n) {
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.add_local(VT::I32);  // local 0: i
+  f.add_local(VT::I32);  // local 1: acc
+  f.i32(n).local_set(0);
+  f.i32(0).local_set(1);
+  f.block();
+  f.loop();
+  f.local_get(0).i32(0).op(Opcode::I32LeS).br_if(1);  // FCmpBrIf exit
+  f.local_get(1).local_get(0).op(Opcode::I32Add).local_set(1);  // FGetGet
+  f.local_get(0).i32(-1).op(Opcode::I32Add).local_set(0);       // FGetConst
+  f.br(0);
+  f.end();
+  f.end();
+  f.local_get(1);
+  f.finish("main");
+}
+
+TEST(WasmQuicken, HotLoopIdentical) {
+  DualRunner d;
+  build_hot_loop(d.mb, 1000);
+  d.take_and_validate();
+  d.run();
+  d.expect_identical("hot loop");
+  ASSERT_TRUE(d.quick().result.ok());
+  EXPECT_EQ(d.quick().result.value.as_i32(), 1000 * 1001 / 2);
+}
+
+// White-box: the translated hot loop must actually contain the fused
+// superinstructions (otherwise the ≥2x dispatch win silently evaporates
+// while every black-box identity test keeps passing).
+TEST(WasmQuicken, TranslationFusesHotLoop) {
+  ModuleBuilder mb;
+  build_hot_loop(mb, 10);
+  Module m = mb.take();
+  ASSERT_FALSE(validate(m).has_value());
+  const QFunc qf = quicken(m, 0);
+  int get_const_cmp = 0, get_get_add_set = 0, get_const_add_set = 0,
+      const_set = 0;
+  for (const QInstr& q : qf.code) {
+    switch (q.qop()) {
+      // The loop exit test local.get+const+i32.le_s wins the trigram
+      // priority over the cmp+br_if bigram.
+      case QOp::FGetConst_I32LeS: ++get_const_cmp; break;
+      // Both loop-body statements are acc = a + b shapes: the 4-gram
+      // (trigram + trailing local.set) wins over the bare trigram.
+      case QOp::FGetGetSet_I32Add: ++get_get_add_set; break;
+      case QOp::FGetConstSet_I32Add: ++get_const_add_set; break;
+      case QOp::FConstSet: ++const_set; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(get_const_cmp, 1);
+  EXPECT_EQ(get_get_add_set, 1);
+  EXPECT_EQ(get_const_add_set, 1);
+  EXPECT_EQ(const_set, 2);  // the two loop-variable initializers
+  // Every fused QInstr must charge for all of its constituents; the sum of
+  // merged-op counts must equal the classic loop's executed-Instr universe
+  // (the whole body; the FuncReturn sentinel itself charges nothing).
+  ASSERT_FALSE(qf.code.empty());
+  EXPECT_EQ(qf.code.back().qop(), QOp::FuncReturn);
+  EXPECT_EQ(qf.code.back().nops, 0);
+  uint64_t total_nops = 0;
+  for (const QInstr& q : qf.code) total_nops += q.nops;
+  EXPECT_EQ(total_nops, m.functions[0].body.size());
+}
+
+// A compare whose operands do NOT come from the get/get or get/const
+// patterns still fuses with a following br_if (FCmpBrIf), and branches
+// identically both ways.
+TEST(WasmQuicken, CmpBrIfFusionIdentical) {
+  DualRunner d;
+  auto f = d.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.block();
+  f.local_get(0).op(Opcode::I32Popcnt).i32(2).op(Opcode::I32GtS).br_if(0);
+  f.i32(7).op(Opcode::Return);
+  f.end();
+  f.i32(42);
+  f.finish("main");
+  d.take_and_validate();
+  const QFunc qf = quicken(d.module(), 0);
+  int cmp_br_if = 0;
+  for (const QInstr& q : qf.code) cmp_br_if += q.qop() == QOp::FCmpBrIf;
+  EXPECT_EQ(cmp_br_if, 1);
+  for (const int32_t x : {7, 1}) {  // popcnt 3 -> taken; popcnt 1 -> not
+    const Value arg = Value::from_i32(x);
+    d.run({&arg, 1});
+    SCOPED_TRACE("x=" + std::to_string(x));
+    d.expect_identical("cmp+br_if");
+    ASSERT_TRUE(d.quick().result.ok());
+    EXPECT_EQ(d.quick().result.value.as_i32(), x == 7 ? 42 : 7);
+  }
+}
+
+// The paper-facing invariant at its sharpest: for EVERY fuel value, the
+// quickened engine traps (or not) exactly where the classic one does, with
+// identical partial metrics — even when the boundary lands in the middle
+// of a fused superinstruction.
+TEST(WasmQuicken, FuelSweepPreservesExhaustionPoint) {
+  DualRunner d;
+  build_hot_loop(d.mb, 6);
+  d.take_and_validate();
+  // 6 iterations of a ~13-op body: 130 covers startup, all iterations, and
+  // the clean-exit tail, so every charging boundary is crossed once.
+  for (uint64_t fuel = 0; fuel <= 130; ++fuel) {
+    d.run({}, fuel);
+    SCOPED_TRACE("fuel=" + std::to_string(fuel));
+    d.expect_identical("fuel sweep");
+    if (!d.classic().result.ok()) {
+      EXPECT_EQ(d.classic().result.trap, Trap::FuelExhausted);
+    }
+  }
+}
+
+TEST(WasmQuicken, DivideByZeroInsideFusedRegion) {
+  DualRunner d;
+  auto f = d.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  // local.get+local.get feeds the (unfused) div; trap state must match.
+  f.local_get(0).local_get(0).op(Opcode::I32Add);
+  f.i32(0).op(Opcode::I32DivS);
+  f.finish("main");
+  d.take_and_validate();
+  const Value arg = Value::from_i32(7);
+  d.run({&arg, 1});
+  d.expect_identical("div by zero");
+  EXPECT_EQ(d.quick().result.trap, Trap::IntegerDivideByZero);
+}
+
+TEST(WasmQuicken, OutOfBoundsFusedGetLoad) {
+  DualRunner d;
+  d.mb.set_memory(1);
+  auto f = d.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.local_get(0).load(Opcode::I32Load);  // FGetLoadI32
+  f.finish("main");
+  d.take_and_validate();
+  for (const int32_t addr : {0, 65532, 65533, -4}) {
+    const Value arg = Value::from_i32(addr);
+    d.run({&arg, 1});
+    SCOPED_TRACE("addr=" + std::to_string(addr));
+    d.expect_identical("fused get+load");
+  }
+}
+
+TEST(WasmQuicken, UnreachableIdentical) {
+  DualRunner d;
+  auto f = d.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(1).if_(kVoidBlockType).op(Opcode::Unreachable).end();
+  f.i32(3);
+  f.finish("main");
+  d.take_and_validate();
+  d.run();
+  d.expect_identical("unreachable");
+  EXPECT_EQ(d.quick().result.trap, Trap::Unreachable);
+}
+
+TEST(WasmQuicken, IfElseAndBrTableIdentical) {
+  DualRunner d;
+  auto f = d.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.add_local(VT::I32);
+  f.block();      // depth 2 -> result 30
+  f.block();      // depth 1 -> result 20
+  f.block();      // depth 0 -> result 10
+  f.local_get(0).br_table({0, 1, 2});
+  f.end();
+  f.i32(10).local_set(1).br(1);
+  f.end();
+  f.i32(20).local_set(1).br(0);
+  f.end();
+  f.local_get(1).i32(0).op(Opcode::I32Eq).if_(kVoidBlockType);
+  f.i32(30).local_set(1);
+  f.else_();
+  f.local_get(1).i32(1).op(Opcode::I32Add).local_set(1);
+  f.end();
+  f.local_get(1);
+  f.finish("main");
+  d.take_and_validate();
+  const int32_t expected[] = {11, 21, 30, 30};  // default clamps to last
+  for (int32_t sel = 0; sel < 4; ++sel) {
+    const Value arg = Value::from_i32(sel);
+    d.run({&arg, 1});
+    SCOPED_TRACE("selector=" + std::to_string(sel));
+    d.expect_identical("br_table");
+    ASSERT_TRUE(d.quick().result.ok());
+    EXPECT_EQ(d.quick().result.value.as_i32(), expected[sel]);
+  }
+}
+
+TEST(WasmQuicken, CallsHostImportsAndEarlyReturn) {
+  DualRunner d;
+  const uint32_t imp =
+      d.mb.add_import("env", "twice", FuncType{{VT::I32}, {VT::I32}});
+  d.host_fns.push_back([](std::span<const Value> args, Value* result) {
+    *result = Value::from_i32(args[0].as_i32() * 2);
+    return Trap::None;
+  });
+  // callee(x): if (x > 10) return 100; return twice(x);
+  auto callee = d.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  callee.local_get(0).i32(10).op(Opcode::I32GtS).if_(kVoidBlockType);
+  callee.i32(100).op(Opcode::Return);
+  callee.end();
+  callee.local_get(0).call(imp);
+  callee.finish();
+  auto f = d.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.local_get(0).call(callee.index());
+  f.finish("main");
+  d.take_and_validate();
+  for (const int32_t x : {3, 11}) {
+    const Value arg = Value::from_i32(x);
+    d.run({&arg, 1});
+    SCOPED_TRACE("x=" + std::to_string(x));
+    d.expect_identical("calls");
+    ASSERT_TRUE(d.quick().result.ok());
+    EXPECT_EQ(d.quick().result.value.as_i32(), x > 10 ? 100 : 2 * x);
+  }
+}
+
+// Tier-up hotness is counted on function entries and loop back-edges; the
+// quickened loop must hit the threshold at the same op, pay the same
+// one-time compile cost, and switch cost tables at the same instant.
+TEST(WasmQuicken, TierUpTimingIdentical) {
+  DualRunner d;
+  build_hot_loop(d.mb, 200);
+  d.take_and_validate();
+  TierPolicy policy;
+  policy.tierup_threshold = 16;
+  policy.tierup_cost_per_instr = 55;
+  d.policy = policy;
+  d.run();
+  d.expect_identical("tier-up");
+  EXPECT_EQ(d.quick().stats.tierups, 1u);
+  EXPECT_EQ(d.quick().tier0, Tier::Optimizing);
+}
+
+TEST(WasmQuicken, MemoryGrowAndGlobalsIdentical) {
+  DualRunner d;
+  d.mb.set_memory(1, 4);
+  const uint32_t g = d.mb.add_global(VT::I32, true, Value::from_i32(5));
+  d.grow_cost = 777;
+  auto f = d.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(2).op(Opcode::MemoryGrow);  // old size: 1
+  f.op(Opcode::MemorySize);         // 3
+  f.op(Opcode::I32Mul);
+  f.global_get(g).op(Opcode::I32Add);
+  f.global_set(g);
+  f.global_get(g);
+  f.finish("main");
+  d.take_and_validate();
+  d.run();
+  d.expect_identical("memory.grow");
+  ASSERT_TRUE(d.quick().result.ok());
+  EXPECT_EQ(d.quick().result.value.as_i32(), 1 * 3 + 5);
+  EXPECT_EQ(d.quick().stats.memory_grows, 1u);
+}
+
+TEST(WasmQuicken, FloatFusionIdentical) {
+  DualRunner d;
+  auto f = d.mb.define(FuncType{{VT::F64, VT::F64}, {VT::F64}});
+  f.local_get(0).local_get(1).op(Opcode::F64Mul);   // FGetGet_F64Mul
+  f.local_get(0).f64(0.5).op(Opcode::F64Add);       // FGetConst_F64Add
+  f.op(Opcode::F64Sub);
+  f.op(Opcode::F64Sqrt);
+  f.finish("main");
+  d.take_and_validate();
+  const Value args[] = {Value::from_f64(3.25), Value::from_f64(8.0)};
+  d.run(args);
+  d.expect_identical("float fusion");
+  ASSERT_TRUE(d.quick().result.ok());
+  EXPECT_DOUBLE_EQ(d.quick().result.value.as_f64(), std::sqrt(3.25 * 8.0 - 3.75));
+}
+
+}  // namespace
+}  // namespace wb::wasm

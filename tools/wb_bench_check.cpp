@@ -1,0 +1,175 @@
+// Microbenchmark regression gate. Compares a fresh google-benchmark JSON
+// report against the committed snapshot (BENCH_vm_micro.json) and fails if
+// any tracked family's items/sec dropped by more than the tolerance:
+//
+//   wb_bench_check --baseline=BENCH_vm_micro.json --current=out.json
+//                  --family=BM_WasmInterpreterHotLoop [--tolerance=0.25]
+//
+// It can also enforce a machine-independent speedup ratio between two
+// benchmarks of the SAME report (the quickened engine's >=2x contract):
+//
+//   wb_bench_check --current=out.json
+//                  --ratio-num=BM_WasmQuickenedHotLoop/100000
+//                  --ratio-den=BM_WasmInterpreterHotLoop/100000
+//                  --min-ratio=2.0
+//
+// Exit status: 0 ok, 1 regression/ratio failure, 2 usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace {
+
+using wb::support::json::Value;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wb_bench_check --current=FILE [--baseline=FILE]\n"
+               "                      [--family=PREFIX]... [--tolerance=F]\n"
+               "                      [--ratio-num=NAME --ratio-den=NAME "
+               "--min-ratio=F]\n");
+  return 2;
+}
+
+std::optional<Value> load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "wb_bench_check: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto v = wb::support::json::parse(buf.str(), error);
+  if (!v) {
+    std::fprintf(stderr, "wb_bench_check: %s: %s\n", path.c_str(), error.c_str());
+  }
+  return v;
+}
+
+struct Entry {
+  std::string name;
+  double items_per_second = 0;
+};
+
+/// All entries of the report that carry an items_per_second counter.
+std::vector<Entry> entries_of(const Value& report) {
+  std::vector<Entry> out;
+  const Value* benches = report.find("benchmarks");
+  if (!benches || !benches->is_array()) return out;
+  for (const Value& b : benches->as_array()) {
+    const Value* name = b.find("name");
+    const Value* ips = b.find("items_per_second");
+    if (name && name->is_string() && ips && ips->is_number()) {
+      out.push_back({name->as_string(), ips->as_double()});
+    }
+  }
+  return out;
+}
+
+const Entry* find_entry(const std::vector<Entry>& entries, const std::string& name) {
+  for (const Entry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path, ratio_num, ratio_den;
+  std::vector<std::string> families;
+  double tolerance = 0.25;
+  double min_ratio = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) { return arg.substr(std::strlen(prefix)); };
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value("--baseline=");
+    } else if (arg.rfind("--current=", 0) == 0) {
+      current_path = value("--current=");
+    } else if (arg.rfind("--family=", 0) == 0) {
+      families.push_back(value("--family="));
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::stod(value("--tolerance="));
+    } else if (arg.rfind("--ratio-num=", 0) == 0) {
+      ratio_num = value("--ratio-num=");
+    } else if (arg.rfind("--ratio-den=", 0) == 0) {
+      ratio_den = value("--ratio-den=");
+    } else if (arg.rfind("--min-ratio=", 0) == 0) {
+      min_ratio = std::stod(value("--min-ratio="));
+    } else {
+      return usage();
+    }
+  }
+  if (current_path.empty()) return usage();
+  const bool want_ratio = min_ratio > 0 || !ratio_num.empty() || !ratio_den.empty();
+  if (want_ratio && (min_ratio <= 0 || ratio_num.empty() || ratio_den.empty())) {
+    return usage();
+  }
+  if (baseline_path.empty() && !want_ratio) return usage();
+
+  const auto current = load(current_path);
+  if (!current) return 2;
+  const std::vector<Entry> cur_entries = entries_of(*current);
+
+  int failures = 0;
+
+  if (!baseline_path.empty()) {
+    const auto baseline = load(baseline_path);
+    if (!baseline) return 2;
+    int compared = 0;
+    for (const Entry& base : entries_of(*baseline)) {
+      const auto tracked = [&] {
+        if (families.empty()) return true;
+        for (const std::string& f : families) {
+          if (base.name.rfind(f, 0) == 0) return true;
+        }
+        return false;
+      };
+      if (!tracked()) continue;
+      const Entry* cur = find_entry(cur_entries, base.name);
+      if (!cur) {
+        std::printf("FAIL %s: missing from %s\n", base.name.c_str(),
+                    current_path.c_str());
+        ++failures;
+        continue;
+      }
+      ++compared;
+      const double floor = base.items_per_second * (1.0 - tolerance);
+      const bool ok = cur->items_per_second >= floor;
+      std::printf("%s %s: %.3g items/s vs baseline %.3g (floor %.3g)\n",
+                  ok ? "ok  " : "FAIL", base.name.c_str(), cur->items_per_second,
+                  base.items_per_second, floor);
+      if (!ok) ++failures;
+    }
+    if (compared == 0) {
+      std::fprintf(stderr, "wb_bench_check: no tracked benchmarks matched\n");
+      return 2;
+    }
+  }
+
+  if (want_ratio) {
+    const Entry* num = find_entry(cur_entries, ratio_num);
+    const Entry* den = find_entry(cur_entries, ratio_den);
+    if (!num || !den || den->items_per_second <= 0) {
+      std::fprintf(stderr, "wb_bench_check: ratio benchmarks not found in %s\n",
+                   current_path.c_str());
+      return 2;
+    }
+    const double ratio = num->items_per_second / den->items_per_second;
+    const bool ok = ratio >= min_ratio;
+    std::printf("%s %s / %s = %.2fx (need >= %.2fx)\n", ok ? "ok  " : "FAIL",
+                ratio_num.c_str(), ratio_den.c_str(), ratio, min_ratio);
+    if (!ok) ++failures;
+  }
+
+  return failures == 0 ? 0 : 1;
+}

@@ -21,6 +21,7 @@
 #include "fuzz/fuzz.h"
 #include "ir/passes.h"
 #include "minic/minic.h"
+#include "wasm/quicken.h"
 #include "wasm/wat.h"
 
 namespace {
@@ -32,7 +33,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: wb_fuzz [--runs=N] [--seed=S] [--jobs=J] [--out=DIR]\n"
                "               [--mutation-every=N] [--no-minimize] [--plant-bug]\n"
-               "               [--replay FILE] [--corpus DIR]\n");
+               "               [--no-quicken] [--replay FILE] [--corpus DIR]\n");
   return 2;
 }
 
@@ -131,6 +132,10 @@ int main(int argc, char** argv) {
       options.minimize = false;
     } else if (arg == "--plant-bug") {
       options.harness.plant_wasm_bug = true;
+    } else if (arg == "--no-quicken") {
+      // Bisection escape hatch: run everything on the classic loop (and
+      // skip the now-vacuous quickened-vs-classic oracle).
+      wasm::set_quicken_default(false);
     } else if (arg == "--replay" && i + 1 < argc) {
       replays.emplace_back(argv[++i]);
     } else if (arg.rfind("--replay=", 0) == 0) {

@@ -22,7 +22,7 @@
 //            [--check] [--golden=goldens/study.json] [--diff-out=PATH]
 //            [--sizes=S,M] [--levels=O2,Ofast]
 //            [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]
-//            [--toolchain=Cheerp] [--with-native] [--jobs=N]
+//            [--toolchain=Cheerp] [--with-native] [--jobs=N] [--no-quicken]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +37,7 @@
 
 #include "common.h"
 #include "support/json.h"
+#include "wasm/quicken.h"
 
 namespace {
 
@@ -382,6 +383,11 @@ int main(int argc, char** argv) {
       matrix_flag_seen = true;
     } else if (arg.rfind("--jobs=", 0) == 0) {
       // handled by parse_common_flags
+    } else if (arg == "--no-quicken") {
+      // Bisection escape hatch: run the study on the classic interpreter
+      // loop. Results must be byte-identical either way; only wall clock
+      // differs.
+      wasm::set_quicken_default(false);
     } else {
       die("unknown flag: " + arg + " (see header comment for usage)");
     }

@@ -96,11 +96,103 @@ void BM_JsInterpreterHotLoop(benchmark::State& state) {
     js::Vm vm(*code, heap);
     (void)vm.run_top_level();
     const js::Vm::Result r = vm.call_function("main", {});
-    benchmark::DoNotOptimize(r.value.num);
+    benchmark::DoNotOptimize(r.value.num());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
 }
 BENCHMARK(BM_JsInterpreterHotLoop)->Arg(10'000)->Arg(100'000);
+
+// JS dispatch-only pair: one long-lived heap+VM re-invoked so quickening
+// translation and string-constant setup stay outside the timed region.
+// The CI bench-smoke gate demands quickened/classic >= 2x on this pair.
+void BM_JsDispatchClassic(benchmark::State& state) {
+  const std::string source =
+      "function main() { var acc = 0; for (var i = 0; i < 100000; i++) "
+      "acc = (acc + i) | 0; return acc; }";
+  std::string error;
+  const auto code = js::compile_script(source, error);
+  js::Heap heap;
+  js::Vm vm(*code, heap);
+  vm.set_quicken(false);
+  vm.set_sample_memory_at_exit(false);
+  (void)vm.run_top_level();
+  for (auto _ : state) {
+    const js::Vm::Result r = vm.call_function("main", {});
+    benchmark::DoNotOptimize(r.value.num());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000 * 8);
+}
+BENCHMARK(BM_JsDispatchClassic);
+
+void BM_JsDispatchQuickened(benchmark::State& state) {
+  const std::string source =
+      "function main() { var acc = 0; for (var i = 0; i < 100000; i++) "
+      "acc = (acc + i) | 0; return acc; }";
+  std::string error;
+  const auto code = js::compile_script(source, error);
+  js::Heap heap;
+  js::Vm vm(*code, heap);
+  vm.set_quicken(true);
+  vm.set_sample_memory_at_exit(false);
+  (void)vm.run_top_level();
+  for (auto _ : state) {
+    const js::Vm::Result r = vm.call_function("main", {});
+    benchmark::DoNotOptimize(r.value.num());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000 * 8);
+}
+BENCHMARK(BM_JsDispatchQuickened);
+
+// Property-access microbenches: a monomorphic site (one shape, inline
+// cache hits after the first pass) vs a polymorphic one cycling four
+// shapes through the same site (cache at capacity).
+void BM_JsPropertyAccessMono(benchmark::State& state) {
+  const std::string source = R"(
+    var o = { a: 1, b: 2, c: 3, d: 4, v: 5 };
+    function main() {
+      var s = 0;
+      for (var i = 0; i < 100000; i++) s = (s + o.v) | 0;
+      return s;
+    }
+  )";
+  std::string error;
+  const auto code = js::compile_script(source, error);
+  js::Heap heap;
+  js::Vm vm(*code, heap);
+  vm.set_sample_memory_at_exit(false);
+  (void)vm.run_top_level();
+  for (auto _ : state) {
+    const js::Vm::Result r = vm.call_function("main", {});
+    benchmark::DoNotOptimize(r.value.num());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_JsPropertyAccessMono);
+
+void BM_JsPropertyAccessPoly(benchmark::State& state) {
+  const std::string source = R"(
+    var os = [
+      { v: 1 }, { a: 0, v: 2 }, { a: 0, b: 0, v: 3 }, { a: 0, b: 0, c: 0, v: 4 }
+    ];
+    function main() {
+      var s = 0;
+      for (var i = 0; i < 100000; i++) s = (s + os[i & 3].v) | 0;
+      return s;
+    }
+  )";
+  std::string error;
+  const auto code = js::compile_script(source, error);
+  js::Heap heap;
+  js::Vm vm(*code, heap);
+  vm.set_sample_memory_at_exit(false);
+  (void)vm.run_top_level();
+  for (auto _ : state) {
+    const js::Vm::Result r = vm.call_function("main", {});
+    benchmark::DoNotOptimize(r.value.num());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_JsPropertyAccessPoly);
 
 void BM_CompilePipeline(benchmark::State& state) {
   const core::BenchSource* bench = benchmarks::find_benchmark("gemm");

@@ -335,7 +335,7 @@ PageMetrics BrowserEnv::run_js(std::string_view source, const RunOptions& option
     metrics.error = "main: " + r.error;
     return metrics;
   }
-  metrics.result = r.value.is_number() ? js::to_int32(r.value.num) : 0;
+  metrics.result = r.value.is_number() ? js::to_int32(r.value.num()) : 0;
 
   // DevTools-style heap metric: live GC-heap bytes after collection plus
   // the engine baseline. Typed-array backing stores are external (this is

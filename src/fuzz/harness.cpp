@@ -110,23 +110,68 @@ std::string stats_diff(const wasm::ExecStats& a, const wasm::ExecStats& b) {
   return {};
 }
 
-Outcome run_js(ir::Module m, bool fast_math, uint64_t fuel) {
-  backend::JsOptions opts;
-  opts.fast_math = fast_math;
-  const backend::JsArtifact artifact = backend::compile_to_js(std::move(m), opts);
-  if (!artifact.ok()) return Outcome::fail("js backend: " + artifact.error);
-  std::string error;
-  auto code = js::compile_script(artifact.source, error);
-  if (!code) return Outcome::fail("js compile: " + error);
+/// Runs one compiled-JS artifact on a fresh heap+VM with the given engine
+/// (quickened or classic) and tier policy, capturing the VM and GC stats.
+Outcome run_js_vm(const js::ScriptCode& code, bool jit, bool quicken, uint64_t fuel,
+                  js::JsExecStats* stats_out = nullptr,
+                  js::GcStats* gc_out = nullptr) {
   js::Heap heap;
-  js::Vm vm(*code, heap);
+  js::Vm vm(code, heap);
+  vm.set_quicken(quicken);
+  js::JsTierPolicy policy;
+  policy.jit_enabled = jit;
+  vm.set_tier_policy(policy);
   vm.set_fuel(fuel);
+  Outcome out;
   const js::Vm::Result top = vm.run_top_level();
-  if (!top.ok) return Outcome::fail("js top-level: " + top.error);
-  const js::Vm::Result r = vm.call_function("main", {});
-  if (!r.ok) return Outcome::fail("js main: " + r.error);
-  if (!r.value.is_number()) return Outcome::fail("js main returned non-number");
-  return Outcome::of(js::to_int32(r.value.num));
+  if (!top.ok) {
+    out = Outcome::fail("js top-level: " + top.error);
+  } else {
+    const js::Vm::Result r = vm.call_function("main", {});
+    if (!r.ok) {
+      out = Outcome::fail("js main: " + r.error);
+    } else if (!r.value.is_number()) {
+      out = Outcome::fail("js main returned non-number");
+    } else {
+      out = Outcome::of(js::to_int32(r.value.num()));
+    }
+  }
+  if (stats_out) *stats_out = vm.stats();
+  if (gc_out) *gc_out = heap.stats();
+  return out;
+}
+
+/// First virtual-metric or GC-stat mismatch between two JS runs, or "".
+std::string js_stats_diff(const js::JsExecStats& a, const js::JsExecStats& b,
+                          const js::GcStats& ga, const js::GcStats& gb) {
+  const auto field = [](const char* name, uint64_t x, uint64_t y) {
+    return std::string(name) + " " + std::to_string(x) + " vs " + std::to_string(y);
+  };
+  if (a.ops_executed != b.ops_executed)
+    return field("ops_executed", a.ops_executed, b.ops_executed);
+  if (a.cost_ps != b.cost_ps) return field("cost_ps", a.cost_ps, b.cost_ps);
+  for (size_t i = 0; i < a.arith_counts.size(); ++i) {
+    if (a.arith_counts[i] != b.arith_counts[i])
+      return field("arith_counts", a.arith_counts[i], b.arith_counts[i]) +
+             " at cat " + std::to_string(i);
+  }
+  if (a.tierups != b.tierups) return field("tierups", a.tierups, b.tierups);
+  if (a.host_calls != b.host_calls)
+    return field("host_calls", a.host_calls, b.host_calls);
+  if (ga.collections != gb.collections)
+    return field("gc collections", ga.collections, gb.collections);
+  if (ga.objects_allocated != gb.objects_allocated)
+    return field("gc objects_allocated", ga.objects_allocated, gb.objects_allocated);
+  if (ga.objects_freed != gb.objects_freed)
+    return field("gc objects_freed", ga.objects_freed, gb.objects_freed);
+  if (ga.live_bytes != gb.live_bytes)
+    return field("gc live_bytes", ga.live_bytes, gb.live_bytes);
+  if (ga.peak_live_bytes != gb.peak_live_bytes)
+    return field("gc peak_live_bytes", ga.peak_live_bytes, gb.peak_live_bytes);
+  if (ga.peak_external_bytes != gb.peak_external_bytes)
+    return field("gc peak_external_bytes", ga.peak_external_bytes,
+                 gb.peak_external_bytes);
+  return {};
 }
 
 /// Mutation-testing hook: bumps the first i32.const in the defined "main"
@@ -254,11 +299,58 @@ CaseResult run_case(const std::string& source, const HarnessOptions& options) {
       }
     }
 
-    // JS backend on the JS VM.
+    // JS backend on the JS VM: compile once per level, then run the
+    // differential check plus (when quickening is on) the classic-vs-
+    // quickened oracle across both JS tiers.
     auto m_js = compile_at(source, level, fast_math, error);
-    const Outcome js = run_js(std::move(*m_js), fast_math, options.fuel);
+    backend::JsOptions jsopts;
+    jsopts.fast_math = fast_math;
+    const backend::JsArtifact jsart = backend::compile_to_js(std::move(*m_js), jsopts);
+    if (!jsart.ok()) {
+      diverge("js backend", jsart.error);
+      continue;
+    }
+    std::string jserr;
+    const auto jscode = js::compile_script(jsart.source, jserr);
+    if (!jscode) {
+      diverge("js compile", jserr);
+      continue;
+    }
+    const bool js_quicken = js::quicken_default();
+    js::JsExecStats js_stats;
+    js::GcStats js_gc;
+    const Outcome js = run_js_vm(*jscode, /*jit=*/true, js_quicken, options.fuel,
+                                 &js_stats, &js_gc);
     if (!same(js, ref)) {
       diverge("js", "expected " + ref.describe() + " got " + js.describe());
+    }
+
+    // Oracle: the quickened JS engine must agree with the classic switch
+    // loop on the result and on every virtual metric and GC stat.
+    if (options.js_quicken_oracle && js_quicken) {
+      for (const bool jit : {true, false}) {
+        js::JsExecStats quick_stats, classic_stats;
+        js::GcStats quick_gc, classic_gc;
+        const Outcome quick = jit ? js
+                                  : run_js_vm(*jscode, jit, /*quicken=*/true,
+                                              options.fuel, &quick_stats, &quick_gc);
+        if (jit) {
+          quick_stats = js_stats;
+          quick_gc = js_gc;
+        }
+        const Outcome classic = run_js_vm(*jscode, jit, /*quicken=*/false,
+                                          options.fuel, &classic_stats, &classic_gc);
+        const char* engine =
+            jit ? "oracle:js-quicken-jit" : "oracle:js-quicken-nojit";
+        if (!same(quick, classic)) {
+          diverge(engine, "classic " + classic.describe() + " quickened " +
+                              quick.describe());
+        } else if (const std::string d = js_stats_diff(classic_stats, quick_stats,
+                                                       classic_gc, quick_gc);
+                   !d.empty()) {
+          diverge(engine, "metrics differ (classic vs quickened): " + d);
+        }
+      }
     }
   }
   return result;

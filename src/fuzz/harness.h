@@ -34,6 +34,11 @@ struct HarnessOptions {
   /// ops_executed, arith_counts, calls, tierups, ...) match exactly.
   /// No-op when quickening is already off process-wide (--no-quicken).
   bool quicken_oracle = true;
+  /// Same oracle for the JS VM: re-runs the compiled-JS artifact on the
+  /// classic switch loop, on both JS tiers (JIT on and off), and demands
+  /// the quickened threaded engine's result, JsExecStats, and GC stats
+  /// match exactly. No-op when JS quickening is off (--no-quicken-js).
+  bool js_quicken_oracle = true;
 };
 
 /// One disagreement (or pipeline failure) found while running a program.

@@ -95,6 +95,13 @@ inline constexpr size_t kJsOpClassCount = static_cast<size_t>(JsOpClass::kCount)
 
 JsOpClass js_op_class(JsOp op);
 
+/// Arithmetic categories counted for the paper's Table 12 (shared shape
+/// with wasm::ArithCat).
+enum class JsArithCat : uint8_t { Add, Mul, Div, Rem, Shift, And, Or, None };
+inline constexpr size_t kJsArithCatCount = 7;
+
+JsArithCat js_arith_cat(JsOp op);
+
 struct JsInstr {
   JsOp op;
   uint32_t a = 0;

@@ -18,13 +18,19 @@ uint32_t to_uint32(double d) { return static_cast<uint32_t>(to_int32(d)); }
 
 size_t Heap::object_bytes(const GcObject& o) {
   constexpr size_t kHeader = 48;  // rough per-object overhead (tag, map ptr, ...)
+  // Element/property sizes model a browser engine's boxed representation
+  // (24-byte tagged element, 32-byte property cell) and are deliberately
+  // decoupled from our host sizeof: the memory metric must not shift when
+  // the interpreter's internal value layout changes (e.g. NaN-boxing).
+  constexpr size_t kBoxedElemBytes = 24;
+  constexpr size_t kPropBytes = 32;
   switch (o.kind) {
     case ObjKind::String:
       return kHeader + o.str().size();
     case ObjKind::Array:
-      return kHeader + o.elems().capacity() * sizeof(JsValue);
+      return kHeader + o.elems().capacity() * kBoxedElemBytes;
     case ObjKind::Object:
-      return kHeader + o.props().capacity() * sizeof(Prop);
+      return kHeader + o.props().capacity() * kPropBytes;
     case ObjKind::Function:
     case ObjKind::Builtin:
       return kHeader;
@@ -40,6 +46,7 @@ size_t Heap::object_bytes(const GcObject& o) {
 
 ObjRef Heap::alloc(GcObject obj) {
   ++stats_.objects_allocated;
+  obj.serial = ++next_serial_;
   allocated_since_gc_ += object_bytes(obj);
   ObjRef ref;
   if (!free_.empty()) {
@@ -123,11 +130,11 @@ void Heap::note_external(ptrdiff_t delta) {
 }
 
 void Heap::mark_value(JsValue v) {
-  if (!v.is_object() || v.ref == kNullRef) return;
-  GcObject& o = *objects_[v.ref];
+  if (!v.is_object() || v.ref() == kNullRef) return;
+  GcObject& o = *objects_[v.ref()];
   if (o.mark) return;
   o.mark = true;
-  mark_stack_.push_back(v.ref);
+  mark_stack_.push_back(v.ref());
 }
 
 void Heap::collect() {

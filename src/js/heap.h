@@ -40,6 +40,15 @@ struct GcObject {
   ObjKind kind = ObjKind::String;
   bool mark = false;
   bool pinned = false;  ///< never collected (string constants, builtins)
+  /// Allocation serial number, unique per Heap for the lifetime of the
+  /// run. Inline caches key on (ref, serial): when a swept slot is reused
+  /// by the free list, the new occupant gets a fresh serial, so stale
+  /// cache entries can never alias a recycled ObjRef.
+  uint32_t serial = 0;
+  /// Property-layout version; bumped whenever a new property is appended.
+  /// A cached slot is valid only while the shape it was recorded under is
+  /// still current.
+  uint32_t shape = 0;
   std::variant<std::string,            // String
                std::vector<JsValue>,   // Array
                std::vector<Prop>,      // Object
@@ -133,6 +142,7 @@ class Heap {
   CollectHook collect_hook_;
   size_t gc_threshold_;
   size_t allocated_since_gc_ = 0;
+  uint32_t next_serial_ = 0;
   GcStats stats_;
   std::vector<ObjRef> mark_stack_;
 };

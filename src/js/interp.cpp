@@ -72,16 +72,16 @@ double to_number_str(const std::string& s) {
 }
 
 bool truthy(const Heap& heap, JsValue v) {
-  switch (v.tag) {
+  switch (v.tag()) {
     case JsValue::Tag::Undefined:
     case JsValue::Tag::Null:
       return false;
     case JsValue::Tag::Bool:
-      return v.boolean;
+      return v.boolean();
     case JsValue::Tag::Number:
-      return v.num != 0 && !std::isnan(v.num);
+      return v.num() != 0 && !std::isnan(v.num());
     case JsValue::Tag::Object: {
-      const GcObject& o = heap.get(v.ref);
+      const GcObject& o = heap.get(v.ref());
       if (o.kind == ObjKind::String) return !o.str().empty();
       return true;
     }
@@ -111,6 +111,7 @@ Vm::Vm(const ScriptCode& code, Heap& heap) : code_(code), heap_(heap) {
   });
 
   install_builtins();
+  set_quicken(quicken_default());
 }
 
 Vm::~Vm() { heap_.set_root_scanner(nullptr); }
@@ -121,6 +122,18 @@ void Vm::set_cost_tables(const JsCostTable& baseline, const JsCostTable& optimiz
 }
 
 void Vm::set_tier_policy(const JsTierPolicy& policy) { tier_policy_ = policy; }
+
+void Vm::set_quicken(bool enabled) {
+  quicken_enabled_ = enabled;
+  if (enabled && qfuncs_.empty()) {
+    uint32_t cache_slots = 0;
+    qfuncs_.reserve(code_.protos.size());
+    for (uint32_t i = 0; i < code_.protos.size(); ++i) {
+      qfuncs_.push_back(quicken(code_, i, cache_slots));
+    }
+    prop_caches_.assign(cache_slots, PropCache{});
+  }
+}
 
 int32_t Vm::find_name(std::string_view name) const {
   for (uint32_t i = 0; i < code_.names.size(); ++i) {
@@ -200,25 +213,25 @@ void Vm::install_builtins() {
 }
 
 std::string Vm::to_display_string(JsValue v) const {
-  switch (v.tag) {
+  switch (v.tag()) {
     case JsValue::Tag::Undefined:
       return "undefined";
     case JsValue::Tag::Null:
       return "null";
     case JsValue::Tag::Bool:
-      return v.boolean ? "true" : "false";
+      return v.boolean() ? "true" : "false";
     case JsValue::Tag::Number: {
-      if (std::isnan(v.num)) return "NaN";
+      if (std::isnan(v.num())) return "NaN";
       char buf[32];
-      if (v.num == std::trunc(v.num) && std::abs(v.num) < 1e15) {
-        std::snprintf(buf, sizeof buf, "%.0f", v.num);
+      if (v.num() == std::trunc(v.num()) && std::abs(v.num()) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", v.num());
       } else {
-        std::snprintf(buf, sizeof buf, "%g", v.num);
+        std::snprintf(buf, sizeof buf, "%g", v.num());
       }
       return buf;
     }
     case JsValue::Tag::Object: {
-      const GcObject& o = heap_.get(v.ref);
+      const GcObject& o = heap_.get(v.ref());
       switch (o.kind) {
         case ObjKind::String:
           return o.str();
@@ -251,10 +264,10 @@ Vm::Result Vm::run_top_level() {
 
 Vm::Result Vm::call_function(std::string_view name, std::span<const JsValue> args) {
   const JsValue fn = get_global(name);
-  if (!fn.is_object() || heap_.get(fn.ref).kind != ObjKind::Function) {
+  if (!fn.is_object() || heap_.get(fn.ref()).kind != ObjKind::Function) {
     return {false, "no such function: " + std::string(name), {}};
   }
-  return run(heap_.get(fn.ref).fn_index(), args);
+  return run(heap_.get(fn.ref()).fn_index(), args);
 }
 
 void Vm::set_tracer(prof::Tracer* tracer) {
@@ -296,11 +309,11 @@ bool Vm::call_builtin(uint32_t builtin_id, JsValue receiver,
   auto num_arg = [&](size_t i) -> double {
     if (i >= args.size()) return std::nan("");
     const JsValue v = args[i];
-    if (v.is_number()) return v.num;
-    if (v.is_bool()) return v.boolean ? 1 : 0;
+    if (v.is_number()) return v.num();
+    if (v.is_bool()) return v.boolean() ? 1 : 0;
     if (v.is_null()) return 0;
-    if (v.is_object() && heap_.get(v.ref).kind == ObjKind::String) {
-      return to_number_str(heap_.get(v.ref).str());
+    if (v.is_object() && heap_.get(v.ref()).kind == ObjKind::String) {
+      return to_number_str(heap_.get(v.ref()).str());
     }
     return std::nan("");
   };
@@ -349,7 +362,7 @@ bool Vm::call_builtin(uint32_t builtin_id, JsValue receiver,
       // returns a Uint8Array(32). Stands in for the W3C WebCrypto API.
       std::vector<uint8_t> bytes;
       if (!args.empty() && args[0].is_object()) {
-        const GcObject& o = heap_.get(args[0].ref);
+        const GcObject& o = heap_.get(args[0].ref());
         if (o.kind == ObjKind::Uint8Array) {
           bytes.assign(std::get<std::vector<uint8_t>>(o.data).begin(),
                        std::get<std::vector<uint8_t>>(o.data).end());
@@ -385,7 +398,7 @@ bool Vm::method_on_primitive(const GcObject& recv_obj, JsValue receiver,
   const std::string& name = code_.names[name_id];
   switch (recv_obj.kind) {
     case ObjKind::Array: {
-      auto& elems = heap_.get(receiver.ref).elems();
+      auto& elems = heap_.get(receiver.ref()).elems();
       if (name == "push") {
         for (JsValue a : args) elems.push_back(a);
         result = JsValue::number(static_cast<double>(elems.size()));
@@ -410,7 +423,7 @@ bool Vm::method_on_primitive(const GcObject& recv_obj, JsValue receiver,
         result = JsValue::number(-1);
         if (!args.empty() && args[0].is_number()) {
           for (size_t i = 0; i < elems.size(); ++i) {
-            if (elems[i].is_number() && elems[i].num == args[0].num) {
+            if (elems[i].is_number() && elems[i].num() == args[0].num()) {
               result = JsValue::number(static_cast<double>(i));
               break;
             }
@@ -423,7 +436,7 @@ bool Vm::method_on_primitive(const GcObject& recv_obj, JsValue receiver,
     case ObjKind::String: {
       const std::string& s = recv_obj.str();
       if (name == "charCodeAt") {
-        const int32_t i = args.empty() ? 0 : to_int32(args[0].num);
+        const int32_t i = args.empty() ? 0 : to_int32(args[0].num());
         if (i < 0 || static_cast<size_t>(i) >= s.size()) {
           result = JsValue::number(std::nan(""));
         } else {
@@ -432,15 +445,15 @@ bool Vm::method_on_primitive(const GcObject& recv_obj, JsValue receiver,
         return true;
       }
       if (name == "charAt") {
-        const int32_t i = args.empty() ? 0 : to_int32(args[0].num);
+        const int32_t i = args.empty() ? 0 : to_int32(args[0].num());
         std::string out;
         if (i >= 0 && static_cast<size_t>(i) < s.size()) out = s.substr(static_cast<size_t>(i), 1);
         result = JsValue::object(make_string(std::move(out)));
         return true;
       }
       if (name == "substring" || name == "slice") {
-        int32_t from = args.size() > 0 && args[0].is_number() ? to_int32(args[0].num) : 0;
-        int32_t to = args.size() > 1 && args[1].is_number() ? to_int32(args[1].num)
+        int32_t from = args.size() > 0 && args[0].is_number() ? to_int32(args[0].num()) : 0;
+        int32_t to = args.size() > 1 && args[1].is_number() ? to_int32(args[1].num())
                                                             : static_cast<int32_t>(s.size());
         from = std::clamp(from, 0, static_cast<int32_t>(s.size()));
         to = std::clamp(to, from, static_cast<int32_t>(s.size()));
@@ -451,8 +464,8 @@ bool Vm::method_on_primitive(const GcObject& recv_obj, JsValue receiver,
       if (name == "indexOf") {
         std::string needle;
         if (!args.empty() && args[0].is_object() &&
-            heap_.get(args[0].ref).kind == ObjKind::String) {
-          needle = heap_.get(args[0].ref).str();
+            heap_.get(args[0].ref()).kind == ObjKind::String) {
+          needle = heap_.get(args[0].ref()).str();
         }
         const size_t at = s.find(needle);
         result = JsValue::number(at == std::string::npos ? -1 : static_cast<double>(at));
@@ -464,8 +477,8 @@ bool Vm::method_on_primitive(const GcObject& recv_obj, JsValue receiver,
     case ObjKind::Int32Array:
     case ObjKind::Uint8Array: {
       if (name == "fill") {
-        GcObject& o = heap_.get(receiver.ref);
-        const double v = args.empty() || !args[0].is_number() ? 0 : args[0].num;
+        GcObject& o = heap_.get(receiver.ref());
+        const double v = args.empty() || !args[0].is_number() ? 0 : args[0].num();
         if (o.kind == ObjKind::Float64Array) {
           std::fill(o.f64().begin(), o.f64().end(), v);
         } else if (o.kind == ObjKind::Int32Array) {
@@ -488,6 +501,11 @@ bool Vm::method_on_primitive(const GcObject& recv_obj, JsValue receiver,
 // ------------------------------------------------------------------- run
 
 Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
+  return quicken_enabled_ ? run_quickened(proto_index, args)
+                          : run_classic(proto_index, args);
+}
+
+Vm::Result Vm::run_classic(uint32_t proto_index, std::span<const JsValue> args) {
   ok_ = true;
   error_.clear();
   stack_.clear();
@@ -566,17 +584,17 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
     return v;
   };
   auto to_number = [&](JsValue v) -> double {
-    switch (v.tag) {
+    switch (v.tag()) {
       case JsValue::Tag::Number:
-        return v.num;
+        return v.num();
       case JsValue::Tag::Bool:
-        return v.boolean ? 1 : 0;
+        return v.boolean() ? 1 : 0;
       case JsValue::Tag::Null:
         return 0;
       case JsValue::Tag::Undefined:
         return std::nan("");
       case JsValue::Tag::Object: {
-        const GcObject& o = heap_.get(v.ref);
+        const GcObject& o = heap_.get(v.ref());
         if (o.kind == ObjKind::String) return to_number_str(o.str());
         return std::nan("");
       }
@@ -584,7 +602,7 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
     return std::nan("");
   };
   auto is_string = [&](JsValue v) {
-    return v.is_object() && heap_.get(v.ref).kind == ObjKind::String;
+    return v.is_object() && heap_.get(v.ref()).kind == ObjKind::String;
   };
 
   JsValue return_value = JsValue::undefined();
@@ -660,7 +678,7 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
         const JsValue b = pop();
         const JsValue a = stack_.back();
         if (a.is_number() && b.is_number()) {
-          stack_.back() = JsValue::number(a.num + b.num);
+          stack_.back() = JsValue::number(a.num() + b.num());
         } else if (is_string(a) || is_string(b)) {
           std::string s = to_display_string(a) + to_display_string(b);
           stack_.back() = JsValue::object(make_string(std::move(s)));
@@ -724,13 +742,13 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
         };
         bool eq;
         if (a.is_number() && b.is_number()) {
-          eq = a.num == b.num;
+          eq = a.num() == b.num();
         } else if (a_str && b_str) {
-          eq = heap_.get(a.ref).str() == heap_.get(b.ref).str();
+          eq = heap_.get(a.ref()).str() == heap_.get(b.ref()).str();
         } else if (a.is_object() && b.is_object()) {
-          eq = a.ref == b.ref;
-        } else if (a.tag == b.tag) {
-          eq = a.is_bool() ? a.boolean == b.boolean : true;  // null/undefined
+          eq = a.ref() == b.ref();
+        } else if (a.tag() == b.tag()) {
+          eq = a.is_bool() ? a.boolean() == b.boolean() : true;  // null/undefined
         } else if (loose && ((a.is_null() && b.is_undefined()) ||
                              (a.is_undefined() && b.is_null()))) {
           eq = true;
@@ -749,7 +767,7 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
     const JsValue a = stack_.back();                              \
     bool r;                                                       \
     if (is_string(a) && is_string(b)) {                           \
-      r = heap_.get(a.ref).str() CMP heap_.get(b.ref).str();      \
+      r = heap_.get(a.ref()).str() CMP heap_.get(b.ref()).str();      \
     } else {                                                      \
       r = to_number(a) CMP to_number(b);                          \
     }                                                             \
@@ -815,7 +833,7 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
           fail("callee is not a function");
           break;
         }
-        const GcObject& fo = heap_.get(callee.ref);
+        const GcObject& fo = heap_.get(callee.ref());
         if (fo.kind == ObjKind::Function) {
           const uint32_t pidx = fo.fn_index();
           frames_.back().pc = pc + 1;
@@ -848,7 +866,7 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
           fail("method call on non-object (" + code_.names[ins.a] + ")");
           break;
         }
-        const GcObject& ro = heap_.get(receiver.ref);
+        const GcObject& ro = heap_.get(receiver.ref());
         std::vector<JsValue> call_args(stack_.begin() + static_cast<long>(recv_at) + 1,
                                        stack_.end());
         if (ro.kind == ObjKind::Object) {
@@ -865,7 +883,7 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
             fail("no such method: " + code_.names[ins.a]);
             break;
           }
-          const GcObject& fo = heap_.get(member.ref);
+          const GcObject& fo = heap_.get(member.ref());
           if (fo.kind == ObjKind::Builtin) {
             // Math.* are JIT intrinsics: engines lower them to plain
             // instructions, so re-price the Call charge as arithmetic.
@@ -954,7 +972,7 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
           fail("property access on non-object: ." + code_.names[ins.a]);
           break;
         }
-        const GcObject& o = heap_.get(obj.ref);
+        const GcObject& o = heap_.get(obj.ref());
         const std::string& name = code_.names[ins.a];
         if (name == "length") {
           double len = 0;
@@ -999,11 +1017,12 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
       case JsOp::SetProp: {
         const JsValue value = pop();
         const JsValue obj = pop();
-        if (!obj.is_object() || heap_.get(obj.ref).kind != ObjKind::Object) {
+        if (!obj.is_object() || heap_.get(obj.ref()).kind != ObjKind::Object) {
           fail("property store on non-object: ." + code_.names[ins.a]);
           break;
         }
-        auto& props = heap_.get(obj.ref).props();
+        GcObject& oo = heap_.get(obj.ref());
+        auto& props = oo.props();
         bool found = false;
         for (Prop& p : props) {
           if (p.key == ins.a) {
@@ -1012,7 +1031,10 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
             break;
           }
         }
-        if (!found) props.push_back(Prop{ins.a, value});
+        if (!found) {
+          props.push_back(Prop{ins.a, value});
+          ++oo.shape;  // layout changed: invalidate cached property slots
+        }
         stack_.push_back(value);
         break;
       }
@@ -1024,11 +1046,11 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
           fail("bad index expression");
           break;
         }
-        const GcObject& o = heap_.get(obj.ref);
+        const GcObject& o = heap_.get(obj.ref());
         if (o.kind == ObjKind::Array) {
           cost += costs[static_cast<size_t>(JsOpClass::BoxedIndex)];
         }
-        const int64_t i = static_cast<int64_t>(idx.num);
+        const int64_t i = static_cast<int64_t>(idx.num());
         switch (o.kind) {
           case ObjKind::Array: {
             const auto& elems = o.elems();
@@ -1082,11 +1104,11 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
           fail("bad index store");
           break;
         }
-        GcObject& o = heap_.get(obj.ref);
+        GcObject& o = heap_.get(obj.ref());
         if (o.kind == ObjKind::Array) {
           cost += costs[static_cast<size_t>(JsOpClass::BoxedIndex)];
         }
-        const int64_t i = static_cast<int64_t>(idx.num);
+        const int64_t i = static_cast<int64_t>(idx.num());
         if (i < 0) {
           fail("negative index store");
           break;
@@ -1103,14 +1125,14 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
           case ObjKind::Float64Array: {
             auto& xs = o.f64();
             if (static_cast<size_t>(i) < xs.size()) {
-              xs[static_cast<size_t>(i)] = value.is_number() ? value.num : std::nan("");
+              xs[static_cast<size_t>(i)] = value.is_number() ? value.num() : std::nan("");
             }
             break;
           }
           case ObjKind::Int32Array: {
             auto& xs = o.i32();
             if (static_cast<size_t>(i) < xs.size()) {
-              xs[static_cast<size_t>(i)] = to_int32(value.is_number() ? value.num : 0);
+              xs[static_cast<size_t>(i)] = to_int32(value.is_number() ? value.num() : 0);
             }
             break;
           }
@@ -1118,7 +1140,7 @@ Vm::Result Vm::run(uint32_t proto_index, std::span<const JsValue> args) {
             auto& xs = o.u8();
             if (static_cast<size_t>(i) < xs.size()) {
               xs[static_cast<size_t>(i)] =
-                  static_cast<uint8_t>(to_int32(value.is_number() ? value.num : 0));
+                  static_cast<uint8_t>(to_int32(value.is_number() ? value.num() : 0));
             }
             break;
           }
@@ -1170,6 +1192,1076 @@ done:
   flush();
   if (!ok_) return {false, error_, {}};
   return {true, "", return_value};
+}
+
+// --- Quickened threaded execution -----------------------------------------
+//
+// Executes the pre-translated QJsCode stream (quicken.h). Dispatch is
+// direct-threaded (computed goto) under GCC/Clang; WB_THREADED_DISPATCH=0
+// selects the portable switch fallback. Every QJsInstr is charged from
+// its constituent side table (cls/cat, nops) before its handler runs,
+// exactly as the classic loop charges each JsInstr before executing it,
+// so cost_ps, ops_executed, arith_counts, fuel accounting, tier-up
+// timing, GC statistics, and tracer timestamps are bit-identical on
+// every program.
+
+#ifndef WB_THREADED_DISPATCH
+#if defined(__GNUC__) || defined(__clang__)
+#define WB_THREADED_DISPATCH 1
+#else
+#define WB_THREADED_DISPATCH 0
+#endif
+#endif
+
+Vm::Result Vm::run_quickened(uint32_t proto_index, std::span<const JsValue> args) {
+  ok_ = true;
+  error_.clear();
+  stack_.clear();
+  locals_.clear();
+  frames_.clear();
+
+  uint64_t ops = 0;
+  uint64_t cost = 0;
+  constexpr uint8_t kCatNone = kQJsCatPad;
+
+  // Arith-category accounting: each dispatch adds the QJsInstr's packed
+  // per-lane counts (one byte lane per JsArithCat, lane None discarded)
+  // into a single u64. Every add contributes exactly 4 across the lanes,
+  // so after 63 adds no lane can exceed 252; the budget countdown unpacks
+  // into the wide accumulators before any lane could saturate.
+  uint64_t cat_acc = 0;
+  uint32_t cat_budget = 63;
+
+  auto flush_cats = [&] {
+    for (size_t i = 0; i < kJsArithCatCount; ++i) {
+      stats_.arith_counts[i] += (cat_acc >> (8 * i)) & 0xff;
+    }
+    cat_acc = 0;
+    cat_budget = 63;
+  };
+  auto flush_stats = [&] {
+    flush_cats();
+    stats_.ops_executed += ops;
+    stats_.cost_ps += cost;
+    ops = 0;
+    cost = 0;
+  };
+
+  // Cached per-frame execution state. `lcosts` is the active tier's cost
+  // table plus a zero-cost pad slot (kQJsClsPad), re-copied only when the
+  // active table actually changes (frame switch onto a different tier, or
+  // a tier-up on a loop back-edge).
+  const QJsInstr* qcode = nullptr;
+  const uint64_t* costs = nullptr;
+  uint64_t lcosts[kJsOpClassCount + 1];
+  lcosts[kJsOpClassCount] = 0;
+  uint32_t qpc = 0;
+  uint32_t locals_base = 0;
+  const QJsInstr* q = nullptr;
+  JsValue return_value = JsValue::undefined();
+  JsValue ret_tmp = JsValue::undefined();
+
+  auto set_costs = [&](const uint64_t* table) {
+    if (table == costs) return;
+    costs = table;
+    std::memcpy(lcosts, table, sizeof(uint64_t) * kJsOpClassCount);
+  };
+
+  auto cache_frame = [&] {
+    const Frame& f = frames_.back();
+    qcode = qfuncs_[f.proto].code.data();
+    set_costs(cost_tables_[func_state_[f.proto].tier].data());
+    qpc = f.pc;
+    locals_base = f.locals_base;
+  };
+
+  auto enter = [&](uint32_t pidx, std::span<const JsValue> call_args) -> bool {
+    if (frames_.size() >= kMaxJsCallDepth) {
+      fail("maximum call stack size exceeded");
+      return false;
+    }
+    // Begin the span first so a tier-up compile pause on this entry lands
+    // inside the entered function's self time (same order as the classic
+    // loop's enter).
+    if (tracer_) {
+      tracer_->begin(prof::Cat::JsFunc, proto_trace_names_[pidx],
+                     stats_.cost_ps + cost);
+    }
+    maybe_tier_up(pidx, stats_.cost_ps + cost);
+    const FunctionProto& p = code_.protos[pidx];
+    Frame f;
+    f.proto = pidx;
+    f.pc = 0;
+    f.locals_base = static_cast<uint32_t>(locals_.size());
+    f.stack_base = static_cast<uint32_t>(stack_.size());
+    locals_.resize(f.locals_base + p.nlocals, JsValue::undefined());
+    for (uint32_t i = 0; i < p.nparams && i < call_args.size(); ++i) {
+      locals_[f.locals_base + i] = call_args[i];
+    }
+    frames_.push_back(f);
+    cache_frame();
+    return true;
+  };
+
+  if (!enter(proto_index, args)) {
+    flush_stats();
+    return {false, error_, {}};
+  }
+
+  if (tracer_) {
+    heap_.set_collect_hook([this, &cost](const GcStats& gc) {
+      tracer_->instant(prof::Cat::GcPhase, gc_trace_name_, stats_.cost_ps + cost,
+                       gc.live_bytes);
+    });
+  }
+
+  auto pop = [&]() -> JsValue {
+    JsValue v = stack_.back();
+    stack_.pop_back();
+    return v;
+  };
+  auto to_number = [&](JsValue v) -> double {
+    switch (v.tag()) {
+      case JsValue::Tag::Number:
+        return v.num();
+      case JsValue::Tag::Bool:
+        return v.boolean() ? 1 : 0;
+      case JsValue::Tag::Null:
+        return 0;
+      case JsValue::Tag::Undefined:
+        return std::nan("");
+      case JsValue::Tag::Object: {
+        const GcObject& o = heap_.get(v.ref());
+        if (o.kind == ObjKind::String) return to_number_str(o.str());
+        return std::nan("");
+      }
+    }
+    return std::nan("");
+  };
+  auto is_string = [&](JsValue v) {
+    return v.is_object() && heap_.get(v.ref()).kind == ObjKind::String;
+  };
+  auto eq_vals = [&](JsValue a, JsValue b, bool loose) -> bool {
+    const bool a_str = is_string(a);
+    const bool b_str = is_string(b);
+    auto is_primitive = [&](JsValue v, bool v_str) {
+      return v.is_number() || v.is_bool() || v_str;
+    };
+    if (a.is_number() && b.is_number()) return a.num() == b.num();
+    if (a_str && b_str) return heap_.get(a.ref()).str() == heap_.get(b.ref()).str();
+    if (a.is_object() && b.is_object()) return a.ref() == b.ref();
+    if (a.tag() == b.tag()) {
+      return a.is_bool() ? a.boolean() == b.boolean() : true;  // null/undefined
+    }
+    if (loose && ((a.is_null() && b.is_undefined()) ||
+                  (a.is_undefined() && b.is_null()))) {
+      return true;
+    }
+    if (loose && is_primitive(a, a_str) && is_primitive(b, b_str)) {
+      return to_number(a) == to_number(b);
+    }
+    return false;
+  };
+  auto eval_cmp = [&](JsOp op, JsValue a, JsValue b) -> bool {
+    switch (op) {
+      case JsOp::Eq: return eq_vals(a, b, true);
+      case JsOp::Ne: return !eq_vals(a, b, true);
+      case JsOp::StrictEq: return eq_vals(a, b, false);
+      case JsOp::StrictNe: return !eq_vals(a, b, false);
+      case JsOp::Lt:
+        if (is_string(a) && is_string(b)) return heap_.get(a.ref()).str() < heap_.get(b.ref()).str();
+        return to_number(a) < to_number(b);
+      case JsOp::Le:
+        if (is_string(a) && is_string(b)) return heap_.get(a.ref()).str() <= heap_.get(b.ref()).str();
+        return to_number(a) <= to_number(b);
+      case JsOp::Gt:
+        if (is_string(a) && is_string(b)) return heap_.get(a.ref()).str() > heap_.get(b.ref()).str();
+        return to_number(a) > to_number(b);
+      case JsOp::Ge:
+        if (is_string(a) && is_string(b)) return heap_.get(a.ref()).str() >= heap_.get(b.ref()).str();
+        return to_number(a) >= to_number(b);
+      default:
+        return false;
+    }
+  };
+
+  // Inline-cache probes. A hit requires the same ref, the same allocation
+  // serial (the free list can recycle refs across a collection), and the
+  // same property-layout version. Only the live receiver object is ever
+  // dereferenced, so a stale entry is always detected, never followed.
+  auto cache_lookup = [](const PropCache& c, ObjRef ref, const GcObject& o) -> int64_t {
+    for (uint8_t i = 0; i < c.n; ++i) {
+      const PropCacheEntry& e = c.entries[i];
+      if (e.ref == ref && e.serial == o.serial && e.shape == o.shape) return e.slot;
+    }
+    return -1;
+  };
+  auto cache_insert = [](PropCache& c, ObjRef ref, const GcObject& o, size_t slot) {
+    const PropCacheEntry e{ref, o.serial, o.shape, static_cast<uint32_t>(slot)};
+    if (c.n < c.entries.size()) {
+      c.entries[c.n++] = e;
+    } else {
+      c.entries[c.victim] = e;  // poly overflow: deterministic round-robin
+      c.victim = static_cast<uint8_t>((c.victim + 1) % c.entries.size());
+    }
+  };
+
+  // Full GetIndex semantics shared by the single op and the fused forms.
+  // `replace_top` mirrors the classic stack shape: the single op (and
+  // FGetIdx) replace the receiver at stack top, FGetGetIdx pushes. The
+  // result is placed on the stack before any collection so it is rooted,
+  // exactly like the classic loop.
+  auto do_get_index = [&](JsValue obj, JsValue idx, bool replace_top) {
+    if (!obj.is_object() || !idx.is_number()) {
+      fail("bad index expression");
+      return;
+    }
+    const GcObject& o = heap_.get(obj.ref());
+    if (o.kind == ObjKind::Array) {
+      cost += lcosts[static_cast<size_t>(JsOpClass::BoxedIndex)];
+    }
+    const int64_t i = static_cast<int64_t>(idx.num());
+    JsValue out = JsValue::undefined();
+    bool collect = false;
+    switch (o.kind) {
+      case ObjKind::Array: {
+        const auto& elems = o.elems();
+        if (i >= 0 && static_cast<size_t>(i) < elems.size()) out = elems[static_cast<size_t>(i)];
+        break;
+      }
+      case ObjKind::Float64Array: {
+        const auto& xs = std::get<std::vector<double>>(o.data);
+        if (i >= 0 && static_cast<size_t>(i) < xs.size()) out = JsValue::number(xs[static_cast<size_t>(i)]);
+        break;
+      }
+      case ObjKind::Int32Array: {
+        const auto& xs = std::get<std::vector<int32_t>>(o.data);
+        if (i >= 0 && static_cast<size_t>(i) < xs.size()) out = JsValue::number(xs[static_cast<size_t>(i)]);
+        break;
+      }
+      case ObjKind::Uint8Array: {
+        const auto& xs = std::get<std::vector<uint8_t>>(o.data);
+        if (i >= 0 && static_cast<size_t>(i) < xs.size()) out = JsValue::number(xs[static_cast<size_t>(i)]);
+        break;
+      }
+      case ObjKind::String: {
+        const std::string& s = o.str();
+        std::string sub;
+        if (i >= 0 && static_cast<size_t>(i) < s.size()) {
+          sub = s.substr(static_cast<size_t>(i), 1);
+        }
+        out = JsValue::object(make_string(std::move(sub)));
+        collect = true;
+        break;
+      }
+      default:
+        fail("value is not indexable");
+        return;
+    }
+    if (replace_top) {
+      stack_.back() = out;
+    } else {
+      stack_.push_back(out);
+    }
+    if (collect) heap_.maybe_collect();
+  };
+
+  // Full SetIndex semantics (single op, FSetIdxPop, and the fuel-boundary
+  // replay). `push_result` matches the classic stack shape; FSetIdxPop
+  // skips the push its fused Pop would immediately undo.
+  auto do_set_index = [&](bool push_result) {
+    const JsValue value = pop();
+    const JsValue idx = pop();
+    const JsValue obj = pop();
+    if (!obj.is_object() || !idx.is_number()) {
+      fail("bad index store");
+      return;
+    }
+    GcObject& o = heap_.get(obj.ref());
+    if (o.kind == ObjKind::Array) {
+      cost += lcosts[static_cast<size_t>(JsOpClass::BoxedIndex)];
+    }
+    const int64_t i = static_cast<int64_t>(idx.num());
+    if (i < 0) {
+      fail("negative index store");
+      return;
+    }
+    switch (o.kind) {
+      case ObjKind::Array: {
+        auto& elems = o.elems();
+        if (static_cast<size_t>(i) >= elems.size()) {
+          elems.resize(static_cast<size_t>(i) + 1, JsValue::undefined());
+        }
+        elems[static_cast<size_t>(i)] = value;
+        break;
+      }
+      case ObjKind::Float64Array: {
+        auto& xs = o.f64();
+        if (static_cast<size_t>(i) < xs.size()) {
+          xs[static_cast<size_t>(i)] = value.is_number() ? value.num() : std::nan("");
+        }
+        break;
+      }
+      case ObjKind::Int32Array: {
+        auto& xs = o.i32();
+        if (static_cast<size_t>(i) < xs.size()) {
+          xs[static_cast<size_t>(i)] = to_int32(value.is_number() ? value.num() : 0);
+        }
+        break;
+      }
+      case ObjKind::Uint8Array: {
+        auto& xs = o.u8();
+        if (static_cast<size_t>(i) < xs.size()) {
+          xs[static_cast<size_t>(i)] =
+              static_cast<uint8_t>(to_int32(value.is_number() ? value.num() : 0));
+        }
+        break;
+      }
+      default:
+        fail("value is not index-assignable");
+        return;
+    }
+    if (push_result) stack_.push_back(value);
+  };
+
+#if WB_THREADED_DISPATCH
+  static const void* kQJsLabels[] = {
+#define WB_QJS_LBL(name) &&lbl_##name,
+      WB_QJS_OP_LIST(WB_QJS_LBL)
+#undef WB_QJS_LBL
+  };
+#define WB_CASE(name) lbl_##name:
+#else
+#define WB_CASE(name) case QJsOp::name:
+#endif
+#define WB_NEXT()  \
+  do {             \
+    ++qpc;         \
+    goto dispatch; \
+  } while (0)
+#define WB_JUMP(target) \
+  do {                  \
+    qpc = (target);     \
+    goto dispatch;      \
+  } while (0)
+
+dispatch:
+  q = qcode + qpc;
+  if (ops + q->nops > fuel_) goto fuel_out;
+  ops += q->nops;
+  // Branchless charge: unused slots carry the zero-cost pad class and the
+  // discarded None category (see kQJsClsPad/kQJsCatPad in quicken.h).
+  cost += lcosts[q->cls[0]] + lcosts[q->cls[1]] + lcosts[q->cls[2]] +
+          lcosts[q->cls[3]];
+  cat_acc += q->cat_packed;
+  if (--cat_budget == 0) flush_cats();
+#if WB_THREADED_DISPATCH
+  goto* kQJsLabels[static_cast<size_t>(q->op)];
+#else
+  switch (q->op) {
+#endif
+
+  // ---- Returns ----
+  WB_CASE(FuncReturn) {  // pc ran past the end: implicit `return undefined`
+    ret_tmp = JsValue::undefined();
+    goto do_return;
+  }
+  WB_CASE(ReturnUndef) {
+    ret_tmp = JsValue::undefined();
+    goto do_return;
+  }
+  WB_CASE(Return) {
+    // Classic order: the result is popped (unrooted) before the exit
+    // snapshot collection, so GC statistics match exactly.
+    ret_tmp = pop();
+    goto do_return;
+  }
+do_return: {
+  if (frames_.size() == 1 && sample_memory_at_exit_) {
+    heap_.collect();  // snapshot live bytes while locals are rooted
+  }
+  const Frame f = frames_.back();
+  if (tracer_) {
+    tracer_->end(prof::Cat::JsFunc, proto_trace_names_[f.proto],
+                 stats_.cost_ps + cost);
+  }
+  frames_.pop_back();
+  locals_.resize(f.locals_base);
+  stack_.resize(f.stack_base);
+  if (frames_.empty()) {
+    return_value = ret_tmp;
+    goto done;
+  }
+  stack_.push_back(ret_tmp);
+  cache_frame();  // resumes at the caller's saved qpc
+  goto dispatch;
+}
+
+  // ---- Constants / locals / globals ----
+  WB_CASE(ConstNum) {
+    stack_.push_back(JsValue::number(q->val));
+    WB_NEXT();
+  }
+  WB_CASE(ConstStr) {
+    stack_.push_back(JsValue::object(str_const_refs_[q->a]));
+    WB_NEXT();
+  }
+  WB_CASE(Undef) {
+    stack_.push_back(JsValue::undefined());
+    WB_NEXT();
+  }
+  WB_CASE(Null) {
+    stack_.push_back(JsValue::null());
+    WB_NEXT();
+  }
+  WB_CASE(True) {
+    stack_.push_back(JsValue::boolean_value(true));
+    WB_NEXT();
+  }
+  WB_CASE(False) {
+    stack_.push_back(JsValue::boolean_value(false));
+    WB_NEXT();
+  }
+  WB_CASE(LoadLocal) {
+    stack_.push_back(locals_[locals_base + q->a]);
+    WB_NEXT();
+  }
+  WB_CASE(StoreLocal) {
+    locals_[locals_base + q->a] = pop();
+    WB_NEXT();
+  }
+  WB_CASE(LoadGlobal) {
+    stack_.push_back(globals_[q->a]);
+    WB_NEXT();
+  }
+  WB_CASE(StoreGlobal) {
+    globals_[q->a] = pop();
+    WB_NEXT();
+  }
+
+  // ---- Arithmetic ----
+  WB_CASE(Add) {
+    const JsValue b = pop();
+    const JsValue a = stack_.back();
+    if (a.is_number() && b.is_number()) {
+      stack_.back() = JsValue::number(a.num() + b.num());
+    } else if (is_string(a) || is_string(b)) {
+      std::string s = to_display_string(a) + to_display_string(b);
+      stack_.back() = JsValue::object(make_string(std::move(s)));
+      heap_.maybe_collect();
+    } else {
+      stack_.back() = JsValue::number(to_number(a) + to_number(b));
+    }
+    WB_NEXT();
+  }
+#define WB_QJS_NUM_BIN(OP, EXPR)                \
+  WB_CASE(OP) {                                 \
+    const double b = to_number(pop());          \
+    const double a = to_number(stack_.back());  \
+    (void)a;                                    \
+    (void)b;                                    \
+    stack_.back() = JsValue::number(EXPR);      \
+    WB_NEXT();                                  \
+  }
+  WB_QJS_NUM_BIN(Sub, a - b)
+  WB_QJS_NUM_BIN(Mul, a * b)
+  WB_QJS_NUM_BIN(Div, a / b)
+  WB_QJS_NUM_BIN(Mod, std::fmod(a, b))
+#undef WB_QJS_NUM_BIN
+  WB_CASE(Neg) {
+    stack_.back() = JsValue::number(-to_number(stack_.back()));
+    WB_NEXT();
+  }
+  WB_CASE(ToNum) {
+    stack_.back() = JsValue::number(to_number(stack_.back()));
+    WB_NEXT();
+  }
+#define WB_QJS_BIT_BIN(OP, EXPR)                          \
+  WB_CASE(OP) {                                           \
+    const int32_t b = to_int32(to_number(pop()));         \
+    const int32_t a = to_int32(to_number(stack_.back())); \
+    const uint32_t ua = static_cast<uint32_t>(a);         \
+    const uint32_t ub = static_cast<uint32_t>(b);         \
+    (void)a;                                              \
+    (void)b;                                              \
+    (void)ua;                                             \
+    (void)ub;                                             \
+    stack_.back() = JsValue::number(EXPR);                \
+    WB_NEXT();                                            \
+  }
+  WB_QJS_BIT_BIN(BitAnd, a & b)
+  WB_QJS_BIT_BIN(BitOr, a | b)
+  WB_QJS_BIT_BIN(BitXor, a ^ b)
+  WB_QJS_BIT_BIN(Shl, a << (ub & 31))
+  WB_QJS_BIT_BIN(ShrS, a >> (ub & 31))
+  WB_QJS_BIT_BIN(ShrU, static_cast<double>(ua >> (ub & 31)))
+#undef WB_QJS_BIT_BIN
+  WB_CASE(BitNot) {
+    stack_.back() = JsValue::number(~to_int32(to_number(stack_.back())));
+    WB_NEXT();
+  }
+
+  // ---- Comparisons ----
+  WB_CASE(Eq)
+  WB_CASE(Ne)
+  WB_CASE(StrictEq)
+  WB_CASE(StrictNe) {
+    const JsValue b = pop();
+    const JsValue a = stack_.back();
+    // Singles mirror JsOp one-to-one, offset by the FuncReturn slot.
+    const JsOp op = static_cast<JsOp>(static_cast<uint16_t>(q->op) - 1);
+    const bool loose = op == JsOp::Eq || op == JsOp::Ne;
+    const bool eq = eq_vals(a, b, loose);
+    const bool want_eq = op == JsOp::Eq || op == JsOp::StrictEq;
+    stack_.back() = JsValue::boolean_value(want_eq ? eq : !eq);
+    WB_NEXT();
+  }
+  WB_CASE(Lt)
+  WB_CASE(Le)
+  WB_CASE(Gt)
+  WB_CASE(Ge) {
+    const JsValue b = pop();
+    const JsValue a = stack_.back();
+    const JsOp op = static_cast<JsOp>(static_cast<uint16_t>(q->op) - 1);
+    stack_.back() = JsValue::boolean_value(eval_cmp(op, a, b));
+    WB_NEXT();
+  }
+  WB_CASE(Not) {
+    stack_.back() = JsValue::boolean_value(!truthy(heap_, stack_.back()));
+    WB_NEXT();
+  }
+
+  // ---- Branches ----
+  WB_CASE(Jump) {
+    if (q->flags & kQJsFlagBackEdge) {  // loop hotness
+      const uint32_t p = frames_.back().proto;
+      const uint8_t before = func_state_[p].tier;
+      maybe_tier_up(p, stats_.cost_ps + cost);
+      if (func_state_[p].tier != before) set_costs(cost_tables_[1].data());
+    }
+    WB_JUMP(q->a);
+  }
+  WB_CASE(JumpIfFalse) {
+    if (!truthy(heap_, pop())) WB_JUMP(q->a);
+    WB_NEXT();
+  }
+  WB_CASE(JumpIfFalsePeek) {
+    if (!truthy(heap_, stack_.back())) WB_JUMP(q->a);
+    WB_NEXT();
+  }
+  WB_CASE(JumpIfTruePeek) {
+    if (truthy(heap_, stack_.back())) WB_JUMP(q->a);
+    WB_NEXT();
+  }
+
+  // ---- Stack ----
+  WB_CASE(Pop) {
+    stack_.pop_back();
+    WB_NEXT();
+  }
+  WB_CASE(Dup) {
+    stack_.push_back(stack_.back());
+    WB_NEXT();
+  }
+  WB_CASE(Dup2) {
+    const JsValue b = stack_[stack_.size() - 1];
+    const JsValue a = stack_[stack_.size() - 2];
+    stack_.push_back(a);
+    stack_.push_back(b);
+    WB_NEXT();
+  }
+
+  // ---- Calls ----
+  WB_CASE(Call) {
+    const uint32_t argc = q->a;
+    const size_t callee_at = stack_.size() - argc - 1;
+    const JsValue callee = stack_[callee_at];
+    if (!callee.is_object()) {
+      fail("callee is not a function");
+      goto done;
+    }
+    const GcObject& fo = heap_.get(callee.ref());
+    if (fo.kind == ObjKind::Function) {
+      const uint32_t pidx = fo.fn_index();
+      frames_.back().pc = qpc + 1;
+      std::span<const JsValue> call_args(stack_.data() + callee_at + 1, argc);
+      if (!enter(pidx, call_args)) goto done;
+      frames_.back().stack_base = static_cast<uint32_t>(callee_at);
+      stack_.resize(callee_at);
+      goto dispatch;
+    }
+    if (fo.kind == ObjKind::Builtin) {
+      JsValue result;
+      std::vector<JsValue> call_args(stack_.begin() + static_cast<long>(callee_at) + 1,
+                                     stack_.end());
+      if (!call_builtin(fo.fn_index(), JsValue::undefined(), call_args, result)) goto done;
+      stack_.resize(callee_at);
+      stack_.push_back(result);
+      WB_NEXT();
+    }
+    fail("callee is not callable");
+    goto done;
+  }
+  WB_CASE(CallMethod) {
+    const uint32_t argc = q->b;
+    const size_t recv_at = stack_.size() - argc - 1;
+    const JsValue receiver = stack_[recv_at];
+    if (!receiver.is_object()) {
+      fail("method call on non-object (" + code_.names[q->a] + ")");
+      goto done;
+    }
+    const GcObject& ro = heap_.get(receiver.ref());
+    std::vector<JsValue> call_args(stack_.begin() + static_cast<long>(recv_at) + 1,
+                                   stack_.end());
+    if (ro.kind == ObjKind::Object) {
+      JsValue member;
+      bool found = false;
+      PropCache& cache = prop_caches_[q->c];
+      const int64_t slot = cache_lookup(cache, receiver.ref(), ro);
+      if (slot >= 0) {
+        member = ro.props()[static_cast<size_t>(slot)].value;
+        found = true;
+      } else {
+        const auto& props = ro.props();
+        for (size_t i = 0; i < props.size(); ++i) {
+          if (props[i].key == q->a) {
+            member = props[i].value;
+            found = true;
+            cache_insert(cache, receiver.ref(), ro, i);
+            break;
+          }
+        }
+      }
+      if (!found || !member.is_object()) {
+        fail("no such method: " + code_.names[q->a]);
+        goto done;
+      }
+      const GcObject& fo = heap_.get(member.ref());
+      if (fo.kind == ObjKind::Builtin) {
+        // Math.* are JIT intrinsics: engines lower them to plain
+        // instructions, so re-price the Call charge as arithmetic.
+        if (fo.fn_index() <= kMathImul) {
+          cost = cost - lcosts[static_cast<size_t>(JsOpClass::Call)] +
+                 lcosts[static_cast<size_t>(JsOpClass::Arith)];
+        }
+        JsValue result;
+        if (!call_builtin(fo.fn_index(), receiver, call_args, result)) goto done;
+        stack_.resize(recv_at);
+        stack_.push_back(result);
+        heap_.maybe_collect();
+        WB_NEXT();
+      }
+      if (fo.kind == ObjKind::Function) {
+        frames_.back().pc = qpc + 1;
+        const uint32_t pidx = fo.fn_index();
+        if (!enter(pidx, call_args)) goto done;
+        frames_.back().stack_base = static_cast<uint32_t>(recv_at);
+        stack_.resize(recv_at);
+        goto dispatch;
+      }
+      fail("property is not callable: " + code_.names[q->a]);
+      goto done;
+    }
+    JsValue result;
+    bool handled = false;
+    if (!method_on_primitive(ro, receiver, call_args, q->a, result, handled)) goto done;
+    if (!handled) {
+      fail("no such method: " + code_.names[q->a]);
+      goto done;
+    }
+    stack_.resize(recv_at);
+    stack_.push_back(result);
+    heap_.maybe_collect();
+    WB_NEXT();
+  }
+
+  // ---- Allocation ----
+  WB_CASE(NewArray) {
+    std::vector<JsValue> elems(stack_.end() - q->a, stack_.end());
+    stack_.resize(stack_.size() - q->a);
+    stack_.push_back(JsValue::object(heap_.alloc_array(std::move(elems))));
+    heap_.maybe_collect();
+    WB_NEXT();
+  }
+  WB_CASE(NewArrayN) {
+    const double n = to_number(pop());
+    std::vector<JsValue> elems(static_cast<size_t>(std::max(0.0, n)),
+                               JsValue::undefined());
+    stack_.push_back(JsValue::object(heap_.alloc_array(std::move(elems))));
+    heap_.maybe_collect();
+    WB_NEXT();
+  }
+  WB_CASE(NewObject) {
+    stack_.push_back(JsValue::object(heap_.alloc_object()));
+    heap_.maybe_collect();
+    WB_NEXT();
+  }
+  WB_CASE(NewF64Array) {
+    const double n = to_number(pop());
+    stack_.push_back(
+        JsValue::object(heap_.alloc_f64_array(static_cast<size_t>(std::max(0.0, n)))));
+    heap_.maybe_collect();
+    WB_NEXT();
+  }
+  WB_CASE(NewI32Array) {
+    const double n = to_number(pop());
+    stack_.push_back(
+        JsValue::object(heap_.alloc_i32_array(static_cast<size_t>(std::max(0.0, n)))));
+    heap_.maybe_collect();
+    WB_NEXT();
+  }
+  WB_CASE(NewU8Array) {
+    const double n = to_number(pop());
+    stack_.push_back(
+        JsValue::object(heap_.alloc_u8_array(static_cast<size_t>(std::max(0.0, n)))));
+    heap_.maybe_collect();
+    WB_NEXT();
+  }
+
+  // ---- Properties (inline-cached) ----
+  WB_CASE(GetProp) {
+    const JsValue obj = stack_.back();
+    if (!obj.is_object()) {
+      fail("property access on non-object: ." + code_.names[q->a]);
+      goto done;
+    }
+    const GcObject& o = heap_.get(obj.ref());
+    if ((q->flags & kQJsFlagLength) && o.kind != ObjKind::Object) {
+      double len = 0;
+      switch (o.kind) {
+        case ObjKind::Array: len = static_cast<double>(o.elems().size()); break;
+        case ObjKind::String: len = static_cast<double>(o.str().size()); break;
+        case ObjKind::Float64Array:
+          len = static_cast<double>(std::get<std::vector<double>>(o.data).size());
+          break;
+        case ObjKind::Int32Array:
+          len = static_cast<double>(std::get<std::vector<int32_t>>(o.data).size());
+          break;
+        case ObjKind::Uint8Array:
+          len = static_cast<double>(std::get<std::vector<uint8_t>>(o.data).size());
+          break;
+        default:
+          fail("no length on this value");
+          goto done;
+      }
+      stack_.back() = JsValue::number(len);
+      WB_NEXT();
+    }
+    if (o.kind != ObjKind::Object) {
+      fail("property access on non-plain object: ." + code_.names[q->a]);
+      goto done;
+    }
+    JsValue value = JsValue::undefined();
+    PropCache& cache = prop_caches_[q->b];
+    const int64_t slot = cache_lookup(cache, obj.ref(), o);
+    if (slot >= 0) {
+      value = o.props()[static_cast<size_t>(slot)].value;
+    } else {
+      const auto& props = o.props();
+      for (size_t i = 0; i < props.size(); ++i) {
+        if (props[i].key == q->a) {
+          value = props[i].value;
+          cache_insert(cache, obj.ref(), o, i);
+          break;
+        }
+      }
+    }
+    stack_.back() = value;
+    WB_NEXT();
+  }
+  WB_CASE(SetProp) {
+    const JsValue value = pop();
+    const JsValue obj = pop();
+    if (!obj.is_object() || heap_.get(obj.ref()).kind != ObjKind::Object) {
+      fail("property store on non-object: ." + code_.names[q->a]);
+      goto done;
+    }
+    GcObject& oo = heap_.get(obj.ref());
+    PropCache& cache = prop_caches_[q->b];
+    const int64_t slot = cache_lookup(cache, obj.ref(), oo);
+    if (slot >= 0) {
+      oo.props()[static_cast<size_t>(slot)].value = value;
+    } else {
+      auto& props = oo.props();
+      bool found = false;
+      for (size_t i = 0; i < props.size(); ++i) {
+        if (props[i].key == q->a) {
+          props[i].value = value;
+          found = true;
+          cache_insert(cache, obj.ref(), oo, i);
+          break;
+        }
+      }
+      if (!found) {
+        props.push_back(Prop{q->a, value});
+        ++oo.shape;  // layout changed: invalidate cached property slots
+        cache_insert(cache, obj.ref(), oo, props.size() - 1);
+      }
+    }
+    stack_.push_back(value);
+    WB_NEXT();
+  }
+
+  // ---- Indexing ----
+  WB_CASE(GetIndex) {
+    const JsValue idx = pop();
+    do_get_index(stack_.back(), idx, /*replace_top=*/true);
+    if (!ok_) goto done;
+    WB_NEXT();
+  }
+  WB_CASE(SetIndex) {
+    do_set_index(/*push_result=*/true);
+    if (!ok_) goto done;
+    WB_NEXT();
+  }
+
+  // ---- Fused superinstructions ----
+  WB_CASE(FConstSet) {
+    locals_[locals_base + q->a] = JsValue::number(q->val);
+    WB_NEXT();
+  }
+  WB_CASE(FSetPop) {
+    locals_[locals_base + q->a] = pop();
+    stack_.pop_back();
+    WB_NEXT();
+  }
+  WB_CASE(FDupSetPop) {
+    locals_[locals_base + q->a] = pop();
+    WB_NEXT();
+  }
+  WB_CASE(FGetNumDup) {
+    const JsValue v = JsValue::number(to_number(locals_[locals_base + q->a]));
+    stack_.push_back(v);
+    stack_.push_back(v);
+    WB_NEXT();
+  }
+  WB_CASE(FGetIdx) {
+    do_get_index(stack_.back(), locals_[locals_base + q->a], /*replace_top=*/true);
+    if (!ok_) goto done;
+    WB_NEXT();
+  }
+  WB_CASE(FGetGetIdx) {
+    do_get_index(locals_[locals_base + q->a], locals_[locals_base + q->b],
+                 /*replace_top=*/false);
+    if (!ok_) goto done;
+    WB_NEXT();
+  }
+  WB_CASE(FSetIdxPop) {
+    do_set_index(/*push_result=*/false);
+    if (!ok_) {
+      // The classic loop never reaches (or charges) the fused Pop when
+      // its SetIndex fails; refund the pre-charged Stack-class op.
+      --ops;
+      cost -= lcosts[static_cast<size_t>(JsOpClass::Stack)];
+      goto done;
+    }
+    WB_NEXT();
+  }
+  WB_CASE(FCmpJf) {
+    const JsValue b = pop();
+    const JsValue a = pop();
+    if (!eval_cmp(static_cast<JsOp>(q->c), a, b)) WB_JUMP(q->a);
+    WB_NEXT();
+  }
+  WB_CASE(FGetConstCmpJf) {
+    if (!eval_cmp(static_cast<JsOp>(q->c), locals_[locals_base + q->a],
+                  JsValue::number(q->val))) {
+      WB_JUMP(q->d);
+    }
+    WB_NEXT();
+  }
+  WB_CASE(FGetGetCmpJf) {
+    if (!eval_cmp(static_cast<JsOp>(q->c), locals_[locals_base + q->a],
+                  locals_[locals_base + q->b])) {
+      WB_JUMP(q->d);
+    }
+    WB_NEXT();
+  }
+
+  // Hand-written fused Add family: string concatenation can allocate and
+  // collect, so the result must be rooted on the stack before the
+  // collection — exactly where the classic loop leaves it — and only then
+  // stored to its destination local.
+  WB_CASE(FGetGet_Add)
+  WB_CASE(FGetConst_Add) {
+    const JsValue va = locals_[locals_base + q->a];
+    const JsValue vb = q->op == QJsOp::FGetGet_Add ? locals_[locals_base + q->b]
+                                                   : JsValue::number(q->val);
+    if (va.is_number() && vb.is_number()) {
+      stack_.push_back(JsValue::number(va.num() + vb.num()));
+    } else if (is_string(va) || is_string(vb)) {
+      std::string s = to_display_string(va) + to_display_string(vb);
+      stack_.push_back(JsValue::object(make_string(std::move(s))));
+      heap_.maybe_collect();
+    } else {
+      stack_.push_back(JsValue::number(to_number(va) + to_number(vb)));
+    }
+    WB_NEXT();
+  }
+  WB_CASE(FGetGetSet_Add)
+  WB_CASE(FGetConstSet_Add) {
+    const JsValue va = locals_[locals_base + q->a];
+    const JsValue vb = q->op == QJsOp::FGetGetSet_Add ? locals_[locals_base + q->b]
+                                                      : JsValue::number(q->val);
+    if (va.is_number() && vb.is_number()) {
+      locals_[locals_base + q->c] = JsValue::number(va.num() + vb.num());
+    } else if (is_string(va) || is_string(vb)) {
+      std::string s = to_display_string(va) + to_display_string(vb);
+      stack_.push_back(JsValue::object(make_string(std::move(s))));
+      heap_.maybe_collect();
+      locals_[locals_base + q->c] = pop();
+    } else {
+      locals_[locals_base + q->c] = JsValue::number(to_number(va) + to_number(vb));
+    }
+    WB_NEXT();
+  }
+
+// Generic fused binop families (Add handled above). The expressions
+// reproduce the classic handlers' full semantics — to_number coercion,
+// string-aware comparisons — so fast and slow paths stay uniform.
+#define WB_QJS_FUSE_EXPRS(X)                                                       \
+  X(Sub, JsValue::number(to_number(va) - to_number(vb)))                           \
+  X(Mul, JsValue::number(to_number(va) * to_number(vb)))                           \
+  X(Div, JsValue::number(to_number(va) / to_number(vb)))                           \
+  X(Mod, JsValue::number(std::fmod(to_number(va), to_number(vb))))                 \
+  X(BitAnd, JsValue::number(to_int32(to_number(va)) & to_int32(to_number(vb))))    \
+  X(BitOr, JsValue::number(to_int32(to_number(va)) | to_int32(to_number(vb))))     \
+  X(BitXor, JsValue::number(to_int32(to_number(va)) ^ to_int32(to_number(vb))))    \
+  X(Shl, JsValue::number(to_int32(to_number(va))                                   \
+                         << (static_cast<uint32_t>(to_int32(to_number(vb))) & 31)))\
+  X(ShrS, JsValue::number(to_int32(to_number(va)) >>                               \
+                          (static_cast<uint32_t>(to_int32(to_number(vb))) & 31)))  \
+  X(ShrU, JsValue::number(static_cast<double>(                                     \
+             static_cast<uint32_t>(to_int32(to_number(va))) >>                     \
+             (static_cast<uint32_t>(to_int32(to_number(vb))) & 31))))              \
+  X(Lt, JsValue::boolean_value(eval_cmp(JsOp::Lt, va, vb)))                        \
+  X(Le, JsValue::boolean_value(eval_cmp(JsOp::Le, va, vb)))                        \
+  X(Gt, JsValue::boolean_value(eval_cmp(JsOp::Gt, va, vb)))                        \
+  X(Ge, JsValue::boolean_value(eval_cmp(JsOp::Ge, va, vb)))
+
+#define WB_QGG(name, expr)                          \
+  WB_CASE(FGetGet_##name) {                         \
+    const JsValue va = locals_[locals_base + q->a]; \
+    const JsValue vb = locals_[locals_base + q->b]; \
+    stack_.push_back(expr);                         \
+    WB_NEXT();                                      \
+  }
+  WB_QJS_FUSE_EXPRS(WB_QGG)
+#undef WB_QGG
+#define WB_QGC(name, expr)                          \
+  WB_CASE(FGetConst_##name) {                       \
+    const JsValue va = locals_[locals_base + q->a]; \
+    const JsValue vb = JsValue::number(q->val);     \
+    stack_.push_back(expr);                         \
+    WB_NEXT();                                      \
+  }
+  WB_QJS_FUSE_EXPRS(WB_QGC)
+#undef WB_QGC
+#define WB_QGGS(name, expr)                         \
+  WB_CASE(FGetGetSet_##name) {                      \
+    const JsValue va = locals_[locals_base + q->a]; \
+    const JsValue vb = locals_[locals_base + q->b]; \
+    locals_[locals_base + q->c] = expr;             \
+    WB_NEXT();                                      \
+  }
+  WB_QJS_FUSE_EXPRS(WB_QGGS)
+#undef WB_QGGS
+#define WB_QGCS(name, expr)                         \
+  WB_CASE(FGetConstSet_##name) {                    \
+    const JsValue va = locals_[locals_base + q->a]; \
+    const JsValue vb = JsValue::number(q->val);     \
+    locals_[locals_base + q->c] = expr;             \
+    WB_NEXT();                                      \
+  }
+  WB_QJS_FUSE_EXPRS(WB_QGCS)
+#undef WB_QGCS
+#define WB_QCB(name, expr)                      \
+  WB_CASE(FConstBin_##name) {                   \
+    const JsValue va = stack_.back();           \
+    const JsValue vb = JsValue::number(q->val); \
+    stack_.back() = expr;                       \
+    WB_NEXT();                                  \
+  }
+  WB_QJS_FUSE_EXPRS(WB_QCB)
+#undef WB_QCB
+
+  // FConstBin_Add: the constant operand is a number, so concatenation
+  // triggers only on a string left operand; it replaces the stack top
+  // before collecting, like the classic Add.
+  WB_CASE(FConstBin_Add) {
+    const JsValue a = stack_.back();
+    const JsValue b = JsValue::number(q->val);
+    if (a.is_number()) {
+      stack_.back() = JsValue::number(a.num() + b.num());
+    } else if (is_string(a)) {
+      std::string s = to_display_string(a) + to_display_string(b);
+      stack_.back() = JsValue::object(make_string(std::move(s)));
+      heap_.maybe_collect();
+    } else {
+      stack_.back() = JsValue::number(to_number(a) + to_number(b));
+    }
+    WB_NEXT();
+  }
+
+#if !WB_THREADED_DISPATCH
+  default:
+    fail("corrupt QJsCode");  // cannot happen
+    goto done;
+  }  // switch
+#endif
+
+fuel_out: {
+  // The classic loop charges (and fully executes) each constituent op it
+  // still has fuel for, then traps on the first op at the boundary.
+  // Charge the same prefix here.
+  uint32_t executed = 0;
+  for (; executed < q->nops && ops < fuel_; ++executed) {
+    ++ops;
+    cost += lcosts[q->cls[executed]];
+    const uint8_t ct = q->cat[executed];
+    if (ct != kCatNone) ++stats_.arith_counts[ct];
+  }
+  // Most skipped constituents have no effects a trap result can observe
+  // (loads and compares only read). Two exceptions, replayed exactly:
+  // an indexed store ahead of its fused Pop runs in full (including its
+  // own failure modes), and a fused Add ahead of its StoreLocal may
+  // concatenate — allocating a string the classic loop left rooted on
+  // the stack and collecting at the same allocation debt.
+  if (q->op == QJsOp::FSetIdxPop && executed >= 1) {
+    do_set_index(/*push_result=*/true);
+    if (!ok_) goto done;
+  } else if ((q->op == QJsOp::FGetGetSet_Add || q->op == QJsOp::FGetConstSet_Add) &&
+             executed >= 3) {
+    const JsValue va = locals_[locals_base + q->a];
+    const JsValue vb = q->op == QJsOp::FGetGetSet_Add ? locals_[locals_base + q->b]
+                                                      : JsValue::number(q->val);
+    if (!(va.is_number() && vb.is_number()) && (is_string(va) || is_string(vb))) {
+      std::string s = to_display_string(va) + to_display_string(vb);
+      stack_.push_back(JsValue::object(make_string(std::move(s))));
+      heap_.maybe_collect();
+    }
+  }
+  fail("fuel exhausted");
+  goto done;
+}
+
+done:
+  if (tracer_) {
+    // Error exits leave frames open; close their spans so the trace
+    // stays well-nested, then detach the GC hook (it captures locals).
+    for (size_t i = frames_.size(); i-- > 0;) {
+      tracer_->end(prof::Cat::JsFunc, proto_trace_names_[frames_[i].proto],
+                   stats_.cost_ps + cost);
+    }
+    heap_.set_collect_hook(nullptr);
+  }
+  flush_stats();
+  if (!ok_) return {false, error_, {}};
+  return {true, "", return_value};
+
+#undef WB_CASE
+#undef WB_NEXT
+#undef WB_JUMP
 }
 
 }  // namespace wb::js

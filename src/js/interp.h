@@ -15,6 +15,7 @@
 
 #include "js/bytecode.h"
 #include "js/heap.h"
+#include "js/quicken.h"
 
 namespace wb::prof {
 class Tracer;
@@ -29,13 +30,6 @@ struct JsTierPolicy {
   uint64_t tierup_threshold = 1000;
   uint64_t tierup_cost_per_instr = 600;  ///< optimizing-compile time at tier-up
 };
-
-/// Arithmetic categories counted for the paper's Table 12 (shared shape
-/// with wasm::ArithCat).
-enum class JsArithCat : uint8_t { Add, Mul, Div, Rem, Shift, And, Or, None };
-inline constexpr size_t kJsArithCatCount = 7;
-
-JsArithCat js_arith_cat(JsOp op);
 
 struct JsExecStats {
   uint64_t ops_executed = 0;
@@ -57,6 +51,12 @@ class Vm {
   void set_cost_tables(const JsCostTable& baseline, const JsCostTable& optimized);
   void set_tier_policy(const JsTierPolicy& policy);
   void set_fuel(uint64_t max_ops) { fuel_ = max_ops; }
+  /// Selects the quickened threaded engine (default: quicken_default()).
+  /// Translation happens once, on first enable. The classic switch loop
+  /// remains available as the bisection reference; both must produce
+  /// bit-identical results and statistics.
+  void set_quicken(bool enabled);
+  [[nodiscard]] bool quicken_enabled() const { return quicken_enabled_; }
   /// When set (default), runs a collection just before the outermost
   /// frame returns, so Heap::stats().peak_live_bytes reflects what the
   /// program held while running (the DevTools-snapshot moment).
@@ -105,6 +105,8 @@ class Vm {
   };
 
   Result run(uint32_t proto_index, std::span<const JsValue> args);
+  Result run_classic(uint32_t proto_index, std::span<const JsValue> args);
+  Result run_quickened(uint32_t proto_index, std::span<const JsValue> args);
   /// `now_ps` is the current virtual time (stats_.cost_ps plus the run
   /// loop's unflushed cost), used to timestamp the tier-up trace event.
   void maybe_tier_up(uint32_t proto_index, uint64_t now_ps);
@@ -135,6 +137,12 @@ class Vm {
   bool ok_ = true;
   std::string error_;
   bool sample_memory_at_exit_ = true;
+
+  // Quickened engine state: one translated body per proto and the flat
+  // inline-cache pool its property-access sites index into.
+  bool quicken_enabled_ = false;
+  std::vector<QJsFunc> qfuncs_;
+  std::vector<PropCache> prop_caches_;
 
   prof::Tracer* tracer_ = nullptr;
   std::vector<uint32_t> proto_trace_names_;  // per function proto

@@ -1,0 +1,282 @@
+#include "js/quicken.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "js/interp.h"
+
+namespace wb::js {
+
+namespace {
+
+std::atomic<bool> g_js_quicken_default{true};
+
+/// Index of a binop within WB_QJS_FUSE_NAMES order, or -1 if the op has
+/// no fused family member. Family opcodes are laid out contiguously in
+/// this order, so `family_base + index` selects the fused opcode.
+int fuse_index(JsOp op) {
+  switch (op) {
+    case JsOp::Add: return 0;
+    case JsOp::Sub: return 1;
+    case JsOp::Mul: return 2;
+    case JsOp::Div: return 3;
+    case JsOp::Mod: return 4;
+    case JsOp::BitAnd: return 5;
+    case JsOp::BitOr: return 6;
+    case JsOp::BitXor: return 7;
+    case JsOp::Shl: return 8;
+    case JsOp::ShrS: return 9;
+    case JsOp::ShrU: return 10;
+    case JsOp::Lt: return 11;
+    case JsOp::Le: return 12;
+    case JsOp::Gt: return 13;
+    case JsOp::Ge: return 14;
+    default: return -1;
+  }
+}
+
+bool is_cmp(JsOp op) {
+  switch (op) {
+    case JsOp::Eq:
+    case JsOp::Ne:
+    case JsOp::StrictEq:
+    case JsOp::StrictNe:
+    case JsOp::Lt:
+    case JsOp::Le:
+    case JsOp::Gt:
+    case JsOp::Ge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+QJsOp family_op(QJsOp base, int index) {
+  return static_cast<QJsOp>(static_cast<uint16_t>(base) + index);
+}
+
+/// Records one constituent classic op in the charge side table: its cost
+/// class into the next cls[] slot and its arith category into the packed
+/// lane word (moving one count out of the discarded pad lane, so the
+/// total across lanes stays 4).
+void add_charge(QJsInstr& q, JsOp op) {
+  const uint8_t k = q.nops++;
+  q.cls[k] = static_cast<uint8_t>(js_op_class(op));
+  const uint8_t cat = static_cast<uint8_t>(js_arith_cat(op));
+  q.cat[k] = cat;
+  q.cat_packed += (1ull << (8 * cat)) - (1ull << (8 * kQJsCatPad));
+}
+
+}  // namespace
+
+void set_quicken_default(bool enabled) { g_js_quicken_default.store(enabled); }
+
+bool quicken_default() {
+  static const bool env_off = std::getenv("WB_NO_JS_QUICKEN") != nullptr;
+  return !env_off && g_js_quicken_default.load();
+}
+
+QJsFunc quicken(const ScriptCode& code, uint32_t proto_index, uint32_t& cache_slots) {
+  const FunctionProto& proto = code.protos[proto_index];
+  const std::vector<JsInstr>& in = proto.code;
+  const uint32_t n = static_cast<uint32_t>(in.size());
+
+  // Pass 1: mark jump targets. Fusion must never swallow one — a group's
+  // interior pcs are unreachable in QCode, so a branch landing there
+  // would change execution.
+  std::vector<uint8_t> is_target(n + 1, 0);
+  for (const JsInstr& ins : in) {
+    switch (ins.op) {
+      case JsOp::Jump:
+      case JsOp::JumpIfFalse:
+      case JsOp::JumpIfFalsePeek:
+      case JsOp::JumpIfTruePeek:
+        if (ins.a <= n) is_target[ins.a] = 1;
+        break;
+      default:
+        break;
+    }
+  }
+
+  QJsFunc qf;
+  qf.code.reserve(n + 1);
+  std::vector<uint32_t> map(n + 1, 0);
+  struct Fix {
+    uint32_t qi;
+    uint8_t field;  // 0 -> a, 1 -> d
+    uint32_t target;
+  };
+  std::vector<Fix> fixes;
+
+  // Pass 2: emit, matching the longest eligible gram at each pc.
+  uint32_t pc = 0;
+  while (pc < n) {
+    const uint32_t qi = static_cast<uint32_t>(qf.code.size());
+    // `clear(len)`: no interior pc is a branch target.
+    auto clear = [&](uint32_t len) {
+      if (pc + len > n) return false;
+      for (uint32_t i = 1; i < len; ++i) {
+        if (is_target[pc + i]) return false;
+      }
+      return true;
+    };
+    auto op_at = [&](uint32_t i) { return in[pc + i].op; };
+
+    QJsInstr q;
+    uint32_t len = 1;
+
+    // --- 4-grams ---
+    if (clear(4) && op_at(0) == JsOp::LoadLocal &&
+        (op_at(1) == JsOp::LoadLocal || op_at(1) == JsOp::ConstNum)) {
+      const bool second_local = op_at(1) == JsOp::LoadLocal;
+      const int bi = fuse_index(op_at(2));
+      if (bi >= 0 && op_at(3) == JsOp::StoreLocal) {
+        q.op = family_op(second_local ? QJsOp::FGetGetSet_Add : QJsOp::FGetConstSet_Add, bi);
+        q.a = in[pc].a;
+        if (second_local) {
+          q.b = in[pc + 1].a;
+        } else {
+          q.val = proto.num_consts[in[pc + 1].a];
+        }
+        q.c = in[pc + 3].a;
+        len = 4;
+      } else if (is_cmp(op_at(2)) && op_at(3) == JsOp::JumpIfFalse) {
+        q.op = second_local ? QJsOp::FGetGetCmpJf : QJsOp::FGetConstCmpJf;
+        q.a = in[pc].a;
+        if (second_local) {
+          q.b = in[pc + 1].a;
+        } else {
+          q.val = proto.num_consts[in[pc + 1].a];
+        }
+        q.c = static_cast<uint32_t>(op_at(2));
+        fixes.push_back({qi, 1, in[pc + 3].a});
+        len = 4;
+      }
+    }
+    // --- 3-grams ---
+    if (len == 1 && clear(3)) {
+      if (op_at(0) == JsOp::LoadLocal && op_at(1) == JsOp::LoadLocal) {
+        const int bi = fuse_index(op_at(2));
+        if (bi >= 0) {
+          q.op = family_op(QJsOp::FGetGet_Add, bi);
+          q.a = in[pc].a;
+          q.b = in[pc + 1].a;
+          len = 3;
+        } else if (op_at(2) == JsOp::GetIndex) {
+          q.op = QJsOp::FGetGetIdx;
+          q.a = in[pc].a;
+          q.b = in[pc + 1].a;
+          len = 3;
+        }
+      } else if (op_at(0) == JsOp::LoadLocal && op_at(1) == JsOp::ConstNum) {
+        const int bi = fuse_index(op_at(2));
+        if (bi >= 0) {
+          q.op = family_op(QJsOp::FGetConst_Add, bi);
+          q.a = in[pc].a;
+          q.val = proto.num_consts[in[pc + 1].a];
+          len = 3;
+        }
+      } else if (op_at(0) == JsOp::LoadLocal && op_at(1) == JsOp::ToNum &&
+                 op_at(2) == JsOp::Dup) {
+        q.op = QJsOp::FGetNumDup;
+        q.a = in[pc].a;
+        len = 3;
+      } else if (op_at(0) == JsOp::Dup && op_at(1) == JsOp::StoreLocal &&
+                 op_at(2) == JsOp::Pop) {
+        q.op = QJsOp::FDupSetPop;
+        q.a = in[pc + 1].a;
+        len = 3;
+      }
+    }
+    // --- 2-grams ---
+    if (len == 1 && clear(2)) {
+      if (op_at(0) == JsOp::ConstNum && op_at(1) == JsOp::StoreLocal) {
+        q.op = QJsOp::FConstSet;
+        q.val = proto.num_consts[in[pc].a];
+        q.a = in[pc + 1].a;
+        len = 2;
+      } else if (op_at(0) == JsOp::ConstNum && fuse_index(op_at(1)) >= 0) {
+        q.op = family_op(QJsOp::FConstBin_Add, fuse_index(op_at(1)));
+        q.val = proto.num_consts[in[pc].a];
+        len = 2;
+      } else if (is_cmp(op_at(0)) && op_at(1) == JsOp::JumpIfFalse) {
+        q.op = QJsOp::FCmpJf;
+        q.c = static_cast<uint32_t>(op_at(0));
+        fixes.push_back({qi, 0, in[pc + 1].a});
+        len = 2;
+      } else if (op_at(0) == JsOp::LoadLocal && op_at(1) == JsOp::GetIndex) {
+        q.op = QJsOp::FGetIdx;
+        q.a = in[pc].a;
+        len = 2;
+      } else if (op_at(0) == JsOp::StoreLocal && op_at(1) == JsOp::Pop) {
+        q.op = QJsOp::FSetPop;
+        q.a = in[pc].a;
+        len = 2;
+      } else if (op_at(0) == JsOp::SetIndex && op_at(1) == JsOp::Pop) {
+        q.op = QJsOp::FSetIdxPop;
+        len = 2;
+      }
+    }
+    // --- singles ---
+    if (len == 1) {
+      const JsInstr& ins = in[pc];
+      // JsOp names map one-to-one onto the QJsOp singles block, which
+      // starts right after the FuncReturn sentinel slot.
+      q.op = static_cast<QJsOp>(static_cast<uint16_t>(ins.op) + 1);
+      q.a = ins.a;
+      q.b = ins.b;
+      switch (ins.op) {
+        case JsOp::ConstNum:
+          q.val = proto.num_consts[ins.a];
+          break;
+        case JsOp::Jump:
+          if (ins.a <= pc) q.flags |= kQJsFlagBackEdge;
+          fixes.push_back({qi, 0, ins.a});
+          break;
+        case JsOp::JumpIfFalse:
+        case JsOp::JumpIfFalsePeek:
+        case JsOp::JumpIfTruePeek:
+          fixes.push_back({qi, 0, ins.a});
+          break;
+        case JsOp::GetProp:
+          if (code.names[ins.a] == "length") q.flags |= kQJsFlagLength;
+          q.b = cache_slots++;
+          break;
+        case JsOp::SetProp:
+          q.b = cache_slots++;
+          break;
+        case JsOp::CallMethod:
+          q.c = cache_slots++;
+          break;
+        default:
+          break;
+      }
+    }
+
+    for (uint32_t i = 0; i < len; ++i) {
+      map[pc + i] = qi;
+      add_charge(q, in[pc + i].op);
+    }
+    qf.code.push_back(q);
+    pc += len;
+  }
+
+  // Implicit-return sentinel: running off the end lands here. nops stays
+  // 0 so the sentinel can never trip the fuel check, exactly like the
+  // classic loop's pc >= code_size test running before its fuel test.
+  map[n] = static_cast<uint32_t>(qf.code.size());
+  qf.code.push_back(QJsInstr{});  // op defaults to FuncReturn
+
+  // Pass 3: resolve branch targets to QCode indices.
+  for (const Fix& f : fixes) {
+    const uint32_t t = map[f.target];
+    if (f.field == 0) {
+      qf.code[f.qi].a = t;
+    } else {
+      qf.code[f.qi].d = t;
+    }
+  }
+  return qf;
+}
+
+}  // namespace wb::js

@@ -1,0 +1,220 @@
+// Quickened execution for the JS VM, mirroring the Wasm engine's design
+// (src/wasm/quicken.h): at load time each FunctionProto's bytecode is
+// pre-translated into a flat QJsCode stream with pre-resolved jump
+// targets and superinstructions fused from the corpus-dominant grams
+// (local/const operand fetch + binop [+ store], const + store, compare +
+// conditional branch, local-indexed array load, indexed store + pop).
+// `Vm::run_quickened` executes the stream with computed-goto
+// direct-threaded dispatch (interp.cpp).
+//
+// The hard invariant carries over verbatim from the Wasm engine: the
+// quickened loop must be observationally identical to the classic loop —
+// cost_ps, ops_executed, arith_counts, tier-up timing, fuel traps, GC
+// statistics, and tracer spans all bit-identical. Each QJsInstr therefore
+// carries a charge side table describing its constituent classic ops:
+// `nops` original instructions, their JsOpClass values in cls[] (padded
+// with kQJsClsPad, a zero-cost 16th slot, so the charge is a branchless
+// 4-slot sum), and their JsArithCat lanes packed one byte per category in
+// cat_packed (the None lane is discarded; every instruction contributes
+// exactly 4 across all lanes, so an unpack every 63 dispatches can never
+// saturate a byte lane).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "js/bytecode.h"
+#include "js/value.h"
+
+namespace wb::js {
+
+// Binops eligible for operand-fusion families. Add is listed for enum
+// generation but its handlers are written by hand (string concatenation
+// can allocate and collect, which the generic numeric expansion cannot
+// express); the rest expand through WB_QJS_FUSE_BINOPS in interp.cpp.
+#define WB_QJS_FUSE_NAMES(X) \
+  X(Add)                     \
+  X(Sub)                     \
+  X(Mul)                     \
+  X(Div)                     \
+  X(Mod)                     \
+  X(BitAnd)                  \
+  X(BitOr)                   \
+  X(BitXor)                  \
+  X(Shl)                     \
+  X(ShrS)                    \
+  X(ShrU)                    \
+  X(Lt)                      \
+  X(Le)                      \
+  X(Gt)                      \
+  X(Ge)
+
+// Every op name in QJsOp order. The singles mirror JsOp one-to-one (each
+// executes exactly its classic case); FuncReturn is the appended sentinel
+// a frame falls into when pc runs past the end (implicit return, nops=0
+// so it can never hit the fuel boundary, matching the classic loop's
+// pc >= code_size check running before the fuel check). Fused ops follow.
+#define WB_QJS_OP_LIST(X)  \
+  X(FuncReturn)            \
+  X(ConstNum)              \
+  X(ConstStr)              \
+  X(Undef)                 \
+  X(Null)                  \
+  X(True)                  \
+  X(False)                 \
+  X(LoadLocal)             \
+  X(StoreLocal)            \
+  X(LoadGlobal)            \
+  X(StoreGlobal)           \
+  X(Add)                   \
+  X(Sub)                   \
+  X(Mul)                   \
+  X(Div)                   \
+  X(Mod)                   \
+  X(Neg)                   \
+  X(ToNum)                 \
+  X(BitAnd)                \
+  X(BitOr)                 \
+  X(BitXor)                \
+  X(Shl)                   \
+  X(ShrS)                  \
+  X(ShrU)                  \
+  X(BitNot)                \
+  X(Eq)                    \
+  X(Ne)                    \
+  X(StrictEq)              \
+  X(StrictNe)              \
+  X(Lt)                    \
+  X(Le)                    \
+  X(Gt)                    \
+  X(Ge)                    \
+  X(Not)                   \
+  X(Jump)                  \
+  X(JumpIfFalse)           \
+  X(JumpIfFalsePeek)       \
+  X(JumpIfTruePeek)        \
+  X(Pop)                   \
+  X(Dup)                   \
+  X(Dup2)                  \
+  X(Call)                  \
+  X(CallMethod)            \
+  X(Return)                \
+  X(ReturnUndef)           \
+  X(NewArray)              \
+  X(NewArrayN)             \
+  X(NewObject)             \
+  X(GetProp)               \
+  X(SetProp)               \
+  X(GetIndex)              \
+  X(SetIndex)              \
+  X(NewF64Array)           \
+  X(NewI32Array)           \
+  X(NewU8Array)            \
+  X(FConstSet)             \
+  X(FSetPop)               \
+  X(FDupSetPop)            \
+  X(FGetNumDup)            \
+  X(FGetIdx)               \
+  X(FGetGetIdx)            \
+  X(FSetIdxPop)            \
+  X(FCmpJf)                \
+  X(FGetConstCmpJf)        \
+  X(FGetGetCmpJf)          \
+  WB_QJS_OP_LIST_FUSED(X)
+
+// Applies X to every fused-family member name (prefix ## binop).
+#define WB_QJS_FUSE_NAMES_P(X, P) \
+  X(P##Add)                       \
+  X(P##Sub)                       \
+  X(P##Mul)                       \
+  X(P##Div)                       \
+  X(P##Mod)                       \
+  X(P##BitAnd)                    \
+  X(P##BitOr)                     \
+  X(P##BitXor)                    \
+  X(P##Shl)                       \
+  X(P##ShrS)                      \
+  X(P##ShrU)                      \
+  X(P##Lt)                        \
+  X(P##Le)                        \
+  X(P##Gt)                        \
+  X(P##Ge)
+#define WB_QJS_OP_LIST_FUSED(X)            \
+  WB_QJS_FUSE_NAMES_P(X, FGetGet_)         \
+  WB_QJS_FUSE_NAMES_P(X, FGetConst_)       \
+  WB_QJS_FUSE_NAMES_P(X, FGetGetSet_)      \
+  WB_QJS_FUSE_NAMES_P(X, FGetConstSet_)    \
+  WB_QJS_FUSE_NAMES_P(X, FConstBin_)
+
+enum class QJsOp : uint16_t {
+#define WB_QJS_ENUM(name) name,
+  WB_QJS_OP_LIST(WB_QJS_ENUM)
+#undef WB_QJS_ENUM
+      kCount,
+};
+
+/// Zero-cost pad slot appended to the per-tier cost table copy; unused
+/// cls[] slots point here so the 4-slot charge sum is branchless.
+inline constexpr uint8_t kQJsClsPad = static_cast<uint8_t>(kJsOpClassCount);
+/// Discarded byte lane (JsArithCat::None) in the packed category word.
+inline constexpr uint8_t kQJsCatPad = static_cast<uint8_t>(JsArithCat::None);
+
+inline constexpr uint8_t kQJsFlagBackEdge = 1;  ///< Jump: counts loop hotness
+inline constexpr uint8_t kQJsFlagLength = 2;    ///< GetProp: name is "length"
+
+struct QJsInstr {
+  QJsOp op = QJsOp::FuncReturn;
+  uint8_t nops = 0;   ///< constituent classic-op count (fuel charge)
+  uint8_t flags = 0;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+  uint32_t d = 0;     ///< second jump target (4-gram compare-and-branch)
+  std::array<uint8_t, 4> cls{kQJsClsPad, kQJsClsPad, kQJsClsPad, kQJsClsPad};
+  std::array<uint8_t, 4> cat{kQJsCatPad, kQJsCatPad, kQJsCatPad, kQJsCatPad};
+  /// One byte lane per JsArithCat; pad lanes carry the balance so every
+  /// instruction sums to exactly 4 across lanes.
+  uint64_t cat_packed = 4ull << (8 * kQJsCatPad);
+  double val = 0;     ///< resolved numeric constant
+};
+
+/// One translated function body. The last instruction is always the
+/// FuncReturn sentinel.
+struct QJsFunc {
+  std::vector<QJsInstr> code;
+};
+
+/// Inline-cache entry for property access sites: valid while `ref` still
+/// holds the object allocated as `serial` (the heap free-list can recycle
+/// refs) and its property layout version is still `shape`.
+struct PropCacheEntry {
+  ObjRef ref = kNullRef;
+  uint32_t serial = 0;
+  uint32_t shape = 0;
+  uint32_t slot = 0;
+};
+
+/// Monomorphic-then-polymorphic cache: entries fill in order, then a
+/// round-robin victim keeps replacement deterministic. Caches only ever
+/// speed up the host-side lookup; they charge nothing, so the classic
+/// loop (which has none) stays bit-identical.
+struct PropCache {
+  std::array<PropCacheEntry, 4> entries{};
+  uint8_t n = 0;
+  uint8_t victim = 0;
+};
+
+/// Translates one FunctionProto into QJsCode. GetProp/SetProp/CallMethod
+/// sites are assigned consecutive cache indices starting at `cache_slots`,
+/// which is advanced past them (the Vm sizes its cache vector from the
+/// final value).
+QJsFunc quicken(const ScriptCode& code, uint32_t proto_index, uint32_t& cache_slots);
+
+/// Process-wide default for whether new Vms quicken (overridden per-Vm
+/// with Vm::set_quicken). Always false when WB_NO_JS_QUICKEN is set in
+/// the environment.
+void set_quicken_default(bool enabled);
+bool quicken_default();
+
+}  // namespace wb::js

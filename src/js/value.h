@@ -1,8 +1,22 @@
-// Tagged runtime values for the JavaScript-like engine. Numbers are IEEE
-// doubles (JS `Number`); everything heap-allocated (strings, arrays,
-// objects, typed arrays, functions) is referenced by heap index.
+// NaN-boxed runtime values for the JavaScript-like engine. Every value is
+// one 8-byte word: numbers are IEEE doubles stored directly; everything
+// else (undefined, null, booleans, heap references) lives in the mantissa
+// payload of a quiet NaN that no arithmetic result can produce. This is
+// the representation real engines use (JSC/SpiderMonkey-style) and it
+// shrinks stacks, locals, boxed-array elements, and property entries 3x
+// compared to the previous 24-byte tagged struct.
+//
+// Encoding (upper 16 bits):
+//   0x7ffc  Undefined        0x7ffd  Null
+//   0x7ffe  Bool (bit 0)     0x7fff  Object (ObjRef in the low 32 bits)
+// Any other bit pattern is a number. Hardware NaNs are 0x7ff8... (sign
+// bit optional), safely outside the boxed range; `number()` still
+// canonicalizes every NaN input so no payload can ever collide with a
+// box. JS semantics are preserved: all NaNs are indistinguishable, and
+// typed arrays store raw doubles whose values re-enter through number().
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 namespace wb::js {
@@ -14,42 +28,56 @@ inline constexpr ObjRef kNullRef = 0xffffffff;
 struct JsValue {
   enum class Tag : uint8_t { Undefined, Null, Bool, Number, Object };
 
-  Tag tag = Tag::Undefined;
-  bool boolean = false;
-  double num = 0;
-  ObjRef ref = kNullRef;
+  static constexpr uint64_t kBoxMask = 0x7ffc'0000'0000'0000ull;
+  static constexpr uint64_t kTopMask = 0xffff'0000'0000'0000ull;
+  static constexpr uint64_t kUndefinedBits = 0x7ffc'0000'0000'0000ull;
+  static constexpr uint64_t kNullBits = 0x7ffd'0000'0000'0000ull;
+  static constexpr uint64_t kBoolBits = 0x7ffe'0000'0000'0000ull;
+  static constexpr uint64_t kObjectBits = 0x7fff'0000'0000'0000ull;
+  static constexpr uint64_t kCanonicalNaN = 0x7ff8'0000'0000'0000ull;
+
+  uint64_t bits = kUndefinedBits;
 
   static JsValue undefined() { return {}; }
-  static JsValue null() {
-    JsValue v;
-    v.tag = Tag::Null;
-    return v;
-  }
+  static JsValue null() { return from_bits(kNullBits); }
   static JsValue boolean_value(bool b) {
-    JsValue v;
-    v.tag = Tag::Bool;
-    v.boolean = b;
-    return v;
+    return from_bits(kBoolBits | (b ? 1u : 0u));
   }
   static JsValue number(double d) {
-    JsValue v;
-    v.tag = Tag::Number;
-    v.num = d;
-    return v;
+    // Canonicalize NaN so no propagated payload can alias a boxed value.
+    return from_bits(d != d ? kCanonicalNaN : std::bit_cast<uint64_t>(d));
   }
-  static JsValue object(ObjRef r) {
-    JsValue v;
-    v.tag = Tag::Object;
-    v.ref = r;
-    return v;
+  static JsValue object(ObjRef r) { return from_bits(kObjectBits | r); }
+
+  [[nodiscard]] bool is_undefined() const { return bits == kUndefinedBits; }
+  [[nodiscard]] bool is_null() const { return bits == kNullBits; }
+  [[nodiscard]] bool is_bool() const { return (bits & kTopMask) == kBoolBits; }
+  [[nodiscard]] bool is_number() const { return (bits & kBoxMask) != kBoxMask; }
+  [[nodiscard]] bool is_object() const { return (bits & kTopMask) == kObjectBits; }
+
+  [[nodiscard]] double num() const { return std::bit_cast<double>(bits); }
+  [[nodiscard]] bool boolean() const { return (bits & 1) != 0; }
+  [[nodiscard]] ObjRef ref() const { return static_cast<ObjRef>(bits); }
+
+  [[nodiscard]] Tag tag() const {
+    if (is_number()) return Tag::Number;
+    switch (bits >> 48) {
+      case 0x7ffc: return Tag::Undefined;
+      case 0x7ffd: return Tag::Null;
+      case 0x7ffe: return Tag::Bool;
+      default: return Tag::Object;
+    }
   }
 
-  [[nodiscard]] bool is_undefined() const { return tag == Tag::Undefined; }
-  [[nodiscard]] bool is_null() const { return tag == Tag::Null; }
-  [[nodiscard]] bool is_bool() const { return tag == Tag::Bool; }
-  [[nodiscard]] bool is_number() const { return tag == Tag::Number; }
-  [[nodiscard]] bool is_object() const { return tag == Tag::Object; }
+ private:
+  static JsValue from_bits(uint64_t b) {
+    JsValue v;
+    v.bits = b;
+    return v;
+  }
 };
+
+static_assert(sizeof(JsValue) == 8, "JsValue must be one NaN-boxed word");
 
 /// ECMAScript ToInt32 (the coercion behind `x | 0` and all bitwise ops).
 int32_t to_int32(double d);

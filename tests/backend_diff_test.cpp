@@ -227,7 +227,7 @@ int32_t run_js(ir::Module m, bool fast_math, bool& ok, std::string& error) {
     error = "js main returned non-number";
     return 0;
   }
-  return js::to_int32(r.value.num);
+  return js::to_int32(r.value.num());
 }
 
 struct DiffParam {

@@ -58,7 +58,7 @@ TEST_P(BenchmarkCorpus, AllTargetsAgreeAtM) {
     ASSERT_TRUE(vm.run_top_level().ok) << bench.name;
     const js::Vm::Result r = vm.call_function("main", {});
     ASSERT_TRUE(r.ok) << bench.name << " js: " << r.error;
-    EXPECT_EQ(js::to_int32(r.value.num), expect) << bench.name << " js O2";
+    EXPECT_EQ(js::to_int32(r.value.num()), expect) << bench.name << " js O2";
   }
 }
 

@@ -132,7 +132,7 @@ double run_js_main(const std::string& src) {
   EXPECT_TRUE(vm.run_top_level().ok);
   auto r = vm.call_function("main", {});
   EXPECT_TRUE(r.ok) << r.error;
-  return r.value.num;
+  return r.value.num();
 }
 
 TEST(EdgeCases, JsNegativeZeroDistinctUnderDivision) {

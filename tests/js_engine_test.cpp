@@ -44,7 +44,7 @@ RunOutcome run_js(const std::string& source, Heap* heap_out = nullptr,
   auto main_result = vm->call_function("main", {});
   if (main_result.ok) {
     out.value = main_result.value;
-    if (main_result.value.is_number()) out.number = main_result.value.num;
+    if (main_result.value.is_number()) out.number = main_result.value.num();
   } else if (!vm->get_global("main").is_undefined()) {
     out.ok = false;
     out.error = main_result.error;

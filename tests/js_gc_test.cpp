@@ -58,12 +58,12 @@ TEST(JsGc, ReachableObjectsSurvive) {
   ASSERT_TRUE(s.vm->run_top_level().ok);
   auto result = s.vm->call_function("main", {});
   ASSERT_TRUE(result.ok) << result.error;
-  EXPECT_DOUBLE_EQ(result.value.num, 500);
+  EXPECT_DOUBLE_EQ(result.value.num(), 500);
   s.heap.collect();
   // All 500 arrays (plus the outer one) must still be reachable.
   auto check = s.vm->call_function("main", {});
   ASSERT_TRUE(check.ok);
-  EXPECT_DOUBLE_EQ(check.value.num, 1000);
+  EXPECT_DOUBLE_EQ(check.value.num(), 1000);
 }
 
 TEST(JsGc, TypedArrayBackingIsExternal) {
@@ -107,7 +107,7 @@ TEST(JsGc, StringConstantsArePinned) {
   ASSERT_TRUE(s.vm->run_top_level().ok);
   auto result = s.vm->call_function("main", {});
   ASSERT_TRUE(result.ok) << result.error;
-  EXPECT_DOUBLE_EQ(result.value.num, 2);
+  EXPECT_DOUBLE_EQ(result.value.num(), 2);
 }
 
 // ------------------------------------------------------------- tiering

@@ -1,0 +1,117 @@
+// Whole-corpus JS quickening gate (slow tier): every hand-written JS
+// benchmark (paper Table 9) and every compiled benchmark's generated JS
+// must produce the same result and bit-identical JsExecStats and GC
+// statistics on the quickened threaded engine as on the classic switch
+// loop. The JS-side twin of quicken_corpus_test.cpp and the CI-side twin
+// of the fuzz harness's js-quicken oracle.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "js/engine.h"
+#include "js/interp.h"
+
+namespace wb {
+namespace {
+
+struct RunOutcome {
+  bool ok = false;
+  std::string error;
+  uint64_t value_bits = 0;
+  js::JsExecStats stats;
+  js::GcStats gc;
+};
+
+RunOutcome run_engine(const js::ScriptCode& code, bool quicken) {
+  js::Heap heap;
+  js::Vm vm(code, heap);
+  vm.set_quicken(quicken);
+  vm.set_fuel(2'000'000'000);
+  RunOutcome out;
+  auto top = vm.run_top_level();
+  if (!top.ok) {
+    out.error = top.error;
+  } else {
+    auto r = vm.call_function("main", {});
+    out.ok = r.ok;
+    out.error = r.error;
+    if (r.ok) out.value_bits = r.value.bits;
+  }
+  out.stats = vm.stats();
+  out.gc = heap.stats();
+  return out;
+}
+
+void expect_engines_identical(const std::string& js_source, const std::string& what) {
+  SCOPED_TRACE(what);
+  std::string error;
+  auto code = js::compile_script(js_source, error);
+  ASSERT_TRUE(code.has_value()) << error;
+  const RunOutcome classic = run_engine(*code, false);
+  const RunOutcome quick = run_engine(*code, true);
+  EXPECT_EQ(classic.ok, quick.ok);
+  EXPECT_EQ(classic.error, quick.error);
+  EXPECT_EQ(classic.value_bits, quick.value_bits);
+  EXPECT_EQ(classic.stats.ops_executed, quick.stats.ops_executed);
+  EXPECT_EQ(classic.stats.cost_ps, quick.stats.cost_ps);
+  EXPECT_EQ(classic.stats.arith_counts, quick.stats.arith_counts);
+  EXPECT_EQ(classic.stats.tierups, quick.stats.tierups);
+  EXPECT_EQ(classic.stats.host_calls, quick.stats.host_calls);
+  EXPECT_EQ(classic.gc.collections, quick.gc.collections);
+  EXPECT_EQ(classic.gc.objects_allocated, quick.gc.objects_allocated);
+  EXPECT_EQ(classic.gc.objects_freed, quick.gc.objects_freed);
+  EXPECT_EQ(classic.gc.live_bytes, quick.gc.live_bytes);
+  EXPECT_EQ(classic.gc.peak_live_bytes, quick.gc.peak_live_bytes);
+  EXPECT_EQ(classic.gc.peak_external_bytes, quick.gc.peak_external_bytes);
+}
+
+class ManualJsQuicken : public testing::TestWithParam<const benchmarks::ManualJs*> {};
+
+TEST_P(ManualJsQuicken, QuickenedMatchesClassicBitForBit) {
+  expect_engines_identical(GetParam()->source, GetParam()->name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ManualJsQuicken, testing::ValuesIn([] {
+                           std::vector<const benchmarks::ManualJs*> ptrs;
+                           for (const auto& m : benchmarks::manual_js_benchmarks()) {
+                             ptrs.push_back(&m);
+                           }
+                           return ptrs;
+                         }()),
+                         [](const testing::TestParamInfo<const benchmarks::ManualJs*>& info) {
+                           std::string name = info.param->name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+class CompiledJsQuicken : public testing::TestWithParam<const core::BenchSource*> {};
+
+TEST_P(CompiledJsQuicken, QuickenedMatchesClassicBitForBit) {
+  const core::BenchSource& bench = *GetParam();
+  const core::BuildResult build =
+      core::build(bench, core::InputSize::XS, ir::OptLevel::O2);
+  ASSERT_TRUE(build.ok) << bench.name << ": " << build.error;
+  expect_engines_identical(build.js_source, bench.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CompiledJsQuicken, testing::ValuesIn([] {
+                           std::vector<const core::BenchSource*> out;
+                           for (const auto& b : benchmarks::all_benchmarks()) {
+                             out.push_back(&b);
+                           }
+                           return out;
+                         }()),
+                         [](const testing::TestParamInfo<const core::BenchSource*>& info) {
+                           std::string name = info.param->name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,444 @@
+// Quickened-vs-classic JS engine identity (tier1): NaN-boxed value unit
+// tests, white-box checks that the quickener fuses exactly the grams it
+// promises (and refuses to swallow branch targets), dual-runner identity
+// on heap/GC/IC-heavy programs, and a per-fuel-value exhaustion sweep
+// that walks the trap boundary across every fused instruction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "js/engine.h"
+#include "js/interp.h"
+#include "js/quicken.h"
+
+namespace wb::js {
+namespace {
+
+// ------------------------------------------------------------ NaN boxing
+
+TEST(JsValueBox, IsEightBytesAndRoundTrips) {
+  static_assert(sizeof(JsValue) == 8);
+  EXPECT_TRUE(JsValue::undefined().is_undefined());
+  EXPECT_TRUE(JsValue::null().is_null());
+  EXPECT_TRUE(JsValue::boolean_value(true).boolean());
+  EXPECT_FALSE(JsValue::boolean_value(false).boolean());
+  EXPECT_DOUBLE_EQ(JsValue::number(3.25).num(), 3.25);
+  EXPECT_DOUBLE_EQ(JsValue::number(-0.0).num(), -0.0);
+  EXPECT_TRUE(std::signbit(JsValue::number(-0.0).num()));
+  EXPECT_EQ(JsValue::object(42).ref(), 42u);
+  EXPECT_EQ(JsValue::object(kNullRef).ref(), kNullRef);
+}
+
+TEST(JsValueBox, TagsAreDisjoint) {
+  EXPECT_EQ(JsValue::undefined().tag(), JsValue::Tag::Undefined);
+  EXPECT_EQ(JsValue::null().tag(), JsValue::Tag::Null);
+  EXPECT_EQ(JsValue::boolean_value(false).tag(), JsValue::Tag::Bool);
+  EXPECT_EQ(JsValue::number(0).tag(), JsValue::Tag::Number);
+  EXPECT_EQ(JsValue::object(0).tag(), JsValue::Tag::Object);
+  EXPECT_FALSE(JsValue::object(0).is_number());
+  EXPECT_FALSE(JsValue::number(0).is_object());
+}
+
+TEST(JsValueBox, NansStayNumbers) {
+  // Any NaN — canonical, payload-carrying, or negative — must read back
+  // as a number, never alias a boxed tag.
+  const JsValue canon = JsValue::number(std::nan(""));
+  EXPECT_TRUE(canon.is_number());
+  EXPECT_TRUE(std::isnan(canon.num()));
+  const JsValue neg = JsValue::number(-std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(neg.is_number());
+  EXPECT_TRUE(std::isnan(neg.num()));
+  const JsValue inf = JsValue::number(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(inf.is_number());
+  EXPECT_TRUE(std::isinf(inf.num()));
+}
+
+// ------------------------------------------------- white-box translation
+
+ScriptCode make_script(std::vector<JsInstr> code, std::vector<double> consts,
+                       std::vector<std::string> names = {}) {
+  ScriptCode sc;
+  FunctionProto p;
+  p.name = "f";
+  p.nparams = 0;
+  p.nlocals = 8;
+  p.code = std::move(code);
+  p.num_consts = std::move(consts);
+  sc.protos.push_back(std::move(p));
+  sc.names = std::move(names);
+  return sc;
+}
+
+TEST(JsQuickenTranslate, FusesLocalLocalBinopStore) {
+  const ScriptCode sc = make_script({{JsOp::LoadLocal, 0},
+                                     {JsOp::LoadLocal, 1},
+                                     {JsOp::Add},
+                                     {JsOp::StoreLocal, 2}},
+                                    {});
+  uint32_t slots = 0;
+  const QJsFunc qf = quicken(sc, 0, slots);
+  ASSERT_EQ(qf.code.size(), 2u);  // fused gram + sentinel
+  EXPECT_EQ(qf.code[0].op, QJsOp::FGetGetSet_Add);
+  EXPECT_EQ(qf.code[0].a, 0u);
+  EXPECT_EQ(qf.code[0].b, 1u);
+  EXPECT_EQ(qf.code[0].c, 2u);
+  EXPECT_EQ(qf.code[0].nops, 4u);
+  EXPECT_EQ(qf.code[1].op, QJsOp::FuncReturn);
+  EXPECT_EQ(qf.code[1].nops, 0u);
+}
+
+TEST(JsQuickenTranslate, FusesLocalConstCompareBranch) {
+  const ScriptCode sc = make_script({{JsOp::LoadLocal, 0},
+                                     {JsOp::ConstNum, 0},
+                                     {JsOp::Lt},
+                                     {JsOp::JumpIfFalse, 0}},
+                                    {10.0});
+  uint32_t slots = 0;
+  const QJsFunc qf = quicken(sc, 0, slots);
+  ASSERT_EQ(qf.code.size(), 2u);
+  EXPECT_EQ(qf.code[0].op, QJsOp::FGetConstCmpJf);
+  EXPECT_EQ(qf.code[0].a, 0u);
+  EXPECT_DOUBLE_EQ(qf.code[0].val, 10.0);
+  EXPECT_EQ(qf.code[0].c, static_cast<uint32_t>(JsOp::Lt));
+  EXPECT_EQ(qf.code[0].d, 0u);  // branch target resolved to group start
+  EXPECT_EQ(qf.code[0].nops, 4u);
+}
+
+TEST(JsQuickenTranslate, BranchTargetBlocksInteriorFusion) {
+  // Jump lands on pc 1 — inside what would otherwise be a 4-gram. The
+  // quickener must fall back to singles so the target stays addressable.
+  const ScriptCode sc = make_script({{JsOp::LoadLocal, 0},
+                                     {JsOp::LoadLocal, 1},
+                                     {JsOp::Add},
+                                     {JsOp::StoreLocal, 2},
+                                     {JsOp::Jump, 1}},
+                                    {});
+  uint32_t slots = 0;
+  const QJsFunc qf = quicken(sc, 0, slots);
+  ASSERT_GE(qf.code.size(), 5u);
+  EXPECT_EQ(qf.code[0].op, QJsOp::LoadLocal);
+  EXPECT_EQ(qf.code[1].op, QJsOp::LoadLocal);
+  EXPECT_EQ(qf.code[2].op, QJsOp::Add);
+  EXPECT_EQ(qf.code[3].op, QJsOp::StoreLocal);
+  EXPECT_EQ(qf.code[4].op, QJsOp::Jump);
+  EXPECT_EQ(qf.code[4].a, 1u);  // resolved to the LoadLocal-1 instruction
+  EXPECT_TRUE(qf.code[4].flags & kQJsFlagBackEdge);
+}
+
+TEST(JsQuickenTranslate, ChargeSideTablesCoverEveryClassicOp) {
+  const ScriptCode sc = make_script({{JsOp::ConstNum, 0},
+                                     {JsOp::StoreLocal, 0},
+                                     {JsOp::LoadLocal, 0},
+                                     {JsOp::ConstNum, 1},
+                                     {JsOp::Mul},
+                                     {JsOp::StoreLocal, 1},
+                                     {JsOp::SetIndex},
+                                     {JsOp::Pop},
+                                     {JsOp::ReturnUndef}},
+                                    {2.0, 3.0});
+  uint32_t slots = 0;
+  const QJsFunc qf = quicken(sc, 0, slots);
+  uint64_t nops = 0;
+  for (const QJsInstr& q : qf.code) {
+    nops += q.nops;
+    // Every instruction's packed category lanes must sum to exactly 4.
+    uint64_t lanes = 0;
+    for (size_t i = 0; i < 8; ++i) lanes += (q.cat_packed >> (8 * i)) & 0xff;
+    EXPECT_EQ(lanes, 4u);
+  }
+  EXPECT_EQ(nops, sc.protos[0].code.size());
+  EXPECT_EQ(qf.code[0].op, QJsOp::FConstSet);
+  EXPECT_EQ(qf.code[1].op, QJsOp::FGetConstSet_Mul);
+  EXPECT_EQ(qf.code[2].op, QJsOp::FSetIdxPop);
+  EXPECT_EQ(qf.code[3].op, QJsOp::ReturnUndef);
+}
+
+TEST(JsQuickenTranslate, PropSitesGetDistinctCacheSlots) {
+  const ScriptCode sc = make_script({{JsOp::GetProp, 0},
+                                     {JsOp::GetProp, 0},
+                                     {JsOp::SetProp, 0},
+                                     {JsOp::CallMethod, 0, 0}},
+                                    {}, {"x"});
+  uint32_t slots = 5;  // pre-advanced: slots continue across protos
+  const QJsFunc qf = quicken(sc, 0, slots);
+  EXPECT_EQ(qf.code[0].b, 5u);
+  EXPECT_EQ(qf.code[1].b, 6u);
+  EXPECT_EQ(qf.code[2].b, 7u);
+  EXPECT_EQ(qf.code[3].c, 8u);
+  EXPECT_EQ(slots, 9u);
+}
+
+// ----------------------------------------------------- dual-runner gates
+
+struct RunOutcome {
+  bool ok = false;
+  std::string error;
+  double value = 0;
+  bool value_is_number = false;
+  JsExecStats stats;
+  GcStats gc;
+};
+
+RunOutcome run_source(const std::string& source, bool quicken_on, uint64_t fuel,
+                      size_t gc_threshold = 4 << 20) {
+  std::string error;
+  auto code = compile_script(source, error);
+  EXPECT_TRUE(code.has_value()) << error;
+  RunOutcome out;
+  if (!code) return out;
+  Heap heap(gc_threshold);
+  Vm vm(*code, heap);
+  vm.set_quicken(quicken_on);
+  vm.set_fuel(fuel);
+  auto top = vm.run_top_level();
+  if (!top.ok) {
+    out.ok = false;
+    out.error = top.error;
+  } else {
+    auto r = vm.call_function("main", {});
+    out.ok = r.ok;
+    out.error = r.error;
+    out.value_is_number = r.ok && r.value.is_number();
+    if (out.value_is_number) out.value = r.value.num();
+  }
+  out.stats = vm.stats();
+  out.gc = heap.stats();
+  return out;
+}
+
+void expect_identical(const RunOutcome& classic, const RunOutcome& quick,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(classic.ok, quick.ok);
+  EXPECT_EQ(classic.error, quick.error);
+  EXPECT_EQ(classic.value_is_number, quick.value_is_number);
+  if (classic.value_is_number && quick.value_is_number) {
+    // Bit compare so -0.0 vs 0.0 and NaN payloads cannot slip through.
+    EXPECT_EQ(JsValue::number(classic.value).bits, JsValue::number(quick.value).bits);
+  }
+  EXPECT_EQ(classic.stats.ops_executed, quick.stats.ops_executed);
+  EXPECT_EQ(classic.stats.cost_ps, quick.stats.cost_ps);
+  EXPECT_EQ(classic.stats.arith_counts, quick.stats.arith_counts);
+  EXPECT_EQ(classic.stats.tierups, quick.stats.tierups);
+  EXPECT_EQ(classic.stats.host_calls, quick.stats.host_calls);
+  EXPECT_EQ(classic.gc.collections, quick.gc.collections);
+  EXPECT_EQ(classic.gc.objects_allocated, quick.gc.objects_allocated);
+  EXPECT_EQ(classic.gc.objects_freed, quick.gc.objects_freed);
+  EXPECT_EQ(classic.gc.live_bytes, quick.gc.live_bytes);
+  EXPECT_EQ(classic.gc.peak_live_bytes, quick.gc.peak_live_bytes);
+  EXPECT_EQ(classic.gc.peak_external_bytes, quick.gc.peak_external_bytes);
+}
+
+void expect_both_engines_identical(const std::string& source,
+                                   uint64_t fuel = 100'000'000,
+                                   size_t gc_threshold = 4 << 20) {
+  const RunOutcome classic = run_source(source, false, fuel, gc_threshold);
+  const RunOutcome quick = run_source(source, true, fuel, gc_threshold);
+  expect_identical(classic, quick, "fuel=" + std::to_string(fuel));
+}
+
+TEST(JsQuicken, HotLoopIdentical) {
+  expect_both_engines_identical(R"(
+    function main() {
+      var acc = 0;
+      for (var i = 0; i < 5000; i++) acc = (acc + i * 3) | 0;
+      return acc;
+    }
+  )");
+}
+
+TEST(JsQuicken, StringConcatInFusedAddIdentical) {
+  // The fused Add's slow path allocates; GC counts must still match with
+  // a tight threshold forcing collections mid-loop.
+  expect_both_engines_identical(R"(
+    function main() {
+      var n = 0;
+      for (var i = 0; i < 400; i++) {
+        var a = "ab";
+        var b = "cd";
+        var c = a + b;
+        n += c.length;
+      }
+      return n;
+    }
+  )",
+                                100'000'000, 16 << 10);
+}
+
+TEST(JsQuicken, TypedAndBoxedIndexingIdentical) {
+  expect_both_engines_identical(R"(
+    var ta = new Int32Array(64);
+    var boxed = [0, 0, 0, 0];
+    function main() {
+      var sum = 0;
+      for (var i = 0; i < 1000; i++) {
+        ta[i & 63] = i;
+        boxed[i & 3] = i * 2;
+        sum = (sum + ta[i & 63] + boxed[i & 3]) | 0;
+      }
+      return sum;
+    }
+  )");
+}
+
+TEST(JsQuicken, TierUpTimingIdentical) {
+  // Enough iterations to cross the tier-up threshold on back-edges; the
+  // tier switch must land on the same dispatch in both engines.
+  expect_both_engines_identical(R"(
+    function hot(x) {
+      var s = 0;
+      for (var i = 0; i < 40; i++) s = (s + x * i) | 0;
+      return s;
+    }
+    function main() {
+      var acc = 0;
+      for (var j = 0; j < 1500; j++) acc = (acc + hot(j)) | 0;
+      return acc;
+    }
+  )");
+}
+
+TEST(JsQuicken, GcHeavyObjectChurnIdentical) {
+  expect_both_engines_identical(R"(
+    function main() {
+      var keep = 0;
+      for (var i = 0; i < 3000; i++) {
+        var o = { a: i, b: i * 2, c: [i, i + 1, i + 2] };
+        o.d = o.a + o.b;
+        keep = (keep + o.d) | 0;
+      }
+      return keep;
+    }
+  )",
+                                100'000'000, 32 << 10);
+}
+
+TEST(JsQuicken, TrapsIdentical) {
+  // Runtime failures must carry the same message from both engines.
+  for (const char* src : {
+           "function main() { var x = 1; return x.foo; }",
+           "function main() { var a = [1]; a[-1] = 2; return 0; }",
+           "function main() { return main(); }",  // depth exhaustion
+       }) {
+    expect_both_engines_identical(src);
+  }
+}
+
+// ------------------------------------------------------- inline caches
+
+TEST(JsQuicken, MonomorphicPropertyAccessIdentical) {
+  expect_both_engines_identical(R"(
+    var obj = { x: 1, y: 2, z: 3 };
+    function main() {
+      var s = 0;
+      for (var i = 0; i < 2000; i++) s = (s + obj.z) | 0;
+      return s;
+    }
+  )");
+}
+
+TEST(JsQuicken, PolymorphicBeyondCacheCapacityIdentical) {
+  // Six shapes through one access site: exceeds the 4-way cache, forcing
+  // round-robin eviction; results must be unchanged.
+  expect_both_engines_identical(R"(
+    function get(o) { return o.v; }
+    function main() {
+      var shapes = [
+        { v: 1 }, { a: 0, v: 2 }, { a: 0, b: 0, v: 3 },
+        { a: 0, b: 0, c: 0, v: 4 }, { a: 0, b: 0, c: 0, d: 0, v: 5 },
+        { a: 0, b: 0, c: 0, d: 0, e: 0, v: 6 }
+      ];
+      var s = 0;
+      for (var i = 0; i < 600; i++) s = (s + get(shapes[i % 6])) | 0;
+      return s;
+    }
+  )");
+}
+
+TEST(JsQuicken, ShapeChangeInvalidatesCachedSlot) {
+  // The same site reads o.v before and after appending properties; a
+  // stale cached slot would return the wrong property's value.
+  expect_both_engines_identical(R"(
+    function get(o) { return o.v; }
+    function main() {
+      var o = { v: 7 };
+      var before = 0;
+      for (var i = 0; i < 50; i++) before += get(o);
+      o.w = 100;
+      o.v = 9;
+      var after = 0;
+      for (var j = 0; j < 50; j++) after += get(o);
+      return before * 1000 + after;
+    }
+  )");
+}
+
+TEST(JsQuicken, RecycledRefsDoNotAliasStaleCacheEntries) {
+  // A tight GC threshold forces collections; freed slots are recycled by
+  // the free list, so the same ObjRef passes through one access site
+  // holding different objects. The serial check must catch every reuse.
+  expect_both_engines_identical(R"(
+    function get(o) { return o.k; }
+    function main() {
+      var s = 0;
+      for (var i = 0; i < 2000; i++) {
+        var o = { k: i, pad: [i, i, i, i, i, i, i, i] };
+        s = (s + get(o)) | 0;
+      }
+      return s;
+    }
+  )",
+                                100'000'000, 8 << 10);
+}
+
+// -------------------------------------------------------- fuel sweeping
+
+TEST(JsQuicken, FuelExhaustionSweepAcrossFusedBoundaries) {
+  // Walks the trap boundary through every dispatch of a program that
+  // exercises each hazard class: fused indexed stores, fused adds that
+  // may concatenate, compare-and-branch fusions, calls, and allocation.
+  const std::string source = R"(
+    var ta = new Int32Array(8);
+    var boxed = [0, 0, 0];
+    function main() {
+      var s = "x";
+      var t = "y";
+      var u = s + t;
+      var acc = 0;
+      for (var i = 0; i < 12; i++) {
+        ta[i & 7] = i;
+        boxed[i % 3] = i * 2;
+        acc = (acc + i) | 0;
+      }
+      return acc + u.length + boxed[0] + ta[1];
+    }
+  )";
+  for (uint64_t fuel = 0; fuel <= 420; ++fuel) {
+    const RunOutcome classic = run_source(source, false, fuel);
+    const RunOutcome quick = run_source(source, true, fuel);
+    expect_identical(classic, quick, "fuel=" + std::to_string(fuel));
+    if (classic.ok && quick.ok) break;  // sweep done: program completed
+  }
+}
+
+TEST(JsQuicken, FuelSweepOverFailingIndexedStore) {
+  // The fused SetIndex+Pop's failure path (negative index) at every fuel
+  // value: the trap must preempt the Pop charge exactly as in classic.
+  const std::string source = R"(
+    function main() {
+      var a = [1, 2, 3];
+      var j = 0 - 1;
+      a[j] = 5;
+      return a[0];
+    }
+  )";
+  for (uint64_t fuel = 0; fuel <= 60; ++fuel) {
+    const RunOutcome classic = run_source(source, false, fuel);
+    const RunOutcome quick = run_source(source, true, fuel);
+    expect_identical(classic, quick, "fuel=" + std::to_string(fuel));
+  }
+}
+
+}  // namespace
+}  // namespace wb::js

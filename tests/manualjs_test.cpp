@@ -29,7 +29,7 @@ int32_t run_manual(const ManualJs& m, bool& ok, std::string& error) {
   auto r = vm.call_function("main", {});
   ok = r.ok;
   error = r.error;
-  return r.ok && r.value.is_number() ? js::to_int32(r.value.num) : 0;
+  return r.ok && r.value.is_number() ? js::to_int32(r.value.num()) : 0;
 }
 
 class ManualJsCorpus : public testing::TestWithParam<const ManualJs*> {};

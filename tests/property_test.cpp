@@ -214,7 +214,7 @@ TEST_P(RandomProgramDifferential, AllTargetsAllLevelsAgree) {
       ASSERT_TRUE(vm.run_top_level().ok);
       const js::Vm::Result r = vm.call_function("main", {});
       ASSERT_TRUE(r.ok) << r.error;
-      EXPECT_EQ(js::to_int32(r.value.num), ref_result.as_i32()) << "js " << to_string(level);
+      EXPECT_EQ(js::to_int32(r.value.num()), ref_result.as_i32()) << "js " << to_string(level);
     }
   }
 }
@@ -271,7 +271,7 @@ TEST_P(GcStress, ReachableValuesSurviveRandomChurn) {
   ASSERT_TRUE(vm.run_top_level().ok);
   const js::Vm::Result r = vm.call_function("main", {});
   ASSERT_TRUE(r.ok) << r.error;
-  EXPECT_EQ(js::to_int32(r.value.num), static_cast<int32_t>(cs));
+  EXPECT_EQ(js::to_int32(r.value.num()), static_cast<int32_t>(cs));
   EXPECT_GT(heap.stats().collections, 5u);
 }
 

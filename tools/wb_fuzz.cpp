@@ -21,6 +21,7 @@
 #include "fuzz/fuzz.h"
 #include "ir/passes.h"
 #include "minic/minic.h"
+#include "js/quicken.h"
 #include "wasm/quicken.h"
 #include "wasm/wat.h"
 
@@ -33,7 +34,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: wb_fuzz [--runs=N] [--seed=S] [--jobs=J] [--out=DIR]\n"
                "               [--mutation-every=N] [--no-minimize] [--plant-bug]\n"
-               "               [--no-quicken] [--replay FILE] [--corpus DIR]\n");
+               "               [--no-quicken] [--no-quicken-js]\n"
+               "               [--replay FILE] [--corpus DIR]\n");
   return 2;
 }
 
@@ -136,6 +138,9 @@ int main(int argc, char** argv) {
       // Bisection escape hatch: run everything on the classic loop (and
       // skip the now-vacuous quickened-vs-classic oracle).
       wasm::set_quicken_default(false);
+    } else if (arg == "--no-quicken-js") {
+      // Same escape hatch for the JS VM's quickened threaded engine.
+      js::set_quicken_default(false);
     } else if (arg == "--replay" && i + 1 < argc) {
       replays.emplace_back(argv[++i]);
     } else if (arg.rfind("--replay=", 0) == 0) {

@@ -23,6 +23,7 @@
 //            [--sizes=S,M] [--levels=O2,Ofast]
 //            [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]
 //            [--toolchain=Cheerp] [--with-native] [--jobs=N] [--no-quicken]
+//            [--no-quicken-js]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +38,7 @@
 
 #include "common.h"
 #include "support/json.h"
+#include "js/quicken.h"
 #include "wasm/quicken.h"
 
 namespace {
@@ -388,6 +390,9 @@ int main(int argc, char** argv) {
       // loop. Results must be byte-identical either way; only wall clock
       // differs.
       wasm::set_quicken_default(false);
+    } else if (arg == "--no-quicken-js") {
+      // Same escape hatch for the JS VM's quickened threaded engine.
+      js::set_quicken_default(false);
     } else {
       die("unknown flag: " + arg + " (see header comment for usage)");
     }

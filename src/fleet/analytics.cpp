@@ -1,0 +1,128 @@
+#include "fleet/analytics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "support/table.h"
+
+namespace wb::fleet {
+
+namespace json = support::json;
+
+namespace {
+
+int64_t rounded(double v) { return static_cast<int64_t>(std::llround(v)); }
+
+/// Distribution summary as exact integers (the report is byte-gated).
+json::Value dist_json(const support::StreamingQuantiles& q) {
+  json::Object o;
+  o.emplace_back("mean", rounded(q.mean()));
+  o.emplace_back("min", rounded(q.min()));
+  o.emplace_back("p50", rounded(q.quantile(0.50)));
+  o.emplace_back("p95", rounded(q.quantile(0.95)));
+  o.emplace_back("p99", rounded(q.quantile(0.99)));
+  o.emplace_back("max", rounded(q.max()));
+  return o;
+}
+
+void group_body(json::Object& o, uint64_t sessions, uint64_t warm,
+                const support::StreamingQuantiles& latency,
+                const support::StreamingQuantiles& memory,
+                const support::StreamingQuantiles& startup_cold,
+                const support::StreamingQuantiles& startup_warm) {
+  o.emplace_back("sessions", static_cast<int64_t>(sessions));
+  o.emplace_back("warm_sessions", static_cast<int64_t>(warm));
+  o.emplace_back("cold_sessions", static_cast<int64_t>(sessions - warm));
+  o.emplace_back("latency_ps", dist_json(latency));
+  o.emplace_back("memory_bytes", dist_json(memory));
+  o.emplace_back("startup_cold_ps", dist_json(startup_cold));
+  o.emplace_back("startup_warm_ps", dist_json(startup_warm));
+}
+
+double ps_to_ms(double ps) { return ps / 1e9; }
+
+}  // namespace
+
+void FleetAnalytics::record(const SessionSample& s) {
+  const auto update = [&](Group& g) {
+    ++g.sessions;
+    g.latency.add(static_cast<double>(s.latency_ps));
+    g.memory.add(static_cast<double>(s.memory_bytes));
+    if (s.warm) {
+      ++g.warm;
+      g.startup_warm.add(static_cast<double>(s.startup_ps));
+    } else {
+      g.startup_cold.add(static_cast<double>(s.startup_ps));
+    }
+  };
+  update(cells_[static_cast<size_t>(s.browser)][static_cast<size_t>(s.platform)]);
+  update(overall_);
+}
+
+json::Array FleetAnalytics::cells_json() const {
+  struct Keyed {
+    std::string key;
+    json::Object body;
+  };
+  std::vector<Keyed> keyed;
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t p = 0; p < 2; ++p) {
+      const Group& g = cells_[b][p];
+      if (g.sessions == 0) continue;
+      const char* browser = env::to_string(static_cast<env::Browser>(b));
+      const char* platform = env::to_string(static_cast<env::Platform>(p));
+      Keyed k;
+      k.key = std::string(browser) + '|' + platform;
+      k.body.emplace_back("browser", browser);
+      k.body.emplace_back("platform", platform);
+      group_body(k.body, g.sessions, g.warm, g.latency, g.memory, g.startup_cold,
+                 g.startup_warm);
+      keyed.push_back(std::move(k));
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+  json::Array out;
+  out.reserve(keyed.size());
+  for (Keyed& k : keyed) out.emplace_back(std::move(k.body));
+  return out;
+}
+
+json::Value FleetAnalytics::overall_json() const {
+  json::Object o;
+  group_body(o, overall_.sessions, overall_.warm, overall_.latency, overall_.memory,
+             overall_.startup_cold, overall_.startup_warm);
+  return o;
+}
+
+std::string FleetAnalytics::table() const {
+  support::TextTable t("Session latency / memory by (browser, platform)");
+  t.set_header({"Browser", "Platform", "Sessions", "Warm%", "p50 ms", "p95 ms",
+                "p99 ms", "Mem p50 KB", "Mem p99 KB"});
+  const auto row = [&](const char* browser, const char* platform, const Group& g) {
+    const double warm_pct =
+        g.sessions ? 100.0 * static_cast<double>(g.warm) / static_cast<double>(g.sessions)
+                   : 0.0;
+    t.add_row({browser, platform, std::to_string(g.sessions),
+               support::fmt(warm_pct, 1), support::fmt(ps_to_ms(g.latency.quantile(0.5)), 2),
+               support::fmt(ps_to_ms(g.latency.quantile(0.95)), 2),
+               support::fmt(ps_to_ms(g.latency.quantile(0.99)), 2),
+               support::fmt(g.memory.quantile(0.5) / 1024.0, 0),
+               support::fmt(g.memory.quantile(0.99) / 1024.0, 0)});
+  };
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t p = 0; p < 2; ++p) {
+      const Group& g = cells_[b][p];
+      if (g.sessions == 0) continue;
+      row(env::to_string(static_cast<env::Browser>(b)),
+          env::to_string(static_cast<env::Platform>(p)), g);
+    }
+  }
+  t.add_rule();
+  row("All", "All", overall_);
+  return t.render();
+}
+
+}  // namespace wb::fleet

@@ -1,0 +1,57 @@
+// Percentile analytics over simulated sessions: streaming p50/p95/p99
+// latency and memory aggregation per (browser, platform) cell plus an
+// overall roll-up, with warm-vs-cold startup distributions kept apart —
+// the fleet-scale version of the paper's per-browser tables, reported as
+// distributions (tail latency) rather than single means.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+#include "support/json.h"
+#include "support/stats.h"
+
+namespace wb::fleet {
+
+/// One session, already resolved against the module cache.
+struct SessionSample {
+  env::Browser browser = env::Browser::Chrome;
+  env::Platform platform = env::Platform::Desktop;
+  bool warm = false;           ///< startup was a code-cache hit
+  uint64_t latency_ps = 0;     ///< startup + scaled execution
+  uint64_t startup_ps = 0;     ///< page + fetch + compile (or cache load)
+  uint64_t memory_bytes = 0;   ///< peak page memory
+};
+
+class FleetAnalytics {
+ public:
+  void record(const SessionSample& s);
+
+  /// Canonical per-(browser, platform) cell array, sorted by
+  /// browser|platform name; cells with zero sessions are omitted.
+  [[nodiscard]] support::json::Array cells_json() const;
+
+  /// The all-sessions roll-up, same shape as one cell without the keys.
+  [[nodiscard]] support::json::Value overall_json() const;
+
+  /// Human-readable latency/memory table (support::TextTable render).
+  [[nodiscard]] std::string table() const;
+
+  [[nodiscard]] uint64_t sessions() const { return overall_.sessions; }
+
+ private:
+  struct Group {
+    uint64_t sessions = 0;
+    uint64_t warm = 0;
+    support::StreamingQuantiles latency;       ///< ps
+    support::StreamingQuantiles memory;        ///< bytes
+    support::StreamingQuantiles startup_cold;  ///< ps
+    support::StreamingQuantiles startup_warm;  ///< ps
+  };
+
+  Group cells_[3][2];  ///< [browser][platform]
+  Group overall_;
+};
+
+}  // namespace wb::fleet

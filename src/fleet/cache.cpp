@@ -1,0 +1,33 @@
+#include "fleet/cache.h"
+
+namespace wb::fleet {
+
+bool ModuleCache::access(std::string_view key, uint64_t bytes) {
+  const auto it = index_.find(std::string(key));
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++stats_.misses;
+  if (bytes > capacity_) {
+    // Never cacheable at this capacity (capacity 0 lands here for every
+    // module — the --cache-mb=0 all-cold baseline).
+    ++stats_.uncacheable;
+    return false;
+  }
+  while (used_ + bytes > capacity_) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{std::string(key), bytes});
+  index_.emplace(lru_.front().key, lru_.begin());
+  used_ += bytes;
+  stats_.bytes_inserted += bytes;
+  return false;
+}
+
+}  // namespace wb::fleet

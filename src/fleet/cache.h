@@ -1,0 +1,56 @@
+// The shared compiled-module code cache: the systems answer to the
+// paper's cold-start finding. Keys are content address (SHA-256 of the
+// wasm binary) x compile target (browser x platform) — the same discipline
+// as V8's isolate/code cache, where a script hash plus compile flags name
+// a reusable compiled artifact. Values model the compiled machine code
+// footprint. Eviction is strict LRU and fully deterministic, so a fleet
+// replay touches the cache in arrival order and reproduces byte-identical
+// hit/miss/eviction counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace wb::fleet {
+
+class ModuleCache {
+ public:
+  /// capacity_bytes == 0 disables caching entirely (every access misses).
+  explicit ModuleCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;        ///< entries evicted to make room
+    uint64_t bytes_inserted = 0;   ///< total compiled bytes ever inserted
+    uint64_t uncacheable = 0;      ///< misses too large to ever fit
+  };
+
+  /// One session's startup lookup. Returns true on a warm hit (the entry
+  /// is touched most-recently-used); on a miss the compiled module is
+  /// inserted, evicting least-recently-used entries until it fits.
+  bool access(std::string_view key, uint64_t bytes);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] uint64_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] uint64_t bytes_in_use() const { return used_; }
+  [[nodiscard]] size_t entries() const { return lru_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t bytes;
+  };
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  Stats stats_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace wb::fleet

@@ -1,0 +1,33 @@
+#include "fleet/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wb::fleet {
+
+std::vector<Device> build_fleet(size_t count, support::Rng rng,
+                                const FleetMix& mix) {
+  std::vector<Device> fleet;
+  fleet.reserve(count);
+  const std::span<const double> browser_w(mix.browser_weights, 3);
+  const std::span<const double> platform_w(mix.platform_weights, 2);
+  for (size_t i = 0; i < count; ++i) {
+    Device d;
+    d.browser = static_cast<env::Browser>(rng.weighted_index(browser_w));
+    d.platform = static_cast<env::Platform>(rng.weighted_index(platform_w));
+    const double cpu =
+        std::min(rng.pareto(mix.cpu_pareto_shape, 1.0), mix.cpu_max);
+    d.cpu_permille = static_cast<uint32_t>(std::llround(cpu * 1000.0));
+    const uint64_t base = d.platform == env::Platform::Mobile
+                              ? mix.mobile_base_ps_per_byte
+                              : mix.desktop_base_ps_per_byte;
+    const double net =
+        std::min(rng.pareto(mix.net_pareto_shape, 1.0), mix.net_max);
+    d.net_ps_per_byte =
+        static_cast<uint32_t>(std::llround(static_cast<double>(base) * net));
+    fleet.push_back(d);
+  }
+  return fleet;
+}
+
+}  // namespace wb::fleet

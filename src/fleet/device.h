@@ -1,0 +1,58 @@
+// The modeled device population behind the fleet simulator: every
+// simulated user session runs on one Device drawn from seeded
+// distributions over env::Browser x env::Platform plus per-device CPU and
+// network jitter. Jitter is quantized to integers at draw time so all
+// per-session arithmetic downstream stays in exact u64 — the fleet report
+// is golden-gated on byte equality.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "env/env.h"
+#include "support/rng.h"
+
+namespace wb::fleet {
+
+struct Device {
+  env::Browser browser = env::Browser::Chrome;
+  env::Platform platform = env::Platform::Desktop;
+  /// CPU slowness in per-mille of the calibrated env::Profile reference
+  /// for this (browser, platform): 1000 = the paper's measurement machine,
+  /// 3000 = a device 3x slower. Scales every compile/execute cost charged
+  /// to this device's sessions (a Pareto tail, clamped).
+  uint32_t cpu_permille = 1000;
+  /// Modeled network fetch cost per wasm binary byte, in ps/byte
+  /// (platform-dependent base link scaled by a heavy-tailed draw). Paid
+  /// only on cold loads; warm loads come out of the HTTP + code cache.
+  uint32_t net_ps_per_byte = 0;
+};
+
+/// Population shares and jitter shapes of the modeled fleet. The defaults
+/// are the shipped mix; tests may narrow them.
+struct FleetMix {
+  /// Browser market shares: Chrome, Firefox, Edge (order of env::Browser).
+  double browser_weights[3] = {0.62, 0.22, 0.16};
+  /// Platform shares: Desktop, Mobile (order of env::Platform).
+  double platform_weights[2] = {0.56, 0.44};
+  /// CPU jitter ~ Pareto(shape, 1.0), clamped to cpu_max (in x of the
+  /// reference device). Most devices are near the reference; the tail is
+  /// long — that is what p99 tables are for.
+  double cpu_pareto_shape = 3.0;
+  double cpu_max = 6.0;
+  /// Network jitter multiplies a per-platform base ps/byte cost
+  /// (desktop ~ broadband, mobile ~ cellular) by Pareto(shape, 1.0)
+  /// clamped to net_max.
+  double net_pareto_shape = 2.2;
+  double net_max = 25.0;
+  uint64_t desktop_base_ps_per_byte = 160'000;   ///< ~50 Mbit/s
+  uint64_t mobile_base_ps_per_byte = 640'000;    ///< ~12.5 Mbit/s
+};
+
+/// Draws `count` devices deterministically from `rng` (pass a split of the
+/// fleet master seed). Device i is fully determined by (seed, i).
+std::vector<Device> build_fleet(size_t count, support::Rng rng,
+                                const FleetMix& mix = {});
+
+}  // namespace wb::fleet

@@ -1,0 +1,486 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchmarks/registry.h"
+#include "fleet/analytics.h"
+#include "fleet/cache.h"
+#include "fleet/device.h"
+#include "support/sha256.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+
+namespace wb::fleet {
+
+namespace json = support::json;
+
+namespace {
+
+/// Sessions are drawn in fixed-size shards whose seeds derive serially
+/// from the master Rng, so the shard layout — and therefore every drawn
+/// byte — is independent of --jobs.
+constexpr uint64_t kShardSessions = 4096;
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  if (const char* env = std::getenv("WB_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return static_cast<int>(support::hardware_jobs());
+}
+
+int64_t rounded(double v) { return static_cast<int64_t>(std::llround(v)); }
+
+/// One distinct workload: a corpus benchmark at one input size.
+struct Workload {
+  const core::BenchSource* bench = nullptr;
+  core::InputSize size = core::InputSize::XS;
+};
+
+/// A workload measured once in one (browser, platform) environment,
+/// decomposed so per-session startup can be re-modeled as cold or warm.
+struct CellMetrics {
+  uint64_t exec_ps = 0;       ///< measured cost minus modeled load phase
+  uint64_t decode_ps = 0;     ///< decode + baseline compile of the binary
+  uint64_t memory_bytes = 0;  ///< peak page memory
+};
+
+/// Everything measured about one workload across all six environments.
+struct WorkloadMetrics {
+  uint64_t code_size = 0;
+  std::string sha256;
+  std::string error;                ///< non-empty = build or run failed
+  CellMetrics cells[3][2];          ///< [browser][platform]
+  std::string cache_keys[3][2];     ///< content address x compile target
+};
+
+/// One drawn session; resolved against cells/cache during serial replay.
+struct SessionRecord {
+  uint32_t device = 0;
+  uint32_t workload = 0;
+  uint32_t arrival_gap_us = 0;
+};
+
+/// Builds each workload once and measures it in all six browser
+/// environments. Workloads are independent, so the pool fan-out cannot
+/// change a measured bit.
+std::vector<WorkloadMetrics> measure_workloads(const std::vector<Workload>& workloads,
+                                               ir::OptLevel level, int jobs) {
+  std::vector<WorkloadMetrics> out(workloads.size());
+  support::parallel_for(
+      workloads.size(), static_cast<unsigned>(jobs), [&](size_t i) {
+        const Workload& w = workloads[i];
+        WorkloadMetrics& m = out[i];
+        const core::BuildResult build = core::build(*w.bench, w.size, level);
+        if (!build.ok) {
+          m.error = w.bench->name + ": build failed: " + build.error;
+          return;
+        }
+        m.code_size = build.wasm.binary.size();
+        m.sha256 = support::sha256_hex(build.wasm.binary);
+        for (size_t b = 0; b < 3; ++b) {
+          for (size_t p = 0; p < 2; ++p) {
+            const auto browser = static_cast<env::Browser>(b);
+            const auto platform = static_cast<env::Platform>(p);
+            const env::BrowserEnv browser_env(browser, platform);
+            const env::PageMetrics metrics = browser_env.run_wasm(build.wasm);
+            if (!metrics.ok) {
+              m.error = w.bench->name + " @ " + env::to_string(browser) + "/" +
+                        env::to_string(platform) + ": " + metrics.error;
+              return;
+            }
+            const env::Profile& profile = browser_env.profile();
+            CellMetrics& cell = m.cells[b][p];
+            cell.decode_ps = profile.wasm_decode_cost_per_byte * m.code_size;
+            const uint64_t modeled_load = profile.page_overhead_ps +
+                                          profile.wasm_instantiate_overhead_ps +
+                                          cell.decode_ps;
+            if (metrics.cost_ps < modeled_load) {
+              m.error = w.bench->name + ": cost below modeled load phase";
+              return;
+            }
+            cell.exec_ps = metrics.cost_ps - modeled_load;
+            cell.memory_bytes = metrics.memory_bytes;
+            m.cache_keys[b][p] = m.sha256 + '|' + env::to_string(browser) + '|' +
+                                 env::to_string(platform);
+          }
+        }
+      });
+  return out;
+}
+
+/// Zipf-ish popularity over the workload list: a few modules dominate
+/// fleet traffic (weight 1/rank), which is what makes a shared code cache
+/// pay off.
+std::vector<double> workload_weights(size_t n) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) w[i] = 1.0 / static_cast<double>(i + 1);
+  return w;
+}
+
+std::vector<SessionRecord> draw_sessions(const FleetConfig& config,
+                                         size_t workload_count, support::Rng& master,
+                                         int jobs) {
+  const uint64_t n = config.sessions;
+  const uint64_t shards = (n + kShardSessions - 1) / kShardSessions;
+  std::vector<support::Rng> shard_rngs;
+  shard_rngs.reserve(shards);
+  for (uint64_t s = 0; s < shards; ++s) shard_rngs.push_back(master.split());
+
+  const std::vector<double> weights = workload_weights(workload_count);
+  std::vector<SessionRecord> sessions(n);
+  support::parallel_for(shards, static_cast<unsigned>(jobs), [&](size_t shard) {
+    support::Rng rng = shard_rngs[shard];
+    const uint64_t begin = shard * kShardSessions;
+    const uint64_t end = std::min(n, begin + kShardSessions);
+    for (uint64_t i = begin; i < end; ++i) {
+      SessionRecord& s = sessions[i];
+      s.device = static_cast<uint32_t>(rng.next_below(config.devices));
+      s.workload = static_cast<uint32_t>(rng.weighted_index(weights));
+      const double gap =
+          rng.exponential(static_cast<double>(config.mean_interarrival_us));
+      s.arrival_gap_us = static_cast<uint32_t>(
+          std::min<long long>(std::llround(gap), UINT32_MAX));
+    }
+  });
+  return sessions;
+}
+
+json::Value config_json(const FleetConfig& c) {
+  json::Array sizes;
+  for (const auto s : c.sizes) sizes.emplace_back(core::to_string(s));
+  json::Object o;
+  o.emplace_back("sessions", static_cast<int64_t>(c.sessions));
+  o.emplace_back("devices", static_cast<int64_t>(c.devices));
+  o.emplace_back("seed", static_cast<int64_t>(c.seed));
+  o.emplace_back("cache_mb", static_cast<int64_t>(c.cache_mb));
+  o.emplace_back("level", ir::to_string(c.level));
+  o.emplace_back("sizes", std::move(sizes));
+  o.emplace_back("mean_interarrival_us", static_cast<int64_t>(c.mean_interarrival_us));
+  o.emplace_back("max_benchmarks", static_cast<int64_t>(c.max_benchmarks));
+  return o;
+}
+
+/// p50/p95/max of an integer-valued device attribute, as exact integers.
+json::Value device_dist_json(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  json::Object o;
+  o.emplace_back("p50", rounded(support::quantile_sorted(values, 0.50)));
+  o.emplace_back("p95", rounded(support::quantile_sorted(values, 0.95)));
+  o.emplace_back("max", values.empty() ? 0 : rounded(values.back()));
+  return o;
+}
+
+json::Value fleet_json(const std::vector<Device>& devices) {
+  uint64_t counts[3][2] = {};
+  std::vector<double> cpu, net;
+  cpu.reserve(devices.size());
+  net.reserve(devices.size());
+  for (const Device& d : devices) {
+    ++counts[static_cast<size_t>(d.browser)][static_cast<size_t>(d.platform)];
+    cpu.push_back(static_cast<double>(d.cpu_permille));
+    net.push_back(static_cast<double>(d.net_ps_per_byte));
+  }
+  struct Keyed {
+    std::string key;
+    json::Object body;
+  };
+  std::vector<Keyed> keyed;
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t p = 0; p < 2; ++p) {
+      if (counts[b][p] == 0) continue;
+      Keyed k;
+      const char* browser = env::to_string(static_cast<env::Browser>(b));
+      const char* platform = env::to_string(static_cast<env::Platform>(p));
+      k.key = std::string(browser) + '|' + platform;
+      k.body.emplace_back("browser", browser);
+      k.body.emplace_back("platform", platform);
+      k.body.emplace_back("devices", static_cast<int64_t>(counts[b][p]));
+      keyed.push_back(std::move(k));
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+  json::Array cells;
+  for (Keyed& k : keyed) cells.emplace_back(std::move(k.body));
+
+  json::Object o;
+  o.emplace_back("devices", static_cast<int64_t>(devices.size()));
+  o.emplace_back("cells", std::move(cells));
+  o.emplace_back("cpu_permille", device_dist_json(std::move(cpu)));
+  o.emplace_back("net_ps_per_byte", device_dist_json(std::move(net)));
+  return o;
+}
+
+json::Value cache_json(const ModuleCache& cache) {
+  const ModuleCache::Stats& s = cache.stats();
+  const uint64_t total = s.hits + s.misses;
+  json::Object o;
+  o.emplace_back("capacity_bytes", static_cast<int64_t>(cache.capacity_bytes()));
+  o.emplace_back("hits", static_cast<int64_t>(s.hits));
+  o.emplace_back("misses", static_cast<int64_t>(s.misses));
+  o.emplace_back("hit_rate_permille",
+                 static_cast<int64_t>(total ? s.hits * 1000 / total : 0));
+  o.emplace_back("evictions", static_cast<int64_t>(s.evictions));
+  o.emplace_back("uncacheable", static_cast<int64_t>(s.uncacheable));
+  o.emplace_back("bytes_inserted", static_cast<int64_t>(s.bytes_inserted));
+  o.emplace_back("entries", static_cast<int64_t>(cache.entries()));
+  o.emplace_back("bytes_in_use", static_cast<int64_t>(cache.bytes_in_use()));
+  return o;
+}
+
+}  // namespace
+
+FleetReport run_fleet(const FleetConfig& config) {
+  FleetReport report;
+  const auto fail = [&](std::string message) {
+    report.ok = false;
+    report.error = std::move(message);
+    return report;
+  };
+  if (config.sessions == 0) return fail("--sessions must be >= 1");
+  if (config.devices == 0) return fail("--devices must be >= 1");
+  if (config.sizes.empty()) return fail("workload size list is empty");
+  const int jobs = resolve_jobs(config.jobs);
+
+  // Workload grid: corpus x sizes, in corpus order (the zipf popularity
+  // ranking follows this order).
+  const auto& corpus = benchmarks::all_benchmarks();
+  size_t bench_count = corpus.size();
+  if (config.max_benchmarks > 0 && config.max_benchmarks < bench_count) {
+    bench_count = config.max_benchmarks;
+  }
+  std::vector<Workload> workloads;
+  workloads.reserve(bench_count * config.sizes.size());
+  for (size_t i = 0; i < bench_count; ++i) {
+    for (const core::InputSize size : config.sizes) {
+      workloads.push_back(Workload{&corpus[i], size});
+    }
+  }
+
+  // Phase 1 (parallel): one build + six measured environments per
+  // workload.
+  const std::vector<WorkloadMetrics> measured =
+      measure_workloads(workloads, config.level, jobs);
+  for (const WorkloadMetrics& m : measured) {
+    if (!m.error.empty()) return fail(m.error);
+  }
+
+  // Phase 2: the device population and the drawn sessions. Split order is
+  // fixed (devices first, then one split per shard), so every byte is a
+  // function of the seed alone.
+  support::Rng master(config.seed);
+  const std::vector<Device> devices =
+      build_fleet(config.devices, master.split());
+  const std::vector<SessionRecord> sessions =
+      draw_sessions(config, workloads.size(), master, jobs);
+
+  // Phase 3 (serial, arrival order): replay the shared module cache and
+  // aggregate percentile analytics. The cache is the only cross-session
+  // state, and arrival order == session index order (gaps are
+  // non-negative), so this loop is the semantics, not an approximation.
+  ModuleCache cache(config.cache_mb * 1024 * 1024);
+  FleetAnalytics analytics;
+  env::Profile profiles[3][2];
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t p = 0; p < 2; ++p) {
+      profiles[b][p] = env::profile_for(static_cast<env::Browser>(b),
+                                        static_cast<env::Platform>(p));
+    }
+  }
+  std::vector<uint64_t> module_sessions(workloads.size(), 0);
+  std::vector<uint64_t> module_warm(workloads.size(), 0);
+  uint64_t arrival_span_ps = 0;
+  for (const SessionRecord& s : sessions) {
+    arrival_span_ps += static_cast<uint64_t>(s.arrival_gap_us) * 1'000'000;
+    const Device& device = devices[s.device];
+    const size_t b = static_cast<size_t>(device.browser);
+    const size_t p = static_cast<size_t>(device.platform);
+    const WorkloadMetrics& wm = measured[s.workload];
+    const CellMetrics& cell = wm.cells[b][p];
+    const env::Profile& profile = profiles[b][p];
+
+    const bool warm =
+        cache.access(wm.cache_keys[b][p], wm.code_size * kCodeExpansion);
+    // Cold: fetch the binary over the device's network and compile it.
+    // Warm: both the HTTP cache and the code cache hit; only a cheap
+    // compiled-module load remains. Compile/execute costs scale with the
+    // device's CPU jitter; all arithmetic is exact u64.
+    const uint64_t compile_ps =
+        warm ? cell.decode_ps / kWarmLoadDivisor : cell.decode_ps;
+    const uint64_t network_ps =
+        warm ? 0 : wm.code_size * static_cast<uint64_t>(device.net_ps_per_byte);
+    const uint64_t cpu = device.cpu_permille;
+    const uint64_t startup_ps =
+        profile.page_overhead_ps + network_ps +
+        (compile_ps + profile.wasm_instantiate_overhead_ps) * cpu / 1000;
+    const uint64_t latency_ps = startup_ps + cell.exec_ps * cpu / 1000;
+
+    SessionSample sample;
+    sample.browser = device.browser;
+    sample.platform = device.platform;
+    sample.warm = warm;
+    sample.latency_ps = latency_ps;
+    sample.startup_ps = startup_ps;
+    sample.memory_bytes = cell.memory_bytes;
+    analytics.record(sample);
+    ++module_sessions[s.workload];
+    if (warm) ++module_warm[s.workload];
+  }
+
+  // Per-module traffic table, sorted by benchmark|size for canonical
+  // output (every workload appears, even if no session drew it).
+  struct Keyed {
+    std::string key;
+    json::Object body;
+  };
+  std::vector<Keyed> modules;
+  modules.reserve(workloads.size());
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    Keyed k;
+    k.key = workloads[i].bench->name + '|' + core::to_string(workloads[i].size);
+    k.body.emplace_back("benchmark", workloads[i].bench->name);
+    k.body.emplace_back("size", core::to_string(workloads[i].size));
+    k.body.emplace_back("code_size", static_cast<int64_t>(measured[i].code_size));
+    k.body.emplace_back("sha256", measured[i].sha256);
+    k.body.emplace_back("sessions", static_cast<int64_t>(module_sessions[i]));
+    k.body.emplace_back("warm_sessions", static_cast<int64_t>(module_warm[i]));
+    modules.push_back(std::move(k));
+  }
+  std::sort(modules.begin(), modules.end(),
+            [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+  json::Array module_array;
+  module_array.reserve(modules.size());
+  for (Keyed& k : modules) module_array.emplace_back(std::move(k.body));
+
+  json::Object root;
+  root.emplace_back("schema_version", kSchemaVersion);
+  root.emplace_back("tool", "wb_fleet");
+  root.emplace_back("config", config_json(config));
+  json::Object model;
+  model.emplace_back("code_expansion", static_cast<int64_t>(kCodeExpansion));
+  model.emplace_back("warm_load_divisor", static_cast<int64_t>(kWarmLoadDivisor));
+  root.emplace_back("model", std::move(model));
+  root.emplace_back("fleet", fleet_json(devices));
+  root.emplace_back("arrival_span_ps", static_cast<int64_t>(arrival_span_ps));
+  root.emplace_back("cache", cache_json(cache));
+  root.emplace_back("overall", analytics.overall_json());
+  root.emplace_back("cells", analytics.cells_json());
+  root.emplace_back("modules", std::move(module_array));
+  report.doc = json::Value(std::move(root));
+
+  const std::string dumped = report.doc.dump(2);
+  report.digest = support::sha256_hex(std::span(
+      reinterpret_cast<const uint8_t*>(dumped.data()), dumped.size()));
+
+  // Human tables: latency/memory percentiles, cache behaviour, and the
+  // top-of-zipf modules that dominate traffic.
+  std::string tables = analytics.table();
+  {
+    const ModuleCache::Stats& cs = cache.stats();
+    const uint64_t total = cs.hits + cs.misses;
+    support::TextTable t("Shared compiled-module cache");
+    t.set_header({"Capacity MB", "Hits", "Misses", "Hit%", "Evictions", "Entries"});
+    t.add_row({std::to_string(config.cache_mb), std::to_string(cs.hits),
+               std::to_string(cs.misses),
+               support::fmt(total ? 100.0 * static_cast<double>(cs.hits) /
+                                        static_cast<double>(total)
+                                  : 0.0,
+                            1),
+               std::to_string(cs.evictions), std::to_string(cache.entries())});
+    tables += "\n" + t.render();
+  }
+  {
+    std::vector<size_t> order(workloads.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (module_sessions[a] != module_sessions[b])
+        return module_sessions[a] > module_sessions[b];
+      return a < b;
+    });
+    support::TextTable t("Hottest modules");
+    t.set_header({"Benchmark", "Size", "Sessions", "Warm%"});
+    const size_t top = std::min<size_t>(order.size(), 8);
+    for (size_t r = 0; r < top; ++r) {
+      const size_t i = order[r];
+      const double warm_pct =
+          module_sessions[i] ? 100.0 * static_cast<double>(module_warm[i]) /
+                                   static_cast<double>(module_sessions[i])
+                             : 0.0;
+      t.add_row({workloads[i].bench->name, core::to_string(workloads[i].size),
+                 std::to_string(module_sessions[i]), support::fmt(warm_pct, 1)});
+    }
+    tables += "\n" + t.render();
+  }
+  report.tables = std::move(tables);
+  return report;
+}
+
+bool config_from_json(const json::Value& config, FleetConfig& out, std::string& error) {
+  const auto require_int = [&](const char* key, auto& field) {
+    const json::Value* v = config.find(key);
+    if (!v || !v->is_int()) {
+      error = std::string("config missing integer field: ") + key;
+      return false;
+    }
+    field = static_cast<std::decay_t<decltype(field)>>(v->as_int());
+    return true;
+  };
+  FleetConfig c;
+  if (!require_int("sessions", c.sessions)) return false;
+  if (!require_int("devices", c.devices)) return false;
+  if (!require_int("seed", c.seed)) return false;
+  if (!require_int("cache_mb", c.cache_mb)) return false;
+  if (!require_int("mean_interarrival_us", c.mean_interarrival_us)) return false;
+  if (!require_int("max_benchmarks", c.max_benchmarks)) return false;
+
+  const json::Value* level = config.find("level");
+  if (!level || !level->is_string()) {
+    error = "config missing string field: level";
+    return false;
+  }
+  bool found = false;
+  for (const ir::OptLevel l : {ir::OptLevel::O0, ir::OptLevel::O1, ir::OptLevel::O2,
+                               ir::OptLevel::O3, ir::OptLevel::Ofast, ir::OptLevel::Os,
+                               ir::OptLevel::Oz}) {
+    if (level->as_string() == ir::to_string(l)) {
+      c.level = l;
+      found = true;
+    }
+  }
+  if (!found) {
+    error = "config has unknown level: " + level->as_string();
+    return false;
+  }
+
+  const json::Value* sizes = config.find("sizes");
+  if (!sizes || !sizes->is_array() || sizes->as_array().empty()) {
+    error = "config missing sizes array";
+    return false;
+  }
+  c.sizes.clear();
+  for (const json::Value& s : sizes->as_array()) {
+    bool size_found = false;
+    for (const core::InputSize candidate : core::kAllSizes) {
+      if (s.is_string() && s.as_string() == core::to_string(candidate)) {
+        c.sizes.push_back(candidate);
+        size_found = true;
+      }
+    }
+    if (!size_found) {
+      error = "config has unknown size: " + s.dump();
+      return false;
+    }
+  }
+  out = std::move(c);
+  return true;
+}
+
+}  // namespace wb::fleet

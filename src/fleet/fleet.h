@@ -1,0 +1,74 @@
+// wb::fleet — the browser-fleet traffic simulator. Scales the study from
+// 492 one-shot cells to a production-shaped workload: millions of user
+// sessions across a modeled device population, a heavy-tailed arrival
+// process over the benchmark corpus, and a shared compiled-module code
+// cache that turns repeat loads into warm hits — the axis where the
+// paper's cold-start findings become a systems problem.
+//
+// Everything is deterministic from one seed on the virtual clock:
+//   * each distinct (benchmark, size) workload is built once and measured
+//     once per (browser, platform) through env::BrowserEnv (fanned out on
+//     support::ThreadPool — cells are independent, so the schedule cannot
+//     change a bit);
+//   * session attributes (device, workload, inter-arrival gap) are drawn
+//     in fixed-size shards whose seeds derive serially via Rng::split(),
+//     the same jobs-invariance discipline as wb_fuzz;
+//   * the cache replay and analytics run serially in arrival order.
+// The report is canonical JSON, so `--jobs=1` vs `--jobs=N` and repeated
+// runs produce byte-identical documents (and SHA-256 digests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "support/json.h"
+
+namespace wb::fleet {
+
+inline constexpr int kSchemaVersion = 1;
+
+/// Compiled machine code is larger than the wasm binary; cache entries
+/// model that expansion (V8 reports ~4-10x for Liftoff/TurboFan output).
+inline constexpr uint64_t kCodeExpansion = 8;
+
+/// A warm cache hit still deserializes/relocates the compiled module;
+/// modeled as decode cost divided by this (measured V8 code-cache loads
+/// are an order of magnitude cheaper than compiles).
+inline constexpr uint64_t kWarmLoadDivisor = 12;
+
+struct FleetConfig {
+  uint64_t sessions = 1'000'000;
+  uint32_t devices = 4096;
+  uint64_t seed = 1;
+  uint64_t cache_mb = 64;
+  /// Workload grid: every corpus benchmark at each of these input sizes.
+  std::vector<core::InputSize> sizes = {core::InputSize::XS};
+  ir::OptLevel level = ir::OptLevel::O2;
+  /// Mean inter-arrival gap of the Poisson session arrival process.
+  uint64_t mean_interarrival_us = 350;
+  /// 0 = whole 41-benchmark corpus; tests shrink the measurement grid.
+  uint32_t max_benchmarks = 0;
+  /// Measurement fan-out. 0 = WB_JOBS env var, then hardware. Never
+  /// changes any reported byte, only wall-clock.
+  int jobs = 0;
+};
+
+struct FleetReport {
+  bool ok = true;
+  std::string error;
+  support::json::Value doc;  ///< canonical schema-versioned document
+  std::string digest;        ///< SHA-256 hex of doc.dump(2)
+  std::string tables;        ///< human-readable summary tables
+};
+
+FleetReport run_fleet(const FleetConfig& config);
+
+/// Rebuilds a FleetConfig from a report's "config" object (--check replays
+/// the configuration recorded in the golden itself). Returns false and
+/// fills `error` on malformed input.
+bool config_from_json(const support::json::Value& config, FleetConfig& out,
+                      std::string& error);
+
+}  // namespace wb::fleet

@@ -2,7 +2,10 @@
 // seeded so every bench run is byte-for-byte reproducible.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace wb::support {
 
@@ -25,6 +28,33 @@ class Rng {
   /// Uniform double in [0, 1).
   double next_double() {
     return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Exponential variate with the given mean (inverse CDF over one
+  /// next_double() draw). Backs arrival processes: inter-arrival gaps of a
+  /// Poisson process with rate 1/mean are exponential(mean).
+  double exponential(double mean) { return -mean * std::log1p(-next_double()); }
+
+  /// Pareto variate with shape `alpha` and minimum `xm` (classic Pareto I,
+  /// xm * (1-u)^(-1/alpha)). Heavy-tailed: models the long tail of slow
+  /// devices and bad networks. Always >= xm; finite mean needs alpha > 1.
+  double pareto(double alpha, double xm) {
+    return xm * std::pow(1.0 - next_double(), -1.0 / alpha);
+  }
+
+  /// Picks index i with probability weights[i] / sum(weights), consuming
+  /// one next_double() draw. Weights must be non-negative with a positive
+  /// sum; the last index absorbs any floating-point slack.
+  size_t weighted_index(std::span<const double> weights) {
+    if (weights.empty()) return 0;
+    double total = 0;
+    for (const double w : weights) total += w;
+    double r = next_double() * total;
+    for (size_t i = 0; i + 1 < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0) return i;
+    }
+    return weights.size() - 1;
   }
 
   /// Derives an independent child stream (splitmix64 finalizer over the

@@ -20,8 +20,7 @@ double mean(std::span<const double> xs) {
   return sum / static_cast<double>(xs.size());
 }
 
-namespace {
-double percentile_sorted(const std::vector<double>& sorted, double p) {
+double quantile_sorted(std::span<const double> sorted, double p) {
   if (sorted.empty()) return 0;
   if (sorted.size() == 1) return sorted.front();
   const double rank = p * static_cast<double>(sorted.size() - 1);
@@ -30,7 +29,6 @@ double percentile_sorted(const std::vector<double>& sorted, double p) {
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
-}  // namespace
 
 FiveNumber five_number_summary(std::span<const double> xs) {
   if (xs.empty()) return {};
@@ -38,10 +36,46 @@ FiveNumber five_number_summary(std::span<const double> xs) {
   std::sort(sorted.begin(), sorted.end());
   FiveNumber s;
   s.min = sorted.front();
-  s.q1 = percentile_sorted(sorted, 0.25);
-  s.median = percentile_sorted(sorted, 0.50);
-  s.q3 = percentile_sorted(sorted, 0.75);
+  s.q1 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.q3 = quantile_sorted(sorted, 0.75);
   s.max = sorted.back();
+  return s;
+}
+
+void StreamingQuantiles::add(double x) {
+  if (count_ == 0 || x < min_) min_ = x;
+  if (count_ == 0 || x > max_) max_ = x;
+  sum_ += x;
+  ++count_;
+  sorted_valid_ = false;
+  if (capacity_ == 0 || samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Algorithm R: the new sample replaces a uniformly-chosen slot with
+  // probability capacity / count, keeping the reservoir uniform.
+  const uint64_t j = rng_.next_below(count_);
+  if (j < capacity_) samples_[static_cast<size_t>(j)] = x;
+}
+
+double StreamingQuantiles::quantile(double p) const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return quantile_sorted(sorted_, p);
+}
+
+FiveNumber StreamingQuantiles::five_number() const {
+  FiveNumber s;
+  if (count_ == 0) return s;
+  s.min = quantile(0.0);
+  s.q1 = quantile(0.25);
+  s.median = quantile(0.5);
+  s.q3 = quantile(0.75);
+  s.max = quantile(1.0);
   return s;
 }
 

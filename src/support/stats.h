@@ -4,8 +4,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
+
+#include "support/rng.h"
 
 namespace wb::support {
 
@@ -27,6 +30,53 @@ struct FiveNumber {
 };
 
 FiveNumber five_number_summary(std::span<const double> xs);
+
+/// Linear-interpolated percentile of an already-sorted sample (numpy's
+/// default method; p in [0, 1]). Returns 0 for empty input.
+double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Streaming sample summary for fleet-scale analytics: samples arrive one
+/// at a time, and the summary answers count/min/max/mean plus arbitrary
+/// quantiles (same interpolation as five_number_summary).
+///
+/// With reservoir_capacity == 0 (the default) every sample is kept, so
+/// quantiles are *exact* — the mode the golden-gated fleet report uses,
+/// where byte-identical deterministic replay matters more than memory.
+/// With a capacity, Vitter's algorithm R keeps a uniform reservoir of that
+/// size; the sampling choices come from a caller-seeded Rng, so runs stay
+/// deterministic. count/min/max/mean always cover every sample.
+class StreamingQuantiles {
+ public:
+  explicit StreamingQuantiles(size_t reservoir_capacity = 0, uint64_t seed = 1)
+      : capacity_(reservoir_capacity), rng_(seed) {}
+
+  void add(double x);
+
+  [[nodiscard]] size_t count() const { return count_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
+  }
+
+  /// Quantile over the kept samples (all of them in exact mode).
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] FiveNumber five_number() const;
+
+  /// Samples currently held (exact mode: everything added, in order).
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  size_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  ///< lazily sorted copy for quantiles
+  mutable bool sorted_valid_ = false;
+};
 
 /// Classification of per-benchmark speed ratios against a baseline, as the
 /// paper does in Tables 3/5: a benchmark where variant runs *faster* than

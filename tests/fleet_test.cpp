@@ -1,0 +1,244 @@
+// wb::fleet tests: deterministic module-cache behaviour, the device
+// population draw, and the tentpole guarantee — the fleet report is
+// byte-identical across --jobs=1 / --jobs=8 and repeated runs of one
+// seed, and a nonzero cache capacity measurably shifts the warm-vs-cold
+// startup curve vs --cache-mb=0.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "fleet/cache.h"
+#include "fleet/device.h"
+#include "fleet/fleet.h"
+
+namespace wb::fleet {
+namespace {
+
+namespace json = support::json;
+
+// ------------------------------------------------------------ ModuleCache
+
+TEST(ModuleCache, MissThenHit) {
+  ModuleCache cache(1 << 20);
+  EXPECT_FALSE(cache.access("a|Chrome|Desktop", 1000));
+  EXPECT_TRUE(cache.access("a|Chrome|Desktop", 1000));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes_in_use(), 1000u);
+}
+
+TEST(ModuleCache, KeyIncludesTarget) {
+  ModuleCache cache(1 << 20);
+  EXPECT_FALSE(cache.access("sha|Chrome|Desktop", 100));
+  // Same content address, different compile target: still cold.
+  EXPECT_FALSE(cache.access("sha|Firefox|Desktop", 100));
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(ModuleCache, LruEviction) {
+  ModuleCache cache(300);
+  EXPECT_FALSE(cache.access("a", 100));
+  EXPECT_FALSE(cache.access("b", 100));
+  EXPECT_FALSE(cache.access("c", 100));
+  // Touch "a" so "b" is the LRU victim when "d" needs room.
+  EXPECT_TRUE(cache.access("a", 100));
+  EXPECT_FALSE(cache.access("d", 100));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.access("a", 100));
+  EXPECT_TRUE(cache.access("c", 100));
+  EXPECT_FALSE(cache.access("b", 100));  // evicted -> cold again
+}
+
+TEST(ModuleCache, ZeroCapacityNeverCaches) {
+  ModuleCache cache(0);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(cache.access("a", 10));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().uncacheable, 3u);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ModuleCache, OversizedEntryBypasses) {
+  ModuleCache cache(100);
+  EXPECT_FALSE(cache.access("small", 60));
+  EXPECT_FALSE(cache.access("huge", 200));
+  EXPECT_EQ(cache.stats().uncacheable, 1u);
+  // The bypass must not evict what does fit.
+  EXPECT_TRUE(cache.access("small", 60));
+}
+
+// ------------------------------------------------------------ build_fleet
+
+TEST(DeviceFleet, DeterministicAndInRange) {
+  support::Rng rng(99);
+  const auto a = build_fleet(500, rng);
+  const auto b = build_fleet(500, support::Rng(99));
+  ASSERT_EQ(a.size(), 500u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cpu_permille, b[i].cpu_permille);
+    EXPECT_EQ(a[i].net_ps_per_byte, b[i].net_ps_per_byte);
+    EXPECT_EQ(a[i].browser, b[i].browser);
+    EXPECT_EQ(a[i].platform, b[i].platform);
+    EXPECT_GE(a[i].cpu_permille, 1000u);
+    EXPECT_LE(a[i].cpu_permille, 6000u);
+    EXPECT_GE(a[i].net_ps_per_byte, 160'000u);
+  }
+  // All six (browser, platform) combinations should appear in a population
+  // this size.
+  bool seen[3][2] = {};
+  for (const Device& d : a) {
+    seen[static_cast<size_t>(d.browser)][static_cast<size_t>(d.platform)] = true;
+  }
+  for (size_t x = 0; x < 3; ++x) {
+    for (size_t y = 0; y < 2; ++y) EXPECT_TRUE(seen[x][y]) << x << "," << y;
+  }
+}
+
+// ------------------------------------------------------------- run_fleet
+
+FleetConfig small_config() {
+  FleetConfig c;
+  c.sessions = 3000;
+  c.devices = 64;
+  c.seed = 7;
+  c.cache_mb = 4;
+  c.sizes = {core::InputSize::XS};
+  c.level = ir::OptLevel::O2;
+  c.mean_interarrival_us = 200;
+  c.max_benchmarks = 6;  // shrink the measurement grid; tier-1 speed
+  return c;
+}
+
+int64_t get_int(const json::Value& doc, const char* a, const char* b,
+                const char* c = nullptr) {
+  const json::Value* v = doc.find(a);
+  EXPECT_NE(v, nullptr) << a;
+  v = v->find(b);
+  EXPECT_NE(v, nullptr) << a << "." << b;
+  if (c) {
+    v = v->find(c);
+    EXPECT_NE(v, nullptr) << a << "." << b << "." << c;
+  }
+  return v->as_int();
+}
+
+TEST(Fleet, JobsInvarianceByteIdentical) {
+  FleetConfig c1 = small_config();
+  c1.jobs = 1;
+  FleetConfig c8 = small_config();
+  c8.jobs = 8;
+  const FleetReport r1 = run_fleet(c1);
+  const FleetReport r8 = run_fleet(c8);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  ASSERT_TRUE(r8.ok) << r8.error;
+  EXPECT_EQ(r1.doc.dump(2), r8.doc.dump(2));
+  EXPECT_EQ(r1.digest, r8.digest);
+}
+
+TEST(Fleet, RepeatedRunsSameSeedIdentical) {
+  const FleetConfig c = small_config();
+  const FleetReport a = run_fleet(c);
+  const FleetReport b = run_fleet(c);
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(a.doc.dump(2), b.doc.dump(2));
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(Fleet, SeedChangesReport) {
+  FleetConfig c = small_config();
+  const FleetReport a = run_fleet(c);
+  c.seed = 8;
+  const FleetReport b = run_fleet(c);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(Fleet, ReportShape) {
+  const FleetReport r = run_fleet(small_config());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(get_int(r.doc, "config", "sessions"), 3000);
+  EXPECT_EQ(get_int(r.doc, "overall", "sessions"), 3000);
+  const json::Value* cells = r.doc.find("cells");
+  ASSERT_NE(cells, nullptr);
+  int64_t total = 0;
+  for (const json::Value& cell : cells->as_array()) {
+    total += cell.find("sessions")->as_int();
+    // Percentiles are ordered within every cell.
+    const json::Value* lat = cell.find("latency_ps");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_LE(lat->find("p50")->as_int(), lat->find("p95")->as_int());
+    EXPECT_LE(lat->find("p95")->as_int(), lat->find("p99")->as_int());
+  }
+  EXPECT_EQ(total, 3000);
+  // 6 benchmarks x 1 size in the modules table.
+  EXPECT_EQ(r.doc.find("modules")->as_array().size(), 6u);
+  EXPECT_FALSE(r.tables.empty());
+  EXPECT_EQ(r.digest.size(), 64u);
+}
+
+TEST(Fleet, CacheShiftsWarmVsColdCurve) {
+  FleetConfig cached = small_config();
+  FleetConfig cold = small_config();
+  cold.cache_mb = 0;
+  const FleetReport with_cache = run_fleet(cached);
+  const FleetReport no_cache = run_fleet(cold);
+  ASSERT_TRUE(with_cache.ok) << with_cache.error;
+  ASSERT_TRUE(no_cache.ok) << no_cache.error;
+
+  // The shared cache must actually hit (6 modules x 3000 sessions), and
+  // with --cache-mb=0 every load is a cold compile.
+  EXPECT_GT(get_int(with_cache.doc, "cache", "hits"), 0);
+  EXPECT_GT(get_int(with_cache.doc, "cache", "hit_rate_permille"), 0);
+  EXPECT_EQ(get_int(no_cache.doc, "cache", "hits"), 0);
+  EXPECT_EQ(get_int(no_cache.doc, "overall", "warm_sessions"), 0);
+
+  // Warm startup is measurably cheaper than cold startup...
+  EXPECT_LT(get_int(with_cache.doc, "overall", "startup_warm_ps", "p50"),
+            get_int(with_cache.doc, "overall", "startup_cold_ps", "p50"));
+  // ...so the whole-fleet latency distribution shifts down vs all-cold.
+  EXPECT_LT(get_int(with_cache.doc, "overall", "latency_ps", "mean"),
+            get_int(no_cache.doc, "overall", "latency_ps", "mean"));
+  EXPECT_LE(get_int(with_cache.doc, "overall", "latency_ps", "p50"),
+            get_int(no_cache.doc, "overall", "latency_ps", "p50"));
+}
+
+TEST(Fleet, ConfigRoundTripsThroughReport) {
+  FleetConfig c = small_config();
+  c.sizes = {core::InputSize::XS, core::InputSize::S};
+  const FleetReport r = run_fleet(c);
+  ASSERT_TRUE(r.ok) << r.error;
+  FleetConfig parsed;
+  std::string error;
+  ASSERT_TRUE(config_from_json(*r.doc.find("config"), parsed, error)) << error;
+  EXPECT_EQ(parsed.sessions, c.sessions);
+  EXPECT_EQ(parsed.devices, c.devices);
+  EXPECT_EQ(parsed.seed, c.seed);
+  EXPECT_EQ(parsed.cache_mb, c.cache_mb);
+  EXPECT_EQ(parsed.level, c.level);
+  EXPECT_EQ(parsed.sizes, c.sizes);
+  EXPECT_EQ(parsed.mean_interarrival_us, c.mean_interarrival_us);
+  EXPECT_EQ(parsed.max_benchmarks, c.max_benchmarks);
+
+  // A replay of the parsed config reproduces the report byte-for-byte —
+  // the mechanism --check relies on.
+  parsed.jobs = 2;
+  const FleetReport replay = run_fleet(parsed);
+  ASSERT_TRUE(replay.ok) << replay.error;
+  EXPECT_EQ(replay.digest, r.digest);
+}
+
+TEST(Fleet, BadConfigRejected) {
+  FleetConfig c = small_config();
+  c.sessions = 0;
+  EXPECT_FALSE(run_fleet(c).ok);
+  FleetConfig parsed;
+  std::string error;
+  json::Object incomplete;
+  incomplete.emplace_back("sessions", 10);
+  EXPECT_FALSE(config_from_json(json::Value(std::move(incomplete)), parsed, error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace wb::fleet

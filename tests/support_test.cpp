@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "support/leb128.h"
@@ -260,6 +262,127 @@ TEST(Rng, SplitStreamsDoNotCorrelateWithParent) {
   EXPECT_NEAR(mean_popcount_xor(p, c1), 32.0, 1.0);
   EXPECT_NEAR(mean_popcount_xor(p, c2), 32.0, 1.0);
   EXPECT_NEAR(mean_popcount_xor(c1, c2), 32.0, 1.0);
+}
+
+// ------------------------------------------------- Rng distributions
+
+TEST(Rng, ExponentialMatchesMeanAndIsDeterministic) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 2.0, 0.05);
+
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.exponential(3.5), b.exponential(3.5));
+}
+
+TEST(Rng, ParetoRespectsMinimumAndTailMean) {
+  Rng rng(12);
+  double sum = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.pareto(3.0, 1.0);
+    ASSERT_GE(x, 1.0);
+    sum += x;
+  }
+  // E[Pareto(alpha, xm)] = alpha * xm / (alpha - 1) = 1.5.
+  EXPECT_NEAR(sum / kDraws, 1.5, 0.05);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(13);
+  const double weights[] = {1.0, 2.0, 7.0};
+  int counts[3] = {0, 0, 0};
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.7, 0.015);
+}
+
+TEST(Rng, WeightedIndexEdgeCases) {
+  Rng rng(14);
+  const double single[] = {5.0};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.weighted_index(single), 0u);
+  const double zeros_around[] = {0.0, 5.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted_index(zeros_around), 1u);
+  EXPECT_EQ(rng.weighted_index(std::span<const double>{}), 0u);
+}
+
+// ------------------------------------------------- StreamingQuantiles
+
+TEST(StreamingQuantiles, ExactModeMatchesSortedVector) {
+  Rng rng(21);
+  StreamingQuantiles q;
+  std::vector<double> all;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.next_double() * 1000.0;
+    q.add(x);
+    all.push_back(x);
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(q.count(), all.size());
+  EXPECT_EQ(q.min(), all.front());
+  EXPECT_EQ(q.max(), all.back());
+  for (const double p : {0.0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(q.quantile(p), quantile_sorted(all, p)) << p;
+  }
+  const FiveNumber direct = five_number_summary(all);
+  const FiveNumber streamed = q.five_number();
+  EXPECT_EQ(streamed.q1, direct.q1);
+  EXPECT_EQ(streamed.median, direct.median);
+  EXPECT_EQ(streamed.q3, direct.q3);
+}
+
+TEST(StreamingQuantiles, InterleavesAddsAndQueries) {
+  StreamingQuantiles q;
+  q.add(10.0);
+  EXPECT_EQ(q.quantile(0.5), 10.0);
+  q.add(20.0);
+  EXPECT_EQ(q.quantile(0.5), 15.0);  // resorted after the new sample
+  q.add(30.0);
+  EXPECT_EQ(q.quantile(0.5), 20.0);
+  EXPECT_EQ(q.mean(), 20.0);
+  EXPECT_EQ(q.count(), 3u);
+}
+
+TEST(StreamingQuantiles, EmptySummaryIsZeros) {
+  const StreamingQuantiles q;
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_EQ(q.min(), 0.0);
+  EXPECT_EQ(q.max(), 0.0);
+  EXPECT_EQ(q.mean(), 0.0);
+  EXPECT_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST(StreamingQuantiles, ReservoirBoundsMemoryDeterministically) {
+  StreamingQuantiles a(/*reservoir_capacity=*/256, /*seed=*/5);
+  StreamingQuantiles b(/*reservoir_capacity=*/256, /*seed=*/5);
+  Rng rng(22);
+  double true_min = 1e300, true_max = -1e300;
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = rng.next_double();
+    a.add(x);
+    b.add(x);
+    true_min = std::min(true_min, x);
+    true_max = std::max(true_max, x);
+  }
+  EXPECT_EQ(a.samples().size(), 256u);
+  EXPECT_EQ(a.count(), 50'000u);
+  // min/max/mean cover every sample even though the reservoir is bounded.
+  EXPECT_EQ(a.min(), true_min);
+  EXPECT_EQ(a.max(), true_max);
+  EXPECT_NEAR(a.mean(), 0.5, 0.01);
+  // Same seed, same stream -> identical reservoir and quantiles.
+  EXPECT_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_EQ(a.quantile(0.99), b.quantile(0.99));
+  // A uniform reservoir of 256 still estimates the median decently.
+  EXPECT_NEAR(a.quantile(0.5), 0.5, 0.1);
 }
 
 }  // namespace

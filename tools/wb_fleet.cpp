@@ -1,0 +1,243 @@
+// wb_fleet — the browser-fleet traffic simulator behind the fleet golden
+// gate.
+//
+// Simulates --sessions user sessions across a seeded device population
+// (browser x platform x CPU/network jitter), a Poisson arrival process
+// over the benchmark corpus (zipf-popular modules), and a shared
+// compiled-module code cache (--cache-mb; 0 = every load is a cold
+// compile). Each distinct workload is built and measured once per browser
+// environment on the virtual clock; sessions are then exact integer
+// arithmetic, so the report is byte-reproducible: identical across
+// --jobs=1/--jobs=N and repeated runs of the same seed.
+//
+//   wb_fleet --sessions=1000000                # run, print tables + digest
+//   wb_fleet --out=goldens/fleet.json          # (re)generate the golden
+//   wb_fleet --check                           # replay golden config, diff
+//
+// --check replays the config recorded in the golden itself and exits 1 on
+// any byte difference, writing the line diff to --diff-out if given.
+//
+// Usage:
+//   wb_fleet [--sessions=N] [--devices=N] [--seed=S] [--cache-mb=N]
+//            [--jobs=N] [--sizes=XS,S] [--level=O2] [--mean-us=N]
+//            [--max-benchmarks=N] [--out=PATH]
+//            [--check] [--golden=goldens/fleet.json] [--diff-out=PATH]
+//            [--no-quicken] [--no-quicken-js] [--help]
+//
+// Environment:
+//   WB_JOBS=N            default for --jobs (the flag wins)
+//   WB_NO_QUICKEN=1      force the classic Wasm interpreter loop
+//                        (same as --no-quicken; never changes results)
+//   WB_NO_JS_QUICKEN=1   force the classic JS switch loop
+//                        (same as --no-quicken-js; never changes results)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "js/quicken.h"
+#include "support/json.h"
+#include "wasm/quicken.h"
+
+namespace {
+
+using namespace wb;
+namespace json = support::json;
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "wb_fleet: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+int usage(FILE* to) {
+  std::fputs(
+      "usage: wb_fleet [--sessions=N] [--devices=N] [--seed=S] [--cache-mb=N]\n"
+      "                [--jobs=N] [--sizes=XS,S] [--level=O2] [--mean-us=N]\n"
+      "                [--max-benchmarks=N] [--out=PATH]\n"
+      "                [--check] [--golden=goldens/fleet.json] [--diff-out=PATH]\n"
+      "                [--no-quicken] [--no-quicken-js] [--help]\n"
+      "environment:\n"
+      "  WB_JOBS=N            default for --jobs (the flag wins)\n"
+      "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
+      "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n",
+      to);
+  return to == stdout ? 0 : 2;
+}
+
+uint64_t parse_u64(const std::string& value, const char* what) {
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(value.c_str(), &end, 0);
+  if (!end || *end != '\0' || end == value.c_str()) {
+    die(std::string("bad ") + what + " value: " + value);
+  }
+  return v;
+}
+
+std::vector<core::InputSize> parse_sizes(const std::string& csv) {
+  std::vector<core::InputSize> out;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    bool found = false;
+    for (const core::InputSize s : core::kAllSizes) {
+      if (token == core::to_string(s)) {
+        out.push_back(s);
+        found = true;
+      }
+    }
+    if (!found) die("unknown size: " + token);
+  }
+  if (out.empty()) die("empty size list: " + csv);
+  return out;
+}
+
+ir::OptLevel parse_level(const std::string& token) {
+  for (const ir::OptLevel l : {ir::OptLevel::O0, ir::OptLevel::O1, ir::OptLevel::O2,
+                               ir::OptLevel::O3, ir::OptLevel::Ofast, ir::OptLevel::Os,
+                               ir::OptLevel::Oz}) {
+    if (token == ir::to_string(l)) return l;
+  }
+  die("unknown level: " + token);
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) die("cannot read " + path.string());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) die("cannot write " + path.string());
+  out << content;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Line-level diff of the two canonical dumps; the report is sorted and
+/// schema-stable, so lines align and a plain walk reads well.
+std::string diff_reports(const std::string& golden, const std::string& current) {
+  const std::vector<std::string> g = split_lines(golden);
+  const std::vector<std::string> c = split_lines(current);
+  std::string out;
+  size_t shown = 0;
+  const size_t n = std::max(g.size(), c.size());
+  for (size_t i = 0; i < n && shown < 50; ++i) {
+    const std::string& gl = i < g.size() ? g[i] : "(missing)";
+    const std::string& cl = i < c.size() ? c[i] : "(missing)";
+    if (gl == cl) continue;
+    out += "  line " + std::to_string(i + 1) + ": " + gl + " -> " + cl + "\n";
+    ++shown;
+  }
+  if (shown == 50) out += "  ... (diff truncated)\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fleet::FleetConfig config;
+  config.sessions = 1'000'000;
+  bool check = false;
+  std::filesystem::path out_path;
+  std::filesystem::path golden_path = "goldens/fleet.json";
+  std::filesystem::path diff_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      return usage(stdout);
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--sessions=", 0) == 0) {
+      config.sessions = parse_u64(value("--sessions="), "--sessions");
+    } else if (arg.rfind("--devices=", 0) == 0) {
+      config.devices = static_cast<uint32_t>(parse_u64(value("--devices="), "--devices"));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = parse_u64(value("--seed="), "--seed");
+    } else if (arg.rfind("--cache-mb=", 0) == 0) {
+      config.cache_mb = parse_u64(value("--cache-mb="), "--cache-mb");
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      config.jobs = static_cast<int>(parse_u64(value("--jobs="), "--jobs"));
+    } else if (arg.rfind("--sizes=", 0) == 0) {
+      config.sizes = parse_sizes(value("--sizes="));
+    } else if (arg.rfind("--level=", 0) == 0) {
+      config.level = parse_level(value("--level="));
+    } else if (arg.rfind("--mean-us=", 0) == 0) {
+      config.mean_interarrival_us = parse_u64(value("--mean-us="), "--mean-us");
+    } else if (arg.rfind("--max-benchmarks=", 0) == 0) {
+      config.max_benchmarks =
+          static_cast<uint32_t>(parse_u64(value("--max-benchmarks="), "--max-benchmarks"));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = value("--out=");
+    } else if (arg.rfind("--golden=", 0) == 0) {
+      golden_path = value("--golden=");
+    } else if (arg.rfind("--diff-out=", 0) == 0) {
+      diff_out = value("--diff-out=");
+    } else if (arg == "--no-quicken") {
+      wasm::set_quicken_default(false);
+    } else if (arg == "--no-quicken-js") {
+      js::set_quicken_default(false);
+    } else {
+      std::fprintf(stderr, "wb_fleet: unknown flag: %s\n", arg.c_str());
+      return usage(stderr);
+    }
+  }
+
+  if (check) {
+    std::string error;
+    const std::optional<json::Value> golden =
+        json::parse(read_file(golden_path), error);
+    if (!golden) die("golden " + golden_path.string() + " is not valid JSON: " + error);
+    const json::Value* gconfig = golden->find("config");
+    if (!gconfig) die("golden has no config object");
+    if (!fleet::config_from_json(*gconfig, config, error)) die(error);
+
+    const fleet::FleetReport report = fleet::run_fleet(config);
+    if (!report.ok) die(report.error);
+    const std::string golden_dump = golden->dump(2);
+    const std::string current_dump = report.doc.dump(2);
+    if (golden_dump == current_dump) {
+      std::printf("fleet golden gate OK: report bit-identical to %s (digest %s)\n",
+                  golden_path.string().c_str(), report.digest.c_str());
+      return 0;
+    }
+    std::string out = "fleet golden gate FAILED vs " + golden_path.string() + "\n";
+    out += diff_reports(golden_dump, current_dump);
+    out +=
+        "If this change is intentional, regenerate the golden in this PR:\n"
+        "  wb_fleet --out=" + golden_path.string() + "\n";
+    std::fputs(out.c_str(), stdout);
+    if (!diff_out.empty()) write_file(diff_out, out + "\ncurrent report:\n" + current_dump);
+    return 1;
+  }
+
+  const fleet::FleetReport report = fleet::run_fleet(config);
+  if (!report.ok) die(report.error);
+  std::fputs(report.tables.c_str(), stdout);
+  std::printf("\nfleet report digest: %s\n", report.digest.c_str());
+  if (!out_path.empty()) {
+    write_file(out_path, report.doc.dump(2) + "\n");
+    std::printf("wrote %s\n", out_path.string().c_str());
+  }
+  return 0;
+}

@@ -30,13 +30,18 @@ namespace {
 namespace fs = std::filesystem;
 using namespace wb;
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: wb_fuzz [--runs=N] [--seed=S] [--jobs=J] [--out=DIR]\n"
-               "               [--mutation-every=N] [--no-minimize] [--plant-bug]\n"
-               "               [--no-quicken] [--no-quicken-js]\n"
-               "               [--replay FILE] [--corpus DIR]\n");
-  return 2;
+int usage(FILE* to = stderr) {
+  std::fputs(
+      "usage: wb_fuzz [--runs=N] [--seed=S] [--jobs=J] [--out=DIR]\n"
+      "               [--mutation-every=N] [--no-minimize] [--plant-bug]\n"
+      "               [--no-quicken] [--no-quicken-js]\n"
+      "               [--replay FILE] [--corpus DIR] [--help]\n"
+      "environment:\n"
+      "  WB_JOBS=N            default for --jobs (the flag wins)\n"
+      "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
+      "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n",
+      to);
+  return to == stdout ? 0 : 2;
 }
 
 bool parse_u64(const char* s, uint64_t& out) {
@@ -118,7 +123,9 @@ int main(int argc, char** argv) {
       return arg.c_str() + std::strlen(prefix);
     };
     uint64_t n = 0;
-    if (arg.rfind("--runs=", 0) == 0 && parse_u64(value("--runs="), n)) {
+    if (arg == "--help" || arg == "-h") {
+      return usage(stdout);
+    } else if (arg.rfind("--runs=", 0) == 0 && parse_u64(value("--runs="), n)) {
       options.runs = static_cast<size_t>(n);
       runs_given = true;
     } else if (arg.rfind("--seed=", 0) == 0 && parse_u64(value("--seed="), n)) {

@@ -23,7 +23,14 @@
 //            [--sizes=S,M] [--levels=O2,Ofast]
 //            [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]
 //            [--toolchain=Cheerp] [--with-native] [--jobs=N] [--no-quicken]
-//            [--no-quicken-js]
+//            [--no-quicken-js] [--help]
+//
+// Environment (see also wb_study --help):
+//   WB_JOBS=N            default for --jobs (the flag wins)
+//   WB_NO_QUICKEN=1      force the classic Wasm interpreter loop
+//                        (same as --no-quicken; never changes results)
+//   WB_NO_JS_QUICKEN=1   force the classic JS switch loop
+//                        (same as --no-quicken-js; never changes results)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +58,22 @@ constexpr int kSchemaVersion = 1;
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "wb_study: %s\n", msg.c_str());
   std::exit(2);
+}
+
+int usage(FILE* to) {
+  std::fputs(
+      "usage: wb_study [--out=goldens/study.json]\n"
+      "                [--check] [--golden=goldens/study.json] [--diff-out=PATH]\n"
+      "                [--sizes=S,M] [--levels=O2,Ofast]\n"
+      "                [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
+      "                [--toolchain=Cheerp] [--with-native] [--jobs=N]\n"
+      "                [--no-quicken] [--no-quicken-js] [--help]\n"
+      "environment:\n"
+      "  WB_JOBS=N            default for --jobs (the flag wins)\n"
+      "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
+      "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n",
+      to);
+  return to == stdout ? 0 : 2;
 }
 
 // ------------------------------------------------------------- matrix
@@ -357,7 +380,9 @@ int main(int argc, char** argv) {
     const auto value = [&](const char* prefix) {
       return arg.substr(std::strlen(prefix));
     };
-    if (arg == "--check") {
+    if (arg == "--help" || arg == "-h") {
+      return usage(stdout);
+    } else if (arg == "--check") {
       check = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = value("--out=");
@@ -394,7 +419,8 @@ int main(int argc, char** argv) {
       // Same escape hatch for the JS VM's quickened threaded engine.
       js::set_quicken_default(false);
     } else {
-      die("unknown flag: " + arg + " (see header comment for usage)");
+      std::fprintf(stderr, "wb_study: unknown flag: %s\n", arg.c_str());
+      return usage(stderr);
     }
   }
 

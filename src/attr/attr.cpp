@@ -1,0 +1,152 @@
+#include "attr/attr.h"
+
+namespace wb::attr {
+namespace {
+
+bool g_enabled = true;
+
+/// One cause's per-mille share of a class cost. Entry 0 of a split is the
+/// *primary* cause: it absorbs the integer-division remainder, so the
+/// shares of any cost always sum to exactly that cost.
+struct Share {
+  Cause cause = Cause::Useful;
+  uint32_t permille = 0;
+};
+using ClassSplit = std::array<Share, 4>;
+
+// --------------------------------------------------------------- Wasm
+//
+// The decomposition "Mind the Gap" measured with performance counters,
+// expressed as pricing policy over our OpClass cost tables: loads and
+// stores carry the bounds-check guard, locals/consts are shadow-stack
+// traffic, branches and Misc are pure dispatch, calls are mostly frame
+// setup + boundary-adjacent overhead, and the arithmetic classes are
+// mostly work native would also do (the residual "useful" lane).
+// Fractions are per-mille; entry 0 takes the rounding remainder.
+constexpr std::array<ClassSplit, wasm::kOpClassCount> kWasmSplits = {{
+    // Const: materialize + push to the operand stack.
+    {{{Cause::LocalsTraffic, 500}, {Cause::Dispatch, 200}, {Cause::Useful, 300}}},
+    // LocalVar: local.get/set/tee — the shadow-stack traffic lane.
+    {{{Cause::LocalsTraffic, 850}, {Cause::Dispatch, 150}}},
+    // GlobalVar
+    {{{Cause::LocalsTraffic, 850}, {Cause::Dispatch, 150}}},
+    // IntArith
+    {{{Cause::Useful, 850}, {Cause::Dispatch, 150}}},
+    // IntMul
+    {{{Cause::Useful, 920}, {Cause::Dispatch, 80}}},
+    // IntDiv: the 3.4ns latency is nearly all the divider itself.
+    {{{Cause::Useful, 980}, {Cause::Dispatch, 20}}},
+    // FloatArith
+    {{{Cause::Useful, 920}, {Cause::Dispatch, 80}}},
+    // FloatDiv
+    {{{Cause::Useful, 980}, {Cause::Dispatch, 20}}},
+    // Convert
+    {{{Cause::Useful, 850}, {Cause::Dispatch, 150}}},
+    // Load: explicit guard before the access.
+    {{{Cause::Useful, 520}, {Cause::BoundsCheck, 380}, {Cause::Dispatch, 100}}},
+    // Store
+    {{{Cause::Useful, 520}, {Cause::BoundsCheck, 380}, {Cause::Dispatch, 100}}},
+    // Branch: blocks/br/br_if/select/drop — control sequencing.
+    {{{Cause::Dispatch, 1000}}},
+    // Call: frame setup, arg shuffling through the shadow stack.
+    {{{Cause::CallOverhead, 700}, {Cause::LocalsTraffic, 180}, {Cause::Dispatch, 120}}},
+    // MemoryGrow (base op cost; the per-grow quantum is charged directly).
+    {{{Cause::MemoryGrowth, 1000}}},
+    // Misc
+    {{{Cause::Dispatch, 1000}}},
+}};
+
+// ----------------------------------------------------------------- JS
+//
+// The JS tables fold engine-model costs the classes already price in:
+// Prop/BoxedIndex carry the IC-miss/shape-check lane, Index the array
+// guard, Alloc the amortized GC share (the mark-sweep hook itself charges
+// nothing on the virtual clock — DESIGN.md §13 documents the folding).
+constexpr std::array<ClassSplit, js::kJsOpClassCount> kJsSplits = {{
+    // Const
+    {{{Cause::Useful, 500}, {Cause::Dispatch, 300}, {Cause::LocalsTraffic, 200}}},
+    // Local
+    {{{Cause::LocalsTraffic, 700}, {Cause::Dispatch, 300}}},
+    // Global: scope-object lookup.
+    {{{Cause::LocalsTraffic, 500}, {Cause::IcMiss, 300}, {Cause::Dispatch, 200}}},
+    // Arith
+    {{{Cause::Useful, 850}, {Cause::Dispatch, 150}}},
+    // BitOp: the cheap int32 fast path.
+    {{{Cause::Useful, 800}, {Cause::Dispatch, 200}}},
+    // Compare
+    {{{Cause::Useful, 850}, {Cause::Dispatch, 150}}},
+    // Branch
+    {{{Cause::Dispatch, 1000}}},
+    // Stack: push/pop/dup — operand-stack traffic.
+    {{{Cause::LocalsTraffic, 700}, {Cause::Dispatch, 300}}},
+    // Call
+    {{{Cause::CallOverhead, 750}, {Cause::LocalsTraffic, 150}, {Cause::Dispatch, 100}}},
+    // Return
+    {{{Cause::CallOverhead, 800}, {Cause::Dispatch, 200}}},
+    // Prop: shape check + slot load.
+    {{{Cause::IcMiss, 500}, {Cause::Useful, 400}, {Cause::Dispatch, 100}}},
+    // Index: typed-array access with its guard.
+    {{{Cause::Useful, 500}, {Cause::BoundsCheck, 400}, {Cause::Dispatch, 100}}},
+    // Alloc: allocation + the amortized GC share.
+    {{{Cause::Useful, 600}, {Cause::GcPause, 350}, {Cause::Dispatch, 50}}},
+    // BoxedIndex surcharge: tagged elements + hole checks.
+    {{{Cause::IcMiss, 400}, {Cause::BoundsCheck, 300}, {Cause::Useful, 200}, {Cause::Dispatch, 100}}},
+    // Misc
+    {{{Cause::Dispatch, 1000}}},
+}};
+
+CauseVec split(const ClassSplit& s, uint64_t cost_ps) {
+  CauseVec out{};
+  uint64_t assigned = 0;
+  for (size_t i = 1; i < s.size(); ++i) {
+    if (s[i].permille == 0) continue;
+    const uint64_t part = cost_ps * s[i].permille / 1000;
+    out[static_cast<size_t>(s[i].cause)] += part;
+    assigned += part;
+  }
+  // Primary cause takes its own floor share plus the rounding remainder.
+  out[static_cast<size_t>(s[0].cause)] += cost_ps - assigned;
+  return out;
+}
+
+template <size_t N>
+CauseVec decompose(const VmAttr<N>& a,
+                   const std::array<std::array<uint64_t, N>, 2>& tables,
+                   const std::array<ClassSplit, N>& splits) {
+  CauseVec out{};
+  for (size_t tier = 0; tier < 2; ++tier) {
+    for (size_t cls = 0; cls < N; ++cls) {
+      const uint64_t n = a.class_counts[tier][cls];
+      if (n == 0) continue;
+      const CauseVec shares = split(splits[cls], tables[tier][cls]);
+      for (size_t i = 0; i < kCauseCount; ++i) out[i] += n * shares[i];
+    }
+  }
+  for (size_t i = 0; i < kCauseCount; ++i) out[i] += a.direct_ps[i];
+  return out;
+}
+
+}  // namespace
+
+void set_enabled(bool on) { g_enabled = on; }
+bool enabled() { return g_enabled; }
+
+CauseVec split_wasm_class(wasm::OpClass cls, uint64_t cost_ps) {
+  return split(kWasmSplits[static_cast<size_t>(cls)], cost_ps);
+}
+
+CauseVec split_js_class(js::JsOpClass cls, uint64_t cost_ps) {
+  return split(kJsSplits[static_cast<size_t>(cls)], cost_ps);
+}
+
+CauseVec decompose_wasm(const wasm::AttrStats& a,
+                        const std::array<wasm::CostTable, 2>& tables) {
+  return decompose(a, tables, kWasmSplits);
+}
+
+CauseVec decompose_js(const js::JsAttrStats& a,
+                      const std::array<js::JsCostTable, 2>& tables) {
+  return decompose(a, tables, kJsSplits);
+}
+
+}  // namespace wb::attr

@@ -1,0 +1,69 @@
+// wb::attr — exact cause decomposition of virtual-clock charges.
+//
+// The VMs count *what* they charged (per-tier, per-OpClass executed-op
+// counts plus cause-tagged one-off charges; see attr/cause.h). This
+// module turns those counters into per-cause picosecond vectors by
+// splitting each class's per-op cost across causes with fixed per-mille
+// policy tables (e.g. a Wasm Load is part dispatch, part bounds check,
+// part useful memory traffic — the "Mind the Gap" decomposition).
+//
+// Exactness: the split of one cost C computes floor shares for every
+// non-primary cause and gives the primary cause the remainder, so the
+// shares always sum to exactly C. Decomposition then multiplies shares
+// by integer counts, so sum(decompose(...)) reproduces the VM's charged
+// cost_ps bit-exactly — which is what tests/attr_test.cpp asserts for
+// every benchmark, VM, and tier.
+//
+// The per-mille fractions themselves are modeling policy (documented in
+// DESIGN.md §13), not measurements; the *sums* are exact and golden-gated.
+#pragma once
+
+#include "attr/cause.h"
+#include "js/interp.h"
+#include "wasm/interp.h"
+
+namespace wb::attr {
+
+/// Process-wide toggle for *report-level* attribution (PageMetrics::attr_ps
+/// population in env). VM-side counting is always on and can never change
+/// an observable; the toggle exists so tests can prove that. Default: on.
+void set_enabled(bool on);
+bool enabled();
+
+/// Exact per-cause split of one class's per-op cost: sum == cost_ps.
+CauseVec split_wasm_class(wasm::OpClass cls, uint64_t cost_ps);
+CauseVec split_js_class(js::JsOpClass cls, uint64_t cost_ps);
+
+/// Full decomposition of one run's counters against the cost tables the
+/// run actually priced from. sum(result) == the cost_ps the VM charged.
+CauseVec decompose_wasm(const wasm::AttrStats& a,
+                        const std::array<wasm::CostTable, 2>& tables);
+CauseVec decompose_js(const js::JsAttrStats& a,
+                      const std::array<js::JsCostTable, 2>& tables);
+
+/// The counter-side total: sum(class_counts * tables) + sum(direct_ps).
+/// Equals the VM's charged cost_ps (the invariant attr_test verifies).
+template <size_t N>
+uint64_t counted_cost_ps(const VmAttr<N>& a,
+                         const std::array<std::array<uint64_t, N>, 2>& tables) {
+  uint64_t total = 0;
+  for (size_t t = 0; t < 2; ++t) {
+    for (size_t c = 0; c < N; ++c) total += a.class_counts[t][c] * tables[t][c];
+  }
+  for (const uint64_t d : a.direct_ps) total += d;
+  return total;
+}
+
+inline uint64_t total(const CauseVec& v) {
+  uint64_t t = 0;
+  for (const uint64_t x : v) t += x;
+  return t;
+}
+
+/// a += b, lane-wise. (CauseVec is a std::array alias, so a real
+/// operator+= would not be found by ADL outside this namespace.)
+inline void accumulate(CauseVec& a, const CauseVec& b) {
+  for (size_t i = 0; i < kCauseCount; ++i) a[i] += b[i];
+}
+
+}  // namespace wb::attr

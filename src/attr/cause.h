@@ -1,0 +1,78 @@
+// wb::attr — cause taxonomy for overhead attribution (header-only part).
+//
+// Every picosecond both VMs charge to the virtual clock is tagged with a
+// *cause*: the "Mind the Gap" decomposition (Jangda et al., PAPERS.md) of
+// why a managed target trails native — guard checks, locals/shadow-stack
+// traffic, call and host-boundary crossings, growth quanta, dispatch —
+// with "useful arithmetic" as the residual that native would also pay.
+//
+// This header is dependency-free so both VM headers can include it; the
+// split tables and decomposition live in attr.h / attr.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace wb::attr {
+
+/// Why a charged picosecond was spent. Order is part of the attr.json
+/// schema (schema_version gates changes).
+enum class Cause : uint8_t {
+  Useful,        ///< irreducible arithmetic/data work native also pays
+  Dispatch,      ///< interpreter dispatch / control sequencing overhead
+  BoundsCheck,   ///< linear-memory & array guard checks
+  LocalsTraffic, ///< locals/shadow-stack/operand-stack traffic
+  CallOverhead,  ///< call sequences + JS<->Wasm/host boundary crossings
+  MemoryGrowth,  ///< memory.grow quanta and page accounting
+  TierCompile,   ///< baseline->optimizing tier-up compile charges
+  Startup,       ///< page/parse/decode/instantiate one-off charges
+  GcPause,       ///< JS GC work amortized into allocation pricing
+  IcMiss,        ///< JS inline-cache / shape-check penalties
+  kCount,
+};
+
+inline constexpr size_t kCauseCount = static_cast<size_t>(Cause::kCount);
+
+/// Picoseconds per cause; the invariant everywhere is
+/// sum(CauseVec) == the exact cost_ps the decomposed run charged.
+using CauseVec = std::array<uint64_t, kCauseCount>;
+
+constexpr const char* to_string(Cause c) {
+  switch (c) {
+    case Cause::Useful: return "useful";
+    case Cause::Dispatch: return "dispatch";
+    case Cause::BoundsCheck: return "bounds_check";
+    case Cause::LocalsTraffic: return "locals_traffic";
+    case Cause::CallOverhead: return "call_overhead";
+    case Cause::MemoryGrowth: return "memory_growth";
+    case Cause::TierCompile: return "tier_compile";
+    case Cause::Startup: return "startup";
+    case Cause::GcPause: return "gc_pause";
+    case Cause::IcMiss: return "ic_miss";
+    case Cause::kCount: break;
+  }
+  return "?";
+}
+
+/// Per-VM attribution counters, maintained unconditionally by both
+/// execution loops (counting touches no observable, so attribution
+/// cannot perturb the golden metrics). `class_counts[tier][cls]` is the
+/// number of classic-op charges priced from that tier's cost table —
+/// quickened execution flushes its packed byte-lane accumulators here —
+/// and `direct_ps` holds the one-off charges (tier-up compiles, grow
+/// quanta, startup, boundary crossings) already tagged at the source.
+///
+/// The exactness invariant both VMs maintain:
+///   cost_ps == sum(class_counts[t][c] * cost_table[t][c]) + sum(direct_ps)
+template <size_t NClasses>
+struct VmAttr {
+  std::array<std::array<uint64_t, NClasses>, 2> class_counts{};
+  CauseVec direct_ps{};
+
+  void add_direct(Cause cause, uint64_t ps) {
+    direct_ps[static_cast<size_t>(cause)] += ps;
+  }
+};
+
+}  // namespace wb::attr

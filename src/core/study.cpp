@@ -88,6 +88,7 @@ NativeMetrics run_native(const BuildResult& build, bool fast_math_costs) {
   }
   metrics.result = r.as_i32();
   metrics.time_ms = static_cast<double>(exec.stats().cost_ps) / 1e9;
+  metrics.cost_ps = exec.stats().cost_ps;
   metrics.code_size = build.native.code_size;
   metrics.memory_bytes = exec.stats().memory_bytes;
   return metrics;

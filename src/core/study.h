@@ -58,6 +58,7 @@ struct NativeMetrics {
   std::string error;
   int32_t result = 0;
   double time_ms = 0;
+  uint64_t cost_ps = 0;  ///< same time on the exact virtual clock
   size_t code_size = 0;
   size_t memory_bytes = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "attr/attr.h"
 #include "js/engine.h"
 #include "prof/prof.h"
 
@@ -104,6 +105,17 @@ js::JsCostTable js_baseline_from(const js::JsCostTable& optimized, double mult) 
 
 uint64_t scaled(uint64_t v, double f) {
   return static_cast<uint64_t>(std::llround(static_cast<double>(v) * f));
+}
+
+/// Emits one Cat::Attr instant per nonzero cause so trace exports show
+/// the final decomposition alongside the timeline. Observation only.
+void emit_attr_instants(prof::Tracer* tr, const attr::CauseVec& v, uint64_t t_ps) {
+  if (!tr) return;
+  for (size_t i = 0; i < attr::kCauseCount; ++i) {
+    if (v[i] == 0) continue;
+    tr->instant(prof::Cat::Attr,
+                tr->intern(attr::to_string(static_cast<attr::Cause>(i))), t_ps, v[i]);
+  }
 }
 
 }  // namespace
@@ -271,12 +283,17 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
   // invoke() calls are crossings too.
   const uint64_t crossings = boundary_calls + 2 + options.extra_boundary_crossings;
   if (tr) tr->begin(prof::Cat::Page, boundary_id, inst.stats().cost_ps);
-  inst.charge(crossings * profile_.boundary_cost_ps);
+  inst.charge(crossings * profile_.boundary_cost_ps, attr::Cause::CallOverhead);
   if (tr) {
     tr->instant(prof::Cat::Boundary, tr->intern("js<->wasm crossings"),
                 inst.stats().cost_ps, crossings);
     tr->end(prof::Cat::Page, boundary_id, inst.stats().cost_ps);
     inst.set_tracer(nullptr);
+  }
+
+  if (attr::enabled()) {
+    metrics.attr_ps = attr::decompose_wasm(inst.attr_stats(), inst.cost_tables());
+    emit_attr_instants(tr, metrics.attr_ps, inst.stats().cost_ps);
   }
 
   metrics.result = r.value.as_i32();
@@ -342,6 +359,10 @@ PageMetrics BrowserEnv::run_js(std::string_view source, const RunOptions& option
   // why compiler-generated JS looks flat in the paper).
   if (tr) vm.set_tracer(nullptr);
   heap.collect();
+  if (attr::enabled()) {
+    metrics.attr_ps = attr::decompose_js(vm.attr_stats(), vm.cost_tables());
+    emit_attr_instants(tr, metrics.attr_ps, vm.stats().cost_ps);
+  }
   metrics.time_ms = static_cast<double>(vm.stats().cost_ps) / 1e9;
   metrics.cost_ps = vm.stats().cost_ps;
   metrics.memory_bytes = profile_.js_base_memory +

@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "attr/cause.h"
 #include "backend/wasm_backend.h"
 #include "js/interp.h"
 #include "wasm/interp.h"
@@ -94,6 +95,9 @@ struct PageMetrics {
   size_t code_size = 0;     ///< wasm binary bytes / JS source bytes
   uint64_t ops = 0;
   uint64_t boundary_crossings = 0;
+  /// Per-cause decomposition of cost_ps (wb::attr); the lanes sum to
+  /// cost_ps exactly. All zeros when attribution is disabled.
+  attr::CauseVec attr_ps{};
 };
 
 /// A browser tab: loads one program at a time and reports metrics.

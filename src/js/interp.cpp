@@ -294,6 +294,7 @@ void Vm::maybe_tier_up(uint32_t proto_index, uint64_t now_ps) {
   const uint64_t compile_ps =
       tier_policy_.tierup_cost_per_instr * code_.protos[proto_index].code.size();
   stats_.cost_ps += compile_ps;
+  attr_.add_direct(attr::Cause::TierCompile, compile_ps);
   if (tracer_) {
     tracer_->instant(prof::Cat::TierUp, proto_trace_names_[proto_index],
                      now_ps + compile_ps, compile_ps);
@@ -370,7 +371,11 @@ bool Vm::call_builtin(uint32_t builtin_id, JsValue receiver,
           bytes.assign(o.str().begin(), o.str().end());
         }
       }
-      stats_.cost_ps += kNativeDigestCostPerByte * bytes.size() + 2000;
+      // A host-API crossing: attribute the native digest like a boundary
+      // call, not like interpreted JS work.
+      const uint64_t digest_ps = kNativeDigestCostPerByte * bytes.size() + 2000;
+      stats_.cost_ps += digest_ps;
+      attr_.add_direct(attr::Cause::CallOverhead, digest_ps);
       const auto digest = support::sha256(bytes);
       const ObjRef out = heap_.alloc_u8_array(digest.size());
       std::copy(digest.begin(), digest.end(), heap_.get(out).u8().begin());
@@ -524,6 +529,7 @@ Vm::Result Vm::run_classic(uint32_t proto_index, std::span<const JsValue> args) 
   const JsInstr* code = nullptr;
   uint32_t code_size = 0;
   const uint64_t* costs = nullptr;
+  uint64_t* ccnt = nullptr;  // attribution: per-class counts of the active tier
   const FunctionProto* proto = nullptr;
   uint32_t pc = 0;
 
@@ -533,6 +539,7 @@ Vm::Result Vm::run_classic(uint32_t proto_index, std::span<const JsValue> args) 
     code = proto->code.data();
     code_size = static_cast<uint32_t>(proto->code.size());
     costs = cost_tables_[func_state_[f.proto].tier].data();
+    ccnt = attr_.class_counts[func_state_[f.proto].tier].data();
     pc = f.pc;
   };
 
@@ -637,6 +644,7 @@ Vm::Result Vm::run_classic(uint32_t proto_index, std::span<const JsValue> args) 
     const JsInstr ins = code[pc];
     ++ops;
     cost += costs[static_cast<size_t>(js_op_class(ins.op))];
+    ++ccnt[static_cast<size_t>(js_op_class(ins.op))];
     {
       const JsArithCat cat = js_arith_cat(ins.op);
       if (cat != JsArithCat::None) ++stats_.arith_counts[static_cast<size_t>(cat)];
@@ -788,7 +796,10 @@ Vm::Result Vm::run_classic(uint32_t proto_index, std::span<const JsValue> args) 
           const uint32_t p = frames_.back().proto;
           const uint8_t before = func_state_[p].tier;
           maybe_tier_up(p, stats_.cost_ps + cost);
-          if (func_state_[p].tier != before) costs = cost_tables_[1].data();
+          if (func_state_[p].tier != before) {
+            costs = cost_tables_[1].data();
+            ccnt = attr_.class_counts[1].data();
+          }
         }
         pc = ins.a;
         continue;
@@ -890,6 +901,8 @@ Vm::Result Vm::run_classic(uint32_t proto_index, std::span<const JsValue> args) 
             if (fo.fn_index() <= kMathImul) {
               cost = cost - costs[static_cast<size_t>(JsOpClass::Call)] +
                      costs[static_cast<size_t>(JsOpClass::Arith)];
+              --ccnt[static_cast<size_t>(JsOpClass::Call)];
+              ++ccnt[static_cast<size_t>(JsOpClass::Arith)];
             }
             JsValue result;
             if (!call_builtin(fo.fn_index(), receiver, call_args, result)) break;
@@ -1049,6 +1062,7 @@ Vm::Result Vm::run_classic(uint32_t proto_index, std::span<const JsValue> args) 
         const GcObject& o = heap_.get(obj.ref());
         if (o.kind == ObjKind::Array) {
           cost += costs[static_cast<size_t>(JsOpClass::BoxedIndex)];
+          ++ccnt[static_cast<size_t>(JsOpClass::BoxedIndex)];
         }
         const int64_t i = static_cast<int64_t>(idx.num());
         switch (o.kind) {
@@ -1107,6 +1121,7 @@ Vm::Result Vm::run_classic(uint32_t proto_index, std::span<const JsValue> args) 
         GcObject& o = heap_.get(obj.ref());
         if (o.kind == ObjKind::Array) {
           cost += costs[static_cast<size_t>(JsOpClass::BoxedIndex)];
+          ++ccnt[static_cast<size_t>(JsOpClass::BoxedIndex)];
         }
         const int64_t i = static_cast<int64_t>(idx.num());
         if (i < 0) {
@@ -1232,12 +1247,46 @@ Vm::Result Vm::run_quickened(uint32_t proto_index, std::span<const JsValue> args
   uint64_t cat_acc = 0;
   uint32_t cat_budget = 63;
 
+  // Cause attribution rides the same byte-lane trick: each dispatch adds
+  // the QJsInstr's packed per-JsOpClass lane counts (classes 0-7 in the
+  // lo word, 8-14 plus the discarded pad lane in the hi word), sharing
+  // the 63-dispatch flush budget. Lanes flush into the *active tier's*
+  // class counts, so set_costs drains them before switching tables.
+  uint64_t cls_acc_lo = 0;
+  uint64_t cls_acc_hi = 0;
+  uint64_t* ccnt = attr_.class_counts[0].data();
+
+  auto flush_cls = [&] {
+    for (size_t i = 0; i < 8; ++i) ccnt[i] += (cls_acc_lo >> (8 * i)) & 0xff;
+    for (size_t i = 8; i < kJsOpClassCount; ++i) {
+      ccnt[i] += (cls_acc_hi >> (8 * (i - 8))) & 0xff;
+    }
+    cls_acc_lo = cls_acc_hi = 0;
+  };
+
+  // Cold-path adjustments for sites that re-price or refund one already
+  // accumulated constituent (Math.* intrinsics, FSetIdxPop's failed-store
+  // refund). They apply to the materialized counts, NOT the packed
+  // accumulator: the 63-dispatch flush may fire between this dispatch's
+  // accumulate and its handler, and subtracting from a drained byte lane
+  // would borrow into the neighboring lanes. Adjusting ccnt directly is
+  // exact either way — the dispatch's own pending +1 flushes into the
+  // same slot of the same tier (set_costs drains before any switch), so
+  // a transient wrap of the unobserved counter cancels out.
+  auto cls_move = [&](JsOpClass from, JsOpClass to) {
+    --ccnt[static_cast<size_t>(from)];
+    ++ccnt[static_cast<size_t>(to)];
+  };
+  // Refund one constituent entirely (classic never executed it).
+  auto cls_drop = [&](JsOpClass from) { --ccnt[static_cast<size_t>(from)]; };
+
   auto flush_cats = [&] {
     for (size_t i = 0; i < kJsArithCatCount; ++i) {
       stats_.arith_counts[i] += (cat_acc >> (8 * i)) & 0xff;
     }
     cat_acc = 0;
     cat_budget = 63;
+    flush_cls();
   };
   auto flush_stats = [&] {
     flush_cats();
@@ -1261,16 +1310,19 @@ Vm::Result Vm::run_quickened(uint32_t proto_index, std::span<const JsValue> args
   JsValue return_value = JsValue::undefined();
   JsValue ret_tmp = JsValue::undefined();
 
-  auto set_costs = [&](const uint64_t* table) {
+  auto set_costs = [&](size_t tier) {
+    const uint64_t* table = cost_tables_[tier].data();
     if (table == costs) return;
+    flush_cls();  // pending lanes were priced from the outgoing tier
     costs = table;
+    ccnt = attr_.class_counts[tier].data();
     std::memcpy(lcosts, table, sizeof(uint64_t) * kJsOpClassCount);
   };
 
   auto cache_frame = [&] {
     const Frame& f = frames_.back();
     qcode = qfuncs_[f.proto].code.data();
-    set_costs(cost_tables_[func_state_[f.proto].tier].data());
+    set_costs(func_state_[f.proto].tier);
     qpc = f.pc;
     locals_base = f.locals_base;
   };
@@ -1419,6 +1471,7 @@ Vm::Result Vm::run_quickened(uint32_t proto_index, std::span<const JsValue> args
     const GcObject& o = heap_.get(obj.ref());
     if (o.kind == ObjKind::Array) {
       cost += lcosts[static_cast<size_t>(JsOpClass::BoxedIndex)];
+      ++ccnt[static_cast<size_t>(JsOpClass::BoxedIndex)];
     }
     const int64_t i = static_cast<int64_t>(idx.num());
     JsValue out = JsValue::undefined();
@@ -1480,6 +1533,7 @@ Vm::Result Vm::run_quickened(uint32_t proto_index, std::span<const JsValue> args
     GcObject& o = heap_.get(obj.ref());
     if (o.kind == ObjKind::Array) {
       cost += lcosts[static_cast<size_t>(JsOpClass::BoxedIndex)];
+      ++ccnt[static_cast<size_t>(JsOpClass::BoxedIndex)];
     }
     const int64_t i = static_cast<int64_t>(idx.num());
     if (i < 0) {
@@ -1554,6 +1608,8 @@ dispatch:
   cost += lcosts[q->cls[0]] + lcosts[q->cls[1]] + lcosts[q->cls[2]] +
           lcosts[q->cls[3]];
   cat_acc += q->cat_packed;
+  cls_acc_lo += q->cls_packed_lo;
+  cls_acc_hi += q->cls_packed_hi;
   if (--cat_budget == 0) flush_cats();
 #if WB_THREADED_DISPATCH
   goto* kQJsLabels[static_cast<size_t>(q->op)];
@@ -1737,7 +1793,7 @@ do_return: {
       const uint32_t p = frames_.back().proto;
       const uint8_t before = func_state_[p].tier;
       maybe_tier_up(p, stats_.cost_ps + cost);
-      if (func_state_[p].tier != before) set_costs(cost_tables_[1].data());
+      if (func_state_[p].tier != before) set_costs(1);
     }
     WB_JUMP(q->a);
   }
@@ -1843,6 +1899,7 @@ do_return: {
         if (fo.fn_index() <= kMathImul) {
           cost = cost - lcosts[static_cast<size_t>(JsOpClass::Call)] +
                  lcosts[static_cast<size_t>(JsOpClass::Arith)];
+          cls_move(JsOpClass::Call, JsOpClass::Arith);
         }
         JsValue result;
         if (!call_builtin(fo.fn_index(), receiver, call_args, result)) goto done;
@@ -2053,6 +2110,7 @@ do_return: {
       // its SetIndex fails; refund the pre-charged Stack-class op.
       --ops;
       cost -= lcosts[static_cast<size_t>(JsOpClass::Stack)];
+      cls_drop(JsOpClass::Stack);
       goto done;
     }
     WB_NEXT();
@@ -2218,6 +2276,7 @@ fuel_out: {
   for (; executed < q->nops && ops < fuel_; ++executed) {
     ++ops;
     cost += lcosts[q->cls[executed]];
+    ++ccnt[q->cls[executed]];
     const uint8_t ct = q->cat[executed];
     if (ct != kCatNone) ++stats_.arith_counts[ct];
   }

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "attr/cause.h"
 #include "js/bytecode.h"
 #include "js/heap.h"
 #include "js/quicken.h"
@@ -24,6 +25,9 @@ class Tracer;
 namespace wb::js {
 
 using JsCostTable = std::array<uint64_t, kJsOpClassCount>;
+
+/// Cause-attribution counters (always maintained; see attr/cause.h).
+using JsAttrStats = attr::VmAttr<kJsOpClassCount>;
 
 struct JsTierPolicy {
   bool jit_enabled = true;      ///< false models --no-opt (JIT-less) Chrome
@@ -61,8 +65,12 @@ class Vm {
   /// frame returns, so Heap::stats().peak_live_bytes reflects what the
   /// program held while running (the DevTools-snapshot moment).
   void set_sample_memory_at_exit(bool sample) { sample_memory_at_exit_ = sample; }
-  /// Charges one-off virtual time (parse/compile at load, etc.).
-  void charge(uint64_t cost_ps) { stats_.cost_ps += cost_ps; }
+  /// Charges one-off virtual time (parse/compile at load, etc.), tagged
+  /// with the attribution cause it should decompose to.
+  void charge(uint64_t cost_ps, attr::Cause cause = attr::Cause::Startup) {
+    stats_.cost_ps += cost_ps;
+    attr_.add_direct(cause, cost_ps);
+  }
 
   /// Attaches a profiler sink (nullptr detaches). Emits function spans,
   /// tier-up instants, and GC-pause instants (via the heap's collect
@@ -85,6 +93,12 @@ class Vm {
   [[nodiscard]] JsValue get_global(std::string_view name) const;
 
   [[nodiscard]] const JsExecStats& stats() const { return stats_; }
+  /// What was charged, keyed by (tier, JsOpClass) + direct causes;
+  /// together with cost_tables() this reproduces stats().cost_ps exactly.
+  [[nodiscard]] const JsAttrStats& attr_stats() const { return attr_; }
+  [[nodiscard]] const std::array<JsCostTable, 2>& cost_tables() const {
+    return cost_tables_;
+  }
   [[nodiscard]] Heap& heap() { return heap_; }
   [[nodiscard]] const ScriptCode& code() const { return code_; }
 
@@ -127,6 +141,7 @@ class Vm {
   JsTierPolicy tier_policy_;
   std::vector<FuncState> func_state_;
   JsExecStats stats_;
+  JsAttrStats attr_;
   uint64_t fuel_ = UINT64_MAX;
 
   // Live interpreter state (rooted during GC).

@@ -61,10 +61,19 @@ QJsOp family_op(QJsOp base, int index) {
 /// total across lanes stays 4).
 void add_charge(QJsInstr& q, JsOp op) {
   const uint8_t k = q.nops++;
-  q.cls[k] = static_cast<uint8_t>(js_op_class(op));
+  const uint8_t cls = static_cast<uint8_t>(js_op_class(op));
+  q.cls[k] = cls;
   const uint8_t cat = static_cast<uint8_t>(js_arith_cat(op));
   q.cat[k] = cat;
   q.cat_packed += (1ull << (8 * cat)) - (1ull << (8 * kQJsCatPad));
+  // Same move for the attribution class lanes: one count leaves the hi
+  // word's pad lane for the constituent's class lane.
+  q.cls_packed_hi -= 1ull << (8 * (kQJsClsPad - 8));
+  if (cls < 8) {
+    q.cls_packed_lo += 1ull << (8 * cls);
+  } else {
+    q.cls_packed_hi += 1ull << (8 * (cls - 8));
+  }
 }
 
 }  // namespace

@@ -176,6 +176,13 @@ struct QJsInstr {
   /// One byte lane per JsArithCat; pad lanes carry the balance so every
   /// instruction sums to exactly 4 across lanes.
   uint64_t cat_packed = 4ull << (8 * kQJsCatPad);
+  /// The four cls slots the same way, for cause attribution: JsOpClasses
+  /// 0-7 as byte lanes of the lo word, 8-14 in the hi word, with hi lane
+  /// (kQJsClsPad - 8) as the discard lane for unused slots. Both words
+  /// together always sum to 4, sharing the cat accumulator's 63-dispatch
+  /// flush budget.
+  uint64_t cls_packed_lo = 0;
+  uint64_t cls_packed_hi = 4ull << (8 * (kQJsClsPad - 8));
   double val = 0;     ///< resolved numeric constant
 };
 

@@ -12,6 +12,7 @@ const char* to_string(Cat c) {
     case Cat::MemoryGrow: return "memory";
     case Cat::GcPhase: return "gc";
     case Cat::Page: return "page";
+    case Cat::Attr: return "attr";
   }
   return "?";
 }

@@ -40,6 +40,7 @@ enum class Cat : uint8_t {
   MemoryGrow, ///< a memory.grow request
   GcPhase,    ///< a mark-sweep collection
   Page,       ///< page-level phases (load/parse, instantiate, teardown)
+  Attr,       ///< per-cause attribution summary (wb::attr), one instant per cause
 };
 const char* to_string(Cat c);
 

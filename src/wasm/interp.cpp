@@ -221,6 +221,7 @@ void Instance::maybe_tier_up(uint32_t defined_index, uint64_t now_ps) {
   const uint64_t compile_ps = tier_policy_.tierup_cost_per_instr *
                               module_.functions[defined_index].body.size();
   stats_.cost_ps += compile_ps;
+  attr_.add_direct(attr::Cause::TierCompile, compile_ps);
   if (tracer_) {
     // The compile pause ends at now + compile cost; its virtual duration
     // rides as the payload (the function's span absorbs it as self time,
@@ -305,6 +306,7 @@ InvokeResult Instance::run_classic(uint32_t defined_index,
   uint32_t code_size = 0;
   const FuncMeta* meta = nullptr;
   const uint64_t* costs = nullptr;
+  uint64_t* ccnt = nullptr;  // attribution: per-class counts of the active tier
   uint32_t pc = 0;
 
   auto cache_frame = [&] {
@@ -313,7 +315,9 @@ InvokeResult Instance::run_classic(uint32_t defined_index,
     code = fn.body.data();
     code_size = static_cast<uint32_t>(fn.body.size());
     meta = &metas_[f.fidx];
-    costs = cost_tables_[static_cast<size_t>(func_state_[f.fidx].tier)].data();
+    const auto tier = static_cast<size_t>(func_state_[f.fidx].tier);
+    costs = cost_tables_[tier].data();
+    ccnt = attr_.class_counts[tier].data();
     pc = f.pc;
   };
 
@@ -372,7 +376,9 @@ InvokeResult Instance::run_classic(uint32_t defined_index,
       const Tier before = func_state_[d].tier;
       maybe_tier_up(d, stats_.cost_ps + cost);
       if (func_state_[d].tier != before) {
-        costs = cost_tables_[static_cast<size_t>(func_state_[d].tier)].data();
+        const auto tier = static_cast<size_t>(func_state_[d].tier);
+        costs = cost_tables_[tier].data();
+        ccnt = attr_.class_counts[tier].data();
       }
     } else {
       const uint32_t arity = target.arity;
@@ -423,6 +429,7 @@ InvokeResult Instance::run_classic(uint32_t defined_index,
     const Instr& ins = code[pc];
     ++ops;
     cost += costs[meta->op_class[pc]];
+    ++ccnt[meta->op_class[pc]];
     {
       const uint8_t cat = meta->arith_cat[pc];
       if (cat != static_cast<uint8_t>(ArithCat::None)) ++stats_.arith_counts[cat];
@@ -612,6 +619,7 @@ InvokeResult Instance::run_classic(uint32_t defined_index,
         const uint32_t delta = pop().as_u32();
         stack.push_back(Value::from_i32(memory_->grow(delta)));
         cost += grow_cost_ps_;
+        attr_.add_direct(attr::Cause::MemoryGrowth, grow_cost_ps_);
         ++stats_.memory_grows;
         if (tracer_) {
           tracer_->instant(prof::Cat::MemoryGrow, grow_trace_name_,
@@ -1145,12 +1153,31 @@ InvokeResult Instance::run_quickened(uint32_t defined_index,
   uint64_t cat_acc = 0;
   uint32_t cat_budget = 63;
 
+  // Cause attribution rides the same byte-lane trick: each dispatch adds
+  // the QInstr's packed per-OpClass lane counts (classes 0-7 in the lo
+  // word, 8-14 plus the discarded pad lane in the hi word) and the shared
+  // 63-dispatch budget unpacks both words before any lane can saturate.
+  // Lanes flush into the *active tier's* class counts, so set_costs must
+  // drain them before switching tables.
+  uint64_t cls_acc_lo = 0;
+  uint64_t cls_acc_hi = 0;
+  uint64_t* ccnt = attr_.class_counts[0].data();
+
+  auto flush_cls = [&] {
+    for (size_t i = 0; i < 8; ++i) ccnt[i] += (cls_acc_lo >> (8 * i)) & 0xff;
+    for (size_t i = 8; i < kOpClassCount; ++i) {
+      ccnt[i] += (cls_acc_hi >> (8 * (i - 8))) & 0xff;
+    }
+    cls_acc_lo = cls_acc_hi = 0;
+  };
+
   auto flush_cats = [&] {
     for (size_t i = 0; i < kArithCatCount; ++i) {
       arith[i] += (cat_acc >> (8 * i)) & 0xff;
     }
     cat_acc = 0;
     cat_budget = 63;
+    flush_cls();
   };
 
   auto flush_stats = [&] {
@@ -1174,9 +1201,12 @@ InvokeResult Instance::run_quickened(uint32_t defined_index,
   uint32_t stack_base = 0;
   const QInstr* q = nullptr;
 
-  auto set_costs = [&](const uint64_t* table) {
+  auto set_costs = [&](size_t tier) {
+    const uint64_t* table = cost_tables_[tier].data();
     if (table == costs) return;
+    flush_cls();  // pending lanes were priced from the outgoing tier
     costs = table;
+    ccnt = attr_.class_counts[tier].data();
     std::memcpy(lcosts, table, sizeof(uint64_t) * kOpClassCount);
   };
 
@@ -1184,7 +1214,7 @@ InvokeResult Instance::run_quickened(uint32_t defined_index,
     const QCallFrame& f = frames.back();
     qf = &qfuncs_[f.fidx];
     qcode = qf->code.data();
-    set_costs(cost_tables_[static_cast<size_t>(func_state_[f.fidx].tier)].data());
+    set_costs(static_cast<size_t>(func_state_[f.fidx].tier));
     qpc = f.qpc;
     locals_base = f.locals_base;
     stack_base = f.stack_base;
@@ -1263,6 +1293,8 @@ dispatch:
   cost += lcosts[q->cls[0]] + lcosts[q->cls[1]] + lcosts[q->cls[2]] +
           lcosts[q->cls[3]];
   cat_acc += q->cat_packed;
+  cls_acc_lo += q->cls_packed_lo;
+  cls_acc_hi += q->cls_packed_hi;
   if (--cat_budget == 0) flush_cats();
 #if WB_THREADED_DISPATCH
   goto* kQLabels[q->op];
@@ -1296,7 +1328,9 @@ dispatch:
       const Tier before = func_state_[d].tier;
       maybe_tier_up(d, stats_.cost_ps + cost);
       if (func_state_[d].tier != before) {
-        costs = cost_tables_[static_cast<size_t>(func_state_[d].tier)].data();
+        // Route through set_costs so lcosts (and the attribution lanes)
+        // are refreshed with the new tier, exactly like take_branch below.
+        set_costs(static_cast<size_t>(func_state_[d].tier));
       }
       WB_JUMP(t.qpc);
     }
@@ -1388,7 +1422,7 @@ take_branch: {
     const Tier before = func_state_[d].tier;
     maybe_tier_up(d, stats_.cost_ps + cost);
     if (func_state_[d].tier != before) {
-      set_costs(cost_tables_[static_cast<size_t>(func_state_[d].tier)].data());
+      set_costs(static_cast<size_t>(func_state_[d].tier));
     }
     WB_JUMP(q->a);
   }
@@ -1483,6 +1517,7 @@ take_branch: {
     const uint32_t delta = pop().as_u32();
     stack.push_back(Value::from_i32(memory_->grow(delta)));
     cost += grow_cost_ps_;
+    attr_.add_direct(attr::Cause::MemoryGrowth, grow_cost_ps_);
     ++stats_.memory_grows;
     if (tracer_) {
       tracer_->instant(prof::Cat::MemoryGrow, grow_trace_name_,
@@ -1972,6 +2007,7 @@ fuel_out:
   for (uint32_t k = 0; k < q->nops && ops < fuel; ++k) {
     ++ops;
     cost += costs[q->cls[k]];
+    ++ccnt[q->cls[k]];
     const uint8_t cat = q->cat[k];
     if (cat != kCatNone) ++stats_.arith_counts[cat];
   }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "attr/cause.h"
 #include "wasm/memory.h"
 #include "wasm/module.h"
 #include "wasm/quicken.h"
@@ -31,6 +32,9 @@ enum class Tier : uint8_t { Baseline = 0, Optimizing = 1 };
 
 /// Per-opcode-class execution costs, in picoseconds of virtual time.
 using CostTable = std::array<uint64_t, kOpClassCount>;
+
+/// Cause-attribution counters (always maintained; see attr/cause.h).
+using AttrStats = attr::VmAttr<kOpClassCount>;
 
 /// Tiering configuration, set per-instance by the environment to model a
 /// browser's Wasm compiler pipeline settings (paper Sec. 4.4, Table 7).
@@ -81,8 +85,12 @@ class Instance {
   /// Sets both tier cost tables. Defaults are flat 100ps/op.
   void set_cost_tables(const CostTable& baseline, const CostTable& optimizing);
   void set_tier_policy(const TierPolicy& policy);
-  /// Charges additional one-off virtual time (e.g. instantiate/startup).
-  void charge(uint64_t cost_ps) { stats_.cost_ps += cost_ps; }
+  /// Charges additional one-off virtual time (e.g. instantiate/startup),
+  /// tagged with the attribution cause it should decompose to.
+  void charge(uint64_t cost_ps, attr::Cause cause = attr::Cause::Startup) {
+    stats_.cost_ps += cost_ps;
+    attr_.add_direct(cause, cost_ps);
+  }
   /// Extra virtual-time cost per memory.grow, modelling the toolchain
   /// runtime's growth path (Cheerp vs Emscripten, paper Sec. 4.2.2).
   void set_grow_cost(uint64_t cost_ps) { grow_cost_ps_ = cost_ps; }
@@ -111,6 +119,12 @@ class Instance {
   InvokeResult invoke_index(uint32_t func_index, std::span<const Value> args);
 
   [[nodiscard]] const ExecStats& stats() const { return stats_; }
+  /// What was charged, keyed by (tier, OpClass) + direct causes; together
+  /// with cost_tables() this reproduces stats().cost_ps exactly.
+  [[nodiscard]] const AttrStats& attr_stats() const { return attr_; }
+  [[nodiscard]] const std::array<CostTable, 2>& cost_tables() const {
+    return cost_tables_;
+  }
   [[nodiscard]] LinearMemory* memory() { return memory_ ? memory_.get() : nullptr; }
   [[nodiscard]] const Module& module() const { return module_; }
   [[nodiscard]] Value global(uint32_t index) const { return globals_[index]; }
@@ -147,6 +161,7 @@ class Instance {
   std::array<CostTable, 2> cost_tables_;
   TierPolicy tier_policy_;
   ExecStats stats_;
+  AttrStats attr_;
   uint64_t fuel_ = UINT64_MAX;
   uint64_t grow_cost_ps_ = 0;
 

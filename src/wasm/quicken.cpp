@@ -390,6 +390,14 @@ QFunc quicken(const Module& module, uint32_t defined_index) {
     }
     q.cat_packed = 0;
     for (uint32_t k = 0; k < 4; ++k) q.cat_packed += 1ull << (8 * q.cat[k]);
+    q.cls_packed_lo = q.cls_packed_hi = 0;
+    for (uint32_t k = 0; k < 4; ++k) {
+      if (q.cls[k] < 8) {
+        q.cls_packed_lo += 1ull << (8 * q.cls[k]);
+      } else {
+        q.cls_packed_hi += 1ull << (8 * (q.cls[k] - 8));
+      }
+    }
   };
   const auto set_branch = [&](QInstr& q, const BrRes& r) {
     q.b = r.height;

@@ -215,6 +215,13 @@ struct QInstr {
   /// Always sums to 4 across lanes, so a single u64 accumulator can absorb
   /// 63 dispatches before any lane can reach 255 (see run_quickened).
   uint64_t cat_packed = 4ull << (8 * kQCatPad);
+  /// The four cls slots the same way, for cause attribution: OpClasses
+  /// 0-7 as byte lanes of the lo word, 8-14 in the hi word, with hi lane
+  /// (kQClsPad - 8) as the discard lane for unused slots. The two words
+  /// together always sum to 4, so both share the cat accumulator's
+  /// 63-dispatch flush budget.
+  uint64_t cls_packed_lo = 0;
+  uint64_t cls_packed_hi = 4ull << (8 * (kQClsPad - 8));
   Value val;
 
   [[nodiscard]] QOp qop() const { return static_cast<QOp>(op); }

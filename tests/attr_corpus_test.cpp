@@ -1,0 +1,84 @@
+// Corpus-wide attribution exactness (slow tier).
+//
+// For every benchmark in the corpus, on both VMs, under both forced tier
+// configurations (baseline-only and optimizing-only) and the default
+// tiering, the per-cause lanes of PageMetrics::attr_ps must sum to
+// cost_ps bit-exactly. This is the acceptance bar for wb::attr: the
+// decomposition is a partition of the virtual clock, never an estimate.
+#include <gtest/gtest.h>
+
+#include "attr/attr.h"
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "env/env.h"
+#include "js/quicken.h"
+#include "wasm/quicken.h"
+
+namespace wb {
+namespace {
+
+class AttrCorpus : public ::testing::TestWithParam<const core::BenchSource*> {};
+
+TEST_P(AttrCorpus, LanesSumToCostPsOnBothVmsAndTiers) {
+  const core::BenchSource& bench = *GetParam();
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+
+  struct Config {
+    const char* name;
+    env::RunOptions options;
+  };
+  Config configs[3];
+  configs[0].name = "default";
+  configs[1].name = "baseline-only";
+  configs[1].options.wasm_tiers = env::RunOptions::WasmTiers::BaselineOnly;
+  configs[1].options.js_jit_enabled = false;
+  configs[2].name = "optimizing-only";
+  configs[2].options.wasm_tiers = env::RunOptions::WasmTiers::OptimizingOnly;
+
+  for (const Config& config : configs) {
+    const core::Measurement m = core::measure(bench, core::InputSize::XS,
+                                              ir::OptLevel::O2, browser, config.options);
+    ASSERT_TRUE(m.wasm.ok) << config.name << ": " << m.wasm.error;
+    ASSERT_TRUE(m.js.ok) << config.name << ": " << m.js.error;
+    EXPECT_EQ(attr::total(m.wasm.attr_ps), m.wasm.cost_ps) << config.name;
+    EXPECT_EQ(attr::total(m.js.attr_ps), m.js.cost_ps) << config.name;
+  }
+}
+
+TEST_P(AttrCorpus, QuickenedAndClassicAttributionsAreBitIdentical) {
+  const core::BenchSource& bench = *GetParam();
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  wasm::set_quicken_default(true);
+  js::set_quicken_default(true);
+  const core::Measurement quick =
+      core::measure(bench, core::InputSize::XS, ir::OptLevel::O2, browser);
+  wasm::set_quicken_default(false);
+  js::set_quicken_default(false);
+  const core::Measurement classic =
+      core::measure(bench, core::InputSize::XS, ir::OptLevel::O2, browser);
+  wasm::set_quicken_default(true);
+  js::set_quicken_default(true);
+  ASSERT_TRUE(quick.wasm.ok && quick.js.ok && classic.wasm.ok && classic.js.ok);
+  EXPECT_EQ(quick.wasm.attr_ps, classic.wasm.attr_ps);
+  EXPECT_EQ(quick.js.attr_ps, classic.js.attr_ps);
+  EXPECT_EQ(attr::total(quick.wasm.attr_ps), quick.wasm.cost_ps);
+  EXPECT_EQ(attr::total(quick.js.attr_ps), quick.js.cost_ps);
+}
+
+std::vector<const core::BenchSource*> all_pointers() {
+  std::vector<const core::BenchSource*> out;
+  for (const core::BenchSource& b : benchmarks::all_benchmarks()) out.push_back(&b);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(All41, AttrCorpus, ::testing::ValuesIn(all_pointers()),
+                         [](const auto& info) {
+                           std::string name = info.param->name;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace wb

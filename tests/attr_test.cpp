@@ -1,0 +1,234 @@
+// wb::attr unit + white-box tests (tier1).
+//
+// The contract under test (DESIGN.md §13):
+//  1. Splitting any cost across causes is exact: the lanes of
+//     split_*_class(cls, c) sum to exactly c, for every class and any c.
+//  2. End-to-end, PageMetrics::attr_ps sums to PageMetrics::cost_ps
+//     bit-exactly, and the VM-side counters reproduce cost_ps through
+//     counted_cost_ps, on both VMs and both engines (classic/quickened).
+//  3. Toggling report-level attribution on/off changes no observable:
+//     the VMs count unconditionally, decomposition is pure arithmetic.
+//  4. White-box: a bounds-check-heavy kernel attributes real time to
+//     Cause::BoundsCheck in both VMs.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "attr/attr.h"
+#include "backend/wasm_backend.h"
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "env/env.h"
+#include "js/engine.h"
+#include "js/quicken.h"
+#include "wasm/quicken.h"
+
+namespace wb {
+namespace {
+
+/// Restores the process-wide toggles a test flips.
+struct GlobalGuard {
+  ~GlobalGuard() {
+    attr::set_enabled(true);
+    wasm::set_quicken_default(true);
+    js::set_quicken_default(true);
+  }
+};
+
+const core::BenchSource& bench(const char* name) {
+  const core::BenchSource* b = benchmarks::find_benchmark(name);
+  EXPECT_NE(b, nullptr) << name;
+  return *b;
+}
+
+// ------------------------------------------------------------ split units
+
+TEST(AttrSplit, CauseNamesAreSchemaOrder) {
+  // goldens/attr.json keys on these names in this order; changing either
+  // is a schema change and must bump wb_attr's kSchemaVersion.
+  const std::array<const char*, attr::kCauseCount> expected = {
+      "useful",      "dispatch", "bounds_check", "locals_traffic", "call_overhead",
+      "memory_growth", "tier_compile", "startup", "gc_pause", "ic_miss"};
+  for (size_t i = 0; i < attr::kCauseCount; ++i) {
+    EXPECT_STREQ(attr::to_string(static_cast<attr::Cause>(i)), expected[i]);
+  }
+}
+
+TEST(AttrSplit, WasmClassSplitsAreExact) {
+  const uint64_t costs[] = {0, 1, 2, 3, 7, 130, 999, 1000, 1001, 12345, 3'000'000'007ull};
+  for (size_t cls = 0; cls < wasm::kOpClassCount; ++cls) {
+    for (const uint64_t c : costs) {
+      const attr::CauseVec v =
+          attr::split_wasm_class(static_cast<wasm::OpClass>(cls), c);
+      EXPECT_EQ(attr::total(v), c) << "class " << cls << " cost " << c;
+    }
+  }
+}
+
+TEST(AttrSplit, JsClassSplitsAreExact) {
+  const uint64_t costs[] = {0, 1, 2, 3, 7, 90, 999, 1000, 1001, 12345, 3'000'000'007ull};
+  for (size_t cls = 0; cls < js::kJsOpClassCount; ++cls) {
+    for (const uint64_t c : costs) {
+      const attr::CauseVec v = attr::split_js_class(static_cast<js::JsOpClass>(cls), c);
+      EXPECT_EQ(attr::total(v), c) << "class " << cls << " cost " << c;
+    }
+  }
+}
+
+TEST(AttrSplit, DecomposeMatchesCountedCost) {
+  // Synthetic counters: decompose must reproduce the counter-side total.
+  wasm::AttrStats a;
+  std::array<wasm::CostTable, 2> tables{};
+  for (size_t t = 0; t < 2; ++t) {
+    for (size_t c = 0; c < wasm::kOpClassCount; ++c) {
+      a.class_counts[t][c] = 7 * t + 3 * c + 1;
+      tables[t][c] = 100 + 13 * c + 7 * t;
+    }
+  }
+  a.add_direct(attr::Cause::Startup, 123456);
+  a.add_direct(attr::Cause::MemoryGrowth, 789);
+  const attr::CauseVec v = attr::decompose_wasm(a, tables);
+  EXPECT_EQ(attr::total(v), attr::counted_cost_ps(a, tables));
+}
+
+// --------------------------------------------------------- VM-direct sums
+
+TEST(AttrVm, JsCountersReproduceCostPsBothEngines) {
+  GlobalGuard guard;
+  const core::BuildResult b =
+      core::build(bench("gemm"), core::InputSize::XS, ir::OptLevel::O2);
+  ASSERT_TRUE(b.ok) << b.error;
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  for (const bool quick : {false, true}) {
+    js::set_quicken_default(quick);
+    std::string error;
+    auto code = js::compile_script(b.js_source, error);
+    ASSERT_TRUE(code) << error;
+    js::Heap heap(4 << 20);
+    js::Vm vm(*code, heap);
+    vm.set_cost_tables(browser.js_tier_costs(false), browser.js_tier_costs(true));
+    vm.set_fuel(4'000'000'000ull);
+    ASSERT_TRUE(vm.run_top_level().ok);
+    ASSERT_TRUE(vm.call_function("main", {}).ok);
+    EXPECT_EQ(attr::counted_cost_ps(vm.attr_stats(), vm.cost_tables()),
+              vm.stats().cost_ps)
+        << "quicken=" << quick;
+    EXPECT_EQ(attr::total(attr::decompose_js(vm.attr_stats(), vm.cost_tables())),
+              vm.stats().cost_ps)
+        << "quicken=" << quick;
+  }
+}
+
+TEST(AttrVm, WasmCountersReproduceCostPsBothEngines) {
+  GlobalGuard guard;
+  const core::BuildResult b =
+      core::build(bench("gemm"), core::InputSize::XS, ir::OptLevel::O2);
+  ASSERT_TRUE(b.ok) << b.error;
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  for (const bool quick : {false, true}) {
+    wasm::set_quicken_default(quick);
+    uint64_t boundary_calls = 0;
+    wasm::Instance inst(b.wasm.module,
+                        backend::make_import_bindings(b.wasm, &boundary_calls));
+    inst.set_cost_tables(browser.wasm_tier_costs(false, {}),
+                         browser.wasm_tier_costs(true, {}));
+    inst.set_fuel(4'000'000'000ull);
+    ASSERT_TRUE(inst.invoke("__init", {}).ok());
+    ASSERT_TRUE(inst.invoke("main", {}).ok());
+    EXPECT_EQ(attr::counted_cost_ps(inst.attr_stats(), inst.cost_tables()),
+              inst.stats().cost_ps)
+        << "quicken=" << quick;
+    EXPECT_EQ(attr::total(attr::decompose_wasm(inst.attr_stats(), inst.cost_tables())),
+              inst.stats().cost_ps)
+        << "quicken=" << quick;
+  }
+}
+
+// -------------------------------------------------------------- end-to-end
+
+TEST(AttrEnv, LanesSumToCostPs) {
+  GlobalGuard guard;
+  const env::BrowserEnv browser(env::Browser::Firefox, env::Platform::Desktop);
+  const core::Measurement m = core::measure(bench("atax"), core::InputSize::XS,
+                                            ir::OptLevel::O2, browser);
+  ASSERT_TRUE(m.wasm.ok) << m.wasm.error;
+  ASSERT_TRUE(m.js.ok) << m.js.error;
+  EXPECT_EQ(attr::total(m.wasm.attr_ps), m.wasm.cost_ps);
+  EXPECT_EQ(attr::total(m.js.attr_ps), m.js.cost_ps);
+}
+
+TEST(AttrEnv, TogglingAttributionChangesNoObservable) {
+  GlobalGuard guard;
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  for (const bool quick : {false, true}) {
+    wasm::set_quicken_default(quick);
+    js::set_quicken_default(quick);
+    attr::set_enabled(true);
+    const core::Measurement on = core::measure(bench("mvt"), core::InputSize::XS,
+                                               ir::OptLevel::O2, browser);
+    attr::set_enabled(false);
+    const core::Measurement off = core::measure(bench("mvt"), core::InputSize::XS,
+                                                ir::OptLevel::O2, browser);
+    attr::set_enabled(true);
+    ASSERT_TRUE(on.wasm.ok && on.js.ok && off.wasm.ok && off.js.ok);
+    // Every virtual observable is bit-identical with attribution on/off.
+    EXPECT_EQ(on.wasm.cost_ps, off.wasm.cost_ps) << "quicken=" << quick;
+    EXPECT_EQ(on.wasm.ops, off.wasm.ops) << "quicken=" << quick;
+    EXPECT_EQ(on.wasm.memory_bytes, off.wasm.memory_bytes) << "quicken=" << quick;
+    EXPECT_EQ(on.wasm.result, off.wasm.result) << "quicken=" << quick;
+    EXPECT_EQ(on.js.cost_ps, off.js.cost_ps) << "quicken=" << quick;
+    EXPECT_EQ(on.js.ops, off.js.ops) << "quicken=" << quick;
+    EXPECT_EQ(on.js.memory_bytes, off.js.memory_bytes) << "quicken=" << quick;
+    EXPECT_EQ(on.js.result, off.js.result) << "quicken=" << quick;
+    // On: lanes sum to cost_ps. Off: the report-level vector stays empty.
+    EXPECT_EQ(attr::total(on.wasm.attr_ps), on.wasm.cost_ps) << "quicken=" << quick;
+    EXPECT_EQ(attr::total(off.wasm.attr_ps), 0u) << "quicken=" << quick;
+    EXPECT_EQ(attr::total(off.js.attr_ps), 0u) << "quicken=" << quick;
+  }
+}
+
+TEST(AttrEnv, QuickenedAndClassicAttributionsAreBitIdentical) {
+  GlobalGuard guard;
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  wasm::set_quicken_default(true);
+  js::set_quicken_default(true);
+  const core::Measurement q = core::measure(bench("bicg"), core::InputSize::XS,
+                                            ir::OptLevel::O2, browser);
+  wasm::set_quicken_default(false);
+  js::set_quicken_default(false);
+  const core::Measurement c = core::measure(bench("bicg"), core::InputSize::XS,
+                                            ir::OptLevel::O2, browser);
+  ASSERT_TRUE(q.wasm.ok && q.js.ok && c.wasm.ok && c.js.ok);
+  EXPECT_EQ(q.wasm.attr_ps, c.wasm.attr_ps);
+  EXPECT_EQ(q.js.attr_ps, c.js.attr_ps);
+}
+
+TEST(AttrEnv, BoundsHeavyKernelChargesTheGuardCause) {
+  GlobalGuard guard;
+  // gemm is array traffic end to end: every load/store carries the
+  // explicit guard lane, so BoundsCheck must attribute real time in both
+  // VMs (the Wasm Load/Store split and the JS Index split).
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  const core::Measurement m = core::measure(bench("gemm"), core::InputSize::XS,
+                                            ir::OptLevel::O2, browser);
+  ASSERT_TRUE(m.wasm.ok && m.js.ok);
+  const auto lane = [](const attr::CauseVec& v, attr::Cause c) {
+    return v[static_cast<size_t>(c)];
+  };
+  EXPECT_GT(lane(m.wasm.attr_ps, attr::Cause::BoundsCheck), 0u);
+  EXPECT_GT(lane(m.wasm.attr_ps, attr::Cause::Dispatch), 0u);
+  EXPECT_GT(lane(m.wasm.attr_ps, attr::Cause::LocalsTraffic), 0u);
+  EXPECT_GT(lane(m.wasm.attr_ps, attr::Cause::Useful), 0u);
+  EXPECT_GT(lane(m.wasm.attr_ps, attr::Cause::Startup), 0u);
+  EXPECT_GT(lane(m.js.attr_ps, attr::Cause::BoundsCheck), 0u);
+  EXPECT_GT(lane(m.js.attr_ps, attr::Cause::Useful), 0u);
+  // The useful residual dominates dispatch-class overheads on a compute
+  // kernel — the decomposition is a breakdown, not noise.
+  EXPECT_GT(lane(m.wasm.attr_ps, attr::Cause::Useful),
+            lane(m.wasm.attr_ps, attr::Cause::BoundsCheck));
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,602 @@
+// wb_attr — the cause-attribution matrix runner behind the attr CI gate.
+//
+// Runs the study matrix with wb::attr cause decomposition and emits
+// canonical, sorted, schema-versioned JSON: for every cell (benchmark x
+// size x level x browser x platform) the per-cause picosecond vector of
+// both web targets, the native cost, and the derived Wasm-vs-native and
+// JS-vs-Wasm gaps. The cause lanes of each vector sum to that target's
+// cost_ps *exactly* (the tool refuses to emit a document where they do
+// not), and the whole run sits on the deterministic virtual clock, so CI
+// gates on byte equality just like wb_study:
+//
+//   wb_attr --out=goldens/attr.json      # regenerate the golden
+//   wb_attr --check                      # rerun + diff, exit 1 on drift
+//
+// Beyond the gate, the tool is the paper-style analysis surface for the
+// overhead question ("where does the Wasm-vs-native gap come from?"):
+//
+//   wb_attr --report                     # per-cause percentage tables
+//   wb_attr --report --kernel=2mm        # ... for one kernel
+//   wb_attr --folded=attr.folded         # folded stacks for flamegraphs
+//
+// Usage:
+//   wb_attr [--out=goldens/attr.json]
+//           [--check] [--golden=goldens/attr.json] [--diff-out=PATH]
+//           [--report] [--kernel=NAME] [--folded=PATH]
+//           [--sizes=S,M] [--levels=O2,Ofast]
+//           [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]
+//           [--toolchain=Cheerp] [--jobs=N] [--no-quicken]
+//           [--no-quicken-js] [--help]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attr/attr.h"
+#include "benchmarks/registry.h"
+#include "common.h"
+#include "js/quicken.h"
+#include "support/json.h"
+#include "wasm/quicken.h"
+
+namespace {
+
+using namespace wb;
+namespace json = support::json;
+
+constexpr int kSchemaVersion = 1;
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "wb_attr: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+int usage(FILE* to) {
+  std::fputs(
+      "usage: wb_attr [--out=goldens/attr.json]\n"
+      "               [--check] [--golden=goldens/attr.json] [--diff-out=PATH]\n"
+      "               [--report] [--kernel=NAME] [--folded=PATH]\n"
+      "               [--sizes=S,M] [--levels=O2,Ofast]\n"
+      "               [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
+      "               [--toolchain=Cheerp] [--jobs=N]\n"
+      "               [--no-quicken] [--no-quicken-js] [--help]\n"
+      "environment:\n"
+      "  WB_JOBS=N            default for --jobs (the flag wins)\n"
+      "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
+      "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n",
+      to);
+  return to == stdout ? 0 : 2;
+}
+
+// ------------------------------------------------------------- matrix
+
+struct Matrix {
+  std::vector<core::InputSize> sizes = {core::InputSize::S, core::InputSize::M};
+  std::vector<ir::OptLevel> levels = {ir::OptLevel::O2, ir::OptLevel::Ofast};
+  std::vector<env::Browser> browsers = {env::Browser::Chrome, env::Browser::Firefox,
+                                        env::Browser::Edge};
+  std::vector<env::Platform> platforms = {env::Platform::Desktop};
+  backend::Toolchain toolchain = backend::Toolchain::Cheerp;
+};
+
+template <typename T>
+T parse_one(const std::string& token, const std::vector<T>& candidates,
+            const char* what) {
+  for (const T c : candidates) {
+    if (token == to_string(c)) return c;
+  }
+  die(std::string("unknown ") + what + ": " + token);
+}
+
+template <typename T>
+std::vector<T> parse_list(const std::string& csv, const std::vector<T>& candidates,
+                          const char* what) {
+  std::vector<T> out;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    out.push_back(parse_one(token, candidates, what));
+  }
+  if (out.empty()) die(std::string("empty ") + what + " list: " + csv);
+  return out;
+}
+
+const std::vector<core::InputSize> kSizes(core::kAllSizes.begin(), core::kAllSizes.end());
+const std::vector<ir::OptLevel> kLevels = {
+    ir::OptLevel::O0, ir::OptLevel::O1, ir::OptLevel::O2,   ir::OptLevel::O3,
+    ir::OptLevel::Ofast, ir::OptLevel::Os, ir::OptLevel::Oz};
+const std::vector<env::Browser> kBrowsers = {env::Browser::Chrome, env::Browser::Firefox,
+                                             env::Browser::Edge};
+const std::vector<env::Platform> kPlatforms = {env::Platform::Desktop,
+                                               env::Platform::Mobile};
+const std::vector<backend::Toolchain> kToolchains = {backend::Toolchain::Cheerp,
+                                                     backend::Toolchain::Emscripten};
+
+json::Value matrix_to_json(const Matrix& m) {
+  json::Array sizes, levels, browsers, platforms;
+  for (const auto s : m.sizes) sizes.emplace_back(core::to_string(s));
+  for (const auto l : m.levels) levels.emplace_back(ir::to_string(l));
+  for (const auto b : m.browsers) browsers.emplace_back(env::to_string(b));
+  for (const auto p : m.platforms) platforms.emplace_back(env::to_string(p));
+  json::Object o;
+  o.emplace_back("sizes", std::move(sizes));
+  o.emplace_back("levels", std::move(levels));
+  o.emplace_back("browsers", std::move(browsers));
+  o.emplace_back("platforms", std::move(platforms));
+  o.emplace_back("toolchain", backend::to_string(m.toolchain));
+  return o;
+}
+
+Matrix matrix_from_json(const json::Value& v) {
+  Matrix m;
+  const auto list = [&](const char* key) -> std::vector<std::string> {
+    const json::Value* a = v.find(key);
+    if (!a || !a->is_array()) die(std::string("golden matrix missing ") + key);
+    std::vector<std::string> out;
+    for (const auto& e : a->as_array()) out.push_back(e.as_string());
+    return out;
+  };
+  m.sizes.clear();
+  for (const auto& s : list("sizes")) m.sizes.push_back(parse_one(s, kSizes, "size"));
+  m.levels.clear();
+  for (const auto& s : list("levels")) m.levels.push_back(parse_one(s, kLevels, "level"));
+  m.browsers.clear();
+  for (const auto& s : list("browsers"))
+    m.browsers.push_back(parse_one(s, kBrowsers, "browser"));
+  m.platforms.clear();
+  for (const auto& s : list("platforms"))
+    m.platforms.push_back(parse_one(s, kPlatforms, "platform"));
+  if (const json::Value* t = v.find("toolchain"))
+    m.toolchain = parse_one(t->as_string(), kToolchains, "toolchain");
+  return m;
+}
+
+// ---------------------------------------------------------------- run
+
+/// One successful cell's attribution data, kept in struct form so the
+/// report/folded exporters don't have to re-parse the JSON document.
+struct AttrCell {
+  std::string benchmark, suite, browser, platform, size, level;
+  attr::CauseVec wasm{};
+  attr::CauseVec js{};
+  uint64_t wasm_cost_ps = 0;
+  uint64_t js_cost_ps = 0;
+  uint64_t native_cost_ps = 0;
+
+  [[nodiscard]] std::string key() const {
+    return benchmark + '|' + browser + '|' + platform + '|' + size + '|' + level;
+  }
+};
+
+json::Value cause_vec_json(const attr::CauseVec& v) {
+  json::Object o;
+  for (size_t i = 0; i < attr::kCauseCount; ++i) {
+    o.emplace_back(attr::to_string(static_cast<attr::Cause>(i)),
+                   static_cast<int64_t>(v[i]));
+  }
+  return o;
+}
+
+json::Value target_json(const attr::CauseVec& v, uint64_t cost_ps) {
+  json::Object o;
+  o.emplace_back("cost_ps", static_cast<int64_t>(cost_ps));
+  o.emplace_back("attr_ps", cause_vec_json(v));
+  return o;
+}
+
+/// Runs the matrix slice; every cell's lanes are checked to sum to its
+/// cost_ps (the wb::attr exactness invariant) before anything is emitted.
+std::vector<AttrCell> run_matrix_cells(const Matrix& m,
+                                       std::vector<std::string>& failures) {
+  std::vector<AttrCell> cells;
+  for (const env::Browser browser : m.browsers) {
+    for (const env::Platform platform : m.platforms) {
+      const env::BrowserEnv browser_env(browser, platform);
+      for (const core::InputSize size : m.sizes) {
+        for (const ir::OptLevel level : m.levels) {
+          env::RunOptions options;
+          options.toolchain = m.toolchain;
+          std::fprintf(stderr, "running %s/%s %s %s ...\n", env::to_string(browser),
+                       env::to_string(platform), core::to_string(size),
+                       ir::to_string(level));
+          const bench::CorpusResult result = bench::run_corpus_checked(
+              size, level, browser_env, options, /*with_native=*/true,
+              /*native_fast_math_costs=*/level == ir::OptLevel::Ofast);
+          for (const bench::CellFailure& f : result.failures) {
+            std::fprintf(stderr, "  cell failed: %s: %s\n", f.benchmark.c_str(),
+                         f.error.c_str());
+            failures.push_back(f.benchmark + " @ " +
+                               std::string(env::to_string(browser)) + "/" +
+                               env::to_string(platform) + " " + core::to_string(size) +
+                               " " + ir::to_string(level) + ": " + f.error);
+          }
+          for (const bench::Row& row : result.rows) {
+            if (!row.wasm.ok || !row.js.ok || !row.native.ok) continue;
+            AttrCell cell;
+            cell.benchmark = row.name;
+            cell.suite = row.suite;
+            cell.browser = env::to_string(browser);
+            cell.platform = env::to_string(platform);
+            cell.size = core::to_string(size);
+            cell.level = ir::to_string(level);
+            cell.wasm = row.wasm.attr_ps;
+            cell.js = row.js.attr_ps;
+            cell.wasm_cost_ps = row.wasm.cost_ps;
+            cell.js_cost_ps = row.js.cost_ps;
+            cell.native_cost_ps = row.native.cost_ps;
+            if (attr::total(cell.wasm) != cell.wasm_cost_ps) {
+              die(cell.key() + ": wasm cause lanes sum to " +
+                  std::to_string(attr::total(cell.wasm)) + ", cost_ps is " +
+                  std::to_string(cell.wasm_cost_ps) + " — exactness invariant broken");
+            }
+            if (attr::total(cell.js) != cell.js_cost_ps) {
+              die(cell.key() + ": js cause lanes sum to " +
+                  std::to_string(attr::total(cell.js)) + ", cost_ps is " +
+                  std::to_string(cell.js_cost_ps) + " — exactness invariant broken");
+            }
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const AttrCell& a, const AttrCell& b) { return a.key() < b.key(); });
+  return cells;
+}
+
+json::Value cells_to_document(const Matrix& m, const std::vector<AttrCell>& cells,
+                              const std::vector<std::string>& failures) {
+  json::Array cell_array;
+  cell_array.reserve(cells.size());
+  for (const AttrCell& c : cells) {
+    json::Object body;
+    body.emplace_back("benchmark", c.benchmark);
+    body.emplace_back("suite", c.suite);
+    body.emplace_back("browser", c.browser);
+    body.emplace_back("platform", c.platform);
+    body.emplace_back("size", c.size);
+    body.emplace_back("level", c.level);
+    body.emplace_back("wasm", target_json(c.wasm, c.wasm_cost_ps));
+    body.emplace_back("js", target_json(c.js, c.js_cost_ps));
+    json::Object native;
+    native.emplace_back("cost_ps", static_cast<int64_t>(c.native_cost_ps));
+    body.emplace_back("native", std::move(native));
+    // The two gaps the attribution explains (paper Sec. 4.2 / Table 9),
+    // signed: Wasm can beat native on no-bounds-check microkernels.
+    body.emplace_back("gap_wasm_vs_native_ps",
+                      static_cast<int64_t>(c.wasm_cost_ps) -
+                          static_cast<int64_t>(c.native_cost_ps));
+    body.emplace_back("gap_js_vs_wasm_ps", static_cast<int64_t>(c.js_cost_ps) -
+                                               static_cast<int64_t>(c.wasm_cost_ps));
+    cell_array.emplace_back(std::move(body));
+  }
+
+  json::Object root;
+  root.emplace_back("schema_version", kSchemaVersion);
+  root.emplace_back("tool", "wb_attr");
+  json::Array causes;
+  for (size_t i = 0; i < attr::kCauseCount; ++i)
+    causes.emplace_back(attr::to_string(static_cast<attr::Cause>(i)));
+  root.emplace_back("causes", std::move(causes));
+  root.emplace_back("matrix", matrix_to_json(m));
+  root.emplace_back("failure_count", static_cast<int64_t>(failures.size()));
+  root.emplace_back("cell_count", static_cast<int64_t>(cell_array.size()));
+  root.emplace_back("cells", std::move(cell_array));
+  return root;
+}
+
+// ------------------------------------------------------------- report
+
+double pct(uint64_t part, uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+/// Per-cause percentage tables. With --kernel, per-cell tables for that
+/// kernel; otherwise corpus-wide sums per (browser, platform, size,
+/// level) combo — the shape of the paper's overhead breakdowns.
+void print_report(const std::vector<AttrCell>& cells, const std::string& kernel) {
+  struct Group {
+    std::string title;
+    attr::CauseVec wasm{};
+    attr::CauseVec js{};
+    uint64_t wasm_ps = 0, js_ps = 0, native_ps = 0;
+  };
+  std::vector<Group> groups;
+  const auto group_for = [&](const std::string& title) -> Group& {
+    for (Group& g : groups) {
+      if (g.title == title) return g;
+    }
+    groups.push_back(Group{title, {}, {}, 0, 0, 0});
+    return groups.back();
+  };
+  for (const AttrCell& c : cells) {
+    if (!kernel.empty() && c.benchmark != kernel) continue;
+    const std::string title =
+        kernel.empty()
+            ? c.browser + "/" + c.platform + " " + c.size + " " + c.level
+            : c.benchmark + " @ " + c.browser + "/" + c.platform + " " + c.size + " " +
+                  c.level;
+    Group& g = group_for(title);
+    attr::accumulate(g.wasm, c.wasm);
+    attr::accumulate(g.js, c.js);
+    g.wasm_ps += c.wasm_cost_ps;
+    g.js_ps += c.js_cost_ps;
+    g.native_ps += c.native_cost_ps;
+  }
+  if (groups.empty()) {
+    std::printf("no cells%s\n",
+                kernel.empty() ? "" : (" for kernel " + kernel).c_str());
+    return;
+  }
+  for (const Group& g : groups) {
+    std::printf("== %s ==\n", g.title.c_str());
+    std::printf("  wasm/native %.2fx, js/wasm %.2fx\n",
+                g.native_ps ? static_cast<double>(g.wasm_ps) / g.native_ps : 0.0,
+                g.wasm_ps ? static_cast<double>(g.js_ps) / g.wasm_ps : 0.0);
+    std::printf("  %-14s %12s %6s   %12s %6s\n", "cause", "wasm ps", "%", "js ps", "%");
+    for (size_t i = 0; i < attr::kCauseCount; ++i) {
+      if (g.wasm[i] == 0 && g.js[i] == 0) continue;
+      std::printf("  %-14s %12llu %5.1f%%   %12llu %5.1f%%\n",
+                  attr::to_string(static_cast<attr::Cause>(i)),
+                  static_cast<unsigned long long>(g.wasm[i]), pct(g.wasm[i], g.wasm_ps),
+                  static_cast<unsigned long long>(g.js[i]), pct(g.js[i], g.js_ps));
+    }
+    std::printf("  %-14s %12llu %5.1f%%   %12llu %5.1f%%\n", "total",
+                static_cast<unsigned long long>(g.wasm_ps), 100.0,
+                static_cast<unsigned long long>(g.js_ps), 100.0);
+  }
+}
+
+/// Folded-stack export (flamegraph.pl / speedscope input): one line per
+/// (cell, target, cause), frames separated by ';', value in ps.
+std::string folded_stacks(const std::vector<AttrCell>& cells) {
+  std::string out;
+  for (const AttrCell& c : cells) {
+    const std::string base = c.browser + "/" + c.platform + ";" + c.benchmark + "/" +
+                             c.size + "/" + c.level + ";";
+    for (size_t i = 0; i < attr::kCauseCount; ++i) {
+      const char* cause = attr::to_string(static_cast<attr::Cause>(i));
+      if (c.wasm[i] != 0) {
+        out += base + "wasm;" + cause + ' ' + std::to_string(c.wasm[i]) + '\n';
+      }
+      if (c.js[i] != 0) {
+        out += base + "js;" + cause + ' ' + std::to_string(c.js[i]) + '\n';
+      }
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- diff
+
+std::string cell_key(const json::Value& cell) {
+  const auto field = [&](const char* k) -> std::string {
+    const json::Value* v = cell.find(k);
+    return v && v->is_string() ? v->as_string() : "?";
+  };
+  return field("benchmark") + " @ " + field("browser") + "/" + field("platform") +
+         " " + field("size") + " " + field("level");
+}
+
+void diff_value(const std::string& where, const std::string& path,
+                const json::Value& golden, const json::Value& current,
+                std::vector<std::string>& out) {
+  if (golden.is_object() && current.is_object()) {
+    for (const auto& [k, gv] : golden.as_object()) {
+      const json::Value* cv = current.find(k);
+      const std::string sub = path.empty() ? k : path + "." + k;
+      if (!cv) {
+        out.push_back(where + ": " + sub + " " + gv.dump() + " -> (missing)");
+      } else {
+        diff_value(where, sub, gv, *cv, out);
+      }
+    }
+    for (const auto& [k, cv] : current.as_object()) {
+      if (!golden.find(k)) {
+        const std::string sub = path.empty() ? k : path + "." + k;
+        out.push_back(where + ": " + sub + " (missing) -> " + cv.dump());
+      }
+    }
+    return;
+  }
+  if (golden.dump() != current.dump()) {
+    out.push_back(where + ": " + path + " " + golden.dump() + " -> " + current.dump());
+  }
+}
+
+std::vector<std::string> diff_documents(const json::Value& golden,
+                                        const json::Value& current) {
+  std::vector<std::string> out;
+
+  const json::Value* gv = golden.find("schema_version");
+  const json::Value* cv = current.find("schema_version");
+  if (!gv || !cv || gv->dump() != cv->dump()) {
+    out.push_back("schema_version mismatch: " + (gv ? gv->dump() : "(none)") +
+                  " -> " + (cv ? cv->dump() : "(none)"));
+    return out;
+  }
+
+  const json::Value* gcells = golden.find("cells");
+  const json::Value* ccells = current.find("cells");
+  if (!gcells || !gcells->is_array() || !ccells || !ccells->is_array()) {
+    out.push_back("malformed document: missing cells array");
+    return out;
+  }
+
+  std::vector<std::pair<std::string, const json::Value*>> cur;
+  for (const auto& c : ccells->as_array()) cur.emplace_back(cell_key(c), &c);
+
+  for (const auto& g : gcells->as_array()) {
+    const std::string key = cell_key(g);
+    const json::Value* match = nullptr;
+    for (const auto& [k, v] : cur) {
+      if (k == key) {
+        match = v;
+        break;
+      }
+    }
+    if (!match) {
+      out.push_back(key + ": cell missing from current run");
+      continue;
+    }
+    diff_value(key, "", g, *match, out);
+  }
+  for (const auto& [k, v] : cur) {
+    bool in_golden = false;
+    for (const auto& g : gcells->as_array()) in_golden |= cell_key(g) == k;
+    if (!in_golden) out.push_back(k + ": cell not present in golden");
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- io
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) die("cannot read " + path.string());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) die("cannot write " + path.string());
+  out << content;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  bool report = false;
+  std::string kernel;
+  std::filesystem::path out_path = "goldens/attr.json";
+  bool out_flag_seen = false;
+  std::filesystem::path golden_path = "goldens/attr.json";
+  std::filesystem::path diff_out;
+  std::filesystem::path folded_out;
+  Matrix matrix;
+  bool matrix_flag_seen = false;
+
+  bench::parse_common_flags(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      return usage(stdout);
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      kernel = value("--kernel=");
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = value("--out=");
+      out_flag_seen = true;
+    } else if (arg.rfind("--golden=", 0) == 0) {
+      golden_path = value("--golden=");
+    } else if (arg.rfind("--diff-out=", 0) == 0) {
+      diff_out = value("--diff-out=");
+    } else if (arg.rfind("--folded=", 0) == 0) {
+      folded_out = value("--folded=");
+    } else if (arg.rfind("--sizes=", 0) == 0) {
+      matrix.sizes = parse_list(value("--sizes="), kSizes, "size");
+      matrix_flag_seen = true;
+    } else if (arg.rfind("--levels=", 0) == 0) {
+      matrix.levels = parse_list(value("--levels="), kLevels, "level");
+      matrix_flag_seen = true;
+    } else if (arg.rfind("--browsers=", 0) == 0) {
+      matrix.browsers = parse_list(value("--browsers="), kBrowsers, "browser");
+      matrix_flag_seen = true;
+    } else if (arg.rfind("--platforms=", 0) == 0) {
+      matrix.platforms = parse_list(value("--platforms="), kPlatforms, "platform");
+      matrix_flag_seen = true;
+    } else if (arg.rfind("--toolchain=", 0) == 0) {
+      matrix.toolchain = parse_one(value("--toolchain="), kToolchains, "toolchain");
+      matrix_flag_seen = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      // handled by parse_common_flags
+    } else if (arg == "--no-quicken") {
+      // Bisection escape hatch; attribution (like every observable) must
+      // be byte-identical either way.
+      wasm::set_quicken_default(false);
+    } else if (arg == "--no-quicken-js") {
+      js::set_quicken_default(false);
+    } else {
+      std::fprintf(stderr, "wb_attr: unknown flag: %s\n", arg.c_str());
+      return usage(stderr);
+    }
+  }
+
+  if (!kernel.empty() && benchmarks::find_benchmark(kernel) == nullptr) {
+    die("unknown kernel: " + kernel);
+  }
+
+  if (check) {
+    // Replay the slice recorded in the golden itself, so the gate cannot
+    // silently check a narrower slice than was committed.
+    if (matrix_flag_seen) {
+      std::fprintf(stderr,
+                   "note: --check replays the matrix recorded in the golden; "
+                   "matrix flags are ignored\n");
+    }
+    std::string error;
+    const std::optional<json::Value> golden = json::parse(read_file(golden_path), error);
+    if (!golden) die("golden " + golden_path.string() + " is not valid JSON: " + error);
+    const json::Value* gmatrix = golden->find("matrix");
+    if (!gmatrix) die("golden has no matrix description");
+    const Matrix m = matrix_from_json(*gmatrix);
+    std::vector<std::string> failures;
+    const std::vector<AttrCell> cells = run_matrix_cells(m, failures);
+    const json::Value current = cells_to_document(m, cells, failures);
+
+    const std::vector<std::string> diffs = diff_documents(*golden, current);
+    if (diffs.empty()) {
+      std::printf("attr golden gate OK: %s cells bit-identical to %s\n",
+                  current.find("cell_count")->dump().c_str(),
+                  golden_path.string().c_str());
+      return 0;
+    }
+    std::string report_text;
+    report_text += "attr golden gate FAILED: " + std::to_string(diffs.size()) +
+                   " difference(s) vs " + golden_path.string() + "\n";
+    for (const auto& d : diffs) report_text += "  " + d + "\n";
+    report_text +=
+        "If this change is intentional, regenerate the golden in this PR:\n"
+        "  wb_attr --out=" + golden_path.string() + "\n";
+    std::fputs(report_text.c_str(), stdout);
+    if (!diff_out.empty()) write_file(diff_out, report_text);
+    return 1;
+  }
+
+  std::vector<std::string> failures;
+  const std::vector<AttrCell> cells = run_matrix_cells(matrix, failures);
+  if (report) {
+    print_report(cells, kernel);
+  }
+  // JSON is the default product; --report/--folded replace it only when
+  // --out was not explicitly requested alongside them.
+  if (out_flag_seen || (!report && folded_out.empty())) {
+    const json::Value doc = cells_to_document(matrix, cells, failures);
+    write_file(out_path, doc.dump(2));
+    std::printf("wrote %s (%s cells)\n", out_path.string().c_str(),
+                doc.find("cell_count")->dump().c_str());
+  }
+  if (!folded_out.empty()) {
+    write_file(folded_out, folded_stacks(cells));
+    std::printf("wrote folded stacks to %s\n", folded_out.string().c_str());
+  }
+  return failures.empty() ? 0 : 1;
+}

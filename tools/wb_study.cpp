@@ -22,8 +22,8 @@
 //            [--check] [--golden=goldens/study.json] [--diff-out=PATH]
 //            [--sizes=S,M] [--levels=O2,Ofast]
 //            [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]
-//            [--toolchain=Cheerp] [--with-native] [--jobs=N] [--no-quicken]
-//            [--no-quicken-js] [--help]
+//            [--toolchain=Cheerp] [--with-native] [--attr] [--jobs=N]
+//            [--no-quicken] [--no-quicken-js] [--help]
 //
 // Environment (see also wb_study --help):
 //   WB_JOBS=N            default for --jobs (the flag wins)
@@ -43,6 +43,7 @@
 #include <tuple>
 #include <vector>
 
+#include "attr/attr.h"
 #include "common.h"
 #include "support/json.h"
 #include "js/quicken.h"
@@ -55,6 +56,11 @@ namespace json = support::json;
 
 constexpr int kSchemaVersion = 1;
 
+/// --attr: include the wb::attr per-cause decomposition in each cell.
+/// Off by default so the committed golden stays byte-identical; the full
+/// attribution surface (gaps, report, folded stacks) lives in wb_attr.
+bool g_with_attr = false;
+
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "wb_study: %s\n", msg.c_str());
   std::exit(2);
@@ -66,7 +72,7 @@ int usage(FILE* to) {
       "                [--check] [--golden=goldens/study.json] [--diff-out=PATH]\n"
       "                [--sizes=S,M] [--levels=O2,Ofast]\n"
       "                [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
-      "                [--toolchain=Cheerp] [--with-native] [--jobs=N]\n"
+      "                [--toolchain=Cheerp] [--with-native] [--attr] [--jobs=N]\n"
       "                [--no-quicken] [--no-quicken-js] [--help]\n"
       "environment:\n"
       "  WB_JOBS=N            default for --jobs (the flag wins)\n"
@@ -174,6 +180,14 @@ json::Value page_metrics_json(const env::PageMetrics& m, const std::string& sha)
   o.emplace_back("ops", static_cast<int64_t>(m.ops));
   o.emplace_back("boundary_crossings", static_cast<int64_t>(m.boundary_crossings));
   o.emplace_back("sha256", sha);
+  if (g_with_attr) {
+    json::Object a;
+    for (size_t i = 0; i < attr::kCauseCount; ++i) {
+      a.emplace_back(attr::to_string(static_cast<attr::Cause>(i)),
+                     static_cast<int64_t>(m.attr_ps[i]));
+    }
+    o.emplace_back("attr_ps", std::move(a));
+  }
   return o;
 }
 
@@ -408,6 +422,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--with-native") {
       matrix.with_native = true;
       matrix_flag_seen = true;
+    } else if (arg == "--attr") {
+      g_with_attr = true;
     } else if (arg.rfind("--jobs=", 0) == 0) {
       // handled by parse_common_flags
     } else if (arg == "--no-quicken") {

@@ -547,6 +547,77 @@ std::vector<RealWorldRow> run_real_world_apps(const env::BrowserEnv& browser) {
   return rows;
 }
 
+std::vector<RealWorldProgram> real_world_programs() {
+  std::vector<RealWorldProgram> programs;
+
+  struct LongSpec {
+    const char* op;
+    Opcode wasm_op;
+    int lhs, rhs;
+  };
+  const LongSpec long_specs[] = {{"mul", Opcode::I64Mul, 36, -2},
+                                 {"div", Opcode::I64DivS, -2, -2},
+                                 {"mod", Opcode::I64RemS, 36, 5}};
+  for (const LongSpec& spec : long_specs) {
+    RealWorldProgram wasm_prog;
+    wasm_prog.name = std::string("longjs-") + spec.op + "-wasm";
+    wasm_prog.is_wasm = true;
+    wasm_prog.artifact.module = longjs_wasm_module(spec.wasm_op, spec.lhs, spec.rhs);
+    wasm_prog.artifact.binary = wasm::encode(wasm_prog.artifact.module);
+    wasm_prog.options.extra_boundary_crossings = 10'000;
+    programs.push_back(std::move(wasm_prog));
+
+    RealWorldProgram js_prog;
+    js_prog.name = std::string("longjs-") + spec.op + "-js";
+    js_prog.js_source = longjs_main(spec.op, spec.lhs, spec.rhs);
+    programs.push_back(std::move(js_prog));
+  }
+
+  for (const auto& [lang, seed] : {std::pair<const char*, int>{"en-us", 12345},
+                                   std::pair<const char*, int>{"fr", 54321}}) {
+    RealWorldProgram wasm_prog;
+    wasm_prog.name = std::string("hyphen-") + lang + "-wasm";
+    wasm_prog.is_wasm = true;
+    std::string error;
+    wasm_prog.artifact = compile_c(kHyphenC, {{"SEED", std::to_string(seed)}}, error);
+    if (!wasm_prog.artifact.ok()) {
+      wasm_prog.ok = false;
+      wasm_prog.error = error.empty() ? wasm_prog.artifact.error : error;
+    }
+    programs.push_back(std::move(wasm_prog));
+
+    RealWorldProgram js_prog;
+    js_prog.name = std::string("hyphen-") + lang + "-js";
+    std::string js = kHyphenJs;
+    const std::string placeholder = "SEED_VALUE";
+    js.replace(js.find(placeholder), placeholder.size(), std::to_string(seed));
+    js_prog.js_source = std::move(js);
+    programs.push_back(std::move(js_prog));
+  }
+
+  {
+    RealWorldProgram wasm_prog;
+    wasm_prog.name = "ffmpeg-wasm";
+    wasm_prog.is_wasm = true;
+    std::string error;
+    wasm_prog.artifact =
+        compile_c(kTranscodeC, {{"FBEGIN", "0"}, {"FEND", "32"}}, error);
+    if (!wasm_prog.artifact.ok()) {
+      wasm_prog.ok = false;
+      wasm_prog.error = error.empty() ? wasm_prog.artifact.error : error;
+    }
+    wasm_prog.options.toolchain = backend::Toolchain::Emscripten;
+    programs.push_back(std::move(wasm_prog));
+
+    RealWorldProgram js_prog;
+    js_prog.name = "ffmpeg-js";
+    js_prog.js_source = kTranscodeJs;
+    programs.push_back(std::move(js_prog));
+  }
+
+  return programs;
+}
+
 std::vector<LongOpsRow> longjs_operation_counts() {
   std::vector<LongOpsRow> rows;
   struct Spec {

@@ -37,6 +37,25 @@ struct RealWorldRow {
 /// Runs all six Table-10 experiments in `browser`.
 std::vector<RealWorldRow> run_real_world_apps(const env::BrowserEnv& browser);
 
+/// One real-world analog in one implementation language, exposed for the
+/// wb::replay corpus: a compiled/hand-built Wasm artifact or a JS source,
+/// plus the RunOptions the Table-10 experiment uses (toolchain, extra
+/// boundary crossings). The FFmpeg Wasm entry is the single-threaded
+/// full-clip module (one worker's view of all 32 frames).
+struct RealWorldProgram {
+  std::string name;  ///< "longjs-mul-wasm", "hyphen-en-us-js", "ffmpeg-wasm", ...
+  bool is_wasm = false;
+  backend::WasmArtifact artifact;  ///< valid when is_wasm
+  std::string js_source;           ///< valid when !is_wasm
+  env::RunOptions options;
+  bool ok = true;
+  std::string error;
+};
+
+/// Builds all 12 programs (3 Long.js ops + 2 Hyphenopoly languages +
+/// FFmpeg, each in Wasm and JS). Deterministic.
+std::vector<RealWorldProgram> real_world_programs();
+
 /// Table 12: arithmetic-operation counts for the three Long.js programs.
 /// Category order: ADD MUL DIV REM SHIFT AND OR.
 struct LongOpsRow {

@@ -5,6 +5,7 @@
 #include "attr/attr.h"
 #include "js/engine.h"
 #include "prof/prof.h"
+#include "replay/boundary.h"
 
 namespace wb::env {
 
@@ -235,6 +236,27 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
   inst.set_tier_policy(tiers);
   inst.set_grow_cost(profile_.grow_cost_ps);
 
+  // Boundary recording (wb::replay): emit the full engine configuration
+  // first so a standalone replayer can rebuild the same virtual clock,
+  // then attach the sink for host-call/grow events.
+  replay::BoundarySink* const rec = options.recorder;
+  if (rec) {
+    replay::EngineConfig cfg;
+    cfg.kind = 0;
+    cfg.baseline_enabled = tiers.baseline_enabled;
+    cfg.optimizing_enabled = tiers.optimizing_enabled;
+    cfg.tierup_threshold = tiers.tierup_threshold;
+    cfg.tierup_cost_per_instr = tiers.tierup_cost_per_instr;
+    cfg.grow_cost_ps = profile_.grow_cost_ps;
+    cfg.fuel = 4'000'000'000ull;
+    const wasm::CostTable base = wasm_tier_costs(false, options);
+    const wasm::CostTable opt = wasm_tier_costs(true, options);
+    cfg.baseline_costs.assign(base.begin(), base.end());
+    cfg.optimizing_costs.assign(opt.begin(), opt.end());
+    rec->engine_config(cfg);
+    inst.set_recorder(rec);
+  }
+
   // DevTools-style collection (paper Sec. 3.3): page phases become Page
   // spans, the VM emits function/tier-up/grow events between them.
   prof::Tracer* const tr = options.tracer;
@@ -254,8 +276,11 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
   // front (more load time, repaid on hot code).
   uint64_t decode_factor = profile_.wasm_decode_cost_per_byte;
   if (options.wasm_tiers == RunOptions::WasmTiers::OptimizingOnly) decode_factor *= 2;
-  inst.charge(profile_.page_overhead_ps + profile_.wasm_instantiate_overhead_ps +
-              decode_factor * artifact.binary.size());
+  const uint64_t load_ps = profile_.page_overhead_ps +
+                           profile_.wasm_instantiate_overhead_ps +
+                           decode_factor * artifact.binary.size();
+  inst.charge(load_ps);
+  if (rec) rec->page_charge(replay::PagePhase::Load, load_ps);
   if (tr) {
     tr->end(prof::Cat::Page, load_id, inst.stats().cost_ps);
     tr->begin(prof::Cat::Page, init_id, inst.stats().cost_ps);
@@ -283,7 +308,9 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
   // invoke() calls are crossings too.
   const uint64_t crossings = boundary_calls + 2 + options.extra_boundary_crossings;
   if (tr) tr->begin(prof::Cat::Page, boundary_id, inst.stats().cost_ps);
-  inst.charge(crossings * profile_.boundary_cost_ps, attr::Cause::CallOverhead);
+  const uint64_t boundary_ps = crossings * profile_.boundary_cost_ps;
+  inst.charge(boundary_ps, attr::Cause::CallOverhead);
+  if (rec) rec->page_charge(replay::PagePhase::Boundary, boundary_ps);
   if (tr) {
     tr->instant(prof::Cat::Boundary, tr->intern("js<->wasm crossings"),
                 inst.stats().cost_ps, crossings);
@@ -328,6 +355,24 @@ PageMetrics BrowserEnv::run_js(std::string_view source, const RunOptions& option
   tiers.tierup_cost_per_instr = 1500;
   vm.set_tier_policy(tiers);
 
+  replay::BoundarySink* const rec = options.recorder;
+  if (rec) {
+    replay::EngineConfig cfg;
+    cfg.kind = 1;
+    cfg.baseline_enabled = true;
+    cfg.optimizing_enabled = tiers.jit_enabled;
+    cfg.tierup_threshold = tiers.tierup_threshold;
+    cfg.tierup_cost_per_instr = tiers.tierup_cost_per_instr;
+    cfg.fuel = 4'000'000'000ull;
+    cfg.heap_bytes = 4 << 20;
+    const js::JsCostTable base = js_tier_costs(false);
+    const js::JsCostTable opt = js_tier_costs(true);
+    cfg.baseline_costs.assign(base.begin(), base.end());
+    cfg.optimizing_costs.assign(opt.begin(), opt.end());
+    rec->engine_config(cfg);
+    vm.set_recorder(rec);
+  }
+
   prof::Tracer* const tr = options.tracer;
   uint32_t parse_id = 0;
   if (tr) {
@@ -336,8 +381,10 @@ PageMetrics BrowserEnv::run_js(std::string_view source, const RunOptions& option
     vm.set_tracer(tr);
     tr->begin(prof::Cat::Page, parse_id, vm.stats().cost_ps);
   }
-  vm.charge(profile_.page_overhead_ps +
-            profile_.js_parse_cost_per_byte * source.size());
+  const uint64_t parse_ps =
+      profile_.page_overhead_ps + profile_.js_parse_cost_per_byte * source.size();
+  vm.charge(parse_ps);
+  if (rec) rec->page_charge(replay::PagePhase::Parse, parse_ps);
   if (tr) tr->end(prof::Cat::Page, parse_id, vm.stats().cost_ps);
 
   const js::Vm::Result top = vm.run_top_level();

@@ -20,6 +20,9 @@
 namespace wb::prof {
 class Tracer;
 }
+namespace wb::replay {
+class BoundarySink;
+}
 
 namespace wb::env {
 
@@ -82,6 +85,12 @@ struct RunOptions {
   /// on prof::kWasmTrack, JS runs on prof::kJsTrack, so one tracer can
   /// hold a whole measure() cell. Tracing never changes any metric.
   prof::Tracer* tracer = nullptr;
+  /// Boundary recorder (wb::replay). When set, the page emits the engine
+  /// configuration and its one-off load/parse/boundary charges, and the
+  /// VMs report host-import calls, memory.grow, and intercepted builtins
+  /// into it — everything a standalone replay needs. Like the tracer,
+  /// recording never changes any metric.
+  replay::BoundarySink* recorder = nullptr;
 };
 
 /// What DevTools reports for one page run.

@@ -12,6 +12,8 @@
 #include "fleet/analytics.h"
 #include "fleet/cache.h"
 #include "fleet/device.h"
+#include "replay/corpus.h"
+#include "replay/replay.h"
 #include "support/sha256.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
@@ -38,11 +40,17 @@ int resolve_jobs(int jobs) {
 
 int64_t rounded(double v) { return static_cast<int64_t>(std::llround(v)); }
 
-/// One distinct workload: a corpus benchmark at one input size.
+/// One distinct workload: a corpus benchmark at one input size, or a
+/// wb::replay recording (bench == nullptr) re-priced per device cell.
 struct Workload {
   const core::BenchSource* bench = nullptr;
   core::InputSize size = core::InputSize::XS;
+  const replay::Trace* trace = nullptr;
 };
+
+std::string workload_name(const Workload& w) {
+  return w.trace ? "replay:" + w.trace->name : w.bench->name;
+}
 
 /// A workload measured once in one (browser, platform) environment,
 /// decomposed so per-session startup can be re-modeled as cold or warm.
@@ -78,6 +86,45 @@ std::vector<WorkloadMetrics> measure_workloads(const std::vector<Workload>& work
       workloads.size(), static_cast<unsigned>(jobs), [&](size_t i) {
         const Workload& w = workloads[i];
         WorkloadMetrics& m = out[i];
+        if (w.trace) {
+          // Replay module: the program bytes and boundary responses come
+          // from the recording; replay_in_env re-prices load/parse and
+          // boundary charges from each cell's profile.
+          const replay::Trace& t = *w.trace;
+          m.code_size = t.program.size();
+          m.sha256 = support::sha256_hex(t.program);
+          for (size_t b = 0; b < 3; ++b) {
+            for (size_t p = 0; p < 2; ++p) {
+              const auto browser = static_cast<env::Browser>(b);
+              const auto platform = static_cast<env::Platform>(p);
+              const env::BrowserEnv browser_env(browser, platform);
+              const replay::ReplayResult r = replay::replay_in_env(t, browser_env);
+              if (!r.ok) {
+                m.error = workload_name(w) + " @ " + env::to_string(browser) +
+                          "/" + env::to_string(platform) + ": " + r.error;
+                return;
+              }
+              const env::Profile& profile = browser_env.profile();
+              CellMetrics& cell = m.cells[b][p];
+              const bool is_wasm = t.kind == replay::ProgramKind::Wasm;
+              cell.decode_ps = is_wasm
+                                   ? profile.wasm_decode_cost_per_byte * m.code_size
+                                   : profile.js_parse_cost_per_byte * m.code_size;
+              const uint64_t modeled_load =
+                  profile.page_overhead_ps + cell.decode_ps +
+                  (is_wasm ? profile.wasm_instantiate_overhead_ps : 0);
+              if (r.metrics.cost_ps < modeled_load) {
+                m.error = workload_name(w) + ": cost below modeled load phase";
+                return;
+              }
+              cell.exec_ps = r.metrics.cost_ps - modeled_load;
+              cell.memory_bytes = r.metrics.memory_bytes;
+              m.cache_keys[b][p] = m.sha256 + '|' + env::to_string(browser) +
+                                   '|' + env::to_string(platform);
+            }
+          }
+          return;
+        }
         const core::BuildResult build = core::build(*w.bench, w.size, level);
         if (!build.ok) {
           m.error = w.bench->name + ": build failed: " + build.error;
@@ -165,6 +212,12 @@ json::Value config_json(const FleetConfig& c) {
   o.emplace_back("sizes", std::move(sizes));
   o.emplace_back("mean_interarrival_us", static_cast<int64_t>(c.mean_interarrival_us));
   o.emplace_back("max_benchmarks", static_cast<int64_t>(c.max_benchmarks));
+  // Only present when replay modules are mixed in, so reports from
+  // replay-free configs (including the committed golden) stay
+  // byte-identical to pre-replay wb_fleet.
+  if (c.replay_modules > 0) {
+    o.emplace_back("replay_modules", static_cast<int64_t>(c.replay_modules));
+  }
   return o;
 }
 
@@ -261,7 +314,27 @@ FleetReport run_fleet(const FleetConfig& config) {
   workloads.reserve(bench_count * config.sizes.size());
   for (size_t i = 0; i < bench_count; ++i) {
     for (const core::InputSize size : config.sizes) {
-      workloads.push_back(Workload{&corpus[i], size});
+      workloads.push_back(Workload{&corpus[i], size, nullptr});
+    }
+  }
+
+  // Replay modules ride the same grid: record the wb::replay corpus once
+  // (Chrome/Desktop, like the golden gate) and append the first N
+  // name-sorted traces. They rank after the compiled corpus in the zipf
+  // popularity order.
+  replay::CorpusResult replay_corpus;
+  if (config.replay_modules > 0) {
+    const env::BrowserEnv recorder(env::Browser::Chrome, env::Platform::Desktop);
+    replay_corpus = replay::record_corpus(recorder, jobs);
+    if (!replay_corpus.ok()) {
+      return fail("replay corpus: " + replay_corpus.failures.front().name +
+                  ": " + replay_corpus.failures.front().error);
+    }
+    const size_t n = std::min<size_t>(config.replay_modules,
+                                      replay_corpus.traces.size());
+    for (size_t i = 0; i < n; ++i) {
+      workloads.push_back(Workload{nullptr, core::InputSize::XS,
+                                   &replay_corpus.traces[i]});
     }
   }
 
@@ -345,8 +418,9 @@ FleetReport run_fleet(const FleetConfig& config) {
   modules.reserve(workloads.size());
   for (size_t i = 0; i < workloads.size(); ++i) {
     Keyed k;
-    k.key = workloads[i].bench->name + '|' + core::to_string(workloads[i].size);
-    k.body.emplace_back("benchmark", workloads[i].bench->name);
+    const std::string name = workload_name(workloads[i]);
+    k.key = name + '|' + core::to_string(workloads[i].size);
+    k.body.emplace_back("benchmark", name);
     k.body.emplace_back("size", core::to_string(workloads[i].size));
     k.body.emplace_back("code_size", static_cast<int64_t>(measured[i].code_size));
     k.body.emplace_back("sha256", measured[i].sha256);
@@ -414,7 +488,7 @@ FleetReport run_fleet(const FleetConfig& config) {
           module_sessions[i] ? 100.0 * static_cast<double>(module_warm[i]) /
                                    static_cast<double>(module_sessions[i])
                              : 0.0;
-      t.add_row({workloads[i].bench->name, core::to_string(workloads[i].size),
+      t.add_row({workload_name(workloads[i]), core::to_string(workloads[i].size),
                  std::to_string(module_sessions[i]), support::fmt(warm_pct, 1)});
     }
     tables += "\n" + t.render();
@@ -440,6 +514,14 @@ bool config_from_json(const json::Value& config, FleetConfig& out, std::string& 
   if (!require_int("cache_mb", c.cache_mb)) return false;
   if (!require_int("mean_interarrival_us", c.mean_interarrival_us)) return false;
   if (!require_int("max_benchmarks", c.max_benchmarks)) return false;
+  // Optional: absent in goldens recorded without replay modules.
+  if (const json::Value* rm = config.find("replay_modules")) {
+    if (!rm->is_int()) {
+      error = "config field replay_modules is not an integer";
+      return false;
+    }
+    c.replay_modules = static_cast<uint32_t>(rm->as_int());
+  }
 
   const json::Value* level = config.find("level");
   if (!level || !level->is_string()) {

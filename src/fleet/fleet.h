@@ -50,6 +50,11 @@ struct FleetConfig {
   uint64_t mean_interarrival_us = 350;
   /// 0 = whole 41-benchmark corpus; tests shrink the measurement grid.
   uint32_t max_benchmarks = 0;
+  /// Mix the first N (name-sorted) wb::replay corpus recordings into the
+  /// workload grid as `replay:<name>` modules, re-priced per device cell
+  /// with replay::replay_in_env. 0 = none (the committed golden's
+  /// configuration, byte-identical to pre-replay reports).
+  uint32_t replay_modules = 0;
   /// Measurement fan-out. 0 = WB_JOBS env var, then hardware. Never
   /// changes any reported byte, only wall-clock.
   int jobs = 0;

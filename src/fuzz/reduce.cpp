@@ -15,32 +15,32 @@ std::vector<std::string> split_lines(const std::string& source) {
   return lines;
 }
 
-std::string join_without(const std::vector<std::string>& lines, size_t from,
-                         size_t count) {
-  std::string out;
-  for (size_t i = 0; i < lines.size(); ++i) {
+std::vector<size_t> without(const std::vector<size_t>& kept, size_t from,
+                            size_t count) {
+  std::vector<size_t> out;
+  out.reserve(kept.size() - count);
+  for (size_t i = 0; i < kept.size(); ++i) {
     if (i >= from && i < from + count) continue;
-    out += lines[i];
-    out += '\n';
+    out.push_back(kept[i]);
   }
   return out;
 }
 
 }  // namespace
 
-std::string reduce_source(const std::string& source, const StillFails& still_fails) {
-  std::vector<std::string> lines = split_lines(source);
+std::vector<size_t> reduce_indices(size_t count, const KeepPredicate& still_ok) {
+  std::vector<size_t> kept(count);
+  for (size_t i = 0; i < count; ++i) kept[i] = i;
   // Chunk sizes n/2, n/4, ..., 1; restart a pass whenever a removal lands
   // (classic ddmin greediness, without the subset-complement bookkeeping).
-  for (size_t chunk = lines.size() / 2; chunk >= 1; chunk /= 2) {
+  for (size_t chunk = kept.size() / 2; chunk >= 1; chunk /= 2) {
     bool removed_any = true;
     while (removed_any) {
       removed_any = false;
-      for (size_t from = 0; from + chunk <= lines.size();) {
-        const std::string candidate = join_without(lines, from, chunk);
-        if (still_fails(candidate)) {
-          lines.erase(lines.begin() + static_cast<ptrdiff_t>(from),
-                      lines.begin() + static_cast<ptrdiff_t>(from + chunk));
+      for (size_t from = 0; from + chunk <= kept.size();) {
+        const std::vector<size_t> candidate = without(kept, from, chunk);
+        if (still_ok(candidate)) {
+          kept = candidate;
           removed_any = true;
           // keep `from`: the next chunk slid into place
         } else {
@@ -50,12 +50,23 @@ std::string reduce_source(const std::string& source, const StillFails& still_fai
     }
     if (chunk == 1) break;
   }
-  std::string out;
-  for (const auto& line : lines) {
-    out += line;
-    out += '\n';
-  }
-  return out;
+  return kept;
+}
+
+std::string reduce_source(const std::string& source, const StillFails& still_fails) {
+  const std::vector<std::string> lines = split_lines(source);
+  const auto join = [&](const std::vector<size_t>& kept) {
+    std::string out;
+    for (const size_t i : kept) {
+      out += lines[i];
+      out += '\n';
+    }
+    return out;
+  };
+  const std::vector<size_t> kept = reduce_indices(
+      lines.size(),
+      [&](const std::vector<size_t>& candidate) { return still_fails(join(candidate)); });
+  return join(kept);
 }
 
 }  // namespace wb::fuzz

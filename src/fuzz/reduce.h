@@ -1,16 +1,33 @@
-// Greedy reproducer minimization (ddmin-lite): removes line chunks from a
-// diverging program while the divergence persists, halving the chunk size
-// down to single lines. The predicate is "still compiles and still
-// diverges", so the result is always a valid, still-failing program.
+// Greedy reproducer minimization (ddmin-lite): removes chunks from a
+// diverging input while the divergence persists, halving the chunk size
+// down to single elements. The predicate is "still compiles and still
+// diverges", so the result is always a valid, still-failing input.
+//
+// The core works over index sets so it composes with any element type:
+// `reduce_source` (line-wise program shrinking) and wb::replay's trace
+// reducer are both built on `reduce_indices`.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace wb::fuzz {
 
 /// Returns true when `source` still reproduces the failure being reduced.
 using StillFails = std::function<bool(const std::string&)>;
+
+/// Returns true when the subsequence selected by the (sorted) kept
+/// indices still satisfies the reduction oracle.
+using KeepPredicate = std::function<bool(const std::vector<size_t>&)>;
+
+/// Minimizes an index set {0, ..., count-1} with the ddmin-lite chunk
+/// loop: drops chunks of kept indices while `still_ok` holds, halving
+/// the chunk size down to single elements. Deterministic; the result is
+/// always a sorted subsequence of the input for which `still_ok` held
+/// (at worst, all of it).
+std::vector<size_t> reduce_indices(size_t count, const KeepPredicate& still_ok);
 
 /// Minimizes `source` line-wise. Deterministic; returns the smallest
 /// variant found (at worst, `source` itself).

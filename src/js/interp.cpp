@@ -1,5 +1,6 @@
 #include "js/interp.h"
 
+#include <bit>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -7,6 +8,7 @@
 #include <cstring>
 
 #include "prof/prof.h"
+#include "replay/boundary.h"
 #include "support/sha256.h"
 
 namespace wb::js {
@@ -303,20 +305,56 @@ void Vm::maybe_tier_up(uint32_t proto_index, uint64_t now_ps) {
 
 // ---------------------------------------------------------------- builtins
 
+double Vm::arg_number(JsValue v) const {
+  if (v.is_number()) return v.num();
+  if (v.is_bool()) return v.boolean() ? 1 : 0;
+  if (v.is_null()) return 0;
+  if (v.is_object() && heap_.get(v.ref()).kind == ObjKind::String) {
+    return to_number_str(heap_.get(v.ref()).str());
+  }
+  return std::nan("");
+}
+
 bool Vm::call_builtin(uint32_t builtin_id, JsValue receiver,
                       std::span<const JsValue> args, JsValue& result) {
-  (void)receiver;
   ++stats_.host_calls;
-  auto num_arg = [&](size_t i) -> double {
-    if (i >= args.size()) return std::nan("");
-    const JsValue v = args[i];
-    if (v.is_number()) return v.num();
-    if (v.is_bool()) return v.boolean() ? 1 : 0;
-    if (v.is_null()) return 0;
-    if (v.is_object() && heap_.get(v.ref()).kind == ObjKind::String) {
-      return to_number_str(heap_.get(v.ref()).str());
+  // The pure numeric builtins (Math.*) are the recordable JS boundary:
+  // their result depends only on the converted numeric arguments, so the
+  // converted-double bit patterns are a complete memo key. Impure
+  // builtins (performance.now, console.log, crypto.digest,
+  // String.fromCharCode) are never intercepted. Calls with more than 8
+  // args skip interception on both sides (record and replay agree, and
+  // the computation is pure either way).
+  if ((recorder_ || replay_host_) && builtin_id <= kMathImul &&
+      args.size() <= 8) {
+    uint64_t bits[8];
+    for (size_t i = 0; i < args.size(); ++i) {
+      bits[i] = std::bit_cast<uint64_t>(arg_number(args[i]));
     }
-    return std::nan("");
+    const std::span<const uint64_t> arg_bits(bits, args.size());
+    if (replay_host_) {
+      uint64_t result_bits = 0;
+      if (!replay_host_->lookup(builtin_id, arg_bits, result_bits)) {
+        fail("replay divergence: no canned response for builtin " +
+             std::to_string(builtin_id));
+        return false;
+      }
+      result = JsValue::number(std::bit_cast<double>(result_bits));
+      return true;
+    }
+    if (!call_builtin_impl(builtin_id, receiver, args, result)) return false;
+    recorder_->js_builtin_call(builtin_id, arg_bits,
+                               std::bit_cast<uint64_t>(result.num()));
+    return true;
+  }
+  return call_builtin_impl(builtin_id, receiver, args, result);
+}
+
+bool Vm::call_builtin_impl(uint32_t builtin_id, JsValue receiver,
+                           std::span<const JsValue> args, JsValue& result) {
+  (void)receiver;
+  auto num_arg = [&](size_t i) -> double {
+    return i < args.size() ? arg_number(args[i]) : std::nan("");
   };
 
   switch (builtin_id) {

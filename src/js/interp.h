@@ -21,6 +21,10 @@
 namespace wb::prof {
 class Tracer;
 }
+namespace wb::replay {
+class BoundarySink;
+class JsHostSource;
+}
 
 namespace wb::js {
 
@@ -77,6 +81,19 @@ class Vm {
   /// hook); never charges virtual time.
   void set_tracer(prof::Tracer* tracer);
 
+  /// Attaches a boundary recorder (nullptr detaches). Records every pure
+  /// numeric builtin call (Math.*) with converted argument and result
+  /// bits; never charges virtual time, so all reported metrics are
+  /// bit-identical with or without a recorder (the wb::replay
+  /// observable-neutrality contract).
+  void set_recorder(replay::BoundarySink* recorder) { recorder_ = recorder; }
+
+  /// Attaches a canned-response host (nullptr detaches). When set, pure
+  /// numeric builtins are answered from the recorded trace instead of
+  /// being computed — how a trace replays standalone. A lookup miss
+  /// fails the run (the replay diverged from the recording).
+  void set_replay_host(replay::JsHostSource* host) { replay_host_ = host; }
+
   struct Result {
     bool ok = true;
     std::string error;
@@ -126,6 +143,10 @@ class Vm {
   void maybe_tier_up(uint32_t proto_index, uint64_t now_ps);
   bool call_builtin(uint32_t builtin_id, JsValue receiver,
                     std::span<const JsValue> args, JsValue& result);
+  bool call_builtin_impl(uint32_t builtin_id, JsValue receiver,
+                         std::span<const JsValue> args, JsValue& result);
+  /// The numeric coercion pure builtins apply to each argument.
+  [[nodiscard]] double arg_number(JsValue v) const;
   bool method_on_primitive(const GcObject& recv_obj, JsValue receiver,
                            std::span<const JsValue> args, uint32_t name_id,
                            JsValue& result, bool& handled);
@@ -162,6 +183,9 @@ class Vm {
   prof::Tracer* tracer_ = nullptr;
   std::vector<uint32_t> proto_trace_names_;  // per function proto
   uint32_t gc_trace_name_ = 0;
+
+  replay::BoundarySink* recorder_ = nullptr;
+  replay::JsHostSource* replay_host_ = nullptr;
 };
 
 }  // namespace wb::js

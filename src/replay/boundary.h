@@ -1,0 +1,82 @@
+// wb::replay boundary interface (header-only, dependency-free).
+//
+// Both VMs and the browser environment report cross-boundary activity
+// through `BoundarySink` — every host-import call with its raw argument
+// and result bits, every memory.grow, every intercepted JS builtin, and
+// the page's one-off load/parse/boundary charges. The sink is attached
+// like `prof::Tracer`: a nullptr means no recording, and attaching one
+// never charges virtual time, so all reported metrics are bit-identical
+// with or without a recorder (the observable-neutrality contract that
+// replay correctness rests on; see DESIGN.md §14).
+//
+// `JsHostSource` is the inverse direction: a canned-response host the JS
+// VM consults instead of computing a pure builtin, which is how a
+// recorded trace replays standalone with no environment attached.
+//
+// This header is included by wasm/interp.h, js/interp.h and env/env.h,
+// so it must not pull in any wb library — plain types only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wb::replay {
+
+/// Which page phase a one-off charge belongs to. Load/Parse charges are
+/// re-applied at replay as Startup cost; Boundary as CallOverhead.
+enum class PagePhase : uint8_t { Load = 0, Parse = 1, Boundary = 2 };
+
+/// Everything the environment configured on the VM for the recorded run —
+/// enough for a standalone replayer to rebuild a bit-identical virtual
+/// clock without consulting env::Profile.
+struct EngineConfig {
+  uint8_t kind = 0;  ///< 0 = wasm Instance, 1 = js Vm
+  bool baseline_enabled = true;
+  bool optimizing_enabled = true;
+  uint64_t tierup_threshold = 0;
+  uint64_t tierup_cost_per_instr = 0;
+  uint64_t grow_cost_ps = 0;       ///< wasm only
+  uint64_t fuel = 0;
+  uint64_t heap_bytes = 0;         ///< js only: GC trigger threshold
+  std::vector<uint64_t> baseline_costs;    ///< per-OpClass cost table
+  std::vector<uint64_t> optimizing_costs;  ///< per-OpClass cost table
+};
+
+/// Receives boundary events during a recorded run. All argument/result
+/// values travel as raw 64-bit patterns (wasm::Value::bits; doubles are
+/// bit_cast on the JS side) so recording is lossless and NaN-stable.
+class BoundarySink {
+ public:
+  virtual ~BoundarySink() = default;
+
+  /// A successful wasm host-import call (import index in module order).
+  virtual void wasm_host_call(uint32_t import_index,
+                              std::span<const uint64_t> arg_bits,
+                              uint64_t result_bits, bool has_result) = 0;
+  /// A memory.grow: requested delta and the previous size it returned
+  /// (-1 on failure), per wasm semantics.
+  virtual void wasm_memory_grow(uint32_t delta_pages, int32_t prev_pages) = 0;
+  /// A pure numeric JS builtin (Math.*) with its converted numeric
+  /// arguments and numeric result, as raw double bits.
+  virtual void js_builtin_call(uint32_t builtin_id,
+                               std::span<const uint64_t> arg_bits,
+                               uint64_t result_bits) = 0;
+  /// A one-off page charge (load/parse/boundary) the env applied.
+  virtual void page_charge(PagePhase phase, uint64_t cost_ps) = 0;
+  /// The VM configuration the env installed, emitted once per run before
+  /// any other event.
+  virtual void engine_config(const EngineConfig& config) = 0;
+};
+
+/// A canned-response host for JS replay: answers pure builtins from a
+/// recorded trace instead of computing them. Returns false on a miss
+/// (the replayed execution diverged from the recording).
+class JsHostSource {
+ public:
+  virtual ~JsHostSource() = default;
+  virtual bool lookup(uint32_t builtin_id, std::span<const uint64_t> arg_bits,
+                      uint64_t& result_bits) = 0;
+};
+
+}  // namespace wb::replay

@@ -1,0 +1,120 @@
+#include "replay/corpus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+
+#include "benchmarks/realworld.h"
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "replay/record.h"
+#include "support/thread_pool.h"
+
+namespace wb::replay {
+
+namespace {
+
+/// "Heat-3d (math.js)" -> "heat-3d-math-js".
+std::string slugify(const std::string& name) {
+  std::string slug;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug;
+}
+
+struct Workload {
+  std::string name;
+  std::function<std::optional<Trace>(const env::BrowserEnv&, std::string&)> record;
+};
+
+}  // namespace
+
+CorpusResult record_corpus(const env::BrowserEnv& browser, int jobs) {
+  CorpusResult out;
+  std::vector<Workload> workloads;
+
+  // The three real-world analogs, both implementations (12 workloads).
+  for (benchmarks::RealWorldProgram& prog : benchmarks::real_world_programs()) {
+    if (!prog.ok) {
+      out.failures.push_back({prog.name, prog.error});
+      continue;
+    }
+    Workload w;
+    w.name = prog.name;
+    if (prog.is_wasm) {
+      w.record = [prog = std::move(prog)](const env::BrowserEnv& env,
+                                          std::string& error) {
+        return record_wasm(prog.name, prog.artifact, env, prog.options, error);
+      };
+    } else {
+      w.record = [prog = std::move(prog)](const env::BrowserEnv& env,
+                                          std::string& error) {
+        return record_js(prog.name, prog.js_source, env, prog.options, error);
+      };
+    }
+    workloads.push_back(std::move(w));
+  }
+
+  // The nine manually-written JS benchmarks (Table 9).
+  for (const benchmarks::ManualJs& mj : benchmarks::manual_js_benchmarks()) {
+    Workload w;
+    w.name = slugify(mj.name);
+    w.record = [name = w.name, &mj](const env::BrowserEnv& env,
+                                    std::string& error) {
+      return record_js(name, mj.source, env, {}, error);
+    };
+    workloads.push_back(std::move(w));
+  }
+
+  // The first two compiled benchmarks with a real import boundary
+  // (libm host calls) at -O2/XS. Deterministic: registry order.
+  int with_imports = 0;
+  for (const core::BenchSource& bench : benchmarks::all_benchmarks()) {
+    if (with_imports >= 2) break;
+    const core::BuildResult build =
+        core::build(bench, core::InputSize::XS, ir::OptLevel::O2);
+    if (!build.ok || build.wasm.imports.empty()) continue;
+    ++with_imports;
+    Workload w;
+    w.name = "import-" + bench.name + "-wasm";
+    w.record = [name = w.name, artifact = build.wasm](const env::BrowserEnv& env,
+                                                      std::string& error) {
+      return record_wasm(name, artifact, env, {}, error);
+    };
+    workloads.push_back(std::move(w));
+  }
+
+  // Each recording is self-contained, so any schedule produces the same
+  // bits; only per-index slots are written concurrently.
+  const size_t n = workloads.size();
+  std::vector<std::optional<Trace>> traces(n);
+  std::vector<std::string> errors(n);
+  const unsigned effective =
+      jobs > 0 ? static_cast<unsigned>(jobs) : support::hardware_jobs();
+  support::parallel_for(n, effective, [&](size_t i) {
+    traces[i] = workloads[i].record(browser, errors[i]);
+  });
+
+  for (size_t i = 0; i < n; ++i) {
+    if (traces[i]) {
+      out.traces.push_back(std::move(*traces[i]));
+    } else {
+      out.failures.push_back({workloads[i].name, errors[i]});
+    }
+  }
+  std::sort(out.traces.begin(), out.traces.end(),
+            [](const Trace& a, const Trace& b) { return a.name < b.name; });
+  std::sort(out.failures.begin(), out.failures.end(),
+            [](const CorpusFailure& a, const CorpusFailure& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace wb::replay

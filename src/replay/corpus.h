@@ -1,0 +1,37 @@
+// The replay corpus: the recorded workload set the golden gate, the
+// fuzzer seeds, and the fleet module mixes draw from. It covers the
+// three real-world analogs in both implementations (Long.js mul/div/mod,
+// Hyphenopoly en-us/fr, FFmpeg), the manually-written JS benchmarks
+// (Table 9), and the first (up to two) compiled benchmarks whose -O2/XS
+// Wasm artifact actually imports host functions (the libm boundary —
+// most of the corpus compiles to import-free modules, which record no
+// host calls and would leave the wasm HostCall path untested).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "replay/trace.h"
+
+namespace wb::replay {
+
+struct CorpusFailure {
+  std::string name;
+  std::string error;
+};
+
+struct CorpusResult {
+  std::vector<Trace> traces;  ///< sorted by name
+  std::vector<CorpusFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Records every corpus workload in `browser`, `jobs` at a time. Each
+/// recording is self-contained (own VMs, own virtual clock), so traces
+/// are bit-identical at any job count; rows are name-sorted to keep the
+/// output order schedule-independent.
+CorpusResult record_corpus(const env::BrowserEnv& browser, int jobs);
+
+}  // namespace wb::replay

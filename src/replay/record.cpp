@@ -1,0 +1,117 @@
+#include "replay/record.h"
+
+#include "attr/attr.h"
+
+namespace wb::replay {
+
+void TraceRecorder::wasm_host_call(uint32_t import_index,
+                                   std::span<const uint64_t> arg_bits,
+                                   uint64_t result_bits, bool has_result) {
+  Event e;
+  e.kind = EventKind::HostCall;
+  e.target = import_index;
+  e.args.assign(arg_bits.begin(), arg_bits.end());
+  e.result = result_bits;
+  e.has_result = has_result;
+  trace_.events.push_back(std::move(e));
+}
+
+void TraceRecorder::wasm_memory_grow(uint32_t delta_pages, int32_t prev_pages) {
+  Event e;
+  e.kind = EventKind::MemoryGrow;
+  e.target = delta_pages;
+  e.result = static_cast<uint64_t>(static_cast<uint32_t>(prev_pages));
+  e.has_result = true;
+  trace_.events.push_back(std::move(e));
+}
+
+void TraceRecorder::js_builtin_call(uint32_t builtin_id,
+                                    std::span<const uint64_t> arg_bits,
+                                    uint64_t result_bits) {
+  Event e;
+  e.kind = EventKind::BuiltinCall;
+  e.target = builtin_id;
+  e.args.assign(arg_bits.begin(), arg_bits.end());
+  e.result = result_bits;
+  e.has_result = true;
+  trace_.events.push_back(std::move(e));
+}
+
+void TraceRecorder::page_charge(PagePhase phase, uint64_t cost_ps) {
+  Event e;
+  e.kind = EventKind::PageCharge;
+  e.target = static_cast<uint32_t>(phase);
+  e.result = cost_ps;
+  e.has_result = true;
+  trace_.events.push_back(std::move(e));
+}
+
+void TraceRecorder::engine_config(const EngineConfig& config) {
+  trace_.config = config;
+}
+
+namespace {
+
+void fill_footer(Trace& trace, const env::PageMetrics& metrics) {
+  trace.footer.result = metrics.result;
+  trace.footer.cost_ps = metrics.cost_ps;
+  trace.footer.memory_bytes = metrics.memory_bytes;
+  trace.footer.code_size = metrics.code_size;
+  trace.footer.ops = metrics.ops;
+  trace.footer.boundary_crossings = metrics.boundary_crossings;
+  trace.footer.attr_recorded = attr::enabled();
+  trace.footer.attr_ps = metrics.attr_ps;
+}
+
+}  // namespace
+
+std::optional<Trace> record_wasm(const std::string& name,
+                                 const backend::WasmArtifact& artifact,
+                                 const env::BrowserEnv& browser,
+                                 env::RunOptions options, std::string& error) {
+  Trace trace;
+  trace.name = name;
+  trace.kind = ProgramKind::Wasm;
+  trace.browser = to_string(browser.profile().browser);
+  trace.platform = to_string(browser.profile().platform);
+  trace.toolchain = static_cast<uint8_t>(options.toolchain);
+  trace.extra_boundary_crossings = options.extra_boundary_crossings;
+  trace.base_memory_bytes = browser.profile().wasm_base_memory;
+  trace.program = artifact.binary;
+
+  TraceRecorder recorder(trace);
+  options.recorder = &recorder;
+  const env::PageMetrics metrics = browser.run_wasm(artifact, options);
+  if (!metrics.ok) {
+    error = metrics.error;
+    return std::nullopt;
+  }
+  fill_footer(trace, metrics);
+  return trace;
+}
+
+std::optional<Trace> record_js(const std::string& name, std::string_view source,
+                               const env::BrowserEnv& browser,
+                               env::RunOptions options, std::string& error) {
+  Trace trace;
+  trace.name = name;
+  trace.kind = ProgramKind::Js;
+  trace.browser = to_string(browser.profile().browser);
+  trace.platform = to_string(browser.profile().platform);
+  trace.toolchain = 0;
+  trace.extra_boundary_crossings = options.extra_boundary_crossings;
+  trace.base_memory_bytes = browser.profile().js_base_memory;
+  trace.program.assign(source.begin(), source.end());
+
+  TraceRecorder recorder(trace);
+  options.recorder = &recorder;
+  const env::PageMetrics metrics = browser.run_js(source, options);
+  if (!metrics.ok) {
+    error = metrics.error;
+    return std::nullopt;
+  }
+  fill_footer(trace, metrics);
+  return trace;
+}
+
+}  // namespace wb::replay

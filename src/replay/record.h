@@ -1,0 +1,46 @@
+// Recording: run a program through env::BrowserEnv with a BoundarySink
+// attached and capture everything a standalone replay needs — the program
+// bytes, the engine configuration the env installed, the ordered boundary
+// events, and the metrics the run reported (the replay oracle).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "env/env.h"
+#include "replay/trace.h"
+
+namespace wb::replay {
+
+/// A BoundarySink that appends into a Trace. Exposed so tests (and the
+/// quicken corpus differential tests) can capture raw event streams.
+class TraceRecorder final : public BoundarySink {
+ public:
+  explicit TraceRecorder(Trace& trace) : trace_(trace) {}
+
+  void wasm_host_call(uint32_t import_index, std::span<const uint64_t> arg_bits,
+                      uint64_t result_bits, bool has_result) override;
+  void wasm_memory_grow(uint32_t delta_pages, int32_t prev_pages) override;
+  void js_builtin_call(uint32_t builtin_id, std::span<const uint64_t> arg_bits,
+                       uint64_t result_bits) override;
+  void page_charge(PagePhase phase, uint64_t cost_ps) override;
+  void engine_config(const EngineConfig& config) override;
+
+ private:
+  Trace& trace_;
+};
+
+/// Records one Wasm page run. Returns nullopt (and sets `error`) when the
+/// run itself fails; the returned trace replays bit-identically.
+std::optional<Trace> record_wasm(const std::string& name,
+                                 const backend::WasmArtifact& artifact,
+                                 const env::BrowserEnv& browser,
+                                 env::RunOptions options, std::string& error);
+
+/// Records one JS page run.
+std::optional<Trace> record_js(const std::string& name, std::string_view source,
+                               const env::BrowserEnv& browser,
+                               env::RunOptions options, std::string& error);
+
+}  // namespace wb::replay

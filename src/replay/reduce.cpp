@@ -1,0 +1,94 @@
+#include "replay/reduce.h"
+
+#include <unordered_set>
+
+#include "fuzz/reduce.h"
+#include "replay/replay.h"
+
+namespace wb::replay {
+
+namespace {
+
+Trace with_events(const Trace& trace, std::vector<Event> events) {
+  Trace out = trace;
+  out.events = std::move(events);
+  return out;
+}
+
+/// Stage 1: drop MemoryGrow, dedup HostCall/BuiltinCall by memo key,
+/// keep every PageCharge.
+std::vector<Event> dedup_events(const Trace& trace) {
+  std::vector<Event> kept;
+  std::unordered_set<std::string> seen;
+  for (const Event& e : trace.events) {
+    switch (e.kind) {
+      case EventKind::MemoryGrow:
+        break;  // replay re-performs grows itself
+      case EventKind::PageCharge:
+        kept.push_back(e);
+        break;
+      case EventKind::HostCall:
+      case EventKind::BuiltinCall:
+        if (seen.insert(e.memo_key()).second) kept.push_back(e);
+        break;
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+ReduceResult reduce_trace(const Trace& trace, size_t ddmin_limit) {
+  ReduceResult out;
+  out.events_before = trace.events.size();
+  out.bytes_before = serialize(trace).size();
+
+  const ReplayResult baseline = verify(trace);
+  if (!baseline.ok) {
+    out.ok = false;
+    out.error = "input trace does not verify: " + baseline.error;
+    return out;
+  }
+
+  // Stage 1: deterministic dedup, then confirm the oracle still holds.
+  Trace current = with_events(trace, dedup_events(trace));
+  if (!verify(current).ok) current = trace;
+
+  // Stage 2: ddmin over the removable (non-PageCharge) events.
+  std::vector<size_t> removable;
+  for (size_t i = 0; i < current.events.size(); ++i) {
+    if (current.events[i].kind != EventKind::PageCharge) removable.push_back(i);
+  }
+  if (!removable.empty() && removable.size() <= ddmin_limit) {
+    out.ddmin_ran = true;
+    const auto build = [&](const std::vector<size_t>& kept_removable) {
+      std::unordered_set<size_t> keep(kept_removable.begin(), kept_removable.end());
+      std::vector<Event> events;
+      events.reserve(current.events.size());
+      for (size_t i = 0; i < current.events.size(); ++i) {
+        const bool is_removable =
+            current.events[i].kind != EventKind::PageCharge;
+        if (!is_removable || keep.count(i)) events.push_back(current.events[i]);
+      }
+      return with_events(current, std::move(events));
+    };
+    const std::vector<size_t> kept = fuzz::reduce_indices(
+        removable.size(), [&](const std::vector<size_t>& candidate) {
+          std::vector<size_t> indices;
+          indices.reserve(candidate.size());
+          for (const size_t c : candidate) indices.push_back(removable[c]);
+          return verify(build(indices)).ok;
+        });
+    std::vector<size_t> indices;
+    indices.reserve(kept.size());
+    for (const size_t c : kept) indices.push_back(removable[c]);
+    current = build(indices);
+  }
+
+  out.events_after = current.events.size();
+  out.bytes_after = serialize(current).size();
+  out.reduced = std::move(current);
+  return out;
+}
+
+}  // namespace wb::replay

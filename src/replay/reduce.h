@@ -1,0 +1,45 @@
+// Trace reduction (the "reduce" of record-reduce-replay): shrink the
+// event log while the replay stays bit-exact. Two stages:
+//
+//  1. Deterministic dedup — MemoryGrow events are dropped entirely (the
+//     replayed execution re-performs every grow itself) and HostCall /
+//     BuiltinCall events are deduplicated by memo key (the canned host
+//     only needs one response per distinct key). PageCharge events are
+//     always kept: they carry the page's one-off cost.
+//  2. ddmin over the surviving removable events (fuzz::reduce_indices),
+//     oracle = verify(): exact PageMetrics agreement with the recorded
+//     footer. Only attempted when stage 1 leaves at most `ddmin_limit`
+//     removable events — the quadratic probe count is intractable for
+//     the ~100k-event JS traces, and skipping is reported, not silent.
+//
+// Both stages only ever remove events, so a reduced trace's event log is
+// a subsequence of the original's and the memo map it induces is a
+// subset — replay hits can only disappear, never change (monotonicity).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "replay/trace.h"
+
+namespace wb::replay {
+
+inline constexpr size_t kDefaultDdminLimit = 2048;
+
+struct ReduceResult {
+  bool ok = true;
+  std::string error;
+  Trace reduced;
+  size_t events_before = 0;
+  size_t events_after = 0;
+  size_t bytes_before = 0;
+  size_t bytes_after = 0;
+  bool ddmin_ran = false;
+};
+
+/// Reduces `trace`. Fails (ok=false) when the input trace does not
+/// verify in this process — a non-reproducing trace cannot be reduced.
+ReduceResult reduce_trace(const Trace& trace,
+                          size_t ddmin_limit = kDefaultDdminLimit);
+
+}  // namespace wb::replay

@@ -1,0 +1,345 @@
+#include "replay/replay.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "attr/attr.h"
+#include "js/engine.h"
+#include "wasm/codec.h"
+
+namespace wb::replay {
+
+namespace {
+
+using MemoMap = std::unordered_map<std::string, const Event*>;
+
+/// Canned responses: one entry per distinct (kind, target, args) key.
+/// Two recorded events with the same key but different results mean the
+/// boundary was not pure — refuse to replay rather than guess.
+bool build_memo(const Trace& trace, MemoMap& memo, std::string& error) {
+  for (const Event& e : trace.events) {
+    if (e.kind != EventKind::HostCall && e.kind != EventKind::BuiltinCall) continue;
+    const auto [it, inserted] = memo.emplace(e.memo_key(), &e);
+    if (!inserted && (it->second->result != e.result ||
+                      it->second->has_result != e.has_result)) {
+      error = "impure boundary: conflicting results for one memo key";
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t phase_charge(const Trace& trace, PagePhase phase) {
+  uint64_t total = 0;
+  for (const Event& e : trace.events) {
+    if (e.kind == EventKind::PageCharge &&
+        e.target == static_cast<uint32_t>(phase)) {
+      total += e.result;
+    }
+  }
+  return total;
+}
+
+/// How the wasm replay prices the page: either from the recorded
+/// PageCharge events (standalone replay) or from a browser profile's
+/// formulas (fleet-style re-pricing).
+struct WasmPricing {
+  EngineConfig config;
+  uint64_t base_memory_bytes = 0;
+  uint64_t load_ps = 0;
+  bool boundary_from_trace = true;
+  uint64_t boundary_ps = 0;       ///< when boundary_from_trace
+  uint64_t boundary_cost_ps = 0;  ///< per crossing, otherwise
+};
+
+ReplayResult replay_wasm(const Trace& trace, const WasmPricing& pricing) {
+  ReplayResult out;
+  const EngineConfig& cfg = pricing.config;
+  if (cfg.baseline_costs.size() != wasm::kOpClassCount ||
+      cfg.optimizing_costs.size() != wasm::kOpClassCount) {
+    out.ok = false;
+    out.error = "engine config: bad cost-table size";
+    return out;
+  }
+
+  std::string error;
+  const auto module = wasm::decode(trace.program, &error);
+  if (!module) {
+    out.ok = false;
+    out.error = "decode failed: " + error;
+    return out;
+  }
+
+  MemoMap memo;
+  if (!build_memo(trace, memo, out.error)) {
+    out.ok = false;
+    return out;
+  }
+
+  bool memo_miss = false;
+  std::vector<wasm::HostFn> host_fns;
+  host_fns.reserve(module->imports.size());
+  for (uint32_t i = 0; i < module->imports.size(); ++i) {
+    host_fns.push_back([&memo, &memo_miss, i](std::span<const wasm::Value> args,
+                                              wasm::Value* result) -> wasm::Trap {
+      Event probe;
+      probe.kind = EventKind::HostCall;
+      probe.target = i;
+      probe.args.reserve(args.size());
+      for (const wasm::Value& a : args) probe.args.push_back(a.bits);
+      const auto it = memo.find(probe.memo_key());
+      if (it == memo.end()) {
+        memo_miss = true;
+        return wasm::Trap::HostError;
+      }
+      if (it->second->has_result) result->bits = it->second->result;
+      return wasm::Trap::None;
+    });
+  }
+
+  wasm::Instance inst(*module, std::move(host_fns));
+  wasm::CostTable baseline{}, optimizing{};
+  std::copy(cfg.baseline_costs.begin(), cfg.baseline_costs.end(), baseline.begin());
+  std::copy(cfg.optimizing_costs.begin(), cfg.optimizing_costs.end(),
+            optimizing.begin());
+  inst.set_cost_tables(baseline, optimizing);
+  wasm::TierPolicy tiers;
+  tiers.baseline_enabled = cfg.baseline_enabled;
+  tiers.optimizing_enabled = cfg.optimizing_enabled;
+  tiers.tierup_threshold = cfg.tierup_threshold;
+  tiers.tierup_cost_per_instr = cfg.tierup_cost_per_instr;
+  inst.set_tier_policy(tiers);
+  inst.set_grow_cost(cfg.grow_cost_ps);
+  inst.set_fuel(cfg.fuel);
+
+  inst.charge(pricing.load_ps);
+
+  const wasm::InvokeResult init = inst.invoke("__init", {});
+  if (!init.ok()) {
+    out.ok = false;
+    out.error = memo_miss ? "replay divergence: no canned response for host call"
+                          : std::string("instantiate trapped: ") +
+                                wasm::to_string(init.trap);
+    return out;
+  }
+  const wasm::InvokeResult r = inst.invoke("main", {});
+  if (!r.ok()) {
+    out.ok = false;
+    out.error = memo_miss
+                    ? "replay divergence: no canned response for host call"
+                    : std::string("main trapped: ") + wasm::to_string(r.trap);
+    return out;
+  }
+
+  const uint64_t crossings =
+      inst.stats().host_calls + 2 + trace.extra_boundary_crossings;
+  const uint64_t boundary_ps = pricing.boundary_from_trace
+                                   ? pricing.boundary_ps
+                                   : crossings * pricing.boundary_cost_ps;
+  inst.charge(boundary_ps, attr::Cause::CallOverhead);
+
+  if (attr::enabled()) {
+    out.metrics.attr_ps =
+        attr::decompose_wasm(inst.attr_stats(), inst.cost_tables());
+  }
+  out.metrics.result = r.value.as_i32();
+  out.metrics.time_ms = static_cast<double>(inst.stats().cost_ps) / 1e9;
+  out.metrics.cost_ps = inst.stats().cost_ps;
+  out.metrics.memory_bytes =
+      pricing.base_memory_bytes + (inst.memory() ? inst.memory()->peak_bytes() : 0);
+  out.metrics.code_size = trace.program.size();
+  out.metrics.ops = inst.stats().ops_executed;
+  out.metrics.boundary_crossings = crossings;
+  return out;
+}
+
+class MemoJsHost final : public JsHostSource {
+ public:
+  explicit MemoJsHost(const MemoMap& memo) : memo_(memo) {}
+
+  bool lookup(uint32_t builtin_id, std::span<const uint64_t> arg_bits,
+              uint64_t& result_bits) override {
+    Event probe;
+    probe.kind = EventKind::BuiltinCall;
+    probe.target = builtin_id;
+    probe.args.assign(arg_bits.begin(), arg_bits.end());
+    const auto it = memo_.find(probe.memo_key());
+    if (it == memo_.end()) return false;
+    result_bits = it->second->result;
+    return true;
+  }
+
+ private:
+  const MemoMap& memo_;
+};
+
+struct JsPricing {
+  EngineConfig config;
+  uint64_t base_memory_bytes = 0;
+  uint64_t parse_ps = 0;
+};
+
+ReplayResult replay_js(const Trace& trace, const JsPricing& pricing) {
+  ReplayResult out;
+  const EngineConfig& cfg = pricing.config;
+  if (cfg.baseline_costs.size() != js::kJsOpClassCount ||
+      cfg.optimizing_costs.size() != js::kJsOpClassCount) {
+    out.ok = false;
+    out.error = "engine config: bad cost-table size";
+    return out;
+  }
+
+  const std::string_view source(reinterpret_cast<const char*>(trace.program.data()),
+                                trace.program.size());
+  std::string error;
+  const auto code = js::compile_script(source, error);
+  if (!code) {
+    out.ok = false;
+    out.error = "script error: " + error;
+    return out;
+  }
+
+  MemoMap memo;
+  if (!build_memo(trace, memo, out.error)) {
+    out.ok = false;
+    return out;
+  }
+  MemoJsHost host(memo);
+
+  js::Heap heap(cfg.heap_bytes);
+  js::Vm vm(*code, heap);
+  js::JsCostTable baseline{}, optimized{};
+  std::copy(cfg.baseline_costs.begin(), cfg.baseline_costs.end(), baseline.begin());
+  std::copy(cfg.optimizing_costs.begin(), cfg.optimizing_costs.end(),
+            optimized.begin());
+  vm.set_cost_tables(baseline, optimized);
+  js::JsTierPolicy tiers;
+  tiers.jit_enabled = cfg.optimizing_enabled;
+  tiers.tierup_threshold = cfg.tierup_threshold;
+  tiers.tierup_cost_per_instr = cfg.tierup_cost_per_instr;
+  vm.set_tier_policy(tiers);
+  vm.set_fuel(cfg.fuel);
+  vm.set_replay_host(&host);
+
+  vm.charge(pricing.parse_ps);
+
+  const js::Vm::Result top = vm.run_top_level();
+  if (!top.ok) {
+    out.ok = false;
+    out.error = "top-level: " + top.error;
+    return out;
+  }
+  const js::Vm::Result r = vm.call_function("main", {});
+  if (!r.ok) {
+    out.ok = false;
+    out.error = "main: " + r.error;
+    return out;
+  }
+  out.metrics.result = r.value.is_number() ? js::to_int32(r.value.num()) : 0;
+
+  heap.collect();
+  if (attr::enabled()) {
+    out.metrics.attr_ps = attr::decompose_js(vm.attr_stats(), vm.cost_tables());
+  }
+  out.metrics.time_ms = static_cast<double>(vm.stats().cost_ps) / 1e9;
+  out.metrics.cost_ps = vm.stats().cost_ps;
+  out.metrics.memory_bytes =
+      pricing.base_memory_bytes +
+      std::max(heap.stats().peak_live_bytes, heap.stats().live_bytes);
+  out.metrics.code_size = trace.program.size();
+  out.metrics.ops = vm.stats().ops_executed;
+  return out;
+}
+
+}  // namespace
+
+ReplayResult replay_trace(const Trace& trace) {
+  if (trace.kind == ProgramKind::Wasm) {
+    WasmPricing pricing;
+    pricing.config = trace.config;
+    pricing.base_memory_bytes = trace.base_memory_bytes;
+    pricing.load_ps = phase_charge(trace, PagePhase::Load);
+    pricing.boundary_from_trace = true;
+    pricing.boundary_ps = phase_charge(trace, PagePhase::Boundary);
+    return replay_wasm(trace, pricing);
+  }
+  JsPricing pricing;
+  pricing.config = trace.config;
+  pricing.base_memory_bytes = trace.base_memory_bytes;
+  pricing.parse_ps = phase_charge(trace, PagePhase::Parse);
+  return replay_js(trace, pricing);
+}
+
+ReplayResult verify(const Trace& trace) {
+  ReplayResult out = replay_trace(trace);
+  if (!out.ok) return out;
+  const TraceFooter& f = trace.footer;
+  const env::PageMetrics& m = out.metrics;
+  const auto mismatch = [&](const char* field, uint64_t got, uint64_t want) {
+    out.ok = false;
+    out.error = std::string("replay mismatch: ") + field + " " +
+                std::to_string(got) + " != recorded " + std::to_string(want);
+  };
+  if (m.result != f.result) {
+    mismatch("result", static_cast<uint64_t>(m.result),
+             static_cast<uint64_t>(f.result));
+  } else if (m.cost_ps != f.cost_ps) {
+    mismatch("cost_ps", m.cost_ps, f.cost_ps);
+  } else if (m.memory_bytes != f.memory_bytes) {
+    mismatch("memory_bytes", m.memory_bytes, f.memory_bytes);
+  } else if (m.code_size != f.code_size) {
+    mismatch("code_size", m.code_size, f.code_size);
+  } else if (m.ops != f.ops) {
+    mismatch("ops", m.ops, f.ops);
+  } else if (m.boundary_crossings != f.boundary_crossings) {
+    mismatch("boundary_crossings", m.boundary_crossings, f.boundary_crossings);
+  } else if (f.attr_recorded && attr::enabled() && m.attr_ps != f.attr_ps) {
+    out.ok = false;
+    out.error = "replay mismatch: attr lanes differ";
+  }
+  return out;
+}
+
+ReplayResult replay_in_env(const Trace& trace, const env::BrowserEnv& browser) {
+  const env::Profile& profile = browser.profile();
+  env::RunOptions options;
+  options.toolchain = static_cast<backend::Toolchain>(trace.toolchain);
+  options.extra_boundary_crossings = trace.extra_boundary_crossings;
+
+  if (trace.kind == ProgramKind::Wasm) {
+    WasmPricing pricing;
+    pricing.config.kind = 0;
+    pricing.config.tierup_threshold = profile.wasm_tierup_threshold;
+    pricing.config.tierup_cost_per_instr = 400;
+    pricing.config.grow_cost_ps = profile.grow_cost_ps;
+    pricing.config.fuel = 4'000'000'000ull;
+    const wasm::CostTable base = browser.wasm_tier_costs(false, options);
+    const wasm::CostTable opt = browser.wasm_tier_costs(true, options);
+    pricing.config.baseline_costs.assign(base.begin(), base.end());
+    pricing.config.optimizing_costs.assign(opt.begin(), opt.end());
+    pricing.base_memory_bytes = profile.wasm_base_memory;
+    pricing.load_ps = profile.page_overhead_ps +
+                      profile.wasm_instantiate_overhead_ps +
+                      profile.wasm_decode_cost_per_byte * trace.program.size();
+    pricing.boundary_from_trace = false;
+    pricing.boundary_cost_ps = profile.boundary_cost_ps;
+    return replay_wasm(trace, pricing);
+  }
+
+  JsPricing pricing;
+  pricing.config.kind = 1;
+  pricing.config.tierup_threshold = profile.js_tierup_threshold;
+  pricing.config.tierup_cost_per_instr = 1500;
+  pricing.config.fuel = 4'000'000'000ull;
+  pricing.config.heap_bytes = 4 << 20;
+  const js::JsCostTable base = browser.js_tier_costs(false);
+  const js::JsCostTable opt = browser.js_tier_costs(true);
+  pricing.config.baseline_costs.assign(base.begin(), base.end());
+  pricing.config.optimizing_costs.assign(opt.begin(), opt.end());
+  pricing.base_memory_bytes = profile.js_base_memory;
+  pricing.parse_ps = profile.page_overhead_ps +
+                     profile.js_parse_cost_per_byte * trace.program.size();
+  return replay_js(trace, pricing);
+}
+
+}  // namespace wb::replay

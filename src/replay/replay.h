@@ -1,0 +1,41 @@
+// Standalone replay: re-execute a recorded trace with no environment
+// attached. The program bytes come from the trace, the virtual clock is
+// rebuilt from the recorded EngineConfig, host imports and intercepted
+// JS builtins are answered by a canned-response shim keyed on the
+// recorded events, and the page's one-off charges are re-applied from
+// the PageCharge events. The result is bit-exact: every PageMetrics
+// field the original run reported is reproduced on the virtual clock.
+#pragma once
+
+#include <string>
+
+#include "env/env.h"
+#include "replay/trace.h"
+
+namespace wb::replay {
+
+struct ReplayResult {
+  bool ok = true;
+  std::string error;
+  env::PageMetrics metrics;
+};
+
+/// Replays `trace` standalone (canned hosts, recorded engine config and
+/// page charges). Fails on decode/compile errors, canned-host misses
+/// (the execution diverged from the recording), or traps.
+ReplayResult replay_trace(const Trace& trace);
+
+/// Replays and demands exact agreement with the recorded footer —
+/// result, cost_ps, memory, code size, ops, boundary crossings, and the
+/// attr lanes when both the recording and this process have attribution
+/// enabled. This is the reducer's oracle and the golden gate's check.
+ReplayResult verify(const Trace& trace);
+
+/// Re-prices a trace in a different deployment setting: same program,
+/// same canned boundary responses, but the engine configuration and the
+/// page's load/parse/boundary charges are rebuilt from `browser`'s
+/// profile exactly as env::BrowserEnv would install them. This is how
+/// wb::fleet runs replay modules across its device mix.
+ReplayResult replay_in_env(const Trace& trace, const env::BrowserEnv& browser);
+
+}  // namespace wb::replay

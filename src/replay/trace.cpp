@@ -1,0 +1,257 @@
+#include "replay/trace.h"
+
+#include "support/leb128.h"
+#include "support/sha256.h"
+
+namespace wb::replay {
+
+const char* to_string(ProgramKind k) {
+  return k == ProgramKind::Wasm ? "wasm" : "js";
+}
+
+std::string Event::memo_key() const {
+  std::string key;
+  key.reserve(2 + 9 * (args.size() + 1));
+  key += static_cast<char>(kind);
+  std::vector<uint8_t> buf;
+  support::write_uleb128(buf, target);
+  for (const uint64_t a : args) support::write_uleb128(buf, a);
+  key.append(buf.begin(), buf.end());
+  return key;
+}
+
+size_t count_events(const Trace& trace, EventKind kind) {
+  size_t n = 0;
+  for (const Event& e : trace.events) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void put_bytes(std::vector<uint8_t>& out, std::span<const uint8_t> bytes) {
+  support::write_uleb128(out, bytes.size());
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void put_string(std::vector<uint8_t>& out, const std::string& s) {
+  put_bytes(out, std::span(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+void put_u64s(std::vector<uint8_t>& out, const std::vector<uint64_t>& values) {
+  support::write_uleb128(out, values.size());
+  for (const uint64_t v : values) support::write_uleb128(out, v);
+}
+
+/// Bounded reader over the serialized bytes; any failure poisons it so
+/// the decoder can check once at the end of each section.
+struct Reader {
+  std::span<const uint8_t> bytes;
+  size_t pos = 0;
+  bool ok = true;
+
+  uint64_t uleb() {
+    if (!ok) return 0;
+    const auto r = support::read_uleb128(bytes.subspan(pos));
+    if (!r) {
+      ok = false;
+      return 0;
+    }
+    pos += r->size;
+    return r->value;
+  }
+  int64_t sleb() {
+    if (!ok) return 0;
+    const auto r = support::read_sleb128(bytes.subspan(pos));
+    if (!r) {
+      ok = false;
+      return 0;
+    }
+    pos += r->size;
+    return r->value;
+  }
+  uint8_t byte() {
+    if (!ok || pos >= bytes.size()) {
+      ok = false;
+      return 0;
+    }
+    return bytes[pos++];
+  }
+  uint32_t u32() {
+    if (!ok || pos + 4 > bytes.size()) {
+      ok = false;
+      return 0;
+    }
+    const uint32_t v = static_cast<uint32_t>(bytes[pos]) |
+                       static_cast<uint32_t>(bytes[pos + 1]) << 8 |
+                       static_cast<uint32_t>(bytes[pos + 2]) << 16 |
+                       static_cast<uint32_t>(bytes[pos + 3]) << 24;
+    pos += 4;
+    return v;
+  }
+  std::vector<uint8_t> blob() {
+    const uint64_t n = uleb();
+    if (!ok || pos + n > bytes.size()) {
+      ok = false;
+      return {};
+    }
+    std::vector<uint8_t> out(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                             bytes.begin() + static_cast<ptrdiff_t>(pos + n));
+    pos += n;
+    return out;
+  }
+  std::string str() {
+    const std::vector<uint8_t> b = blob();
+    return {b.begin(), b.end()};
+  }
+  std::vector<uint64_t> u64s() {
+    const uint64_t n = uleb();
+    // Each u64 takes >= 1 byte, so a count beyond the remaining bytes is
+    // malformed — reject before reserving.
+    if (!ok || n > bytes.size() - pos) {
+      ok = false;
+      return {};
+    }
+    std::vector<uint64_t> out;
+    out.reserve(n);
+    for (uint64_t i = 0; i < n && ok; ++i) out.push_back(uleb());
+    return out;
+  }
+};
+
+void put_config(std::vector<uint8_t>& out, const EngineConfig& c) {
+  out.push_back(c.kind);
+  out.push_back(c.baseline_enabled ? 1 : 0);
+  out.push_back(c.optimizing_enabled ? 1 : 0);
+  support::write_uleb128(out, c.tierup_threshold);
+  support::write_uleb128(out, c.tierup_cost_per_instr);
+  support::write_uleb128(out, c.grow_cost_ps);
+  support::write_uleb128(out, c.fuel);
+  support::write_uleb128(out, c.heap_bytes);
+  put_u64s(out, c.baseline_costs);
+  put_u64s(out, c.optimizing_costs);
+}
+
+EngineConfig read_config(Reader& r) {
+  EngineConfig c;
+  c.kind = r.byte();
+  c.baseline_enabled = r.byte() != 0;
+  c.optimizing_enabled = r.byte() != 0;
+  c.tierup_threshold = r.uleb();
+  c.tierup_cost_per_instr = r.uleb();
+  c.grow_cost_ps = r.uleb();
+  c.fuel = r.uleb();
+  c.heap_bytes = r.uleb();
+  c.baseline_costs = r.u64s();
+  c.optimizing_costs = r.u64s();
+  return c;
+}
+
+}  // namespace
+
+std::vector<uint8_t> serialize(const Trace& trace) {
+  std::vector<uint8_t> out;
+  out.reserve(256 + trace.program.size() + trace.events.size() * 8);
+  put_u32(out, kTraceMagic);
+  support::write_uleb128(out, kTraceVersion);
+  put_string(out, trace.name);
+  out.push_back(static_cast<uint8_t>(trace.kind));
+  put_string(out, trace.browser);
+  put_string(out, trace.platform);
+  out.push_back(trace.toolchain);
+  support::write_uleb128(out, trace.extra_boundary_crossings);
+  support::write_uleb128(out, trace.base_memory_bytes);
+  put_bytes(out, trace.program);
+  put_config(out, trace.config);
+
+  support::write_uleb128(out, trace.events.size());
+  for (const Event& e : trace.events) {
+    out.push_back(static_cast<uint8_t>(e.kind));
+    support::write_uleb128(out, e.target);
+    put_u64s(out, e.args);
+    support::write_uleb128(out, e.result);
+    out.push_back(e.has_result ? 1 : 0);
+  }
+
+  const TraceFooter& f = trace.footer;
+  support::write_sleb128(out, f.result);
+  support::write_uleb128(out, f.cost_ps);
+  support::write_uleb128(out, f.memory_bytes);
+  support::write_uleb128(out, f.code_size);
+  support::write_uleb128(out, f.ops);
+  support::write_uleb128(out, f.boundary_crossings);
+  out.push_back(f.attr_recorded ? 1 : 0);
+  for (const uint64_t lane : f.attr_ps) support::write_uleb128(out, lane);
+  return out;
+}
+
+std::optional<Trace> parse(std::span<const uint8_t> bytes, std::string& error) {
+  Reader r{bytes};
+  if (r.u32() != kTraceMagic) {
+    error = "bad trace magic";
+    return std::nullopt;
+  }
+  const uint64_t version = r.uleb();
+  if (version != kTraceVersion) {
+    error = "unsupported trace version " + std::to_string(version);
+    return std::nullopt;
+  }
+  Trace t;
+  t.name = r.str();
+  t.kind = static_cast<ProgramKind>(r.byte());
+  t.browser = r.str();
+  t.platform = r.str();
+  t.toolchain = r.byte();
+  t.extra_boundary_crossings = r.uleb();
+  t.base_memory_bytes = r.uleb();
+  t.program = r.blob();
+  t.config = read_config(r);
+
+  const uint64_t n_events = r.uleb();
+  if (!r.ok || n_events > bytes.size()) {
+    error = "truncated trace header";
+    return std::nullopt;
+  }
+  t.events.reserve(n_events);
+  for (uint64_t i = 0; i < n_events && r.ok; ++i) {
+    Event e;
+    e.kind = static_cast<EventKind>(r.byte());
+    e.target = static_cast<uint32_t>(r.uleb());
+    e.args = r.u64s();
+    e.result = r.uleb();
+    e.has_result = r.byte() != 0;
+    t.events.push_back(std::move(e));
+  }
+
+  TraceFooter& f = t.footer;
+  f.result = static_cast<int32_t>(r.sleb());
+  f.cost_ps = r.uleb();
+  f.memory_bytes = r.uleb();
+  f.code_size = r.uleb();
+  f.ops = r.uleb();
+  f.boundary_crossings = r.uleb();
+  f.attr_recorded = r.byte() != 0;
+  for (uint64_t& lane : f.attr_ps) lane = r.uleb();
+  if (!r.ok) {
+    error = "truncated trace";
+    return std::nullopt;
+  }
+  if (r.pos != bytes.size()) {
+    error = "trailing bytes after trace";
+    return std::nullopt;
+  }
+  return t;
+}
+
+std::string digest_hex(const Trace& trace) {
+  const std::vector<uint8_t> bytes = serialize(trace);
+  return support::sha256_hex(bytes);
+}
+
+}  // namespace wb::replay

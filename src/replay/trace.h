@@ -1,0 +1,93 @@
+// The schema-versioned binary trace format (Wasm-R3-style, Baek et al.):
+// one recorded execution = the program bytes, the engine configuration
+// the environment installed, the ordered boundary-event log, and a footer
+// holding the metrics the run reported. A trace is self-contained — the
+// replayer needs nothing but the trace to reproduce the run bit-for-bit
+// on the virtual clock — and its serialized bytes are canonical, so the
+// SHA-256 of the encoding is the trace's identity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attr/cause.h"
+#include "replay/boundary.h"
+
+namespace wb::replay {
+
+inline constexpr uint32_t kTraceMagic = 0x33524257;  // "WBR3" little-endian
+inline constexpr uint32_t kTraceVersion = 1;
+
+enum class ProgramKind : uint8_t { Wasm = 0, Js = 1 };
+const char* to_string(ProgramKind k);
+
+enum class EventKind : uint8_t {
+  HostCall = 0,     ///< wasm host import: target = import index
+  MemoryGrow = 1,   ///< wasm memory.grow: target = delta, result = prev pages
+  BuiltinCall = 2,  ///< js pure builtin: target = builtin id
+  PageCharge = 3,   ///< env one-off charge: target = PagePhase, result = ps
+};
+
+struct Event {
+  EventKind kind = EventKind::HostCall;
+  uint32_t target = 0;
+  std::vector<uint64_t> args;  ///< raw 64-bit arg patterns
+  uint64_t result = 0;         ///< raw 64-bit result pattern
+  bool has_result = false;
+
+  bool operator==(const Event&) const = default;
+
+  /// Memoization key for the canned-response host: two events with the
+  /// same key must carry the same result (pure-boundary contract).
+  [[nodiscard]] std::string memo_key() const;
+};
+
+/// The metrics the recorded run reported; the replay oracle demands exact
+/// agreement on every field (attr lanes only when they were recorded).
+struct TraceFooter {
+  int32_t result = 0;
+  uint64_t cost_ps = 0;
+  uint64_t memory_bytes = 0;
+  uint64_t code_size = 0;
+  uint64_t ops = 0;
+  uint64_t boundary_crossings = 0;
+  bool attr_recorded = false;
+  attr::CauseVec attr_ps{};
+
+  bool operator==(const TraceFooter&) const = default;
+};
+
+struct Trace {
+  std::string name;
+  ProgramKind kind = ProgramKind::Wasm;
+  // Provenance: which deployment setting recorded this (informational
+  // for the wasm replayer, which reprices from `config`, but needed by
+  // fleet-style re-pricing).
+  std::string browser;
+  std::string platform;
+  uint8_t toolchain = 0;  ///< backend::Toolchain as integer
+  uint64_t extra_boundary_crossings = 0;
+  uint64_t base_memory_bytes = 0;  ///< engine memory baseline of the profile
+  std::vector<uint8_t> program;    ///< wasm binary / JS source bytes
+  EngineConfig config;
+  std::vector<Event> events;
+  TraceFooter footer;
+};
+
+/// Canonical binary encoding (LEB128 fields behind a fixed magic). Two
+/// equal traces serialize to identical bytes.
+std::vector<uint8_t> serialize(const Trace& trace);
+
+/// Strict decoder; rejects bad magic, unknown versions, and truncation.
+std::optional<Trace> parse(std::span<const uint8_t> bytes, std::string& error);
+
+/// SHA-256 hex of the canonical encoding — the trace's identity.
+std::string digest_hex(const Trace& trace);
+
+/// Event-count helper split by kind (used by the reducer's reporting).
+size_t count_events(const Trace& trace, EventKind kind);
+
+}  // namespace wb::replay

@@ -1,0 +1,29 @@
+#include "support/cli.h"
+
+#include <cstdlib>
+
+namespace wb::support {
+
+bool CliTool::maybe_help(std::string_view arg) const {
+  if (arg != "--help" && arg != "-h") return false;
+  print_usage(stdout);
+  std::exit(0);
+}
+
+void CliTool::unknown_flag(std::string_view arg) const {
+  std::fprintf(stderr, "%s: unknown flag: %.*s\n", name_,
+               static_cast<int>(arg.size()), arg.data());
+  print_usage(stderr);
+  std::exit(2);
+}
+
+void CliTool::die(const std::string& message) const {
+  std::fprintf(stderr, "%s: %s\n", name_, message.c_str());
+  std::exit(2);
+}
+
+void CliTool::print_usage(std::FILE* to) const {
+  std::fputs(usage_, to);
+}
+
+}  // namespace wb::support

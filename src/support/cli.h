@@ -1,0 +1,39 @@
+// Shared CLI ergonomics for the wb_* drivers. Every tool builds one
+// CliTool from its name and usage text and gets the same three behaviors:
+//
+//   --help / -h        usage to stdout, exit 0
+//   unknown flag       "<tool>: unknown flag: X" + usage to stderr, exit 2
+//   die("message")     "<tool>: message" to stderr, exit 2
+//
+// Exit code 2 is reserved for operator errors (bad flags, unreadable
+// files); the tools keep 1 for "ran fine, gate failed" so CI can tell a
+// broken invocation from a real regression.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace wb::support {
+
+class CliTool {
+ public:
+  /// Both strings must outlive the tool (string literals in practice).
+  CliTool(const char* name, const char* usage_text)
+      : name_(name), usage_(usage_text) {}
+
+  /// Returns true iff `arg` is --help or -h — after printing the usage
+  /// text to stdout and exiting 0, so "true" is never actually observed;
+  /// the bool shape keeps call sites a one-liner in flag loops.
+  bool maybe_help(std::string_view arg) const;
+
+  [[noreturn]] void unknown_flag(std::string_view arg) const;
+  [[noreturn]] void die(const std::string& message) const;
+  void print_usage(std::FILE* to) const;
+
+ private:
+  const char* name_;
+  const char* usage_;
+};
+
+}  // namespace wb::support

@@ -6,10 +6,23 @@
 #include <limits>
 
 #include "prof/prof.h"
+#include "replay/boundary.h"
 
 namespace wb::wasm {
 
 namespace {
+
+/// Forwards a successful host-import call to the boundary recorder as raw
+/// 64-bit patterns. Host functions take at most 16 args (enforced at the
+/// call sites), so a stack buffer suffices.
+void record_host_call(replay::BoundarySink* recorder, uint32_t import_index,
+                      std::span<const Value> args, Value result, bool has_result) {
+  uint64_t bits[16];
+  for (size_t i = 0; i < args.size(); ++i) bits[i] = args[i].bits;
+  recorder->wasm_host_call(import_index,
+                           std::span<const uint64_t>(bits, args.size()),
+                           result.bits, has_result);
+}
 
 // --- Wasm-compliant float helpers -----------------------------------------
 
@@ -270,6 +283,10 @@ InvokeResult Instance::run(uint32_t func_index, std::span<const Value> args) {
                        stats_.cost_ps);
     }
     const Trap t = host_fns_[func_index](args, &result);
+    if (recorder_ && t == Trap::None && args.size() <= 16) {
+      const FuncType& type = module_.types[module_.imports[func_index].type_index];
+      record_host_call(recorder_, func_index, args, result, !type.results.empty());
+    }
     return {t, result};
   }
 
@@ -539,6 +556,11 @@ InvokeResult Instance::run_classic(uint32_t defined_index,
             trap = t;
             break;
           }
+          if (recorder_) {
+            record_host_call(recorder_, callee,
+                             std::span<const Value>(host_args_buf, nargs), result,
+                             !type.results.empty());
+          }
           if (!type.results.empty()) stack.push_back(result);
           break;
         }
@@ -617,7 +639,8 @@ InvokeResult Instance::run_classic(uint32_t defined_index,
         break;
       case Opcode::MemoryGrow: {
         const uint32_t delta = pop().as_u32();
-        stack.push_back(Value::from_i32(memory_->grow(delta)));
+        const int32_t prev_pages = memory_->grow(delta);
+        stack.push_back(Value::from_i32(prev_pages));
         cost += grow_cost_ps_;
         attr_.add_direct(attr::Cause::MemoryGrowth, grow_cost_ps_);
         ++stats_.memory_grows;
@@ -625,6 +648,7 @@ InvokeResult Instance::run_classic(uint32_t defined_index,
           tracer_->instant(prof::Cat::MemoryGrow, grow_trace_name_,
                            stats_.cost_ps + cost, delta);
         }
+        if (recorder_) recorder_->wasm_memory_grow(delta, prev_pages);
         break;
       }
 
@@ -1407,6 +1431,11 @@ do_call: {
       trap = t;
       goto trapped;
     }
+    if (recorder_) {
+      record_host_call(recorder_, callee,
+                       std::span<const Value>(host_args_buf, nargs), result,
+                       !type.results.empty());
+    }
     if (!type.results.empty()) stack.push_back(result);
     WB_NEXT();
   }
@@ -1515,7 +1544,8 @@ take_branch: {
   }
   WB_CASE(MemoryGrow) {
     const uint32_t delta = pop().as_u32();
-    stack.push_back(Value::from_i32(memory_->grow(delta)));
+    const int32_t prev_pages = memory_->grow(delta);
+    stack.push_back(Value::from_i32(prev_pages));
     cost += grow_cost_ps_;
     attr_.add_direct(attr::Cause::MemoryGrowth, grow_cost_ps_);
     ++stats_.memory_grows;
@@ -1523,6 +1553,7 @@ take_branch: {
       tracer_->instant(prof::Cat::MemoryGrow, grow_trace_name_,
                        stats_.cost_ps + cost, delta);
     }
+    if (recorder_) recorder_->wasm_memory_grow(delta, prev_pages);
     WB_NEXT();
   }
 

@@ -23,6 +23,9 @@
 namespace wb::prof {
 class Tracer;
 }
+namespace wb::replay {
+class BoundarySink;
+}
 
 namespace wb::wasm {
 
@@ -105,6 +108,13 @@ class Instance {
   /// a tracer attached.
   void set_tracer(prof::Tracer* tracer);
 
+  /// Attaches a boundary recorder (nullptr detaches). Recording observes
+  /// host-import calls and memory.grow from the same cold paths the
+  /// tracer uses and never charges virtual time, so all reported metrics
+  /// are bit-identical with or without a recorder attached (the wb::replay
+  /// observable-neutrality contract).
+  void set_recorder(replay::BoundarySink* recorder) { recorder_ = recorder; }
+
   /// Toggles quickened execution (pre-translated QCode with threaded
   /// dispatch; see quicken.h) for this instance. Follows the process-wide
   /// `quicken_default()` at construction. All reported metrics are
@@ -169,6 +179,8 @@ class Instance {
   std::vector<uint32_t> func_trace_names_;    // per defined function
   std::vector<uint32_t> import_trace_names_;  // per import
   uint32_t grow_trace_name_ = 0;
+
+  replay::BoundarySink* recorder_ = nullptr;
 };
 
 }  // namespace wb::wasm

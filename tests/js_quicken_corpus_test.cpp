@@ -2,8 +2,11 @@
 // benchmark (paper Table 9) and every compiled benchmark's generated JS
 // must produce the same result and bit-identical JsExecStats and GC
 // statistics on the quickened threaded engine as on the classic switch
-// loop. The JS-side twin of quicken_corpus_test.cpp and the CI-side twin
-// of the fuzz harness's js-quicken oracle.
+// loop — and the recorded boundary event stream (wb::replay: every
+// intercepted builtin call's arg/result bits, in order) must be
+// byte-identical too, which is strictly stronger than the host_calls
+// counter agreeing. The JS-side twin of quicken_corpus_test.cpp and the
+// CI-side twin of the fuzz harness's js-quicken oracle.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -12,6 +15,7 @@
 #include "core/study.h"
 #include "js/engine.h"
 #include "js/interp.h"
+#include "replay/record.h"
 
 namespace wb {
 namespace {
@@ -22,6 +26,7 @@ struct RunOutcome {
   uint64_t value_bits = 0;
   js::JsExecStats stats;
   js::GcStats gc;
+  replay::Trace boundary;  ///< recorded boundary event stream
 };
 
 RunOutcome run_engine(const js::ScriptCode& code, bool quicken) {
@@ -30,6 +35,8 @@ RunOutcome run_engine(const js::ScriptCode& code, bool quicken) {
   vm.set_quicken(quicken);
   vm.set_fuel(2'000'000'000);
   RunOutcome out;
+  replay::TraceRecorder recorder(out.boundary);
+  vm.set_recorder(&recorder);
   auto top = vm.run_top_level();
   if (!top.ok) {
     out.error = top.error;
@@ -65,6 +72,8 @@ void expect_engines_identical(const std::string& js_source, const std::string& w
   EXPECT_EQ(classic.gc.live_bytes, quick.gc.live_bytes);
   EXPECT_EQ(classic.gc.peak_live_bytes, quick.gc.peak_live_bytes);
   EXPECT_EQ(classic.gc.peak_external_bytes, quick.gc.peak_external_bytes);
+  // The boundary streams must agree event-for-event, bits-for-bits.
+  EXPECT_EQ(classic.boundary.events, quick.boundary.events);
 }
 
 class ManualJsQuicken : public testing::TestWithParam<const benchmarks::ManualJs*> {};

@@ -2,7 +2,10 @@
 // -O2 must produce the same trap/result and bit-identical virtual metrics
 // (cost_ps, ops_executed, arith_counts, calls, host_calls, memory_grows,
 // tierups) on the quickened engine as on the classic loop, on both the
-// baseline-pinned and optimizing-pinned tiers. This is the corpus-scale
+// baseline-pinned and optimizing-pinned tiers — and the recorded boundary
+// event stream (wb::replay: every host call's arg/result bits, every
+// memory.grow, in order) must be byte-identical too, which is strictly
+// stronger than the host_calls counter agreeing. This is the corpus-scale
 // version of wasm_quicken_test.cpp and the CI-side twin of the fuzz
 // harness's quicken oracle.
 #include <gtest/gtest.h>
@@ -10,6 +13,7 @@
 #include "backend/wasm_backend.h"
 #include "benchmarks/registry.h"
 #include "core/study.h"
+#include "replay/record.h"
 #include "wasm/interp.h"
 
 namespace wb {
@@ -19,6 +23,7 @@ struct RunOutcome {
   wasm::Trap init_trap = wasm::Trap::None;
   wasm::InvokeResult main_result;
   wasm::ExecStats stats;
+  replay::Trace boundary;  ///< recorded boundary event stream
 };
 
 RunOutcome run_engine(const backend::WasmArtifact& artifact, bool optimizing,
@@ -31,6 +36,8 @@ RunOutcome run_engine(const backend::WasmArtifact& artifact, bool optimizing,
   inst.set_tier_policy(policy);
   inst.set_fuel(200'000'000);
   RunOutcome out;
+  replay::TraceRecorder recorder(out.boundary);
+  inst.set_recorder(&recorder);
   out.init_trap = inst.invoke("__init", {}).trap;
   if (out.init_trap == wasm::Trap::None) {
     out.main_result = inst.invoke("main", {});
@@ -64,6 +71,8 @@ TEST_P(QuickenCorpus, QuickenedMatchesClassicBitForBit) {
       EXPECT_EQ(classic.stats.host_calls, quick.stats.host_calls);
       EXPECT_EQ(classic.stats.memory_grows, quick.stats.memory_grows);
       EXPECT_EQ(classic.stats.tierups, quick.stats.tierups);
+      // The boundary streams must agree event-for-event, bits-for-bits.
+      EXPECT_EQ(classic.boundary.events, quick.boundary.events);
     }
   }
 }

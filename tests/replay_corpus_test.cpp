@@ -1,0 +1,78 @@
+// Corpus-level replay gates (slow):
+//  - every corpus workload records cleanly and replays bit-exactly
+//    (exact PageMetrics agreement, the ISSUE's acceptance bar);
+//  - recording is jobs-invariant: --jobs=1 and --jobs=4 produce
+//    byte-identical serialized traces in the same (name-sorted) order;
+//  - parse(serialize(t)) round-trips every corpus trace;
+//  - at least one real-world analog reduces >= 2x in event count with
+//    the exact oracle intact.
+#include <gtest/gtest.h>
+
+#include "replay/corpus.h"
+#include "replay/reduce.h"
+#include "replay/replay.h"
+
+namespace wb {
+namespace {
+
+const replay::CorpusResult& corpus() {
+  static const replay::CorpusResult result = [] {
+    const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+    return replay::record_corpus(browser, 4);
+  }();
+  return result;
+}
+
+TEST(ReplayCorpus, AllWorkloadsRecord) {
+  for (const auto& f : corpus().failures) {
+    ADD_FAILURE() << f.name << ": " << f.error;
+  }
+  // 12 real-world (3 analogs x 2 impls x experiments) + 11 manual JS
+  // benchmarks + the importing compiled kernels (deriche is the only
+  // -O2/XS artifact with a libm import boundary).
+  EXPECT_EQ(corpus().traces.size(), 24u);
+}
+
+TEST(ReplayCorpus, EveryTraceReplaysBitExact) {
+  for (const replay::Trace& trace : corpus().traces) {
+    const replay::ReplayResult r = replay::verify(trace);
+    EXPECT_TRUE(r.ok) << trace.name << ": " << r.error;
+  }
+}
+
+TEST(ReplayCorpus, EveryTraceRoundTripsThroughBytes) {
+  for (const replay::Trace& trace : corpus().traces) {
+    const std::vector<uint8_t> bytes = replay::serialize(trace);
+    std::string error;
+    const auto parsed = replay::parse(bytes, error);
+    ASSERT_TRUE(parsed) << trace.name << ": " << error;
+    EXPECT_EQ(replay::serialize(*parsed), bytes) << trace.name;
+  }
+}
+
+TEST(ReplayCorpus, RecordingIsJobsInvariant) {
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  const replay::CorpusResult serial = replay::record_corpus(browser, 1);
+  ASSERT_EQ(serial.traces.size(), corpus().traces.size());
+  for (size_t i = 0; i < serial.traces.size(); ++i) {
+    EXPECT_EQ(serial.traces[i].name, corpus().traces[i].name);
+    EXPECT_EQ(replay::serialize(serial.traces[i]),
+              replay::serialize(corpus().traces[i]))
+        << serial.traces[i].name;
+  }
+}
+
+TEST(ReplayCorpus, LongJsDivReducesTwofold) {
+  const replay::Trace* target = nullptr;
+  for (const replay::Trace& trace : corpus().traces) {
+    if (trace.name == "longjs-div-js") target = &trace;
+  }
+  ASSERT_NE(target, nullptr);
+  const replay::ReduceResult r = replay::reduce_trace(*target);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GE(r.events_before, 2 * r.events_after);
+  EXPECT_TRUE(replay::verify(r.reduced).ok);
+}
+
+}  // namespace
+}  // namespace wb

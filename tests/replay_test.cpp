@@ -1,0 +1,288 @@
+// wb::replay unit gates (tier1):
+//  - trace serialize/parse round-trips byte-identically; the decoder
+//    rejects corrupt inputs (magic, version, truncation, trailing bytes);
+//  - attaching a recorder changes no observable (the neutrality contract
+//    record-replay correctness rests on);
+//  - a recorded trace replays bit-exactly, standalone, for both VMs;
+//  - recording is deterministic (two recordings serialize identically);
+//  - the reducer shrinks while preserving the exact-footer oracle, its
+//    output events are a subsequence of the input's, and tampering with
+//    a canned response is detected;
+//  - re-pricing in the recording environment reproduces the footer, and
+//    in a different environment produces a (different) clean replay;
+//  - fuzz::reduce_indices minimizes monotone predicates exactly.
+#include <gtest/gtest.h>
+
+#include "backend/wasm_backend.h"
+#include "fuzz/reduce.h"
+#include "ir/passes.h"
+#include "minic/minic.h"
+#include "replay/corpus.h"
+#include "replay/record.h"
+#include "replay/reduce.h"
+#include "replay/replay.h"
+#include "replay/trace.h"
+
+namespace wb {
+namespace {
+
+// A small mini-C program whose -O2 artifact imports libm host functions
+// (pow/exp are host imports; sqrt and friends are native opcodes).
+constexpr const char* kImportingC = R"(
+double vals[8];
+int main(void) {
+  int i;
+  double s = 0.0;
+  double x = 1.5;
+  for (i = 0; i < 8; i++) {
+    vals[i] = pow(x, 2.0) + exp(x * 0.125);
+    s = s + vals[i];
+    x = x + 0.25;
+  }
+  return (int)s;
+}
+)";
+
+// Math.imul over i % 5: 100 builtin calls, only 5 distinct memo keys —
+// the shape the dedup stage is built for.
+constexpr const char* kDupJs = R"(
+function main() {
+  var s = 0;
+  for (var i = 0; i < 100; i++) {
+    s = (s + Math.imul((i % 5) + 1, 2654435761) + Math.floor((i % 10) / 3)) | 0;
+  }
+  return s;
+}
+)";
+
+backend::WasmArtifact compile_importing() {
+  std::string error;
+  auto m = minic::compile(kImportingC, {}, error);
+  EXPECT_TRUE(m) << error;
+  const ir::PipelineInfo info = ir::run_pipeline(*m, ir::OptLevel::O2);
+  backend::WasmOptions opts;
+  opts.fast_math = info.fast_math;
+  backend::WasmArtifact artifact = backend::compile_to_wasm(std::move(*m), opts);
+  EXPECT_TRUE(artifact.ok()) << artifact.error;
+  EXPECT_FALSE(artifact.imports.empty());
+  return artifact;
+}
+
+void expect_metrics_equal(const env::PageMetrics& a, const env::PageMetrics& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(a.cost_ps, b.cost_ps);
+  EXPECT_EQ(a.memory_bytes, b.memory_bytes);
+  EXPECT_EQ(a.code_size, b.code_size);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.boundary_crossings, b.boundary_crossings);
+  EXPECT_EQ(a.attr_ps, b.attr_ps);
+}
+
+TEST(ReplayTrace, SerializeParseRoundTrip) {
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  std::string error;
+  const auto trace = replay::record_js("dup-js", kDupJs, browser, {}, error);
+  ASSERT_TRUE(trace) << error;
+  ASSERT_FALSE(trace->events.empty());
+
+  const std::vector<uint8_t> bytes = replay::serialize(*trace);
+  const auto parsed = replay::parse(bytes, error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(replay::serialize(*parsed), bytes);
+  EXPECT_EQ(replay::digest_hex(*parsed), replay::digest_hex(*trace));
+  EXPECT_EQ(parsed->name, trace->name);
+  EXPECT_EQ(parsed->events.size(), trace->events.size());
+  EXPECT_EQ(parsed->footer, trace->footer);
+}
+
+TEST(ReplayTrace, ParseRejectsCorruptInputs) {
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  std::string error;
+  const auto trace = replay::record_js("dup-js", kDupJs, browser, {}, error);
+  ASSERT_TRUE(trace) << error;
+  std::vector<uint8_t> bytes = replay::serialize(*trace);
+
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[0] ^= 0xff;  // magic
+    EXPECT_FALSE(replay::parse(bad, error));
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[4] = 0x7f;  // version
+    EXPECT_FALSE(replay::parse(bad, error));
+  }
+  {
+    std::vector<uint8_t> bad(bytes.begin(), bytes.begin() + bytes.size() / 2);
+    EXPECT_FALSE(replay::parse(bad, error));
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad.push_back(0);  // trailing byte
+    EXPECT_FALSE(replay::parse(bad, error));
+  }
+  EXPECT_FALSE(replay::parse({}, error));
+}
+
+TEST(ReplayRecord, RecorderIsObservableNeutralWasm) {
+  const env::BrowserEnv browser(env::Browser::Firefox, env::Platform::Desktop);
+  const backend::WasmArtifact artifact = compile_importing();
+
+  const env::PageMetrics plain = browser.run_wasm(artifact, {});
+  replay::Trace trace;
+  replay::TraceRecorder recorder(trace);
+  env::RunOptions options;
+  options.recorder = &recorder;
+  const env::PageMetrics recorded = browser.run_wasm(artifact, options);
+
+  ASSERT_TRUE(plain.ok);
+  expect_metrics_equal(plain, recorded);
+  EXPECT_FALSE(trace.events.empty());
+}
+
+TEST(ReplayRecord, RecorderIsObservableNeutralJs) {
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Mobile);
+  const env::PageMetrics plain = browser.run_js(kDupJs, {});
+  replay::Trace trace;
+  replay::TraceRecorder recorder(trace);
+  env::RunOptions options;
+  options.recorder = &recorder;
+  const env::PageMetrics recorded = browser.run_js(kDupJs, options);
+
+  ASSERT_TRUE(plain.ok);
+  expect_metrics_equal(plain, recorded);
+}
+
+TEST(ReplayRecord, RecordingIsDeterministic) {
+  const env::BrowserEnv browser(env::Browser::Edge, env::Platform::Desktop);
+  const backend::WasmArtifact artifact = compile_importing();
+  std::string error;
+  const auto a = replay::record_wasm("imp", artifact, browser, {}, error);
+  const auto b = replay::record_wasm("imp", artifact, browser, {}, error);
+  ASSERT_TRUE(a) << error;
+  ASSERT_TRUE(b) << error;
+  EXPECT_EQ(replay::serialize(*a), replay::serialize(*b));
+}
+
+TEST(ReplayReplay, WasmTraceReplaysBitExact) {
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  const backend::WasmArtifact artifact = compile_importing();
+  std::string error;
+  const auto trace = replay::record_wasm("imp", artifact, browser, {}, error);
+  ASSERT_TRUE(trace) << error;
+  EXPECT_GT(replay::count_events(*trace, replay::EventKind::HostCall), 0u);
+
+  const replay::ReplayResult r = replay::verify(*trace);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(ReplayReplay, JsTraceReplaysBitExact) {
+  const env::BrowserEnv browser(env::Browser::Firefox, env::Platform::Mobile);
+  std::string error;
+  const auto trace = replay::record_js("dup-js", kDupJs, browser, {}, error);
+  ASSERT_TRUE(trace) << error;
+  EXPECT_GT(replay::count_events(*trace, replay::EventKind::BuiltinCall), 0u);
+
+  const replay::ReplayResult r = replay::verify(*trace);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(ReplayReplay, NoJitConfigurationReplays) {
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  env::RunOptions options;
+  options.js_jit_enabled = false;
+  std::string error;
+  const auto trace = replay::record_js("dup-nojit", kDupJs, browser, options, error);
+  ASSERT_TRUE(trace) << error;
+  EXPECT_FALSE(trace->config.optimizing_enabled);
+  const replay::ReplayResult r = replay::verify(*trace);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(ReplayReduce, DedupShrinksAndStaysExact) {
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  std::string error;
+  const auto trace = replay::record_js("dup-js", kDupJs, browser, {}, error);
+  ASSERT_TRUE(trace) << error;
+
+  const replay::ReduceResult r = replay::reduce_trace(*trace);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.ddmin_ran);
+  EXPECT_GE(r.events_before, 2 * r.events_after);  // 100 imul calls, 5 keys
+  EXPECT_LT(r.bytes_after, r.bytes_before);
+  EXPECT_TRUE(replay::verify(r.reduced).ok);
+
+  // The reduced event log is a subsequence of the original's.
+  size_t pos = 0;
+  for (const replay::Event& e : r.reduced.events) {
+    while (pos < trace->events.size() && !(trace->events[pos] == e)) ++pos;
+    ASSERT_LT(pos, trace->events.size());
+    ++pos;
+  }
+}
+
+TEST(ReplayReduce, TamperedCannedResponseIsDetected) {
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  std::string error;
+  const auto trace = replay::record_js("dup-js", kDupJs, browser, {}, error);
+  ASSERT_TRUE(trace) << error;
+
+  const replay::ReduceResult reduced = replay::reduce_trace(*trace);
+  ASSERT_TRUE(reduced.ok) << reduced.error;
+  replay::Trace tampered = reduced.reduced;
+  for (replay::Event& e : tampered.events) {
+    if (e.kind == replay::EventKind::BuiltinCall) {
+      e.result ^= 1;
+      break;
+    }
+  }
+  EXPECT_FALSE(replay::verify(tampered).ok);
+}
+
+TEST(ReplayReplay, RepriceInRecordingEnvMatchesFooter) {
+  const env::BrowserEnv browser(env::Browser::Chrome, env::Platform::Desktop);
+  const backend::WasmArtifact artifact = compile_importing();
+  std::string error;
+  const auto trace = replay::record_wasm("imp", artifact, browser, {}, error);
+  ASSERT_TRUE(trace) << error;
+
+  const replay::ReplayResult same = replay::replay_in_env(*trace, browser);
+  ASSERT_TRUE(same.ok) << same.error;
+  EXPECT_EQ(same.metrics.cost_ps, trace->footer.cost_ps);
+  EXPECT_EQ(same.metrics.result, trace->footer.result);
+  EXPECT_EQ(same.metrics.memory_bytes, trace->footer.memory_bytes);
+
+  const env::BrowserEnv other(env::Browser::Firefox, env::Platform::Desktop);
+  const replay::ReplayResult repriced = replay::replay_in_env(*trace, other);
+  ASSERT_TRUE(repriced.ok) << repriced.error;
+  EXPECT_EQ(repriced.metrics.result, trace->footer.result);
+  EXPECT_NE(repriced.metrics.cost_ps, trace->footer.cost_ps);
+}
+
+TEST(ReduceIndices, MinimizesMonotonePredicate) {
+  // Oracle: candidate must contain indices 3 and 7.
+  const auto still_ok = [](const std::vector<size_t>& kept) {
+    bool has3 = false, has7 = false;
+    for (const size_t i : kept) {
+      if (i == 3) has3 = true;
+      if (i == 7) has7 = true;
+    }
+    return has3 && has7;
+  };
+  const std::vector<size_t> kept = fuzz::reduce_indices(10, still_ok);
+  EXPECT_EQ(kept, (std::vector<size_t>{3, 7}));
+
+  // Always-true predicate: everything is removable.
+  EXPECT_TRUE(
+      fuzz::reduce_indices(6, [](const std::vector<size_t>&) { return true; })
+          .empty());
+  // Never-true predicate: nothing is removable.
+  EXPECT_EQ(
+      fuzz::reduce_indices(4, [](const std::vector<size_t>&) { return false; })
+          .size(),
+      4u);
+}
+
+}  // namespace
+}  // namespace wb

@@ -42,6 +42,7 @@
 #include "benchmarks/registry.h"
 #include "common.h"
 #include "js/quicken.h"
+#include "support/cli.h"
 #include "support/json.h"
 #include "wasm/quicken.h"
 
@@ -52,27 +53,21 @@ namespace json = support::json;
 
 constexpr int kSchemaVersion = 1;
 
-[[noreturn]] void die(const std::string& msg) {
-  std::fprintf(stderr, "wb_attr: %s\n", msg.c_str());
-  std::exit(2);
-}
+const support::CliTool cli(
+    "wb_attr",
+    "usage: wb_attr [--out=goldens/attr.json]\n"
+    "               [--check] [--golden=goldens/attr.json] [--diff-out=PATH]\n"
+    "               [--report] [--kernel=NAME] [--folded=PATH]\n"
+    "               [--sizes=S,M] [--levels=O2,Ofast]\n"
+    "               [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
+    "               [--toolchain=Cheerp] [--jobs=N]\n"
+    "               [--no-quicken] [--no-quicken-js] [--help]\n"
+    "environment:\n"
+    "  WB_JOBS=N            default for --jobs (the flag wins)\n"
+    "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
+    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n");
 
-int usage(FILE* to) {
-  std::fputs(
-      "usage: wb_attr [--out=goldens/attr.json]\n"
-      "               [--check] [--golden=goldens/attr.json] [--diff-out=PATH]\n"
-      "               [--report] [--kernel=NAME] [--folded=PATH]\n"
-      "               [--sizes=S,M] [--levels=O2,Ofast]\n"
-      "               [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
-      "               [--toolchain=Cheerp] [--jobs=N]\n"
-      "               [--no-quicken] [--no-quicken-js] [--help]\n"
-      "environment:\n"
-      "  WB_JOBS=N            default for --jobs (the flag wins)\n"
-      "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
-      "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n",
-      to);
-  return to == stdout ? 0 : 2;
-}
+[[noreturn]] void die(const std::string& msg) { cli.die(msg); }
 
 // ------------------------------------------------------------- matrix
 
@@ -494,8 +489,8 @@ int main(int argc, char** argv) {
     const auto value = [&](const char* prefix) {
       return arg.substr(std::strlen(prefix));
     };
-    if (arg == "--help" || arg == "-h") {
-      return usage(stdout);
+    if (cli.maybe_help(arg)) {
+      // maybe_help exits on match; this branch body is unreachable.
     } else if (arg == "--check") {
       check = true;
     } else if (arg == "--report") {
@@ -535,8 +530,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-quicken-js") {
       js::set_quicken_default(false);
     } else {
-      std::fprintf(stderr, "wb_attr: unknown flag: %s\n", arg.c_str());
-      return usage(stderr);
+      cli.unknown_flag(arg);
     }
   }
 

@@ -42,6 +42,7 @@
 
 #include "fleet/fleet.h"
 #include "js/quicken.h"
+#include "support/cli.h"
 #include "support/json.h"
 #include "wasm/quicken.h"
 
@@ -50,25 +51,19 @@ namespace {
 using namespace wb;
 namespace json = support::json;
 
-[[noreturn]] void die(const std::string& msg) {
-  std::fprintf(stderr, "wb_fleet: %s\n", msg.c_str());
-  std::exit(2);
-}
+const support::CliTool cli(
+    "wb_fleet",
+    "usage: wb_fleet [--sessions=N] [--devices=N] [--seed=S] [--cache-mb=N]\n"
+    "                [--jobs=N] [--sizes=XS,S] [--level=O2] [--mean-us=N]\n"
+    "                [--max-benchmarks=N] [--replay-modules=N] [--out=PATH]\n"
+    "                [--check] [--golden=goldens/fleet.json] [--diff-out=PATH]\n"
+    "                [--no-quicken] [--no-quicken-js] [--help]\n"
+    "environment:\n"
+    "  WB_JOBS=N            default for --jobs (the flag wins)\n"
+    "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
+    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n");
 
-int usage(FILE* to) {
-  std::fputs(
-      "usage: wb_fleet [--sessions=N] [--devices=N] [--seed=S] [--cache-mb=N]\n"
-      "                [--jobs=N] [--sizes=XS,S] [--level=O2] [--mean-us=N]\n"
-      "                [--max-benchmarks=N] [--out=PATH]\n"
-      "                [--check] [--golden=goldens/fleet.json] [--diff-out=PATH]\n"
-      "                [--no-quicken] [--no-quicken-js] [--help]\n"
-      "environment:\n"
-      "  WB_JOBS=N            default for --jobs (the flag wins)\n"
-      "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
-      "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n",
-      to);
-  return to == stdout ? 0 : 2;
-}
+[[noreturn]] void die(const std::string& msg) { cli.die(msg); }
 
 uint64_t parse_u64(const std::string& value, const char* what) {
   char* end = nullptr;
@@ -164,8 +159,8 @@ int main(int argc, char** argv) {
     const auto value = [&](const char* prefix) {
       return arg.substr(std::strlen(prefix));
     };
-    if (arg == "--help" || arg == "-h") {
-      return usage(stdout);
+    if (cli.maybe_help(arg)) {
+      // maybe_help exits on match; this branch body is unreachable.
     } else if (arg == "--check") {
       check = true;
     } else if (arg.rfind("--sessions=", 0) == 0) {
@@ -187,6 +182,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--max-benchmarks=", 0) == 0) {
       config.max_benchmarks =
           static_cast<uint32_t>(parse_u64(value("--max-benchmarks="), "--max-benchmarks"));
+    } else if (arg.rfind("--replay-modules=", 0) == 0) {
+      config.replay_modules =
+          static_cast<uint32_t>(parse_u64(value("--replay-modules="), "--replay-modules"));
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = value("--out=");
     } else if (arg.rfind("--golden=", 0) == 0) {
@@ -198,8 +196,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-quicken-js") {
       js::set_quicken_default(false);
     } else {
-      std::fprintf(stderr, "wb_fleet: unknown flag: %s\n", arg.c_str());
-      return usage(stderr);
+      cli.unknown_flag(arg);
     }
   }
 

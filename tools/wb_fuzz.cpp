@@ -3,6 +3,8 @@
 //   wb_fuzz --runs=N --seed=S [--jobs=J]    random fuzzing
 //   wb_fuzz --replay file.c                 re-run one program
 //   wb_fuzz --corpus dir/                   replay every .c in a directory
+//   wb_fuzz --trace file.wbr3               replay a recorded trace on both
+//                                           engines (quickened + classic)
 //
 // On divergence, the minimized reproducer source (and the WAT dump of its
 // -O2 module) is written to --out (default: the working directory) and
@@ -22,6 +24,9 @@
 #include "ir/passes.h"
 #include "minic/minic.h"
 #include "js/quicken.h"
+#include "replay/replay.h"
+#include "replay/trace.h"
+#include "support/cli.h"
 #include "wasm/quicken.h"
 #include "wasm/wat.h"
 
@@ -30,19 +35,16 @@ namespace {
 namespace fs = std::filesystem;
 using namespace wb;
 
-int usage(FILE* to = stderr) {
-  std::fputs(
-      "usage: wb_fuzz [--runs=N] [--seed=S] [--jobs=J] [--out=DIR]\n"
-      "               [--mutation-every=N] [--no-minimize] [--plant-bug]\n"
-      "               [--no-quicken] [--no-quicken-js]\n"
-      "               [--replay FILE] [--corpus DIR] [--help]\n"
-      "environment:\n"
-      "  WB_JOBS=N            default for --jobs (the flag wins)\n"
-      "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
-      "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n",
-      to);
-  return to == stdout ? 0 : 2;
-}
+const support::CliTool cli(
+    "wb_fuzz",
+    "usage: wb_fuzz [--runs=N] [--seed=S] [--jobs=J] [--out=DIR]\n"
+    "               [--mutation-every=N] [--no-minimize] [--plant-bug]\n"
+    "               [--no-quicken] [--no-quicken-js]\n"
+    "               [--replay FILE] [--corpus DIR] [--trace FILE] [--help]\n"
+    "environment:\n"
+    "  WB_JOBS=N            default for --jobs (the flag wins)\n"
+    "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
+    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n");
 
 bool parse_u64(const char* s, uint64_t& out) {
   char* end = nullptr;
@@ -97,6 +99,48 @@ int replay_one(const fs::path& path, const fuzz::HarnessOptions& harness) {
   return 1;
 }
 
+/// Replays a recorded .wbr3 trace as a differential oracle: the canned-host
+/// replay must reproduce the recorded PageMetrics bit-exactly on BOTH the
+/// quickened and the classic engines. Recorded traces are engine-neutral
+/// observables, so any asymmetry here is a real quickening bug.
+int trace_one(const fs::path& path) {
+  bool ok = false;
+  const std::string bytes = read_file(path, ok);
+  if (!ok) {
+    std::fprintf(stderr, "wb_fuzz: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::string error;
+  const auto trace = replay::parse(
+      std::vector<uint8_t>(bytes.begin(), bytes.end()), error);
+  if (!trace) {
+    std::fprintf(stderr, "wb_fuzz: %s is not a trace: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const bool wasm_q = wasm::quicken_default();
+  const bool js_q = js::quicken_default();
+  int rc = 0;
+  for (const bool quicken : {true, false}) {
+    wasm::set_quicken_default(quicken);
+    js::set_quicken_default(quicken);
+    const replay::ReplayResult r = replay::verify(*trace);
+    if (!r.ok) {
+      std::printf("%s: DIVERGENT (%s engine)\n  %s\n", path.c_str(),
+                  quicken ? "quickened" : "classic", r.error.c_str());
+      rc = 1;
+    }
+  }
+  wasm::set_quicken_default(wasm_q);
+  js::set_quicken_default(js_q);
+  if (rc == 0) {
+    std::printf("%s: ok (%s '%s', %zu events, quickened == classic)\n",
+                path.c_str(), replay::to_string(trace->kind),
+                trace->name.c_str(), trace->events.size());
+  }
+  return rc;
+}
+
 bool write_text(const fs::path& path, const std::string& text) {
   std::error_code ec;
   if (path.has_parent_path()) fs::create_directories(path.parent_path(), ec);
@@ -116,6 +160,7 @@ int main(int argc, char** argv) {
   bool runs_given = false;
   std::vector<fs::path> replays;
   std::vector<fs::path> corpus_dirs;
+  std::vector<fs::path> traces;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -123,8 +168,8 @@ int main(int argc, char** argv) {
       return arg.c_str() + std::strlen(prefix);
     };
     uint64_t n = 0;
-    if (arg == "--help" || arg == "-h") {
-      return usage(stdout);
+    if (cli.maybe_help(arg)) {
+      // maybe_help exits on match; this branch body is unreachable.
     } else if (arg.rfind("--runs=", 0) == 0 && parse_u64(value("--runs="), n)) {
       options.runs = static_cast<size_t>(n);
       runs_given = true;
@@ -156,8 +201,12 @@ int main(int argc, char** argv) {
       corpus_dirs.emplace_back(argv[++i]);
     } else if (arg.rfind("--corpus=", 0) == 0) {
       corpus_dirs.emplace_back(value("--corpus="));
+    } else if (arg == "--trace" && i + 1 < argc) {
+      traces.emplace_back(argv[++i]);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      traces.emplace_back(value("--trace="));
     } else {
-      return usage();
+      cli.unknown_flag(arg);
     }
   }
 
@@ -185,8 +234,15 @@ int main(int argc, char** argv) {
     const int rc = replay_one(file, options.harness);
     if (rc > status) status = rc;
   }
+  for (const auto& file : traces) {
+    const int rc = trace_one(file);
+    if (rc > status) status = rc;
+  }
   // Replay-only unless --runs was asked for explicitly alongside.
-  if ((!replays.empty() || !corpus_dirs.empty()) && !runs_given) return status;
+  if ((!replays.empty() || !corpus_dirs.empty() || !traces.empty()) &&
+      !runs_given) {
+    return status;
+  }
   if (options.runs == 0) return status;
 
   const fuzz::FuzzSummary summary = fuzz::run_fuzz(options);

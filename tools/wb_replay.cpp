@@ -1,0 +1,451 @@
+// wb_replay — the record-reduce-replay driver (Wasm-R3 on our stack)
+// behind the replay CI gate.
+//
+// Records the replay corpus (the three real-world analogs in both
+// implementations, the manually-written JS benchmarks, and the importing
+// compiled kernels) through env::BrowserEnv, verifies that every trace
+// replays standalone bit-exactly (exact PageMetrics agreement, attr
+// lanes included), reduces each trace with the exact oracle, and emits
+// canonical, sorted, schema-versioned JSON over the trace identities so
+// CI gates on byte equality just like wb_study/wb_fleet/wb_attr:
+//
+//   wb_replay --out=goldens/replay.json   # regenerate the golden
+//   wb_replay --check                     # rerun + diff, exit 1 on drift
+//
+// Beyond the gate, the tool works on individual .wbr3 trace files:
+//
+//   wb_replay --record-dir=DIR            # write every corpus trace to DIR
+//   wb_replay --replay=FILE               # replay one trace, verify footer
+//   wb_replay --reduce=FILE               # shrink it (writes FILE.min.wbr3)
+//
+// Everything runs on the virtual clock: --jobs only changes wall-clock,
+// never a reported byte.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attr/attr.h"
+#include "common.h"
+#include "js/quicken.h"
+#include "wasm/quicken.h"
+#include "replay/corpus.h"
+#include "replay/reduce.h"
+#include "replay/replay.h"
+#include "replay/trace.h"
+#include "support/cli.h"
+#include "support/json.h"
+#include "support/sha256.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using namespace wb;
+namespace json = support::json;
+
+constexpr int kSchemaVersion = 1;
+
+/// ddmin probe bound for corpus-wide reduction. After the dedup stage
+/// every surviving canned response is typically queried by the replay, so
+/// ddmin mostly confirms minimality; bounding it keeps the gate's probe
+/// count (each probe is a full replay) proportional to the small traces.
+constexpr size_t kGateDdminLimit = 64;
+
+const support::CliTool cli(
+    "wb_replay",
+    "usage: wb_replay [--out=goldens/replay.json]\n"
+    "                 [--check] [--golden=goldens/replay.json] [--diff-out=PATH]\n"
+    "                 [--record-dir=DIR] [--replay=FILE] [--reduce=FILE]\n"
+    "                 [--trace-out=PATH] [--ddmin-limit=N] [--jobs=N]\n"
+    "                 [--no-quicken] [--no-quicken-js] [--help]\n"
+    "environment:\n"
+    "  WB_JOBS=N            default for --jobs (the flag wins)\n"
+    "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
+    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n");
+
+[[noreturn]] void die(const std::string& msg) { cli.die(msg); }
+
+// ----------------------------------------------------------------- io
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) die("cannot read " + path.string());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) die("cannot write " + path.string());
+  out << content;
+}
+
+replay::Trace load_trace(const std::filesystem::path& path) {
+  const std::string bytes = read_file(path);
+  std::string error;
+  auto trace = replay::parse(
+      std::span(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()),
+      error);
+  if (!trace) die(path.string() + " is not a trace: " + error);
+  return std::move(*trace);
+}
+
+// ----------------------------------------------------------- document
+
+json::Value metrics_json(const replay::TraceFooter& f) {
+  json::Object o;
+  o.emplace_back("result", static_cast<int64_t>(f.result));
+  o.emplace_back("cost_ps", static_cast<int64_t>(f.cost_ps));
+  o.emplace_back("memory_bytes", static_cast<int64_t>(f.memory_bytes));
+  o.emplace_back("code_size", static_cast<int64_t>(f.code_size));
+  o.emplace_back("ops", static_cast<int64_t>(f.ops));
+  o.emplace_back("boundary_crossings", static_cast<int64_t>(f.boundary_crossings));
+  if (f.attr_recorded) {
+    json::Object lanes;
+    for (size_t c = 0; c < attr::kCauseCount; ++c) {
+      if (f.attr_ps[c] == 0) continue;
+      lanes.emplace_back(attr::to_string(static_cast<attr::Cause>(c)),
+                         static_cast<int64_t>(f.attr_ps[c]));
+    }
+    o.emplace_back("attr_ps", std::move(lanes));
+  }
+  return o;
+}
+
+/// One golden row per corpus trace: the trace identity (digest of the
+/// canonical encoding), its reduction, and the recorded metrics the
+/// replay reproduced bit-exactly before the row was emitted.
+struct RowResult {
+  json::Object body;
+  std::string error;
+};
+
+json::Value build_document(const env::BrowserEnv& browser, int jobs,
+                           std::vector<std::string>& errors) {
+  const replay::CorpusResult corpus = replay::record_corpus(browser, jobs);
+  for (const auto& f : corpus.failures) errors.push_back(f.name + ": " + f.error);
+
+  std::vector<RowResult> rows(corpus.traces.size());
+  support::parallel_for(
+      corpus.traces.size(),
+      static_cast<unsigned>(jobs > 0 ? jobs : bench::effective_jobs()),
+      [&](size_t i) {
+        const replay::Trace& trace = corpus.traces[i];
+        RowResult& row = rows[i];
+        const replay::ReplayResult verified = replay::verify(trace);
+        if (!verified.ok) {
+          row.error = trace.name + ": replay not bit-exact: " + verified.error;
+          return;
+        }
+        const replay::ReduceResult reduced =
+            replay::reduce_trace(trace, kGateDdminLimit);
+        if (!reduced.ok) {
+          row.error = trace.name + ": reduce failed: " + reduced.error;
+          return;
+        }
+        row.body.emplace_back("name", trace.name);
+        row.body.emplace_back("kind", replay::to_string(trace.kind));
+        row.body.emplace_back("program_sha256",
+                              support::sha256_hex(trace.program));
+        row.body.emplace_back("trace_digest", replay::digest_hex(trace));
+        row.body.emplace_back("trace_bytes",
+                              static_cast<int64_t>(reduced.bytes_before));
+        row.body.emplace_back("events", static_cast<int64_t>(reduced.events_before));
+        row.body.emplace_back("reduced_digest", replay::digest_hex(reduced.reduced));
+        row.body.emplace_back("reduced_bytes",
+                              static_cast<int64_t>(reduced.bytes_after));
+        row.body.emplace_back("reduced_events",
+                              static_cast<int64_t>(reduced.events_after));
+        row.body.emplace_back("ddmin", reduced.ddmin_ran);
+        row.body.emplace_back("metrics", metrics_json(trace.footer));
+      });
+  json::Array row_array;
+  for (RowResult& row : rows) {
+    if (!row.error.empty()) {
+      errors.push_back(std::move(row.error));
+      continue;
+    }
+    row_array.emplace_back(std::move(row.body));
+  }
+
+  json::Object root;
+  root.emplace_back("schema_version", kSchemaVersion);
+  root.emplace_back("tool", "wb_replay");
+  root.emplace_back("browser", env::to_string(browser.profile().browser));
+  root.emplace_back("platform", env::to_string(browser.profile().platform));
+  root.emplace_back("trace_count", static_cast<int64_t>(row_array.size()));
+  root.emplace_back("rows", std::move(row_array));
+  return root;
+}
+
+// ----------------------------------------------------------------- diff
+
+std::string row_name(const json::Value& row) {
+  const json::Value* n = row.find("name");
+  return n && n->is_string() ? n->as_string() : "(unnamed)";
+}
+
+void diff_value(const std::string& where, const std::string& path,
+                const json::Value& golden, const json::Value& current,
+                std::vector<std::string>& out) {
+  if (golden.is_object() && current.is_object()) {
+    for (const auto& [key, gv] : golden.as_object()) {
+      const std::string sub = path.empty() ? key : path + "." + key;
+      if (const json::Value* cv = current.find(key)) {
+        diff_value(where, sub, gv, *cv, out);
+      } else {
+        out.push_back(where + ": " + sub + " " + gv.dump() + " -> (missing)");
+      }
+    }
+    for (const auto& [key, cv] : current.as_object()) {
+      if (!golden.find(key)) {
+        const std::string sub = path.empty() ? key : path + "." + key;
+        out.push_back(where + ": " + sub + " (missing) -> " + cv.dump());
+      }
+    }
+    return;
+  }
+  if (golden.dump() != current.dump()) {
+    out.push_back(where + ": " + path + " " + golden.dump() + " -> " +
+                  current.dump());
+  }
+}
+
+std::vector<std::string> diff_documents(const json::Value& golden,
+                                        const json::Value& current) {
+  std::vector<std::string> out;
+  const json::Value* gv = golden.find("schema_version");
+  const json::Value* cv = current.find("schema_version");
+  if (!gv || !cv || gv->dump() != cv->dump()) {
+    out.push_back("schema_version mismatch: " + (gv ? gv->dump() : "(none)") +
+                  " -> " + (cv ? cv->dump() : "(none)"));
+    return out;
+  }
+  const json::Value* grows = golden.find("rows");
+  const json::Value* crows = current.find("rows");
+  if (!grows || !grows->is_array() || !crows || !crows->is_array()) {
+    out.push_back("malformed document: missing rows array");
+    return out;
+  }
+  for (const auto& g : grows->as_array()) {
+    const std::string name = row_name(g);
+    const json::Value* match = nullptr;
+    for (const auto& c : crows->as_array()) {
+      if (row_name(c) == name) {
+        match = &c;
+        break;
+      }
+    }
+    if (!match) {
+      out.push_back(name + ": trace missing from current run");
+      continue;
+    }
+    diff_value(name, "", g, *match, out);
+  }
+  for (const auto& c : crows->as_array()) {
+    bool in_golden = false;
+    for (const auto& g : grows->as_array()) in_golden |= row_name(g) == row_name(c);
+    if (!in_golden) out.push_back(row_name(c) + ": trace not present in golden");
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- modes
+
+int record_dir(const env::BrowserEnv& browser, int jobs,
+               const std::filesystem::path& dir) {
+  const replay::CorpusResult corpus = replay::record_corpus(browser, jobs);
+  for (const auto& f : corpus.failures) {
+    std::fprintf(stderr, "wb_replay: %s: %s\n", f.name.c_str(), f.error.c_str());
+  }
+  for (const replay::Trace& trace : corpus.traces) {
+    const std::vector<uint8_t> bytes = replay::serialize(trace);
+    write_file(dir / (trace.name + ".wbr3"),
+               std::string(bytes.begin(), bytes.end()));
+  }
+  std::printf("wrote %zu trace(s) to %s\n", corpus.traces.size(),
+              dir.string().c_str());
+  return corpus.ok() ? 0 : 1;
+}
+
+int replay_file(const std::filesystem::path& path) {
+  const replay::Trace trace = load_trace(path);
+  const replay::ReplayResult r = replay::verify(trace);
+  if (!r.ok) {
+    std::printf("%s: DIVERGENT\n  %s\n", path.c_str(), r.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "%s: ok (%s '%s', %zu events)\n"
+      "  result=%d cost_ps=%llu memory=%llu code=%llu ops=%llu crossings=%llu\n",
+      path.c_str(), replay::to_string(trace.kind), trace.name.c_str(),
+      trace.events.size(), r.metrics.result,
+      static_cast<unsigned long long>(r.metrics.cost_ps),
+      static_cast<unsigned long long>(r.metrics.memory_bytes),
+      static_cast<unsigned long long>(r.metrics.code_size),
+      static_cast<unsigned long long>(r.metrics.ops),
+      static_cast<unsigned long long>(r.metrics.boundary_crossings));
+  return 0;
+}
+
+int reduce_file(const std::filesystem::path& path,
+                std::filesystem::path out_path, size_t ddmin_limit) {
+  const replay::Trace trace = load_trace(path);
+  const replay::ReduceResult r = replay::reduce_trace(trace, ddmin_limit);
+  if (!r.ok) {
+    std::printf("%s: cannot reduce\n  %s\n", path.c_str(), r.error.c_str());
+    return 1;
+  }
+  if (out_path.empty()) out_path = path.string() + ".min.wbr3";
+  const std::vector<uint8_t> bytes = replay::serialize(r.reduced);
+  write_file(out_path, std::string(bytes.begin(), bytes.end()));
+  std::printf("%s: %zu -> %zu events, %zu -> %zu bytes (ddmin %s); wrote %s\n",
+              path.c_str(), r.events_before, r.events_after, r.bytes_before,
+              r.bytes_after, r.ddmin_ran ? "ran" : "skipped",
+              out_path.string().c_str());
+  return 0;
+}
+
+template <typename T>
+T parse_enum_name(const std::string& name, const std::vector<T>& candidates,
+                  const char* what) {
+  for (const T c : candidates) {
+    if (name == env::to_string(c)) return c;
+  }
+  die(std::string("golden has unknown ") + what + ": " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::filesystem::path out_path = "goldens/replay.json";
+  bool out_flag_seen = false;
+  std::filesystem::path golden_path = "goldens/replay.json";
+  std::filesystem::path diff_out;
+  std::filesystem::path record_to;
+  std::filesystem::path replay_path;
+  std::filesystem::path reduce_path;
+  std::filesystem::path trace_out;
+  size_t ddmin_limit = replay::kDefaultDdminLimit;
+
+  bench::parse_common_flags(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (cli.maybe_help(arg)) {
+      // maybe_help exits on match; this branch body is unreachable.
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = value("--out=");
+      out_flag_seen = true;
+    } else if (arg.rfind("--golden=", 0) == 0) {
+      golden_path = value("--golden=");
+    } else if (arg.rfind("--diff-out=", 0) == 0) {
+      diff_out = value("--diff-out=");
+    } else if (arg.rfind("--record-dir=", 0) == 0) {
+      record_to = value("--record-dir=");
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      replay_path = value("--replay=");
+    } else if (arg.rfind("--reduce=", 0) == 0) {
+      reduce_path = value("--reduce=");
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = value("--trace-out=");
+    } else if (arg.rfind("--ddmin-limit=", 0) == 0) {
+      ddmin_limit = static_cast<size_t>(std::strtoull(value("--ddmin-limit=").c_str(), nullptr, 0));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      // handled by parse_common_flags
+    } else if (arg == "--no-quicken") {
+      // Bisection escape hatch; replay (like every observable) must be
+      // byte-identical either way.
+      wasm::set_quicken_default(false);
+    } else if (arg == "--no-quicken-js") {
+      js::set_quicken_default(false);
+    } else {
+      cli.unknown_flag(arg);
+    }
+  }
+
+  const int jobs = bench::effective_jobs();
+  // The gate corpus records in the canonical deployment cell; provenance
+  // is stamped into every trace and checked against the golden.
+  env::Browser browser_kind = env::Browser::Chrome;
+  env::Platform platform_kind = env::Platform::Desktop;
+
+  if (!replay_path.empty()) return replay_file(replay_path);
+  if (!reduce_path.empty()) return reduce_file(reduce_path, trace_out, ddmin_limit);
+  if (!record_to.empty()) {
+    const env::BrowserEnv browser(browser_kind, platform_kind);
+    return record_dir(browser, jobs, record_to);
+  }
+
+  if (check) {
+    std::string error;
+    const std::optional<json::Value> golden =
+        json::parse(read_file(golden_path), error);
+    if (!golden) die("golden " + golden_path.string() + " is not valid JSON: " + error);
+    // Replay the deployment cell recorded in the golden itself.
+    const json::Value* gb = golden->find("browser");
+    const json::Value* gp = golden->find("platform");
+    if (!gb || !gb->is_string() || !gp || !gp->is_string()) {
+      die("golden has no browser/platform provenance");
+    }
+    browser_kind = parse_enum_name(
+        gb->as_string(),
+        std::vector<env::Browser>{env::Browser::Chrome, env::Browser::Firefox,
+                                  env::Browser::Edge},
+        "browser");
+    platform_kind = parse_enum_name(
+        gp->as_string(),
+        std::vector<env::Platform>{env::Platform::Desktop, env::Platform::Mobile},
+        "platform");
+    const env::BrowserEnv browser(browser_kind, platform_kind);
+    std::vector<std::string> errors;
+    const json::Value current = build_document(browser, jobs, errors);
+    for (const auto& e : errors) {
+      std::fprintf(stderr, "wb_replay: %s\n", e.c_str());
+    }
+    std::vector<std::string> diffs = diff_documents(*golden, current);
+    if (!errors.empty()) diffs.insert(diffs.begin(), "corpus errors (see stderr)");
+    if (diffs.empty()) {
+      std::printf("replay golden gate OK: %s traces bit-identical to %s\n",
+                  current.find("trace_count")->dump().c_str(),
+                  golden_path.string().c_str());
+      return 0;
+    }
+    std::string report_text;
+    report_text += "replay golden gate FAILED: " + std::to_string(diffs.size()) +
+                   " difference(s) vs " + golden_path.string() + "\n";
+    for (const auto& d : diffs) report_text += "  " + d + "\n";
+    report_text +=
+        "If this change is intentional, regenerate the golden in this PR:\n"
+        "  wb_replay --out=" + golden_path.string() + "\n";
+    std::fputs(report_text.c_str(), stdout);
+    if (!diff_out.empty()) write_file(diff_out, report_text);
+    return 1;
+  }
+
+  (void)out_flag_seen;
+  const env::BrowserEnv browser(browser_kind, platform_kind);
+  std::vector<std::string> errors;
+  const json::Value doc = build_document(browser, jobs, errors);
+  for (const auto& e : errors) {
+    std::fprintf(stderr, "wb_replay: %s\n", e.c_str());
+  }
+  write_file(out_path, doc.dump(2));
+  std::printf("wrote %s (%s traces)\n", out_path.string().c_str(),
+              doc.find("trace_count")->dump().c_str());
+  return errors.empty() ? 0 : 1;
+}

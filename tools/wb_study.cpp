@@ -45,6 +45,7 @@
 
 #include "attr/attr.h"
 #include "common.h"
+#include "support/cli.h"
 #include "support/json.h"
 #include "js/quicken.h"
 #include "wasm/quicken.h"
@@ -61,26 +62,20 @@ constexpr int kSchemaVersion = 1;
 /// attribution surface (gaps, report, folded stacks) lives in wb_attr.
 bool g_with_attr = false;
 
-[[noreturn]] void die(const std::string& msg) {
-  std::fprintf(stderr, "wb_study: %s\n", msg.c_str());
-  std::exit(2);
-}
+const support::CliTool cli(
+    "wb_study",
+    "usage: wb_study [--out=goldens/study.json]\n"
+    "                [--check] [--golden=goldens/study.json] [--diff-out=PATH]\n"
+    "                [--sizes=S,M] [--levels=O2,Ofast]\n"
+    "                [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
+    "                [--toolchain=Cheerp] [--with-native] [--attr] [--jobs=N]\n"
+    "                [--no-quicken] [--no-quicken-js] [--help]\n"
+    "environment:\n"
+    "  WB_JOBS=N            default for --jobs (the flag wins)\n"
+    "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
+    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n");
 
-int usage(FILE* to) {
-  std::fputs(
-      "usage: wb_study [--out=goldens/study.json]\n"
-      "                [--check] [--golden=goldens/study.json] [--diff-out=PATH]\n"
-      "                [--sizes=S,M] [--levels=O2,Ofast]\n"
-      "                [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
-      "                [--toolchain=Cheerp] [--with-native] [--attr] [--jobs=N]\n"
-      "                [--no-quicken] [--no-quicken-js] [--help]\n"
-      "environment:\n"
-      "  WB_JOBS=N            default for --jobs (the flag wins)\n"
-      "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
-      "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n",
-      to);
-  return to == stdout ? 0 : 2;
-}
+[[noreturn]] void die(const std::string& msg) { cli.die(msg); }
 
 // ------------------------------------------------------------- matrix
 
@@ -394,8 +389,8 @@ int main(int argc, char** argv) {
     const auto value = [&](const char* prefix) {
       return arg.substr(std::strlen(prefix));
     };
-    if (arg == "--help" || arg == "-h") {
-      return usage(stdout);
+    if (cli.maybe_help(arg)) {
+      // maybe_help exits on match; this branch body is unreachable.
     } else if (arg == "--check") {
       check = true;
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -435,8 +430,7 @@ int main(int argc, char** argv) {
       // Same escape hatch for the JS VM's quickened threaded engine.
       js::set_quicken_default(false);
     } else {
-      std::fprintf(stderr, "wb_study: unknown flag: %s\n", arg.c_str());
-      return usage(stderr);
+      cli.unknown_flag(arg);
     }
   }
 

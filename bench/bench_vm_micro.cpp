@@ -9,6 +9,8 @@
 #include "wasm/builder.h"
 #include "wasm/codec.h"
 #include "wasm/interp.h"
+#include "wasm/jit/cache.h"
+#include "wasm/jit/jit.h"
 
 namespace {
 
@@ -51,6 +53,7 @@ void BM_WasmQuickenedHotLoop(benchmark::State& state) {
   for (auto _ : state) {
     wasm::Instance inst(module, {});
     inst.set_quicken(true);
+    inst.set_jit(false);  // measure quickened dispatch, not the JIT
     const wasm::InvokeResult r = inst.invoke("main", {});
     benchmark::DoNotOptimize(r.value.bits);
   }
@@ -77,6 +80,7 @@ void BM_WasmDispatchQuickened(benchmark::State& state) {
   const wasm::Module module = hot_loop_module(100'000);
   wasm::Instance inst(module, {});
   inst.set_quicken(true);
+  inst.set_jit(false);  // long-lived: would tier up and JIT otherwise
   for (auto _ : state) {
     const wasm::InvokeResult r = inst.invoke("main", {});
     benchmark::DoNotOptimize(r.value.bits);
@@ -84,6 +88,48 @@ void BM_WasmDispatchQuickened(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100'000 * 9);
 }
 BENCHMARK(BM_WasmDispatchQuickened);
+
+// The third tier: the same long-lived dispatch-only shape with the
+// copy-and-patch JIT. Pinned to the optimizing tier so the warm-up invoke
+// compiles the loop and every timed invoke runs native code. The CI
+// bench-smoke gate demands jit/quickened >= 2x on this pair.
+void BM_WasmJitHotLoop(benchmark::State& state) {
+  const wasm::Module module = hot_loop_module(100'000);
+  wasm::Instance inst(module, {});
+  inst.set_quicken(true);
+  inst.set_jit(true);
+  wasm::TierPolicy policy;
+  policy.baseline_enabled = false;
+  inst.set_tier_policy(policy);
+  (void)inst.invoke("main", {});  // warm-up: JIT-compiles the function
+  for (auto _ : state) {
+    const wasm::InvokeResult r = inst.invoke("main", {});
+    benchmark::DoNotOptimize(r.value.bits);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000 * 9);
+}
+BENCHMARK(BM_WasmJitHotLoop);
+
+// One-time cost of stitching stencils for the hot-loop body (compile
+// only; the code cache and eligibility scan are inside the timed region).
+void BM_WasmJitCompile(benchmark::State& state) {
+  const wasm::Module module = hot_loop_module(100'000);
+  const wasm::QFunc qf = wasm::quicken(module, 0);
+  std::array<uint64_t, wasm::kOpClassCount> costs{};
+  costs.fill(100);
+  size_t compiled = 0;
+  for (auto _ : state) {
+    wasm::jit::CodeCache cache;
+    auto cf = wasm::jit::compile(qf, 2, 1, costs, cache);
+    compiled += cf != nullptr;
+    benchmark::DoNotOptimize(cf);
+  }
+  if (wasm::jit::available() &&
+      compiled != static_cast<size_t>(state.iterations())) {
+    state.SkipWithError("hot loop failed to compile");
+  }
+}
+BENCHMARK(BM_WasmJitCompile);
 
 void BM_JsInterpreterHotLoop(benchmark::State& state) {
   const std::string source =

@@ -14,6 +14,7 @@
 #include "support/rng.h"
 #include "wasm/codec.h"
 #include "wasm/interp.h"
+#include "wasm/jit/jit.h"
 #include "wasm/validator.h"
 
 namespace wb::fuzz {
@@ -65,10 +66,11 @@ Outcome run_native(ir::Module m, uint64_t fuel) {
 }
 
 Outcome run_wasm_tier(const backend::WasmArtifact& artifact, bool optimizing,
-                      uint64_t fuel, bool quicken,
+                      uint64_t fuel, bool quicken, bool jit,
                       wasm::ExecStats* stats_out = nullptr) {
   wasm::Instance inst(artifact.module, backend::make_import_bindings(artifact));
   inst.set_quicken(quicken);
+  inst.set_jit(jit);
   wasm::TierPolicy policy;
   policy.baseline_enabled = !optimizing;
   policy.optimizing_enabled = optimizing;
@@ -265,36 +267,59 @@ CaseResult run_case(const std::string& source, const HarnessOptions& options) {
     }
 
     const bool quicken = wasm::quicken_default();
+    const bool jit = quicken && wasm::jit::jit_default() && wasm::jit::available();
     wasm::ExecStats base_stats;
-    const Outcome base =
-        run_wasm_tier(artifact, /*optimizing=*/false, options.fuel, quicken, &base_stats);
+    const Outcome base = run_wasm_tier(artifact, /*optimizing=*/false,
+                                       options.fuel, quicken, jit, &base_stats);
     if (!same(base, ref)) {
       diverge("wasm-baseline", "expected " + ref.describe() + " got " + base.describe());
     }
     wasm::ExecStats opt_stats;
-    const Outcome opt =
-        run_wasm_tier(artifact, /*optimizing=*/true, options.fuel, quicken, &opt_stats);
+    const Outcome opt = run_wasm_tier(artifact, /*optimizing=*/true,
+                                      options.fuel, quicken, jit, &opt_stats);
     if (!same(opt, ref)) {
       diverge("wasm-optimizing", "expected " + ref.describe() + " got " + opt.describe());
     }
 
-    // Oracle: the quickened engine must agree with the classic loop on
-    // the result and on every virtual metric, bit for bit.
-    if (options.quicken_oracle && quicken) {
+    // Oracles: the primary engine (quickened, and JIT when available) must
+    // agree with each slower engine on the result and on every virtual
+    // metric, bit for bit. The quickened-dispatch (JIT off) run is both
+    // the jit oracle's reference and the quicken oracle's subject.
+    if ((options.quicken_oracle || options.jit_oracle) && quicken) {
       for (const bool optimizing : {false, true}) {
-        wasm::ExecStats classic_stats;
-        const Outcome classic = run_wasm_tier(artifact, optimizing, options.fuel,
-                                              /*quicken=*/false, &classic_stats);
-        const Outcome& quick = optimizing ? opt : base;
-        const wasm::ExecStats& quick_stats = optimizing ? opt_stats : base_stats;
-        const char* engine =
-            optimizing ? "oracle:quicken-optimizing" : "oracle:quicken-baseline";
-        if (!same(quick, classic)) {
-          diverge(engine, "classic " + classic.describe() + " quickened " +
-                              quick.describe());
-        } else if (const std::string d = stats_diff(classic_stats, quick_stats);
-                   !d.empty()) {
-          diverge(engine, "metrics differ (classic vs quickened): " + d);
+        const Outcome& primary = optimizing ? opt : base;
+        const wasm::ExecStats& primary_stats = optimizing ? opt_stats : base_stats;
+        wasm::ExecStats nojit_stats = primary_stats;
+        Outcome nojit = primary;
+        if (jit) {
+          nojit = run_wasm_tier(artifact, optimizing, options.fuel,
+                                /*quicken=*/true, /*jit=*/false, &nojit_stats);
+        }
+        if (options.jit_oracle && jit) {
+          const char* engine =
+              optimizing ? "oracle:jit-optimizing" : "oracle:jit-baseline";
+          if (!same(primary, nojit)) {
+            diverge(engine, "quickened " + nojit.describe() + " jit " +
+                                primary.describe());
+          } else if (const std::string d = stats_diff(nojit_stats, primary_stats);
+                     !d.empty()) {
+            diverge(engine, "metrics differ (quickened vs jit): " + d);
+          }
+        }
+        if (options.quicken_oracle) {
+          wasm::ExecStats classic_stats;
+          const Outcome classic =
+              run_wasm_tier(artifact, optimizing, options.fuel,
+                            /*quicken=*/false, /*jit=*/false, &classic_stats);
+          const char* engine =
+              optimizing ? "oracle:quicken-optimizing" : "oracle:quicken-baseline";
+          if (!same(nojit, classic)) {
+            diverge(engine, "classic " + classic.describe() + " quickened " +
+                                nojit.describe());
+          } else if (const std::string d = stats_diff(classic_stats, nojit_stats);
+                     !d.empty()) {
+            diverge(engine, "metrics differ (classic vs quickened): " + d);
+          }
         }
       }
     }

@@ -39,6 +39,11 @@ struct HarnessOptions {
   /// the quickened threaded engine's result, JsExecStats, and GC stats
   /// match exactly. No-op when JS quickening is off (--no-quicken-js).
   bool js_quicken_oracle = true;
+  /// Re-runs both Wasm tiers on quickened dispatch with the copy-and-patch
+  /// JIT disabled and demands the JIT engine's result AND virtual metrics
+  /// match exactly. No-op when the JIT is off process-wide (--no-jit /
+  /// WB_NO_JIT) or unavailable on this host.
+  bool jit_oracle = true;
 };
 
 /// One disagreement (or pipeline failure) found while running a program.

@@ -7,6 +7,8 @@
 
 #include "prof/prof.h"
 #include "replay/boundary.h"
+#include "wasm/jit/cache.h"
+#include "wasm/jit/jit.h"
 
 namespace wb::wasm {
 
@@ -178,10 +180,12 @@ Instance::Instance(const Module& module, std::vector<HostFn> host_fns)
   }
 
   set_quicken(quicken_default());
+  set_jit(jit::jit_default());
 }
 
 void Instance::set_quicken(bool enabled) {
   quicken_enabled_ = enabled;
+  if (!enabled) jit_enabled_ = false;  // the JIT lowers QCode
   if (enabled && qfuncs_.empty()) {
     qfuncs_.reserve(module_.functions.size());
     for (size_t fi = 0; fi < module_.functions.size(); ++fi) {
@@ -190,9 +194,42 @@ void Instance::set_quicken(bool enabled) {
   }
 }
 
+void Instance::set_jit(bool enabled) {
+  jit_enabled_ = enabled && quicken_enabled_ && jit::available();
+  if (jit_enabled_ && jit_slots_.size() != module_.functions.size()) {
+    jit_slots_.resize(module_.functions.size());
+  }
+}
+
+size_t Instance::jit_compiled_functions() const {
+  size_t n = 0;
+  for (const JitSlot& s : jit_slots_) {
+    if (s.state == JitSlot::State::Compiled) ++n;
+  }
+  return n;
+}
+
+jit::CompiledFunction* Instance::jit_compiled(uint32_t defined_index) {
+  JitSlot& slot = jit_slots_[defined_index];
+  if (slot.state == JitSlot::State::Compiled) return slot.fn.get();
+  if (slot.state == JitSlot::State::Ineligible) return nullptr;
+  if (!jit_cache_) jit_cache_ = std::make_unique<jit::CodeCache>();
+  const FuncMeta& m = metas_[defined_index];
+  slot.fn = jit::compile(qfuncs_[defined_index], m.num_locals, m.result_count,
+                         cost_tables_[1], *jit_cache_);
+  slot.state = slot.fn ? JitSlot::State::Compiled : JitSlot::State::Ineligible;
+  return slot.fn.get();
+}
+
 void Instance::set_cost_tables(const CostTable& baseline, const CostTable& optimizing) {
   cost_tables_[0] = baseline;
   cost_tables_[1] = optimizing;
+  // JIT charge side tables are priced from the optimizing row at compile
+  // time: recompile lazily against the new tables.
+  for (JitSlot& s : jit_slots_) {
+    s.state = JitSlot::State::Unknown;
+    s.fn.reset();
+  }
 }
 
 void Instance::set_tracer(prof::Tracer* tracer) {
@@ -1244,10 +1281,15 @@ InvokeResult Instance::run_quickened(uint32_t defined_index,
     stack_base = f.stack_base;
   };
 
-  auto enter_function = [&](uint32_t d, std::span<const Value> initial_args) -> bool {
+  // How an enter_function attempt resolved: a new quickened frame was
+  // pushed, the callee ran to completion inside the JIT (result already on
+  // the stack), or it trapped (depth limit, or a trap inside JIT code).
+  enum class Enter : uint8_t { Frame, JitDone, Trapped };
+
+  auto enter_function = [&](uint32_t d, std::span<const Value> initial_args) -> Enter {
     if (frames.size() >= kMaxCallDepth) {
       trap = Trap::CallStackExhausted;
-      return false;
+      return Enter::Trapped;
     }
     // Begin the span first so a tier-up compile pause on this entry lands
     // inside the entered function's self time (same order as the classic
@@ -1258,6 +1300,83 @@ InvokeResult Instance::run_quickened(uint32_t defined_index,
     maybe_tier_up(d, stats_.cost_ps + cost);
     ++stats_.calls;
     const FuncMeta& m = metas_[d];
+    // The JIT fast path: optimizing-tier leaf functions run to completion
+    // in native code. Charges accumulate in a per-block side table plus
+    // direct lanes and are merged here, so every reported metric is
+    // bit-identical to the quickened (and classic) loops.
+    if (jit_enabled_ && func_state_[d].tier == Tier::Optimizing) {
+      if (jit::CompiledFunction* cf = jit_compiled(d)) {
+        uint64_t* jlocals = cf->locals_scratch();
+        if (!initial_args.empty() || m.num_params == 0) {
+          for (size_t i = 0; i < initial_args.size(); ++i) {
+            jlocals[i] = initial_args[i].bits;
+          }
+        } else {
+          for (uint32_t i = 0; i < m.num_params; ++i) {
+            jlocals[i] = stack[stack.size() - m.num_params + i].bits;
+          }
+          stack.resize(stack.size() - m.num_params);
+        }
+        std::fill(jlocals + m.num_params, jlocals + m.num_locals, uint64_t{0});
+        jit::JitContext ctx;
+        ctx.ops = ops;
+        ctx.fuel = fuel;
+        if (memory_) {
+          ctx.mem_size = memory_->size_bytes();
+          ctx.mem_base = memory_->bytes().data();
+        }
+        ctx.stack_base = cf->stack_scratch();
+        ctx.locals = jlocals;
+        ctx.globals = reinterpret_cast<uint64_t*>(globals_.data());
+        ctx.block_exec = cf->block_exec();
+        ctx.fn = cf;
+        ctx.opt_costs = cost_tables_[1].data();
+        cf->run(ctx);
+        ops = ctx.ops;
+        // Merge the charge side table: Σ exec[b]·BlockCharge[b] plus the
+        // direct lanes the trap helpers charged per-QInstr. Additions into
+        // the wide counters commute with the dispatch loop's pending
+        // packed lanes, so no flush is needed here.
+        uint64_t jcost = ctx.direct_cost_ps;
+        uint64_t* opt_ccnt = attr_.class_counts[1].data();
+        const auto& blocks = cf->blocks();
+        std::span<uint64_t> exec = cf->block_exec_span();
+        for (size_t b = 0; b < blocks.size(); ++b) {
+          const uint64_t e = exec[b];
+          if (e == 0) continue;
+          exec[b] = 0;
+          const jit::BlockCharge& blk = blocks[b];
+          jcost += e * blk.cost_ps;
+          for (size_t c = 0; c < kOpClassCount; ++c) {
+            opt_ccnt[c] += e * blk.cls_counts[c];
+          }
+          for (size_t c = 0; c < kArithCatCount; ++c) {
+            stats_.arith_counts[c] += e * blk.cat_counts[c];
+          }
+        }
+        for (size_t c = 0; c < kOpClassCount; ++c) {
+          opt_ccnt[c] += ctx.direct_cls[c];
+        }
+        for (size_t c = 0; c < kArithCatCount; ++c) {
+          stats_.arith_counts[c] += ctx.direct_cat[c];
+        }
+        cost += jcost;
+        if (ctx.trap != 0) {
+          trap = static_cast<Trap>(ctx.trap);
+          if (tracer_) {
+            tracer_->end(prof::Cat::WasmFunc, func_trace_names_[d],
+                         stats_.cost_ps + cost);
+          }
+          return Enter::Trapped;
+        }
+        if (m.result_count > 0) stack.push_back(Value{ctx.result_bits});
+        if (tracer_) {
+          tracer_->end(prof::Cat::WasmFunc, func_trace_names_[d],
+                       stats_.cost_ps + cost);
+        }
+        return Enter::JitDone;
+      }
+    }
     QCallFrame f;
     f.fidx = d;
     f.qpc = 0;
@@ -1273,7 +1392,7 @@ InvokeResult Instance::run_quickened(uint32_t defined_index,
     locals.resize(f.locals_base + m.num_locals, Value{});
     frames.push_back(f);
     cache_frame();
-    return true;
+    return Enter::Frame;
   };
 
   auto pop = [&]() -> Value {
@@ -1282,9 +1401,19 @@ InvokeResult Instance::run_quickened(uint32_t defined_index,
     return v;
   };
 
-  if (!enter_function(defined_index, args)) {
-    flush_stats();
-    return {trap, {}};
+  {
+    const Enter e = enter_function(defined_index, args);
+    if (e == Enter::Trapped) {
+      flush_stats();
+      return {trap, {}};
+    }
+    if (e == Enter::JitDone) {
+      flush_stats();
+      InvokeResult result;
+      result.trap = Trap::None;
+      if (metas_[defined_index].result_count > 0) result.value = stack.back();
+      return result;
+    }
   }
 
 #if WB_THREADED_DISPATCH
@@ -1440,7 +1569,13 @@ do_call: {
     WB_NEXT();
   }
   frames.back().qpc = qpc + 1;
-  if (!enter_function(callee - num_imports, {})) goto trapped;
+  {
+    const Enter e = enter_function(callee - num_imports, {});
+    if (e == Enter::Trapped) goto trapped;
+    // JitDone: the callee ran to completion natively; resume the caller
+    // at the instruction after the call (cache_frame reloads qpc+1).
+    if (e == Enter::JitDone) cache_frame();
+  }
   goto dispatch;
 }
 take_branch: {

@@ -26,6 +26,10 @@ class Tracer;
 namespace wb::replay {
 class BoundarySink;
 }
+namespace wb::wasm::jit {
+class CodeCache;
+class CompiledFunction;
+}
 
 namespace wb::wasm {
 
@@ -123,6 +127,19 @@ class Instance {
   void set_quicken(bool enabled);
   [[nodiscard]] bool quicken_enabled() const { return quicken_enabled_; }
 
+  /// Toggles the copy-and-patch template JIT (the third execution tier;
+  /// see jit/jit.h) for this instance. Follows the process-wide
+  /// `jit::jit_default()` at construction. Requires quickened dispatch
+  /// (the JIT lowers QCode) and a host that can run generated x86-64, and
+  /// silently stays off otherwise — all reported metrics are bit-identical
+  /// to the classic and quickened loops either way. Optimizing-tier leaf
+  /// functions are compiled lazily at entry; ineligible bodies fall back
+  /// to quickened dispatch per function.
+  void set_jit(bool enabled);
+  [[nodiscard]] bool jit_enabled() const { return jit_enabled_; }
+  /// Functions JIT-compiled so far (observability for tests and tools).
+  [[nodiscard]] size_t jit_compiled_functions() const;
+
   /// Invokes an exported function by name.
   InvokeResult invoke(std::string_view export_name, std::span<const Value> args);
   /// Invokes by function index (combined import+defined space).
@@ -149,6 +166,10 @@ class Instance {
     uint64_t hotness = 0;
   };
 
+  /// The JIT code for a defined function, compiling it on first request;
+  /// nullptr when the body is not JIT-eligible (cached either way).
+  jit::CompiledFunction* jit_compiled(uint32_t defined_index);
+
   InvokeResult run(uint32_t func_index, std::span<const Value> args);
   /// The reference one-Instr-at-a-time loop (kept for --no-quicken and as
   /// the differential-testing baseline).
@@ -168,6 +189,17 @@ class Instance {
   std::vector<FuncState> func_state_; // per defined function
   std::vector<QFunc> qfuncs_;         // per defined function (when quickened)
   bool quicken_enabled_ = false;
+
+  /// Per-function JIT state: compiled lazily, with ineligibility cached so
+  /// the eligibility scan runs at most once per function.
+  struct JitSlot {
+    enum class State : uint8_t { Unknown, Compiled, Ineligible };
+    State state = State::Unknown;
+    std::unique_ptr<jit::CompiledFunction> fn;
+  };
+  std::vector<JitSlot> jit_slots_;    // per defined function (when JIT on)
+  std::unique_ptr<jit::CodeCache> jit_cache_;
+  bool jit_enabled_ = false;
   std::array<CostTable, 2> cost_tables_;
   TierPolicy tier_policy_;
   ExecStats stats_;

@@ -1,0 +1,335 @@
+#include "wasm/jit/asm_x64.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace wb::wasm::jit {
+
+void Asm::u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Asm::u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Asm::patch32(size_t at, uint32_t v) {
+  assert(at + 4 <= code.size());
+  std::memcpy(code.data() + at, &v, 4);
+}
+
+void Asm::patch64(size_t at, uint64_t v) {
+  assert(at + 8 <= code.size());
+  std::memcpy(code.data() + at, &v, 8);
+}
+
+void Asm::rex(bool w, uint8_t reg, uint8_t rm, uint8_t index) {
+  uint8_t b = 0x40;
+  if (w) b |= 0x08;
+  if (reg & 8) b |= 0x04;
+  if (index & 8) b |= 0x02;
+  if (rm & 8) b |= 0x01;
+  if (b != 0x40) u8(b);
+}
+
+// mod=10 (disp32) ModRM; base==RSP/R12 needs a SIB byte.
+size_t Asm::modrm_disp32(uint8_t reg, Reg base, int32_t disp) {
+  u8(static_cast<uint8_t>(0x80 | ((reg & 7) << 3) | (base & 7)));
+  if ((base & 7) == 4) u8(0x24);  // SIB: scale=1, no index, base
+  const size_t at = size();
+  u32(static_cast<uint32_t>(disp));
+  return at;
+}
+
+// mod=00, rm=100 (SIB), scale=1, [base + idx]. base&7 must not be 5
+// (RBP/R13) and idx must not be RSP; the JIT only uses r14 as base.
+void Asm::modrm_sib_idx(uint8_t reg, Reg base, Reg idx) {
+  assert((base & 7) != 5 && idx != RSP);
+  u8(static_cast<uint8_t>(((reg & 7) << 3) | 4));
+  u8(static_cast<uint8_t>(((idx & 7) << 3) | (base & 7)));
+}
+
+void Asm::mov_rr(bool w, Reg dst, Reg src) {
+  rex(w, src, dst);
+  u8(0x89);
+  u8(static_cast<uint8_t>(0xC0 | ((src & 7) << 3) | (dst & 7)));
+}
+
+void Asm::mov_ri32(Reg dst, uint32_t imm) {
+  rex(false, 0, dst);
+  u8(static_cast<uint8_t>(0xB8 | (dst & 7)));
+  u32(imm);
+}
+
+size_t Asm::mov_ri64(Reg dst, uint64_t imm) {
+  rex(true, 0, dst);
+  u8(static_cast<uint8_t>(0xB8 | (dst & 7)));
+  const size_t at = size();
+  u64(imm);
+  return at;
+}
+
+size_t Asm::mov_r_m(bool w, Reg dst, Reg base, int32_t disp) {
+  rex(w, dst, base);
+  u8(0x8B);
+  return modrm_disp32(dst, base, disp);
+}
+
+size_t Asm::mov_m_r(bool w, Reg base, int32_t disp, Reg src) {
+  rex(w, src, base);
+  u8(0x89);
+  return modrm_disp32(src, base, disp);
+}
+
+void Asm::mov_m_i32(Reg base, int32_t disp, uint32_t imm) {
+  rex(false, 0, base);
+  u8(0xC7);
+  modrm_disp32(0, base, disp);
+  u32(imm);
+}
+
+size_t Asm::movsxd_r_m(Reg dst, Reg base, int32_t disp) {
+  rex(true, dst, base);
+  u8(0x63);
+  return modrm_disp32(dst, base, disp);
+}
+
+size_t Asm::lea(Reg dst, Reg base, int32_t disp) {
+  rex(true, dst, base);
+  u8(0x8D);
+  return modrm_disp32(dst, base, disp);
+}
+
+void Asm::ld_idx(int size_log2, bool sign, Reg dst, Reg base, Reg idx) {
+  switch (size_log2) {
+    case 0:
+      rex(false, dst, base, idx);
+      u8(0x0F);
+      u8(sign ? 0xBE : 0xB6);  // movsx/movzx r32, m8
+      break;
+    case 1:
+      rex(false, dst, base, idx);
+      u8(0x0F);
+      u8(sign ? 0xBF : 0xB7);  // movsx/movzx r32, m16
+      break;
+    case 2:
+      rex(false, dst, base, idx);
+      u8(0x8B);  // mov r32, m32 (zero-extends)
+      break;
+    default:
+      rex(true, dst, base, idx);
+      u8(0x8B);  // mov r64, m64
+      break;
+  }
+  modrm_sib_idx(dst, base, idx);
+}
+
+void Asm::st_idx(int size_log2, Reg base, Reg idx, Reg src) {
+  switch (size_log2) {
+    case 0:
+      assert(src < RSP);  // AL/CL/DL/BL without REX
+      rex(false, src, base, idx);
+      u8(0x88);
+      break;
+    case 1:
+      u8(0x66);
+      rex(false, src, base, idx);
+      u8(0x89);
+      break;
+    case 2:
+      rex(false, src, base, idx);
+      u8(0x89);
+      break;
+    default:
+      rex(true, src, base, idx);
+      u8(0x89);
+      break;
+  }
+  modrm_sib_idx(src, base, idx);
+}
+
+void Asm::alu_rr(bool w, AluExt op, Reg dst, Reg src) {
+  rex(w, src, dst);
+  u8(static_cast<uint8_t>(8 * op + 1));  // op r/m, r
+  u8(static_cast<uint8_t>(0xC0 | ((src & 7) << 3) | (dst & 7)));
+}
+
+void Asm::alu_ri8(bool w, AluExt op, Reg r, int8_t imm) {
+  rex(w, 0, r);
+  u8(0x83);
+  u8(static_cast<uint8_t>(0xC0 | (op << 3) | (r & 7)));
+  u8(static_cast<uint8_t>(imm));
+}
+
+void Asm::alu_ri32(bool w, AluExt op, Reg r, uint32_t imm) {
+  rex(w, 0, r);
+  u8(0x81);
+  u8(static_cast<uint8_t>(0xC0 | (op << 3) | (r & 7)));
+  u32(imm);
+}
+
+void Asm::imul_rr(bool w, Reg dst, Reg src) {
+  rex(w, dst, src);
+  u8(0x0F);
+  u8(0xAF);
+  u8(static_cast<uint8_t>(0xC0 | ((dst & 7) << 3) | (src & 7)));
+}
+
+void Asm::test_rr(bool w, Reg a, Reg b) {
+  rex(w, b, a);
+  u8(0x85);
+  u8(static_cast<uint8_t>(0xC0 | ((b & 7) << 3) | (a & 7)));
+}
+
+void Asm::shift_cl(bool w, ShiftExt op, Reg r) {
+  rex(w, 0, r);
+  u8(0xD3);
+  u8(static_cast<uint8_t>(0xC0 | (op << 3) | (r & 7)));
+}
+
+void Asm::shift_ri(bool w, ShiftExt op, Reg r, uint8_t imm) {
+  rex(w, 0, r);
+  u8(0xC1);
+  u8(static_cast<uint8_t>(0xC0 | (op << 3) | (r & 7)));
+  u8(imm);
+}
+
+void Asm::idiv(bool w, Reg r) {
+  rex(w, 0, r);
+  u8(0xF7);
+  u8(static_cast<uint8_t>(0xC0 | (7 << 3) | (r & 7)));
+}
+
+void Asm::div(bool w, Reg r) {
+  rex(w, 0, r);
+  u8(0xF7);
+  u8(static_cast<uint8_t>(0xC0 | (6 << 3) | (r & 7)));
+}
+
+void Asm::setcc_al(CC cc) {
+  u8(0x0F);
+  u8(static_cast<uint8_t>(0x90 | cc));
+  u8(0xC0);  // /0, rm=AL
+}
+
+void Asm::movzx_r32_al(Reg dst) {
+  rex(false, dst, RAX);
+  u8(0x0F);
+  u8(0xB6);
+  u8(static_cast<uint8_t>(0xC0 | ((dst & 7) << 3)));
+}
+
+void Asm::cmov(bool w, CC cc, Reg dst, Reg src) {
+  rex(w, dst, src);
+  u8(0x0F);
+  u8(static_cast<uint8_t>(0x40 | cc));
+  u8(static_cast<uint8_t>(0xC0 | ((dst & 7) << 3) | (src & 7)));
+}
+
+void Asm::inc_m64(Reg base, int32_t disp) {
+  rex(true, 0, base);
+  u8(0xFF);
+  modrm_disp32(0, base, disp);
+}
+
+size_t Asm::jcc32(CC cc) {
+  u8(0x0F);
+  u8(static_cast<uint8_t>(0x80 | cc));
+  const size_t at = size();
+  u32(0);
+  return at;
+}
+
+size_t Asm::jmp32() {
+  u8(0xE9);
+  const size_t at = size();
+  u32(0);
+  return at;
+}
+
+size_t Asm::jcc8(CC cc) {
+  u8(static_cast<uint8_t>(0x70 | cc));
+  const size_t at = size();
+  u8(0);
+  return at;
+}
+
+size_t Asm::jmp8() {
+  u8(0xEB);
+  const size_t at = size();
+  u8(0);
+  return at;
+}
+
+void Asm::bind8(size_t at) {
+  const ptrdiff_t rel = static_cast<ptrdiff_t>(size()) - static_cast<ptrdiff_t>(at + 1);
+  assert(rel >= -128 && rel <= 127);
+  code[at] = static_cast<uint8_t>(rel);
+}
+
+void Asm::push(Reg r) {
+  rex(false, 0, r);
+  u8(static_cast<uint8_t>(0x50 | (r & 7)));
+}
+
+void Asm::pop(Reg r) {
+  rex(false, 0, r);
+  u8(static_cast<uint8_t>(0x58 | (r & 7)));
+}
+
+void Asm::movd_x_r(uint8_t x, Reg r) {
+  u8(0x66);
+  rex(false, x, r);
+  u8(0x0F);
+  u8(0x6E);
+  u8(static_cast<uint8_t>(0xC0 | ((x & 7) << 3) | (r & 7)));
+}
+
+void Asm::movq_x_r(uint8_t x, Reg r) {
+  u8(0x66);
+  rex(true, x, r);
+  u8(0x0F);
+  u8(0x6E);
+  u8(static_cast<uint8_t>(0xC0 | ((x & 7) << 3) | (r & 7)));
+}
+
+void Asm::movd_r_x(Reg r, uint8_t x) {
+  u8(0x66);
+  rex(false, x, r);
+  u8(0x0F);
+  u8(0x7E);
+  u8(static_cast<uint8_t>(0xC0 | ((x & 7) << 3) | (r & 7)));
+}
+
+void Asm::movq_r_x(Reg r, uint8_t x) {
+  u8(0x66);
+  rex(true, x, r);
+  u8(0x0F);
+  u8(0x7E);
+  u8(static_cast<uint8_t>(0xC0 | ((x & 7) << 3) | (r & 7)));
+}
+
+void Asm::sse(uint8_t prefix, uint8_t op, uint8_t xdst, uint8_t xsrc) {
+  if (prefix) u8(prefix);
+  u8(0x0F);
+  u8(op);
+  u8(static_cast<uint8_t>(0xC0 | ((xdst & 7) << 3) | (xsrc & 7)));
+}
+
+void Asm::cmps(bool dbl, uint8_t xdst, uint8_t xsrc, uint8_t pred) {
+  u8(dbl ? 0xF2 : 0xF3);
+  u8(0x0F);
+  u8(0xC2);
+  u8(static_cast<uint8_t>(0xC0 | ((xdst & 7) << 3) | (xsrc & 7)));
+  u8(pred);
+}
+
+void Asm::cvtsi2(bool dbl, bool w, uint8_t xdst, Reg src) {
+  u8(dbl ? 0xF2 : 0xF3);
+  rex(w, xdst, src);
+  u8(0x0F);
+  u8(0x2A);
+  u8(static_cast<uint8_t>(0xC0 | ((xdst & 7) << 3) | (src & 7)));
+}
+
+}  // namespace wb::wasm::jit

@@ -1,0 +1,116 @@
+// A minimal x86-64 instruction emitter for building copy-and-patch stencils
+// (stencil.cpp) and stitching them into function bodies (compile.cpp). Only
+// the encodings the template JIT needs are implemented; memory operands are
+// always emitted with a full disp32 so immediate patch holes have a fixed
+// width and position.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wb::wasm::jit {
+
+enum Reg : uint8_t {
+  RAX = 0, RCX, RDX, RBX, RSP, RBP, RSI, RDI,
+  R8, R9, R10, R11, R12, R13, R14, R15,
+};
+
+/// Condition codes (the low nibble of jcc/setcc/cmovcc opcodes).
+enum CC : uint8_t {
+  CC_O = 0x0, CC_NO = 0x1, CC_B = 0x2, CC_AE = 0x3,
+  CC_E = 0x4, CC_NE = 0x5, CC_BE = 0x6, CC_A = 0x7,
+  CC_S = 0x8, CC_NS = 0x9, CC_P = 0xA, CC_NP = 0xB,
+  CC_L = 0xC, CC_GE = 0xD, CC_LE = 0xE, CC_G = 0xF,
+};
+
+/// ALU /ext values (and the MR opcode family 8*ext+1).
+enum AluExt : uint8_t {
+  ALU_ADD = 0, ALU_OR = 1, ALU_AND = 4, ALU_SUB = 5, ALU_XOR = 6, ALU_CMP = 7,
+};
+
+/// Shift-group /ext values (D3 /ext with count in CL).
+enum ShiftExt : uint8_t {
+  SH_ROL = 0, SH_ROR = 1, SH_SHL = 4, SH_SHR = 5, SH_SAR = 7,
+};
+
+class Asm {
+ public:
+  std::vector<uint8_t> code;
+
+  [[nodiscard]] size_t size() const { return code.size(); }
+
+  void u8(uint8_t v) { code.push_back(v); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void patch32(size_t at, uint32_t v);
+  void patch64(size_t at, uint64_t v);
+
+  // --- Moves ---
+  void mov_rr(bool w, Reg dst, Reg src);
+  void mov_ri32(Reg dst, uint32_t imm);        ///< mov r32, imm32 (zero-extends)
+  size_t mov_ri64(Reg dst, uint64_t imm);      ///< movabs; returns imm64 offset
+  /// mov r32/r64, [base+disp32]; returns the disp32 offset (patch hole).
+  size_t mov_r_m(bool w, Reg dst, Reg base, int32_t disp);
+  /// mov [base+disp32], r32/r64; returns the disp32 offset.
+  size_t mov_m_r(bool w, Reg base, int32_t disp, Reg src);
+  /// mov dword [base+disp32], imm32.
+  void mov_m_i32(Reg base, int32_t disp, uint32_t imm);
+  /// movsxd r64, dword [base+disp32]; returns the disp32 offset.
+  size_t movsxd_r_m(Reg dst, Reg base, int32_t disp);
+  /// lea r64, [base+disp32]; returns the disp32 offset.
+  size_t lea(Reg dst, Reg base, int32_t disp);
+
+  // --- Linear-memory operands: [base + index], mod=00 with a SIB byte.
+  // size_log2: 0/1/2/3 bytes; narrow loads select movzx/movsx by `sign`.
+  void ld_idx(int size_log2, bool sign, Reg dst, Reg base, Reg idx);
+  void st_idx(int size_log2, Reg base, Reg idx, Reg src);
+
+  // --- ALU ---
+  void alu_rr(bool w, AluExt op, Reg dst, Reg src);
+  void alu_ri8(bool w, AluExt op, Reg r, int8_t imm);
+  void alu_ri32(bool w, AluExt op, Reg r, uint32_t imm);
+  void imul_rr(bool w, Reg dst, Reg src);
+  void test_rr(bool w, Reg a, Reg b);
+  void shift_cl(bool w, ShiftExt op, Reg r);
+  void shift_ri(bool w, ShiftExt op, Reg r, uint8_t imm);
+  void cdq() { u8(0x99); }
+  void cqo() { u8(0x48); u8(0x99); }
+  void idiv(bool w, Reg r);
+  void div(bool w, Reg r);
+  void setcc_al(CC cc);
+  void movzx_r32_al(Reg dst);
+  void cmov(bool w, CC cc, Reg dst, Reg src);
+  void inc_m64(Reg base, int32_t disp);
+
+  // --- Control ---
+  size_t jcc32(CC cc);   ///< returns the rel32 offset
+  size_t jmp32();        ///< returns the rel32 offset
+  size_t jcc8(CC cc);    ///< returns the rel8 offset
+  size_t jmp8();         ///< returns the rel8 offset
+  void bind8(size_t at); ///< patch a rel8 to jump here
+  void call_rax() { u8(0xFF); u8(0xD0); }
+  void push(Reg r);
+  void pop(Reg r);
+  void ret() { u8(0xC3); }
+
+  // --- SSE scalar (xmm0-xmm7 only) ---
+  void movd_x_r(uint8_t x, Reg r);   ///< movd xmm, r32
+  void movq_x_r(uint8_t x, Reg r);   ///< movq xmm, r64
+  void movd_r_x(Reg r, uint8_t x);   ///< movd r32, xmm
+  void movq_r_x(Reg r, uint8_t x);   ///< movq r64, xmm
+  /// prefix F3 (ss) / F2 (sd), then 0F <op> /r. op: 58 add, 5C sub,
+  /// 59 mul, 5E div, 51 sqrt, 5A cvt(ss2sd/sd2ss).
+  void sse(uint8_t prefix, uint8_t op, uint8_t xdst, uint8_t xsrc);
+  /// cmpss/cmpsd xdst, xsrc, pred (result mask in xdst).
+  void cmps(bool dbl, uint8_t xdst, uint8_t xsrc, uint8_t pred);
+  /// cvtsi2ss/cvtsi2sd xdst, r32/r64.
+  void cvtsi2(bool dbl, bool w, uint8_t xdst, Reg src);
+
+ private:
+  void rex(bool w, uint8_t reg, uint8_t rm, uint8_t index = 0);
+  size_t modrm_disp32(uint8_t reg, Reg base, int32_t disp);
+  void modrm_sib_idx(uint8_t reg, Reg base, Reg idx);
+};
+
+}  // namespace wb::wasm::jit

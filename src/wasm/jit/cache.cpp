@@ -1,0 +1,89 @@
+#include "wasm/jit/cache.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define WB_JIT_HAVE_MMAP 1
+#else
+#define WB_JIT_HAVE_MMAP 0
+#endif
+
+namespace wb::wasm::jit {
+
+namespace {
+constexpr size_t kChunkSize = 64 * 1024;
+
+size_t round_up(size_t n, size_t align) { return (n + align - 1) & ~(align - 1); }
+}  // namespace
+
+CodeCache::~CodeCache() {
+#if WB_JIT_HAVE_MMAP
+  for (Chunk& c : chunks_) {
+    if (c.base) ::munmap(c.base, c.size);
+  }
+#endif
+}
+
+const uint8_t* CodeCache::install(const uint8_t* bytes, size_t n) {
+#if !WB_JIT_HAVE_MMAP
+  (void)bytes;
+  (void)n;
+  return nullptr;
+#else
+  const size_t need = round_up(n, 16);
+  Chunk* chunk = nullptr;
+  for (Chunk& c : chunks_) {
+    if (c.size - c.used >= need) {
+      chunk = &c;
+      break;
+    }
+  }
+  if (!chunk) {
+    const size_t size = round_up(need > kChunkSize ? need : kChunkSize,
+                                 static_cast<size_t>(::sysconf(_SC_PAGESIZE)));
+    void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) return nullptr;
+    chunks_.push_back({static_cast<uint8_t*>(base), size, 0});
+    chunk = &chunks_.back();
+    // Fresh chunks are RW; established chunks are RX and flipped below.
+  } else {
+    if (::mprotect(chunk->base, chunk->size, PROT_READ | PROT_WRITE) != 0) {
+      return nullptr;
+    }
+  }
+  uint8_t* dst = chunk->base + chunk->used;
+  std::memcpy(dst, bytes, n);
+  chunk->used += need;
+  used_ += need;
+  if (::mprotect(chunk->base, chunk->size, PROT_READ | PROT_EXEC) != 0) {
+    return nullptr;  // W^X-restricted host: caller falls back to quickened
+  }
+  return dst;
+#endif
+}
+
+bool probe_executable_memory() {
+#if !WB_JIT_HAVE_MMAP || !defined(__x86_64__)
+  return false;
+#else
+  static const bool ok = [] {
+    const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    void* mem = ::mmap(nullptr, page, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) return false;
+    static_cast<uint8_t*>(mem)[0] = 0xC3;  // ret
+    bool good = ::mprotect(mem, page, PROT_READ | PROT_EXEC) == 0;
+    if (good) {
+      reinterpret_cast<void (*)()>(mem)();  // execute the ret
+    }
+    ::munmap(mem, page);
+    return good;
+  }();
+  return ok;
+#endif
+}
+
+}  // namespace wb::wasm::jit

@@ -1,0 +1,41 @@
+// A small mmap'd W^X code cache: chunked bump allocation, with whole-chunk
+// RW<->RX protection flips so writable and executable are never held
+// simultaneously. One cache per Instance; chunks are freed with the cache.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wb::wasm::jit {
+
+class CodeCache {
+ public:
+  CodeCache() = default;
+  ~CodeCache();
+  CodeCache(const CodeCache&) = delete;
+  CodeCache& operator=(const CodeCache&) = delete;
+
+  /// Copies `n` bytes of finished machine code into executable memory and
+  /// returns the (RX) entry pointer, or nullptr on failure. The chunk is
+  /// flipped to RW for the copy and back to RX before returning.
+  const uint8_t* install(const uint8_t* bytes, size_t n);
+
+  [[nodiscard]] size_t bytes_used() const { return used_; }
+
+ private:
+  struct Chunk {
+    uint8_t* base = nullptr;
+    size_t size = 0;
+    size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+  size_t used_ = 0;
+};
+
+/// One-shot probe: can this process mmap anonymous memory and mprotect it
+/// executable? (False on W^X-restricted hosts, e.g. hardened kernels or
+/// no-exec sandboxes; the JIT then never engages.)
+bool probe_executable_memory();
+
+}  // namespace wb::wasm::jit

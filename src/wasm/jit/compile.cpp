@@ -1,0 +1,353 @@
+// Stitches one quickened function body into native code: splits the QCode
+// stream into basic blocks, prices each block against the optimizing cost
+// table (the charge side table), then memcpy's per-QInstr stencils and
+// patches their holes. Native code carries only the ops counter, a fuel
+// check + execution counter per block, and per-site trap stubs that divert
+// to the C++ helpers in runtime.cpp.
+#include <cstring>
+
+#include "wasm/jit/asm_x64.h"
+#include "wasm/jit/cache.h"
+#include "wasm/jit/jit.h"
+#include "wasm/jit/stencil.h"
+#include "wasm/types.h"
+
+namespace wb::wasm::jit {
+
+extern "C" {
+void wb_jit_fuel_trap(JitContext* ctx, uint32_t block, uint64_t* top);
+void wb_jit_partial_trap(JitContext* ctx, uint32_t block, uint32_t qi,
+                         uint32_t trap);
+}
+
+namespace {
+
+// JitContext offsets (mirrored in stencil.cpp, asserted in runtime.cpp).
+constexpr int32_t kCtxOps = 0;
+constexpr int32_t kCtxFuel = 8;
+constexpr int32_t kCtxMemBase = 24;
+constexpr int32_t kCtxStackBase = 32;
+constexpr int32_t kCtxLocals = 40;
+constexpr int32_t kCtxBlockExec = 56;
+constexpr int32_t kCtxResult = 64;
+
+bool is_control(QOp op) {
+  switch (op) {
+    case QOp::Unreachable:
+    case QOp::If:
+    case QOp::Jump:
+    case QOp::Br:
+    case QOp::BrIf:
+    case QOp::Return:
+    case QOp::FuncReturn:
+    case QOp::FCmpBrIf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The stencil for a control QInstr (branch shape depends on flags), or for
+/// a straight-line op from the per-QOp table. Returns nullptr if the op has
+/// no JIT lowering.
+const Stencil* stencil_for(const StencilTable& t, const QInstr& q) {
+  const QOp op = q.qop();
+  switch (op) {
+    case QOp::Br:
+      return &t.br[(q.flags & 2) ? 2 : (q.flags & 1)];
+    case QOp::BrIf:
+      return &t.br_if[(q.flags & 2) ? 2 : (q.flags & 1)];
+    case QOp::Return:
+      return q.a <= 1 ? &t.ret[q.a] : nullptr;
+    case QOp::FCmpBrIf: {
+      const int cond = cmp_br_cond_index(q.c);
+      if (cond < 0) return nullptr;
+      return &t.cmp_br[cond][(q.flags & 2) ? 2 : (q.flags & 1)];
+    }
+    case QOp::FuncReturn:
+      return nullptr;  // emitted inline as the epilogue
+    default: {
+      const Stencil& s = t.ops[q.op];
+      return s.valid ? &s : nullptr;
+    }
+  }
+}
+
+/// +1-delta ops for the stack-scratch upper bound; everything else only
+/// holds or shrinks the stack.
+bool pushes_net(const QInstr& q) {
+  switch (q.qop()) {
+    case QOp::Const:
+    case QOp::LocalGet:
+    case QOp::GlobalGet:
+    case QOp::MemorySize:
+    case QOp::FGetLoadI32:
+    case QOp::FGetLoadI64:
+    case QOp::FGetLoadF32:
+    case QOp::FGetLoadF64:
+    case QOp::FGetLoadI32U8:
+      return true;
+    default: {
+      const size_t i = q.op;
+      return (i >= static_cast<size_t>(QOp::FGetGet_I32Add) &&
+              i <= static_cast<size_t>(QOp::FGetConst_F64Mul));
+    }
+  }
+}
+
+struct PendingRel32 {
+  size_t at = 0;        ///< offset of the rel32 in the code buffer
+  uint32_t target_qpc;  ///< leader qpc to resolve (branch rel32s)
+};
+
+struct TrapSite {
+  size_t at = 0;  ///< rel32 offset
+  uint32_t block = 0;
+  uint32_t qi = 0;  ///< QInstr index within the block
+  uint32_t trap = 0;
+};
+
+}  // namespace
+
+CompiledFunction::CompiledFunction(const uint8_t* entry, size_t code_size,
+                                   std::vector<BlockCharge> blocks,
+                                   const QInstr* qcode, uint32_t num_locals,
+                                   uint32_t result_count, size_t max_stack)
+    : entry_(entry),
+      code_size_(code_size),
+      blocks_(std::move(blocks)),
+      qcode_(qcode),
+      num_locals_(num_locals),
+      result_count_(result_count),
+      stack_scratch_(max_stack, 0),
+      locals_scratch_(num_locals, 0),
+      block_exec_(blocks_.size(), 0) {}
+
+std::unique_ptr<CompiledFunction> compile(
+    const QFunc& qf, uint32_t num_locals, uint32_t result_count,
+    const std::array<uint64_t, kOpClassCount>& opt_costs, CodeCache& cache) {
+  if (!available()) return nullptr;
+  if (!qf.br_tables.empty() || result_count > 1) return nullptr;
+
+  const StencilTable& table = stencils();
+  const size_t n = qf.code.size();
+  if (n == 0) return nullptr;
+
+  // --- Eligibility + stencil lookup ---------------------------------------
+  std::vector<const Stencil*> chosen(n, nullptr);
+  size_t max_stack = result_count + 8;
+  for (size_t i = 0; i < n; ++i) {
+    const QInstr& q = qf.code[i];
+    if (q.qop() == QOp::FuncReturn) continue;  // inline epilogue
+    const Stencil* s = stencil_for(table, q);
+    if (!s) return nullptr;
+    // lea sign-extends its disp32: huge memory offsets can't be encoded.
+    for (const Hole& h : s->holes) {
+      if (h.kind == HoleKind::ImmB && q.b >= 0x80000000u) return nullptr;
+    }
+    chosen[i] = s;
+    if (pushes_net(q)) ++max_stack;
+  }
+
+  // --- Basic blocks --------------------------------------------------------
+  std::vector<uint8_t> leader(n, 0);
+  leader[0] = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const QInstr& q = qf.code[i];
+    if (!is_control(q.qop())) continue;
+    if (i + 1 < n) leader[i + 1] = 1;
+    switch (q.qop()) {
+      case QOp::If:
+      case QOp::Jump:
+      case QOp::Br:
+      case QOp::BrIf:
+      case QOp::FCmpBrIf:
+        if (q.a >= n) return nullptr;
+        leader[q.a] = 1;
+        break;
+      case QOp::Return:
+        if (q.b >= n) return nullptr;
+        leader[q.b] = 1;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<BlockCharge> blocks;
+  std::vector<uint32_t> block_of(n, 0);
+  for (size_t i = 0; i < n;) {
+    BlockCharge blk;
+    blk.first = static_cast<uint32_t>(i);
+    size_t j = i;
+    for (;;) {
+      const QInstr& q = qf.code[j];
+      block_of[j] = static_cast<uint32_t>(blocks.size());
+      blk.nops += q.nops;
+      for (uint8_t k = 0; k < q.nops; ++k) {
+        blk.cost_ps += opt_costs[q.cls[k]];
+        ++blk.cls_counts[q.cls[k]];
+        if (q.cat[k] != kQCatPad) ++blk.cat_counts[q.cat[k]];
+      }
+      ++j;
+      if (is_control(q.qop()) || j >= n || leader[j]) break;
+    }
+    blk.count = static_cast<uint32_t>(j - i);
+    blocks.push_back(std::move(blk));
+    i = j;
+  }
+
+  // --- Emit ----------------------------------------------------------------
+  Asm a;
+  std::vector<PendingRel32> branches;
+  std::vector<size_t> trap_exit_uses;      // rel32s -> shared trap epilogue
+  std::vector<size_t> fuel_jumps;          // rel32 per headered block
+  std::vector<uint32_t> fuel_blocks;       // block id per fuel_jumps entry
+  std::vector<TrapSite> trap_sites;
+
+  // Prologue: spill callee-saved, load the register context.
+  a.push(RBX);
+  a.push(RBP);
+  a.push(R12);
+  a.push(R13);
+  a.push(R14);
+  a.push(R15);
+  a.alu_ri8(true, ALU_SUB, RSP, 8);  // 16-byte alignment at helper calls
+  a.mov_rr(true, R15, RDI);
+  a.mov_r_m(true, RBP, R15, kCtxOps);
+  a.mov_r_m(true, R14, R15, kCtxMemBase);
+  a.mov_r_m(true, RBX, R15, kCtxStackBase);
+  a.mov_r_m(true, R13, R15, kCtxLocals);
+  a.mov_r_m(true, R12, R15, kCtxBlockExec);
+
+  auto emit_exit_pops = [&] {
+    a.alu_ri8(true, ALU_ADD, RSP, 8);
+    a.pop(R15);
+    a.pop(R14);
+    a.pop(R13);
+    a.pop(R12);
+    a.pop(RBP);
+    a.pop(RBX);
+    a.ret();
+  };
+
+  std::vector<size_t> block_off(blocks.size(), 0);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockCharge& blk = blocks[b];
+    block_off[b] = a.size();
+    if (blk.nops > 0) {
+      // Fuel check for the whole block, then commit ops and count the run.
+      a.lea(RAX, RBP, static_cast<int32_t>(blk.nops));
+      a.mov_r_m(true, RSI, R15, kCtxFuel);
+      a.alu_rr(true, ALU_CMP, RAX, RSI);
+      fuel_jumps.push_back(a.jcc32(CC_A));
+      fuel_blocks.push_back(static_cast<uint32_t>(b));
+      a.mov_rr(true, RBP, RAX);
+      a.inc_m64(R12, static_cast<int32_t>(8 * b));
+    }
+    for (uint32_t qi = 0; qi < blk.count; ++qi) {
+      const size_t qpc = blk.first + qi;
+      const QInstr& q = qf.code[qpc];
+      if (q.qop() == QOp::FuncReturn) {
+        // Inline epilogue: spill the result and the ops counter.
+        if (result_count > 0) {
+          a.mov_r_m(true, RAX, RBX, -8);
+          a.mov_m_r(true, R15, kCtxResult, RAX);
+        }
+        a.mov_m_r(true, R15, kCtxOps, RBP);
+        emit_exit_pops();
+        continue;
+      }
+      const Stencil* s = chosen[qpc];
+      const size_t base = a.size();
+      a.code.insert(a.code.end(), s->bytes.begin(), s->bytes.end());
+      for (const Hole& h : s->holes) {
+        const size_t at = base + h.offset;
+        switch (h.kind) {
+          case HoleKind::BranchA:
+            branches.push_back({at, q.a});
+            break;
+          case HoleKind::BranchB:
+            branches.push_back({at, q.b});
+            break;
+          case HoleKind::TrapExit:
+            trap_exit_uses.push_back(at);
+            break;
+          case HoleKind::TrapOob:
+            trap_sites.push_back({at, static_cast<uint32_t>(b), qi,
+                                  static_cast<uint32_t>(Trap::MemoryOutOfBounds)});
+            break;
+          case HoleKind::TrapDivZero:
+            trap_sites.push_back({at, static_cast<uint32_t>(b), qi,
+                                  static_cast<uint32_t>(Trap::IntegerDivideByZero)});
+            break;
+          case HoleKind::TrapOverflow:
+            trap_sites.push_back({at, static_cast<uint32_t>(b), qi,
+                                  static_cast<uint32_t>(Trap::IntegerOverflow)});
+            break;
+          default:
+            patch_immediate(a.code.data() + base, h, q);
+            break;
+        }
+      }
+    }
+  }
+
+  // Shared trap epilogue: ctx->ops was already fixed up by the stencil or
+  // helper, so just restore and return.
+  const size_t trap_exit = a.size();
+  emit_exit_pops();
+
+  // Fuel stubs: one per headered block. The helper re-runs the block
+  // QInstr-by-QInstr with exact per-QInstr fuel checks and side effects.
+  std::vector<size_t> fuel_stub_off(fuel_jumps.size(), 0);
+  for (size_t i = 0; i < fuel_jumps.size(); ++i) {
+    fuel_stub_off[i] = a.size();
+    a.mov_m_r(true, R15, kCtxOps, RBP);
+    a.mov_rr(true, RDI, R15);
+    a.mov_ri32(RSI, fuel_blocks[i]);
+    a.mov_rr(true, RDX, RBX);
+    a.mov_ri64(RAX, reinterpret_cast<uint64_t>(&wb_jit_fuel_trap));
+    a.call_rax();
+    trap_exit_uses.push_back(a.jmp32());
+  }
+
+  // Per-site trap stubs (div-by-zero / overflow / OOB): undo the block's
+  // bulk charge down to the trapping QInstr, then exit.
+  std::vector<size_t> trap_stub_off(trap_sites.size(), 0);
+  for (size_t i = 0; i < trap_sites.size(); ++i) {
+    const TrapSite& site = trap_sites[i];
+    trap_stub_off[i] = a.size();
+    a.mov_m_r(true, R15, kCtxOps, RBP);
+    a.mov_rr(true, RDI, R15);
+    a.mov_ri32(RSI, site.block);
+    a.mov_ri32(RDX, site.qi);
+    a.mov_ri32(RCX, site.trap);
+    a.mov_ri64(RAX, reinterpret_cast<uint64_t>(&wb_jit_partial_trap));
+    a.call_rax();
+    trap_exit_uses.push_back(a.jmp32());
+  }
+
+  // --- Resolve rel32s ------------------------------------------------------
+  auto link = [&](size_t at, size_t target) {
+    a.patch32(at, static_cast<uint32_t>(target - (at + 4)));
+  };
+  for (const PendingRel32& p : branches) {
+    link(p.at, block_off[block_of[p.target_qpc]]);
+  }
+  for (size_t at : trap_exit_uses) link(at, trap_exit);
+  for (size_t i = 0; i < fuel_jumps.size(); ++i) {
+    link(fuel_jumps[i], fuel_stub_off[i]);
+  }
+  for (size_t i = 0; i < trap_sites.size(); ++i) {
+    link(trap_sites[i].at, trap_stub_off[i]);
+  }
+
+  const uint8_t* entry = cache.install(a.code.data(), a.code.size());
+  if (!entry) return nullptr;
+  return std::make_unique<CompiledFunction>(
+      entry, a.code.size(), std::move(blocks), qf.code.data(), num_locals,
+      result_count, max_stack);
+}
+
+}  // namespace wb::wasm::jit

@@ -1,0 +1,128 @@
+// wb::jit — a copy-and-patch template JIT: the third Wasm execution tier.
+//
+// Hot (Optimizing-tier) leaf functions are lowered from the flat QCode
+// stream (quicken.h) to native x86-64 by stitching prebuilt per-
+// superinstruction byte stencils (stencil.h) into an mmap'd W^X code cache
+// (cache.h). Virtual observables stay bit-identical to the classic and
+// quickened loops via a per-stencil charge side table: QInstrs are grouped
+// into basic blocks, native code maintains only an ops counter and per-
+// block execution counters plus a fuel check per block, and the host
+// derives cost_ps / per-(tier,OpClass) attribution counts / arith_counts
+// as sum(exec[b] * block_table[b]) after the native run. Traps that stop a
+// block mid-way (fuel, div, OOB) divert to C++ helpers (runtime.cpp) that
+// re-charge the exact constituent prefix the quickened loop would have
+// charged. Hosts without x86-64 or W^X executable memory simply never
+// compile and fall back to quickened dispatch (same observables by
+// construction).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "wasm/quicken.h"
+
+namespace wb::wasm::jit {
+
+class CodeCache;
+class CompiledFunction;
+
+/// Per-basic-block charge side table entry: what executing the block once
+/// contributes to every virtual observable, priced from the optimizing
+/// cost table at compile time.
+struct BlockCharge {
+  uint32_t first = 0;  ///< first qpc of the block
+  uint32_t count = 0;  ///< number of QInstrs
+  uint64_t nops = 0;   ///< total original constituent ops
+  uint64_t cost_ps = 0;
+  std::array<uint64_t, kOpClassCount> cls_counts{};
+  std::array<uint64_t, kArithCatCount> cat_counts{};
+};
+
+/// The register context a compiled function runs against. Field offsets up
+/// to `trap` are baked into the stencils (static_asserted in runtime.cpp);
+/// everything after is host-only state for the slow-path helpers.
+struct JitContext {
+  uint64_t ops = 0;                // [r15+0]  ops executed so far (rbp)
+  uint64_t fuel = 0;               // [r15+8]
+  uint64_t mem_size = 0;           // [r15+16] linear memory bytes
+  uint8_t* mem_base = nullptr;     // [r15+24] (r14)
+  uint64_t* stack_base = nullptr;  // [r15+32] value-stack scratch base
+  uint64_t* locals = nullptr;      // [r15+40] (r13)
+  uint64_t* globals = nullptr;     // [r15+48]
+  uint64_t* block_exec = nullptr;  // [r15+56] (r12) per-block counters
+  uint64_t result_bits = 0;        // [r15+64]
+  uint32_t trap = 0;               // [r15+72] wasm::Trap
+  uint32_t pad_ = 0;
+
+  // Host-only: slow-path charge accumulators (constituent-prefix charges
+  // at fuel/trap boundaries, merged with the block tables by the caller).
+  const CompiledFunction* fn = nullptr;
+  const uint64_t* opt_costs = nullptr;  ///< optimizing-tier cost row
+  uint64_t direct_cost_ps = 0;
+  std::array<uint64_t, kOpClassCount> direct_cls{};
+  std::array<uint64_t, kArithCatCount> direct_cat{};
+};
+
+/// A function compiled into the code cache: the native entry point, the
+/// charge side table, and the per-activation scratch buffers (leaf
+/// functions cannot re-enter, so per-function scratch is safe).
+class CompiledFunction {
+ public:
+  using Entry = void (*)(JitContext*);
+
+  CompiledFunction(const uint8_t* entry, size_t code_size,
+                   std::vector<BlockCharge> blocks, const QInstr* qcode,
+                   uint32_t num_locals, uint32_t result_count,
+                   size_t max_stack);
+
+  void run(JitContext& ctx) const {
+    reinterpret_cast<Entry>(const_cast<uint8_t*>(entry_))(&ctx);
+  }
+
+  [[nodiscard]] const std::vector<BlockCharge>& blocks() const { return blocks_; }
+  [[nodiscard]] const QInstr* qcode() const { return qcode_; }
+  [[nodiscard]] uint32_t num_locals() const { return num_locals_; }
+  [[nodiscard]] uint32_t result_count() const { return result_count_; }
+  [[nodiscard]] std::span<const uint8_t> code() const { return {entry_, code_size_}; }
+
+  [[nodiscard]] uint64_t* stack_scratch() { return stack_scratch_.data(); }
+  [[nodiscard]] uint64_t* locals_scratch() { return locals_scratch_.data(); }
+  [[nodiscard]] uint64_t* block_exec() { return block_exec_.data(); }
+  [[nodiscard]] std::span<uint64_t> block_exec_span() {
+    return {block_exec_.data(), block_exec_.size()};
+  }
+
+ private:
+  const uint8_t* entry_;
+  size_t code_size_;
+  std::vector<BlockCharge> blocks_;
+  const QInstr* qcode_;
+  uint32_t num_locals_;
+  uint32_t result_count_;
+  std::vector<uint64_t> stack_scratch_;
+  std::vector<uint64_t> locals_scratch_;
+  std::vector<uint64_t> block_exec_;
+};
+
+/// Compiles one quickened function body, or returns nullptr when the body
+/// is not JIT-eligible (contains calls, br_table, memory.grow, or another
+/// unsupported op) — the caller falls back to quickened dispatch. `qf`
+/// must outlive the returned function (its QInstrs back the charge side
+/// table and the trap helpers).
+std::unique_ptr<CompiledFunction> compile(
+    const QFunc& qf, uint32_t num_locals, uint32_t result_count,
+    const std::array<uint64_t, kOpClassCount>& opt_costs, CodeCache& cache);
+
+/// True when this host can run JIT code (x86-64 and mmap'd memory can be
+/// flipped to executable). Probed once per process.
+bool available();
+
+/// Process-wide default for new Instances (tools' --no-jit flag). The
+/// WB_NO_JIT environment variable forces it off regardless.
+void set_jit_default(bool enabled);
+bool jit_default();
+
+}  // namespace wb::wasm::jit

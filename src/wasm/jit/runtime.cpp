@@ -1,0 +1,537 @@
+// Slow-path helpers the generated code calls at block boundaries, plus the
+// process-wide JIT availability/default switches. The fuel helper is a
+// mini-interpreter over the straight-line eligible QOps: when a block's
+// bulk fuel check fails, it re-runs the block QInstr-by-QInstr with the
+// quickened loop's exact per-QInstr checks, charges, and side effects, so
+// the trap point and every observable match quickened dispatch bit for bit.
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "wasm/jit/cache.h"
+#include "wasm/jit/jit.h"
+#include "wasm/types.h"
+
+namespace wb::wasm::jit {
+
+// The stencils bake these offsets in (stencil.cpp / compile.cpp).
+static_assert(offsetof(JitContext, ops) == 0);
+static_assert(offsetof(JitContext, fuel) == 8);
+static_assert(offsetof(JitContext, mem_size) == 16);
+static_assert(offsetof(JitContext, mem_base) == 24);
+static_assert(offsetof(JitContext, stack_base) == 32);
+static_assert(offsetof(JitContext, locals) == 40);
+static_assert(offsetof(JitContext, globals) == 48);
+static_assert(offsetof(JitContext, block_exec) == 56);
+static_assert(offsetof(JitContext, result_bits) == 64);
+static_assert(offsetof(JitContext, trap) == 72);
+
+namespace {
+
+std::atomic<bool> g_jit_default{true};
+
+/// One constituent's worth of direct (non-block-table) charge, priced from
+/// the optimizing cost row like the quickened loop's fuel_out prefix.
+void charge(JitContext* ctx, uint8_t cls, uint8_t cat) {
+  ctx->direct_cost_ps += ctx->opt_costs[cls];
+  ++ctx->direct_cls[cls];
+  if (cat != kQCatPad) ++ctx->direct_cat[cat];
+}
+
+bool mem_load(const JitContext* ctx, uint32_t addr, uint32_t offset,
+              void* out, size_t size) {
+  const uint64_t ea = static_cast<uint64_t>(addr) + offset;
+  if (ea + size > ctx->mem_size) return false;
+  std::memcpy(out, ctx->mem_base + ea, size);
+  return true;
+}
+
+bool mem_store(JitContext* ctx, uint32_t addr, uint32_t offset,
+               const void* val, size_t size) {
+  const uint64_t ea = static_cast<uint64_t>(addr) + offset;
+  if (ea + size > ctx->mem_size) return false;
+  std::memcpy(ctx->mem_base + ea, val, size);
+  return true;
+}
+
+/// Executes one straight-line QInstr with full side effects (stack in the
+/// caller's scratch via `top`, locals/globals/memory via ctx). Control ops
+/// are provably never reached here (the failing QInstr precedes or is the
+/// block-ending control op, and a control op that passes its own fuel
+/// check contradicts the failed block check). Returns false when the
+/// QInstr trapped (ctx->trap set).
+bool exec_qinstr(JitContext* ctx, const QInstr& q, uint64_t*& top) {
+  uint64_t* locals = ctx->locals;
+  auto push = [&](Value v) { *top++ = v.bits; };
+  auto pop = [&]() -> Value { return Value{*--top}; };
+  auto peek = [&]() -> Value { return Value{top[-1]}; };
+  auto replace = [&](Value v) { top[-1] = v.bits; };
+
+  switch (q.qop()) {
+    case QOp::ChargeOnly:
+      return true;
+    case QOp::Const:
+      push(q.val);
+      return true;
+    case QOp::Drop:
+      --top;
+      return true;
+    case QOp::Select: {
+      const int32_t cond = pop().as_i32();
+      const Value b = pop();
+      const Value a = pop();
+      push(cond != 0 ? a : b);
+      return true;
+    }
+    case QOp::LocalGet:
+      push(Value{locals[q.a]});
+      return true;
+    case QOp::LocalSet:
+      locals[q.a] = pop().bits;
+      return true;
+    case QOp::LocalTee:
+      locals[q.a] = peek().bits;
+      return true;
+    case QOp::GlobalGet:
+      push(Value{ctx->globals[q.a]});
+      return true;
+    case QOp::GlobalSet:
+      ctx->globals[q.a] = pop().bits;
+      return true;
+
+#define WB_JLOAD(name, CTYPE, PUSH)                      \
+  case QOp::name: {                                      \
+    const uint32_t addr = pop().as_u32();                \
+    CTYPE v;                                             \
+    if (!mem_load(ctx, addr, q.b, &v, sizeof v)) {       \
+      ctx->trap = static_cast<uint32_t>(Trap::MemoryOutOfBounds); \
+      return false;                                      \
+    }                                                    \
+    push(PUSH);                                          \
+    return true;                                         \
+  }
+      WB_JLOAD(I32Load, int32_t, Value::from_i32(v))
+      WB_JLOAD(I64Load, int64_t, Value::from_i64(v))
+      WB_JLOAD(F32Load, float, Value::from_f32(v))
+      WB_JLOAD(F64Load, double, Value::from_f64(v))
+      WB_JLOAD(I32Load8S, int8_t, Value::from_i32(v))
+      WB_JLOAD(I32Load8U, uint8_t, Value::from_i32(static_cast<int32_t>(v)))
+      WB_JLOAD(I32Load16S, int16_t, Value::from_i32(v))
+      WB_JLOAD(I32Load16U, uint16_t, Value::from_i32(static_cast<int32_t>(v)))
+#undef WB_JLOAD
+
+#define WB_JSTORE(name, CTYPE, GET)                      \
+  case QOp::name: {                                      \
+    const Value val = pop();                             \
+    const uint32_t addr = pop().as_u32();                \
+    const CTYPE v = GET;                                 \
+    if (!mem_store(ctx, addr, q.b, &v, sizeof v)) {      \
+      ctx->trap = static_cast<uint32_t>(Trap::MemoryOutOfBounds); \
+      return false;                                      \
+    }                                                    \
+    return true;                                         \
+  }
+      WB_JSTORE(I32Store, int32_t, val.as_i32())
+      WB_JSTORE(I64Store, int64_t, val.as_i64())
+      WB_JSTORE(F32Store, float, val.as_f32())
+      WB_JSTORE(F64Store, double, val.as_f64())
+      WB_JSTORE(I32Store8, uint8_t, static_cast<uint8_t>(val.as_u32()))
+      WB_JSTORE(I32Store16, uint16_t, static_cast<uint16_t>(val.as_u32()))
+#undef WB_JSTORE
+
+    case QOp::MemorySize:
+      push(Value::from_i32(static_cast<int32_t>(ctx->mem_size / 65536)));
+      return true;
+
+    case QOp::I32Eqz:
+      replace(Value::from_i32(peek().as_i32() == 0));
+      return true;
+    case QOp::I64Eqz:
+      replace(Value::from_i32(peek().as_i64() == 0));
+      return true;
+
+#define WB_JCMP(name, TA, SUFFIX, OPR)                             \
+  case QOp::name: {                                                \
+    const TA b = pop().as_##SUFFIX();                              \
+    const TA a = peek().as_##SUFFIX();                             \
+    replace(Value::from_i32((a OPR b) ? 1 : 0));                   \
+    return true;                                                   \
+  }
+      WB_JCMP(I32Eq, int32_t, i32, ==)
+      WB_JCMP(I32Ne, int32_t, i32, !=)
+      WB_JCMP(I32LtS, int32_t, i32, <)
+      WB_JCMP(I32LtU, uint32_t, u32, <)
+      WB_JCMP(I32GtS, int32_t, i32, >)
+      WB_JCMP(I32GtU, uint32_t, u32, >)
+      WB_JCMP(I32LeS, int32_t, i32, <=)
+      WB_JCMP(I32LeU, uint32_t, u32, <=)
+      WB_JCMP(I32GeS, int32_t, i32, >=)
+      WB_JCMP(I32GeU, uint32_t, u32, >=)
+      WB_JCMP(I64Eq, int64_t, i64, ==)
+      WB_JCMP(I64Ne, int64_t, i64, !=)
+      WB_JCMP(I64LtS, int64_t, i64, <)
+      WB_JCMP(I64LtU, uint64_t, u64, <)
+      WB_JCMP(I64GtS, int64_t, i64, >)
+      WB_JCMP(I64GtU, uint64_t, u64, >)
+      WB_JCMP(I64LeS, int64_t, i64, <=)
+      WB_JCMP(I64LeU, uint64_t, u64, <=)
+      WB_JCMP(I64GeS, int64_t, i64, >=)
+      WB_JCMP(I64GeU, uint64_t, u64, >=)
+      WB_JCMP(F32Eq, float, f32, ==)
+      WB_JCMP(F32Ne, float, f32, !=)
+      WB_JCMP(F32Lt, float, f32, <)
+      WB_JCMP(F32Gt, float, f32, >)
+      WB_JCMP(F32Le, float, f32, <=)
+      WB_JCMP(F32Ge, float, f32, >=)
+      WB_JCMP(F64Eq, double, f64, ==)
+      WB_JCMP(F64Ne, double, f64, !=)
+      WB_JCMP(F64Lt, double, f64, <)
+      WB_JCMP(F64Gt, double, f64, >)
+      WB_JCMP(F64Le, double, f64, <=)
+      WB_JCMP(F64Ge, double, f64, >=)
+#undef WB_JCMP
+
+#define WB_JBIN32(name, EXPR)                                        \
+  case QOp::name: {                                                  \
+    const uint32_t ub = pop().as_u32();                              \
+    const uint32_t ua = peek().as_u32();                             \
+    (void)ua; (void)ub;                                              \
+    replace(Value::from_i32(static_cast<int32_t>(EXPR)));            \
+    return true;                                                     \
+  }
+      WB_JBIN32(I32Add, ua + ub)
+      WB_JBIN32(I32Sub, ua - ub)
+      WB_JBIN32(I32Mul, ua * ub)
+      WB_JBIN32(I32And, ua & ub)
+      WB_JBIN32(I32Or, ua | ub)
+      WB_JBIN32(I32Xor, ua ^ ub)
+      WB_JBIN32(I32Shl, ua << (ub & 31))
+      WB_JBIN32(I32ShrU, ua >> (ub & 31))
+      WB_JBIN32(I32Rotl, (ua << (ub & 31)) | (ua >> ((32 - ub) & 31)))
+      WB_JBIN32(I32Rotr, (ua >> (ub & 31)) | (ua << ((32 - ub) & 31)))
+#undef WB_JBIN32
+    case QOp::I32ShrS: {
+      const uint32_t b = pop().as_u32();
+      const int32_t a = peek().as_i32();
+      replace(Value::from_i32(a >> (b & 31)));
+      return true;
+    }
+    case QOp::I32DivS: {
+      const int32_t b = pop().as_i32();
+      const int32_t a = peek().as_i32();
+      if (b == 0) {
+        ctx->trap = static_cast<uint32_t>(Trap::IntegerDivideByZero);
+        return false;
+      }
+      if (a == INT32_MIN && b == -1) {
+        ctx->trap = static_cast<uint32_t>(Trap::IntegerOverflow);
+        return false;
+      }
+      replace(Value::from_i32(a / b));
+      return true;
+    }
+    case QOp::I32DivU: {
+      const uint32_t b = pop().as_u32();
+      const uint32_t a = peek().as_u32();
+      if (b == 0) {
+        ctx->trap = static_cast<uint32_t>(Trap::IntegerDivideByZero);
+        return false;
+      }
+      replace(Value::from_i32(static_cast<int32_t>(a / b)));
+      return true;
+    }
+    case QOp::I32RemS: {
+      const int32_t b = pop().as_i32();
+      const int32_t a = peek().as_i32();
+      if (b == 0) {
+        ctx->trap = static_cast<uint32_t>(Trap::IntegerDivideByZero);
+        return false;
+      }
+      replace(Value::from_i32(b == -1 ? 0 : a % b));
+      return true;
+    }
+    case QOp::I32RemU: {
+      const uint32_t b = pop().as_u32();
+      const uint32_t a = peek().as_u32();
+      if (b == 0) {
+        ctx->trap = static_cast<uint32_t>(Trap::IntegerDivideByZero);
+        return false;
+      }
+      replace(Value::from_i32(static_cast<int32_t>(a % b)));
+      return true;
+    }
+
+#define WB_JBIN64(name, EXPR)                                        \
+  case QOp::name: {                                                  \
+    const uint64_t ub = pop().as_u64();                              \
+    const uint64_t ua = peek().as_u64();                             \
+    (void)ua; (void)ub;                                              \
+    replace(Value::from_i64(static_cast<int64_t>(EXPR)));            \
+    return true;                                                     \
+  }
+      WB_JBIN64(I64Add, ua + ub)
+      WB_JBIN64(I64Sub, ua - ub)
+      WB_JBIN64(I64Mul, ua * ub)
+      WB_JBIN64(I64And, ua & ub)
+      WB_JBIN64(I64Or, ua | ub)
+      WB_JBIN64(I64Xor, ua ^ ub)
+      WB_JBIN64(I64Shl, ua << (ub & 63))
+      WB_JBIN64(I64ShrU, ua >> (ub & 63))
+      WB_JBIN64(I64Rotl, (ua << (ub & 63)) | (ua >> ((64 - ub) & 63)))
+      WB_JBIN64(I64Rotr, (ua >> (ub & 63)) | (ua << ((64 - ub) & 63)))
+#undef WB_JBIN64
+    case QOp::I64ShrS: {
+      const uint64_t b = pop().as_u64();
+      const int64_t a = peek().as_i64();
+      replace(Value::from_i64(a >> (b & 63)));
+      return true;
+    }
+    case QOp::I64DivS: {
+      const int64_t b = pop().as_i64();
+      const int64_t a = peek().as_i64();
+      if (b == 0) {
+        ctx->trap = static_cast<uint32_t>(Trap::IntegerDivideByZero);
+        return false;
+      }
+      if (a == INT64_MIN && b == -1) {
+        ctx->trap = static_cast<uint32_t>(Trap::IntegerOverflow);
+        return false;
+      }
+      replace(Value::from_i64(a / b));
+      return true;
+    }
+    case QOp::I64DivU: {
+      const uint64_t b = pop().as_u64();
+      const uint64_t a = peek().as_u64();
+      if (b == 0) {
+        ctx->trap = static_cast<uint32_t>(Trap::IntegerDivideByZero);
+        return false;
+      }
+      replace(Value::from_i64(static_cast<int64_t>(a / b)));
+      return true;
+    }
+    case QOp::I64RemS: {
+      const int64_t b = pop().as_i64();
+      const int64_t a = peek().as_i64();
+      if (b == 0) {
+        ctx->trap = static_cast<uint32_t>(Trap::IntegerDivideByZero);
+        return false;
+      }
+      replace(Value::from_i64(b == -1 ? 0 : a % b));
+      return true;
+    }
+    case QOp::I64RemU: {
+      const uint64_t b = pop().as_u64();
+      const uint64_t a = peek().as_u64();
+      if (b == 0) {
+        ctx->trap = static_cast<uint32_t>(Trap::IntegerDivideByZero);
+        return false;
+      }
+      replace(Value::from_i64(static_cast<int64_t>(a % b)));
+      return true;
+    }
+
+    case QOp::F32Abs:
+      replace(Value::from_f32(std::fabs(peek().as_f32())));
+      return true;
+    case QOp::F32Neg:
+      replace(Value::from_f32(-peek().as_f32()));
+      return true;
+    case QOp::F32Sqrt:
+      replace(Value::from_f32(std::sqrt(peek().as_f32())));
+      return true;
+    case QOp::F64Abs:
+      replace(Value::from_f64(std::fabs(peek().as_f64())));
+      return true;
+    case QOp::F64Neg:
+      replace(Value::from_f64(-peek().as_f64()));
+      return true;
+    case QOp::F64Sqrt:
+      replace(Value::from_f64(std::sqrt(peek().as_f64())));
+      return true;
+
+#define WB_JFBIN(name, CTYPE, SUFFIX, FROM, OPR)                     \
+  case QOp::name: {                                                  \
+    const CTYPE b = pop().as_##SUFFIX();                             \
+    const CTYPE a = peek().as_##SUFFIX();                            \
+    replace(Value::FROM(a OPR b));                                   \
+    return true;                                                     \
+  }
+      WB_JFBIN(F32Add, float, f32, from_f32, +)
+      WB_JFBIN(F32Sub, float, f32, from_f32, -)
+      WB_JFBIN(F32Mul, float, f32, from_f32, *)
+      WB_JFBIN(F32Div, float, f32, from_f32, /)
+      WB_JFBIN(F64Add, double, f64, from_f64, +)
+      WB_JFBIN(F64Sub, double, f64, from_f64, -)
+      WB_JFBIN(F64Mul, double, f64, from_f64, *)
+      WB_JFBIN(F64Div, double, f64, from_f64, /)
+#undef WB_JFBIN
+
+    case QOp::I32WrapI64:
+      replace(Value::from_i32(static_cast<int32_t>(peek().as_i64())));
+      return true;
+    case QOp::I64ExtendI32S:
+      replace(Value::from_i64(peek().as_i32()));
+      return true;
+    case QOp::I64ExtendI32U:
+      replace(Value::from_i64(static_cast<int64_t>(peek().as_u32())));
+      return true;
+    case QOp::F32ConvertI32S:
+      replace(Value::from_f32(static_cast<float>(peek().as_i32())));
+      return true;
+    case QOp::F32ConvertI32U:
+      replace(Value::from_f32(static_cast<float>(peek().as_u32())));
+      return true;
+    case QOp::F32ConvertI64S:
+      replace(Value::from_f32(static_cast<float>(peek().as_i64())));
+      return true;
+    case QOp::F64ConvertI32S:
+      replace(Value::from_f64(static_cast<double>(peek().as_i32())));
+      return true;
+    case QOp::F64ConvertI32U:
+      replace(Value::from_f64(static_cast<double>(peek().as_u32())));
+      return true;
+    case QOp::F64ConvertI64S:
+      replace(Value::from_f64(static_cast<double>(peek().as_i64())));
+      return true;
+    case QOp::F32DemoteF64:
+      replace(Value::from_f32(static_cast<float>(peek().as_f64())));
+      return true;
+    case QOp::F64PromoteF32:
+      replace(Value::from_f64(static_cast<double>(peek().as_f32())));
+      return true;
+
+    case QOp::FConstSet:
+      locals[q.a] = q.val.bits;
+      return true;
+
+#define WB_JGETLOAD(name, CTYPE, PUSH)                   \
+  case QOp::name: {                                      \
+    const uint32_t addr = Value{locals[q.a]}.as_u32();   \
+    CTYPE v;                                             \
+    if (!mem_load(ctx, addr, q.b, &v, sizeof v)) {       \
+      ctx->trap = static_cast<uint32_t>(Trap::MemoryOutOfBounds); \
+      return false;                                      \
+    }                                                    \
+    push(PUSH);                                          \
+    return true;                                         \
+  }
+      WB_JGETLOAD(FGetLoadI32, int32_t, Value::from_i32(v))
+      WB_JGETLOAD(FGetLoadI64, int64_t, Value::from_i64(v))
+      WB_JGETLOAD(FGetLoadF32, float, Value::from_f32(v))
+      WB_JGETLOAD(FGetLoadF64, double, Value::from_f64(v))
+      WB_JGETLOAD(FGetLoadI32U8, uint8_t, Value::from_i32(static_cast<int32_t>(v)))
+#undef WB_JGETLOAD
+
+#define WB_JGG(name, expr)                     \
+  case QOp::FGetGet_##name: {                  \
+    const Value va = Value{locals[q.a]};       \
+    const Value vb = Value{locals[q.b]};       \
+    push(expr);                                \
+    return true;                               \
+  }
+      WB_QFUSE_BINOPS(WB_JGG)
+#undef WB_JGG
+#define WB_JGC(name, expr)                     \
+  case QOp::FGetConst_##name: {                \
+    const Value va = Value{locals[q.a]};       \
+    const Value vb = q.val;                    \
+    push(expr);                                \
+    return true;                               \
+  }
+      WB_QFUSE_BINOPS(WB_JGC)
+#undef WB_JGC
+#define WB_JGGS(name, expr)                    \
+  case QOp::FGetGetSet_##name: {               \
+    const Value va = Value{locals[q.a]};       \
+    const Value vb = Value{locals[q.b]};       \
+    locals[q.c] = (expr).bits;                 \
+    return true;                               \
+  }
+      WB_QFUSE_BINOPS(WB_JGGS)
+#undef WB_JGGS
+#define WB_JGCS(name, expr)                    \
+  case QOp::FGetConstSet_##name: {             \
+    const Value va = Value{locals[q.a]};       \
+    const Value vb = q.val;                    \
+    locals[q.c] = (expr).bits;                 \
+    return true;                               \
+  }
+      WB_QFUSE_BINOPS(WB_JGCS)
+#undef WB_JGCS
+
+    default:
+      // Control or non-eligible op: cannot be reached by the fuel helper
+      // (see exec_qinstr's contract). Fail closed rather than misexecute.
+      ctx->trap = static_cast<uint32_t>(Trap::HostError);
+      return false;
+  }
+}
+
+}  // namespace
+
+extern "C" void wb_jit_fuel_trap(JitContext* ctx, uint32_t block,
+                                 uint64_t* top) {
+  const BlockCharge& blk = ctx->fn->blocks()[block];
+  const QInstr* qcode = ctx->fn->qcode();
+  for (uint32_t i = 0; i < blk.count; ++i) {
+    const QInstr& q = qcode[blk.first + i];
+    if (ctx->ops + q.nops > ctx->fuel) {
+      // The quickened loop's fuel_out prefix: charge constituents up to
+      // the fuel line, execute nothing.
+      for (uint32_t k = 0; k < q.nops && ctx->ops < ctx->fuel; ++k) {
+        ++ctx->ops;
+        charge(ctx, q.cls[k], q.cat[k]);
+      }
+      ctx->trap = static_cast<uint32_t>(Trap::FuelExhausted);
+      return;
+    }
+    ctx->ops += q.nops;
+    for (uint32_t k = 0; k < q.nops; ++k) charge(ctx, q.cls[k], q.cat[k]);
+    if (!exec_qinstr(ctx, q, top)) return;  // div/OOB trap mid-block
+  }
+  // Unreachable: if every QInstr fit, the block check could not have
+  // failed. Fail closed.
+  ctx->trap = static_cast<uint32_t>(Trap::HostError);
+}
+
+extern "C" void wb_jit_partial_trap(JitContext* ctx, uint32_t block,
+                                    uint32_t qi, uint32_t trap) {
+  const BlockCharge& blk = ctx->fn->blocks()[block];
+  const QInstr* qcode = ctx->fn->qcode();
+  // The block header already counted a full run and charged all its ops;
+  // back out the bulk count and re-charge exactly the executed prefix
+  // [0..qi] (the trapping QInstr is fully charged, like the quickened
+  // loop, which charges before executing).
+  --ctx->block_exec[block];
+  uint64_t prefix_nops = 0;
+  for (uint32_t i = 0; i <= qi; ++i) {
+    const QInstr& q = qcode[blk.first + i];
+    prefix_nops += q.nops;
+    for (uint32_t k = 0; k < q.nops; ++k) charge(ctx, q.cls[k], q.cat[k]);
+  }
+  ctx->ops -= blk.nops - prefix_nops;
+  ctx->trap = trap;
+}
+
+bool available() {
+#if defined(__x86_64__)
+  return probe_executable_memory();
+#else
+  return false;
+#endif
+}
+
+void set_jit_default(bool enabled) {
+  g_jit_default.store(enabled, std::memory_order_relaxed);
+}
+
+bool jit_default() {
+  static const bool env_off = std::getenv("WB_NO_JIT") != nullptr;
+  return !env_off && g_jit_default.load(std::memory_order_relaxed);
+}
+
+}  // namespace wb::wasm::jit

@@ -1,0 +1,827 @@
+// Builds the process-wide stencil table. Every stencil follows the fixed
+// register model:
+//   r15 = JitContext*        rbx = value-stack top (next free slot)
+//   r13 = locals base        r14 = linear-memory base
+//   r12 = block-exec base    rbp = ops counter
+// scratch: rax rcx rdx rsi rdi, xmm0 xmm1. Stack slots are raw u64 Value
+// bits; [rbx-8] is the top of stack and a push is `mov [rbx], X; add rbx,8`.
+// All memory operands use disp32 so the patch holes have fixed width.
+#include "wasm/jit/stencil.h"
+
+#include <cstring>
+
+#include "wasm/jit/asm_x64.h"
+#include "wasm/opcode.h"
+#include "wasm/types.h"
+
+namespace wb::wasm::jit {
+
+namespace {
+
+// JitContext field offsets baked into the stencils (asserted against the
+// struct layout in runtime.cpp).
+constexpr int32_t kCtxOps = 0;
+constexpr int32_t kCtxMemSize = 16;
+constexpr int32_t kCtxStackBase = 32;
+constexpr int32_t kCtxGlobals = 48;
+constexpr int32_t kCtxTrap = 72;
+
+struct B {
+  Asm a;
+  std::vector<Hole> holes;
+
+  void hole(HoleKind k, size_t off) {
+    holes.push_back({static_cast<uint32_t>(off), k});
+  }
+
+  Stencil take() {
+    Stencil s;
+    s.bytes = std::move(a.code);
+    s.holes = std::move(holes);
+    s.valid = true;
+    return s;
+  }
+
+  // push rax: mov [rbx], rax; add rbx, 8
+  void push_rax() {
+    a.mov_m_r(true, RBX, 0, RAX);
+    a.alu_ri8(true, ALU_ADD, RBX, 8);
+  }
+  void drop(int n) { a.alu_ri8(true, ALU_SUB, RBX, static_cast<int8_t>(8 * n)); }
+
+  // Store rax over the value `slot` entries below the current top (slot 1 =
+  // top), optionally popping afterwards via drop().
+  void store_slot(int slot) { a.mov_m_r(true, RBX, -8 * slot, RAX); }
+  void load_slot(bool w, Reg r, int slot) { a.mov_r_m(w, r, RBX, -8 * slot); }
+
+  void load_local(bool w, Reg r, HoleKind k) {
+    hole(k, a.mov_r_m(w, r, R13, 0));
+  }
+  void store_local(Reg r, HoleKind k) {
+    hole(k, a.mov_m_r(true, R13, 0, r));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Straight-line singles
+// ---------------------------------------------------------------------------
+
+Stencil make_charge_only() {
+  B b;
+  return b.take();  // no code: the block header does all the accounting
+}
+
+Stencil make_unreachable() {
+  B b;
+  // The block header already charged this op, so just spill ops and trap.
+  b.a.mov_m_r(true, R15, kCtxOps, RBP);
+  b.a.mov_m_i32(R15, kCtxTrap, static_cast<uint32_t>(Trap::Unreachable));
+  b.hole(HoleKind::TrapExit, b.a.jmp32());
+  return b.take();
+}
+
+Stencil make_const() {
+  B b;
+  b.hole(HoleKind::Val64, b.a.mov_ri64(RAX, 0));
+  b.push_rax();
+  return b.take();
+}
+
+Stencil make_drop() {
+  B b;
+  b.drop(1);
+  return b.take();
+}
+
+Stencil make_select() {
+  B b;
+  b.load_slot(false, RAX, 1);  // cond
+  b.load_slot(true, RCX, 3);   // va
+  b.load_slot(true, RDX, 2);   // vb
+  b.a.test_rr(false, RAX, RAX);
+  b.a.cmov(true, CC_E, RCX, RDX);  // cond == 0 -> vb
+  b.a.mov_m_r(true, RBX, -24, RCX);
+  b.drop(2);
+  return b.take();
+}
+
+Stencil make_local_get() {
+  B b;
+  b.load_local(true, RAX, HoleKind::DispA);
+  b.push_rax();
+  return b.take();
+}
+
+Stencil make_local_set() {
+  B b;
+  b.load_slot(true, RAX, 1);
+  b.drop(1);
+  b.store_local(RAX, HoleKind::DispA);
+  return b.take();
+}
+
+Stencil make_local_tee() {
+  B b;
+  b.load_slot(true, RAX, 1);
+  b.store_local(RAX, HoleKind::DispA);
+  return b.take();
+}
+
+Stencil make_global_get() {
+  B b;
+  b.a.mov_r_m(true, RCX, R15, kCtxGlobals);
+  b.hole(HoleKind::DispA, b.a.mov_r_m(true, RAX, RCX, 0));
+  b.push_rax();
+  return b.take();
+}
+
+Stencil make_global_set() {
+  B b;
+  b.a.mov_r_m(true, RCX, R15, kCtxGlobals);
+  b.load_slot(true, RAX, 1);
+  b.drop(1);
+  b.hole(HoleKind::DispA, b.a.mov_m_r(true, RCX, 0, RAX));
+  return b.take();
+}
+
+// Shared load shape. `from_local`: address comes from locals[a] (FGetLoad*)
+// and the result is pushed; otherwise the address is the stack top and the
+// result replaces it.
+Stencil make_load(int size_log2, bool sign, bool from_local) {
+  B b;
+  if (from_local) {
+    b.load_local(false, RAX, HoleKind::DispA);  // 32-bit read = as_u32
+  } else {
+    b.load_slot(false, RAX, 1);
+  }
+  b.hole(HoleKind::ImmB, b.a.lea(RCX, RAX, 0));         // ea = addr + offset
+  b.a.lea(RDX, RCX, 1 << size_log2);                    // end = ea + size
+  b.a.mov_r_m(true, RSI, R15, kCtxMemSize);
+  b.a.alu_rr(true, ALU_CMP, RDX, RSI);
+  b.hole(HoleKind::TrapOob, b.a.jcc32(CC_A));
+  b.a.ld_idx(size_log2, sign, RAX, R14, RCX);
+  if (from_local) {
+    b.push_rax();
+  } else {
+    b.store_slot(1);
+  }
+  return b.take();
+}
+
+Stencil make_store(int size_log2) {
+  B b;
+  b.load_slot(false, RAX, 2);  // addr
+  b.hole(HoleKind::ImmB, b.a.lea(RCX, RAX, 0));
+  b.a.lea(RSI, RCX, 1 << size_log2);
+  b.a.mov_r_m(true, RDI, R15, kCtxMemSize);
+  b.a.alu_rr(true, ALU_CMP, RSI, RDI);
+  b.hole(HoleKind::TrapOob, b.a.jcc32(CC_A));
+  b.load_slot(true, RDX, 1);  // value bits (dl/dx/edx/rdx per width)
+  b.a.st_idx(size_log2, R14, RCX, RDX);
+  b.drop(2);
+  return b.take();
+}
+
+Stencil make_memory_size() {
+  B b;
+  b.a.mov_r_m(true, RAX, R15, kCtxMemSize);
+  b.a.shift_ri(true, SH_SHR, RAX, 16);  // bytes -> 64 KiB pages
+  b.push_rax();
+  return b.take();
+}
+
+// Integer compare: top = (second CC top) ? 1 : 0, pop one.
+Stencil make_icmp(bool w, CC cc) {
+  B b;
+  b.load_slot(w, RCX, 1);
+  b.load_slot(w, RAX, 2);
+  b.a.alu_rr(w, ALU_CMP, RAX, RCX);
+  b.a.setcc_al(cc);
+  b.a.movzx_r32_al(RAX);
+  b.store_slot(2);
+  b.drop(1);
+  return b.take();
+}
+
+Stencil make_eqz(bool w) {
+  B b;
+  b.load_slot(w, RAX, 1);
+  b.a.test_rr(w, RAX, RAX);
+  b.a.setcc_al(CC_E);
+  b.a.movzx_r32_al(RAX);
+  b.store_slot(1);
+  return b.take();
+}
+
+// Float compare via cmpss/cmpsd. `swap` reverses the operand order (Gt/Ge
+// become Lt/Le with swapped operands, matching the C++ comparison exactly,
+// NaNs included).
+Stencil make_fcmp(bool dbl, uint8_t pred, bool swap) {
+  B b;
+  auto load = [&](uint8_t x, int slot) {
+    if (dbl) {
+      b.load_slot(true, RAX, slot);
+      b.a.movq_x_r(x, RAX);
+    } else {
+      b.load_slot(false, RAX, slot);
+      b.a.movd_x_r(x, RAX);
+    }
+  };
+  load(0, swap ? 1 : 2);  // lhs of the predicate
+  load(1, swap ? 2 : 1);
+  b.a.cmps(dbl, 0, 1, pred);
+  b.a.movd_r_x(RAX, 0);  // mask low 32 bits (zero-extends)
+  b.a.alu_ri8(false, ALU_AND, RAX, 1);
+  b.store_slot(2);
+  b.drop(1);
+  return b.take();
+}
+
+enum class IBin { Alu, Mul, Shift, Rot };
+
+Stencil make_ibin(bool w, IBin kind, uint8_t ext) {
+  B b;
+  b.load_slot(w, RCX, 1);
+  b.load_slot(w, RAX, 2);
+  switch (kind) {
+    case IBin::Alu:
+      b.a.alu_rr(w, static_cast<AluExt>(ext), RAX, RCX);
+      break;
+    case IBin::Mul:
+      b.a.imul_rr(w, RAX, RCX);
+      break;
+    case IBin::Shift:
+    case IBin::Rot:
+      // Count already in cl; hardware masks by 31/63 like the interpreter.
+      b.a.shift_cl(w, static_cast<ShiftExt>(ext), RAX);
+      break;
+  }
+  b.store_slot(2);
+  b.drop(1);
+  return b.take();
+}
+
+Stencil make_idiv(bool w, bool is_signed, bool is_rem) {
+  B b;
+  b.load_slot(w, RCX, 1);  // divisor
+  b.load_slot(w, RAX, 2);  // dividend
+  b.a.test_rr(w, RCX, RCX);
+  b.hole(HoleKind::TrapDivZero, b.a.jcc32(CC_E));
+  if (is_signed) {
+    if (is_rem) {
+      // rem(INT_MIN, -1) == 0: pre-zero rdx and skip the divide on -1.
+      b.a.alu_rr(false, ALU_XOR, RDX, RDX);
+      b.a.alu_ri8(w, ALU_CMP, RCX, -1);
+      const size_t store = b.a.jcc8(CC_E);
+      if (w) {
+        b.a.cqo();
+      } else {
+        b.a.cdq();
+      }
+      b.a.idiv(w, RCX);
+      b.a.bind8(store);
+    } else {
+      b.a.alu_ri8(w, ALU_CMP, RCX, -1);
+      const size_t do_div = b.a.jcc8(CC_NE);
+      if (w) {
+        b.a.mov_ri64(RDX, 0x8000000000000000ull);
+        b.a.alu_rr(true, ALU_CMP, RAX, RDX);
+      } else {
+        b.a.alu_ri32(false, ALU_CMP, RAX, 0x80000000u);
+      }
+      b.hole(HoleKind::TrapOverflow, b.a.jcc32(CC_E));
+      b.a.bind8(do_div);
+      if (w) {
+        b.a.cqo();
+      } else {
+        b.a.cdq();
+      }
+      b.a.idiv(w, RCX);
+    }
+  } else {
+    b.a.alu_rr(false, ALU_XOR, RDX, RDX);
+    b.a.div(w, RCX);
+  }
+  // idiv's 32-bit forms zero-extend eax/edx into rax/rdx, so a plain
+  // 64-bit store writes canonical Value bits for both widths.
+  if (is_rem) {
+    b.a.mov_m_r(true, RBX, -16, RDX);
+  } else {
+    b.store_slot(2);
+  }
+  b.drop(1);
+  return b.take();
+}
+
+// Float binop (add/sub/mul/div): pop two, push one.
+Stencil make_fbin(bool dbl, uint8_t op) {
+  B b;
+  auto load = [&](uint8_t x, int slot) {
+    if (dbl) {
+      b.load_slot(true, RAX, slot);
+      b.a.movq_x_r(x, RAX);
+    } else {
+      b.load_slot(false, RAX, slot);
+      b.a.movd_x_r(x, RAX);
+    }
+  };
+  load(0, 2);
+  load(1, 1);
+  b.a.sse(dbl ? 0xF2 : 0xF3, op, 0, 1);
+  if (dbl) {
+    b.a.movq_r_x(RAX, 0);
+  } else {
+    b.a.movd_r_x(RAX, 0);
+  }
+  b.store_slot(2);
+  b.drop(1);
+  return b.take();
+}
+
+// abs/neg via bit masks (sign-bit games, exactly what the C++ helpers do).
+Stencil make_fbit(bool dbl, bool is_abs) {
+  B b;
+  const AluExt op = is_abs ? ALU_AND : ALU_XOR;
+  if (dbl) {
+    b.load_slot(true, RAX, 1);
+    b.a.mov_ri64(RCX, is_abs ? 0x7fffffffffffffffull : 0x8000000000000000ull);
+    b.a.alu_rr(true, op, RAX, RCX);
+  } else {
+    b.load_slot(false, RAX, 1);
+    b.a.alu_ri32(false, op, RAX, is_abs ? 0x7fffffffu : 0x80000000u);
+  }
+  b.store_slot(1);
+  return b.take();
+}
+
+Stencil make_fsqrt(bool dbl) {
+  B b;
+  if (dbl) {
+    b.load_slot(true, RAX, 1);
+    b.a.movq_x_r(0, RAX);
+  } else {
+    b.load_slot(false, RAX, 1);
+    b.a.movd_x_r(0, RAX);
+  }
+  b.a.sse(dbl ? 0xF2 : 0xF3, 0x51, 0, 0);  // sqrtss/sqrtsd == std::sqrt
+  if (dbl) {
+    b.a.movq_r_x(RAX, 0);
+  } else {
+    b.a.movd_r_x(RAX, 0);
+  }
+  b.store_slot(1);
+  return b.take();
+}
+
+Stencil make_wrap_or_extend_u() {
+  B b;
+  // mov eax, [..] zero-extends: both i32.wrap_i64 and i64.extend_i32_u.
+  b.load_slot(false, RAX, 1);
+  b.store_slot(1);
+  return b.take();
+}
+
+Stencil make_extend_s() {
+  B b;
+  b.a.movsxd_r_m(RAX, RBX, -8);
+  b.store_slot(1);
+  return b.take();
+}
+
+// int -> float conversions. `w`: source is read as 64-bit (either a real
+// i64, or a zero-extended u32 so cvtsi2 sees the unsigned value).
+Stencil make_cvt_if(bool dbl, bool w, bool src32) {
+  B b;
+  b.load_slot(src32 ? false : true, RAX, 1);
+  b.a.cvtsi2(dbl, w, 0, RAX);
+  if (dbl) {
+    b.a.movq_r_x(RAX, 0);
+  } else {
+    b.a.movd_r_x(RAX, 0);
+  }
+  b.store_slot(1);
+  return b.take();
+}
+
+Stencil make_demote() {
+  B b;
+  b.load_slot(true, RAX, 1);
+  b.a.movq_x_r(0, RAX);
+  b.a.sse(0xF2, 0x5A, 0, 0);  // cvtsd2ss
+  b.a.movd_r_x(RAX, 0);
+  b.store_slot(1);
+  return b.take();
+}
+
+Stencil make_promote() {
+  B b;
+  b.load_slot(false, RAX, 1);
+  b.a.movd_x_r(0, RAX);
+  b.a.sse(0xF3, 0x5A, 0, 0);  // cvtss2sd
+  b.a.movq_r_x(RAX, 0);
+  b.store_slot(1);
+  return b.take();
+}
+
+Stencil make_fconst_set() {
+  B b;
+  b.hole(HoleKind::Val64, b.a.mov_ri64(RAX, 0));
+  b.store_local(RAX, HoleKind::DispA);
+  return b.take();
+}
+
+// ---------------------------------------------------------------------------
+// Fused GetGet/GetConst[Set] superinstructions
+// ---------------------------------------------------------------------------
+
+enum class FK { I32Alu, I32Mul, I32Shift, I32Cmp, I64Alu, I64Mul, F32, F64 };
+struct FuseSpec {
+  FK kind;
+  uint8_t arg;  // AluExt / ShiftExt / CC / SSE op, per kind
+};
+
+// Order must match WB_QFUSE_BINOPS exactly.
+constexpr FuseSpec kFuse[28] = {
+    {FK::I32Alu, ALU_ADD},  {FK::I32Alu, ALU_SUB},  {FK::I32Mul, 0},
+    {FK::I32Alu, ALU_AND},  {FK::I32Alu, ALU_OR},   {FK::I32Alu, ALU_XOR},
+    {FK::I32Shift, SH_SHL}, {FK::I32Shift, SH_SAR}, {FK::I32Shift, SH_SHR},
+    {FK::I32Cmp, CC_E},     {FK::I32Cmp, CC_NE},    {FK::I32Cmp, CC_L},
+    {FK::I32Cmp, CC_B},     {FK::I32Cmp, CC_G},     {FK::I32Cmp, CC_A},
+    {FK::I32Cmp, CC_LE},    {FK::I32Cmp, CC_BE},    {FK::I32Cmp, CC_GE},
+    {FK::I32Cmp, CC_AE},    {FK::I64Alu, ALU_ADD},  {FK::I64Alu, ALU_SUB},
+    {FK::I64Mul, 0},        {FK::F32, 0x58},        {FK::F32, 0x5C},
+    {FK::F32, 0x59},        {FK::F64, 0x58},        {FK::F64, 0x5C},
+    {FK::F64, 0x59},
+};
+
+Stencil make_fused(const FuseSpec& spec, bool vb_const, bool out_set) {
+  B b;
+  const bool f32 = spec.kind == FK::F32;
+  const bool f64 = spec.kind == FK::F64;
+  const bool w64 = spec.kind == FK::I64Alu || spec.kind == FK::I64Mul;
+
+  // va from locals[a].
+  if (f64) {
+    b.load_local(true, RAX, HoleKind::DispA);
+    b.a.movq_x_r(0, RAX);
+  } else if (f32) {
+    b.load_local(false, RAX, HoleKind::DispA);
+    b.a.movd_x_r(0, RAX);
+  } else {
+    b.load_local(w64, RAX, HoleKind::DispA);
+  }
+  // vb from locals[b] or the inline constant.
+  if (vb_const) {
+    if (f64 || w64) {
+      b.hole(HoleKind::Val64, b.a.mov_ri64(RCX, 0));
+    } else {
+      // mov ecx, imm32: the low Value word (i32 operand or f32 bits).
+      b.hole(HoleKind::Val32, b.a.size() + 1);
+      b.a.mov_ri32(RCX, 0);
+    }
+  } else {
+    b.load_local((f64 || w64), RCX, HoleKind::DispB);
+  }
+  if (f32) b.a.movd_x_r(1, RCX);
+  if (f64) b.a.movq_x_r(1, RCX);
+
+  switch (spec.kind) {
+    case FK::I32Alu:
+    case FK::I64Alu:
+      b.a.alu_rr(w64, static_cast<AluExt>(spec.arg), RAX, RCX);
+      break;
+    case FK::I32Mul:
+    case FK::I64Mul:
+      b.a.imul_rr(w64, RAX, RCX);
+      break;
+    case FK::I32Shift:
+      b.a.shift_cl(false, static_cast<ShiftExt>(spec.arg), RAX);
+      break;
+    case FK::I32Cmp:
+      b.a.alu_rr(false, ALU_CMP, RAX, RCX);
+      b.a.setcc_al(static_cast<CC>(spec.arg));
+      b.a.movzx_r32_al(RAX);
+      break;
+    case FK::F32:
+    case FK::F64:
+      b.a.sse(f64 ? 0xF2 : 0xF3, spec.arg, 0, 1);
+      if (f64) {
+        b.a.movq_r_x(RAX, 0);
+      } else {
+        b.a.movd_r_x(RAX, 0);
+      }
+      break;
+  }
+
+  if (out_set) {
+    b.store_local(RAX, HoleKind::DispC);
+  } else {
+    b.push_rax();
+  }
+  return b.take();
+}
+
+// ---------------------------------------------------------------------------
+// Control
+// ---------------------------------------------------------------------------
+
+// Branch body: reset the stack top to the pre-resolved height, optionally
+// carrying the current top value down, then jump to the target block.
+void emit_branch_part(B& b, int variant) {
+  if (variant == 2) {
+    b.load_slot(true, RCX, 1);
+    b.a.mov_r_m(true, RAX, R15, kCtxStackBase);
+    b.hole(HoleKind::DispB, b.a.mov_m_r(true, RAX, 0, RCX));
+    b.hole(HoleKind::DispB8, b.a.lea(RBX, RAX, 0));
+  } else {
+    b.a.mov_r_m(true, RAX, R15, kCtxStackBase);
+    b.hole(HoleKind::DispB, b.a.lea(RBX, RAX, 0));
+  }
+  b.hole(HoleKind::BranchA, b.a.jmp32());
+}
+
+Stencil make_if() {
+  B b;
+  b.drop(1);
+  b.a.mov_r_m(false, RAX, RBX, 0);
+  b.a.test_rr(false, RAX, RAX);
+  const size_t skip = b.a.jcc8(CC_NE);
+  b.hole(HoleKind::BranchA, b.a.jmp32());
+  b.a.bind8(skip);
+  return b.take();
+}
+
+Stencil make_jump() {
+  B b;
+  b.hole(HoleKind::BranchA, b.a.jmp32());
+  return b.take();
+}
+
+Stencil make_br(int variant) {
+  B b;
+  emit_branch_part(b, variant);
+  return b.take();
+}
+
+Stencil make_br_if(int variant) {
+  B b;
+  b.drop(1);
+  b.a.mov_r_m(false, RAX, RBX, 0);
+  b.a.test_rr(false, RAX, RAX);
+  const size_t skip = b.a.jcc8(CC_E);
+  emit_branch_part(b, variant);
+  b.a.bind8(skip);
+  return b.take();
+}
+
+Stencil make_cmp_br(CC cc, int variant) {
+  B b;
+  b.load_slot(false, RCX, 1);  // vb
+  b.load_slot(false, RAX, 2);  // va
+  b.drop(2);
+  b.a.alu_rr(false, ALU_CMP, RAX, RCX);
+  // Fall through (skip the branch) on the inverse condition.
+  const size_t skip = b.a.jcc8(static_cast<CC>(cc ^ 1));
+  emit_branch_part(b, variant);
+  b.a.bind8(skip);
+  return b.take();
+}
+
+Stencil make_return(int arity) {
+  B b;
+  if (arity == 1) {
+    b.load_slot(true, RCX, 1);
+    b.a.mov_r_m(true, RAX, R15, kCtxStackBase);
+    b.a.mov_m_r(true, RAX, 0, RCX);
+    b.a.lea(RBX, RAX, 8);
+  } else {
+    b.a.mov_r_m(true, RBX, R15, kCtxStackBase);
+  }
+  b.hole(HoleKind::BranchB, b.a.jmp32());
+  return b.take();
+}
+
+// ---------------------------------------------------------------------------
+// Table assembly
+// ---------------------------------------------------------------------------
+
+void set_op(StencilTable& t, QOp op, Stencil s) {
+  t.ops[static_cast<size_t>(op)] = std::move(s);
+}
+
+void build(StencilTable& t) {
+  set_op(t, QOp::ChargeOnly, make_charge_only());
+  set_op(t, QOp::Unreachable, make_unreachable());
+  set_op(t, QOp::If, make_if());
+  set_op(t, QOp::Jump, make_jump());
+  set_op(t, QOp::Const, make_const());
+  set_op(t, QOp::Drop, make_drop());
+  set_op(t, QOp::Select, make_select());
+
+  set_op(t, QOp::LocalGet, make_local_get());
+  set_op(t, QOp::LocalSet, make_local_set());
+  set_op(t, QOp::LocalTee, make_local_tee());
+  set_op(t, QOp::GlobalGet, make_global_get());
+  set_op(t, QOp::GlobalSet, make_global_set());
+
+  set_op(t, QOp::I32Load, make_load(2, false, false));
+  set_op(t, QOp::I64Load, make_load(3, false, false));
+  set_op(t, QOp::F32Load, make_load(2, false, false));
+  set_op(t, QOp::F64Load, make_load(3, false, false));
+  set_op(t, QOp::I32Load8S, make_load(0, true, false));
+  set_op(t, QOp::I32Load8U, make_load(0, false, false));
+  set_op(t, QOp::I32Load16S, make_load(1, true, false));
+  set_op(t, QOp::I32Load16U, make_load(1, false, false));
+  set_op(t, QOp::I32Store, make_store(2));
+  set_op(t, QOp::I64Store, make_store(3));
+  set_op(t, QOp::F32Store, make_store(2));
+  set_op(t, QOp::F64Store, make_store(3));
+  set_op(t, QOp::I32Store8, make_store(0));
+  set_op(t, QOp::I32Store16, make_store(1));
+  set_op(t, QOp::MemorySize, make_memory_size());
+
+  set_op(t, QOp::I32Eqz, make_eqz(false));
+  set_op(t, QOp::I64Eqz, make_eqz(true));
+  struct CmpRow {
+    QOp op32, op64;
+    CC cc;
+  };
+  const CmpRow cmps[] = {
+      {QOp::I32Eq, QOp::I64Eq, CC_E},   {QOp::I32Ne, QOp::I64Ne, CC_NE},
+      {QOp::I32LtS, QOp::I64LtS, CC_L}, {QOp::I32LtU, QOp::I64LtU, CC_B},
+      {QOp::I32GtS, QOp::I64GtS, CC_G}, {QOp::I32GtU, QOp::I64GtU, CC_A},
+      {QOp::I32LeS, QOp::I64LeS, CC_LE}, {QOp::I32LeU, QOp::I64LeU, CC_BE},
+      {QOp::I32GeS, QOp::I64GeS, CC_GE}, {QOp::I32GeU, QOp::I64GeU, CC_AE},
+  };
+  for (const CmpRow& r : cmps) {
+    set_op(t, r.op32, make_icmp(false, r.cc));
+    set_op(t, r.op64, make_icmp(true, r.cc));
+  }
+  struct FCmpRow {
+    QOp op32, op64;
+    uint8_t pred;
+    bool swap;
+  };
+  const FCmpRow fcmps[] = {
+      {QOp::F32Eq, QOp::F64Eq, 0, false}, {QOp::F32Ne, QOp::F64Ne, 4, false},
+      {QOp::F32Lt, QOp::F64Lt, 1, false}, {QOp::F32Gt, QOp::F64Gt, 1, true},
+      {QOp::F32Le, QOp::F64Le, 2, false}, {QOp::F32Ge, QOp::F64Ge, 2, true},
+  };
+  for (const FCmpRow& r : fcmps) {
+    set_op(t, r.op32, make_fcmp(false, r.pred, r.swap));
+    set_op(t, r.op64, make_fcmp(true, r.pred, r.swap));
+  }
+
+  struct BinRow {
+    QOp op32, op64;
+    IBin kind;
+    uint8_t ext;
+  };
+  const BinRow bins[] = {
+      {QOp::I32Add, QOp::I64Add, IBin::Alu, ALU_ADD},
+      {QOp::I32Sub, QOp::I64Sub, IBin::Alu, ALU_SUB},
+      {QOp::I32Mul, QOp::I64Mul, IBin::Mul, 0},
+      {QOp::I32And, QOp::I64And, IBin::Alu, ALU_AND},
+      {QOp::I32Or, QOp::I64Or, IBin::Alu, ALU_OR},
+      {QOp::I32Xor, QOp::I64Xor, IBin::Alu, ALU_XOR},
+      {QOp::I32Shl, QOp::I64Shl, IBin::Shift, SH_SHL},
+      {QOp::I32ShrS, QOp::I64ShrS, IBin::Shift, SH_SAR},
+      {QOp::I32ShrU, QOp::I64ShrU, IBin::Shift, SH_SHR},
+      {QOp::I32Rotl, QOp::I64Rotl, IBin::Rot, SH_ROL},
+      {QOp::I32Rotr, QOp::I64Rotr, IBin::Rot, SH_ROR},
+  };
+  for (const BinRow& r : bins) {
+    set_op(t, r.op32, make_ibin(false, r.kind, r.ext));
+    set_op(t, r.op64, make_ibin(true, r.kind, r.ext));
+  }
+  set_op(t, QOp::I32DivS, make_idiv(false, true, false));
+  set_op(t, QOp::I32DivU, make_idiv(false, false, false));
+  set_op(t, QOp::I32RemS, make_idiv(false, true, true));
+  set_op(t, QOp::I32RemU, make_idiv(false, false, true));
+  set_op(t, QOp::I64DivS, make_idiv(true, true, false));
+  set_op(t, QOp::I64DivU, make_idiv(true, false, false));
+  set_op(t, QOp::I64RemS, make_idiv(true, true, true));
+  set_op(t, QOp::I64RemU, make_idiv(true, false, true));
+
+  set_op(t, QOp::F32Abs, make_fbit(false, true));
+  set_op(t, QOp::F32Neg, make_fbit(false, false));
+  set_op(t, QOp::F64Abs, make_fbit(true, true));
+  set_op(t, QOp::F64Neg, make_fbit(true, false));
+  set_op(t, QOp::F32Sqrt, make_fsqrt(false));
+  set_op(t, QOp::F64Sqrt, make_fsqrt(true));
+  const struct {
+    QOp op32, op64;
+    uint8_t sse;
+  } fbins[] = {
+      {QOp::F32Add, QOp::F64Add, 0x58},
+      {QOp::F32Sub, QOp::F64Sub, 0x5C},
+      {QOp::F32Mul, QOp::F64Mul, 0x59},
+      {QOp::F32Div, QOp::F64Div, 0x5E},
+  };
+  for (const auto& r : fbins) {
+    set_op(t, r.op32, make_fbin(false, r.sse));
+    set_op(t, r.op64, make_fbin(true, r.sse));
+  }
+
+  set_op(t, QOp::I32WrapI64, make_wrap_or_extend_u());
+  set_op(t, QOp::I64ExtendI32S, make_extend_s());
+  set_op(t, QOp::I64ExtendI32U, make_wrap_or_extend_u());
+  set_op(t, QOp::F32ConvertI32S, make_cvt_if(false, false, true));
+  set_op(t, QOp::F32ConvertI32U, make_cvt_if(false, true, true));
+  set_op(t, QOp::F32ConvertI64S, make_cvt_if(false, true, false));
+  set_op(t, QOp::F64ConvertI32S, make_cvt_if(true, false, true));
+  set_op(t, QOp::F64ConvertI32U, make_cvt_if(true, true, true));
+  set_op(t, QOp::F64ConvertI64S, make_cvt_if(true, true, false));
+  set_op(t, QOp::F32DemoteF64, make_demote());
+  set_op(t, QOp::F64PromoteF32, make_promote());
+
+  set_op(t, QOp::FConstSet, make_fconst_set());
+  set_op(t, QOp::FGetLoadI32, make_load(2, false, true));
+  set_op(t, QOp::FGetLoadI64, make_load(3, false, true));
+  set_op(t, QOp::FGetLoadF32, make_load(2, false, true));
+  set_op(t, QOp::FGetLoadF64, make_load(3, false, true));
+  set_op(t, QOp::FGetLoadI32U8, make_load(0, false, true));
+
+  const size_t gg = static_cast<size_t>(QOp::FGetGet_I32Add);
+  const size_t gc = static_cast<size_t>(QOp::FGetConst_I32Add);
+  const size_t ggs = static_cast<size_t>(QOp::FGetGetSet_I32Add);
+  const size_t gcs = static_cast<size_t>(QOp::FGetConstSet_I32Add);
+  for (size_t i = 0; i < 28; ++i) {
+    t.ops[gg + i] = make_fused(kFuse[i], false, false);
+    t.ops[gc + i] = make_fused(kFuse[i], true, false);
+    t.ops[ggs + i] = make_fused(kFuse[i], false, true);
+    t.ops[gcs + i] = make_fused(kFuse[i], true, true);
+  }
+
+  for (int v = 0; v < kBranchVariants; ++v) {
+    t.br[v] = make_br(v);
+    t.br_if[v] = make_br_if(v);
+  }
+  t.ret[0] = make_return(0);
+  t.ret[1] = make_return(1);
+  const CC cmp_br_ccs[10] = {CC_E, CC_NE, CC_L, CC_B, CC_G,
+                             CC_A, CC_LE, CC_BE, CC_GE, CC_AE};
+  for (int c = 0; c < 10; ++c) {
+    for (int v = 0; v < kBranchVariants; ++v) {
+      t.cmp_br[c][v] = make_cmp_br(cmp_br_ccs[c], v);
+    }
+  }
+}
+
+}  // namespace
+
+int cmp_br_cond_index(uint32_t opcode) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::I32Eq: return 0;
+    case Opcode::I32Ne: return 1;
+    case Opcode::I32LtS: return 2;
+    case Opcode::I32LtU: return 3;
+    case Opcode::I32GtS: return 4;
+    case Opcode::I32GtU: return 5;
+    case Opcode::I32LeS: return 6;
+    case Opcode::I32LeU: return 7;
+    case Opcode::I32GeS: return 8;
+    case Opcode::I32GeU: return 9;
+    default: return -1;
+  }
+}
+
+const StencilTable& stencils() {
+  static StencilTable* table = [] {
+    auto* t = new StencilTable();
+    build(*t);
+    return t;
+  }();
+  return *table;
+}
+
+void patch_immediate(uint8_t* code, const Hole& hole, const QInstr& q) {
+  auto put32 = [&](uint32_t v) { std::memcpy(code + hole.offset, &v, 4); };
+  switch (hole.kind) {
+    case HoleKind::DispA:
+      put32(8 * q.a);
+      break;
+    case HoleKind::DispB:
+      put32(8 * q.b);
+      break;
+    case HoleKind::DispB8:
+      put32(8 * q.b + 8);
+      break;
+    case HoleKind::DispC:
+      put32(8 * q.c);
+      break;
+    case HoleKind::ImmB:
+      put32(q.b);
+      break;
+    case HoleKind::Val32:
+      put32(static_cast<uint32_t>(q.val.bits));
+      break;
+    case HoleKind::Val64:
+      std::memcpy(code + hole.offset, &q.val.bits, 8);
+      break;
+    default:
+      break;  // layout holes: patched by compile()
+  }
+}
+
+}  // namespace wb::wasm::jit

@@ -1,0 +1,74 @@
+// Prebuilt per-superinstruction byte templates ("stencils") with patch
+// holes. The table is generated once per process with the asm_x64 emitter;
+// compile.cpp stitches a function by memcpy'ing stencil bytes and patching
+// each hole from the QInstr's fields (immediates, local slots) or from the
+// final code layout (branch targets, trap stubs).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "wasm/quicken.h"
+
+namespace wb::wasm::jit {
+
+enum class HoleKind : uint8_t {
+  DispA,    ///< disp32 = 8 * q->a (locals or globals slot)
+  DispB,    ///< disp32 = 8 * q->b (branch target stack height)
+  DispB8,   ///< disp32 = 8 * q->b + 8
+  DispC,    ///< disp32 = 8 * q->c
+  ImmB,     ///< imm32/disp32 = q->b (memory offset)
+  Val64,    ///< imm64 = q->val.bits
+  Val32,    ///< imm32 = low 32 bits of q->val.bits
+  BranchA,  ///< rel32 -> native offset of the block starting at qpc q->a
+  BranchB,  ///< rel32 -> native offset of the block starting at qpc q->b
+  TrapExit,     ///< rel32 -> the shared trap epilogue
+  TrapOob,      ///< rel32 -> this site's MemoryOutOfBounds stub
+  TrapDivZero,  ///< rel32 -> this site's IntegerDivideByZero stub
+  TrapOverflow, ///< rel32 -> this site's IntegerOverflow stub
+};
+
+struct Hole {
+  uint32_t offset = 0;  ///< byte offset of the imm32/imm64/rel32 in `bytes`
+  HoleKind kind = HoleKind::DispA;
+};
+
+struct Stencil {
+  std::vector<uint8_t> bytes;
+  std::vector<Hole> holes;
+  bool valid = false;
+};
+
+/// FCmpBrIf condition index (order of the Opcode switch in run_quickened):
+/// Eq, Ne, LtS, LtU, GtS, GtU, LeS, LeU, GeS, GeU. Returns -1 for an
+/// unsupported compare opcode.
+int cmp_br_cond_index(uint32_t opcode);
+
+/// Branch-shape variants for Br / BrIf / FCmpBrIf, selected by the QInstr
+/// flags: 0 = plain (resize, no value), 1 = loop back-edge (same native
+/// shape), 2 = resize carrying the top value. Return uses index 0/1 for
+/// arity 0/1 instead.
+inline constexpr int kBranchVariants = 3;
+
+struct StencilTable {
+  /// Straight-line ops (one shape per QOp). Invalid entries mark ops the
+  /// JIT does not support: the function falls back to quickened dispatch.
+  std::array<Stencil, kQOpCount> ops;
+  /// Br / BrIf variants, indexed by flags&3; Return variants by arity.
+  std::array<Stencil, kBranchVariants> br;
+  std::array<Stencil, kBranchVariants> br_if;
+  std::array<Stencil, 2> ret;
+  /// FCmpBrIf: [condition index][variant].
+  std::array<std::array<Stencil, kBranchVariants>, 10> cmp_br;
+};
+
+/// The process-wide table, built on first use.
+const StencilTable& stencils();
+
+/// Patches one immediate hole (DispA/B/B8/C, ImmB, Val64, Val32) in a
+/// stencil copy from the QInstr's fields. Layout-dependent holes (Branch*,
+/// Trap*) are patched by compile() and are not valid here.
+void patch_immediate(uint8_t* code, const Hole& hole, const QInstr& q);
+
+}  // namespace wb::wasm::jit

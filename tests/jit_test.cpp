@@ -1,0 +1,694 @@
+// JIT-vs-quickened-vs-classic identity tests (hand-built modules). The JIT
+// invariant (jit/jit.h) is that every virtual observable — trap, result
+// bits, every ExecStats field, fuel accounting, tier-up timing, and the
+// post-trap memory/global state — is bit-identical whether a hot function
+// runs native code, the quickened loop, or the classic loop. These tests
+// pin that down on modules chosen to exercise each stencil family, every
+// trap kind from inside compiled code, and every fuel boundary across
+// basic blocks; the whole-corpus version lives in jit_corpus_test.cpp
+// (slow) and the WB_NO_JIT env latch in jit_env_test.cpp (the latch is
+// per-process, so it needs its own binary).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "wasm/builder.h"
+#include "wasm/interp.h"
+#include "wasm/jit/cache.h"
+#include "wasm/jit/jit.h"
+#include "wasm/jit/stencil.h"
+#include "wasm/quicken.h"
+#include "wasm/validator.h"
+
+namespace wb::wasm {
+namespace {
+
+using VT = ValType;
+
+TierPolicy optimizing_only() {
+  TierPolicy p;
+  p.baseline_enabled = false;
+  return p;
+}
+
+/// Runs the same module three ways — classic, quickened (JIT off), and
+/// quickened with the JIT — under identical settings, capturing the full
+/// observable world of each run for comparison.
+class TriRunner {
+ public:
+  ModuleBuilder mb;
+  std::vector<HostFn> host_fns;
+  std::optional<TierPolicy> policy;
+  /// jit_compiled_functions() observed on the JIT engine after the run.
+  size_t jit_compiled = 0;
+
+  void take_and_validate() {
+    module_ = mb.take();
+    const auto err = validate(module_);
+    ASSERT_FALSE(err.has_value()) << (err ? err->message : "");
+  }
+
+  struct Outcome {
+    InvokeResult result;
+    ExecStats stats;
+    Tier tier0 = Tier::Baseline;
+    std::vector<uint8_t> memory;
+    std::vector<uint64_t> globals;
+  };
+
+  void run(std::span<const Value> args = {}, uint64_t fuel = 100'000'000,
+           int invokes = 1) {
+    for (int engine = 0; engine < 3; ++engine) {
+      Instance inst(module_, host_fns);
+      inst.set_quicken(engine > 0);
+      inst.set_jit(engine == 2);
+      if (policy) inst.set_tier_policy(*policy);
+      inst.set_fuel(fuel);
+      Outcome& out = outcomes_[engine];
+      for (int i = 0; i < invokes; ++i) out.result = inst.invoke("main", args);
+      out.stats = inst.stats();
+      out.tier0 = inst.function_tier(0);
+      if (LinearMemory* mem = inst.memory()) {
+        out.memory.assign(mem->bytes().begin(), mem->bytes().end());
+      }
+      for (uint32_t g = 0; g < module_.globals.size(); ++g) {
+        out.globals.push_back(inst.global(g).bits);
+      }
+      if (engine == 2) jit_compiled = inst.jit_compiled_functions();
+    }
+  }
+
+  /// Asserts all three runs observed exactly the same world.
+  void expect_identical(const std::string& what) {
+    for (int e = 1; e < 3; ++e) {
+      const std::string who = what + (e == 1 ? " [quickened]" : " [jit]");
+      const Outcome& ref = outcomes_[0];
+      const Outcome& got = outcomes_[e];
+      EXPECT_EQ(ref.result.trap, got.result.trap) << who;
+      if (ref.result.ok() && got.result.ok()) {
+        EXPECT_EQ(ref.result.value.bits, got.result.value.bits) << who;
+      }
+      EXPECT_EQ(ref.stats.ops_executed, got.stats.ops_executed) << who;
+      EXPECT_EQ(ref.stats.cost_ps, got.stats.cost_ps) << who;
+      EXPECT_EQ(ref.stats.arith_counts, got.stats.arith_counts) << who;
+      EXPECT_EQ(ref.stats.calls, got.stats.calls) << who;
+      EXPECT_EQ(ref.stats.host_calls, got.stats.host_calls) << who;
+      EXPECT_EQ(ref.stats.memory_grows, got.stats.memory_grows) << who;
+      EXPECT_EQ(ref.stats.tierups, got.stats.tierups) << who;
+      EXPECT_EQ(ref.tier0, got.tier0) << who;
+      EXPECT_EQ(ref.memory, got.memory) << who;
+      EXPECT_EQ(ref.globals, got.globals) << who;
+    }
+  }
+
+  const Outcome& classic() const { return outcomes_[0]; }
+  const Outcome& jit() const { return outcomes_[2]; }
+  const Module& module() const { return module_; }
+
+ private:
+  Module module_;
+  Outcome outcomes_[3];
+};
+
+/// The bench-style hot loop: counts down from `n`, accumulating the sum.
+/// Exercises FCmpBrIf, FGetGetSet, FGetConstSet, FConstSet, and Br.
+void build_hot_loop(ModuleBuilder& mb, int32_t n) {
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.add_local(VT::I32);  // local 0: i
+  f.add_local(VT::I32);  // local 1: acc
+  f.i32(n).local_set(0);
+  f.i32(0).local_set(1);
+  f.block();
+  f.loop();
+  f.local_get(0).i32(0).op(Opcode::I32LeS).br_if(1);
+  f.local_get(1).local_get(0).op(Opcode::I32Add).local_set(1);
+  f.local_get(0).i32(-1).op(Opcode::I32Add).local_set(0);
+  f.br(0);
+  f.end();
+  f.end();
+  f.local_get(1);
+  f.finish("main");
+}
+
+TEST(WasmJit, HotLoopIdentical) {
+  TriRunner d;
+  build_hot_loop(d.mb, 1000);
+  d.policy = optimizing_only();
+  d.take_and_validate();
+  d.run();
+  d.expect_identical("hot loop");
+  ASSERT_TRUE(d.jit().result.ok());
+  EXPECT_EQ(d.jit().result.value.as_i32(), 1000 * 1001 / 2);
+  // On JIT-capable hosts the loop must actually have been compiled —
+  // otherwise the ≥2x dispatch win silently evaporates while every
+  // identity assertion keeps passing.
+  if (jit::available()) { EXPECT_EQ(d.jit_compiled, 1u); }
+}
+
+TEST(WasmJit, TierUpThenJitIdentical) {
+  // main calls a leaf repeatedly; the leaf crosses the tier-up threshold
+  // mid-run, so later entries hit the JIT while earlier ones interpreted.
+  // Tier-up timing (the one-off compile charge and the tierups counter)
+  // must land identically in all three engines. main itself contains
+  // Call, so it is JIT-ineligible and always runs quickened — the mixed
+  // module exercises the per-function fallback.
+  TriRunner d;
+  auto leaf = d.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  leaf.local_get(0).i32(3).op(Opcode::I32Mul).i32(7).op(Opcode::I32Add);
+  const uint32_t leaf_idx = leaf.finish();
+  auto f = d.mb.define(FuncType{{}, {VT::I32}});
+  f.add_local(VT::I32);  // i
+  f.add_local(VT::I32);  // acc
+  f.i32(40).local_set(0);
+  f.block();
+  f.loop();
+  f.local_get(0).i32(0).op(Opcode::I32LeS).br_if(1);
+  f.local_get(1).local_get(0).call(leaf_idx).op(Opcode::I32Add).local_set(1);
+  f.local_get(0).i32(-1).op(Opcode::I32Add).local_set(0);
+  f.br(0);
+  f.end();
+  f.end();
+  f.local_get(1);
+  f.finish("main");
+  TierPolicy p;
+  p.tierup_threshold = 10;  // the leaf tiers up on its 10th entry
+  d.policy = p;
+  d.take_and_validate();
+  d.run();
+  d.expect_identical("tier-up mid-run");
+  // Both functions cross the threshold: the leaf via entries, main via its
+  // own loop back-edges. Only the leaf is JIT-eligible.
+  EXPECT_EQ(d.jit().stats.tierups, 2u);
+  if (jit::available()) { EXPECT_EQ(d.jit_compiled, 1u); }
+}
+
+TEST(WasmJit, FuelSweepHotLoop) {
+  // Every fuel boundary of the hot loop: the trap point may fall on any
+  // QInstr of any basic block, including mid-fused-op (where quickened
+  // charges the affordable constituent prefix of the boundary QInstr but
+  // never executes it). Post-trap locals are invisible, but stats and the
+  // trap kind must match exactly at every single fuel value.
+  ModuleBuilder ref_mb;
+  build_hot_loop(ref_mb, 8);
+  Module ref_module = ref_mb.take();
+  ASSERT_FALSE(validate(ref_module).has_value());
+  Instance ref(ref_module, {});
+  ref.set_quicken(false);
+  ref.set_tier_policy(optimizing_only());
+  ASSERT_TRUE(ref.invoke("main", {}).ok());
+  const uint64_t total_ops = ref.stats().ops_executed;
+  ASSERT_GT(total_ops, 20u);
+
+  for (uint64_t fuel = 0; fuel <= total_ops + 1; ++fuel) {
+    TriRunner d;
+    build_hot_loop(d.mb, 8);
+    d.policy = optimizing_only();
+    d.take_and_validate();
+    d.run({}, fuel);
+    d.expect_identical("fuel=" + std::to_string(fuel));
+    if (fuel < total_ops) {
+      EXPECT_EQ(d.jit().result.trap, Trap::FuelExhausted) << fuel;
+      EXPECT_EQ(d.jit().stats.ops_executed, fuel) << fuel;
+    } else {
+      EXPECT_TRUE(d.jit().result.ok()) << fuel;
+    }
+  }
+}
+
+/// A loop that stores to linear memory each iteration, so the post-trap
+/// memory state distinguishes "charged but not executed" from "executed".
+void build_store_loop(ModuleBuilder& mb, int32_t n) {
+  mb.set_memory(1);
+  auto f = mb.define(FuncType{{}, {VT::I32}});
+  f.add_local(VT::I32);  // i
+  f.i32(0).local_set(0);
+  f.block();
+  f.loop();
+  f.local_get(0).i32(n).op(Opcode::I32GeS).br_if(1);
+  // mem[8 + 4*i] = i * 2
+  f.local_get(0).i32(2).op(Opcode::I32Shl);
+  f.local_get(0).i32(1).op(Opcode::I32Shl);
+  f.store(Opcode::I32Store, 8);
+  f.local_get(0).i32(1).op(Opcode::I32Add).local_set(0);
+  f.br(0);
+  f.end();
+  f.end();
+  f.local_get(0);
+  f.finish("main");
+}
+
+TEST(WasmJit, FuelSweepStoreLoopMemoryState) {
+  ModuleBuilder ref_mb;
+  build_store_loop(ref_mb, 6);
+  Module ref_module = ref_mb.take();
+  ASSERT_FALSE(validate(ref_module).has_value());
+  Instance ref(ref_module, {});
+  ref.set_quicken(false);
+  ref.set_tier_policy(optimizing_only());
+  ASSERT_TRUE(ref.invoke("main", {}).ok());
+  const uint64_t total_ops = ref.stats().ops_executed;
+
+  for (uint64_t fuel = 0; fuel <= total_ops + 1; ++fuel) {
+    TriRunner d;
+    build_store_loop(d.mb, 6);
+    d.policy = optimizing_only();
+    d.take_and_validate();
+    d.run({}, fuel);
+    d.expect_identical("store-loop fuel=" + std::to_string(fuel));
+  }
+}
+
+TEST(WasmJit, LoadsStoresAllWidths) {
+  TriRunner d;
+  d.mb.set_memory(1);
+  auto f = d.mb.define(FuncType{{}, {VT::I64}});
+  f.add_local(VT::I64);
+  f.i32(0).i64(-2).store(Opcode::I64Store, 16);
+  f.i32(0).i32(-3).store(Opcode::I32Store, 32);
+  f.i32(0).i32(0xabcd).store(Opcode::I32Store16, 40);
+  f.i32(0).i32(0x80).store(Opcode::I32Store8, 48);
+  f.i32(16).load(Opcode::I64Load);
+  f.i32(32).load(Opcode::I32Load).op(Opcode::I64ExtendI32S).op(Opcode::I64Add);
+  f.i32(40).load(Opcode::I32Load16U).op(Opcode::I64ExtendI32U).op(Opcode::I64Add);
+  f.i32(40).load(Opcode::I32Load16S).op(Opcode::I64ExtendI32S).op(Opcode::I64Add);
+  f.i32(48).load(Opcode::I32Load8S).op(Opcode::I64ExtendI32S).op(Opcode::I64Add);
+  f.i32(48).load(Opcode::I32Load8U).op(Opcode::I64ExtendI32U).op(Opcode::I64Add);
+  f.op(Opcode::MemorySize).op(Opcode::I64ExtendI32S).op(Opcode::I64Add);
+  f.finish("main");
+  d.policy = optimizing_only();
+  d.take_and_validate();
+  d.run();
+  d.expect_identical("loads/stores");
+  ASSERT_TRUE(d.jit().result.ok());
+  if (jit::available()) { EXPECT_EQ(d.jit_compiled, 1u); }
+}
+
+TEST(WasmJit, FloatMathIdentical) {
+  TriRunner d;
+  auto f = d.mb.define(FuncType{{VT::F64}, {VT::F64}});
+  f.local_get(0).f64(2.5).op(Opcode::F64Mul);
+  f.f64(0.125).op(Opcode::F64Add);
+  f.f64(3.0).op(Opcode::F64Div);
+  f.op(Opcode::F64Sqrt);
+  f.op(Opcode::F64Neg).op(Opcode::F64Abs);
+  f.local_get(0).op(Opcode::F64Sub);
+  f.op(Opcode::F32DemoteF64).op(Opcode::F64PromoteF32);
+  // Feed an f32 pipeline too, then compare and convert back.
+  f.f32(1.5f).f32(0.25f).op(Opcode::F32Add).f32(2.0f).op(Opcode::F32Mul);
+  f.op(Opcode::F32Sqrt).op(Opcode::F64PromoteF32).op(Opcode::F64Add);
+  f.finish("main");
+  d.policy = optimizing_only();
+  d.take_and_validate();
+  const Value arg = Value::from_f64(7.75);
+  d.run({&arg, 1});
+  d.expect_identical("float math");
+  ASSERT_TRUE(d.jit().result.ok());
+  if (jit::available()) { EXPECT_EQ(d.jit_compiled, 1u); }
+}
+
+TEST(WasmJit, FloatCompareNaNIdentical) {
+  // NaN comparison semantics must survive the SSE lowering (cmpsd + mask):
+  // every ordered compare with a NaN operand is false except Ne.
+  for (const Opcode cmp : {Opcode::F64Eq, Opcode::F64Ne, Opcode::F64Lt,
+                           Opcode::F64Gt, Opcode::F64Le, Opcode::F64Ge}) {
+    TriRunner d;
+    auto f = d.mb.define(FuncType{{VT::F64, VT::F64}, {VT::I32}});
+    f.local_get(0).local_get(1).op(cmp);
+    f.finish("main");
+    d.policy = optimizing_only();
+    d.take_and_validate();
+    const Value args[2] = {Value::from_f64(std::nan("")), Value::from_f64(1.0)};
+    d.run(args);
+    d.expect_identical("NaN compare");
+  }
+}
+
+TEST(WasmJit, IntOpsAndConversionsIdentical) {
+  TriRunner d;
+  auto f = d.mb.define(FuncType{{VT::I64}, {VT::I64}});
+  f.local_get(0).i64(13).op(Opcode::I64Rotl);
+  f.i64(7).op(Opcode::I64Rotr);
+  f.op(Opcode::I32WrapI64).i32(5).op(Opcode::I32Rotl);
+  f.i32(0).op(Opcode::I32Eqz).op(Opcode::I32Sub);
+  f.op(Opcode::I64ExtendI32U);
+  f.local_get(0).i64(63).op(Opcode::I64And).op(Opcode::I64Shl);
+  f.local_get(0).op(Opcode::I64Xor);
+  // Select on a computed condition.
+  f.i64(111).local_get(0).i64(0).op(Opcode::I64Ne).op(Opcode::Select);
+  // Signed/unsigned div+rem on known-safe operands.
+  f.i64(1000).op(Opcode::I64Add).i64(37).op(Opcode::I64DivS);
+  f.i64(11).op(Opcode::I64RemU);
+  // int->float conversion and a float compare back to i32 (the reverse
+  // float->int truncations are deliberately JIT-ineligible).
+  f.op(Opcode::I32WrapI64).op(Opcode::F64ConvertI32S);
+  f.f64(100.0).op(Opcode::F64Lt).op(Opcode::I64ExtendI32U);
+  f.finish("main");
+  d.policy = optimizing_only();
+  d.take_and_validate();
+  const Value arg = Value::from_i64(0x123456789abcdef0ll);
+  d.run({&arg, 1});
+  d.expect_identical("int ops");
+  ASSERT_TRUE(d.jit().result.ok());
+  if (jit::available()) { EXPECT_EQ(d.jit_compiled, 1u); }
+}
+
+TEST(WasmJit, GlobalsIdentical) {
+  TriRunner d;
+  d.mb.add_global(VT::I64, true, Value::from_i64(5));
+  d.mb.add_global(VT::I64, true, Value::from_i64(0));
+  auto f = d.mb.define(FuncType{{}, {VT::I64}});
+  f.add_local(VT::I32);
+  f.i32(10).local_set(0);
+  f.block();
+  f.loop();
+  f.local_get(0).i32(0).op(Opcode::I32LeS).br_if(1);
+  f.op(Opcode::GlobalGet, 1).op(Opcode::GlobalGet, 0).op(Opcode::I64Add);
+  f.op(Opcode::GlobalSet, 1);
+  f.op(Opcode::GlobalGet, 0).i64(1).op(Opcode::I64Add).op(Opcode::GlobalSet, 0);
+  f.local_get(0).i32(-1).op(Opcode::I32Add).local_set(0);
+  f.br(0);
+  f.end();
+  f.end();
+  f.op(Opcode::GlobalGet, 1);
+  f.finish("main");
+  d.policy = optimizing_only();
+  d.take_and_validate();
+  d.run();
+  d.expect_identical("globals");
+  ASSERT_TRUE(d.jit().result.ok());
+}
+
+TEST(WasmJit, DivTrapsIdentical) {
+  // Each divide trap must fire from inside compiled code with the exact
+  // charge state the quickened loop leaves: the trapping QInstr is fully
+  // charged (the trap happens mid-execute), preceding same-block QInstrs
+  // are charged, following ones are not.
+  struct Case {
+    Opcode op;
+    int64_t a, b;
+    bool i64;
+  };
+  const Case cases[] = {
+      {Opcode::I32DivS, 7, 0, false},  {Opcode::I32DivU, 7, 0, false},
+      {Opcode::I32RemS, 7, 0, false},  {Opcode::I32RemU, 7, 0, false},
+      {Opcode::I32DivS, INT32_MIN, -1, false},
+      {Opcode::I32RemS, INT32_MIN, -1, false},  // no trap: result 0
+      {Opcode::I64DivS, 7, 0, true},   {Opcode::I64DivU, 7, 0, true},
+      {Opcode::I64RemS, 7, 0, true},   {Opcode::I64RemU, 7, 0, true},
+      {Opcode::I64DivS, INT64_MIN, -1, true},
+      {Opcode::I64RemS, INT64_MIN, -1, true},  // no trap: result 0
+  };
+  for (const Case& c : cases) {
+    TriRunner d;
+    const VT vt = c.i64 ? VT::I64 : VT::I32;
+    auto f = d.mb.define(FuncType{{vt, vt}, {vt}});
+    // A couple of straightline ops before the div so a partial-trap
+    // unwind has a prefix to charge.
+    if (c.i64) {
+      f.local_get(0).i64(0).op(Opcode::I64Add);
+      f.local_get(1).op(c.op);
+    } else {
+      f.local_get(0).i32(0).op(Opcode::I32Add);
+      f.local_get(1).op(c.op);
+    }
+    f.finish("main");
+    d.policy = optimizing_only();
+    d.take_and_validate();
+    Value args[2];
+    if (c.i64) {
+      args[0] = Value::from_i64(c.a);
+      args[1] = Value::from_i64(c.b);
+    } else {
+      args[0] = Value::from_i32(static_cast<int32_t>(c.a));
+      args[1] = Value::from_i32(static_cast<int32_t>(c.b));
+    }
+    d.run(args);
+    d.expect_identical("div trap");
+  }
+}
+
+TEST(WasmJit, OobTrapIdentical) {
+  // An out-of-bounds store mid-loop: the partial-trap helper must charge
+  // the preceding block prefix and the trapping store itself, and leave
+  // the stores already executed visible in memory.
+  // Addresses stride 16KiB from 0, so iteration 4 crosses the one-page
+  // memory: limit 3 completes cleanly, limit 8 traps mid-loop.
+  for (const uint32_t limit : {3u, 8u}) {
+    TriRunner d;
+    d.mb.set_memory(1);
+    auto f = d.mb.define(FuncType{{}, {VT::I32}});
+    f.add_local(VT::I32);
+    f.i32(0).local_set(0);
+    f.block();
+    f.loop();
+    f.local_get(0).i32(static_cast<int32_t>(limit)).op(Opcode::I32GeU).br_if(1);
+    f.local_get(0).i32(16384).op(Opcode::I32Mul);
+    f.local_get(0).store(Opcode::I32Store);
+    f.local_get(0).i32(1).op(Opcode::I32Add).local_set(0);
+    f.br(0);
+    f.end();
+    f.end();
+    f.local_get(0);
+    f.finish("main");
+    d.policy = optimizing_only();
+    d.take_and_validate();
+    d.run();
+    d.expect_identical("oob limit=" + std::to_string(limit));
+    EXPECT_EQ(d.jit().result.trap,
+              limit <= 4 ? Trap::None : Trap::MemoryOutOfBounds);
+  }
+}
+
+TEST(WasmJit, UnreachableTrapIdentical) {
+  TriRunner d;
+  auto f = d.mb.define(FuncType{{VT::I32}, {VT::I32}});
+  f.local_get(0).if_();
+  f.op(Opcode::Unreachable);
+  f.end();
+  f.i32(42);
+  f.finish("main");
+  d.policy = optimizing_only();
+  d.take_and_validate();
+  for (const int32_t cond : {0, 1}) {
+    const Value arg = Value::from_i32(cond);
+    d.run({&arg, 1});
+    d.expect_identical(cond ? "unreachable taken" : "unreachable skipped");
+    EXPECT_EQ(d.jit().result.trap,
+              cond ? Trap::Unreachable : Trap::None);
+  }
+}
+
+TEST(WasmJit, IneligibleOpsFallBackPerFunction) {
+  // memory.grow is not JIT-eligible (it can move the memory base under
+  // the compiled code): the function must transparently stay on quickened
+  // dispatch with identical observables, and nothing must be compiled.
+  TriRunner d;
+  d.mb.set_memory(1, 4);
+  auto f = d.mb.define(FuncType{{}, {VT::I32}});
+  f.i32(2).op(Opcode::MemoryGrow);
+  f.op(Opcode::MemorySize).op(Opcode::I32Add);
+  f.finish("main");
+  d.policy = optimizing_only();
+  d.take_and_validate();
+  d.run();
+  d.expect_identical("memory.grow fallback");
+  EXPECT_EQ(d.jit_compiled, 0u);
+}
+
+TEST(WasmJit, JitRequiresQuicken) {
+  ModuleBuilder mb;
+  build_hot_loop(mb, 4);
+  Module m = mb.take();
+  ASSERT_FALSE(validate(m).has_value());
+  Instance inst(m, {});
+  inst.set_quicken(false);
+  inst.set_jit(true);  // must refuse: the JIT lowers QCode
+  EXPECT_FALSE(inst.jit_enabled());
+  ASSERT_TRUE(inst.invoke("main", {}).ok());
+  // And disabling quicken afterwards drags the JIT down with it.
+  Instance inst2(m, {});
+  inst2.set_quicken(true);
+  inst2.set_jit(true);
+  inst2.set_quicken(false);
+  EXPECT_FALSE(inst2.jit_enabled());
+}
+
+TEST(WasmJit, ProcessDefaultToggle) {
+  ModuleBuilder mb;
+  build_hot_loop(mb, 4);
+  Module m = mb.take();
+  ASSERT_FALSE(validate(m).has_value());
+  jit::set_jit_default(false);
+  {
+    Instance inst(m, {});
+    EXPECT_FALSE(inst.jit_enabled());
+    ASSERT_TRUE(inst.invoke("main", {}).ok());
+  }
+  jit::set_jit_default(true);
+  {
+    Instance inst(m, {});
+    EXPECT_EQ(inst.jit_enabled(), inst.quicken_enabled() && jit::available());
+  }
+}
+
+TEST(WasmJit, CostTableChangeRecompiles) {
+  // The charge side table is priced from the optimizing cost row at
+  // compile time; changing the tables must invalidate compiled code, and
+  // the recompiled function must charge from the new prices.
+  TriRunner d;
+  build_hot_loop(d.mb, 50);
+  d.policy = optimizing_only();
+  d.take_and_validate();
+
+  CostTable expensive;
+  expensive.fill(700);
+  ExecStats got[3];
+  for (int engine = 0; engine < 3; ++engine) {
+    Instance inst(d.module(), {});
+    inst.set_quicken(engine > 0);
+    inst.set_jit(engine == 2);
+    inst.set_tier_policy(optimizing_only());
+    ASSERT_TRUE(inst.invoke("main", {}).ok());  // compiled under default prices
+    inst.set_cost_tables(expensive, expensive);
+    ASSERT_TRUE(inst.invoke("main", {}).ok());
+    got[engine] = inst.stats();
+  }
+  EXPECT_EQ(got[0].cost_ps, got[1].cost_ps);
+  EXPECT_EQ(got[0].cost_ps, got[2].cost_ps);
+  EXPECT_EQ(got[0].ops_executed, got[2].ops_executed);
+}
+
+// ---------------------------------------------------------------------------
+// White-box: the stencil table itself.
+
+TEST(WasmJitStencil, TableShape) {
+  const jit::StencilTable& t = jit::stencils();
+  // Straightline ops the compiler depends on must exist.
+  EXPECT_TRUE(t.ops[static_cast<size_t>(QOp::Const)].valid);
+  EXPECT_TRUE(t.ops[static_cast<size_t>(QOp::LocalGet)].valid);
+  EXPECT_TRUE(t.ops[static_cast<size_t>(QOp::I32Add)].valid);
+  EXPECT_TRUE(t.ops[static_cast<size_t>(QOp::I64DivS)].valid);
+  EXPECT_TRUE(t.ops[static_cast<size_t>(QOp::F64Sqrt)].valid);
+  EXPECT_TRUE(t.ops[static_cast<size_t>(QOp::FGetGetSet_I32Add)].valid);
+  EXPECT_TRUE(t.ops[static_cast<size_t>(QOp::FGetConstSet_F64Mul)].valid);
+  EXPECT_TRUE(t.ops[static_cast<size_t>(QOp::FGetLoadI32)].valid);
+  // Ops the JIT must NOT claim to support (calls re-enter the
+  // interpreter; memory.grow moves the base; no stencil was written for
+  // the iclass/fclass unaries or the checked float->int truncations).
+  EXPECT_FALSE(t.ops[static_cast<size_t>(QOp::Call)].valid);
+  EXPECT_FALSE(t.ops[static_cast<size_t>(QOp::CallIndirect)].valid);
+  EXPECT_FALSE(t.ops[static_cast<size_t>(QOp::BrTable)].valid);
+  EXPECT_FALSE(t.ops[static_cast<size_t>(QOp::MemoryGrow)].valid);
+  EXPECT_FALSE(t.ops[static_cast<size_t>(QOp::I32Clz)].valid);
+  EXPECT_FALSE(t.ops[static_cast<size_t>(QOp::F64Floor)].valid);
+  EXPECT_FALSE(t.ops[static_cast<size_t>(QOp::I32TruncF64S)].valid);
+  // All branch shapes exist.
+  for (int v = 0; v < jit::kBranchVariants; ++v) {
+    EXPECT_TRUE(t.br[v].valid) << v;
+    EXPECT_TRUE(t.br_if[v].valid) << v;
+    for (int c = 0; c < 10; ++c) EXPECT_TRUE(t.cmp_br[c][v].valid) << c;
+  }
+  EXPECT_TRUE(t.ret[0].valid);
+  EXPECT_TRUE(t.ret[1].valid);
+  // Every branch stencil ends with a rel32 branch hole; every valid
+  // stencil's holes lie inside its bytes.
+  const auto holes_in_bounds = [](const jit::Stencil& s) {
+    for (const jit::Hole& h : s.holes) {
+      if (h.offset + 4 > s.bytes.size()) return false;
+    }
+    return true;
+  };
+  for (const jit::Stencil& s : t.ops) {
+    if (s.valid) { EXPECT_TRUE(holes_in_bounds(s)); }
+  }
+  for (int v = 0; v < jit::kBranchVariants; ++v) {
+    ASSERT_FALSE(t.br[v].holes.empty());
+    EXPECT_EQ(t.br[v].holes.back().kind, jit::HoleKind::BranchA);
+  }
+}
+
+TEST(WasmJitStencil, PatchImmediate) {
+  QInstr q;
+  q.a = 3;
+  q.b = 0x1234;
+  q.c = 7;
+  q.val = Value::from_i64(0x1122334455667788ll);
+  uint8_t buf[16] = {};
+  jit::patch_immediate(buf, jit::Hole{2, jit::HoleKind::ImmB}, q);
+  EXPECT_EQ(buf[2], 0x34);
+  EXPECT_EQ(buf[3], 0x12);
+  EXPECT_EQ(buf[4], 0x00);
+  jit::patch_immediate(buf, jit::Hole{0, jit::HoleKind::DispA}, q);
+  uint32_t disp = 0;
+  std::memcpy(&disp, buf, 4);
+  EXPECT_EQ(disp, 8u * 3u);  // slot -> byte offset
+  jit::patch_immediate(buf, jit::Hole{8, jit::HoleKind::Val64}, q);
+  uint64_t val = 0;
+  std::memcpy(&val, buf + 8, 8);
+  EXPECT_EQ(val, 0x1122334455667788ull);
+  jit::patch_immediate(buf, jit::Hole{0, jit::HoleKind::DispB8}, q);
+  std::memcpy(&disp, buf, 4);
+  EXPECT_EQ(disp, 8u * 0x1234u + 8u);
+}
+
+TEST(WasmJitStencil, CompiledCodeContainsPatchedImmediate) {
+  // White-box: compile a tiny function and check the constant's bits
+  // actually appear in the emitted code (i.e. the Val64 hole was patched,
+  // not left as the stencil's placeholder).
+  if (!jit::available()) GTEST_SKIP() << "no executable memory on this host";
+  ModuleBuilder mb;
+  auto f = mb.define(FuncType{{}, {VT::I64}});
+  f.i64(0x5a5a1234cafef00dll).i64(1).op(Opcode::I64Add);
+  f.finish("main");
+  Module m = mb.take();
+  ASSERT_FALSE(validate(m).has_value());
+  const QFunc qf = quicken(m, 0);
+  jit::CodeCache cache;
+  CostTable costs;
+  costs.fill(100);
+  auto cf = jit::compile(qf, 0, 1, costs, cache);
+  ASSERT_NE(cf, nullptr);
+  const std::span<const uint8_t> code = cf->code();
+  const uint64_t needle = 0x5a5a1234cafef00dull;
+  bool found = false;
+  for (size_t i = 0; i + 8 <= code.size(); ++i) {
+    uint64_t w;
+    std::memcpy(&w, code.data() + i, 8);
+    if (w == needle) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+  // And it runs: result, ops and charge table all line up.
+  jit::JitContext ctx;
+  ctx.fuel = UINT64_MAX;
+  std::vector<uint64_t> stack(16), block_exec(cf->blocks().size());
+  ctx.stack_base = stack.data();
+  ctx.block_exec = block_exec.data();
+  ctx.fn = cf.get();
+  ctx.opt_costs = costs.data();
+  cf->run(ctx);
+  EXPECT_EQ(ctx.trap, 0u);
+  EXPECT_EQ(ctx.result_bits, needle + 1);
+  // Two consts + add + the body's End (merged as a charged ChargeOnly);
+  // only the FuncReturn sentinel charges nothing.
+  EXPECT_EQ(ctx.ops, 4u);
+}
+
+TEST(WasmJitCache, InstallsExecutableCode) {
+  if (!jit::available()) GTEST_SKIP() << "no executable memory on this host";
+  jit::CodeCache cache;
+  // x86-64: mov eax, 0x2a; ret
+  const uint8_t stub[] = {0xb8, 0x2a, 0x00, 0x00, 0x00, 0xc3};
+  const uint8_t* p = cache.install(stub, sizeof(stub));
+  ASSERT_NE(p, nullptr);
+  using Fn = int (*)();
+  EXPECT_EQ(reinterpret_cast<Fn>(const_cast<uint8_t*>(p))(), 42);
+}
+
+}  // namespace
+}  // namespace wb::wasm

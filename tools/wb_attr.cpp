@@ -26,7 +26,7 @@
 //           [--sizes=S,M] [--levels=O2,Ofast]
 //           [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]
 //           [--toolchain=Cheerp] [--jobs=N] [--no-quicken]
-//           [--no-quicken-js] [--help]
+//           [--no-quicken-js] [--no-jit] [--help]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +44,7 @@
 #include "js/quicken.h"
 #include "support/cli.h"
 #include "support/json.h"
+#include "wasm/jit/jit.h"
 #include "wasm/quicken.h"
 
 namespace {
@@ -61,11 +62,13 @@ const support::CliTool cli(
     "               [--sizes=S,M] [--levels=O2,Ofast]\n"
     "               [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
     "               [--toolchain=Cheerp] [--jobs=N]\n"
-    "               [--no-quicken] [--no-quicken-js] [--help]\n"
+    "               [--no-quicken] [--no-quicken-js] [--no-jit] [--help]\n"
     "environment:\n"
     "  WB_JOBS=N            default for --jobs (the flag wins)\n"
     "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
-    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n");
+    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n"
+    "  WB_NO_JIT=1          quickened dispatch without the copy-and-patch\n"
+    "                       Wasm JIT (= --no-jit; never changes results)\n");
 
 [[noreturn]] void die(const std::string& msg) { cli.die(msg); }
 
@@ -529,6 +532,9 @@ int main(int argc, char** argv) {
       wasm::set_quicken_default(false);
     } else if (arg == "--no-quicken-js") {
       js::set_quicken_default(false);
+    } else if (arg == "--no-jit") {
+      // And for the copy-and-patch Wasm JIT.
+      wasm::jit::set_jit_default(false);
     } else {
       cli.unknown_flag(arg);
     }

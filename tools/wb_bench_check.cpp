@@ -13,7 +13,8 @@
 //                  --ratio-den=BM_WasmInterpreterHotLoop/100000
 //                  --min-ratio=2.0
 //
-// Exit status: 0 ok, 1 regression/ratio failure, 2 usage or I/O error.
+// Exit status: 0 ok, 1 regression/ratio failure, 2 usage/IO error or a
+// baseline recorded from a non-release build (context.library_build_type).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -80,6 +81,23 @@ const Entry* find_entry(const std::vector<Entry>& entries, const std::string& na
   return nullptr;
 }
 
+/// A baseline snapshot recorded from a debug build makes every floor
+/// meaningless (a release current sails over it even after a 10x
+/// regression). google-benchmark stamps the build type into the report
+/// context; reject anything that is not an optimized build.
+bool reject_non_release_baseline(const Value& baseline, const std::string& path) {
+  const Value* context = baseline.find("context");
+  const Value* build = context ? context->find("library_build_type") : nullptr;
+  if (!build || !build->is_string()) return false;  // old snapshot: tolerate
+  if (build->as_string() == "release") return false;
+  std::fprintf(stderr,
+               "wb_bench_check: %s was recorded from a '%s' build; baselines "
+               "must come from a release build (re-snapshot with "
+               "-DCMAKE_BUILD_TYPE=Release)\n",
+               path.c_str(), build->as_string().c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,6 +143,7 @@ int main(int argc, char** argv) {
   if (!baseline_path.empty()) {
     const auto baseline = load(baseline_path);
     if (!baseline) return 2;
+    if (reject_non_release_baseline(*baseline, baseline_path)) return 2;
     int compared = 0;
     for (const Entry& base : entries_of(*baseline)) {
       const auto tracked = [&] {

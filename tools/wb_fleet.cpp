@@ -22,7 +22,7 @@
 //            [--jobs=N] [--sizes=XS,S] [--level=O2] [--mean-us=N]
 //            [--max-benchmarks=N] [--out=PATH]
 //            [--check] [--golden=goldens/fleet.json] [--diff-out=PATH]
-//            [--no-quicken] [--no-quicken-js] [--help]
+//            [--no-quicken] [--no-quicken-js] [--no-jit] [--help]
 //
 // Environment:
 //   WB_JOBS=N            default for --jobs (the flag wins)
@@ -30,6 +30,9 @@
 //                        (same as --no-quicken; never changes results)
 //   WB_NO_JS_QUICKEN=1   force the classic JS switch loop
 //                        (same as --no-quicken-js; never changes results)
+//   WB_NO_JIT=1          force quickened dispatch without the copy-and-
+//                        patch Wasm JIT (same as --no-jit; never changes
+//                        results)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +47,7 @@
 #include "js/quicken.h"
 #include "support/cli.h"
 #include "support/json.h"
+#include "wasm/jit/jit.h"
 #include "wasm/quicken.h"
 
 namespace {
@@ -57,11 +61,13 @@ const support::CliTool cli(
     "                [--jobs=N] [--sizes=XS,S] [--level=O2] [--mean-us=N]\n"
     "                [--max-benchmarks=N] [--replay-modules=N] [--out=PATH]\n"
     "                [--check] [--golden=goldens/fleet.json] [--diff-out=PATH]\n"
-    "                [--no-quicken] [--no-quicken-js] [--help]\n"
+    "                [--no-quicken] [--no-quicken-js] [--no-jit] [--help]\n"
     "environment:\n"
     "  WB_JOBS=N            default for --jobs (the flag wins)\n"
     "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
-    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n");
+    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n"
+    "  WB_NO_JIT=1          quickened dispatch without the copy-and-patch\n"
+    "                       Wasm JIT (= --no-jit; never changes results)\n");
 
 [[noreturn]] void die(const std::string& msg) { cli.die(msg); }
 
@@ -195,6 +201,9 @@ int main(int argc, char** argv) {
       wasm::set_quicken_default(false);
     } else if (arg == "--no-quicken-js") {
       js::set_quicken_default(false);
+    } else if (arg == "--no-jit") {
+      // And for the copy-and-patch Wasm JIT.
+      wasm::jit::set_jit_default(false);
     } else {
       cli.unknown_flag(arg);
     }

@@ -27,6 +27,7 @@
 #include "replay/replay.h"
 #include "replay/trace.h"
 #include "support/cli.h"
+#include "wasm/jit/jit.h"
 #include "wasm/quicken.h"
 #include "wasm/wat.h"
 
@@ -39,12 +40,14 @@ const support::CliTool cli(
     "wb_fuzz",
     "usage: wb_fuzz [--runs=N] [--seed=S] [--jobs=J] [--out=DIR]\n"
     "               [--mutation-every=N] [--no-minimize] [--plant-bug]\n"
-    "               [--no-quicken] [--no-quicken-js]\n"
+    "               [--no-quicken] [--no-quicken-js] [--no-jit]\n"
     "               [--replay FILE] [--corpus DIR] [--trace FILE] [--help]\n"
     "environment:\n"
     "  WB_JOBS=N            default for --jobs (the flag wins)\n"
     "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
-    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n");
+    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n"
+    "  WB_NO_JIT=1          quickened dispatch without the copy-and-patch\n"
+    "                       Wasm JIT (= --no-jit; never changes results)\n");
 
 bool parse_u64(const char* s, uint64_t& out) {
   char* end = nullptr;
@@ -120,21 +123,33 @@ int trace_one(const fs::path& path) {
   }
   const bool wasm_q = wasm::quicken_default();
   const bool js_q = js::quicken_default();
+  const bool wasm_jit = wasm::jit::jit_default();
   int rc = 0;
-  for (const bool quicken : {true, false}) {
-    wasm::set_quicken_default(quicken);
-    js::set_quicken_default(quicken);
+  // Replays must be engine-independent: verify on the full JIT stack, on
+  // quickened dispatch without it, and on the classic loop.
+  struct EngineConfig {
+    const char* name;
+    bool quicken;
+    bool jit;
+  };
+  for (const EngineConfig& cfg :
+       {EngineConfig{"jit", true, true}, EngineConfig{"quickened", true, false},
+        EngineConfig{"classic", false, false}}) {
+    wasm::set_quicken_default(cfg.quicken);
+    js::set_quicken_default(cfg.quicken);
+    wasm::jit::set_jit_default(cfg.jit);
     const replay::ReplayResult r = replay::verify(*trace);
     if (!r.ok) {
-      std::printf("%s: DIVERGENT (%s engine)\n  %s\n", path.c_str(),
-                  quicken ? "quickened" : "classic", r.error.c_str());
+      std::printf("%s: DIVERGENT (%s engine)\n  %s\n", path.c_str(), cfg.name,
+                  r.error.c_str());
       rc = 1;
     }
   }
   wasm::set_quicken_default(wasm_q);
   js::set_quicken_default(js_q);
+  wasm::jit::set_jit_default(wasm_jit);
   if (rc == 0) {
-    std::printf("%s: ok (%s '%s', %zu events, quickened == classic)\n",
+    std::printf("%s: ok (%s '%s', %zu events, jit == quickened == classic)\n",
                 path.c_str(), replay::to_string(trace->kind),
                 trace->name.c_str(), trace->events.size());
   }
@@ -193,6 +208,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-quicken-js") {
       // Same escape hatch for the JS VM's quickened threaded engine.
       js::set_quicken_default(false);
+    } else if (arg == "--no-jit") {
+      // And for the copy-and-patch Wasm JIT (skips the jit oracle).
+      wasm::jit::set_jit_default(false);
     } else if (arg == "--replay" && i + 1 < argc) {
       replays.emplace_back(argv[++i]);
     } else if (arg.rfind("--replay=", 0) == 0) {

@@ -23,7 +23,7 @@
 //            [--sizes=S,M] [--levels=O2,Ofast]
 //            [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]
 //            [--toolchain=Cheerp] [--with-native] [--attr] [--jobs=N]
-//            [--no-quicken] [--no-quicken-js] [--help]
+//            [--no-quicken] [--no-quicken-js] [--no-jit] [--help]
 //
 // Environment (see also wb_study --help):
 //   WB_JOBS=N            default for --jobs (the flag wins)
@@ -31,6 +31,9 @@
 //                        (same as --no-quicken; never changes results)
 //   WB_NO_JS_QUICKEN=1   force the classic JS switch loop
 //                        (same as --no-quicken-js; never changes results)
+//   WB_NO_JIT=1          force quickened dispatch without the copy-and-
+//                        patch Wasm JIT (same as --no-jit; never changes
+//                        results)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +51,7 @@
 #include "support/cli.h"
 #include "support/json.h"
 #include "js/quicken.h"
+#include "wasm/jit/jit.h"
 #include "wasm/quicken.h"
 
 namespace {
@@ -69,11 +73,13 @@ const support::CliTool cli(
     "                [--sizes=S,M] [--levels=O2,Ofast]\n"
     "                [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
     "                [--toolchain=Cheerp] [--with-native] [--attr] [--jobs=N]\n"
-    "                [--no-quicken] [--no-quicken-js] [--help]\n"
+    "                [--no-quicken] [--no-quicken-js] [--no-jit] [--help]\n"
     "environment:\n"
     "  WB_JOBS=N            default for --jobs (the flag wins)\n"
     "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
-    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n");
+    "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n"
+    "  WB_NO_JIT=1          quickened dispatch without the copy-and-patch\n"
+    "                       Wasm JIT (= --no-jit; never changes results)\n");
 
 [[noreturn]] void die(const std::string& msg) { cli.die(msg); }
 
@@ -429,6 +435,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-quicken-js") {
       // Same escape hatch for the JS VM's quickened threaded engine.
       js::set_quicken_default(false);
+    } else if (arg == "--no-jit") {
+      // And for the copy-and-patch Wasm JIT (falls back to quickened
+      // dispatch; WB_NO_JIT=1 is the env equivalent).
+      wasm::jit::set_jit_default(false);
     } else {
       cli.unknown_flag(arg);
     }

@@ -6,6 +6,7 @@
 #include "benchmarks/registry.h"
 #include "core/study.h"
 #include "js/engine.h"
+#include "snap/snap.h"
 #include "wasm/builder.h"
 #include "wasm/codec.h"
 #include "wasm/interp.h"
@@ -239,6 +240,57 @@ void BM_JsPropertyAccessPoly(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100'000);
 }
 BENCHMARK(BM_JsPropertyAccessPoly);
+
+// A module whose init pass touches every one of its 16 linear-memory
+// pages (so zero-page elision keeps them all): the workload behind the
+// cold-vs-restore startup pair.
+wasm::Module warm_init_module() {
+  constexpr int kPages = 16;
+  wasm::ModuleBuilder mb;
+  mb.set_memory(kPages, kPages);
+  auto f = mb.define(wasm::FuncType{{}, {wasm::ValType::I32}}, "init");
+  const uint32_t i = f.add_local(wasm::ValType::I32);
+  f.block().loop();
+  f.local_get(i).i32(kPages * 65536).op(wasm::Opcode::I32GeS).br_if(1);
+  f.local_get(i).local_get(i).store(wasm::Opcode::I32Store, 0, 2);
+  f.local_get(i).i32(16).op(wasm::Opcode::I32Add).local_set(i);
+  f.br(0);
+  f.end().end();
+  f.local_get(i);
+  f.finish("init");
+  return mb.take();
+}
+
+// Cold start: construct the instance and interpret the warm-up pass, the
+// work `wb_study --snapshot` / `wb_fleet --snapshot` skip. Paired with
+// BM_SnapshotRestore below; the CI bench-smoke gate demands restore >=5x.
+void BM_ColdInstantiate(benchmark::State& state) {
+  const wasm::Module module = warm_init_module();
+  for (auto _ : state) {
+    wasm::Instance inst(module, {});
+    const wasm::InvokeResult r = inst.invoke("init", {});
+    benchmark::DoNotOptimize(r.value.bits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColdInstantiate);
+
+// Warm start: construct the instance and restore the post-init wb::snap
+// snapshot (memcpy-class work) instead of re-running the warm-up pass.
+void BM_SnapshotRestore(benchmark::State& state) {
+  const wasm::Module module = warm_init_module();
+  wasm::Instance warm(module, {});
+  (void)warm.invoke("init", {});
+  const snap::WasmSnapshot snapshot = snap::snapshot_wasm(warm, "bench");
+  for (auto _ : state) {
+    wasm::Instance inst(module, {});
+    const bool ok = snap::resume_wasm(inst, snapshot, snap::Resume::WarmStart);
+    benchmark::DoNotOptimize(ok);
+    if (!ok) state.SkipWithError("snapshot restore failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotRestore);
 
 void BM_CompilePipeline(benchmark::State& state) {
   const core::BenchSource* bench = benchmarks::find_benchmark("gemm");

@@ -1,11 +1,13 @@
 #include "env/env.h"
 
 #include <cmath>
+#include <optional>
 
 #include "attr/attr.h"
 #include "js/engine.h"
 #include "prof/prof.h"
 #include "replay/boundary.h"
+#include "snap/snap.h"
 
 namespace wb::env {
 
@@ -257,6 +259,22 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
     inst.set_recorder(rec);
   }
 
+  // Warm-start (wb::snap): capture a post-instantiate snapshot from a
+  // throwaway warm-up instance. The measured page then restores it at a
+  // modeled bytes-proportional cost instead of decoding + instantiating.
+  std::optional<snap::WasmSnapshot> snapshot;
+  if (options.snapshot && snap::snap_default()) {
+    uint64_t warm_calls = 0;
+    wasm::Instance warm(artifact.module,
+                        backend::make_import_bindings(artifact, &warm_calls));
+    warm.set_cost_tables(wasm_tier_costs(false, options),
+                         wasm_tier_costs(true, options));
+    warm.set_fuel(4'000'000'000ull);
+    warm.set_tier_policy(tiers);
+    warm.set_grow_cost(profile_.grow_cost_ps);
+    if (warm.invoke("__init", {}).ok()) snapshot = snap::snapshot_wasm(warm);
+  }
+
   // DevTools-style collection (paper Sec. 3.3): page phases become Page
   // spans, the VM emits function/tier-up/grow events between them.
   prof::Tracer* const tr = options.tracer;
@@ -264,7 +282,7 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
   if (tr) {
     tr->set_track(prof::kWasmTrack);
     load_id = tr->intern("page:load");
-    init_id = tr->intern("page:instantiate");
+    init_id = tr->intern(snapshot ? "page:restore" : "page:instantiate");
     main_id = tr->intern("page:main");
     boundary_id = tr->intern("page:boundary");
     inst.set_tracer(tr);
@@ -273,12 +291,15 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
 
   // Load: page overhead + decode/compile of the binary. The optimizing-
   // only configuration compiles everything with the heavy compiler up
-  // front (more load time, repaid on hot code).
+  // front (more load time, repaid on hot code). A snapshot warm start
+  // pays only the page overhead here; decode and instantiate are
+  // replaced by the restore below.
   uint64_t decode_factor = profile_.wasm_decode_cost_per_byte;
   if (options.wasm_tiers == RunOptions::WasmTiers::OptimizingOnly) decode_factor *= 2;
-  const uint64_t load_ps = profile_.page_overhead_ps +
-                           profile_.wasm_instantiate_overhead_ps +
-                           decode_factor * artifact.binary.size();
+  const uint64_t load_ps =
+      snapshot ? profile_.page_overhead_ps
+               : profile_.page_overhead_ps + profile_.wasm_instantiate_overhead_ps +
+                     decode_factor * artifact.binary.size();
   inst.charge(load_ps);
   if (rec) rec->page_charge(replay::PagePhase::Load, load_ps);
   if (tr) {
@@ -286,14 +307,26 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
     tr->begin(prof::Cat::Page, init_id, inst.stats().cost_ps);
   }
 
-  // Instantiate: the runtime sets up linear memory (bump allocations and
-  // memory.grow traffic happen here; measured, as in the paper).
-  const wasm::InvokeResult init = inst.invoke("__init", {});
-  if (tr) tr->end(prof::Cat::Page, init_id, inst.stats().cost_ps);
-  if (!init.ok()) {
-    metrics.ok = false;
-    metrics.error = std::string("instantiate trapped: ") + wasm::to_string(init.trap);
-    return metrics;
+  if (snapshot) {
+    // Restore: map the snapshot into the fresh instance (memory, globals,
+    // tier state, JIT verdicts) and charge the modeled restore cost.
+    if (!snap::resume_wasm(inst, *snapshot, snap::Resume::WarmStart)) {
+      metrics.ok = false;
+      metrics.error = "snapshot restore failed: shape mismatch";
+      return metrics;
+    }
+    if (tr) tr->end(prof::Cat::Page, init_id, inst.stats().cost_ps);
+  } else {
+    // Instantiate: the runtime sets up linear memory (bump allocations and
+    // memory.grow traffic happen here; measured, as in the paper).
+    const wasm::InvokeResult init = inst.invoke("__init", {});
+    if (tr) tr->end(prof::Cat::Page, init_id, inst.stats().cost_ps);
+    if (!init.ok()) {
+      metrics.ok = false;
+      metrics.error =
+          std::string("instantiate trapped: ") + wasm::to_string(init.trap);
+      return metrics;
+    }
   }
   if (tr) tr->begin(prof::Cat::Page, main_id, inst.stats().cost_ps);
   const wasm::InvokeResult r = inst.invoke("main", {});
@@ -304,9 +337,11 @@ PageMetrics BrowserEnv::run_wasm(const backend::WasmArtifact& artifact,
     return metrics;
   }
 
-  // Each host (imported) call is a JS<->Wasm boundary crossing; the two
-  // invoke() calls are crossings too.
-  const uint64_t crossings = boundary_calls + 2 + options.extra_boundary_crossings;
+  // Each host (imported) call is a JS<->Wasm boundary crossing; the
+  // invoke() calls are crossings too (one only, when a snapshot replaced
+  // the __init invoke).
+  const uint64_t crossings = boundary_calls + (snapshot ? 1 : 2) +
+                             options.extra_boundary_crossings;
   if (tr) tr->begin(prof::Cat::Page, boundary_id, inst.stats().cost_ps);
   const uint64_t boundary_ps = crossings * profile_.boundary_cost_ps;
   inst.charge(boundary_ps, attr::Cause::CallOverhead);
@@ -344,16 +379,33 @@ PageMetrics BrowserEnv::run_js(std::string_view source, const RunOptions& option
     return metrics;
   }
 
-  js::Heap heap(4 << 20);
-  js::Vm vm(*code, heap);
-  vm.set_cost_tables(js_tier_costs(false), js_tier_costs(true));
-  vm.set_fuel(4'000'000'000ull);
-
   js::JsTierPolicy tiers;
   tiers.jit_enabled = options.js_jit_enabled;
   tiers.tierup_threshold = profile_.js_tierup_threshold;
   tiers.tierup_cost_per_instr = 1500;
-  vm.set_tier_policy(tiers);
+
+  const auto configure = [&](js::Vm& v) {
+    v.set_cost_tables(js_tier_costs(false), js_tier_costs(true));
+    v.set_fuel(4'000'000'000ull);
+    v.set_tier_policy(tiers);
+    if (options.js_gc == RunOptions::JsGc::Generational) {
+      v.set_gc_mode(js::GcMode::Generational);
+    }
+  };
+
+  js::Heap heap(4 << 20);
+  js::Vm vm(*code, heap);
+  configure(vm);
+
+  // Warm-start (wb::snap): snapshot a throwaway VM after its top-level
+  // ran; the measured page restores it below instead of parsing.
+  std::optional<snap::JsSnapshot> snapshot;
+  if (options.snapshot && snap::snap_default()) {
+    js::Heap warm_heap(4 << 20);
+    js::Vm warm(*code, warm_heap);
+    configure(warm);
+    if (warm.run_top_level().ok) snapshot = snap::snapshot_js(warm);
+  }
 
   replay::BoundarySink* const rec = options.recorder;
   if (rec) {
@@ -382,16 +434,28 @@ PageMetrics BrowserEnv::run_js(std::string_view source, const RunOptions& option
     tr->begin(prof::Cat::Page, parse_id, vm.stats().cost_ps);
   }
   const uint64_t parse_ps =
-      profile_.page_overhead_ps + profile_.js_parse_cost_per_byte * source.size();
+      snapshot ? profile_.page_overhead_ps
+               : profile_.page_overhead_ps +
+                     profile_.js_parse_cost_per_byte * source.size();
   vm.charge(parse_ps);
   if (rec) rec->page_charge(replay::PagePhase::Parse, parse_ps);
   if (tr) tr->end(prof::Cat::Page, parse_id, vm.stats().cost_ps);
 
-  const js::Vm::Result top = vm.run_top_level();
-  if (!top.ok) {
-    metrics.ok = false;
-    metrics.error = "top-level: " + top.error;
-    return metrics;
+  if (snapshot) {
+    // Restore the warmed heap/globals/tier state at the modeled cost
+    // instead of re-running the top level.
+    if (!snap::resume_js(vm, *snapshot, snap::Resume::WarmStart)) {
+      metrics.ok = false;
+      metrics.error = "snapshot restore failed: shape mismatch";
+      return metrics;
+    }
+  } else {
+    const js::Vm::Result top = vm.run_top_level();
+    if (!top.ok) {
+      metrics.ok = false;
+      metrics.error = "top-level: " + top.error;
+      return metrics;
+    }
   }
   const js::Vm::Result r = vm.call_function("main", {});
   if (!r.ok) {

@@ -75,6 +75,16 @@ struct RunOptions {
     OptimizingOnly,  ///< --no-liftoff --no-wasm-tier-up
   } wasm_tiers = WasmTiers::Default;
   backend::Toolchain toolchain = backend::Toolchain::Cheerp;
+  /// Warm-start the page from a wb::snap instance snapshot: the decode +
+  /// instantiate (wasm) or parse + top-level (JS) pipeline is replaced by
+  /// a modeled bytes-proportional `snapshot_restore` charge attributed to
+  /// Startup. Falls back to the cold path when wb::snap is disabled
+  /// (WB_NO_SNAP) or warm-up fails. Changes metrics by design — off by
+  /// default so golden runs keep the cold pipeline.
+  bool snapshot = false;
+  /// JS collector mode (--gc=generational). The default keeps the exact
+  /// mark-sweep collector and all of its GC-stat observables.
+  enum class JsGc : uint8_t { MarkSweep, Generational } js_gc = JsGc::MarkSweep;
   /// Extra JS<->Wasm crossings the page performs beyond host imports
   /// (e.g. a JS driver loop calling an export per operation, as the
   /// Long.js benchmark does).

@@ -8,8 +8,10 @@
 #include <utility>
 #include <vector>
 
+#include "backend/wasm_backend.h"
 #include "benchmarks/registry.h"
 #include "fleet/analytics.h"
+#include "snap/snap.h"
 #include "fleet/cache.h"
 #include "fleet/device.h"
 #include "replay/corpus.h"
@@ -67,6 +69,10 @@ struct WorkloadMetrics {
   std::string error;                ///< non-empty = build or run failed
   CellMetrics cells[3][2];          ///< [browser][platform]
   std::string cache_keys[3][2];     ///< content address x compile target
+  /// Canonical `.wbsnap` size of the post-instantiate snapshot (the
+  /// restore-cost input under --snapshot); 0 when snapshots are off or
+  /// the workload is a replay module (those keep the classic warm path).
+  uint64_t snapshot_bytes = 0;
 };
 
 /// One drawn session; resolved against cells/cache during serial replay.
@@ -80,7 +86,8 @@ struct SessionRecord {
 /// environments. Workloads are independent, so the pool fan-out cannot
 /// change a measured bit.
 std::vector<WorkloadMetrics> measure_workloads(const std::vector<Workload>& workloads,
-                                               ir::OptLevel level, int jobs) {
+                                               ir::OptLevel level, bool snapshot,
+                                               int jobs) {
   std::vector<WorkloadMetrics> out(workloads.size());
   support::parallel_for(
       workloads.size(), static_cast<unsigned>(jobs), [&](size_t i) {
@@ -132,6 +139,29 @@ std::vector<WorkloadMetrics> measure_workloads(const std::vector<Workload>& work
         }
         m.code_size = build.wasm.binary.size();
         m.sha256 = support::sha256_hex(build.wasm.binary);
+        if (snapshot) {
+          // The post-instantiate snapshot is captured once per workload:
+          // the warmed state (memory image, globals, tier counters) does
+          // not depend on the device cell, so one canonical encoding
+          // prices every fleet restore. Chrome/Desktop supplies the cost
+          // tables, like the replay-corpus recording.
+          const env::BrowserEnv chrome(env::Browser::Chrome,
+                                       env::Platform::Desktop);
+          uint64_t calls = 0;
+          wasm::Instance warm(build.wasm.module,
+                              backend::make_import_bindings(build.wasm, &calls));
+          warm.set_cost_tables(chrome.wasm_tier_costs(false, {}),
+                               chrome.wasm_tier_costs(true, {}));
+          warm.set_fuel(4'000'000'000ull);
+          wasm::TierPolicy tp;
+          tp.tierup_threshold = chrome.profile().wasm_tierup_threshold;
+          tp.tierup_cost_per_instr = 400;
+          warm.set_tier_policy(tp);
+          warm.set_grow_cost(chrome.profile().grow_cost_ps);
+          if (warm.invoke("__init", {}).ok()) {
+            m.snapshot_bytes = snap::snapshot_wasm(warm, w.bench->name).bytes;
+          }
+        }
         for (size_t b = 0; b < 3; ++b) {
           for (size_t p = 0; p < 2; ++p) {
             const auto browser = static_cast<env::Browser>(b);
@@ -218,6 +248,8 @@ json::Value config_json(const FleetConfig& c) {
   if (c.replay_modules > 0) {
     o.emplace_back("replay_modules", static_cast<int64_t>(c.replay_modules));
   }
+  // Same contract: only present when snapshot warm starts are on.
+  if (c.snapshot) o.emplace_back("snapshot", true);
   return o;
 }
 
@@ -340,8 +372,9 @@ FleetReport run_fleet(const FleetConfig& config) {
 
   // Phase 1 (parallel): one build + six measured environments per
   // workload.
+  const bool snapshot_mode = config.snapshot && snap::snap_default();
   const std::vector<WorkloadMetrics> measured =
-      measure_workloads(workloads, config.level, jobs);
+      measure_workloads(workloads, config.level, snapshot_mode, jobs);
   for (const WorkloadMetrics& m : measured) {
     if (!m.error.empty()) return fail(m.error);
   }
@@ -370,6 +403,7 @@ FleetReport run_fleet(const FleetConfig& config) {
   }
   std::vector<uint64_t> module_sessions(workloads.size(), 0);
   std::vector<uint64_t> module_warm(workloads.size(), 0);
+  std::vector<double> warm_startup_baseline, warm_startup_snapshot;
   uint64_t arrival_span_ps = 0;
   for (const SessionRecord& s : sessions) {
     arrival_span_ps += static_cast<uint64_t>(s.arrival_gap_us) * 1'000'000;
@@ -391,9 +425,19 @@ FleetReport run_fleet(const FleetConfig& config) {
     const uint64_t network_ps =
         warm ? 0 : wm.code_size * static_cast<uint64_t>(device.net_ps_per_byte);
     const uint64_t cpu = device.cpu_permille;
-    const uint64_t startup_ps =
+    uint64_t startup_ps =
         profile.page_overhead_ps + network_ps +
         (compile_ps + profile.wasm_instantiate_overhead_ps) * cpu / 1000;
+    if (warm && wm.snapshot_bytes > 0) {
+      // Snapshot warm hit: no compiled-module load and no instantiate —
+      // the page maps the snapshot back in at the modeled restore cost.
+      const uint64_t snap_startup_ps =
+          profile.page_overhead_ps +
+          snap::restore_cost_ps(wm.snapshot_bytes) * cpu / 1000;
+      warm_startup_baseline.push_back(static_cast<double>(startup_ps));
+      warm_startup_snapshot.push_back(static_cast<double>(snap_startup_ps));
+      startup_ps = snap_startup_ps;
+    }
     const uint64_t latency_ps = startup_ps + cell.exec_ps * cpu / 1000;
 
     SessionSample sample;
@@ -426,6 +470,10 @@ FleetReport run_fleet(const FleetConfig& config) {
     k.body.emplace_back("sha256", measured[i].sha256);
     k.body.emplace_back("sessions", static_cast<int64_t>(module_sessions[i]));
     k.body.emplace_back("warm_sessions", static_cast<int64_t>(module_warm[i]));
+    if (snapshot_mode) {
+      k.body.emplace_back("snapshot_bytes",
+                          static_cast<int64_t>(measured[i].snapshot_bytes));
+    }
     modules.push_back(std::move(k));
   }
   std::sort(modules.begin(), modules.end(),
@@ -441,6 +489,12 @@ FleetReport run_fleet(const FleetConfig& config) {
   json::Object model;
   model.emplace_back("code_expansion", static_cast<int64_t>(kCodeExpansion));
   model.emplace_back("warm_load_divisor", static_cast<int64_t>(kWarmLoadDivisor));
+  if (snapshot_mode) {
+    model.emplace_back("snapshot_restore_base_ps",
+                       static_cast<int64_t>(snap::kRestoreBasePs));
+    model.emplace_back("snapshot_restore_per_byte_ps",
+                       static_cast<int64_t>(snap::kRestorePerBytePs));
+  }
   root.emplace_back("model", std::move(model));
   root.emplace_back("fleet", fleet_json(devices));
   root.emplace_back("arrival_span_ps", static_cast<int64_t>(arrival_span_ps));
@@ -448,6 +502,19 @@ FleetReport run_fleet(const FleetConfig& config) {
   root.emplace_back("overall", analytics.overall_json());
   root.emplace_back("cells", analytics.cells_json());
   root.emplace_back("modules", std::move(module_array));
+  if (snapshot_mode) {
+    // Warm-hit startup under the classic compiled-module load vs the
+    // snapshot restore that actually priced those sessions — the measured
+    // warm-start win of --snapshot, over identical session draws.
+    json::Object cmp;
+    cmp.emplace_back("warm_sessions",
+                     static_cast<int64_t>(warm_startup_snapshot.size()));
+    cmp.emplace_back("baseline_startup_ps",
+                     device_dist_json(warm_startup_baseline));
+    cmp.emplace_back("snapshot_startup_ps",
+                     device_dist_json(warm_startup_snapshot));
+    root.emplace_back("snapshot_warm_start", std::move(cmp));
+  }
   report.doc = json::Value(std::move(root));
 
   const std::string dumped = report.doc.dump(2);
@@ -469,6 +536,20 @@ FleetReport run_fleet(const FleetConfig& config) {
                                   : 0.0,
                             1),
                std::to_string(cs.evictions), std::to_string(cache.entries())});
+    tables += "\n" + t.render();
+  }
+  if (snapshot_mode && !warm_startup_snapshot.empty()) {
+    auto base = warm_startup_baseline;
+    auto snapd = warm_startup_snapshot;
+    std::sort(base.begin(), base.end());
+    std::sort(snapd.begin(), snapd.end());
+    const auto ms = [](double ps) { return support::fmt(ps / 1e9, 3); };
+    support::TextTable t("Snapshot warm start (warm hits, startup ms)");
+    t.set_header({"Pricing", "p50", "p95", "max"});
+    t.add_row({"compiled-module load", ms(support::quantile_sorted(base, 0.50)),
+               ms(support::quantile_sorted(base, 0.95)), ms(base.back())});
+    t.add_row({"snapshot restore", ms(support::quantile_sorted(snapd, 0.50)),
+               ms(support::quantile_sorted(snapd, 0.95)), ms(snapd.back())});
     tables += "\n" + t.render();
   }
   {
@@ -521,6 +602,14 @@ bool config_from_json(const json::Value& config, FleetConfig& out, std::string& 
       return false;
     }
     c.replay_modules = static_cast<uint32_t>(rm->as_int());
+  }
+  // Optional: absent in goldens recorded without snapshot warm starts.
+  if (const json::Value* sn = config.find("snapshot")) {
+    if (!sn->is_bool()) {
+      error = "config field snapshot is not a bool";
+      return false;
+    }
+    c.snapshot = sn->as_bool();
   }
 
   const json::Value* level = config.find("level");

@@ -55,6 +55,12 @@ struct FleetConfig {
   /// with replay::replay_in_env. 0 = none (the committed golden's
   /// configuration, byte-identical to pre-replay reports).
   uint32_t replay_modules = 0;
+  /// Warm cache hits restore a wb::snap instance snapshot instead of
+  /// deserializing + re-instantiating the compiled module: startup pays
+  /// the modeled bytes-proportional restore cost and skips both the
+  /// compiled-module load and the instantiate overhead. Off by default
+  /// (the committed golden's configuration).
+  bool snapshot = false;
   /// Measurement fan-out. 0 = WB_JOBS env var, then hardware. Never
   /// changes any reported byte, only wall-clock.
   int jobs = 0;

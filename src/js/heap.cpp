@@ -57,6 +57,7 @@ ObjRef Heap::alloc(GcObject obj) {
     ref = static_cast<ObjRef>(objects_.size());
     objects_.push_back(std::make_unique<GcObject>(std::move(obj)));
   }
+  if (mode_ == GcMode::Generational) nursery_.push_back(ref);
   return ref;
 }
 
@@ -137,6 +138,120 @@ void Heap::mark_value(JsValue v) {
   mark_stack_.push_back(v.ref());
 }
 
+/// Minor-collection marking: only nursery objects are collectable, so
+/// marking stops at the old generation (its young references are covered
+/// by the remembered set instead).
+void Heap::mark_value_young(JsValue v) {
+  if (!v.is_object() || v.ref() == kNullRef) return;
+  GcObject& o = *objects_[v.ref()];
+  if (!o.young || o.mark) return;
+  o.mark = true;
+  mark_stack_.push_back(v.ref());
+}
+
+void Heap::free_slot(ObjRef r) {
+  GcObject* o = objects_[r].get();
+  switch (o->kind) {
+    case ObjKind::Float64Array:
+      note_external(-static_cast<ptrdiff_t>(o->f64().size() * sizeof(double)));
+      break;
+    case ObjKind::Int32Array:
+      note_external(-static_cast<ptrdiff_t>(o->i32().size() * sizeof(int32_t)));
+      break;
+    case ObjKind::Uint8Array:
+      note_external(-static_cast<ptrdiff_t>(o->u8().size()));
+      break;
+    default:
+      break;
+  }
+  objects_[r].reset();
+  free_.push_back(r);
+  ++stats_.objects_freed;
+}
+
+void Heap::set_gc_mode(GcMode mode) {
+  if (mode_ == mode) return;
+  mode_ = mode;
+  nursery_.clear();
+  for (const ObjRef r : remset_) {
+    if (objects_[r]) objects_[r]->remembered = false;
+  }
+  remset_.clear();
+  old_bytes_ = 0;
+  if (mode == GcMode::Generational) {
+    // Everything alive at the switch counts as already promoted.
+    for (auto& o : objects_) {
+      if (!o) continue;
+      o->young = false;
+      old_bytes_ += object_bytes(*o);
+    }
+    major_baseline_ = old_bytes_;
+  }
+}
+
+/// Minor (nursery-only) collection: marks young objects from the roots,
+/// pinned young objects, and the remembered set, frees the dead nursery
+/// in allocation order, and promotes every survivor — after which no
+/// young object (and hence no old->young edge) remains, so the remembered
+/// set resets.
+void Heap::collect_minor() {
+  ++stats_.collections;
+  ++minor_collections_;
+  allocated_since_gc_ = 0;
+
+  for (const ObjRef r : nursery_) {
+    objects_[r]->mark = objects_[r]->pinned;
+  }
+  mark_stack_.clear();
+  for (const ObjRef r : nursery_) {
+    if (objects_[r]->pinned) mark_stack_.push_back(r);
+  }
+  if (root_scanner_) {
+    root_scanner_([this](JsValue v) { mark_value_young(v); });
+  }
+  const auto trace_children = [this](const GcObject& o) {
+    switch (o.kind) {
+      case ObjKind::Array:
+        for (JsValue v : o.elems()) mark_value_young(v);
+        break;
+      case ObjKind::Object:
+        for (const Prop& p : o.props()) mark_value_young(p.value);
+        break;
+      default:
+        break;
+    }
+  };
+  for (const ObjRef r : remset_) trace_children(*objects_[r]);
+  while (!mark_stack_.empty()) {
+    const ObjRef ref = mark_stack_.back();
+    mark_stack_.pop_back();
+    trace_children(*objects_[ref]);
+  }
+
+  size_t surviving = 0;
+  for (const ObjRef r : nursery_) {
+    GcObject* o = objects_[r].get();
+    if (o->mark) {
+      const size_t bytes = object_bytes(*o);
+      surviving += bytes;
+      old_bytes_ += bytes;
+      o->young = false;
+      continue;
+    }
+    free_slot(r);
+  }
+  nursery_.clear();
+  for (const ObjRef r : remset_) {
+    if (objects_[r]) objects_[r]->remembered = false;
+  }
+  remset_.clear();
+
+  stats_.live_bytes = static_cast<size_t>(old_bytes_);
+  stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
+  if (collect_hook_) collect_hook_(stats_);
+  if (pause_hook_) pause_hook_(false, surviving);
+}
+
 void Heap::collect() {
   ++stats_.collections;
   allocated_since_gc_ = 0;
@@ -168,7 +283,8 @@ void Heap::collect() {
     }
   }
 
-  // Sweep; account live bytes.
+  // Sweep; account live bytes. (Typed arrays release their external
+  // bytes in free_slot.)
   size_t live = 0;
   for (ObjRef r = 0; r < objects_.size(); ++r) {
     GcObject* o = objects_[r].get();
@@ -177,31 +293,158 @@ void Heap::collect() {
       live += object_bytes(*o);
       continue;
     }
-    // Free: typed arrays release their external bytes.
-    switch (o->kind) {
-      case ObjKind::Float64Array:
-        note_external(-static_cast<ptrdiff_t>(o->f64().size() * sizeof(double)));
-        break;
-      case ObjKind::Int32Array:
-        note_external(-static_cast<ptrdiff_t>(o->i32().size() * sizeof(int32_t)));
-        break;
-      case ObjKind::Uint8Array:
-        note_external(-static_cast<ptrdiff_t>(o->u8().size()));
-        break;
-      default:
-        break;
-    }
-    objects_[r].reset();
-    free_.push_back(r);
-    ++stats_.objects_freed;
+    free_slot(r);
   }
   stats_.live_bytes = live;
   stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, live);
+
+  if (mode_ == GcMode::Generational) {
+    // Rebuild the generation structures over the survivors: drop freed
+    // entries from the nursery (allocation order preserved) and the
+    // remembered set, and recompute promoted bytes exactly.
+    size_t kept = 0;
+    for (const ObjRef r : nursery_) {
+      if (objects_[r] && objects_[r]->young) nursery_[kept++] = r;
+    }
+    nursery_.resize(kept);
+    kept = 0;
+    for (const ObjRef r : remset_) {
+      if (objects_[r]) remset_[kept++] = r;
+    }
+    remset_.resize(kept);
+    old_bytes_ = 0;
+    for (const auto& o : objects_) {
+      if (o && !o->young) old_bytes_ += object_bytes(*o);
+    }
+    major_baseline_ = old_bytes_;
+  }
+
   if (collect_hook_) collect_hook_(stats_);
+  if (mode_ == GcMode::Generational && pause_hook_) pause_hook_(true, live);
+}
+
+Heap::Image Heap::capture_image() const {
+  Image image;
+  image.objects.reserve(objects_.size());
+  for (const auto& o : objects_) {
+    if (!o) {
+      image.objects.emplace_back(std::nullopt);
+      continue;
+    }
+    GcObject copy = *o;
+    copy.mark = false;  // transient; canonicalize for byte-stable images
+    // Copying a vector drops its reserved headroom, but capacity feeds
+    // object_bytes (and so live_bytes): carry it explicitly.
+    if (copy.kind == ObjKind::Array) {
+      copy.elems().reserve(o->elems().capacity());
+    } else if (copy.kind == ObjKind::Object) {
+      copy.props().reserve(o->props().capacity());
+    }
+    image.objects.emplace_back(std::move(copy));
+  }
+  image.free_list = free_;
+  image.nursery = nursery_;
+  image.remset = remset_;
+  image.next_serial = next_serial_;
+  image.allocated_since_gc = allocated_since_gc_;
+  image.old_bytes = old_bytes_;
+  image.major_baseline_bytes = major_baseline_;
+  image.minor_collections = minor_collections_;
+  image.stats = stats_;
+  return image;
+}
+
+bool Heap::restore_image(const Image& image, bool with_stats) {
+  const auto valid_live = [&](ObjRef r) {
+    return r < image.objects.size() && image.objects[r].has_value();
+  };
+  for (const ObjRef r : image.free_list) {
+    if (r >= image.objects.size() || image.objects[r].has_value()) return false;
+  }
+  for (const ObjRef r : image.nursery) {
+    if (!valid_live(r)) return false;
+  }
+  for (const ObjRef r : image.remset) {
+    if (!valid_live(r)) return false;
+  }
+
+  objects_.clear();
+  objects_.reserve(image.objects.size());
+  for (const auto& o : image.objects) {
+    if (!o) {
+      objects_.push_back(nullptr);
+      continue;
+    }
+    auto copy = std::make_unique<GcObject>(*o);
+    // Re-apply the captured capacities (the copy shrank to size).
+    if (copy->kind == ObjKind::Array) {
+      copy->elems().reserve(o->elems().capacity());
+    } else if (copy->kind == ObjKind::Object) {
+      copy->props().reserve(o->props().capacity());
+    }
+    objects_.push_back(std::move(copy));
+  }
+  free_ = image.free_list;
+  nursery_ = image.nursery;
+  remset_ = image.remset;
+  next_serial_ = image.next_serial;
+  allocated_since_gc_ = static_cast<size_t>(image.allocated_since_gc);
+  old_bytes_ = image.old_bytes;
+  major_baseline_ = image.major_baseline_bytes;
+  minor_collections_ = image.minor_collections;
+  mark_stack_.clear();
+
+  if (with_stats) {
+    stats_ = image.stats;
+  } else {
+    // Modeled warm start: counters restart at zero; external bytes are
+    // state, recomputed from the restored typed-array backing stores.
+    stats_ = GcStats{};
+    for (const auto& o : objects_) {
+      if (!o) continue;
+      switch (o->kind) {
+        case ObjKind::Float64Array:
+          stats_.external_bytes += o->f64().size() * sizeof(double);
+          break;
+        case ObjKind::Int32Array:
+          stats_.external_bytes += o->i32().size() * sizeof(int32_t);
+          break;
+        case ObjKind::Uint8Array:
+          stats_.external_bytes += o->u8().size();
+          break;
+        default:
+          break;
+      }
+    }
+    stats_.peak_external_bytes = stats_.external_bytes;
+    minor_collections_ = 0;
+  }
+
+  // A snapshot captured under MarkSweep carries no generation structure;
+  // resuming it into a Generational heap treats everything alive as
+  // already promoted, exactly like switching modes on a live heap.
+  if (mode_ == GcMode::Generational && old_bytes_ == 0 && nursery_.empty()) {
+    for (auto& o : objects_) {
+      if (!o) continue;
+      o->young = false;
+      old_bytes_ += object_bytes(*o);
+    }
+    major_baseline_ = old_bytes_;
+  }
+  return true;
 }
 
 void Heap::maybe_collect() {
-  if (allocated_since_gc_ >= gc_threshold_) collect();
+  if (allocated_since_gc_ < gc_threshold_) return;
+  if (mode_ == GcMode::Generational) {
+    if (old_bytes_ >= major_baseline_ + 4 * static_cast<uint64_t>(gc_threshold_)) {
+      collect();
+    } else {
+      collect_minor();
+    }
+    return;
+  }
+  collect();
 }
 
 }  // namespace wb::js

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <variant>
@@ -40,6 +41,11 @@ struct GcObject {
   ObjKind kind = ObjKind::String;
   bool mark = false;
   bool pinned = false;  ///< never collected (string constants, builtins)
+  /// Generation flags (only meaningful under GcMode::Generational): every
+  /// object is born young; a minor collection promotes all survivors.
+  bool young = true;
+  /// Old object recorded in the remembered set (it may hold young refs).
+  bool remembered = false;
   /// Allocation serial number, unique per Heap for the lifetime of the
   /// run. Inline caches key on (ref, serial): when a swept slot is reused
   /// by the free list, the new occupant gets a fresh serial, so stale
@@ -84,6 +90,21 @@ struct GcStats {
   size_t peak_external_bytes = 0;
 };
 
+/// Collector mode. MarkSweep (the default) is the original exact
+/// stop-the-world collector; Generational adds a nursery + remembered-set
+/// minor-collection tier whose pause cost scales with live nursery data.
+/// The default mode keeps every GC-stat observable bit-identical to the
+/// pre-generational collector (the compatibility contract).
+enum class GcMode : uint8_t { MarkSweep = 0, Generational = 1 };
+
+/// Modeled GC pause costs (virtual picoseconds), charged by the Vm's
+/// pause hook in Generational mode only: base + per-byte * scanned live
+/// bytes (surviving nursery bytes for a minor pause, full live bytes for
+/// a major pause).
+inline constexpr uint64_t kMinorGcBasePs = 20'000'000;    // 20 us
+inline constexpr uint64_t kMajorGcBasePs = 200'000'000;   // 200 us
+inline constexpr uint64_t kGcPausePerBytePs = 100;        // 0.1 ns/byte
+
 /// Mark–sweep heap. The interpreter provides roots through the callback
 /// registered with `set_root_scanner` (called at the start of each
 /// collection); constants and builtins are pinned instead.
@@ -117,10 +138,61 @@ class Heap {
   using CollectHook = std::function<void(const GcStats&)>;
   void set_collect_hook(CollectHook hook) { collect_hook_ = std::move(hook); }
 
-  /// Runs mark–sweep now. Called automatically when the threshold trips.
+  /// Observer called after every minor or major pause in Generational
+  /// mode with the bytes the pause scanned; the Vm charges the modeled
+  /// pause cost from it. Never called in MarkSweep mode.
+  using PauseHook = std::function<void(bool major, size_t scanned_bytes)>;
+  void set_pause_hook(PauseHook hook) { pause_hook_ = std::move(hook); }
+
+  /// Switches collector modes. Entering Generational treats every live
+  /// object as already promoted (the nursery starts empty).
+  void set_gc_mode(GcMode mode);
+  [[nodiscard]] GcMode gc_mode() const { return mode_; }
+
+  /// Generational write barrier: call before storing a reference into
+  /// `parent`'s elements or properties. No-op in MarkSweep mode and for
+  /// young parents; an old parent is added to the remembered set once.
+  void write_barrier(ObjRef parent) {
+    if (mode_ != GcMode::Generational) return;
+    GcObject& p = *objects_[parent];
+    if (p.young || p.remembered) return;
+    p.remembered = true;
+    remset_.push_back(parent);
+  }
+
+  /// Runs a full mark–sweep now (the major collection in Generational
+  /// mode). Called automatically when the threshold trips in MarkSweep
+  /// mode; harnesses call it for the end-of-run memory sample.
   void collect();
-  /// Collects if the allocation debt exceeds the threshold.
+  /// Collects if the allocation debt exceeds the threshold: a full
+  /// mark–sweep in MarkSweep mode; in Generational mode a minor (nursery)
+  /// collection, escalated to a major one when promoted bytes have grown
+  /// past 4x the threshold since the last full collection.
   void maybe_collect();
+  /// Collection counts by kind (minor is always 0 in MarkSweep mode).
+  [[nodiscard]] uint64_t minor_collections() const { return minor_collections_; }
+
+  /// A deep copy of the heap: the JS-side half of a `.wbsnap` snapshot
+  /// (wb::snap owns the byte format). Slot indices, free-list order, and
+  /// serials are all preserved so a resumed run allocates identically.
+  struct Image {
+    std::vector<std::optional<GcObject>> objects;  ///< index == ObjRef
+    std::vector<ObjRef> free_list;                 ///< exact LIFO order
+    std::vector<ObjRef> nursery;                   ///< young refs, alloc order
+    std::vector<ObjRef> remset;                    ///< remembered old refs
+    uint32_t next_serial = 0;
+    uint64_t allocated_since_gc = 0;
+    uint64_t old_bytes = 0;
+    uint64_t major_baseline_bytes = 0;
+    uint64_t minor_collections = 0;
+    GcStats stats;
+  };
+  [[nodiscard]] Image capture_image() const;
+  /// Restores a captured image. `with_stats` carries the GC counters and
+  /// peaks over verbatim (exact resume); without it they restart at zero
+  /// with external bytes recomputed from the restored typed arrays (a
+  /// modeled warm start). Returns false if the image is malformed.
+  bool restore_image(const Image& image, bool with_stats);
 
   /// Adjusts external (typed-array backing) byte accounting.
   void note_external(ptrdiff_t delta);
@@ -135,11 +207,24 @@ class Heap {
  private:
   ObjRef alloc(GcObject obj);
   void mark_value(JsValue v);
+  void mark_value_young(JsValue v);
+  void free_slot(ObjRef r);
+  void collect_minor();
 
   std::vector<std::unique_ptr<GcObject>> objects_;
   std::vector<ObjRef> free_;
   RootScanner root_scanner_;
   CollectHook collect_hook_;
+  PauseHook pause_hook_;
+  GcMode mode_ = GcMode::MarkSweep;
+  std::vector<ObjRef> nursery_;  ///< young objects, allocation order
+  std::vector<ObjRef> remset_;   ///< old objects that may hold young refs
+  uint64_t old_bytes_ = 0;       ///< promoted bytes (recomputed at major GC)
+  /// old_bytes_ as of the last major collection; minor collections
+  /// escalate to a major once promotion has grown 4x the threshold past
+  /// this baseline.
+  uint64_t major_baseline_ = 0;
+  uint64_t minor_collections_ = 0;
   size_t gc_threshold_;
   size_t allocated_since_gc_ = 0;
   uint32_t next_serial_ = 0;

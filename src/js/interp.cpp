@@ -137,6 +137,60 @@ void Vm::set_quicken(bool enabled) {
   }
 }
 
+void Vm::set_gc_mode(GcMode mode) {
+  heap_.set_gc_mode(mode);
+  if (mode == GcMode::Generational) {
+    heap_.set_pause_hook([this](bool major, size_t scanned_bytes) {
+      charge((major ? kMajorGcBasePs : kMinorGcBasePs) +
+                 kGcPausePerBytePs * static_cast<uint64_t>(scanned_bytes),
+             attr::Cause::GcPause);
+    });
+  } else {
+    heap_.set_pause_hook(nullptr);
+  }
+}
+
+Vm::SnapshotState Vm::capture_snapshot() const {
+  SnapshotState s;
+  s.globals_bits.reserve(globals_.size());
+  for (const JsValue v : globals_) s.globals_bits.push_back(v.bits);
+  s.str_const_refs = str_const_refs_;
+  s.funcs.reserve(func_state_.size());
+  for (const FuncState& f : func_state_) {
+    s.funcs.push_back({f.tier, f.hotness});
+  }
+  s.prop_caches = prop_caches_;
+  s.stats = stats_;
+  s.attr = attr_;
+  s.heap = heap_.capture_image();
+  return s;
+}
+
+bool Vm::restore_snapshot(const SnapshotState& s, bool with_stats) {
+  if (s.globals_bits.size() != globals_.size()) return false;
+  if (s.str_const_refs.size() != str_const_refs_.size()) return false;
+  if (s.funcs.size() != func_state_.size()) return false;
+  if (!heap_.restore_image(s.heap, with_stats)) return false;
+  for (size_t i = 0; i < globals_.size(); ++i) {
+    JsValue v;
+    v.bits = s.globals_bits[i];
+    globals_[i] = v;
+  }
+  str_const_refs_ = s.str_const_refs;
+  for (size_t i = 0; i < func_state_.size(); ++i) {
+    func_state_[i].tier = s.funcs[i].tier;
+    func_state_[i].hotness = s.funcs[i].hotness;
+  }
+  // ICs are host-side only; restore them when the cache pools line up
+  // (the quickened engine on both sides), ignore them otherwise.
+  if (s.prop_caches.size() == prop_caches_.size()) prop_caches_ = s.prop_caches;
+  if (with_stats) {
+    stats_ = s.stats;
+    attr_ = s.attr;
+  }
+  return true;
+}
+
 int32_t Vm::find_name(std::string_view name) const {
   for (uint32_t i = 0; i < code_.names.size(); ++i) {
     if (code_.names[i] == name) return static_cast<int32_t>(i);
@@ -441,6 +495,7 @@ bool Vm::method_on_primitive(const GcObject& recv_obj, JsValue receiver,
   const std::string& name = code_.names[name_id];
   switch (recv_obj.kind) {
     case ObjKind::Array: {
+      heap_.write_barrier(receiver.ref());
       auto& elems = heap_.get(receiver.ref()).elems();
       if (name == "push") {
         for (JsValue a : args) elems.push_back(a);
@@ -1073,6 +1128,7 @@ Vm::Result Vm::run_classic(uint32_t proto_index, std::span<const JsValue> args) 
           break;
         }
         GcObject& oo = heap_.get(obj.ref());
+        heap_.write_barrier(obj.ref());
         auto& props = oo.props();
         bool found = false;
         for (Prop& p : props) {
@@ -1168,6 +1224,7 @@ Vm::Result Vm::run_classic(uint32_t proto_index, std::span<const JsValue> args) 
         }
         switch (o.kind) {
           case ObjKind::Array: {
+            heap_.write_barrier(obj.ref());
             auto& elems = o.elems();
             if (static_cast<size_t>(i) >= elems.size()) {
               elems.resize(static_cast<size_t>(i) + 1, JsValue::undefined());
@@ -1580,6 +1637,7 @@ Vm::Result Vm::run_quickened(uint32_t proto_index, std::span<const JsValue> args
     }
     switch (o.kind) {
       case ObjKind::Array: {
+        heap_.write_barrier(obj.ref());
         auto& elems = o.elems();
         if (static_cast<size_t>(i) >= elems.size()) {
           elems.resize(static_cast<size_t>(i) + 1, JsValue::undefined());
@@ -2072,6 +2130,7 @@ do_return: {
       goto done;
     }
     GcObject& oo = heap_.get(obj.ref());
+    heap_.write_barrier(obj.ref());
     PropCache& cache = prop_caches_[q->b];
     const int64_t slot = cache_lookup(cache, obj.ref(), oo);
     if (slot >= 0) {

@@ -69,6 +69,12 @@ class Vm {
   /// frame returns, so Heap::stats().peak_live_bytes reflects what the
   /// program held while running (the DevTools-snapshot moment).
   void set_sample_memory_at_exit(bool sample) { sample_memory_at_exit_ = sample; }
+  /// Selects the heap's collector mode. GcMode::Generational installs a
+  /// pause hook that charges the modeled pause cost (base + per-byte *
+  /// scanned live bytes) to Cause::GcPause; the default MarkSweep mode
+  /// charges nothing and keeps every observable bit-identical to the
+  /// pre-generational collector.
+  void set_gc_mode(GcMode mode);
   /// Charges one-off virtual time (parse/compile at load, etc.), tagged
   /// with the attribution cause it should decompose to.
   void charge(uint64_t cost_ps, attr::Cause cause = attr::Cause::Startup) {
@@ -118,6 +124,32 @@ class Vm {
   }
   [[nodiscard]] Heap& heap() { return heap_; }
   [[nodiscard]] const ScriptCode& code() const { return code_; }
+
+  /// A deep copy of everything that survives between invokes: the VM-side
+  /// half of a `.wbsnap` snapshot (wb::snap owns the byte format).
+  /// Captured between invokes, when the value stack, locals, and frames
+  /// are empty.
+  struct SnapshotState {
+    struct FuncSnap {
+      uint8_t tier = 0;
+      uint64_t hotness = 0;
+    };
+    std::vector<uint64_t> globals_bits;   ///< NaN-boxed raw bits
+    std::vector<ObjRef> str_const_refs;
+    std::vector<FuncSnap> funcs;
+    /// Inline-cache pool (quickened engine). ICs never charge anything,
+    /// but carrying them keeps snapshot->resume->snapshot byte-identical.
+    std::vector<PropCache> prop_caches;
+    JsExecStats stats;
+    JsAttrStats attr;
+    Heap::Image heap;
+  };
+  [[nodiscard]] SnapshotState capture_snapshot() const;
+  /// Restores state captured from a Vm over the same ScriptCode. Call
+  /// AFTER configuration. `with_stats` restores the virtual clock and
+  /// attribution too (exact resume); without it the clock stays at zero
+  /// for a modeled warm start. Returns false on shape mismatch.
+  bool restore_snapshot(const SnapshotState& s, bool with_stats);
 
   /// Helpers for host/builtin code.
   ObjRef make_string(std::string s);

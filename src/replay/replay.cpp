@@ -1,10 +1,12 @@
 #include "replay/replay.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "attr/attr.h"
 #include "js/engine.h"
+#include "snap/snap.h"
 #include "wasm/codec.h"
 
 namespace wb::replay {
@@ -77,44 +79,51 @@ ReplayResult replay_wasm(const Trace& trace, const WasmPricing& pricing) {
   }
 
   bool memo_miss = false;
-  std::vector<wasm::HostFn> host_fns;
-  host_fns.reserve(module->imports.size());
-  for (uint32_t i = 0; i < module->imports.size(); ++i) {
-    host_fns.push_back([&memo, &memo_miss, i](std::span<const wasm::Value> args,
-                                              wasm::Value* result) -> wasm::Trap {
-      Event probe;
-      probe.kind = EventKind::HostCall;
-      probe.target = i;
-      probe.args.reserve(args.size());
-      for (const wasm::Value& a : args) probe.args.push_back(a.bits);
-      const auto it = memo.find(probe.memo_key());
-      if (it == memo.end()) {
-        memo_miss = true;
-        return wasm::Trap::HostError;
-      }
-      if (it->second->has_result) result->bits = it->second->result;
-      return wasm::Trap::None;
-    });
-  }
+  const auto make_host_fns = [&memo, &memo_miss, &module]() {
+    std::vector<wasm::HostFn> host_fns;
+    host_fns.reserve(module->imports.size());
+    for (uint32_t i = 0; i < module->imports.size(); ++i) {
+      host_fns.push_back([&memo, &memo_miss, i](std::span<const wasm::Value> args,
+                                                wasm::Value* result) -> wasm::Trap {
+        Event probe;
+        probe.kind = EventKind::HostCall;
+        probe.target = i;
+        probe.args.reserve(args.size());
+        for (const wasm::Value& a : args) probe.args.push_back(a.bits);
+        const auto it = memo.find(probe.memo_key());
+        if (it == memo.end()) {
+          memo_miss = true;
+          return wasm::Trap::HostError;
+        }
+        if (it->second->has_result) result->bits = it->second->result;
+        return wasm::Trap::None;
+      });
+    }
+    return host_fns;
+  };
+  const auto configure = [&cfg](wasm::Instance& i) {
+    wasm::CostTable baseline{}, optimizing{};
+    std::copy(cfg.baseline_costs.begin(), cfg.baseline_costs.end(),
+              baseline.begin());
+    std::copy(cfg.optimizing_costs.begin(), cfg.optimizing_costs.end(),
+              optimizing.begin());
+    i.set_cost_tables(baseline, optimizing);
+    wasm::TierPolicy tiers;
+    tiers.baseline_enabled = cfg.baseline_enabled;
+    tiers.optimizing_enabled = cfg.optimizing_enabled;
+    tiers.tierup_threshold = cfg.tierup_threshold;
+    tiers.tierup_cost_per_instr = cfg.tierup_cost_per_instr;
+    i.set_tier_policy(tiers);
+    i.set_grow_cost(cfg.grow_cost_ps);
+    i.set_fuel(cfg.fuel);
+  };
 
-  wasm::Instance inst(*module, std::move(host_fns));
-  wasm::CostTable baseline{}, optimizing{};
-  std::copy(cfg.baseline_costs.begin(), cfg.baseline_costs.end(), baseline.begin());
-  std::copy(cfg.optimizing_costs.begin(), cfg.optimizing_costs.end(),
-            optimizing.begin());
-  inst.set_cost_tables(baseline, optimizing);
-  wasm::TierPolicy tiers;
-  tiers.baseline_enabled = cfg.baseline_enabled;
-  tiers.optimizing_enabled = cfg.optimizing_enabled;
-  tiers.tierup_threshold = cfg.tierup_threshold;
-  tiers.tierup_cost_per_instr = cfg.tierup_cost_per_instr;
-  inst.set_tier_policy(tiers);
-  inst.set_grow_cost(cfg.grow_cost_ps);
-  inst.set_fuel(cfg.fuel);
+  wasm::Instance inst0(*module, make_host_fns());
+  configure(inst0);
 
-  inst.charge(pricing.load_ps);
+  inst0.charge(pricing.load_ps);
 
-  const wasm::InvokeResult init = inst.invoke("__init", {});
+  const wasm::InvokeResult init = inst0.invoke("__init", {});
   if (!init.ok()) {
     out.ok = false;
     out.error = memo_miss ? "replay divergence: no canned response for host call"
@@ -122,6 +131,33 @@ ReplayResult replay_wasm(const Trace& trace, const WasmPricing& pricing) {
                                 wasm::to_string(init.trap);
     return out;
   }
+
+  // Snapshot/resume dogfood: when wb::snap is active, `main` runs on a
+  // VM reconstructed from the post-instantiate snapshot (through the
+  // full `.wbsnap` codec). Exact resume is observable-identical, so the
+  // golden replay gate enforces resume correctness on every trace.
+  std::optional<wasm::Instance> resumed;
+  wasm::Instance* active = &inst0;
+  if (snap::snap_default()) {
+    const snap::WasmSnapshot captured = snap::snapshot_wasm(inst0, trace.name);
+    std::string snap_error;
+    const auto parsed = snap::parse_wasm(snap::serialize(captured), snap_error);
+    if (!parsed || parsed->sha256 != captured.sha256) {
+      out.ok = false;
+      out.error = "snapshot round-trip failed: " + snap_error;
+      return out;
+    }
+    resumed.emplace(*module, make_host_fns());
+    configure(*resumed);
+    if (!snap::resume_wasm(*resumed, *parsed, snap::Resume::Exact)) {
+      out.ok = false;
+      out.error = "snapshot resume failed: shape mismatch";
+      return out;
+    }
+    active = &*resumed;
+  }
+  wasm::Instance& inst = *active;
+
   const wasm::InvokeResult r = inst.invoke("main", {});
   if (!r.ok()) {
     out.ok = false;
@@ -206,29 +242,64 @@ ReplayResult replay_js(const Trace& trace, const JsPricing& pricing) {
   }
   MemoJsHost host(memo);
 
-  js::Heap heap(cfg.heap_bytes);
-  js::Vm vm(*code, heap);
-  js::JsCostTable baseline{}, optimized{};
-  std::copy(cfg.baseline_costs.begin(), cfg.baseline_costs.end(), baseline.begin());
-  std::copy(cfg.optimizing_costs.begin(), cfg.optimizing_costs.end(),
-            optimized.begin());
-  vm.set_cost_tables(baseline, optimized);
-  js::JsTierPolicy tiers;
-  tiers.jit_enabled = cfg.optimizing_enabled;
-  tiers.tierup_threshold = cfg.tierup_threshold;
-  tiers.tierup_cost_per_instr = cfg.tierup_cost_per_instr;
-  vm.set_tier_policy(tiers);
-  vm.set_fuel(cfg.fuel);
-  vm.set_replay_host(&host);
+  const auto configure = [&cfg, &host](js::Vm& v) {
+    js::JsCostTable baseline{}, optimized{};
+    std::copy(cfg.baseline_costs.begin(), cfg.baseline_costs.end(),
+              baseline.begin());
+    std::copy(cfg.optimizing_costs.begin(), cfg.optimizing_costs.end(),
+              optimized.begin());
+    v.set_cost_tables(baseline, optimized);
+    js::JsTierPolicy tiers;
+    tiers.jit_enabled = cfg.optimizing_enabled;
+    tiers.tierup_threshold = cfg.tierup_threshold;
+    tiers.tierup_cost_per_instr = cfg.tierup_cost_per_instr;
+    v.set_tier_policy(tiers);
+    v.set_fuel(cfg.fuel);
+    v.set_replay_host(&host);
+  };
 
-  vm.charge(pricing.parse_ps);
+  js::Heap heap0(cfg.heap_bytes);
+  js::Vm vm0(*code, heap0);
+  configure(vm0);
 
-  const js::Vm::Result top = vm.run_top_level();
+  vm0.charge(pricing.parse_ps);
+
+  const js::Vm::Result top = vm0.run_top_level();
   if (!top.ok) {
     out.ok = false;
     out.error = "top-level: " + top.error;
     return out;
   }
+
+  // Snapshot/resume dogfood (see replay_wasm): `main` runs on a VM
+  // reconstructed from the post-top-level snapshot via the codec.
+  std::optional<js::Heap> resumed_heap;
+  std::optional<js::Vm> resumed_vm;
+  js::Heap* active_heap = &heap0;
+  js::Vm* active_vm = &vm0;
+  if (snap::snap_default()) {
+    const snap::JsSnapshot captured = snap::snapshot_js(vm0, trace.name);
+    std::string snap_error;
+    const auto parsed = snap::parse_js(snap::serialize(captured), snap_error);
+    if (!parsed || parsed->sha256 != captured.sha256) {
+      out.ok = false;
+      out.error = "snapshot round-trip failed: " + snap_error;
+      return out;
+    }
+    resumed_heap.emplace(cfg.heap_bytes);
+    resumed_vm.emplace(*code, *resumed_heap);
+    configure(*resumed_vm);
+    if (!snap::resume_js(*resumed_vm, *parsed, snap::Resume::Exact)) {
+      out.ok = false;
+      out.error = "snapshot resume failed: shape mismatch";
+      return out;
+    }
+    active_heap = &*resumed_heap;
+    active_vm = &*resumed_vm;
+  }
+  js::Heap& heap = *active_heap;
+  js::Vm& vm = *active_vm;
+
   const js::Vm::Result r = vm.call_function("main", {});
   if (!r.ok) {
     out.ok = false;

@@ -1,0 +1,631 @@
+#include "snap/snap.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/leb128.h"
+#include "support/sha256.h"
+
+namespace wb::snap {
+
+namespace {
+
+std::atomic<bool> g_snap_default{true};
+
+// --- canonical encoding helpers (the .wbr3 idiom from replay/trace.cpp) ---
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void put_bytes(std::vector<uint8_t>& out, std::span<const uint8_t> bytes) {
+  support::write_uleb128(out, bytes.size());
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void put_string(std::vector<uint8_t>& out, const std::string& s) {
+  put_bytes(out, std::span(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+/// Bounded reader over the serialized bytes; any failure poisons it so
+/// the decoder can check once at the end of each section.
+struct Reader {
+  std::span<const uint8_t> bytes;
+  size_t pos = 0;
+  bool ok = true;
+
+  uint64_t uleb() {
+    if (!ok) return 0;
+    const auto r = support::read_uleb128(bytes.subspan(pos));
+    if (!r) {
+      ok = false;
+      return 0;
+    }
+    pos += r->size;
+    return r->value;
+  }
+  uint8_t byte() {
+    if (!ok || pos >= bytes.size()) {
+      ok = false;
+      return 0;
+    }
+    return bytes[pos++];
+  }
+  uint32_t u32() {
+    if (!ok || pos + 4 > bytes.size()) {
+      ok = false;
+      return 0;
+    }
+    const uint32_t v = static_cast<uint32_t>(bytes[pos]) |
+                       static_cast<uint32_t>(bytes[pos + 1]) << 8 |
+                       static_cast<uint32_t>(bytes[pos + 2]) << 16 |
+                       static_cast<uint32_t>(bytes[pos + 3]) << 24;
+    pos += 4;
+    return v;
+  }
+  /// A count that prefixes per-item payloads of >= 1 byte each; rejected
+  /// when it exceeds the remaining input (malformed, don't reserve).
+  uint64_t count() {
+    const uint64_t n = uleb();
+    if (ok && n > bytes.size() - pos) ok = false;
+    return ok ? n : 0;
+  }
+  std::vector<uint8_t> blob() {
+    const uint64_t n = uleb();
+    if (!ok || n > bytes.size() - pos) {
+      ok = false;
+      return {};
+    }
+    std::vector<uint8_t> out(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                             bytes.begin() + static_cast<ptrdiff_t>(pos + n));
+    pos += n;
+    return out;
+  }
+  std::string str() {
+    const std::vector<uint8_t> b = blob();
+    return {b.begin(), b.end()};
+  }
+};
+
+void put_u64s(std::vector<uint8_t>& out, std::span<const uint64_t> values) {
+  support::write_uleb128(out, values.size());
+  for (const uint64_t v : values) support::write_uleb128(out, v);
+}
+
+// --- wasm section ----------------------------------------------------------
+
+constexpr size_t kPage = wasm::LinearMemory::kPageSize;
+
+bool page_is_zero(std::span<const uint8_t> page) {
+  for (const uint8_t b : page) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+void put_wasm_state(std::vector<uint8_t>& out,
+                    const wasm::Instance::SnapshotState& s) {
+  support::write_uleb128(out, s.globals.size());
+  for (const wasm::Value& v : s.globals) support::write_uleb128(out, v.bits);
+
+  out.push_back(s.has_memory ? 1 : 0);
+  if (s.has_memory) {
+    support::write_uleb128(out, s.memory_bytes.size());
+    support::write_uleb128(out, s.memory_peak_bytes);
+    support::write_uleb128(out, s.memory_grow_count);
+    // Zero-page elision: only pages with content are carried, each as
+    // (page index, raw 64 KiB payload).
+    std::vector<uint32_t> live_pages;
+    for (size_t p = 0; p * kPage < s.memory_bytes.size(); ++p) {
+      if (!page_is_zero(std::span(s.memory_bytes).subspan(p * kPage, kPage))) {
+        live_pages.push_back(static_cast<uint32_t>(p));
+      }
+    }
+    support::write_uleb128(out, live_pages.size());
+    for (const uint32_t p : live_pages) {
+      support::write_uleb128(out, p);
+      const uint8_t* page = s.memory_bytes.data() + static_cast<size_t>(p) * kPage;
+      out.insert(out.end(), page, page + kPage);
+    }
+  }
+
+  support::write_uleb128(out, s.table.size());
+  for (const uint32_t t : s.table) support::write_uleb128(out, t);
+
+  support::write_uleb128(out, s.funcs.size());
+  for (const auto& f : s.funcs) {
+    out.push_back(f.tier);
+    support::write_uleb128(out, f.hotness);
+    out.push_back(f.jit_state);
+  }
+
+  support::write_uleb128(out, s.stats.ops_executed);
+  support::write_uleb128(out, s.stats.cost_ps);
+  put_u64s(out, s.stats.arith_counts);
+  support::write_uleb128(out, s.stats.calls);
+  support::write_uleb128(out, s.stats.host_calls);
+  support::write_uleb128(out, s.stats.memory_grows);
+  support::write_uleb128(out, s.stats.tierups);
+
+  for (const auto& tier : s.attr.class_counts) put_u64s(out, tier);
+  put_u64s(out, s.attr.direct_ps);
+}
+
+bool read_u64s_into(Reader& r, std::span<uint64_t> out) {
+  if (r.uleb() != out.size()) {
+    r.ok = false;
+    return false;
+  }
+  for (uint64_t& v : out) v = r.uleb();
+  return r.ok;
+}
+
+bool read_wasm_state(Reader& r, wasm::Instance::SnapshotState& s) {
+  const uint64_t n_globals = r.count();
+  s.globals.resize(n_globals);
+  for (auto& v : s.globals) v.bits = r.uleb();
+
+  s.has_memory = r.byte() != 0;
+  if (s.has_memory) {
+    const uint64_t size = r.uleb();
+    if (!r.ok || size % kPage != 0 || size > (uint64_t{1} << 33)) {
+      r.ok = false;
+      return false;
+    }
+    s.memory_bytes.assign(size, 0);
+    s.memory_peak_bytes = r.uleb();
+    s.memory_grow_count = r.uleb();
+    const uint64_t n_pages = r.count();
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < n_pages && r.ok; ++i) {
+      const uint64_t p = r.uleb();
+      // Canonical form: strictly ascending page indices within bounds.
+      if ((i > 0 && p <= prev) || (p + 1) * kPage > size ||
+          r.pos + kPage > r.bytes.size()) {
+        r.ok = false;
+        return false;
+      }
+      std::copy_n(r.bytes.begin() + static_cast<ptrdiff_t>(r.pos), kPage,
+                  s.memory_bytes.begin() + static_cast<ptrdiff_t>(p * kPage));
+      r.pos += kPage;
+      prev = p;
+    }
+  }
+
+  const uint64_t n_table = r.count();
+  s.table.resize(n_table);
+  for (auto& t : s.table) t = static_cast<uint32_t>(r.uleb());
+
+  const uint64_t n_funcs = r.count();
+  s.funcs.resize(n_funcs);
+  for (auto& f : s.funcs) {
+    f.tier = r.byte();
+    f.hotness = r.uleb();
+    f.jit_state = r.byte();
+  }
+
+  s.stats.ops_executed = r.uleb();
+  s.stats.cost_ps = r.uleb();
+  if (!read_u64s_into(r, s.stats.arith_counts)) return false;
+  s.stats.calls = r.uleb();
+  s.stats.host_calls = r.uleb();
+  s.stats.memory_grows = r.uleb();
+  s.stats.tierups = r.uleb();
+
+  for (auto& tier : s.attr.class_counts) {
+    if (!read_u64s_into(r, tier)) return false;
+  }
+  if (!read_u64s_into(r, s.attr.direct_ps)) return false;
+  return r.ok;
+}
+
+// --- js section ------------------------------------------------------------
+
+constexpr uint8_t kFlagPinned = 1;
+constexpr uint8_t kFlagYoung = 2;
+constexpr uint8_t kFlagRemembered = 4;
+
+void put_refs(std::vector<uint8_t>& out, const std::vector<js::ObjRef>& refs) {
+  support::write_uleb128(out, refs.size());
+  for (const js::ObjRef r : refs) support::write_uleb128(out, r);
+}
+
+bool read_refs(Reader& r, std::vector<js::ObjRef>& out) {
+  const uint64_t n = r.count();
+  out.resize(n);
+  for (auto& ref : out) ref = static_cast<js::ObjRef>(r.uleb());
+  return r.ok;
+}
+
+void put_gc_object(std::vector<uint8_t>& out, const js::GcObject& o) {
+  out.push_back(static_cast<uint8_t>(o.kind));
+  out.push_back(static_cast<uint8_t>((o.pinned ? kFlagPinned : 0) |
+                                     (o.young ? kFlagYoung : 0) |
+                                     (o.remembered ? kFlagRemembered : 0)));
+  support::write_uleb128(out, o.serial);
+  support::write_uleb128(out, o.shape);
+  switch (o.kind) {
+    case js::ObjKind::String:
+      put_string(out, o.str());
+      break;
+    case js::ObjKind::Array:
+      // Capacity is observable (object_bytes charges reserved slots into
+      // live_bytes), so the encoding carries it alongside the contents.
+      support::write_uleb128(out, o.elems().size());
+      support::write_uleb128(out, o.elems().capacity());
+      for (const js::JsValue v : o.elems()) support::write_uleb128(out, v.bits);
+      break;
+    case js::ObjKind::Object:
+      support::write_uleb128(out, o.props().size());
+      support::write_uleb128(out, o.props().capacity());
+      for (const js::Prop& p : o.props()) {
+        support::write_uleb128(out, p.key);
+        support::write_uleb128(out, p.value.bits);
+      }
+      break;
+    case js::ObjKind::Function:
+    case js::ObjKind::Builtin:
+      support::write_uleb128(out, o.fn_index());
+      break;
+    case js::ObjKind::Float64Array: {
+      const auto& xs = std::get<std::vector<double>>(o.data);
+      support::write_uleb128(out, xs.size());
+      for (const double d : xs) {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof bits);
+        support::write_uleb128(out, bits);
+      }
+      break;
+    }
+    case js::ObjKind::Int32Array: {
+      const auto& xs = std::get<std::vector<int32_t>>(o.data);
+      support::write_uleb128(out, xs.size());
+      for (const int32_t v : xs) {
+        support::write_uleb128(out, static_cast<uint32_t>(v));
+      }
+      break;
+    }
+    case js::ObjKind::Uint8Array:
+      put_bytes(out, std::get<std::vector<uint8_t>>(o.data));
+      break;
+  }
+}
+
+bool read_gc_object(Reader& r, js::GcObject& o) {
+  const uint8_t kind = r.byte();
+  if (kind > static_cast<uint8_t>(js::ObjKind::Uint8Array)) {
+    r.ok = false;
+    return false;
+  }
+  o.kind = static_cast<js::ObjKind>(kind);
+  const uint8_t flags = r.byte();
+  o.pinned = (flags & kFlagPinned) != 0;
+  o.young = (flags & kFlagYoung) != 0;
+  o.remembered = (flags & kFlagRemembered) != 0;
+  o.serial = static_cast<uint32_t>(r.uleb());
+  o.shape = static_cast<uint32_t>(r.uleb());
+  switch (o.kind) {
+    case js::ObjKind::String:
+      o.data = r.str();
+      break;
+    case js::ObjKind::Array: {
+      const uint64_t n = r.count();
+      const uint64_t cap = r.uleb();
+      if (cap < n || cap > (uint64_t{1} << 32)) {
+        r.ok = false;
+        return false;
+      }
+      std::vector<js::JsValue> elems;
+      elems.reserve(static_cast<size_t>(cap));
+      elems.resize(static_cast<size_t>(n));
+      for (auto& v : elems) v.bits = r.uleb();
+      o.data = std::move(elems);
+      break;
+    }
+    case js::ObjKind::Object: {
+      const uint64_t n = r.count();
+      const uint64_t cap = r.uleb();
+      if (cap < n || cap > (uint64_t{1} << 32)) {
+        r.ok = false;
+        return false;
+      }
+      std::vector<js::Prop> props;
+      props.reserve(static_cast<size_t>(cap));
+      props.resize(static_cast<size_t>(n));
+      for (auto& p : props) {
+        p.key = static_cast<uint32_t>(r.uleb());
+        p.value.bits = r.uleb();
+      }
+      o.data = std::move(props);
+      break;
+    }
+    case js::ObjKind::Function:
+    case js::ObjKind::Builtin:
+      o.data = static_cast<uint32_t>(r.uleb());
+      break;
+    case js::ObjKind::Float64Array: {
+      const uint64_t n = r.count();
+      std::vector<double> xs(n);
+      for (auto& d : xs) {
+        const uint64_t bits = r.uleb();
+        std::memcpy(&d, &bits, sizeof d);
+      }
+      o.data = std::move(xs);
+      break;
+    }
+    case js::ObjKind::Int32Array: {
+      const uint64_t n = r.count();
+      std::vector<int32_t> xs(n);
+      for (auto& v : xs) v = static_cast<int32_t>(static_cast<uint32_t>(r.uleb()));
+      o.data = std::move(xs);
+      break;
+    }
+    case js::ObjKind::Uint8Array:
+      o.data = r.blob();
+      break;
+  }
+  return r.ok;
+}
+
+void put_js_state(std::vector<uint8_t>& out, const js::Vm::SnapshotState& s) {
+  put_u64s(out, s.globals_bits);
+  put_refs(out, s.str_const_refs);
+
+  support::write_uleb128(out, s.funcs.size());
+  for (const auto& f : s.funcs) {
+    out.push_back(f.tier);
+    support::write_uleb128(out, f.hotness);
+  }
+
+  support::write_uleb128(out, s.prop_caches.size());
+  for (const js::PropCache& c : s.prop_caches) {
+    out.push_back(c.n);
+    out.push_back(c.victim);
+    for (const js::PropCacheEntry& e : c.entries) {
+      support::write_uleb128(out, e.ref);
+      support::write_uleb128(out, e.serial);
+      support::write_uleb128(out, e.shape);
+      support::write_uleb128(out, e.slot);
+    }
+  }
+
+  support::write_uleb128(out, s.stats.ops_executed);
+  support::write_uleb128(out, s.stats.cost_ps);
+  support::write_uleb128(out, s.stats.tierups);
+  support::write_uleb128(out, s.stats.host_calls);
+  put_u64s(out, s.stats.arith_counts);
+
+  for (const auto& tier : s.attr.class_counts) put_u64s(out, tier);
+  put_u64s(out, s.attr.direct_ps);
+
+  const js::Heap::Image& h = s.heap;
+  support::write_uleb128(out, h.objects.size());
+  for (const auto& o : h.objects) {
+    out.push_back(o.has_value() ? 1 : 0);
+    if (o) put_gc_object(out, *o);
+  }
+  put_refs(out, h.free_list);
+  put_refs(out, h.nursery);
+  put_refs(out, h.remset);
+  support::write_uleb128(out, h.next_serial);
+  support::write_uleb128(out, h.allocated_since_gc);
+  support::write_uleb128(out, h.old_bytes);
+  support::write_uleb128(out, h.major_baseline_bytes);
+  support::write_uleb128(out, h.minor_collections);
+  support::write_uleb128(out, h.stats.collections);
+  support::write_uleb128(out, h.stats.objects_allocated);
+  support::write_uleb128(out, h.stats.objects_freed);
+  support::write_uleb128(out, h.stats.live_bytes);
+  support::write_uleb128(out, h.stats.peak_live_bytes);
+  support::write_uleb128(out, h.stats.external_bytes);
+  support::write_uleb128(out, h.stats.peak_external_bytes);
+}
+
+bool read_js_state(Reader& r, js::Vm::SnapshotState& s) {
+  const uint64_t n_globals = r.count();
+  s.globals_bits.resize(n_globals);
+  for (auto& g : s.globals_bits) g = r.uleb();
+  if (!read_refs(r, s.str_const_refs)) return false;
+
+  const uint64_t n_funcs = r.count();
+  s.funcs.resize(n_funcs);
+  for (auto& f : s.funcs) {
+    f.tier = r.byte();
+    f.hotness = r.uleb();
+  }
+
+  const uint64_t n_caches = r.count();
+  s.prop_caches.resize(n_caches);
+  for (auto& c : s.prop_caches) {
+    c.n = r.byte();
+    c.victim = r.byte();
+    for (auto& e : c.entries) {
+      e.ref = static_cast<js::ObjRef>(r.uleb());
+      e.serial = static_cast<uint32_t>(r.uleb());
+      e.shape = static_cast<uint32_t>(r.uleb());
+      e.slot = static_cast<uint32_t>(r.uleb());
+    }
+  }
+
+  s.stats.ops_executed = r.uleb();
+  s.stats.cost_ps = r.uleb();
+  s.stats.tierups = r.uleb();
+  s.stats.host_calls = r.uleb();
+  if (!read_u64s_into(r, s.stats.arith_counts)) return false;
+
+  for (auto& tier : s.attr.class_counts) {
+    if (!read_u64s_into(r, tier)) return false;
+  }
+  if (!read_u64s_into(r, s.attr.direct_ps)) return false;
+
+  js::Heap::Image& h = s.heap;
+  const uint64_t n_objects = r.count();
+  h.objects.clear();
+  h.objects.reserve(n_objects);
+  for (uint64_t i = 0; i < n_objects && r.ok; ++i) {
+    if (r.byte() == 0) {
+      h.objects.emplace_back(std::nullopt);
+      continue;
+    }
+    js::GcObject o;
+    if (!read_gc_object(r, o)) return false;
+    h.objects.emplace_back(std::move(o));
+  }
+  if (!read_refs(r, h.free_list)) return false;
+  if (!read_refs(r, h.nursery)) return false;
+  if (!read_refs(r, h.remset)) return false;
+  h.next_serial = static_cast<uint32_t>(r.uleb());
+  h.allocated_since_gc = r.uleb();
+  h.old_bytes = r.uleb();
+  h.major_baseline_bytes = r.uleb();
+  h.minor_collections = r.uleb();
+  h.stats.collections = r.uleb();
+  h.stats.objects_allocated = r.uleb();
+  h.stats.objects_freed = r.uleb();
+  h.stats.live_bytes = static_cast<size_t>(r.uleb());
+  h.stats.peak_live_bytes = static_cast<size_t>(r.uleb());
+  h.stats.external_bytes = static_cast<size_t>(r.uleb());
+  h.stats.peak_external_bytes = static_cast<size_t>(r.uleb());
+  return r.ok;
+}
+
+void put_header(std::vector<uint8_t>& out, SnapKind kind, const std::string& name) {
+  put_u32(out, kSnapMagic);
+  support::write_uleb128(out, kSnapVersion);
+  out.push_back(static_cast<uint8_t>(kind));
+  put_string(out, name);
+}
+
+/// Checks magic/version and the expected kind; returns the name.
+bool read_header(Reader& r, SnapKind expected, std::string& name, std::string& error) {
+  if (r.u32() != kSnapMagic) {
+    error = "bad snapshot magic";
+    return false;
+  }
+  const uint64_t version = r.uleb();
+  if (version != kSnapVersion) {
+    error = "unsupported snapshot version " + std::to_string(version);
+    return false;
+  }
+  const uint8_t kind = r.byte();
+  if (!r.ok || kind != static_cast<uint8_t>(expected)) {
+    error = "snapshot kind mismatch";
+    return false;
+  }
+  name = r.str();
+  return r.ok;
+}
+
+}  // namespace
+
+std::vector<uint8_t> serialize(const WasmSnapshot& snap) {
+  std::vector<uint8_t> out;
+  out.reserve(256 + snap.state.memory_bytes.size() / 8);
+  put_header(out, SnapKind::Wasm, snap.name);
+  put_wasm_state(out, snap.state);
+  return out;
+}
+
+std::vector<uint8_t> serialize(const JsSnapshot& snap) {
+  std::vector<uint8_t> out;
+  out.reserve(1024);
+  put_header(out, SnapKind::Js, snap.name);
+  put_js_state(out, snap.state);
+  return out;
+}
+
+std::optional<WasmSnapshot> parse_wasm(std::span<const uint8_t> bytes,
+                                       std::string& error) {
+  Reader r{bytes};
+  WasmSnapshot snap;
+  if (!read_header(r, SnapKind::Wasm, snap.name, error)) return std::nullopt;
+  if (!read_wasm_state(r, snap.state) || !r.ok) {
+    error = "truncated or malformed wasm snapshot";
+    return std::nullopt;
+  }
+  if (r.pos != bytes.size()) {
+    error = "trailing bytes after snapshot";
+    return std::nullopt;
+  }
+  snap.bytes = bytes.size();
+  snap.sha256 = support::sha256_hex(bytes);
+  return snap;
+}
+
+std::optional<JsSnapshot> parse_js(std::span<const uint8_t> bytes,
+                                   std::string& error) {
+  Reader r{bytes};
+  JsSnapshot snap;
+  if (!read_header(r, SnapKind::Js, snap.name, error)) return std::nullopt;
+  if (!read_js_state(r, snap.state) || !r.ok) {
+    error = "truncated or malformed js snapshot";
+    return std::nullopt;
+  }
+  if (r.pos != bytes.size()) {
+    error = "trailing bytes after snapshot";
+    return std::nullopt;
+  }
+  snap.bytes = bytes.size();
+  snap.sha256 = support::sha256_hex(bytes);
+  return snap;
+}
+
+std::string digest_hex(const WasmSnapshot& snap) {
+  return support::sha256_hex(serialize(snap));
+}
+
+std::string digest_hex(const JsSnapshot& snap) {
+  return support::sha256_hex(serialize(snap));
+}
+
+WasmSnapshot snapshot_wasm(const wasm::Instance& inst, std::string name) {
+  WasmSnapshot snap;
+  snap.name = std::move(name);
+  snap.state = inst.capture_snapshot();
+  const std::vector<uint8_t> bytes = serialize(snap);
+  snap.bytes = bytes.size();
+  snap.sha256 = support::sha256_hex(bytes);
+  return snap;
+}
+
+JsSnapshot snapshot_js(const js::Vm& vm, std::string name) {
+  JsSnapshot snap;
+  snap.name = std::move(name);
+  snap.state = vm.capture_snapshot();
+  const std::vector<uint8_t> bytes = serialize(snap);
+  snap.bytes = bytes.size();
+  snap.sha256 = support::sha256_hex(bytes);
+  return snap;
+}
+
+bool resume_wasm(wasm::Instance& inst, const WasmSnapshot& snap, Resume mode) {
+  if (!inst.restore_snapshot(snap.state, mode == Resume::Exact)) return false;
+  if (mode == Resume::WarmStart) {
+    inst.charge(restore_cost_ps(snap.bytes), attr::Cause::Startup);
+  }
+  return true;
+}
+
+bool resume_js(js::Vm& vm, const JsSnapshot& snap, Resume mode) {
+  if (!vm.restore_snapshot(snap.state, mode == Resume::Exact)) return false;
+  if (mode == Resume::WarmStart) {
+    vm.charge(restore_cost_ps(snap.bytes), attr::Cause::Startup);
+  }
+  return true;
+}
+
+void set_snap_default(bool enabled) {
+  g_snap_default.store(enabled, std::memory_order_relaxed);
+}
+
+bool snap_default() {
+  static const bool env_off = std::getenv("WB_NO_SNAP") != nullptr;
+  return !env_off && g_snap_default.load(std::memory_order_relaxed);
+}
+
+}  // namespace wb::snap

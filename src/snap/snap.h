@@ -1,0 +1,102 @@
+// wb::snap — instance snapshot/resume with deterministic warm start.
+//
+// Serializes a warmed `wasm::Instance` or `js::Vm` — linear memory
+// (zero-page-elided), globals, tables, the JS heap (objects, shapes,
+// interned strings, free-list order, serials), inline-cache states, tier
+// counters, and JIT verdicts — into a schema-versioned, sha256-identified
+// canonical `.wbsnap` byte format. `resume_*` reconstructs a VM whose
+// every subsequent virtual observable (cost_ps, ops_executed,
+// arith_counts, attr lanes, fuel traps, tracer spans, boundary streams)
+// is bit-identical to a freshly instantiated VM run to the same point:
+//
+//   Resume::Exact     also restores the virtual clock and attribution, so
+//                     the continuation is bit-identical to the original
+//                     run carrying on (the replay/identity-test mode).
+//   Resume::WarmStart restores state only and charges a modeled
+//                     bytes-proportional `snapshot_restore` cost to
+//                     Cause::Startup — how `wb_study --snapshot` and
+//                     `wb_fleet --snapshot` skip re-instantiation.
+//
+// The format mirrors wb::replay's `.wbr3` idiom: LE magic + uleb version,
+// canonical LEB128 fields, strict parse (trailing bytes rejected), and
+// SHA-256 of the canonical encoding as the snapshot's identity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "js/interp.h"
+#include "wasm/interp.h"
+
+namespace wb::snap {
+
+inline constexpr uint32_t kSnapMagic = 0x4e534257;  // "WBSN" little-endian
+inline constexpr uint32_t kSnapVersion = 1;
+
+enum class SnapKind : uint8_t { Wasm = 0, Js = 1 };
+
+/// Modeled restore cost: a fixed mapping/fixup pause plus a
+/// bytes-proportional copy term (~40 GB/s, the memcpy bandwidth class of
+/// a real engine's snapshot deserializer). Charged to Cause::Startup on
+/// a WarmStart resume in place of the decode + instantiate pipeline.
+inline constexpr uint64_t kRestoreBasePs = 2'000'000;  // 2 us fixed
+inline constexpr uint64_t kRestorePerBytePs = 25;      // ~1.6 us per 64 KiB page
+
+[[nodiscard]] constexpr uint64_t restore_cost_ps(uint64_t snapshot_bytes) {
+  return kRestoreBasePs + kRestorePerBytePs * snapshot_bytes;
+}
+
+/// A captured Wasm instance: the VM state plus the derived identity of
+/// its canonical encoding (filled by snapshot_wasm / parse_wasm).
+struct WasmSnapshot {
+  std::string name;
+  wasm::Instance::SnapshotState state;
+  uint64_t bytes = 0;   ///< canonical `.wbsnap` size (the restore-cost input)
+  std::string sha256;   ///< hex digest of the canonical encoding
+};
+
+struct JsSnapshot {
+  std::string name;
+  js::Vm::SnapshotState state;
+  uint64_t bytes = 0;
+  std::string sha256;
+};
+
+/// Captures a warmed instance (between invokes). Serializes once to fill
+/// the size/digest identity fields.
+[[nodiscard]] WasmSnapshot snapshot_wasm(const wasm::Instance& inst,
+                                         std::string name = {});
+[[nodiscard]] JsSnapshot snapshot_js(const js::Vm& vm, std::string name = {});
+
+enum class Resume : uint8_t { Exact = 0, WarmStart = 1 };
+
+/// Restores a snapshot into a freshly constructed, already-configured
+/// instance over the same module. Returns false on shape mismatch.
+bool resume_wasm(wasm::Instance& inst, const WasmSnapshot& snap, Resume mode);
+bool resume_js(js::Vm& vm, const JsSnapshot& snap, Resume mode);
+
+/// Canonical `.wbsnap` codec. Serialization elides all-zero 64 KiB linear
+/// memory pages; parse is strict (bad magic/version/shape or trailing
+/// bytes fail).
+[[nodiscard]] std::vector<uint8_t> serialize(const WasmSnapshot& snap);
+[[nodiscard]] std::vector<uint8_t> serialize(const JsSnapshot& snap);
+std::optional<WasmSnapshot> parse_wasm(std::span<const uint8_t> bytes,
+                                       std::string& error);
+std::optional<JsSnapshot> parse_js(std::span<const uint8_t> bytes,
+                                   std::string& error);
+/// SHA-256 hex of the canonical encoding (the snapshot's identity).
+[[nodiscard]] std::string digest_hex(const WasmSnapshot& snap);
+[[nodiscard]] std::string digest_hex(const JsSnapshot& snap);
+
+/// Process-wide default for whether snapshot/resume dogfooding is active
+/// on the replay paths (overridden per-call-site). Always false when
+/// WB_NO_SNAP is set in the environment. Never changes results — resume
+/// is observable-identical by construction; the latch exists for
+/// bisection, exactly like WB_NO_QUICKEN / WB_NO_JIT.
+void set_snap_default(bool enabled);
+bool snap_default();
+
+}  // namespace wb::snap

@@ -281,6 +281,69 @@ void Instance::maybe_tier_up(uint32_t defined_index, uint64_t now_ps) {
   }
 }
 
+Instance::SnapshotState Instance::capture_snapshot() const {
+  SnapshotState s;
+  s.globals = globals_;
+  if (memory_) {
+    s.has_memory = true;
+    s.memory_bytes.assign(memory_->bytes().begin(), memory_->bytes().end());
+    s.memory_peak_bytes = memory_->peak_bytes();
+    s.memory_grow_count = memory_->grow_count();
+  }
+  s.table = table_;
+  s.funcs.reserve(func_state_.size());
+  for (size_t i = 0; i < func_state_.size(); ++i) {
+    SnapshotState::FuncSnap f;
+    f.tier = static_cast<uint8_t>(func_state_[i].tier);
+    f.hotness = func_state_[i].hotness;
+    f.jit_state = i < jit_slots_.size()
+                      ? static_cast<uint8_t>(jit_slots_[i].state)
+                      : static_cast<uint8_t>(JitSlot::State::Unknown);
+    s.funcs.push_back(f);
+  }
+  s.stats = stats_;
+  s.attr = attr_;
+  return s;
+}
+
+bool Instance::restore_snapshot(const SnapshotState& s, bool with_stats) {
+  if (s.globals.size() != globals_.size()) return false;
+  if (s.has_memory != (memory_ != nullptr)) return false;
+  if (s.table.size() != table_.size()) return false;
+  if (s.funcs.size() != func_state_.size()) return false;
+  if (memory_) {
+    if (!memory_->restore(s.memory_bytes, s.memory_peak_bytes,
+                          s.memory_grow_count)) {
+      return false;
+    }
+  }
+  globals_ = s.globals;
+  table_ = s.table;
+  for (size_t i = 0; i < s.funcs.size(); ++i) {
+    func_state_[i].tier = static_cast<Tier>(s.funcs[i].tier);
+    func_state_[i].hotness = s.funcs[i].hotness;
+  }
+  // Re-establish JIT verdicts: Compiled bodies are lowered again (the
+  // compile is deterministic, so the generated charge tables match);
+  // Ineligible is carried so the eligibility scan is not repeated.
+  if (jit_enabled_) {
+    for (size_t i = 0; i < s.funcs.size(); ++i) {
+      const auto verdict = static_cast<JitSlot::State>(s.funcs[i].jit_state);
+      if (verdict == JitSlot::State::Compiled) {
+        (void)jit_compiled(static_cast<uint32_t>(i));
+      } else if (verdict == JitSlot::State::Ineligible) {
+        jit_slots_[i].state = JitSlot::State::Ineligible;
+        jit_slots_[i].fn.reset();
+      }
+    }
+  }
+  if (with_stats) {
+    stats_ = s.stats;
+    attr_ = s.attr;
+  }
+  return true;
+}
+
 InvokeResult Instance::invoke(std::string_view export_name, std::span<const Value> args) {
   const Export* e = module_.find_export(export_name);
   if (!e || e->kind != ExportKind::Func) return {Trap::HostError, {}};

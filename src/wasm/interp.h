@@ -140,6 +140,40 @@ class Instance {
   /// Functions JIT-compiled so far (observability for tests and tools).
   [[nodiscard]] size_t jit_compiled_functions() const;
 
+  /// A deep copy of everything that survives between invokes: the VM-side
+  /// half of a `.wbsnap` snapshot (wb::snap owns the byte format). All
+  /// fields are plain data so the snap layer can serialize them
+  /// canonically.
+  struct SnapshotState {
+    struct FuncSnap {
+      uint8_t tier = 0;        ///< Tier as uint8_t
+      uint64_t hotness = 0;
+      /// JitSlot::State verdict as uint8_t (Unknown/Compiled/Ineligible).
+      /// Compiled bodies are re-lowered deterministically on restore; only
+      /// the verdict is carried.
+      uint8_t jit_state = 0;
+    };
+    std::vector<Value> globals;
+    bool has_memory = false;
+    std::vector<uint8_t> memory_bytes;   ///< full image (elision is snap's job)
+    uint64_t memory_peak_bytes = 0;
+    uint64_t memory_grow_count = 0;
+    std::vector<uint32_t> table;
+    std::vector<FuncSnap> funcs;
+    ExecStats stats;
+    AttrStats attr;
+  };
+
+  /// Captures the instance's resumable state (call between invokes).
+  [[nodiscard]] SnapshotState capture_snapshot() const;
+  /// Restores state captured from an identically-shaped instance. Call
+  /// AFTER all configuration (set_cost_tables resets JIT slots and
+  /// set_tier_policy can re-tier every function). `with_stats` restores
+  /// the virtual clock and attribution too (exact resume: continuation is
+  /// bit-identical to the original run); without it the clock stays at
+  /// zero for a modeled warm start. Returns false on shape mismatch.
+  bool restore_snapshot(const SnapshotState& s, bool with_stats);
+
   /// Invokes an exported function by name.
   InvokeResult invoke(std::string_view export_name, std::span<const Value> args);
   /// Invokes by function index (combined import+defined space).

@@ -65,6 +65,17 @@ class LinearMemory {
   [[nodiscard]] std::span<uint8_t> bytes() { return bytes_; }
   [[nodiscard]] std::span<const uint8_t> bytes() const { return bytes_; }
 
+  /// Snapshot restore: replaces the full contents and the grow-derived
+  /// observables. `size` must be page-aligned and within the limit.
+  bool restore(std::vector<uint8_t> bytes, size_t peak_bytes, uint64_t grow_count) {
+    if (bytes.size() % kPageSize != 0) return false;
+    if (bytes.size() / kPageSize > max_pages_) return false;
+    bytes_ = std::move(bytes);
+    peak_bytes_ = std::max(peak_bytes, bytes_.size());
+    grow_count_ = grow_count;
+    return true;
+  }
+
  private:
   uint64_t max_pages_;
   std::vector<uint8_t> bytes_;

@@ -31,6 +31,7 @@ RunOutcome run_js(const std::string& source, Heap* heap_out = nullptr,
     out.error = error;
     return out;
   }
+  vm.reset();  // ~Vm touches the heap; destroy it before replacing the heap
   heap = std::make_unique<Heap>(256 << 10);
   vm = std::make_unique<Vm>(*code, *heap);
   vm->set_fuel(50'000'000);

@@ -1,0 +1,132 @@
+// Whole-corpus snapshot/resume gate (slow tier): for every benchmark at
+// XS/-O2, snapshot a post-__init instance, round-trip it through the
+// canonical `.wbsnap` codec, exact-resume it into a fresh instance, and
+// require the continuation (main) to match a fresh uninterrupted run on
+// every observable — trap, result bits, the full ExecStats, and the
+// attribution counters — on all three Wasm execution tiers (classic,
+// quickened, quickened+JIT). This is the corpus-scale twin of
+// snap_test.cpp and the guarantee behind `wb_study --snapshot`.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "backend/wasm_backend.h"
+#include "benchmarks/registry.h"
+#include "core/study.h"
+#include "snap/snap.h"
+#include "wasm/interp.h"
+
+namespace wb {
+namespace {
+
+struct Outcome {
+  wasm::Trap init_trap = wasm::Trap::None;
+  wasm::InvokeResult main_result;
+  wasm::ExecStats stats;
+  wasm::AttrStats attr;
+};
+
+enum class Engine { Classic, Quickened, Jit };
+
+void configure(wasm::Instance& inst, Engine engine) {
+  inst.set_quicken(engine != Engine::Classic);
+  inst.set_jit(engine == Engine::Jit);
+  wasm::CostTable baseline;
+  baseline.fill(140);
+  wasm::CostTable optimizing;
+  optimizing.fill(55);
+  inst.set_cost_tables(baseline, optimizing);
+  wasm::TierPolicy policy;
+  policy.tierup_threshold = 500;
+  inst.set_tier_policy(policy);
+  inst.set_grow_cost(2'000);
+  inst.set_fuel(200'000'000);
+}
+
+Outcome fresh_run(const backend::WasmArtifact& artifact, Engine engine) {
+  wasm::Instance inst(artifact.module, backend::make_import_bindings(artifact));
+  configure(inst, engine);
+  Outcome out;
+  out.init_trap = inst.invoke("__init", {}).trap;
+  if (out.init_trap == wasm::Trap::None) {
+    out.main_result = inst.invoke("main", {});
+  }
+  out.stats = inst.stats();
+  out.attr = inst.attr_stats();
+  return out;
+}
+
+Outcome resumed_run(const backend::WasmArtifact& artifact, Engine engine,
+                    const std::string& name) {
+  Outcome out;
+
+  wasm::Instance warm(artifact.module, backend::make_import_bindings(artifact));
+  configure(warm, engine);
+  out.init_trap = warm.invoke("__init", {}).trap;
+  if (out.init_trap != wasm::Trap::None) return out;
+
+  const snap::WasmSnapshot snapshot = snap::snapshot_wasm(warm, name);
+  std::string error;
+  const auto parsed = snap::parse_wasm(snap::serialize(snapshot), error);
+  EXPECT_TRUE(parsed) << name << ": " << error;
+  if (!parsed) return out;
+  EXPECT_EQ(parsed->sha256, snapshot.sha256);
+
+  wasm::Instance inst(artifact.module, backend::make_import_bindings(artifact));
+  configure(inst, engine);
+  EXPECT_TRUE(snap::resume_wasm(inst, *parsed, snap::Resume::Exact)) << name;
+  out.main_result = inst.invoke("main", {});
+  out.stats = inst.stats();
+  out.attr = inst.attr_stats();
+  return out;
+}
+
+class SnapCorpus : public testing::TestWithParam<const core::BenchSource*> {};
+
+TEST_P(SnapCorpus, ResumedContinuationMatchesFreshRun) {
+  const core::BenchSource& bench = *GetParam();
+  const core::BuildResult build =
+      core::build(bench, core::InputSize::XS, ir::OptLevel::O2);
+  ASSERT_TRUE(build.ok) << bench.name << ": " << build.error;
+  for (const Engine engine : {Engine::Classic, Engine::Quickened, Engine::Jit}) {
+    SCOPED_TRACE(std::string(bench.name) + " engine=" +
+                 std::to_string(static_cast<int>(engine)));
+    const Outcome fresh = fresh_run(build.wasm, engine);
+    const Outcome resumed = resumed_run(build.wasm, engine, bench.name);
+    ASSERT_EQ(fresh.init_trap, resumed.init_trap);
+    if (fresh.init_trap != wasm::Trap::None) continue;
+    EXPECT_EQ(fresh.main_result.trap, resumed.main_result.trap);
+    if (fresh.main_result.ok() && resumed.main_result.ok()) {
+      EXPECT_EQ(fresh.main_result.value.bits, resumed.main_result.value.bits);
+    }
+    EXPECT_EQ(fresh.stats.ops_executed, resumed.stats.ops_executed);
+    EXPECT_EQ(fresh.stats.cost_ps, resumed.stats.cost_ps);
+    EXPECT_EQ(fresh.stats.arith_counts, resumed.stats.arith_counts);
+    EXPECT_EQ(fresh.stats.calls, resumed.stats.calls);
+    EXPECT_EQ(fresh.stats.host_calls, resumed.stats.host_calls);
+    EXPECT_EQ(fresh.stats.memory_grows, resumed.stats.memory_grows);
+    EXPECT_EQ(fresh.stats.tierups, resumed.stats.tierups);
+    EXPECT_EQ(fresh.attr.class_counts, resumed.attr.class_counts);
+    EXPECT_EQ(fresh.attr.direct_ps, resumed.attr.direct_ps);
+  }
+}
+
+std::vector<const core::BenchSource*> all() {
+  std::vector<const core::BenchSource*> out;
+  for (const auto& b : benchmarks::all_benchmarks()) out.push_back(&b);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SnapCorpus, testing::ValuesIn(all()),
+                         [](const testing::TestParamInfo<const core::BenchSource*>& info) {
+                           std::string name = info.param->name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,405 @@
+// wb::snap unit gate (tier1): snapshot -> resume -> snapshot byte
+// identity, resume-vs-fresh observable identity per fuel value across
+// tier boundaries, zero-page elision, strict `.wbsnap` parsing, the
+// WarmStart restore-cost charge, and the generational JS GC's
+// compatibility contract (MarkSweep observables untouched, Generational
+// identical results with modeled pauses charged). The corpus-scale twin
+// is snap_corpus_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "js/engine.h"
+#include "js/heap.h"
+#include "js/interp.h"
+#include "snap/snap.h"
+#include "wasm/builder.h"
+#include "wasm/interp.h"
+
+namespace wb {
+namespace {
+
+// ------------------------------------------------------------------ wasm
+
+// 4 pages of memory, a mutable global, an "init" that marks pages 0 and 3
+// (pages 1-2 stay all-zero for the elision check), and a "main(n)" whose
+// loop of loads + adds is long enough to cross a small tier-up threshold.
+wasm::Module test_module() {
+  wasm::ModuleBuilder mb;
+  mb.set_memory(4, 4);
+  const uint32_t g = mb.add_global(wasm::ValType::I32, true, wasm::Value::from_i32(0));
+
+  auto init = mb.define(wasm::FuncType{{}, {}}, "init");
+  const uint32_t i = init.add_local(wasm::ValType::I32);
+  init.block().loop();
+  init.local_get(i).i32(1024).op(wasm::Opcode::I32GeS).br_if(1);
+  init.local_get(i).local_get(i).store(wasm::Opcode::I32Store, 0, 2);
+  init.local_get(i).i32(4).op(wasm::Opcode::I32Add).local_set(i);
+  init.br(0);
+  init.end().end();
+  init.i32(3 * 65536).i32(0x5eed).store(wasm::Opcode::I32Store, 0, 2);
+  init.i32(7).global_set(g);
+  init.finish("init");
+
+  auto main = mb.define(wasm::FuncType{{wasm::ValType::I32}, {wasm::ValType::I32}},
+                        "main");
+  const uint32_t j = main.add_local(wasm::ValType::I32);
+  const uint32_t acc = main.add_local(wasm::ValType::I32);
+  main.block().loop();
+  main.local_get(j).local_get(0).op(wasm::Opcode::I32GeS).br_if(1);
+  main.local_get(acc)
+      .local_get(j)
+      .i32(1020)
+      .op(wasm::Opcode::I32And)
+      .load(wasm::Opcode::I32Load, 0, 2)
+      .op(wasm::Opcode::I32Add)
+      .local_set(acc);
+  main.local_get(j).i32(1).op(wasm::Opcode::I32Add).local_set(j);
+  main.br(0);
+  main.end().end();
+  main.local_get(acc).global_get(g).op(wasm::Opcode::I32Add);
+  main.finish("main");
+  return mb.take();
+}
+
+// The configuration every instance in these tests gets; restore must run
+// after this (set_cost_tables resets JIT slots).
+void configure(wasm::Instance& inst) {
+  wasm::CostTable baseline;
+  baseline.fill(150);
+  wasm::CostTable optimizing;
+  optimizing.fill(60);
+  inst.set_cost_tables(baseline, optimizing);
+  wasm::TierPolicy policy;
+  policy.tierup_threshold = 64;  // "main" with n >= 64 crosses mid-invoke
+  policy.tierup_cost_per_instr = 400;
+  inst.set_tier_policy(policy);
+  inst.set_grow_cost(1'000);
+}
+
+// The instance holds a reference to its module, so tests share one
+// static instance of it.
+const wasm::Module& the_module() {
+  static const wasm::Module module = test_module();
+  return module;
+}
+
+snap::WasmSnapshot warmed_snapshot() {
+  wasm::Instance inst(the_module(), {});
+  configure(inst);
+  EXPECT_EQ(inst.invoke("init", {}).trap, wasm::Trap::None);
+  return snap::snapshot_wasm(inst, "unit");
+}
+
+TEST(SnapWasm, RoundTripByteIdentity) {
+  const wasm::Module& module = the_module();
+  wasm::Instance inst(module, {});
+  configure(inst);
+  ASSERT_EQ(inst.invoke("init", {}).trap, wasm::Trap::None);
+  const snap::WasmSnapshot first = snap::snapshot_wasm(inst, "unit");
+  const std::vector<uint8_t> bytes = snap::serialize(first);
+  EXPECT_EQ(first.bytes, bytes.size());
+  EXPECT_EQ(first.sha256, snap::digest_hex(first));
+
+  std::string error;
+  const auto parsed = snap::parse_wasm(bytes, error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(parsed->sha256, first.sha256);
+
+  wasm::Instance resumed(module, {});
+  configure(resumed);
+  ASSERT_TRUE(snap::resume_wasm(resumed, *parsed, snap::Resume::Exact));
+  const snap::WasmSnapshot second = snap::snapshot_wasm(resumed, "unit");
+  EXPECT_EQ(serialize(second), bytes);
+  EXPECT_EQ(second.sha256, first.sha256);
+}
+
+// Per fuel value, a fresh run (init + main under that fuel) and an
+// exact-resumed run must agree on every observable — including fuel
+// values that stop main before, across, and after the tier-up boundary.
+TEST(SnapWasm, ResumeMatchesFreshPerFuelAcrossTiers) {
+  const wasm::Module& module = the_module();
+  const std::vector<wasm::Value> args = {wasm::Value::from_i32(500)};
+  for (const uint64_t fuel :
+       {uint64_t{10}, uint64_t{200}, uint64_t{800}, uint64_t{3000}, UINT64_MAX}) {
+    SCOPED_TRACE("fuel=" + std::to_string(fuel));
+
+    wasm::Instance fresh(module, {});
+    configure(fresh);
+    ASSERT_EQ(fresh.invoke("init", {}).trap, wasm::Trap::None);
+    fresh.set_fuel(fuel);
+    const wasm::InvokeResult want = fresh.invoke("main", args);
+
+    wasm::Instance warm(module, {});
+    configure(warm);
+    ASSERT_EQ(warm.invoke("init", {}).trap, wasm::Trap::None);
+    const snap::WasmSnapshot snapshot = snap::snapshot_wasm(warm, "unit");
+    std::string error;
+    const auto parsed = snap::parse_wasm(snap::serialize(snapshot), error);
+    ASSERT_TRUE(parsed) << error;
+
+    wasm::Instance resumed(module, {});
+    configure(resumed);
+    ASSERT_TRUE(snap::resume_wasm(resumed, *parsed, snap::Resume::Exact));
+    resumed.set_fuel(fuel);
+    const wasm::InvokeResult got = resumed.invoke("main", args);
+
+    EXPECT_EQ(want.trap, got.trap);
+    if (want.ok() && got.ok()) {
+      EXPECT_EQ(want.value.bits, got.value.bits);
+    }
+    EXPECT_EQ(fresh.stats().ops_executed, resumed.stats().ops_executed);
+    EXPECT_EQ(fresh.stats().cost_ps, resumed.stats().cost_ps);
+    EXPECT_EQ(fresh.stats().arith_counts, resumed.stats().arith_counts);
+    EXPECT_EQ(fresh.stats().calls, resumed.stats().calls);
+    EXPECT_EQ(fresh.stats().host_calls, resumed.stats().host_calls);
+    EXPECT_EQ(fresh.stats().memory_grows, resumed.stats().memory_grows);
+    EXPECT_EQ(fresh.stats().tierups, resumed.stats().tierups);
+    EXPECT_EQ(fresh.attr_stats().class_counts, resumed.attr_stats().class_counts);
+    EXPECT_EQ(fresh.attr_stats().direct_ps, resumed.attr_stats().direct_ps);
+  }
+}
+
+// Pages 1 and 2 are all-zero after init; the canonical encoding must not
+// carry them (4 pages = 256 KiB of memory, but only 2 live pages).
+TEST(SnapWasm, ZeroPagesAreElided) {
+  const snap::WasmSnapshot snapshot = warmed_snapshot();
+  EXPECT_EQ(snapshot.state.memory_bytes.size(), 4u * 65536u);
+  EXPECT_LT(snapshot.bytes, 3u * 65536u);
+  EXPECT_GT(snapshot.bytes, 2u * 65536u);  // both live pages are present
+}
+
+TEST(SnapWasm, ParseIsStrict) {
+  const snap::WasmSnapshot snapshot = warmed_snapshot();
+  const std::vector<uint8_t> bytes = snap::serialize(snapshot);
+  std::string error;
+
+  std::vector<uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(snap::parse_wasm(bad_magic, error));
+
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 7);
+  EXPECT_FALSE(snap::parse_wasm(truncated, error));
+
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(snap::parse_wasm(trailing, error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+
+  // A Wasm snapshot is not a JS snapshot (the kind byte is checked).
+  EXPECT_FALSE(snap::parse_js(bytes, error));
+
+  EXPECT_FALSE(snap::parse_wasm(std::vector<uint8_t>{}, error));
+}
+
+// WarmStart restores state but not the clock: the only charge on the
+// resumed instance is the modeled bytes-proportional restore cost,
+// attributed to Startup — and execution then proceeds from warmed state.
+TEST(SnapWasm, WarmStartChargesModeledRestoreCost) {
+  const wasm::Module& module = the_module();
+  wasm::Instance warm(module, {});
+  configure(warm);
+  ASSERT_EQ(warm.invoke("init", {}).trap, wasm::Trap::None);
+  const snap::WasmSnapshot snapshot = snap::snapshot_wasm(warm, "unit");
+
+  wasm::Instance resumed(module, {});
+  configure(resumed);
+  ASSERT_TRUE(snap::resume_wasm(resumed, snapshot, snap::Resume::WarmStart));
+  EXPECT_EQ(resumed.stats().cost_ps, snap::restore_cost_ps(snapshot.bytes));
+  EXPECT_EQ(resumed.stats().ops_executed, 0u);
+  const auto& direct = resumed.attr_stats().direct_ps;
+  EXPECT_EQ(direct[static_cast<size_t>(attr::Cause::Startup)],
+            snap::restore_cost_ps(snapshot.bytes));
+
+  // The warmed memory and globals are live: main sees init's stores.
+  const std::vector<wasm::Value> args = {wasm::Value::from_i32(8)};
+  const wasm::InvokeResult fresh_main = warm.invoke("main", args);
+  const wasm::InvokeResult resumed_main = resumed.invoke("main", args);
+  ASSERT_TRUE(fresh_main.ok());
+  ASSERT_TRUE(resumed_main.ok());
+  EXPECT_EQ(fresh_main.value.bits, resumed_main.value.bits);
+}
+
+TEST(SnapWasm, ResumeRejectsShapeMismatch) {
+  const wasm::Module& module = the_module();
+  snap::WasmSnapshot snapshot = warmed_snapshot();
+  snapshot.state.globals.push_back(wasm::Value::from_i32(1));
+  wasm::Instance resumed(module, {});
+  configure(resumed);
+  EXPECT_FALSE(snap::resume_wasm(resumed, snapshot, snap::Resume::Exact));
+}
+
+TEST(SnapDefault, LatchToggles) {
+  ASSERT_TRUE(snap::snap_default());
+  snap::set_snap_default(false);
+  EXPECT_FALSE(snap::snap_default());
+  snap::set_snap_default(true);
+  EXPECT_TRUE(snap::snap_default());
+}
+
+// -------------------------------------------------------------------- js
+
+// Exercises strings, arrays, object shapes, and enough allocation churn
+// to give the snapshot a non-trivial heap image.
+constexpr const char* kJsSource = R"(
+  var table = [];
+  for (var i = 0; i < 64; i++) {
+    table[i] = { key: i, name: "obj" + i, data: [i, i * 2, i * 3] };
+  }
+  function main() {
+    var acc = 0;
+    for (var i = 0; i < 64; i++) {
+      var o = table[i & 63];
+      acc = (acc + o.key + o.data[2]) | 0;
+    }
+    return acc;
+  }
+)";
+
+TEST(SnapJs, RoundTripByteIdentity) {
+  std::string error;
+  const auto code = js::compile_script(kJsSource, error);
+  ASSERT_TRUE(code) << error;
+  js::Heap heap(256 << 10);
+  js::Vm vm(*code, heap);
+  ASSERT_TRUE(vm.run_top_level().ok);
+  const snap::JsSnapshot first = snap::snapshot_js(vm, "unit");
+  const std::vector<uint8_t> bytes = snap::serialize(first);
+  EXPECT_EQ(first.bytes, bytes.size());
+  EXPECT_EQ(first.sha256, snap::digest_hex(first));
+
+  const auto parsed = snap::parse_js(bytes, error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(parsed->sha256, first.sha256);
+  EXPECT_FALSE(snap::parse_wasm(bytes, error));  // kind byte again
+
+  js::Heap resumed_heap(256 << 10);
+  js::Vm resumed(*code, resumed_heap);
+  ASSERT_TRUE(snap::resume_js(resumed, *parsed, snap::Resume::Exact));
+  const snap::JsSnapshot second = snap::snapshot_js(resumed, "unit");
+  EXPECT_EQ(serialize(second), bytes);
+  EXPECT_EQ(second.sha256, first.sha256);
+}
+
+TEST(SnapJs, ResumeMatchesFresh) {
+  std::string error;
+  const auto code = js::compile_script(kJsSource, error);
+  ASSERT_TRUE(code) << error;
+
+  js::Heap fresh_heap(256 << 10);
+  js::Vm fresh(*code, fresh_heap);
+  ASSERT_TRUE(fresh.run_top_level().ok);
+  const js::Vm::Result want = fresh.call_function("main", {});
+  ASSERT_TRUE(want.ok) << want.error;
+
+  js::Heap warm_heap(256 << 10);
+  js::Vm warm(*code, warm_heap);
+  ASSERT_TRUE(warm.run_top_level().ok);
+  const snap::JsSnapshot snapshot = snap::snapshot_js(warm, "unit");
+  const auto parsed = snap::parse_js(snap::serialize(snapshot), error);
+  ASSERT_TRUE(parsed) << error;
+
+  js::Heap resumed_heap(256 << 10);
+  js::Vm resumed(*code, resumed_heap);
+  ASSERT_TRUE(snap::resume_js(resumed, *parsed, snap::Resume::Exact));
+  const js::Vm::Result got = resumed.call_function("main", {});
+  ASSERT_TRUE(got.ok) << got.error;
+
+  EXPECT_EQ(want.value.bits, got.value.bits);
+  EXPECT_EQ(fresh.stats().ops_executed, resumed.stats().ops_executed);
+  EXPECT_EQ(fresh.stats().cost_ps, resumed.stats().cost_ps);
+  EXPECT_EQ(fresh.stats().tierups, resumed.stats().tierups);
+  EXPECT_EQ(fresh.stats().host_calls, resumed.stats().host_calls);
+  EXPECT_EQ(fresh.stats().arith_counts, resumed.stats().arith_counts);
+  EXPECT_EQ(fresh_heap.stats().live_bytes, resumed_heap.stats().live_bytes);
+  EXPECT_EQ(fresh_heap.stats().collections, resumed_heap.stats().collections);
+}
+
+// Allocation churn under a small threshold: generational mode must
+// produce the same result while taking minor collections and charging
+// modeled pause time; MarkSweep mode must keep its observables exactly
+// as before (zero minor collections, no GcPause lane).
+constexpr const char* kChurnSource = R"(
+  var keep = [];
+  function main() {
+    var acc = 0;
+    for (var i = 0; i < 4000; i++) {
+      var o = { v: i, pad: [i, i + 1, i + 2, i + 3] };
+      if ((i & 63) === 0) keep[keep.length] = o;  // survivors get promoted
+      acc = (acc + o.v) | 0;
+    }
+    return acc;
+  }
+)";
+
+TEST(SnapGenerationalGc, SameResultsMinorPausesCharged) {
+  std::string error;
+  const auto code = js::compile_script(kChurnSource, error);
+  ASSERT_TRUE(code) << error;
+
+  js::Heap ms_heap(32 << 10);
+  js::Vm ms(*code, ms_heap);
+  ASSERT_TRUE(ms.run_top_level().ok);
+  const js::Vm::Result ms_result = ms.call_function("main", {});
+  ASSERT_TRUE(ms_result.ok) << ms_result.error;
+  EXPECT_EQ(ms_heap.minor_collections(), 0u);
+  EXPECT_EQ(ms.attr_stats().direct_ps[static_cast<size_t>(attr::Cause::GcPause)],
+            0u);
+
+  js::Heap gen_heap(32 << 10);
+  js::Vm gen(*code, gen_heap);
+  gen.set_gc_mode(js::GcMode::Generational);
+  ASSERT_TRUE(gen.run_top_level().ok);
+  const js::Vm::Result gen_result = gen.call_function("main", {});
+  ASSERT_TRUE(gen_result.ok) << gen_result.error;
+
+  // Identical semantics, different (explicitly modeled) cost.
+  EXPECT_EQ(ms_result.value.bits, gen_result.value.bits);
+  EXPECT_GT(gen_heap.minor_collections(), 0u);
+  const uint64_t pause_ps =
+      gen.attr_stats().direct_ps[static_cast<size_t>(attr::Cause::GcPause)];
+  EXPECT_GT(pause_ps, 0u);
+  EXPECT_EQ(gen.stats().cost_ps, ms.stats().cost_ps + pause_ps);
+}
+
+// Old-to-young pointers created after a minor collection must be found
+// through the remembered set: survivors promoted early hold references
+// to objects allocated much later, and every read must still see them.
+TEST(SnapGenerationalGc, RememberedSetKeepsCrossGenerationEdges) {
+  constexpr const char* source = R"(
+    var old_one = { slot: null, tag: "old" };
+    function main() {
+      var acc = 0;
+      for (var i = 0; i < 3000; i++) {
+        old_one.slot = { v: i, pad: [i, i, i, i] };  // old -> young edge
+        var filler = { waste: [i, i + 1] };
+        acc = (acc + old_one.slot.v + filler.waste[0]) | 0;
+      }
+      return acc;
+    }
+  )";
+  std::string error;
+  const auto code = js::compile_script(source, error);
+  ASSERT_TRUE(code) << error;
+
+  js::Heap ms_heap(32 << 10);
+  js::Vm ms(*code, ms_heap);
+  ASSERT_TRUE(ms.run_top_level().ok);
+  const js::Vm::Result want = ms.call_function("main", {});
+  ASSERT_TRUE(want.ok) << want.error;
+
+  js::Heap gen_heap(32 << 10);
+  js::Vm gen(*code, gen_heap);
+  gen.set_gc_mode(js::GcMode::Generational);
+  ASSERT_TRUE(gen.run_top_level().ok);
+  const js::Vm::Result got = gen.call_function("main", {});
+  ASSERT_TRUE(got.ok) << got.error;
+
+  EXPECT_EQ(want.value.bits, got.value.bits);
+  EXPECT_GT(gen_heap.minor_collections(), 0u);
+}
+
+}  // namespace
+}  // namespace wb

@@ -42,6 +42,7 @@
 #include "benchmarks/registry.h"
 #include "common.h"
 #include "js/quicken.h"
+#include "snap/snap.h"
 #include "support/cli.h"
 #include "support/json.h"
 #include "wasm/jit/jit.h"
@@ -62,13 +63,15 @@ const support::CliTool cli(
     "               [--sizes=S,M] [--levels=O2,Ofast]\n"
     "               [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
     "               [--toolchain=Cheerp] [--jobs=N]\n"
-    "               [--no-quicken] [--no-quicken-js] [--no-jit] [--help]\n"
+    "               [--no-quicken] [--no-quicken-js] [--no-jit] [--no-snap]\n"
+    "               [--help]\n"
     "environment:\n"
     "  WB_JOBS=N            default for --jobs (the flag wins)\n"
     "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
     "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n"
     "  WB_NO_JIT=1          quickened dispatch without the copy-and-patch\n"
-    "                       Wasm JIT (= --no-jit; never changes results)\n");
+    "                       Wasm JIT (= --no-jit; never changes results)\n"
+    "  WB_NO_SNAP=1         disable wb::snap snapshot/resume (= --no-snap)\n");
 
 [[noreturn]] void die(const std::string& msg) { cli.die(msg); }
 
@@ -535,6 +538,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-jit") {
       // And for the copy-and-patch Wasm JIT.
       wasm::jit::set_jit_default(false);
+    } else if (arg == "--no-snap") {
+      snap::set_snap_default(false);
     } else {
       cli.unknown_flag(arg);
     }

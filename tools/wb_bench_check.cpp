@@ -5,13 +5,20 @@
 //   wb_bench_check --baseline=BENCH_vm_micro.json --current=out.json
 //                  --family=BM_WasmInterpreterHotLoop [--tolerance=0.25]
 //
-// It can also enforce a machine-independent speedup ratio between two
-// benchmarks of the SAME report (the quickened engine's >=2x contract):
+// It can also enforce machine-independent speedup ratios between pairs of
+// benchmarks of the SAME report (the quickened engine's >=2x contract, the
+// snapshot restore's >=5x contract). The three ratio flags repeat; the
+// i-th --ratio-num / --ratio-den / --min-ratio form one gate, and every
+// gate is evaluated and printed before the exit status is decided, so one
+// run reports ALL failing ratios rather than stopping at the first:
 //
 //   wb_bench_check --current=out.json
 //                  --ratio-num=BM_WasmQuickenedHotLoop/100000
 //                  --ratio-den=BM_WasmInterpreterHotLoop/100000
 //                  --min-ratio=2.0
+//                  --ratio-num=BM_SnapshotRestore
+//                  --ratio-den=BM_ColdInstantiate
+//                  --min-ratio=5.0
 //
 // Exit status: 0 ok, 1 regression/ratio failure, 2 usage/IO error or a
 // baseline recorded from a non-release build (context.library_build_type).
@@ -34,7 +41,10 @@ int usage() {
                "usage: wb_bench_check --current=FILE [--baseline=FILE]\n"
                "                      [--family=PREFIX]... [--tolerance=F]\n"
                "                      [--ratio-num=NAME --ratio-den=NAME "
-               "--min-ratio=F]\n");
+               "--min-ratio=F]...\n"
+               "ratio flags repeat; the i-th --ratio-num/--ratio-den/"
+               "--min-ratio form one gate\nand every gate is reported "
+               "before the exit status is decided\n");
   return 2;
 }
 
@@ -57,6 +67,13 @@ std::optional<Value> load(const std::string& path) {
 struct Entry {
   std::string name;
   double items_per_second = 0;
+};
+
+/// One --ratio-num/--ratio-den/--min-ratio triplet.
+struct RatioGate {
+  std::string num;
+  std::string den;
+  double min_ratio = 0;
 };
 
 /// All entries of the report that carry an items_per_second counter.
@@ -101,10 +118,11 @@ bool reject_non_release_baseline(const Value& baseline, const std::string& path)
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string baseline_path, current_path, ratio_num, ratio_den;
+  std::string baseline_path, current_path;
   std::vector<std::string> families;
+  std::vector<std::string> ratio_nums, ratio_dens;
+  std::vector<double> min_ratios;
   double tolerance = 0.25;
-  double min_ratio = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,21 +136,33 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       tolerance = std::stod(value("--tolerance="));
     } else if (arg.rfind("--ratio-num=", 0) == 0) {
-      ratio_num = value("--ratio-num=");
+      ratio_nums.push_back(value("--ratio-num="));
     } else if (arg.rfind("--ratio-den=", 0) == 0) {
-      ratio_den = value("--ratio-den=");
+      ratio_dens.push_back(value("--ratio-den="));
     } else if (arg.rfind("--min-ratio=", 0) == 0) {
-      min_ratio = std::stod(value("--min-ratio="));
+      min_ratios.push_back(std::stod(value("--min-ratio=")));
     } else {
       return usage();
     }
   }
   if (current_path.empty()) return usage();
-  const bool want_ratio = min_ratio > 0 || !ratio_num.empty() || !ratio_den.empty();
-  if (want_ratio && (min_ratio <= 0 || ratio_num.empty() || ratio_den.empty())) {
+  if (ratio_nums.size() != ratio_dens.size() ||
+      ratio_nums.size() != min_ratios.size()) {
+    std::fprintf(stderr,
+                 "wb_bench_check: %zu --ratio-num, %zu --ratio-den, %zu "
+                 "--min-ratio; the three flags must repeat in lockstep\n",
+                 ratio_nums.size(), ratio_dens.size(), min_ratios.size());
     return usage();
   }
-  if (baseline_path.empty() && !want_ratio) return usage();
+  std::vector<RatioGate> gates;
+  for (size_t i = 0; i < ratio_nums.size(); ++i) {
+    if (min_ratios[i] <= 0) {
+      std::fprintf(stderr, "wb_bench_check: --min-ratio must be positive\n");
+      return usage();
+    }
+    gates.push_back({ratio_nums[i], ratio_dens[i], min_ratios[i]});
+  }
+  if (baseline_path.empty() && gates.empty()) return usage();
 
   const auto current = load(current_path);
   if (!current) return 2;
@@ -175,18 +205,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (want_ratio) {
-    const Entry* num = find_entry(cur_entries, ratio_num);
-    const Entry* den = find_entry(cur_entries, ratio_den);
+  // Every gate runs and prints before the exit status is decided: a report
+  // with three broken ratios names all three in one run.
+  for (const RatioGate& gate : gates) {
+    const Entry* num = find_entry(cur_entries, gate.num);
+    const Entry* den = find_entry(cur_entries, gate.den);
     if (!num || !den || den->items_per_second <= 0) {
-      std::fprintf(stderr, "wb_bench_check: ratio benchmarks not found in %s\n",
-                   current_path.c_str());
-      return 2;
+      std::printf("FAIL %s / %s: benchmark missing from %s\n", gate.num.c_str(),
+                  gate.den.c_str(), current_path.c_str());
+      ++failures;
+      continue;
     }
     const double ratio = num->items_per_second / den->items_per_second;
-    const bool ok = ratio >= min_ratio;
+    const bool ok = ratio >= gate.min_ratio;
     std::printf("%s %s / %s = %.2fx (need >= %.2fx)\n", ok ? "ok  " : "FAIL",
-                ratio_num.c_str(), ratio_den.c_str(), ratio, min_ratio);
+                gate.num.c_str(), gate.den.c_str(), ratio, gate.min_ratio);
     if (!ok) ++failures;
   }
 

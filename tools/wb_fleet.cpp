@@ -20,9 +20,14 @@
 // Usage:
 //   wb_fleet [--sessions=N] [--devices=N] [--seed=S] [--cache-mb=N]
 //            [--jobs=N] [--sizes=XS,S] [--level=O2] [--mean-us=N]
-//            [--max-benchmarks=N] [--out=PATH]
+//            [--max-benchmarks=N] [--snapshot] [--out=PATH]
 //            [--check] [--golden=goldens/fleet.json] [--diff-out=PATH]
-//            [--no-quicken] [--no-quicken-js] [--no-jit] [--help]
+//            [--no-quicken] [--no-quicken-js] [--no-jit] [--no-snap]
+//            [--help]
+//
+// --snapshot prices warm cache hits as wb::snap instance restores
+// (bytes-proportional) instead of compiled-module loads + instantiate,
+// and reports the warm-start comparison. Changes the report by design.
 //
 // Environment:
 //   WB_JOBS=N            default for --jobs (the flag wins)
@@ -33,6 +38,9 @@
 //   WB_NO_JIT=1          force quickened dispatch without the copy-and-
 //                        patch Wasm JIT (same as --no-jit; never changes
 //                        results)
+//   WB_NO_SNAP=1         disable wb::snap snapshot/resume everywhere
+//                        (same as --no-snap; never changes results
+//                        unless --snapshot asked for snapshot pricing)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +53,7 @@
 
 #include "fleet/fleet.h"
 #include "js/quicken.h"
+#include "snap/snap.h"
 #include "support/cli.h"
 #include "support/json.h"
 #include "wasm/jit/jit.h"
@@ -59,15 +68,20 @@ const support::CliTool cli(
     "wb_fleet",
     "usage: wb_fleet [--sessions=N] [--devices=N] [--seed=S] [--cache-mb=N]\n"
     "                [--jobs=N] [--sizes=XS,S] [--level=O2] [--mean-us=N]\n"
-    "                [--max-benchmarks=N] [--replay-modules=N] [--out=PATH]\n"
+    "                [--max-benchmarks=N] [--replay-modules=N] [--snapshot]\n"
+    "                [--out=PATH]\n"
     "                [--check] [--golden=goldens/fleet.json] [--diff-out=PATH]\n"
-    "                [--no-quicken] [--no-quicken-js] [--no-jit] [--help]\n"
+    "                [--no-quicken] [--no-quicken-js] [--no-jit] [--no-snap]\n"
+    "                [--help]\n"
+    "  --snapshot           price warm cache hits as wb::snap restores\n"
+    "                       (skip compiled-module load + instantiate)\n"
     "environment:\n"
     "  WB_JOBS=N            default for --jobs (the flag wins)\n"
     "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
     "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n"
     "  WB_NO_JIT=1          quickened dispatch without the copy-and-patch\n"
-    "                       Wasm JIT (= --no-jit; never changes results)\n");
+    "                       Wasm JIT (= --no-jit; never changes results)\n"
+    "  WB_NO_SNAP=1         disable wb::snap snapshot/resume (= --no-snap)\n");
 
 [[noreturn]] void die(const std::string& msg) { cli.die(msg); }
 
@@ -191,6 +205,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--replay-modules=", 0) == 0) {
       config.replay_modules =
           static_cast<uint32_t>(parse_u64(value("--replay-modules="), "--replay-modules"));
+    } else if (arg == "--snapshot") {
+      config.snapshot = true;
+    } else if (arg == "--no-snap") {
+      snap::set_snap_default(false);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = value("--out=");
     } else if (arg.rfind("--golden=", 0) == 0) {

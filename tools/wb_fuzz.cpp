@@ -24,6 +24,7 @@
 #include "ir/passes.h"
 #include "minic/minic.h"
 #include "js/quicken.h"
+#include "snap/snap.h"
 #include "replay/replay.h"
 #include "replay/trace.h"
 #include "support/cli.h"
@@ -40,14 +41,15 @@ const support::CliTool cli(
     "wb_fuzz",
     "usage: wb_fuzz [--runs=N] [--seed=S] [--jobs=J] [--out=DIR]\n"
     "               [--mutation-every=N] [--no-minimize] [--plant-bug]\n"
-    "               [--no-quicken] [--no-quicken-js] [--no-jit]\n"
+    "               [--no-quicken] [--no-quicken-js] [--no-jit] [--no-snap]\n"
     "               [--replay FILE] [--corpus DIR] [--trace FILE] [--help]\n"
     "environment:\n"
     "  WB_JOBS=N            default for --jobs (the flag wins)\n"
     "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
     "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n"
     "  WB_NO_JIT=1          quickened dispatch without the copy-and-patch\n"
-    "                       Wasm JIT (= --no-jit; never changes results)\n");
+    "                       Wasm JIT (= --no-jit; never changes results)\n"
+    "  WB_NO_SNAP=1         disable wb::snap snapshot/resume (= --no-snap)\n");
 
 bool parse_u64(const char* s, uint64_t& out) {
   char* end = nullptr;
@@ -211,6 +213,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-jit") {
       // And for the copy-and-patch Wasm JIT (skips the jit oracle).
       wasm::jit::set_jit_default(false);
+    } else if (arg == "--no-snap") {
+      // And for the wb::snap resume dogfood on replayed traces.
+      snap::set_snap_default(false);
     } else if (arg == "--replay" && i + 1 < argc) {
       replays.emplace_back(argv[++i]);
     } else if (arg.rfind("--replay=", 0) == 0) {

@@ -35,6 +35,7 @@
 #include "attr/attr.h"
 #include "common.h"
 #include "js/quicken.h"
+#include "snap/snap.h"
 #include "wasm/jit/jit.h"
 #include "wasm/quicken.h"
 #include "replay/corpus.h"
@@ -65,13 +66,15 @@ const support::CliTool cli(
     "                 [--check] [--golden=goldens/replay.json] [--diff-out=PATH]\n"
     "                 [--record-dir=DIR] [--replay=FILE] [--reduce=FILE]\n"
     "                 [--trace-out=PATH] [--ddmin-limit=N] [--jobs=N]\n"
-    "                 [--no-quicken] [--no-quicken-js] [--no-jit] [--help]\n"
+    "                 [--no-quicken] [--no-quicken-js] [--no-jit] [--no-snap]\n"
+    "                 [--help]\n"
     "environment:\n"
     "  WB_JOBS=N            default for --jobs (the flag wins)\n"
     "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
     "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n"
     "  WB_NO_JIT=1          quickened dispatch without the copy-and-patch\n"
-    "                       Wasm JIT (= --no-jit; never changes results)\n");
+    "                       Wasm JIT (= --no-jit; never changes results)\n"
+    "  WB_NO_SNAP=1         disable wb::snap snapshot/resume (= --no-snap)\n");
 
 [[noreturn]] void die(const std::string& msg) { cli.die(msg); }
 
@@ -379,6 +382,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-jit") {
       // And for the copy-and-patch Wasm JIT.
       wasm::jit::set_jit_default(false);
+    } else if (arg == "--no-snap") {
+      // And for the wb::snap resume dogfood on the replay path.
+      snap::set_snap_default(false);
     } else {
       cli.unknown_flag(arg);
     }

@@ -23,7 +23,15 @@
 //            [--sizes=S,M] [--levels=O2,Ofast]
 //            [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]
 //            [--toolchain=Cheerp] [--with-native] [--attr] [--jobs=N]
-//            [--no-quicken] [--no-quicken-js] [--no-jit] [--help]
+//            [--snapshot] [--gc=marksweep|generational]
+//            [--no-quicken] [--no-quicken-js] [--no-jit] [--no-snap]
+//            [--help]
+//
+// --snapshot warm-starts every page from a wb::snap instance snapshot
+// (decode + instantiate replaced by a modeled bytes-proportional restore
+// charge); --gc=generational runs the JS cells under the nursery +
+// remembered-set collector with modeled GC pauses. Both change the
+// numbers by design, so the committed golden keeps them off.
 //
 // Environment (see also wb_study --help):
 //   WB_JOBS=N            default for --jobs (the flag wins)
@@ -34,6 +42,8 @@
 //   WB_NO_JIT=1          force quickened dispatch without the copy-and-
 //                        patch Wasm JIT (same as --no-jit; never changes
 //                        results)
+//   WB_NO_SNAP=1         disable wb::snap snapshot/resume everywhere
+//                        (same as --no-snap)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +58,7 @@
 
 #include "attr/attr.h"
 #include "common.h"
+#include "snap/snap.h"
 #include "support/cli.h"
 #include "support/json.h"
 #include "js/quicken.h"
@@ -66,6 +77,11 @@ constexpr int kSchemaVersion = 1;
 /// attribution surface (gaps, report, folded stacks) lives in wb_attr.
 bool g_with_attr = false;
 
+/// --snapshot / --gc=generational: opt-in page options threaded into
+/// every cell's env::RunOptions. Off by default for golden stability.
+bool g_snapshot = false;
+wb::env::RunOptions::JsGc g_js_gc = wb::env::RunOptions::JsGc::MarkSweep;
+
 const support::CliTool cli(
     "wb_study",
     "usage: wb_study [--out=goldens/study.json]\n"
@@ -73,13 +89,18 @@ const support::CliTool cli(
     "                [--sizes=S,M] [--levels=O2,Ofast]\n"
     "                [--browsers=Chrome,Firefox,Edge] [--platforms=Desktop]\n"
     "                [--toolchain=Cheerp] [--with-native] [--attr] [--jobs=N]\n"
-    "                [--no-quicken] [--no-quicken-js] [--no-jit] [--help]\n"
+    "                [--snapshot] [--gc=marksweep|generational]\n"
+    "                [--no-quicken] [--no-quicken-js] [--no-jit] [--no-snap]\n"
+    "                [--help]\n"
+    "  --snapshot           warm-start pages from wb::snap snapshots\n"
+    "  --gc=generational    nursery + remembered-set JS collector\n"
     "environment:\n"
     "  WB_JOBS=N            default for --jobs (the flag wins)\n"
     "  WB_NO_QUICKEN=1      classic Wasm interpreter loop (= --no-quicken)\n"
     "  WB_NO_JS_QUICKEN=1   classic JS switch loop (= --no-quicken-js)\n"
     "  WB_NO_JIT=1          quickened dispatch without the copy-and-patch\n"
-    "                       Wasm JIT (= --no-jit; never changes results)\n");
+    "                       Wasm JIT (= --no-jit; never changes results)\n"
+    "  WB_NO_SNAP=1         disable wb::snap snapshot/resume (= --no-snap)\n");
 
 [[noreturn]] void die(const std::string& msg) { cli.die(msg); }
 
@@ -218,6 +239,8 @@ json::Value run_matrix(const Matrix& m) {
         for (const ir::OptLevel level : m.levels) {
           env::RunOptions options;
           options.toolchain = m.toolchain;
+          options.snapshot = g_snapshot;
+          options.js_gc = g_js_gc;
           std::fprintf(stderr, "running %s/%s %s %s ...\n", env::to_string(browser),
                        env::to_string(platform), core::to_string(size),
                        ir::to_string(level));
@@ -425,6 +448,19 @@ int main(int argc, char** argv) {
       matrix_flag_seen = true;
     } else if (arg == "--attr") {
       g_with_attr = true;
+    } else if (arg == "--snapshot") {
+      g_snapshot = true;
+    } else if (arg.rfind("--gc=", 0) == 0) {
+      const std::string mode = value("--gc=");
+      if (mode == "marksweep") {
+        g_js_gc = env::RunOptions::JsGc::MarkSweep;
+      } else if (mode == "generational") {
+        g_js_gc = env::RunOptions::JsGc::Generational;
+      } else {
+        die("unknown --gc mode: " + mode);
+      }
+    } else if (arg == "--no-snap") {
+      snap::set_snap_default(false);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       // handled by parse_common_flags
     } else if (arg == "--no-quicken") {
